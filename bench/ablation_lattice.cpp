@@ -1,0 +1,127 @@
+//===- bench/ablation_lattice.cpp - §4 ablations over the lattice -------------===//
+//
+// Ablations for the design choices §4 of the paper calls out:
+//
+//  1. Moving down the set lattice (precise -> r/w -> exclusive -> global):
+//     per-operation overhead falls while the ParaMeter parallelism of a
+//     conflict-heavy workload falls too — the precision/performance
+//     trade-off of §4.1, measured on one axis each.
+//
+//  2. Disciplined lock coarsening (§4.2): sweeping the partition count of
+//     the partitioned preflow-push detector from 1 (a global lock) toward
+//     many partitions interpolates between the bottom of the lattice and
+//     plain per-node locks: parallelism grows with partitions, overhead
+//     stays near the exclusive scheme's.
+//
+//  3. Generic vs specialized general gatekeeper for union-find: the
+//     systematic rollback construction vs the paper's hand-built
+//     find-reps/loser-rep logs, same workload.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Boruvka.h"
+#include "apps/Genrmf.h"
+#include "apps/PreflowPush.h"
+#include "apps/SetMicrobench.h"
+#include "core/Lattice.h"
+#include "runtime/RoundExecutor.h"
+#include "support/Options.h"
+#include "support/Random.h"
+
+#include <cstdio>
+
+using namespace comlat;
+
+/// Round-model parallelism of a conflict-heavy set workload (repeated
+/// keys) under one lattice point.
+static double setParallelism(const CommSpec &Spec, bool Gated,
+                             uint64_t Seed) {
+  const std::unique_ptr<TxSet> Set =
+      Gated ? makeGatedSet(Spec) : makeLockedSet(Spec);
+  std::vector<int64_t> Items;
+  for (int64_t I = 0; I != 256; ++I)
+    Items.push_back(I);
+  Rng R(Seed);
+  std::vector<std::pair<int64_t, unsigned>> Plan;
+  for (int64_t I = 0; I != 256; ++I)
+    Plan.emplace_back(static_cast<int64_t>(R.nextBelow(12)),
+                      static_cast<unsigned>(R.nextBelow(2)));
+  RoundExecutor Exec;
+  const RoundStats Stats =
+      Exec.run(Items, [&Set, &Plan](Transaction &Tx, int64_t Item,
+                                    TxWorklist &) {
+        const auto &[Key, Op] = Plan[static_cast<size_t>(Item)];
+        bool Res = false;
+        if (Op == 0)
+          Set->add(Tx, Key, Res);
+        else
+          Set->contains(Tx, Key, Res);
+      });
+  return Stats.parallelism();
+}
+
+int main(int Argc, char **Argv) {
+  const Options Opts(Argc, Argv);
+  const uint64_t Seed = Opts.getUInt("seed", 42);
+  const uint64_t Ops = Opts.getUInt("ops", 100000);
+
+  // --- 1. Set lattice tour -------------------------------------------------
+  std::printf("Ablation 1: the set lattice (conflict-heavy 12-key workload "
+              "for parallelism;\n%llu single-thread ops for per-op "
+              "overhead).\n\n",
+              static_cast<unsigned long long>(Ops));
+  std::printf("%-22s %-18s %14s %14s\n", "spec", "class", "parallelism",
+              "1t time (s)");
+  const struct {
+    const char *Label;
+    const CommSpec &Spec;
+    bool Gated;
+  } Points[] = {
+      {"precise (Fig.2)", preciseSetSpec(), true},
+      {"r/w (Fig.3)", strengthenedSetSpec(), false},
+      {"exclusive", exclusiveSetSpec(), false},
+      {"partitioned(16)", partitionedSetSpec(), false},
+      {"bottom (global)", bottomSetSpec(), false},
+  };
+  for (const auto &P : Points) {
+    const double Par = setParallelism(P.Spec, P.Gated, Seed);
+    MicroParams MP;
+    MP.NumOps = Ops;
+    MP.OpsPerTx = 8;
+    MP.Threads = 1;
+    MP.KeyClasses = 0;
+    MP.Seed = Seed;
+    const std::unique_ptr<TxSet> Set =
+        P.Gated ? makeGatedSet(P.Spec) : makeLockedSet(P.Spec);
+    const ExecStats Stats = runSetMicrobench(*Set, MP);
+    std::printf("%-22s %-18s %14.2f %14.4f\n", P.Label,
+                conditionClassName(P.Spec.classify()), Par, Stats.Seconds);
+  }
+
+  // --- 2. Partition-count sweep (§4.2) ------------------------------------
+  std::printf("\nAblation 2: preflow-push partition sweep (GENRMF 6x6, "
+              "ParaMeter model).\n\n");
+  std::printf("%10s %14s %12s\n", "partitions", "parallelism", "path-len");
+  for (const unsigned Parts : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    MaxflowInstance Inst = genrmf(6, 6, 1, 100, Seed);
+    const PreflowRoundResult R = PreflowPush::runParameter(
+        *Inst.Graph, Inst.Source, Inst.Sink, partFlowSpec(), Parts);
+    std::printf("%10u %14.2f %12llu\n", Parts, R.Rounds.parallelism(),
+                static_cast<unsigned long long>(R.Rounds.Rounds));
+  }
+
+  // --- 3. Generic vs specialized union-find gatekeeper ---------------------
+  std::printf("\nAblation 3: generic rollback gatekeeper vs the paper's "
+              "specialized one\n(Boruvka, 48x48 mesh, single thread).\n\n");
+  std::printf("%-12s %12s %14s\n", "variant", "time (s)", "parallelism");
+  const MeshInstance Mesh = randomMesh(48, 48, Seed);
+  for (const char *Variant : {"uf-gk", "uf-gk-spec"}) {
+    Boruvka App(&Mesh);
+    const BoruvkaResult R = App.runSpeculative(Variant, 1);
+    Boruvka App2(&Mesh);
+    const BoruvkaResult P = App2.runParameter(Variant);
+    std::printf("%-12s %12.4f %14.2f\n", Variant, R.Exec.Seconds,
+                P.Rounds.parallelism());
+  }
+  return 0;
+}

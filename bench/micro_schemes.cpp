@@ -1,0 +1,183 @@
+//===- bench/micro_schemes.cpp - Per-invocation scheme costs ------------------===//
+//
+// Google-benchmark microbenchmarks of the three conflict-detection
+// constructions (§3.4's overhead hierarchy): per-invocation cost of
+// abstract locking, forward gatekeeping (including its growth with the
+// number of live invocations it must check against) and general
+// gatekeeping's rollback evaluation, plus the memory-level STM baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Accumulator.h"
+#include "adt/BoostedSet.h"
+#include "adt/BoostedUnionFind.h"
+#include "stm/ObjectStm.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace comlat;
+
+/// Baseline: the unprotected concrete structure.
+static void BM_DirectSetAdd(benchmark::State &State) {
+  const std::unique_ptr<TxSet> Set = makeDirectSet();
+  int64_t Key = 0;
+  for (auto _ : State) {
+    Transaction Tx(1);
+    bool Res = false;
+    Set->add(Tx, Key++ % 4096, Res);
+    benchmark::DoNotOptimize(Res);
+    Tx.commit();
+  }
+}
+BENCHMARK(BM_DirectSetAdd);
+
+/// Abstract locking: one exclusive key lock per op.
+static void BM_AbstractLockSetAdd(benchmark::State &State) {
+  const std::unique_ptr<TxSet> Set = makeLockedSet(exclusiveSetSpec());
+  int64_t Key = 0;
+  for (auto _ : State) {
+    Transaction Tx(1);
+    bool Res = false;
+    Set->add(Tx, Key++ % 4096, Res);
+    benchmark::DoNotOptimize(Res);
+    Tx.commit();
+  }
+}
+BENCHMARK(BM_AbstractLockSetAdd);
+
+/// Abstract locking with read/write key locks (Fig. 3 scheme).
+static void BM_RwLockSetContains(benchmark::State &State) {
+  const std::unique_ptr<TxSet> Set = makeLockedSet(strengthenedSetSpec());
+  int64_t Key = 0;
+  for (auto _ : State) {
+    Transaction Tx(1);
+    bool Res = false;
+    Set->contains(Tx, Key++ % 4096, Res);
+    benchmark::DoNotOptimize(Res);
+    Tx.commit();
+  }
+}
+BENCHMARK(BM_RwLockSetContains);
+
+/// Forward gatekeeping with a varying number of live invocations to check
+/// against (the Checks cost of §3.3.1).
+static void BM_GatekeeperSetAdd(benchmark::State &State) {
+  const std::unique_ptr<TxSet> Set = makeGatedSet(preciseSetSpec());
+  const unsigned LiveInvocations = static_cast<unsigned>(State.range(0));
+  // A long-lived transaction holds this many active invocations.
+  Transaction Holder(999);
+  for (unsigned I = 0; I != LiveInvocations; ++I) {
+    bool Res = false;
+    Set->add(Holder, 1000000 + I, Res);
+  }
+  int64_t Key = 0;
+  for (auto _ : State) {
+    Transaction Tx(1);
+    bool Res = false;
+    Set->add(Tx, Key++ % 4096, Res);
+    benchmark::DoNotOptimize(Res);
+    Tx.commit();
+  }
+  Holder.commit();
+}
+BENCHMARK(BM_GatekeeperSetAdd)->Arg(0)->Arg(4)->Arg(16)->Arg(64);
+
+/// Memory-level STM: one object lock per concrete access.
+static void BM_StmRead(benchmark::State &State) {
+  ObjectStm Stm("bench");
+  uint64_t Obj = 0;
+  for (auto _ : State) {
+    Transaction Tx(1);
+    Stm.read(Tx, Obj++ % 4096);
+    Tx.commit();
+  }
+}
+BENCHMARK(BM_StmRead);
+
+/// union-find finds under each scheme: the paper's §1 motivating overhead
+/// (path compression makes uf-ml track every touched element).
+template <typename MakeFn>
+static void ufFindBench(benchmark::State &State, MakeFn Make) {
+  const std::unique_ptr<TxUnionFind> Uf = Make(4096);
+  {
+    Transaction Init(1);
+    bool Changed = false;
+    for (int64_t I = 1; I != 4096; ++I)
+      Uf->unite(Init, 0, I, Changed);
+    Init.commit();
+  }
+  int64_t X = 0;
+  for (auto _ : State) {
+    Transaction Tx(2);
+    int64_t Rep = UfNone;
+    Uf->find(Tx, X++ % 4096, Rep);
+    benchmark::DoNotOptimize(Rep);
+    Tx.commit();
+  }
+}
+
+static void BM_UfFindDirect(benchmark::State &State) {
+  ufFindBench(State, makeDirectUnionFind);
+}
+BENCHMARK(BM_UfFindDirect);
+
+static void BM_UfFindGeneralGatekeeper(benchmark::State &State) {
+  ufFindBench(State, makeGatedUnionFind);
+}
+BENCHMARK(BM_UfFindGeneralGatekeeper);
+
+static void BM_UfFindSpecializedGatekeeper(benchmark::State &State) {
+  ufFindBench(State, makeSpecializedUnionFind);
+}
+BENCHMARK(BM_UfFindSpecializedGatekeeper);
+
+static void BM_UfFindStm(benchmark::State &State) {
+  ufFindBench(State, makeStmUnionFind);
+}
+BENCHMARK(BM_UfFindStm);
+
+/// Rollback evaluation cost: a find checked against an active union must
+/// unwind and replay the mutation log (general gatekeeping's worst case).
+static void BM_UfRollbackEvaluation(benchmark::State &State) {
+  for (auto _ : State) {
+    State.PauseTiming();
+    const std::unique_ptr<TxUnionFind> Uf = makeGatedUnionFind(64);
+    Transaction Holder(1);
+    bool Changed = false;
+    // An active union forces rollback evaluation on every checked find.
+    Uf->unite(Holder, 0, 1, Changed);
+    State.ResumeTiming();
+    Transaction Tx(2);
+    int64_t Rep = UfNone;
+    Uf->find(Tx, 5, Rep); // Unrelated element: commutes, but evaluates
+                          // rep(s1, 5) by rollback.
+    benchmark::DoNotOptimize(Rep);
+    Tx.commit();
+    State.PauseTiming();
+    Holder.commit();
+    State.ResumeTiming();
+  }
+}
+BENCHMARK(BM_UfRollbackEvaluation);
+
+/// Gatekeeper on a SIMPLE spec vs generated locks for the same spec: the
+/// cost of over-engineering a lattice point (§3.4's hierarchy).
+static void BM_AccumulatorIncrementLocks(benchmark::State &State) {
+  const std::unique_ptr<TxAccumulator> Acc = makeLockedAccumulator();
+  for (auto _ : State) {
+    Transaction Tx(1);
+    Acc->increment(Tx, 1);
+    Tx.commit();
+  }
+}
+BENCHMARK(BM_AccumulatorIncrementLocks);
+
+static void BM_AccumulatorIncrementGatekeeper(benchmark::State &State) {
+  const std::unique_ptr<TxAccumulator> Acc = makeGatedAccumulator();
+  for (auto _ : State) {
+    Transaction Tx(1);
+    Acc->increment(Tx, 1);
+    Tx.commit();
+  }
+}
+BENCHMARK(BM_AccumulatorIncrementGatekeeper);

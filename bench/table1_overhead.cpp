@@ -1,0 +1,118 @@
+//===- bench/table1_overhead.cpp - Table 1: conflict-detection overhead ------===//
+//
+// Regenerates the overhead column of Table 1: the ratio between the
+// parallelized application running on a single thread and the plain
+// sequential implementation (the paper's o_d). Every measurement is the
+// minimum over --reps runs to suppress scheduler noise. Expected shapes:
+// preflow overhead part <= ex/ml; the gatekeepers' overheads modest
+// (kd-gk below kd-ml; uf-gk below uf-ml; the specialized union-find
+// gatekeeper far below both) because they track semantic state instead of
+// every concrete access.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Boruvka.h"
+#include "apps/Clustering.h"
+#include "apps/Genrmf.h"
+#include "apps/PreflowPush.h"
+#include "support/Options.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+
+using namespace comlat;
+
+/// Minimum of \p Reps timed runs of \p Run (which returns seconds).
+static double bestOf(unsigned Reps, const std::function<double()> &Run) {
+  double Best = Run();
+  for (unsigned I = 1; I < Reps; ++I)
+    Best = std::min(Best, Run());
+  return Best;
+}
+
+static void printRow(const char *App, const char *Variant, double Seconds,
+                     double BaselineSeconds) {
+  std::printf("%-14s %-10s %12.4f %12.4f %10.2f\n", App, Variant, Seconds,
+              BaselineSeconds,
+              BaselineSeconds > 0 ? Seconds / BaselineSeconds : 0.0);
+}
+
+int main(int Argc, char **Argv) {
+  const Options Opts(Argc, Argv);
+  const unsigned RmfA = static_cast<unsigned>(Opts.getUInt("rmf-a", 8));
+  const unsigned RmfFrames =
+      static_cast<unsigned>(Opts.getUInt("rmf-frames", 8));
+  const unsigned MeshSide = static_cast<unsigned>(Opts.getUInt("mesh", 64));
+  const size_t Points = Opts.getUInt("points", 4000);
+  const uint64_t Seed = Opts.getUInt("seed", 42);
+  const unsigned Reps = static_cast<unsigned>(Opts.getUInt("reps", 3));
+
+  std::printf("Table 1 (overhead column): single-threaded speculative "
+              "run-time vs.\nplain sequential run-time (best of %u); "
+              "overhead o_d is their ratio.\n\n",
+              Reps);
+  std::printf("%-14s %-10s %12s %12s %10s\n", "app", "variant", "spec-1t(s)",
+              "seq(s)", "overhead");
+
+  // Preflow-push.
+  {
+    const double SeqSeconds = bestOf(Reps, [&] {
+      MaxflowInstance Inst = genrmf(RmfA, RmfFrames, 1, 100, Seed);
+      double S = 0;
+      PreflowPush::runSequential(*Inst.Graph, Inst.Source, Inst.Sink, &S);
+      return S;
+    });
+    const struct {
+      const char *Name;
+      const CommSpec &Spec;
+    } Variants[] = {
+        {"ml", mlFlowSpec()}, {"ex", exFlowSpec()}, {"part", partFlowSpec()}};
+    for (const auto &V : Variants) {
+      const double Spec1t = bestOf(Reps, [&] {
+        MaxflowInstance Inst = genrmf(RmfA, RmfFrames, 1, 100, Seed);
+        return PreflowPush::runSpeculative(*Inst.Graph, Inst.Source,
+                                           Inst.Sink, V.Spec, 1, 32)
+            .Exec.Seconds;
+      });
+      printRow("preflow-push", V.Name, Spec1t, SeqSeconds);
+    }
+  }
+
+  // Boruvka.
+  {
+    const MeshInstance Mesh = randomMesh(MeshSide, MeshSide, Seed);
+    const double SeqSeconds = bestOf(Reps, [&] {
+      Boruvka App(&Mesh);
+      double S = 0;
+      App.runSequential(&S);
+      return S;
+    });
+    for (const char *Variant : {"uf-ml", "uf-gk", "uf-gk-spec"}) {
+      const double Spec1t = bestOf(Reps, [&] {
+        Boruvka App(&Mesh);
+        return App.runSpeculative(Variant, 1).Exec.Seconds;
+      });
+      printRow("boruvka", Variant, Spec1t, SeqSeconds);
+    }
+  }
+
+  // Clustering.
+  {
+    const double SeqSeconds = bestOf(Reps, [&] {
+      Clustering App(Points, Seed);
+      double S = 0;
+      App.runSequential(&S);
+      return S;
+    });
+    for (const char *Variant : {"kd-ml", "kd-gk"}) {
+      const double Spec1t = bestOf(Reps, [&] {
+        Clustering App(Points, Seed);
+        return App.runSpeculative(Variant, 1).Exec.Seconds;
+      });
+      printRow("clustering", Variant, Spec1t, SeqSeconds);
+    }
+  }
+  return 0;
+}

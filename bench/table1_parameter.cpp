@@ -1,0 +1,82 @@
+//===- bench/table1_parameter.cpp - Table 1: path length & parallelism -------===//
+//
+// Regenerates the ParaMeter columns of Table 1 of "Exploiting the
+// Commutativity Lattice": critical path length and average parallelism for
+//
+//   preflow-push : part / ex / ml          (abstract-lock lattice points)
+//   Boruvka      : uf-ml / uf-gk (+ spec)  (general gatekeeping vs STM)
+//   clustering   : kd-ml / kd-gk           (forward gatekeeping vs STM)
+//
+// Inputs are scaled-down versions of the paper's (GENRMF, random mesh,
+// random points); override with --rmf-a/--rmf-frames, --mesh, --points.
+// Expected shapes (see EXPERIMENTS.md): parallelism part < ex <= ml for
+// preflow-push; kd-gk >> kd-ml; uf-gk ~ uf-ml.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Boruvka.h"
+#include "apps/Clustering.h"
+#include "apps/Genrmf.h"
+#include "apps/PreflowPush.h"
+#include "support/Options.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+
+using namespace comlat;
+
+static void printRow(const char *App, const char *Variant,
+                     const RoundStats &Stats) {
+  std::printf("%-14s %-10s %10llu %12llu %12llu %14.2f\n", App, Variant,
+              static_cast<unsigned long long>(Stats.Committed),
+              static_cast<unsigned long long>(Stats.Deferred),
+              static_cast<unsigned long long>(Stats.Rounds),
+              Stats.parallelism());
+}
+
+int main(int Argc, char **Argv) {
+  const Options Opts(Argc, Argv);
+  const unsigned RmfA = static_cast<unsigned>(Opts.getUInt("rmf-a", 8));
+  const unsigned RmfFrames =
+      static_cast<unsigned>(Opts.getUInt("rmf-frames", 4));
+  const unsigned MeshSide = static_cast<unsigned>(Opts.getUInt("mesh", 40));
+  const size_t Points = Opts.getUInt("points", 1200);
+  const uint64_t Seed = Opts.getUInt("seed", 42);
+
+  std::printf("Table 1 (ParaMeter model): committed iterations, deferred "
+              "executions,\ncritical path length (rounds) and average "
+              "parallelism.\n\n");
+  std::printf("%-14s %-10s %10s %12s %12s %14s\n", "app", "variant",
+              "committed", "deferred", "path-len", "parallelism");
+
+  // Preflow-push on GENRMF.
+  {
+    const struct {
+      const char *Name;
+      const CommSpec &Spec;
+    } Variants[] = {
+        {"ml", mlFlowSpec()}, {"ex", exFlowSpec()}, {"part", partFlowSpec()}};
+    for (const auto &V : Variants) {
+      MaxflowInstance Inst = genrmf(RmfA, RmfFrames, 1, 100, Seed);
+      const PreflowRoundResult R = PreflowPush::runParameter(
+          *Inst.Graph, Inst.Source, Inst.Sink, V.Spec, /*Partitions=*/32);
+      printRow("preflow-push", V.Name, R.Rounds);
+    }
+  }
+
+  // Boruvka on a random mesh.
+  for (const char *Variant : {"uf-ml", "uf-gk", "uf-gk-spec"}) {
+    const MeshInstance Mesh = randomMesh(MeshSide, MeshSide, Seed);
+    Boruvka App(&Mesh);
+    const BoruvkaResult R = App.runParameter(Variant);
+    printRow("boruvka", Variant, R.Rounds);
+  }
+
+  // Agglomerative clustering on random points.
+  for (const char *Variant : {"kd-ml", "kd-gk"}) {
+    Clustering App(Points, Seed);
+    const ClusterResult R = App.runParameter(Variant);
+    printRow("clustering", Variant, R.Rounds);
+  }
+  return 0;
+}

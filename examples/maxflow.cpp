@@ -1,0 +1,64 @@
+//===- examples/maxflow.cpp - Preflow-push with abstract locks ----------------===//
+//
+// The preflow-push case study (§5) as a standalone tool: generates a
+// GENRMF instance, solves it speculatively under a chosen lattice point
+// (ml / ex / part), verifies the flow against the built-in Dinic oracle
+// and reports executor statistics.
+//
+// Usage:
+//   ./build/examples/maxflow [--variant=ml|ex|part] [--threads=4]
+//                            [--rmf-a=8] [--rmf-frames=6] [--seed=42]
+//                            [--partitions=32]
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Genrmf.h"
+#include "apps/MaxflowReference.h"
+#include "apps/PreflowPush.h"
+#include "support/Options.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace comlat;
+
+int main(int Argc, char **Argv) {
+  const Options Opts(Argc, Argv);
+  const std::string Variant = Opts.getString("variant", "part");
+  const unsigned Threads = static_cast<unsigned>(Opts.getUInt("threads", 4));
+  const unsigned A = static_cast<unsigned>(Opts.getUInt("rmf-a", 8));
+  const unsigned Frames = static_cast<unsigned>(Opts.getUInt("rmf-frames", 6));
+  const unsigned Partitions =
+      static_cast<unsigned>(Opts.getUInt("partitions", 32));
+  const uint64_t Seed = Opts.getUInt("seed", 42);
+
+  const CommSpec &Spec = Variant == "ml"   ? mlFlowSpec()
+                         : Variant == "ex" ? exFlowSpec()
+                                           : partFlowSpec();
+
+  std::printf("GENRMF a=%u frames=%u (%u nodes), scheme %s, %u threads\n", A,
+              Frames, A * A * Frames, Spec.name().c_str(), Threads);
+
+  const MaxflowInstance Oracle = genrmf(A, Frames, 1, 100, Seed);
+  const int64_t Expected =
+      referenceMaxflow(*Oracle.Graph, Oracle.Source, Oracle.Sink);
+
+  MaxflowInstance Inst = genrmf(A, Frames, 1, 100, Seed);
+  const PreflowResult R = PreflowPush::runSpeculative(
+      *Inst.Graph, Inst.Source, Inst.Sink, Spec, Threads, Partitions);
+
+  std::printf("max flow      : %lld (Dinic oracle: %lld) %s\n",
+              static_cast<long long>(R.FlowValue),
+              static_cast<long long>(Expected),
+              R.FlowValue == Expected ? "[ok]" : "[MISMATCH]");
+  std::printf("flow validity : %s\n",
+              Inst.Graph->checkFlowValid(Inst.Source, Inst.Sink)
+                  ? "conservation + capacity hold"
+                  : "VIOLATED");
+  std::printf("iterations    : %llu committed, %llu aborted (%.2f%%)\n",
+              static_cast<unsigned long long>(R.Exec.Committed),
+              static_cast<unsigned long long>(R.Exec.Aborted),
+              100.0 * R.Exec.abortRatio());
+  std::printf("wall clock    : %.4f s\n", R.Exec.Seconds);
+  return R.FlowValue == Expected ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+//===- examples/quickstart.cpp - From a spec to a running detector ------------===//
+//
+// Quickstart for the comlat library, following the paper's accumulator
+// running example (§3.2):
+//
+//  1. declare an ADT signature;
+//  2. write its commutativity specification in the condition DSL;
+//  3. let the library classify it (SIMPLE / ONLINE-CHECKABLE / GENERAL);
+//  4. generate the abstract-lock scheme and inspect the Fig. 8
+//     compatibility matrices;
+//  5. run speculative transactions against the boosted structure.
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Accumulator.h"
+#include "runtime/Executor.h"
+
+#include <cstdio>
+
+using namespace comlat;
+
+int main() {
+  // 1-2. The accumulator signature and its Fig. 7 specification ship with
+  // the library; see adt/Accumulator.cpp for the 6 lines that define them
+  // with the DSL (increment~increment = true, increment~read = false,
+  // read~read = true).
+  const CommSpec &Spec = accumulatorSpec();
+  std::printf("%s\n", Spec.str().c_str());
+
+  // 3. Classify: this spec is SIMPLE, so Theorem 1 guarantees a sound and
+  // complete abstract-lock implementation exists.
+  std::printf("classification: %s\n\n",
+              conditionClassName(Spec.classify()));
+
+  // 4. Run the §3.2 construction and print both Fig. 8 matrices.
+  const LockScheme Scheme(Spec);
+  std::printf("full compatibility matrix (Fig. 8a):\n%s\n",
+              Scheme.matrixStr(/*IncludeReduced=*/true).c_str());
+  std::printf("reduced compatibility matrix (Fig. 8b):\n%s\n",
+              Scheme.matrixStr(/*IncludeReduced=*/false).c_str());
+
+  // 5. Speculatively execute 1000 increments and 100 reads on 4 threads.
+  // Increments commute with each other and reads with reads; increments
+  // against reads conflict and one side retries.
+  const std::unique_ptr<TxAccumulator> Acc = makeLockedAccumulator();
+  Worklist WL;
+  for (int64_t I = 0; I != 1100; ++I)
+    WL.push(I);
+  Executor Exec(/*NumThreads=*/4);
+  const ExecStats Stats =
+      Exec.run(WL, [&Acc](Transaction &Tx, int64_t Item, TxWorklist &) {
+        if (Item % 11 == 0) {
+          int64_t Value = 0;
+          Acc->read(Tx, Value); // May conflict; executor retries.
+        } else {
+          Acc->increment(Tx, 1);
+        }
+      });
+  std::printf("executed %llu transactions (%llu aborted and retried)\n",
+              static_cast<unsigned long long>(Stats.Committed),
+              static_cast<unsigned long long>(Stats.Aborted));
+  std::printf("final accumulator value: %lld (expected 1000)\n",
+              static_cast<long long>(Acc->value()));
+  return Acc->value() == 1000 ? 0 : 1;
+}

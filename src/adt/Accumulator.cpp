@@ -1,0 +1,183 @@
+//===- adt/Accumulator.cpp - The paper's running example --------------------===//
+
+#include "adt/Accumulator.h"
+
+using namespace comlat;
+using namespace comlat::dsl;
+
+AccumulatorSig::AccumulatorSig() {
+  Increment = Sig.addMethod("increment", 1, /*HasRet=*/false,
+                            /*Mutating=*/true);
+  Read = Sig.addMethod("read", 0, /*HasRet=*/true, /*Mutating=*/false);
+}
+
+const AccumulatorSig &comlat::accumulatorSig() {
+  static const AccumulatorSig S;
+  return S;
+}
+
+const CommSpec &comlat::accumulatorSpec() {
+  static const CommSpec Spec = [] {
+    const AccumulatorSig &S = accumulatorSig();
+    CommSpec Out(&S.Sig, "accumulator");
+    Out.set(S.Increment, S.Increment, top());
+    Out.set(S.Increment, S.Read, bottom());
+    Out.set(S.Read, S.Read, top());
+    return Out;
+  }();
+  return Spec;
+}
+
+TxAccumulator::~TxAccumulator() = default;
+
+namespace {
+
+class LockedAccumulator : public TxAccumulator {
+public:
+  LockedAccumulator()
+      : Scheme(accumulatorSpec()), Manager(&Scheme, "accumulator-locks") {}
+
+  bool increment(Transaction &Tx, int64_t Amount) override {
+    const AccumulatorSig &S = accumulatorSig();
+    const std::vector<Value> Args = {Value::integer(Amount)};
+    if (!Manager.acquirePre(Tx, S.Increment, Args))
+      return false;
+    {
+      std::lock_guard<std::mutex> Guard(M);
+      Sum += Amount;
+    }
+    Tx.addUndo([this, Amount] {
+      std::lock_guard<std::mutex> Guard(M);
+      Sum -= Amount;
+    });
+    if (Tx.recording())
+      Tx.recordInvocation(tag(), Invocation(S.Increment, Args, Value::none()));
+    return true;
+  }
+
+  bool read(Transaction &Tx, int64_t &Res) override {
+    const AccumulatorSig &S = accumulatorSig();
+    if (!Manager.acquirePre(Tx, S.Read, {}))
+      return false;
+    {
+      std::lock_guard<std::mutex> Guard(M);
+      Res = Sum;
+    }
+    if (!Manager.acquirePost(Tx, S.Read, {}, Value::integer(Res)))
+      return false;
+    if (Tx.recording())
+      Tx.recordInvocation(tag(),
+                          Invocation(S.Read, {}, Value::integer(Res)));
+    return true;
+  }
+
+  int64_t value() const override {
+    std::lock_guard<std::mutex> Guard(M);
+    return Sum;
+  }
+  const char *schemeName() const override { return "accumulator-locks"; }
+
+private:
+  LockScheme Scheme;
+  AbstractLockManager Manager;
+  mutable std::mutex M;
+  int64_t Sum = 0;
+};
+
+class AccumulatorGateTarget : public GateTarget {
+public:
+  Value gateExecute(MethodId Method, const std::vector<Value> &Args,
+                    std::vector<GateAction> &Actions) override {
+    const AccumulatorSig &S = accumulatorSig();
+    if (Method == S.Increment) {
+      const int64_t Amount = Args[0].asInt();
+      Sum += Amount;
+      Actions.push_back(GateAction{[this, Amount] { Sum -= Amount; },
+                                   [this, Amount] { Sum += Amount; }});
+      return Value::none();
+    }
+    assert(Method == S.Read && "unknown accumulator method");
+    return Value::integer(Sum);
+  }
+
+  Value gateEvalStateFn(StateFnId F, const std::vector<Value> &Args) override {
+    COMLAT_UNREACHABLE("accumulator has no state functions");
+  }
+
+  std::string gateSignature() const override { return std::to_string(Sum); }
+
+  int64_t sum() const { return Sum; }
+
+private:
+  int64_t Sum = 0;
+};
+
+class GatedAccumulator : public TxAccumulator {
+public:
+  GatedAccumulator()
+      : Keeper(&accumulatorSpec(), &Target, "accumulator-gatekeeper") {}
+
+  bool increment(Transaction &Tx, int64_t Amount) override {
+    const AccumulatorSig &S = accumulatorSig();
+    const std::vector<Value> Args = {Value::integer(Amount)};
+    Value Ret;
+    if (!Keeper.invoke(Tx, S.Increment, Args, Ret))
+      return false;
+    if (Tx.recording())
+      Tx.recordInvocation(tag(), Invocation(S.Increment, Args, Ret));
+    return true;
+  }
+
+  bool read(Transaction &Tx, int64_t &Res) override {
+    const AccumulatorSig &S = accumulatorSig();
+    Value Ret;
+    if (!Keeper.invoke(Tx, S.Read, {}, Ret))
+      return false;
+    Res = Ret.asInt();
+    if (Tx.recording())
+      Tx.recordInvocation(tag(), Invocation(S.Read, {}, Ret));
+    return true;
+  }
+
+  int64_t value() const override { return Target.sum(); }
+  const char *schemeName() const override { return "accumulator-gatekeeper"; }
+
+private:
+  AccumulatorGateTarget Target;
+  ForwardGatekeeper Keeper;
+};
+
+} // namespace
+
+std::unique_ptr<TxAccumulator> comlat::makeLockedAccumulator() {
+  return std::make_unique<LockedAccumulator>();
+}
+
+std::unique_ptr<TxAccumulator> comlat::makeGatedAccumulator() {
+  return std::make_unique<GatedAccumulator>();
+}
+
+ValidationHarness comlat::accumulatorValidationHarness() {
+  ValidationHarness Harness;
+  Harness.MakeTarget = [] {
+    return std::make_unique<AccumulatorGateTarget>();
+  };
+  Harness.RandomArgs = [](Rng &R, MethodId M) {
+    if (M == accumulatorSig().Read)
+      return std::vector<Value>{};
+    return std::vector<Value>{
+        Value::integer(static_cast<int64_t>(R.nextBelow(5)))};
+  };
+  return Harness;
+}
+
+Value AccumulatorReplayer::replay(uintptr_t StructureTag,
+                                  const Invocation &Inv) {
+  const AccumulatorSig &S = accumulatorSig();
+  if (Inv.Method == S.Increment) {
+    Sum += Inv.Args[0].asInt();
+    return Value::none();
+  }
+  assert(Inv.Method == S.Read && "unknown accumulator method");
+  return Value::integer(Sum);
+}

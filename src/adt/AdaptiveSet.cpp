@@ -1,0 +1,223 @@
+//===- adt/AdaptiveSet.cpp - Dynamic lattice-point selection ----------------===//
+
+#include "adt/AdaptiveSet.h"
+
+using namespace comlat;
+
+namespace {
+
+/// Gate target over a *shared* concrete set (the adaptive wrapper owns the
+/// set; the gatekeeper level borrows it).
+class SharedSetGateTarget : public GateTarget {
+public:
+  explicit SharedSetGateTarget(IntHashSet &Set) : Set(Set) {}
+
+  Value gateExecute(MethodId Method, const std::vector<Value> &Args,
+                    std::vector<GateAction> &Actions) override {
+    const SetSig &S = setSig();
+    const int64_t Key = Args[0].asInt();
+    if (Method == S.Add) {
+      const bool Changed = Set.insert(Key);
+      if (Changed)
+        Actions.push_back(GateAction{[this, Key] { Set.erase(Key); },
+                                     [this, Key] { Set.insert(Key); }});
+      return Value::boolean(Changed);
+    }
+    if (Method == S.Remove) {
+      const bool Changed = Set.erase(Key);
+      if (Changed)
+        Actions.push_back(GateAction{[this, Key] { Set.insert(Key); },
+                                     [this, Key] { Set.erase(Key); }});
+      return Value::boolean(Changed);
+    }
+    assert(Method == S.Contains && "unknown set method");
+    return Value::boolean(Set.contains(Key));
+  }
+
+  Value gateEvalStateFn(StateFnId, const std::vector<Value> &) override {
+    COMLAT_UNREACHABLE("precise set spec uses no state functions");
+  }
+
+private:
+  IntHashSet &Set;
+};
+
+} // namespace
+
+class AdaptiveSet::Impl {
+public:
+  explicit Impl(AdaptivePolicy Policy)
+      : Policy(Policy), SchemeEx(exclusiveSetSpec()),
+        SchemeRw(strengthenedSetSpec()),
+        MgrEx(&SchemeEx, "adaptive-exclusive"),
+        MgrRw(&SchemeRw, "adaptive-rw"), Target(Set),
+        Keeper(&preciseSetSpec(), &Target, "adaptive-precise") {}
+
+  /// Binds \p Tx to a level, or refuses it while a switch is draining.
+  std::optional<Level> bind(Transaction &Tx) {
+    std::lock_guard<std::mutex> Guard(Ctl);
+    const auto It = Bound.find(Tx.id());
+    if (It != Bound.end())
+      return It->second;
+    if (Pending) {
+      if (totalLive() != 0) {
+        ++DrainRefusals;
+        Tx.fail();
+        return std::nullopt; // Retry after the drain completes.
+      }
+      Current = *Pending;
+      Pending.reset();
+      ++Switches;
+    }
+    Bound.emplace(Tx.id(), Current);
+    ++Live[static_cast<unsigned>(Current)];
+    return Current;
+  }
+
+  void finish(TxId Id, bool Committed) {
+    std::lock_guard<std::mutex> Guard(Ctl);
+    const auto It = Bound.find(Id);
+    if (It == Bound.end())
+      return; // Refused before binding.
+    --Live[static_cast<unsigned>(It->second)];
+    Bound.erase(It);
+    // Sliding-window policy.
+    ++(Committed ? WindowCommits : WindowAborts);
+    if (WindowCommits + WindowAborts < Policy.Window)
+      return;
+    const double Ratio =
+        static_cast<double>(WindowAborts) /
+        static_cast<double>(WindowCommits + WindowAborts);
+    WindowCommits = WindowAborts = 0;
+    if (Pending)
+      return; // A switch is already in flight.
+    const unsigned Cur = static_cast<unsigned>(Current);
+    if (Ratio > Policy.EscalateAbortRatio && Cur < 2)
+      Pending = static_cast<Level>(Cur + 1);
+    else if (Ratio < Policy.DeescalateAbortRatio && Cur > 0)
+      Pending = static_cast<Level>(Cur - 1);
+  }
+
+  /// Lock-level execution (Exclusive / ReadWrite).
+  bool lockedInvoke(AbstractLockManager &Mgr, Transaction &Tx,
+                    MethodId Method, int64_t Key, bool &Res) {
+    const std::vector<Value> Args = {Value::integer(Key)};
+    if (!Mgr.acquirePre(Tx, Method, Args))
+      return false;
+    const SetSig &S = setSig();
+    {
+      std::lock_guard<std::mutex> Guard(M);
+      if (Method == S.Add) {
+        Res = Set.insert(Key);
+        if (Res)
+          Tx.addUndo([this, Key] {
+            std::lock_guard<std::mutex> G(M);
+            Set.erase(Key);
+          });
+      } else if (Method == S.Remove) {
+        Res = Set.erase(Key);
+        if (Res)
+          Tx.addUndo([this, Key] {
+            std::lock_guard<std::mutex> G(M);
+            Set.insert(Key);
+          });
+      } else {
+        Res = Set.contains(Key);
+      }
+    }
+    return Mgr.acquirePost(Tx, Method, Args, Value::boolean(Res));
+  }
+
+  AdaptivePolicy Policy;
+
+  mutable std::mutex M; ///< Guards the concrete set on the lock levels.
+  IntHashSet Set;
+
+  LockScheme SchemeEx;
+  LockScheme SchemeRw;
+  AbstractLockManager MgrEx;
+  AbstractLockManager MgrRw;
+  SharedSetGateTarget Target;
+  ForwardGatekeeper Keeper;
+
+  mutable std::mutex Ctl;
+  Level Current = Level::Exclusive;
+  std::optional<Level> Pending;
+  std::map<TxId, Level> Bound;
+  std::array<unsigned, 3> Live = {0, 0, 0};
+  uint64_t WindowCommits = 0;
+  uint64_t WindowAborts = 0;
+  uint64_t Switches = 0;
+  uint64_t DrainRefusals = 0;
+
+  unsigned totalLive() const { return Live[0] + Live[1] + Live[2]; }
+};
+
+AdaptiveSet::AdaptiveSet(AdaptivePolicy Policy)
+    : P(std::make_unique<Impl>(Policy)) {}
+
+AdaptiveSet::~AdaptiveSet() = default;
+
+bool AdaptiveSet::invoke(Transaction &Tx, MethodId Method, int64_t Key,
+                         bool &Res) {
+  Tx.touch(this);
+  const std::optional<Level> L = P->bind(Tx);
+  if (!L)
+    return false; // Drain barrier: transaction retries later.
+  bool Ok;
+  switch (*L) {
+  case Level::Exclusive:
+    Ok = P->lockedInvoke(P->MgrEx, Tx, Method, Key, Res);
+    break;
+  case Level::ReadWrite:
+    Ok = P->lockedInvoke(P->MgrRw, Tx, Method, Key, Res);
+    break;
+  case Level::Precise: {
+    Value Ret;
+    Ok = P->Keeper.invoke(Tx, Method, {Value::integer(Key)}, Ret);
+    if (Ok)
+      Res = Ret.asBool();
+    break;
+  }
+  }
+  if (Ok && Tx.recording())
+    Tx.recordInvocation(tag(), Invocation(Method, {Value::integer(Key)},
+                                          Value::boolean(Res)));
+  return Ok;
+}
+
+bool AdaptiveSet::add(Transaction &Tx, int64_t Key, bool &Res) {
+  return invoke(Tx, setSig().Add, Key, Res);
+}
+
+bool AdaptiveSet::remove(Transaction &Tx, int64_t Key, bool &Res) {
+  return invoke(Tx, setSig().Remove, Key, Res);
+}
+
+bool AdaptiveSet::contains(Transaction &Tx, int64_t Key, bool &Res) {
+  return invoke(Tx, setSig().Contains, Key, Res);
+}
+
+std::string AdaptiveSet::signature() const {
+  std::lock_guard<std::mutex> Guard(P->M);
+  return P->Set.signature();
+}
+
+void AdaptiveSet::release(Transaction &Tx, bool Committed) {
+  P->finish(Tx.id(), Committed);
+}
+
+AdaptiveSet::Level AdaptiveSet::currentLevel() const {
+  std::lock_guard<std::mutex> Guard(P->Ctl);
+  return P->Current;
+}
+
+uint64_t AdaptiveSet::numSwitches() const {
+  std::lock_guard<std::mutex> Guard(P->Ctl);
+  return P->Switches;
+}
+
+uint64_t AdaptiveSet::numDrainRefusals() const {
+  std::lock_guard<std::mutex> Guard(P->Ctl);
+  return P->DrainRefusals;
+}

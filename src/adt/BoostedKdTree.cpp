@@ -1,0 +1,311 @@
+//===- adt/BoostedKdTree.cpp - Transactional kd-tree variants ---------------===//
+
+#include "adt/BoostedKdTree.h"
+
+using namespace comlat;
+using namespace comlat::dsl;
+
+KdSig::KdSig() {
+  Add = Sig.addMethod("add", 1, /*HasRet=*/true, /*Mutating=*/true);
+  Remove = Sig.addMethod("remove", 1, /*HasRet=*/true, /*Mutating=*/true);
+  Nearest = Sig.addMethod("nearest", 1, /*HasRet=*/true, /*Mutating=*/false);
+  Dist = Sig.addStateFn("dist", 2, /*Pure=*/true);
+}
+
+const KdSig &comlat::kdSig() {
+  static const KdSig S;
+  return S;
+}
+
+const CommSpec &comlat::kdSpec() {
+  static const CommSpec Spec = [] {
+    const KdSig &S = kdSig();
+    CommSpec Out(&S.Sig, "kdtree-precise");
+    const FormulaPtr KeysDiffer = ne(arg1(0), arg2(0));
+    const FormulaPtr NeitherMutated =
+        conj(eq(ret1(), cst(false)), eq(ret2(), cst(false)));
+    // (1) nearest ~ nearest: read-only queries always commute.
+    Out.set(S.Nearest, S.Nearest, top());
+    // (2) nearest(a)/r1 ~ add(b)/r2: the add changed nothing, or b is
+    // farther from a than the answer r1 (dist is pure: points are
+    // immutable values).
+    Out.set(S.Nearest, S.Add,
+            disj(eq(ret2(), cst(false)),
+                 gt(apply(S.Dist, StateRef::None, {arg1(0), arg2(0)}),
+                    apply(S.Dist, StateRef::None, {arg1(0), ret1()}))));
+    // (3) nearest(a)/r1 ~ remove(b)/r2: the remove changed nothing, or it
+    // removed a point other than the answer that is farther from a than
+    // the answer. Deviation from Fig. 4, which guards only (a != b and
+    // r1 != b): evaluated with the remove first, that guard passes even
+    // though nearest-before-remove would have returned the removed point
+    // (e.g. remove(4)/true then nearest(3)/null on a one-point tree) —
+    // the randomized condition validator produces this counterexample
+    // (tests/runtime/SpecValidatorTest.cpp). The distance clause restores
+    // both-moving validity and reuses the logged dist(a, r1).
+    Out.set(S.Nearest, S.Remove,
+            disj(eq(ret2(), cst(false)),
+                 conj(ne(ret1(), arg2(0)),
+                      gt(apply(S.Dist, StateRef::None, {arg1(0), arg2(0)}),
+                         apply(S.Dist, StateRef::None,
+                               {arg1(0), ret1()})))));
+    // (4-6) add/remove pairs behave like the set (Fig. 2 clauses).
+    Out.set(S.Add, S.Add, disj(KeysDiffer, NeitherMutated));
+    Out.set(S.Add, S.Remove, disj(KeysDiffer, NeitherMutated));
+    Out.set(S.Remove, S.Remove, disj(KeysDiffer, NeitherMutated));
+    return Out;
+  }();
+  return Spec;
+}
+
+TxKdTree::~TxKdTree() = default;
+
+namespace {
+
+/// Shared helper: run one kd-tree method against a concrete tree.
+class KdGateTarget : public GateTarget {
+public:
+  explicit KdGateTarget(const PointStore *Store) : Store(Store), Tree(Store) {}
+
+  Value gateExecute(MethodId Method, const std::vector<Value> &Args,
+                    std::vector<GateAction> &Actions) override {
+    const KdSig &S = kdSig();
+    const int64_t Id = Args[0].asInt();
+    if (Method == S.Add) {
+      bool Changed = false;
+      const KdTree::Status St = Tree.add(Id, nullptr, Changed);
+      assert(St == KdTree::Status::Ok && "unprobed op cannot conflict");
+      (void)St;
+      if (Changed)
+        Actions.push_back(GateAction{[this, Id] {
+                                       bool C;
+                                       Tree.remove(Id, nullptr, C);
+                                     },
+                                     [this, Id] {
+                                       bool C;
+                                       Tree.add(Id, nullptr, C);
+                                     }});
+      return Value::boolean(Changed);
+    }
+    if (Method == S.Remove) {
+      bool Changed = false;
+      const KdTree::Status St = Tree.remove(Id, nullptr, Changed);
+      assert(St == KdTree::Status::Ok && "unprobed op cannot conflict");
+      (void)St;
+      if (Changed)
+        Actions.push_back(GateAction{[this, Id] {
+                                       bool C;
+                                       Tree.add(Id, nullptr, C);
+                                     },
+                                     [this, Id] {
+                                       bool C;
+                                       Tree.remove(Id, nullptr, C);
+                                     }});
+      return Value::boolean(Changed);
+    }
+    assert(Method == S.Nearest && "unknown kd-tree method");
+    int64_t Res = KdNullPoint;
+    const KdTree::Status St = Tree.nearest(Id, nullptr, Res);
+    assert(St == KdTree::Status::Ok && "unprobed op cannot conflict");
+    (void)St;
+    return Value::integer(Res);
+  }
+
+  Value gateEvalStateFn(StateFnId F, const std::vector<Value> &Args) override {
+    assert(F == kdSig().Dist && "unknown kd-tree state function");
+    return Value::real(Store->dist(Args[0].asInt(), Args[1].asInt()));
+  }
+
+  std::string gateSignature() const override { return Tree.signature(); }
+
+  const KdTree &tree() const { return Tree; }
+
+private:
+  const PointStore *Store;
+  KdTree Tree;
+};
+
+/// Unprotected baseline.
+class DirectKdTree : public TxKdTree {
+public:
+  explicit DirectKdTree(const PointStore *Store) : Tree(Store) {}
+
+  bool add(Transaction &Tx, int64_t Id, bool &Changed) override {
+    Tree.add(Id, nullptr, Changed);
+    record(Tx, kdSig().Add, Id, Value::boolean(Changed));
+    return true;
+  }
+  bool remove(Transaction &Tx, int64_t Id, bool &Changed) override {
+    Tree.remove(Id, nullptr, Changed);
+    record(Tx, kdSig().Remove, Id, Value::boolean(Changed));
+    return true;
+  }
+  bool nearest(Transaction &Tx, int64_t Query, int64_t &Res) override {
+    Tree.nearest(Query, nullptr, Res);
+    record(Tx, kdSig().Nearest, Query, Value::integer(Res));
+    return true;
+  }
+  std::string signature() const override { return Tree.signature(); }
+  size_t size() const override { return Tree.size(); }
+  const char *schemeName() const override { return "kd-direct"; }
+
+private:
+  void record(Transaction &Tx, MethodId M, int64_t Arg, Value Ret) {
+    if (Tx.recording())
+      Tx.recordInvocation(tag(), Invocation(M, {Value::integer(Arg)}, Ret));
+  }
+  KdTree Tree;
+};
+
+/// kd-gk: forward gatekeeper.
+class GatedKdTree : public TxKdTree {
+public:
+  explicit GatedKdTree(const PointStore *Store)
+      : Target(Store), Keeper(&kdSpec(), &Target, "kd-gk") {}
+
+  bool add(Transaction &Tx, int64_t Id, bool &Changed) override {
+    Value Ret;
+    if (!Keeper.invoke(Tx, kdSig().Add, {Value::integer(Id)}, Ret))
+      return false;
+    Changed = Ret.asBool();
+    record(Tx, kdSig().Add, Id, Ret);
+    return true;
+  }
+  bool remove(Transaction &Tx, int64_t Id, bool &Changed) override {
+    Value Ret;
+    if (!Keeper.invoke(Tx, kdSig().Remove, {Value::integer(Id)}, Ret))
+      return false;
+    Changed = Ret.asBool();
+    record(Tx, kdSig().Remove, Id, Ret);
+    return true;
+  }
+  bool nearest(Transaction &Tx, int64_t Query, int64_t &Res) override {
+    Value Ret;
+    if (!Keeper.invoke(Tx, kdSig().Nearest, {Value::integer(Query)}, Ret))
+      return false;
+    Res = Ret.asInt();
+    record(Tx, kdSig().Nearest, Query, Ret);
+    return true;
+  }
+  std::string signature() const override { return Target.tree().signature(); }
+  size_t size() const override { return Target.tree().size(); }
+  const char *schemeName() const override { return "kd-gk"; }
+
+private:
+  void record(Transaction &Tx, MethodId M, int64_t Arg, Value Ret) {
+    if (Tx.recording())
+      Tx.recordInvocation(tag(), Invocation(M, {Value::integer(Arg)}, Ret));
+  }
+  KdGateTarget Target;
+  ForwardGatekeeper Keeper;
+};
+
+/// kd-ml: memory-level STM over concrete nodes. Concrete execution is
+/// serialized by a structure mutex; isolation across whole transactions
+/// comes from the per-node STM locks.
+class StmKdTree : public TxKdTree {
+public:
+  explicit StmKdTree(const PointStore *Store)
+      : Tree(Store), Stm("kd-ml") {}
+
+  bool add(Transaction &Tx, int64_t Id, bool &Changed) override {
+    StmProbe Probe(Stm, Tx);
+    std::lock_guard<std::mutex> Guard(M);
+    if (Tree.add(Id, &Probe, Changed) == KdTree::Status::Conflict)
+      return false;
+    if (Changed)
+      Tx.addUndo([this, Id] {
+        std::lock_guard<std::mutex> G(M);
+        bool C;
+        Tree.remove(Id, nullptr, C);
+      });
+    record(Tx, kdSig().Add, Id, Value::boolean(Changed));
+    return true;
+  }
+  bool remove(Transaction &Tx, int64_t Id, bool &Changed) override {
+    StmProbe Probe(Stm, Tx);
+    std::lock_guard<std::mutex> Guard(M);
+    if (Tree.remove(Id, &Probe, Changed) == KdTree::Status::Conflict)
+      return false;
+    if (Changed)
+      Tx.addUndo([this, Id] {
+        std::lock_guard<std::mutex> G(M);
+        bool C;
+        Tree.add(Id, nullptr, C);
+      });
+    record(Tx, kdSig().Remove, Id, Value::boolean(Changed));
+    return true;
+  }
+  bool nearest(Transaction &Tx, int64_t Query, int64_t &Res) override {
+    StmProbe Probe(Stm, Tx);
+    std::lock_guard<std::mutex> Guard(M);
+    if (Tree.nearest(Query, &Probe, Res) == KdTree::Status::Conflict)
+      return false;
+    record(Tx, kdSig().Nearest, Query, Value::integer(Res));
+    return true;
+  }
+  std::string signature() const override {
+    std::lock_guard<std::mutex> Guard(M);
+    return Tree.signature();
+  }
+  size_t size() const override {
+    std::lock_guard<std::mutex> Guard(M);
+    return Tree.size();
+  }
+  const char *schemeName() const override { return "kd-ml"; }
+
+private:
+  void record(Transaction &Tx, MethodId Method, int64_t Arg, Value Ret) {
+    if (Tx.recording())
+      Tx.recordInvocation(tag(),
+                          Invocation(Method, {Value::integer(Arg)}, Ret));
+  }
+  mutable std::mutex M;
+  KdTree Tree;
+  ObjectStm Stm;
+};
+
+} // namespace
+
+std::unique_ptr<TxKdTree> comlat::makeDirectKdTree(const PointStore *Store) {
+  return std::make_unique<DirectKdTree>(Store);
+}
+
+std::unique_ptr<TxKdTree> comlat::makeGatedKdTree(const PointStore *Store) {
+  return std::make_unique<GatedKdTree>(Store);
+}
+
+std::unique_ptr<TxKdTree> comlat::makeStmKdTree(const PointStore *Store) {
+  return std::make_unique<StmKdTree>(Store);
+}
+
+ValidationHarness comlat::kdValidationHarness(const PointStore *Store) {
+  assert(Store && Store->size() > 0 && "harness needs a point pool");
+  ValidationHarness Harness;
+  Harness.MakeTarget = [Store] {
+    return std::make_unique<KdGateTarget>(Store);
+  };
+  const size_t Pool = Store->size();
+  Harness.RandomArgs = [Pool](Rng &R, MethodId) {
+    return std::vector<Value>{
+        Value::integer(static_cast<int64_t>(R.nextBelow(Pool)))};
+  };
+  return Harness;
+}
+
+Value KdReplayer::replay(uintptr_t StructureTag, const Invocation &Inv) {
+  const KdSig &S = kdSig();
+  const int64_t Id = Inv.Args[0].asInt();
+  bool Changed = false;
+  if (Inv.Method == S.Add) {
+    Tree.add(Id, nullptr, Changed);
+    return Value::boolean(Changed);
+  }
+  if (Inv.Method == S.Remove) {
+    Tree.remove(Id, nullptr, Changed);
+    return Value::boolean(Changed);
+  }
+  assert(Inv.Method == S.Nearest && "unknown kd-tree method");
+  int64_t Res = KdNullPoint;
+  Tree.nearest(Id, nullptr, Res);
+  return Value::integer(Res);
+}

@@ -1,0 +1,99 @@
+//===- adt/BoostedKdTree.h - Transactional kd-tree variants ------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kd-tree's signature, its commutativity specification (Fig. 4), and
+/// transactional variants: direct (sequential baseline), kd-gk (forward
+/// gatekeeper over the precise spec — the ONLINE-CHECKABLE showcase of
+/// §3.3.1, logging `(x, dist(x, r))` per nearest query) and kd-ml
+/// (memory-level STM over the concrete tree nodes — the paper's baseline
+/// whose bounding-box writes serialize semantically commuting operations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_ADT_BOOSTEDKDTREE_H
+#define COMLAT_ADT_BOOSTEDKDTREE_H
+
+#include "adt/KdTree.h"
+#include "core/Spec.h"
+#include "runtime/Gatekeeper.h"
+#include "runtime/SerialChecker.h"
+#include "runtime/SpecValidator.h"
+
+#include <memory>
+#include <mutex>
+
+namespace comlat {
+
+/// Method and state-function ids of the kd-tree ADT.
+struct KdSig {
+  DataTypeSig Sig{"kdtree"};
+  MethodId Add, Remove, Nearest;
+  /// dist(a, b): pure — points are immutable, so the metric is a function
+  /// of the ids alone.
+  StateFnId Dist;
+
+  KdSig();
+};
+
+const KdSig &kdSig();
+
+/// Fig. 4: the kd-tree commutativity specification. ONLINE-CHECKABLE but
+/// not SIMPLE ("there is no straightforward SIMPLE specification that does
+/// not merely prevent add and nearest from executing concurrently", §5).
+/// Deviation: the nearest~remove condition carries the same distance guard
+/// as nearest~add; Fig. 4's (a != b and r1 != b) alone is refuted by the
+/// randomized condition validator in the remove-first orientation (see
+/// the comment in BoostedKdTree.cpp and DESIGN.md).
+const CommSpec &kdSpec();
+
+/// Transactional kd-tree interface; false return = conflict (Tx failed).
+class TxKdTree {
+public:
+  virtual ~TxKdTree();
+
+  virtual bool add(Transaction &Tx, int64_t Id, bool &Changed) = 0;
+  virtual bool remove(Transaction &Tx, int64_t Id, bool &Changed) = 0;
+  virtual bool nearest(Transaction &Tx, int64_t Query, int64_t &Res) = 0;
+
+  /// Abstract state (quiesced).
+  virtual std::string signature() const = 0;
+  virtual size_t size() const = 0;
+  virtual const char *schemeName() const = 0;
+
+  uintptr_t tag() const { return reinterpret_cast<uintptr_t>(this); }
+};
+
+/// Unprotected sequential kd-tree (overhead baseline).
+std::unique_ptr<TxKdTree> makeDirectKdTree(const PointStore *Store);
+
+/// kd-gk: forward gatekeeper over the Fig. 4 specification.
+std::unique_ptr<TxKdTree> makeGatedKdTree(const PointStore *Store);
+
+/// kd-ml: object-granularity STM over the concrete tree nodes.
+std::unique_ptr<TxKdTree> makeStmKdTree(const PointStore *Store);
+
+/// Validation bindings for kd-tree specifications: fresh trees over
+/// \p Store (whose points form the argument pool). \p Store must outlive
+/// the harness.
+ValidationHarness kdValidationHarness(const PointStore *Store);
+
+/// Replays kd-tree histories for the serializability oracle.
+class KdReplayer : public Replayer {
+public:
+  explicit KdReplayer(const PointStore *Store) : Tree(Store) {}
+
+  Value replay(uintptr_t StructureTag, const Invocation &Inv) override;
+  std::string stateSignature() override { return Tree.signature(); }
+
+private:
+  KdTree Tree;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_ADT_BOOSTEDKDTREE_H

@@ -1,0 +1,227 @@
+//===- adt/BoostedSet.cpp - Transactional set variants ---------------------===//
+
+#include "adt/BoostedSet.h"
+
+using namespace comlat;
+
+TxSet::~TxSet() = default;
+
+/// part(k) = k mod P, mapped into [0, P).
+static int64_t partitionOf(int64_t Key, unsigned Partitions) {
+  const int64_t P = static_cast<int64_t>(Partitions);
+  const int64_t M = Key % P;
+  return M < 0 ? M + P : M;
+}
+
+/// Runs one mutation on the concrete set, returning whether it changed and
+/// registering the transaction-local undo.
+namespace {
+
+/// Sequential baseline: no conflict detection, no undo (never aborts).
+class DirectSet : public TxSet {
+public:
+  bool add(Transaction &Tx, int64_t Key, bool &Res) override {
+    Res = Set.insert(Key);
+    record(Tx, setSig().Add, Key, Res);
+    return true;
+  }
+  bool remove(Transaction &Tx, int64_t Key, bool &Res) override {
+    Res = Set.erase(Key);
+    record(Tx, setSig().Remove, Key, Res);
+    return true;
+  }
+  bool contains(Transaction &Tx, int64_t Key, bool &Res) override {
+    Res = Set.contains(Key);
+    record(Tx, setSig().Contains, Key, Res);
+    return true;
+  }
+  std::string signature() const override { return Set.signature(); }
+  const char *schemeName() const override { return "direct"; }
+
+private:
+  void record(Transaction &Tx, MethodId M, int64_t Key, bool Res) {
+    if (Tx.recording())
+      Tx.recordInvocation(tag(), Invocation(M, {Value::integer(Key)},
+                                            Value::boolean(Res)));
+  }
+  IntHashSet Set;
+};
+
+/// Abstract-lock-protected set (any SIMPLE spec point).
+class LockedSet : public TxSet {
+public:
+  LockedSet(const CommSpec &Spec, unsigned Partitions)
+      : Scheme(Spec),
+        Manager(&Scheme, Spec.name(),
+                [Partitions](StateFnId, const Value &V) {
+                  return Value::integer(partitionOf(V.asInt(), Partitions));
+                }),
+        Label(Spec.name()) {}
+
+  bool add(Transaction &Tx, int64_t Key, bool &Res) override {
+    return invoke(Tx, setSig().Add, Key, Res);
+  }
+  bool remove(Transaction &Tx, int64_t Key, bool &Res) override {
+    return invoke(Tx, setSig().Remove, Key, Res);
+  }
+  bool contains(Transaction &Tx, int64_t Key, bool &Res) override {
+    return invoke(Tx, setSig().Contains, Key, Res);
+  }
+  std::string signature() const override {
+    std::lock_guard<std::mutex> Guard(M);
+    return Set.signature();
+  }
+  const char *schemeName() const override { return Label.c_str(); }
+
+private:
+  bool invoke(Transaction &Tx, MethodId Method, int64_t Key, bool &Res) {
+    const std::vector<Value> Args = {Value::integer(Key)};
+    if (!Manager.acquirePre(Tx, Method, Args))
+      return false;
+    {
+      std::lock_guard<std::mutex> Guard(M);
+      const SetSig &S = setSig();
+      if (Method == S.Add) {
+        Res = Set.insert(Key);
+        if (Res)
+          Tx.addUndo([this, Key] {
+            std::lock_guard<std::mutex> G(M);
+            Set.erase(Key);
+          });
+      } else if (Method == S.Remove) {
+        Res = Set.erase(Key);
+        if (Res)
+          Tx.addUndo([this, Key] {
+            std::lock_guard<std::mutex> G(M);
+            Set.insert(Key);
+          });
+      } else {
+        Res = Set.contains(Key);
+      }
+    }
+    if (!Manager.acquirePost(Tx, Method, Args, Value::boolean(Res)))
+      return false; // Mutation (if any) reverts via the undo log on abort.
+    if (Tx.recording())
+      Tx.recordInvocation(tag(),
+                          Invocation(Method, Args, Value::boolean(Res)));
+    return true;
+  }
+
+  LockScheme Scheme;
+  AbstractLockManager Manager;
+  std::string Label;
+  mutable std::mutex M;
+  IntHashSet Set;
+};
+
+/// GateTarget adapter over the concrete set.
+class SetGateTarget : public GateTarget {
+public:
+  Value gateExecute(MethodId Method, const std::vector<Value> &Args,
+                    std::vector<GateAction> &Actions) override {
+    const SetSig &S = setSig();
+    const int64_t Key = Args[0].asInt();
+    if (Method == S.Add) {
+      const bool Changed = Set.insert(Key);
+      if (Changed)
+        Actions.push_back(GateAction{[this, Key] { Set.erase(Key); },
+                                     [this, Key] { Set.insert(Key); }});
+      return Value::boolean(Changed);
+    }
+    if (Method == S.Remove) {
+      const bool Changed = Set.erase(Key);
+      if (Changed)
+        Actions.push_back(GateAction{[this, Key] { Set.insert(Key); },
+                                     [this, Key] { Set.erase(Key); }});
+      return Value::boolean(Changed);
+    }
+    assert(Method == S.Contains && "unknown set method");
+    return Value::boolean(Set.contains(Key));
+  }
+
+  Value gateEvalStateFn(StateFnId F, const std::vector<Value> &Args) override {
+    assert(F == setSig().Part && "unknown set state function");
+    return Value::integer(partitionOf(Args[0].asInt(), 16));
+  }
+
+  std::string gateSignature() const override { return Set.signature(); }
+
+  const IntHashSet &set() const { return Set; }
+
+private:
+  IntHashSet Set;
+};
+
+/// Forward-gatekept set.
+class GatedSet : public TxSet {
+public:
+  explicit GatedSet(const CommSpec &Spec)
+      : Keeper(&Spec, &Target, Spec.name() + "-gatekeeper") {}
+
+  bool add(Transaction &Tx, int64_t Key, bool &Res) override {
+    return invoke(Tx, setSig().Add, Key, Res);
+  }
+  bool remove(Transaction &Tx, int64_t Key, bool &Res) override {
+    return invoke(Tx, setSig().Remove, Key, Res);
+  }
+  bool contains(Transaction &Tx, int64_t Key, bool &Res) override {
+    return invoke(Tx, setSig().Contains, Key, Res);
+  }
+  std::string signature() const override { return Target.set().signature(); }
+  const char *schemeName() const override { return Keeper.name(); }
+
+private:
+  bool invoke(Transaction &Tx, MethodId Method, int64_t Key, bool &Res) {
+    const std::vector<Value> Args = {Value::integer(Key)};
+    Value Ret;
+    if (!Keeper.invoke(Tx, Method, Args, Ret))
+      return false;
+    Res = Ret.asBool();
+    if (Tx.recording())
+      Tx.recordInvocation(tag(), Invocation(Method, Args, Ret));
+    return true;
+  }
+
+  SetGateTarget Target;
+  ForwardGatekeeper Keeper;
+};
+
+} // namespace
+
+std::unique_ptr<TxSet> comlat::makeDirectSet() {
+  return std::make_unique<DirectSet>();
+}
+
+std::unique_ptr<TxSet> comlat::makeLockedSet(const CommSpec &Spec,
+                                             unsigned Partitions) {
+  return std::make_unique<LockedSet>(Spec, Partitions);
+}
+
+std::unique_ptr<TxSet> comlat::makeGatedSet(const CommSpec &Spec) {
+  return std::make_unique<GatedSet>(Spec);
+}
+
+std::unique_ptr<GateTarget> comlat::makeSetGateTarget() {
+  return std::make_unique<SetGateTarget>();
+}
+
+ValidationHarness comlat::setValidationHarness(unsigned KeySpace) {
+  ValidationHarness Harness;
+  Harness.MakeTarget = [] { return makeSetGateTarget(); };
+  Harness.RandomArgs = [KeySpace](Rng &R, MethodId) {
+    return std::vector<Value>{
+        Value::integer(static_cast<int64_t>(R.nextBelow(KeySpace)))};
+  };
+  return Harness;
+}
+
+Value SetReplayer::replay(uintptr_t StructureTag, const Invocation &Inv) {
+  const SetSig &S = setSig();
+  const int64_t Key = Inv.Args[0].asInt();
+  if (Inv.Method == S.Add)
+    return Value::boolean(Set.insert(Key));
+  if (Inv.Method == S.Remove)
+    return Value::boolean(Set.erase(Key));
+  assert(Inv.Method == S.Contains && "unknown set method");
+  return Value::boolean(Set.contains(Key));
+}

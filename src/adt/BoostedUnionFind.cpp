@@ -1,0 +1,486 @@
+//===- adt/BoostedUnionFind.cpp - Transactional union-find ------------------===//
+
+#include "adt/BoostedUnionFind.h"
+
+#include <algorithm>
+
+using namespace comlat;
+using namespace comlat::dsl;
+
+UfSig::UfSig() {
+  // union returns whether it merged two sets (conditions never mention it,
+  // but callers need the answer and must learn it atomically).
+  Union = Sig.addMethod("union", 2, /*HasRet=*/true, /*Mutating=*/true);
+  Find = Sig.addMethod("find", 1, /*HasRet=*/true, /*Mutating=*/false);
+  Create = Sig.addMethod("create", 0, /*HasRet=*/true, /*Mutating=*/true);
+  Rep = Sig.addStateFn("rep", 1, /*Pure=*/false);
+  Loser = Sig.addStateFn("loser", 2, /*Pure=*/false);
+  Winner = Sig.addStateFn("winner", 2, /*Pure=*/false);
+}
+
+const UfSig &comlat::ufSig() {
+  static const UfSig S;
+  return S;
+}
+
+const CommSpec &comlat::ufSpec() {
+  static const CommSpec Spec = [] {
+    const UfSig &S = ufSig();
+    CommSpec Out(&S.Sig, "unionfind-general");
+    // Shorthands: the first union's loser/winner in its pre-state.
+    const TermPtr Loser1 =
+        apply(S.Loser, StateRef::S1, {arg1(0), arg1(1)});
+    const TermPtr Winner1 =
+        apply(S.Winner, StateRef::S1, {arg1(0), arg1(1)});
+    const TermPtr RepC = apply(S.Rep, StateRef::S1, {arg2(0)});
+    const TermPtr RepD = apply(S.Rep, StateRef::S1, {arg2(1)});
+    // (1) union ~ union: the second union's arguments resolve (in the
+    // first union's pre-state) to neither representative the first union
+    // merged. See the header for why both sides are protected.
+    Out.set(S.Union, S.Union,
+            conj({ne(RepC, Loser1), ne(RepD, Loser1), ne(RepC, Winner1),
+                  ne(RepD, Winner1)}));
+    // (2) union ~ find: the find would not have returned the loser.
+    Out.set(S.Union, S.Find,
+            ne(apply(S.Rep, StateRef::S1, {arg2(0)}), Loser1));
+    // (3, 5, 6) create commutes with nothing.
+    Out.set(S.Union, S.Create, bottom());
+    Out.set(S.Find, S.Create, bottom());
+    Out.set(S.Create, S.Create, bottom());
+    // (4) find ~ find: always (path compression notwithstanding).
+    Out.set(S.Find, S.Find, top());
+    return Out;
+  }();
+  return Spec;
+}
+
+TxUnionFind::~TxUnionFind() = default;
+
+namespace {
+
+/// GateTarget adapter over the sequential forest.
+class UfGateTarget : public GateTarget {
+public:
+  explicit UfGateTarget(size_t NumElements) : UF(NumElements) {}
+
+  Value gateExecute(MethodId Method, const std::vector<Value> &Args,
+                    std::vector<GateAction> &Actions) override {
+    const UfSig &S = ufSig();
+    if (Method == S.Find) {
+      int64_t Rep = UfNone;
+      const UnionFind::Status St =
+          UF.find(Args[0].asInt(), nullptr, &Actions, Rep);
+      assert(St == UnionFind::Status::Ok && "unprobed op cannot conflict");
+      (void)St;
+      return Value::integer(Rep);
+    }
+    if (Method == S.Union) {
+      bool Changed = false;
+      const UnionFind::Status St =
+          UF.unite(Args[0].asInt(), Args[1].asInt(), nullptr, &Actions,
+                   Changed);
+      assert(St == UnionFind::Status::Ok && "unprobed op cannot conflict");
+      (void)St;
+      return Value::boolean(Changed);
+    }
+    assert(Method == S.Create && "unknown union-find method");
+    const int64_t Id = UF.createElement();
+    Actions.push_back(GateAction{[this] { UF.destroyLastElement(); },
+                                 [this] { UF.createElement(); }});
+    return Value::integer(Id);
+  }
+
+  Value gateEvalStateFn(StateFnId F, const std::vector<Value> &Args) override {
+    const UfSig &S = ufSig();
+    if (F == S.Rep)
+      return Value::integer(UF.repOf(Args[0].asInt()));
+    if (F == S.Loser)
+      return Value::integer(UF.loserOf(Args[0].asInt(), Args[1].asInt()));
+    assert(F == S.Winner && "unknown union-find state function");
+    return Value::integer(UF.winnerOf(Args[0].asInt(), Args[1].asInt()));
+  }
+
+  std::string gateSignature() const override { return UF.signature(); }
+
+  const UnionFind &forest() const { return UF; }
+
+private:
+  UnionFind UF;
+};
+
+/// Shared invocation-recording helper.
+static void recordUf(Transaction &Tx, uintptr_t Tag, MethodId M,
+                     std::vector<Value> Args, Value Ret) {
+  if (Tx.recording())
+    Tx.recordInvocation(Tag, Invocation(M, std::move(Args), Ret));
+}
+
+/// Unprotected sequential baseline.
+class DirectUnionFind : public TxUnionFind {
+public:
+  explicit DirectUnionFind(size_t NumElements) : UF(NumElements) {}
+
+  bool find(Transaction &Tx, int64_t X, int64_t &Rep) override {
+    UF.find(X, nullptr, nullptr, Rep);
+    recordUf(Tx, tag(), ufSig().Find, {Value::integer(X)},
+             Value::integer(Rep));
+    return true;
+  }
+  bool unite(Transaction &Tx, int64_t A, int64_t B, bool &Changed) override {
+    UF.unite(A, B, nullptr, nullptr, Changed);
+    recordUf(Tx, tag(), ufSig().Union,
+             {Value::integer(A), Value::integer(B)},
+             Value::boolean(Changed));
+    return true;
+  }
+  bool create(Transaction &Tx, int64_t &Id) override {
+    Id = UF.createElement();
+    recordUf(Tx, tag(), ufSig().Create, {}, Value::integer(Id));
+    return true;
+  }
+  std::string signature() const override { return UF.signature(); }
+  size_t numElements() const override { return UF.numElements(); }
+  const char *schemeName() const override { return "uf-direct"; }
+
+private:
+  UnionFind UF;
+};
+
+/// uf-gk: generic general gatekeeper.
+class GatedUnionFind : public TxUnionFind {
+public:
+  explicit GatedUnionFind(size_t NumElements)
+      : Target(NumElements), Keeper(&ufSpec(), &Target, "uf-gk") {}
+
+  bool find(Transaction &Tx, int64_t X, int64_t &Rep) override {
+    Value Ret;
+    if (!Keeper.invoke(Tx, ufSig().Find, {Value::integer(X)}, Ret))
+      return false;
+    Rep = Ret.asInt();
+    recordUf(Tx, tag(), ufSig().Find, {Value::integer(X)}, Ret);
+    return true;
+  }
+  bool unite(Transaction &Tx, int64_t A, int64_t B, bool &Changed) override {
+    Value Ret;
+    if (!Keeper.invoke(Tx, ufSig().Union,
+                       {Value::integer(A), Value::integer(B)}, Ret))
+      return false;
+    Changed = Ret.asBool();
+    recordUf(Tx, tag(), ufSig().Union,
+             {Value::integer(A), Value::integer(B)}, Ret);
+    return true;
+  }
+  bool create(Transaction &Tx, int64_t &Id) override {
+    Value Ret;
+    if (!Keeper.invoke(Tx, ufSig().Create, {}, Ret))
+      return false;
+    Id = Ret.asInt();
+    recordUf(Tx, tag(), ufSig().Create, {}, Ret);
+    return true;
+  }
+  std::string signature() const override {
+    return Target.forest().signature();
+  }
+  size_t numElements() const override {
+    return Target.forest().numElements();
+  }
+  const char *schemeName() const override { return "uf-gk"; }
+
+  const Gatekeeper &keeper() const { return Keeper; }
+
+private:
+  UfGateTarget Target;
+  GeneralGatekeeper Keeper;
+};
+
+/// uf-gk-spec: the paper's specialized gatekeeper (§3.3.2). Maintains, per
+/// active transaction, the representatives returned by its finds
+/// (find-reps) and the loser/winner representatives of its unions
+/// (loser-rep); checks use uncompressed parent chains in the current state
+/// instead of rollback: a chain passing through a representative another
+/// live transaction displaced (or observed, for unions) is a conflict.
+class SpecializedUnionFind : public TxUnionFind, public ConflictDetector {
+public:
+  explicit SpecializedUnionFind(size_t NumElements) : UF(NumElements) {}
+
+  bool find(Transaction &Tx, int64_t X, int64_t &Rep) override {
+    Tx.touch(this);
+    std::lock_guard<std::mutex> Guard(Gate);
+    TxRec &Rec = Recs[Tx.id()];
+    if (anyOtherCreates(Tx.id()))
+      return conflict(Tx);
+    // The find's answer changes across an active union exactly when its
+    // uncompressed chain crosses that union's loser.
+    UF.chainOf(X, Chain);
+    for (const auto &[Id, Other] : Recs) {
+      if (Id == Tx.id())
+        continue;
+      for (const int64_t Node : Chain)
+        if (contains(Other.Losers, Node))
+          return conflict(Tx);
+    }
+    UF.find(X, nullptr, &Rec.Actions, Rep);
+    Rec.FindReps.push_back(Rep);
+    recordUf(Tx, txTag(), ufSig().Find, {Value::integer(X)},
+             Value::integer(Rep));
+    return true;
+  }
+
+  bool unite(Transaction &Tx, int64_t A, int64_t B, bool &Changed) override {
+    Tx.touch(this);
+    std::lock_guard<std::mutex> Guard(Gate);
+    TxRec &Rec = Recs[Tx.id()];
+    if (anyOtherCreates(Tx.id()))
+      return conflict(Tx);
+    // Chains may not pass through any representative another live
+    // transaction merged (loser or winner).
+    for (const int64_t End : {A, B}) {
+      UF.chainOf(End, Chain);
+      for (const auto &[Id, Other] : Recs) {
+        if (Id == Tx.id())
+          continue;
+        for (const int64_t Node : Chain)
+          if (contains(Other.Touched, Node))
+            return conflict(Tx);
+      }
+    }
+    const int64_t Loser = UF.loserOf(A, B);
+    const int64_t Winner = UF.winnerOf(A, B);
+    // The union may not displace a representative another live
+    // transaction's find observed.
+    if (Loser != UfNone) {
+      for (const auto &[Id, Other] : Recs) {
+        if (Id == Tx.id())
+          continue;
+        if (contains(Other.FindReps, Loser))
+          return conflict(Tx);
+      }
+    }
+    UF.unite(A, B, nullptr, &Rec.Actions, Changed);
+    if (Loser != UfNone) {
+      Rec.Losers.push_back(Loser);
+      Rec.Touched.push_back(Loser);
+      Rec.Touched.push_back(Winner);
+    }
+    recordUf(Tx, txTag(), ufSig().Union,
+             {Value::integer(A), Value::integer(B)},
+             Value::boolean(Changed));
+    return true;
+  }
+
+  bool create(Transaction &Tx, int64_t &Id) override {
+    Tx.touch(this);
+    std::lock_guard<std::mutex> Guard(Gate);
+    TxRec &Rec = Recs[Tx.id()];
+    // create commutes with nothing: any other live activity conflicts.
+    for (const auto &[OtherId, Other] : Recs)
+      if (OtherId != Tx.id() && Other.active())
+        return conflict(Tx);
+    Id = UF.createElement();
+    Rec.Actions.push_back(GateAction{[this] { UF.destroyLastElement(); },
+                                     [this] { UF.createElement(); }});
+    ++Rec.Creates;
+    recordUf(Tx, txTag(), ufSig().Create, {}, Value::integer(Id));
+    return true;
+  }
+
+  void undoFor(Transaction &Tx) override {
+    std::lock_guard<std::mutex> Guard(Gate);
+    const auto It = Recs.find(Tx.id());
+    if (It == Recs.end())
+      return;
+    for (auto A = It->second.Actions.rbegin(); A != It->second.Actions.rend();
+         ++A)
+      A->Undo();
+    Recs.erase(It);
+  }
+
+  void release(Transaction &Tx, bool Committed) override {
+    std::lock_guard<std::mutex> Guard(Gate);
+    Recs.erase(Tx.id());
+  }
+
+  const char *name() const override { return "uf-gk-spec"; }
+  const char *schemeName() const override { return "uf-gk-spec"; }
+  std::string signature() const override { return UF.signature(); }
+  size_t numElements() const override { return UF.numElements(); }
+
+  uint64_t numConflicts() const { return Conflicts; }
+
+private:
+  struct TxRec {
+    std::vector<GateAction> Actions;
+    std::vector<int64_t> Losers;
+    std::vector<int64_t> Touched;
+    std::vector<int64_t> FindReps;
+    unsigned Creates = 0;
+
+    bool active() const {
+      return Creates != 0 || !Actions.empty() || !FindReps.empty() ||
+             !Touched.empty();
+    }
+  };
+
+  uintptr_t txTag() const {
+    return reinterpret_cast<uintptr_t>(static_cast<const TxUnionFind *>(this));
+  }
+
+  static bool contains(const std::vector<int64_t> &Vec, int64_t V) {
+    return std::find(Vec.begin(), Vec.end(), V) != Vec.end();
+  }
+
+  bool anyOtherCreates(TxId Self) const {
+    for (const auto &[Id, Rec] : Recs)
+      if (Id != Self && Rec.Creates != 0)
+        return true;
+    return false;
+  }
+
+  bool conflict(Transaction &Tx) {
+    ++Conflicts;
+    Tx.fail();
+    return false;
+  }
+
+  std::mutex Gate;
+  UnionFind UF;
+  std::map<TxId, TxRec> Recs;
+  std::vector<int64_t> Chain;
+  uint64_t Conflicts = 0;
+};
+
+/// uf-ml: object-granularity STM; every parent/rank touch is an object
+/// access, so path compression serializes concurrent finds.
+class StmUnionFind : public TxUnionFind {
+public:
+  explicit StmUnionFind(size_t NumElements)
+      : UF(NumElements), Stm("uf-ml") {}
+
+  bool find(Transaction &Tx, int64_t X, int64_t &Rep) override {
+    StmProbe Probe(Stm, Tx);
+    std::lock_guard<std::mutex> Guard(M);
+    std::vector<GateAction> Acts;
+    const UnionFind::Status St = UF.find(X, &Probe, &Acts, Rep);
+    registerUndos(Tx, Acts);
+    if (St == UnionFind::Status::Conflict)
+      return false;
+    recordUf(Tx, tag(), ufSig().Find, {Value::integer(X)},
+             Value::integer(Rep));
+    return true;
+  }
+  bool unite(Transaction &Tx, int64_t A, int64_t B, bool &Changed) override {
+    StmProbe Probe(Stm, Tx);
+    std::lock_guard<std::mutex> Guard(M);
+    std::vector<GateAction> Acts;
+    const UnionFind::Status St = UF.unite(A, B, &Probe, &Acts, Changed);
+    registerUndos(Tx, Acts);
+    if (St == UnionFind::Status::Conflict)
+      return false;
+    recordUf(Tx, tag(), ufSig().Union,
+             {Value::integer(A), Value::integer(B)},
+             Value::boolean(Changed));
+    return true;
+  }
+  bool create(Transaction &Tx, int64_t &Id) override {
+    std::lock_guard<std::mutex> Guard(M);
+    Id = UF.createElement();
+    Tx.addUndo([this] {
+      std::lock_guard<std::mutex> G(M);
+      UF.destroyLastElement();
+    });
+    recordUf(Tx, tag(), ufSig().Create, {}, Value::integer(Id));
+    return true;
+  }
+  std::string signature() const override {
+    std::lock_guard<std::mutex> Guard(M);
+    return UF.signature();
+  }
+  size_t numElements() const override {
+    std::lock_guard<std::mutex> Guard(M);
+    return UF.numElements();
+  }
+  const char *schemeName() const override { return "uf-ml"; }
+
+private:
+  void registerUndos(Transaction &Tx, const std::vector<GateAction> &Acts) {
+    for (const GateAction &A : Acts) {
+      auto Undo = A.Undo;
+      Tx.addUndo([this, Undo] {
+        std::lock_guard<std::mutex> G(M);
+        Undo();
+      });
+    }
+  }
+
+  mutable std::mutex M;
+  UnionFind UF;
+  ObjectStm Stm;
+};
+
+} // namespace
+
+std::unique_ptr<TxUnionFind> comlat::makeDirectUnionFind(size_t NumElements) {
+  return std::make_unique<DirectUnionFind>(NumElements);
+}
+
+std::unique_ptr<TxUnionFind> comlat::makeGatedUnionFind(size_t NumElements) {
+  return std::make_unique<GatedUnionFind>(NumElements);
+}
+
+std::unique_ptr<TxUnionFind>
+comlat::makeSpecializedUnionFind(size_t NumElements) {
+  return std::make_unique<SpecializedUnionFind>(NumElements);
+}
+
+std::unique_ptr<TxUnionFind> comlat::makeStmUnionFind(size_t NumElements) {
+  return std::make_unique<StmUnionFind>(NumElements);
+}
+
+ValidationHarness comlat::ufValidationHarness(size_t NumElements) {
+  assert(NumElements > 1 && "harness needs elements to merge");
+  ValidationHarness Harness;
+  Harness.MakeTarget = [NumElements] {
+    return std::make_unique<UfGateTarget>(NumElements);
+  };
+  Harness.RandomArgs = [NumElements](Rng &R, MethodId M) {
+    const UfSig &S = ufSig();
+    if (M == S.Create)
+      return std::vector<Value>{};
+    std::vector<Value> Args = {
+        Value::integer(static_cast<int64_t>(R.nextBelow(NumElements)))};
+    if (M == S.Union)
+      Args.push_back(
+          Value::integer(static_cast<int64_t>(R.nextBelow(NumElements))));
+    return Args;
+  };
+  return Harness;
+}
+
+CommSpec comlat::paperExactUfSpec() {
+  const UfSig &S = ufSig();
+  CommSpec Out = ufSpec();
+  Out.setName("unionfind-fig5-exact");
+  // Fig. 5 condition (1) verbatim: only the loser is protected.
+  const TermPtr Loser1 = apply(S.Loser, StateRef::S1, {arg1(0), arg1(1)});
+  Out.set(S.Union, S.Union,
+          conj(ne(apply(S.Rep, StateRef::S1, {arg2(0)}), Loser1),
+               ne(apply(S.Rep, StateRef::S1, {arg2(1)}), Loser1)));
+  return Out;
+}
+
+Value UfReplayer::replay(uintptr_t StructureTag, const Invocation &Inv) {
+  const UfSig &S = ufSig();
+  if (Inv.Method == S.Find) {
+    int64_t Rep = UfNone;
+    UF.find(Inv.Args[0].asInt(), nullptr, nullptr, Rep);
+    return Value::integer(Rep);
+  }
+  if (Inv.Method == S.Union) {
+    bool Changed = false;
+    UF.unite(Inv.Args[0].asInt(), Inv.Args[1].asInt(), nullptr, nullptr,
+             Changed);
+    return Value::boolean(Changed);
+  }
+  assert(Inv.Method == S.Create && "unknown union-find method");
+  return Value::integer(UF.createElement());
+}

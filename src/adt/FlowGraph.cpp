@@ -1,0 +1,208 @@
+//===- adt/FlowGraph.cpp - Flow network for preflow-push --------------------===//
+
+#include "adt/FlowGraph.h"
+#include "core/Lattice.h"
+
+#include <algorithm>
+
+using namespace comlat;
+using namespace comlat::dsl;
+
+FlowSig::FlowSig() {
+  Relabel = Sig.addMethod("relabel", 1, /*HasRet=*/true, /*Mutating=*/true);
+  PushFlow = Sig.addMethod("pushFlow", 2, /*HasRet=*/true, /*Mutating=*/true);
+  GetNeighbors = Sig.addMethod("getNeighbors", 1, /*HasRet=*/true,
+                               /*Mutating=*/false);
+  Part = Sig.addStateFn("part", 1, /*Pure=*/true);
+}
+
+const FlowSig &comlat::flowSig() {
+  static const FlowSig S;
+  return S;
+}
+
+const CommSpec &comlat::mlFlowSpec() {
+  static const CommSpec Spec = [] {
+    const FlowSig &S = flowSig();
+    CommSpec Out(&S.Sig, "flow-ml");
+    // Mutators conflict with anything touching the same node; the
+    // read-only getNeighbors commutes with itself. This is exactly
+    // read/write locks on nodes, which the paper observes is the conflict
+    // detection a transactional memory would perform here.
+    Out.set(S.Relabel, S.Relabel, ne(arg1(0), arg2(0)));
+    Out.set(S.Relabel, S.PushFlow,
+            conj(ne(arg1(0), arg2(0)), ne(arg1(0), arg2(1))));
+    Out.set(S.Relabel, S.GetNeighbors, ne(arg1(0), arg2(0)));
+    Out.set(S.PushFlow, S.PushFlow,
+            conj({ne(arg1(0), arg2(0)), ne(arg1(0), arg2(1)),
+                  ne(arg1(1), arg2(0)), ne(arg1(1), arg2(1))}));
+    Out.set(S.PushFlow, S.GetNeighbors,
+            conj(ne(arg1(0), arg2(0)), ne(arg1(1), arg2(0))));
+    Out.set(S.GetNeighbors, S.GetNeighbors, top());
+    return Out;
+  }();
+  return Spec;
+}
+
+const CommSpec &comlat::exFlowSpec() {
+  static const CommSpec Spec = [] {
+    CommSpec Out = mlFlowSpec();
+    Out.setName("flow-ex");
+    // Strengthen: getNeighbors no longer commutes with itself on the same
+    // node — read/write locks degrade to exclusive locks (§5).
+    const FlowSig &S = flowSig();
+    Out.set(S.GetNeighbors, S.GetNeighbors, ne(arg1(0), arg2(0)));
+    return Out;
+  }();
+  return Spec;
+}
+
+const CommSpec &comlat::partFlowSpec() {
+  static const CommSpec Spec =
+      partitionSpec(mlFlowSpec(), flowSig().Part, "flow-part");
+  return Spec;
+}
+
+//===----------------------------------------------------------------------===//
+// FlowGraph
+//===----------------------------------------------------------------------===//
+
+FlowGraph::FlowGraph(unsigned NumNodes)
+    : Adj(NumNodes), Height(NumNodes), Excess(NumNodes, 0) {
+  for (std::atomic<int64_t> &H : Height)
+    H.store(0, std::memory_order_relaxed);
+}
+
+void FlowGraph::addEdge(unsigned From, unsigned To, int64_t Cap) {
+  assert(From < numNodes() && To < numNodes() && "bad endpoint");
+  assert(From != To && "self loops are not useful for max-flow");
+  assert(Cap >= 0 && "negative capacity");
+  // Merge with an existing parallel edge.
+  for (Edge &E : Adj[From]) {
+    if (E.To == To) {
+      E.ResCap += Cap;
+      E.OrigCap += Cap;
+      return;
+    }
+  }
+  const unsigned FwdIdx = static_cast<unsigned>(Adj[From].size());
+  const unsigned RevIdx = static_cast<unsigned>(Adj[To].size());
+  Adj[From].push_back(Edge{To, RevIdx, Cap, Cap});
+  Adj[To].push_back(Edge{From, FwdIdx, 0, 0});
+}
+
+void FlowGraph::applyPush(unsigned U, unsigned I, int64_t Delta) {
+  // Delta may be negative when undoing an earlier push.
+  Edge &E = Adj[U][I];
+  assert(E.ResCap - Delta >= 0 && "push exceeds residual");
+  assert(Adj[E.To][E.Rev].ResCap + Delta >= 0 && "undo exceeds pushed flow");
+  E.ResCap -= Delta;
+  Adj[E.To][E.Rev].ResCap += Delta;
+  Excess[U] -= Delta;
+  Excess[E.To] += Delta;
+}
+
+int64_t FlowGraph::netResidualChange(unsigned U) const {
+  // Flow on an edge = OrigCap - ResCap (positive when used forward).
+  int64_t Net = 0;
+  for (const Edge &E : Adj[U])
+    Net += E.OrigCap - E.ResCap; // Outflow minus absorbed reverse flow.
+  return Net;
+}
+
+bool FlowGraph::checkFlowValid(unsigned Source, unsigned Sink) const {
+  for (unsigned U = 0; U != numNodes(); ++U) {
+    for (const Edge &E : Adj[U]) {
+      if (E.ResCap < 0 || E.ResCap > E.OrigCap + Adj[E.To][E.Rev].OrigCap)
+        return false;
+      // Antisymmetry: flow pushed here must appear as extra residual there.
+      const Edge &R = Adj[E.To][E.Rev];
+      if ((E.OrigCap - E.ResCap) + (R.OrigCap - R.ResCap) != 0)
+        return false;
+    }
+    if (U != Source && U != Sink) {
+      // Conservation: net outflow equals minus the remaining excess.
+      if (netResidualChange(U) != -Excess[U])
+        return false;
+      if (Excess[U] < 0)
+        return false;
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// BoostedFlowGraph
+//===----------------------------------------------------------------------===//
+
+BoostedFlowGraph::BoostedFlowGraph(FlowGraph *Graph, const CommSpec &Spec,
+                                   unsigned Partitions)
+    : Graph(Graph), Scheme(Spec),
+      Manager(&Scheme, Spec.name(),
+              [Partitions](StateFnId, const Value &V) {
+                return Value::integer(V.asInt() %
+                                      static_cast<int64_t>(Partitions));
+              }) {
+  assert(Graph && "wrapper requires a graph");
+}
+
+bool BoostedFlowGraph::getNeighbors(Transaction &Tx, unsigned U,
+                                    unsigned &Degree) {
+  const FlowSig &S = flowSig();
+  const std::vector<Value> Args = {Value::integer(U)};
+  if (!Manager.acquirePre(Tx, S.GetNeighbors, Args))
+    return false;
+  Degree = Graph->degree(U);
+  if (Tx.recording())
+    Tx.recordInvocation(reinterpret_cast<uintptr_t>(this),
+                        Invocation(S.GetNeighbors, Args,
+                                   Value::integer(Degree)));
+  return true;
+}
+
+bool BoostedFlowGraph::relabel(Transaction &Tx, unsigned U,
+                               int64_t &NewHeight) {
+  const FlowSig &S = flowSig();
+  const std::vector<Value> Args = {Value::integer(U)};
+  if (!Manager.acquirePre(Tx, S.Relabel, Args))
+    return false;
+  // 1 + min height over residual out-edges; 2N when stuck. Neighbor
+  // heights are read without semantic protection (see header).
+  int64_t Min = 2 * static_cast<int64_t>(Graph->numNodes());
+  for (unsigned I = 0; I != Graph->degree(U); ++I)
+    if (Graph->residual(U, I) > 0)
+      Min = std::min(Min, Graph->height(Graph->neighbor(U, I)) + 1);
+  const int64_t Old = Graph->height(U);
+  NewHeight = std::max(Old, Min);
+  Graph->setHeight(U, NewHeight);
+  Tx.addUndo([this, U, Old] { Graph->setHeight(U, Old); });
+  if (Tx.recording())
+    Tx.recordInvocation(reinterpret_cast<uintptr_t>(this),
+                        Invocation(S.Relabel, Args,
+                                   Value::integer(NewHeight)));
+  return true;
+}
+
+bool BoostedFlowGraph::pushFlow(Transaction &Tx, unsigned U, unsigned I,
+                                int64_t &Pushed, bool &Activated) {
+  const FlowSig &S = flowSig();
+  const unsigned V = Graph->neighbor(U, I);
+  const std::vector<Value> Args = {Value::integer(U), Value::integer(V)};
+  if (!Manager.acquirePre(Tx, S.PushFlow, Args))
+    return false;
+  Pushed = 0;
+  Activated = false;
+  // Admissibility is re-validated under the locks.
+  if (Graph->height(U) == Graph->height(V) + 1 && Graph->residual(U, I) > 0 &&
+      Graph->excess(U) > 0) {
+    const int64_t Delta = std::min(Graph->excess(U), Graph->residual(U, I));
+    Activated = Graph->excess(V) == 0;
+    Graph->applyPush(U, I, Delta);
+    Pushed = Delta;
+    Tx.addUndo([this, U, I, Delta] { Graph->applyPush(U, I, -Delta); });
+  }
+  if (Tx.recording())
+    Tx.recordInvocation(reinterpret_cast<uintptr_t>(this),
+                        Invocation(S.PushFlow, Args, Value::integer(Pushed)));
+  return true;
+}

@@ -1,0 +1,145 @@
+//===- adt/FlowGraph.h - Flow network for preflow-push ----------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The graph ADT behind the preflow-push case study (§5): a residual flow
+/// network with per-node height and excess, exposing the three boosted
+/// methods the paper names — relabel, pushFlow and getNeighbors — plus the
+/// SIMPLE commutativity specifications of the three studied variants:
+///
+///  * ml: read/write locks on nodes (the paper notes this "is identical to
+///    the conflict detection performed by a transactional memory");
+///  * ex: getNeighbors no longer commutes with itself on the same node —
+///    exclusive locks;
+///  * part: the §4.2 partition coarsening of ml (32 partitions by
+///    default).
+///
+/// Topology is immutable once built. Heights are relaxed atomics because
+/// relabel reads neighbor heights without semantic protection — the
+/// classic asynchronous preflow-push argument (heights only grow and
+/// pushes re-validate admissibility under their own locks) keeps the
+/// algorithm correct with stale reads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_ADT_FLOWGRAPH_H
+#define COMLAT_ADT_FLOWGRAPH_H
+
+#include "core/Spec.h"
+#include "runtime/AbstractLockManager.h"
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+namespace comlat {
+
+/// Method/state-function ids of the flow-graph ADT.
+struct FlowSig {
+  DataTypeSig Sig{"flowgraph"};
+  MethodId Relabel, PushFlow, GetNeighbors;
+  StateFnId Part;
+
+  FlowSig();
+};
+
+const FlowSig &flowSig();
+
+/// ml: r/w node locks (== memory-level / TM conflict detection).
+const CommSpec &mlFlowSpec();
+/// ex: exclusive node locks.
+const CommSpec &exFlowSpec();
+/// part: partitioned node locks (§4.2).
+const CommSpec &partFlowSpec();
+
+/// The concrete residual network.
+class FlowGraph {
+public:
+  explicit FlowGraph(unsigned NumNodes);
+
+  /// Adds a directed edge with capacity \p Cap; parallel edges merge. A
+  /// zero-capacity reverse edge is created when absent. Must only be
+  /// called before parallel execution starts.
+  void addEdge(unsigned From, unsigned To, int64_t Cap);
+
+  unsigned numNodes() const { return static_cast<unsigned>(Adj.size()); }
+  unsigned degree(unsigned U) const {
+    return static_cast<unsigned>(Adj[U].size());
+  }
+  unsigned neighbor(unsigned U, unsigned I) const { return Adj[U][I].To; }
+  int64_t residual(unsigned U, unsigned I) const { return Adj[U][I].ResCap; }
+
+  int64_t height(unsigned U) const {
+    return Height[U].load(std::memory_order_relaxed);
+  }
+  void setHeight(unsigned U, int64_t H) {
+    Height[U].store(H, std::memory_order_relaxed);
+  }
+  int64_t excess(unsigned U) const { return Excess[U]; }
+  void setExcess(unsigned U, int64_t E) { Excess[U] = E; }
+
+  /// Moves \p Delta units of flow along edge \p I of \p U (updates both
+  /// residuals and both excesses). Caller holds the semantic locks.
+  void applyPush(unsigned U, unsigned I, int64_t Delta);
+
+  /// Total inflow minus outflow at \p U against original capacities —
+  /// used by the validity checker.
+  int64_t netResidualChange(unsigned U) const;
+
+  /// Verifies capacity constraints and conservation (given source/sink).
+  bool checkFlowValid(unsigned Source, unsigned Sink) const;
+
+private:
+  friend class BoostedFlowGraph;
+  struct Edge {
+    unsigned To;
+    unsigned Rev; ///< Index of the reverse edge in Adj[To].
+    int64_t ResCap;
+    int64_t OrigCap;
+  };
+  std::vector<std::vector<Edge>> Adj;
+  std::vector<std::atomic<int64_t>> Height;
+  std::vector<int64_t> Excess;
+};
+
+/// The boosted flow graph: abstract locks generated from one of the three
+/// SIMPLE specs guard the methods; concrete updates are race-free under
+/// the semantic locks (dense arrays, per-node entries).
+class BoostedFlowGraph {
+public:
+  /// \p Graph must outlive the wrapper.
+  BoostedFlowGraph(FlowGraph *Graph, const CommSpec &Spec,
+                   unsigned Partitions = 32);
+
+  /// Locks node \p U for neighbor iteration; \p Degree receives the
+  /// degree. The caller may then read topology and call pushFlow.
+  bool getNeighbors(Transaction &Tx, unsigned U, unsigned &Degree);
+
+  /// Relabels \p U to 1 + min height over residual out-edges (or 2N when
+  /// stuck); \p NewHeight receives the result.
+  bool relabel(Transaction &Tx, unsigned U, int64_t &NewHeight);
+
+  /// Pushes min(excess(U), residual) along edge index \p I of \p U when
+  /// admissible (height(U) == height(to)+1); \p Pushed receives the amount
+  /// (0 when inadmissible) and \p Activated whether the target's excess
+  /// rose from zero.
+  bool pushFlow(Transaction &Tx, unsigned U, unsigned I, int64_t &Pushed,
+                bool &Activated);
+
+  FlowGraph &graph() { return *Graph; }
+  const char *schemeName() const { return Manager.name(); }
+  const AbstractLockManager &manager() const { return Manager; }
+
+private:
+  FlowGraph *Graph;
+  LockScheme Scheme;
+  AbstractLockManager Manager;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_ADT_FLOWGRAPH_H

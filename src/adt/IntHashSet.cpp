@@ -1,0 +1,103 @@
+//===- adt/IntHashSet.cpp - Open-addressing integer set --------------------===//
+
+#include "adt/IntHashSet.h"
+
+#include <algorithm>
+
+using namespace comlat;
+
+IntHashSet::IntHashSet(size_t InitialCapacity) {
+  size_t Cap = 16;
+  while (Cap < InitialCapacity)
+    Cap <<= 1;
+  Cells.resize(Cap);
+}
+
+uint64_t IntHashSet::hashKey(int64_t Key) {
+  uint64_t H = static_cast<uint64_t>(Key);
+  H = (H ^ (H >> 30)) * 0xBF58476D1CE4E5B9ull;
+  H = (H ^ (H >> 27)) * 0x94D049BB133111EBull;
+  return H ^ (H >> 31);
+}
+
+size_t IntHashSet::probeFor(int64_t Key) const {
+  const size_t Mask = Cells.size() - 1;
+  size_t I = hashKey(Key) & Mask;
+  while (Cells[I].Used && Cells[I].Key != Key)
+    I = (I + 1) & Mask;
+  return I;
+}
+
+void IntHashSet::grow() {
+  std::vector<Cell> Old = std::move(Cells);
+  Cells.assign(Old.size() * 2, Cell{});
+  Count = 0;
+  for (const Cell &C : Old)
+    if (C.Used)
+      insert(C.Key);
+}
+
+bool IntHashSet::insert(int64_t Key) {
+  if ((Count + 1) * 4 >= Cells.size() * 3)
+    grow();
+  const size_t I = probeFor(Key);
+  if (Cells[I].Used)
+    return false;
+  Cells[I].Key = Key;
+  Cells[I].Used = true;
+  ++Count;
+  return true;
+}
+
+bool IntHashSet::erase(int64_t Key) {
+  const size_t Mask = Cells.size() - 1;
+  size_t I = probeFor(Key);
+  if (!Cells[I].Used)
+    return false;
+  // Backward-shift deletion: close the gap so probe chains stay intact.
+  Cells[I].Used = false;
+  --Count;
+  size_t J = (I + 1) & Mask;
+  while (Cells[J].Used) {
+    const size_t Home = hashKey(Cells[J].Key) & Mask;
+    // Move J back into the hole at I when its home position does not lie
+    // strictly between I (exclusive) and J (inclusive) in probe order.
+    const bool Movable =
+        ((J - Home) & Mask) >= ((J - I) & Mask);
+    if (Movable) {
+      Cells[I] = Cells[J];
+      Cells[J].Used = false;
+      I = J;
+    }
+    J = (J + 1) & Mask;
+  }
+  return true;
+}
+
+bool IntHashSet::contains(int64_t Key) const {
+  return Cells[probeFor(Key)].Used;
+}
+
+void IntHashSet::clear() {
+  Cells.assign(Cells.size(), Cell{});
+  Count = 0;
+}
+
+std::vector<int64_t> IntHashSet::sortedElements() const {
+  std::vector<int64_t> Out;
+  Out.reserve(Count);
+  for (const Cell &C : Cells)
+    if (C.Used)
+      Out.push_back(C.Key);
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+std::string IntHashSet::signature() const {
+  std::string Out;
+  for (const int64_t Key : sortedElements()) {
+    Out += std::to_string(Key);
+    Out += ',';
+  }
+  return Out;
+}

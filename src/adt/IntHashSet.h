@@ -1,0 +1,66 @@
+//===- adt/IntHashSet.h - Open-addressing integer set -----------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact linear-probing hash set of int64 keys, the concrete
+/// representation behind the boosted set of §2.3/§5. Tombstone-free:
+/// erase uses backward-shift deletion, keeping probe sequences dense.
+/// Not thread-safe; the boosted wrappers serialize concrete access.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_ADT_INTHASHSET_H
+#define COMLAT_ADT_INTHASHSET_H
+
+#include "support/Compiler.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace comlat {
+
+/// Open-addressing set of int64 keys.
+class IntHashSet {
+public:
+  explicit IntHashSet(size_t InitialCapacity = 16);
+
+  /// Inserts \p Key; returns true if the set changed (key was absent).
+  bool insert(int64_t Key);
+
+  /// Erases \p Key; returns true if the set changed (key was present).
+  bool erase(int64_t Key);
+
+  /// Membership test.
+  bool contains(int64_t Key) const;
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  void clear();
+
+  /// Elements in ascending order (for state comparison in tests).
+  std::vector<int64_t> sortedElements() const;
+
+  /// Canonical abstract-state fingerprint: sorted elements joined by ','.
+  std::string signature() const;
+
+private:
+  static uint64_t hashKey(int64_t Key);
+  void grow();
+  size_t probeFor(int64_t Key) const;
+
+  struct Cell {
+    int64_t Key = 0;
+    bool Used = false;
+  };
+  std::vector<Cell> Cells;
+  size_t Count = 0;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_ADT_INTHASHSET_H

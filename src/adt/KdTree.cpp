@@ -1,0 +1,324 @@
+//===- adt/KdTree.cpp - Kd-tree with bounding boxes -------------------------===//
+
+#include "adt/KdTree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+using namespace comlat;
+
+//===----------------------------------------------------------------------===//
+// PointStore
+//===----------------------------------------------------------------------===//
+
+int64_t PointStore::addPoint(const Point3 &P) {
+  std::lock_guard<std::mutex> Guard(M);
+  Points.push_back(P);
+  return static_cast<int64_t>(Points.size() - 1);
+}
+
+const Point3 &PointStore::get(int64_t Id) const {
+  // Points are immutable and deque storage is stable, so reads of existing
+  // ids need no lock; the wrappers serialize reads against appends.
+  assert(Id >= 0 && static_cast<size_t>(Id) < Points.size() &&
+         "bad point id");
+  return Points[static_cast<size_t>(Id)];
+}
+
+size_t PointStore::size() const {
+  std::lock_guard<std::mutex> Guard(M);
+  return Points.size();
+}
+
+double PointStore::dist2(int64_t A, int64_t B) const {
+  const Point3 &PA = get(A), &PB = get(B);
+  double Sum = 0;
+  for (unsigned D = 0; D != KdDims; ++D) {
+    const double Delta = PA.C[D] - PB.C[D];
+    Sum += Delta * Delta;
+  }
+  return Sum;
+}
+
+double PointStore::dist(int64_t A, int64_t B) const {
+  if (A == KdNullPoint || B == KdNullPoint)
+    return std::numeric_limits<double>::infinity();
+  return std::sqrt(dist2(A, B));
+}
+
+//===----------------------------------------------------------------------===//
+// KdTree
+//===----------------------------------------------------------------------===//
+
+struct KdTree::Node {
+  uint64_t ObjId = 0;
+  bool Leaf = true;
+  int SplitDim = 0;
+  double SplitVal = 0;
+  bool BoxValid = false;
+  double BoxMin[KdDims] = {0};
+  double BoxMax[KdDims] = {0};
+  std::vector<int64_t> Pts;
+  Node *L = nullptr;
+  Node *R = nullptr;
+};
+
+KdTree::KdTree(const PointStore *Store, unsigned LeafCapacity)
+    : Store(Store), LeafCapacity(LeafCapacity) {
+  assert(Store && LeafCapacity >= 2 && "bad kd-tree parameters");
+  Root = newNode();
+}
+
+KdTree::~KdTree() { freeTree(Root); }
+
+KdTree::Node *KdTree::newNode() {
+  Node *N = new Node();
+  N->ObjId = NextObjId++;
+  return N;
+}
+
+void KdTree::freeTree(Node *N) {
+  if (!N)
+    return;
+  freeTree(N->L);
+  freeTree(N->R);
+  delete N;
+}
+
+static void expandBoxRaw(bool &Valid, double *Min, double *Max,
+                         const Point3 &P) {
+  if (!Valid) {
+    for (unsigned D = 0; D != KdDims; ++D)
+      Min[D] = Max[D] = P.C[D];
+    Valid = true;
+    return;
+  }
+  for (unsigned D = 0; D != KdDims; ++D) {
+    Min[D] = std::min(Min[D], P.C[D]);
+    Max[D] = std::max(Max[D], P.C[D]);
+  }
+}
+
+KdTree::Status KdTree::add(int64_t Id, MemProbe *Probe, bool &Changed) {
+  Changed = !Members.contains(Id);
+  const Point3 &P = Store->get(Id);
+
+  // Collect the root-to-leaf path first: memory-level acquisition happens
+  // before any mutation so a veto leaves the tree untouched. An insertion
+  // writes the leaf and every ancestor whose bounding box must expand
+  // (§2.5's bounding-box maintenance); interior nodes already covering the
+  // point are only read.
+  std::vector<Node *> Path;
+  Node *N = Root;
+  for (;;) {
+    if (Probe) {
+      bool Expands = !N->BoxValid;
+      for (unsigned D = 0; !Expands && D != KdDims; ++D)
+        Expands = P.C[D] < N->BoxMin[D] || P.C[D] > N->BoxMax[D];
+      const bool Writes = Changed && (Expands || N->Leaf);
+      const bool Ok =
+          Writes ? Probe->onWrite(N->ObjId) : Probe->onRead(N->ObjId);
+      if (!Ok)
+        return Status::Conflict;
+    }
+    Path.push_back(N);
+    if (N->Leaf)
+      break;
+    N = P.C[N->SplitDim] <= N->SplitVal ? N->L : N->R;
+  }
+  if (!Changed)
+    return Status::Ok;
+
+  Node *Leaf = Path.back();
+  Leaf->Pts.push_back(Id);
+  Members.insert(Id);
+  for (Node *PathNode : Path)
+    expandBoxRaw(PathNode->BoxValid, PathNode->BoxMin, PathNode->BoxMax, P);
+  if (Leaf->Pts.size() > LeafCapacity)
+    splitLeaf(Leaf);
+  return Status::Ok;
+}
+
+void KdTree::splitLeaf(Node *Leaf) {
+  // Split on the widest dimension at the box midpoint; degenerate leaves
+  // (zero extent) simply stay oversized.
+  assert(Leaf->Leaf && Leaf->BoxValid && "splitting a non-leaf");
+  int Dim = 0;
+  double Extent = -1;
+  for (unsigned D = 0; D != KdDims; ++D) {
+    const double E = Leaf->BoxMax[D] - Leaf->BoxMin[D];
+    if (E > Extent) {
+      Extent = E;
+      Dim = static_cast<int>(D);
+    }
+  }
+  if (Extent <= 0)
+    return;
+  const double Split = (Leaf->BoxMin[Dim] + Leaf->BoxMax[Dim]) / 2;
+
+  Node *L = newNode();
+  Node *R = newNode();
+  for (const int64_t Id : Leaf->Pts) {
+    const Point3 &P = Store->get(Id);
+    Node *Child = P.C[Dim] <= Split ? L : R;
+    Child->Pts.push_back(Id);
+    expandBoxRaw(Child->BoxValid, Child->BoxMin, Child->BoxMax, P);
+  }
+  assert(!L->Pts.empty() && !R->Pts.empty() &&
+         "midpoint split must separate a leaf with positive extent");
+  Leaf->Leaf = false;
+  Leaf->SplitDim = Dim;
+  Leaf->SplitVal = Split;
+  Leaf->Pts.clear();
+  Leaf->Pts.shrink_to_fit();
+  Leaf->L = L;
+  Leaf->R = R;
+}
+
+KdTree::Status KdTree::remove(int64_t Id, MemProbe *Probe, bool &Changed) {
+  Changed = Members.contains(Id);
+  const Point3 &P = Store->get(Id);
+
+  // A removal writes the leaf and every ancestor whose box can shrink
+  // (the point lies on the box boundary); interior nodes strictly
+  // containing the point are only read.
+  std::vector<Node *> Path;
+  Node *N = Root;
+  for (;;) {
+    if (Probe) {
+      bool Shrinks = !N->BoxValid;
+      for (unsigned D = 0; !Shrinks && D != KdDims; ++D)
+        Shrinks = P.C[D] <= N->BoxMin[D] || P.C[D] >= N->BoxMax[D];
+      const bool Writes = Changed && (Shrinks || N->Leaf);
+      const bool Ok =
+          Writes ? Probe->onWrite(N->ObjId) : Probe->onRead(N->ObjId);
+      if (!Ok)
+        return Status::Conflict;
+    }
+    Path.push_back(N);
+    if (N->Leaf)
+      break;
+    N = P.C[N->SplitDim] <= N->SplitVal ? N->L : N->R;
+  }
+  if (!Changed)
+    return Status::Ok;
+
+  Node *Leaf = Path.back();
+  const auto It = std::find(Leaf->Pts.begin(), Leaf->Pts.end(), Id);
+  assert(It != Leaf->Pts.end() && "member point missing from its leaf");
+  Leaf->Pts.erase(It);
+  Members.erase(Id);
+
+  // Shrink bounding boxes bottom-up along the path.
+  for (auto PathIt = Path.rbegin(); PathIt != Path.rend(); ++PathIt) {
+    Node &PathNode = **PathIt;
+    PathNode.BoxValid = false;
+    if (PathNode.Leaf) {
+      for (const int64_t PtId : PathNode.Pts)
+        expandBoxRaw(PathNode.BoxValid, PathNode.BoxMin, PathNode.BoxMax,
+                     Store->get(PtId));
+    } else {
+      for (Node *Child : {PathNode.L, PathNode.R}) {
+        if (!Child->BoxValid)
+          continue;
+        Point3 Corner;
+        for (unsigned D = 0; D != KdDims; ++D)
+          Corner.C[D] = Child->BoxMin[D];
+        expandBoxRaw(PathNode.BoxValid, PathNode.BoxMin, PathNode.BoxMax,
+                     Corner);
+        for (unsigned D = 0; D != KdDims; ++D)
+          Corner.C[D] = Child->BoxMax[D];
+        expandBoxRaw(PathNode.BoxValid, PathNode.BoxMin, PathNode.BoxMax,
+                     Corner);
+      }
+    }
+  }
+  return Status::Ok;
+}
+
+/// Squared distance from \p Q to a box (0 when inside).
+static double boxDist2Impl(const double *Min, const double *Max,
+                           const Point3 &Q) {
+  double Sum = 0;
+  for (unsigned D = 0; D != KdDims; ++D) {
+    double Delta = 0;
+    if (Q.C[D] < Min[D])
+      Delta = Min[D] - Q.C[D];
+    else if (Q.C[D] > Max[D])
+      Delta = Q.C[D] - Max[D];
+    Sum += Delta * Delta;
+  }
+  return Sum;
+}
+
+bool KdTree::nearestImpl(const Node *N, int64_t Query, const Point3 &Q,
+                         MemProbe *Probe, int64_t &Best,
+                         double &BestD2) const {
+  if (Probe && !Probe->onRead(N->ObjId))
+    return false;
+  if (N->Leaf) {
+    for (const int64_t Id : N->Pts) {
+      if (Id == Query)
+        continue;
+      const double D2 = Store->dist2(Query, Id);
+      if (D2 < BestD2 || (D2 == BestD2 && (Best == KdNullPoint || Id < Best))) {
+        BestD2 = D2;
+        Best = Id;
+      }
+    }
+    return true;
+  }
+  // Visit the query-side child first; prune boxes strictly farther than the
+  // best (<= keeps ties so the smallest-id tie-break stays deterministic).
+  const Node *Near = Q.C[N->SplitDim] <= N->SplitVal ? N->L : N->R;
+  const Node *Far = Near == N->L ? N->R : N->L;
+  for (const Node *Child : {Near, Far}) {
+    if (!Child->BoxValid)
+      continue;
+    if (boxDist2Impl(Child->BoxMin, Child->BoxMax, Q) > BestD2)
+      continue;
+    if (!nearestImpl(Child, Query, Q, Probe, Best, BestD2))
+      return false;
+  }
+  return true;
+}
+
+KdTree::Status KdTree::nearest(int64_t Query, MemProbe *Probe,
+                               int64_t &Res) const {
+  const Point3 &Q = Store->get(Query);
+  int64_t Best = KdNullPoint;
+  double BestD2 = std::numeric_limits<double>::infinity();
+  if (!nearestImpl(Root, Query, Q, Probe, Best, BestD2))
+    return Status::Conflict;
+  Res = Best;
+  return Status::Ok;
+}
+
+bool KdTree::checkNode(const Node *N) const {
+  if (N->Leaf) {
+    for (const int64_t Id : N->Pts) {
+      const Point3 &P = Store->get(Id);
+      if (!N->BoxValid)
+        return false;
+      for (unsigned D = 0; D != KdDims; ++D)
+        if (P.C[D] < N->BoxMin[D] || P.C[D] > N->BoxMax[D])
+          return false;
+    }
+    return true;
+  }
+  if (!N->L || !N->R)
+    return false;
+  for (const Node *Child : {N->L, N->R}) {
+    if (!Child->BoxValid)
+      continue;
+    if (!N->BoxValid)
+      return false;
+    for (unsigned D = 0; D != KdDims; ++D)
+      if (Child->BoxMin[D] < N->BoxMin[D] || Child->BoxMax[D] > N->BoxMax[D])
+        return false;
+  }
+  return checkNode(N->L) && checkNode(N->R);
+}
+
+bool KdTree::checkInvariants() const { return checkNode(Root); }

@@ -1,0 +1,126 @@
+//===- adt/KdTree.h - Kd-tree with bounding boxes ----------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The kd-tree of §2.5, implemented exactly as the paper describes: points
+/// live in the leaves, each interior node records its splitting plane, and
+/// every node stores the bounding box of the points below it so nearest
+/// queries can prune subtrees. Adding or removing a point updates the
+/// bounding boxes of every node from the root to the affected leaf — the
+/// concrete writes that make memory-level conflict detection (kd-ml)
+/// reject semantically commuting operations.
+///
+/// Points are immutable coordinates in a PointStore and are referred to by
+/// integer ids; nearest(a) returns the closest point *other than a itself*
+/// (ties broken toward the smaller id, making replay deterministic), or
+/// kNullPoint when none exists — "by convention, the point at infinity is
+/// the closest point if the data set contains a single point".
+///
+/// Every operation optionally reports its concrete node accesses to a
+/// MemProbe, which is how the STM baseline observes reads and writes; a
+/// probe veto aborts the operation before any mutation (operations
+/// pre-acquire their whole write path).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_ADT_KDTREE_H
+#define COMLAT_ADT_KDTREE_H
+
+#include "adt/IntHashSet.h"
+#include "stm/ObjectStm.h"
+
+#include <deque>
+#include <memory>
+#include <mutex>
+
+namespace comlat {
+
+/// Spatial dimensionality of the clustering workload.
+constexpr unsigned KdDims = 3;
+
+/// Sentinel id for "no point" (the point at infinity).
+constexpr int64_t KdNullPoint = -1;
+
+/// One immutable point.
+struct Point3 {
+  double C[KdDims];
+};
+
+/// Append-only store of immutable points; ids are dense indices.
+/// Appends are internally synchronized; reads of existing points need no
+/// locking because points never move or change (std::deque storage).
+class PointStore {
+public:
+  int64_t addPoint(const Point3 &P);
+  const Point3 &get(int64_t Id) const;
+  size_t size() const;
+
+  /// Euclidean distance; +infinity if either id is kNullPoint.
+  double dist(int64_t A, int64_t B) const;
+
+  /// Squared distance between stored points (both ids valid).
+  double dist2(int64_t A, int64_t B) const;
+
+private:
+  mutable std::mutex M;
+  std::deque<Point3> Points;
+};
+
+/// The sequential kd-tree. Not internally synchronized; wrappers serialize
+/// concrete access.
+class KdTree {
+public:
+  enum class Status { Ok, Conflict };
+
+  /// \p Store must outlive the tree. \p LeafCapacity bounds leaf size
+  /// before a split.
+  explicit KdTree(const PointStore *Store, unsigned LeafCapacity = 8);
+  ~KdTree();
+
+  /// Inserts point \p Id. \p Changed is false when already present.
+  Status add(int64_t Id, MemProbe *Probe, bool &Changed);
+
+  /// Removes point \p Id. \p Changed is false when absent.
+  Status remove(int64_t Id, MemProbe *Probe, bool &Changed);
+
+  /// Finds the nearest point to \p Query distinct from \p Query (the query
+  /// point itself need not be in the tree). \p Res = kNullPoint when the
+  /// tree holds no other point.
+  Status nearest(int64_t Query, MemProbe *Probe, int64_t &Res) const;
+
+  size_t size() const { return Members.size(); }
+  bool contains(int64_t Id) const { return Members.contains(Id); }
+
+  /// Sorted member ids (state comparison in tests).
+  std::vector<int64_t> elements() const { return Members.sortedElements(); }
+  std::string signature() const { return Members.signature(); }
+
+  /// Structural invariant check for property tests: every point lies in
+  /// its leaf's box, every box covers its children, split planes separate.
+  bool checkInvariants() const;
+
+private:
+  struct Node;
+  Node *newNode();
+  void freeTree(Node *N);
+  Status addImpl(int64_t Id, MemProbe *Probe);
+  Status removeImpl(int64_t Id, MemProbe *Probe);
+  void splitLeaf(Node *Leaf);
+  bool nearestImpl(const Node *N, int64_t Query, const Point3 &Q,
+                   MemProbe *Probe, int64_t &Best, double &BestD2) const;
+  bool checkNode(const Node *N) const;
+
+  const PointStore *Store;
+  unsigned LeafCapacity;
+  Node *Root = nullptr;
+  IntHashSet Members;
+  uint64_t NextObjId = 1;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_ADT_KDTREE_H

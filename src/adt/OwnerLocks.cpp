@@ -1,0 +1,32 @@
+//===- adt/OwnerLocks.cpp - Generic exclusive ownership ---------------------===//
+
+#include "adt/OwnerLocks.h"
+
+using namespace comlat;
+using namespace comlat::dsl;
+
+OwnerSig::OwnerSig() {
+  Own = Sig.addMethod("own", 1, /*HasRet=*/false, /*Mutating=*/false);
+}
+
+const OwnerSig &comlat::ownerSig() {
+  static const OwnerSig S;
+  return S;
+}
+
+const CommSpec &comlat::ownerSpec() {
+  static const CommSpec Spec = [] {
+    const OwnerSig &S = ownerSig();
+    CommSpec Out(&S.Sig, "owner-exclusive");
+    Out.set(S.Own, S.Own, ne(arg1(0), arg2(0)));
+    return Out;
+  }();
+  return Spec;
+}
+
+OwnerLocks::OwnerLocks(std::string Label)
+    : Scheme(ownerSpec()), Manager(&Scheme, std::move(Label)) {}
+
+bool OwnerLocks::own(Transaction &Tx, int64_t Id) {
+  return Manager.acquirePre(Tx, ownerSig().Own, {Value::integer(Id)});
+}

@@ -1,0 +1,56 @@
+//===- adt/OwnerLocks.h - Generic exclusive ownership ------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal boosted "ownership" structure: one method own(id) whose
+/// commutativity condition is id1 != id2 — i.e. generated exclusive
+/// abstract locks. Applications use it to claim auxiliary per-entity state
+/// (e.g. Boruvka's per-component edge lists) so conflict detection on the
+/// primary structure under study stays isolated, mirroring the paper's
+/// boosting of everything but the target data structure (§5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_ADT_OWNERLOCKS_H
+#define COMLAT_ADT_OWNERLOCKS_H
+
+#include "core/Spec.h"
+#include "runtime/AbstractLockManager.h"
+
+namespace comlat {
+
+/// Signature/spec of the ownership pseudo-ADT.
+struct OwnerSig {
+  DataTypeSig Sig{"owner"};
+  MethodId Own;
+
+  OwnerSig();
+};
+
+const OwnerSig &ownerSig();
+const CommSpec &ownerSpec();
+
+/// Boosted ownership: own() succeeds when no other live transaction owns
+/// the same id (re-entrant for the owner).
+class OwnerLocks {
+public:
+  explicit OwnerLocks(std::string Label);
+
+  /// Claims \p Id exclusively until the transaction ends; false (and Tx
+  /// failed) when another live transaction owns it.
+  bool own(Transaction &Tx, int64_t Id);
+
+  const AbstractLockManager &manager() const { return Manager; }
+
+private:
+  LockScheme Scheme;
+  AbstractLockManager Manager;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_ADT_OWNERLOCKS_H

@@ -1,0 +1,76 @@
+//===- adt/SetSpecs.cpp - The set's commutativity lattice ------------------===//
+
+#include "adt/SetSpecs.h"
+#include "core/Lattice.h"
+
+using namespace comlat;
+using namespace comlat::dsl;
+
+SetSig::SetSig() {
+  Add = Sig.addMethod("add", 1, /*HasRet=*/true, /*Mutating=*/true);
+  Remove = Sig.addMethod("remove", 1, /*HasRet=*/true, /*Mutating=*/true);
+  Contains = Sig.addMethod("contains", 1, /*HasRet=*/true,
+                           /*Mutating=*/false);
+  Part = Sig.addStateFn("part", 1, /*Pure=*/true);
+}
+
+const SetSig &comlat::setSig() {
+  static const SetSig S;
+  return S;
+}
+
+/// `neither invocation changed the set`: r1 = false and r2 = false.
+static FormulaPtr neitherMutated() {
+  return conj(eq(ret1(), cst(false)), eq(ret2(), cst(false)));
+}
+
+const CommSpec &comlat::preciseSetSpec() {
+  static const CommSpec Spec = [] {
+    const SetSig &S = setSig();
+    CommSpec Out(&S.Sig, "set-precise");
+    const FormulaPtr KeysDiffer = ne(arg1(0), arg2(0));
+    // (1) add ~ add, (2) add ~ remove, (4) remove ~ remove: keys differ or
+    // neither mutated.
+    Out.set(S.Add, S.Add, disj(KeysDiffer, neitherMutated()));
+    Out.set(S.Add, S.Remove, disj(KeysDiffer, neitherMutated()));
+    Out.set(S.Remove, S.Remove, disj(KeysDiffer, neitherMutated()));
+    // (3) add ~ contains, (5) remove ~ contains: keys differ or the
+    // mutator changed nothing.
+    Out.set(S.Add, S.Contains, disj(KeysDiffer, eq(ret1(), cst(false))));
+    Out.set(S.Remove, S.Contains, disj(KeysDiffer, eq(ret1(), cst(false))));
+    // (6) contains ~ contains: always.
+    Out.set(S.Contains, S.Contains, top());
+    return Out;
+  }();
+  return Spec;
+}
+
+const CommSpec &comlat::strengthenedSetSpec() {
+  // Fig. 3 is exactly the SIMPLE under-approximation of Fig. 2 (the
+  // disciplined strengthening of §4.1); derive it rather than restate it.
+  static const CommSpec Spec =
+      simpleUnderApproxSpec(preciseSetSpec(), "set-strengthened");
+  return Spec;
+}
+
+const CommSpec &comlat::exclusiveSetSpec() {
+  static const CommSpec Spec = [] {
+    const SetSig &S = setSig();
+    CommSpec Out = strengthenedSetSpec();
+    Out.setName("set-exclusive");
+    Out.set(S.Contains, S.Contains, ne(arg1(0), arg2(0)));
+    return Out;
+  }();
+  return Spec;
+}
+
+const CommSpec &comlat::partitionedSetSpec() {
+  static const CommSpec Spec =
+      partitionSpec(strengthenedSetSpec(), setSig().Part, "set-partitioned");
+  return Spec;
+}
+
+const CommSpec &comlat::bottomSetSpec() {
+  static const CommSpec Spec = bottomSpec(setSig().Sig, "set-bottom");
+  return Spec;
+}

@@ -1,0 +1,61 @@
+//===- adt/SetSpecs.h - The set's commutativity lattice ---------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The signature of the set ADT and the specification points of its
+/// commutativity lattice the paper studies (§2.3-§2.4, §4, §5):
+///
+///  * precise (Fig. 2): methods commute when their keys differ or neither
+///    mutated — not SIMPLE, needs a forward gatekeeper;
+///  * strengthened (Fig. 3): keys must differ for add/remove pairs —
+///    SIMPLE; its lock scheme is read/write locks on keys;
+///  * exclusive: additionally contains~contains only on distinct keys —
+///    SIMPLE; exclusive locks on keys (Herlihy-Koskinen style [10]);
+///  * partitioned (§4.2): the exclusive clauses coarsened through part();
+///  * bottom: nothing commutes; a single global lock (§4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_ADT_SETSPECS_H
+#define COMLAT_ADT_SETSPECS_H
+
+#include "core/Spec.h"
+
+namespace comlat {
+
+/// Method and state-function ids of the set ADT.
+struct SetSig {
+  DataTypeSig Sig{"set"};
+  MethodId Add, Remove, Contains;
+  /// Pure unary partition function for the §4.2 transform; bound at
+  /// runtime to `key mod P`.
+  StateFnId Part;
+
+  SetSig();
+};
+
+/// The process-wide set signature (specs below are relative to it).
+const SetSig &setSig();
+
+/// Fig. 2: the precise specification F*.
+const CommSpec &preciseSetSpec();
+
+/// Fig. 3: the strengthened SIMPLE specification (read/write key locks).
+const CommSpec &strengthenedSetSpec();
+
+/// Exclusive-lock variant: contains~contains also requires distinct keys.
+const CommSpec &exclusiveSetSpec();
+
+/// §4.2: Fig. 3 with every clause coarsened to part(a) != part(b).
+const CommSpec &partitionedSetSpec();
+
+/// Bottom of the lattice: single global lock.
+const CommSpec &bottomSetSpec();
+
+} // namespace comlat
+
+#endif // COMLAT_ADT_SETSPECS_H

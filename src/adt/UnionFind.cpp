@@ -1,0 +1,184 @@
+//===- adt/UnionFind.cpp - Disjoint-set forest ------------------------------===//
+
+#include "adt/UnionFind.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+using namespace comlat;
+
+UnionFind::UnionFind(size_t NumElements) {
+  Parent.reserve(NumElements);
+  Rank.assign(NumElements, 0);
+  for (size_t I = 0; I != NumElements; ++I)
+    Parent.push_back(static_cast<int64_t>(I));
+}
+
+int64_t UnionFind::createElement() {
+  const int64_t Id = static_cast<int64_t>(Parent.size());
+  Parent.push_back(Id);
+  Rank.push_back(0);
+  return Id;
+}
+
+void UnionFind::destroyLastElement() {
+  assert(!Parent.empty() && "no element to destroy");
+  assert(Parent.back() == static_cast<int64_t>(Parent.size() - 1) &&
+         Rank.back() == 0 && "undone element must be a singleton root");
+  Parent.pop_back();
+  Rank.pop_back();
+}
+
+void UnionFind::setParent(int64_t X, int64_t NewParent,
+                          std::vector<GateAction> *Actions) {
+  const int64_t Old = Parent[X];
+  Parent[X] = NewParent;
+  if (Actions)
+    Actions->push_back(GateAction{
+        [this, X, Old] { Parent[X] = Old; },
+        [this, X, NewParent] { Parent[X] = NewParent; }});
+}
+
+UnionFind::Status UnionFind::find(int64_t X, MemProbe *Probe,
+                                  std::vector<GateAction> *Actions,
+                                  int64_t &Rep) {
+  assert(X >= 0 && static_cast<size_t>(X) < Parent.size() && "bad element");
+  // Walk to the root, reading each traversed element.
+  std::vector<int64_t> Chain;
+  int64_t Cur = X;
+  for (;;) {
+    if (Probe && !Probe->onRead(Cur))
+      return Status::Conflict;
+    if (Parent[Cur] == Cur)
+      break;
+    Chain.push_back(Cur);
+    Cur = Parent[Cur];
+  }
+  Rep = Cur;
+  // Path compression: every traversed element now points at the root.
+  // These are the concrete writes that make uf-ml reject concurrent finds
+  // (§1); they leave the abstract state untouched.
+  for (const int64_t Node : Chain) {
+    if (Parent[Node] == Rep)
+      continue;
+    if (Probe && !Probe->onWrite(Node))
+      return Status::Conflict;
+    setParent(Node, Rep, Actions);
+  }
+  return Status::Ok;
+}
+
+UnionFind::Status UnionFind::unite(int64_t A, int64_t B, MemProbe *Probe,
+                                   std::vector<GateAction> *Actions,
+                                   bool &Changed) {
+  int64_t Ra = UfNone, Rb = UfNone;
+  if (find(A, Probe, Actions, Ra) == Status::Conflict)
+    return Status::Conflict;
+  if (find(B, Probe, Actions, Rb) == Status::Conflict)
+    return Status::Conflict;
+  if (Ra == Rb) {
+    Changed = false;
+    return Status::Ok;
+  }
+  Changed = true;
+  // Union by rank: lower-ranked root becomes the child; B's root loses
+  // ties (the paper's loser definition).
+  int64_t Winner = Ra, Loser = Rb;
+  if (Rank[Ra] < Rank[Rb]) {
+    Winner = Rb;
+    Loser = Ra;
+  }
+  if (Probe && (!Probe->onWrite(Loser) || !Probe->onWrite(Winner)))
+    return Status::Conflict;
+  setParent(Loser, Winner, Actions);
+  if (Rank[Winner] == Rank[Loser]) {
+    const int64_t W = Winner;
+    const int32_t OldRank = Rank[W];
+    Rank[W] = OldRank + 1;
+    if (Actions)
+      Actions->push_back(GateAction{
+          [this, W, OldRank] { Rank[W] = OldRank; },
+          [this, W, OldRank] { Rank[W] = OldRank + 1; }});
+  }
+  return Status::Ok;
+}
+
+int64_t UnionFind::repOf(int64_t X) const {
+  assert(X >= 0 && static_cast<size_t>(X) < Parent.size() && "bad element");
+  while (Parent[X] != X)
+    X = Parent[X];
+  return X;
+}
+
+int64_t UnionFind::rankOfSet(int64_t X) const { return Rank[repOf(X)]; }
+
+int64_t UnionFind::loserOf(int64_t A, int64_t B) const {
+  const int64_t Ra = repOf(A), Rb = repOf(B);
+  if (Ra == Rb)
+    return UfNone;
+  return Rank[Ra] < Rank[Rb] ? Ra : Rb;
+}
+
+int64_t UnionFind::winnerOf(int64_t A, int64_t B) const {
+  const int64_t Ra = repOf(A), Rb = repOf(B);
+  if (Ra == Rb)
+    return UfNone;
+  return Rank[Ra] < Rank[Rb] ? Rb : Ra;
+}
+
+void UnionFind::chainOf(int64_t X, std::vector<int64_t> &Out) const {
+  Out.clear();
+  while (true) {
+    Out.push_back(X);
+    if (Parent[X] == X)
+      return;
+    X = Parent[X];
+  }
+}
+
+std::string UnionFind::signature() const {
+  // Map each element to the smallest member of its set, then append the
+  // representative (both are observable: membership via sameSet-style
+  // queries, identity via find).
+  std::map<int64_t, int64_t> SmallestOfRep;
+  for (size_t I = 0; I != Parent.size(); ++I) {
+    const int64_t R = repOf(static_cast<int64_t>(I));
+    const auto It = SmallestOfRep.find(R);
+    if (It == SmallestOfRep.end())
+      SmallestOfRep[R] = static_cast<int64_t>(I);
+    else
+      It->second = std::min(It->second, static_cast<int64_t>(I));
+  }
+  std::string Out;
+  for (size_t I = 0; I != Parent.size(); ++I) {
+    const int64_t R = repOf(static_cast<int64_t>(I));
+    Out += std::to_string(SmallestOfRep[R]);
+    Out += ':';
+    Out += std::to_string(R);
+    Out += ',';
+  }
+  return Out;
+}
+
+bool UnionFind::checkInvariants() const {
+  for (size_t I = 0; I != Parent.size(); ++I) {
+    const int64_t P = Parent[I];
+    if (P < 0 || static_cast<size_t>(P) >= Parent.size())
+      return false;
+    if (P != static_cast<int64_t>(I) && Rank[P] < Rank[I])
+      return false;
+  }
+  // No cycles other than self-loops: repOf must terminate; walk with a
+  // step bound.
+  for (size_t I = 0; I != Parent.size(); ++I) {
+    int64_t X = static_cast<int64_t>(I);
+    size_t Steps = 0;
+    while (Parent[X] != X) {
+      X = Parent[X];
+      if (++Steps > Parent.size())
+        return false;
+    }
+  }
+  return true;
+}

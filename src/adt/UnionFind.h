@@ -1,0 +1,99 @@
+//===- adt/UnionFind.h - Disjoint-set forest ---------------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The union-find structure of §2.5: a disjoint-set forest with
+/// union-by-rank and path compression. Path compression makes find mutate
+/// the concrete representation while leaving the abstract state (the
+/// partition plus each set's representative and rank) unchanged — the
+/// paper's motivating example for semantic conflict detection.
+///
+/// Every concrete parent/rank write is reported to an optional MemProbe
+/// (the memory-level uf-ml baseline) and recorded as an undo/redo
+/// GateAction. Recording compression actions keeps aborts and the general
+/// gatekeeper's rollback evaluation exact even when a transaction's own
+/// find compressed across its own earlier union.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_ADT_UNIONFIND_H
+#define COMLAT_ADT_UNIONFIND_H
+
+#include "runtime/GateTarget.h"
+#include "stm/ObjectStm.h"
+
+#include <vector>
+
+namespace comlat {
+
+/// Sentinel meaning "no representative" (e.g. loser of a no-op union).
+constexpr int64_t UfNone = -1;
+
+/// Sequential disjoint-set forest. Not internally synchronized.
+class UnionFind {
+public:
+  enum class Status { Ok, Conflict };
+
+  explicit UnionFind(size_t NumElements = 0);
+
+  /// Adds a singleton element; returns its id.
+  int64_t createElement();
+
+  /// Removes the most recently created element (undo of createElement).
+  /// The element must still be a singleton root.
+  void destroyLastElement();
+
+  size_t numElements() const { return Parent.size(); }
+
+  /// find with path compression. Concrete writes go through \p Probe (veto
+  /// aborts mid-way; already-performed writes are in \p Actions) and are
+  /// recorded in \p Actions when non-null.
+  Status find(int64_t X, MemProbe *Probe, std::vector<GateAction> *Actions,
+              int64_t &Rep);
+
+  /// union by rank. \p Changed is false when both ends were already in the
+  /// same set. Internally performs two finds (compression included).
+  Status unite(int64_t A, int64_t B, MemProbe *Probe,
+               std::vector<GateAction> *Actions, bool &Changed);
+
+  /// Abstract-state queries (no compression, no probes); these implement
+  /// the state functions rep/rank/loser/winner of the Fig. 5 conditions.
+  int64_t repOf(int64_t X) const;
+  int64_t rankOfSet(int64_t X) const;
+  /// Representative that would lose a union(A, B): the lower-ranked root
+  /// (B's root on ties, matching the paper's definition); UfNone when A
+  /// and B are already in the same set.
+  int64_t loserOf(int64_t A, int64_t B) const;
+  /// Representative that would win; UfNone when already in the same set.
+  int64_t winnerOf(int64_t A, int64_t B) const;
+  bool sameSet(int64_t A, int64_t B) const {
+    return repOf(A) == repOf(B);
+  }
+
+  /// Uncompressed root-to-leaf chain of \p X (X first, root last); used by
+  /// the specialized union-find gatekeeper's path checks.
+  void chainOf(int64_t X, std::vector<int64_t> &Out) const;
+
+  /// Canonical partition fingerprint: each element mapped to the smallest
+  /// element of its set. Representative identity is also observable via
+  /// find, so the signature appends each set's representative.
+  std::string signature() const;
+
+  /// Structural invariants (ranks increase toward roots, parents valid).
+  bool checkInvariants() const;
+
+private:
+  void setParent(int64_t X, int64_t NewParent,
+                 std::vector<GateAction> *Actions);
+
+  std::vector<int64_t> Parent;
+  std::vector<int32_t> Rank;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_ADT_UNIONFIND_H

@@ -1,0 +1,241 @@
+//===- apps/Boruvka.cpp - Minimum spanning trees -----------------------------===//
+
+#include "apps/Boruvka.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace comlat;
+
+MeshInstance comlat::randomMesh(unsigned Width, unsigned Height,
+                                uint64_t Seed) {
+  assert(Width >= 2 && Height >= 2 && "mesh too small");
+  MeshInstance Mesh;
+  Mesh.NumNodes = Width * Height;
+  auto NodeAt = [Width](unsigned X, unsigned Y) { return Y * Width + X; };
+  for (unsigned Y = 0; Y != Height; ++Y) {
+    for (unsigned X = 0; X != Width; ++X) {
+      if (X + 1 != Width)
+        Mesh.Edges.push_back(
+            MeshInstance::Edge{NodeAt(X, Y), NodeAt(X + 1, Y), 0});
+      if (Y + 1 != Height)
+        Mesh.Edges.push_back(
+            MeshInstance::Edge{NodeAt(X, Y), NodeAt(X, Y + 1), 0});
+    }
+  }
+  // Unique weights: a random permutation of 1..E makes the MST unique.
+  Rng R(Seed);
+  std::vector<uint32_t> Perm =
+      R.permutation(static_cast<uint32_t>(Mesh.Edges.size()));
+  for (size_t I = 0; I != Mesh.Edges.size(); ++I)
+    Mesh.Edges[I].W = static_cast<int64_t>(Perm[I]) + 1;
+  return Mesh;
+}
+
+int64_t comlat::kruskalWeight(const MeshInstance &Mesh) {
+  std::vector<uint32_t> Order(Mesh.Edges.size());
+  std::iota(Order.begin(), Order.end(), 0u);
+  std::sort(Order.begin(), Order.end(), [&Mesh](uint32_t A, uint32_t B) {
+    return Mesh.Edges[A].W < Mesh.Edges[B].W;
+  });
+  UnionFind UF(Mesh.NumNodes);
+  int64_t Total = 0;
+  for (const uint32_t I : Order) {
+    const MeshInstance::Edge &E = Mesh.Edges[I];
+    bool Changed = false;
+    UF.unite(E.U, E.V, nullptr, nullptr, Changed);
+    if (Changed)
+      Total += E.W;
+  }
+  return Total;
+}
+
+BoruvkaResult Boruvka::runSequential(double *Seconds) {
+  Timer T;
+  UnionFind UF(Mesh->NumNodes);
+  std::vector<std::vector<uint32_t>> Lists(Mesh->NumNodes);
+  for (uint32_t I = 0; I != Mesh->Edges.size(); ++I) {
+    Lists[Mesh->Edges[I].U].push_back(I);
+    Lists[Mesh->Edges[I].V].push_back(I);
+  }
+  std::deque<int64_t> Work;
+  for (unsigned U = 0; U != Mesh->NumNodes; ++U)
+    Work.push_back(U);
+  BoruvkaResult Out;
+  while (!Work.empty()) {
+    const int64_t C = Work.front();
+    Work.pop_front();
+    if (UF.repOf(C) != C)
+      continue;
+    // Lightest alive edge leaving the component; prune dead ones.
+    std::vector<uint32_t> &List = Lists[static_cast<size_t>(C)];
+    int64_t BestW = INT64_MAX;
+    uint32_t BestE = UINT32_MAX;
+    for (size_t I = 0; I != List.size();) {
+      const MeshInstance::Edge &E = Mesh->Edges[List[I]];
+      if (UF.repOf(E.U) == UF.repOf(E.V)) {
+        List[I] = List.back();
+        List.pop_back();
+        continue;
+      }
+      if (E.W < BestW) {
+        BestW = E.W;
+        BestE = List[I];
+      }
+      ++I;
+    }
+    if (BestE == UINT32_MAX)
+      continue; // Component finished.
+    const MeshInstance::Edge &E = Mesh->Edges[BestE];
+    const int64_t Other =
+        UF.repOf(E.U) == C ? UF.repOf(E.V) : UF.repOf(E.U);
+    bool Changed = false;
+    UF.unite(E.U, E.V, nullptr, nullptr, Changed);
+    assert(Changed && "alive edge must merge two components");
+    Out.MstWeight += E.W;
+    ++Out.MstEdges;
+    const int64_t Leader = UF.repOf(E.U);
+    std::vector<uint32_t> &Src =
+        Lists[static_cast<size_t>(Leader == C ? Other : C)];
+    std::vector<uint32_t> &Dst = Lists[static_cast<size_t>(Leader)];
+    Dst.insert(Dst.end(), Src.begin(), Src.end());
+    Src.clear();
+    Work.push_back(Leader);
+  }
+  if (Seconds)
+    *Seconds = T.seconds();
+  return Out;
+}
+
+struct Boruvka::RunState {
+  explicit RunState(const MeshInstance &Mesh, std::unique_ptr<TxUnionFind> Uf)
+      : Uf(std::move(Uf)), Owners("boruvka-components"),
+        Lists(Mesh.NumNodes) {
+    for (uint32_t I = 0; I != Mesh.Edges.size(); ++I) {
+      Lists[Mesh.Edges[I].U].push_back(I);
+      Lists[Mesh.Edges[I].V].push_back(I);
+    }
+  }
+
+  std::unique_ptr<TxUnionFind> Uf;
+  OwnerLocks Owners;
+  std::vector<std::vector<uint32_t>> Lists;
+};
+
+std::unique_ptr<TxUnionFind>
+Boruvka::makeUf(const std::string &Variant) const {
+  if (Variant == "uf-gk")
+    return makeGatedUnionFind(Mesh->NumNodes);
+  if (Variant == "uf-gk-spec")
+    return makeSpecializedUnionFind(Mesh->NumNodes);
+  if (Variant == "uf-ml")
+    return makeStmUnionFind(Mesh->NumNodes);
+  if (Variant == "uf-direct")
+    return makeDirectUnionFind(Mesh->NumNodes);
+  COMLAT_UNREACHABLE("unknown union-find variant");
+}
+
+Executor::OperatorFn Boruvka::makeOperator(std::shared_ptr<RunState> State,
+                                           BoruvkaResult &Out,
+                                           std::mutex &OutMutex) {
+  const MeshInstance *M = Mesh;
+  return [State, M, &Out, &OutMutex](Transaction &Tx, int64_t C,
+                                     TxWorklist &WL) {
+    // Claim the component's edge list, then confirm C still leads it.
+    if (!State->Owners.own(Tx, C))
+      return;
+    int64_t Rc = UfNone;
+    if (!State->Uf->find(Tx, C, Rc))
+      return;
+    if (Rc != C)
+      return; // Component was absorbed; its new leader is queued.
+
+    // Scan for the lightest alive edge; dead edges (endpoints already in
+    // one set, a monotone property of committed state) are pruned in
+    // place — the list is exclusively owned.
+    std::vector<uint32_t> &List = State->Lists[static_cast<size_t>(C)];
+    int64_t BestW = INT64_MAX;
+    uint32_t BestE = UINT32_MAX;
+    int64_t BestOther = UfNone;
+    for (size_t I = 0; I != List.size();) {
+      const MeshInstance::Edge &E = M->Edges[List[I]];
+      int64_t Ru = UfNone, Rv = UfNone;
+      if (!State->Uf->find(Tx, E.U, Ru) || !State->Uf->find(Tx, E.V, Rv))
+        return;
+      if (Ru == Rv) {
+        List[I] = List.back();
+        List.pop_back();
+        continue;
+      }
+      assert((Ru == C || Rv == C) &&
+             "component list holds an edge not touching the component");
+      if (E.W < BestW) {
+        BestW = E.W;
+        BestE = List[I];
+        BestOther = Ru == C ? Rv : Ru;
+      }
+      ++I;
+    }
+    if (BestE == UINT32_MAX)
+      return; // Spanning complete for this component.
+
+    // Claim the neighbor component and merge.
+    if (!State->Owners.own(Tx, BestOther))
+      return;
+    const MeshInstance::Edge &E = M->Edges[BestE];
+    bool Changed = false;
+    if (!State->Uf->unite(Tx, E.U, E.V, Changed))
+      return;
+    assert(Changed && "owned components cannot have merged meanwhile");
+    int64_t Leader = UfNone;
+    if (!State->Uf->find(Tx, E.U, Leader))
+      return;
+    assert((Leader == C || Leader == BestOther) && "unexpected union winner");
+    const int64_t Loser = Leader == C ? BestOther : C;
+    std::vector<uint32_t> &Dst = State->Lists[static_cast<size_t>(Leader)];
+    std::vector<uint32_t> &Src = State->Lists[static_cast<size_t>(Loser)];
+    const size_t OldDst = Dst.size();
+    std::vector<uint32_t> Moved = std::move(Src);
+    Src.clear();
+    Dst.insert(Dst.end(), Moved.begin(), Moved.end());
+    Tx.addUndo([&Dst, &Src, OldDst] {
+      Src.assign(Dst.begin() + static_cast<ptrdiff_t>(OldDst), Dst.end());
+      Dst.resize(OldDst);
+    });
+
+    WL.push(Leader);
+    const int64_t W = E.W;
+    Tx.addCommitAction([&Out, &OutMutex, W] {
+      std::lock_guard<std::mutex> Guard(OutMutex);
+      Out.MstWeight += W;
+      ++Out.MstEdges;
+    });
+  };
+}
+
+BoruvkaResult Boruvka::runSpeculative(const std::string &Variant,
+                                      unsigned Threads) {
+  auto State = std::make_shared<RunState>(*Mesh, makeUf(Variant));
+  BoruvkaResult Out;
+  std::mutex OutMutex;
+  Worklist WL;
+  for (unsigned U = 0; U != Mesh->NumNodes; ++U)
+    WL.push(U);
+  Executor Exec(Threads);
+  Out.Exec = Exec.run(WL, makeOperator(State, Out, OutMutex));
+  return Out;
+}
+
+BoruvkaResult Boruvka::runParameter(const std::string &Variant) {
+  auto State = std::make_shared<RunState>(*Mesh, makeUf(Variant));
+  BoruvkaResult Out;
+  std::mutex OutMutex;
+  std::vector<int64_t> Initial;
+  for (unsigned U = 0; U != Mesh->NumNodes; ++U)
+    Initial.push_back(U);
+  RoundExecutor Exec;
+  Out.Rounds = Exec.run(Initial, makeOperator(State, Out, OutMutex));
+  return Out;
+}

@@ -1,0 +1,87 @@
+//===- apps/Boruvka.h - Minimum spanning trees --------------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Boruvka case study (§5): a worklist of component leaders; each
+/// iteration finds the lightest edge leaving its component (pruning dead
+/// edges), merges the two components in the union-find structure, splices
+/// their candidate edge lists, and re-queues the merged leader. Union-find
+/// carries the conflict detection under study (uf-gk general gatekeeper,
+/// uf-gk-spec specialized gatekeeper, uf-ml memory-level STM); per-
+/// component edge lists are claimed through boosted exclusive ownership,
+/// mirroring the paper's "boosted objects wherever possible" methodology.
+///
+/// Inputs are random 2-D meshes with unique edge weights (so the MST is
+/// unique); Kruskal provides the reference weight.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_APPS_BORUVKA_H
+#define COMLAT_APPS_BORUVKA_H
+
+#include "adt/BoostedUnionFind.h"
+#include "adt/OwnerLocks.h"
+#include "runtime/Executor.h"
+#include "runtime/RoundExecutor.h"
+
+#include <mutex>
+
+namespace comlat {
+
+/// An undirected weighted graph instance.
+struct MeshInstance {
+  unsigned NumNodes = 0;
+  struct Edge {
+    unsigned U;
+    unsigned V;
+    int64_t W;
+  };
+  std::vector<Edge> Edges;
+};
+
+/// 4-connected Width x Height grid with unique shuffled weights.
+MeshInstance randomMesh(unsigned Width, unsigned Height, uint64_t Seed);
+
+/// Reference MST weight (Kruskal).
+int64_t kruskalWeight(const MeshInstance &Mesh);
+
+/// Result of one Boruvka run.
+struct BoruvkaResult {
+  int64_t MstWeight = 0;
+  size_t MstEdges = 0;
+  ExecStats Exec;
+  RoundStats Rounds; ///< Filled by the ParaMeter entry point only.
+};
+
+/// Boruvka driver over a boosted union-find.
+class Boruvka {
+public:
+  /// \p Mesh must outlive the driver.
+  explicit Boruvka(const MeshInstance *Mesh) : Mesh(Mesh) {}
+
+  /// Plain sequential Boruvka (no transactions); overhead baseline.
+  BoruvkaResult runSequential(double *Seconds = nullptr);
+
+  /// Speculative run over "uf-gk", "uf-gk-spec", "uf-ml" or "uf-direct".
+  BoruvkaResult runSpeculative(const std::string &Variant, unsigned Threads);
+
+  /// ParaMeter round-model run (critical path / parallelism, Table 1).
+  BoruvkaResult runParameter(const std::string &Variant);
+
+private:
+  struct RunState;
+  std::unique_ptr<TxUnionFind> makeUf(const std::string &Variant) const;
+  Executor::OperatorFn makeOperator(std::shared_ptr<RunState> State,
+                                    BoruvkaResult &Out,
+                                    std::mutex &OutMutex);
+
+  const MeshInstance *Mesh;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_APPS_BORUVKA_H

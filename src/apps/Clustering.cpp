@@ -1,0 +1,159 @@
+//===- apps/Clustering.cpp - Agglomerative clustering ------------------------===//
+
+#include "apps/Clustering.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+
+#include <memory>
+
+using namespace comlat;
+
+Clustering::Clustering(size_t N, uint64_t Seed) {
+  Rng R(Seed);
+  for (size_t I = 0; I != N; ++I) {
+    Point3 P;
+    for (unsigned D = 0; D != KdDims; ++D)
+      P.C[D] = R.nextDouble();
+    Store.addPoint(P);
+    Weight.push_back(1.0);
+  }
+  InitialPoints = N;
+}
+
+int64_t Clustering::centroidOf(int64_t A, int64_t B) {
+  std::lock_guard<std::mutex> Guard(WeightMutex);
+  const double WA = Weight[static_cast<size_t>(A)];
+  const double WB = Weight[static_cast<size_t>(B)];
+  const Point3 &PA = Store.get(A);
+  const Point3 &PB = Store.get(B);
+  Point3 C;
+  for (unsigned D = 0; D != KdDims; ++D)
+    C.C[D] = (PA.C[D] * WA + PB.C[D] * WB) / (WA + WB);
+  const int64_t Id = Store.addPoint(C);
+  assert(static_cast<size_t>(Id) == Weight.size() &&
+         "weights out of sync with the point store");
+  Weight.push_back(WA + WB);
+  return Id;
+}
+
+std::unique_ptr<TxKdTree> Clustering::makeTree(const std::string &Variant) {
+  if (Variant == "kd-gk")
+    return makeGatedKdTree(&Store);
+  if (Variant == "kd-ml")
+    return makeStmKdTree(&Store);
+  if (Variant == "kd-direct")
+    return makeDirectKdTree(&Store);
+  COMLAT_UNREACHABLE("unknown kd-tree variant");
+}
+
+Executor::OperatorFn Clustering::makeOperator(TxKdTree &Tree,
+                                              std::vector<Merge> &Merges,
+                                              std::mutex &MergesMutex) {
+  // Points already consumed by a committed merge. Conflict detection on
+  // the kd-tree makes racing merges impossible; this filter only drops
+  // stale worklist items (guarded reads, updated at commit).
+  struct SharedState {
+    std::mutex M;
+    IntHashSet Dead;
+  };
+  auto State = std::make_shared<SharedState>();
+
+  return [this, &Tree, &Merges, &MergesMutex, State](
+             Transaction &Tx, int64_t P, TxWorklist &WL) {
+    {
+      std::lock_guard<std::mutex> Guard(State->M);
+      if (State->Dead.contains(P))
+        return; // Already clustered into a centroid.
+    }
+    int64_t N = KdNullPoint;
+    if (!Tree.nearest(Tx, P, N))
+      return;
+    if (N == KdNullPoint)
+      return; // P is the final cluster.
+    int64_t M = KdNullPoint;
+    if (!Tree.nearest(Tx, N, M))
+      return;
+    if (M != P) {
+      // Not mutual yet; retry after more merges happened.
+      WL.push(P);
+      return;
+    }
+    bool Changed = false;
+    if (!Tree.remove(Tx, P, Changed))
+      return;
+    assert(Changed && "live worklist point missing from the tree");
+    if (!Tree.remove(Tx, N, Changed))
+      return;
+    assert(Changed && "mutual nearest neighbor missing from the tree");
+    const int64_t Parent = centroidOf(P, N);
+    if (!Tree.add(Tx, Parent, Changed))
+      return;
+    assert(Changed && "fresh centroid id already in the tree");
+    WL.push(Parent);
+    Tx.addCommitAction([&Merges, &MergesMutex, State, P, N, Parent] {
+      {
+        std::lock_guard<std::mutex> Guard(State->M);
+        State->Dead.insert(P);
+        State->Dead.insert(N);
+      }
+      std::lock_guard<std::mutex> Guard(MergesMutex);
+      Merges.push_back(Merge{P, N, Parent});
+    });
+  };
+}
+
+ClusterResult Clustering::runSequential(double *Seconds) {
+  Timer T;
+  ClusterResult Out = runSpeculative("kd-direct", 1);
+  if (Seconds)
+    *Seconds = T.seconds();
+  return Out;
+}
+
+ClusterResult Clustering::runSpeculative(const std::string &Variant,
+                                         unsigned Threads) {
+  const std::unique_ptr<TxKdTree> Tree = makeTree(Variant);
+  ClusterResult Out;
+  std::mutex MergesMutex;
+
+  // Build phase: insert every initial point (sequentially).
+  {
+    Transaction Tx(1u << 30);
+    for (size_t I = 0; I != InitialPoints; ++I) {
+      bool Changed = false;
+      const bool Ok = Tree->add(Tx, static_cast<int64_t>(I), Changed);
+      assert(Ok && Changed && "sequential build cannot conflict");
+      (void)Ok;
+    }
+    Tx.commit();
+  }
+
+  Worklist WL;
+  for (size_t I = 0; I != InitialPoints; ++I)
+    WL.push(static_cast<int64_t>(I));
+  Executor Exec(Threads);
+  Out.Exec = Exec.run(WL, makeOperator(*Tree, Out.Merges, MergesMutex));
+  return Out;
+}
+
+ClusterResult Clustering::runParameter(const std::string &Variant) {
+  const std::unique_ptr<TxKdTree> Tree = makeTree(Variant);
+  ClusterResult Out;
+  std::mutex MergesMutex;
+  {
+    Transaction Tx(1u << 30);
+    for (size_t I = 0; I != InitialPoints; ++I) {
+      bool Changed = false;
+      const bool Ok = Tree->add(Tx, static_cast<int64_t>(I), Changed);
+      assert(Ok && Changed && "sequential build cannot conflict");
+      (void)Ok;
+    }
+    Tx.commit();
+  }
+  std::vector<int64_t> Initial;
+  for (size_t I = 0; I != InitialPoints; ++I)
+    Initial.push_back(static_cast<int64_t>(I));
+  RoundExecutor Exec;
+  Out.Rounds = Exec.run(Initial, makeOperator(*Tree, Out.Merges, MergesMutex));
+  return Out;
+}

@@ -1,0 +1,85 @@
+//===- apps/Clustering.h - Agglomerative clustering --------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The agglomerative-clustering case study (§5, after Walter et al. [24]):
+/// repeatedly pick a point p, find its nearest neighbor n; when the
+/// relationship is mutual (nearest(n) == p) replace both by their weighted
+/// centroid, until one cluster remains. The kd-tree carries all conflict
+/// detection; kd-gk (forward gatekeeper) and kd-ml (memory-level STM) are
+/// the paper's two variants.
+///
+/// Centroid linkage is not reducible, so different (all correct) execution
+/// orders may produce different dendrograms; validation therefore checks
+/// the merge count, the mutual-nearest property via the serializability
+/// oracle on small instances, and cluster-weight conservation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_APPS_CLUSTERING_H
+#define COMLAT_APPS_CLUSTERING_H
+
+#include "adt/BoostedKdTree.h"
+#include "runtime/Executor.h"
+#include "runtime/RoundExecutor.h"
+
+#include <mutex>
+
+namespace comlat {
+
+/// One recorded merge: A and B replaced by Parent.
+struct Merge {
+  int64_t A;
+  int64_t B;
+  int64_t Parent;
+};
+
+/// Result of one clustering run.
+struct ClusterResult {
+  std::vector<Merge> Merges;
+  ExecStats Exec;
+  RoundStats Rounds; ///< Filled by the ParaMeter entry point only.
+};
+
+/// The clustering workload: a point store, per-point weights, and the
+/// merge machinery shared by all variants.
+class Clustering {
+public:
+  /// Generates \p N uniform random points in the unit cube.
+  Clustering(size_t N, uint64_t Seed);
+
+  PointStore &store() { return Store; }
+  size_t numInitialPoints() const { return InitialPoints; }
+
+  /// Sequential reference (direct kd-tree, no transactions).
+  ClusterResult runSequential(double *Seconds = nullptr);
+
+  /// Speculative run over any kd-tree variant ("kd-gk", "kd-ml",
+  /// "kd-direct" for single-threaded baselines).
+  ClusterResult runSpeculative(const std::string &Variant, unsigned Threads);
+
+  /// ParaMeter round-model run (critical path / parallelism, Table 1).
+  ClusterResult runParameter(const std::string &Variant);
+
+private:
+  std::unique_ptr<TxKdTree> makeTree(const std::string &Variant);
+  Executor::OperatorFn makeOperator(TxKdTree &Tree,
+                                    std::vector<Merge> &Merges,
+                                    std::mutex &MergesMutex);
+
+  /// Creates the centroid of \p A and \p B and returns its id.
+  int64_t centroidOf(int64_t A, int64_t B);
+
+  PointStore Store;
+  std::vector<double> Weight; // Indexed by point id; grows with merges.
+  std::mutex WeightMutex;
+  size_t InitialPoints;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_APPS_CLUSTERING_H

@@ -1,0 +1,51 @@
+//===- apps/Genrmf.cpp - Synthetic max-flow inputs ---------------------------===//
+
+#include "apps/Genrmf.h"
+#include "support/Random.h"
+
+using namespace comlat;
+
+MaxflowInstance comlat::genrmf(unsigned A, unsigned Frames, int64_t C1,
+                               int64_t C2, uint64_t Seed) {
+  assert(A >= 2 && Frames >= 2 && C1 >= 1 && C1 <= C2 && "bad parameters");
+  const unsigned FrameSize = A * A;
+  const unsigned NumNodes = FrameSize * Frames;
+  MaxflowInstance Out;
+  Out.Graph = std::make_unique<FlowGraph>(NumNodes);
+  Out.Source = 0;
+  Out.Sink = NumNodes - 1;
+
+  const int64_t InFrameCap = C2 * static_cast<int64_t>(A) * A;
+  auto NodeAt = [&](unsigned X, unsigned Y, unsigned Z) {
+    return Z * FrameSize + Y * A + X;
+  };
+
+  Rng R(Seed);
+  for (unsigned Z = 0; Z != Frames; ++Z) {
+    // In-frame grid edges, both directions.
+    for (unsigned Y = 0; Y != A; ++Y) {
+      for (unsigned X = 0; X != A; ++X) {
+        const unsigned U = NodeAt(X, Y, Z);
+        if (X + 1 != A) {
+          Out.Graph->addEdge(U, NodeAt(X + 1, Y, Z), InFrameCap);
+          Out.Graph->addEdge(NodeAt(X + 1, Y, Z), U, InFrameCap);
+        }
+        if (Y + 1 != A) {
+          Out.Graph->addEdge(U, NodeAt(X, Y + 1, Z), InFrameCap);
+          Out.Graph->addEdge(NodeAt(X, Y + 1, Z), U, InFrameCap);
+        }
+      }
+    }
+    // Inter-frame edges through a random permutation of the next frame.
+    if (Z + 1 != Frames) {
+      const std::vector<uint32_t> Perm = R.permutation(FrameSize);
+      for (unsigned I = 0; I != FrameSize; ++I) {
+        const unsigned U = Z * FrameSize + I;
+        const unsigned V = (Z + 1) * FrameSize + Perm[I];
+        const int64_t Cap = R.nextInRange(C1, C2);
+        Out.Graph->addEdge(U, V, Cap);
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,41 @@
+//===- apps/Genrmf.h - Synthetic max-flow inputs -----------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The GENRMF synthetic maximum-flow family ([1] in the paper: Goldberg's
+/// CATS "synthetic maximum flow families"). The network is \p Frames
+/// square grid frames of side \p A stacked along a third axis. In-frame
+/// edges connect 4-neighbors with capacity C2 * A * A; each node connects
+/// to a node of the next frame through a random permutation with capacity
+/// drawn uniformly from [C1, C2]. Source is the first node of the first
+/// frame, sink the last node of the last frame.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_APPS_GENRMF_H
+#define COMLAT_APPS_GENRMF_H
+
+#include "adt/FlowGraph.h"
+
+#include <memory>
+
+namespace comlat {
+
+/// A generated max-flow instance.
+struct MaxflowInstance {
+  std::unique_ptr<FlowGraph> Graph;
+  unsigned Source = 0;
+  unsigned Sink = 0;
+};
+
+/// Builds a GENRMF-style instance: Frames frames of A x A nodes.
+MaxflowInstance genrmf(unsigned A, unsigned Frames, int64_t C1, int64_t C2,
+                       uint64_t Seed);
+
+} // namespace comlat
+
+#endif // COMLAT_APPS_GENRMF_H

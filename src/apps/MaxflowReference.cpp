@@ -1,0 +1,80 @@
+//===- apps/MaxflowReference.cpp - Independent max-flow oracle --------------===//
+
+#include "apps/MaxflowReference.h"
+#include "adt/FlowGraph.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+using namespace comlat;
+
+DinicSolver::DinicSolver(unsigned NumNodes)
+    : Adj(NumNodes), Level(NumNodes), Next(NumNodes) {}
+
+void DinicSolver::addEdge(unsigned From, unsigned To, int64_t Cap) {
+  const unsigned FwdIdx = static_cast<unsigned>(Adj[From].size());
+  const unsigned RevIdx = static_cast<unsigned>(Adj[To].size());
+  Adj[From].push_back(Edge{To, RevIdx, Cap});
+  Adj[To].push_back(Edge{From, FwdIdx, 0});
+}
+
+bool DinicSolver::buildLevels(unsigned Source, unsigned Sink) {
+  std::fill(Level.begin(), Level.end(), -1);
+  std::deque<unsigned> Queue{Source};
+  Level[Source] = 0;
+  while (!Queue.empty()) {
+    const unsigned U = Queue.front();
+    Queue.pop_front();
+    for (const Edge &E : Adj[U]) {
+      if (E.Cap <= 0 || Level[E.To] != -1)
+        continue;
+      Level[E.To] = Level[U] + 1;
+      Queue.push_back(E.To);
+    }
+  }
+  return Level[Sink] != -1;
+}
+
+int64_t DinicSolver::augment(unsigned U, unsigned Sink, int64_t Limit) {
+  if (U == Sink)
+    return Limit;
+  for (unsigned &I = Next[U]; I < Adj[U].size(); ++I) {
+    Edge &E = Adj[U][I];
+    if (E.Cap <= 0 || Level[E.To] != Level[U] + 1)
+      continue;
+    const int64_t Pushed = augment(E.To, Sink, std::min(Limit, E.Cap));
+    if (Pushed > 0) {
+      E.Cap -= Pushed;
+      Adj[E.To][E.Rev].Cap += Pushed;
+      return Pushed;
+    }
+  }
+  return 0;
+}
+
+int64_t DinicSolver::maxflow(unsigned Source, unsigned Sink) {
+  assert(Source != Sink && "degenerate instance");
+  int64_t Total = 0;
+  while (buildLevels(Source, Sink)) {
+    std::fill(Next.begin(), Next.end(), 0u);
+    for (;;) {
+      const int64_t Pushed =
+          augment(Source, Sink, std::numeric_limits<int64_t>::max());
+      if (Pushed == 0)
+        break;
+      Total += Pushed;
+    }
+  }
+  return Total;
+}
+
+int64_t comlat::referenceMaxflow(const FlowGraph &G, unsigned Source,
+                                 unsigned Sink) {
+  DinicSolver Solver(G.numNodes());
+  for (unsigned U = 0; U != G.numNodes(); ++U)
+    for (unsigned I = 0; I != G.degree(U); ++I)
+      if (G.residual(U, I) > 0)
+        Solver.addEdge(U, G.neighbor(U, I), G.residual(U, I));
+  return Solver.maxflow(Source, Sink);
+}

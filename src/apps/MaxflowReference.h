@@ -1,0 +1,56 @@
+//===- apps/MaxflowReference.h - Independent max-flow oracle ----*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A standalone Dinic's-algorithm implementation used as an independent
+/// oracle for the preflow-push case study: the max-flow value computed by
+/// every conflict-detection variant must match this one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_APPS_MAXFLOWREFERENCE_H
+#define COMLAT_APPS_MAXFLOWREFERENCE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace comlat {
+
+class FlowGraph;
+
+/// A minimal standalone max-flow solver (Dinic).
+class DinicSolver {
+public:
+  explicit DinicSolver(unsigned NumNodes);
+
+  void addEdge(unsigned From, unsigned To, int64_t Cap);
+
+  /// Computes the maximum flow value from \p Source to \p Sink.
+  int64_t maxflow(unsigned Source, unsigned Sink);
+
+private:
+  bool buildLevels(unsigned Source, unsigned Sink);
+  int64_t augment(unsigned U, unsigned Sink, int64_t Limit);
+
+  struct Edge {
+    unsigned To;
+    unsigned Rev;
+    int64_t Cap;
+  };
+  std::vector<std::vector<Edge>> Adj;
+  std::vector<int> Level;
+  std::vector<unsigned> Next;
+};
+
+/// Copies the (pre-flow) capacities of \p G into a Dinic solver and
+/// returns the max-flow value. Must be called on an unused graph (original
+/// capacities intact).
+int64_t referenceMaxflow(const FlowGraph &G, unsigned Source, unsigned Sink);
+
+} // namespace comlat
+
+#endif // COMLAT_APPS_MAXFLOWREFERENCE_H

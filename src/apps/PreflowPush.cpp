@@ -1,0 +1,163 @@
+//===- apps/PreflowPush.cpp - Goldberg-Tarjan max-flow ----------------------===//
+
+#include "apps/PreflowPush.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace comlat;
+
+std::vector<int64_t> PreflowPush::initPreflow(FlowGraph &G, unsigned Source,
+                                              unsigned Sink) {
+  const unsigned N = G.numNodes();
+  // Exact distance labels from the sink (standard global initialization).
+  std::vector<int64_t> Dist(N, -1);
+  std::deque<unsigned> Queue{Sink};
+  Dist[Sink] = 0;
+  while (!Queue.empty()) {
+    const unsigned U = Queue.front();
+    Queue.pop_front();
+    for (unsigned I = 0; I != G.degree(U); ++I) {
+      const unsigned V = G.neighbor(U, I);
+      // Label V when it can reach U through a residual edge V -> U.
+      const unsigned RevIdx = 0;
+      (void)RevIdx;
+      if (Dist[V] != -1)
+        continue;
+      // Look for the edge V -> U with residual capacity.
+      bool Reaches = false;
+      for (unsigned J = 0; J != G.degree(V); ++J)
+        if (G.neighbor(V, J) == U && G.residual(V, J) > 0) {
+          Reaches = true;
+          break;
+        }
+      if (!Reaches)
+        continue;
+      Dist[V] = Dist[U] + 1;
+      Queue.push_back(V);
+    }
+  }
+  for (unsigned U = 0; U != N; ++U)
+    G.setHeight(U, Dist[U] == -1 ? static_cast<int64_t>(N) : Dist[U]);
+  G.setHeight(Source, static_cast<int64_t>(N));
+
+  // Saturate the source's out-edges.
+  int64_t SourceCap = 0;
+  for (unsigned I = 0; I != G.degree(Source); ++I)
+    SourceCap += G.residual(Source, I);
+  G.setExcess(Source, SourceCap);
+  std::vector<int64_t> Active;
+  for (unsigned I = 0; I != G.degree(Source); ++I) {
+    const int64_t Delta = G.residual(Source, I);
+    if (Delta <= 0)
+      continue;
+    const unsigned V = G.neighbor(Source, I);
+    G.applyPush(Source, I, Delta);
+    if (V != Sink && G.excess(V) == Delta)
+      Active.push_back(V);
+  }
+  return Active;
+}
+
+int64_t PreflowPush::runSequential(FlowGraph &G, unsigned Source,
+                                   unsigned Sink, double *Seconds) {
+  Timer T;
+  std::deque<unsigned> Active;
+  for (const int64_t U : initPreflow(G, Source, Sink))
+    Active.push_back(static_cast<unsigned>(U));
+  const int64_t MaxHeight = 2 * static_cast<int64_t>(G.numNodes());
+  while (!Active.empty()) {
+    const unsigned U = Active.front();
+    Active.pop_front();
+    while (G.excess(U) > 0 && G.height(U) < MaxHeight) {
+      bool PushedAny = false;
+      for (unsigned I = 0; I != G.degree(U) && G.excess(U) > 0; ++I) {
+        const unsigned V = G.neighbor(U, I);
+        if (G.residual(U, I) <= 0 || G.height(U) != G.height(V) + 1)
+          continue;
+        const int64_t Delta = std::min(G.excess(U), G.residual(U, I));
+        const bool Activated = G.excess(V) == 0;
+        G.applyPush(U, I, Delta);
+        PushedAny = true;
+        if (Activated && V != Source && V != Sink)
+          Active.push_back(V);
+      }
+      if (G.excess(U) > 0 && !PushedAny) {
+        // Relabel.
+        int64_t Min = MaxHeight;
+        for (unsigned I = 0; I != G.degree(U); ++I)
+          if (G.residual(U, I) > 0)
+            Min = std::min(Min, G.height(G.neighbor(U, I)) + 1);
+        G.setHeight(U, std::max(G.height(U), Min));
+      }
+    }
+  }
+  if (Seconds)
+    *Seconds = T.seconds();
+  return G.excess(Sink);
+}
+
+Executor::OperatorFn PreflowPush::makeOperator(BoostedFlowGraph &BG,
+                                               unsigned Source,
+                                               unsigned Sink) {
+  FlowGraph &G = BG.graph();
+  const int64_t MaxHeight = 2 * static_cast<int64_t>(G.numNodes());
+  return [&BG, &G, Source, Sink, MaxHeight](Transaction &Tx, int64_t Item,
+                                            TxWorklist &WL) {
+    const unsigned U = static_cast<unsigned>(Item);
+    unsigned Degree = 0;
+    if (!BG.getNeighbors(Tx, U, Degree))
+      return;
+    // Excess and residuals of U are protected by the getNeighbors lock
+    // (any push into or out of U names U as an argument). Neighbor
+    // heights read here are only a pre-filter; pushFlow re-validates
+    // admissibility under its own locks.
+    if (G.excess(U) <= 0 || G.height(U) >= MaxHeight)
+      return;
+    for (unsigned I = 0; I != Degree && G.excess(U) > 0; ++I) {
+      const unsigned V = G.neighbor(U, I);
+      if (G.residual(U, I) <= 0 || G.height(U) != G.height(V) + 1)
+        continue;
+      int64_t Pushed = 0;
+      bool Activated = false;
+      if (!BG.pushFlow(Tx, U, I, Pushed, Activated))
+        return;
+      if (Pushed > 0 && Activated && V != Source && V != Sink)
+        WL.push(V);
+    }
+    if (G.excess(U) > 0) {
+      int64_t NewHeight = 0;
+      if (!BG.relabel(Tx, U, NewHeight))
+        return;
+      if (NewHeight < MaxHeight)
+        WL.push(U); // Keep discharging in a later (short) transaction.
+    }
+  };
+}
+
+PreflowResult PreflowPush::runSpeculative(FlowGraph &G, unsigned Source,
+                                          unsigned Sink, const CommSpec &Spec,
+                                          unsigned Threads,
+                                          unsigned Partitions) {
+  BoostedFlowGraph BG(&G, Spec, Partitions);
+  Worklist WL(initPreflow(G, Source, Sink));
+  Executor Exec(Threads);
+  PreflowResult Out;
+  Out.Exec = Exec.run(WL, makeOperator(BG, Source, Sink));
+  Out.FlowValue = G.excess(Sink);
+  return Out;
+}
+
+PreflowRoundResult PreflowPush::runParameter(FlowGraph &G, unsigned Source,
+                                             unsigned Sink,
+                                             const CommSpec &Spec,
+                                             unsigned Partitions) {
+  BoostedFlowGraph BG(&G, Spec, Partitions);
+  const std::vector<int64_t> Initial = initPreflow(G, Source, Sink);
+  RoundExecutor Exec;
+  PreflowRoundResult Out;
+  Out.Rounds = Exec.run(Initial, makeOperator(BG, Source, Sink));
+  Out.FlowValue = G.excess(Sink);
+  return Out;
+}

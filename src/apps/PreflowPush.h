@@ -1,0 +1,73 @@
+//===- apps/PreflowPush.h - Goldberg-Tarjan max-flow -------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The preflow-push case study (§5): a worklist of active nodes; each
+/// iteration discharges one node by pushing excess along admissible
+/// residual edges (activating receivers) and relabeling when stuck. The
+/// boosted graph methods (getNeighbors / pushFlow / relabel) carry the
+/// conflict detection; the three studied variants plug in via the flow
+/// specs of adt/FlowGraph.h (ml / ex / part).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_APPS_PREFLOWPUSH_H
+#define COMLAT_APPS_PREFLOWPUSH_H
+
+#include "adt/FlowGraph.h"
+#include "runtime/Executor.h"
+#include "runtime/RoundExecutor.h"
+
+namespace comlat {
+
+/// Result of one speculative preflow-push run.
+struct PreflowResult {
+  int64_t FlowValue = 0;
+  ExecStats Exec;
+};
+
+/// Result of one ParaMeter (round-model) preflow-push run.
+struct PreflowRoundResult {
+  int64_t FlowValue = 0;
+  RoundStats Rounds;
+};
+
+/// Preflow-push driver over a boosted flow graph.
+class PreflowPush {
+public:
+  /// Initializes the preflow: BFS height labels from the sink, source at
+  /// N, and saturating pushes out of the source. Returns the initially
+  /// active nodes.
+  static std::vector<int64_t> initPreflow(FlowGraph &G, unsigned Source,
+                                          unsigned Sink);
+
+  /// Plain sequential preflow-push (no transactions); the overhead
+  /// baseline. Returns the max-flow value.
+  static int64_t runSequential(FlowGraph &G, unsigned Source, unsigned Sink,
+                               double *Seconds = nullptr);
+
+  /// Speculative run under \p Spec with \p Threads workers. The graph must
+  /// be fresh (initPreflow is called internally).
+  static PreflowResult runSpeculative(FlowGraph &G, unsigned Source,
+                                      unsigned Sink, const CommSpec &Spec,
+                                      unsigned Threads,
+                                      unsigned Partitions = 32);
+
+  /// ParaMeter round-model run under \p Spec (critical path /
+  /// parallelism, Table 1).
+  static PreflowRoundResult runParameter(FlowGraph &G, unsigned Source,
+                                         unsigned Sink, const CommSpec &Spec,
+                                         unsigned Partitions = 32);
+
+  /// The discharge operator, exposed for the harnesses.
+  static Executor::OperatorFn makeOperator(BoostedFlowGraph &BG,
+                                           unsigned Source, unsigned Sink);
+};
+
+} // namespace comlat
+
+#endif // COMLAT_APPS_PREFLOWPUSH_H

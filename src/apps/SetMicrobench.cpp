@@ -1,0 +1,84 @@
+//===- apps/SetMicrobench.cpp - The Table 2 workload -------------------------===//
+
+#include "apps/SetMicrobench.h"
+#include "support/Random.h"
+
+using namespace comlat;
+
+const char *comlat::setSchemeName(SetScheme S) {
+  switch (S) {
+  case SetScheme::GlobalLock:
+    return "global-lock";
+  case SetScheme::Exclusive:
+    return "abs-lock-exclusive";
+  case SetScheme::ReadWrite:
+    return "abs-lock-rw";
+  case SetScheme::Gatekeeper:
+    return "gatekeeper";
+  case SetScheme::Direct:
+    return "direct";
+  }
+  COMLAT_UNREACHABLE("bad scheme");
+}
+
+std::unique_ptr<TxSet> comlat::makeMicrobenchSet(SetScheme S) {
+  switch (S) {
+  case SetScheme::GlobalLock:
+    return makeLockedSet(bottomSetSpec());
+  case SetScheme::Exclusive:
+    return makeLockedSet(exclusiveSetSpec());
+  case SetScheme::ReadWrite:
+    return makeLockedSet(strengthenedSetSpec());
+  case SetScheme::Gatekeeper:
+    return makeGatedSet(preciseSetSpec());
+  case SetScheme::Direct:
+    return makeDirectSet();
+  }
+  COMLAT_UNREACHABLE("bad scheme");
+}
+
+/// The per-transaction operator shared by the real and round executors.
+/// The operation stream is a pure function of (seed, item, j), so a
+/// retried transaction repeats exactly the same operations.
+static Executor::OperatorFn makeMicroOperator(TxSet &Set,
+                                              const MicroParams &P) {
+  return [&Set, P](Transaction &Tx, int64_t Item, TxWorklist &) {
+    Rng R(P.Seed * 0x9E3779B97F4A7C15ull + static_cast<uint64_t>(Item));
+    for (unsigned J = 0; J != P.OpsPerTx; ++J) {
+      int64_t Key;
+      if (P.KeyClasses == 0)
+        Key = Item * static_cast<int64_t>(P.OpsPerTx) + J;
+      else
+        Key = static_cast<int64_t>(R.nextBelow(P.KeyClasses));
+      bool Res = false;
+      const bool Ok = R.nextBool(P.AddFraction)
+                          ? Set.add(Tx, Key, Res)
+                          : Set.contains(Tx, Key, Res);
+      if (!Ok)
+        return;
+    }
+  };
+}
+
+static uint64_t numTxsFor(const MicroParams &Params) {
+  assert(Params.OpsPerTx > 0 && "transactions need at least one operation");
+  return (Params.NumOps + Params.OpsPerTx - 1) / Params.OpsPerTx;
+}
+
+ExecStats comlat::runSetMicrobench(TxSet &Set, const MicroParams &Params) {
+  Worklist WL;
+  for (uint64_t I = 0; I != numTxsFor(Params); ++I)
+    WL.push(static_cast<int64_t>(I));
+  Executor Exec(Params.Threads);
+  return Exec.run(WL, makeMicroOperator(Set, Params));
+}
+
+RoundStats comlat::runSetMicrobenchRounds(TxSet &Set,
+                                          const MicroParams &Params) {
+  std::vector<int64_t> Items;
+  for (uint64_t I = 0; I != numTxsFor(Params); ++I)
+    Items.push_back(static_cast<int64_t>(I));
+  RoundExecutor Exec;
+  return Exec.runBounded(Items, makeMicroOperator(Set, Params),
+                         Params.Threads);
+}

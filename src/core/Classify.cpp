@@ -1,0 +1,224 @@
+//===- core/Classify.cpp - SIMPLE / ONLINE-CHECKABLE / general -------------===//
+
+#include "core/Classify.h"
+#include "core/Simplify.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace comlat;
+
+ConditionClass comlat::worseClass(ConditionClass A, ConditionClass B) {
+  return static_cast<uint8_t>(A) >= static_cast<uint8_t>(B) ? A : B;
+}
+
+const char *comlat::conditionClassName(ConditionClass C) {
+  switch (C) {
+  case ConditionClass::Simple:
+    return "SIMPLE";
+  case ConditionClass::OnlineCheckable:
+    return "ONLINE-CHECKABLE";
+  case ConditionClass::General:
+    return "GENERAL";
+  }
+  COMLAT_UNREACHABLE("bad condition class");
+}
+
+bool SimpleClause::operator<(const SimpleClause &O) const {
+  if (!(Lhs == O.Lhs))
+    return Lhs < O.Lhs;
+  if (!(Rhs == O.Rhs))
+    return Rhs < O.Rhs;
+  // std::optional comparison: nullopt sorts first.
+  return KeyFn < O.KeyFn;
+}
+
+namespace {
+/// One side of a candidate SIMPLE clause: which invocation, which slot, and
+/// an optional pure unary key function wrapped around it.
+struct ClauseSide {
+  InvIndex Inv;
+  Slot S;
+  std::optional<StateFnId> KeyFn;
+};
+} // namespace
+
+/// Matches `slot` or `k(slot)` with k pure and unary.
+static std::optional<ClauseSide> matchSide(const TermPtr &T,
+                                           const DataTypeSig &Sig) {
+  const Term *Inner = T.get();
+  std::optional<StateFnId> KeyFn;
+  if (T->K == Term::Kind::Apply) {
+    if (T->State != StateRef::None || T->Args.size() != 1 ||
+        !Sig.stateFn(T->Fn).Pure)
+      return std::nullopt;
+    KeyFn = T->Fn;
+    Inner = T->Args[0].get();
+  }
+  ClauseSide Side;
+  Side.KeyFn = KeyFn;
+  if (Inner->K == Term::Kind::Arg) {
+    Side.Inv = Inner->Inv;
+    Side.S = Slot{false, Inner->ArgIndex};
+    return Side;
+  }
+  if (Inner->K == Term::Kind::Ret) {
+    Side.Inv = Inner->Inv;
+    Side.S = Slot{true, 0};
+    return Side;
+  }
+  return std::nullopt;
+}
+
+/// Matches one `k(x) != k(y)` conjunct with x, y from different invocations.
+static std::optional<SimpleClause> matchClause(const FormulaPtr &F,
+                                               const DataTypeSig &Sig) {
+  if (F->K != Formula::Kind::Cmp || F->Op != CmpOp::NE)
+    return std::nullopt;
+  const std::optional<ClauseSide> L = matchSide(F->Lhs, Sig);
+  const std::optional<ClauseSide> R = matchSide(F->Rhs, Sig);
+  if (!L || !R)
+    return std::nullopt;
+  if (L->Inv == R->Inv)
+    return std::nullopt; // Both sides from the same invocation.
+  if (L->KeyFn != R->KeyFn)
+    return std::nullopt; // Both sides must share the key function.
+  SimpleClause Clause;
+  Clause.KeyFn = L->KeyFn;
+  if (L->Inv == InvIndex::Inv1) {
+    Clause.Lhs = L->S;
+    Clause.Rhs = R->S;
+  } else {
+    Clause.Lhs = R->S;
+    Clause.Rhs = L->S;
+  }
+  return Clause;
+}
+
+std::optional<SimpleForm> comlat::tryGetSimple(const FormulaPtr &Raw,
+                                               const DataTypeSig &Sig) {
+  const FormulaPtr F = simplify(Raw);
+  SimpleForm Form;
+  if (F->isFalse()) {
+    Form.K = SimpleForm::Kind::False;
+    return Form;
+  }
+  if (F->isTrue()) {
+    Form.K = SimpleForm::Kind::True;
+    return Form;
+  }
+  std::vector<FormulaPtr> Conjuncts;
+  if (F->K == Formula::Kind::And)
+    Conjuncts = F->Kids;
+  else
+    Conjuncts.push_back(F);
+  std::set<SimpleClause> Clauses;
+  for (const FormulaPtr &Conjunct : Conjuncts) {
+    const std::optional<SimpleClause> Clause = matchClause(Conjunct, Sig);
+    if (!Clause)
+      return std::nullopt;
+    Clauses.insert(*Clause);
+  }
+  Form.K = SimpleForm::Kind::Clauses;
+  Form.Clauses.assign(Clauses.begin(), Clauses.end());
+  return Form;
+}
+
+bool comlat::isOnlineCheckable(const FormulaPtr &F) {
+  bool Ok = true;
+  forEachApply(F, [&Ok](const Term &Apply) {
+    if (Apply.State != StateRef::S1)
+      return;
+    for (const TermPtr &Arg : Apply.Args)
+      if (termMentionsInv(Arg, InvIndex::Inv2))
+        Ok = false;
+  });
+  return Ok;
+}
+
+ConditionClass comlat::classifyCondition(const FormulaPtr &F,
+                                         const DataTypeSig &Sig) {
+  if (tryGetSimple(F, Sig))
+    return ConditionClass::Simple;
+  if (isOnlineCheckable(F))
+    return ConditionClass::OnlineCheckable;
+  return ConditionClass::General;
+}
+
+/// True if the apply term can be evaluated when the first invocation runs:
+/// it does not read s2 and mentions no second-invocation values.
+static bool isLoggableApply(const Term &Apply) {
+  if (Apply.State == StateRef::S2)
+    return false;
+  for (const TermPtr &Arg : Apply.Args)
+    if (termMentionsInv(Arg, InvIndex::Inv2))
+      return false;
+  return true;
+}
+
+static void collectFromTerm(const TermPtr &T, bool WantS2,
+                            std::set<std::string> &Seen,
+                            std::vector<TermPtr> &Out) {
+  switch (T->K) {
+  case Term::Kind::Arg:
+  case Term::Kind::Ret:
+  case Term::Kind::Const:
+    return;
+  case Term::Kind::Apply: {
+    const bool Match = WantS2 ? (T->State == StateRef::S2)
+                              : isLoggableApply(*T);
+    if (Match) {
+      if (WantS2)
+        assert(!termMentionsRet(T, InvIndex::Inv2) &&
+               "s2-application may not depend on r2: it must be evaluated "
+               "before the second invocation executes");
+      if (Seen.insert(T->key()).second)
+        Out.push_back(T);
+      return; // Maximal subterm: do not descend.
+    }
+    for (const TermPtr &A : T->Args)
+      collectFromTerm(A, WantS2, Seen, Out);
+    return;
+  }
+  case Term::Kind::Arith:
+    collectFromTerm(T->Lhs, WantS2, Seen, Out);
+    collectFromTerm(T->Rhs, WantS2, Seen, Out);
+    return;
+  }
+  COMLAT_UNREACHABLE("bad term kind");
+}
+
+static void collectFromFormula(const FormulaPtr &F, bool WantS2,
+                               std::set<std::string> &Seen,
+                               std::vector<TermPtr> &Out) {
+  switch (F->K) {
+  case Formula::Kind::True:
+  case Formula::Kind::False:
+    return;
+  case Formula::Kind::Cmp:
+    collectFromTerm(F->Lhs, WantS2, Seen, Out);
+    collectFromTerm(F->Rhs, WantS2, Seen, Out);
+    return;
+  case Formula::Kind::Not:
+  case Formula::Kind::And:
+  case Formula::Kind::Or:
+    for (const FormulaPtr &Kid : F->Kids)
+      collectFromFormula(Kid, WantS2, Seen, Out);
+    return;
+  }
+  COMLAT_UNREACHABLE("bad formula kind");
+}
+
+std::vector<TermPtr> comlat::collectLoggableApplies(const FormulaPtr &F) {
+  std::set<std::string> Seen;
+  std::vector<TermPtr> Out;
+  collectFromFormula(F, /*WantS2=*/false, Seen, Out);
+  return Out;
+}
+
+std::vector<TermPtr> comlat::collectS2Applies(const FormulaPtr &F) {
+  std::set<std::string> Seen;
+  std::vector<TermPtr> Out;
+  collectFromFormula(F, /*WantS2=*/true, Seen, Out);
+  return Out;
+}

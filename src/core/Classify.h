@@ -1,0 +1,120 @@
+//===- core/Classify.h - SIMPLE / ONLINE-CHECKABLE / general ----*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recognizes the paper's restricted logics syntactically:
+///
+///  * Definition 6 (SIMPLE, logic L2 / Fig. 6): `true`, `false`, or a
+///    conjunction of disequalities `x != y` where x is an argument or
+///    return of the first method and y of the second. We additionally
+///    allow both sides to be wrapped in the *same* pure unary key function
+///    `k(x) != k(y)`; that is exactly the shape produced by the disciplined
+///    lock-coarsening transform of §4.2 (`part(a) != part(b)`), and the
+///    abstract-lock construction of §3.2 carries over verbatim by locking
+///    k(x) instead of x.
+///
+///  * Definition 7 (ONLINE-CHECKABLE, logic L3 / Fig. 9): no function of
+///    the first state s1 may take values of the second invocation as
+///    arguments — i.e. every S1-application mentions only v1/r1. Such
+///    conditions can be discharged by a forward gatekeeper from logs
+///    recorded when the first invocation ran.
+///
+///  * Everything else in L1 requires a general gatekeeper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_CORE_CLASSIFY_H
+#define COMLAT_CORE_CLASSIFY_H
+
+#include "core/Expr.h"
+
+#include <optional>
+
+namespace comlat {
+
+/// The implementation class a condition admits (§3.4's hierarchy).
+enum class ConditionClass : uint8_t {
+  Simple,          ///< Abstract locking suffices (Theorem 1).
+  OnlineCheckable, ///< Needs at least a forward gatekeeper.
+  General          ///< Needs a general gatekeeper.
+};
+
+/// Returns the most expressive of two classes (the cheaper scheme loses).
+ConditionClass worseClass(ConditionClass A, ConditionClass B);
+
+/// Printable name ("SIMPLE", "ONLINE-CHECKABLE", "GENERAL").
+const char *conditionClassName(ConditionClass C);
+
+/// One value slot of an invocation: either argument \p ArgIndex or the
+/// return value.
+struct Slot {
+  bool IsRet = false;
+  unsigned ArgIndex = 0;
+
+  bool operator==(const Slot &O) const {
+    return IsRet == O.IsRet && (IsRet || ArgIndex == O.ArgIndex);
+  }
+  bool operator<(const Slot &O) const {
+    if (IsRet != O.IsRet)
+      return !IsRet;
+    return !IsRet && ArgIndex < O.ArgIndex;
+  }
+};
+
+/// One conjunct `k(x) != k(y)` of a SIMPLE condition; Lhs is the slot of
+/// the first method, Rhs of the second. KeyFn is the optional shared pure
+/// unary key function (absent for plain `x != y`).
+struct SimpleClause {
+  Slot Lhs;
+  Slot Rhs;
+  std::optional<StateFnId> KeyFn;
+
+  bool operator==(const SimpleClause &O) const {
+    return Lhs == O.Lhs && Rhs == O.Rhs && KeyFn == O.KeyFn;
+  }
+  bool operator<(const SimpleClause &O) const;
+};
+
+/// The normal form of a SIMPLE condition.
+struct SimpleForm {
+  enum class Kind : uint8_t { False, True, Clauses };
+  Kind K = Kind::False;
+  /// Nonempty iff K == Clauses; the condition is the conjunction of the
+  /// clauses (sorted, de-duplicated).
+  std::vector<SimpleClause> Clauses;
+};
+
+/// Attempts to put \p F into SIMPLE normal form (after simplification).
+/// Returns std::nullopt when the condition is not SIMPLE.
+std::optional<SimpleForm> tryGetSimple(const FormulaPtr &F,
+                                       const DataTypeSig &Sig);
+
+/// True when \p F satisfies Definition 7: every application over s1 takes
+/// only first-invocation values.
+bool isOnlineCheckable(const FormulaPtr &F);
+
+/// Classifies one condition.
+ConditionClass classifyCondition(const FormulaPtr &F, const DataTypeSig &Sig);
+
+/// Collects the maximal Apply subterms of \p F that are evaluable at the
+/// time the *first* invocation executes: applications over s1 or pure
+/// applications whose arguments mention only first-invocation values.
+/// These are the "primitive functions" C_m that a forward gatekeeper
+/// pre-evaluates and logs (§3.3.1); for the kd-tree this yields
+/// dist(v1[0], r1), reproducing the paper's `(x, dist(x, r))` log entries.
+/// Results are de-duplicated by structural key.
+std::vector<TermPtr> collectLoggableApplies(const FormulaPtr &F);
+
+/// Collects the maximal Apply subterms over s2 (evaluated live, in the
+/// current state, when the second invocation is checked). Asserts that
+/// none of them mentions r2: the check must evaluate them before executing
+/// the new invocation, when s2 still is the current state.
+std::vector<TermPtr> collectS2Applies(const FormulaPtr &F);
+
+} // namespace comlat
+
+#endif // COMLAT_CORE_CLASSIFY_H

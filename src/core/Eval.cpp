@@ -1,0 +1,123 @@
+//===- core/Eval.cpp - Evaluating commutativity conditions ----------------===//
+
+#include "core/Eval.h"
+
+using namespace comlat;
+
+ApplyResolver::~ApplyResolver() = default;
+
+static const Invocation &invocationFor(EvalContext &Ctx, InvIndex Inv) {
+  const Invocation *I =
+      Inv == InvIndex::Inv1 ? Ctx.Inv1 : Ctx.Inv2;
+  assert(I && "evaluation context missing an invocation");
+  return *I;
+}
+
+static Value evalArith(ArithOp Op, const Value &L, const Value &R) {
+  assert(L.isNumber() && R.isNumber() && "arithmetic on non-numeric values");
+  if (L.isInt() && R.isInt()) {
+    const int64_t A = L.asInt(), B = R.asInt();
+    switch (Op) {
+    case ArithOp::Add:
+      return Value::integer(A + B);
+    case ArithOp::Sub:
+      return Value::integer(A - B);
+    case ArithOp::Mul:
+      return Value::integer(A * B);
+    case ArithOp::Div:
+      assert(B != 0 && "division by zero in condition");
+      return Value::integer(A / B);
+    }
+    COMLAT_UNREACHABLE("bad arithmetic op");
+  }
+  const double A = L.asNumber(), B = R.asNumber();
+  switch (Op) {
+  case ArithOp::Add:
+    return Value::real(A + B);
+  case ArithOp::Sub:
+    return Value::real(A - B);
+  case ArithOp::Mul:
+    return Value::real(A * B);
+  case ArithOp::Div:
+    assert(B != 0.0 && "division by zero in condition");
+    return Value::real(A / B);
+  }
+  COMLAT_UNREACHABLE("bad arithmetic op");
+}
+
+Value comlat::evalTerm(const TermPtr &T, EvalContext &Ctx) {
+  switch (T->K) {
+  case Term::Kind::Arg: {
+    const Invocation &Inv = invocationFor(Ctx, T->Inv);
+    assert(T->ArgIndex < Inv.Args.size() && "argument index out of range");
+    return Inv.Args[T->ArgIndex];
+  }
+  case Term::Kind::Ret:
+    return invocationFor(Ctx, T->Inv).Ret;
+  case Term::Kind::Const:
+    return T->Literal;
+  case Term::Kind::Apply: {
+    std::vector<Value> Args;
+    Args.reserve(T->Args.size());
+    for (const TermPtr &A : T->Args)
+      Args.push_back(evalTerm(A, Ctx));
+    assert(Ctx.Resolver && "Apply node but no resolver supplied");
+    return Ctx.Resolver->resolveApply(*T, Args);
+  }
+  case Term::Kind::Arith:
+    return evalArith(T->Op, evalTerm(T->Lhs, Ctx), evalTerm(T->Rhs, Ctx));
+  }
+  COMLAT_UNREACHABLE("bad term kind");
+}
+
+static bool evalCmp(CmpOp Op, const Value &L, const Value &R) {
+  switch (Op) {
+  case CmpOp::EQ:
+    return L == R;
+  case CmpOp::NE:
+    return L != R;
+  case CmpOp::LT:
+  case CmpOp::LE:
+  case CmpOp::GT:
+  case CmpOp::GE:
+    break;
+  }
+  assert(L.isNumber() && R.isNumber() && "ordering on non-numeric values");
+  const double A = L.asNumber(), B = R.asNumber();
+  switch (Op) {
+  case CmpOp::LT:
+    return A < B;
+  case CmpOp::LE:
+    return A <= B;
+  case CmpOp::GT:
+    return A > B;
+  case CmpOp::GE:
+    return A >= B;
+  default:
+    COMLAT_UNREACHABLE("bad comparison op");
+  }
+}
+
+bool comlat::evalFormula(const FormulaPtr &F, EvalContext &Ctx) {
+  switch (F->K) {
+  case Formula::Kind::True:
+    return true;
+  case Formula::Kind::False:
+    return false;
+  case Formula::Kind::Cmp:
+    return evalCmp(F->Op, evalTerm(F->Lhs, Ctx), evalTerm(F->Rhs, Ctx));
+  case Formula::Kind::Not:
+    return !evalFormula(F->Kids[0], Ctx);
+  case Formula::Kind::And:
+    for (const FormulaPtr &Kid : F->Kids)
+      if (!evalFormula(Kid, Ctx))
+        return false;
+    return true;
+  case Formula::Kind::Or:
+    for (const FormulaPtr &Kid : F->Kids)
+      if (evalFormula(Kid, Ctx))
+        return true;
+    return false;
+  }
+  COMLAT_UNREACHABLE("bad formula kind");
+}

@@ -1,0 +1,77 @@
+//===- core/Eval.h - Evaluating commutativity conditions --------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates condition formulas against a pair of method invocations. The
+/// interesting part of evaluation is resolving state-function applications
+/// f(s, ...): the *caller* decides how, through an ApplyResolver. The
+/// conflict-detection schemes of §3 differ exactly in that policy:
+///
+///  * forward gatekeepers resolve S1-applications from result logs recorded
+///    when the first invocation executed (§3.3.1);
+///  * general gatekeepers resolve them by rolling the structure back to the
+///    historical state (§3.3.2);
+///  * tests resolve them against mock or real structures directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_CORE_EVAL_H
+#define COMLAT_CORE_EVAL_H
+
+#include "core/Expr.h"
+
+#include <functional>
+
+namespace comlat {
+
+/// Policy object that resolves state-function applications during formula
+/// evaluation. Argument terms have already been evaluated.
+class ApplyResolver {
+public:
+  virtual ~ApplyResolver();
+
+  /// Returns the value of the application node \p Apply (an Apply term)
+  /// given its already-evaluated arguments.
+  virtual Value resolveApply(const Term &Apply,
+                             const std::vector<Value> &EvaledArgs) = 0;
+};
+
+/// An ApplyResolver backed by a plain function; convenient in tests.
+class FnResolver : public ApplyResolver {
+public:
+  using FnType =
+      std::function<Value(const Term &, const std::vector<Value> &)>;
+
+  explicit FnResolver(FnType Fn) : Fn(std::move(Fn)) {}
+
+  Value resolveApply(const Term &Apply,
+                     const std::vector<Value> &EvaledArgs) override {
+    return Fn(Apply, EvaledArgs);
+  }
+
+private:
+  FnType Fn;
+};
+
+/// Everything needed to evaluate a condition for one ordered invocation
+/// pair: (m1(v1))s1 / r1 followed by (m2(v2))s2 / r2.
+struct EvalContext {
+  const Invocation *Inv1 = nullptr;
+  const Invocation *Inv2 = nullptr;
+  ApplyResolver *Resolver = nullptr;
+};
+
+/// Evaluates a term. Aborts on type errors (malformed specifications are
+/// programming errors, not runtime conditions).
+Value evalTerm(const TermPtr &T, EvalContext &Ctx);
+
+/// Evaluates a formula to its truth value.
+bool evalFormula(const FormulaPtr &F, EvalContext &Ctx);
+
+} // namespace comlat
+
+#endif // COMLAT_CORE_EVAL_H

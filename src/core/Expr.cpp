@@ -1,0 +1,450 @@
+//===- core/Expr.cpp - AST for commutativity conditions -------------------===//
+
+#include "core/Expr.h"
+
+using namespace comlat;
+
+//===----------------------------------------------------------------------===//
+// Printing and structural keys
+//===----------------------------------------------------------------------===//
+
+static const char *arithOpName(ArithOp Op) {
+  switch (Op) {
+  case ArithOp::Add:
+    return "+";
+  case ArithOp::Sub:
+    return "-";
+  case ArithOp::Mul:
+    return "*";
+  case ArithOp::Div:
+    return "/";
+  }
+  COMLAT_UNREACHABLE("bad arithmetic op");
+}
+
+static const char *cmpOpName(CmpOp Op) {
+  switch (Op) {
+  case CmpOp::EQ:
+    return "==";
+  case CmpOp::NE:
+    return "!=";
+  case CmpOp::LT:
+    return "<";
+  case CmpOp::LE:
+    return "<=";
+  case CmpOp::GT:
+    return ">";
+  case CmpOp::GE:
+    return ">=";
+  }
+  COMLAT_UNREACHABLE("bad comparison op");
+}
+
+static const char *stateRefName(StateRef S) {
+  switch (S) {
+  case StateRef::None:
+    return "";
+  case StateRef::S1:
+    return "s1";
+  case StateRef::S2:
+    return "s2";
+  }
+  COMLAT_UNREACHABLE("bad state ref");
+}
+
+std::string Term::str(const DataTypeSig *Sig) const {
+  switch (K) {
+  case Kind::Arg:
+    return (Inv == InvIndex::Inv1 ? "v1[" : "v2[") + std::to_string(ArgIndex) +
+           "]";
+  case Kind::Ret:
+    return Inv == InvIndex::Inv1 ? "r1" : "r2";
+  case Kind::Const:
+    return Literal.str();
+  case Kind::Apply: {
+    std::string Out =
+        Sig ? Sig->stateFn(Fn).Name : ("f" + std::to_string(Fn));
+    Out += "(";
+    if (State != StateRef::None) {
+      Out += stateRefName(State);
+      if (!Args.empty())
+        Out += ", ";
+    }
+    for (size_t I = 0; I != Args.size(); ++I) {
+      if (I != 0)
+        Out += ", ";
+      Out += Args[I]->str(Sig);
+    }
+    return Out + ")";
+  }
+  case Kind::Arith:
+    return "(" + Lhs->str(Sig) + " " + arithOpName(Op) + " " +
+           Rhs->str(Sig) + ")";
+  }
+  COMLAT_UNREACHABLE("bad term kind");
+}
+
+const std::string &Term::key() const {
+  if (CachedKey.Text.empty())
+    CachedKey.Text = buildKey();
+  return CachedKey.Text;
+}
+
+std::string Term::buildKey() const {
+  switch (K) {
+  case Kind::Arg:
+    return "a" + std::to_string(static_cast<int>(Inv)) + "." +
+           std::to_string(ArgIndex);
+  case Kind::Ret:
+    return "r" + std::to_string(static_cast<int>(Inv));
+  case Kind::Const:
+    return "c" + Literal.str();
+  case Kind::Apply: {
+    std::string Out = "f" + std::to_string(Fn) + stateRefName(State) + "(";
+    for (const TermPtr &A : Args)
+      Out += A->key() + ",";
+    return Out + ")";
+  }
+  case Kind::Arith:
+    return std::string("(") + Lhs->key() + arithOpName(Op) + Rhs->key() + ")";
+  }
+  COMLAT_UNREACHABLE("bad term kind");
+}
+
+std::string Formula::str(const DataTypeSig *Sig) const {
+  switch (K) {
+  case Kind::True:
+    return "true";
+  case Kind::False:
+    return "false";
+  case Kind::Cmp:
+    return Lhs->str(Sig) + " " + cmpOpName(Op) + " " + Rhs->str(Sig);
+  case Kind::Not:
+    return "!(" + Kids[0]->str(Sig) + ")";
+  case Kind::And:
+  case Kind::Or: {
+    const char *Sep = K == Kind::And ? " && " : " || ";
+    std::string Out = "(";
+    for (size_t I = 0; I != Kids.size(); ++I) {
+      if (I != 0)
+        Out += Sep;
+      Out += Kids[I]->str(Sig);
+    }
+    return Out + ")";
+  }
+  }
+  COMLAT_UNREACHABLE("bad formula kind");
+}
+
+const std::string &Formula::key() const {
+  if (CachedKey.Text.empty())
+    CachedKey.Text = buildKey();
+  return CachedKey.Text;
+}
+
+std::string Formula::buildKey() const {
+  switch (K) {
+  case Kind::True:
+    return "T";
+  case Kind::False:
+    return "F";
+  case Kind::Cmp:
+    return "[" + Lhs->key() + cmpOpName(Op) + Rhs->key() + "]";
+  case Kind::Not:
+    return "!" + Kids[0]->key();
+  case Kind::And:
+  case Kind::Or: {
+    std::string Out = K == Kind::And ? "&(" : "|(";
+    for (const FormulaPtr &Kid : Kids)
+      Out += Kid->key() + ";";
+    return Out + ")";
+  }
+  }
+  COMLAT_UNREACHABLE("bad formula kind");
+}
+
+bool comlat::structurallyEqual(const TermPtr &A, const TermPtr &B) {
+  return A == B || A->key() == B->key();
+}
+
+bool comlat::structurallyEqual(const FormulaPtr &A, const FormulaPtr &B) {
+  return A == B || A->key() == B->key();
+}
+
+//===----------------------------------------------------------------------===//
+// Mirroring
+//===----------------------------------------------------------------------===//
+
+TermPtr comlat::mirrorTerm(const TermPtr &T) {
+  auto Copy = std::make_shared<Term>(*T);
+  switch (T->K) {
+  case Term::Kind::Arg:
+  case Term::Kind::Ret:
+    Copy->Inv = otherInv(T->Inv);
+    break;
+  case Term::Kind::Const:
+    break;
+  case Term::Kind::Apply:
+    if (T->State == StateRef::S1)
+      Copy->State = StateRef::S2;
+    else if (T->State == StateRef::S2)
+      Copy->State = StateRef::S1;
+    Copy->Args.clear();
+    for (const TermPtr &A : T->Args)
+      Copy->Args.push_back(mirrorTerm(A));
+    break;
+  case Term::Kind::Arith:
+    Copy->Lhs = mirrorTerm(T->Lhs);
+    Copy->Rhs = mirrorTerm(T->Rhs);
+    break;
+  }
+  return Copy;
+}
+
+FormulaPtr comlat::mirrorFormula(const FormulaPtr &F) {
+  auto Copy = std::make_shared<Formula>(*F);
+  if (F->K == Formula::Kind::Cmp) {
+    Copy->Lhs = mirrorTerm(F->Lhs);
+    Copy->Rhs = mirrorTerm(F->Rhs);
+    return Copy;
+  }
+  Copy->Kids.clear();
+  for (const FormulaPtr &Kid : F->Kids)
+    Copy->Kids.push_back(mirrorFormula(Kid));
+  return Copy;
+}
+
+//===----------------------------------------------------------------------===//
+// Traversal helpers
+//===----------------------------------------------------------------------===//
+
+static void forEachApplyTerm(const TermPtr &T,
+                             const std::function<void(const Term &)> &Visit) {
+  switch (T->K) {
+  case Term::Kind::Arg:
+  case Term::Kind::Ret:
+  case Term::Kind::Const:
+    return;
+  case Term::Kind::Apply:
+    Visit(*T);
+    for (const TermPtr &A : T->Args)
+      forEachApplyTerm(A, Visit);
+    return;
+  case Term::Kind::Arith:
+    forEachApplyTerm(T->Lhs, Visit);
+    forEachApplyTerm(T->Rhs, Visit);
+    return;
+  }
+  COMLAT_UNREACHABLE("bad term kind");
+}
+
+void comlat::forEachApply(const FormulaPtr &F,
+                          const std::function<void(const Term &)> &Visit) {
+  switch (F->K) {
+  case Formula::Kind::True:
+  case Formula::Kind::False:
+    return;
+  case Formula::Kind::Cmp:
+    forEachApplyTerm(F->Lhs, Visit);
+    forEachApplyTerm(F->Rhs, Visit);
+    return;
+  case Formula::Kind::Not:
+  case Formula::Kind::And:
+  case Formula::Kind::Or:
+    for (const FormulaPtr &Kid : F->Kids)
+      forEachApply(Kid, Visit);
+    return;
+  }
+  COMLAT_UNREACHABLE("bad formula kind");
+}
+
+bool comlat::termMentionsInv(const TermPtr &T, InvIndex Inv) {
+  switch (T->K) {
+  case Term::Kind::Arg:
+  case Term::Kind::Ret:
+    return T->Inv == Inv;
+  case Term::Kind::Const:
+    return false;
+  case Term::Kind::Apply:
+    for (const TermPtr &A : T->Args)
+      if (termMentionsInv(A, Inv))
+        return true;
+    return false;
+  case Term::Kind::Arith:
+    return termMentionsInv(T->Lhs, Inv) || termMentionsInv(T->Rhs, Inv);
+  }
+  COMLAT_UNREACHABLE("bad term kind");
+}
+
+bool comlat::termMentionsRet(const TermPtr &T, InvIndex Inv) {
+  switch (T->K) {
+  case Term::Kind::Arg:
+  case Term::Kind::Const:
+    return false;
+  case Term::Kind::Ret:
+    return T->Inv == Inv;
+  case Term::Kind::Apply:
+    for (const TermPtr &A : T->Args)
+      if (termMentionsRet(A, Inv))
+        return true;
+    return false;
+  case Term::Kind::Arith:
+    return termMentionsRet(T->Lhs, Inv) || termMentionsRet(T->Rhs, Inv);
+  }
+  COMLAT_UNREACHABLE("bad term kind");
+}
+
+bool comlat::formulaMentionsRet(const FormulaPtr &F, InvIndex Inv) {
+  switch (F->K) {
+  case Formula::Kind::True:
+  case Formula::Kind::False:
+    return false;
+  case Formula::Kind::Cmp:
+    return termMentionsRet(F->Lhs, Inv) || termMentionsRet(F->Rhs, Inv);
+  case Formula::Kind::Not:
+  case Formula::Kind::And:
+  case Formula::Kind::Or:
+    for (const FormulaPtr &Kid : F->Kids)
+      if (formulaMentionsRet(Kid, Inv))
+        return true;
+    return false;
+  }
+  COMLAT_UNREACHABLE("bad formula kind");
+}
+
+//===----------------------------------------------------------------------===//
+// DSL factories
+//===----------------------------------------------------------------------===//
+
+namespace comlat {
+namespace dsl {
+
+TermPtr arg(InvIndex Inv, unsigned I) {
+  auto T = std::make_shared<Term>();
+  T->K = Term::Kind::Arg;
+  T->Inv = Inv;
+  T->ArgIndex = I;
+  return T;
+}
+
+TermPtr arg1(unsigned I) { return arg(InvIndex::Inv1, I); }
+TermPtr arg2(unsigned I) { return arg(InvIndex::Inv2, I); }
+
+TermPtr ret(InvIndex Inv) {
+  auto T = std::make_shared<Term>();
+  T->K = Term::Kind::Ret;
+  T->Inv = Inv;
+  return T;
+}
+
+TermPtr ret1() { return ret(InvIndex::Inv1); }
+TermPtr ret2() { return ret(InvIndex::Inv2); }
+
+TermPtr cst(Value V) {
+  auto T = std::make_shared<Term>();
+  T->K = Term::Kind::Const;
+  T->Literal = V;
+  return T;
+}
+
+TermPtr cst(bool B) { return cst(Value::boolean(B)); }
+TermPtr cst(int64_t I) { return cst(Value::integer(I)); }
+TermPtr cst(int I) { return cst(Value::integer(I)); }
+TermPtr cst(double D) { return cst(Value::real(D)); }
+
+TermPtr apply(StateFnId Fn, StateRef State, std::vector<TermPtr> Args) {
+  auto T = std::make_shared<Term>();
+  T->K = Term::Kind::Apply;
+  T->Fn = Fn;
+  T->State = State;
+  T->Args = std::move(Args);
+  return T;
+}
+
+TermPtr arith(ArithOp Op, TermPtr Lhs, TermPtr Rhs) {
+  auto T = std::make_shared<Term>();
+  T->K = Term::Kind::Arith;
+  T->Op = Op;
+  T->Lhs = std::move(Lhs);
+  T->Rhs = std::move(Rhs);
+  return T;
+}
+
+FormulaPtr cmp(CmpOp Op, TermPtr Lhs, TermPtr Rhs) {
+  auto F = std::make_shared<Formula>();
+  F->K = Formula::Kind::Cmp;
+  F->Op = Op;
+  F->Lhs = std::move(Lhs);
+  F->Rhs = std::move(Rhs);
+  return F;
+}
+
+FormulaPtr eq(TermPtr Lhs, TermPtr Rhs) {
+  return cmp(CmpOp::EQ, std::move(Lhs), std::move(Rhs));
+}
+FormulaPtr ne(TermPtr Lhs, TermPtr Rhs) {
+  return cmp(CmpOp::NE, std::move(Lhs), std::move(Rhs));
+}
+FormulaPtr lt(TermPtr Lhs, TermPtr Rhs) {
+  return cmp(CmpOp::LT, std::move(Lhs), std::move(Rhs));
+}
+FormulaPtr le(TermPtr Lhs, TermPtr Rhs) {
+  return cmp(CmpOp::LE, std::move(Lhs), std::move(Rhs));
+}
+FormulaPtr gt(TermPtr Lhs, TermPtr Rhs) {
+  return cmp(CmpOp::GT, std::move(Lhs), std::move(Rhs));
+}
+FormulaPtr ge(TermPtr Lhs, TermPtr Rhs) {
+  return cmp(CmpOp::GE, std::move(Lhs), std::move(Rhs));
+}
+
+FormulaPtr top() {
+  auto F = std::make_shared<Formula>();
+  F->K = Formula::Kind::True;
+  return F;
+}
+
+FormulaPtr bottom() {
+  auto F = std::make_shared<Formula>();
+  F->K = Formula::Kind::False;
+  return F;
+}
+
+FormulaPtr negate(FormulaPtr Inner) {
+  auto F = std::make_shared<Formula>();
+  F->K = Formula::Kind::Not;
+  F->Kids.push_back(std::move(Inner));
+  return F;
+}
+
+FormulaPtr conj(std::vector<FormulaPtr> Kids) {
+  assert(!Kids.empty() && "empty conjunction; use top()");
+  auto F = std::make_shared<Formula>();
+  F->K = Formula::Kind::And;
+  F->Kids = std::move(Kids);
+  return F;
+}
+
+FormulaPtr disj(std::vector<FormulaPtr> Kids) {
+  assert(!Kids.empty() && "empty disjunction; use bottom()");
+  auto F = std::make_shared<Formula>();
+  F->K = Formula::Kind::Or;
+  F->Kids = std::move(Kids);
+  return F;
+}
+
+FormulaPtr conj(FormulaPtr A, FormulaPtr B) {
+  return conj({std::move(A), std::move(B)});
+}
+FormulaPtr disj(FormulaPtr A, FormulaPtr B) {
+  return disj({std::move(A), std::move(B)});
+}
+FormulaPtr conj(FormulaPtr A, FormulaPtr B, FormulaPtr C) {
+  return conj({std::move(A), std::move(B), std::move(C)});
+}
+FormulaPtr disj(FormulaPtr A, FormulaPtr B, FormulaPtr C) {
+  return disj({std::move(A), std::move(B), std::move(C)});
+}
+
+} // namespace dsl
+} // namespace comlat

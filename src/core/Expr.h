@@ -1,0 +1,229 @@
+//===- core/Expr.h - AST for commutativity conditions -----------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An immutable expression AST for commutativity conditions, covering the
+/// full logic L1 of Fig. 1 in the paper:
+///
+/// \code
+///   S  := s1 | s2                        abstract states
+///   V  := v1 | v2 | r1 | r2 | Z | B      arguments, returns, constants
+///   F  := f(S, V, V, ...)                state-function application
+///   O  := + | - | * | /                  arithmetic
+///   P  := V | F | P O P                  terms
+///   C  := P (= | != | < | <= | > | >=) P
+///       | (C) | !C | C && C | C || C     formulas
+/// \endcode
+///
+/// The restricted logics L2 (SIMPLE conditions, Fig. 6) and L3
+/// (ONLINE-CHECKABLE conditions, Fig. 9) are syntactic subsets recognized by
+/// core/Classify.h. Terms and formulas are shared immutable trees; building
+/// happens through the factory helpers in namespace comlat::dsl, e.g.:
+///
+/// \code
+///   using namespace comlat::dsl;
+///   // add(a)/r1 commutes with add(b)/r2 iff
+///   //   a != b  or  (r1 = false and r2 = false)
+///   FormulaPtr F = disj(ne(arg1(0), arg2(0)),
+///                       conj(eq(ret1(), cst(false)),
+///                            eq(ret2(), cst(false))));
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_CORE_EXPR_H
+#define COMLAT_CORE_EXPR_H
+
+#include "core/MethodSig.h"
+#include "core/Value.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace comlat {
+
+struct Term;
+struct Formula;
+using TermPtr = std::shared_ptr<const Term>;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// A lazily filled string cache that intentionally does not survive
+/// copies: node copies (e.g. mirroring) change structure, so a copied
+/// cache would be stale.
+class KeyCache {
+public:
+  KeyCache() = default;
+  KeyCache(const KeyCache &) {}
+  KeyCache &operator=(const KeyCache &) { return *this; }
+
+  std::string Text;
+};
+
+/// Which of the two method invocations a term slot refers to.
+enum class InvIndex : uint8_t { Inv1 = 1, Inv2 = 2 };
+
+/// Returns the other invocation index.
+inline InvIndex otherInv(InvIndex I) {
+  return I == InvIndex::Inv1 ? InvIndex::Inv2 : InvIndex::Inv1;
+}
+
+/// Which abstract state a state-function application reads.
+enum class StateRef : uint8_t {
+  None, ///< Pure function: no state dependence (e.g. dist).
+  S1,   ///< The state the *first* invocation executed in.
+  S2    ///< The state the *second* invocation executed in.
+};
+
+/// Arithmetic operators of L1.
+enum class ArithOp : uint8_t { Add, Sub, Mul, Div };
+
+/// Comparison operators of L1 (both equality and arithmetic connectives).
+enum class CmpOp : uint8_t { EQ, NE, LT, LE, GT, GE };
+
+/// A term (the P production): a value slot, constant, state-function
+/// application, or arithmetic combination.
+struct Term {
+  enum class Kind : uint8_t { Arg, Ret, Const, Apply, Arith };
+
+  Kind K;
+
+  // Arg / Ret.
+  InvIndex Inv = InvIndex::Inv1;
+  unsigned ArgIndex = 0; // Arg only.
+
+  // Const.
+  Value Literal;
+
+  // Apply.
+  StateFnId Fn = 0;
+  StateRef State = StateRef::None;
+  std::vector<TermPtr> Args;
+
+  // Arith.
+  ArithOp Op = ArithOp::Add;
+  TermPtr Lhs, Rhs;
+
+  /// Renders the term, e.g. "rep(s1, v2[0])".
+  std::string str(const DataTypeSig *Sig = nullptr) const;
+
+  /// A stable structural key; equal keys iff structurally equal terms.
+  /// Cached after the first call: warm it from one thread (the gatekeeper
+  /// constructor does) before sharing a term across threads.
+  const std::string &key() const;
+
+private:
+  std::string buildKey() const;
+
+  mutable KeyCache CachedKey;
+};
+
+/// A formula (the C production).
+struct Formula {
+  enum class Kind : uint8_t { True, False, Cmp, Not, And, Or };
+
+  Kind K;
+
+  // Cmp.
+  CmpOp Op = CmpOp::EQ;
+  TermPtr Lhs, Rhs;
+
+  // Not / And / Or children (Not has exactly one).
+  std::vector<FormulaPtr> Kids;
+
+  bool isTrue() const { return K == Kind::True; }
+  bool isFalse() const { return K == Kind::False; }
+
+  /// Renders the formula, e.g. "(v1[0] != v2[0]) || (r1 == false)".
+  std::string str(const DataTypeSig *Sig = nullptr) const;
+
+  /// A stable structural key; equal keys iff structurally equal formulas.
+  /// Cached after the first call (see Term::key about thread warm-up).
+  const std::string &key() const;
+
+private:
+  std::string buildKey() const;
+
+  mutable KeyCache CachedKey;
+};
+
+/// Structural equality.
+bool structurallyEqual(const TermPtr &A, const TermPtr &B);
+bool structurallyEqual(const FormulaPtr &A, const FormulaPtr &B);
+
+/// Produces the mirrored term/formula: swaps the roles of the two
+/// invocations (v1 <-> v2, r1 <-> r2, s1 <-> s2). Mirroring converts the
+/// condition f_{m1,m2} into f_{m2,m1} (the paper keeps specifications
+/// symmetric, §2.4 fn. 5; we store one orientation and mirror on demand).
+TermPtr mirrorTerm(const TermPtr &T);
+FormulaPtr mirrorFormula(const FormulaPtr &F);
+
+/// Calls \p VisitApply for every Apply node in the formula (pre-order).
+void forEachApply(const FormulaPtr &F,
+                  const std::function<void(const Term &)> &VisitApply);
+
+/// True if any term slot in \p T (recursively) refers to invocation \p Inv.
+bool termMentionsInv(const TermPtr &T, InvIndex Inv);
+
+/// True if the term mentions the return value of \p Inv.
+bool termMentionsRet(const TermPtr &T, InvIndex Inv);
+
+/// True if the formula mentions the return value of \p Inv anywhere.
+bool formulaMentionsRet(const FormulaPtr &F, InvIndex Inv);
+
+/// Factory helpers forming a tiny DSL for writing specifications.
+namespace dsl {
+
+/// Argument \p I of the first invocation (v1).
+TermPtr arg1(unsigned I);
+/// Argument \p I of the second invocation (v2).
+TermPtr arg2(unsigned I);
+/// Argument \p I of invocation \p Inv.
+TermPtr arg(InvIndex Inv, unsigned I);
+/// Return value of the first invocation (r1).
+TermPtr ret1();
+/// Return value of the second invocation (r2).
+TermPtr ret2();
+/// Return value of invocation \p Inv.
+TermPtr ret(InvIndex Inv);
+/// Constant term.
+TermPtr cst(Value V);
+TermPtr cst(bool B);
+TermPtr cst(int64_t I);
+TermPtr cst(int I);
+TermPtr cst(double D);
+/// State-function application f(State, Args...).
+TermPtr apply(StateFnId Fn, StateRef State, std::vector<TermPtr> Args);
+/// Arithmetic combination.
+TermPtr arith(ArithOp Op, TermPtr Lhs, TermPtr Rhs);
+
+/// Comparisons.
+FormulaPtr cmp(CmpOp Op, TermPtr Lhs, TermPtr Rhs);
+FormulaPtr eq(TermPtr Lhs, TermPtr Rhs);
+FormulaPtr ne(TermPtr Lhs, TermPtr Rhs);
+FormulaPtr lt(TermPtr Lhs, TermPtr Rhs);
+FormulaPtr le(TermPtr Lhs, TermPtr Rhs);
+FormulaPtr gt(TermPtr Lhs, TermPtr Rhs);
+FormulaPtr ge(TermPtr Lhs, TermPtr Rhs);
+
+/// Boolean constants and connectives. Variadic conj/disj flatten nothing;
+/// use core/Simplify.h to normalize.
+FormulaPtr top();
+FormulaPtr bottom();
+FormulaPtr negate(FormulaPtr F);
+FormulaPtr conj(std::vector<FormulaPtr> Kids);
+FormulaPtr disj(std::vector<FormulaPtr> Kids);
+FormulaPtr conj(FormulaPtr A, FormulaPtr B);
+FormulaPtr disj(FormulaPtr A, FormulaPtr B);
+FormulaPtr conj(FormulaPtr A, FormulaPtr B, FormulaPtr C);
+FormulaPtr disj(FormulaPtr A, FormulaPtr B, FormulaPtr C);
+
+} // namespace dsl
+
+} // namespace comlat
+
+#endif // COMLAT_CORE_EXPR_H

@@ -1,0 +1,447 @@
+//===- core/Lattice.cpp - The commutativity lattice ------------------------===//
+
+#include "core/Lattice.h"
+#include "core/Eval.h"
+#include "core/Simplify.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace comlat;
+using namespace comlat::dsl;
+
+//===----------------------------------------------------------------------===//
+// Exact decision on the SIMPLE fragment
+//===----------------------------------------------------------------------===//
+
+/// True when clause \p C1 implies clause \p C2 for every interpretation:
+/// same slots and either the same key function, or C1 keyed and C2 plain
+/// (k(x) != k(y) implies x != y, since x = y forces k(x) = k(y)).
+static bool clauseImplies(const SimpleClause &C1, const SimpleClause &C2) {
+  if (!(C1.Lhs == C2.Lhs) || !(C1.Rhs == C2.Rhs))
+    return false;
+  if (C1.KeyFn == C2.KeyFn)
+    return true;
+  return C1.KeyFn.has_value() && !C2.KeyFn.has_value();
+}
+
+/// Exact implication on SIMPLE normal forms. A conjunction implies another
+/// iff every clause of the consequent is implied by some clause of the
+/// antecedent (clauses over distinct slot pairs are logically independent
+/// for value domains with at least two elements).
+static bool simpleImplies(const SimpleForm &F1, const SimpleForm &F2) {
+  if (F1.K == SimpleForm::Kind::False || F2.K == SimpleForm::Kind::True)
+    return true;
+  if (F1.K == SimpleForm::Kind::True)
+    return F2.K == SimpleForm::Kind::True;
+  if (F2.K == SimpleForm::Kind::False)
+    return false; // F1 is a satisfiable conjunction.
+  for (const SimpleClause &C2 : F2.Clauses) {
+    bool Covered = false;
+    for (const SimpleClause &C1 : F1.Clauses)
+      if (clauseImplies(C1, C2)) {
+        Covered = true;
+        break;
+      }
+    if (!Covered)
+      return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Syntactic sufficient rules
+//===----------------------------------------------------------------------===//
+
+/// Returns the disjunct set of \p F (the singleton {F} if not an Or).
+static std::vector<FormulaPtr> disjuncts(const FormulaPtr &F) {
+  if (F->K == Formula::Kind::Or)
+    return F->Kids;
+  return {F};
+}
+
+/// Returns the conjunct set of \p F (the singleton {F} if not an And).
+static std::vector<FormulaPtr> conjuncts(const FormulaPtr &F) {
+  if (F->K == Formula::Kind::And)
+    return F->Kids;
+  return {F};
+}
+
+/// Sound structural check: every disjunct of F1 occurs among F2's
+/// disjuncts (covers drop-disjunct strengthening), or every conjunct of F2
+/// occurs among F1's conjuncts (conjunction weakening).
+static bool structurallyImplies(const FormulaPtr &F1, const FormulaPtr &F2) {
+  if (structurallyEqual(F1, F2))
+    return true;
+  std::set<std::string> F2Disjuncts;
+  for (const FormulaPtr &D : disjuncts(F2))
+    F2Disjuncts.insert(D->key());
+  bool AllCovered = true;
+  for (const FormulaPtr &D : disjuncts(F1))
+    if (!F2Disjuncts.count(D->key())) {
+      AllCovered = false;
+      break;
+    }
+  if (AllCovered)
+    return true;
+  std::set<std::string> F1Conjuncts;
+  for (const FormulaPtr &C : conjuncts(F1))
+    F1Conjuncts.insert(C->key());
+  for (const FormulaPtr &C : conjuncts(F2))
+    if (!F1Conjuncts.count(C->key()))
+      return false;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized refutation over uninterpreted state functions
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Crude kind inference for slots and applications so random assignments
+/// are type-correct (ordering comparisons require numbers, boolean
+/// constants force booleans).
+class KindInference {
+public:
+  void scan(const FormulaPtr &F) { scanFormula(F); }
+
+  Value::Kind kindFor(const std::string &Key) const {
+    const auto It = Kinds.find(Key);
+    return It == Kinds.end() ? Value::Kind::Int : It->second;
+  }
+
+private:
+  void note(const TermPtr &T, Value::Kind K) {
+    if (T->K == Term::Kind::Const)
+      return;
+    Kinds.emplace(T->key(), K); // First constraint wins.
+  }
+
+  void scanTerm(const TermPtr &T) {
+    switch (T->K) {
+    case Term::Kind::Arg:
+    case Term::Kind::Ret:
+    case Term::Kind::Const:
+      return;
+    case Term::Kind::Apply:
+      for (const TermPtr &A : T->Args)
+        scanTerm(A);
+      return;
+    case Term::Kind::Arith:
+      note(T->Lhs, Value::Kind::Int);
+      note(T->Rhs, Value::Kind::Int);
+      scanTerm(T->Lhs);
+      scanTerm(T->Rhs);
+      return;
+    }
+  }
+
+  void scanFormula(const FormulaPtr &F) {
+    switch (F->K) {
+    case Formula::Kind::True:
+    case Formula::Kind::False:
+      return;
+    case Formula::Kind::Cmp: {
+      const bool Ordering = F->Op != CmpOp::EQ && F->Op != CmpOp::NE;
+      if (Ordering) {
+        note(F->Lhs, Value::Kind::Int);
+        note(F->Rhs, Value::Kind::Int);
+      } else {
+        // Propagate boolean-ness from constants.
+        if (F->Lhs->K == Term::Kind::Const && F->Lhs->Literal.isBool())
+          note(F->Rhs, Value::Kind::Bool);
+        if (F->Rhs->K == Term::Kind::Const && F->Rhs->Literal.isBool())
+          note(F->Lhs, Value::Kind::Bool);
+      }
+      scanTerm(F->Lhs);
+      scanTerm(F->Rhs);
+      return;
+    }
+    case Formula::Kind::Not:
+    case Formula::Kind::And:
+    case Formula::Kind::Or:
+      for (const FormulaPtr &Kid : F->Kids)
+        scanFormula(Kid);
+      return;
+    }
+  }
+
+  std::map<std::string, Value::Kind> Kinds;
+};
+
+/// Resolves applications as uninterpreted functions: deterministic hash of
+/// (function, state tag, arguments, trial salt) mapped into a small domain
+/// of the inferred kind. Any model found this way is a legitimate
+/// interpretation, so a counterexample soundly refutes implication.
+class MockResolver : public ApplyResolver {
+public:
+  MockResolver(const KindInference &Kinds, uint64_t Salt)
+      : Kinds(Kinds), Salt(Salt) {}
+
+  Value resolveApply(const Term &Apply,
+                     const std::vector<Value> &Args) override {
+    uint64_t H = Salt * 0x9E3779B97F4A7C15ull + Apply.Fn * 0x100000001B3ull +
+                 static_cast<uint64_t>(Apply.State) * 0x9E3779B97F4A7C15ull;
+    for (const Value &A : Args)
+      H = (H ^ A.hash()) * 0x100000001B3ull;
+    // Full avalanche so the state tag and arguments reach the low bits the
+    // small domains are carved from.
+    H = (H ^ (H >> 30)) * 0xBF58476D1CE4E5B9ull;
+    H = (H ^ (H >> 27)) * 0x94D049BB133111EBull;
+    H ^= H >> 31;
+    switch (Kinds.kindFor(Apply.key())) {
+    case Value::Kind::Bool:
+      return Value::boolean(H & 1);
+    case Value::Kind::Real:
+      return Value::real(static_cast<double>(H % 8) / 2.0);
+    default:
+      return Value::integer(static_cast<int64_t>(H % 4));
+    }
+  }
+
+private:
+  const KindInference &Kinds;
+  uint64_t Salt;
+};
+} // namespace
+
+/// Computes the number of argument slots each invocation needs to satisfy
+/// all Arg references in \p F.
+static void scanArity(const FormulaPtr &F, unsigned &Args1, unsigned &Args2) {
+  struct Walker {
+    unsigned &Args1, &Args2;
+    void term(const TermPtr &T) {
+      switch (T->K) {
+      case Term::Kind::Arg: {
+        unsigned &Slot = T->Inv == InvIndex::Inv1 ? Args1 : Args2;
+        Slot = std::max(Slot, T->ArgIndex + 1);
+        return;
+      }
+      case Term::Kind::Ret:
+      case Term::Kind::Const:
+        return;
+      case Term::Kind::Apply:
+        for (const TermPtr &A : T->Args)
+          term(A);
+        return;
+      case Term::Kind::Arith:
+        term(T->Lhs);
+        term(T->Rhs);
+        return;
+      }
+    }
+    void formula(const FormulaPtr &G) {
+      if (G->K == Formula::Kind::Cmp) {
+        term(G->Lhs);
+        term(G->Rhs);
+        return;
+      }
+      for (const FormulaPtr &Kid : G->Kids)
+        formula(Kid);
+    }
+  };
+  Walker W{Args1, Args2};
+  W.formula(F);
+}
+
+static Value randomValueOfKind(Rng &R, Value::Kind K) {
+  switch (K) {
+  case Value::Kind::Bool:
+    return Value::boolean(R.nextBool());
+  case Value::Kind::Real:
+    return Value::real(static_cast<double>(R.nextBelow(8)) / 2.0);
+  default:
+    return Value::integer(static_cast<int64_t>(R.nextBelow(4)));
+  }
+}
+
+Tri comlat::implies(const FormulaPtr &RawF1, const FormulaPtr &RawF2,
+                    const DataTypeSig &Sig, unsigned Trials, uint64_t Seed) {
+  const FormulaPtr F1 = simplify(RawF1);
+  const FormulaPtr F2 = simplify(RawF2);
+  if (F1->isFalse() || F2->isTrue())
+    return Tri::Yes;
+  if (F1->isTrue() && F2->isFalse())
+    return Tri::No;
+  const std::optional<SimpleForm> S1 = tryGetSimple(F1, Sig);
+  const std::optional<SimpleForm> S2 = tryGetSimple(F2, Sig);
+  if (S1 && S2)
+    return simpleImplies(*S1, *S2) ? Tri::Yes : Tri::No;
+  if (structurallyImplies(F1, F2))
+    return Tri::Yes;
+  // Decomposition rules (sound, recursion bounded by formula depth):
+  // F1 => some disjunct of F2 suffices, as does some conjunct of F1 => F2.
+  if (F2->K == Formula::Kind::Or)
+    for (const FormulaPtr &D : F2->Kids)
+      if (implies(F1, D, Sig, Trials, Seed) == Tri::Yes)
+        return Tri::Yes;
+  if (F1->K == Formula::Kind::And)
+    for (const FormulaPtr &C : F1->Kids)
+      if (implies(C, F2, Sig, Trials, Seed) == Tri::Yes)
+        return Tri::Yes;
+
+  unsigned Args1 = 0, Args2 = 0;
+  scanArity(F1, Args1, Args2);
+  scanArity(F2, Args1, Args2);
+  KindInference Kinds;
+  Kinds.scan(F1);
+  Kinds.scan(F2);
+
+  Rng R(Seed);
+  for (unsigned Trial = 0; Trial != Trials; ++Trial) {
+    Invocation Inv1, Inv2;
+    for (unsigned I = 0; I != Args1; ++I)
+      Inv1.Args.push_back(
+          randomValueOfKind(R, Kinds.kindFor(dsl::arg1(I)->key())));
+    for (unsigned I = 0; I != Args2; ++I)
+      Inv2.Args.push_back(
+          randomValueOfKind(R, Kinds.kindFor(dsl::arg2(I)->key())));
+    Inv1.Ret = randomValueOfKind(R, Kinds.kindFor(dsl::ret1()->key()));
+    Inv2.Ret = randomValueOfKind(R, Kinds.kindFor(dsl::ret2()->key()));
+    MockResolver Resolver(Kinds, /*Salt=*/R.next());
+    EvalContext Ctx{&Inv1, &Inv2, &Resolver};
+    if (evalFormula(F1, Ctx) && !evalFormula(F2, Ctx))
+      return Tri::No;
+  }
+  return Tri::Unknown;
+}
+
+Tri comlat::specLeq(const CommSpec &A, const CommSpec &B, unsigned Trials,
+                    uint64_t Seed) {
+  assert(&A.sig() == &B.sig() && "specs over different signatures");
+  Tri Result = Tri::Yes;
+  const unsigned N = A.sig().numMethods();
+  for (MethodId M1 = 0; M1 != N; ++M1)
+    for (MethodId M2 = 0; M2 != N; ++M2) {
+      switch (implies(A.get(M1, M2), B.get(M1, M2), A.sig(), Trials, Seed)) {
+      case Tri::No:
+        return Tri::No;
+      case Tri::Unknown:
+        Result = Tri::Unknown;
+        break;
+      case Tri::Yes:
+        break;
+      }
+    }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Join / meet / bottom
+//===----------------------------------------------------------------------===//
+
+static CommSpec pointwise(const CommSpec &A, const CommSpec &B,
+                          std::string Name, bool IsJoin) {
+  assert(&A.sig() == &B.sig() && "specs over different signatures");
+  CommSpec Out(&A.sig(), std::move(Name));
+  const unsigned N = A.sig().numMethods();
+  for (MethodId M1 = 0; M1 != N; ++M1)
+    for (MethodId M2 = M1; M2 != N; ++M2) {
+      const FormulaPtr FA = A.get(M1, M2), FB = B.get(M1, M2);
+      Out.set(M1, M2, IsJoin ? disj(FA, FB) : conj(FA, FB));
+    }
+  return Out;
+}
+
+CommSpec comlat::specJoin(const CommSpec &A, const CommSpec &B,
+                          std::string Name) {
+  return pointwise(A, B, std::move(Name), /*IsJoin=*/true);
+}
+
+CommSpec comlat::specMeet(const CommSpec &A, const CommSpec &B,
+                          std::string Name) {
+  return pointwise(A, B, std::move(Name), /*IsJoin=*/false);
+}
+
+CommSpec comlat::bottomSpec(const DataTypeSig &Sig, std::string Name) {
+  CommSpec Out(&Sig, std::move(Name));
+  for (MethodId M1 = 0; M1 != Sig.numMethods(); ++M1)
+    for (MethodId M2 = M1; M2 != Sig.numMethods(); ++M2)
+      Out.set(M1, M2, bottom());
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Strengthening transforms (§4)
+//===----------------------------------------------------------------------===//
+
+FormulaPtr comlat::simpleUnderApprox(const FormulaPtr &Raw,
+                                     const DataTypeSig &Sig) {
+  const FormulaPtr F = simplify(Raw);
+  if (tryGetSimple(F, Sig))
+    return F;
+  switch (F->K) {
+  case Formula::Kind::Or: {
+    // Keep the weakest SIMPLE disjunct (fewest clauses): any SIMPLE
+    // disjunct implies F, so the choice is sound; fewer clauses reject
+    // fewer schedules.
+    FormulaPtr Best;
+    size_t BestClauses = SIZE_MAX;
+    for (const FormulaPtr &Kid : F->Kids) {
+      const std::optional<SimpleForm> SF = tryGetSimple(Kid, Sig);
+      if (!SF || SF->K != SimpleForm::Kind::Clauses)
+        continue;
+      if (SF->Clauses.size() < BestClauses) {
+        BestClauses = SF->Clauses.size();
+        Best = Kid;
+      }
+    }
+    return Best ? Best : bottom();
+  }
+  case Formula::Kind::And: {
+    std::vector<FormulaPtr> Kids;
+    for (const FormulaPtr &Kid : F->Kids)
+      Kids.push_back(simpleUnderApprox(Kid, Sig));
+    return simplify(conj(std::move(Kids)));
+  }
+  default:
+    return bottom();
+  }
+}
+
+CommSpec comlat::simpleUnderApproxSpec(const CommSpec &Spec,
+                                       std::string Name) {
+  CommSpec Out(&Spec.sig(), std::move(Name));
+  const unsigned N = Spec.sig().numMethods();
+  for (MethodId M1 = 0; M1 != N; ++M1)
+    for (MethodId M2 = M1; M2 != N; ++M2)
+      Out.set(M1, M2, simpleUnderApprox(Spec.get(M1, M2), Spec.sig()));
+  return Out;
+}
+
+/// Rebuilds the term for one side of a SIMPLE clause.
+static TermPtr slotTerm(InvIndex Inv, const Slot &S) {
+  return S.IsRet ? ret(Inv) : arg(Inv, S.ArgIndex);
+}
+
+CommSpec comlat::partitionSpec(const CommSpec &Spec, StateFnId PartFn,
+                               std::string Name) {
+  assert(Spec.sig().stateFn(PartFn).Pure &&
+         Spec.sig().stateFn(PartFn).NumArgs == 1 &&
+         "partition function must be pure and unary");
+  CommSpec Out(&Spec.sig(), std::move(Name));
+  const unsigned N = Spec.sig().numMethods();
+  for (MethodId M1 = 0; M1 != N; ++M1)
+    for (MethodId M2 = M1; M2 != N; ++M2) {
+      const FormulaPtr F = Spec.get(M1, M2);
+      const std::optional<SimpleForm> SF = tryGetSimple(F, Spec.sig());
+      assert(SF && "partitionSpec requires a SIMPLE specification");
+      if (SF->K != SimpleForm::Kind::Clauses) {
+        Out.set(M1, M2, F);
+        continue;
+      }
+      std::vector<FormulaPtr> Clauses;
+      for (const SimpleClause &C : SF->Clauses) {
+        assert(!C.KeyFn && "clause already carries a key function");
+        Clauses.push_back(
+            ne(apply(PartFn, StateRef::None,
+                     {slotTerm(InvIndex::Inv1, C.Lhs)}),
+               apply(PartFn, StateRef::None,
+                     {slotTerm(InvIndex::Inv2, C.Rhs)})));
+      }
+      Out.set(M1, M2, simplify(conj(std::move(Clauses))));
+    }
+  return Out;
+}

@@ -1,0 +1,78 @@
+//===- core/Lattice.h - The commutativity lattice ---------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operations on the lattice of commutativity specifications (§2.4):
+/// the implication order f1 <= f2 iff f1 => f2, pointwise join/meet, the
+/// bottom element (a single global lock once implemented), and the
+/// disciplined strengthening transforms of §4:
+///
+///  * simpleUnderApprox: the largest SIMPLE condition below a given
+///    condition that is reachable by dropping non-SIMPLE disjuncts; this
+///    derives the strengthened set specification of Fig. 3 from the
+///    precise one of Fig. 2 mechanically.
+///  * partitionSpec: the lock-coarsening transform of §4.2, replacing each
+///    clause x != y with part(x) != part(y).
+///
+/// Deciding implication is exact on the SIMPLE fragment. Outside it we use
+/// sound syntactic rules plus randomized refutation over uninterpreted
+/// state functions: a found counterexample proves "No"; exhausted trials
+/// yield "Unknown" (never a wrong "Yes").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_CORE_LATTICE_H
+#define COMLAT_CORE_LATTICE_H
+
+#include "core/Spec.h"
+
+namespace comlat {
+
+/// Three-valued answer for undecidable-in-general queries.
+enum class Tri : uint8_t { Yes, No, Unknown };
+
+/// Decides whether \p F1 implies \p F2 (i.e. F1 <= F2 in the condition
+/// lattice). \p Trials bounds the randomized refutation effort.
+Tri implies(const FormulaPtr &F1, const FormulaPtr &F2,
+            const DataTypeSig &Sig, unsigned Trials = 2048,
+            uint64_t Seed = 0x1eaf);
+
+/// Decides the specification order: A <= B iff every condition of A implies
+/// the corresponding condition of B. Returns No if any pair refutes,
+/// Unknown if undecided, Yes otherwise.
+Tri specLeq(const CommSpec &A, const CommSpec &B, unsigned Trials = 2048,
+            uint64_t Seed = 0x1eaf);
+
+/// Pointwise join (least upper bound: weaker, more permissive spec).
+CommSpec specJoin(const CommSpec &A, const CommSpec &B, std::string Name);
+
+/// Pointwise meet (greatest lower bound: stronger, more conservative spec).
+CommSpec specMeet(const CommSpec &A, const CommSpec &B, std::string Name);
+
+/// The bottom specification: every condition is `false`. Its abstract-lock
+/// implementation is a single global exclusive lock (§4.1).
+CommSpec bottomSpec(const DataTypeSig &Sig, std::string Name);
+
+/// Largest SIMPLE under-approximation reachable by pruning: keeps SIMPLE
+/// disjuncts, recursing through conjunctions; anything else collapses to
+/// `false`. The result always implies \p F.
+FormulaPtr simpleUnderApprox(const FormulaPtr &F, const DataTypeSig &Sig);
+
+/// Applies simpleUnderApprox to every condition; the resulting spec is
+/// SIMPLE and <= the input spec.
+CommSpec simpleUnderApproxSpec(const CommSpec &Spec, std::string Name);
+
+/// The §4.2 partition transform: \p Spec must be SIMPLE with plain (no key
+/// function) clauses; each clause x != y becomes part(x) != part(y) using
+/// the pure unary state function \p PartFn. The result is SIMPLE and <=
+/// \p Spec.
+CommSpec partitionSpec(const CommSpec &Spec, StateFnId PartFn,
+                       std::string Name);
+
+} // namespace comlat
+
+#endif // COMLAT_CORE_LATTICE_H

@@ -1,0 +1,45 @@
+//===- core/MethodSig.cpp - Data-type signatures --------------------------===//
+
+#include "core/MethodSig.h"
+#include "core/Value.h"
+
+using namespace comlat;
+
+MethodId DataTypeSig::addMethod(const std::string &MName, unsigned NumArgs,
+                                bool HasRet, bool Mutating) {
+  Methods.push_back(MethodInfo{MName, NumArgs, HasRet, Mutating});
+  return static_cast<MethodId>(Methods.size() - 1);
+}
+
+StateFnId DataTypeSig::addStateFn(const std::string &FName, unsigned NumArgs,
+                                  bool Pure) {
+  StateFns.push_back(StateFnInfo{FName, NumArgs, Pure});
+  return static_cast<StateFnId>(StateFns.size() - 1);
+}
+
+MethodId DataTypeSig::methodByName(const std::string &MName) const {
+  for (MethodId M = 0; M != Methods.size(); ++M)
+    if (Methods[M].Name == MName)
+      return M;
+  COMLAT_UNREACHABLE("unknown method name");
+}
+
+StateFnId DataTypeSig::stateFnByName(const std::string &FName) const {
+  for (StateFnId F = 0; F != StateFns.size(); ++F)
+    if (StateFns[F].Name == FName)
+      return F;
+  COMLAT_UNREACHABLE("unknown state-function name");
+}
+
+std::string Invocation::str(const DataTypeSig &Sig) const {
+  std::string Out = Sig.method(Method).Name + "(";
+  for (size_t I = 0; I != Args.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += Args[I].str();
+  }
+  Out += ")";
+  if (Sig.method(Method).HasRet)
+    Out += "/" + Ret.str();
+  return Out;
+}

@@ -1,0 +1,125 @@
+//===- core/MethodSig.h - Data-type signatures ------------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Describes the *signature* of an abstract data type: the set of methods m
+/// in M (§2.1 of the paper) together with the registered state functions
+/// (the `f(S, V, V, ...)` production of logic L1, Fig. 1) that commutativity
+/// conditions may apply. Signatures are pure metadata; the concrete
+/// behaviour of methods and state functions is bound later, by the runtime
+/// (see runtime/Gatekeeper*.h) or by tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_CORE_METHODSIG_H
+#define COMLAT_CORE_METHODSIG_H
+
+#include "core/Value.h"
+#include "support/Compiler.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace comlat {
+
+/// Index of a method within a DataTypeSig.
+using MethodId = uint32_t;
+
+/// Index of a state function within a DataTypeSig.
+using StateFnId = uint32_t;
+
+/// Static description of one ADT method.
+struct MethodInfo {
+  std::string Name;
+  /// Number of declared arguments.
+  unsigned NumArgs = 0;
+  /// True if invocations produce a meaningful return value (otherwise the
+  /// return is the unit value).
+  bool HasRet = false;
+  /// True if the method may change the *abstract* state of the structure.
+  /// Read-only methods (e.g. contains, find, nearest) never need undo
+  /// actions even when their concrete implementation mutates memory (path
+  /// compression, §1 of the paper).
+  bool Mutating = false;
+};
+
+/// Static description of one state function usable in conditions.
+///
+/// Pure functions (e.g. the kd-tree's `dist`) depend only on their value
+/// arguments; impure ones (e.g. union-find's `rep`, `rank`, `loser`) also
+/// read the abstract state they are applied in, which is what makes some
+/// conditions fail the ONLINE-CHECKABLE test (Def. 7).
+struct StateFnInfo {
+  std::string Name;
+  unsigned NumArgs = 0;
+  /// True if the result depends only on the arguments, not on the state.
+  bool Pure = false;
+};
+
+/// The signature of an abstract data type: named methods plus named state
+/// functions. A CommSpec (core/Spec.h) is always relative to one signature.
+class DataTypeSig {
+public:
+  explicit DataTypeSig(std::string Name) : Name(std::move(Name)) {}
+
+  /// Registers a method and returns its id. Ids are dense and stable.
+  MethodId addMethod(const std::string &Name, unsigned NumArgs, bool HasRet,
+                     bool Mutating);
+
+  /// Registers a state function and returns its id.
+  StateFnId addStateFn(const std::string &Name, unsigned NumArgs, bool Pure);
+
+  const std::string &name() const { return Name; }
+
+  unsigned numMethods() const { return static_cast<unsigned>(Methods.size()); }
+  unsigned numStateFns() const {
+    return static_cast<unsigned>(StateFns.size());
+  }
+
+  const MethodInfo &method(MethodId M) const {
+    assert(M < Methods.size() && "bad method id");
+    return Methods[M];
+  }
+  const StateFnInfo &stateFn(StateFnId F) const {
+    assert(F < StateFns.size() && "bad state-function id");
+    return StateFns[F];
+  }
+
+  /// Finds a method by name; aborts if absent (signatures are static data,
+  /// a miss is a programming error).
+  MethodId methodByName(const std::string &Name) const;
+
+  /// Finds a state function by name; aborts if absent.
+  StateFnId stateFnByName(const std::string &Name) const;
+
+private:
+  std::string Name;
+  std::vector<MethodInfo> Methods;
+  std::vector<StateFnInfo> StateFns;
+};
+
+/// A runtime record of one method invocation (m(v))/r: the method, its
+/// actual arguments and, once executed, its return value. Histories (§2.1)
+/// are sequences of these.
+struct Invocation {
+  MethodId Method = 0;
+  std::vector<Value> Args;
+  Value Ret;
+
+  Invocation() = default;
+  Invocation(MethodId M, std::vector<Value> A) : Method(M), Args(std::move(A)) {}
+  Invocation(MethodId M, std::vector<Value> A, Value R)
+      : Method(M), Args(std::move(A)), Ret(R) {}
+
+  /// Renders e.g. "add(3)/true" for diagnostics.
+  std::string str(const DataTypeSig &Sig) const;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_CORE_METHODSIG_H

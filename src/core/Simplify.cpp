@@ -1,0 +1,150 @@
+//===- core/Simplify.cpp - Formula normalization ---------------------------===//
+
+#include "core/Simplify.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace comlat;
+using namespace comlat::dsl;
+
+/// Negates a comparison operator.
+static CmpOp negateCmp(CmpOp Op) {
+  switch (Op) {
+  case CmpOp::EQ:
+    return CmpOp::NE;
+  case CmpOp::NE:
+    return CmpOp::EQ;
+  case CmpOp::LT:
+    return CmpOp::GE;
+  case CmpOp::LE:
+    return CmpOp::GT;
+  case CmpOp::GT:
+    return CmpOp::LE;
+  case CmpOp::GE:
+    return CmpOp::LT;
+  }
+  COMLAT_UNREACHABLE("bad comparison op");
+}
+
+/// Folds a comparison of two constants; returns nullptr when not foldable.
+static FormulaPtr foldConstCmp(CmpOp Op, const TermPtr &L, const TermPtr &R) {
+  if (L->K != Term::Kind::Const || R->K != Term::Kind::Const)
+    return nullptr;
+  const Value &A = L->Literal, &B = R->Literal;
+  switch (Op) {
+  case CmpOp::EQ:
+    return A == B ? top() : bottom();
+  case CmpOp::NE:
+    return A != B ? top() : bottom();
+  default:
+    break;
+  }
+  if (!A.isNumber() || !B.isNumber())
+    return nullptr;
+  const double X = A.asNumber(), Y = B.asNumber();
+  switch (Op) {
+  case CmpOp::LT:
+    return X < Y ? top() : bottom();
+  case CmpOp::LE:
+    return X <= Y ? top() : bottom();
+  case CmpOp::GT:
+    return X > Y ? top() : bottom();
+  case CmpOp::GE:
+    return X >= Y ? top() : bottom();
+  default:
+    COMLAT_UNREACHABLE("bad comparison op");
+  }
+}
+
+static FormulaPtr simplifyCmp(const FormulaPtr &F) {
+  if (FormulaPtr Folded = foldConstCmp(F->Op, F->Lhs, F->Rhs))
+    return Folded;
+  // A term always equals itself within one evaluation (terms are
+  // deterministic given the invocation pair and resolver).
+  if (F->Lhs->key() == F->Rhs->key()) {
+    switch (F->Op) {
+    case CmpOp::EQ:
+    case CmpOp::LE:
+    case CmpOp::GE:
+      return top();
+    case CmpOp::NE:
+    case CmpOp::LT:
+    case CmpOp::GT:
+      return bottom();
+    }
+  }
+  // Canonical operand order for the symmetric operators.
+  if ((F->Op == CmpOp::EQ || F->Op == CmpOp::NE) &&
+      F->Rhs->key() < F->Lhs->key())
+    return cmp(F->Op, F->Rhs, F->Lhs);
+  return F;
+}
+
+static FormulaPtr simplifyNot(FormulaPtr Inner) {
+  switch (Inner->K) {
+  case Formula::Kind::True:
+    return bottom();
+  case Formula::Kind::False:
+    return top();
+  case Formula::Kind::Not:
+    return Inner->Kids[0];
+  case Formula::Kind::Cmp:
+    return simplifyCmp(cmp(negateCmp(Inner->Op), Inner->Lhs, Inner->Rhs));
+  case Formula::Kind::And:
+  case Formula::Kind::Or:
+    return negate(std::move(Inner));
+  }
+  COMLAT_UNREACHABLE("bad formula kind");
+}
+
+static FormulaPtr simplifyJunction(Formula::Kind Kind,
+                                   std::vector<FormulaPtr> SimplifiedKids) {
+  const bool IsAnd = Kind == Formula::Kind::And;
+  // Flatten nested junctions of the same kind, drop neutral elements, and
+  // short-circuit on the dominating element.
+  std::map<std::string, FormulaPtr> Unique;
+  std::vector<FormulaPtr> Work = std::move(SimplifiedKids);
+  for (size_t I = 0; I != Work.size(); ++I) {
+    const FormulaPtr &Kid = Work[I];
+    if (Kid->K == Kind) {
+      Work.insert(Work.end(), Kid->Kids.begin(), Kid->Kids.end());
+      continue;
+    }
+    if ((IsAnd && Kid->isTrue()) || (!IsAnd && Kid->isFalse()))
+      continue; // Neutral element.
+    if ((IsAnd && Kid->isFalse()) || (!IsAnd && Kid->isTrue()))
+      return IsAnd ? bottom() : top(); // Dominating element.
+    Unique.emplace(Kid->key(), Kid);
+  }
+  if (Unique.empty())
+    return IsAnd ? top() : bottom();
+  if (Unique.size() == 1)
+    return Unique.begin()->second;
+  std::vector<FormulaPtr> Kids;
+  Kids.reserve(Unique.size());
+  for (auto &Entry : Unique)
+    Kids.push_back(Entry.second);
+  return IsAnd ? conj(std::move(Kids)) : disj(std::move(Kids));
+}
+
+FormulaPtr comlat::simplify(const FormulaPtr &F) {
+  switch (F->K) {
+  case Formula::Kind::True:
+  case Formula::Kind::False:
+    return F;
+  case Formula::Kind::Cmp:
+    return simplifyCmp(F);
+  case Formula::Kind::Not:
+    return simplifyNot(simplify(F->Kids[0]));
+  case Formula::Kind::And:
+  case Formula::Kind::Or: {
+    std::vector<FormulaPtr> Kids;
+    Kids.reserve(F->Kids.size());
+    for (const FormulaPtr &Kid : F->Kids)
+      Kids.push_back(simplify(Kid));
+    return simplifyJunction(F->K, std::move(Kids));
+  }
+  }
+  COMLAT_UNREACHABLE("bad formula kind");
+}

@@ -1,0 +1,32 @@
+//===- core/Simplify.h - Formula normalization -------------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonicalizing simplification for condition formulas: constant folding,
+/// flattening of nested conjunctions/disjunctions, identity/absorption
+/// rules, de-duplication, and a stable child ordering. Lattice operations
+/// (join = pointwise disjunction, meet = pointwise conjunction, §2.4) apply
+/// this after combining formulas so that structural equality approximates
+/// logical equality well enough for the syntactic implication rules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_CORE_SIMPLIFY_H
+#define COMLAT_CORE_SIMPLIFY_H
+
+#include "core/Expr.h"
+
+namespace comlat {
+
+/// Returns a simplified, canonicalized formula logically equivalent to
+/// \p F. Idempotent: simplify(simplify(F)) is structurally equal to
+/// simplify(F).
+FormulaPtr simplify(const FormulaPtr &F);
+
+} // namespace comlat
+
+#endif // COMLAT_CORE_SIMPLIFY_H

@@ -1,0 +1,56 @@
+//===- core/Spec.cpp - Commutativity specifications ------------------------===//
+
+#include "core/Spec.h"
+#include "core/Simplify.h"
+
+using namespace comlat;
+
+CommSpec::CommSpec(const DataTypeSig *Sig, std::string Name)
+    : Sig(Sig), Name(std::move(Name)) {
+  assert(Sig && "spec requires a signature");
+}
+
+void CommSpec::set(MethodId M1, MethodId M2, FormulaPtr F) {
+  assert(M1 < Sig->numMethods() && M2 < Sig->numMethods() && "bad method id");
+  F = simplify(F);
+  if (M1 <= M2)
+    Conditions[{M1, M2}] = std::move(F);
+  else
+    Conditions[{M2, M1}] = simplify(mirrorFormula(F));
+}
+
+FormulaPtr CommSpec::get(MethodId M1, MethodId M2) const {
+  const bool Swap = M1 > M2;
+  const auto It =
+      Conditions.find(Swap ? std::make_pair(M2, M1) : std::make_pair(M1, M2));
+  if (It == Conditions.end())
+    COMLAT_UNREACHABLE("condition requested for an undefined method pair");
+  return Swap ? simplify(mirrorFormula(It->second)) : It->second;
+}
+
+bool CommSpec::isComplete() const {
+  for (MethodId M1 = 0; M1 != Sig->numMethods(); ++M1)
+    for (MethodId M2 = M1; M2 != Sig->numMethods(); ++M2)
+      if (!Conditions.count({M1, M2}))
+        return false;
+  return true;
+}
+
+ConditionClass CommSpec::classify() const {
+  ConditionClass Class = ConditionClass::Simple;
+  for (MethodId M1 = 0; M1 != Sig->numMethods(); ++M1)
+    for (MethodId M2 = 0; M2 != Sig->numMethods(); ++M2)
+      Class = worseClass(Class, classifyCondition(get(M1, M2), *Sig));
+  return Class;
+}
+
+std::string CommSpec::str() const {
+  std::string Out = "spec " + Name + " for " + Sig->name() + " [" +
+                    conditionClassName(classify()) + "]\n";
+  for (const auto &Entry : Conditions) {
+    Out += "  " + Sig->method(Entry.first.first).Name + " ~ " +
+           Sig->method(Entry.first.second).Name + " : " +
+           Entry.second->str(Sig) + "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,73 @@
+//===- core/Spec.h - Commutativity specifications ---------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A commutativity specification (§2.3): one condition formula per
+/// unordered pair of methods of a data type. Conditions are stored in one
+/// orientation (lower method id as the first invocation) and mirrored on
+/// demand, following the paper's convention that specifications are
+/// symmetric (§2.3 fn. 5).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_CORE_SPEC_H
+#define COMLAT_CORE_SPEC_H
+
+#include "core/Classify.h"
+#include "core/Expr.h"
+
+#include <map>
+
+namespace comlat {
+
+/// A complete commutativity specification for a data type.
+class CommSpec {
+public:
+  /// Creates an empty spec over \p Sig. The signature must outlive the
+  /// spec. \p Name labels the lattice point, e.g. "set-precise".
+  CommSpec(const DataTypeSig *Sig, std::string Name);
+
+  const DataTypeSig &sig() const { return *Sig; }
+  const std::string &name() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  /// Defines the condition for the pair (\p M1, \p M2), with \p F oriented
+  /// so that M1 is the first invocation. Symmetric entries are derived by
+  /// mirroring; self-pair formulas should be mirror-symmetric.
+  void set(MethodId M1, MethodId M2, FormulaPtr F);
+
+  /// Returns the condition for (\p M1 first, \p M2 second). Aborts if the
+  /// pair was never defined (specifications must be complete).
+  FormulaPtr get(MethodId M1, MethodId M2) const;
+
+  /// True when a condition exists for every unordered method pair.
+  bool isComplete() const;
+
+  /// Classifies the whole specification: the worst class over all ordered
+  /// pairs (a spec is SIMPLE only if every orientation is SIMPLE, etc.).
+  ConditionClass classify() const;
+
+  /// Pretty multi-line rendering for diagnostics and docs.
+  std::string str() const;
+
+  /// Iterates over stored (canonical-orientation) conditions.
+  const std::map<std::pair<MethodId, MethodId>, FormulaPtr> &
+  conditions() const {
+    return Conditions;
+  }
+
+private:
+  const DataTypeSig *Sig;
+  std::string Name;
+  /// Keyed by (min(M1,M2), max(M1,M2)); formula oriented with key.first as
+  /// the first invocation.
+  std::map<std::pair<MethodId, MethodId>, FormulaPtr> Conditions;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_CORE_SPEC_H

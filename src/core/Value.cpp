@@ -1,0 +1,90 @@
+//===- core/Value.cpp - Dynamic values flowing through methods -----------===//
+
+#include "core/Value.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace comlat;
+
+double Value::asNumber() const {
+  assert(isNumber() && "value is not numeric");
+  return isInt() ? static_cast<double>(I) : D;
+}
+
+bool Value::operator==(const Value &O) const {
+  if (K == O.K) {
+    switch (K) {
+    case Kind::None:
+      return true;
+    case Kind::Bool:
+    case Kind::Int:
+      return I == O.I;
+    case Kind::Real:
+      return D == O.D;
+    }
+    COMLAT_UNREACHABLE("bad value kind");
+  }
+  // Numeric cross-kind equality: 3 == 3.0.
+  if (isNumber() && O.isNumber())
+    return asNumber() == O.asNumber();
+  return false;
+}
+
+bool Value::operator<(const Value &O) const {
+  if (K != O.K)
+    return static_cast<uint8_t>(K) < static_cast<uint8_t>(O.K);
+  switch (K) {
+  case Kind::None:
+    return false;
+  case Kind::Bool:
+  case Kind::Int:
+    return I < O.I;
+  case Kind::Real:
+    return D < O.D;
+  }
+  COMLAT_UNREACHABLE("bad value kind");
+}
+
+uint64_t Value::hash() const {
+  uint64_t Bits;
+  switch (K) {
+  case Kind::None:
+    Bits = 0x6e6f6e65ull;
+    break;
+  case Kind::Bool:
+    Bits = I ? 0x74727565ull : 0x66616c73ull;
+    break;
+  case Kind::Int:
+    Bits = static_cast<uint64_t>(I);
+    break;
+  case Kind::Real: {
+    double Val = D;
+    static_assert(sizeof(Val) == sizeof(Bits), "unexpected double size");
+    __builtin_memcpy(&Bits, &Val, sizeof(Bits));
+    break;
+  }
+  }
+  // SplitMix-style finalizer with the kind mixed in.
+  Bits ^= static_cast<uint64_t>(K) << 56;
+  Bits = (Bits ^ (Bits >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Bits = (Bits ^ (Bits >> 27)) * 0x94D049BB133111EBull;
+  return Bits ^ (Bits >> 31);
+}
+
+std::string Value::str() const {
+  char Buf[64];
+  switch (K) {
+  case Kind::None:
+    return "()";
+  case Kind::Bool:
+    return I ? "true" : "false";
+  case Kind::Int:
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(I));
+    return Buf;
+  case Kind::Real:
+    std::snprintf(Buf, sizeof(Buf), "%g", D);
+    return Buf;
+  }
+  COMLAT_UNREACHABLE("bad value kind");
+}

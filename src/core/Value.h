@@ -1,0 +1,113 @@
+//===- core/Value.h - Dynamic values flowing through methods ---*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic value type used for method arguments, return values and the
+/// results of state functions in commutativity conditions (the V and F
+/// productions of the logic L1, Fig. 1 of the paper). Values are small
+/// tagged scalars: unit (no value), booleans, 64-bit integers (also used as
+/// opaque handles for set keys, graph nodes, points, ...) and reals (used
+/// for distances in the kd-tree specification).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_CORE_VALUE_H
+#define COMLAT_CORE_VALUE_H
+
+#include "support/Compiler.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace comlat {
+
+/// A small tagged scalar value.
+///
+/// Equality across Int and Real compares numerically; all other cross-kind
+/// comparisons are false. Values are totally ordered (by kind, then payload)
+/// so they can key ordered containers such as the abstract-lock table.
+class Value {
+public:
+  enum class Kind : uint8_t { None, Bool, Int, Real };
+
+  /// Constructs the unit value (used as the "return" of void methods).
+  Value() : K(Kind::None), I(0) {}
+
+  static Value none() { return Value(); }
+  static Value boolean(bool B) {
+    Value V;
+    V.K = Kind::Bool;
+    V.I = B ? 1 : 0;
+    return V;
+  }
+  static Value integer(int64_t X) {
+    Value V;
+    V.K = Kind::Int;
+    V.I = X;
+    return V;
+  }
+  static Value real(double X) {
+    Value V;
+    V.K = Kind::Real;
+    V.D = X;
+    return V;
+  }
+
+  Kind kind() const { return K; }
+  bool isNone() const { return K == Kind::None; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isReal() const { return K == Kind::Real; }
+
+  bool asBool() const {
+    assert(isBool() && "value is not a bool");
+    return I != 0;
+  }
+  int64_t asInt() const {
+    assert(isInt() && "value is not an int");
+    return I;
+  }
+  double asReal() const {
+    assert(isReal() && "value is not a real");
+    return D;
+  }
+
+  /// Returns the value as a double, promoting integers. Only valid for
+  /// numeric kinds.
+  double asNumber() const;
+
+  /// True when both kinds are numeric (Int or Real).
+  bool isNumber() const { return isInt() || isReal(); }
+
+  bool operator==(const Value &O) const;
+  bool operator!=(const Value &O) const { return !(*this == O); }
+
+  /// Total order: by kind first, then payload (Int/Real compared within
+  /// their own kind, so the order is consistent with operator== only for
+  /// same-kind values; adequate for container keys).
+  bool operator<(const Value &O) const;
+
+  /// Stable 64-bit hash suitable for lock-table keying. Numerically equal
+  /// Int/Real values may hash differently; the lock table normalizes kinds
+  /// before hashing (see LockTable).
+  uint64_t hash() const;
+
+  /// Renders the value for diagnostics, e.g. "42", "true", "3.5", "()".
+  std::string str() const;
+
+private:
+  Kind K;
+  union {
+    int64_t I;
+    double D;
+  };
+};
+
+} // namespace comlat
+
+#endif // COMLAT_CORE_VALUE_H

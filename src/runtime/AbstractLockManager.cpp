@@ -1,0 +1,77 @@
+//===- runtime/AbstractLockManager.cpp - Lock-based conflicts --------------===//
+
+#include "runtime/AbstractLockManager.h"
+
+using namespace comlat;
+
+AbstractLockManager::AbstractLockManager(const LockScheme *Scheme,
+                                         std::string Label, KeyEvalFn KeyEval)
+    : Scheme(Scheme), Label(std::move(Label)), KeyEval(std::move(KeyEval)) {
+  assert(Scheme && "manager requires a scheme");
+}
+
+bool AbstractLockManager::acquireList(Transaction &Tx,
+                                      const std::vector<LockAcquisition> &List,
+                                      const std::vector<Value> &Args,
+                                      const Value *Ret) {
+  for (const LockAcquisition &Acq : List) {
+    AbstractLock *Lock;
+    if (Acq.OnStructure) {
+      Lock = &StructureLock;
+    } else {
+      Value Key;
+      if (Acq.IsRet) {
+        assert(Ret && "return-value lock requested before execution");
+        Key = *Ret;
+      } else {
+        assert(Acq.ArgIndex < Args.size() && "argument index out of range");
+        Key = Args[Acq.ArgIndex];
+      }
+      uint32_t Space = LockTable::PlainSpace;
+      if (Acq.KeyFn) {
+        assert(KeyEval && "keyed clause but no key evaluator bound");
+        Key = KeyEval(*Acq.KeyFn, Key);
+        Space = *Acq.KeyFn;
+      }
+      Lock = Table.lockFor(Space, Key);
+    }
+    Acquires.fetch_add(1, std::memory_order_relaxed);
+    if (!Lock->tryAcquire(Tx.id(), Acq.Mode, Scheme->compat())) {
+      Conflicts.fetch_add(1, std::memory_order_relaxed);
+      Tx.fail();
+      return false;
+    }
+    {
+      std::lock_guard<std::mutex> Guard(HeldMutex);
+      Held[Tx.id()].push_back(Lock);
+    }
+  }
+  return true;
+}
+
+bool AbstractLockManager::acquirePre(Transaction &Tx, MethodId M,
+                                     const std::vector<Value> &Args) {
+  Tx.touch(this);
+  return acquireList(Tx, Scheme->preAcquires(M), Args, nullptr);
+}
+
+bool AbstractLockManager::acquirePost(Transaction &Tx, MethodId M,
+                                      const std::vector<Value> &Args,
+                                      const Value &Ret) {
+  Tx.touch(this);
+  return acquireList(Tx, Scheme->postAcquires(M), Args, &Ret);
+}
+
+void AbstractLockManager::release(Transaction &Tx, bool Committed) {
+  std::vector<AbstractLock *> Locks;
+  {
+    std::lock_guard<std::mutex> Guard(HeldMutex);
+    const auto It = Held.find(Tx.id());
+    if (It == Held.end())
+      return;
+    Locks = std::move(It->second);
+    Held.erase(It);
+  }
+  for (AbstractLock *Lock : Locks)
+    Lock->releaseAll(Tx.id());
+}

@@ -1,0 +1,76 @@
+//===- runtime/AbstractLockManager.h - Lock-based conflicts -----*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime side of abstract locking (§3.2): executes the acquisitions a
+/// LockScheme prescribes against a LockTable, tracks per-transaction holds,
+/// and reports conflicts on failed acquisition. All locks are released when
+/// the transaction ends (commit or abort), per the paper's protocol.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_RUNTIME_ABSTRACTLOCKMANAGER_H
+#define COMLAT_RUNTIME_ABSTRACTLOCKMANAGER_H
+
+#include "runtime/LockScheme.h"
+#include "runtime/Transaction.h"
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+
+namespace comlat {
+
+/// Conflict detector driven by a generated LockScheme.
+///
+/// Boosted wrappers call acquirePre before running the sequential method
+/// and acquirePost after it returns (return-value locks). Both mark the
+/// transaction failed and return false on conflict; the wrapper then skips
+/// or undoes its work and the executor aborts the transaction, releasing
+/// every lock.
+class AbstractLockManager : public ConflictDetector {
+public:
+  /// Evaluates pure key functions (e.g. §4.2's `part`) for keyed clauses.
+  using KeyEvalFn = std::function<Value(StateFnId, const Value &)>;
+
+  /// \p Scheme must outlive the manager. \p KeyEval may be null when the
+  /// scheme uses no key functions.
+  AbstractLockManager(const LockScheme *Scheme, std::string Label,
+                      KeyEvalFn KeyEval = nullptr);
+
+  /// Acquires the structure and argument locks for invoking \p M.
+  bool acquirePre(Transaction &Tx, MethodId M, const std::vector<Value> &Args);
+
+  /// Acquires the return-value locks after \p M returned \p Ret.
+  bool acquirePost(Transaction &Tx, MethodId M, const std::vector<Value> &Args,
+                   const Value &Ret);
+
+  void release(Transaction &Tx, bool Committed) override;
+  const char *name() const override { return Label.c_str(); }
+
+  uint64_t numAcquires() const { return Acquires.load(); }
+  uint64_t numConflicts() const { return Conflicts.load(); }
+
+private:
+  bool acquireList(Transaction &Tx, const std::vector<LockAcquisition> &List,
+                   const std::vector<Value> &Args, const Value *Ret);
+
+  const LockScheme *Scheme;
+  std::string Label;
+  KeyEvalFn KeyEval;
+  LockTable Table;
+  AbstractLock StructureLock;
+  std::mutex HeldMutex;
+  std::map<TxId, std::vector<AbstractLock *>> Held;
+  std::atomic<uint64_t> Acquires{0};
+  std::atomic<uint64_t> Conflicts{0};
+};
+
+} // namespace comlat
+
+#endif // COMLAT_RUNTIME_ABSTRACTLOCKMANAGER_H

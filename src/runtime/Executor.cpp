@@ -1,0 +1,75 @@
+//===- runtime/Executor.cpp - Speculative parallel executor ----------------===//
+
+#include "runtime/Executor.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+
+#include <atomic>
+#include <thread>
+
+using namespace comlat;
+
+ExecStats Executor::run(Worklist &WL, const OperatorFn &Op) {
+  assert(NumThreads > 0 && "need at least one worker");
+  std::atomic<uint64_t> NextTxId{1};
+  std::atomic<int64_t> InFlight{0};
+  std::atomic<uint64_t> Committed{0}, Aborted{0};
+
+  auto WorkLoop = [&](unsigned ThreadIndex) {
+    Rng BackoffRng(0x9e37 + ThreadIndex);
+    unsigned ConsecutiveAborts = 0;
+    for (;;) {
+      // Claim in-flight status before popping so no other thread can see
+      // "queue empty and nobody running" while we hold an item.
+      InFlight.fetch_add(1, std::memory_order_acq_rel);
+      const std::optional<int64_t> Item = WL.tryPop();
+      if (!Item) {
+        // Quiescent only when nothing is queued and nothing is running; a
+        // running iteration may still push work or re-push its item (it
+        // always pushes before dropping its in-flight claim).
+        if (InFlight.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+            WL.empty())
+          return;
+        std::this_thread::yield();
+        continue;
+      }
+      Transaction Tx(NextTxId.fetch_add(1, std::memory_order_relaxed));
+      Tx.setRecording(RecordHistories);
+      TxWorklist TxWL(WL, Tx);
+      Op(Tx, *Item, TxWL);
+      if (Tx.failed()) {
+        Tx.abort();
+        Aborted.fetch_add(1, std::memory_order_relaxed);
+        WL.push(*Item); // Before the InFlight decrement: no lost work.
+        InFlight.fetch_sub(1, std::memory_order_acq_rel);
+        // Randomized exponential backoff on consecutive aborts.
+        ++ConsecutiveAborts;
+        const unsigned Cap = std::min(ConsecutiveAborts, 10u);
+        const uint64_t DelayUs = BackoffRng.nextBelow(1ull << Cap);
+        if (DelayUs > 0)
+          std::this_thread::sleep_for(std::chrono::microseconds(DelayUs));
+        else
+          std::this_thread::yield();
+      } else {
+        Tx.commit();
+        Committed.fetch_add(1, std::memory_order_relaxed);
+        InFlight.fetch_sub(1, std::memory_order_acq_rel);
+        ConsecutiveAborts = 0;
+      }
+    }
+  };
+
+  Timer T;
+  std::vector<std::thread> Workers;
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back(WorkLoop, I);
+  for (std::thread &W : Workers)
+    W.join();
+
+  ExecStats Stats;
+  Stats.Committed = Committed.load();
+  Stats.Aborted = Aborted.load();
+  Stats.Seconds = T.seconds();
+  return Stats;
+}

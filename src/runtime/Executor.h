@@ -1,0 +1,65 @@
+//===- runtime/Executor.h - Speculative parallel executor -------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The optimistic parallel executor in the style of the Galois system the
+/// paper evaluates on: worker threads repeatedly pop a work item, run the
+/// loop operator as a transaction over boosted data structures, and either
+/// commit or — when a conflict detector objected — abort (undoing every
+/// effect) and retry the item later with randomized exponential backoff.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_RUNTIME_EXECUTOR_H
+#define COMLAT_RUNTIME_EXECUTOR_H
+
+#include "runtime/Transaction.h"
+#include "runtime/Worklist.h"
+
+#include <functional>
+
+namespace comlat {
+
+/// Outcome statistics of one speculative run.
+struct ExecStats {
+  uint64_t Committed = 0;
+  uint64_t Aborted = 0;
+  double Seconds = 0;
+
+  /// Fraction of iteration executions that aborted (the paper's "Abort
+  /// Ratio %", Table 2, is this times 100).
+  double abortRatio() const {
+    const uint64_t Total = Committed + Aborted;
+    return Total == 0 ? 0.0 : static_cast<double>(Aborted) / Total;
+  }
+};
+
+/// Runs speculative worklist loops.
+class Executor {
+public:
+  /// The loop operator: one iteration body. It must check Tx.failed()
+  /// after every boosted call and return promptly when set; new work goes
+  /// through the TxWorklist so it materializes only on commit.
+  using OperatorFn =
+      std::function<void(Transaction &Tx, int64_t Item, TxWorklist &WL)>;
+
+  /// \p NumThreads workers; \p RecordHistories enables per-transaction
+  /// invocation recording (for the serializability tests).
+  explicit Executor(unsigned NumThreads, bool RecordHistories = false)
+      : NumThreads(NumThreads), RecordHistories(RecordHistories) {}
+
+  /// Drains \p WL, applying \p Op to every item until no work remains.
+  ExecStats run(Worklist &WL, const OperatorFn &Op);
+
+private:
+  unsigned NumThreads;
+  bool RecordHistories;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_RUNTIME_EXECUTOR_H

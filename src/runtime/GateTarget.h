@@ -1,0 +1,65 @@
+//===- runtime/GateTarget.h - Structures protectable by gatekeepers -------===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface a data structure exposes to a gatekeeper (§3.3). Per the
+/// paper, "a gatekeeper interacts with a data structure only by invoking
+/// methods on it, [so] the data structure is effectively a black box": the
+/// gatekeeper executes methods, evaluates state functions, and — for
+/// general gatekeeping — temporarily undoes and redoes mutating invocations
+/// to evaluate conditions in historical states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_RUNTIME_GATETARGET_H
+#define COMLAT_RUNTIME_GATETARGET_H
+
+#include "core/MethodSig.h"
+
+#include <functional>
+#include <vector>
+
+namespace comlat {
+
+/// Inverse/replay pair for one mutating effect. Undo must restore the
+/// *abstract* state exactly; Redo must re-establish it (the concrete
+/// representation may differ, which is the whole point of semantic
+/// conflict detection).
+struct GateAction {
+  std::function<void()> Undo;
+  std::function<void()> Redo;
+};
+
+/// A black-box abstract data type as seen by a gatekeeper. Calls are always
+/// made under the gatekeeper's gate mutex, so implementations need no
+/// internal synchronization for these entry points.
+class GateTarget {
+public:
+  virtual ~GateTarget();
+
+  /// Executes method \p M with \p Args in the current state, returning its
+  /// value. Mutating methods append one or more GateActions describing how
+  /// to undo/redo their abstract-state effects; read-only methods append
+  /// nothing (even if they mutate the concrete representation, e.g. path
+  /// compression).
+  virtual Value gateExecute(MethodId M, const std::vector<Value> &Args,
+                            std::vector<GateAction> &Actions) = 0;
+
+  /// Evaluates the state function \p F against the *current* state (pure
+  /// functions ignore the state).
+  virtual Value gateEvalStateFn(StateFnId F,
+                                const std::vector<Value> &Args) = 0;
+
+  /// Canonical abstract-state fingerprint; used by the specification
+  /// validator to compare final states across execution orders. The
+  /// default (empty) disables the state comparison.
+  virtual std::string gateSignature() const { return std::string(); }
+};
+
+} // namespace comlat
+
+#endif // COMLAT_RUNTIME_GATETARGET_H

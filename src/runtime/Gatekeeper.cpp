@@ -1,0 +1,315 @@
+//===- runtime/Gatekeeper.cpp - Forward and general gatekeeping ------------===//
+
+#include "runtime/Gatekeeper.h"
+#include "core/Eval.h"
+
+#include <algorithm>
+
+using namespace comlat;
+
+GateTarget::~GateTarget() = default;
+
+/// True if the term transitively contains an application over s1.
+static bool termTouchesS1(const TermPtr &T) {
+  switch (T->K) {
+  case Term::Kind::Arg:
+  case Term::Kind::Ret:
+  case Term::Kind::Const:
+    return false;
+  case Term::Kind::Apply:
+    if (T->State == StateRef::S1)
+      return true;
+    for (const TermPtr &A : T->Args)
+      if (termTouchesS1(A))
+        return true;
+    return false;
+  case Term::Kind::Arith:
+    return termTouchesS1(T->Lhs) || termTouchesS1(T->Rhs);
+  }
+  COMLAT_UNREACHABLE("bad term kind");
+}
+
+namespace comlat {
+
+/// Resolver for phase 1 (pre-execution): the current state is s2 of the
+/// pending invocation. First-invocation applications come from the active
+/// invocation's log, or — general gatekeeping only — from rollback.
+class GatePreResolver : public ApplyResolver {
+public:
+  GatePreResolver(Gatekeeper &GK, const Gatekeeper::ActiveInv *A)
+      : GK(GK), A(A) {}
+
+  Value resolveApply(const Term &Apply,
+                     const std::vector<Value> &Args) override {
+    if (A) {
+      const auto It = A->Log.find(Apply.key());
+      if (It != A->Log.end())
+        return It->second;
+    }
+    if (Apply.State == StateRef::S1) {
+      assert(A && "s1-application with no first invocation");
+      assert(GK.K == Gatekeeper::Kind::General &&
+             "forward gatekeeper met an unlogged s1-application");
+      return GK.rollbackEval(A->StartSeq, Apply.Fn, Args);
+    }
+    // Pure, or s2 == current state.
+    return GK.Target->gateEvalStateFn(Apply.Fn, Args);
+  }
+
+private:
+  Gatekeeper &GK;
+  const Gatekeeper::ActiveInv *A;
+};
+
+/// Resolver for log-term evaluation at registration time: the invocation
+/// being logged is the first invocation and the current state is (or, for
+/// read-only methods, still equals) its s1, so everything evaluates live.
+class GateLogResolver : public ApplyResolver {
+public:
+  explicit GateLogResolver(Gatekeeper &GK) : GK(GK) {}
+
+  Value resolveApply(const Term &Apply,
+                     const std::vector<Value> &Args) override {
+    assert(Apply.State != StateRef::S2 &&
+           "loggable term may not reference s2");
+    return GK.Target->gateEvalStateFn(Apply.Fn, Args);
+  }
+
+private:
+  Gatekeeper &GK;
+};
+
+/// Resolver for phase 5 (post-execution checks): s1-applications from the
+/// active invocation's log (or rollback), s2-applications from the cache
+/// captured in phase 1, pure applications live.
+class GateCheckResolver : public ApplyResolver {
+public:
+  GateCheckResolver(Gatekeeper &GK, const Gatekeeper::ActiveInv *A,
+                    const std::map<std::string, Value> *S2Cache)
+      : GK(GK), A(A), S2Cache(S2Cache) {}
+
+  Value resolveApply(const Term &Apply,
+                     const std::vector<Value> &Args) override {
+    const std::string Key = Apply.key();
+    const auto LogIt = A->Log.find(Key);
+    if (LogIt != A->Log.end())
+      return LogIt->second;
+    if (Apply.State == StateRef::S2) {
+      const auto CacheIt = S2Cache->find(Key);
+      assert(CacheIt != S2Cache->end() && "s2-application missing from cache");
+      return CacheIt->second;
+    }
+    if (Apply.State == StateRef::None)
+      return GK.Target->gateEvalStateFn(Apply.Fn, Args);
+    assert(GK.K == Gatekeeper::Kind::General &&
+           "forward gatekeeper met an unlogged s1-application");
+    return GK.rollbackEval(A->StartSeq, Apply.Fn, Args);
+  }
+
+private:
+  Gatekeeper &GK;
+  const Gatekeeper::ActiveInv *A;
+  const std::map<std::string, Value> *S2Cache;
+};
+
+} // namespace comlat
+
+Gatekeeper::Gatekeeper(Kind K, const CommSpec *Spec, GateTarget *Target,
+                       std::string Label)
+    : K(K), Spec(Spec), Target(Target), Label(std::move(Label)) {
+  assert(Spec && Target && "gatekeeper requires a spec and a target");
+  assert(Spec->isComplete() && "specification must cover all method pairs");
+  const DataTypeSig &Sig = Spec->sig();
+  const unsigned NumMethods = Sig.numMethods();
+  Plans.resize(NumMethods);
+  LogPlans.resize(NumMethods);
+  for (MethodId M1 = 0; M1 != NumMethods; ++M1) {
+    Plans[M1].resize(NumMethods);
+    for (MethodId M2 = 0; M2 != NumMethods; ++M2) {
+      PairPlan &Plan = Plans[M1][M2];
+      Plan.F = Spec->get(M1, M2);
+      Plan.TriviallyTrue = Plan.F->isTrue();
+      Plan.S2Applies = collectS2Applies(Plan.F);
+      // Warm the structural-key caches while still single-threaded; the
+      // hot path only reads them afterwards.
+      Plan.F->key();
+      if (K == Kind::Forward)
+        assert(isOnlineCheckable(Plan.F) &&
+               "forward gatekeeper requires an ONLINE-CHECKABLE spec "
+               "(Def. 7); use a general gatekeeper");
+      // Harvest C_{M1}: loggable primitive functions of the first method.
+      std::map<std::string, bool> Seen;
+      for (const LogTermPlan &Existing : LogPlans[M1])
+        Seen.emplace(Existing.T->key(), true);
+      for (const TermPtr &T : collectLoggableApplies(Plan.F)) {
+        if (Seen.count(T->key()))
+          continue;
+        LogTermPlan LT;
+        LT.T = T;
+        LT.NeedsRet = termMentionsRet(T, InvIndex::Inv1);
+        assert(!(LT.NeedsRet && Sig.method(M1).Mutating &&
+                 termTouchesS1(T)) &&
+               "log term needs both the return value and the pre-state of a "
+               "mutating method; no scheme can evaluate it");
+        LogPlans[M1].push_back(LT);
+      }
+    }
+  }
+}
+
+Value Gatekeeper::rollbackEval(uint64_t StartSeq, StateFnId Fn,
+                               const std::vector<Value> &Args) {
+  RollbackEvals.fetch_add(1, std::memory_order_relaxed);
+  // Undo the suffix of the mutation log back to the historical state, ask
+  // the structure, then replay forward. The log may contain entries from
+  // committed transactions: commitment only means the effects are
+  // permanent, not that we cannot temporarily unwind them.
+  size_t I = MutLog.size();
+  while (I > 0 && MutLog[I - 1].Seq >= StartSeq) {
+    MutLog[I - 1].Act.Undo();
+    --I;
+  }
+  const Value Result = Target->gateEvalStateFn(Fn, Args);
+  for (; I != MutLog.size(); ++I)
+    MutLog[I].Act.Redo();
+  return Result;
+}
+
+bool Gatekeeper::invoke(Transaction &Tx, MethodId M,
+                        const std::vector<Value> &Args, Value &Ret) {
+  assert(M < Spec->sig().numMethods() && "bad method id");
+  assert(Args.size() == Spec->sig().method(M).NumArgs &&
+         "wrong argument count");
+  Tx.touch(this);
+  std::lock_guard<std::mutex> Guard(Gate);
+
+  Invocation NewInv(M, Args);
+
+  // Phase 1: pre-execution. Capture s2-application values for every
+  // pending check while the current state still is s2.
+  std::vector<std::pair<ActiveInv *, std::map<std::string, Value>>> Pending;
+  for (ActiveInv &ARef : Active) {
+    ActiveInv *A = &ARef;
+    if (A->Tx == Tx.id())
+      continue;
+    const PairPlan &Plan = Plans[A->Inv.Method][M];
+    if (Plan.TriviallyTrue)
+      continue;
+    std::map<std::string, Value> S2Cache;
+    if (!Plan.S2Applies.empty()) {
+      GatePreResolver Resolver(*this, A);
+      EvalContext Ctx{&A->Inv, &NewInv, &Resolver};
+      for (const TermPtr &T : Plan.S2Applies)
+        S2Cache.emplace(T->key(), evalTerm(T, Ctx));
+    }
+    Pending.emplace_back(A, std::move(S2Cache));
+  }
+
+  // Phase 2: log entries that do not need the return value; the current
+  // state is this invocation's s1.
+  std::map<std::string, Value> NewLog;
+  {
+    GateLogResolver Resolver(*this);
+    EvalContext Ctx{&NewInv, nullptr, &Resolver};
+    for (const LogTermPlan &LT : LogPlans[M])
+      if (!LT.NeedsRet)
+        NewLog.emplace(LT.T->key(), evalTerm(LT.T, Ctx));
+  }
+
+  // Phase 3: execute.
+  const uint64_t StartSeq = NextSeq;
+  std::vector<GateAction> Actions;
+  NewInv.Ret = Target->gateExecute(M, Args, Actions);
+  for (GateAction &Act : Actions) {
+    MutLog.push_back(MutEntry{NextSeq, Tx.id(), std::move(Act)});
+    ++NextSeq;
+  }
+
+  // Phase 4: return-value-dependent log entries (pure, or the method is
+  // read-only so the state still equals s1; asserted at plan build).
+  {
+    GateLogResolver Resolver(*this);
+    EvalContext Ctx{&NewInv, nullptr, &Resolver};
+    for (const LogTermPlan &LT : LogPlans[M])
+      if (LT.NeedsRet)
+        NewLog.emplace(LT.T->key(), evalTerm(LT.T, Ctx));
+  }
+
+  // Phase 5: check commutativity against every pending active invocation.
+  bool Commutes = true;
+  for (auto &[A, S2Cache] : Pending) {
+    Checks.fetch_add(1, std::memory_order_relaxed);
+    const PairPlan &Plan = Plans[A->Inv.Method][M];
+    GateCheckResolver Resolver(*this, A, &S2Cache);
+    EvalContext Ctx{&A->Inv, &NewInv, &Resolver};
+    if (!evalFormula(Plan.F, Ctx)) {
+      Commutes = false;
+      break;
+    }
+  }
+
+  if (!Commutes) {
+    // Undo this invocation's own effects; they form the newest log suffix.
+    while (NextSeq != StartSeq) {
+      assert(!MutLog.empty() && MutLog.back().Seq == NextSeq - 1 &&
+             "mutation log out of sync");
+      MutLog.back().Act.Undo();
+      MutLog.pop_back();
+      --NextSeq;
+    }
+    Conflicts.fetch_add(1, std::memory_order_relaxed);
+    Tx.fail();
+    return false;
+  }
+
+  Ret = NewInv.Ret;
+  Active.emplace_back();
+  ActiveInv &A = Active.back();
+  A.Tx = Tx.id();
+  A.StartSeq = StartSeq;
+  A.Inv = std::move(NewInv);
+  A.Log = std::move(NewLog);
+  return true;
+}
+
+void Gatekeeper::undoFor(Transaction &Tx) {
+  std::lock_guard<std::mutex> Guard(Gate);
+  // Undo this transaction's mutations newest-first. Out-of-order undo
+  // relative to other live transactions is sound because all active
+  // invocations pairwise commute (the gatekeeper's invariant).
+  for (auto It = MutLog.rbegin(); It != MutLog.rend(); ++It)
+    if (It->Tx == Tx.id())
+      It->Act.Undo();
+  std::deque<MutEntry> Kept;
+  for (MutEntry &E : MutLog)
+    if (E.Tx != Tx.id())
+      Kept.push_back(std::move(E));
+  MutLog = std::move(Kept);
+  Active.erase(std::remove_if(
+                   Active.begin(), Active.end(),
+                   [&](const ActiveInv &A) { return A.Tx == Tx.id(); }),
+               Active.end());
+  compactMutLog();
+}
+
+void Gatekeeper::release(Transaction &Tx, bool Committed) {
+  std::lock_guard<std::mutex> Guard(Gate);
+  Active.erase(std::remove_if(
+                   Active.begin(), Active.end(),
+                   [&](const ActiveInv &A) { return A.Tx == Tx.id(); }),
+               Active.end());
+  compactMutLog();
+}
+
+void Gatekeeper::compactMutLog() {
+  uint64_t MinSeq = NextSeq;
+  for (const ActiveInv &A : Active)
+    MinSeq = std::min(MinSeq, A.StartSeq);
+  while (!MutLog.empty() && MutLog.front().Seq < MinSeq)
+    MutLog.pop_front();
+}
+
+size_t Gatekeeper::numActive() const {
+  std::lock_guard<std::mutex> Guard(Gate);
+  return Active.size();
+}

@@ -1,0 +1,160 @@
+//===- runtime/Gatekeeper.h - Forward and general gatekeeping ---*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The gatekeeping conflict-detection paradigm of §3.3. A gatekeeper
+/// intercepts every method invocation on its structure and, atomically:
+///
+///  1. pre-evaluates, for every active invocation of another transaction,
+///     the s2-applications of the relevant condition (s2 is the state the
+///     new invocation runs in, so these must be computed before executing);
+///  2. pre-evaluates the new invocation's loggable primitive functions C_m
+///     that do not need its return value (for mutating methods, s1 is about
+///     to disappear);
+///  3. executes the method, collecting undo/redo actions;
+///  4. finishes the result log (return-value-dependent entries) and checks
+///     the condition f_{m_a, m} against every active invocation m_a of
+///     other transactions, resolving applications from the logs;
+///  5. on success records the invocation as active; on failure undoes the
+///     method's effects and reports a conflict.
+///
+/// A *forward* gatekeeper (§3.3.1) requires every condition to be
+/// ONLINE-CHECKABLE: all s1-applications resolve from logs. A *general*
+/// gatekeeper (§3.3.2) additionally resolves s1-applications that depend on
+/// second-invocation values by temporarily rolling the structure back to
+/// the historical state (undoing the suffix of the mutation log) and
+/// re-executing forward — exactly the paper's undo/re-execute scheme for
+/// union-find.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_RUNTIME_GATEKEEPER_H
+#define COMLAT_RUNTIME_GATEKEEPER_H
+
+#include "core/Classify.h"
+#include "core/Spec.h"
+#include "runtime/GateTarget.h"
+#include "runtime/Transaction.h"
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace comlat {
+
+/// Gatekeeper conflict detector; instantiate via ForwardGatekeeper or
+/// GeneralGatekeeper below.
+class Gatekeeper : public ConflictDetector {
+public:
+  enum class Kind : uint8_t { Forward, General };
+
+  /// \p Spec and \p Target must outlive the gatekeeper. Forward kind
+  /// asserts the specification is ONLINE-CHECKABLE in every orientation.
+  Gatekeeper(Kind K, const CommSpec *Spec, GateTarget *Target,
+             std::string Label);
+
+  /// Atomically checks, executes and logs one invocation. On conflict the
+  /// invocation's effects are undone, \p Tx is marked failed, and false is
+  /// returned; otherwise \p Ret receives the method's return value.
+  bool invoke(Transaction &Tx, MethodId M, const std::vector<Value> &Args,
+              Value &Ret);
+
+  void undoFor(Transaction &Tx) override;
+  void release(Transaction &Tx, bool Committed) override;
+  const char *name() const override { return Label.c_str(); }
+
+  uint64_t numChecks() const { return Checks.load(); }
+  uint64_t numConflicts() const { return Conflicts.load(); }
+  uint64_t numRollbackEvals() const { return RollbackEvals.load(); }
+
+  /// Number of invocations currently active (diagnostics/tests).
+  size_t numActive() const;
+
+private:
+  friend class GateCheckResolver;
+  friend class GatePreResolver;
+  friend class GateLogResolver;
+
+  /// One active invocation: a method executed by a live transaction.
+  struct ActiveInv {
+    TxId Tx;
+    /// Mutation-log sequence number at which this invocation started; the
+    /// state s1 of the invocation is reached by undoing all log entries
+    /// with Seq >= StartSeq.
+    uint64_t StartSeq;
+    Invocation Inv;
+    /// Pre-evaluated primitive-function results, keyed by term key.
+    std::map<std::string, Value> Log;
+  };
+
+  /// Per ordered method pair: the condition and its evaluation plan.
+  struct PairPlan {
+    FormulaPtr F;
+    bool TriviallyTrue = false;
+    std::vector<TermPtr> S2Applies;
+  };
+
+  /// Per method: one loggable primitive-function term.
+  struct LogTermPlan {
+    TermPtr T;
+    bool NeedsRet = false;
+  };
+
+  /// Rolls back to the state before \p StartSeq, evaluates \p Fn, rolls
+  /// forward again. Gate mutex must be held.
+  Value rollbackEval(uint64_t StartSeq, StateFnId Fn,
+                     const std::vector<Value> &Args);
+
+  /// Drops mutation-log entries no longer needed by any active invocation.
+  void compactMutLog();
+
+  Kind K;
+  const CommSpec *Spec;
+  GateTarget *Target;
+  std::string Label;
+
+  std::vector<std::vector<PairPlan>> Plans;    // [first][second]
+  std::vector<std::vector<LogTermPlan>> LogPlans; // [method]
+
+  mutable std::mutex Gate;
+  /// deque: stable references on push_back (pending checks hold pointers
+  /// within one invoke), no per-entry allocation.
+  std::deque<ActiveInv> Active;
+  struct MutEntry {
+    uint64_t Seq;
+    TxId Tx;
+    GateAction Act;
+  };
+  std::deque<MutEntry> MutLog;
+  uint64_t NextSeq = 0;
+
+  std::atomic<uint64_t> Checks{0};
+  std::atomic<uint64_t> Conflicts{0};
+  std::atomic<uint64_t> RollbackEvals{0};
+};
+
+/// Forward gatekeeper (§3.3.1): for ONLINE-CHECKABLE specifications.
+class ForwardGatekeeper : public Gatekeeper {
+public:
+  ForwardGatekeeper(const CommSpec *Spec, GateTarget *Target,
+                    std::string Label)
+      : Gatekeeper(Kind::Forward, Spec, Target, std::move(Label)) {}
+};
+
+/// General gatekeeper (§3.3.2): for arbitrary L1 specifications.
+class GeneralGatekeeper : public Gatekeeper {
+public:
+  GeneralGatekeeper(const CommSpec *Spec, GateTarget *Target,
+                    std::string Label)
+      : Gatekeeper(Kind::General, Spec, Target, std::move(Label)) {}
+};
+
+} // namespace comlat
+
+#endif // COMLAT_RUNTIME_GATEKEEPER_H

@@ -1,0 +1,82 @@
+//===- runtime/Interleaver.cpp - Deterministic concurrency testing ---------===//
+
+#include "runtime/Interleaver.h"
+
+using namespace comlat;
+
+InterleaveOutcome comlat::runInterleaved(const std::vector<TxScript> &Scripts,
+                                         const std::vector<unsigned> &Schedule,
+                                         bool RecordHistories) {
+  InterleaveOutcome Outcome;
+  const size_t N = Scripts.size();
+  Outcome.Committed.assign(N, false);
+  std::vector<size_t> NextStep(N, 0);
+  std::vector<bool> Done(N, false);
+  for (size_t I = 0; I != N; ++I) {
+    Outcome.Txs.push_back(std::make_unique<Transaction>(I + 1));
+    Outcome.Txs.back()->setRecording(RecordHistories);
+  }
+
+#ifndef NDEBUG
+  {
+    std::vector<size_t> Counts(N, 0);
+    for (const unsigned S : Schedule)
+      ++Counts.at(S);
+    for (size_t I = 0; I != N; ++I)
+      assert(Counts[I] == Scripts[I].Steps.size() &&
+             "schedule slot count must match script length");
+  }
+#endif
+
+  for (const unsigned S : Schedule) {
+    if (Done[S])
+      continue; // Aborted earlier; skip its remaining slots.
+    Transaction &Tx = *Outcome.Txs[S];
+    Scripts[S].Steps[NextStep[S]](Tx);
+    ++NextStep[S];
+    if (Tx.failed()) {
+      Tx.abort();
+      Done[S] = true;
+      continue;
+    }
+    if (NextStep[S] == Scripts[S].Steps.size()) {
+      Tx.commit();
+      Outcome.Committed[S] = true;
+      Done[S] = true;
+    }
+  }
+  // All scripts must have drained (schedule covers every step).
+  for (size_t I = 0; I != N; ++I)
+    assert(Done[I] && "script did not finish under the schedule");
+  return Outcome;
+}
+
+static void enumerateRec(std::vector<unsigned> &Remaining,
+                         std::vector<unsigned> &Prefix,
+                         std::vector<std::vector<unsigned>> &Out,
+                         size_t Limit) {
+  if (Limit != 0 && Out.size() >= Limit)
+    return;
+  bool AnyLeft = false;
+  for (unsigned I = 0; I != Remaining.size(); ++I) {
+    if (Remaining[I] == 0)
+      continue;
+    AnyLeft = true;
+    --Remaining[I];
+    Prefix.push_back(I);
+    enumerateRec(Remaining, Prefix, Out, Limit);
+    Prefix.pop_back();
+    ++Remaining[I];
+  }
+  if (!AnyLeft)
+    Out.push_back(Prefix);
+}
+
+std::vector<std::vector<unsigned>>
+comlat::enumerateSchedules(const std::vector<unsigned> &Counts, size_t Limit) {
+  std::vector<unsigned> Remaining = Counts;
+  std::vector<unsigned> Prefix;
+  std::vector<std::vector<unsigned>> Out;
+  enumerateRec(Remaining, Prefix, Out, Limit);
+  return Out;
+}

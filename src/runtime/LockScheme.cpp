@@ -1,0 +1,134 @@
+//===- runtime/LockScheme.cpp - Lock schemes from SIMPLE specs -------------===//
+
+#include "runtime/LockScheme.h"
+#include "core/Classify.h"
+
+#include <map>
+#include <set>
+
+using namespace comlat;
+
+LockScheme::LockScheme(const CommSpec &Spec) : Sig(&Spec.sig()) {
+  const unsigned NumMethods = Sig->numMethods();
+
+  // Step 1: define modes. Per method: a structure mode, one mode per
+  // argument slot, one for the return value.
+  std::map<std::pair<MethodId, Slot>, ModeId> SlotModes;
+  StructureModes.resize(NumMethods);
+  for (MethodId M = 0; M != NumMethods; ++M) {
+    const MethodInfo &Info = Sig->method(M);
+    StructureModes[M] = static_cast<ModeId>(Names.size());
+    Names.push_back(Info.Name + ":ds");
+    for (unsigned I = 0; I != Info.NumArgs; ++I) {
+      SlotModes[{M, Slot{false, I}}] = static_cast<ModeId>(Names.size());
+      Names.push_back(Info.Name + ":arg" + std::to_string(I));
+    }
+    if (Info.HasRet) {
+      SlotModes[{M, Slot{true, 0}}] = static_cast<ModeId>(Names.size());
+      Names.push_back(Info.Name + ":ret");
+    }
+  }
+
+  // Rule 3: compatibility is the default.
+  const unsigned NumModes = static_cast<unsigned>(Names.size());
+  Compat.assign(NumModes, std::vector<uint8_t>(NumModes, 1));
+
+  // Rules 1-2: incompatibilities from the specification. Track which key
+  // functions each slot is locked under so acquisitions use matching key
+  // spaces.
+  std::map<std::pair<MethodId, Slot>, std::set<std::optional<StateFnId>>>
+      SlotKeys;
+  auto MarkIncompatible = [this](ModeId A, ModeId B) {
+    Compat[A][B] = 0;
+    Compat[B][A] = 0;
+  };
+  for (MethodId M1 = 0; M1 != NumMethods; ++M1) {
+    for (MethodId M2 = M1; M2 != NumMethods; ++M2) {
+      const std::optional<SimpleForm> Form =
+          tryGetSimple(Spec.get(M1, M2), *Sig);
+      if (!Form)
+        COMLAT_UNREACHABLE("lock scheme requested for a non-SIMPLE "
+                           "specification (Theorem 1 forbids it)");
+      switch (Form->K) {
+      case SimpleForm::Kind::True:
+        break;
+      case SimpleForm::Kind::False:
+        MarkIncompatible(StructureModes[M1], StructureModes[M2]);
+        break;
+      case SimpleForm::Kind::Clauses:
+        for (const SimpleClause &C : Form->Clauses) {
+          const ModeId A = SlotModes.at({M1, C.Lhs});
+          const ModeId B = SlotModes.at({M2, C.Rhs});
+          MarkIncompatible(A, B);
+          SlotKeys[{M1, C.Lhs}].insert(C.KeyFn);
+          SlotKeys[{M2, C.Rhs}].insert(C.KeyFn);
+        }
+        break;
+      }
+    }
+  }
+
+  // Reduction: a mode compatible with every mode can never cause or suffer
+  // a conflict; drop it and its acquisitions.
+  Reduced.assign(NumModes, 1);
+  for (ModeId A = 0; A != NumModes; ++A)
+    for (ModeId B = 0; B != NumModes; ++B)
+      if (!Compat[A][B]) {
+        Reduced[A] = 0;
+        Reduced[B] = 0;
+      }
+
+  // Step 2: acquisitions (post-reduction).
+  Pre.resize(NumMethods);
+  Post.resize(NumMethods);
+  for (MethodId M = 0; M != NumMethods; ++M) {
+    const MethodInfo &Info = Sig->method(M);
+    if (!Reduced[StructureModes[M]])
+      Pre[M].push_back(LockAcquisition{StructureModes[M], /*OnStructure=*/true,
+                                       false, 0, std::nullopt});
+    auto AddSlot = [&](Slot S, std::vector<LockAcquisition> &Out) {
+      const auto ModeIt = SlotModes.find({M, S});
+      assert(ModeIt != SlotModes.end() && "slot without a mode");
+      if (Reduced[ModeIt->second])
+        return;
+      const auto KeysIt = SlotKeys.find({M, S});
+      // A non-reduced slot mode always stems from some clause, which
+      // registered at least one key space.
+      assert(KeysIt != SlotKeys.end() && "constrained slot without keys");
+      for (const std::optional<StateFnId> &Key : KeysIt->second)
+        Out.push_back(
+            LockAcquisition{ModeIt->second, false, S.IsRet, S.ArgIndex, Key});
+    };
+    for (unsigned I = 0; I != Info.NumArgs; ++I)
+      AddSlot(Slot{false, I}, Pre[M]);
+    if (Info.HasRet)
+      AddSlot(Slot{true, 0}, Post[M]);
+  }
+}
+
+std::string LockScheme::matrixStr(bool IncludeReduced) const {
+  std::vector<ModeId> Shown;
+  for (ModeId M = 0; M != numModes(); ++M)
+    if (IncludeReduced || !Reduced[M])
+      Shown.push_back(M);
+  size_t Width = 1;
+  for (ModeId M : Shown)
+    Width = std::max(Width, Names[M].size());
+  std::string Out(Width + 1, ' ');
+  for (ModeId M : Shown) {
+    Out += Names[M];
+    Out += ' ';
+  }
+  Out += '\n';
+  for (ModeId Row : Shown) {
+    Out += Names[Row];
+    Out.append(Width + 1 - Names[Row].size(), ' ');
+    for (ModeId Col : Shown) {
+      const std::string Cell = Compat[Row][Col] ? "+" : "x";
+      Out += Cell;
+      Out.append(Names[Col].size(), ' ');
+    }
+    Out += '\n';
+  }
+  return Out;
+}

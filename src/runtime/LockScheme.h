@@ -1,0 +1,101 @@
+//===- runtime/LockScheme.h - Lock schemes from SIMPLE specs ----*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The systematic abstract-locking construction of §3.2. Given a SIMPLE
+/// commutativity specification, the builder:
+///
+///  1. defines the abstract locks and their modes: one mode per method for
+///     the whole-structure lock (`m:ds`), plus one mode per argument slot
+///     (`m:arg_i`) and per return value (`m:ret`);
+///  2. decides which locks each method acquires: the structure lock and the
+///     argument locks before executing, the return-value lock after;
+///  3. derives the mode-compatibility matrix from the specification:
+///     - f_{m1,m2} = false       -> m1:ds incompatible with m2:ds,
+///     - each conjunct k(x)!=k(y) -> mode of x incompatible with mode of y
+///       (acquired on the key k(value), so equal keys collide),
+///     - everything else is compatible (rule 3);
+///
+/// and then removes superfluous modes (compatible with every mode) together
+/// with their acquisitions — the reduction that turns Fig. 8(a) into
+/// Fig. 8(b) for the accumulator. By Theorem 1 the resulting scheme is a
+/// sound and complete implementation of the specification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_RUNTIME_LOCKSCHEME_H
+#define COMLAT_RUNTIME_LOCKSCHEME_H
+
+#include "core/Spec.h"
+#include "runtime/LockTable.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace comlat {
+
+/// One lock acquisition a method performs.
+struct LockAcquisition {
+  ModeId Mode;
+  /// True: the whole-structure lock. False: a data-member lock keyed by the
+  /// slot's value (optionally mapped through KeyFn).
+  bool OnStructure = false;
+  /// Slot supplying the key (ignored for structure locks).
+  bool IsRet = false;
+  unsigned ArgIndex = 0;
+  /// Key space / key function: locks on k(x) live in key space k.
+  std::optional<StateFnId> KeyFn;
+};
+
+/// The generated locking scheme for one data type.
+class LockScheme {
+public:
+  /// Runs the construction algorithm. Aborts if \p Spec is not SIMPLE
+  /// (Theorem 1: no sound and complete abstract locking scheme exists).
+  explicit LockScheme(const CommSpec &Spec);
+
+  const DataTypeSig &sig() const { return *Sig; }
+
+  unsigned numModes() const { return static_cast<unsigned>(Names.size()); }
+  const std::string &modeName(ModeId M) const { return Names[M]; }
+  const CompatMatrix &compat() const { return Compat; }
+
+  /// The structure-lock mode of a method (always defined, pre-reduction).
+  ModeId structureMode(MethodId M) const { return StructureModes[M]; }
+
+  /// Acquisitions performed when invoking \p M, before execution
+  /// (post-reduction: superfluous ones removed).
+  const std::vector<LockAcquisition> &preAcquires(MethodId M) const {
+    return Pre[M];
+  }
+
+  /// Acquisitions performed after \p M returns (return-value locks).
+  const std::vector<LockAcquisition> &postAcquires(MethodId M) const {
+    return Post[M];
+  }
+
+  /// True when the reduction removed mode \p M entirely.
+  bool modeReduced(ModeId M) const { return Reduced[M]; }
+
+  /// Renders the compatibility matrix as in Fig. 8 of the paper; with
+  /// \p IncludeReduced the full matrix (a), otherwise the reduced one (b).
+  std::string matrixStr(bool IncludeReduced) const;
+
+private:
+  const DataTypeSig *Sig;
+  std::vector<std::string> Names;
+  CompatMatrix Compat;
+  std::vector<ModeId> StructureModes;
+  std::vector<std::vector<LockAcquisition>> Pre;
+  std::vector<std::vector<LockAcquisition>> Post;
+  std::vector<uint8_t> Reduced;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_RUNTIME_LOCKSCHEME_H

@@ -1,0 +1,85 @@
+//===- runtime/LockTable.cpp - Multi-mode abstract locks -------------------===//
+
+#include "runtime/LockTable.h"
+
+using namespace comlat;
+
+bool AbstractLock::tryAcquire(TxId Tx, ModeId Mode,
+                              const CompatMatrix &Compat) {
+  assert(Mode < Compat.size() && "mode out of range for matrix");
+  std::lock_guard<std::mutex> Guard(M);
+  for (const Holder &H : Holders) {
+    if (H.Tx == Tx)
+      continue;
+    if (!Compat[H.Mode][Mode])
+      return false;
+  }
+  for (Holder &H : Holders) {
+    if (H.Tx == Tx && H.Mode == Mode) {
+      ++H.Count;
+      return true;
+    }
+  }
+  Holders.push_back(Holder{Tx, Mode, 1});
+  return true;
+}
+
+void AbstractLock::releaseAll(TxId Tx) {
+  std::lock_guard<std::mutex> Guard(M);
+  for (size_t I = 0; I != Holders.size();) {
+    if (Holders[I].Tx == Tx) {
+      Holders[I] = Holders.back();
+      Holders.pop_back();
+    } else {
+      ++I;
+    }
+  }
+}
+
+bool AbstractLock::heldBy(TxId Tx) const {
+  std::lock_guard<std::mutex> Guard(M);
+  for (const Holder &H : Holders)
+    if (H.Tx == Tx)
+      return true;
+  return false;
+}
+
+unsigned AbstractLock::numHolders() const {
+  std::lock_guard<std::mutex> Guard(M);
+  unsigned N = 0;
+  uint64_t SeenTx = ~0ull;
+  // Holders of one transaction are adjacent often enough that this simple
+  // distinct-count is fine for diagnostics.
+  for (const Holder &H : Holders) {
+    if (H.Tx != SeenTx) {
+      ++N;
+      SeenTx = H.Tx;
+    }
+  }
+  return N;
+}
+
+LockTable::LockTable(unsigned ShardCount) {
+  assert(ShardCount > 0 && "need at least one shard");
+  Shards.reserve(ShardCount);
+  for (unsigned I = 0; I != ShardCount; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+AbstractLock *LockTable::lockFor(uint32_t Space, const Value &Key) {
+  Shard &S = *Shards[(Key.hash() ^ Space) % Shards.size()];
+  std::lock_guard<std::mutex> Guard(S.M);
+  std::unique_ptr<AbstractLock> &Slot = S.Locks[{Space, Key}];
+  if (!Slot)
+    Slot = std::make_unique<AbstractLock>();
+  return Slot.get();
+}
+
+uint64_t LockTable::size() const {
+  uint64_t N = 0;
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> Guard(S->M);
+    N += S->Locks.size();
+  }
+  return N;
+}

@@ -1,0 +1,104 @@
+//===- runtime/LockTable.h - Multi-mode abstract locks ----------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract locks (§3.2): "a lock with a number of modes. When attempting
+/// to acquire a lock in a particular mode, the acquisition succeeds if no
+/// other entity holds the lock in an incompatible mode." Mode compatibility
+/// is a scheme-wide matrix (see LockScheme.h). Acquisition is try-only: a
+/// failed acquire is a conflict and the requesting transaction aborts,
+/// which is how the optimistic runtime avoids blocking and deadlock.
+///
+/// A LockTable maps data-member keys (values, optionally pre-mapped through
+/// a key function such as §4.2's `part`) to lock instances, allocating them
+/// on demand; locks are never deallocated while the table lives, so raw
+/// pointers into it remain valid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_RUNTIME_LOCKTABLE_H
+#define COMLAT_RUNTIME_LOCKTABLE_H
+
+#include "core/Value.h"
+#include "runtime/Transaction.h"
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace comlat {
+
+/// Index of a lock mode within a LockScheme.
+using ModeId = uint32_t;
+
+/// Mode-compatibility matrix: Compat[a][b] is true when a holder in mode a
+/// does not block an acquirer in mode b. Always symmetric here (the paper's
+/// construction only ever produces symmetric incompatibilities).
+using CompatMatrix = std::vector<std::vector<uint8_t>>;
+
+/// One abstract lock instance with per-holder mode counts.
+///
+/// Re-entrant per transaction: the same transaction may acquire any mix of
+/// modes repeatedly; only *other* holders are tested for compatibility.
+class AbstractLock {
+public:
+  /// Attempts to acquire in \p Mode for \p Tx. Returns false (no state
+  /// change) if any other transaction holds an incompatible mode.
+  bool tryAcquire(TxId Tx, ModeId Mode, const CompatMatrix &Compat);
+
+  /// Drops every hold of \p Tx.
+  void releaseAll(TxId Tx);
+
+  /// True when \p Tx currently holds the lock in any mode.
+  bool heldBy(TxId Tx) const;
+
+  /// Number of distinct holding transactions (diagnostics).
+  unsigned numHolders() const;
+
+private:
+  struct Holder {
+    TxId Tx;
+    ModeId Mode;
+    uint32_t Count;
+  };
+  /// Guards Holders: distinct transactions may race on one lock.
+  mutable std::mutex M;
+  /// Holds are few per lock in practice; linear scans beat hashing.
+  std::vector<Holder> Holders;
+};
+
+/// A sharded map from key values to abstract locks.
+///
+/// Key identity includes the key-function id that produced it, so locks on
+/// `x` and on `part(x)` live in disjoint key spaces even when the values
+/// collide numerically.
+class LockTable {
+public:
+  explicit LockTable(unsigned ShardCount = 16);
+
+  /// Key space id for keys not produced by any key function.
+  static constexpr uint32_t PlainSpace = 0xFFFFFFFFu;
+
+  /// Returns the lock for (\p Space, \p Key), creating it on first use.
+  /// The returned pointer is stable for the table's lifetime.
+  AbstractLock *lockFor(uint32_t Space, const Value &Key);
+
+  /// Total number of distinct locks allocated (diagnostics).
+  uint64_t size() const;
+
+private:
+  struct Shard {
+    mutable std::mutex M;
+    std::map<std::pair<uint32_t, Value>, std::unique_ptr<AbstractLock>> Locks;
+  };
+  std::vector<std::unique_ptr<Shard>> Shards;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_RUNTIME_LOCKTABLE_H

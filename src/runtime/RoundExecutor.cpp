@@ -1,0 +1,91 @@
+//===- runtime/RoundExecutor.cpp - ParaMeter-style profiling ---------------===//
+
+#include "runtime/RoundExecutor.h"
+
+#include <memory>
+
+using namespace comlat;
+
+RoundStats RoundExecutor::run(const std::vector<int64_t> &Initial,
+                              const OperatorFn &Op) {
+  RoundStats Stats;
+  uint64_t NextTxId = 1;
+
+  std::vector<int64_t> Current = Initial;
+  while (!Current.empty()) {
+    ++Stats.Rounds;
+    // Work created by this round (commit-time pushes).
+    Worklist NextRound;
+    // Conflict-deferred items, retried at the *front* of the next round.
+    // Ordering them first guarantees progress: the first deferred item of
+    // a round runs against an empty conflict state and must commit,
+    // whereas appending them after re-pushed work can recreate the same
+    // blocking pattern round after round (a committed reader re-observing
+    // the value a deferred writer wants to change).
+    std::vector<int64_t> Deferred;
+    // Committed transactions stay open (locks/logs held) until the round
+    // ends: they model iterations running simultaneously on unbounded
+    // processors.
+    std::vector<std::unique_ptr<Transaction>> Open;
+    for (const int64_t Item : Current) {
+      auto Tx = std::make_unique<Transaction>(NextTxId++);
+      TxWorklist TxWL(NextRound, *Tx);
+      Op(*Tx, Item, TxWL);
+      if (Tx->failed()) {
+        Tx->abort();
+        ++Stats.Deferred;
+        Deferred.push_back(Item);
+        continue;
+      }
+      Tx->commit(/*Release=*/false);
+      ++Stats.Committed;
+      Open.push_back(std::move(Tx));
+    }
+    for (const std::unique_ptr<Transaction> &Tx : Open)
+      Tx->releaseDetectors();
+    Open.clear();
+    Current = std::move(Deferred);
+    while (const std::optional<int64_t> Item = NextRound.tryPop())
+      Current.push_back(*Item);
+  }
+  return Stats;
+}
+
+RoundStats RoundExecutor::runBounded(const std::vector<int64_t> &Initial,
+                                     const OperatorFn &Op, unsigned Width) {
+  assert(Width > 0 && "need at least one processor");
+  RoundStats Stats;
+  uint64_t NextTxId = 1;
+  std::deque<int64_t> Queue(Initial.begin(), Initial.end());
+  Worklist Created;
+  while (!Queue.empty()) {
+    ++Stats.Rounds;
+    std::vector<std::unique_ptr<Transaction>> Open;
+    // One lockstep group of at most Width transactions.
+    std::vector<int64_t> Retry;
+    for (unsigned Slot = 0; Slot != Width && !Queue.empty(); ++Slot) {
+      const int64_t Item = Queue.front();
+      Queue.pop_front();
+      auto Tx = std::make_unique<Transaction>(NextTxId++);
+      TxWorklist TxWL(Created, *Tx);
+      Op(*Tx, Item, TxWL);
+      if (Tx->failed()) {
+        Tx->abort();
+        ++Stats.Deferred;
+        Retry.push_back(Item);
+        continue;
+      }
+      Tx->commit(/*Release=*/false);
+      ++Stats.Committed;
+      Open.push_back(std::move(Tx));
+    }
+    for (const std::unique_ptr<Transaction> &Tx : Open)
+      Tx->releaseDetectors();
+    // Deferred items retry in the next group, ahead of fresh work.
+    for (auto It = Retry.rbegin(); It != Retry.rend(); ++It)
+      Queue.push_front(*It);
+    while (const std::optional<int64_t> Item = Created.tryPop())
+      Queue.push_back(*Item);
+  }
+  return Stats;
+}

@@ -1,0 +1,72 @@
+//===- runtime/RoundExecutor.h - ParaMeter-style profiling ------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reimplementation of the ParaMeter parallelism profiler the paper uses
+/// for Table 1 ([16]: Kulkarni et al., "How much parallelism is there in
+/// irregular applications?", PPoPP 2009). The model: unbounded processors,
+/// unit-cost iterations, executed in rounds. Every round greedily runs a
+/// maximal set of available iterations that are mutually non-conflicting
+/// *according to the conflict-detection scheme under study*: iterations
+/// execute one at a time but keep their locks/logs until the round ends, so
+/// an iteration that conflicts with an earlier one in the same round is
+/// rolled back and deferred. Work created by round R becomes available in
+/// round R+1.
+///
+/// The number of rounds is the critical path length; committed iterations
+/// divided by rounds is the average parallelism — the two quantities the
+/// paper reports per application and scheme.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_RUNTIME_ROUNDEXECUTOR_H
+#define COMLAT_RUNTIME_ROUNDEXECUTOR_H
+
+#include "runtime/Executor.h"
+
+namespace comlat {
+
+/// Results of a round-based profiling run.
+struct RoundStats {
+  /// Total committed iterations (the work).
+  uint64_t Committed = 0;
+  /// Conflict-induced deferrals (an iteration may defer multiple times).
+  uint64_t Deferred = 0;
+  /// Number of rounds: the critical path length of Table 1.
+  uint64_t Rounds = 0;
+
+  /// Average parallelism of Table 1.
+  double parallelism() const {
+    return Rounds == 0 ? 0.0
+                       : static_cast<double>(Committed) /
+                             static_cast<double>(Rounds);
+  }
+};
+
+/// Runs a worklist loop under the ParaMeter round model (sequentially, on
+/// one thread; the rounds simulate unbounded processors).
+class RoundExecutor {
+public:
+  using OperatorFn = Executor::OperatorFn;
+
+  /// Applies \p Op to every item of \p Initial and all transitively created
+  /// work, measuring rounds.
+  RoundStats run(const std::vector<int64_t> &Initial, const OperatorFn &Op);
+
+  /// Width-bounded variant: models \p Width processors running
+  /// transactions in lockstep groups — at most Width transactions are
+  /// simultaneously live, and all of a group's locks/logs are held until
+  /// the group ends. The deferral ratio approximates the abort ratio of a
+  /// Width-threaded machine (used for Table 2 on single-core hosts);
+  /// Rounds counts groups, so parallelism() is capped by Width.
+  RoundStats runBounded(const std::vector<int64_t> &Initial,
+                        const OperatorFn &Op, unsigned Width);
+};
+
+} // namespace comlat
+
+#endif // COMLAT_RUNTIME_ROUNDEXECUTOR_H

@@ -1,0 +1,58 @@
+//===- runtime/SerialChecker.cpp - Serializability oracle ------------------===//
+
+#include "runtime/SerialChecker.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace comlat;
+
+Replayer::~Replayer() = default;
+
+TxTrace comlat::traceOf(const Transaction &Tx, TxId Id) {
+  TxTrace Trace;
+  Trace.Id = Id;
+  Trace.Invocations = Tx.history();
+  return Trace;
+}
+
+static bool replayInOrder(
+    const std::vector<TxTrace> &Traces, const std::vector<size_t> &Order,
+    const std::function<std::unique_ptr<Replayer>()> &MakeReplayer,
+    const std::string &ExpectedSignature) {
+  const std::unique_ptr<Replayer> R = MakeReplayer();
+  for (const size_t Index : Order) {
+    for (const auto &[Tag, Inv] : Traces[Index].Invocations) {
+      const Value Got = R->replay(Tag, Inv);
+      if (Got != Inv.Ret)
+        return false;
+    }
+  }
+  if (!ExpectedSignature.empty() && R->stateSignature() != ExpectedSignature)
+    return false;
+  return true;
+}
+
+bool comlat::findSerialWitness(
+    const std::vector<TxTrace> &Traces,
+    const std::function<std::unique_ptr<Replayer>()> &MakeReplayer,
+    const std::string &ExpectedSignature, std::vector<TxId> *Witness) {
+  std::vector<size_t> Order(Traces.size());
+  std::iota(Order.begin(), Order.end(), 0);
+  // Try permutations in lexicographic order; the witness is typically the
+  // commit order or close to it, so sort by id first.
+  std::sort(Order.begin(), Order.end(), [&Traces](size_t A, size_t B) {
+    return Traces[A].Id < Traces[B].Id;
+  });
+  do {
+    if (replayInOrder(Traces, Order, MakeReplayer, ExpectedSignature)) {
+      if (Witness) {
+        Witness->clear();
+        for (const size_t Index : Order)
+          Witness->push_back(Traces[Index].Id);
+      }
+      return true;
+    }
+  } while (std::next_permutation(Order.begin(), Order.end()));
+  return false;
+}

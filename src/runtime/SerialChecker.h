@@ -1,0 +1,68 @@
+//===- runtime/SerialChecker.h - Serializability oracle ---------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An end-to-end oracle for the paper's central safety claim (Theorem 2,
+/// Appendix A): if a conflict detector admits a set of concurrently
+/// committed transactions, there exists an equivalent serial order — one in
+/// which every method invocation returns the same value and the final
+/// abstract state matches. The checker brute-forces witness orders over the
+/// committed transactions by replaying their recorded invocation histories
+/// on fresh structures; feasible because test scenarios keep the number of
+/// transactions small.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_RUNTIME_SERIALCHECKER_H
+#define COMLAT_RUNTIME_SERIALCHECKER_H
+
+#include "runtime/Transaction.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace comlat {
+
+/// Replays invocation histories against fresh structure instances.
+class Replayer {
+public:
+  virtual ~Replayer();
+
+  /// Executes \p Inv.Method with \p Inv.Args on the structure identified by
+  /// \p StructureTag and returns the result (sequentially, no concurrency
+  /// control).
+  virtual Value replay(uintptr_t StructureTag, const Invocation &Inv) = 0;
+
+  /// A canonical fingerprint of the abstract state of all structures, for
+  /// final-state comparison. Return an empty string to skip the check.
+  virtual std::string stateSignature() = 0;
+};
+
+/// One committed transaction's history.
+struct TxTrace {
+  TxId Id = 0;
+  std::vector<std::pair<uintptr_t, Invocation>> Invocations;
+};
+
+/// Extracts traces from committed interleaver/executor transactions.
+TxTrace traceOf(const Transaction &Tx, TxId Id);
+
+/// Searches for a serial witness order of \p Traces: a permutation whose
+/// sequential replay (via fresh replayers from \p MakeReplayer) reproduces
+/// every recorded return value and, when \p ExpectedSignature is nonempty,
+/// ends in a state with that signature. Returns true and fills \p Witness
+/// (ids in serial order) on success. Cost is O(n! * work); keep n small.
+bool findSerialWitness(
+    const std::vector<TxTrace> &Traces,
+    const std::function<std::unique_ptr<Replayer>()> &MakeReplayer,
+    const std::string &ExpectedSignature, std::vector<TxId> *Witness = nullptr);
+
+} // namespace comlat
+
+#endif // COMLAT_RUNTIME_SERIALCHECKER_H

@@ -1,0 +1,117 @@
+//===- runtime/SpecValidator.cpp - Testing commutativity conditions ---------===//
+
+#include "runtime/SpecValidator.h"
+#include "core/Eval.h"
+
+using namespace comlat;
+
+std::string ValidationIssue::str(const DataTypeSig &Sig) const {
+  return "condition claimed " + Inv1.str(Sig) + " commutes with " +
+         Inv2.str(Sig) + ", but " + Detail;
+}
+
+namespace {
+
+/// Resolves state-function applications against two frozen structure
+/// copies: s1 (before the first invocation) and s2 (before the second).
+class FrozenStateResolver : public ApplyResolver {
+public:
+  FrozenStateResolver(GateTarget &S1, GateTarget &S2) : S1(S1), S2(S2) {}
+
+  Value resolveApply(const Term &Apply,
+                     const std::vector<Value> &Args) override {
+    switch (Apply.State) {
+    case StateRef::S1:
+      return S1.gateEvalStateFn(Apply.Fn, Args);
+    case StateRef::S2:
+    case StateRef::None: // Pure: either copy works.
+      return S2.gateEvalStateFn(Apply.Fn, Args);
+    }
+    COMLAT_UNREACHABLE("bad state ref");
+  }
+
+private:
+  GateTarget &S1;
+  GateTarget &S2;
+};
+
+/// Executes one invocation, discarding undo actions.
+Value executePlain(GateTarget &Target, const Invocation &Inv) {
+  std::vector<GateAction> Discard;
+  return Target.gateExecute(Inv.Method, Inv.Args, Discard);
+}
+
+} // namespace
+
+std::optional<ValidationIssue>
+comlat::validateSpec(const CommSpec &Spec, const ValidationHarness &Harness,
+                     const ValidationConfig &Config) {
+  const DataTypeSig &Sig = Spec.sig();
+  Rng R(Config.Seed);
+
+  for (unsigned Trial = 0; Trial != Config.Trials; ++Trial) {
+    // Random committed prefix.
+    std::vector<Invocation> Prefix;
+    const unsigned PrefixLen =
+        static_cast<unsigned>(R.nextBelow(Config.PrefixOps + 1));
+    for (unsigned I = 0; I != PrefixLen; ++I) {
+      const MethodId M = static_cast<MethodId>(R.nextBelow(Sig.numMethods()));
+      Prefix.emplace_back(M, Harness.RandomArgs(R, M));
+    }
+    // The tested pair.
+    const MethodId M1 = static_cast<MethodId>(R.nextBelow(Sig.numMethods()));
+    const MethodId M2 = static_cast<MethodId>(R.nextBelow(Sig.numMethods()));
+    Invocation Inv1(M1, Harness.RandomArgs(R, M1));
+    Invocation Inv2(M2, Harness.RandomArgs(R, M2));
+
+    // Four copies of the structure: order A (m1 then m2), order B (m2
+    // then m1), and the two frozen states the condition may inspect.
+    const std::unique_ptr<GateTarget> OrderA = Harness.MakeTarget();
+    const std::unique_ptr<GateTarget> OrderB = Harness.MakeTarget();
+    const std::unique_ptr<GateTarget> AtS1 = Harness.MakeTarget();
+    const std::unique_ptr<GateTarget> AtS2 = Harness.MakeTarget();
+    for (const Invocation &P : Prefix) {
+      executePlain(*OrderA, P);
+      executePlain(*OrderB, P);
+      executePlain(*AtS1, P);
+      executePlain(*AtS2, P);
+    }
+
+    // Order A, recording returns; AtS2 additionally replays m1 so it
+    // freezes the state the second invocation runs in.
+    Inv1.Ret = executePlain(*OrderA, Inv1);
+    executePlain(*AtS2, Inv1);
+    Inv2.Ret = executePlain(*OrderA, Inv2);
+
+    // Evaluate the condition on order A's observations.
+    FrozenStateResolver Resolver(*AtS1, *AtS2);
+    EvalContext Ctx{&Inv1, &Inv2, &Resolver};
+    if (!evalFormula(Spec.get(M1, M2), Ctx))
+      continue; // Condition rejects the pair; nothing to check.
+
+    // The condition claims commutativity: order B must agree.
+    const Value R2B = executePlain(*OrderB, Inv2);
+    const Value R1B = executePlain(*OrderB, Inv1);
+    ValidationIssue Issue;
+    Issue.Inv1 = Inv1;
+    Issue.Inv2 = Inv2;
+    if (R1B != Inv1.Ret) {
+      Issue.Detail = "swapped order returns " + R1B.str() + " from " +
+                     Sig.method(M1).Name + " instead of " + Inv1.Ret.str();
+      return Issue;
+    }
+    if (R2B != Inv2.Ret) {
+      Issue.Detail = "swapped order returns " + R2B.str() + " from " +
+                     Sig.method(M2).Name + " instead of " + Inv2.Ret.str();
+      return Issue;
+    }
+    const std::string SigA = OrderA->gateSignature();
+    const std::string SigB = OrderB->gateSignature();
+    if (SigA != SigB) {
+      Issue.Detail = "final abstract states differ: [" + SigA + "] vs [" +
+                     SigB + "]";
+      return Issue;
+    }
+  }
+  return std::nullopt;
+}

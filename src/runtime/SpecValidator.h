@@ -1,0 +1,78 @@
+//===- runtime/SpecValidator.h - Testing commutativity conditions -*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A randomized validator for commutativity specifications — the testing
+/// counterpart of the verification problem the paper defers to Kim &
+/// Rinard [14] (§2.2: "we have not considered the correctness of
+/// commutativity conditions, instead relying on external techniques").
+///
+/// The validator checks Definition 1 directly: it builds random histories,
+/// picks a pair of back-to-back invocations, executes them in both orders
+/// on identical copies of the structure, and whenever the specification's
+/// condition evaluates to true demands that both orders produce the same
+/// return values and the same abstract state. Any violation is a concrete
+/// counterexample showing the condition is not a valid commutativity
+/// condition. (Like all testing, a pass is evidence, not proof.)
+///
+/// State functions are evaluated against replayed copies of the structure
+/// frozen at the right moments: s1 is the state before the first
+/// invocation, s2 the state before the second.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_RUNTIME_SPECVALIDATOR_H
+#define COMLAT_RUNTIME_SPECVALIDATOR_H
+
+#include "core/Spec.h"
+#include "runtime/GateTarget.h"
+#include "support/Random.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace comlat {
+
+/// Structure-specific bindings the validator needs. Final states are
+/// compared through GateTarget::gateSignature().
+struct ValidationHarness {
+  /// Creates a fresh, empty structure.
+  std::function<std::unique_ptr<GateTarget>()> MakeTarget;
+
+  /// Produces random arguments for an invocation of \p M.
+  std::function<std::vector<Value>(Rng &, MethodId)> RandomArgs;
+};
+
+/// A counterexample: the condition claimed the invocations commute, but
+/// swapping them changed an observable.
+struct ValidationIssue {
+  Invocation Inv1;
+  Invocation Inv2;
+  std::string Detail;
+
+  std::string str(const DataTypeSig &Sig) const;
+};
+
+/// Validator configuration.
+struct ValidationConfig {
+  unsigned Trials = 2000;
+  /// Length of the random committed prefix before the tested pair.
+  unsigned PrefixOps = 6;
+  uint64_t Seed = 0x5eed;
+};
+
+/// Searches for a violation of Definition 1; std::nullopt means no
+/// counterexample was found within the budget.
+std::optional<ValidationIssue>
+validateSpec(const CommSpec &Spec, const ValidationHarness &Harness,
+             const ValidationConfig &Config = ValidationConfig());
+
+} // namespace comlat
+
+#endif // COMLAT_RUNTIME_SPECVALIDATOR_H

@@ -1,0 +1,79 @@
+//===- runtime/Transaction.cpp - Speculative transactions ------------------===//
+
+#include "runtime/Transaction.h"
+
+#include <algorithm>
+
+using namespace comlat;
+
+ConflictDetector::~ConflictDetector() = default;
+
+Transaction::~Transaction() {
+  assert((Finished || (Touched.empty() && Undos.empty())) &&
+         "transaction destroyed without commit or abort");
+}
+
+void Transaction::touch(ConflictDetector *Detector) {
+  assert(!Finished && "touching a finished transaction");
+  if (std::find(Touched.begin(), Touched.end(), Detector) == Touched.end())
+    Touched.push_back(Detector);
+}
+
+void Transaction::addUndo(std::function<void()> Undo) {
+  assert(!Finished && "registering undo on a finished transaction");
+  Undos.push_back(std::move(Undo));
+}
+
+void Transaction::addCommitAction(std::function<void()> Action) {
+  assert(!Finished && "registering commit action on a finished transaction");
+  CommitActions.push_back(std::move(Action));
+}
+
+void Transaction::recordInvocation(uintptr_t StructureTag, Invocation Inv) {
+  if (Recording)
+    History.emplace_back(StructureTag, std::move(Inv));
+}
+
+void Transaction::commit(bool Release) {
+  assert(!Finished && "double commit");
+  assert(!Failed && "committing a failed transaction");
+  for (const std::function<void()> &Action : CommitActions)
+    Action();
+  CommitActions.clear();
+  Undos.clear();
+  Finished = true;
+  if (Release) {
+    for (ConflictDetector *Detector : Touched)
+      Detector->release(*this, /*Committed=*/true);
+    Touched.clear();
+  } else {
+    NeedsRelease = true;
+  }
+}
+
+void Transaction::abort() {
+  assert(!Finished && "aborting a finished transaction");
+  // Undo structure-owned effects newest-touched-first, then
+  // transaction-local effects in reverse registration order. Active
+  // invocations of concurrent transactions pairwise commute (that is the
+  // detectors' invariant), so cross-structure undo ordering is immaterial;
+  // within one structure each detector undoes in reverse order itself.
+  for (auto It = Touched.rbegin(); It != Touched.rend(); ++It)
+    (*It)->undoFor(*this);
+  for (auto It = Undos.rbegin(); It != Undos.rend(); ++It)
+    (*It)();
+  Undos.clear();
+  CommitActions.clear();
+  Finished = true;
+  for (ConflictDetector *Detector : Touched)
+    Detector->release(*this, /*Committed=*/false);
+  Touched.clear();
+}
+
+void Transaction::releaseDetectors() {
+  assert(Finished && NeedsRelease && "no deferred release pending");
+  NeedsRelease = false;
+  for (ConflictDetector *Detector : Touched)
+    Detector->release(*this, /*Committed=*/true);
+  Touched.clear();
+}

@@ -1,0 +1,135 @@
+//===- runtime/Transaction.h - Speculative transactions ---------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Transactions for the speculative runtime. One transaction wraps one
+/// application of a worklist operator (one "iteration" in Galois terms) and
+/// may touch several boosted data structures, each guarded by its own
+/// conflict detector (abstract locks or a gatekeeper, §3). Following the
+/// LLVM guides this runtime uses no exceptions: a conflict marks the
+/// transaction failed; operators check failed() and return early, and the
+/// executor aborts (undoing all effects) and retries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_RUNTIME_TRANSACTION_H
+#define COMLAT_RUNTIME_TRANSACTION_H
+
+#include "core/MethodSig.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace comlat {
+
+/// Globally unique transaction identity.
+using TxId = uint64_t;
+
+class Transaction;
+
+/// A conflict detector guards one data structure. The three schemes of §3
+/// (abstract locking, forward gatekeeping, general gatekeeping) and the
+/// memory-level STM baseline all implement this interface; the transaction
+/// calls back into every detector it touched when it finishes.
+class ConflictDetector {
+public:
+  virtual ~ConflictDetector();
+
+  /// Undoes all effects this transaction had on the guarded structure.
+  /// Called during abort, before any lock release, in reverse touch order.
+  /// Detectors without structure-owned undo logs (e.g. plain abstract
+  /// locking, where the boosted wrapper registers undo actions on the
+  /// transaction instead) may keep the default no-op.
+  virtual void undoFor(Transaction &Tx) {}
+
+  /// Releases every resource (locks, logs, active-invocation records) held
+  /// by \p Tx. Called exactly once per touched transaction, at commit or
+  /// after abort undo.
+  virtual void release(Transaction &Tx, bool Committed) = 0;
+
+  /// Scheme name for diagnostics/benchmark labels.
+  virtual const char *name() const = 0;
+};
+
+/// One speculative iteration. Not thread-safe: a transaction belongs to a
+/// single worker thread. Lifecycle: construct -> (boosted calls, possibly
+/// fail()) -> commit() or abort().
+class Transaction {
+public:
+  explicit Transaction(TxId Id) : Id(Id) {}
+  ~Transaction();
+
+  Transaction(const Transaction &) = delete;
+  Transaction &operator=(const Transaction &) = delete;
+
+  TxId id() const { return Id; }
+
+  /// True once any boosted call detected a conflict. Operators must check
+  /// this after every boosted call and return without further work.
+  bool failed() const { return Failed; }
+
+  /// Marks the transaction conflicted. Idempotent.
+  void fail() { Failed = true; }
+
+  /// Registers participation of a detector; called by boosted wrappers on
+  /// every invocation (cheap after the first).
+  void touch(ConflictDetector *Detector);
+
+  /// Registers a transaction-local undo action (run in reverse order on
+  /// abort). Used by boosted wrappers whose detector has no structure-owned
+  /// undo log.
+  void addUndo(std::function<void()> Undo);
+
+  /// Registers an action to run at commit (e.g. pushing newly created work
+  /// items); never runs on abort.
+  void addCommitAction(std::function<void()> Action);
+
+  /// Records an invocation for post-hoc serializability checking; only
+  /// populated when recording is enabled (tests).
+  void recordInvocation(uintptr_t StructureTag, Invocation Inv);
+  void setRecording(bool On) { Recording = On; }
+  bool recording() const { return Recording; }
+
+  /// The recorded (structure, invocation) history in program order.
+  const std::vector<std::pair<uintptr_t, Invocation>> &history() const {
+    return History;
+  }
+
+  /// Commits: runs commit actions in order, then (when \p Release) lets
+  /// every touched detector release this transaction's resources. The
+  /// round-based ParaMeter executor passes Release=false and calls
+  /// releaseDetectors() at the end of the round, modelling transactions
+  /// that are simultaneously live on unbounded processors.
+  void commit(bool Release = true);
+
+  /// Aborts: detector-owned undo (reverse touch order), transaction-local
+  /// undo (reverse registration order), then detector release.
+  void abort();
+
+  /// Releases detector resources for an already-committed transaction kept
+  /// open by the round executor.
+  void releaseDetectors();
+
+  /// True once commit() or abort() ran.
+  bool finished() const { return Finished; }
+
+private:
+  TxId Id;
+  bool Failed = false;
+  bool Finished = false;
+  bool Recording = false;
+  bool NeedsRelease = false;
+  std::vector<ConflictDetector *> Touched;
+  std::vector<std::function<void()>> Undos;
+  std::vector<std::function<void()>> CommitActions;
+  std::vector<std::pair<uintptr_t, Invocation>> History;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_RUNTIME_TRANSACTION_H

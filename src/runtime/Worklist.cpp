@@ -1,0 +1,27 @@
+//===- runtime/Worklist.cpp - Shared worklist for speculative loops --------===//
+
+#include "runtime/Worklist.h"
+
+using namespace comlat;
+
+Worklist::Worklist(std::vector<int64_t> Initial)
+    : Items(Initial.begin(), Initial.end()) {}
+
+void Worklist::push(int64_t Item) {
+  std::lock_guard<std::mutex> Guard(M);
+  Items.push_back(Item);
+}
+
+std::optional<int64_t> Worklist::tryPop() {
+  std::lock_guard<std::mutex> Guard(M);
+  if (Items.empty())
+    return std::nullopt;
+  const int64_t Item = Items.front();
+  Items.pop_front();
+  return Item;
+}
+
+size_t Worklist::size() const {
+  std::lock_guard<std::mutex> Guard(M);
+  return Items.size();
+}

@@ -1,0 +1,64 @@
+//===- runtime/Worklist.h - Shared worklist for speculative loops -*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared worklist driving speculative loops. Following the paper's
+/// methodology ("we used boosted objects wherever possible, for example the
+/// worklist", §5), worklist pushes commute with everything and are made
+/// transactional by deferring them to commit time (TxWorklist); pops are
+/// performed by the executor before the transaction starts and re-pushed on
+/// abort.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_RUNTIME_WORKLIST_H
+#define COMLAT_RUNTIME_WORKLIST_H
+
+#include "runtime/Transaction.h"
+
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace comlat {
+
+/// An unordered thread-safe bag of work items.
+class Worklist {
+public:
+  Worklist() = default;
+  explicit Worklist(std::vector<int64_t> Initial);
+
+  void push(int64_t Item);
+  std::optional<int64_t> tryPop();
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+private:
+  mutable std::mutex M;
+  std::deque<int64_t> Items;
+};
+
+/// Transactional view of a worklist: pushes are buffered as commit actions
+/// so an aborted iteration leaves no stray work behind.
+class TxWorklist {
+public:
+  TxWorklist(Worklist &WL, Transaction &Tx) : WL(WL), Tx(Tx) {}
+
+  /// Pushes \p Item when (and only when) the transaction commits.
+  void push(int64_t Item) {
+    Worklist *Target = &WL;
+    Tx.addCommitAction([Target, Item] { Target->push(Item); });
+  }
+
+private:
+  Worklist &WL;
+  Transaction &Tx;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_RUNTIME_WORKLIST_H

@@ -1,0 +1,53 @@
+//===- stm/ObjectStm.cpp - Memory-level conflict detection -----------------===//
+
+#include "stm/ObjectStm.h"
+
+using namespace comlat;
+
+MemProbe::~MemProbe() = default;
+
+namespace {
+enum StmMode : ModeId { ReadMode = 0, WriteMode = 1 };
+} // namespace
+
+ObjectStm::ObjectStm(std::string Label) : Label(std::move(Label)) {
+  // Read/read compatible; anything involving a write conflicts.
+  Compat = {{1, 0}, {0, 0}};
+}
+
+bool ObjectStm::acquire(Transaction &Tx, uint64_t Obj, ModeId Mode) {
+  Tx.touch(this);
+  Accesses.fetch_add(1, std::memory_order_relaxed);
+  AbstractLock *Lock = Table.lockFor(LockTable::PlainSpace,
+                                     Value::integer(static_cast<int64_t>(Obj)));
+  if (!Lock->tryAcquire(Tx.id(), Mode, Compat)) {
+    Conflicts.fetch_add(1, std::memory_order_relaxed);
+    Tx.fail();
+    return false;
+  }
+  std::lock_guard<std::mutex> Guard(HeldMutex);
+  Held[Tx.id()].push_back(Lock);
+  return true;
+}
+
+bool ObjectStm::read(Transaction &Tx, uint64_t Obj) {
+  return acquire(Tx, Obj, ReadMode);
+}
+
+bool ObjectStm::write(Transaction &Tx, uint64_t Obj) {
+  return acquire(Tx, Obj, WriteMode);
+}
+
+void ObjectStm::release(Transaction &Tx, bool Committed) {
+  std::vector<AbstractLock *> Locks;
+  {
+    std::lock_guard<std::mutex> Guard(HeldMutex);
+    const auto It = Held.find(Tx.id());
+    if (It == Held.end())
+      return;
+    Locks = std::move(It->second);
+    Held.erase(It);
+  }
+  for (AbstractLock *Lock : Locks)
+    Lock->releaseAll(Tx.id());
+}

@@ -1,0 +1,40 @@
+//===- support/Compiler.h - Portability and diagnostics macros -*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small portability macros shared across the library. This project follows
+/// the LLVM coding standards: no exceptions, no RTTI, assert liberally, and
+/// use COMLAT_UNREACHABLE to mark impossible control flow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_SUPPORT_COMPILER_H
+#define COMLAT_SUPPORT_COMPILER_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+/// Marks a point in the code that must never be reached. Prints the message
+/// and aborts in all build modes; the cost is irrelevant because the branch
+/// is never taken in a correct program.
+#define COMLAT_UNREACHABLE(Msg)                                               \
+  do {                                                                        \
+    std::fprintf(stderr, "comlat: unreachable at %s:%d: %s\n", __FILE__,      \
+                 __LINE__, (Msg));                                            \
+    std::abort();                                                             \
+  } while (false)
+
+#if defined(__GNUC__) || defined(__clang__)
+#define COMLAT_LIKELY(X) __builtin_expect(!!(X), 1)
+#define COMLAT_UNLIKELY(X) __builtin_expect(!!(X), 0)
+#else
+#define COMLAT_LIKELY(X) (X)
+#define COMLAT_UNLIKELY(X) (X)
+#endif
+
+#endif // COMLAT_SUPPORT_COMPILER_H

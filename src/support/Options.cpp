@@ -1,0 +1,62 @@
+//===- support/Options.cpp - Minimal command-line option parser ----------===//
+
+#include "support/Options.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace comlat;
+
+Options::Options(int Argc, const char *const *Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "error: unexpected positional argument '%s'\n",
+                   Arg.c_str());
+      std::exit(2);
+    }
+    Arg = Arg.substr(2);
+    const size_t Eq = Arg.find('=');
+    if (Eq == std::string::npos)
+      Values[Arg] = "true";
+    else
+      Values[Arg.substr(0, Eq)] = Arg.substr(Eq + 1);
+  }
+}
+
+bool Options::has(const std::string &Key) const { return Values.count(Key); }
+
+int64_t Options::getInt(const std::string &Key, int64_t Default) const {
+  const auto It = Values.find(Key);
+  if (It == Values.end())
+    return Default;
+  return std::strtoll(It->second.c_str(), nullptr, 10);
+}
+
+uint64_t Options::getUInt(const std::string &Key, uint64_t Default) const {
+  const auto It = Values.find(Key);
+  if (It == Values.end())
+    return Default;
+  return std::strtoull(It->second.c_str(), nullptr, 10);
+}
+
+double Options::getDouble(const std::string &Key, double Default) const {
+  const auto It = Values.find(Key);
+  if (It == Values.end())
+    return Default;
+  return std::strtod(It->second.c_str(), nullptr);
+}
+
+std::string Options::getString(const std::string &Key,
+                               const std::string &Default) const {
+  const auto It = Values.find(Key);
+  return It == Values.end() ? Default : It->second;
+}
+
+bool Options::getBool(const std::string &Key, bool Default) const {
+  const auto It = Values.find(Key);
+  if (It == Values.end())
+    return Default;
+  return It->second == "true" || It->second == "1" || It->second == "yes";
+}

@@ -1,0 +1,63 @@
+//===- support/Options.h - Minimal command-line option parser --*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny `--key=value` command-line parser shared by the example and
+/// benchmark executables so that every experiment's workload size, seed and
+/// thread count can be overridden without recompiling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_SUPPORT_OPTIONS_H
+#define COMLAT_SUPPORT_OPTIONS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace comlat {
+
+/// Parses `--key=value` and bare `--flag` arguments.
+///
+/// Unknown positional arguments are rejected with an error message so typos
+/// in experiment scripts fail loudly. Typical use:
+/// \code
+///   Options Opts(Argc, Argv);
+///   int Threads = Opts.getInt("threads", 4);
+///   uint64_t Seed = Opts.getUInt("seed", 42);
+/// \endcode
+class Options {
+public:
+  /// Parses the argument vector; exits with a diagnostic on malformed input.
+  Options(int Argc, const char *const *Argv);
+
+  /// Returns true if `--key` or `--key=...` was supplied.
+  bool has(const std::string &Key) const;
+
+  /// Returns the value of `--key=N` as a signed integer, or \p Default.
+  int64_t getInt(const std::string &Key, int64_t Default) const;
+
+  /// Returns the value of `--key=N` as an unsigned integer, or \p Default.
+  uint64_t getUInt(const std::string &Key, uint64_t Default) const;
+
+  /// Returns the value of `--key=X` as a double, or \p Default.
+  double getDouble(const std::string &Key, double Default) const;
+
+  /// Returns the value of `--key=S`, or \p Default.
+  std::string getString(const std::string &Key,
+                        const std::string &Default) const;
+
+  /// Returns true when `--key` appears, either bare or as `=true`/`=1`.
+  bool getBool(const std::string &Key, bool Default = false) const;
+
+private:
+  std::map<std::string, std::string> Values;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_SUPPORT_OPTIONS_H

@@ -1,0 +1,73 @@
+//===- support/Random.cpp - Deterministic pseudo-random numbers ----------===//
+
+#include "support/Random.h"
+
+using namespace comlat;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9E3779B97F4A7C15ull;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+void Rng::reseed(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitMix64(S);
+}
+
+uint64_t Rng::next() {
+  const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  const uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow bound must be nonzero");
+  // Rejection sampling: discard values in the biased tail.
+  const uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t Value = next();
+    if (Value >= Threshold)
+      return Value % Bound;
+  }
+}
+
+int64_t Rng::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "empty range");
+  const uint64_t Span = static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo);
+  if (Span == UINT64_MAX)
+    return static_cast<int64_t>(next());
+  return Lo + static_cast<int64_t>(nextBelow(Span + 1));
+}
+
+double Rng::nextDouble() {
+  // 53 random mantissa bits scaled to [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::nextBool(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return nextDouble() < P;
+}
+
+std::vector<uint32_t> Rng::permutation(uint32_t N) {
+  std::vector<uint32_t> Perm(N);
+  for (uint32_t I = 0; I != N; ++I)
+    Perm[I] = I;
+  shuffle(Perm);
+  return Perm;
+}

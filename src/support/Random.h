@@ -1,0 +1,71 @@
+//===- support/Random.h - Deterministic pseudo-random numbers --*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, seedable PRNG (SplitMix64 seeding a xoshiro256**) used by
+/// the workload generators and property tests. All experiments in this
+/// repository are deterministic given a seed, which the paper's inputs
+/// ("randomly generated points", "randomly generated mesh") require for
+/// reproducibility.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_SUPPORT_RANDOM_H
+#define COMLAT_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace comlat {
+
+/// Deterministic 64-bit PRNG with convenience distributions.
+///
+/// The generator is xoshiro256** with SplitMix64 state expansion; it is not
+/// cryptographic but has excellent statistical quality for simulation use.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ull) { reseed(Seed); }
+
+  /// Re-initializes the state from a single 64-bit seed.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// nonzero. Uses rejection sampling to avoid modulo bias.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniformly distributed integer in the inclusive range
+  /// [\p Lo, \p Hi].
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble();
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P = 0.5);
+
+  /// Produces a random permutation of 0..N-1 (Fisher-Yates).
+  std::vector<uint32_t> permutation(uint32_t N);
+
+  /// Shuffles \p Values in place (Fisher-Yates).
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    for (std::size_t I = Values.size(); I > 1; --I)
+      std::swap(Values[I - 1], Values[nextBelow(I)]);
+  }
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace comlat
+
+#endif // COMLAT_SUPPORT_RANDOM_H

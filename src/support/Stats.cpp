@@ -1,0 +1,28 @@
+//===- support/Stats.cpp - Simple summary statistics ---------------------===//
+
+#include "support/Stats.h"
+
+#include <cmath>
+
+using namespace comlat;
+
+void Summary::add(double Sample) {
+  if (N == 0) {
+    Lo = Hi = Sample;
+  } else {
+    if (Sample < Lo)
+      Lo = Sample;
+    if (Sample > Hi)
+      Hi = Sample;
+  }
+  ++N;
+  const double Delta = Sample - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (Sample - Mean);
+}
+
+double Summary::stddev() const {
+  if (N < 2)
+    return 0.0;
+  return std::sqrt(M2 / static_cast<double>(N - 1));
+}

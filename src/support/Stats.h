@@ -1,0 +1,45 @@
+//===- support/Stats.h - Simple summary statistics -------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming summary statistics (count/mean/min/max/stddev) used by the
+/// benchmark harnesses when reporting repeated-trial measurements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_SUPPORT_STATS_H
+#define COMLAT_SUPPORT_STATS_H
+
+#include <cstdint>
+
+namespace comlat {
+
+/// Accumulates samples and reports summary statistics (Welford's method).
+class Summary {
+public:
+  /// Adds one sample.
+  void add(double Sample);
+
+  uint64_t count() const { return N; }
+  double mean() const { return N == 0 ? 0.0 : Mean; }
+  double min() const { return N == 0 ? 0.0 : Lo; }
+  double max() const { return N == 0 ? 0.0 : Hi; }
+
+  /// Sample standard deviation (zero for fewer than two samples).
+  double stddev() const;
+
+private:
+  uint64_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Lo = 0.0;
+  double Hi = 0.0;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_SUPPORT_STATS_H

@@ -1,0 +1,44 @@
+//===- support/Timer.h - Wall-clock timing helpers -------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simple monotonic wall-clock timer used by the benchmark harnesses to
+/// report the run-time and overhead numbers of Tables 1-2 and Figs. 10-12.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_SUPPORT_TIMER_H
+#define COMLAT_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace comlat {
+
+/// Measures elapsed wall-clock time from construction or the last reset().
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the measurement window.
+  void reset() { Start = Clock::now(); }
+
+  /// Returns seconds elapsed since construction/reset.
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Returns milliseconds elapsed since construction/reset.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_SUPPORT_TIMER_H

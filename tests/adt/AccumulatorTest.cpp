@@ -1,0 +1,90 @@
+//===- tests/adt/AccumulatorTest.cpp - Accumulator variants -------------------===//
+
+#include "adt/Accumulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+
+namespace {
+
+class AccumulatorVariants
+    : public ::testing::TestWithParam<const char *> {
+protected:
+  std::unique_ptr<TxAccumulator> make() const {
+    return std::string(GetParam()) == "locks" ? makeLockedAccumulator()
+                                              : makeGatedAccumulator();
+  }
+};
+
+} // namespace
+
+TEST_P(AccumulatorVariants, SequentialSemantics) {
+  const std::unique_ptr<TxAccumulator> Acc = make();
+  Transaction Tx(1);
+  EXPECT_TRUE(Acc->increment(Tx, 5));
+  EXPECT_TRUE(Acc->increment(Tx, -2));
+  int64_t V = 0;
+  EXPECT_TRUE(Acc->read(Tx, V));
+  EXPECT_EQ(V, 3);
+  Tx.commit();
+  EXPECT_EQ(Acc->value(), 3);
+}
+
+TEST_P(AccumulatorVariants, IncrementsCommute) {
+  const std::unique_ptr<TxAccumulator> Acc = make();
+  Transaction T1(1), T2(2);
+  EXPECT_TRUE(Acc->increment(T1, 1));
+  EXPECT_TRUE(Acc->increment(T2, 2));
+  EXPECT_TRUE(Acc->increment(T1, 4));
+  T1.commit();
+  T2.commit();
+  EXPECT_EQ(Acc->value(), 7);
+}
+
+TEST_P(AccumulatorVariants, IncrementConflictsWithRead) {
+  const std::unique_ptr<TxAccumulator> Acc = make();
+  Transaction T1(1), T2(2);
+  EXPECT_TRUE(Acc->increment(T1, 1));
+  int64_t V = 0;
+  EXPECT_FALSE(Acc->read(T2, V));
+  EXPECT_TRUE(T2.failed());
+  T2.abort();
+  T1.commit();
+}
+
+TEST_P(AccumulatorVariants, ReadConflictsWithIncrement) {
+  const std::unique_ptr<TxAccumulator> Acc = make();
+  Transaction T1(1), T2(2);
+  int64_t V = 0;
+  EXPECT_TRUE(Acc->read(T1, V));
+  EXPECT_FALSE(Acc->increment(T2, 1));
+  T2.abort();
+  T1.commit();
+  EXPECT_EQ(Acc->value(), 0);
+}
+
+TEST_P(AccumulatorVariants, ReadsCommute) {
+  const std::unique_ptr<TxAccumulator> Acc = make();
+  Transaction T1(1), T2(2);
+  int64_t A = -1, B = -1;
+  EXPECT_TRUE(Acc->read(T1, A));
+  EXPECT_TRUE(Acc->read(T2, B));
+  EXPECT_EQ(A, 0);
+  EXPECT_EQ(B, 0);
+  T1.commit();
+  T2.commit();
+}
+
+TEST_P(AccumulatorVariants, AbortRollsBack) {
+  const std::unique_ptr<TxAccumulator> Acc = make();
+  Transaction T1(1);
+  EXPECT_TRUE(Acc->increment(T1, 10));
+  EXPECT_TRUE(Acc->increment(T1, 20));
+  T1.fail();
+  T1.abort();
+  EXPECT_EQ(Acc->value(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, AccumulatorVariants,
+                         ::testing::Values("locks", "gatekeeper"));

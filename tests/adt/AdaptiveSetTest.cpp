@@ -1,0 +1,199 @@
+//===- tests/adt/AdaptiveSetTest.cpp - Dynamic scheme selection ---------------===//
+
+#include "adt/AdaptiveSet.h"
+#include "runtime/Executor.h"
+#include "runtime/SerialChecker.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+
+namespace {
+
+AdaptivePolicy tightPolicy() {
+  AdaptivePolicy P;
+  P.Window = 8;
+  P.EscalateAbortRatio = 0.2;
+  P.DeescalateAbortRatio = 0.01;
+  return P;
+}
+
+} // namespace
+
+TEST(AdaptiveSetTest, StartsAtTheCheapestLevel) {
+  AdaptiveSet Set;
+  EXPECT_EQ(Set.currentLevel(), AdaptiveSet::Level::Exclusive);
+  EXPECT_EQ(Set.numSwitches(), 0u);
+}
+
+TEST(AdaptiveSetTest, SequentialSemanticsMatchDirect) {
+  AdaptiveSet Set(tightPolicy());
+  Transaction Tx(1);
+  bool Res = false;
+  EXPECT_TRUE(Set.add(Tx, 1, Res));
+  EXPECT_TRUE(Res);
+  EXPECT_TRUE(Set.add(Tx, 1, Res));
+  EXPECT_FALSE(Res);
+  EXPECT_TRUE(Set.contains(Tx, 1, Res));
+  EXPECT_TRUE(Res);
+  EXPECT_TRUE(Set.remove(Tx, 2, Res));
+  EXPECT_FALSE(Res);
+  Tx.commit();
+  EXPECT_EQ(Set.signature(), "1,");
+}
+
+TEST(AdaptiveSetTest, TransactionsBindToOneLevelForLife) {
+  AdaptiveSet Set(tightPolicy());
+  Transaction T1(1), T2(2);
+  bool Res = false;
+  // Exclusive locks: concurrent contains on the same key conflict.
+  EXPECT_TRUE(Set.contains(T1, 5, Res));
+  EXPECT_FALSE(Set.contains(T2, 5, Res));
+  EXPECT_TRUE(T2.failed());
+  T2.abort();
+  T1.commit();
+}
+
+TEST(AdaptiveSetTest, EscalatesUnderAborts) {
+  // Alternate conflicting pairs until the abort window trips; the set
+  // must move up the lattice (exclusive -> rw at least).
+  AdaptiveSet Set(tightPolicy());
+  for (unsigned Round = 0; Round != 64; ++Round) {
+    Transaction T1(2 * Round + 1), T2(2 * Round + 2);
+    bool Res = false;
+    ASSERT_TRUE(Set.contains(T1, 7, Res) || T1.failed());
+    const bool Ok2 = Set.contains(T2, 7, Res);
+    if (T1.failed())
+      T1.abort();
+    else
+      T1.commit();
+    if (!Ok2 || T2.failed())
+      T2.abort();
+    else
+      T2.commit();
+    if (Set.numSwitches() > 0)
+      break;
+  }
+  EXPECT_GT(Set.numSwitches(), 0u);
+  EXPECT_NE(Set.currentLevel(), AdaptiveSet::Level::Exclusive);
+  // After the switch, read/read on one key no longer conflicts.
+  Transaction T1(1001), T2(1002);
+  bool Res = false;
+  EXPECT_TRUE(Set.contains(T1, 7, Res));
+  EXPECT_TRUE(Set.contains(T2, 7, Res));
+  T1.commit();
+  T2.commit();
+}
+
+TEST(AdaptiveSetTest, DrainBarrierRefusesNewTransactions) {
+  AdaptivePolicy Policy = tightPolicy();
+  Policy.Window = 4;
+  AdaptiveSet Set(Policy);
+  // Trip the escalation window with conflicting pairs.
+  for (unsigned Round = 0; Round != 16; ++Round) {
+    Transaction T1(2 * Round + 1), T2(2 * Round + 2);
+    bool Res = false;
+    (void)Set.contains(T1, 7, Res);
+    (void)Set.contains(T2, 7, Res);
+    // Finish T1 first: its release may trip the window and request a
+    // switch while T2 is still live; a newcomer must then be refused
+    // (drain barrier).
+    if (T1.failed())
+      T1.abort();
+    else
+      T1.commit();
+    Transaction T3(1000 + Round);
+    const bool Ok3 = Set.contains(T3, 9, Res);
+    if (!Ok3) {
+      EXPECT_TRUE(T3.failed());
+      T3.abort();
+      if (T2.failed())
+        T2.abort();
+      else
+        T2.commit();
+      EXPECT_GT(Set.numDrainRefusals(), 0u);
+      // With everything drained, the next transaction binds to the new
+      // level.
+      Transaction T4(5000);
+      EXPECT_TRUE(Set.contains(T4, 9, Res));
+      T4.commit();
+      EXPECT_GT(Set.numSwitches(), 0u);
+      return;
+    }
+    T3.commit();
+    if (T2.failed())
+      T2.abort();
+    else
+      T2.commit();
+  }
+  GTEST_SKIP() << "no drain refusal observed under this schedule";
+}
+
+TEST(AdaptiveSetTest, ExecutorWorkloadStaysCorrectAcrossSwitches) {
+  // Conflict-heavy multi-op transactions drive escalation; the final
+  // abstract state must match an unprotected sequential run of the same
+  // committed operations.
+  AdaptivePolicy Policy = tightPolicy();
+  AdaptiveSet Set(Policy);
+  Worklist WL;
+  constexpr int64_t NumTxs = 600;
+  for (int64_t I = 0; I != NumTxs; ++I)
+    WL.push(I);
+  Executor Exec(4);
+  const ExecStats Stats = Exec.run(
+      WL, [&Set](Transaction &Tx, int64_t Item, TxWorklist &) {
+        Rng R(static_cast<uint64_t>(Item) * 977);
+        for (unsigned J = 0; J != 4; ++J) {
+          const int64_t Key = static_cast<int64_t>(R.nextBelow(6));
+          bool Res = false;
+          const bool Ok = R.nextBool(0.5) ? Set.add(Tx, Key, Res)
+                                          : Set.contains(Tx, Key, Res);
+          if (!Ok)
+            return;
+        }
+      });
+  EXPECT_EQ(Stats.Committed, static_cast<uint64_t>(NumTxs));
+  // Reference: committed adds are a pure function of the item stream.
+  IntHashSet Ref;
+  for (int64_t I = 0; I != NumTxs; ++I) {
+    Rng R(static_cast<uint64_t>(I) * 977);
+    for (unsigned J = 0; J != 4; ++J) {
+      const int64_t Key = static_cast<int64_t>(R.nextBelow(6));
+      if (R.nextBool(0.5))
+        Ref.insert(Key);
+    }
+  }
+  EXPECT_EQ(Set.signature(), Ref.signature());
+}
+
+TEST(AdaptiveSetTest, DeescalatesWhenQuiet) {
+  AdaptivePolicy Policy = tightPolicy();
+  AdaptiveSet Set(Policy);
+  // Force one escalation.
+  for (unsigned Round = 0; Round != 64 && Set.numSwitches() == 0; ++Round) {
+    Transaction T1(2 * Round + 1), T2(2 * Round + 2);
+    bool Res = false;
+    (void)Set.contains(T1, 7, Res);
+    (void)Set.contains(T2, 7, Res);
+    if (T1.failed())
+      T1.abort();
+    else
+      T1.commit();
+    if (T2.failed())
+      T2.abort();
+    else
+      T2.commit();
+  }
+  ASSERT_GT(Set.numSwitches(), 0u);
+  const uint64_t After = Set.numSwitches();
+  // A long abort-free stretch of distinct-key work de-escalates.
+  for (int64_t I = 0; I != 200 && Set.numSwitches() == After; ++I) {
+    Transaction Tx(10000 + I);
+    bool Res = false;
+    ASSERT_TRUE(Set.add(Tx, 100 + I, Res));
+    Tx.commit();
+  }
+  EXPECT_GT(Set.numSwitches(), After);
+  EXPECT_EQ(Set.currentLevel(), AdaptiveSet::Level::Exclusive);
+}

@@ -1,0 +1,168 @@
+//===- tests/adt/FlowGraphTest.cpp - Flow network + boosted methods -----------===//
+
+#include "adt/FlowGraph.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+
+TEST(FlowGraphTest, AddEdgeCreatesResiduals) {
+  FlowGraph G(3);
+  G.addEdge(0, 1, 10);
+  EXPECT_EQ(G.degree(0), 1u);
+  EXPECT_EQ(G.degree(1), 1u); // Reverse zero-capacity edge.
+  EXPECT_EQ(G.residual(0, 0), 10);
+  EXPECT_EQ(G.residual(1, 0), 0);
+}
+
+TEST(FlowGraphTest, ParallelEdgesMerge) {
+  FlowGraph G(2);
+  G.addEdge(0, 1, 10);
+  G.addEdge(0, 1, 5);
+  EXPECT_EQ(G.degree(0), 1u);
+  EXPECT_EQ(G.residual(0, 0), 15);
+}
+
+TEST(FlowGraphTest, ApplyPushMovesFlowAndExcess) {
+  FlowGraph G(2);
+  G.addEdge(0, 1, 10);
+  G.setExcess(0, 7);
+  G.applyPush(0, 0, 7);
+  EXPECT_EQ(G.residual(0, 0), 3);
+  EXPECT_EQ(G.residual(1, 0), 7);
+  EXPECT_EQ(G.excess(0), 0);
+  EXPECT_EQ(G.excess(1), 7);
+  // Undo with a negative delta.
+  G.applyPush(0, 0, -7);
+  EXPECT_EQ(G.residual(0, 0), 10);
+  EXPECT_EQ(G.excess(1), 0);
+}
+
+TEST(FlowGraphTest, BoostedPushValidatesAdmissibility) {
+  FlowGraph G(3);
+  G.addEdge(0, 1, 10);
+  G.setExcess(0, 4);
+  BoostedFlowGraph BG(&G, mlFlowSpec());
+  Transaction Tx(1);
+  int64_t Pushed = -1;
+  bool Activated = false;
+  // Heights equal: inadmissible, pushes nothing, still commits.
+  EXPECT_TRUE(BG.pushFlow(Tx, 0, 0, Pushed, Activated));
+  EXPECT_EQ(Pushed, 0);
+  G.setHeight(0, 1);
+  EXPECT_TRUE(BG.pushFlow(Tx, 0, 0, Pushed, Activated));
+  EXPECT_EQ(Pushed, 4);
+  EXPECT_TRUE(Activated);
+  Tx.commit();
+}
+
+TEST(FlowGraphTest, BoostedRelabelComputesMinPlusOne) {
+  FlowGraph G(4);
+  G.addEdge(0, 1, 5);
+  G.addEdge(0, 2, 5);
+  G.setHeight(1, 3);
+  G.setHeight(2, 7);
+  BoostedFlowGraph BG(&G, mlFlowSpec());
+  Transaction Tx(1);
+  int64_t NewHeight = 0;
+  EXPECT_TRUE(BG.relabel(Tx, 0, NewHeight));
+  EXPECT_EQ(NewHeight, 4); // min(3, 7) + 1.
+  Tx.commit();
+  EXPECT_EQ(G.height(0), 4);
+}
+
+TEST(FlowGraphTest, AbortUndoesPushAndRelabel) {
+  FlowGraph G(2);
+  G.addEdge(0, 1, 10);
+  G.setExcess(0, 4);
+  G.setHeight(0, 1);
+  BoostedFlowGraph BG(&G, mlFlowSpec());
+  Transaction Tx(1);
+  int64_t Pushed = 0, NewHeight = 0;
+  bool Activated = false;
+  EXPECT_TRUE(BG.pushFlow(Tx, 0, 0, Pushed, Activated));
+  EXPECT_TRUE(BG.relabel(Tx, 0, NewHeight));
+  Tx.fail();
+  Tx.abort();
+  EXPECT_EQ(G.excess(0), 4);
+  EXPECT_EQ(G.excess(1), 0);
+  EXPECT_EQ(G.residual(0, 0), 10);
+  EXPECT_EQ(G.height(0), 1);
+}
+
+TEST(FlowGraphTest, MlAllowsConcurrentGetNeighbors) {
+  FlowGraph G(3);
+  G.addEdge(0, 1, 1);
+  BoostedFlowGraph BG(&G, mlFlowSpec());
+  Transaction T1(1), T2(2);
+  unsigned D = 0;
+  EXPECT_TRUE(BG.getNeighbors(T1, 0, D));
+  EXPECT_TRUE(BG.getNeighbors(T2, 0, D));
+  T1.commit();
+  T2.commit();
+}
+
+TEST(FlowGraphTest, ExForbidsConcurrentGetNeighbors) {
+  FlowGraph G(3);
+  G.addEdge(0, 1, 1);
+  BoostedFlowGraph BG(&G, exFlowSpec());
+  Transaction T1(1), T2(2);
+  unsigned D = 0;
+  EXPECT_TRUE(BG.getNeighbors(T1, 0, D));
+  EXPECT_FALSE(BG.getNeighbors(T2, 0, D));
+  T2.abort();
+  T1.commit();
+}
+
+TEST(FlowGraphTest, RelabelConflictsWithPushOnSharedNode) {
+  FlowGraph G(3);
+  G.addEdge(0, 1, 5);
+  G.addEdge(1, 2, 5);
+  G.setExcess(0, 1);
+  G.setHeight(0, 1);
+  BoostedFlowGraph BG(&G, mlFlowSpec());
+  Transaction T1(1), T2(2);
+  int64_t Pushed = 0;
+  bool Activated = false;
+  EXPECT_TRUE(BG.pushFlow(T1, 0, 0, Pushed, Activated)); // Locks 0 and 1.
+  int64_t H = 0;
+  EXPECT_FALSE(BG.relabel(T2, 1, H));
+  T2.abort();
+  // Node 2 is free.
+  Transaction T3(3);
+  EXPECT_TRUE(BG.relabel(T3, 2, H));
+  T3.commit();
+  T1.commit();
+}
+
+TEST(FlowGraphTest, PartitionedLocksCoarsen) {
+  FlowGraph G(64);
+  for (unsigned I = 0; I + 1 != 64; ++I)
+    G.addEdge(I, I + 1, 1);
+  BoostedFlowGraph BG(&G, partFlowSpec(), /*Partitions=*/4);
+  Transaction T1(1), T2(2);
+  int64_t H = 0;
+  // Nodes 0 and 4 share partition (mod 4): conflict despite distinct ids.
+  EXPECT_TRUE(BG.relabel(T1, 0, H));
+  EXPECT_FALSE(BG.relabel(T2, 4, H));
+  T2.abort();
+  // Node 5 is in another partition.
+  Transaction T3(3);
+  EXPECT_TRUE(BG.relabel(T3, 5, H));
+  T3.commit();
+  T1.commit();
+}
+
+TEST(FlowGraphTest, FlowValidityChecker) {
+  FlowGraph G(3);
+  G.addEdge(0, 1, 5);
+  G.addEdge(1, 2, 5);
+  G.setExcess(0, 5);
+  G.setHeight(0, 1);
+  G.applyPush(0, 0, 5);
+  EXPECT_TRUE(G.checkFlowValid(0, 2));
+  G.setHeight(1, 1);
+  G.applyPush(1, 1, 5); // Edge index 1 of node 1 is 1->2.
+  EXPECT_TRUE(G.checkFlowValid(0, 2));
+  EXPECT_EQ(G.excess(2), 5);
+}

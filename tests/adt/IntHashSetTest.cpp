@@ -1,0 +1,94 @@
+//===- tests/adt/IntHashSetTest.cpp - Hash-set semantics ----------------------===//
+
+#include "adt/IntHashSet.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace comlat;
+
+TEST(IntHashSetTest, BasicInsertEraseContains) {
+  IntHashSet S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_TRUE(S.insert(3));
+  EXPECT_FALSE(S.insert(3));
+  EXPECT_TRUE(S.contains(3));
+  EXPECT_FALSE(S.contains(4));
+  EXPECT_EQ(S.size(), 1u);
+  EXPECT_TRUE(S.erase(3));
+  EXPECT_FALSE(S.erase(3));
+  EXPECT_TRUE(S.empty());
+}
+
+TEST(IntHashSetTest, NegativeAndExtremeKeys) {
+  IntHashSet S;
+  EXPECT_TRUE(S.insert(-1));
+  EXPECT_TRUE(S.insert(INT64_MIN));
+  EXPECT_TRUE(S.insert(INT64_MAX));
+  EXPECT_TRUE(S.insert(0));
+  EXPECT_TRUE(S.contains(INT64_MIN));
+  EXPECT_TRUE(S.contains(INT64_MAX));
+  EXPECT_EQ(S.size(), 4u);
+}
+
+TEST(IntHashSetTest, GrowthKeepsMembers) {
+  IntHashSet S(4);
+  for (int64_t I = 0; I != 1000; ++I)
+    EXPECT_TRUE(S.insert(I * 7));
+  EXPECT_EQ(S.size(), 1000u);
+  for (int64_t I = 0; I != 1000; ++I)
+    EXPECT_TRUE(S.contains(I * 7));
+  EXPECT_FALSE(S.contains(3));
+}
+
+TEST(IntHashSetTest, SortedElementsAndSignature) {
+  IntHashSet S;
+  S.insert(5);
+  S.insert(-2);
+  S.insert(9);
+  const std::vector<int64_t> Expected = {-2, 5, 9};
+  EXPECT_EQ(S.sortedElements(), Expected);
+  EXPECT_EQ(S.signature(), "-2,5,9,");
+}
+
+TEST(IntHashSetTest, ClearResets) {
+  IntHashSet S;
+  for (int64_t I = 0; I != 50; ++I)
+    S.insert(I);
+  S.clear();
+  EXPECT_TRUE(S.empty());
+  EXPECT_FALSE(S.contains(10));
+  EXPECT_TRUE(S.insert(10));
+}
+
+/// Property test: random op streams against std::set.
+class IntHashSetProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntHashSetProperty, MatchesStdSet) {
+  Rng R(GetParam());
+  IntHashSet S;
+  std::set<int64_t> Ref;
+  for (unsigned Step = 0; Step != 4000; ++Step) {
+    // Small key space forces collisions and backward-shift deletions.
+    const int64_t Key = static_cast<int64_t>(R.nextBelow(64));
+    switch (R.nextBelow(3)) {
+    case 0:
+      EXPECT_EQ(S.insert(Key), Ref.insert(Key).second);
+      break;
+    case 1:
+      EXPECT_EQ(S.erase(Key), Ref.erase(Key) != 0);
+      break;
+    default:
+      EXPECT_EQ(S.contains(Key), Ref.count(Key) != 0);
+      break;
+    }
+    EXPECT_EQ(S.size(), Ref.size());
+  }
+  const std::vector<int64_t> Sorted(Ref.begin(), Ref.end());
+  EXPECT_EQ(S.sortedElements(), Sorted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntHashSetProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));

@@ -1,0 +1,248 @@
+//===- tests/adt/KdTreeTest.cpp - Kd-tree property tests ----------------------===//
+
+#include "adt/KdTree.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+using namespace comlat;
+
+namespace {
+
+/// Brute-force nearest with the same tie-break (smaller id).
+int64_t bruteNearest(const PointStore &Store,
+                     const std::vector<int64_t> &Members, int64_t Query) {
+  int64_t Best = KdNullPoint;
+  double BestD2 = std::numeric_limits<double>::infinity();
+  for (const int64_t Id : Members) {
+    if (Id == Query)
+      continue;
+    const double D2 = Store.dist2(Query, Id);
+    if (D2 < BestD2 || (D2 == BestD2 && (Best == KdNullPoint || Id < Best))) {
+      BestD2 = D2;
+      Best = Id;
+    }
+  }
+  return Best;
+}
+
+int64_t addRandomPoint(PointStore &Store, Rng &R) {
+  Point3 P;
+  for (unsigned D = 0; D != KdDims; ++D)
+    P.C[D] = R.nextDouble();
+  return Store.addPoint(P);
+}
+
+/// Counts probe events.
+class CountingProbe : public MemProbe {
+public:
+  bool onRead(uint64_t) override {
+    ++Reads;
+    return true;
+  }
+  bool onWrite(uint64_t) override {
+    ++Writes;
+    return true;
+  }
+  unsigned Reads = 0;
+  unsigned Writes = 0;
+};
+
+/// Vetoes the Nth write.
+class VetoProbe : public MemProbe {
+public:
+  explicit VetoProbe(unsigned VetoAt) : VetoAt(VetoAt) {}
+  bool onRead(uint64_t) override { return true; }
+  bool onWrite(uint64_t) override { return ++Writes != VetoAt; }
+  unsigned Writes = 0;
+
+private:
+  unsigned VetoAt;
+};
+
+} // namespace
+
+TEST(KdTreeTest, EmptyTreeNearestIsNull) {
+  PointStore Store;
+  Rng R(1);
+  const int64_t P = addRandomPoint(Store, R);
+  KdTree Tree(&Store);
+  int64_t Res = 0;
+  EXPECT_EQ(Tree.nearest(P, nullptr, Res), KdTree::Status::Ok);
+  EXPECT_EQ(Res, KdNullPoint);
+}
+
+TEST(KdTreeTest, SinglePointExcludesSelf) {
+  PointStore Store;
+  Rng R(1);
+  const int64_t P = addRandomPoint(Store, R);
+  KdTree Tree(&Store);
+  bool Changed = false;
+  Tree.add(P, nullptr, Changed);
+  EXPECT_TRUE(Changed);
+  int64_t Res = 0;
+  Tree.nearest(P, nullptr, Res);
+  // "By convention, the point at infinity is the closest point if the
+  // data set contains a single point."
+  EXPECT_EQ(Res, KdNullPoint);
+}
+
+TEST(KdTreeTest, DuplicateAddAndMissingRemove) {
+  PointStore Store;
+  Rng R(1);
+  const int64_t P = addRandomPoint(Store, R);
+  KdTree Tree(&Store);
+  bool Changed = true;
+  Tree.remove(P, nullptr, Changed);
+  EXPECT_FALSE(Changed);
+  Tree.add(P, nullptr, Changed);
+  EXPECT_TRUE(Changed);
+  Tree.add(P, nullptr, Changed);
+  EXPECT_FALSE(Changed);
+  EXPECT_EQ(Tree.size(), 1u);
+}
+
+TEST(KdTreeTest, DistConventions) {
+  PointStore Store;
+  Store.addPoint(Point3{{0, 0, 0}});
+  Store.addPoint(Point3{{3, 4, 0}});
+  EXPECT_DOUBLE_EQ(Store.dist(0, 1), 5.0);
+  EXPECT_TRUE(std::isinf(Store.dist(0, KdNullPoint)));
+  EXPECT_TRUE(std::isinf(Store.dist(KdNullPoint, 0)));
+}
+
+class KdTreeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KdTreeProperty, NearestMatchesBruteForceUnderChurn) {
+  Rng R(GetParam());
+  PointStore Store;
+  KdTree Tree(&Store, /*LeafCapacity=*/4);
+  std::vector<int64_t> Members;
+  std::vector<int64_t> All;
+  for (unsigned I = 0; I != 120; ++I)
+    All.push_back(addRandomPoint(Store, R));
+
+  for (unsigned Step = 0; Step != 600; ++Step) {
+    const int64_t Id = All[R.nextBelow(All.size())];
+    const unsigned Op = static_cast<unsigned>(R.nextBelow(3));
+    bool Changed = false;
+    if (Op == 0) {
+      Tree.add(Id, nullptr, Changed);
+      if (Changed)
+        Members.push_back(Id);
+    } else if (Op == 1) {
+      Tree.remove(Id, nullptr, Changed);
+      if (Changed)
+        Members.erase(std::find(Members.begin(), Members.end(), Id));
+    } else {
+      int64_t Got = 0;
+      Tree.nearest(Id, nullptr, Got);
+      EXPECT_EQ(Got, bruteNearest(Store, Members, Id)) << "step " << Step;
+    }
+    if (Step % 97 == 0)
+      EXPECT_TRUE(Tree.checkInvariants()) << "step " << Step;
+  }
+  EXPECT_TRUE(Tree.checkInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KdTreeProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(KdTreeTest, TieBreakPicksSmallerId) {
+  PointStore Store;
+  Store.addPoint(Point3{{0, 0, 0}}); // 0: query
+  Store.addPoint(Point3{{1, 0, 0}}); // 1
+  Store.addPoint(Point3{{-1, 0, 0}}); // 2: same distance as 1
+  KdTree Tree(&Store);
+  bool Changed = false;
+  Tree.add(1, nullptr, Changed);
+  Tree.add(2, nullptr, Changed);
+  int64_t Res = 0;
+  Tree.nearest(0, nullptr, Res);
+  EXPECT_EQ(Res, 1);
+}
+
+TEST(KdTreeTest, InteriorWritesOnlyWhenBoxChanges) {
+  // Build a cloud, then add an interior point: only the leaf should be
+  // written. Adding an outlier must write the whole path.
+  PointStore Store;
+  Rng R(7);
+  KdTree Tree(&Store, /*LeafCapacity=*/4);
+  bool Changed = false;
+  for (unsigned I = 0; I != 64; ++I) {
+    const int64_t Id = addRandomPoint(Store, R);
+    Tree.add(Id, nullptr, Changed);
+  }
+  // Interior point (deep inside the unit cube the cloud spans).
+  const int64_t Inner = Store.addPoint(Point3{{0.5, 0.5, 0.5}});
+  CountingProbe InnerProbe;
+  Tree.add(Inner, &InnerProbe, Changed);
+  ASSERT_TRUE(Changed);
+  EXPECT_GE(InnerProbe.Reads, 1u);
+  // Leaf write plus at most a few deep nodes whose tight boxes expand; the
+  // decisive property is that the upper tree (root included) is only read.
+  EXPECT_LE(InnerProbe.Writes, 4u);
+  // Outlier: every node's box on the path expands.
+  const int64_t Outlier = Store.addPoint(Point3{{50, 50, 50}});
+  CountingProbe OutlierProbe;
+  Tree.add(Outlier, &OutlierProbe, Changed);
+  ASSERT_TRUE(Changed);
+  EXPECT_EQ(OutlierProbe.Reads, 0u);
+  EXPECT_GE(OutlierProbe.Writes, 2u);
+}
+
+TEST(KdTreeTest, ProbeVetoLeavesTreeUntouched) {
+  PointStore Store;
+  Rng R(9);
+  KdTree Tree(&Store, /*LeafCapacity=*/4);
+  bool Changed = false;
+  std::vector<int64_t> Members;
+  for (unsigned I = 0; I != 32; ++I) {
+    const int64_t Id = addRandomPoint(Store, R);
+    Tree.add(Id, nullptr, Changed);
+    Members.push_back(Id);
+  }
+  const std::string Before = Tree.signature();
+  const int64_t Outlier = Store.addPoint(Point3{{10, 10, 10}});
+  VetoProbe Veto(1);
+  EXPECT_EQ(Tree.add(Outlier, &Veto, Changed), KdTree::Status::Conflict);
+  EXPECT_EQ(Tree.signature(), Before);
+  EXPECT_TRUE(Tree.checkInvariants());
+  // Removal veto too.
+  VetoProbe Veto2(1);
+  EXPECT_EQ(Tree.remove(Members[0], &Veto2, Changed),
+            KdTree::Status::Conflict);
+  EXPECT_EQ(Tree.signature(), Before);
+}
+
+TEST(KdTreeTest, RemoveShrinksBoxesSoundly) {
+  // Remove boundary points repeatedly and confirm queries stay exact.
+  PointStore Store;
+  Rng R(13);
+  KdTree Tree(&Store, /*LeafCapacity=*/4);
+  std::vector<int64_t> Members;
+  bool Changed = false;
+  for (unsigned I = 0; I != 80; ++I) {
+    const int64_t Id = addRandomPoint(Store, R);
+    Tree.add(Id, nullptr, Changed);
+    Members.push_back(Id);
+  }
+  while (Members.size() > 1) {
+    // Remove the lexicographically extreme member (a box corner).
+    size_t ArgMax = 0;
+    for (size_t I = 1; I != Members.size(); ++I)
+      if (Store.get(Members[I]).C[0] > Store.get(Members[ArgMax]).C[0])
+        ArgMax = I;
+    Tree.remove(Members[ArgMax], nullptr, Changed);
+    ASSERT_TRUE(Changed);
+    Members.erase(Members.begin() + static_cast<ptrdiff_t>(ArgMax));
+    const int64_t Query = Members[0];
+    int64_t Got = 0;
+    Tree.nearest(Query, nullptr, Got);
+    EXPECT_EQ(Got, bruteNearest(Store, Members, Query));
+    EXPECT_TRUE(Tree.checkInvariants());
+  }
+}

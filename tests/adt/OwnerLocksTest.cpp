@@ -1,0 +1,58 @@
+//===- tests/adt/OwnerLocksTest.cpp - Exclusive ownership ---------------------===//
+
+#include "adt/OwnerLocks.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+
+TEST(OwnerLocksTest, ExclusivePerId) {
+  OwnerLocks Owners("test");
+  Transaction T1(1), T2(2);
+  EXPECT_TRUE(Owners.own(T1, 5));
+  EXPECT_FALSE(Owners.own(T2, 5));
+  EXPECT_TRUE(T2.failed());
+  EXPECT_TRUE(Owners.own(T1, 6));
+  T2.abort();
+  T1.commit();
+}
+
+TEST(OwnerLocksTest, ReentrantForOwner) {
+  OwnerLocks Owners("test");
+  Transaction T1(1);
+  EXPECT_TRUE(Owners.own(T1, 5));
+  EXPECT_TRUE(Owners.own(T1, 5));
+  T1.commit();
+}
+
+TEST(OwnerLocksTest, ReleasedAtCommitAndAbort) {
+  OwnerLocks Owners("test");
+  {
+    Transaction T1(1);
+    EXPECT_TRUE(Owners.own(T1, 5));
+    T1.commit();
+  }
+  {
+    Transaction T2(2);
+    EXPECT_TRUE(Owners.own(T2, 5));
+    T2.fail();
+    T2.abort();
+  }
+  Transaction T3(3);
+  EXPECT_TRUE(Owners.own(T3, 5));
+  T3.commit();
+}
+
+TEST(OwnerLocksTest, DistinctIdsIndependent) {
+  OwnerLocks Owners("test");
+  Transaction T1(1), T2(2);
+  EXPECT_TRUE(Owners.own(T1, 1));
+  EXPECT_TRUE(Owners.own(T2, 2));
+  T1.commit();
+  T2.commit();
+  EXPECT_EQ(Owners.manager().numConflicts(), 0u);
+}
+
+TEST(OwnerLocksTest, SpecIsSimpleExclusive) {
+  EXPECT_EQ(ownerSpec().classify(), ConditionClass::Simple);
+}

@@ -1,0 +1,362 @@
+//===- tests/adt/SerializabilityTest.cpp - Theorem 2, end to end --------------===//
+//
+// The paper's central safety claim (Theorem 2): if every pair of method
+// invocations from concurrent transactions satisfies its commutativity
+// condition, the execution is serializable. These tests run randomized
+// transaction scripts under adversarial deterministic interleavings for
+// every conflict-detection scheme and confirm, via brute-force witness
+// search, that the committed transactions always admit an equivalent
+// serial order with identical return values and final abstract state.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Accumulator.h"
+#include "adt/BoostedKdTree.h"
+#include "adt/BoostedSet.h"
+#include "adt/BoostedUnionFind.h"
+#include "runtime/Interleaver.h"
+#include "runtime/SerialChecker.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+using namespace comlat;
+
+namespace {
+
+/// Builds a random schedule for the given per-script step counts.
+std::vector<unsigned> randomSchedule(const std::vector<unsigned> &Counts,
+                                     Rng &R) {
+  std::vector<unsigned> Schedule;
+  for (unsigned I = 0; I != Counts.size(); ++I)
+    for (unsigned J = 0; J != Counts[I]; ++J)
+      Schedule.push_back(I);
+  R.shuffle(Schedule);
+  return Schedule;
+}
+
+/// Collects committed traces from an interleaver outcome.
+std::vector<TxTrace> committedTraces(const InterleaveOutcome &Out) {
+  std::vector<TxTrace> Traces;
+  for (size_t I = 0; I != Out.Txs.size(); ++I)
+    if (Out.Committed[I])
+      Traces.push_back(traceOf(*Out.Txs[I], I + 1));
+  return Traces;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Set: all four schemes of Table 2
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct SetCase {
+  const char *Scheme;
+  uint64_t Seed;
+};
+
+class SetSerializability : public ::testing::TestWithParam<SetCase> {
+protected:
+  static std::unique_ptr<TxSet> makeSet(const std::string &Scheme) {
+    if (Scheme == "global")
+      return makeLockedSet(bottomSetSpec());
+    if (Scheme == "exclusive")
+      return makeLockedSet(exclusiveSetSpec());
+    if (Scheme == "rw")
+      return makeLockedSet(strengthenedSetSpec());
+    if (Scheme == "partitioned")
+      return makeLockedSet(partitionedSetSpec(), /*Partitions=*/2);
+    return makeGatedSet(preciseSetSpec());
+  }
+};
+
+std::string setCaseName(const ::testing::TestParamInfo<SetCase> &Info) {
+  return std::string(Info.param.Scheme) + "_" +
+         std::to_string(Info.param.Seed);
+}
+
+} // namespace
+
+TEST_P(SetSerializability, RandomScriptsAlwaysSerializable) {
+  const SetCase &Param = GetParam();
+  Rng R(Param.Seed);
+  for (unsigned Trial = 0; Trial != 40; ++Trial) {
+    const std::unique_ptr<TxSet> Set = makeSet(Param.Scheme);
+    const unsigned NumScripts = 2 + static_cast<unsigned>(R.nextBelow(3));
+    const unsigned StepsPer = 2 + static_cast<unsigned>(R.nextBelow(3));
+    std::vector<TxScript> Scripts(NumScripts);
+    for (TxScript &S : Scripts) {
+      for (unsigned J = 0; J != StepsPer; ++J) {
+        const int64_t Key = static_cast<int64_t>(R.nextBelow(4));
+        const unsigned Op = static_cast<unsigned>(R.nextBelow(3));
+        S.Steps.push_back([&Set, Key, Op](Transaction &Tx) {
+          bool Res = false;
+          if (Op == 0)
+            Set->add(Tx, Key, Res);
+          else if (Op == 1)
+            Set->remove(Tx, Key, Res);
+          else
+            Set->contains(Tx, Key, Res);
+        });
+      }
+    }
+    const std::vector<unsigned> Counts(NumScripts, StepsPer);
+    const InterleaveOutcome Out =
+        runInterleaved(Scripts, randomSchedule(Counts, R));
+    const std::vector<TxTrace> Traces = committedTraces(Out);
+    EXPECT_TRUE(findSerialWitness(
+        Traces, [] { return std::make_unique<SetReplayer>(); },
+        Set->signature()))
+        << Param.Scheme << " trial " << Trial << " with "
+        << Traces.size() << " committed of " << NumScripts;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, SetSerializability,
+    ::testing::Values(SetCase{"global", 1}, SetCase{"global", 2},
+                      SetCase{"exclusive", 1}, SetCase{"exclusive", 2},
+                      SetCase{"rw", 1}, SetCase{"rw", 2},
+                      SetCase{"partitioned", 1}, SetCase{"partitioned", 2},
+                      SetCase{"gatekeeper", 1}, SetCase{"gatekeeper", 2},
+                      SetCase{"gatekeeper", 3}, SetCase{"gatekeeper", 4}),
+    setCaseName);
+
+TEST(SetSerializabilityExhaustive, GatekeeperAllSchedulesOfThreeTxs) {
+  // Exhaustive over every interleaving of three 2-step transactions.
+  const std::vector<std::vector<unsigned>> Schedules =
+      enumerateSchedules({2, 2, 2});
+  ASSERT_EQ(Schedules.size(), 90u);
+  Rng R(77);
+  for (unsigned Workload = 0; Workload != 6; ++Workload) {
+    std::vector<std::array<std::pair<unsigned, int64_t>, 2>> Plan(3);
+    for (auto &Script : Plan)
+      for (auto &[Op, Key] : Script) {
+        Op = static_cast<unsigned>(R.nextBelow(3));
+        Key = static_cast<int64_t>(R.nextBelow(2));
+      }
+    for (const std::vector<unsigned> &Schedule : Schedules) {
+      const std::unique_ptr<TxSet> Set = makeGatedSet(preciseSetSpec());
+      std::vector<TxScript> Scripts(3);
+      for (unsigned S = 0; S != 3; ++S)
+        for (const auto &[Op, Key] : Plan[S])
+          Scripts[S].Steps.push_back(
+              [&Set, Op = Op, Key = Key](Transaction &Tx) {
+                bool Res = false;
+                if (Op == 0)
+                  Set->add(Tx, Key, Res);
+                else if (Op == 1)
+                  Set->remove(Tx, Key, Res);
+                else
+                  Set->contains(Tx, Key, Res);
+              });
+      const InterleaveOutcome Out = runInterleaved(Scripts, Schedule);
+      EXPECT_TRUE(findSerialWitness(
+          committedTraces(Out), [] { return std::make_unique<SetReplayer>(); },
+          Set->signature()));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Accumulator: both implementations of the same lattice point
+//===----------------------------------------------------------------------===//
+
+TEST(AccumulatorSerializability, RandomScripts) {
+  Rng R(5);
+  for (const bool Gated : {false, true}) {
+    for (unsigned Trial = 0; Trial != 30; ++Trial) {
+      const std::unique_ptr<TxAccumulator> Acc =
+          Gated ? makeGatedAccumulator() : makeLockedAccumulator();
+      std::vector<TxScript> Scripts(3);
+      for (TxScript &S : Scripts)
+        for (unsigned J = 0; J != 2; ++J) {
+          const bool IsInc = R.nextBool(0.6);
+          const int64_t Amount = static_cast<int64_t>(R.nextBelow(5));
+          S.Steps.push_back([&Acc, IsInc, Amount](Transaction &Tx) {
+            if (IsInc) {
+              Acc->increment(Tx, Amount);
+            } else {
+              int64_t V = 0;
+              Acc->read(Tx, V);
+            }
+          });
+        }
+      const InterleaveOutcome Out =
+          runInterleaved(Scripts, randomSchedule({2, 2, 2}, R));
+      EXPECT_TRUE(findSerialWitness(
+          committedTraces(Out),
+          [] { return std::make_unique<AccumulatorReplayer>(); },
+          std::to_string(Acc->value())));
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Kd-tree: forward gatekeeper and memory-level STM
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class KdSerializability : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(KdSerializability, GatekeeperAndStm) {
+  Rng R(GetParam());
+  for (const bool UseStm : {false, true}) {
+    for (unsigned Trial = 0; Trial != 20; ++Trial) {
+      PointStore Store;
+      std::vector<int64_t> Ids;
+      for (unsigned I = 0; I != 8; ++I) {
+        Point3 P;
+        for (unsigned D = 0; D != KdDims; ++D)
+          P.C[D] = R.nextDouble();
+        Ids.push_back(Store.addPoint(P));
+      }
+      const std::unique_ptr<TxKdTree> Tree =
+          UseStm ? makeStmKdTree(&Store) : makeGatedKdTree(&Store);
+      // Seed half of the points; remember the seed invocations so the
+      // replayer can reconstruct the initial state.
+      std::vector<Invocation> SeedInvs;
+      {
+        Transaction Seed(1000);
+        Seed.setRecording(true);
+        bool Changed = false;
+        for (unsigned I = 0; I != 4; ++I)
+          ASSERT_TRUE(Tree->add(Seed, Ids[I], Changed));
+        for (const auto &[Tag, Inv] : Seed.history())
+          SeedInvs.push_back(Inv);
+        Seed.commit();
+      }
+      std::vector<TxScript> Scripts(3);
+      for (TxScript &S : Scripts)
+        for (unsigned J = 0; J != 2; ++J) {
+          const int64_t Id = Ids[R.nextBelow(Ids.size())];
+          const unsigned Op = static_cast<unsigned>(R.nextBelow(3));
+          S.Steps.push_back([&Tree, Id, Op](Transaction &Tx) {
+            bool Changed = false;
+            int64_t Res = KdNullPoint;
+            if (Op == 0)
+              Tree->add(Tx, Id, Changed);
+            else if (Op == 1)
+              Tree->remove(Tx, Id, Changed);
+            else
+              Tree->nearest(Tx, Id, Res);
+          });
+        }
+      const InterleaveOutcome Out =
+          runInterleaved(Scripts, randomSchedule({2, 2, 2}, R));
+      const auto MakeReplayer =
+          [&Store, &SeedInvs]() -> std::unique_ptr<Replayer> {
+        auto Rep = std::make_unique<KdReplayer>(&Store);
+        for (const Invocation &Inv : SeedInvs)
+          Rep->replay(0, Inv);
+        return Rep;
+      };
+      EXPECT_TRUE(findSerialWitness(committedTraces(Out), MakeReplayer,
+                                    Tree->signature()))
+          << (UseStm ? "kd-ml" : "kd-gk") << " trial " << Trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KdSerializability,
+                         ::testing::Values(101, 202, 303, 404));
+
+//===----------------------------------------------------------------------===//
+// Union-find: generic general gatekeeper, specialized gatekeeper, STM
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct UfCase {
+  const char *Variant;
+  uint64_t Seed;
+};
+
+class UfSerializability : public ::testing::TestWithParam<UfCase> {
+protected:
+  static std::unique_ptr<TxUnionFind> makeUf(const std::string &Variant,
+                                             size_t N) {
+    if (Variant == "uf-gk")
+      return makeGatedUnionFind(N);
+    if (Variant == "uf-gk-spec")
+      return makeSpecializedUnionFind(N);
+    return makeStmUnionFind(N);
+  }
+};
+
+std::string ufCaseName(const ::testing::TestParamInfo<UfCase> &Info) {
+  std::string Name = Info.param.Variant;
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+  return Name + "_" + std::to_string(Info.param.Seed);
+}
+
+} // namespace
+
+TEST_P(UfSerializability, RandomScripts) {
+  const UfCase &Param = GetParam();
+  Rng R(Param.Seed);
+  constexpr size_t N = 8;
+  for (unsigned Trial = 0; Trial != 30; ++Trial) {
+    const std::unique_ptr<TxUnionFind> Uf = makeUf(Param.Variant, N);
+    // Committed seed unions (also given to the replayer).
+    std::vector<Invocation> SeedInvs;
+    {
+      Transaction Seed(1000);
+      Seed.setRecording(true);
+      bool Changed = false;
+      for (unsigned I = 0; I != 2; ++I) {
+        const int64_t A = static_cast<int64_t>(R.nextBelow(N));
+        const int64_t B = static_cast<int64_t>(R.nextBelow(N));
+        ASSERT_TRUE(Uf->unite(Seed, A, B, Changed));
+      }
+      for (const auto &[Tag, Inv] : Seed.history())
+        SeedInvs.push_back(Inv);
+      Seed.commit();
+    }
+    std::vector<TxScript> Scripts(3);
+    for (TxScript &S : Scripts)
+      for (unsigned J = 0; J != 2; ++J) {
+        const int64_t A = static_cast<int64_t>(R.nextBelow(N));
+        const int64_t B = static_cast<int64_t>(R.nextBelow(N));
+        const bool IsUnion = R.nextBool(0.5);
+        S.Steps.push_back([&Uf, A, B, IsUnion](Transaction &Tx) {
+          if (IsUnion) {
+            bool Changed = false;
+            Uf->unite(Tx, A, B, Changed);
+          } else {
+            int64_t Rep = UfNone;
+            Uf->find(Tx, A, Rep);
+          }
+        });
+      }
+    const InterleaveOutcome Out =
+        runInterleaved(Scripts, randomSchedule({2, 2, 2}, R));
+    const auto MakeReplayer = [&SeedInvs,
+                               N]() -> std::unique_ptr<Replayer> {
+      auto Rep = std::make_unique<UfReplayer>(N);
+      for (const Invocation &Inv : SeedInvs)
+        Rep->replay(0, Inv);
+      return Rep;
+    };
+    EXPECT_TRUE(findSerialWitness(committedTraces(Out), MakeReplayer,
+                                  Uf->signature()))
+        << Param.Variant << " trial " << Trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Variants, UfSerializability,
+    ::testing::Values(UfCase{"uf-gk", 1}, UfCase{"uf-gk", 2},
+                      UfCase{"uf-gk", 3}, UfCase{"uf-gk-spec", 1},
+                      UfCase{"uf-gk-spec", 2}, UfCase{"uf-gk-spec", 3},
+                      UfCase{"uf-ml", 1}, UfCase{"uf-ml", 2}),
+    ufCaseName);

@@ -1,0 +1,195 @@
+//===- tests/adt/UnionFindTest.cpp - Disjoint-set forest ----------------------===//
+
+#include "adt/UnionFind.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace comlat;
+
+namespace {
+
+/// Naive partition reference.
+class NaivePartition {
+public:
+  explicit NaivePartition(size_t N) : Label(N) {
+    for (size_t I = 0; I != N; ++I)
+      Label[I] = static_cast<int64_t>(I);
+  }
+  void unite(int64_t A, int64_t B) {
+    const int64_t La = Label[A], Lb = Label[B];
+    if (La == Lb)
+      return;
+    for (int64_t &L : Label)
+      if (L == Lb)
+        L = La;
+  }
+  bool same(int64_t A, int64_t B) const { return Label[A] == Label[B]; }
+
+private:
+  std::vector<int64_t> Label;
+};
+
+} // namespace
+
+TEST(UnionFindTest, BasicUniteFind) {
+  UnionFind UF(4);
+  int64_t R = UfNone;
+  UF.find(0, nullptr, nullptr, R);
+  EXPECT_EQ(R, 0);
+  bool Changed = false;
+  UF.unite(0, 1, nullptr, nullptr, Changed);
+  EXPECT_TRUE(Changed);
+  UF.unite(0, 1, nullptr, nullptr, Changed);
+  EXPECT_FALSE(Changed);
+  EXPECT_TRUE(UF.sameSet(0, 1));
+  EXPECT_FALSE(UF.sameSet(0, 2));
+}
+
+TEST(UnionFindTest, LoserWinnerDefinitions) {
+  UnionFind UF(4);
+  // Equal ranks: b's root loses (the paper's definition).
+  EXPECT_EQ(UF.loserOf(0, 1), 1);
+  EXPECT_EQ(UF.winnerOf(0, 1), 0);
+  bool Changed = false;
+  UF.unite(0, 1, nullptr, nullptr, Changed); // Root 0, rank 1.
+  // Now root 0 outranks root 2.
+  EXPECT_EQ(UF.loserOf(2, 0), 2);
+  EXPECT_EQ(UF.winnerOf(2, 0), 0);
+  // Same set: no loser.
+  EXPECT_EQ(UF.loserOf(0, 1), UfNone);
+  EXPECT_EQ(UF.winnerOf(0, 1), UfNone);
+}
+
+TEST(UnionFindTest, PathCompressionPreservesAbstractState) {
+  UnionFind UF(8);
+  bool Changed = false;
+  for (int I = 1; I != 8; ++I)
+    UF.unite(0, I, nullptr, nullptr, Changed);
+  const std::string Before = UF.signature();
+  // Finds compress but must not change the abstract state.
+  for (int I = 0; I != 8; ++I) {
+    int64_t R = UfNone;
+    UF.find(I, nullptr, nullptr, R);
+  }
+  EXPECT_EQ(UF.signature(), Before);
+  EXPECT_TRUE(UF.checkInvariants());
+}
+
+TEST(UnionFindTest, CompressionRecordsUndoActions) {
+  UnionFind UF(6);
+  bool Changed = false;
+  // Build a chain: 0<-1<-2... via careful unions (rank tricks), then a
+  // find from the tail must compress at least one pointer.
+  UF.unite(0, 1, nullptr, nullptr, Changed); // 0 rank 1.
+  UF.unite(2, 3, nullptr, nullptr, Changed); // 2 rank 1.
+  UF.unite(0, 2, nullptr, nullptr, Changed); // 0 rank 2; 2 under 0.
+  std::vector<GateAction> Actions;
+  int64_t R = UfNone;
+  UF.find(3, nullptr, &Actions, R);
+  EXPECT_EQ(R, 0);
+  EXPECT_FALSE(Actions.empty());
+  // Undo the compressions: abstract state unchanged, invariants hold.
+  for (auto It = Actions.rbegin(); It != Actions.rend(); ++It)
+    It->Undo();
+  EXPECT_TRUE(UF.checkInvariants());
+  EXPECT_TRUE(UF.sameSet(3, 0));
+}
+
+TEST(UnionFindTest, UniteUndoRestoresExactly) {
+  UnionFind UF(8);
+  bool Changed = false;
+  std::vector<GateAction> Setup;
+  UF.unite(0, 1, nullptr, &Setup, Changed);
+  UF.unite(2, 3, nullptr, &Setup, Changed);
+  const std::string Before = UF.signature();
+  std::vector<GateAction> Actions;
+  UF.unite(1, 3, nullptr, &Actions, Changed);
+  EXPECT_TRUE(Changed);
+  EXPECT_TRUE(UF.sameSet(0, 2));
+  for (auto It = Actions.rbegin(); It != Actions.rend(); ++It)
+    It->Undo();
+  EXPECT_EQ(UF.signature(), Before);
+  EXPECT_FALSE(UF.sameSet(0, 2));
+  // Redo replays it.
+  for (const GateAction &A : Actions)
+    A.Redo();
+  EXPECT_TRUE(UF.sameSet(0, 2));
+  EXPECT_TRUE(UF.checkInvariants());
+}
+
+TEST(UnionFindTest, CreateAndDestroy) {
+  UnionFind UF(2);
+  const int64_t Id = UF.createElement();
+  EXPECT_EQ(Id, 2);
+  EXPECT_EQ(UF.numElements(), 3u);
+  int64_t R = UfNone;
+  UF.find(Id, nullptr, nullptr, R);
+  EXPECT_EQ(R, Id);
+  UF.destroyLastElement();
+  EXPECT_EQ(UF.numElements(), 2u);
+}
+
+TEST(UnionFindTest, ChainOfWalksUncompressed) {
+  UnionFind UF(4);
+  bool Changed = false;
+  UF.unite(0, 1, nullptr, nullptr, Changed);
+  UF.unite(0, 2, nullptr, nullptr, Changed);
+  std::vector<int64_t> Chain;
+  UF.chainOf(1, Chain);
+  ASSERT_GE(Chain.size(), 2u);
+  EXPECT_EQ(Chain.front(), 1);
+  EXPECT_EQ(Chain.back(), 0);
+}
+
+class UnionFindProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UnionFindProperty, MatchesNaivePartition) {
+  Rng R(GetParam());
+  constexpr size_t N = 64;
+  UnionFind UF(N);
+  NaivePartition Ref(N);
+  for (unsigned Step = 0; Step != 400; ++Step) {
+    const int64_t A = static_cast<int64_t>(R.nextBelow(N));
+    const int64_t B = static_cast<int64_t>(R.nextBelow(N));
+    if (R.nextBool(0.4)) {
+      bool Changed = false;
+      UF.unite(A, B, nullptr, nullptr, Changed);
+      EXPECT_EQ(Changed, !Ref.same(A, B));
+      Ref.unite(A, B);
+    } else {
+      EXPECT_EQ(UF.sameSet(A, B), Ref.same(A, B));
+    }
+  }
+  EXPECT_TRUE(UF.checkInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnionFindProperty,
+                         ::testing::Values(3, 14, 15, 92, 65, 35));
+
+TEST(UnionFindTest, ProbeSeesCompressionWrites) {
+  // The §1 motivation: two finds on the same chain conflict at memory
+  // level because compression writes traversed elements.
+  UnionFind UF(8);
+  bool Changed = false;
+  UF.unite(0, 1, nullptr, nullptr, Changed);
+  UF.unite(2, 3, nullptr, nullptr, Changed);
+  UF.unite(0, 2, nullptr, nullptr, Changed);
+  struct Counting : MemProbe {
+    bool onRead(uint64_t) override {
+      ++Reads;
+      return true;
+    }
+    bool onWrite(uint64_t) override {
+      ++Writes;
+      return true;
+    }
+    unsigned Reads = 0, Writes = 0;
+  } Probe;
+  int64_t R = UfNone;
+  UF.find(3, &Probe, nullptr, R);
+  EXPECT_GE(Probe.Reads, 2u);
+  EXPECT_GE(Probe.Writes, 1u);
+}

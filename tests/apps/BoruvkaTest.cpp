@@ -1,0 +1,79 @@
+//===- tests/apps/BoruvkaTest.cpp - MST correctness ---------------------------===//
+
+#include "apps/Boruvka.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+
+TEST(BoruvkaTest, MeshGeneratorShape) {
+  const MeshInstance Mesh = randomMesh(4, 3, 1);
+  EXPECT_EQ(Mesh.NumNodes, 12u);
+  // 4x3 grid: 3*3 horizontal + 4*2 vertical = 17 edges.
+  EXPECT_EQ(Mesh.Edges.size(), 17u);
+  // Unique weights 1..E.
+  std::set<int64_t> Weights;
+  for (const MeshInstance::Edge &E : Mesh.Edges)
+    Weights.insert(E.W);
+  EXPECT_EQ(Weights.size(), Mesh.Edges.size());
+  EXPECT_EQ(*Weights.begin(), 1);
+}
+
+TEST(BoruvkaTest, KruskalOnKnownGraph) {
+  MeshInstance Mesh;
+  Mesh.NumNodes = 4;
+  Mesh.Edges = {{0, 1, 1}, {1, 2, 2}, {2, 3, 3}, {3, 0, 4}, {0, 2, 5}};
+  EXPECT_EQ(kruskalWeight(Mesh), 1 + 2 + 3);
+}
+
+TEST(BoruvkaTest, SequentialMatchesKruskal) {
+  for (const uint64_t Seed : {1ull, 2ull, 3ull}) {
+    const MeshInstance Mesh = randomMesh(8, 8, Seed);
+    const int64_t Expected = kruskalWeight(Mesh);
+    Boruvka App(&Mesh);
+    const BoruvkaResult R = App.runSequential();
+    EXPECT_EQ(R.MstWeight, Expected) << "seed " << Seed;
+    EXPECT_EQ(R.MstEdges, Mesh.NumNodes - 1);
+  }
+}
+
+namespace {
+
+class BoruvkaVariants : public ::testing::TestWithParam<const char *> {};
+
+std::string variantName(const ::testing::TestParamInfo<const char *> &Info) {
+  std::string Name = Info.param;
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+  return Name;
+}
+
+} // namespace
+
+TEST_P(BoruvkaVariants, SpeculativeMatchesKruskal) {
+  const MeshInstance Mesh = randomMesh(8, 8, 4);
+  const int64_t Expected = kruskalWeight(Mesh);
+  for (const unsigned Threads : {1u, 4u}) {
+    Boruvka App(&Mesh);
+    const BoruvkaResult R = App.runSpeculative(GetParam(), Threads);
+    EXPECT_EQ(R.MstWeight, Expected)
+        << GetParam() << " threads " << Threads;
+    EXPECT_EQ(R.MstEdges, Mesh.NumNodes - 1);
+  }
+}
+
+TEST_P(BoruvkaVariants, ParameterRoundModelMatchesKruskal) {
+  const MeshInstance Mesh = randomMesh(8, 8, 5);
+  const int64_t Expected = kruskalWeight(Mesh);
+  Boruvka App(&Mesh);
+  const BoruvkaResult R = App.runParameter(GetParam());
+  EXPECT_EQ(R.MstWeight, Expected) << GetParam();
+  EXPECT_GT(R.Rounds.Rounds, 0u);
+  EXPECT_GE(R.Rounds.parallelism(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, BoruvkaVariants,
+                         ::testing::Values("uf-gk", "uf-gk-spec", "uf-ml",
+                                           "uf-direct"),
+                         variantName);

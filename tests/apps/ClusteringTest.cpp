@@ -1,0 +1,96 @@
+//===- tests/apps/ClusteringTest.cpp - Agglomerative clustering ---------------===//
+
+#include "apps/Clustering.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace comlat;
+
+namespace {
+
+/// Checks the structural validity of a merge list for N initial points:
+/// N-1 merges, every id consumed at most once, parents fresh.
+void checkDendrogram(const std::vector<Merge> &Merges, size_t N) {
+  EXPECT_EQ(Merges.size(), N - 1);
+  std::set<int64_t> Consumed;
+  for (const Merge &M : Merges) {
+    EXPECT_TRUE(Consumed.insert(M.A).second) << "id merged twice: " << M.A;
+    EXPECT_TRUE(Consumed.insert(M.B).second) << "id merged twice: " << M.B;
+    EXPECT_GE(M.Parent, static_cast<int64_t>(N));
+    EXPECT_FALSE(Consumed.count(M.Parent));
+  }
+}
+
+} // namespace
+
+TEST(ClusteringTest, SequentialProducesFullDendrogram) {
+  Clustering App(32, 42);
+  const ClusterResult R = App.runSequential();
+  checkDendrogram(R.Merges, 32);
+}
+
+TEST(ClusteringTest, TwoPointsMergeOnce) {
+  Clustering App(2, 1);
+  const ClusterResult R = App.runSequential();
+  ASSERT_EQ(R.Merges.size(), 1u);
+  EXPECT_EQ(R.Merges[0].Parent, 2);
+}
+
+TEST(ClusteringTest, SinglePointNoMerges) {
+  Clustering App(1, 1);
+  const ClusterResult R = App.runSequential();
+  EXPECT_TRUE(R.Merges.empty());
+}
+
+namespace {
+
+class ClusteringVariants : public ::testing::TestWithParam<const char *> {};
+
+} // namespace
+
+TEST_P(ClusteringVariants, SpeculativeProducesFullDendrogram) {
+  for (const unsigned Threads : {1u, 4u}) {
+    Clustering App(48, 7);
+    const ClusterResult R = App.runSpeculative(GetParam(), Threads);
+    checkDendrogram(R.Merges, 48);
+    EXPECT_GT(R.Exec.Committed, 0u);
+  }
+}
+
+TEST_P(ClusteringVariants, ParameterRoundModel) {
+  Clustering App(48, 11);
+  const ClusterResult R = App.runParameter(GetParam());
+  checkDendrogram(R.Merges, 48);
+  EXPECT_GT(R.Rounds.Rounds, 0u);
+  EXPECT_GE(R.Rounds.parallelism(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, ClusteringVariants,
+                         ::testing::Values("kd-gk", "kd-ml"));
+
+TEST(ClusteringTest, GatekeeperExposesMoreRoundParallelism) {
+  // Table 1's clustering shape: the forward gatekeeper's critical path is
+  // much shorter than memory-level detection's.
+  Clustering GkApp(96, 13);
+  const ClusterResult Gk = GkApp.runParameter("kd-gk");
+  Clustering MlApp(96, 13);
+  const ClusterResult Ml = MlApp.runParameter("kd-ml");
+  EXPECT_LT(Gk.Rounds.Rounds, Ml.Rounds.Rounds);
+}
+
+TEST(ClusteringTest, WeightConservation) {
+  // The final centroid aggregates every initial point exactly once; with
+  // unit weights its weight equals N. Verify through the merge list.
+  constexpr size_t N = 24;
+  Clustering App(N, 3);
+  const ClusterResult R = App.runSequential();
+  std::map<int64_t, double> Weight;
+  for (size_t I = 0; I != N; ++I)
+    Weight[static_cast<int64_t>(I)] = 1.0;
+  for (const Merge &M : R.Merges)
+    Weight[M.Parent] = Weight.at(M.A) + Weight.at(M.B);
+  EXPECT_DOUBLE_EQ(Weight.at(R.Merges.back().Parent),
+                   static_cast<double>(N));
+}

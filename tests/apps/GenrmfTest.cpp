@@ -1,0 +1,50 @@
+//===- tests/apps/GenrmfTest.cpp - GENRMF generator ---------------------------===//
+
+#include "apps/Genrmf.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+
+TEST(GenrmfTest, TopologyAndCapacities) {
+  const MaxflowInstance Inst = genrmf(3, 4, 1, 100, 42);
+  EXPECT_EQ(Inst.Graph->numNodes(), 36u);
+  EXPECT_EQ(Inst.Source, 0u);
+  EXPECT_EQ(Inst.Sink, 35u);
+  // A corner node in an inner frame: 2 in-frame neighbors (bidirectional)
+  // + 1 inter-frame out + 1 inter-frame in = degree >= 4 (residual edges
+  // are merged with reverses).
+  EXPECT_GE(Inst.Graph->degree(9), 3u);
+  // In-frame capacity is C2 * A * A = 900.
+  bool Found900 = false;
+  for (unsigned I = 0; I != Inst.Graph->degree(0); ++I)
+    if (Inst.Graph->residual(0, I) >= 900)
+      Found900 = true;
+  EXPECT_TRUE(Found900);
+}
+
+TEST(GenrmfTest, DeterministicPerSeed) {
+  const MaxflowInstance A = genrmf(3, 3, 1, 50, 7);
+  const MaxflowInstance B = genrmf(3, 3, 1, 50, 7);
+  ASSERT_EQ(A.Graph->numNodes(), B.Graph->numNodes());
+  for (unsigned U = 0; U != A.Graph->numNodes(); ++U) {
+    ASSERT_EQ(A.Graph->degree(U), B.Graph->degree(U));
+    for (unsigned I = 0; I != A.Graph->degree(U); ++I) {
+      EXPECT_EQ(A.Graph->neighbor(U, I), B.Graph->neighbor(U, I));
+      EXPECT_EQ(A.Graph->residual(U, I), B.Graph->residual(U, I));
+    }
+  }
+}
+
+TEST(GenrmfTest, DifferentSeedsDiffer) {
+  const MaxflowInstance A = genrmf(4, 3, 1, 50, 1);
+  const MaxflowInstance B = genrmf(4, 3, 1, 50, 2);
+  bool AnyDiff = false;
+  for (unsigned U = 0; U != A.Graph->numNodes() && !AnyDiff; ++U)
+    for (unsigned I = 0; I != A.Graph->degree(U) && !AnyDiff; ++I)
+      if (I < B.Graph->degree(U) &&
+          (A.Graph->neighbor(U, I) != B.Graph->neighbor(U, I) ||
+           A.Graph->residual(U, I) != B.Graph->residual(U, I)))
+        AnyDiff = true;
+  EXPECT_TRUE(AnyDiff);
+}

@@ -1,0 +1,109 @@
+//===- tests/apps/PreflowPushTest.cpp - Max-flow correctness ------------------===//
+
+#include "apps/Genrmf.h"
+#include "apps/MaxflowReference.h"
+#include "apps/PreflowPush.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+
+namespace {
+
+/// Tiny hand-built instance with known max flow 7.
+MaxflowInstance tinyInstance() {
+  MaxflowInstance Inst;
+  Inst.Graph = std::make_unique<FlowGraph>(4);
+  Inst.Source = 0;
+  Inst.Sink = 3;
+  Inst.Graph->addEdge(0, 1, 4);
+  Inst.Graph->addEdge(0, 2, 3);
+  Inst.Graph->addEdge(1, 3, 5);
+  Inst.Graph->addEdge(2, 3, 3);
+  Inst.Graph->addEdge(1, 2, 1);
+  return Inst;
+}
+
+} // namespace
+
+TEST(PreflowPushTest, DinicOnTinyInstance) {
+  const MaxflowInstance Inst = tinyInstance();
+  EXPECT_EQ(referenceMaxflow(*Inst.Graph, Inst.Source, Inst.Sink), 7);
+}
+
+TEST(PreflowPushTest, SequentialMatchesDinic) {
+  for (const uint64_t Seed : {1ull, 2ull, 3ull}) {
+    const MaxflowInstance Ref = genrmf(3, 3, 1, 20, Seed);
+    const int64_t Expected =
+        referenceMaxflow(*Ref.Graph, Ref.Source, Ref.Sink);
+    MaxflowInstance Run = genrmf(3, 3, 1, 20, Seed);
+    EXPECT_EQ(PreflowPush::runSequential(*Run.Graph, Run.Source, Run.Sink),
+              Expected)
+        << "seed " << Seed;
+    EXPECT_TRUE(Run.Graph->checkFlowValid(Run.Source, Run.Sink));
+  }
+}
+
+namespace {
+
+class PreflowSchemes : public ::testing::TestWithParam<const char *> {
+protected:
+  static const CommSpec &spec() {
+    const std::string S = GetParam();
+    if (S == "ml")
+      return mlFlowSpec();
+    if (S == "ex")
+      return exFlowSpec();
+    return partFlowSpec();
+  }
+};
+
+} // namespace
+
+TEST_P(PreflowSchemes, SpeculativeMatchesDinic) {
+  for (const uint64_t Seed : {5ull, 6ull}) {
+    const MaxflowInstance Ref = genrmf(3, 3, 1, 20, Seed);
+    const int64_t Expected =
+        referenceMaxflow(*Ref.Graph, Ref.Source, Ref.Sink);
+    for (const unsigned Threads : {1u, 4u}) {
+      MaxflowInstance Run = genrmf(3, 3, 1, 20, Seed);
+      const PreflowResult R = PreflowPush::runSpeculative(
+          *Run.Graph, Run.Source, Run.Sink, spec(), Threads,
+          /*Partitions=*/8);
+      EXPECT_EQ(R.FlowValue, Expected)
+          << GetParam() << " seed " << Seed << " threads " << Threads;
+      EXPECT_TRUE(Run.Graph->checkFlowValid(Run.Source, Run.Sink));
+      EXPECT_GT(R.Exec.Committed, 0u);
+    }
+  }
+}
+
+TEST_P(PreflowSchemes, ParameterRoundModelMatchesDinic) {
+  const MaxflowInstance Ref = genrmf(3, 3, 1, 20, 9);
+  const int64_t Expected = referenceMaxflow(*Ref.Graph, Ref.Source, Ref.Sink);
+  MaxflowInstance Run = genrmf(3, 3, 1, 20, 9);
+  const PreflowRoundResult R = PreflowPush::runParameter(
+      *Run.Graph, Run.Source, Run.Sink, spec(), /*Partitions=*/8);
+  EXPECT_EQ(R.FlowValue, Expected);
+  EXPECT_GT(R.Rounds.Rounds, 0u);
+  EXPECT_GE(R.Rounds.parallelism(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, PreflowSchemes,
+                         ::testing::Values("ml", "ex", "part"));
+
+TEST(PreflowPushTest, ParallelismOrderingOnRmf) {
+  // ParaMeter parallelism must not increase as the spec gets stronger:
+  // ml >= ex >= part (Table 1's shape).
+  const auto RunWith = [](const CommSpec &Spec, unsigned Partitions) {
+    MaxflowInstance Run = genrmf(4, 4, 1, 30, 11);
+    return PreflowPush::runParameter(*Run.Graph, Run.Source, Run.Sink, Spec,
+                                     Partitions)
+        .Rounds;
+  };
+  const RoundStats Ml = RunWith(mlFlowSpec(), 8);
+  const RoundStats Ex = RunWith(exFlowSpec(), 8);
+  const RoundStats Part = RunWith(partFlowSpec(), 8);
+  EXPECT_GE(Ml.parallelism(), Ex.parallelism() * 0.99);
+  EXPECT_GE(Ex.parallelism(), Part.parallelism() * 0.99);
+}

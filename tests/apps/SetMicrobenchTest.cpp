@@ -1,0 +1,62 @@
+//===- tests/apps/SetMicrobenchTest.cpp - Table 2 workload --------------------===//
+
+#include "apps/SetMicrobench.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+
+namespace {
+
+MicroParams smallParams(unsigned KeyClasses) {
+  MicroParams P;
+  P.NumOps = 2000;
+  P.OpsPerTx = 4;
+  P.KeyClasses = KeyClasses;
+  P.Threads = 4;
+  P.Seed = 9;
+  return P;
+}
+
+} // namespace
+
+TEST(SetMicrobenchTest, AllSchemesAgreeOnFinalState) {
+  // The committed operations are a pure function of the seed, so every
+  // scheme must produce the same final abstract set.
+  for (const unsigned KeyClasses : {0u, 10u}) {
+    const MicroParams P = smallParams(KeyClasses);
+    std::string Expected;
+    for (const SetScheme Scheme :
+         {SetScheme::Direct, SetScheme::GlobalLock, SetScheme::Exclusive,
+          SetScheme::ReadWrite, SetScheme::Gatekeeper}) {
+      MicroParams Local = P;
+      if (Scheme == SetScheme::Direct)
+        Local.Threads = 1; // The unprotected baseline is sequential.
+      const std::unique_ptr<TxSet> Set = makeMicrobenchSet(Scheme);
+      const ExecStats Stats = runSetMicrobench(*Set, Local);
+      EXPECT_EQ(Stats.Committed, (P.NumOps + P.OpsPerTx - 1) / P.OpsPerTx);
+      if (Expected.empty())
+        Expected = Set->signature();
+      else
+        EXPECT_EQ(Set->signature(), Expected)
+            << setSchemeName(Scheme) << " classes=" << KeyClasses;
+    }
+  }
+}
+
+TEST(SetMicrobenchTest, DistinctKeysNeverAbortUnderKeyLocks) {
+  // Table 2(a): with all-distinct keys the key-locking schemes and the
+  // gatekeeper run abort-free.
+  MicroParams P = smallParams(0);
+  for (const SetScheme Scheme : {SetScheme::Exclusive, SetScheme::ReadWrite,
+                                 SetScheme::Gatekeeper}) {
+    const std::unique_ptr<TxSet> Set = makeMicrobenchSet(Scheme);
+    const ExecStats Stats = runSetMicrobench(*Set, P);
+    EXPECT_EQ(Stats.Aborted, 0u) << setSchemeName(Scheme);
+  }
+}
+
+TEST(SetMicrobenchTest, SchemeNamesAreStable) {
+  EXPECT_STREQ(setSchemeName(SetScheme::GlobalLock), "global-lock");
+  EXPECT_STREQ(setSchemeName(SetScheme::Gatekeeper), "gatekeeper");
+}

@@ -1,0 +1,140 @@
+//===- tests/core/ClassifyTest.cpp - SIMPLE / ONLINE-CHECKABLE -----------------===//
+
+#include "adt/BoostedKdTree.h"
+#include "adt/BoostedUnionFind.h"
+#include "adt/SetSpecs.h"
+#include "core/Classify.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+using namespace comlat::dsl;
+
+TEST(ClassifyTest, TrueFalseAreSimple) {
+  const DataTypeSig &Sig = setSig().Sig;
+  auto T = tryGetSimple(top(), Sig);
+  ASSERT_TRUE(T.has_value());
+  EXPECT_EQ(T->K, SimpleForm::Kind::True);
+  auto F = tryGetSimple(bottom(), Sig);
+  ASSERT_TRUE(F.has_value());
+  EXPECT_EQ(F->K, SimpleForm::Kind::False);
+}
+
+TEST(ClassifyTest, DisequalityClauseIsSimple) {
+  const DataTypeSig &Sig = setSig().Sig;
+  auto F = tryGetSimple(ne(arg1(0), arg2(0)), Sig);
+  ASSERT_TRUE(F.has_value());
+  ASSERT_EQ(F->Clauses.size(), 1u);
+  EXPECT_FALSE(F->Clauses[0].Lhs.IsRet);
+  EXPECT_EQ(F->Clauses[0].Lhs.ArgIndex, 0u);
+  EXPECT_FALSE(F->Clauses[0].KeyFn.has_value());
+}
+
+TEST(ClassifyTest, OrientationNormalized) {
+  const DataTypeSig &Sig = setSig().Sig;
+  // v2 on the left still yields an Inv1-first clause.
+  auto F = tryGetSimple(ne(arg2(0), arg1(1)), Sig);
+  ASSERT_TRUE(F.has_value());
+  ASSERT_EQ(F->Clauses.size(), 1u);
+  EXPECT_EQ(F->Clauses[0].Lhs.ArgIndex, 1u);
+  EXPECT_EQ(F->Clauses[0].Rhs.ArgIndex, 0u);
+}
+
+TEST(ClassifyTest, ReturnSlotsAllowed) {
+  const DataTypeSig &Sig = setSig().Sig;
+  auto F = tryGetSimple(ne(ret1(), arg2(0)), Sig);
+  ASSERT_TRUE(F.has_value());
+  EXPECT_TRUE(F->Clauses[0].Lhs.IsRet);
+}
+
+TEST(ClassifyTest, KeyedClauseIsSimpleWithSharedPureFn) {
+  const SetSig &S = setSig();
+  const FormulaPtr Keyed =
+      ne(apply(S.Part, StateRef::None, {arg1(0)}),
+         apply(S.Part, StateRef::None, {arg2(0)}));
+  auto F = tryGetSimple(Keyed, S.Sig);
+  ASSERT_TRUE(F.has_value());
+  ASSERT_EQ(F->Clauses.size(), 1u);
+  EXPECT_EQ(F->Clauses[0].KeyFn, std::optional<StateFnId>(S.Part));
+}
+
+TEST(ClassifyTest, MismatchedKeyFnsNotSimple) {
+  const KdSig &K = kdSig();
+  // dist is binary; also use two different wrappings.
+  const FormulaPtr F =
+      ne(apply(K.Dist, StateRef::None, {arg1(0), arg1(0)}), arg2(0));
+  EXPECT_FALSE(tryGetSimple(F, K.Sig).has_value());
+}
+
+TEST(ClassifyTest, EqualityNotSimple) {
+  // SIMPLE means conjunction of DISequalities (Def. 6 via App. B).
+  const DataTypeSig &Sig = setSig().Sig;
+  EXPECT_FALSE(tryGetSimple(eq(arg1(0), arg2(0)), Sig).has_value());
+}
+
+TEST(ClassifyTest, SameInvocationBothSidesNotSimple) {
+  const DataTypeSig &Sig = setSig().Sig;
+  EXPECT_FALSE(tryGetSimple(ne(arg1(0), arg1(1)), Sig).has_value());
+}
+
+TEST(ClassifyTest, DisjunctionNotSimple) {
+  const DataTypeSig &Sig = setSig().Sig;
+  const FormulaPtr F =
+      disj(ne(arg1(0), arg2(0)), eq(ret1(), cst(false)));
+  EXPECT_FALSE(tryGetSimple(F, Sig).has_value());
+}
+
+TEST(ClassifyTest, PaperSpecClasses) {
+  EXPECT_EQ(preciseSetSpec().classify(), ConditionClass::OnlineCheckable);
+  EXPECT_EQ(strengthenedSetSpec().classify(), ConditionClass::Simple);
+  EXPECT_EQ(exclusiveSetSpec().classify(), ConditionClass::Simple);
+  EXPECT_EQ(partitionedSetSpec().classify(), ConditionClass::Simple);
+  EXPECT_EQ(bottomSetSpec().classify(), ConditionClass::Simple);
+  EXPECT_EQ(kdSpec().classify(), ConditionClass::OnlineCheckable);
+  EXPECT_EQ(ufSpec().classify(), ConditionClass::General);
+}
+
+TEST(ClassifyTest, OnlineCheckableDefinition) {
+  const UfSig &U = ufSig();
+  // rep(s1, v2[0]) breaks Def. 7; rep(s1, v1[0]) does not.
+  EXPECT_FALSE(
+      isOnlineCheckable(ne(apply(U.Rep, StateRef::S1, {arg2(0)}), arg1(0))));
+  EXPECT_TRUE(
+      isOnlineCheckable(ne(apply(U.Rep, StateRef::S1, {arg1(0)}), arg2(0))));
+  // s2-applications over first-invocation values are fine.
+  EXPECT_TRUE(
+      isOnlineCheckable(ne(apply(U.Rep, StateRef::S2, {arg1(0)}), arg2(0))));
+}
+
+TEST(ClassifyTest, KdLogPlanMatchesPaper) {
+  // The forward gatekeeper for kd-trees logs (x, dist(x, r)) per nearest
+  // (§3.3.1): dist(v1[0], r1) must be loggable; dist(v1[0], v2[0]) not.
+  const KdSig &K = kdSig();
+  const FormulaPtr Cond = kdSpec().get(K.Nearest, K.Add);
+  const std::vector<TermPtr> Logs = collectLoggableApplies(Cond);
+  ASSERT_EQ(Logs.size(), 1u);
+  EXPECT_EQ(Logs[0]->key(),
+            apply(K.Dist, StateRef::None, {arg1(0), ret1()})->key());
+}
+
+TEST(ClassifyTest, UfLogAndS2Plans) {
+  const UfSig &U = ufSig();
+  // union-first orientation: loser(s1, v1...) loggable; rep(s1, v2[0]) not.
+  const FormulaPtr UnionFind = ufSpec().get(U.Union, U.Find);
+  const std::vector<TermPtr> Logs = collectLoggableApplies(UnionFind);
+  ASSERT_EQ(Logs.size(), 1u);
+  EXPECT_EQ(Logs[0]->Fn, U.Loser);
+  // find-first orientation mirrors to s2-applications, evaluated live.
+  const FormulaPtr FindUnion = ufSpec().get(U.Find, U.Union);
+  const std::vector<TermPtr> S2 = collectS2Applies(FindUnion);
+  EXPECT_EQ(S2.size(), 2u);
+  EXPECT_TRUE(collectLoggableApplies(FindUnion).empty());
+}
+
+TEST(ClassifyTest, WorseClassOrdering) {
+  EXPECT_EQ(worseClass(ConditionClass::Simple, ConditionClass::General),
+            ConditionClass::General);
+  EXPECT_EQ(
+      worseClass(ConditionClass::OnlineCheckable, ConditionClass::Simple),
+      ConditionClass::OnlineCheckable);
+}

@@ -1,0 +1,126 @@
+//===- tests/core/EvalTest.cpp - Condition evaluation ------------------------===//
+
+#include "core/Eval.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+using namespace comlat::dsl;
+
+namespace {
+
+class EvalTest : public ::testing::Test {
+protected:
+  EvalTest()
+      : Inv1(0, {Value::integer(3), Value::integer(4)}, Value::boolean(true)),
+        Inv2(1, {Value::integer(3)}, Value::boolean(false)) {
+    Ctx.Inv1 = &Inv1;
+    Ctx.Inv2 = &Inv2;
+  }
+
+  Invocation Inv1;
+  Invocation Inv2;
+  EvalContext Ctx;
+};
+
+} // namespace
+
+TEST_F(EvalTest, SlotsAndConstants) {
+  EXPECT_EQ(evalTerm(arg1(0), Ctx), Value::integer(3));
+  EXPECT_EQ(evalTerm(arg1(1), Ctx), Value::integer(4));
+  EXPECT_EQ(evalTerm(arg2(0), Ctx), Value::integer(3));
+  EXPECT_EQ(evalTerm(ret1(), Ctx), Value::boolean(true));
+  EXPECT_EQ(evalTerm(ret2(), Ctx), Value::boolean(false));
+  EXPECT_EQ(evalTerm(cst(int64_t{9}), Ctx), Value::integer(9));
+}
+
+TEST_F(EvalTest, Arithmetic) {
+  EXPECT_EQ(evalTerm(arith(ArithOp::Add, arg1(0), arg1(1)), Ctx),
+            Value::integer(7));
+  EXPECT_EQ(evalTerm(arith(ArithOp::Sub, arg1(0), arg1(1)), Ctx),
+            Value::integer(-1));
+  EXPECT_EQ(evalTerm(arith(ArithOp::Mul, arg1(0), arg1(1)), Ctx),
+            Value::integer(12));
+  EXPECT_EQ(evalTerm(arith(ArithOp::Div, arg1(1), cst(int64_t{2})), Ctx),
+            Value::integer(2));
+  // Mixed int/real promotes to real.
+  EXPECT_EQ(evalTerm(arith(ArithOp::Mul, arg1(0), cst(0.5)), Ctx),
+            Value::real(1.5));
+}
+
+TEST_F(EvalTest, ApplyGoesThroughResolver) {
+  FnResolver R([](const Term &Apply, const std::vector<Value> &Args) {
+    EXPECT_EQ(Apply.Fn, 7u);
+    EXPECT_EQ(Args.size(), 2u);
+    return Value::integer(Args[0].asInt() * 10 + Args[1].asInt());
+  });
+  Ctx.Resolver = &R;
+  EXPECT_EQ(evalTerm(apply(7, StateRef::S1, {arg1(0), arg2(0)}), Ctx),
+            Value::integer(33));
+}
+
+TEST_F(EvalTest, NestedApplyResolvesInnerFirst) {
+  FnResolver R([](const Term &Apply, const std::vector<Value> &Args) {
+    if (Apply.Fn == 0)
+      return Value::integer(Args[0].asInt() + 1);
+    return Value::integer(Args[0].asInt() * 2);
+  });
+  Ctx.Resolver = &R;
+  // f1(f0(3)) = (3+1)*2 = 8.
+  EXPECT_EQ(evalTerm(apply(1, StateRef::None,
+                           {apply(0, StateRef::None, {arg1(0)})}),
+                     Ctx),
+            Value::integer(8));
+}
+
+TEST_F(EvalTest, Comparisons) {
+  EXPECT_TRUE(evalFormula(eq(arg1(0), arg2(0)), Ctx));
+  EXPECT_FALSE(evalFormula(ne(arg1(0), arg2(0)), Ctx));
+  EXPECT_TRUE(evalFormula(lt(arg1(0), arg1(1)), Ctx));
+  EXPECT_TRUE(evalFormula(le(arg1(0), arg1(0)), Ctx));
+  EXPECT_FALSE(evalFormula(gt(arg1(0), arg1(1)), Ctx));
+  EXPECT_TRUE(evalFormula(ge(arg1(1), arg1(0)), Ctx));
+  EXPECT_TRUE(evalFormula(eq(ret1(), cst(true)), Ctx));
+  EXPECT_TRUE(evalFormula(eq(ret2(), cst(false)), Ctx));
+}
+
+TEST_F(EvalTest, Connectives) {
+  EXPECT_TRUE(evalFormula(top(), Ctx));
+  EXPECT_FALSE(evalFormula(bottom(), Ctx));
+  EXPECT_TRUE(evalFormula(negate(bottom()), Ctx));
+  EXPECT_TRUE(evalFormula(conj(top(), eq(arg1(0), arg2(0))), Ctx));
+  EXPECT_FALSE(evalFormula(conj(top(), bottom()), Ctx));
+  EXPECT_TRUE(evalFormula(disj(bottom(), top()), Ctx));
+  EXPECT_FALSE(evalFormula(disj(bottom(), ne(arg1(0), arg2(0))), Ctx));
+}
+
+TEST_F(EvalTest, ShortCircuitSkipsResolver) {
+  unsigned Calls = 0;
+  FnResolver R([&Calls](const Term &, const std::vector<Value> &) {
+    ++Calls;
+    return Value::integer(0);
+  });
+  Ctx.Resolver = &R;
+  const FormulaPtr F =
+      disj(top(), eq(apply(0, StateRef::S1, {arg1(0)}), cst(int64_t{0})));
+  EXPECT_TRUE(evalFormula(F, Ctx));
+  EXPECT_EQ(Calls, 0u);
+}
+
+TEST_F(EvalTest, SetPreciseConditionSemantics) {
+  // add(3)/true followed by add(3)/false: a == b and r1 != false: the
+  // Fig. 2 condition must reject the pair.
+  const FormulaPtr F =
+      disj(ne(arg1(0), arg2(0)),
+           conj(eq(ret1(), cst(false)), eq(ret2(), cst(false))));
+  EXPECT_FALSE(evalFormula(F, Ctx)); // Inv1 ret true.
+  // Both no-ops commute.
+  Invocation A(0, {Value::integer(5)}, Value::boolean(false));
+  Invocation B(0, {Value::integer(5)}, Value::boolean(false));
+  EvalContext C2{&A, &B, nullptr};
+  EXPECT_TRUE(evalFormula(F, C2));
+  // Distinct keys commute regardless of returns.
+  Invocation D(0, {Value::integer(6)}, Value::boolean(true));
+  EvalContext C3{&A, &D, nullptr};
+  EXPECT_TRUE(evalFormula(F, C3));
+}

@@ -1,0 +1,95 @@
+//===- tests/core/ExprTest.cpp - Expression AST ------------------------------===//
+
+#include "core/Expr.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+using namespace comlat::dsl;
+
+namespace {
+
+DataTypeSig makeSig() {
+  DataTypeSig Sig("demo");
+  Sig.addMethod("m", 2, true, true);
+  Sig.addStateFn("f", 1, /*Pure=*/false);
+  Sig.addStateFn("g", 2, /*Pure=*/true);
+  return Sig;
+}
+
+} // namespace
+
+TEST(ExprTest, TermPrinting) {
+  const DataTypeSig Sig = makeSig();
+  EXPECT_EQ(arg1(0)->str(&Sig), "v1[0]");
+  EXPECT_EQ(arg2(1)->str(&Sig), "v2[1]");
+  EXPECT_EQ(ret1()->str(&Sig), "r1");
+  EXPECT_EQ(cst(false)->str(&Sig), "false");
+  const TermPtr App = apply(0, StateRef::S1, {arg1(0)});
+  EXPECT_EQ(App->str(&Sig), "f(s1, v1[0])");
+  const TermPtr Ar = arith(ArithOp::Add, arg1(0), cst(int64_t{2}));
+  EXPECT_EQ(Ar->str(&Sig), "(v1[0] + 2)");
+}
+
+TEST(ExprTest, FormulaPrinting) {
+  const DataTypeSig Sig = makeSig();
+  const FormulaPtr F =
+      disj(ne(arg1(0), arg2(0)), conj(eq(ret1(), cst(false)),
+                                      eq(ret2(), cst(false))));
+  EXPECT_EQ(F->str(&Sig),
+            "(v1[0] != v2[0] || (r1 == false && r2 == false))");
+}
+
+TEST(ExprTest, StructuralKeysDistinguish) {
+  EXPECT_NE(arg1(0)->key(), arg2(0)->key());
+  EXPECT_NE(arg1(0)->key(), arg1(1)->key());
+  EXPECT_NE(ret1()->key(), ret2()->key());
+  EXPECT_NE(apply(0, StateRef::S1, {arg1(0)})->key(),
+            apply(0, StateRef::S2, {arg1(0)})->key());
+  EXPECT_NE(apply(0, StateRef::S1, {arg1(0)})->key(),
+            apply(1, StateRef::S1, {arg1(0)})->key());
+  EXPECT_EQ(eq(arg1(0), arg2(0))->key(), eq(arg1(0), arg2(0))->key());
+}
+
+TEST(ExprTest, StructuralEquality) {
+  EXPECT_TRUE(structurallyEqual(eq(arg1(0), arg2(0)), eq(arg1(0), arg2(0))));
+  EXPECT_FALSE(structurallyEqual(eq(arg1(0), arg2(0)), ne(arg1(0), arg2(0))));
+}
+
+TEST(ExprTest, MirrorSwapsEverything) {
+  const FormulaPtr F =
+      disj(ne(arg1(0), arg2(1)),
+           gt(apply(0, StateRef::S1, {arg2(0)}),
+              apply(1, StateRef::None, {ret1()})));
+  const FormulaPtr M = mirrorFormula(F);
+  const DataTypeSig Sig = makeSig();
+  EXPECT_EQ(M->str(&Sig),
+            "(v2[0] != v1[1] || f(s2, v1[0]) > g(r2))");
+}
+
+TEST(ExprTest, MirrorIsInvolutive) {
+  const FormulaPtr F =
+      conj(ne(apply(0, StateRef::S1, {arg1(0)}), ret2()),
+           lt(arith(ArithOp::Mul, arg1(1), arg2(0)), cst(3.0)));
+  EXPECT_TRUE(structurallyEqual(F, mirrorFormula(mirrorFormula(F))));
+}
+
+TEST(ExprTest, MentionsHelpers) {
+  const TermPtr T = apply(0, StateRef::S1, {arg2(0), ret1()});
+  EXPECT_TRUE(termMentionsInv(T, InvIndex::Inv1));
+  EXPECT_TRUE(termMentionsInv(T, InvIndex::Inv2));
+  EXPECT_TRUE(termMentionsRet(T, InvIndex::Inv1));
+  EXPECT_FALSE(termMentionsRet(T, InvIndex::Inv2));
+  const FormulaPtr F = eq(ret2(), cst(false));
+  EXPECT_TRUE(formulaMentionsRet(F, InvIndex::Inv2));
+  EXPECT_FALSE(formulaMentionsRet(F, InvIndex::Inv1));
+}
+
+TEST(ExprTest, ForEachApplyVisitsNested) {
+  const FormulaPtr F =
+      eq(apply(0, StateRef::S1, {apply(1, StateRef::None, {arg1(0)})}),
+         arg2(0));
+  unsigned Count = 0;
+  forEachApply(F, [&Count](const Term &) { ++Count; });
+  EXPECT_EQ(Count, 2u);
+}

@@ -1,0 +1,152 @@
+//===- tests/core/LatticeTest.cpp - Lattice operations -------------------------===//
+
+#include "adt/BoostedKdTree.h"
+#include "adt/SetSpecs.h"
+#include "core/Lattice.h"
+#include "core/Simplify.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+using namespace comlat::dsl;
+
+TEST(LatticeTest, SimpleFragmentExactImplication) {
+  const DataTypeSig &Sig = setSig().Sig;
+  const FormulaPtr A = ne(arg1(0), arg2(0));
+  const FormulaPtr B = ne(arg1(1), arg2(1));
+  // More conjuncts = stronger.
+  EXPECT_EQ(implies(conj(A, B), A, Sig), Tri::Yes);
+  EXPECT_EQ(implies(A, conj(A, B), Sig), Tri::No);
+  EXPECT_EQ(implies(A, B, Sig), Tri::No);
+  EXPECT_EQ(implies(bottom(), A, Sig), Tri::Yes);
+  EXPECT_EQ(implies(A, top(), Sig), Tri::Yes);
+  EXPECT_EQ(implies(top(), A, Sig), Tri::No);
+  EXPECT_EQ(implies(A, bottom(), Sig), Tri::No);
+}
+
+TEST(LatticeTest, KeyedClauseImpliesPlainClause) {
+  // part(a) != part(b) implies a != b but not vice versa.
+  const SetSig &S = setSig();
+  const FormulaPtr Keyed = ne(apply(S.Part, StateRef::None, {arg1(0)}),
+                              apply(S.Part, StateRef::None, {arg2(0)}));
+  const FormulaPtr Plain = ne(arg1(0), arg2(0));
+  EXPECT_EQ(implies(Keyed, Plain, S.Sig), Tri::Yes);
+  EXPECT_EQ(implies(Plain, Keyed, S.Sig), Tri::No);
+}
+
+TEST(LatticeTest, DropDisjunctStructuralRule) {
+  const DataTypeSig &Sig = setSig().Sig;
+  const FormulaPtr Clause = ne(arg1(0), arg2(0));
+  const FormulaPtr Full =
+      disj(Clause, conj(eq(ret1(), cst(false)), eq(ret2(), cst(false))));
+  EXPECT_EQ(implies(Clause, Full, Sig), Tri::Yes);
+  EXPECT_EQ(implies(Full, Clause, Sig), Tri::No);
+}
+
+TEST(LatticeTest, RandomRefutationOnStateFunctions) {
+  // f(s1, a) != f(s2, a) is satisfiable under uninterpreted functions, so
+  // "true implies f(s1,a) == f(s2,a)" must be refuted.
+  DataTypeSig Sig("t");
+  const StateFnId F = Sig.addStateFn("f", 1, /*Pure=*/false);
+  const FormulaPtr Eq = eq(apply(F, StateRef::S1, {arg1(0)}),
+                           apply(F, StateRef::S2, {arg1(0)}));
+  EXPECT_EQ(implies(top(), Eq, Sig), Tri::No);
+}
+
+TEST(LatticeTest, SpecOrderOfTheSetLattice) {
+  // bottom <= partitioned <= strengthened <= precise, and exclusive lies
+  // between bottom and strengthened.
+  EXPECT_EQ(specLeq(bottomSetSpec(), partitionedSetSpec()), Tri::Yes);
+  EXPECT_EQ(specLeq(partitionedSetSpec(), strengthenedSetSpec()), Tri::Yes);
+  EXPECT_EQ(specLeq(strengthenedSetSpec(), preciseSetSpec()), Tri::Yes);
+  EXPECT_EQ(specLeq(exclusiveSetSpec(), strengthenedSetSpec()), Tri::Yes);
+  EXPECT_EQ(specLeq(bottomSetSpec(), exclusiveSetSpec()), Tri::Yes);
+  // And strictly so.
+  EXPECT_EQ(specLeq(preciseSetSpec(), strengthenedSetSpec()), Tri::No);
+  EXPECT_EQ(specLeq(strengthenedSetSpec(), partitionedSetSpec()), Tri::No);
+  EXPECT_EQ(specLeq(strengthenedSetSpec(), exclusiveSetSpec()), Tri::No);
+  EXPECT_EQ(specLeq(partitionedSetSpec(), bottomSetSpec()), Tri::No);
+}
+
+TEST(LatticeTest, JoinMeetBounds) {
+  const CommSpec &A = exclusiveSetSpec();
+  const CommSpec &B = partitionedSetSpec();
+  const CommSpec J = specJoin(A, B, "join");
+  const CommSpec M = specMeet(A, B, "meet");
+  EXPECT_EQ(specLeq(A, J), Tri::Yes);
+  EXPECT_EQ(specLeq(B, J), Tri::Yes);
+  EXPECT_EQ(specLeq(M, A), Tri::Yes);
+  EXPECT_EQ(specLeq(M, B), Tri::Yes);
+}
+
+TEST(LatticeTest, JoinMeetIdempotentOnEqualSpecs) {
+  const CommSpec &A = strengthenedSetSpec();
+  const CommSpec J = specJoin(A, A, "jj");
+  const CommSpec M = specMeet(A, A, "mm");
+  EXPECT_EQ(specLeq(J, A), Tri::Yes);
+  EXPECT_EQ(specLeq(A, J), Tri::Yes);
+  EXPECT_EQ(specLeq(M, A), Tri::Yes);
+  EXPECT_EQ(specLeq(A, M), Tri::Yes);
+}
+
+TEST(LatticeTest, LeqReflexiveTransitive) {
+  const CommSpec *Chain[] = {&bottomSetSpec(), &partitionedSetSpec(),
+                             &strengthenedSetSpec(), &preciseSetSpec()};
+  for (const CommSpec *S : Chain)
+    EXPECT_EQ(specLeq(*S, *S), Tri::Yes);
+  // Transitivity along the chain.
+  EXPECT_EQ(specLeq(*Chain[0], *Chain[3]), Tri::Yes);
+  EXPECT_EQ(specLeq(*Chain[1], *Chain[3]), Tri::Yes);
+}
+
+TEST(LatticeTest, SimpleUnderApproxDerivesFig3) {
+  // The mechanical strengthening of the precise set spec is exactly the
+  // Fig. 3 spec (asserted pointwise, both directions).
+  const CommSpec Derived =
+      simpleUnderApproxSpec(preciseSetSpec(), "derived");
+  const SetSig &S = setSig();
+  for (MethodId M1 = 0; M1 != S.Sig.numMethods(); ++M1)
+    for (MethodId M2 = 0; M2 != S.Sig.numMethods(); ++M2)
+      EXPECT_TRUE(structurallyEqual(
+          simplify(Derived.get(M1, M2)),
+          simplify(strengthenedSetSpec().get(M1, M2))))
+          << "pair (" << M1 << ", " << M2 << ")";
+  EXPECT_EQ(Derived.classify(), ConditionClass::Simple);
+}
+
+TEST(LatticeTest, SimpleUnderApproxOfKdSpec) {
+  // The kd-tree has no useful SIMPLE under-approximation for nearest~add:
+  // pruning must collapse it to false (the paper's §5 remark).
+  const KdSig &K = kdSig();
+  const FormulaPtr F =
+      simpleUnderApprox(kdSpec().get(K.Nearest, K.Add), K.Sig);
+  EXPECT_TRUE(F->isFalse());
+  // While add~add keeps its key clause.
+  const FormulaPtr G = simpleUnderApprox(kdSpec().get(K.Add, K.Add), K.Sig);
+  EXPECT_FALSE(G->isFalse());
+  EXPECT_TRUE(tryGetSimple(G, K.Sig).has_value());
+}
+
+TEST(LatticeTest, UnderApproxAlwaysImplies) {
+  const CommSpec &Spec = preciseSetSpec();
+  const unsigned N = Spec.sig().numMethods();
+  for (MethodId M1 = 0; M1 != N; ++M1)
+    for (MethodId M2 = 0; M2 != N; ++M2) {
+      const FormulaPtr Under =
+          simpleUnderApprox(Spec.get(M1, M2), Spec.sig());
+      EXPECT_NE(implies(Under, Spec.get(M1, M2), Spec.sig()), Tri::No);
+    }
+}
+
+TEST(LatticeTest, BottomIsLeastAmongTested) {
+  const CommSpec Bot = bottomSpec(setSig().Sig, "bot");
+  EXPECT_EQ(specLeq(Bot, preciseSetSpec()), Tri::Yes);
+  EXPECT_EQ(specLeq(Bot, bottomSetSpec()), Tri::Yes);
+  EXPECT_EQ(specLeq(preciseSetSpec(), Bot), Tri::No);
+}
+
+TEST(LatticeTest, PartitionSpecKeepsTrueConditions) {
+  // contains ~ contains stays true through the partition transform.
+  const SetSig &S = setSig();
+  EXPECT_TRUE(partitionedSetSpec().get(S.Contains, S.Contains)->isTrue());
+}

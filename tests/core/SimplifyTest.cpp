@@ -1,0 +1,82 @@
+//===- tests/core/SimplifyTest.cpp - Formula normalization --------------------===//
+
+#include "core/Simplify.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+using namespace comlat::dsl;
+
+TEST(SimplifyTest, ConstantFolding) {
+  EXPECT_TRUE(simplify(eq(cst(int64_t{3}), cst(int64_t{3})))->isTrue());
+  EXPECT_TRUE(simplify(eq(cst(int64_t{3}), cst(int64_t{4})))->isFalse());
+  EXPECT_TRUE(simplify(lt(cst(int64_t{3}), cst(int64_t{4})))->isTrue());
+  EXPECT_TRUE(simplify(ge(cst(1.0), cst(2.0)))->isFalse());
+  EXPECT_TRUE(simplify(eq(cst(true), cst(false)))->isFalse());
+}
+
+TEST(SimplifyTest, IdenticalTermComparisons) {
+  EXPECT_TRUE(simplify(eq(arg1(0), arg1(0)))->isTrue());
+  EXPECT_TRUE(simplify(ne(arg1(0), arg1(0)))->isFalse());
+  EXPECT_TRUE(simplify(le(ret2(), ret2()))->isTrue());
+  EXPECT_TRUE(simplify(lt(ret2(), ret2()))->isFalse());
+}
+
+TEST(SimplifyTest, NegationRules) {
+  EXPECT_TRUE(simplify(negate(top()))->isFalse());
+  EXPECT_TRUE(simplify(negate(bottom()))->isTrue());
+  // Double negation.
+  const FormulaPtr F = ne(arg1(0), arg2(0));
+  EXPECT_TRUE(structurallyEqual(simplify(negate(negate(F))), simplify(F)));
+  // Negated comparison flips the operator.
+  EXPECT_TRUE(structurallyEqual(simplify(negate(eq(arg1(0), arg2(0)))),
+                                simplify(ne(arg1(0), arg2(0)))));
+  EXPECT_TRUE(structurallyEqual(simplify(negate(lt(arg1(0), arg2(0)))),
+                                simplify(ge(arg1(0), arg2(0)))));
+}
+
+TEST(SimplifyTest, JunctionIdentityAndAbsorption) {
+  const FormulaPtr F = ne(arg1(0), arg2(0));
+  EXPECT_TRUE(structurallyEqual(simplify(conj(F, top())), simplify(F)));
+  EXPECT_TRUE(simplify(conj(F, bottom()))->isFalse());
+  EXPECT_TRUE(structurallyEqual(simplify(disj(F, bottom())), simplify(F)));
+  EXPECT_TRUE(simplify(disj(F, top()))->isTrue());
+}
+
+TEST(SimplifyTest, FlattensAndDeduplicates) {
+  const FormulaPtr A = ne(arg1(0), arg2(0));
+  const FormulaPtr B = ne(arg1(1), arg2(1));
+  const FormulaPtr Nested = conj(A, conj(B, A));
+  const FormulaPtr S = simplify(Nested);
+  ASSERT_EQ(S->K, Formula::Kind::And);
+  EXPECT_EQ(S->Kids.size(), 2u);
+}
+
+TEST(SimplifyTest, SingleChildCollapses) {
+  const FormulaPtr A = ne(arg1(0), arg2(0));
+  EXPECT_TRUE(structurallyEqual(simplify(conj(A, A)), simplify(A)));
+  EXPECT_TRUE(structurallyEqual(simplify(disj(A, A)), simplify(A)));
+}
+
+TEST(SimplifyTest, CanonicalChildOrder) {
+  const FormulaPtr A = ne(arg1(0), arg2(0));
+  const FormulaPtr B = ne(arg1(1), arg2(1));
+  EXPECT_TRUE(structurallyEqual(simplify(conj(A, B)), simplify(conj(B, A))));
+  EXPECT_TRUE(structurallyEqual(simplify(disj(A, B)), simplify(disj(B, A))));
+}
+
+TEST(SimplifyTest, SymmetricCmpOperandOrder) {
+  EXPECT_TRUE(structurallyEqual(simplify(eq(arg2(0), arg1(0))),
+                                simplify(eq(arg1(0), arg2(0)))));
+  EXPECT_TRUE(structurallyEqual(simplify(ne(arg2(0), arg1(0))),
+                                simplify(ne(arg1(0), arg2(0)))));
+}
+
+TEST(SimplifyTest, Idempotent) {
+  const FormulaPtr F = disj(
+      conj(ne(arg1(0), arg2(0)), top(), negate(negate(eq(ret1(), cst(false))))),
+      bottom(), conj(eq(cst(int64_t{1}), cst(int64_t{1})), ne(arg1(1), arg2(1))));
+  const FormulaPtr S1 = simplify(F);
+  const FormulaPtr S2 = simplify(S1);
+  EXPECT_TRUE(structurallyEqual(S1, S2));
+}

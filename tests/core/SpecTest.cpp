@@ -1,0 +1,104 @@
+//===- tests/core/SpecTest.cpp - Specification storage -------------------------===//
+
+#include "adt/Accumulator.h"
+#include "adt/BoostedKdTree.h"
+#include "adt/BoostedUnionFind.h"
+#include "adt/FlowGraph.h"
+#include "adt/SetSpecs.h"
+#include "core/Eval.h"
+#include "core/Simplify.h"
+#include "core/Spec.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+using namespace comlat::dsl;
+
+TEST(SpecTest, CompletenessOfPaperSpecs) {
+  EXPECT_TRUE(preciseSetSpec().isComplete());
+  EXPECT_TRUE(strengthenedSetSpec().isComplete());
+  EXPECT_TRUE(exclusiveSetSpec().isComplete());
+  EXPECT_TRUE(partitionedSetSpec().isComplete());
+  EXPECT_TRUE(bottomSetSpec().isComplete());
+  EXPECT_TRUE(accumulatorSpec().isComplete());
+  EXPECT_TRUE(kdSpec().isComplete());
+  EXPECT_TRUE(ufSpec().isComplete());
+  EXPECT_TRUE(mlFlowSpec().isComplete());
+  EXPECT_TRUE(exFlowSpec().isComplete());
+  EXPECT_TRUE(partFlowSpec().isComplete());
+}
+
+TEST(SpecTest, MirroredRetrieval) {
+  const UfSig &U = ufSig();
+  // (Union, Find) is stored; (Find, Union) must be the mirror.
+  const FormulaPtr Stored = ufSpec().get(U.Union, U.Find);
+  const FormulaPtr Mirrored = ufSpec().get(U.Find, U.Union);
+  EXPECT_TRUE(structurallyEqual(mirrorFormula(Stored), Mirrored) ||
+              // Simplification may reorder; compare via double mirror.
+              structurallyEqual(Stored, mirrorFormula(Mirrored)));
+}
+
+TEST(SpecTest, SetStoredInEitherOrientation) {
+  const SetSig &S = setSig();
+  CommSpec Spec(&S.Sig, "orient");
+  // Define (Contains, Add) even though Contains > Add; retrieval in both
+  // orientations must agree semantically.
+  Spec.set(S.Contains, S.Add, disj(ne(arg1(0), arg2(0)),
+                                   eq(ret2(), cst(false))));
+  const FormulaPtr AddContains = Spec.get(S.Add, S.Contains);
+  const FormulaPtr ContainsAdd = Spec.get(S.Contains, S.Add);
+  // add(3)/true (mutating) vs contains(3)/true must be rejected in both
+  // orientations; distinct keys accepted.
+  Invocation Add(S.Add, {Value::integer(3)}, Value::boolean(true));
+  Invocation Has(S.Contains, {Value::integer(3)}, Value::boolean(true));
+  {
+    EvalContext Ctx{&Add, &Has, nullptr};
+    EXPECT_FALSE(evalFormula(AddContains, Ctx));
+  }
+  {
+    EvalContext Ctx{&Has, &Add, nullptr};
+    EXPECT_FALSE(evalFormula(ContainsAdd, Ctx));
+  }
+  Invocation Has2(S.Contains, {Value::integer(4)}, Value::boolean(false));
+  {
+    EvalContext Ctx{&Add, &Has2, nullptr};
+    EXPECT_TRUE(evalFormula(AddContains, Ctx));
+  }
+}
+
+TEST(SpecTest, SelfPairsAreMirrorSymmetric) {
+  // Self-pair conditions are used for either execution order, so swapping
+  // the invocations must not change the verdict.
+  const struct {
+    const CommSpec *Spec;
+    MethodId M;
+  } Cases[] = {
+      {&preciseSetSpec(), setSig().Add},
+      {&preciseSetSpec(), setSig().Remove},
+      {&strengthenedSetSpec(), setSig().Add},
+      {&kdSpec(), kdSig().Add},
+      {&mlFlowSpec(), flowSig().PushFlow},
+  };
+  for (const auto &C : Cases) {
+    const FormulaPtr F = C.Spec->get(C.M, C.M);
+    const FormulaPtr M = simplify(mirrorFormula(F));
+    EXPECT_TRUE(structurallyEqual(simplify(F), M))
+        << C.Spec->name() << " self-pair for method " << C.M
+        << " is not mirror-symmetric: " << F->str() << " vs " << M->str();
+  }
+}
+
+TEST(SpecTest, StrDumpsAllConditions) {
+  const std::string Dump = preciseSetSpec().str();
+  EXPECT_NE(Dump.find("add ~ add"), std::string::npos);
+  EXPECT_NE(Dump.find("contains ~ contains"), std::string::npos);
+  EXPECT_NE(Dump.find("ONLINE-CHECKABLE"), std::string::npos);
+}
+
+TEST(SpecTest, AccumulatorSpecMatchesFig7) {
+  const AccumulatorSig &A = accumulatorSig();
+  EXPECT_TRUE(accumulatorSpec().get(A.Increment, A.Increment)->isTrue());
+  EXPECT_TRUE(accumulatorSpec().get(A.Increment, A.Read)->isFalse());
+  EXPECT_TRUE(accumulatorSpec().get(A.Read, A.Increment)->isFalse());
+  EXPECT_TRUE(accumulatorSpec().get(A.Read, A.Read)->isTrue());
+}

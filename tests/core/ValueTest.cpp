@@ -1,0 +1,86 @@
+//===- tests/core/ValueTest.cpp - Value semantics ---------------------------===//
+
+#include "core/Value.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace comlat;
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::none().isNone());
+  EXPECT_TRUE(Value::boolean(true).isBool());
+  EXPECT_TRUE(Value::integer(3).isInt());
+  EXPECT_TRUE(Value::real(2.5).isReal());
+  EXPECT_TRUE(Value::boolean(true).asBool());
+  EXPECT_FALSE(Value::boolean(false).asBool());
+  EXPECT_EQ(Value::integer(-7).asInt(), -7);
+  EXPECT_DOUBLE_EQ(Value::real(2.5).asReal(), 2.5);
+}
+
+TEST(ValueTest, EqualitySameKind) {
+  EXPECT_EQ(Value::none(), Value::none());
+  EXPECT_EQ(Value::boolean(true), Value::boolean(true));
+  EXPECT_NE(Value::boolean(true), Value::boolean(false));
+  EXPECT_EQ(Value::integer(5), Value::integer(5));
+  EXPECT_NE(Value::integer(5), Value::integer(6));
+  EXPECT_EQ(Value::real(1.5), Value::real(1.5));
+  EXPECT_NE(Value::real(1.5), Value::real(1.25));
+}
+
+TEST(ValueTest, NumericCrossKindEquality) {
+  EXPECT_EQ(Value::integer(3), Value::real(3.0));
+  EXPECT_EQ(Value::real(3.0), Value::integer(3));
+  EXPECT_NE(Value::integer(3), Value::real(3.5));
+}
+
+TEST(ValueTest, NonNumericCrossKindNeverEqual) {
+  EXPECT_NE(Value::none(), Value::integer(0));
+  EXPECT_NE(Value::boolean(false), Value::integer(0));
+  EXPECT_NE(Value::boolean(true), Value::integer(1));
+}
+
+TEST(ValueTest, AsNumberPromotes) {
+  EXPECT_DOUBLE_EQ(Value::integer(4).asNumber(), 4.0);
+  EXPECT_DOUBLE_EQ(Value::real(4.5).asNumber(), 4.5);
+}
+
+TEST(ValueTest, TotalOrderUsableAsMapKey) {
+  std::map<Value, int> M;
+  M[Value::integer(1)] = 1;
+  M[Value::integer(2)] = 2;
+  M[Value::boolean(true)] = 3;
+  M[Value::none()] = 4;
+  M[Value::real(1.0)] = 5;
+  EXPECT_EQ(M.size(), 5u);
+  EXPECT_EQ(M[Value::integer(1)], 1);
+  EXPECT_EQ(M[Value::real(1.0)], 5);
+}
+
+TEST(ValueTest, OrderIsStrictWeak) {
+  const Value Vs[] = {Value::none(), Value::boolean(false),
+                      Value::boolean(true), Value::integer(-1),
+                      Value::integer(7), Value::real(0.5)};
+  for (const Value &A : Vs) {
+    EXPECT_FALSE(A < A);
+    for (const Value &B : Vs) {
+      if (A < B)
+        EXPECT_FALSE(B < A);
+    }
+  }
+}
+
+TEST(ValueTest, HashDistinguishesKinds) {
+  EXPECT_NE(Value::integer(1).hash(), Value::boolean(true).hash());
+  EXPECT_NE(Value::integer(0).hash(), Value::none().hash());
+  EXPECT_EQ(Value::integer(42).hash(), Value::integer(42).hash());
+}
+
+TEST(ValueTest, Printing) {
+  EXPECT_EQ(Value::none().str(), "()");
+  EXPECT_EQ(Value::boolean(true).str(), "true");
+  EXPECT_EQ(Value::boolean(false).str(), "false");
+  EXPECT_EQ(Value::integer(-12).str(), "-12");
+  EXPECT_EQ(Value::real(2.5).str(), "2.5");
+}

@@ -1,0 +1,346 @@
+//===- tests/runtime/GatekeeperTest.cpp - Forward/general gatekeeping ---------===//
+
+#include "adt/BoostedKdTree.h"
+#include "adt/BoostedSet.h"
+#include "adt/BoostedUnionFind.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+
+//===----------------------------------------------------------------------===//
+// Forward gatekeeper over the precise set specification (Fig. 2)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Commits a single-op transaction that seeds the set.
+void seedSet(TxSet &Set, std::initializer_list<int64_t> Keys) {
+  Transaction Tx(999);
+  for (const int64_t K : Keys) {
+    bool Res = false;
+    ASSERT_TRUE(Set.add(Tx, K, Res));
+  }
+  Tx.commit();
+}
+
+} // namespace
+
+TEST(ForwardGatekeeperTest, NonMutatingAddsCommute) {
+  // Two transactions add a key that is already present: both adds return
+  // false and commute under Fig. 2 (the advantage over r/w locks).
+  const std::unique_ptr<TxSet> Set = makeGatedSet(preciseSetSpec());
+  seedSet(*Set, {7});
+  Transaction T1(1), T2(2);
+  bool R1 = true, R2 = true;
+  EXPECT_TRUE(Set->add(T1, 7, R1));
+  EXPECT_TRUE(Set->add(T2, 7, R2));
+  EXPECT_FALSE(R1);
+  EXPECT_FALSE(R2);
+  T1.commit();
+  T2.commit();
+}
+
+TEST(ForwardGatekeeperTest, MutatingAddsOnSameKeyConflict) {
+  const std::unique_ptr<TxSet> Set = makeGatedSet(preciseSetSpec());
+  Transaction T1(1), T2(2);
+  bool R1 = false, R2 = false;
+  EXPECT_TRUE(Set->add(T1, 7, R1));
+  EXPECT_TRUE(R1);
+  EXPECT_FALSE(Set->add(T2, 7, R2));
+  EXPECT_TRUE(T2.failed());
+  T2.abort();
+  T1.commit();
+  // After T1 committed, the key stays.
+  EXPECT_EQ(Set->signature(), "7,");
+}
+
+TEST(ForwardGatekeeperTest, ConflictUndoesTheOffendingInvocation) {
+  const std::unique_ptr<TxSet> Set = makeGatedSet(preciseSetSpec());
+  Transaction T1(1), T2(2);
+  bool R = false;
+  EXPECT_TRUE(Set->add(T1, 7, R));
+  // T2's add(7) executes, is found conflicting, and must be rolled back
+  // before the conflict is reported... but T1's insert is still pending.
+  EXPECT_FALSE(Set->add(T2, 7, R));
+  T2.abort();
+  T1.fail();
+  T1.abort();
+  // Both aborted: the set is empty again.
+  EXPECT_EQ(Set->signature(), "");
+}
+
+TEST(ForwardGatekeeperTest, DistinctKeysCommute) {
+  const std::unique_ptr<TxSet> Set = makeGatedSet(preciseSetSpec());
+  Transaction T1(1), T2(2);
+  bool R = false;
+  EXPECT_TRUE(Set->add(T1, 1, R));
+  EXPECT_TRUE(Set->add(T2, 2, R));
+  EXPECT_TRUE(Set->remove(T1, 3, R)); // Absent key: a no-op, commutes.
+  EXPECT_FALSE(R);
+  T1.commit();
+  T2.commit();
+  EXPECT_EQ(Set->signature(), "1,2,");
+}
+
+TEST(ForwardGatekeeperTest, RemoveOfUncommittedAddConflicts) {
+  // remove(k) would observe the other transaction's uncommitted add(k):
+  // the returns depend on the order, so Fig. 2 rejects the pair (which
+  // also rules out cascading aborts).
+  const std::unique_ptr<TxSet> Set = makeGatedSet(preciseSetSpec());
+  Transaction T1(1), T2(2);
+  bool R = false;
+  EXPECT_TRUE(Set->add(T2, 2, R));
+  EXPECT_TRUE(R);
+  EXPECT_FALSE(Set->remove(T1, 2, R));
+  EXPECT_TRUE(T1.failed());
+  T1.abort();
+  T2.commit();
+  EXPECT_EQ(Set->signature(), "2,");
+}
+
+TEST(ForwardGatekeeperTest, ContainsVsMutatingAdd) {
+  const std::unique_ptr<TxSet> Set = makeGatedSet(preciseSetSpec());
+  Transaction T1(1), T2(2);
+  bool R = false;
+  EXPECT_TRUE(Set->contains(T1, 5, R));
+  EXPECT_FALSE(R);
+  // add(5) mutates and 5 was observed by T1's contains: conflict.
+  EXPECT_FALSE(Set->add(T2, 5, R));
+  T2.abort();
+  T1.commit();
+}
+
+TEST(ForwardGatekeeperTest, SameTransactionNeverSelfConflicts) {
+  const std::unique_ptr<TxSet> Set = makeGatedSet(preciseSetSpec());
+  Transaction T1(1);
+  bool R = false;
+  EXPECT_TRUE(Set->add(T1, 5, R));
+  EXPECT_TRUE(Set->remove(T1, 5, R));
+  EXPECT_TRUE(Set->add(T1, 5, R));
+  EXPECT_TRUE(Set->contains(T1, 5, R));
+  EXPECT_TRUE(R);
+  T1.commit();
+  EXPECT_EQ(Set->signature(), "5,");
+}
+
+TEST(ForwardGatekeeperTest, AbortRestoresAbstractState) {
+  const std::unique_ptr<TxSet> Set = makeGatedSet(preciseSetSpec());
+  seedSet(*Set, {1, 2});
+  Transaction T1(1);
+  bool R = false;
+  EXPECT_TRUE(Set->remove(T1, 1, R));
+  EXPECT_TRUE(Set->add(T1, 3, R));
+  EXPECT_TRUE(Set->remove(T1, 2, R));
+  T1.fail();
+  T1.abort();
+  EXPECT_EQ(Set->signature(), "1,2,");
+}
+
+//===----------------------------------------------------------------------===//
+// Forward gatekeeper over the kd-tree specification (Fig. 4)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class KdGateTest : public ::testing::Test {
+protected:
+  KdGateTest() {
+    // Points on a line: 0 at x=0, 1 at x=1, 2 at x=10, 3 at x=10.4.
+    for (const double X : {0.0, 1.0, 10.0, 10.4}) {
+      Point3 P{{X, 0.0, 0.0}};
+      Store.addPoint(P);
+    }
+    Tree = makeGatedKdTree(&Store);
+    Transaction Seed(99);
+    bool Changed = false;
+    EXPECT_TRUE(Tree->add(Seed, 0, Changed));
+    EXPECT_TRUE(Tree->add(Seed, 1, Changed));
+    Seed.commit();
+  }
+
+  PointStore Store;
+  std::unique_ptr<TxKdTree> Tree;
+};
+
+} // namespace
+
+TEST_F(KdGateTest, FarAddCommutesWithNearest) {
+  Transaction T1(1), T2(2);
+  int64_t N = KdNullPoint;
+  ASSERT_TRUE(Tree->nearest(T1, 0, N));
+  EXPECT_EQ(N, 1);
+  // Point 2 (x=10) is farther from 0 than the answer (distance 1): the
+  // Fig. 4 condition dist(a,b) > dist(a,r1) admits it.
+  bool Changed = false;
+  EXPECT_TRUE(Tree->add(T2, 2, Changed));
+  EXPECT_TRUE(Changed);
+  T1.commit();
+  T2.commit();
+}
+
+TEST_F(KdGateTest, NearAddConflictsWithNearest) {
+  Transaction T1(1), T2(2);
+  int64_t N = KdNullPoint;
+  ASSERT_TRUE(Tree->nearest(T2, 2, N)); // Nearest to x=10 is x=1 (point 1).
+  EXPECT_EQ(N, 1);
+  // Point 3 at x=10.4 is much closer to point 2 than point 1 was: adding
+  // it invalidates the active nearest -> conflict.
+  bool Changed = false;
+  EXPECT_FALSE(Tree->add(T1, 3, Changed));
+  EXPECT_TRUE(T1.failed());
+  T1.abort();
+  T2.commit();
+  // The conflicting add was undone.
+  EXPECT_EQ(Tree->size(), 2u);
+}
+
+TEST_F(KdGateTest, RemovingTheAnswerConflicts) {
+  Transaction T1(1), T2(2);
+  int64_t N = KdNullPoint;
+  ASSERT_TRUE(Tree->nearest(T1, 0, N));
+  ASSERT_EQ(N, 1);
+  bool Changed = false;
+  EXPECT_FALSE(Tree->remove(T2, 1, Changed));
+  T2.abort();
+  T1.commit();
+}
+
+TEST_F(KdGateTest, RemovingAnUnrelatedPointCommutes) {
+  Transaction Seed(98);
+  bool Changed = false;
+  ASSERT_TRUE(Tree->add(Seed, 2, Changed));
+  Seed.commit();
+
+  Transaction T1(1), T2(2);
+  int64_t N = KdNullPoint;
+  ASSERT_TRUE(Tree->nearest(T1, 0, N));
+  ASSERT_EQ(N, 1);
+  // Removing point 2 (x=10) does not affect nearest(0)=1.
+  EXPECT_TRUE(Tree->remove(T2, 2, Changed));
+  EXPECT_TRUE(Changed);
+  T1.commit();
+  T2.commit();
+}
+
+//===----------------------------------------------------------------------===//
+// General gatekeeper over union-find (Fig. 5)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class UfGateTest : public ::testing::Test {
+protected:
+  UfGateTest() : Uf(makeGatedUnionFind(8)) {
+    // Committed prefix: {0,1} merged, {2,3} merged.
+    Transaction Seed(99);
+    bool Changed = false;
+    EXPECT_TRUE(Uf->unite(Seed, 0, 1, Changed));
+    EXPECT_TRUE(Uf->unite(Seed, 2, 3, Changed));
+    Seed.commit();
+  }
+
+  std::unique_ptr<TxUnionFind> Uf;
+};
+
+} // namespace
+
+TEST_F(UfGateTest, FindsAlwaysCommute) {
+  Transaction T1(1), T2(2);
+  int64_t R1 = UfNone, R2 = UfNone;
+  EXPECT_TRUE(Uf->find(T1, 0, R1));
+  EXPECT_TRUE(Uf->find(T2, 1, R2));
+  EXPECT_EQ(R1, R2);
+  T1.commit();
+  T2.commit();
+}
+
+TEST_F(UfGateTest, FindCrossingActiveUnionConflicts) {
+  Transaction T1(1), T2(2);
+  bool Changed = false;
+  // T1 merges the {0,1} and {2,3} components.
+  EXPECT_TRUE(Uf->unite(T1, 1, 3, Changed));
+  EXPECT_TRUE(Changed);
+  // T2's find on an element whose pre-union representative was the loser
+  // must conflict (evaluated by rollback: rep(s1, x) == loser(s1, 1, 3)).
+  const int64_t Loser = 3; // By rank both roots tie; b's root loses.
+  int64_t R = UfNone;
+  // Element 2 or 3 lies under the losing root.
+  EXPECT_FALSE(Uf->find(T2, Loser, R));
+  EXPECT_TRUE(T2.failed());
+  T2.abort();
+  T1.commit();
+}
+
+TEST_F(UfGateTest, FindOutsideActiveUnionCommutes) {
+  Transaction T1(1), T2(2);
+  bool Changed = false;
+  EXPECT_TRUE(Uf->unite(T1, 0, 4, Changed));
+  int64_t R = UfNone;
+  // {2,3} and 5 are untouched by the active union.
+  EXPECT_TRUE(Uf->find(T2, 2, R));
+  EXPECT_TRUE(Uf->find(T2, 5, R));
+  T1.commit();
+  T2.commit();
+}
+
+TEST_F(UfGateTest, AbortedUnionIsInvisible) {
+  Transaction T1(1);
+  bool Changed = false;
+  EXPECT_TRUE(Uf->unite(T1, 1, 3, Changed));
+  T1.fail();
+  T1.abort();
+  Transaction T2(2);
+  int64_t Ra = UfNone, Rb = UfNone;
+  EXPECT_TRUE(Uf->find(T2, 1, Ra));
+  EXPECT_TRUE(Uf->find(T2, 3, Rb));
+  EXPECT_NE(Ra, Rb);
+  T2.commit();
+}
+
+TEST_F(UfGateTest, UnionsOnDisjointComponentsCommute) {
+  Transaction T1(1), T2(2);
+  bool Changed = false;
+  EXPECT_TRUE(Uf->unite(T1, 0, 4, Changed));
+  EXPECT_TRUE(Uf->unite(T2, 2, 5, Changed));
+  T1.commit();
+  T2.commit();
+}
+
+TEST_F(UfGateTest, UnionsTouchingTheSameComponentConflict) {
+  Transaction T1(1), T2(2);
+  bool Changed = false;
+  EXPECT_TRUE(Uf->unite(T1, 1, 4, Changed));
+  // T2's union touches the component T1 merged.
+  EXPECT_FALSE(Uf->unite(T2, 0, 5, Changed));
+  T2.abort();
+  T1.commit();
+}
+
+TEST_F(UfGateTest, RollbackEvaluationRestoresState) {
+  // After a conflicting check (which rolls back and redoes), the structure
+  // must be intact.
+  Transaction T1(1), T2(2);
+  bool Changed = false;
+  EXPECT_TRUE(Uf->unite(T1, 1, 3, Changed));
+  int64_t R = UfNone;
+  EXPECT_FALSE(Uf->find(T2, 2, R));
+  T2.abort();
+  T1.commit();
+  Transaction T3(3);
+  EXPECT_TRUE(Uf->find(T3, 2, R));
+  int64_t R0 = UfNone;
+  EXPECT_TRUE(Uf->find(T3, 0, R0));
+  EXPECT_EQ(R, R0); // All four elements now share one set.
+  T3.commit();
+}
+
+TEST_F(UfGateTest, CreateConflictsWithEverything) {
+  Transaction T1(1), T2(2);
+  int64_t R = UfNone;
+  EXPECT_TRUE(Uf->find(T1, 5, R));
+  int64_t Id = UfNone;
+  EXPECT_FALSE(Uf->create(T2, Id));
+  T2.abort();
+  T1.commit();
+}

@@ -1,0 +1,133 @@
+//===- tests/runtime/LockSchemeTest.cpp - §3.2 construction -------------------===//
+
+#include "adt/Accumulator.h"
+#include "adt/FlowGraph.h"
+#include "adt/SetSpecs.h"
+#include "runtime/LockScheme.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+
+namespace {
+
+/// Finds a mode id by name.
+ModeId modeByName(const LockScheme &S, const std::string &Name) {
+  for (ModeId M = 0; M != S.numModes(); ++M)
+    if (S.modeName(M) == Name)
+      return M;
+  ADD_FAILURE() << "no mode named " << Name;
+  return 0;
+}
+
+} // namespace
+
+TEST(LockSchemeTest, AccumulatorFullMatrixMatchesFig8a) {
+  const LockScheme S(accumulatorSpec());
+  // Modes: increment:ds, increment:arg0, read:ds, read:ret.
+  EXPECT_EQ(S.numModes(), 4u);
+  const ModeId IncDs = modeByName(S, "increment:ds");
+  const ModeId IncArg = modeByName(S, "increment:arg0");
+  const ModeId ReadDs = modeByName(S, "read:ds");
+  const ModeId ReadRet = modeByName(S, "read:ret");
+  // Fig. 8(a): only inc:ds x read:ds is incompatible.
+  for (ModeId A = 0; A != S.numModes(); ++A)
+    for (ModeId B = 0; B != S.numModes(); ++B) {
+      const bool ShouldConflict = (A == IncDs && B == ReadDs) ||
+                                  (A == ReadDs && B == IncDs);
+      EXPECT_EQ(S.compat()[A][B] == 0, ShouldConflict)
+          << S.modeName(A) << " vs " << S.modeName(B);
+    }
+  (void)IncArg;
+  (void)ReadRet;
+}
+
+TEST(LockSchemeTest, AccumulatorReductionMatchesFig8b) {
+  const LockScheme S(accumulatorSpec());
+  // The argument and return modes are compatible with everything and get
+  // reduced; the two :ds modes stay.
+  EXPECT_FALSE(S.modeReduced(modeByName(S, "increment:ds")));
+  EXPECT_FALSE(S.modeReduced(modeByName(S, "read:ds")));
+  EXPECT_TRUE(S.modeReduced(modeByName(S, "increment:arg0")));
+  EXPECT_TRUE(S.modeReduced(modeByName(S, "read:ret")));
+  // Acquisitions: each method takes only its structure mode.
+  const AccumulatorSig &A = accumulatorSig();
+  ASSERT_EQ(S.preAcquires(A.Increment).size(), 1u);
+  EXPECT_TRUE(S.preAcquires(A.Increment)[0].OnStructure);
+  ASSERT_EQ(S.preAcquires(A.Read).size(), 1u);
+  EXPECT_TRUE(S.preAcquires(A.Read)[0].OnStructure);
+  EXPECT_TRUE(S.postAcquires(A.Read).empty());
+}
+
+TEST(LockSchemeTest, MatrixRenderingShowsIncompatibilities) {
+  const LockScheme S(accumulatorSpec());
+  const std::string Full = S.matrixStr(/*IncludeReduced=*/true);
+  EXPECT_NE(Full.find("increment:arg0"), std::string::npos);
+  const std::string Reduced = S.matrixStr(/*IncludeReduced=*/false);
+  EXPECT_EQ(Reduced.find("increment:arg0"), std::string::npos);
+  EXPECT_NE(Reduced.find("x"), std::string::npos);
+}
+
+TEST(LockSchemeTest, StrengthenedSetIsReadWriteKeyLocks) {
+  const LockScheme S(strengthenedSetSpec());
+  const SetSig &Set = setSig();
+  const ModeId AddArg = modeByName(S, "add:arg0");
+  const ModeId RemoveArg = modeByName(S, "remove:arg0");
+  const ModeId ContainsArg = modeByName(S, "contains:arg0");
+  // contains is a read lock: self-compatible, conflicting with writers.
+  EXPECT_TRUE(S.compat()[ContainsArg][ContainsArg]);
+  EXPECT_FALSE(S.compat()[ContainsArg][AddArg]);
+  EXPECT_FALSE(S.compat()[ContainsArg][RemoveArg]);
+  EXPECT_FALSE(S.compat()[AddArg][AddArg]);
+  EXPECT_FALSE(S.compat()[AddArg][RemoveArg]);
+  // Structure modes are all-compatible (no false condition) and reduced.
+  EXPECT_TRUE(S.modeReduced(S.structureMode(Set.Add)));
+  // Every method locks exactly its key argument.
+  ASSERT_EQ(S.preAcquires(Set.Add).size(), 1u);
+  EXPECT_FALSE(S.preAcquires(Set.Add)[0].OnStructure);
+  EXPECT_FALSE(S.preAcquires(Set.Add)[0].KeyFn.has_value());
+}
+
+TEST(LockSchemeTest, ExclusiveSetLocksAreExclusive) {
+  const LockScheme S(exclusiveSetSpec());
+  const ModeId ContainsArg = modeByName(S, "contains:arg0");
+  EXPECT_FALSE(S.compat()[ContainsArg][ContainsArg]);
+}
+
+TEST(LockSchemeTest, BottomSetIsAGlobalLock) {
+  const LockScheme S(bottomSetSpec());
+  const SetSig &Set = setSig();
+  // All structure modes mutually incompatible; every method acquires only
+  // the structure lock.
+  for (const MethodId M : {Set.Add, Set.Remove, Set.Contains}) {
+    ASSERT_EQ(S.preAcquires(M).size(), 1u);
+    EXPECT_TRUE(S.preAcquires(M)[0].OnStructure);
+    for (const MethodId M2 : {Set.Add, Set.Remove, Set.Contains})
+      EXPECT_FALSE(S.compat()[S.structureMode(M)][S.structureMode(M2)]);
+  }
+}
+
+TEST(LockSchemeTest, PartitionedSetLocksThroughKeyFunction) {
+  const LockScheme S(partitionedSetSpec());
+  const SetSig &Set = setSig();
+  ASSERT_EQ(S.preAcquires(Set.Add).size(), 1u);
+  EXPECT_EQ(S.preAcquires(Set.Add)[0].KeyFn,
+            std::optional<StateFnId>(Set.Part));
+  // contains ~ contains stayed true, so contains still takes a read-like
+  // mode on the partition.
+  const ModeId ContainsArg = modeByName(S, "contains:arg0");
+  EXPECT_TRUE(S.compat()[ContainsArg][ContainsArg]);
+}
+
+TEST(LockSchemeTest, FlowSpecsProduceNodeLocks) {
+  const LockScheme Ml(mlFlowSpec());
+  const FlowSig &F = flowSig();
+  // pushFlow locks both of its argument nodes.
+  EXPECT_EQ(Ml.preAcquires(F.PushFlow).size(), 2u);
+  // getNeighbors is a read lock in ml and exclusive in ex.
+  const ModeId GN = modeByName(Ml, "getNeighbors:arg0");
+  EXPECT_TRUE(Ml.compat()[GN][GN]);
+  const LockScheme Ex(exFlowSpec());
+  const ModeId GNx = modeByName(Ex, "getNeighbors:arg0");
+  EXPECT_FALSE(Ex.compat()[GNx][GNx]);
+}

@@ -1,0 +1,82 @@
+//===- tests/runtime/LockTableTest.cpp - Multi-mode abstract locks ------------===//
+
+#include "runtime/LockTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+
+namespace {
+
+/// Two modes: 0 shared (self-compatible), 1 exclusive.
+CompatMatrix rwMatrix() { return {{1, 0}, {0, 0}}; }
+
+} // namespace
+
+TEST(LockTableTest, SharedModeAdmitsManyHolders) {
+  AbstractLock L;
+  const CompatMatrix M = rwMatrix();
+  EXPECT_TRUE(L.tryAcquire(1, 0, M));
+  EXPECT_TRUE(L.tryAcquire(2, 0, M));
+  EXPECT_TRUE(L.tryAcquire(3, 0, M));
+  EXPECT_TRUE(L.heldBy(2));
+}
+
+TEST(LockTableTest, ExclusiveModeBlocksOthers) {
+  AbstractLock L;
+  const CompatMatrix M = rwMatrix();
+  EXPECT_TRUE(L.tryAcquire(1, 1, M));
+  EXPECT_FALSE(L.tryAcquire(2, 1, M));
+  EXPECT_FALSE(L.tryAcquire(2, 0, M));
+}
+
+TEST(LockTableTest, SharedBlocksExclusive) {
+  AbstractLock L;
+  const CompatMatrix M = rwMatrix();
+  EXPECT_TRUE(L.tryAcquire(1, 0, M));
+  EXPECT_FALSE(L.tryAcquire(2, 1, M));
+  EXPECT_TRUE(L.tryAcquire(2, 0, M));
+}
+
+TEST(LockTableTest, ReentrantForSameTransaction) {
+  AbstractLock L;
+  const CompatMatrix M = rwMatrix();
+  EXPECT_TRUE(L.tryAcquire(1, 1, M));
+  EXPECT_TRUE(L.tryAcquire(1, 1, M));
+  EXPECT_TRUE(L.tryAcquire(1, 0, M)); // Mode mix within one tx.
+}
+
+TEST(LockTableTest, ReleaseAllFreesEveryHold) {
+  AbstractLock L;
+  const CompatMatrix M = rwMatrix();
+  EXPECT_TRUE(L.tryAcquire(1, 1, M));
+  EXPECT_TRUE(L.tryAcquire(1, 1, M));
+  L.releaseAll(1);
+  EXPECT_FALSE(L.heldBy(1));
+  EXPECT_TRUE(L.tryAcquire(2, 1, M));
+}
+
+TEST(LockTableTest, TableAllocatesOnDemandAndIsStable) {
+  LockTable T;
+  AbstractLock *A = T.lockFor(LockTable::PlainSpace, Value::integer(7));
+  AbstractLock *B = T.lockFor(LockTable::PlainSpace, Value::integer(7));
+  AbstractLock *C = T.lockFor(LockTable::PlainSpace, Value::integer(8));
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(T.size(), 2u);
+}
+
+TEST(LockTableTest, KeySpacesAreDisjoint) {
+  LockTable T;
+  AbstractLock *Plain = T.lockFor(LockTable::PlainSpace, Value::integer(3));
+  AbstractLock *Keyed = T.lockFor(/*Space=*/0, Value::integer(3));
+  EXPECT_NE(Plain, Keyed);
+}
+
+TEST(LockTableTest, DistinctValueKindsDistinctLocks) {
+  LockTable T;
+  AbstractLock *IntLock = T.lockFor(LockTable::PlainSpace, Value::integer(1));
+  AbstractLock *BoolLock =
+      T.lockFor(LockTable::PlainSpace, Value::boolean(true));
+  EXPECT_NE(IntLock, BoolLock);
+}

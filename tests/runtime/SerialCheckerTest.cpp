@@ -1,0 +1,126 @@
+//===- tests/runtime/SerialCheckerTest.cpp - Serializability oracle -----------===//
+
+#include "adt/BoostedSet.h"
+#include "runtime/SerialChecker.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace comlat;
+
+namespace {
+
+TxTrace makeTrace(TxId Id,
+                  std::initializer_list<std::pair<MethodId, std::pair<int64_t, bool>>>
+                      Ops) {
+  TxTrace T;
+  T.Id = Id;
+  for (const auto &[Method, KV] : Ops)
+    T.Invocations.emplace_back(
+        0x1, Invocation(Method, {Value::integer(KV.first)},
+                        Value::boolean(KV.second)));
+  return T;
+}
+
+std::unique_ptr<Replayer> freshSetReplayer() {
+  return std::make_unique<SetReplayer>();
+}
+
+} // namespace
+
+TEST(SerialCheckerTest, CommitOrderWitness) {
+  const SetSig &S = setSig();
+  // T1: add(1)/true. T2: contains(1)/true. Serial witness: T1 then T2.
+  const std::vector<TxTrace> Traces = {
+      makeTrace(1, {{S.Add, {1, true}}}),
+      makeTrace(2, {{S.Contains, {1, true}}}),
+  };
+  std::vector<TxId> Witness;
+  EXPECT_TRUE(findSerialWitness(Traces, freshSetReplayer, "", &Witness));
+  const std::vector<TxId> Expected = {1, 2};
+  EXPECT_EQ(Witness, Expected);
+}
+
+TEST(SerialCheckerTest, ReversedWitnessFound) {
+  const SetSig &S = setSig();
+  // T1 observed the element missing, T2 added it: only T1-before-T2 works,
+  // even though ids suggest otherwise.
+  const std::vector<TxTrace> Traces = {
+      makeTrace(2, {{S.Add, {1, true}}}),
+      makeTrace(1, {{S.Contains, {1, false}}}),
+  };
+  std::vector<TxId> Witness;
+  EXPECT_TRUE(findSerialWitness(Traces, freshSetReplayer, "", &Witness));
+  const std::vector<TxId> Expected = {1, 2};
+  EXPECT_EQ(Witness, Expected);
+}
+
+TEST(SerialCheckerTest, NonSerializableRejected) {
+  const SetSig &S = setSig();
+  // Both transactions claim their add mutated the same key: impossible in
+  // any serial order.
+  const std::vector<TxTrace> Traces = {
+      makeTrace(1, {{S.Add, {1, true}}}),
+      makeTrace(2, {{S.Add, {1, true}}}),
+  };
+  EXPECT_FALSE(findSerialWitness(Traces, freshSetReplayer, ""));
+}
+
+TEST(SerialCheckerTest, WriteSkewRejected) {
+  const SetSig &S = setSig();
+  // T1: contains(1)=false then add(2)/true; T2: contains(2)=false then
+  // add(1)/true. Each order contradicts one contains.
+  const std::vector<TxTrace> Traces = {
+      makeTrace(1, {{S.Contains, {1, false}}, {S.Add, {2, true}}}),
+      makeTrace(2, {{S.Contains, {2, false}}, {S.Add, {1, true}}}),
+  };
+  // Wait: serial T1;T2 -> T2's contains(2) sees T1's add(2) = true, but T2
+  // recorded false. Serial T2;T1 symmetric. Not serializable.
+  EXPECT_FALSE(findSerialWitness(Traces, freshSetReplayer, ""));
+}
+
+TEST(SerialCheckerTest, FinalStateSignatureChecked) {
+  const SetSig &S = setSig();
+  const std::vector<TxTrace> Traces = {
+      makeTrace(1, {{S.Add, {1, true}}}),
+      makeTrace(2, {{S.Add, {2, true}}}),
+  };
+  EXPECT_TRUE(findSerialWitness(Traces, freshSetReplayer, "1,2,"));
+  EXPECT_FALSE(findSerialWitness(Traces, freshSetReplayer, "1,"));
+}
+
+TEST(SerialCheckerTest, EmptyTraceSetIsSerializable) {
+  EXPECT_TRUE(findSerialWitness({}, freshSetReplayer, ""));
+}
+
+TEST(SerialCheckerTest, ThreeTransactionsOrderingConstraint) {
+  const SetSig &S = setSig();
+  // T3 adds 1; T1 removes 1 (successfully); T2 observed 1 absent. Every
+  // witness must place the add before the successful remove (T2 may sit
+  // before the add or after the remove).
+  const std::vector<TxTrace> Traces = {
+      makeTrace(1, {{S.Remove, {1, true}}}),
+      makeTrace(2, {{S.Contains, {1, false}}}),
+      makeTrace(3, {{S.Add, {1, true}}}),
+  };
+  std::vector<TxId> Witness;
+  EXPECT_TRUE(findSerialWitness(Traces, freshSetReplayer, "", &Witness));
+  ASSERT_EQ(Witness.size(), 3u);
+  const auto PosOf = [&Witness](TxId Id) {
+    return std::find(Witness.begin(), Witness.end(), Id) - Witness.begin();
+  };
+  EXPECT_LT(PosOf(3), PosOf(1));
+  EXPECT_TRUE(PosOf(2) < PosOf(3) || PosOf(2) > PosOf(1));
+}
+
+TEST(SerialCheckerTest, TraceOfExtractsHistory) {
+  Transaction Tx(5);
+  Tx.setRecording(true);
+  Tx.recordInvocation(0x1, Invocation(0, {Value::integer(1)},
+                                      Value::boolean(true)));
+  const TxTrace T = traceOf(Tx, 5);
+  EXPECT_EQ(T.Id, 5u);
+  ASSERT_EQ(T.Invocations.size(), 1u);
+  Tx.commit();
+}

@@ -1,0 +1,145 @@
+//===- tests/runtime/SpecValidatorTest.cpp - Condition validation -------------===//
+//
+// The randomized commutativity-condition validator (the testing side of
+// the paper's §2.2 verification discussion). Shipped specifications must
+// survive the search; deliberately broken ones — including the paper's
+// exact Fig. 5 union~union condition, which is unsound for representative
+// identity in the equal-rank tie case — must be refuted with concrete
+// counterexamples.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Accumulator.h"
+#include "adt/BoostedKdTree.h"
+#include "adt/BoostedSet.h"
+#include "adt/BoostedUnionFind.h"
+#include "core/Lattice.h"
+#include "runtime/SpecValidator.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+using namespace comlat::dsl;
+
+namespace {
+
+ValidationConfig quickConfig(uint64_t Seed) {
+  ValidationConfig C;
+  C.Trials = 3000;
+  C.PrefixOps = 5;
+  C.Seed = Seed;
+  return C;
+}
+
+} // namespace
+
+TEST(SpecValidatorTest, ShippedSetSpecsAreValid) {
+  const ValidationHarness Harness = setValidationHarness();
+  for (const CommSpec *Spec :
+       {&preciseSetSpec(), &strengthenedSetSpec(), &exclusiveSetSpec(),
+        &partitionedSetSpec(), &bottomSetSpec()}) {
+    const auto Issue = validateSpec(*Spec, Harness, quickConfig(1));
+    EXPECT_FALSE(Issue.has_value())
+        << Spec->name() << ": " << Issue->str(setSig().Sig);
+  }
+}
+
+TEST(SpecValidatorTest, OverPermissiveSetSpecRefuted) {
+  // add ~ add = true is not a valid condition: two mutating adds of the
+  // same key return different values depending on order.
+  CommSpec Broken = preciseSetSpec();
+  Broken.setName("set-broken");
+  Broken.set(setSig().Add, setSig().Add, top());
+  const auto Issue =
+      validateSpec(Broken, setValidationHarness(), quickConfig(2));
+  ASSERT_TRUE(Issue.has_value());
+  EXPECT_NE(Issue->str(setSig().Sig).find("add"), std::string::npos);
+}
+
+TEST(SpecValidatorTest, WrongReturnClauseRefuted) {
+  // add(a) ~ contains(b) must require the *mutator*'s return to be false;
+  // guarding on the contains return instead is unsound.
+  CommSpec Broken = preciseSetSpec();
+  Broken.setName("set-wrong-ret");
+  Broken.set(setSig().Add, setSig().Contains,
+             disj(ne(arg1(0), arg2(0)), eq(ret2(), cst(true))));
+  const auto Issue =
+      validateSpec(Broken, setValidationHarness(), quickConfig(3));
+  EXPECT_TRUE(Issue.has_value());
+}
+
+TEST(SpecValidatorTest, AccumulatorSpecIsValid) {
+  const auto Issue = validateSpec(accumulatorSpec(),
+                                  accumulatorValidationHarness(),
+                                  quickConfig(4));
+  EXPECT_FALSE(Issue.has_value())
+      << Issue->str(accumulatorSig().Sig);
+}
+
+TEST(SpecValidatorTest, AccumulatorIncrementReadRefutedIfAllowed) {
+  CommSpec Broken = accumulatorSpec();
+  Broken.setName("accumulator-broken");
+  Broken.set(accumulatorSig().Increment, accumulatorSig().Read, top());
+  const auto Issue = validateSpec(Broken, accumulatorValidationHarness(),
+                                  quickConfig(5));
+  ASSERT_TRUE(Issue.has_value());
+}
+
+TEST(SpecValidatorTest, KdSpecIsValid) {
+  PointStore Store;
+  Rng R(6);
+  for (unsigned I = 0; I != 6; ++I) {
+    Point3 P;
+    for (unsigned D = 0; D != KdDims; ++D)
+      P.C[D] = R.nextDouble();
+    Store.addPoint(P);
+  }
+  ValidationConfig C = quickConfig(6);
+  C.Trials = 2000;
+  const auto Issue = validateSpec(kdSpec(), kdValidationHarness(&Store), C);
+  EXPECT_FALSE(Issue.has_value()) << Issue->str(kdSig().Sig);
+}
+
+TEST(SpecValidatorTest, KdNearestAddWithoutDistanceGuardRefuted) {
+  PointStore Store;
+  Rng R(7);
+  for (unsigned I = 0; I != 6; ++I) {
+    Point3 P;
+    for (unsigned D = 0; D != KdDims; ++D)
+      P.C[D] = R.nextDouble();
+    Store.addPoint(P);
+  }
+  CommSpec Broken = kdSpec();
+  Broken.setName("kd-broken");
+  Broken.set(kdSig().Nearest, kdSig().Add, top());
+  const auto Issue =
+      validateSpec(Broken, kdValidationHarness(&Store), quickConfig(7));
+  ASSERT_TRUE(Issue.has_value());
+}
+
+TEST(SpecValidatorTest, StrengthenedUfSpecIsValid) {
+  const auto Issue = validateSpec(ufSpec(), ufValidationHarness(5),
+                                  quickConfig(8));
+  EXPECT_FALSE(Issue.has_value()) << Issue->str(ufSig().Sig);
+}
+
+TEST(SpecValidatorTest, PaperExactFig5UnionUnionRefuted) {
+  // The loser-only Fig. 5 condition admits the equal-rank tie scenario in
+  // which the final representative differs between orders — observable
+  // through find, hence not a valid commutativity condition once
+  // representative identity is part of the abstract state. This is the
+  // documented deviation behind ufSpec()'s both-representatives clause.
+  const CommSpec Fig5 = paperExactUfSpec();
+  const auto Issue = validateSpec(Fig5, ufValidationHarness(4),
+                                  quickConfig(9));
+  ASSERT_TRUE(Issue.has_value());
+  EXPECT_NE(Issue->str(ufSig().Sig).find("union"), std::string::npos);
+}
+
+TEST(SpecValidatorTest, BottomSpecsAreVacuouslyValid) {
+  // With every condition false, no pair is ever claimed commuting.
+  const CommSpec Bot = bottomSpec(ufSig().Sig, "uf-bottom");
+  const auto Issue =
+      validateSpec(Bot, ufValidationHarness(4), quickConfig(10));
+  EXPECT_FALSE(Issue.has_value());
+}

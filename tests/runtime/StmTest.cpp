@@ -1,0 +1,93 @@
+//===- tests/runtime/StmTest.cpp - Memory-level baseline ----------------------===//
+
+#include "stm/ObjectStm.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+
+TEST(StmTest, ReadersShareAnObject) {
+  ObjectStm Stm("stm");
+  Transaction T1(1), T2(2);
+  EXPECT_TRUE(Stm.read(T1, 42));
+  EXPECT_TRUE(Stm.read(T2, 42));
+  T1.commit();
+  T2.commit();
+}
+
+TEST(StmTest, WriterExcludesEveryone) {
+  ObjectStm Stm("stm");
+  Transaction T1(1), T2(2);
+  EXPECT_TRUE(Stm.write(T1, 42));
+  EXPECT_FALSE(Stm.read(T2, 42));
+  EXPECT_TRUE(T2.failed());
+  T2.abort();
+  Transaction T3(3);
+  EXPECT_FALSE(Stm.write(T3, 42));
+  T3.abort();
+  T1.commit();
+}
+
+TEST(StmTest, ReaderBlocksWriter) {
+  ObjectStm Stm("stm");
+  Transaction T1(1), T2(2);
+  EXPECT_TRUE(Stm.read(T1, 7));
+  EXPECT_FALSE(Stm.write(T2, 7));
+  T2.abort();
+  T1.commit();
+}
+
+TEST(StmTest, UpgradeWithinOneTransaction) {
+  ObjectStm Stm("stm");
+  Transaction T1(1);
+  EXPECT_TRUE(Stm.read(T1, 7));
+  EXPECT_TRUE(Stm.write(T1, 7));
+  T1.commit();
+}
+
+TEST(StmTest, ReleaseFreesObjects) {
+  ObjectStm Stm("stm");
+  {
+    Transaction T1(1);
+    EXPECT_TRUE(Stm.write(T1, 7));
+    T1.commit();
+  }
+  Transaction T2(2);
+  EXPECT_TRUE(Stm.write(T2, 7));
+  T2.commit();
+}
+
+TEST(StmTest, AbortReleasesToo) {
+  ObjectStm Stm("stm");
+  {
+    Transaction T1(1);
+    EXPECT_TRUE(Stm.write(T1, 7));
+    T1.fail();
+    T1.abort();
+  }
+  Transaction T2(2);
+  EXPECT_TRUE(Stm.write(T2, 7));
+  T2.commit();
+}
+
+TEST(StmTest, DistinctObjectsIndependent) {
+  ObjectStm Stm("stm");
+  Transaction T1(1), T2(2);
+  EXPECT_TRUE(Stm.write(T1, 1));
+  EXPECT_TRUE(Stm.write(T2, 2));
+  T1.commit();
+  T2.commit();
+  EXPECT_EQ(Stm.numConflicts(), 0u);
+}
+
+TEST(StmTest, StatsCount) {
+  ObjectStm Stm("stm");
+  Transaction T1(1), T2(2);
+  EXPECT_TRUE(Stm.read(T1, 1));
+  EXPECT_TRUE(Stm.write(T1, 2));
+  EXPECT_FALSE(Stm.write(T2, 2));
+  EXPECT_EQ(Stm.numAccesses(), 3u);
+  EXPECT_EQ(Stm.numConflicts(), 1u);
+  T2.abort();
+  T1.commit();
+}

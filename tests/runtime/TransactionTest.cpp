@@ -1,0 +1,99 @@
+//===- tests/runtime/TransactionTest.cpp - Transaction lifecycle --------------===//
+
+#include "runtime/Transaction.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+
+namespace {
+
+/// Records detector callbacks for lifecycle assertions.
+class MockDetector : public ConflictDetector {
+public:
+  void undoFor(Transaction &Tx) override { Events.push_back("undo"); }
+  void release(Transaction &Tx, bool Committed) override {
+    Events.push_back(Committed ? "release-commit" : "release-abort");
+  }
+  const char *name() const override { return "mock"; }
+
+  std::vector<std::string> Events;
+};
+
+} // namespace
+
+TEST(TransactionTest, CommitRunsActionsThenReleases) {
+  MockDetector D;
+  std::vector<std::string> Log;
+  Transaction Tx(1);
+  Tx.touch(&D);
+  Tx.addCommitAction([&Log] { Log.push_back("commit-action"); });
+  Tx.addUndo([&Log] { Log.push_back("undo"); });
+  Tx.commit();
+  EXPECT_TRUE(Tx.finished());
+  EXPECT_EQ(Log, std::vector<std::string>{"commit-action"});
+  EXPECT_EQ(D.Events, std::vector<std::string>{"release-commit"});
+}
+
+TEST(TransactionTest, AbortUndoesInReverseAndSkipsCommitActions) {
+  MockDetector D;
+  std::vector<std::string> Log;
+  Transaction Tx(1);
+  Tx.touch(&D);
+  Tx.addUndo([&Log] { Log.push_back("undo-1"); });
+  Tx.addUndo([&Log] { Log.push_back("undo-2"); });
+  Tx.addCommitAction([&Log] { Log.push_back("commit-action"); });
+  Tx.fail();
+  Tx.abort();
+  const std::vector<std::string> Expected = {"undo-2", "undo-1"};
+  EXPECT_EQ(Log, Expected);
+  const std::vector<std::string> DetectorExpected = {"undo", "release-abort"};
+  EXPECT_EQ(D.Events, DetectorExpected);
+}
+
+TEST(TransactionTest, TouchDeduplicates) {
+  MockDetector D;
+  Transaction Tx(1);
+  Tx.touch(&D);
+  Tx.touch(&D);
+  Tx.touch(&D);
+  Tx.commit();
+  EXPECT_EQ(D.Events.size(), 1u);
+}
+
+TEST(TransactionTest, DeferredReleaseForRoundModel) {
+  MockDetector D;
+  Transaction Tx(1);
+  Tx.touch(&D);
+  Tx.commit(/*Release=*/false);
+  EXPECT_TRUE(Tx.finished());
+  EXPECT_TRUE(D.Events.empty());
+  Tx.releaseDetectors();
+  EXPECT_EQ(D.Events, std::vector<std::string>{"release-commit"});
+}
+
+TEST(TransactionTest, HistoryRecordingIsOptIn) {
+  Transaction Off(1);
+  Off.recordInvocation(0x1, Invocation(0, {Value::integer(1)}));
+  EXPECT_TRUE(Off.history().empty());
+  Off.commit();
+
+  Transaction On(2);
+  On.setRecording(true);
+  On.recordInvocation(0x1, Invocation(0, {Value::integer(1)}));
+  On.recordInvocation(0x2, Invocation(1, {}));
+  ASSERT_EQ(On.history().size(), 2u);
+  EXPECT_EQ(On.history()[0].first, 0x1u);
+  EXPECT_EQ(On.history()[1].second.Method, 1u);
+  On.commit();
+}
+
+TEST(TransactionTest, FailIsSticky) {
+  Transaction Tx(1);
+  EXPECT_FALSE(Tx.failed());
+  Tx.fail();
+  EXPECT_TRUE(Tx.failed());
+  Tx.fail();
+  EXPECT_TRUE(Tx.failed());
+  Tx.abort();
+}
