@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lattice.dir/ablation_lattice.cpp.o"
+  "CMakeFiles/ablation_lattice.dir/ablation_lattice.cpp.o.d"
+  "ablation_lattice"
+  "ablation_lattice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lattice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

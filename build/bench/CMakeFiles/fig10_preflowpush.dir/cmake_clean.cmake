@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_preflowpush.dir/fig10_preflowpush.cpp.o"
+  "CMakeFiles/fig10_preflowpush.dir/fig10_preflowpush.cpp.o.d"
+  "fig10_preflowpush"
+  "fig10_preflowpush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_preflowpush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_clustering.dir/fig11_clustering.cpp.o"
+  "CMakeFiles/fig11_clustering.dir/fig11_clustering.cpp.o.d"
+  "fig11_clustering"
+  "fig11_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_boruvka.dir/fig12_boruvka.cpp.o"
+  "CMakeFiles/fig12_boruvka.dir/fig12_boruvka.cpp.o.d"
+  "fig12_boruvka"
+  "fig12_boruvka.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_boruvka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_parameter.dir/table1_parameter.cpp.o"
+  "CMakeFiles/table1_parameter.dir/table1_parameter.cpp.o.d"
+  "table1_parameter"
+  "table1_parameter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_parameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

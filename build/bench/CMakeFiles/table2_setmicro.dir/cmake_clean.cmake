@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_setmicro.dir/table2_setmicro.cpp.o"
+  "CMakeFiles/table2_setmicro.dir/table2_setmicro.cpp.o.d"
+  "table2_setmicro"
+  "table2_setmicro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_setmicro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_lattice_tour.dir/set_lattice_tour.cpp.o"
+  "CMakeFiles/set_lattice_tour.dir/set_lattice_tour.cpp.o.d"
+  "set_lattice_tour"
+  "set_lattice_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_lattice_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_specs.dir/validate_specs.cpp.o"
+  "CMakeFiles/validate_specs.dir/validate_specs.cpp.o.d"
+  "validate_specs"
+  "validate_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

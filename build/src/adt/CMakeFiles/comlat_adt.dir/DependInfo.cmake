@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adt/Accumulator.cpp" "src/adt/CMakeFiles/comlat_adt.dir/Accumulator.cpp.o" "gcc" "src/adt/CMakeFiles/comlat_adt.dir/Accumulator.cpp.o.d"
+  "/root/repo/src/adt/AdaptiveSet.cpp" "src/adt/CMakeFiles/comlat_adt.dir/AdaptiveSet.cpp.o" "gcc" "src/adt/CMakeFiles/comlat_adt.dir/AdaptiveSet.cpp.o.d"
+  "/root/repo/src/adt/BoostedKdTree.cpp" "src/adt/CMakeFiles/comlat_adt.dir/BoostedKdTree.cpp.o" "gcc" "src/adt/CMakeFiles/comlat_adt.dir/BoostedKdTree.cpp.o.d"
+  "/root/repo/src/adt/BoostedSet.cpp" "src/adt/CMakeFiles/comlat_adt.dir/BoostedSet.cpp.o" "gcc" "src/adt/CMakeFiles/comlat_adt.dir/BoostedSet.cpp.o.d"
+  "/root/repo/src/adt/BoostedUnionFind.cpp" "src/adt/CMakeFiles/comlat_adt.dir/BoostedUnionFind.cpp.o" "gcc" "src/adt/CMakeFiles/comlat_adt.dir/BoostedUnionFind.cpp.o.d"
+  "/root/repo/src/adt/FlowGraph.cpp" "src/adt/CMakeFiles/comlat_adt.dir/FlowGraph.cpp.o" "gcc" "src/adt/CMakeFiles/comlat_adt.dir/FlowGraph.cpp.o.d"
+  "/root/repo/src/adt/IntHashSet.cpp" "src/adt/CMakeFiles/comlat_adt.dir/IntHashSet.cpp.o" "gcc" "src/adt/CMakeFiles/comlat_adt.dir/IntHashSet.cpp.o.d"
+  "/root/repo/src/adt/KdTree.cpp" "src/adt/CMakeFiles/comlat_adt.dir/KdTree.cpp.o" "gcc" "src/adt/CMakeFiles/comlat_adt.dir/KdTree.cpp.o.d"
+  "/root/repo/src/adt/OwnerLocks.cpp" "src/adt/CMakeFiles/comlat_adt.dir/OwnerLocks.cpp.o" "gcc" "src/adt/CMakeFiles/comlat_adt.dir/OwnerLocks.cpp.o.d"
+  "/root/repo/src/adt/SetSpecs.cpp" "src/adt/CMakeFiles/comlat_adt.dir/SetSpecs.cpp.o" "gcc" "src/adt/CMakeFiles/comlat_adt.dir/SetSpecs.cpp.o.d"
+  "/root/repo/src/adt/UnionFind.cpp" "src/adt/CMakeFiles/comlat_adt.dir/UnionFind.cpp.o" "gcc" "src/adt/CMakeFiles/comlat_adt.dir/UnionFind.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/comlat_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/comlat_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/comlat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/comlat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

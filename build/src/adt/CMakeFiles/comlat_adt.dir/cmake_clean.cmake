@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comlat_adt.dir/Accumulator.cpp.o"
+  "CMakeFiles/comlat_adt.dir/Accumulator.cpp.o.d"
+  "CMakeFiles/comlat_adt.dir/AdaptiveSet.cpp.o"
+  "CMakeFiles/comlat_adt.dir/AdaptiveSet.cpp.o.d"
+  "CMakeFiles/comlat_adt.dir/BoostedKdTree.cpp.o"
+  "CMakeFiles/comlat_adt.dir/BoostedKdTree.cpp.o.d"
+  "CMakeFiles/comlat_adt.dir/BoostedSet.cpp.o"
+  "CMakeFiles/comlat_adt.dir/BoostedSet.cpp.o.d"
+  "CMakeFiles/comlat_adt.dir/BoostedUnionFind.cpp.o"
+  "CMakeFiles/comlat_adt.dir/BoostedUnionFind.cpp.o.d"
+  "CMakeFiles/comlat_adt.dir/FlowGraph.cpp.o"
+  "CMakeFiles/comlat_adt.dir/FlowGraph.cpp.o.d"
+  "CMakeFiles/comlat_adt.dir/IntHashSet.cpp.o"
+  "CMakeFiles/comlat_adt.dir/IntHashSet.cpp.o.d"
+  "CMakeFiles/comlat_adt.dir/KdTree.cpp.o"
+  "CMakeFiles/comlat_adt.dir/KdTree.cpp.o.d"
+  "CMakeFiles/comlat_adt.dir/OwnerLocks.cpp.o"
+  "CMakeFiles/comlat_adt.dir/OwnerLocks.cpp.o.d"
+  "CMakeFiles/comlat_adt.dir/SetSpecs.cpp.o"
+  "CMakeFiles/comlat_adt.dir/SetSpecs.cpp.o.d"
+  "CMakeFiles/comlat_adt.dir/UnionFind.cpp.o"
+  "CMakeFiles/comlat_adt.dir/UnionFind.cpp.o.d"
+  "libcomlat_adt.a"
+  "libcomlat_adt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comlat_adt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

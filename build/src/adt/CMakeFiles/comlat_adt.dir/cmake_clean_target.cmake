@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcomlat_adt.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/Boruvka.cpp" "src/apps/CMakeFiles/comlat_apps.dir/Boruvka.cpp.o" "gcc" "src/apps/CMakeFiles/comlat_apps.dir/Boruvka.cpp.o.d"
+  "/root/repo/src/apps/Clustering.cpp" "src/apps/CMakeFiles/comlat_apps.dir/Clustering.cpp.o" "gcc" "src/apps/CMakeFiles/comlat_apps.dir/Clustering.cpp.o.d"
+  "/root/repo/src/apps/Genrmf.cpp" "src/apps/CMakeFiles/comlat_apps.dir/Genrmf.cpp.o" "gcc" "src/apps/CMakeFiles/comlat_apps.dir/Genrmf.cpp.o.d"
+  "/root/repo/src/apps/MaxflowReference.cpp" "src/apps/CMakeFiles/comlat_apps.dir/MaxflowReference.cpp.o" "gcc" "src/apps/CMakeFiles/comlat_apps.dir/MaxflowReference.cpp.o.d"
+  "/root/repo/src/apps/PreflowPush.cpp" "src/apps/CMakeFiles/comlat_apps.dir/PreflowPush.cpp.o" "gcc" "src/apps/CMakeFiles/comlat_apps.dir/PreflowPush.cpp.o.d"
+  "/root/repo/src/apps/SetMicrobench.cpp" "src/apps/CMakeFiles/comlat_apps.dir/SetMicrobench.cpp.o" "gcc" "src/apps/CMakeFiles/comlat_apps.dir/SetMicrobench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adt/CMakeFiles/comlat_adt.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/comlat_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/comlat_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/comlat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/comlat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comlat_apps.dir/Boruvka.cpp.o"
+  "CMakeFiles/comlat_apps.dir/Boruvka.cpp.o.d"
+  "CMakeFiles/comlat_apps.dir/Clustering.cpp.o"
+  "CMakeFiles/comlat_apps.dir/Clustering.cpp.o.d"
+  "CMakeFiles/comlat_apps.dir/Genrmf.cpp.o"
+  "CMakeFiles/comlat_apps.dir/Genrmf.cpp.o.d"
+  "CMakeFiles/comlat_apps.dir/MaxflowReference.cpp.o"
+  "CMakeFiles/comlat_apps.dir/MaxflowReference.cpp.o.d"
+  "CMakeFiles/comlat_apps.dir/PreflowPush.cpp.o"
+  "CMakeFiles/comlat_apps.dir/PreflowPush.cpp.o.d"
+  "CMakeFiles/comlat_apps.dir/SetMicrobench.cpp.o"
+  "CMakeFiles/comlat_apps.dir/SetMicrobench.cpp.o.d"
+  "libcomlat_apps.a"
+  "libcomlat_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comlat_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

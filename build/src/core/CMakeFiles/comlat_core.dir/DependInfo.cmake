@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Classify.cpp" "src/core/CMakeFiles/comlat_core.dir/Classify.cpp.o" "gcc" "src/core/CMakeFiles/comlat_core.dir/Classify.cpp.o.d"
+  "/root/repo/src/core/Eval.cpp" "src/core/CMakeFiles/comlat_core.dir/Eval.cpp.o" "gcc" "src/core/CMakeFiles/comlat_core.dir/Eval.cpp.o.d"
+  "/root/repo/src/core/Expr.cpp" "src/core/CMakeFiles/comlat_core.dir/Expr.cpp.o" "gcc" "src/core/CMakeFiles/comlat_core.dir/Expr.cpp.o.d"
+  "/root/repo/src/core/Lattice.cpp" "src/core/CMakeFiles/comlat_core.dir/Lattice.cpp.o" "gcc" "src/core/CMakeFiles/comlat_core.dir/Lattice.cpp.o.d"
+  "/root/repo/src/core/MethodSig.cpp" "src/core/CMakeFiles/comlat_core.dir/MethodSig.cpp.o" "gcc" "src/core/CMakeFiles/comlat_core.dir/MethodSig.cpp.o.d"
+  "/root/repo/src/core/Simplify.cpp" "src/core/CMakeFiles/comlat_core.dir/Simplify.cpp.o" "gcc" "src/core/CMakeFiles/comlat_core.dir/Simplify.cpp.o.d"
+  "/root/repo/src/core/Spec.cpp" "src/core/CMakeFiles/comlat_core.dir/Spec.cpp.o" "gcc" "src/core/CMakeFiles/comlat_core.dir/Spec.cpp.o.d"
+  "/root/repo/src/core/Value.cpp" "src/core/CMakeFiles/comlat_core.dir/Value.cpp.o" "gcc" "src/core/CMakeFiles/comlat_core.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/comlat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

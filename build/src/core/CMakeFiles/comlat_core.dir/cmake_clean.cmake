@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comlat_core.dir/Classify.cpp.o"
+  "CMakeFiles/comlat_core.dir/Classify.cpp.o.d"
+  "CMakeFiles/comlat_core.dir/Eval.cpp.o"
+  "CMakeFiles/comlat_core.dir/Eval.cpp.o.d"
+  "CMakeFiles/comlat_core.dir/Expr.cpp.o"
+  "CMakeFiles/comlat_core.dir/Expr.cpp.o.d"
+  "CMakeFiles/comlat_core.dir/Lattice.cpp.o"
+  "CMakeFiles/comlat_core.dir/Lattice.cpp.o.d"
+  "CMakeFiles/comlat_core.dir/MethodSig.cpp.o"
+  "CMakeFiles/comlat_core.dir/MethodSig.cpp.o.d"
+  "CMakeFiles/comlat_core.dir/Simplify.cpp.o"
+  "CMakeFiles/comlat_core.dir/Simplify.cpp.o.d"
+  "CMakeFiles/comlat_core.dir/Spec.cpp.o"
+  "CMakeFiles/comlat_core.dir/Spec.cpp.o.d"
+  "CMakeFiles/comlat_core.dir/Value.cpp.o"
+  "CMakeFiles/comlat_core.dir/Value.cpp.o.d"
+  "libcomlat_core.a"
+  "libcomlat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comlat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

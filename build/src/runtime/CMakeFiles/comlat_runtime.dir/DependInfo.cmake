@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/AbstractLockManager.cpp" "src/runtime/CMakeFiles/comlat_runtime.dir/AbstractLockManager.cpp.o" "gcc" "src/runtime/CMakeFiles/comlat_runtime.dir/AbstractLockManager.cpp.o.d"
+  "/root/repo/src/runtime/Executor.cpp" "src/runtime/CMakeFiles/comlat_runtime.dir/Executor.cpp.o" "gcc" "src/runtime/CMakeFiles/comlat_runtime.dir/Executor.cpp.o.d"
+  "/root/repo/src/runtime/Gatekeeper.cpp" "src/runtime/CMakeFiles/comlat_runtime.dir/Gatekeeper.cpp.o" "gcc" "src/runtime/CMakeFiles/comlat_runtime.dir/Gatekeeper.cpp.o.d"
+  "/root/repo/src/runtime/Interleaver.cpp" "src/runtime/CMakeFiles/comlat_runtime.dir/Interleaver.cpp.o" "gcc" "src/runtime/CMakeFiles/comlat_runtime.dir/Interleaver.cpp.o.d"
+  "/root/repo/src/runtime/LockScheme.cpp" "src/runtime/CMakeFiles/comlat_runtime.dir/LockScheme.cpp.o" "gcc" "src/runtime/CMakeFiles/comlat_runtime.dir/LockScheme.cpp.o.d"
+  "/root/repo/src/runtime/LockTable.cpp" "src/runtime/CMakeFiles/comlat_runtime.dir/LockTable.cpp.o" "gcc" "src/runtime/CMakeFiles/comlat_runtime.dir/LockTable.cpp.o.d"
+  "/root/repo/src/runtime/RoundExecutor.cpp" "src/runtime/CMakeFiles/comlat_runtime.dir/RoundExecutor.cpp.o" "gcc" "src/runtime/CMakeFiles/comlat_runtime.dir/RoundExecutor.cpp.o.d"
+  "/root/repo/src/runtime/SerialChecker.cpp" "src/runtime/CMakeFiles/comlat_runtime.dir/SerialChecker.cpp.o" "gcc" "src/runtime/CMakeFiles/comlat_runtime.dir/SerialChecker.cpp.o.d"
+  "/root/repo/src/runtime/SpecValidator.cpp" "src/runtime/CMakeFiles/comlat_runtime.dir/SpecValidator.cpp.o" "gcc" "src/runtime/CMakeFiles/comlat_runtime.dir/SpecValidator.cpp.o.d"
+  "/root/repo/src/runtime/Transaction.cpp" "src/runtime/CMakeFiles/comlat_runtime.dir/Transaction.cpp.o" "gcc" "src/runtime/CMakeFiles/comlat_runtime.dir/Transaction.cpp.o.d"
+  "/root/repo/src/runtime/Worklist.cpp" "src/runtime/CMakeFiles/comlat_runtime.dir/Worklist.cpp.o" "gcc" "src/runtime/CMakeFiles/comlat_runtime.dir/Worklist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/comlat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/comlat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comlat_runtime.dir/AbstractLockManager.cpp.o"
+  "CMakeFiles/comlat_runtime.dir/AbstractLockManager.cpp.o.d"
+  "CMakeFiles/comlat_runtime.dir/Executor.cpp.o"
+  "CMakeFiles/comlat_runtime.dir/Executor.cpp.o.d"
+  "CMakeFiles/comlat_runtime.dir/Gatekeeper.cpp.o"
+  "CMakeFiles/comlat_runtime.dir/Gatekeeper.cpp.o.d"
+  "CMakeFiles/comlat_runtime.dir/Interleaver.cpp.o"
+  "CMakeFiles/comlat_runtime.dir/Interleaver.cpp.o.d"
+  "CMakeFiles/comlat_runtime.dir/LockScheme.cpp.o"
+  "CMakeFiles/comlat_runtime.dir/LockScheme.cpp.o.d"
+  "CMakeFiles/comlat_runtime.dir/LockTable.cpp.o"
+  "CMakeFiles/comlat_runtime.dir/LockTable.cpp.o.d"
+  "CMakeFiles/comlat_runtime.dir/RoundExecutor.cpp.o"
+  "CMakeFiles/comlat_runtime.dir/RoundExecutor.cpp.o.d"
+  "CMakeFiles/comlat_runtime.dir/SerialChecker.cpp.o"
+  "CMakeFiles/comlat_runtime.dir/SerialChecker.cpp.o.d"
+  "CMakeFiles/comlat_runtime.dir/SpecValidator.cpp.o"
+  "CMakeFiles/comlat_runtime.dir/SpecValidator.cpp.o.d"
+  "CMakeFiles/comlat_runtime.dir/Transaction.cpp.o"
+  "CMakeFiles/comlat_runtime.dir/Transaction.cpp.o.d"
+  "CMakeFiles/comlat_runtime.dir/Worklist.cpp.o"
+  "CMakeFiles/comlat_runtime.dir/Worklist.cpp.o.d"
+  "libcomlat_runtime.a"
+  "libcomlat_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comlat_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comlat_stm.dir/ObjectStm.cpp.o"
+  "CMakeFiles/comlat_stm.dir/ObjectStm.cpp.o.d"
+  "libcomlat_stm.a"
+  "libcomlat_stm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comlat_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

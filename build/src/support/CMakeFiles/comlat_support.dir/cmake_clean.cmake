@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comlat_support.dir/Options.cpp.o"
+  "CMakeFiles/comlat_support.dir/Options.cpp.o.d"
+  "CMakeFiles/comlat_support.dir/Random.cpp.o"
+  "CMakeFiles/comlat_support.dir/Random.cpp.o.d"
+  "CMakeFiles/comlat_support.dir/Stats.cpp.o"
+  "CMakeFiles/comlat_support.dir/Stats.cpp.o.d"
+  "libcomlat_support.a"
+  "libcomlat_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comlat_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

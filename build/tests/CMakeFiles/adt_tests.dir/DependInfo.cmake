@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/adt/AccumulatorTest.cpp" "tests/CMakeFiles/adt_tests.dir/adt/AccumulatorTest.cpp.o" "gcc" "tests/CMakeFiles/adt_tests.dir/adt/AccumulatorTest.cpp.o.d"
+  "/root/repo/tests/adt/AdaptiveSetTest.cpp" "tests/CMakeFiles/adt_tests.dir/adt/AdaptiveSetTest.cpp.o" "gcc" "tests/CMakeFiles/adt_tests.dir/adt/AdaptiveSetTest.cpp.o.d"
+  "/root/repo/tests/adt/FlowGraphTest.cpp" "tests/CMakeFiles/adt_tests.dir/adt/FlowGraphTest.cpp.o" "gcc" "tests/CMakeFiles/adt_tests.dir/adt/FlowGraphTest.cpp.o.d"
+  "/root/repo/tests/adt/IntHashSetTest.cpp" "tests/CMakeFiles/adt_tests.dir/adt/IntHashSetTest.cpp.o" "gcc" "tests/CMakeFiles/adt_tests.dir/adt/IntHashSetTest.cpp.o.d"
+  "/root/repo/tests/adt/KdTreeTest.cpp" "tests/CMakeFiles/adt_tests.dir/adt/KdTreeTest.cpp.o" "gcc" "tests/CMakeFiles/adt_tests.dir/adt/KdTreeTest.cpp.o.d"
+  "/root/repo/tests/adt/OwnerLocksTest.cpp" "tests/CMakeFiles/adt_tests.dir/adt/OwnerLocksTest.cpp.o" "gcc" "tests/CMakeFiles/adt_tests.dir/adt/OwnerLocksTest.cpp.o.d"
+  "/root/repo/tests/adt/SerializabilityTest.cpp" "tests/CMakeFiles/adt_tests.dir/adt/SerializabilityTest.cpp.o" "gcc" "tests/CMakeFiles/adt_tests.dir/adt/SerializabilityTest.cpp.o.d"
+  "/root/repo/tests/adt/UnionFindTest.cpp" "tests/CMakeFiles/adt_tests.dir/adt/UnionFindTest.cpp.o" "gcc" "tests/CMakeFiles/adt_tests.dir/adt/UnionFindTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/comlat_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/adt/CMakeFiles/comlat_adt.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/comlat_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/comlat_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/comlat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/comlat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

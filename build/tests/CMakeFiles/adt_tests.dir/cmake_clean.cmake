@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adt_tests.dir/adt/AccumulatorTest.cpp.o"
+  "CMakeFiles/adt_tests.dir/adt/AccumulatorTest.cpp.o.d"
+  "CMakeFiles/adt_tests.dir/adt/AdaptiveSetTest.cpp.o"
+  "CMakeFiles/adt_tests.dir/adt/AdaptiveSetTest.cpp.o.d"
+  "CMakeFiles/adt_tests.dir/adt/FlowGraphTest.cpp.o"
+  "CMakeFiles/adt_tests.dir/adt/FlowGraphTest.cpp.o.d"
+  "CMakeFiles/adt_tests.dir/adt/IntHashSetTest.cpp.o"
+  "CMakeFiles/adt_tests.dir/adt/IntHashSetTest.cpp.o.d"
+  "CMakeFiles/adt_tests.dir/adt/KdTreeTest.cpp.o"
+  "CMakeFiles/adt_tests.dir/adt/KdTreeTest.cpp.o.d"
+  "CMakeFiles/adt_tests.dir/adt/OwnerLocksTest.cpp.o"
+  "CMakeFiles/adt_tests.dir/adt/OwnerLocksTest.cpp.o.d"
+  "CMakeFiles/adt_tests.dir/adt/SerializabilityTest.cpp.o"
+  "CMakeFiles/adt_tests.dir/adt/SerializabilityTest.cpp.o.d"
+  "CMakeFiles/adt_tests.dir/adt/UnionFindTest.cpp.o"
+  "CMakeFiles/adt_tests.dir/adt/UnionFindTest.cpp.o.d"
+  "adt_tests"
+  "adt_tests.pdb"
+  "adt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

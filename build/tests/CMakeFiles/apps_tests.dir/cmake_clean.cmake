@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_tests.dir/apps/BoruvkaTest.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/BoruvkaTest.cpp.o.d"
+  "CMakeFiles/apps_tests.dir/apps/ClusteringTest.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/ClusteringTest.cpp.o.d"
+  "CMakeFiles/apps_tests.dir/apps/GenrmfTest.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/GenrmfTest.cpp.o.d"
+  "CMakeFiles/apps_tests.dir/apps/PreflowPushTest.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/PreflowPushTest.cpp.o.d"
+  "CMakeFiles/apps_tests.dir/apps/SetMicrobenchTest.cpp.o"
+  "CMakeFiles/apps_tests.dir/apps/SetMicrobenchTest.cpp.o.d"
+  "apps_tests"
+  "apps_tests.pdb"
+  "apps_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

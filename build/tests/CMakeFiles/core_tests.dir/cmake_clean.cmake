@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/ClassifyTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/ClassifyTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/EvalTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/EvalTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/ExprTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/ExprTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/LatticeTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/LatticeTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/SimplifyTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/SimplifyTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/SpecTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/SpecTest.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/ValueTest.cpp.o"
+  "CMakeFiles/core_tests.dir/core/ValueTest.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/ExecutorTest.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/ExecutorTest.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/ExecutorTest.cpp.o.d"
+  "/root/repo/tests/runtime/GatekeeperTest.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/GatekeeperTest.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/GatekeeperTest.cpp.o.d"
+  "/root/repo/tests/runtime/InterleaverTest.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/InterleaverTest.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/InterleaverTest.cpp.o.d"
+  "/root/repo/tests/runtime/LockSchemeTest.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/LockSchemeTest.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/LockSchemeTest.cpp.o.d"
+  "/root/repo/tests/runtime/LockTableTest.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/LockTableTest.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/LockTableTest.cpp.o.d"
+  "/root/repo/tests/runtime/RoundExecutorTest.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/RoundExecutorTest.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/RoundExecutorTest.cpp.o.d"
+  "/root/repo/tests/runtime/SerialCheckerTest.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/SerialCheckerTest.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/SerialCheckerTest.cpp.o.d"
+  "/root/repo/tests/runtime/SpecValidatorTest.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/SpecValidatorTest.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/SpecValidatorTest.cpp.o.d"
+  "/root/repo/tests/runtime/StmTest.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/StmTest.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/StmTest.cpp.o.d"
+  "/root/repo/tests/runtime/TransactionTest.cpp" "tests/CMakeFiles/runtime_tests.dir/runtime/TransactionTest.cpp.o" "gcc" "tests/CMakeFiles/runtime_tests.dir/runtime/TransactionTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/comlat_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/adt/CMakeFiles/comlat_adt.dir/DependInfo.cmake"
+  "/root/repo/build/src/stm/CMakeFiles/comlat_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/comlat_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/comlat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/comlat_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_tests.dir/runtime/ExecutorTest.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/ExecutorTest.cpp.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/GatekeeperTest.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/GatekeeperTest.cpp.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/InterleaverTest.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/InterleaverTest.cpp.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/LockSchemeTest.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/LockSchemeTest.cpp.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/LockTableTest.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/LockTableTest.cpp.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/RoundExecutorTest.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/RoundExecutorTest.cpp.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/SerialCheckerTest.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/SerialCheckerTest.cpp.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/SpecValidatorTest.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/SpecValidatorTest.cpp.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/StmTest.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/StmTest.cpp.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/TransactionTest.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/TransactionTest.cpp.o.d"
+  "runtime_tests"
+  "runtime_tests.pdb"
+  "runtime_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
