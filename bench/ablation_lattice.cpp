@@ -117,7 +117,7 @@ int main(int Argc, char **Argv) {
   const MeshInstance Mesh = randomMesh(48, 48, Seed);
   for (const char *Variant : {"uf-gk", "uf-gk-spec"}) {
     Boruvka App(&Mesh);
-    const BoruvkaResult R = App.runSpeculative(Variant, 1);
+    const BoruvkaResult R = App.runSpeculative(Variant, {.NumThreads = 1});
     Boruvka App2(&Mesh);
     const BoruvkaResult P = App2.runParameter(Variant);
     std::printf("%-12s %12.4f %14.2f\n", Variant, R.Exec.Seconds,

@@ -63,7 +63,7 @@ int main(int Argc, char **Argv) {
     {
       MaxflowInstance Inst = genrmf(A, Frames, 1, 100, Seed);
       const PreflowResult R = PreflowPush::runSpeculative(
-          *Inst.Graph, Inst.Source, Inst.Sink, V.Spec, 1, 32);
+          *Inst.Graph, Inst.Source, Inst.Sink, V.Spec, {.NumThreads = 1}, 32);
       Overhead = SeqSeconds > 0 ? R.Exec.Seconds / SeqSeconds : 0;
     }
     std::printf("variant %-5s (parallelism a=%.2f, overhead o=%.2f)\n",
@@ -73,7 +73,8 @@ int main(int Argc, char **Argv) {
     for (unsigned Threads = 1; Threads <= MaxThreads; ++Threads) {
       MaxflowInstance Inst = genrmf(A, Frames, 1, 100, Seed);
       const PreflowResult R = PreflowPush::runSpeculative(
-          *Inst.Graph, Inst.Source, Inst.Sink, V.Spec, Threads, 32);
+          *Inst.Graph, Inst.Source, Inst.Sink, V.Spec, {.NumThreads = Threads},
+          32);
       const double Model =
           SeqSeconds * Overhead /
           std::max(1.0, std::min(Parallelism, static_cast<double>(Threads)));

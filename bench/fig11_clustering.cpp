@@ -51,7 +51,7 @@ int main(int Argc, char **Argv) {
     double Overhead;
     {
       Clustering App(Points, Seed);
-      const ClusterResult R = App.runSpeculative(Variant, 1);
+      const ClusterResult R = App.runSpeculative(Variant, {.NumThreads = 1});
       Overhead = SeqSeconds > 0 ? R.Exec.Seconds / SeqSeconds : 0;
     }
     std::printf("variant %-6s (parallelism a=%.2f at %zu pts, overhead "
@@ -61,7 +61,8 @@ int main(int Argc, char **Argv) {
                 "abort %", "model T*o/min(a,p)");
     for (unsigned Threads = 1; Threads <= MaxThreads; ++Threads) {
       Clustering App(Points, Seed);
-      const ClusterResult R = App.runSpeculative(Variant, Threads);
+      const ClusterResult R =
+          App.runSpeculative(Variant, {.NumThreads = Threads});
       const double Model =
           SeqSeconds * Overhead /
           std::max(1.0, std::min(Parallelism, static_cast<double>(Threads)));

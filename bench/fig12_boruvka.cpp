@@ -50,7 +50,7 @@ int main(int Argc, char **Argv) {
     double Overhead;
     {
       Boruvka App(&Mesh);
-      const BoruvkaResult R = App.runSpeculative(Variant, 1);
+      const BoruvkaResult R = App.runSpeculative(Variant, {.NumThreads = 1});
       Overhead = SeqSeconds > 0 ? R.Exec.Seconds / SeqSeconds : 0;
     }
     std::printf("variant %-10s (parallelism a=%.2f at %ux%u, overhead "
@@ -60,7 +60,8 @@ int main(int Argc, char **Argv) {
                 "abort %", "model time(s)", "model speedup");
     for (unsigned Threads = 1; Threads <= MaxThreads; ++Threads) {
       Boruvka App(&Mesh);
-      const BoruvkaResult R = App.runSpeculative(Variant, Threads);
+      const BoruvkaResult R =
+          App.runSpeculative(Variant, {.NumThreads = Threads});
       const double Model =
           SeqSeconds * Overhead /
           std::max(1.0, std::min(Parallelism, static_cast<double>(Threads)));

@@ -73,7 +73,8 @@ int main(int Argc, char **Argv) {
       const double Spec1t = bestOf(Reps, [&] {
         MaxflowInstance Inst = genrmf(RmfA, RmfFrames, 1, 100, Seed);
         return PreflowPush::runSpeculative(*Inst.Graph, Inst.Source,
-                                           Inst.Sink, V.Spec, 1, 32)
+                                           Inst.Sink, V.Spec,
+                                           {.NumThreads = 1}, 32)
             .Exec.Seconds;
       });
       printRow("preflow-push", V.Name, Spec1t, SeqSeconds);
@@ -92,7 +93,7 @@ int main(int Argc, char **Argv) {
     for (const char *Variant : {"uf-ml", "uf-gk", "uf-gk-spec"}) {
       const double Spec1t = bestOf(Reps, [&] {
         Boruvka App(&Mesh);
-        return App.runSpeculative(Variant, 1).Exec.Seconds;
+        return App.runSpeculative(Variant, {.NumThreads = 1}).Exec.Seconds;
       });
       printRow("boruvka", Variant, Spec1t, SeqSeconds);
     }
@@ -109,7 +110,7 @@ int main(int Argc, char **Argv) {
     for (const char *Variant : {"kd-ml", "kd-gk"}) {
       const double Spec1t = bestOf(Reps, [&] {
         Clustering App(Points, Seed);
-        return App.runSpeculative(Variant, 1).Exec.Seconds;
+        return App.runSpeculative(Variant, {.NumThreads = 1}).Exec.Seconds;
       });
       printRow("clustering", Variant, Spec1t, SeqSeconds);
     }

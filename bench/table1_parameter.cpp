@@ -25,11 +25,17 @@
 
 using namespace comlat;
 
+static bool CsvMode = false;
+
 static void printRow(const char *App, const char *Variant,
                      const RoundStats &Stats) {
+  if (CsvMode) {
+    std::printf("%s,%s,%s\n", App, Variant, Stats.toCsvRow().c_str());
+    return;
+  }
   std::printf("%-14s %-10s %10llu %12llu %12llu %14.2f\n", App, Variant,
               static_cast<unsigned long long>(Stats.Committed),
-              static_cast<unsigned long long>(Stats.Deferred),
+              static_cast<unsigned long long>(Stats.Aborted),
               static_cast<unsigned long long>(Stats.Rounds),
               Stats.parallelism());
 }
@@ -42,12 +48,17 @@ int main(int Argc, char **Argv) {
   const unsigned MeshSide = static_cast<unsigned>(Opts.getUInt("mesh", 40));
   const size_t Points = Opts.getUInt("points", 1200);
   const uint64_t Seed = Opts.getUInt("seed", 42);
+  CsvMode = Opts.getBool("csv");
 
-  std::printf("Table 1 (ParaMeter model): committed iterations, deferred "
-              "executions,\ncritical path length (rounds) and average "
-              "parallelism.\n\n");
-  std::printf("%-14s %-10s %10s %12s %12s %14s\n", "app", "variant",
-              "committed", "deferred", "path-len", "parallelism");
+  if (CsvMode) {
+    std::printf("app,variant,%s\n", ExecStats::csvHeader().c_str());
+  } else {
+    std::printf("Table 1 (ParaMeter model): committed iterations, deferred "
+                "executions,\ncritical path length (rounds) and average "
+                "parallelism.\n\n");
+    std::printf("%-14s %-10s %10s %12s %12s %14s\n", "app", "variant",
+                "committed", "deferred", "path-len", "parallelism");
+  }
 
   // Preflow-push on GENRMF.
   {

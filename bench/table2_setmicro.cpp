@@ -36,8 +36,31 @@ int main(int Argc, char **Argv) {
   P.OpsPerTx = static_cast<unsigned>(Opts.getUInt("ops-per-tx", 8));
   P.Threads = static_cast<unsigned>(Opts.getUInt("threads", 4));
   P.Seed = Opts.getUInt("seed", 42);
+  if (!parseWorklistPolicy(Opts.getString("worklist", "chunked"), P.Policy)) {
+    std::fprintf(stderr, "error: unknown --worklist value (use "
+                         "chunked|fifo)\n");
+    return 1;
+  }
+  const bool Csv = Opts.getBool("csv");
 
   const uint64_t ModelOps = Opts.getUInt("model-ops", 4096);
+
+  if (Csv) {
+    std::printf("scheme,input,%s\n", ExecStats::csvHeader().c_str());
+    const SetScheme Schemes[] = {SetScheme::GlobalLock, SetScheme::Exclusive,
+                                 SetScheme::ReadWrite, SetScheme::Gatekeeper};
+    for (const SetScheme Scheme : Schemes)
+      for (const unsigned Input : {0u, 1u}) {
+        MicroParams Local = P;
+        Local.KeyClasses = Input == 0 ? 0 : 10;
+        const std::unique_ptr<TxSet> Set = makeMicrobenchSet(Scheme);
+        const ExecStats Stats = runSetMicrobench(*Set, Local);
+        std::printf("%s,%s,%s\n", setSchemeName(Scheme),
+                    Input == 0 ? "distinct" : "10-class",
+                    Stats.toCsvRow().c_str());
+      }
+    return 0;
+  }
 
   std::printf("Table 2: set microbenchmark, %llu ops, %u ops/tx, %u "
               "threads;\nmodel columns from the unbounded-processor round "
@@ -70,11 +93,7 @@ int main(int Argc, char **Argv) {
       const std::unique_ptr<TxSet> ModelSet = makeMicrobenchSet(Scheme);
       const RoundStats Rounds =
           runSetMicrobenchRounds(*ModelSet, ModelParams);
-      const uint64_t Total = Rounds.Committed + Rounds.Deferred;
-      Model[Input] =
-          Total == 0 ? 0.0
-                     : 100.0 * static_cast<double>(Rounds.Deferred) /
-                           static_cast<double>(Total);
+      Model[Input] = 100.0 * Rounds.abortRatio();
     }
     std::printf("%-20s | %8.2f%% %9.3f %11.2f%% | %8.2f%% %9.3f %11.2f%%\n",
                 setSchemeName(Scheme), Abort[0], Time[0], Model[0], Abort[1],

@@ -36,7 +36,7 @@ int main(int Argc, char **Argv) {
   const int64_t Expected = kruskalWeight(Instance);
 
   Boruvka App(&Instance);
-  const BoruvkaResult R = App.runSpeculative(Variant, Threads);
+  const BoruvkaResult R = App.runSpeculative(Variant, {.NumThreads = Threads});
 
   std::printf("MST weight    : %lld (Kruskal oracle: %lld) %s\n",
               static_cast<long long>(R.MstWeight),

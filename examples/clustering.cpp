@@ -31,7 +31,7 @@ int main(int Argc, char **Argv) {
               Points, Variant.c_str(), Threads);
 
   Clustering App(Points, Seed);
-  const ClusterResult R = App.runSpeculative(Variant, Threads);
+  const ClusterResult R = App.runSpeculative(Variant, {.NumThreads = Threads});
 
   std::printf("merges        : %zu (expected %zu)\n", R.Merges.size(),
               Points - 1);

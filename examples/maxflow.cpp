@@ -45,7 +45,8 @@ int main(int Argc, char **Argv) {
 
   MaxflowInstance Inst = genrmf(A, Frames, 1, 100, Seed);
   const PreflowResult R = PreflowPush::runSpeculative(
-      *Inst.Graph, Inst.Source, Inst.Sink, Spec, Threads, Partitions);
+      *Inst.Graph, Inst.Source, Inst.Sink, Spec, {.NumThreads = Threads},
+      Partitions);
 
   std::printf("max flow      : %lld (Dinic oracle: %lld) %s\n",
               static_cast<long long>(R.FlowValue),

@@ -50,7 +50,7 @@ int main() {
   Worklist WL;
   for (int64_t I = 0; I != 1100; ++I)
     WL.push(I);
-  Executor Exec(/*NumThreads=*/4);
+  Executor Exec({.NumThreads = 4});
   const ExecStats Stats =
       Exec.run(WL, [&Acc](Transaction &Tx, int64_t Item, TxWorklist &) {
         if (Item % 11 == 0) {

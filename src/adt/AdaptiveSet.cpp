@@ -62,7 +62,7 @@ public:
     if (Pending) {
       if (totalLive() != 0) {
         ++DrainRefusals;
-        Tx.fail();
+        Tx.fail(AbortCause::Gatekeeper);
         return std::nullopt; // Retry after the drain completes.
       }
       Current = *Pending;

@@ -338,7 +338,7 @@ private:
 
   bool conflict(Transaction &Tx) {
     ++Conflicts;
-    Tx.fail();
+    Tx.fail(AbortCause::Gatekeeper);
     return false;
   }
 

@@ -216,14 +216,14 @@ Executor::OperatorFn Boruvka::makeOperator(std::shared_ptr<RunState> State,
 }
 
 BoruvkaResult Boruvka::runSpeculative(const std::string &Variant,
-                                      unsigned Threads) {
+                                      const ExecutorConfig &Config) {
   auto State = std::make_shared<RunState>(*Mesh, makeUf(Variant));
   BoruvkaResult Out;
   std::mutex OutMutex;
   Worklist WL;
   for (unsigned U = 0; U != Mesh->NumNodes; ++U)
     WL.push(U);
-  Executor Exec(Threads);
+  Executor Exec(Config);
   Out.Exec = Exec.run(WL, makeOperator(State, Out, OutMutex));
   return Out;
 }

@@ -66,8 +66,10 @@ public:
   /// Plain sequential Boruvka (no transactions); overhead baseline.
   BoruvkaResult runSequential(double *Seconds = nullptr);
 
-  /// Speculative run over "uf-gk", "uf-gk-spec", "uf-ml" or "uf-direct".
-  BoruvkaResult runSpeculative(const std::string &Variant, unsigned Threads);
+  /// Speculative run over "uf-gk", "uf-gk-spec", "uf-ml" or "uf-direct",
+  /// under \p Config's thread count and scheduling policy.
+  BoruvkaResult runSpeculative(const std::string &Variant,
+                               const ExecutorConfig &Config);
 
   /// ParaMeter round-model run (critical path / parallelism, Table 1).
   BoruvkaResult runParameter(const std::string &Variant);

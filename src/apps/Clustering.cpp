@@ -104,14 +104,14 @@ Executor::OperatorFn Clustering::makeOperator(TxKdTree &Tree,
 
 ClusterResult Clustering::runSequential(double *Seconds) {
   Timer T;
-  ClusterResult Out = runSpeculative("kd-direct", 1);
+  ClusterResult Out = runSpeculative("kd-direct", {.NumThreads = 1});
   if (Seconds)
     *Seconds = T.seconds();
   return Out;
 }
 
 ClusterResult Clustering::runSpeculative(const std::string &Variant,
-                                         unsigned Threads) {
+                                         const ExecutorConfig &Config) {
   const std::unique_ptr<TxKdTree> Tree = makeTree(Variant);
   ClusterResult Out;
   std::mutex MergesMutex;
@@ -131,7 +131,7 @@ ClusterResult Clustering::runSpeculative(const std::string &Variant,
   Worklist WL;
   for (size_t I = 0; I != InitialPoints; ++I)
     WL.push(static_cast<int64_t>(I));
-  Executor Exec(Threads);
+  Executor Exec(Config);
   Out.Exec = Exec.run(WL, makeOperator(*Tree, Out.Merges, MergesMutex));
   return Out;
 }

@@ -59,8 +59,10 @@ public:
   ClusterResult runSequential(double *Seconds = nullptr);
 
   /// Speculative run over any kd-tree variant ("kd-gk", "kd-ml",
-  /// "kd-direct" for single-threaded baselines).
-  ClusterResult runSpeculative(const std::string &Variant, unsigned Threads);
+  /// "kd-direct" for single-threaded baselines), under \p Config's thread
+  /// count and scheduling policy.
+  ClusterResult runSpeculative(const std::string &Variant,
+                               const ExecutorConfig &Config);
 
   /// ParaMeter round-model run (critical path / parallelism, Table 1).
   ClusterResult runParameter(const std::string &Variant);

@@ -138,11 +138,11 @@ Executor::OperatorFn PreflowPush::makeOperator(BoostedFlowGraph &BG,
 
 PreflowResult PreflowPush::runSpeculative(FlowGraph &G, unsigned Source,
                                           unsigned Sink, const CommSpec &Spec,
-                                          unsigned Threads,
+                                          const ExecutorConfig &Config,
                                           unsigned Partitions) {
   BoostedFlowGraph BG(&G, Spec, Partitions);
   Worklist WL(initPreflow(G, Source, Sink));
-  Executor Exec(Threads);
+  Executor Exec(Config);
   PreflowResult Out;
   Out.Exec = Exec.run(WL, makeOperator(BG, Source, Sink));
   Out.FlowValue = G.excess(Sink);

@@ -50,11 +50,11 @@ public:
   static int64_t runSequential(FlowGraph &G, unsigned Source, unsigned Sink,
                                double *Seconds = nullptr);
 
-  /// Speculative run under \p Spec with \p Threads workers. The graph must
-  /// be fresh (initPreflow is called internally).
+  /// Speculative run under \p Spec with \p Config's workers and scheduling
+  /// policy. The graph must be fresh (initPreflow is called internally).
   static PreflowResult runSpeculative(FlowGraph &G, unsigned Source,
                                       unsigned Sink, const CommSpec &Spec,
-                                      unsigned Threads,
+                                      const ExecutorConfig &Config,
                                       unsigned Partitions = 32);
 
   /// ParaMeter round-model run under \p Spec (critical path /

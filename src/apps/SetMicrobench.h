@@ -36,6 +36,9 @@ struct MicroParams {
   double AddFraction = 0.5;
   unsigned Threads = 4;
   uint64_t Seed = 42;
+  /// Scheduler for the real-executor run; GlobalFifo reproduces the seed
+  /// scheduler so benches can ablate scheduling against conflict cost.
+  WorklistPolicy Policy = WorklistPolicy::ChunkedStealing;
 };
 
 /// Scheme selector for makeMicrobenchSet.
@@ -52,10 +55,10 @@ ExecStats runSetMicrobench(TxSet &Set, const MicroParams &Params);
 
 /// Runs the same transaction stream under the width-bounded round model
 /// (Params.Threads simultaneous transactions in lockstep groups). The
-/// deferral ratio Deferred/(Committed+Deferred) is the contention a scheme
-/// would exhibit with truly overlapping threads — the signal behind
-/// Table 2's abort column, which a single hardware core cannot produce
-/// natively.
+/// deferral ratio — abortRatio(), Aborted/(Committed+Aborted) — is the
+/// contention a scheme would exhibit with truly overlapping threads: the
+/// signal behind Table 2's abort column, which a single hardware core
+/// cannot produce natively.
 RoundStats runSetMicrobenchRounds(TxSet &Set, const MicroParams &Params);
 
 } // namespace comlat

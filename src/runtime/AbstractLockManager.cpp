@@ -38,7 +38,7 @@ bool AbstractLockManager::acquireList(Transaction &Tx,
     Acquires.fetch_add(1, std::memory_order_relaxed);
     if (!Lock->tryAcquire(Tx.id(), Acq.Mode, Scheme->compat())) {
       Conflicts.fetch_add(1, std::memory_order_relaxed);
-      Tx.fail();
+      Tx.fail(AbortCause::LockConflict);
       return false;
     }
     {

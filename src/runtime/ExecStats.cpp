@@ -1,0 +1,139 @@
+//===- runtime/ExecStats.cpp - Unified execution statistics ----------------===//
+
+#include "runtime/ExecStats.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace comlat;
+
+const char *comlat::abortCauseName(AbortCause Cause) {
+  switch (Cause) {
+  case AbortCause::LockConflict:
+    return "lock";
+  case AbortCause::Gatekeeper:
+    return "gatekeeper";
+  case AbortCause::User:
+    return "user";
+  }
+  COMLAT_UNREACHABLE("bad abort cause");
+}
+
+static unsigned bucketFor(uint64_t Micros) {
+  unsigned B = 0;
+  while (B + 1 < LatencyHistogram::NumBuckets && (Micros >> (B + 1)) != 0)
+    ++B;
+  return B;
+}
+
+void LatencyHistogram::addMicros(uint64_t Micros) {
+  ++Buckets[bucketFor(Micros)];
+  ++Count;
+  TotalMicros += Micros;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram &Other) {
+  for (unsigned B = 0; B != NumBuckets; ++B)
+    Buckets[B] += Other.Buckets[B];
+  Count += Other.Count;
+  TotalMicros += Other.TotalMicros;
+}
+
+uint64_t LatencyHistogram::quantileUpperBoundMicros(double Q) const {
+  if (Count == 0)
+    return 0;
+  Q = std::min(1.0, std::max(0.0, Q));
+  const uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Count));
+  uint64_t Seen = 0;
+  for (unsigned B = 0; B != NumBuckets; ++B) {
+    Seen += Buckets[B];
+    if (Seen > Rank || (Seen == Count && Seen != 0))
+      return 1ull << (B + 1);
+  }
+  return 1ull << NumBuckets;
+}
+
+ExecStats &ExecStats::merge(const ExecStats &Other) {
+  Committed += Other.Committed;
+  Aborted += Other.Aborted;
+  for (unsigned C = 0; C != NumAbortCauses; ++C)
+    AbortsByCause[C] += Other.AbortsByCause[C];
+  Steals += Other.Steals;
+  EmptyPops += Other.EmptyPops;
+  BackoffMicros += Other.BackoffMicros;
+  Rounds = std::max(Rounds, Other.Rounds);
+  Seconds = std::max(Seconds, Other.Seconds);
+  CommitLatency.merge(Other.CommitLatency);
+  return *this;
+}
+
+std::string ExecStats::csvHeader() {
+  return "committed,aborted,aborts_lock,aborts_gatekeeper,aborts_user,"
+         "steals,empty_pops,backoff_us,rounds,seconds,abort_ratio,"
+         "parallelism,commit_p50_us,commit_p99_us";
+}
+
+std::string ExecStats::toCsvRow() const {
+  char Buf[512];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.6f,%.6f,%.2f,%llu,%llu",
+      static_cast<unsigned long long>(Committed),
+      static_cast<unsigned long long>(Aborted),
+      static_cast<unsigned long long>(abortsByCause(AbortCause::LockConflict)),
+      static_cast<unsigned long long>(abortsByCause(AbortCause::Gatekeeper)),
+      static_cast<unsigned long long>(abortsByCause(AbortCause::User)),
+      static_cast<unsigned long long>(Steals),
+      static_cast<unsigned long long>(EmptyPops),
+      static_cast<unsigned long long>(BackoffMicros),
+      static_cast<unsigned long long>(Rounds), Seconds, abortRatio(),
+      parallelism(),
+      static_cast<unsigned long long>(
+          CommitLatency.quantileUpperBoundMicros(0.5)),
+      static_cast<unsigned long long>(
+          CommitLatency.quantileUpperBoundMicros(0.99)));
+  return Buf;
+}
+
+std::string ExecStats::toJson() const {
+  char Buf[768];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\"committed\":%llu,\"aborted\":%llu,"
+      "\"abortsByCause\":{\"lock\":%llu,\"gatekeeper\":%llu,\"user\":%llu},"
+      "\"steals\":%llu,\"emptyPops\":%llu,\"backoffUs\":%llu,"
+      "\"rounds\":%llu,\"seconds\":%.6f,\"abortRatio\":%.6f,"
+      "\"parallelism\":%.2f,\"commitLatencyUs\":{\"count\":%llu,"
+      "\"mean\":%.2f,\"p50UpperBound\":%llu,\"p99UpperBound\":%llu,"
+      "\"buckets\":[",
+      static_cast<unsigned long long>(Committed),
+      static_cast<unsigned long long>(Aborted),
+      static_cast<unsigned long long>(abortsByCause(AbortCause::LockConflict)),
+      static_cast<unsigned long long>(abortsByCause(AbortCause::Gatekeeper)),
+      static_cast<unsigned long long>(abortsByCause(AbortCause::User)),
+      static_cast<unsigned long long>(Steals),
+      static_cast<unsigned long long>(EmptyPops),
+      static_cast<unsigned long long>(BackoffMicros),
+      static_cast<unsigned long long>(Rounds), Seconds, abortRatio(),
+      parallelism(), static_cast<unsigned long long>(CommitLatency.Count),
+      CommitLatency.meanMicros(),
+      static_cast<unsigned long long>(
+          CommitLatency.quantileUpperBoundMicros(0.5)),
+      static_cast<unsigned long long>(
+          CommitLatency.quantileUpperBoundMicros(0.99)));
+  std::string Out(Buf);
+  // Trailing zero buckets are elided to keep rows short.
+  unsigned Last = 0;
+  for (unsigned B = 0; B != LatencyHistogram::NumBuckets; ++B)
+    if (CommitLatency.Buckets[B] != 0)
+      Last = B + 1;
+  for (unsigned B = 0; B != Last; ++B) {
+    std::snprintf(Buf, sizeof(Buf), "%s%llu", B == 0 ? "" : ",",
+                  static_cast<unsigned long long>(CommitLatency.Buckets[B]));
+    Out += Buf;
+  }
+  Out += "]}}";
+  return Out;
+}

@@ -1,0 +1,134 @@
+//===- runtime/ExecStats.h - Unified execution statistics -------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The statistics vocabulary shared by every execution engine: the real
+/// speculative Executor, the ParaMeter RoundExecutor, and the benchmark
+/// harnesses that aggregate their results. One struct carries the counters
+/// of both engines (the ParaMeter-only fields are zero on real runs and
+/// vice versa), so Table 1/2 and Fig. 10-12 drivers format and merge rows
+/// through one API instead of hand-rolling per-bench aggregation.
+///
+/// Per-worker instances are written without synchronization by their
+/// owning thread and merged by the executor only at quiescence (after the
+/// termination barrier), so no field needs to be atomic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_RUNTIME_EXECSTATS_H
+#define COMLAT_RUNTIME_EXECSTATS_H
+
+#include <cstdint>
+#include <string>
+
+namespace comlat {
+
+/// Why a speculative iteration aborted. Detectors pass their cause to
+/// Transaction::fail(); operator code calling fail() directly is a user
+/// abort.
+enum class AbortCause : unsigned {
+  /// An abstract/memory-level lock was held in an incompatible mode
+  /// (abstract locking schemes, OwnerLocks, the STM baseline).
+  LockConflict,
+  /// A gatekeeper judged the invocation non-commuting with an active one
+  /// (forward/general gatekeeping, adaptive-set drain refusals).
+  Gatekeeper,
+  /// The operator itself requested the retry.
+  User,
+};
+
+inline constexpr unsigned NumAbortCauses = 3;
+
+/// Short stable label ("lock", "gatekeeper", "user") for reports.
+const char *abortCauseName(AbortCause Cause);
+
+/// Power-of-two-bucketed latency histogram (microseconds). Bucket B counts
+/// samples in [2^B, 2^(B+1)) us, with bucket 0 holding everything below
+/// 2 us; the last bucket is open-ended.
+struct LatencyHistogram {
+  static constexpr unsigned NumBuckets = 24; // covers up to ~2^23 us (~8 s)
+
+  uint64_t Buckets[NumBuckets] = {};
+  uint64_t Count = 0;
+  uint64_t TotalMicros = 0;
+
+  void addMicros(uint64_t Micros);
+  void merge(const LatencyHistogram &Other);
+
+  double meanMicros() const {
+    return Count == 0 ? 0.0
+                      : static_cast<double>(TotalMicros) /
+                            static_cast<double>(Count);
+  }
+
+  /// Upper bound of the bucket containing quantile \p Q in [0, 1]
+  /// (e.g. 0.99); zero when empty.
+  uint64_t quantileUpperBoundMicros(double Q) const;
+};
+
+/// Outcome statistics of one execution — real (Executor) or modelled
+/// (RoundExecutor). Also the unit of aggregation: benches merge() repeated
+/// trials and emit CSV/JSON rows from the merged value.
+struct ExecStats {
+  /// Committed iterations (both engines).
+  uint64_t Committed = 0;
+  /// Aborted/deferred iteration executions (an item may abort repeatedly).
+  uint64_t Aborted = 0;
+  /// Aborts broken down by AbortCause; sums to Aborted.
+  uint64_t AbortsByCause[NumAbortCauses] = {};
+  /// Chunks stolen from another worker's deque (ChunkedStealing only).
+  uint64_t Steals = 0;
+  /// Pop attempts that found no work anywhere (scheduler idle pressure).
+  uint64_t EmptyPops = 0;
+  /// Microseconds spent sleeping in post-abort backoff.
+  uint64_t BackoffMicros = 0;
+  /// ParaMeter only: number of rounds = critical path length (Table 1).
+  /// Zero for real executions.
+  uint64_t Rounds = 0;
+  /// Wall-clock seconds (real executions; zero for the round model).
+  double Seconds = 0;
+  /// Latency from transaction start to commit, committed iterations only.
+  LatencyHistogram CommitLatency;
+
+  /// Fraction of iteration executions that aborted (the paper's "Abort
+  /// Ratio %", Table 2, is this times 100). For round-model runs the
+  /// deferral ratio plays the same role.
+  double abortRatio() const {
+    const uint64_t Total = Committed + Aborted;
+    return Total == 0 ? 0.0 : static_cast<double>(Aborted) / Total;
+  }
+
+  /// Average parallelism of Table 1 (round-model runs only).
+  double parallelism() const {
+    return Rounds == 0 ? 0.0
+                       : static_cast<double>(Committed) /
+                             static_cast<double>(Rounds);
+  }
+
+  uint64_t abortsByCause(AbortCause Cause) const {
+    return AbortsByCause[static_cast<unsigned>(Cause)];
+  }
+
+  /// Folds \p Other into this: counters add, Rounds takes the max (the
+  /// critical path of a merged run is the longest constituent path),
+  /// Seconds takes the max (workers run concurrently). Used both for
+  /// per-worker merging at quiescence and for cross-trial aggregation.
+  ExecStats &merge(const ExecStats &Other);
+
+  /// Column names matching toCsvRow(), comma-separated.
+  static std::string csvHeader();
+
+  /// One CSV row of every counter (no trailing newline).
+  std::string toCsvRow() const;
+
+  /// A JSON object of every counter including the latency histogram.
+  std::string toJson() const;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_RUNTIME_EXECSTATS_H

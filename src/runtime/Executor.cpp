@@ -5,71 +5,201 @@
 #include "support/Timer.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <thread>
 
 using namespace comlat;
 
-ExecStats Executor::run(Worklist &WL, const OperatorFn &Op) {
-  assert(NumThreads > 0 && "need at least one worker");
-  std::atomic<uint64_t> NextTxId{1};
-  std::atomic<int64_t> InFlight{0};
-  std::atomic<uint64_t> Committed{0}, Aborted{0};
+namespace {
 
-  auto WorkLoop = [&](unsigned ThreadIndex) {
-    Rng BackoffRng(0x9e37 + ThreadIndex);
+/// Termination detection for the worker pool. A worker claims in-flight
+/// status before popping, re-pushes aborted items and runs commit-time
+/// pushes before dropping the claim — so "in-flight count zero and
+/// scheduler empty" can only be observed once no work exists anywhere,
+/// and since new work only originates from in-flight iterations, the
+/// condition is stable once true. Idle workers park on a condition
+/// variable instead of spinning; pushes bump an epoch and wake them. The
+/// timed wait is a backstop against the (benign) race between a wake-up
+/// check and parking, so lost notifications cost microseconds, never a
+/// hang.
+class TerminationBarrier {
+public:
+  /// Claims in-flight status; must precede the pop attempt.
+  void enter() { InFlight.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// Drops the claim after an iteration finished (commit or abort path).
+  void leave() { InFlight.fetch_sub(1, std::memory_order_acq_rel); }
+
+  /// Drops the claim after a failed pop. Returns true when this worker
+  /// proved quiescence (it was the last in-flight claim and no work is
+  /// queued); broadcasts completion to parked workers.
+  bool leaveIdle(const WorkScheduler &Sched) {
+    if (InFlight.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+        Sched.empty()) {
+      finish();
+      return true;
+    }
+    return false;
+  }
+
+  bool done() const { return Done.load(std::memory_order_acquire); }
+
+  /// Signals that new work became visible; wakes parked workers.
+  void onWork() {
+    Epoch.fetch_add(1, std::memory_order_release);
+    if (Sleepers.load(std::memory_order_acquire) > 0)
+      CV.notify_all();
+  }
+
+  /// Parks until new work may be available or the run completed.
+  void idleWait() {
+    const uint64_t E = Epoch.load(std::memory_order_acquire);
+    // Brief spin first: in steady state a stolen chunk or commit-time
+    // push lands within a few hundred cycles.
+    for (int I = 0; I != 32; ++I) {
+      if (done() || Epoch.load(std::memory_order_acquire) != E)
+        return;
+      std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> Guard(M);
+    Sleepers.fetch_add(1, std::memory_order_relaxed);
+    CV.wait_for(Guard, std::chrono::microseconds(200), [this, E] {
+      return done() || Epoch.load(std::memory_order_acquire) != E;
+    });
+    Sleepers.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+private:
+  void finish() {
+    Done.store(true, std::memory_order_release);
+    // Taking the mutex orders the store against parked waiters'
+    // predicate checks; then wake everyone for the final exit.
+    std::lock_guard<std::mutex> Guard(M);
+    CV.notify_all();
+  }
+
+  std::atomic<int64_t> InFlight{0};
+  std::atomic<uint64_t> Epoch{0};
+  std::atomic<unsigned> Sleepers{0};
+  std::atomic<bool> Done{false};
+  std::mutex M;
+  std::condition_variable CV;
+};
+
+/// Routes one worker's pushes (commit actions, abort re-pushes) to its
+/// scheduler lane and wakes parked peers.
+class SchedulerSink : public WorkSink {
+public:
+  SchedulerSink(WorkScheduler &Sched, unsigned Worker,
+                TerminationBarrier &Barrier)
+      : Sched(Sched), Worker(Worker), Barrier(Barrier) {}
+
+  void push(int64_t Item) override {
+    Sched.push(Worker, Item);
+    Barrier.onWork();
+  }
+
+private:
+  WorkScheduler &Sched;
+  unsigned Worker;
+  TerminationBarrier &Barrier;
+};
+
+/// ExecStats is written by exactly one worker during the run; padding to
+/// cache lines keeps neighboring workers' counters from false-sharing.
+struct alignas(64) PaddedStats {
+  ExecStats Stats;
+};
+
+void backoff(const BackoffPolicy &Policy, unsigned ConsecutiveAborts,
+             Rng &BackoffRng, ExecStats &Stats) {
+  switch (Policy.Kind) {
+  case BackoffKind::None:
+    return;
+  case BackoffKind::Yield:
+    std::this_thread::yield();
+    return;
+  case BackoffKind::Exponential: {
+    const unsigned Cap = std::min(ConsecutiveAborts, Policy.MaxExponent);
+    const uint64_t DelayUs = BackoffRng.nextBelow(1ull << Cap);
+    if (DelayUs > 0) {
+      Stats.BackoffMicros += DelayUs;
+      std::this_thread::sleep_for(std::chrono::microseconds(DelayUs));
+    } else {
+      std::this_thread::yield();
+    }
+    return;
+  }
+  }
+}
+
+} // namespace
+
+Executor::Executor(const ExecutorConfig &Config)
+    : Config(Config), Pool(Config.NumThreads) {
+  assert(Config.NumThreads > 0 && "need at least one worker");
+}
+
+ExecStats Executor::run(Worklist &WL, const OperatorFn &Op) {
+  const unsigned NumThreads = Config.NumThreads;
+  const std::unique_ptr<WorkScheduler> Sched =
+      makeWorkScheduler(Config.Worklist, WL, NumThreads, Config.ChunkSize);
+  TerminationBarrier Barrier;
+  std::atomic<uint64_t> NextTxId{1};
+  std::vector<PaddedStats> PerWorker(NumThreads);
+
+  auto WorkLoop = [&](unsigned Worker) {
+    ExecStats &Stats = PerWorker[Worker].Stats;
+    Rng BackoffRng(0x9e37 + Worker);
     unsigned ConsecutiveAborts = 0;
+    SchedulerSink Sink(*Sched, Worker, Barrier);
     for (;;) {
       // Claim in-flight status before popping so no other thread can see
       // "queue empty and nobody running" while we hold an item.
-      InFlight.fetch_add(1, std::memory_order_acq_rel);
-      const std::optional<int64_t> Item = WL.tryPop();
+      Barrier.enter();
+      const std::optional<int64_t> Item = Sched->tryPop(Worker, Stats);
       if (!Item) {
-        // Quiescent only when nothing is queued and nothing is running; a
-        // running iteration may still push work or re-push its item (it
-        // always pushes before dropping its in-flight claim).
-        if (InFlight.fetch_sub(1, std::memory_order_acq_rel) == 1 &&
-            WL.empty())
+        ++Stats.EmptyPops;
+        if (Barrier.leaveIdle(*Sched) || Barrier.done())
           return;
-        std::this_thread::yield();
+        Barrier.idleWait();
         continue;
       }
+      Timer TxTimer;
       Transaction Tx(NextTxId.fetch_add(1, std::memory_order_relaxed));
-      Tx.setRecording(RecordHistories);
-      TxWorklist TxWL(WL, Tx);
+      Tx.setRecording(Config.RecordHistories);
+      TxWorklist TxWL(Sink, Tx);
       Op(Tx, *Item, TxWL);
       if (Tx.failed()) {
+        const AbortCause Cause = Tx.abortCause();
         Tx.abort();
-        Aborted.fetch_add(1, std::memory_order_relaxed);
-        WL.push(*Item); // Before the InFlight decrement: no lost work.
-        InFlight.fetch_sub(1, std::memory_order_acq_rel);
-        // Randomized exponential backoff on consecutive aborts.
+        ++Stats.Aborted;
+        ++Stats.AbortsByCause[static_cast<unsigned>(Cause)];
+        Sink.push(*Item); // Before leave(): no lost work.
+        Barrier.leave();
         ++ConsecutiveAborts;
-        const unsigned Cap = std::min(ConsecutiveAborts, 10u);
-        const uint64_t DelayUs = BackoffRng.nextBelow(1ull << Cap);
-        if (DelayUs > 0)
-          std::this_thread::sleep_for(std::chrono::microseconds(DelayUs));
-        else
-          std::this_thread::yield();
+        backoff(Config.Backoff, ConsecutiveAborts, BackoffRng, Stats);
       } else {
+        // Commit actions (including worklist pushes) run inside commit(),
+        // before the in-flight claim drops — the termination barrier
+        // cannot miss work created here.
         Tx.commit();
-        Committed.fetch_add(1, std::memory_order_relaxed);
-        InFlight.fetch_sub(1, std::memory_order_acq_rel);
+        ++Stats.Committed;
+        Stats.CommitLatency.addMicros(
+            static_cast<uint64_t>(TxTimer.seconds() * 1e6));
+        Barrier.leave();
         ConsecutiveAborts = 0;
       }
     }
   };
 
   Timer T;
-  std::vector<std::thread> Workers;
-  Workers.reserve(NumThreads);
-  for (unsigned I = 0; I != NumThreads; ++I)
-    Workers.emplace_back(WorkLoop, I);
-  for (std::thread &W : Workers)
-    W.join();
+  Pool.runOnAll(WorkLoop);
 
-  ExecStats Stats;
-  Stats.Committed = Committed.load();
-  Stats.Aborted = Aborted.load();
-  Stats.Seconds = T.seconds();
-  return Stats;
+  // Workers are quiescent; their stats merge without synchronization.
+  ExecStats Out;
+  for (const PaddedStats &S : PerWorker)
+    Out.merge(S.Stats);
+  Out.Seconds = T.seconds();
+  return Out;
 }

@@ -12,30 +12,64 @@
 /// commit or — when a conflict detector objected — abort (undoing every
 /// effect) and retry the item later with randomized exponential backoff.
 ///
+/// The execution engine is a persistent thread pool over a pluggable
+/// worklist scheduler (WorklistPolicy.h): per-worker chunked stealing
+/// deques by default, the seed's global FIFO for reproducibility runs.
+/// Worker quiescence is decided by a termination-detection barrier that
+/// preserves the boosted-worklist semantics: new work materializes only at
+/// commit time, aborted items are re-pushed before the worker gives up its
+/// in-flight claim, so "no queued work and nothing in flight" is a stable
+/// property and never fires early.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef COMLAT_RUNTIME_EXECUTOR_H
 #define COMLAT_RUNTIME_EXECUTOR_H
 
+#include "runtime/ExecStats.h"
 #include "runtime/Transaction.h"
 #include "runtime/Worklist.h"
+#include "runtime/WorklistPolicy.h"
+#include "support/ThreadPool.h"
 
 #include <functional>
 
 namespace comlat {
 
-/// Outcome statistics of one speculative run.
-struct ExecStats {
-  uint64_t Committed = 0;
-  uint64_t Aborted = 0;
-  double Seconds = 0;
+/// How a worker waits out the conflict window after an abort.
+enum class BackoffKind {
+  /// Retry immediately (highest contention, useful for stress tests).
+  None,
+  /// Yield once between attempts.
+  Yield,
+  /// Randomized exponential backoff in microseconds, doubling per
+  /// consecutive abort up to 2^MaxExponent (the seed behavior).
+  Exponential,
+};
 
-  /// Fraction of iteration executions that aborted (the paper's "Abort
-  /// Ratio %", Table 2, is this times 100).
-  double abortRatio() const {
-    const uint64_t Total = Committed + Aborted;
-    return Total == 0 ? 0.0 : static_cast<double>(Aborted) / Total;
-  }
+/// Post-abort backoff configuration.
+struct BackoffPolicy {
+  BackoffKind Kind = BackoffKind::Exponential;
+  /// Cap for the exponential delay: the J-th consecutive abort sleeps a
+  /// uniform random number of microseconds below 2^min(J, MaxExponent).
+  unsigned MaxExponent = 10;
+};
+
+/// Everything that shapes one executor: thread count, recording, backoff
+/// and scheduling policy. Replaces the old positional
+/// Executor(unsigned, bool) constructor; construct with designated
+/// initializers, e.g. `Executor Exec({.NumThreads = 8});`.
+struct ExecutorConfig {
+  /// Number of worker threads (>= 1).
+  unsigned NumThreads = 1;
+  /// Enables per-transaction invocation recording (serializability tests).
+  bool RecordHistories = false;
+  /// Post-abort wait strategy.
+  BackoffPolicy Backoff{};
+  /// Scheduler backing the run (see WorklistPolicy.h).
+  WorklistPolicy Worklist = WorklistPolicy::ChunkedStealing;
+  /// Items per stealing chunk (ChunkedStealing only).
+  unsigned ChunkSize = ChunkedWorklist::DefaultChunkSize;
 };
 
 /// Runs speculative worklist loops.
@@ -47,17 +81,26 @@ public:
   using OperatorFn =
       std::function<void(Transaction &Tx, int64_t Item, TxWorklist &WL)>;
 
-  /// \p NumThreads workers; \p RecordHistories enables per-transaction
-  /// invocation recording (for the serializability tests).
-  explicit Executor(unsigned NumThreads, bool RecordHistories = false)
-      : NumThreads(NumThreads), RecordHistories(RecordHistories) {}
+  /// Builds the engine for \p Config; the worker pool persists across
+  /// run() calls.
+  explicit Executor(const ExecutorConfig &Config);
+
+  /// Legacy positional constructor, superseded by ExecutorConfig.
+  [[deprecated("use Executor(ExecutorConfig) instead")]] explicit Executor(
+      unsigned NumThreads, bool RecordHistories = false)
+      : Executor(ExecutorConfig{NumThreads, RecordHistories, {},
+                                WorklistPolicy::ChunkedStealing,
+                                ChunkedWorklist::DefaultChunkSize}) {}
 
   /// Drains \p WL, applying \p Op to every item until no work remains.
+  /// Callable repeatedly; each run reuses the pool.
   ExecStats run(Worklist &WL, const OperatorFn &Op);
 
+  const ExecutorConfig &config() const { return Config; }
+
 private:
-  unsigned NumThreads;
-  bool RecordHistories;
+  ExecutorConfig Config;
+  ThreadPool Pool;
 };
 
 } // namespace comlat

@@ -258,7 +258,7 @@ bool Gatekeeper::invoke(Transaction &Tx, MethodId M,
       --NextSeq;
     }
     Conflicts.fetch_add(1, std::memory_order_relaxed);
-    Tx.fail();
+    Tx.fail(AbortCause::Gatekeeper);
     return false;
   }
 

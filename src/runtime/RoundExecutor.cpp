@@ -6,9 +6,9 @@
 
 using namespace comlat;
 
-RoundStats RoundExecutor::run(const std::vector<int64_t> &Initial,
-                              const OperatorFn &Op) {
-  RoundStats Stats;
+ExecStats RoundExecutor::run(const std::vector<int64_t> &Initial,
+                             const OperatorFn &Op) {
+  ExecStats Stats;
   uint64_t NextTxId = 1;
 
   std::vector<int64_t> Current = Initial;
@@ -32,8 +32,10 @@ RoundStats RoundExecutor::run(const std::vector<int64_t> &Initial,
       TxWorklist TxWL(NextRound, *Tx);
       Op(*Tx, Item, TxWL);
       if (Tx->failed()) {
+        const AbortCause Cause = Tx->abortCause();
         Tx->abort();
-        ++Stats.Deferred;
+        ++Stats.Aborted;
+        ++Stats.AbortsByCause[static_cast<unsigned>(Cause)];
         Deferred.push_back(Item);
         continue;
       }
@@ -51,10 +53,10 @@ RoundStats RoundExecutor::run(const std::vector<int64_t> &Initial,
   return Stats;
 }
 
-RoundStats RoundExecutor::runBounded(const std::vector<int64_t> &Initial,
-                                     const OperatorFn &Op, unsigned Width) {
+ExecStats RoundExecutor::runBounded(const std::vector<int64_t> &Initial,
+                                    const OperatorFn &Op, unsigned Width) {
   assert(Width > 0 && "need at least one processor");
-  RoundStats Stats;
+  ExecStats Stats;
   uint64_t NextTxId = 1;
   std::deque<int64_t> Queue(Initial.begin(), Initial.end());
   Worklist Created;
@@ -70,8 +72,10 @@ RoundStats RoundExecutor::runBounded(const std::vector<int64_t> &Initial,
       TxWorklist TxWL(Created, *Tx);
       Op(*Tx, Item, TxWL);
       if (Tx->failed()) {
+        const AbortCause Cause = Tx->abortCause();
         Tx->abort();
-        ++Stats.Deferred;
+        ++Stats.Aborted;
+        ++Stats.AbortsByCause[static_cast<unsigned>(Cause)];
         Retry.push_back(Item);
         continue;
       }

@@ -30,22 +30,12 @@
 
 namespace comlat {
 
-/// Results of a round-based profiling run.
-struct RoundStats {
-  /// Total committed iterations (the work).
-  uint64_t Committed = 0;
-  /// Conflict-induced deferrals (an iteration may defer multiple times).
-  uint64_t Deferred = 0;
-  /// Number of rounds: the critical path length of Table 1.
-  uint64_t Rounds = 0;
-
-  /// Average parallelism of Table 1.
-  double parallelism() const {
-    return Rounds == 0 ? 0.0
-                       : static_cast<double>(Committed) /
-                             static_cast<double>(Rounds);
-  }
-};
+/// Round-model results share the executor's statistics vocabulary: a
+/// conflict-induced deferral is an Aborted execution (with its cause
+/// breakdown), Rounds is the critical path length, and parallelism() is
+/// Table 1's average parallelism. Seconds stays zero — the model has no
+/// meaningful wall clock.
+using RoundStats = ExecStats;
 
 /// Runs a worklist loop under the ParaMeter round model (sequentially, on
 /// one thread; the rounds simulate unbounded processors).
@@ -55,16 +45,16 @@ public:
 
   /// Applies \p Op to every item of \p Initial and all transitively created
   /// work, measuring rounds.
-  RoundStats run(const std::vector<int64_t> &Initial, const OperatorFn &Op);
+  ExecStats run(const std::vector<int64_t> &Initial, const OperatorFn &Op);
 
   /// Width-bounded variant: models \p Width processors running
   /// transactions in lockstep groups — at most Width transactions are
   /// simultaneously live, and all of a group's locks/logs are held until
-  /// the group ends. The deferral ratio approximates the abort ratio of a
-  /// Width-threaded machine (used for Table 2 on single-core hosts);
-  /// Rounds counts groups, so parallelism() is capped by Width.
-  RoundStats runBounded(const std::vector<int64_t> &Initial,
-                        const OperatorFn &Op, unsigned Width);
+  /// the group ends. The deferral (abort) ratio approximates the abort
+  /// ratio of a Width-threaded machine (used for Table 2 on single-core
+  /// hosts); Rounds counts groups, so parallelism() is capped by Width.
+  ExecStats runBounded(const std::vector<int64_t> &Initial,
+                       const OperatorFn &Op, unsigned Width);
 };
 
 } // namespace comlat

@@ -20,6 +20,7 @@
 #define COMLAT_RUNTIME_TRANSACTION_H
 
 #include "core/MethodSig.h"
+#include "runtime/ExecStats.h"
 
 #include <cstdint>
 #include <functional>
@@ -73,8 +74,18 @@ public:
   /// this after every boosted call and return without further work.
   bool failed() const { return Failed; }
 
-  /// Marks the transaction conflicted. Idempotent.
-  void fail() { Failed = true; }
+  /// Marks the transaction conflicted, recording why. Idempotent: the
+  /// first cause wins (the operator returns on the first failure, so later
+  /// calls would only ever come from unwinding code). Detectors pass their
+  /// cause; a plain fail() from operator code is a user-requested retry.
+  void fail(AbortCause Cause = AbortCause::User) {
+    if (!Failed)
+      this->Cause = Cause;
+    Failed = true;
+  }
+
+  /// Why the transaction failed; meaningful only when failed().
+  AbortCause abortCause() const { return Cause; }
 
   /// Registers participation of a detector; called by boosted wrappers on
   /// every invocation (cheap after the first).
@@ -121,6 +132,7 @@ public:
 private:
   TxId Id;
   bool Failed = false;
+  AbortCause Cause = AbortCause::User;
   bool Finished = false;
   bool Recording = false;
   bool NeedsRelease = false;

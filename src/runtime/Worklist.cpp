@@ -4,6 +4,8 @@
 
 using namespace comlat;
 
+WorkSink::~WorkSink() = default;
+
 Worklist::Worklist(std::vector<int64_t> Initial)
     : Items(Initial.begin(), Initial.end()) {}
 

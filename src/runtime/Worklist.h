@@ -13,6 +13,11 @@
 /// performed by the executor before the transaction starts and re-pushed on
 /// abort.
 ///
+/// Pushes are routed through the WorkSink interface so the same deferred
+/// commit-action mechanism feeds either the plain global FIFO below or the
+/// executor's per-worker stealing deques (WorklistPolicy.h) without the
+/// operator code knowing which is active.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef COMLAT_RUNTIME_WORKLIST_H
@@ -26,13 +31,26 @@
 
 namespace comlat {
 
-/// An unordered thread-safe bag of work items.
-class Worklist {
+/// Anything that accepts newly created work items. Implemented by the
+/// global Worklist and by the executor's per-worker scheduler views.
+class WorkSink {
+public:
+  virtual ~WorkSink();
+
+  /// Makes \p Item available for execution. Must be safe to call from the
+  /// worker thread that owns the sink view while other workers run.
+  virtual void push(int64_t Item) = 0;
+};
+
+/// An unordered thread-safe bag of work items (single global FIFO). Used
+/// to seed runs, as the working queue of the GlobalFifo policy, and by the
+/// round-model executor.
+class Worklist : public WorkSink {
 public:
   Worklist() = default;
   explicit Worklist(std::vector<int64_t> Initial);
 
-  void push(int64_t Item);
+  void push(int64_t Item) override;
   std::optional<int64_t> tryPop();
   size_t size() const;
   bool empty() const { return size() == 0; }
@@ -42,20 +60,20 @@ private:
   std::deque<int64_t> Items;
 };
 
-/// Transactional view of a worklist: pushes are buffered as commit actions
-/// so an aborted iteration leaves no stray work behind.
+/// Transactional view of a work sink: pushes are buffered as commit
+/// actions so an aborted iteration leaves no stray work behind.
 class TxWorklist {
 public:
-  TxWorklist(Worklist &WL, Transaction &Tx) : WL(WL), Tx(Tx) {}
+  TxWorklist(WorkSink &Sink, Transaction &Tx) : Sink(Sink), Tx(Tx) {}
 
   /// Pushes \p Item when (and only when) the transaction commits.
   void push(int64_t Item) {
-    Worklist *Target = &WL;
+    WorkSink *Target = &Sink;
     Tx.addCommitAction([Target, Item] { Target->push(Item); });
   }
 
 private:
-  Worklist &WL;
+  WorkSink &Sink;
   Transaction &Tx;
 };
 

@@ -1,0 +1,202 @@
+//===- runtime/WorklistPolicy.cpp - Scheduler policies ---------------------===//
+
+#include "runtime/WorklistPolicy.h"
+
+#include "support/Compiler.h"
+
+#include <deque>
+#include <mutex>
+
+using namespace comlat;
+
+const char *comlat::worklistPolicyName(WorklistPolicy Policy) {
+  switch (Policy) {
+  case WorklistPolicy::ChunkedStealing:
+    return "chunked";
+  case WorklistPolicy::GlobalFifo:
+    return "fifo";
+  }
+  COMLAT_UNREACHABLE("bad worklist policy");
+}
+
+bool comlat::parseWorklistPolicy(const std::string &Name,
+                                 WorklistPolicy &Out) {
+  if (Name == "chunked" || Name == "stealing" || Name == "chunked-stealing") {
+    Out = WorklistPolicy::ChunkedStealing;
+    return true;
+  }
+  if (Name == "fifo" || Name == "global" || Name == "global-fifo") {
+    Out = WorklistPolicy::GlobalFifo;
+    return true;
+  }
+  return false;
+}
+
+WorkScheduler::~WorkScheduler() = default;
+
+//===----------------------------------------------------------------------===//
+// ChunkedWorklist
+//===----------------------------------------------------------------------===//
+
+/// One worker's queues. The fill chunk (Fill) and drain chunk (Drain) are
+/// touched only by the owning worker and need no lock; full chunks sit on
+/// Shelf behind a per-worker mutex that is uncontended except during
+/// handoffs and steals. Cache-line alignment keeps workers from
+/// false-sharing each other's hot fields.
+struct alignas(64) ChunkedWorklist::PerWorker {
+  /// Owner-only chunk being filled by push(). Spilled to Shelf when full.
+  std::vector<int64_t> Fill;
+  /// Owner-only chunk being drained front-to-back (FIFO); DrainHead is
+  /// the next unread index.
+  std::vector<int64_t> Drain;
+  size_t DrainHead = 0;
+
+  mutable std::mutex M;
+  /// Full chunks, oldest at the front. The owner refills from the front
+  /// (oldest first, keeping overall FIFO order); thieves take from the
+  /// back, so the two ends only meet when one chunk remains.
+  std::deque<std::vector<int64_t>> Shelf;
+
+  /// Takes the next item from the drain chunk; the caller has ensured it
+  /// is non-empty.
+  int64_t drainNext(std::atomic<size_t> &Pending) {
+    assert(DrainHead < Drain.size() && "drain chunk unexpectedly empty");
+    const int64_t Item = Drain[DrainHead++];
+    if (DrainHead == Drain.size()) {
+      Drain.clear();
+      DrainHead = 0;
+    }
+    Pending.fetch_sub(1, std::memory_order_acq_rel);
+    return Item;
+  }
+};
+
+ChunkedWorklist::ChunkedWorklist(unsigned NumWorkers, unsigned ChunkSize)
+    : ChunkCapacity(ChunkSize) {
+  assert(NumWorkers > 0 && "scheduler needs at least one worker");
+  assert(ChunkSize > 0 && "chunks must hold at least one item");
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I) {
+    Workers.push_back(std::make_unique<PerWorker>());
+    Workers.back()->Fill.reserve(ChunkSize);
+  }
+}
+
+ChunkedWorklist::~ChunkedWorklist() = default;
+
+void ChunkedWorklist::push(unsigned Worker, int64_t Item) {
+  assert(Worker < Workers.size() && "worker index out of range");
+  PerWorker &P = *Workers[Worker];
+  if (P.Fill.size() == ChunkCapacity) {
+    std::vector<int64_t> Full = std::move(P.Fill);
+    P.Fill = std::vector<int64_t>();
+    P.Fill.reserve(ChunkCapacity);
+    std::lock_guard<std::mutex> Guard(P.M);
+    P.Shelf.push_back(std::move(Full));
+  }
+  P.Fill.push_back(Item);
+  Pending.fetch_add(1, std::memory_order_acq_rel);
+}
+
+std::optional<int64_t> ChunkedWorklist::tryPop(unsigned Worker,
+                                               ExecStats &Stats) {
+  assert(Worker < Workers.size() && "worker index out of range");
+  PerWorker &P = *Workers[Worker];
+
+  // Fast path: the private drain chunk, front to back.
+  if (P.DrainHead < P.Drain.size())
+    return P.drainNext(Pending);
+
+  // Refill from the own shelf, oldest chunk first (FIFO across chunks).
+  {
+    std::lock_guard<std::mutex> Guard(P.M);
+    if (!P.Shelf.empty()) {
+      P.Drain = std::move(P.Shelf.front());
+      P.Shelf.pop_front();
+    }
+  }
+  if (!P.Drain.empty())
+    return P.drainNext(Pending);
+
+  // The fill chunk is all that's left locally: drain it in push order.
+  // This keeps a re-pushed retry item behind everything queued before it.
+  if (!P.Fill.empty()) {
+    P.Drain = std::move(P.Fill);
+    P.Fill = std::vector<int64_t>();
+    P.Fill.reserve(ChunkCapacity);
+    return P.drainNext(Pending);
+  }
+
+  // Steal a whole chunk from a victim's shelf (the back — the owner works
+  // the front, so the ends only collide when one chunk remains), scanning
+  // victims round-robin from our right-hand neighbor.
+  const unsigned N = numWorkers();
+  for (unsigned Offset = 1; Offset != N; ++Offset) {
+    PerWorker &Victim = *Workers[(Worker + Offset) % N];
+    std::lock_guard<std::mutex> Guard(Victim.M);
+    if (Victim.Shelf.empty())
+      continue;
+    P.Drain = std::move(Victim.Shelf.back());
+    Victim.Shelf.pop_back();
+    ++Stats.Steals;
+    break;
+  }
+  if (!P.Drain.empty())
+    return P.drainNext(Pending);
+  return std::nullopt;
+}
+
+size_t ChunkedWorklist::shelvedChunks(unsigned Worker) const {
+  assert(Worker < Workers.size() && "worker index out of range");
+  const PerWorker &P = *Workers[Worker];
+  std::lock_guard<std::mutex> Guard(P.M);
+  return P.Shelf.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Policy factory
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The seed scheduler: every worker shares one mutex-guarded FIFO. Wraps
+/// the caller's Worklist in place so a one-thread run reproduces the seed
+/// executor's scheduling decisions exactly.
+class GlobalFifoScheduler : public WorkScheduler {
+public:
+  explicit GlobalFifoScheduler(Worklist &WL) : WL(WL) {}
+
+  void push(unsigned, int64_t Item) override { WL.push(Item); }
+
+  std::optional<int64_t> tryPop(unsigned, ExecStats &) override {
+    return WL.tryPop();
+  }
+
+  bool empty() const override { return WL.empty(); }
+
+private:
+  Worklist &WL;
+};
+
+} // namespace
+
+std::unique_ptr<WorkScheduler>
+comlat::makeWorkScheduler(WorklistPolicy Policy, Worklist &Seed,
+                          unsigned NumWorkers, unsigned ChunkSize) {
+  switch (Policy) {
+  case WorklistPolicy::GlobalFifo:
+    return std::make_unique<GlobalFifoScheduler>(Seed);
+  case WorklistPolicy::ChunkedStealing: {
+    auto Sched = std::make_unique<ChunkedWorklist>(NumWorkers, ChunkSize);
+    // Spread the seed round-robin so every worker starts with work and
+    // the first steals happen only once the initial distribution skews.
+    unsigned W = 0;
+    while (const std::optional<int64_t> Item = Seed.tryPop()) {
+      Sched->push(W, *Item);
+      W = (W + 1) % NumWorkers;
+    }
+    return Sched;
+  }
+  }
+  COMLAT_UNREACHABLE("bad worklist policy");
+}

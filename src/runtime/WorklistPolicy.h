@@ -1,0 +1,131 @@
+//===- runtime/WorklistPolicy.h - Scheduler policies ------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Worklist scheduling policies for the speculative executor. The paper's
+/// speedups assume the Galois scheduler itself scales; a single mutex-
+/// protected deque serializes every pop/push and becomes the bottleneck
+/// before conflict detection does. Policies:
+///
+///   * ChunkedStealing — per-worker chunked FIFO deques. A worker pushes
+///     into a private fill chunk (no synchronization); full chunks spill
+///     onto a per-worker lightly-locked shelf from which idle workers
+///     steal whole chunks. This is the classic Galois "chunked" design:
+///     the only contended operation is a chunk handoff every ChunkSize
+///     items. Order within a worker is FIFO (drain chunk front-to-back,
+///     shelf oldest-first, fill chunk last) — a deliberate choice over
+///     LIFO: operators that defer an item by re-pushing it ("retry after
+///     someone else made progress", e.g. clustering's mutual-nearest
+///     check) livelock under LIFO, because the re-pushed item is the very
+///     next pop and nothing has changed in between.
+///
+///   * GlobalFifo — the seed's single mutex-guarded FIFO, kept for
+///     reproducibility runs (bit-for-bit identical scheduling on one
+///     thread) and so benches can ablate scheduler cost against conflict-
+///     detection cost.
+///
+/// Either policy is driven through the WorkScheduler interface; the
+/// executor remains policy-agnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_RUNTIME_WORKLISTPOLICY_H
+#define COMLAT_RUNTIME_WORKLISTPOLICY_H
+
+#include "runtime/ExecStats.h"
+#include "runtime/Worklist.h"
+
+#include <atomic>
+#include <memory>
+
+namespace comlat {
+
+/// Which scheduler backs Executor::run.
+enum class WorklistPolicy {
+  /// Per-worker chunked FIFO deques with chunk stealing (default).
+  ChunkedStealing,
+  /// One global mutex-guarded FIFO: the seed scheduler, for
+  /// reproducibility and scheduler-cost ablations.
+  GlobalFifo,
+};
+
+/// Stable name ("chunked" / "fifo") for reports and flags.
+const char *worklistPolicyName(WorklistPolicy Policy);
+
+/// Parses a policy name as accepted on bench command lines
+/// ("chunked"/"stealing" or "fifo"/"global"); returns false on junk.
+bool parseWorklistPolicy(const std::string &Name, WorklistPolicy &Out);
+
+/// The executor-facing scheduler: per-worker push/pop over whichever
+/// policy is active. Pop failures mean "no work anywhere right now", not
+/// termination — the executor's termination barrier decides that.
+class WorkScheduler {
+public:
+  virtual ~WorkScheduler();
+
+  /// Makes \p Item runnable; called by worker \p Worker (commit-time
+  /// pushes, abort re-pushes) or by the seeding loop before workers start.
+  virtual void push(unsigned Worker, int64_t Item) = 0;
+
+  /// Takes one item for \p Worker, preferring local work and stealing
+  /// otherwise; bumps Stats.Steals when a steal supplied the item.
+  virtual std::optional<int64_t> tryPop(unsigned Worker, ExecStats &Stats) = 0;
+
+  /// True when no item is queued anywhere (items claimed by running
+  /// iterations are not queued; the termination barrier accounts for
+  /// those separately).
+  virtual bool empty() const = 0;
+};
+
+/// Per-worker chunked FIFO deques with chunk stealing. Exposed (rather
+/// than private to the executor) so scheduler invariants are unit-testable
+/// in isolation.
+class ChunkedWorklist : public WorkScheduler {
+public:
+  static constexpr unsigned DefaultChunkSize = 64;
+
+  explicit ChunkedWorklist(unsigned NumWorkers,
+                           unsigned ChunkSize = DefaultChunkSize);
+  ~ChunkedWorklist() override;
+
+  void push(unsigned Worker, int64_t Item) override;
+  std::optional<int64_t> tryPop(unsigned Worker, ExecStats &Stats) override;
+  bool empty() const override {
+    return Pending.load(std::memory_order_acquire) == 0;
+  }
+
+  /// Queued items across all workers (exact: maintained atomically).
+  size_t size() const { return Pending.load(std::memory_order_acquire); }
+
+  unsigned numWorkers() const { return static_cast<unsigned>(Workers.size()); }
+  unsigned chunkSize() const { return ChunkCapacity; }
+
+  /// Full chunks currently shelved by \p Worker (test introspection).
+  size_t shelvedChunks(unsigned Worker) const;
+
+private:
+  struct PerWorker;
+
+  const unsigned ChunkCapacity;
+  /// Total queued items; the executor's termination check requires this to
+  /// never undercount (an item is counted from before its push returns
+  /// until a tryPop hands it out).
+  std::atomic<size_t> Pending{0};
+  std::vector<std::unique_ptr<PerWorker>> Workers;
+};
+
+/// Builds the scheduler for \p Policy. GlobalFifo wraps \p Seed in place
+/// (preserving its FIFO order exactly); ChunkedStealing drains \p Seed
+/// round-robin across the per-worker deques.
+std::unique_ptr<WorkScheduler> makeWorkScheduler(WorklistPolicy Policy,
+                                                 Worklist &Seed,
+                                                 unsigned NumWorkers,
+                                                 unsigned ChunkSize);
+
+} // namespace comlat
+
+#endif // COMLAT_RUNTIME_WORKLISTPOLICY_H

@@ -22,7 +22,7 @@ bool ObjectStm::acquire(Transaction &Tx, uint64_t Obj, ModeId Mode) {
                                      Value::integer(static_cast<int64_t>(Obj)));
   if (!Lock->tryAcquire(Tx.id(), Mode, Compat)) {
     Conflicts.fetch_add(1, std::memory_order_relaxed);
-    Tx.fail();
+    Tx.fail(AbortCause::LockConflict);
     return false;
   }
   std::lock_guard<std::mutex> Guard(HeldMutex);

@@ -1,0 +1,64 @@
+//===- support/ThreadPool.cpp - Persistent worker pool ---------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cassert>
+
+using namespace comlat;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  assert(NumThreads > 0 && "pool needs at least one worker");
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Workers.emplace_back([this, I] { workerMain(I); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Guard(M);
+    ShuttingDown = true;
+  }
+  JobReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::runOnAll(const std::function<void(unsigned)> &Job) {
+  {
+    std::lock_guard<std::mutex> Guard(M);
+    assert(Remaining == 0 && "previous job still running");
+    this->Job = &Job;
+    Remaining = static_cast<unsigned>(Workers.size());
+    ++Generation;
+  }
+  JobReady.notify_all();
+  std::unique_lock<std::mutex> Guard(M);
+  JobDone.wait(Guard, [this] { return Remaining == 0; });
+  this->Job = nullptr;
+}
+
+void ThreadPool::workerMain(unsigned Index) {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    const std::function<void(unsigned)> *Current = nullptr;
+    {
+      std::unique_lock<std::mutex> Guard(M);
+      JobReady.wait(Guard, [this, SeenGeneration] {
+        return ShuttingDown || Generation != SeenGeneration;
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = Generation;
+      Current = Job;
+    }
+    (*Current)(Index);
+    {
+      std::lock_guard<std::mutex> Guard(M);
+      --Remaining;
+    }
+    // The controller waits on JobDone whenever Remaining != 0, so the last
+    // finisher must always signal; notifying unconditionally is cheap
+    // relative to a job.
+    JobDone.notify_one();
+  }
+}

@@ -1,0 +1,64 @@
+//===- support/ThreadPool.h - Persistent worker pool ------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent pool of worker threads executing fork-join style jobs.
+/// The speculative Executor used to spawn fresh std::threads on every
+/// run(), which puts thread creation/teardown (tens of microseconds each)
+/// on the critical path of every measured region and every round of a
+/// round-structured driver. The pool parks its workers on a condition
+/// variable between jobs instead, so repeated run() calls reuse warm
+/// threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_SUPPORT_THREADPOOL_H
+#define COMLAT_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace comlat {
+
+/// A fixed-size pool running one job at a time across all workers.
+/// Not thread-safe: runOnAll() must be called from one controller thread
+/// at a time (the executor serializes runs anyway).
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers, parked until the first job.
+  explicit ThreadPool(unsigned NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Runs \p Job(WorkerIndex) on every worker concurrently and returns
+  /// when all invocations completed.
+  void runOnAll(const std::function<void(unsigned)> &Job);
+
+private:
+  void workerMain(unsigned Index);
+
+  std::vector<std::thread> Workers;
+  std::mutex M;
+  std::condition_variable JobReady;
+  std::condition_variable JobDone;
+  const std::function<void(unsigned)> *Job = nullptr; // guarded by M
+  uint64_t Generation = 0;                            // guarded by M
+  unsigned Remaining = 0;                             // guarded by M
+  bool ShuttingDown = false;                          // guarded by M
+};
+
+} // namespace comlat
+
+#endif // COMLAT_SUPPORT_THREADPOOL_H

@@ -140,7 +140,7 @@ TEST(AdaptiveSetTest, ExecutorWorkloadStaysCorrectAcrossSwitches) {
   constexpr int64_t NumTxs = 600;
   for (int64_t I = 0; I != NumTxs; ++I)
     WL.push(I);
-  Executor Exec(4);
+  Executor Exec({.NumThreads = 4});
   const ExecStats Stats = Exec.run(
       WL, [&Set](Transaction &Tx, int64_t Item, TxWorklist &) {
         Rng R(static_cast<uint64_t>(Item) * 977);

@@ -56,7 +56,8 @@ TEST_P(BoruvkaVariants, SpeculativeMatchesKruskal) {
   const int64_t Expected = kruskalWeight(Mesh);
   for (const unsigned Threads : {1u, 4u}) {
     Boruvka App(&Mesh);
-    const BoruvkaResult R = App.runSpeculative(GetParam(), Threads);
+    const BoruvkaResult R =
+        App.runSpeculative(GetParam(), {.NumThreads = Threads});
     EXPECT_EQ(R.MstWeight, Expected)
         << GetParam() << " threads " << Threads;
     EXPECT_EQ(R.MstEdges, Mesh.NumNodes - 1);

@@ -53,7 +53,8 @@ class ClusteringVariants : public ::testing::TestWithParam<const char *> {};
 TEST_P(ClusteringVariants, SpeculativeProducesFullDendrogram) {
   for (const unsigned Threads : {1u, 4u}) {
     Clustering App(48, 7);
-    const ClusterResult R = App.runSpeculative(GetParam(), Threads);
+    const ClusterResult R =
+        App.runSpeculative(GetParam(), {.NumThreads = Threads});
     checkDendrogram(R.Merges, 48);
     EXPECT_GT(R.Exec.Committed, 0u);
   }

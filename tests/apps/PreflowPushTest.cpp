@@ -68,7 +68,7 @@ TEST_P(PreflowSchemes, SpeculativeMatchesDinic) {
     for (const unsigned Threads : {1u, 4u}) {
       MaxflowInstance Run = genrmf(3, 3, 1, 20, Seed);
       const PreflowResult R = PreflowPush::runSpeculative(
-          *Run.Graph, Run.Source, Run.Sink, spec(), Threads,
+          *Run.Graph, Run.Source, Run.Sink, spec(), {.NumThreads = Threads},
           /*Partitions=*/8);
       EXPECT_EQ(R.FlowValue, Expected)
           << GetParam() << " seed " << Seed << " threads " << Threads;

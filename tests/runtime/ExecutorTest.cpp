@@ -15,7 +15,7 @@ TEST(ExecutorTest, DrainsAllItems) {
   for (int64_t I = 0; I != 100; ++I)
     WL.push(I);
   std::atomic<int64_t> Sum{0};
-  Executor Exec(2);
+  Executor Exec({.NumThreads = 2});
   const ExecStats Stats =
       Exec.run(WL, [&Sum](Transaction &, int64_t Item, TxWorklist &) {
         Sum.fetch_add(Item);
@@ -30,7 +30,7 @@ TEST(ExecutorTest, CommitTimePushesAreProcessed) {
   Worklist WL;
   WL.push(4); // Each item N > 0 pushes N-1.
   std::atomic<uint64_t> Count{0};
-  Executor Exec(2);
+  Executor Exec({.NumThreads = 2});
   const ExecStats Stats =
       Exec.run(WL, [&Count](Transaction &, int64_t Item, TxWorklist &Out) {
         Count.fetch_add(1);
@@ -49,7 +49,7 @@ TEST(ExecutorTest, AbortedItemsRetryUntilCommitted) {
     WL.push(I);
   std::mutex M;
   std::set<int64_t> SeenOnce;
-  Executor Exec(2);
+  Executor Exec({.NumThreads = 2});
   const ExecStats Stats = Exec.run(
       WL, [&M, &SeenOnce](Transaction &Tx, int64_t Item, TxWorklist &) {
         std::lock_guard<std::mutex> Guard(M);
@@ -68,7 +68,7 @@ TEST(ExecutorTest, AbortedEffectsAreUndone) {
     WL.push(I);
   std::mutex M;
   std::set<int64_t> SeenOnce;
-  Executor Exec(2);
+  Executor Exec({.NumThreads = 2});
   Exec.run(WL, [&](Transaction &Tx, int64_t Item, TxWorklist &) {
     if (!Acc->increment(Tx, Item))
       return;
@@ -86,7 +86,7 @@ TEST(ExecutorTest, ConflictingSchemesStillProduceCorrectState) {
   Worklist WL;
   for (int64_t I = 0; I != 50; ++I)
     WL.push(I);
-  Executor Exec(4);
+  Executor Exec({.NumThreads = 4});
   const ExecStats Stats =
       Exec.run(WL, [&Set](Transaction &Tx, int64_t Item, TxWorklist &) {
         bool Res = false;
@@ -112,10 +112,133 @@ TEST(ExecutorTest, SingleThreadMatchesMultiThreadResult) {
     Worklist WL;
     for (int64_t I = 1; I <= 30; ++I)
       WL.push(I);
-    Executor Exec(Threads);
+    Executor Exec({.NumThreads = Threads});
     Exec.run(WL, [&Acc](Transaction &Tx, int64_t Item, TxWorklist &) {
       Acc->increment(Tx, Item);
     });
     EXPECT_EQ(Acc->value(), 30 * 31 / 2) << Threads << " threads";
+  }
+}
+
+TEST(ExecutorTest, BothPoliciesDrainTheSameWork) {
+  for (const WorklistPolicy Policy :
+       {WorklistPolicy::ChunkedStealing, WorklistPolicy::GlobalFifo}) {
+    Worklist WL;
+    for (int64_t I = 0; I != 64; ++I)
+      WL.push(I);
+    std::atomic<int64_t> Sum{0};
+    Executor Exec({.NumThreads = 3, .Worklist = Policy});
+    const ExecStats Stats =
+        Exec.run(WL, [&Sum](Transaction &, int64_t Item, TxWorklist &Out) {
+          Sum.fetch_add(Item);
+          if (Item >= 64) // Second generation: stop.
+            return;
+          Out.push(Item + 64);
+        });
+    EXPECT_EQ(Stats.Committed, 128u) << worklistPolicyName(Policy);
+    EXPECT_EQ(Sum.load(), 127 * 128 / 2) << worklistPolicyName(Policy);
+    EXPECT_TRUE(WL.empty());
+  }
+}
+
+TEST(ExecutorTest, PoolIsReusedAcrossRuns) {
+  // The tentpole claim: one Executor owns one persistent thread pool, so
+  // back-to-back run() calls must work (and stay independent).
+  Executor Exec({.NumThreads = 4});
+  for (int Round = 0; Round != 3; ++Round) {
+    const std::unique_ptr<TxAccumulator> Acc = makeLockedAccumulator();
+    Worklist WL;
+    for (int64_t I = 1; I <= 20; ++I)
+      WL.push(I);
+    const ExecStats Stats =
+        Exec.run(WL, [&Acc](Transaction &Tx, int64_t Item, TxWorklist &) {
+          Acc->increment(Tx, Item);
+        });
+    EXPECT_EQ(Stats.Committed, 20u) << "round " << Round;
+    EXPECT_EQ(Acc->value(), 20 * 21 / 2) << "round " << Round;
+  }
+}
+
+TEST(ExecutorTest, EmptySeedTerminatesImmediately) {
+  for (const WorklistPolicy Policy :
+       {WorklistPolicy::ChunkedStealing, WorklistPolicy::GlobalFifo}) {
+    Worklist WL;
+    Executor Exec({.NumThreads = 4, .Worklist = Policy});
+    const ExecStats Stats =
+        Exec.run(WL, [](Transaction &, int64_t, TxWorklist &) {
+          FAIL() << "no item should ever run";
+        });
+    EXPECT_EQ(Stats.Committed, 0u);
+    EXPECT_EQ(Stats.Aborted, 0u);
+  }
+}
+
+TEST(ExecutorTest, AbortCausesAreClassified) {
+  Worklist WL;
+  for (int64_t I = 0; I != 10; ++I)
+    WL.push(I);
+  std::mutex M;
+  std::set<int64_t> SeenOnce;
+  Executor Exec({.NumThreads = 2});
+  const ExecStats Stats = Exec.run(
+      WL, [&M, &SeenOnce](Transaction &Tx, int64_t Item, TxWorklist &) {
+        std::lock_guard<std::mutex> Guard(M);
+        if (SeenOnce.insert(Item).second)
+          Tx.fail(); // Operator-requested abort: AbortCause::User.
+      });
+  EXPECT_EQ(Stats.Aborted, 10u);
+  EXPECT_EQ(Stats.abortsByCause(AbortCause::User), 10u);
+  EXPECT_EQ(Stats.abortsByCause(AbortCause::LockConflict), 0u);
+  EXPECT_EQ(Stats.abortsByCause(AbortCause::Gatekeeper), 0u);
+}
+
+TEST(ExecutorStressTest, TerminationUnderBurstsAndAborts) {
+  // The termination-detection barrier must neither hang (a worker parks
+  // and misses a wakeup) nor fire early (declare quiescence while commit-
+  // time pushes are still in flight). Burst-generating items (each item
+  // D > 0 pushes three copies of D-1 at commit) keep the worklist
+  // oscillating between empty-looking and full; probabilistic aborts make
+  // abort re-pushes race the barrier's idle accounting. Expected commits:
+  // seeds * (3^(D+1) - 1) / 2.
+  constexpr int64_t Depth = 6;
+  constexpr uint64_t PerSeed = (2187 - 1) / 2; // (3^7 - 1) / 2.
+  for (const WorklistPolicy Policy :
+       {WorklistPolicy::ChunkedStealing, WorklistPolicy::GlobalFifo}) {
+    Worklist WL;
+    for (int I = 0; I != 4; ++I)
+      WL.push(Depth);
+    std::atomic<uint64_t> Attempts{0};
+    Executor Exec({.NumThreads = 4, .Worklist = Policy});
+    const ExecStats Stats = Exec.run(
+        WL, [&Attempts](Transaction &Tx, int64_t Item, TxWorklist &Out) {
+          if (Attempts.fetch_add(1) % 7 == 0)
+            Tx.fail(); // ~14% of attempts abort and re-push.
+          if (Item > 0)
+            for (int C = 0; C != 3; ++C)
+              Out.push(Item - 1);
+        });
+    EXPECT_EQ(Stats.Committed, 4 * PerSeed) << worklistPolicyName(Policy);
+    EXPECT_GT(Stats.Aborted, 0u) << worklistPolicyName(Policy);
+    EXPECT_EQ(Stats.abortsByCause(AbortCause::User), Stats.Aborted);
+    EXPECT_TRUE(WL.empty());
+  }
+}
+
+TEST(ExecutorStressTest, RepeatedRunsTerminateReliably) {
+  // Many short runs maximize the number of park/wake/terminate cycles the
+  // barrier goes through — the regime where lost-notification bugs live.
+  Executor Exec({.NumThreads = 4});
+  for (int Round = 0; Round != 50; ++Round) {
+    Worklist WL;
+    WL.push(3); // A short chain: 3 -> 2 -> 1 -> 0.
+    std::atomic<uint64_t> Count{0};
+    const ExecStats Stats = Exec.run(
+        WL, [&Count](Transaction &, int64_t Item, TxWorklist &Out) {
+          Count.fetch_add(1);
+          if (Item > 0)
+            Out.push(Item - 1);
+        });
+    ASSERT_EQ(Stats.Committed, 4u) << "round " << Round;
+    ASSERT_EQ(Count.load(), 4u) << "round " << Round;
   }
 }

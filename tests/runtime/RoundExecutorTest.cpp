@@ -22,7 +22,7 @@ TEST(RoundExecutorTest, FullyCommutingWorkIsOneRound) {
       });
   EXPECT_EQ(Stats.Rounds, 1u);
   EXPECT_EQ(Stats.Committed, 64u);
-  EXPECT_EQ(Stats.Deferred, 0u);
+  EXPECT_EQ(Stats.Aborted, 0u);
   EXPECT_DOUBLE_EQ(Stats.parallelism(), 64.0);
   EXPECT_EQ(Acc->value(), 63 * 64 / 2);
 }
@@ -39,7 +39,7 @@ TEST(RoundExecutorTest, GlobalLockSerializesEverything) {
       });
   EXPECT_EQ(Stats.Rounds, 8u);
   EXPECT_EQ(Stats.Committed, 8u);
-  EXPECT_EQ(Stats.Deferred, 8u * 7 / 2);
+  EXPECT_EQ(Stats.Aborted, 8u * 7 / 2);
   EXPECT_DOUBLE_EQ(Stats.parallelism(), 1.0);
   EXPECT_EQ(Set->signature(), "0,1,2,3,4,5,6,7,");
 }
@@ -63,7 +63,7 @@ TEST(RoundExecutorTest, MixedConflictStructure) {
       });
   EXPECT_EQ(Stats.Rounds, 2u);
   EXPECT_EQ(Stats.Committed, 10u);
-  EXPECT_EQ(Stats.Deferred, 5u);
+  EXPECT_EQ(Stats.Aborted, 5u);
   EXPECT_EQ(Acc->value(), 5);
 }
 

@@ -1,0 +1,195 @@
+//===- tests/runtime/WorklistTest.cpp - Scheduler policy invariants -----------===//
+
+#include "runtime/WorklistPolicy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+using namespace comlat;
+
+namespace {
+
+/// Pops everything worker \p W can see (local work plus steals) in order.
+std::vector<int64_t> drainAll(WorkScheduler &Sched, unsigned W,
+                              ExecStats &Stats) {
+  std::vector<int64_t> Out;
+  while (const std::optional<int64_t> Item = Sched.tryPop(W, Stats))
+    Out.push_back(*Item);
+  return Out;
+}
+
+} // namespace
+
+TEST(ChunkedWorklistTest, SingleWorkerIsFifo) {
+  // FIFO order is a liveness requirement, not a taste choice: an operator
+  // that re-pushes an item to "retry later" must not get that item as the
+  // very next pop (see WorklistPolicy.h).
+  ChunkedWorklist WL(1, /*ChunkSize=*/4);
+  ExecStats Stats;
+  for (int64_t I = 0; I != 11; ++I)
+    WL.push(0, I);
+  const std::vector<int64_t> Got = drainAll(WL, 0, Stats);
+  std::vector<int64_t> Want(11);
+  for (int64_t I = 0; I != 11; ++I)
+    Want[static_cast<size_t>(I)] = I;
+  EXPECT_EQ(Got, Want);
+  EXPECT_TRUE(WL.empty());
+  EXPECT_EQ(Stats.Steals, 0u);
+}
+
+TEST(ChunkedWorklistTest, RePushedItemDrainsAfterOlderWork) {
+  ChunkedWorklist WL(1, /*ChunkSize=*/8);
+  ExecStats Stats;
+  WL.push(0, 1);
+  WL.push(0, 2);
+  ASSERT_EQ(WL.tryPop(0, Stats), std::optional<int64_t>(1));
+  WL.push(0, 1); // Retry: must come out after 2.
+  EXPECT_EQ(WL.tryPop(0, Stats), std::optional<int64_t>(2));
+  EXPECT_EQ(WL.tryPop(0, Stats), std::optional<int64_t>(1));
+}
+
+TEST(ChunkedWorklistTest, FullChunksSpillToTheShelf) {
+  ChunkedWorklist WL(2, /*ChunkSize=*/4);
+  for (int64_t I = 0; I != 9; ++I) // Two full chunks + one in the fill.
+    WL.push(0, I);
+  EXPECT_EQ(WL.shelvedChunks(0), 2u);
+  EXPECT_EQ(WL.shelvedChunks(1), 0u);
+  EXPECT_EQ(WL.size(), 9u);
+}
+
+TEST(ChunkedWorklistTest, StealTakesWholeChunksOldestKeptByOwner) {
+  ChunkedWorklist WL(2, /*ChunkSize=*/4);
+  for (int64_t I = 0; I != 12; ++I) // Chunks {0..3} {4..7}, fill {8..11}.
+    WL.push(0, I);
+  ASSERT_EQ(WL.shelvedChunks(0), 2u);
+
+  // The thief takes the back (newest) shelved chunk in one steal.
+  ExecStats ThiefStats;
+  EXPECT_EQ(WL.tryPop(1, ThiefStats), std::optional<int64_t>(4));
+  EXPECT_EQ(ThiefStats.Steals, 1u);
+  EXPECT_EQ(WL.shelvedChunks(0), 1u);
+  // The rest of the stolen chunk is now the thief's local work.
+  EXPECT_EQ(WL.tryPop(1, ThiefStats), std::optional<int64_t>(5));
+  EXPECT_EQ(ThiefStats.Steals, 1u);
+
+  // The owner still drains its oldest work first.
+  ExecStats OwnerStats;
+  EXPECT_EQ(WL.tryPop(0, OwnerStats), std::optional<int64_t>(0));
+  EXPECT_EQ(OwnerStats.Steals, 0u);
+}
+
+TEST(ChunkedWorklistTest, PrivateFillChunkIsNotStealable) {
+  ChunkedWorklist WL(2, /*ChunkSize=*/64);
+  WL.push(0, 7); // Stays in worker 0's fill chunk (not shelved).
+  ExecStats Stats;
+  EXPECT_EQ(WL.tryPop(1, Stats), std::nullopt);
+  EXPECT_FALSE(WL.empty()); // But it still counts as queued work.
+  EXPECT_EQ(WL.tryPop(0, Stats), std::optional<int64_t>(7));
+  EXPECT_TRUE(WL.empty());
+}
+
+TEST(ChunkedWorklistTest, NoItemLostOrDuplicatedAcrossWorkers) {
+  const unsigned Workers = 4;
+  const int64_t N = 1000;
+  ChunkedWorklist WL(Workers, /*ChunkSize=*/16);
+  for (int64_t I = 0; I != N; ++I)
+    WL.push(static_cast<unsigned>(I) % Workers, I);
+  std::multiset<int64_t> Seen;
+  ExecStats Stats;
+  for (unsigned W = 0; W != Workers; ++W)
+    for (const int64_t Item : drainAll(WL, W, Stats))
+      Seen.insert(Item);
+  EXPECT_EQ(Seen.size(), static_cast<size_t>(N));
+  for (int64_t I = 0; I != N; ++I)
+    EXPECT_EQ(Seen.count(I), 1u) << "item " << I;
+  EXPECT_TRUE(WL.empty());
+}
+
+TEST(ChunkedWorklistTest, PendingCountNeverUndercountsUnderConcurrency) {
+  // Hammer push/tryPop from real threads; the executor's termination
+  // barrier relies on empty() never reporting true while an item is
+  // queued. Total popped must equal total pushed once all threads are
+  // done and the structure must report empty.
+  const unsigned Workers = 4;
+  const int64_t PerWorker = 2000;
+  ChunkedWorklist WL(Workers, /*ChunkSize=*/8);
+  std::atomic<int64_t> Popped{0};
+  std::vector<std::thread> Threads;
+  for (unsigned W = 0; W != Workers; ++W)
+    Threads.emplace_back([&WL, &Popped, W] {
+      ExecStats Stats;
+      for (int64_t I = 0; I != PerWorker; ++I) {
+        WL.push(W, I);
+        if (I % 3 == 0)
+          if (WL.tryPop(W, Stats))
+            Popped.fetch_add(1);
+      }
+      while (WL.tryPop(W, Stats))
+        Popped.fetch_add(1);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  // Stragglers: a worker may finish while another's fill chunk still holds
+  // items only the owner could pop. Drain every lane from one thread.
+  ExecStats Stats;
+  for (unsigned W = 0; W != Workers; ++W)
+    while (WL.tryPop(W, Stats))
+      Popped.fetch_add(1);
+  EXPECT_EQ(Popped.load(), PerWorker * static_cast<int64_t>(Workers));
+  EXPECT_TRUE(WL.empty());
+  EXPECT_EQ(WL.size(), 0u);
+}
+
+TEST(WorklistPolicyTest, ParseAcceptsDocumentedSpellings) {
+  WorklistPolicy P;
+  EXPECT_TRUE(parseWorklistPolicy("chunked", P));
+  EXPECT_EQ(P, WorklistPolicy::ChunkedStealing);
+  EXPECT_TRUE(parseWorklistPolicy("stealing", P));
+  EXPECT_EQ(P, WorklistPolicy::ChunkedStealing);
+  EXPECT_TRUE(parseWorklistPolicy("fifo", P));
+  EXPECT_EQ(P, WorklistPolicy::GlobalFifo);
+  EXPECT_TRUE(parseWorklistPolicy("global-fifo", P));
+  EXPECT_EQ(P, WorklistPolicy::GlobalFifo);
+  EXPECT_FALSE(parseWorklistPolicy("lifo", P));
+  EXPECT_STREQ(worklistPolicyName(WorklistPolicy::ChunkedStealing),
+               "chunked");
+  EXPECT_STREQ(worklistPolicyName(WorklistPolicy::GlobalFifo), "fifo");
+}
+
+TEST(WorklistPolicyTest, GlobalFifoWrapsTheSeedInPlace) {
+  // The seed Worklist itself backs the scheduler: pops come out in seed
+  // FIFO order and commit-time pushes land back in the same queue. This
+  // is what makes a 1-thread GlobalFifo run reproduce the seed executor.
+  Worklist Seed({10, 20, 30});
+  const std::unique_ptr<WorkScheduler> Sched = makeWorkScheduler(
+      WorklistPolicy::GlobalFifo, Seed, /*NumWorkers=*/2, /*ChunkSize=*/4);
+  ExecStats Stats;
+  EXPECT_EQ(Sched->tryPop(0, Stats), std::optional<int64_t>(10));
+  Sched->push(1, 40);
+  EXPECT_FALSE(Seed.empty()); // The push went into the seed worklist.
+  EXPECT_EQ(Sched->tryPop(1, Stats), std::optional<int64_t>(20));
+  EXPECT_EQ(Sched->tryPop(0, Stats), std::optional<int64_t>(30));
+  EXPECT_EQ(Sched->tryPop(0, Stats), std::optional<int64_t>(40));
+  EXPECT_TRUE(Sched->empty());
+  EXPECT_TRUE(Seed.empty());
+}
+
+TEST(WorklistPolicyTest, ChunkedFactoryDrainsTheSeedRoundRobin) {
+  Worklist Seed({0, 1, 2, 3, 4, 5});
+  const std::unique_ptr<WorkScheduler> Sched =
+      makeWorkScheduler(WorklistPolicy::ChunkedStealing, Seed,
+                        /*NumWorkers=*/2, /*ChunkSize=*/4);
+  EXPECT_TRUE(Seed.empty()); // Fully drained into the per-worker lanes.
+  ExecStats Stats;
+  // Round-robin seeding: worker 0 got {0,2,4}, worker 1 got {1,3,5}.
+  EXPECT_EQ(Sched->tryPop(0, Stats), std::optional<int64_t>(0));
+  EXPECT_EQ(Sched->tryPop(1, Stats), std::optional<int64_t>(1));
+  EXPECT_EQ(Sched->tryPop(0, Stats), std::optional<int64_t>(2));
+  EXPECT_EQ(Sched->tryPop(1, Stats), std::optional<int64_t>(3));
+  EXPECT_EQ(Sched->tryPop(0, Stats), std::optional<int64_t>(4));
+  EXPECT_EQ(Sched->tryPop(1, Stats), std::optional<int64_t>(5));
+  EXPECT_TRUE(Sched->empty());
+}
