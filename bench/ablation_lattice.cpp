@@ -25,6 +25,7 @@
 #include "apps/SetMicrobench.h"
 #include "core/Lattice.h"
 #include "runtime/RoundExecutor.h"
+#include "obs/ObsCli.h"
 #include "support/Options.h"
 #include "support/Random.h"
 
@@ -62,6 +63,7 @@ static double setParallelism(const CommSpec &Spec, bool Gated,
 
 int main(int Argc, char **Argv) {
   const Options Opts(Argc, Argv);
+  obs::ScopedObs Obs(Opts);
   const uint64_t Seed = Opts.getUInt("seed", 42);
   const uint64_t Ops = Opts.getUInt("ops", 100000);
 

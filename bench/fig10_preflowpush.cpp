@@ -19,6 +19,7 @@
 
 #include "apps/Genrmf.h"
 #include "apps/PreflowPush.h"
+#include "obs/ObsCli.h"
 #include "support/Options.h"
 
 #include <algorithm>
@@ -28,6 +29,7 @@ using namespace comlat;
 
 int main(int Argc, char **Argv) {
   const Options Opts(Argc, Argv);
+  obs::ScopedObs Obs(Opts);
   const unsigned A = static_cast<unsigned>(Opts.getUInt("rmf-a", 8));
   const unsigned Frames = static_cast<unsigned>(Opts.getUInt("rmf-frames", 8));
   const unsigned MaxThreads =

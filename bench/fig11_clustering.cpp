@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/Clustering.h"
+#include "obs/ObsCli.h"
 #include "support/Options.h"
 
 #include <algorithm>
@@ -25,6 +26,7 @@ using namespace comlat;
 
 int main(int Argc, char **Argv) {
   const Options Opts(Argc, Argv);
+  obs::ScopedObs Obs(Opts);
   const size_t Points = Opts.getUInt("points", 4000);
   const size_t ParameterPoints = Opts.getUInt("parameter-points", 1200);
   const unsigned MaxThreads =

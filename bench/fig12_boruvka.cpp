@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/Boruvka.h"
+#include "obs/ObsCli.h"
 #include "support/Options.h"
 
 #include <algorithm>
@@ -23,6 +24,7 @@ using namespace comlat;
 
 int main(int Argc, char **Argv) {
   const Options Opts(Argc, Argv);
+  obs::ScopedObs Obs(Opts);
   const unsigned MeshSide = static_cast<unsigned>(Opts.getUInt("mesh", 64));
   const unsigned ParameterSide =
       static_cast<unsigned>(Opts.getUInt("parameter-mesh", 40));

@@ -15,6 +15,7 @@
 #include "apps/Clustering.h"
 #include "apps/Genrmf.h"
 #include "apps/PreflowPush.h"
+#include "obs/ObsCli.h"
 #include "support/Options.h"
 #include "support/Timer.h"
 
@@ -41,6 +42,7 @@ static void printRow(const char *App, const char *Variant, double Seconds,
 
 int main(int Argc, char **Argv) {
   const Options Opts(Argc, Argv);
+  obs::ScopedObs Obs(Opts);
   const unsigned RmfA = static_cast<unsigned>(Opts.getUInt("rmf-a", 8));
   const unsigned RmfFrames =
       static_cast<unsigned>(Opts.getUInt("rmf-frames", 8));

@@ -18,6 +18,7 @@
 #include "apps/Clustering.h"
 #include "apps/Genrmf.h"
 #include "apps/PreflowPush.h"
+#include "obs/ObsCli.h"
 #include "support/Options.h"
 #include "support/Timer.h"
 
@@ -42,6 +43,7 @@ static void printRow(const char *App, const char *Variant,
 
 int main(int Argc, char **Argv) {
   const Options Opts(Argc, Argv);
+  obs::ScopedObs Obs(Opts);
   const unsigned RmfA = static_cast<unsigned>(Opts.getUInt("rmf-a", 8));
   const unsigned RmfFrames =
       static_cast<unsigned>(Opts.getUInt("rmf-frames", 4));

@@ -23,6 +23,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "apps/SetMicrobench.h"
+#include "obs/ObsCli.h"
 #include "support/Options.h"
 
 #include <cstdio>
@@ -31,6 +32,7 @@ using namespace comlat;
 
 int main(int Argc, char **Argv) {
   const Options Opts(Argc, Argv);
+  obs::ScopedObs Obs(Opts);
   MicroParams P;
   P.NumOps = Opts.getUInt("ops", 200000);
   P.OpsPerTx = static_cast<unsigned>(Opts.getUInt("ops-per-tx", 8));

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Bench-smoke gate: validate the observability artifacts against the
+checked-in baseline.
+
+Counter *values* are workload- and timing-dependent, so the gate checks
+structure and invariants, not exact numbers:
+
+  * every metric key present in BENCH_baseline.json still exists in the
+    fresh table2 metrics dump (a vanished key means an instrumentation
+    site was lost);
+  * the fresh run committed work and its abort accounting is consistent
+    (cause breakdown sums to the abort total);
+  * the Chrome trace is valid JSON and >= 99% of its aborts carry a
+    concrete detector attribution;
+  * the CSV artifacts are non-empty and rectangular.
+"""
+
+import csv
+import json
+import sys
+from pathlib import Path
+
+
+def fail(msg: str) -> None:
+    print(f"BASELINE CHECK FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def base_name(key: str) -> str:
+    """Metric family: the name with any {label="..."} set stripped."""
+    return key.split("{", 1)[0]
+
+
+def check_metrics(baseline_path: Path, metrics_path: Path) -> None:
+    baseline = json.loads(baseline_path.read_text())
+    fresh = json.loads(metrics_path.read_text())
+
+    missing = sorted(set(baseline) - set(fresh))
+    if missing:
+        fail(f"{metrics_path}: baseline metrics missing from fresh run: "
+             f"{missing[:10]}")
+
+    # Families must not silently vanish either (a renamed label set would
+    # pass the per-key check for unlabeled metrics only).
+    lost = sorted({base_name(k) for k in baseline} -
+                  {base_name(k) for k in fresh})
+    if lost:
+        fail(f"{metrics_path}: baseline metric families lost: {lost}")
+
+    committed = fresh.get("comlat_committed_total", 0)
+    if committed <= 0:
+        fail(f"{metrics_path}: no committed iterations recorded")
+
+    aborted = fresh.get("comlat_aborted_total", 0)
+    by_cause = sum(v for k, v in fresh.items()
+                   if base_name(k) == "comlat_aborts_total")
+    if by_cause != aborted:
+        fail(f"{metrics_path}: abort causes sum to {by_cause}, "
+             f"total says {aborted}")
+    print(f"ok: {metrics_path} ({len(fresh)} metrics, "
+          f"{committed} committed, {aborted} aborted)")
+
+
+def check_trace(trace_path: Path) -> None:
+    doc = json.loads(trace_path.read_text())
+    events = doc.get("traceEvents")
+    other = doc.get("otherData", {})
+    if not isinstance(events, list) or not events:
+        fail(f"{trace_path}: no trace events")
+    aborts = other.get("aborts", 0)
+    attributed = other.get("abortsAttributed", 0)
+    if aborts and attributed / aborts < 0.99:
+        fail(f"{trace_path}: only {attributed}/{aborts} aborts attributed")
+    print(f"ok: {trace_path} ({len(events)} events, "
+          f"{attributed}/{aborts} aborts attributed)")
+
+
+def check_csv(csv_path: Path) -> None:
+    with csv_path.open() as fp:
+        rows = list(csv.reader(fp))
+    if len(rows) < 2:
+        fail(f"{csv_path}: header only")
+    widths = {len(r) for r in rows if r}
+    if len(widths) != 1:
+        fail(f"{csv_path}: ragged rows (widths {sorted(widths)})")
+    print(f"ok: {csv_path} ({len(rows) - 1} data rows)")
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} BENCH_baseline.json ARTIFACT_DIR",
+              file=sys.stderr)
+        sys.exit(2)
+    baseline = Path(sys.argv[1])
+    artifacts = Path(sys.argv[2])
+    check_metrics(baseline, artifacts / "table2_metrics.json")
+    check_trace(artifacts / "table2_trace.json")
+    check_csv(artifacts / "table2.csv")
+    check_csv(artifacts / "table1.csv")
+    print("bench smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+//===- obs/Clock.h - Cycle-level timestamps for tracing ---------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace clock: a raw hardware tick counter (TSC on x86-64, the
+/// virtual counter on AArch64, steady_clock nanoseconds elsewhere) read in
+/// a handful of cycles with no syscall and no serialization. Trace events
+/// record raw ticks; the exporter converts them to microseconds with a
+/// calibration measured once per process (ticks are only ever compared and
+/// differenced within one run, so constant frequency is all we need).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_OBS_CLOCK_H
+#define COMLAT_OBS_CLOCK_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace comlat {
+namespace obs {
+
+/// Reads the raw trace clock. Monotonic per core and cheap enough for the
+/// conflict-detection hot path (no fencing: we time spans of thousands of
+/// cycles, not single instructions).
+inline uint64_t now() {
+#if defined(__x86_64__)
+  return __builtin_ia32_rdtsc();
+#elif defined(__aarch64__)
+  uint64_t Ticks;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(Ticks));
+  return Ticks;
+#else
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+/// Tick-to-wall-clock conversion for one process.
+struct ClockCalibration {
+  /// Ticks per microsecond; exporters divide tick deltas by this.
+  double TicksPerMicro = 1e3;
+
+  /// Measures the trace clock against steady_clock over a short busy
+  /// window. Called once, off the hot path (when a trace session arms).
+  static ClockCalibration measure() {
+    using SteadyClock = std::chrono::steady_clock;
+    const uint64_t T0 = now();
+    const SteadyClock::time_point W0 = SteadyClock::now();
+    // ~2 ms window: long enough for sub-percent accuracy, short enough to
+    // be unnoticeable at arm time.
+    for (;;) {
+      const auto Elapsed = SteadyClock::now() - W0;
+      if (Elapsed >= std::chrono::milliseconds(2)) {
+        const uint64_t T1 = now();
+        const double Micros =
+            std::chrono::duration<double, std::micro>(Elapsed).count();
+        ClockCalibration C;
+        if (Micros > 0 && T1 > T0)
+          C.TicksPerMicro = static_cast<double>(T1 - T0) / Micros;
+        return C;
+      }
+    }
+  }
+};
+
+} // namespace obs
+} // namespace comlat
+
+#endif // COMLAT_OBS_CLOCK_H

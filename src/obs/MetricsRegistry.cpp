@@ -1,0 +1,219 @@
+//===- obs/MetricsRegistry.cpp - Sharded named metrics ---------------------===//
+
+#include "obs/MetricsRegistry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace comlat;
+using namespace comlat::obs;
+
+unsigned obs::shardIndex() {
+  static std::atomic<unsigned> NextShard{0};
+  thread_local unsigned Shard =
+      NextShard.fetch_add(1, std::memory_order_relaxed) % NumMetricShards;
+  return Shard;
+}
+
+uint64_t HistogramSnapshot::quantileUpperBound(double Q) const {
+  if (Count == 0)
+    return 0;
+  Q = std::min(1.0, std::max(0.0, Q));
+  const uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Count));
+  uint64_t Seen = 0;
+  for (unsigned B = 0; B != NumBuckets; ++B) {
+    Seen += Buckets[B];
+    if (Seen > Rank || (Seen == Count && Seen != 0))
+      return 1ull << (B + 1);
+  }
+  return 1ull << NumBuckets;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot Snap;
+  for (const Shard &S : Shards) {
+    for (unsigned B = 0; B != NumBuckets; ++B)
+      Snap.Buckets[B] += S.Buckets[B].load(std::memory_order_relaxed);
+    Snap.Count += S.Count.load(std::memory_order_relaxed);
+    Snap.Sum += S.Sum.load(std::memory_order_relaxed);
+  }
+  return Snap;
+}
+
+MetricsRegistry &MetricsRegistry::global() {
+  // Leaked intentionally, like the trace session: metrics may be touched
+  // by worker threads parked past static destruction.
+  static MetricsRegistry *R = new MetricsRegistry();
+  return *R;
+}
+
+Counter *MetricsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Guard(M);
+  Entry &E = Entries[Name];
+  if (!E.C) {
+    E.Kind = MetricKind::Counter;
+    E.C = std::make_unique<Counter>();
+  }
+  assert(E.Kind == MetricKind::Counter && "metric re-registered as counter");
+  return E.C.get();
+}
+
+Gauge *MetricsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Guard(M);
+  Entry &E = Entries[Name];
+  if (!E.G) {
+    E.Kind = MetricKind::Gauge;
+    E.G = std::make_unique<Gauge>();
+  }
+  assert(E.Kind == MetricKind::Gauge && "metric re-registered as gauge");
+  return E.G.get();
+}
+
+Histogram *MetricsRegistry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Guard(M);
+  Entry &E = Entries[Name];
+  if (!E.H) {
+    E.Kind = MetricKind::Histogram;
+    E.H = std::make_unique<Histogram>();
+  }
+  assert(E.Kind == MetricKind::Histogram &&
+         "metric re-registered as histogram");
+  return E.H.get();
+}
+
+/// The metric base name: everything before the label braces.
+static std::string baseName(const std::string &Name) {
+  const size_t Brace = Name.find('{');
+  return Brace == std::string::npos ? Name : Name.substr(0, Brace);
+}
+
+std::string MetricsRegistry::toPrometheusText() const {
+  std::lock_guard<std::mutex> Guard(M);
+  std::string Out;
+  char Buf[128];
+  std::string LastTyped;
+  for (const auto &[Name, E] : Entries) {
+    const std::string Base = baseName(Name);
+    if (Base != LastTyped) {
+      const char *Type = E.Kind == MetricKind::Counter   ? "counter"
+                         : E.Kind == MetricKind::Gauge   ? "gauge"
+                                                         : "histogram";
+      Out += "# TYPE " + Base + " " + Type + "\n";
+      LastTyped = Base;
+    }
+    switch (E.Kind) {
+    case MetricKind::Counter:
+      std::snprintf(Buf, sizeof(Buf), " %llu\n",
+                    static_cast<unsigned long long>(E.C->value()));
+      Out += Name + Buf;
+      break;
+    case MetricKind::Gauge:
+      std::snprintf(Buf, sizeof(Buf), " %lld\n",
+                    static_cast<long long>(E.G->value()));
+      Out += Name + Buf;
+      break;
+    case MetricKind::Histogram: {
+      const HistogramSnapshot Snap = E.H->snapshot();
+      uint64_t Cumulative = 0;
+      for (unsigned B = 0; B != HistogramSnapshot::NumBuckets; ++B) {
+        Cumulative += Snap.Buckets[B];
+        if (Snap.Buckets[B] == 0 && Cumulative != Snap.Count)
+          continue; // keep the exposition short: only non-empty buckets
+        std::snprintf(Buf, sizeof(Buf), "_bucket{le=\"%llu\"} %llu\n",
+                      static_cast<unsigned long long>(1ull << (B + 1)),
+                      static_cast<unsigned long long>(Cumulative));
+        Out += Base + Buf;
+        if (Cumulative == Snap.Count)
+          break;
+      }
+      std::snprintf(Buf, sizeof(Buf), "_bucket{le=\"+Inf\"} %llu\n",
+                    static_cast<unsigned long long>(Snap.Count));
+      Out += Base + Buf;
+      std::snprintf(Buf, sizeof(Buf), "_sum %llu\n",
+                    static_cast<unsigned long long>(Snap.Sum));
+      Out += Base + Buf;
+      std::snprintf(Buf, sizeof(Buf), "_count %llu\n",
+                    static_cast<unsigned long long>(Snap.Count));
+      Out += Base + Buf;
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+static std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (const char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+  return Out;
+}
+
+std::string MetricsRegistry::toJson() const {
+  std::lock_guard<std::mutex> Guard(M);
+  std::string Out = "{";
+  char Buf[128];
+  bool First = true;
+  for (const auto &[Name, E] : Entries) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n  \"" + jsonEscape(Name) + "\": ";
+    switch (E.Kind) {
+    case MetricKind::Counter:
+      std::snprintf(Buf, sizeof(Buf), "%llu",
+                    static_cast<unsigned long long>(E.C->value()));
+      Out += Buf;
+      break;
+    case MetricKind::Gauge:
+      std::snprintf(Buf, sizeof(Buf), "%lld",
+                    static_cast<long long>(E.G->value()));
+      Out += Buf;
+      break;
+    case MetricKind::Histogram: {
+      const HistogramSnapshot Snap = E.H->snapshot();
+      std::snprintf(Buf, sizeof(Buf),
+                    "{\"count\": %llu, \"sum\": %llu, \"p50\": %llu, "
+                    "\"p99\": %llu}",
+                    static_cast<unsigned long long>(Snap.Count),
+                    static_cast<unsigned long long>(Snap.Sum),
+                    static_cast<unsigned long long>(
+                        Snap.quantileUpperBound(0.5)),
+                    static_cast<unsigned long long>(
+                        Snap.quantileUpperBound(0.99)));
+      Out += Buf;
+      break;
+    }
+    }
+  }
+  Out += "\n}\n";
+  return Out;
+}
+
+std::string obs::metricName(
+    const std::string &Base,
+    const std::vector<std::pair<std::string, std::string>> &Labels) {
+  if (Labels.empty())
+    return Base;
+  std::string Out = Base + "{";
+  bool First = true;
+  for (const auto &[K, V] : Labels) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += K + "=\"";
+    for (const char C : V) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      Out += C;
+    }
+    Out += "\"";
+  }
+  Out += "}";
+  return Out;
+}

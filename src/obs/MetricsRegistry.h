@@ -1,0 +1,171 @@
+//===- obs/MetricsRegistry.h - Sharded named metrics ------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The metrics half of the observability layer: named counters, gauges and
+/// log-scale histograms. Writes go to per-worker sharded cells (one cache
+/// line per shard) so the hot path is a relaxed fetch_add with no
+/// cross-worker contention; reads merge the shards. Handles are looked up
+/// once, by name, at construction time (the executor, each conflict
+/// detector); the hot path only ever touches a pre-resolved pointer.
+///
+/// Metric names follow the Prometheus convention, with label sets rendered
+/// into the name string at registration time (they are static — a detector
+/// knows its mode pairs when it is built):
+///
+///   comlat_committed_total
+///   comlat_lock_conflicts_total{detector="set<rw>",held="add:arg",req="rm:arg"}
+///
+/// The registry exports either Prometheus text format or a JSON object
+/// (the bench-smoke baseline file).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_OBS_METRICSREGISTRY_H
+#define COMLAT_OBS_METRICSREGISTRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace comlat {
+namespace obs {
+
+/// Index of the calling thread's metric shard. Threads are assigned
+/// round-robin; distinct workers get distinct shards until the shard count
+/// is exceeded (then relaxed atomics absorb the sharing).
+unsigned shardIndex();
+
+inline constexpr unsigned NumMetricShards = 16;
+
+/// A monotonically increasing sharded counter.
+class Counter {
+public:
+  void add(uint64_t N = 1) {
+    Cells[shardIndex()].V.fetch_add(N, std::memory_order_relaxed);
+  }
+
+  /// Merged value across shards.
+  uint64_t value() const {
+    uint64_t Sum = 0;
+    for (const Cell &C : Cells)
+      Sum += C.V.load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> V{0};
+  };
+  Cell Cells[NumMetricShards];
+};
+
+/// A last-write-wins instantaneous value (no sharding: gauges are set from
+/// control paths, not per-iteration ones).
+class Gauge {
+public:
+  void set(int64_t N) { V.store(N, std::memory_order_relaxed); }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// Merged read-side view of a histogram.
+struct HistogramSnapshot {
+  static constexpr unsigned NumBuckets = 32;
+  uint64_t Buckets[NumBuckets] = {};
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+
+  double mean() const {
+    return Count == 0 ? 0.0
+                      : static_cast<double>(Sum) / static_cast<double>(Count);
+  }
+
+  /// Upper bound (2^(B+1)) of the bucket containing quantile \p Q.
+  uint64_t quantileUpperBound(double Q) const;
+};
+
+/// A log2-bucketed sharded histogram: bucket B counts samples in
+/// [2^B, 2^(B+1)), bucket 0 everything below 2; the unit is whatever the
+/// call site observes (microseconds for latencies).
+class Histogram {
+public:
+  static constexpr unsigned NumBuckets = HistogramSnapshot::NumBuckets;
+
+  void observe(uint64_t Sample) {
+    Shard &S = Shards[shardIndex()];
+    S.Buckets[bucketFor(Sample)].fetch_add(1, std::memory_order_relaxed);
+    S.Count.fetch_add(1, std::memory_order_relaxed);
+    S.Sum.fetch_add(Sample, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const;
+
+  static unsigned bucketFor(uint64_t Sample) {
+    unsigned B = 0;
+    while (B + 1 < NumBuckets && (Sample >> (B + 1)) != 0)
+      ++B;
+    return B;
+  }
+
+private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> Buckets[NumBuckets] = {};
+    std::atomic<uint64_t> Count{0};
+    std::atomic<uint64_t> Sum{0};
+  };
+  Shard Shards[NumMetricShards];
+};
+
+/// Name -> metric registry. Registration is mutex-guarded (construction
+/// time only); returned handles are stable for the registry's lifetime.
+class MetricsRegistry {
+public:
+  /// The process-wide registry backing ExecStats and the CLI exporters.
+  static MetricsRegistry &global();
+
+  Counter *counter(const std::string &Name);
+  Gauge *gauge(const std::string &Name);
+  Histogram *histogram(const std::string &Name);
+
+  /// Prometheus text exposition of every registered metric.
+  std::string toPrometheusText() const;
+
+  /// One JSON object: {"name": value, ..., "hist": {"count": ..}}. The
+  /// bench-smoke baseline (BENCH_baseline.json) is this rendering.
+  std::string toJson() const;
+
+private:
+  enum class MetricKind { Counter, Gauge, Histogram };
+  struct Entry {
+    MetricKind Kind;
+    std::unique_ptr<Counter> C;
+    std::unique_ptr<Gauge> G;
+    std::unique_ptr<Histogram> H;
+  };
+
+  mutable std::mutex M;
+  std::map<std::string, Entry> Entries;
+};
+
+/// Renders a Prometheus-style metric name with a static label set, e.g.
+/// metricName("comlat_lock_conflicts_total", {{"detector", "set"},
+/// {"held", "add:arg"}}). Quotes and backslashes in values are escaped.
+std::string
+metricName(const std::string &Base,
+           const std::vector<std::pair<std::string, std::string>> &Labels);
+
+} // namespace obs
+} // namespace comlat
+
+#endif // COMLAT_OBS_METRICSREGISTRY_H

@@ -1,0 +1,59 @@
+//===- obs/ObsCli.cpp - Driver-side observability wiring -------------------===//
+
+#include "obs/ObsCli.h"
+
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceExport.h"
+#include "support/Options.h"
+
+#include <cstdio>
+
+using namespace comlat;
+using namespace comlat::obs;
+
+ScopedObs::ScopedObs(const Options &Opts) {
+  TracePath = Opts.getString("trace", "");
+  MetricsJsonPath = Opts.getString("metrics-json", "");
+  PrintMetrics = Opts.getBool("metrics");
+  if (!TracePath.empty()) {
+    const uint64_t Capacity =
+        Opts.getUInt("trace-events", TraceRing::DefaultCapacity);
+    TraceSession::global().arm(static_cast<size_t>(Capacity));
+  }
+}
+
+void ScopedObs::flush() {
+  if (Flushed)
+    return;
+  Flushed = true;
+  if (!TracePath.empty()) {
+    TraceSession &Session = TraceSession::global();
+    Session.disarm();
+    TraceExportResult Res;
+    if (!TraceExport::writeChromeJsonFile(TracePath, Session, &Res)) {
+      std::fprintf(stderr, "obs: cannot write trace file '%s'\n",
+                   TracePath.c_str());
+    } else {
+      const double Attributed =
+          Res.Aborts == 0 ? 100.0
+                          : 100.0 * static_cast<double>(Res.AbortsAttributed) /
+                                static_cast<double>(Res.Aborts);
+      std::fprintf(stderr,
+                   "obs: %llu events (%llu dropped) -> %s; %llu aborts, "
+                   "%.1f%% attributed\n",
+                   static_cast<unsigned long long>(Res.Events),
+                   static_cast<unsigned long long>(Res.Dropped),
+                   TracePath.c_str(),
+                   static_cast<unsigned long long>(Res.Aborts), Attributed);
+    }
+  }
+  if (!MetricsJsonPath.empty() &&
+      !TraceExport::writeTextFile(MetricsJsonPath,
+                                  MetricsRegistry::global().toJson()))
+    std::fprintf(stderr, "obs: cannot write metrics file '%s'\n",
+                 MetricsJsonPath.c_str());
+  if (PrintMetrics)
+    std::fputs(MetricsRegistry::global().toPrometheusText().c_str(), stderr);
+}
+
+ScopedObs::~ScopedObs() { flush(); }

@@ -1,0 +1,57 @@
+//===- obs/ObsCli.h - Driver-side observability wiring ----------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three flags every bench/example driver shares:
+///
+///   --trace=FILE         arm tracing; write a Chrome trace JSON at exit
+///   --trace-events=N     per-worker ring capacity (default 64Ki events)
+///   --metrics            print the Prometheus metrics dump to stderr
+///   --metrics-json=FILE  write the metrics registry as JSON (the
+///                        bench-smoke baseline format)
+///
+/// Construct one ScopedObs from the parsed Options at the top of main();
+/// its destructor flushes everything after the workload ran.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_OBS_OBSCLI_H
+#define COMLAT_OBS_OBSCLI_H
+
+#include <string>
+
+namespace comlat {
+
+class Options;
+
+namespace obs {
+
+/// RAII observability scope for a driver process.
+class ScopedObs {
+public:
+  explicit ScopedObs(const Options &Opts);
+  ~ScopedObs();
+
+  ScopedObs(const ScopedObs &) = delete;
+  ScopedObs &operator=(const ScopedObs &) = delete;
+
+  /// Flushes outputs now (idempotent; the destructor calls it too). Prints
+  /// a one-line trace summary — event count and abort attribution — to
+  /// stderr when tracing was armed.
+  void flush();
+
+private:
+  std::string TracePath;
+  std::string MetricsJsonPath;
+  bool PrintMetrics = false;
+  bool Flushed = false;
+};
+
+} // namespace obs
+} // namespace comlat
+
+#endif // COMLAT_OBS_OBSCLI_H

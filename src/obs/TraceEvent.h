@@ -1,0 +1,107 @@
+//===- obs/TraceEvent.h - The typed trace-event taxonomy --------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event vocabulary of the observability layer. Every instrumented
+/// subsystem — scheduler, executor, the three conflict-detection schemes of
+/// §3 and the STM baseline — records fixed-size typed events into its
+/// worker's TraceRing. The taxonomy mirrors the paper's cost taxonomy:
+/// scheduling events expose where items travel, detector events expose
+/// where conflict-detection time goes, and every Abort event carries enough
+/// detail (detector label + packed mode/method pair) to attribute it to a
+/// concrete lock-mode conflict, gatekeeper predicate, or STM validation
+/// failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_OBS_TRACEEVENT_H
+#define COMLAT_OBS_TRACEEVENT_H
+
+#include <cstdint>
+
+namespace comlat {
+namespace obs {
+
+/// What happened. Kept dense and stable: exporters and golden tests key on
+/// these values.
+enum class EventKind : uint8_t {
+  /// Scheduler handed an item to a worker (Arg = item).
+  ItemPop,
+  /// A chunk was stolen from another worker (Arg = victim worker).
+  ItemSteal,
+  /// A pop attempt found no work anywhere.
+  EmptyPop,
+  /// Transaction committed (Arg = item, Tx set).
+  Commit,
+  /// Transaction aborted (Arg = item, Detail/Label = attribution).
+  Abort,
+  /// Post-abort backoff began (Arg = planned sleep in microseconds).
+  Backoff,
+  /// An abstract lock was granted (Detail = mode).
+  LockAcquire,
+  /// A transaction already holding a lock acquired a further mode on it
+  /// (Detail = (held << 16) | new mode) — the "upgrade" path.
+  LockUpgrade,
+  /// Lock acquisition failed (Detail = (held << 16) | requested mode).
+  LockConflict,
+  /// A gatekeeper evaluated one commutativity condition
+  /// (Detail = (first method << 16) | second method).
+  GateCheck,
+  /// A gatekeeper condition evaluated false and vetoed the invocation
+  /// (Detail = (first method << 16) | second method).
+  GateVeto,
+  /// STM read-lock acquisition (Arg = object id).
+  StmRead,
+  /// STM write-lock acquisition (Arg = object id).
+  StmWrite,
+  /// STM validation failed (Arg = object, Detail = (held << 16) | req).
+  StmConflict,
+  /// One ParaMeter round completed (Arg = available iterations at round
+  /// start, Detail = iterations committed in the round).
+  Round,
+};
+
+inline constexpr unsigned NumEventKinds = 15;
+
+/// Short stable name for exporters ("pop", "steal", ...).
+const char *eventKindName(EventKind Kind);
+
+/// One fixed-size trace record: 32 bytes, written in place on the owning
+/// worker's ring with no allocation and no synchronization.
+struct TraceEvent {
+  /// Raw trace-clock ticks (obs::now()).
+  uint64_t Tick;
+  /// Transaction id, or 0 when no transaction is in scope.
+  uint64_t Tx;
+  /// Kind-specific payload: the work item, STM object, or sleep length.
+  int64_t Arg;
+  /// Kind-specific packed pair: lock modes (held << 16 | requested) or
+  /// gatekeeper methods (first << 16 | second).
+  uint32_t Detail;
+  /// Which instrumented component emitted this (see TraceRing.h label
+  /// registration); 0 = none.
+  uint16_t Label;
+  EventKind Kind;
+  /// Ring id of the recording thread (Chrome-trace lane).
+  uint8_t Worker;
+};
+
+static_assert(sizeof(TraceEvent) == 32, "trace events must stay 32 bytes");
+
+/// Packs a (held, requested) mode pair or (first, second) method pair into
+/// the Detail field.
+inline uint32_t packPair(uint32_t First, uint32_t Second) {
+  return (First << 16) | (Second & 0xFFFFu);
+}
+
+inline uint32_t pairFirst(uint32_t Detail) { return Detail >> 16; }
+inline uint32_t pairSecond(uint32_t Detail) { return Detail & 0xFFFFu; }
+
+} // namespace obs
+} // namespace comlat
+
+#endif // COMLAT_OBS_TRACEEVENT_H

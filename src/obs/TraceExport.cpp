@@ -1,0 +1,258 @@
+//===- obs/TraceExport.cpp - Chrome-trace and Prometheus export ------------===//
+
+#include "obs/TraceExport.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace comlat;
+using namespace comlat::obs;
+
+namespace {
+
+/// Incremental JSON assembly for the trace-event array.
+class EventWriter {
+public:
+  explicit EventWriter(std::string &Out) : Out(Out) {}
+
+  void open(const char *Name, const char *Cat, char Phase, double Ts,
+            unsigned Tid) {
+    char Buf[192];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\","
+                  "\"ts\":%.3f,\"pid\":1,\"tid\":%u",
+                  First ? "" : ",", Name, Cat, Phase, Ts, Tid);
+    Out += Buf;
+    First = false;
+  }
+
+  void duration(double Dur) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), ",\"dur\":%.3f", Dur);
+    Out += Buf;
+  }
+
+  void scopeThread() { Out += ",\"s\":\"t\""; }
+
+  void argsBegin() {
+    Out += ",\"args\":{";
+    ArgsOpen = true;
+  }
+
+  void arg(const char *Key, uint64_t V) {
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), "%s\"%s\":%llu", ArgFirst ? "" : ",", Key,
+                  static_cast<unsigned long long>(V));
+    Out += Buf;
+    ArgFirst = false;
+  }
+
+  void arg(const char *Key, int64_t V) {
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), "%s\"%s\":%lld", ArgFirst ? "" : ",", Key,
+                  static_cast<long long>(V));
+    Out += Buf;
+    ArgFirst = false;
+  }
+
+  void arg(const char *Key, const std::string &V) {
+    Out += ArgFirst ? "\"" : ",\"";
+    Out += Key;
+    Out += "\":\"";
+    for (const char C : V) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      Out += C;
+    }
+    Out += "\"";
+    ArgFirst = false;
+  }
+
+  void close() {
+    if (ArgsOpen)
+      Out += "}";
+    ArgsOpen = false;
+    ArgFirst = true;
+    Out += "}";
+  }
+
+private:
+  std::string &Out;
+  bool First = true;
+  bool ArgFirst = true;
+  bool ArgsOpen = false;
+};
+
+/// Kinds whose Detail field is a described conflict pair; only these get a
+/// "why" rendering (acquire/upgrade events reuse Detail for the raw mode,
+/// which must not be looked up as a pair).
+bool detailIsConflictPair(EventKind Kind) {
+  switch (Kind) {
+  case EventKind::LockConflict:
+  case EventKind::GateCheck:
+  case EventKind::GateVeto:
+  case EventKind::StmConflict:
+  case EventKind::Abort:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// The Chrome-viewer name of an abort, derived from the vetoing detector's
+/// label kind ("lock", "gate", "stm"); unattributed aborts are the
+/// operator's own retries.
+std::string abortName(const TraceSession &Session, const TraceEvent &E) {
+  const std::string &Kind = Session.labelKind(E.Label);
+  if (Kind.empty())
+    return "abort:user";
+  return "abort:" + Kind;
+}
+
+} // namespace
+
+std::string
+TraceExport::toChromeJson(const std::vector<const TraceRing *> &Rings,
+                          const TraceSession &Session, double TicksPerMicro,
+                          uint64_t BaseTick, TraceExportResult *Result) {
+  TraceExportResult Res;
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  EventWriter W(Out);
+
+  const double Scale = TicksPerMicro > 0 ? 1.0 / TicksPerMicro : 1.0;
+  const auto ToMicros = [&](uint64_t Tick) {
+    return Tick >= BaseTick ? static_cast<double>(Tick - BaseTick) * Scale
+                            : 0.0;
+  };
+
+  for (const TraceRing *Ring : Rings) {
+    const std::vector<TraceEvent> Events = Ring->snapshot();
+    Res.Events += Events.size();
+    Res.Dropped += Ring->dropped();
+    const unsigned Tid = Ring->ringId();
+
+    // The open iteration on this lane: pop ts and item, until the matching
+    // commit/abort closes it as one span.
+    bool HaveOpenIter = false;
+    double IterStart = 0;
+    int64_t IterItem = 0;
+
+    for (const TraceEvent &E : Events) {
+      const double Ts = ToMicros(E.Tick);
+      switch (E.Kind) {
+      case EventKind::ItemPop:
+        HaveOpenIter = true;
+        IterStart = Ts;
+        IterItem = E.Arg;
+        break;
+      case EventKind::Commit:
+      case EventKind::Abort: {
+        const bool IsAbort = E.Kind == EventKind::Abort;
+        const std::string Name =
+            IsAbort ? abortName(Session, E) : "commit";
+        if (IsAbort) {
+          ++Res.Aborts;
+          // Attributed: a concrete detector vetoed (lock-mode pair,
+          // gatekeeper predicate or STM object). Operator-requested
+          // retries carry no label and are counted separately.
+          if (E.Label != 0)
+            ++Res.AbortsAttributed;
+        }
+        if (HaveOpenIter) {
+          W.open(Name.c_str(), "iteration", 'X', IterStart, Tid);
+          W.duration(std::max(0.0, Ts - IterStart));
+        } else {
+          // Pop fell off the wrapped ring; keep the outcome as an instant.
+          W.open(Name.c_str(), "iteration", 'i', Ts, Tid);
+          W.scopeThread();
+        }
+        W.argsBegin();
+        W.arg("item", HaveOpenIter ? IterItem : E.Arg);
+        W.arg("tx", E.Tx);
+        if (IsAbort) {
+          const std::string &Detector = Session.labelName(E.Label);
+          if (!Detector.empty())
+            W.arg("detector", Detector);
+          const std::string &Why = Session.detailText(E.Label, E.Detail);
+          if (!Why.empty())
+            W.arg("why", Why);
+        }
+        W.close();
+        HaveOpenIter = false;
+        break;
+      }
+      case EventKind::Backoff:
+        W.open("backoff", "scheduler", 'X', Ts, Tid);
+        W.duration(static_cast<double>(E.Arg));
+        W.argsBegin();
+        W.arg("planned_us", E.Arg);
+        W.close();
+        break;
+      case EventKind::Round:
+        // Counter track: available parallelism and per-round commits.
+        W.open("parallelism", "parameter", 'C', Ts, Tid);
+        W.argsBegin();
+        W.arg("available", E.Arg);
+        W.arg("committed", static_cast<uint64_t>(E.Detail));
+        W.close();
+        break;
+      default: {
+        W.open(eventKindName(E.Kind), "detector", 'i', Ts, Tid);
+        W.scopeThread();
+        W.argsBegin();
+        if (E.Tx != 0)
+          W.arg("tx", E.Tx);
+        if (E.Arg != 0)
+          W.arg("arg", E.Arg);
+        const std::string &Detector = Session.labelName(E.Label);
+        if (!Detector.empty())
+          W.arg("detector", Detector);
+        if (detailIsConflictPair(E.Kind)) {
+          const std::string &Why = Session.detailText(E.Label, E.Detail);
+          if (!Why.empty())
+            W.arg("why", Why);
+        }
+        W.close();
+        break;
+      }
+      }
+    }
+  }
+
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "\n],\"otherData\":{\"events\":%llu,\"dropped\":%llu,"
+                "\"aborts\":%llu,\"abortsAttributed\":%llu}}\n",
+                static_cast<unsigned long long>(Res.Events),
+                static_cast<unsigned long long>(Res.Dropped),
+                static_cast<unsigned long long>(Res.Aborts),
+                static_cast<unsigned long long>(Res.AbortsAttributed));
+  Out += Buf;
+  if (Result)
+    *Result = Res;
+  return Out;
+}
+
+std::string TraceExport::toChromeJson(const TraceSession &Session,
+                                      TraceExportResult *Result) {
+  const std::vector<TraceRing *> Mutable = Session.rings();
+  const std::vector<const TraceRing *> Rings(Mutable.begin(), Mutable.end());
+  return toChromeJson(Rings, Session, Session.calibration().TicksPerMicro,
+                      Session.armTick(), Result);
+}
+
+bool TraceExport::writeTextFile(const std::string &Path,
+                                const std::string &Text) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  const size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  const bool Ok = std::fclose(F) == 0 && Written == Text.size();
+  return Ok;
+}
+
+bool TraceExport::writeChromeJsonFile(const std::string &Path,
+                                      const TraceSession &Session,
+                                      TraceExportResult *Result) {
+  return writeTextFile(Path, toChromeJson(Session, Result));
+}

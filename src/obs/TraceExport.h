@@ -1,0 +1,73 @@
+//===- obs/TraceExport.h - Chrome-trace and Prometheus export ---*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns recorded TraceRings into a chrome://tracing (Trace Event Format)
+/// JSON document: one timeline lane per worker ring, iteration spans
+/// synthesized from pop->commit/abort pairs, detector events as instants
+/// with their attribution rendered into args, and ParaMeter rounds as
+/// counter tracks (available parallelism per round). The Prometheus side
+/// lives on MetricsRegistry (toPrometheusText/toJson); this header only
+/// adds the file-writing conveniences the bench drivers share.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_OBS_TRACEEXPORT_H
+#define COMLAT_OBS_TRACEEXPORT_H
+
+#include "obs/TraceRing.h"
+
+#include <string>
+#include <vector>
+
+namespace comlat {
+namespace obs {
+
+/// Summary of one export, used by drivers to report attribution coverage
+/// (the "every abort is explained" contract).
+struct TraceExportResult {
+  /// Events retained across all rings.
+  uint64_t Events = 0;
+  /// Events lost to ring wrap-around.
+  uint64_t Dropped = 0;
+  /// Abort events exported.
+  uint64_t Aborts = 0;
+  /// Abort events carrying a concrete attribution: a detector label with a
+  /// lock-mode pair, gatekeeper predicate, or STM object. Operator-requested
+  /// retries (user aborts) carry no label and are not counted here.
+  uint64_t AbortsAttributed = 0;
+};
+
+namespace TraceExport {
+
+/// Renders \p Rings as a Chrome trace. \p TicksPerMicro and \p BaseTick
+/// pin the time axis (pass session.calibration().TicksPerMicro and the
+/// arm tick for real exports; fixed values in golden tests). \p Session
+/// supplies label/detail names.
+std::string toChromeJson(const std::vector<const TraceRing *> &Rings,
+                         const TraceSession &Session, double TicksPerMicro,
+                         uint64_t BaseTick,
+                         TraceExportResult *Result = nullptr);
+
+/// Renders every ring of \p Session on its own calibration.
+std::string toChromeJson(const TraceSession &Session,
+                         TraceExportResult *Result = nullptr);
+
+/// Writes toChromeJson(Session) to \p Path; false on I/O failure.
+bool writeChromeJsonFile(const std::string &Path, const TraceSession &Session,
+                         TraceExportResult *Result = nullptr);
+
+/// Writes arbitrary exposition text (Prometheus or JSON metrics) to a
+/// file; false on I/O failure.
+bool writeTextFile(const std::string &Path, const std::string &Text);
+
+} // namespace TraceExport
+
+} // namespace obs
+} // namespace comlat
+
+#endif // COMLAT_OBS_TRACEEXPORT_H

@@ -1,0 +1,164 @@
+//===- obs/TraceRing.cpp - Lock-free per-worker event rings ----------------===//
+
+#include "obs/TraceRing.h"
+
+#include "support/Compiler.h"
+
+using namespace comlat;
+using namespace comlat::obs;
+
+const char *obs::eventKindName(EventKind Kind) {
+  switch (Kind) {
+  case EventKind::ItemPop:
+    return "pop";
+  case EventKind::ItemSteal:
+    return "steal";
+  case EventKind::EmptyPop:
+    return "empty-pop";
+  case EventKind::Commit:
+    return "commit";
+  case EventKind::Abort:
+    return "abort";
+  case EventKind::Backoff:
+    return "backoff";
+  case EventKind::LockAcquire:
+    return "lock-acquire";
+  case EventKind::LockUpgrade:
+    return "lock-upgrade";
+  case EventKind::LockConflict:
+    return "lock-conflict";
+  case EventKind::GateCheck:
+    return "gate-check";
+  case EventKind::GateVeto:
+    return "gate-veto";
+  case EventKind::StmRead:
+    return "stm-read";
+  case EventKind::StmWrite:
+    return "stm-write";
+  case EventKind::StmConflict:
+    return "stm-conflict";
+  case EventKind::Round:
+    return "round";
+  }
+  COMLAT_UNREACHABLE("bad event kind");
+}
+
+static size_t roundUpPow2(size_t N) {
+  size_t P = 1;
+  while (P < N)
+    P <<= 1;
+  return P;
+}
+
+TraceRing::TraceRing(size_t Capacity)
+    : Events(roundUpPow2(Capacity == 0 ? 1 : Capacity)),
+      Mask(Events.size() - 1) {}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  std::vector<TraceEvent> Out;
+  const size_t Retained =
+      Head < Events.size() ? static_cast<size_t>(Head) : Events.size();
+  Out.reserve(Retained);
+  // Oldest retained event first: once wrapped, that is the slot Head
+  // points at (about to be overwritten next).
+  const uint64_t First = Head - Retained;
+  for (uint64_t I = First; I != Head; ++I)
+    Out.push_back(Events[I & Mask]);
+  return Out;
+}
+
+TraceSession &TraceSession::global() {
+  // Leaked intentionally: worker threads may touch their rings during
+  // static destruction (thread pools park past main's end in tests).
+  static TraceSession *S = new TraceSession();
+  return *S;
+}
+
+void TraceSession::arm(size_t Capacity) {
+  {
+    std::lock_guard<std::mutex> Guard(M);
+    Calibration = ClockCalibration::measure();
+    ArmTick = now();
+  }
+  RingCapacity.store(Capacity, std::memory_order_relaxed);
+  Armed.store(true, std::memory_order_release);
+}
+
+void TraceSession::disarm() { Armed.store(false, std::memory_order_release); }
+
+uint16_t TraceSession::internLabel(const std::string &Name,
+                                   const std::string &Kind) {
+  std::lock_guard<std::mutex> Guard(M);
+  for (size_t I = 0; I != Labels.size(); ++I)
+    if (Labels[I].first == Name && Labels[I].second == Kind)
+      return static_cast<uint16_t>(I + 1);
+  Labels.emplace_back(Name, Kind);
+  assert(Labels.size() < 0xFFFF && "label table overflow");
+  return static_cast<uint16_t>(Labels.size());
+}
+
+void TraceSession::describeDetail(uint16_t Label, uint32_t Detail,
+                                  std::string Text) {
+  std::lock_guard<std::mutex> Guard(M);
+  Details[(static_cast<uint64_t>(Label) << 32) | Detail] = std::move(Text);
+}
+
+static const std::string &emptyString() {
+  static const std::string Empty;
+  return Empty;
+}
+
+const std::string &TraceSession::labelName(uint16_t Label) const {
+  std::lock_guard<std::mutex> Guard(M);
+  if (Label == 0 || Label > Labels.size())
+    return emptyString();
+  return Labels[Label - 1].first;
+}
+
+const std::string &TraceSession::labelKind(uint16_t Label) const {
+  std::lock_guard<std::mutex> Guard(M);
+  if (Label == 0 || Label > Labels.size())
+    return emptyString();
+  return Labels[Label - 1].second;
+}
+
+const std::string &TraceSession::detailText(uint16_t Label,
+                                            uint32_t Detail) const {
+  std::lock_guard<std::mutex> Guard(M);
+  const auto It =
+      Details.find((static_cast<uint64_t>(Label) << 32) | Detail);
+  return It == Details.end() ? emptyString() : It->second;
+}
+
+TraceRing &TraceSession::ringForThisThread() {
+  thread_local TraceRing *Ring = nullptr;
+  if (COMLAT_LIKELY(Ring != nullptr))
+    return *Ring;
+  std::lock_guard<std::mutex> Guard(M);
+  Rings.push_back(std::make_unique<TraceRing>(
+      RingCapacity.load(std::memory_order_relaxed)));
+  Ring = Rings.back().get();
+  Ring->setRingId(static_cast<uint8_t>((Rings.size() - 1) & 0xFF));
+  return *Ring;
+}
+
+std::vector<TraceRing *> TraceSession::rings() const {
+  std::lock_guard<std::mutex> Guard(M);
+  std::vector<TraceRing *> Out;
+  Out.reserve(Rings.size());
+  for (const std::unique_ptr<TraceRing> &R : Rings)
+    Out.push_back(R.get());
+  return Out;
+}
+
+void TraceSession::resetEvents() {
+  std::lock_guard<std::mutex> Guard(M);
+  for (const std::unique_ptr<TraceRing> &R : Rings)
+    R->reset();
+}
+
+void obs::emitTraceEvent(EventKind Kind, uint64_t Tx, int64_t Arg,
+                         uint32_t Detail, uint16_t Label) {
+  TraceSession::global().ringForThisThread().record(Kind, Tx, Arg, Detail,
+                                                    Label);
+}

@@ -1,0 +1,194 @@
+//===- obs/TraceRing.h - Lock-free per-worker event rings -------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The recording half of the observability layer. Each thread owns one
+/// bounded TraceRing; recording an event is a branch on the armed flag,
+/// one clock read and one 32-byte store into the thread's ring — no locks,
+/// no allocation, no cross-thread traffic. Full rings wrap, keeping the
+/// most recent events (observability must never turn into backpressure).
+///
+/// Rings register themselves with the process-wide TraceSession on a
+/// thread's first event; the session hands the full set to the exporters
+/// after the traced region quiesces. Labels — short strings naming an
+/// instrumented component ("set<rw>", "kdtree-gk", ...) — are interned
+/// once at detector construction time so hot-path events carry a 16-bit id
+/// instead of a pointer.
+///
+/// When the build disables tracing (COMLAT_TRACING=OFF, i.e.
+/// COMLAT_TRACING_ENABLED == 0) the COMLAT_TRACE macro expands to nothing
+/// and the entire recording path compiles out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_OBS_TRACERING_H
+#define COMLAT_OBS_TRACERING_H
+
+#include "obs/Clock.h"
+#include "obs/TraceEvent.h"
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef COMLAT_TRACING_ENABLED
+#define COMLAT_TRACING_ENABLED 1
+#endif
+
+namespace comlat {
+namespace obs {
+
+/// One thread's bounded event buffer. Written only by the owning thread
+/// while a session is armed; read only after the traced region quiesced
+/// (the executors' termination barrier provides the happens-before edge).
+class TraceRing {
+public:
+  static constexpr size_t DefaultCapacity = 1 << 16; // 2 MiB of events
+
+  /// \p Capacity is rounded up to a power of two (for mask-wrap indexing).
+  explicit TraceRing(size_t Capacity = DefaultCapacity);
+
+  /// Records one event; overwrites the oldest record once full.
+  void record(EventKind Kind, uint64_t Tx, int64_t Arg, uint32_t Detail,
+              uint16_t Label) {
+    recordAt(now(), Kind, Tx, Arg, Detail, Label);
+  }
+
+  /// Records with an explicit timestamp (golden tests, replay tools).
+  void recordAt(uint64_t Tick, EventKind Kind, uint64_t Tx, int64_t Arg,
+                uint32_t Detail, uint16_t Label) {
+    TraceEvent &E = Events[Head & Mask];
+    E.Tick = Tick;
+    E.Tx = Tx;
+    E.Arg = Arg;
+    E.Detail = Detail;
+    E.Label = Label;
+    E.Kind = Kind;
+    E.Worker = RingId;
+    ++Head;
+  }
+
+  /// Events recorded since the last reset (may exceed capacity: the ring
+  /// wrapped and dropped the difference).
+  uint64_t recorded() const { return Head; }
+
+  /// Events dropped to wrap-around.
+  uint64_t dropped() const {
+    return Head > Events.size() ? Head - Events.size() : 0;
+  }
+
+  size_t capacity() const { return Events.size(); }
+
+  /// The retained events in recording order (oldest first). Only valid
+  /// once the writer thread is quiescent.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Forgets all events (capacity is retained).
+  void reset() { Head = 0; }
+
+  uint8_t ringId() const { return RingId; }
+  void setRingId(uint8_t Id) { RingId = Id; }
+
+private:
+  std::vector<TraceEvent> Events;
+  size_t Mask;
+  uint64_t Head = 0;
+  uint8_t RingId = 0;
+};
+
+/// The process-wide trace session: owns every thread's ring, the interned
+/// label table, and the armed flag the hot path checks.
+class TraceSession {
+public:
+  /// The process-wide session used by the COMLAT_TRACE macro.
+  static TraceSession &global();
+
+  /// Starts recording. Per-thread rings created from here on use
+  /// \p RingCapacity. Also measures the clock calibration.
+  void arm(size_t RingCapacity = TraceRing::DefaultCapacity);
+
+  /// Stops recording (rings retain their events for export).
+  void disarm();
+
+  bool armed() const { return Armed.load(std::memory_order_relaxed); }
+
+  /// Interns \p Name, returning its stable 16-bit id (> 0). \p Kind tags
+  /// what the label names — exporters map it to an abort cause:
+  /// "lock" (abstract locking), "gate" (a gatekeeper), "stm".
+  uint16_t internLabel(const std::string &Name, const std::string &Kind);
+
+  /// Registers a human-readable rendering of (\p Label, \p Detail) — e.g.
+  /// "add(x):arg vs remove(y):arg" for a lock-mode pair. Called at
+  /// detector construction, never on the hot path.
+  void describeDetail(uint16_t Label, uint32_t Detail, std::string Text);
+
+  const std::string &labelName(uint16_t Label) const;
+  const std::string &labelKind(uint16_t Label) const;
+
+  /// Rendering registered by describeDetail, or "" when unknown.
+  const std::string &detailText(uint16_t Label, uint32_t Detail) const;
+
+  /// The calling thread's ring, created (and registered) on first use.
+  TraceRing &ringForThisThread();
+
+  /// Stable snapshot of all registered rings. Rings live for the process
+  /// lifetime, so the pointers never dangle.
+  std::vector<TraceRing *> rings() const;
+
+  /// Drops all recorded events (labels and rings are kept).
+  void resetEvents();
+
+  const ClockCalibration &calibration() const { return Calibration; }
+  uint64_t armTick() const { return ArmTick; }
+
+private:
+  std::atomic<bool> Armed{false};
+  std::atomic<size_t> RingCapacity{TraceRing::DefaultCapacity};
+  ClockCalibration Calibration;
+  uint64_t ArmTick = 0;
+
+  mutable std::mutex M;
+  std::vector<std::unique_ptr<TraceRing>> Rings;
+  std::vector<std::pair<std::string, std::string>> Labels; // name, kind
+  std::map<uint64_t, std::string> Details; // (label << 32 | detail) -> text
+};
+
+/// True when events should be recorded; constant-folds to false in
+/// tracing-disabled builds so instrumentation sites vanish entirely.
+inline bool tracingActive() {
+#if COMLAT_TRACING_ENABLED
+  return TraceSession::global().armed();
+#else
+  return false;
+#endif
+}
+
+/// Out-of-line slow path of COMLAT_TRACE (only reached while armed).
+void emitTraceEvent(EventKind Kind, uint64_t Tx, int64_t Arg, uint32_t Detail,
+                    uint16_t Label);
+
+} // namespace obs
+} // namespace comlat
+
+/// Records one typed trace event. Free of side effects (and of any code at
+/// all, under COMLAT_TRACING=OFF) unless a session is armed.
+#if COMLAT_TRACING_ENABLED
+#define COMLAT_TRACE(Kind, Tx, Arg, Detail, Label)                            \
+  do {                                                                        \
+    if (::comlat::obs::tracingActive())                                       \
+      ::comlat::obs::emitTraceEvent((Kind), (Tx), (Arg), (Detail), (Label)); \
+  } while (false)
+#else
+#define COMLAT_TRACE(Kind, Tx, Arg, Detail, Label)                            \
+  do {                                                                        \
+  } while (false)
+#endif
+
+#endif // COMLAT_OBS_TRACERING_H

@@ -2,12 +2,38 @@
 
 #include "runtime/AbstractLockManager.h"
 
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceRing.h"
+
 using namespace comlat;
 
 AbstractLockManager::AbstractLockManager(const LockScheme *Scheme,
                                          std::string Label, KeyEvalFn KeyEval)
     : Scheme(Scheme), Label(std::move(Label)), KeyEval(std::move(KeyEval)) {
   assert(Scheme && "manager requires a scheme");
+  // Observability registration, all off the hot path: intern the trace
+  // label and pre-resolve one conflict counter per incompatible mode pair,
+  // so an abort can always name the exact held/requested pair that caused
+  // it (the lattice construction's modes are the paper's vocabulary for
+  // "why did these two invocations not commute").
+  obs::TraceSession &Session = obs::TraceSession::global();
+  ObsLabel = Session.internLabel(this->Label, "lock");
+  const CompatMatrix &Compat = Scheme->compat();
+  const unsigned NumModes = Scheme->numModes();
+  PairConflicts.assign(NumModes, std::vector<obs::Counter *>(NumModes));
+  for (ModeId Held = 0; Held != NumModes; ++Held)
+    for (ModeId Req = 0; Req != NumModes; ++Req) {
+      if (Compat[Held][Req])
+        continue;
+      PairConflicts[Held][Req] = obs::MetricsRegistry::global().counter(
+          obs::metricName("comlat_lock_conflicts_total",
+                          {{"detector", this->Label},
+                           {"held", Scheme->modeName(Held)},
+                           {"req", Scheme->modeName(Req)}}));
+      Session.describeDetail(ObsLabel, obs::packPair(Held, Req),
+                             Scheme->modeName(Held) + " vs " +
+                                 Scheme->modeName(Req));
+    }
 }
 
 bool AbstractLockManager::acquireList(Transaction &Tx,
@@ -36,11 +62,21 @@ bool AbstractLockManager::acquireList(Transaction &Tx,
       Lock = Table.lockFor(Space, Key);
     }
     Acquires.fetch_add(1, std::memory_order_relaxed);
-    if (!Lock->tryAcquire(Tx.id(), Acq.Mode, Scheme->compat())) {
+    ModeId Blocking = 0;
+    bool WasHeld = false;
+    if (!Lock->tryAcquire(Tx.id(), Acq.Mode, Scheme->compat(), &Blocking,
+                          &WasHeld)) {
       Conflicts.fetch_add(1, std::memory_order_relaxed);
-      Tx.fail(AbortCause::LockConflict);
+      const uint32_t Detail = obs::packPair(Blocking, Acq.Mode);
+      PairConflicts[Blocking][Acq.Mode]->add();
+      COMLAT_TRACE(obs::EventKind::LockConflict, Tx.id(), 0, Detail,
+                   ObsLabel);
+      Tx.fail(AbortCause::LockConflict, Detail, ObsLabel);
       return false;
     }
+    COMLAT_TRACE(WasHeld ? obs::EventKind::LockUpgrade
+                         : obs::EventKind::LockAcquire,
+                 Tx.id(), 0, Acq.Mode, ObsLabel);
     {
       std::lock_guard<std::mutex> Guard(HeldMutex);
       Held[Tx.id()].push_back(Lock);

@@ -26,6 +26,10 @@
 
 namespace comlat {
 
+namespace obs {
+class Counter;
+} // namespace obs
+
 /// Conflict detector driven by a generated LockScheme.
 ///
 /// Boosted wrappers call acquirePre before running the sequential method
@@ -65,6 +69,13 @@ private:
   KeyEvalFn KeyEval;
   LockTable Table;
   AbstractLock StructureLock;
+  /// Interned trace label (obs::TraceSession); stamps every event and
+  /// abort attribution this manager produces.
+  uint16_t ObsLabel = 0;
+  /// Per incompatible (held, requested) mode pair: the conflict counter
+  /// registered at construction (null for compatible pairs). Indexed
+  /// [held][requested]; hot path only dereferences.
+  std::vector<std::vector<obs::Counter *>> PairConflicts;
   std::mutex HeldMutex;
   std::map<TxId, std::vector<AbstractLock *>> Held;
   std::atomic<uint64_t> Acquires{0};

@@ -2,6 +2,7 @@
 
 #include "runtime/ExecStats.h"
 
+#include "obs/MetricsRegistry.h"
 #include "support/Compiler.h"
 
 #include <algorithm>
@@ -67,6 +68,65 @@ ExecStats &ExecStats::merge(const ExecStats &Other) {
   Seconds = std::max(Seconds, Other.Seconds);
   CommitLatency.merge(Other.CommitLatency);
   return *this;
+}
+
+ExecStats ExecStats::delta(const ExecStats &Before, const ExecStats &After) {
+  ExecStats Out;
+  Out.Committed = After.Committed - Before.Committed;
+  Out.Aborted = After.Aborted - Before.Aborted;
+  for (unsigned C = 0; C != NumAbortCauses; ++C)
+    Out.AbortsByCause[C] = After.AbortsByCause[C] - Before.AbortsByCause[C];
+  Out.Steals = After.Steals - Before.Steals;
+  Out.EmptyPops = After.EmptyPops - Before.EmptyPops;
+  Out.BackoffMicros = After.BackoffMicros - Before.BackoffMicros;
+  for (unsigned B = 0; B != LatencyHistogram::NumBuckets; ++B)
+    Out.CommitLatency.Buckets[B] =
+        After.CommitLatency.Buckets[B] - Before.CommitLatency.Buckets[B];
+  Out.CommitLatency.Count =
+      After.CommitLatency.Count - Before.CommitLatency.Count;
+  Out.CommitLatency.TotalMicros =
+      After.CommitLatency.TotalMicros - Before.CommitLatency.TotalMicros;
+  return Out;
+}
+
+ExecMetrics &ExecMetrics::global() {
+  static ExecMetrics *EM = [] {
+    obs::MetricsRegistry &R = obs::MetricsRegistry::global();
+    auto *M = new ExecMetrics();
+    M->Committed = R.counter("comlat_committed_total");
+    M->Aborted = R.counter("comlat_aborted_total");
+    for (unsigned C = 0; C != NumAbortCauses; ++C)
+      M->AbortsByCause[C] = R.counter(obs::metricName(
+          "comlat_aborts_total",
+          {{"cause", abortCauseName(static_cast<AbortCause>(C))}}));
+    M->Steals = R.counter("comlat_scheduler_steals_total");
+    M->EmptyPops = R.counter("comlat_scheduler_empty_pops_total");
+    M->BackoffMicros = R.counter("comlat_backoff_micros_total");
+    M->CommitLatencyUs = R.histogram("comlat_commit_latency_micros");
+    return M;
+  }();
+  return *EM;
+}
+
+ExecStats ExecMetrics::snapshot() const {
+  ExecStats S;
+  S.Committed = Committed->value();
+  S.Aborted = Aborted->value();
+  for (unsigned C = 0; C != NumAbortCauses; ++C)
+    S.AbortsByCause[C] = AbortsByCause[C]->value();
+  S.Steals = Steals->value();
+  S.EmptyPops = EmptyPops->value();
+  S.BackoffMicros = BackoffMicros->value();
+  const obs::HistogramSnapshot H = CommitLatencyUs->snapshot();
+  // The registry histogram has more buckets than the report vocabulary;
+  // the tail collapses into the report's open-ended last bucket.
+  for (unsigned B = 0; B != obs::HistogramSnapshot::NumBuckets; ++B)
+    S.CommitLatency
+        .Buckets[std::min(B, LatencyHistogram::NumBuckets - 1)] +=
+        H.Buckets[B];
+  S.CommitLatency.Count = H.Count;
+  S.CommitLatency.TotalMicros = H.Sum;
+  return S;
 }
 
 std::string ExecStats::csvHeader() {

@@ -27,6 +27,11 @@
 
 namespace comlat {
 
+namespace obs {
+class Counter;
+class Histogram;
+} // namespace obs
+
 /// Why a speculative iteration aborted. Detectors pass their cause to
 /// Transaction::fail(); operator code calling fail() directly is a user
 /// abort.
@@ -119,6 +124,11 @@ struct ExecStats {
   /// per-worker merging at quiescence and for cross-trial aggregation.
   ExecStats &merge(const ExecStats &Other);
 
+  /// The counter-wise difference After - Before (Rounds and Seconds are
+  /// zeroed: they are set by the engine, not differenced). This is how an
+  /// engine turns two registry snapshots into one run's statistics.
+  static ExecStats delta(const ExecStats &Before, const ExecStats &After);
+
   /// Column names matching toCsvRow(), comma-separated.
   static std::string csvHeader();
 
@@ -127,6 +137,29 @@ struct ExecStats {
 
   /// A JSON object of every counter including the latency histogram.
   std::string toJson() const;
+};
+
+/// The registry-backed home of the execution counters. Both engines (the
+/// speculative Executor and the ParaMeter RoundExecutor) count into these
+/// sharded cells on the hot path; an ExecStats is merely a snapshot view —
+/// engines snapshot() before and after a run and report the delta, so the
+/// same numbers serve the benches (per-run ExecStats rows) and the
+/// always-on exporters (cumulative Prometheus/JSON dumps) without
+/// double bookkeeping.
+struct ExecMetrics {
+  obs::Counter *Committed;
+  obs::Counter *Aborted;
+  obs::Counter *AbortsByCause[NumAbortCauses];
+  obs::Counter *Steals;
+  obs::Counter *EmptyPops;
+  obs::Counter *BackoffMicros;
+  obs::Histogram *CommitLatencyUs;
+
+  /// The comlat_* metrics in the process-wide registry.
+  static ExecMetrics &global();
+
+  /// Merged read of the current totals.
+  ExecStats snapshot() const;
 };
 
 } // namespace comlat

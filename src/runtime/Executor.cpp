@@ -1,6 +1,8 @@
 //===- runtime/Executor.cpp - Speculative parallel executor ----------------===//
 
 #include "runtime/Executor.h"
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceRing.h"
 #include "support/Random.h"
 #include "support/Timer.h"
 
@@ -105,14 +107,8 @@ private:
   TerminationBarrier &Barrier;
 };
 
-/// ExecStats is written by exactly one worker during the run; padding to
-/// cache lines keeps neighboring workers' counters from false-sharing.
-struct alignas(64) PaddedStats {
-  ExecStats Stats;
-};
-
 void backoff(const BackoffPolicy &Policy, unsigned ConsecutiveAborts,
-             Rng &BackoffRng, ExecStats &Stats) {
+             Rng &BackoffRng) {
   switch (Policy.Kind) {
   case BackoffKind::None:
     return;
@@ -123,7 +119,9 @@ void backoff(const BackoffPolicy &Policy, unsigned ConsecutiveAborts,
     const unsigned Cap = std::min(ConsecutiveAborts, Policy.MaxExponent);
     const uint64_t DelayUs = BackoffRng.nextBelow(1ull << Cap);
     if (DelayUs > 0) {
-      Stats.BackoffMicros += DelayUs;
+      ExecMetrics::global().BackoffMicros->add(DelayUs);
+      COMLAT_TRACE(obs::EventKind::Backoff, 0,
+                   static_cast<int64_t>(DelayUs), 0, 0);
       std::this_thread::sleep_for(std::chrono::microseconds(DelayUs));
     } else {
       std::this_thread::yield();
@@ -146,10 +144,10 @@ ExecStats Executor::run(Worklist &WL, const OperatorFn &Op) {
       makeWorkScheduler(Config.Worklist, WL, NumThreads, Config.ChunkSize);
   TerminationBarrier Barrier;
   std::atomic<uint64_t> NextTxId{1};
-  std::vector<PaddedStats> PerWorker(NumThreads);
+  ExecMetrics &Metrics = ExecMetrics::global();
+  const ExecStats Before = Metrics.snapshot();
 
   auto WorkLoop = [&](unsigned Worker) {
-    ExecStats &Stats = PerWorker[Worker].Stats;
     Rng BackoffRng(0x9e37 + Worker);
     unsigned ConsecutiveAborts = 0;
     SchedulerSink Sink(*Sched, Worker, Barrier);
@@ -157,9 +155,9 @@ ExecStats Executor::run(Worklist &WL, const OperatorFn &Op) {
       // Claim in-flight status before popping so no other thread can see
       // "queue empty and nobody running" while we hold an item.
       Barrier.enter();
-      const std::optional<int64_t> Item = Sched->tryPop(Worker, Stats);
+      const std::optional<int64_t> Item = Sched->tryPop(Worker);
       if (!Item) {
-        ++Stats.EmptyPops;
+        Metrics.EmptyPops->add();
         if (Barrier.leaveIdle(*Sched) || Barrier.done())
           return;
         Barrier.idleWait();
@@ -167,26 +165,34 @@ ExecStats Executor::run(Worklist &WL, const OperatorFn &Op) {
       }
       Timer TxTimer;
       Transaction Tx(NextTxId.fetch_add(1, std::memory_order_relaxed));
+      COMLAT_TRACE(obs::EventKind::ItemPop, Tx.id(), *Item, 0, 0);
       Tx.setRecording(Config.RecordHistories);
       TxWorklist TxWL(Sink, Tx);
       Op(Tx, *Item, TxWL);
       if (Tx.failed()) {
         const AbortCause Cause = Tx.abortCause();
+        // Attribution captured before abort() clears transaction state:
+        // the detector that failed the transaction stamped its interned
+        // label and packed conflict-pair detail.
+        const uint32_t Detail = Tx.abortDetail();
+        const uint16_t Label = Tx.abortLabel();
         Tx.abort();
-        ++Stats.Aborted;
-        ++Stats.AbortsByCause[static_cast<unsigned>(Cause)];
+        Metrics.Aborted->add();
+        Metrics.AbortsByCause[static_cast<unsigned>(Cause)]->add();
+        COMLAT_TRACE(obs::EventKind::Abort, Tx.id(), *Item, Detail, Label);
         Sink.push(*Item); // Before leave(): no lost work.
         Barrier.leave();
         ++ConsecutiveAborts;
-        backoff(Config.Backoff, ConsecutiveAborts, BackoffRng, Stats);
+        backoff(Config.Backoff, ConsecutiveAborts, BackoffRng);
       } else {
         // Commit actions (including worklist pushes) run inside commit(),
         // before the in-flight claim drops — the termination barrier
         // cannot miss work created here.
         Tx.commit();
-        ++Stats.Committed;
-        Stats.CommitLatency.addMicros(
+        Metrics.Committed->add();
+        Metrics.CommitLatencyUs->observe(
             static_cast<uint64_t>(TxTimer.seconds() * 1e6));
+        COMLAT_TRACE(obs::EventKind::Commit, Tx.id(), *Item, 0, 0);
         Barrier.leave();
         ConsecutiveAborts = 0;
       }
@@ -196,10 +202,9 @@ ExecStats Executor::run(Worklist &WL, const OperatorFn &Op) {
   Timer T;
   Pool.runOnAll(WorkLoop);
 
-  // Workers are quiescent; their stats merge without synchronization.
-  ExecStats Out;
-  for (const PaddedStats &S : PerWorker)
-    Out.merge(S.Stats);
+  // Workers are quiescent; the registry totals are stable. The run's own
+  // statistics are the before/after snapshot difference.
+  ExecStats Out = ExecStats::delta(Before, Metrics.snapshot());
   Out.Seconds = T.seconds();
   return Out;
 }

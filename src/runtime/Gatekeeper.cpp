@@ -2,6 +2,8 @@
 
 #include "runtime/Gatekeeper.h"
 #include "core/Eval.h"
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceRing.h"
 
 #include <algorithm>
 
@@ -121,6 +123,8 @@ Gatekeeper::Gatekeeper(Kind K, const CommSpec *Spec, GateTarget *Target,
   assert(Spec->isComplete() && "specification must cover all method pairs");
   const DataTypeSig &Sig = Spec->sig();
   const unsigned NumMethods = Sig.numMethods();
+  obs::TraceSession &Session = obs::TraceSession::global();
+  ObsLabel = Session.internLabel(this->Label, "gate");
   Plans.resize(NumMethods);
   LogPlans.resize(NumMethods);
   for (MethodId M1 = 0; M1 != NumMethods; ++M1) {
@@ -130,6 +134,18 @@ Gatekeeper::Gatekeeper(Kind K, const CommSpec *Spec, GateTarget *Target,
       Plan.F = Spec->get(M1, M2);
       Plan.TriviallyTrue = Plan.F->isTrue();
       Plan.S2Applies = collectS2Applies(Plan.F);
+      if (!Plan.TriviallyTrue) {
+        // Abort attribution: a veto of this predicate names the ordered
+        // method pair whose commutativity condition evaluated false.
+        Plan.Vetoes = obs::MetricsRegistry::global().counter(
+            obs::metricName("comlat_gate_vetoes_total",
+                            {{"detector", this->Label},
+                             {"first", Sig.method(M1).Name},
+                             {"second", Sig.method(M2).Name}}));
+        Session.describeDetail(ObsLabel, obs::packPair(M1, M2),
+                               Sig.method(M1).Name + " vs " +
+                                   Sig.method(M2).Name);
+      }
       // Warm the structural-key caches while still single-threaded; the
       // hot path only reads them afterwards.
       Plan.F->key();
@@ -237,13 +253,19 @@ bool Gatekeeper::invoke(Transaction &Tx, MethodId M,
 
   // Phase 5: check commutativity against every pending active invocation.
   bool Commutes = true;
+  const PairPlan *VetoPlan = nullptr;
+  uint32_t VetoDetail = 0;
   for (auto &[A, S2Cache] : Pending) {
     Checks.fetch_add(1, std::memory_order_relaxed);
     const PairPlan &Plan = Plans[A->Inv.Method][M];
+    COMLAT_TRACE(obs::EventKind::GateCheck, Tx.id(), 0,
+                 obs::packPair(A->Inv.Method, M), ObsLabel);
     GateCheckResolver Resolver(*this, A, &S2Cache);
     EvalContext Ctx{&A->Inv, &NewInv, &Resolver};
     if (!evalFormula(Plan.F, Ctx)) {
       Commutes = false;
+      VetoPlan = &Plan;
+      VetoDetail = obs::packPair(A->Inv.Method, M);
       break;
     }
   }
@@ -258,7 +280,10 @@ bool Gatekeeper::invoke(Transaction &Tx, MethodId M,
       --NextSeq;
     }
     Conflicts.fetch_add(1, std::memory_order_relaxed);
-    Tx.fail(AbortCause::Gatekeeper);
+    if (VetoPlan && VetoPlan->Vetoes)
+      VetoPlan->Vetoes->add();
+    COMLAT_TRACE(obs::EventKind::GateVeto, Tx.id(), 0, VetoDetail, ObsLabel);
+    Tx.fail(AbortCause::Gatekeeper, VetoDetail, ObsLabel);
     return false;
   }
 

@@ -48,6 +48,10 @@
 
 namespace comlat {
 
+namespace obs {
+class Counter;
+} // namespace obs
+
 /// Gatekeeper conflict detector; instantiate via ForwardGatekeeper or
 /// GeneralGatekeeper below.
 class Gatekeeper : public ConflictDetector {
@@ -93,11 +97,15 @@ private:
     std::map<std::string, Value> Log;
   };
 
-  /// Per ordered method pair: the condition and its evaluation plan.
+  /// Per ordered method pair: the condition and its evaluation plan, plus
+  /// the observability handles naming this predicate. A veto of the pair
+  /// (active first, arriving second) bumps Vetoes and attributes the abort
+  /// to the packed (first, second) method pair.
   struct PairPlan {
     FormulaPtr F;
     bool TriviallyTrue = false;
     std::vector<TermPtr> S2Applies;
+    obs::Counter *Vetoes = nullptr;
   };
 
   /// Per method: one loggable primitive-function term.
@@ -118,6 +126,8 @@ private:
   const CommSpec *Spec;
   GateTarget *Target;
   std::string Label;
+  /// Interned trace label (obs::TraceSession).
+  uint16_t ObsLabel = 0;
 
   std::vector<std::vector<PairPlan>> Plans;    // [first][second]
   std::vector<std::vector<LogTermPlan>> LogPlans; // [method]

@@ -4,16 +4,24 @@
 
 using namespace comlat;
 
-bool AbstractLock::tryAcquire(TxId Tx, ModeId Mode,
-                              const CompatMatrix &Compat) {
+bool AbstractLock::tryAcquire(TxId Tx, ModeId Mode, const CompatMatrix &Compat,
+                              ModeId *BlockingMode, bool *WasHeld) {
   assert(Mode < Compat.size() && "mode out of range for matrix");
   std::lock_guard<std::mutex> Guard(M);
+  bool Held = false;
   for (const Holder &H : Holders) {
-    if (H.Tx == Tx)
+    if (H.Tx == Tx) {
+      Held = true;
       continue;
-    if (!Compat[H.Mode][Mode])
+    }
+    if (!Compat[H.Mode][Mode]) {
+      if (BlockingMode)
+        *BlockingMode = H.Mode;
       return false;
+    }
   }
+  if (WasHeld)
+    *WasHeld = Held;
   for (Holder &H : Holders) {
     if (H.Tx == Tx && H.Mode == Mode) {
       ++H.Count;

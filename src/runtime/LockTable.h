@@ -48,8 +48,14 @@ using CompatMatrix = std::vector<std::vector<uint8_t>>;
 class AbstractLock {
 public:
   /// Attempts to acquire in \p Mode for \p Tx. Returns false (no state
-  /// change) if any other transaction holds an incompatible mode.
-  bool tryAcquire(TxId Tx, ModeId Mode, const CompatMatrix &Compat);
+  /// change) if any other transaction holds an incompatible mode; in that
+  /// case \p BlockingMode (when non-null) receives the incompatible mode
+  /// held — the other half of the conflicting mode pair that abort
+  /// attribution reports. On success, \p WasHeld (when non-null) is set to
+  /// whether \p Tx already held this lock in some mode (a re-entrant or
+  /// upgrade acquisition).
+  bool tryAcquire(TxId Tx, ModeId Mode, const CompatMatrix &Compat,
+                  ModeId *BlockingMode = nullptr, bool *WasHeld = nullptr);
 
   /// Drops every hold of \p Tx.
   void releaseAll(TxId Tx);

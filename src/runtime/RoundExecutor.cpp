@@ -2,18 +2,25 @@
 
 #include "runtime/RoundExecutor.h"
 
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceRing.h"
+
 #include <memory>
 
 using namespace comlat;
 
 ExecStats RoundExecutor::run(const std::vector<int64_t> &Initial,
                              const OperatorFn &Op) {
-  ExecStats Stats;
+  ExecMetrics &Metrics = ExecMetrics::global();
+  const ExecStats Before = Metrics.snapshot();
+  uint64_t Rounds = 0;
   uint64_t NextTxId = 1;
 
   std::vector<int64_t> Current = Initial;
   while (!Current.empty()) {
-    ++Stats.Rounds;
+    ++Rounds;
+    const uint64_t Available = Current.size();
+    uint64_t CommittedInRound = 0;
     // Work created by this round (commit-time pushes).
     Worklist NextRound;
     // Conflict-deferred items, retried at the *front* of the next round.
@@ -29,39 +36,56 @@ ExecStats RoundExecutor::run(const std::vector<int64_t> &Initial,
     std::vector<std::unique_ptr<Transaction>> Open;
     for (const int64_t Item : Current) {
       auto Tx = std::make_unique<Transaction>(NextTxId++);
+      COMLAT_TRACE(obs::EventKind::ItemPop, Tx->id(), Item, 0, 0);
       TxWorklist TxWL(NextRound, *Tx);
       Op(*Tx, Item, TxWL);
       if (Tx->failed()) {
         const AbortCause Cause = Tx->abortCause();
+        const uint32_t Detail = Tx->abortDetail();
+        const uint16_t Label = Tx->abortLabel();
         Tx->abort();
-        ++Stats.Aborted;
-        ++Stats.AbortsByCause[static_cast<unsigned>(Cause)];
+        Metrics.Aborted->add();
+        Metrics.AbortsByCause[static_cast<unsigned>(Cause)]->add();
+        COMLAT_TRACE(obs::EventKind::Abort, Tx->id(), Item, Detail, Label);
         Deferred.push_back(Item);
         continue;
       }
       Tx->commit(/*Release=*/false);
-      ++Stats.Committed;
+      Metrics.Committed->add();
+      COMLAT_TRACE(obs::EventKind::Commit, Tx->id(), Item, 0, 0);
+      ++CommittedInRound;
       Open.push_back(std::move(Tx));
     }
     for (const std::unique_ptr<Transaction> &Tx : Open)
       Tx->releaseDetectors();
     Open.clear();
+    // Per-round available parallelism: Arg carries the items runnable at
+    // the round start, Detail how many of them committed.
+    COMLAT_TRACE(obs::EventKind::Round, Rounds,
+                 static_cast<int64_t>(Available),
+                 static_cast<uint32_t>(CommittedInRound), 0);
     Current = std::move(Deferred);
     while (const std::optional<int64_t> Item = NextRound.tryPop())
       Current.push_back(*Item);
   }
-  return Stats;
+  ExecStats Out = ExecStats::delta(Before, Metrics.snapshot());
+  Out.Rounds = Rounds;
+  return Out;
 }
 
 ExecStats RoundExecutor::runBounded(const std::vector<int64_t> &Initial,
                                     const OperatorFn &Op, unsigned Width) {
   assert(Width > 0 && "need at least one processor");
-  ExecStats Stats;
+  ExecMetrics &Metrics = ExecMetrics::global();
+  const ExecStats Before = Metrics.snapshot();
+  uint64_t Rounds = 0;
   uint64_t NextTxId = 1;
   std::deque<int64_t> Queue(Initial.begin(), Initial.end());
   Worklist Created;
   while (!Queue.empty()) {
-    ++Stats.Rounds;
+    ++Rounds;
+    const uint64_t Available = Queue.size();
+    uint64_t CommittedInRound = 0;
     std::vector<std::unique_ptr<Transaction>> Open;
     // One lockstep group of at most Width transactions.
     std::vector<int64_t> Retry;
@@ -69,27 +93,38 @@ ExecStats RoundExecutor::runBounded(const std::vector<int64_t> &Initial,
       const int64_t Item = Queue.front();
       Queue.pop_front();
       auto Tx = std::make_unique<Transaction>(NextTxId++);
+      COMLAT_TRACE(obs::EventKind::ItemPop, Tx->id(), Item, 0, 0);
       TxWorklist TxWL(Created, *Tx);
       Op(*Tx, Item, TxWL);
       if (Tx->failed()) {
         const AbortCause Cause = Tx->abortCause();
+        const uint32_t Detail = Tx->abortDetail();
+        const uint16_t Label = Tx->abortLabel();
         Tx->abort();
-        ++Stats.Aborted;
-        ++Stats.AbortsByCause[static_cast<unsigned>(Cause)];
+        Metrics.Aborted->add();
+        Metrics.AbortsByCause[static_cast<unsigned>(Cause)]->add();
+        COMLAT_TRACE(obs::EventKind::Abort, Tx->id(), Item, Detail, Label);
         Retry.push_back(Item);
         continue;
       }
       Tx->commit(/*Release=*/false);
-      ++Stats.Committed;
+      Metrics.Committed->add();
+      COMLAT_TRACE(obs::EventKind::Commit, Tx->id(), Item, 0, 0);
+      ++CommittedInRound;
       Open.push_back(std::move(Tx));
     }
     for (const std::unique_ptr<Transaction> &Tx : Open)
       Tx->releaseDetectors();
+    COMLAT_TRACE(obs::EventKind::Round, Rounds,
+                 static_cast<int64_t>(Available),
+                 static_cast<uint32_t>(CommittedInRound), 0);
     // Deferred items retry in the next group, ahead of fresh work.
     for (auto It = Retry.rbegin(); It != Retry.rend(); ++It)
       Queue.push_front(*It);
     while (const std::optional<int64_t> Item = Created.tryPop())
       Queue.push_back(*Item);
   }
-  return Stats;
+  ExecStats Out = ExecStats::delta(Before, Metrics.snapshot());
+  Out.Rounds = Rounds;
+  return Out;
 }

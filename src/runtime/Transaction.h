@@ -77,15 +77,29 @@ public:
   /// Marks the transaction conflicted, recording why. Idempotent: the
   /// first cause wins (the operator returns on the first failure, so later
   /// calls would only ever come from unwinding code). Detectors pass their
-  /// cause; a plain fail() from operator code is a user-requested retry.
-  void fail(AbortCause Cause = AbortCause::User) {
-    if (!Failed)
+  /// cause plus their observability attribution: \p Label is the
+  /// detector's interned trace label (obs::TraceSession) and \p Detail the
+  /// packed mode/method pair that vetoed — together they tie the abort to
+  /// a concrete lock-mode conflict or gatekeeper predicate. A plain
+  /// fail() from operator code is a user-requested retry (no attribution).
+  void fail(AbortCause Cause = AbortCause::User, uint32_t Detail = 0,
+            uint16_t Label = 0) {
+    if (!Failed) {
       this->Cause = Cause;
+      this->Detail = Detail;
+      this->Label = Label;
+    }
     Failed = true;
   }
 
   /// Why the transaction failed; meaningful only when failed().
   AbortCause abortCause() const { return Cause; }
+
+  /// Packed attribution detail from the vetoing detector (0 if none).
+  uint32_t abortDetail() const { return Detail; }
+
+  /// Trace label of the vetoing detector (0 if none).
+  uint16_t abortLabel() const { return Label; }
 
   /// Registers participation of a detector; called by boosted wrappers on
   /// every invocation (cheap after the first).
@@ -133,6 +147,8 @@ private:
   TxId Id;
   bool Failed = false;
   AbortCause Cause = AbortCause::User;
+  uint32_t Detail = 0;
+  uint16_t Label = 0;
   bool Finished = false;
   bool Recording = false;
   bool NeedsRelease = false;

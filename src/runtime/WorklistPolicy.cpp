@@ -2,6 +2,8 @@
 
 #include "runtime/WorklistPolicy.h"
 
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceRing.h"
 #include "support/Compiler.h"
 
 #include <deque>
@@ -98,8 +100,7 @@ void ChunkedWorklist::push(unsigned Worker, int64_t Item) {
   Pending.fetch_add(1, std::memory_order_acq_rel);
 }
 
-std::optional<int64_t> ChunkedWorklist::tryPop(unsigned Worker,
-                                               ExecStats &Stats) {
+std::optional<int64_t> ChunkedWorklist::tryPop(unsigned Worker) {
   assert(Worker < Workers.size() && "worker index out of range");
   PerWorker &P = *Workers[Worker];
 
@@ -138,7 +139,9 @@ std::optional<int64_t> ChunkedWorklist::tryPop(unsigned Worker,
       continue;
     P.Drain = std::move(Victim.Shelf.back());
     Victim.Shelf.pop_back();
-    ++Stats.Steals;
+    ExecMetrics::global().Steals->add();
+    COMLAT_TRACE(obs::EventKind::ItemSteal, 0,
+                 static_cast<int64_t>((Worker + Offset) % N), 0, 0);
     break;
   }
   if (!P.Drain.empty())
@@ -168,9 +171,7 @@ public:
 
   void push(unsigned, int64_t Item) override { WL.push(Item); }
 
-  std::optional<int64_t> tryPop(unsigned, ExecStats &) override {
-    return WL.tryPop();
-  }
+  std::optional<int64_t> tryPop(unsigned) override { return WL.tryPop(); }
 
   bool empty() const override { return WL.empty(); }
 

@@ -72,8 +72,9 @@ public:
   virtual void push(unsigned Worker, int64_t Item) = 0;
 
   /// Takes one item for \p Worker, preferring local work and stealing
-  /// otherwise; bumps Stats.Steals when a steal supplied the item.
-  virtual std::optional<int64_t> tryPop(unsigned Worker, ExecStats &Stats) = 0;
+  /// otherwise. A steal bumps the global steals counter
+  /// (ExecMetrics::global().Steals) and emits an ItemSteal trace event.
+  virtual std::optional<int64_t> tryPop(unsigned Worker) = 0;
 
   /// True when no item is queued anywhere (items claimed by running
   /// iterations are not queued; the termination barrier accounts for
@@ -93,7 +94,7 @@ public:
   ~ChunkedWorklist() override;
 
   void push(unsigned Worker, int64_t Item) override;
-  std::optional<int64_t> tryPop(unsigned Worker, ExecStats &Stats) override;
+  std::optional<int64_t> tryPop(unsigned Worker) override;
   bool empty() const override {
     return Pending.load(std::memory_order_acquire) == 0;
   }

@@ -2,6 +2,9 @@
 
 #include "stm/ObjectStm.h"
 
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceRing.h"
+
 using namespace comlat;
 
 MemProbe::~MemProbe() = default;
@@ -13,16 +16,40 @@ enum StmMode : ModeId { ReadMode = 0, WriteMode = 1 };
 ObjectStm::ObjectStm(std::string Label) : Label(std::move(Label)) {
   // Read/read compatible; anything involving a write conflicts.
   Compat = {{1, 0}, {0, 0}};
+  obs::TraceSession &Session = obs::TraceSession::global();
+  ObsLabel = Session.internLabel(this->Label, "stm");
+  const char *ModeNames[2] = {"read", "write"};
+  for (ModeId Held = 0; Held != 2; ++Held)
+    for (ModeId Req = 0; Req != 2; ++Req) {
+      if (Compat[Held][Req])
+        continue;
+      PairConflicts[Held][Req] = obs::MetricsRegistry::global().counter(
+          obs::metricName("comlat_stm_conflicts_total",
+                          {{"detector", this->Label},
+                           {"held", ModeNames[Held]},
+                           {"req", ModeNames[Req]}}));
+      Session.describeDetail(ObsLabel, obs::packPair(Held, Req),
+                             std::string(ModeNames[Held]) + " vs " +
+                                 ModeNames[Req]);
+    }
 }
 
 bool ObjectStm::acquire(Transaction &Tx, uint64_t Obj, ModeId Mode) {
   Tx.touch(this);
   Accesses.fetch_add(1, std::memory_order_relaxed);
+  COMLAT_TRACE(Mode == WriteMode ? obs::EventKind::StmWrite
+                                 : obs::EventKind::StmRead,
+               Tx.id(), static_cast<int64_t>(Obj), 0, ObsLabel);
   AbstractLock *Lock = Table.lockFor(LockTable::PlainSpace,
                                      Value::integer(static_cast<int64_t>(Obj)));
-  if (!Lock->tryAcquire(Tx.id(), Mode, Compat)) {
+  ModeId Blocking = 0;
+  if (!Lock->tryAcquire(Tx.id(), Mode, Compat, &Blocking)) {
     Conflicts.fetch_add(1, std::memory_order_relaxed);
-    Tx.fail(AbortCause::LockConflict);
+    const uint32_t Detail = obs::packPair(Blocking, Mode);
+    PairConflicts[Blocking][Mode]->add();
+    COMLAT_TRACE(obs::EventKind::StmConflict, Tx.id(),
+                 static_cast<int64_t>(Obj), Detail, ObsLabel);
+    Tx.fail(AbortCause::LockConflict, Detail, ObsLabel);
     return false;
   }
   std::lock_guard<std::mutex> Guard(HeldMutex);

@@ -33,6 +33,10 @@
 
 namespace comlat {
 
+namespace obs {
+class Counter;
+} // namespace obs
+
 /// Instrumentation hook concrete structures call on every object access.
 /// Both methods return false when the access must not proceed (conflict);
 /// the structure then abandons the operation mid-way (already-registered
@@ -81,6 +85,10 @@ private:
   std::map<TxId, std::vector<AbstractLock *>> Held;
   std::atomic<uint64_t> Accesses{0};
   std::atomic<uint64_t> Conflicts{0};
+  /// Interned trace label and the three conflict counters (r-w, w-r, w-w)
+  /// pre-registered at construction, indexed [held][requested].
+  uint16_t ObsLabel = 0;
+  obs::Counter *PairConflicts[2][2] = {};
 };
 
 /// Adapts (ObjectStm, Transaction) to the MemProbe interface so a concrete

@@ -1,0 +1,185 @@
+//===- tests/obs/ExportTest.cpp - Golden export formats -----------------------===//
+//
+// Byte-exact golden tests for the two export formats downstream tooling
+// parses: the Chrome Trace Event JSON (chrome://tracing, Perfetto) and the
+// ExecStats JSON rows the bench harnesses emit. recordAt() with fixed ticks
+// and a fixed calibration make the documents fully deterministic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceExport.h"
+#include "runtime/ExecStats.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+using namespace comlat::obs;
+
+namespace {
+
+/// One worker lane with an attributed abort, a retry of the same item that
+/// commits, and the detector instant that explains the abort.
+struct GoldenTrace {
+  TraceSession Session;
+  TraceRing Ring{8};
+  uint16_t Label = 0;
+
+  GoldenTrace() {
+    Label = Session.internLabel("set<rw>", "lock");
+    Session.describeDetail(Label, packPair(1, 2), "wr vs rd");
+    Ring.setRingId(2);
+    Ring.recordAt(100, EventKind::ItemPop, /*Tx=*/7, /*Item=*/42, 0, 0);
+    Ring.recordAt(105, EventKind::LockConflict, 7, 0, packPair(1, 2), Label);
+    Ring.recordAt(110, EventKind::Abort, 7, 42, packPair(1, 2), Label);
+    Ring.recordAt(120, EventKind::ItemPop, /*Tx=*/8, /*Item=*/42, 0, 0);
+    Ring.recordAt(130, EventKind::Commit, 8, 42, 0, 0);
+  }
+
+  std::string render(TraceExportResult *Res = nullptr) const {
+    return TraceExport::toChromeJson({&Ring}, Session, /*TicksPerMicro=*/1.0,
+                                     /*BaseTick=*/100, Res);
+  }
+};
+
+} // namespace
+
+TEST(ChromeTraceTest, GoldenDocument) {
+  const GoldenTrace G;
+  const std::string Expected =
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"
+      "{\"name\":\"lock-conflict\",\"cat\":\"detector\",\"ph\":\"i\","
+      "\"ts\":5.000,\"pid\":1,\"tid\":2,\"s\":\"t\",\"args\":{\"tx\":7,"
+      "\"detector\":\"set<rw>\",\"why\":\"wr vs rd\"}},\n"
+      "{\"name\":\"abort:lock\",\"cat\":\"iteration\",\"ph\":\"X\","
+      "\"ts\":0.000,\"pid\":1,\"tid\":2,\"dur\":10.000,\"args\":{"
+      "\"item\":42,\"tx\":7,\"detector\":\"set<rw>\",\"why\":\"wr vs rd\"}},"
+      "\n"
+      "{\"name\":\"commit\",\"cat\":\"iteration\",\"ph\":\"X\","
+      "\"ts\":20.000,\"pid\":1,\"tid\":2,\"dur\":10.000,\"args\":{"
+      "\"item\":42,\"tx\":8}}\n"
+      "],\"otherData\":{\"events\":5,\"dropped\":0,\"aborts\":1,"
+      "\"abortsAttributed\":1}}\n";
+  EXPECT_EQ(G.render(), Expected);
+}
+
+TEST(ChromeTraceTest, ResultCountsAttribution) {
+  const GoldenTrace G;
+  TraceExportResult Res;
+  G.render(&Res);
+  EXPECT_EQ(Res.Events, 5u);
+  EXPECT_EQ(Res.Dropped, 0u);
+  EXPECT_EQ(Res.Aborts, 1u);
+  EXPECT_EQ(Res.AbortsAttributed, 1u);
+}
+
+TEST(ChromeTraceTest, UserAbortIsNotAttributed) {
+  TraceSession Session;
+  TraceRing Ring(8);
+  Ring.recordAt(10, EventKind::ItemPop, 1, 5, 0, 0);
+  Ring.recordAt(20, EventKind::Abort, 1, 5, 0, /*Label=*/0);
+  TraceExportResult Res;
+  const std::string Json = TraceExport::toChromeJson(
+      {&Ring}, Session, /*TicksPerMicro=*/1.0, /*BaseTick=*/10, &Res);
+  EXPECT_EQ(Res.Aborts, 1u);
+  EXPECT_EQ(Res.AbortsAttributed, 0u);
+  EXPECT_NE(Json.find("\"abort:user\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, RoundEventsBecomeCounterTracks) {
+  TraceSession Session;
+  TraceRing Ring(8);
+  Ring.recordAt(1000, EventKind::Round, /*Round=*/1, /*Available=*/64,
+                /*Committed=*/60, 0);
+  const std::string Json = TraceExport::toChromeJson(
+      {&Ring}, Session, /*TicksPerMicro=*/1.0, /*BaseTick=*/1000, nullptr);
+  EXPECT_NE(Json.find("\"name\":\"parallelism\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(Json.find("\"available\":64"), std::string::npos);
+  EXPECT_NE(Json.find("\"committed\":60"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, WrappedPopDegradesToInstantOutcome) {
+  // When the ring wrapped past the pop, the commit/abort cannot be a span
+  // (no start time); it must still appear, as an instant.
+  TraceSession Session;
+  TraceRing Ring(8);
+  Ring.recordAt(50, EventKind::Commit, 3, 9, 0, 0);
+  const std::string Json = TraceExport::toChromeJson(
+      {&Ring}, Session, /*TicksPerMicro=*/1.0, /*BaseTick=*/0, nullptr);
+  EXPECT_NE(Json.find("\"name\":\"commit\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_EQ(Json.find("\"dur\""), std::string::npos);
+}
+
+TEST(ExecStatsJsonTest, GoldenRow) {
+  ExecStats S;
+  S.Committed = 3;
+  S.Aborted = 2;
+  S.AbortsByCause[static_cast<unsigned>(AbortCause::LockConflict)] = 1;
+  S.AbortsByCause[static_cast<unsigned>(AbortCause::Gatekeeper)] = 1;
+  S.Steals = 4;
+  S.EmptyPops = 5;
+  S.BackoffMicros = 6;
+  S.Rounds = 7;
+  S.Seconds = 0.5;
+  S.CommitLatency.addMicros(1);
+  S.CommitLatency.addMicros(3);
+  S.CommitLatency.addMicros(5);
+  const std::string Expected =
+      "{\"committed\":3,\"aborted\":2,"
+      "\"abortsByCause\":{\"lock\":1,\"gatekeeper\":1,\"user\":0},"
+      "\"steals\":4,\"emptyPops\":5,\"backoffUs\":6,"
+      "\"rounds\":7,\"seconds\":0.500000,\"abortRatio\":0.400000,"
+      "\"parallelism\":0.43,\"commitLatencyUs\":{\"count\":3,"
+      "\"mean\":3.00,\"p50UpperBound\":4,\"p99UpperBound\":8,"
+      "\"buckets\":[1,1,1]}}";
+  EXPECT_EQ(S.toJson(), Expected);
+}
+
+TEST(ExecStatsJsonTest, GoldenCsvRow) {
+  ExecStats S;
+  S.Committed = 10;
+  S.Aborted = 1;
+  S.AbortsByCause[static_cast<unsigned>(AbortCause::User)] = 1;
+  S.Seconds = 0.25;
+  const std::string Expected =
+      "10,1,0,0,1,0,0,0,0,0.250000,0.090909,0.00,0,0";
+  EXPECT_EQ(S.toCsvRow(), Expected);
+  // Header and row column counts must agree.
+  const std::string Header = ExecStats::csvHeader();
+  const auto Count = [](const std::string &T) {
+    size_t N = 1;
+    for (const char C : T)
+      N += C == ',';
+    return N;
+  };
+  EXPECT_EQ(Count(Header), Count(Expected));
+}
+
+TEST(ExecStatsDeltaTest, SnapshotDifferenceIsCounterWise) {
+  ExecStats Before, After;
+  Before.Committed = 10;
+  After.Committed = 25;
+  Before.Aborted = 2;
+  After.Aborted = 5;
+  Before.AbortsByCause[0] = 2;
+  After.AbortsByCause[0] = 4;
+  After.AbortsByCause[2] = 1;
+  Before.CommitLatency.addMicros(3);
+  After.CommitLatency.addMicros(3);
+  After.CommitLatency.addMicros(9);
+  // Rounds/Seconds are engine-set, never differenced.
+  Before.Rounds = 99;
+  After.Rounds = 100;
+  After.Seconds = 3.0;
+
+  const ExecStats D = ExecStats::delta(Before, After);
+  EXPECT_EQ(D.Committed, 15u);
+  EXPECT_EQ(D.Aborted, 3u);
+  EXPECT_EQ(D.AbortsByCause[0], 2u);
+  EXPECT_EQ(D.AbortsByCause[2], 1u);
+  EXPECT_EQ(D.Rounds, 0u);
+  EXPECT_EQ(D.Seconds, 0.0);
+  EXPECT_EQ(D.CommitLatency.Count, 1u);
+  EXPECT_EQ(D.CommitLatency.TotalMicros, 9u);
+}

@@ -1,0 +1,141 @@
+//===- tests/obs/MetricsRegistryTest.cpp - Sharded metric semantics -----------===//
+
+#include "obs/MetricsRegistry.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace comlat;
+using namespace comlat::obs;
+
+TEST(MetricsRegistryTest, SameNameReturnsTheSameHandle) {
+  MetricsRegistry R;
+  Counter *A = R.counter("x_total");
+  Counter *B = R.counter("x_total");
+  EXPECT_EQ(A, B);
+  Histogram *H1 = R.histogram("y_micros");
+  Histogram *H2 = R.histogram("y_micros");
+  EXPECT_EQ(H1, H2);
+}
+
+TEST(MetricsRegistryTest, CounterMergesShardsWrittenByManyThreads) {
+  // The write side is sharded per thread; value() must present one merged
+  // total regardless of which shards absorbed the adds.
+  MetricsRegistry R;
+  Counter *C = R.counter("mt_total");
+  const unsigned NumThreads = 8;
+  const uint64_t PerThread = 10000;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([C] {
+      for (uint64_t I = 0; I != PerThread; ++I)
+        C->add();
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(C->value(), NumThreads * PerThread);
+}
+
+TEST(MetricsRegistryTest, CounterAddSupportsIncrements) {
+  MetricsRegistry R;
+  Counter *C = R.counter("inc_total");
+  C->add(5);
+  C->add(7);
+  EXPECT_EQ(C->value(), 12u);
+}
+
+TEST(MetricsRegistryTest, GaugeIsLastWriteWins) {
+  MetricsRegistry R;
+  Gauge *G = R.gauge("level");
+  G->set(42);
+  G->set(-7);
+  EXPECT_EQ(G->value(), -7);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsAreLog2) {
+  EXPECT_EQ(Histogram::bucketFor(0), 0u);
+  EXPECT_EQ(Histogram::bucketFor(1), 0u);
+  EXPECT_EQ(Histogram::bucketFor(2), 1u);
+  EXPECT_EQ(Histogram::bucketFor(3), 1u);
+  EXPECT_EQ(Histogram::bucketFor(4), 2u);
+  EXPECT_EQ(Histogram::bucketFor(1023), 9u);
+  EXPECT_EQ(Histogram::bucketFor(1024), 10u);
+  // The top bucket is open-ended.
+  EXPECT_EQ(Histogram::bucketFor(~0ull), Histogram::NumBuckets - 1);
+}
+
+TEST(MetricsRegistryTest, HistogramSnapshotMergesShards) {
+  MetricsRegistry R;
+  Histogram *H = R.histogram("lat_micros");
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != 4; ++T)
+    Threads.emplace_back([H] {
+      for (uint64_t I = 0; I != 100; ++I)
+        H->observe(8); // bucket 3
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  const HistogramSnapshot Snap = H->snapshot();
+  EXPECT_EQ(Snap.Count, 400u);
+  EXPECT_EQ(Snap.Sum, 3200u);
+  EXPECT_EQ(Snap.Buckets[3], 400u);
+  EXPECT_DOUBLE_EQ(Snap.mean(), 8.0);
+  // Every sample sits in [8, 16): the p50/p99 upper bound is 16.
+  EXPECT_EQ(Snap.quantileUpperBound(0.5), 16u);
+  EXPECT_EQ(Snap.quantileUpperBound(0.99), 16u);
+}
+
+TEST(MetricsRegistryTest, MetricNameRendersLabelSets) {
+  EXPECT_EQ(metricName("base_total", {}), "base_total");
+  EXPECT_EQ(metricName("base_total", {{"a", "x"}}), "base_total{a=\"x\"}");
+  EXPECT_EQ(metricName("c_total", {{"detector", "set<rw>"}, {"held", "wr"}}),
+            "c_total{detector=\"set<rw>\",held=\"wr\"}");
+  // Quotes and backslashes in values are escaped.
+  EXPECT_EQ(metricName("q_total", {{"v", "a\"b\\c"}}),
+            "q_total{v=\"a\\\"b\\\\c\"}");
+}
+
+TEST(MetricsRegistryTest, PrometheusTextExposesTypesAndValues) {
+  MetricsRegistry R;
+  R.counter("alpha_total")->add(3);
+  R.gauge("beta")->set(-2);
+  R.histogram("gamma_micros")->observe(5);
+  const std::string Text = R.toPrometheusText();
+  EXPECT_NE(Text.find("# TYPE alpha_total counter"), std::string::npos);
+  EXPECT_NE(Text.find("alpha_total 3"), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE beta gauge"), std::string::npos);
+  EXPECT_NE(Text.find("beta -2"), std::string::npos);
+  EXPECT_NE(Text.find("# TYPE gamma_micros histogram"), std::string::npos);
+  // 5 lands in [4, 8): the cumulative le="8" bucket holds it.
+  EXPECT_NE(Text.find("gamma_micros_bucket{le=\"8\"} 1"), std::string::npos);
+  EXPECT_NE(Text.find("gamma_micros_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(Text.find("gamma_micros_sum 5"), std::string::npos);
+  EXPECT_NE(Text.find("gamma_micros_count 1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, LabeledSeriesShareOneTypeHeader) {
+  MetricsRegistry R;
+  R.counter(metricName("multi_total", {{"k", "a"}}))->add(1);
+  R.counter(metricName("multi_total", {{"k", "b"}}))->add(2);
+  const std::string Text = R.toPrometheusText();
+  // One # TYPE line for the family, both series under it.
+  size_t First = Text.find("# TYPE multi_total counter");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_EQ(Text.find("# TYPE multi_total counter", First + 1),
+            std::string::npos);
+  EXPECT_NE(Text.find("multi_total{k=\"a\"} 1"), std::string::npos);
+  EXPECT_NE(Text.find("multi_total{k=\"b\"} 2"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonExportIsParsableShape) {
+  MetricsRegistry R;
+  R.counter("j_total")->add(9);
+  R.histogram("j_micros")->observe(3);
+  const std::string Json = R.toJson();
+  EXPECT_EQ(Json.front(), '{');
+  EXPECT_NE(Json.find("\"j_total\": 9"), std::string::npos);
+  EXPECT_NE(Json.find("\"j_micros\": {\"count\": 1, \"sum\": 3"),
+            std::string::npos);
+}

@@ -1,0 +1,147 @@
+//===- tests/obs/TraceRingTest.cpp - Event-ring invariants --------------------===//
+
+#include "obs/TraceRing.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace comlat;
+using namespace comlat::obs;
+
+TEST(TraceRingTest, CapacityRoundsUpToPowerOfTwo) {
+  TraceRing Ring(5);
+  EXPECT_EQ(Ring.capacity(), 8u);
+  TraceRing Exact(16);
+  EXPECT_EQ(Exact.capacity(), 16u);
+}
+
+TEST(TraceRingTest, RetainsEventsInRecordingOrder) {
+  TraceRing Ring(8);
+  for (uint64_t I = 0; I != 5; ++I)
+    Ring.recordAt(/*Tick=*/100 + I, EventKind::ItemPop, /*Tx=*/I,
+                  /*Arg=*/static_cast<int64_t>(I * 10), 0, 0);
+  const std::vector<TraceEvent> Events = Ring.snapshot();
+  ASSERT_EQ(Events.size(), 5u);
+  for (uint64_t I = 0; I != 5; ++I) {
+    EXPECT_EQ(Events[I].Tick, 100 + I);
+    EXPECT_EQ(Events[I].Tx, I);
+    EXPECT_EQ(Events[I].Arg, static_cast<int64_t>(I * 10));
+    EXPECT_EQ(Events[I].Kind, EventKind::ItemPop);
+  }
+  EXPECT_EQ(Ring.dropped(), 0u);
+}
+
+TEST(TraceRingTest, WrapKeepsTheMostRecentEvents) {
+  // Observability must never become backpressure: a full ring overwrites
+  // the oldest events and reports how many were lost.
+  TraceRing Ring(4);
+  for (uint64_t I = 0; I != 11; ++I)
+    Ring.recordAt(I, EventKind::Commit, I, 0, 0, 0);
+  EXPECT_EQ(Ring.recorded(), 11u);
+  EXPECT_EQ(Ring.dropped(), 7u);
+  const std::vector<TraceEvent> Events = Ring.snapshot();
+  ASSERT_EQ(Events.size(), 4u);
+  // Oldest-first order of the surviving suffix {7, 8, 9, 10}.
+  for (uint64_t I = 0; I != 4; ++I)
+    EXPECT_EQ(Events[I].Tx, 7 + I);
+}
+
+TEST(TraceRingTest, ResetForgetsEventsKeepsCapacity) {
+  TraceRing Ring(8);
+  Ring.recordAt(1, EventKind::Commit, 1, 0, 0, 0);
+  Ring.reset();
+  EXPECT_EQ(Ring.recorded(), 0u);
+  EXPECT_TRUE(Ring.snapshot().empty());
+  EXPECT_EQ(Ring.capacity(), 8u);
+}
+
+TEST(TraceRingTest, EventIsOneCacheHalfLine) {
+  // The hot-path contract: one 32-byte store per event.
+  static_assert(sizeof(TraceEvent) == 32, "trace event grew");
+}
+
+TEST(TraceRingTest, PackPairRoundTrips) {
+  const uint32_t Packed = packPair(3, 7);
+  EXPECT_EQ(pairFirst(Packed), 3u);
+  EXPECT_EQ(pairSecond(Packed), 7u);
+  const uint32_t Max = packPair(0xFFFF, 0xFFFE);
+  EXPECT_EQ(pairFirst(Max), 0xFFFFu);
+  EXPECT_EQ(pairSecond(Max), 0xFFFEu);
+}
+
+TEST(TraceSessionTest, InternAssignsStableIdsAndKinds) {
+  TraceSession Session;
+  const uint16_t A = Session.internLabel("set<rw>", "lock");
+  const uint16_t B = Session.internLabel("kdtree-gk", "gate");
+  EXPECT_NE(A, 0);
+  EXPECT_NE(B, 0);
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Session.internLabel("set<rw>", "lock"), A);
+  EXPECT_EQ(Session.labelName(A), "set<rw>");
+  EXPECT_EQ(Session.labelKind(A), "lock");
+  EXPECT_EQ(Session.labelName(B), "kdtree-gk");
+  EXPECT_EQ(Session.labelKind(B), "gate");
+  // Label 0 is the reserved "no attribution" id.
+  EXPECT_EQ(Session.labelName(0), "");
+  EXPECT_EQ(Session.labelKind(0), "");
+}
+
+TEST(TraceSessionTest, DetailTextRegistersAndResolves) {
+  TraceSession Session;
+  const uint16_t L = Session.internLabel("set<rw>", "lock");
+  Session.describeDetail(L, packPair(1, 2), "wr vs rd");
+  EXPECT_EQ(Session.detailText(L, packPair(1, 2)), "wr vs rd");
+  EXPECT_EQ(Session.detailText(L, packPair(2, 1)), "");
+}
+
+TEST(TraceSessionTest, ConcurrentWritersUseDisjointRings) {
+  // Each thread records into its own ring; the session aggregates them
+  // after the writers quiesce. Under TSan this validates the single-writer
+  // design: no two threads ever touch the same ring.
+  TraceSession Session;
+  Session.arm(/*RingCapacity=*/1024);
+  const unsigned NumThreads = 4;
+  const uint64_t PerThread = 500;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&Session, T] {
+      TraceRing &Ring = Session.ringForThisThread();
+      for (uint64_t I = 0; I != PerThread; ++I)
+        Ring.record(EventKind::Commit, /*Tx=*/T * PerThread + I, 0, 0, 0);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  Session.disarm();
+
+  uint64_t Total = 0;
+  for (const TraceRing *Ring : Session.rings())
+    Total += Ring->snapshot().size();
+  EXPECT_EQ(Total, NumThreads * PerThread);
+}
+
+TEST(TraceSessionTest, GlobalMacroRecordsOnlyWhileArmed) {
+  TraceSession &Session = TraceSession::global();
+  // Quiesce anything earlier tests left behind.
+  Session.disarm();
+  Session.resetEvents();
+  const auto TotalEvents = [&Session] {
+    uint64_t Total = 0;
+    for (const TraceRing *Ring : Session.rings())
+      Total += Ring->snapshot().size();
+    return Total;
+  };
+
+  COMLAT_TRACE(EventKind::Commit, 1, 0, 0, 0);
+  EXPECT_EQ(TotalEvents(), 0u) << "disarmed session must not record";
+
+  Session.arm(64);
+  COMLAT_TRACE(EventKind::Commit, 2, 0, 0, 0);
+  Session.disarm();
+#if COMLAT_TRACING_ENABLED
+  EXPECT_EQ(TotalEvents(), 1u);
+#else
+  EXPECT_EQ(TotalEvents(), 0u);
+#endif
+  Session.resetEvents();
+}

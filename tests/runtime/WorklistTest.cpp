@@ -2,6 +2,8 @@
 
 #include "runtime/WorklistPolicy.h"
 
+#include "obs/MetricsRegistry.h"
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -13,13 +15,26 @@ using namespace comlat;
 namespace {
 
 /// Pops everything worker \p W can see (local work plus steals) in order.
-std::vector<int64_t> drainAll(WorkScheduler &Sched, unsigned W,
-                              ExecStats &Stats) {
+std::vector<int64_t> drainAll(WorkScheduler &Sched, unsigned W) {
   std::vector<int64_t> Out;
-  while (const std::optional<int64_t> Item = Sched.tryPop(W, Stats))
+  while (const std::optional<int64_t> Item = Sched.tryPop(W))
     Out.push_back(*Item);
   return Out;
 }
+
+/// Steals counted into the process-wide registry since construction.
+/// Scheduler tests observe steal deltas through this window because the
+/// counter is global (the scheduler no longer threads an ExecStats).
+class StealWindow {
+public:
+  StealWindow() : Start(ExecMetrics::global().Steals->value()) {}
+  uint64_t steals() const {
+    return ExecMetrics::global().Steals->value() - Start;
+  }
+
+private:
+  uint64_t Start;
+};
 
 } // namespace
 
@@ -28,27 +43,26 @@ TEST(ChunkedWorklistTest, SingleWorkerIsFifo) {
   // that re-pushes an item to "retry later" must not get that item as the
   // very next pop (see WorklistPolicy.h).
   ChunkedWorklist WL(1, /*ChunkSize=*/4);
-  ExecStats Stats;
+  StealWindow Window;
   for (int64_t I = 0; I != 11; ++I)
     WL.push(0, I);
-  const std::vector<int64_t> Got = drainAll(WL, 0, Stats);
+  const std::vector<int64_t> Got = drainAll(WL, 0);
   std::vector<int64_t> Want(11);
   for (int64_t I = 0; I != 11; ++I)
     Want[static_cast<size_t>(I)] = I;
   EXPECT_EQ(Got, Want);
   EXPECT_TRUE(WL.empty());
-  EXPECT_EQ(Stats.Steals, 0u);
+  EXPECT_EQ(Window.steals(), 0u);
 }
 
 TEST(ChunkedWorklistTest, RePushedItemDrainsAfterOlderWork) {
   ChunkedWorklist WL(1, /*ChunkSize=*/8);
-  ExecStats Stats;
   WL.push(0, 1);
   WL.push(0, 2);
-  ASSERT_EQ(WL.tryPop(0, Stats), std::optional<int64_t>(1));
+  ASSERT_EQ(WL.tryPop(0), std::optional<int64_t>(1));
   WL.push(0, 1); // Retry: must come out after 2.
-  EXPECT_EQ(WL.tryPop(0, Stats), std::optional<int64_t>(2));
-  EXPECT_EQ(WL.tryPop(0, Stats), std::optional<int64_t>(1));
+  EXPECT_EQ(WL.tryPop(0), std::optional<int64_t>(2));
+  EXPECT_EQ(WL.tryPop(0), std::optional<int64_t>(1));
 }
 
 TEST(ChunkedWorklistTest, FullChunksSpillToTheShelf) {
@@ -67,27 +81,25 @@ TEST(ChunkedWorklistTest, StealTakesWholeChunksOldestKeptByOwner) {
   ASSERT_EQ(WL.shelvedChunks(0), 2u);
 
   // The thief takes the back (newest) shelved chunk in one steal.
-  ExecStats ThiefStats;
-  EXPECT_EQ(WL.tryPop(1, ThiefStats), std::optional<int64_t>(4));
-  EXPECT_EQ(ThiefStats.Steals, 1u);
+  StealWindow Window;
+  EXPECT_EQ(WL.tryPop(1), std::optional<int64_t>(4));
+  EXPECT_EQ(Window.steals(), 1u);
   EXPECT_EQ(WL.shelvedChunks(0), 1u);
   // The rest of the stolen chunk is now the thief's local work.
-  EXPECT_EQ(WL.tryPop(1, ThiefStats), std::optional<int64_t>(5));
-  EXPECT_EQ(ThiefStats.Steals, 1u);
+  EXPECT_EQ(WL.tryPop(1), std::optional<int64_t>(5));
+  EXPECT_EQ(Window.steals(), 1u);
 
-  // The owner still drains its oldest work first.
-  ExecStats OwnerStats;
-  EXPECT_EQ(WL.tryPop(0, OwnerStats), std::optional<int64_t>(0));
-  EXPECT_EQ(OwnerStats.Steals, 0u);
+  // The owner still drains its oldest work first, without stealing.
+  EXPECT_EQ(WL.tryPop(0), std::optional<int64_t>(0));
+  EXPECT_EQ(Window.steals(), 1u);
 }
 
 TEST(ChunkedWorklistTest, PrivateFillChunkIsNotStealable) {
   ChunkedWorklist WL(2, /*ChunkSize=*/64);
   WL.push(0, 7); // Stays in worker 0's fill chunk (not shelved).
-  ExecStats Stats;
-  EXPECT_EQ(WL.tryPop(1, Stats), std::nullopt);
+  EXPECT_EQ(WL.tryPop(1), std::nullopt);
   EXPECT_FALSE(WL.empty()); // But it still counts as queued work.
-  EXPECT_EQ(WL.tryPop(0, Stats), std::optional<int64_t>(7));
+  EXPECT_EQ(WL.tryPop(0), std::optional<int64_t>(7));
   EXPECT_TRUE(WL.empty());
 }
 
@@ -98,9 +110,8 @@ TEST(ChunkedWorklistTest, NoItemLostOrDuplicatedAcrossWorkers) {
   for (int64_t I = 0; I != N; ++I)
     WL.push(static_cast<unsigned>(I) % Workers, I);
   std::multiset<int64_t> Seen;
-  ExecStats Stats;
   for (unsigned W = 0; W != Workers; ++W)
-    for (const int64_t Item : drainAll(WL, W, Stats))
+    for (const int64_t Item : drainAll(WL, W))
       Seen.insert(Item);
   EXPECT_EQ(Seen.size(), static_cast<size_t>(N));
   for (int64_t I = 0; I != N; ++I)
@@ -120,23 +131,21 @@ TEST(ChunkedWorklistTest, PendingCountNeverUndercountsUnderConcurrency) {
   std::vector<std::thread> Threads;
   for (unsigned W = 0; W != Workers; ++W)
     Threads.emplace_back([&WL, &Popped, W] {
-      ExecStats Stats;
       for (int64_t I = 0; I != PerWorker; ++I) {
         WL.push(W, I);
         if (I % 3 == 0)
-          if (WL.tryPop(W, Stats))
+          if (WL.tryPop(W))
             Popped.fetch_add(1);
       }
-      while (WL.tryPop(W, Stats))
+      while (WL.tryPop(W))
         Popped.fetch_add(1);
     });
   for (std::thread &T : Threads)
     T.join();
   // Stragglers: a worker may finish while another's fill chunk still holds
   // items only the owner could pop. Drain every lane from one thread.
-  ExecStats Stats;
   for (unsigned W = 0; W != Workers; ++W)
-    while (WL.tryPop(W, Stats))
+    while (WL.tryPop(W))
       Popped.fetch_add(1);
   EXPECT_EQ(Popped.load(), PerWorker * static_cast<int64_t>(Workers));
   EXPECT_TRUE(WL.empty());
@@ -166,13 +175,12 @@ TEST(WorklistPolicyTest, GlobalFifoWrapsTheSeedInPlace) {
   Worklist Seed({10, 20, 30});
   const std::unique_ptr<WorkScheduler> Sched = makeWorkScheduler(
       WorklistPolicy::GlobalFifo, Seed, /*NumWorkers=*/2, /*ChunkSize=*/4);
-  ExecStats Stats;
-  EXPECT_EQ(Sched->tryPop(0, Stats), std::optional<int64_t>(10));
+  EXPECT_EQ(Sched->tryPop(0), std::optional<int64_t>(10));
   Sched->push(1, 40);
   EXPECT_FALSE(Seed.empty()); // The push went into the seed worklist.
-  EXPECT_EQ(Sched->tryPop(1, Stats), std::optional<int64_t>(20));
-  EXPECT_EQ(Sched->tryPop(0, Stats), std::optional<int64_t>(30));
-  EXPECT_EQ(Sched->tryPop(0, Stats), std::optional<int64_t>(40));
+  EXPECT_EQ(Sched->tryPop(1), std::optional<int64_t>(20));
+  EXPECT_EQ(Sched->tryPop(0), std::optional<int64_t>(30));
+  EXPECT_EQ(Sched->tryPop(0), std::optional<int64_t>(40));
   EXPECT_TRUE(Sched->empty());
   EXPECT_TRUE(Seed.empty());
 }
@@ -183,13 +191,12 @@ TEST(WorklistPolicyTest, ChunkedFactoryDrainsTheSeedRoundRobin) {
       makeWorkScheduler(WorklistPolicy::ChunkedStealing, Seed,
                         /*NumWorkers=*/2, /*ChunkSize=*/4);
   EXPECT_TRUE(Seed.empty()); // Fully drained into the per-worker lanes.
-  ExecStats Stats;
   // Round-robin seeding: worker 0 got {0,2,4}, worker 1 got {1,3,5}.
-  EXPECT_EQ(Sched->tryPop(0, Stats), std::optional<int64_t>(0));
-  EXPECT_EQ(Sched->tryPop(1, Stats), std::optional<int64_t>(1));
-  EXPECT_EQ(Sched->tryPop(0, Stats), std::optional<int64_t>(2));
-  EXPECT_EQ(Sched->tryPop(1, Stats), std::optional<int64_t>(3));
-  EXPECT_EQ(Sched->tryPop(0, Stats), std::optional<int64_t>(4));
-  EXPECT_EQ(Sched->tryPop(1, Stats), std::optional<int64_t>(5));
+  EXPECT_EQ(Sched->tryPop(0), std::optional<int64_t>(0));
+  EXPECT_EQ(Sched->tryPop(1), std::optional<int64_t>(1));
+  EXPECT_EQ(Sched->tryPop(0), std::optional<int64_t>(2));
+  EXPECT_EQ(Sched->tryPop(1), std::optional<int64_t>(3));
+  EXPECT_EQ(Sched->tryPop(0), std::optional<int64_t>(4));
+  EXPECT_EQ(Sched->tryPop(1), std::optional<int64_t>(5));
   EXPECT_TRUE(Sched->empty());
 }
