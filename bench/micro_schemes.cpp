@@ -82,6 +82,72 @@ static void BM_GatekeeperSetAdd(benchmark::State &State) {
 }
 BENCHMARK(BM_GatekeeperSetAdd)->Arg(0)->Arg(4)->Arg(16)->Arg(64);
 
+/// Gatekeeper admission throughput as the thread count grows, contrasting
+/// the two hot paths of the striped refactor:
+///
+///  * the *separable* mix (precise spec, `x != y` disjuncts) admits on the
+///    per-key stripe — disjoint keys never meet a shared mutex;
+///  * the *non-separable* mix (partitioned spec, `part(x) != part(y)`
+///    separates key classes, not keys) falls back to the single global
+///    stripe, the classic critical section.
+///
+/// Items processed = admissions, so the reported items/sec is checks/sec.
+class GateThroughputBase : public benchmark::Fixture {
+public:
+  void SetUp(const benchmark::State &State) override {
+    if (State.thread_index() == 0)
+      Set = makeGatedSet(spec());
+  }
+  void TearDown(const benchmark::State &State) override {
+    if (State.thread_index() == 0)
+      Set.reset();
+  }
+
+protected:
+  virtual const CommSpec &spec() const = 0;
+
+  void admitLoop(benchmark::State &State) {
+    // Per-thread disjoint key ranges: cross-thread pairs always satisfy
+    // the separable disjunct (and usually cross partitions too, so the
+    // non-separable run measures serialization, not aborts).
+    int64_t Key = static_cast<int64_t>(State.thread_index()) << 20;
+    for (auto _ : State) {
+      Transaction Tx(static_cast<TxId>(State.thread_index()) + 1);
+      bool Res = false;
+      if (Set->add(Tx, ++Key, Res)) {
+        benchmark::DoNotOptimize(Res);
+        Tx.commit();
+      } else {
+        Tx.abort();
+      }
+    }
+    State.SetItemsProcessed(State.iterations());
+  }
+
+  std::unique_ptr<TxSet> Set;
+};
+
+class GateThroughputSeparable : public GateThroughputBase {
+  const CommSpec &spec() const override { return preciseSetSpec(); }
+};
+
+class GateThroughputNonSeparable : public GateThroughputBase {
+  const CommSpec &spec() const override { return partitionedSetSpec(); }
+};
+
+BENCHMARK_DEFINE_F(GateThroughputSeparable, Admit)(benchmark::State &State) {
+  admitLoop(State);
+}
+BENCHMARK_REGISTER_F(GateThroughputSeparable, Admit)
+    ->ThreadRange(1, 8)
+    ->UseRealTime();
+
+BENCHMARK_DEFINE_F(GateThroughputNonSeparable, Admit)
+(benchmark::State &State) { admitLoop(State); }
+BENCHMARK_REGISTER_F(GateThroughputNonSeparable, Admit)
+    ->ThreadRange(1, 8)
+    ->UseRealTime();
+
 /// Memory-level STM: one object lock per concrete access.
 static void BM_StmRead(benchmark::State &State) {
   ObjectStm Stm("bench");

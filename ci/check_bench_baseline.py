@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
 """Bench-smoke gate: validate the observability artifacts against the
-checked-in baseline.
+checked-in baselines.
 
 Counter *values* are workload- and timing-dependent, so the gate checks
 structure and invariants, not exact numbers:
 
-  * every metric key present in BENCH_baseline.json still exists in the
-    fresh table2 metrics dump (a vanished key means an instrumentation
-    site was lost);
+  * every metric key present in any baseline file (BENCH_baseline.json,
+    plus incremental ones such as BENCH_pr3.json for the striped
+    gatekeeper counters) still exists in the fresh table2 metrics dump
+    (a vanished key means an instrumentation site was lost);
+  * stripe gauges are powers of two in [1, 64] and striped + global
+    admissions are non-zero whenever a gatekeeper ran;
   * the fresh run committed work and its abort accounting is consistent
     (cause breakdown sums to the abort total);
   * the Chrome trace is valid JSON and >= 99% of its aborts carry a
@@ -31,8 +34,10 @@ def base_name(key: str) -> str:
     return key.split("{", 1)[0]
 
 
-def check_metrics(baseline_path: Path, metrics_path: Path) -> None:
-    baseline = json.loads(baseline_path.read_text())
+def check_metrics(baseline_paths: list, metrics_path: Path) -> None:
+    baseline = {}
+    for path in baseline_paths:
+        baseline.update(json.loads(path.read_text()))
     fresh = json.loads(metrics_path.read_text())
 
     missing = sorted(set(baseline) - set(fresh))
@@ -46,6 +51,21 @@ def check_metrics(baseline_path: Path, metrics_path: Path) -> None:
                   {base_name(k) for k in fresh})
     if lost:
         fail(f"{metrics_path}: baseline metric families lost: {lost}")
+
+    # Striped-gatekeeper invariants (PR 3 baseline): every admission went
+    # through exactly one of the two paths, and the stripe gauge is sane.
+    stripes = [v for k, v in fresh.items()
+               if base_name(k) == "comlat_gate_stripes"]
+    for count in stripes:
+        if count < 1 or count > 64 or (count & (count - 1)) != 0:
+            fail(f"{metrics_path}: stripe count {count} is not a power of "
+                 f"two in [1, 64]")
+    striped = sum(v for k, v in fresh.items()
+                  if base_name(k) == "comlat_gate_striped_admissions_total")
+    unstriped = sum(v for k, v in fresh.items()
+                    if base_name(k) == "comlat_gate_global_admissions_total")
+    if stripes and striped + unstriped == 0:
+        fail(f"{metrics_path}: gatekeeper ran but admitted nothing")
 
     committed = fresh.get("comlat_committed_total", 0)
     if committed <= 0:
@@ -87,13 +107,13 @@ def check_csv(csv_path: Path) -> None:
 
 
 def main() -> None:
-    if len(sys.argv) != 3:
-        print(f"usage: {sys.argv[0]} BENCH_baseline.json ARTIFACT_DIR",
-              file=sys.stderr)
+    if len(sys.argv) < 3:
+        print(f"usage: {sys.argv[0]} BASELINE.json [BASELINE2.json ...] "
+              f"ARTIFACT_DIR", file=sys.stderr)
         sys.exit(2)
-    baseline = Path(sys.argv[1])
-    artifacts = Path(sys.argv[2])
-    check_metrics(baseline, artifacts / "table2_metrics.json")
+    baselines = [Path(p) for p in sys.argv[1:-1]]
+    artifacts = Path(sys.argv[-1])
+    check_metrics(baselines, artifacts / "table2_metrics.json")
     check_trace(artifacts / "table2_trace.json")
     check_csv(artifacts / "table2.csv")
     check_csv(artifacts / "table1.csv")

@@ -115,7 +115,13 @@ private:
 class GatedAccumulator : public TxAccumulator {
 public:
   GatedAccumulator()
-      : Keeper(&accumulatorSpec(), &Target, "accumulator-gatekeeper") {}
+      : Keeper(&accumulatorSpec(), &Target, "accumulator-gatekeeper") {
+    // All three conditions fold to constants when compiled (top/bottom),
+    // and constant conditions are not key-separable — the read/increment
+    // conflict is through the one shared sum — so admission stays on the
+    // single-stripe path.
+    assert(!Keeper.striped() && "accumulator conditions are not separable");
+  }
 
   bool increment(Transaction &Tx, int64_t Amount) override {
     const AccumulatorSig &S = accumulatorSig();

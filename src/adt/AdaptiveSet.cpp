@@ -51,7 +51,15 @@ public:
         SchemeRw(strengthenedSetSpec()),
         MgrEx(&SchemeEx, "adaptive-exclusive"),
         MgrRw(&SchemeRw, "adaptive-rw"), Target(Set),
-        Keeper(&preciseSetSpec(), &Target, "adaptive-precise") {}
+        Keeper(&preciseSetSpec(), &Target, "adaptive-precise") {
+    // Every level evaluates compiled programs: the two lock levels through
+    // their schemes' key programs, the precise level through the
+    // gatekeeper's pair plans. The precise spec is key-separable, but the
+    // concrete set is shared with the lock levels (one unsharded
+    // IntHashSet), so SharedSetGateTarget keeps the non-concurrent default
+    // and admission stays on the single-stripe path.
+    assert(!Keeper.striped() && "shared-set target keeps the global gate");
+  }
 
   /// Binds \p Tx to a level, or refuses it while a switch is draining.
   std::optional<Level> bind(Transaction &Tx) {

@@ -160,7 +160,12 @@ private:
 class GatedKdTree : public TxKdTree {
 public:
   explicit GatedKdTree(const PointStore *Store)
-      : Target(Store), Keeper(&kdSpec(), &Target, "kd-gk") {}
+      : Target(Store), Keeper(&kdSpec(), &Target, "kd-gk") {
+    // The kd conditions compile like every other spec, but they resolve
+    // nearest/dist applications against abstract state, which excludes the
+    // striped admission path (there is no per-stripe historical state).
+    assert(!Keeper.striped() && "kd conditions read state, cannot stripe");
+  }
 
   bool add(Transaction &Tx, int64_t Id, bool &Changed) override {
     Value Ret;

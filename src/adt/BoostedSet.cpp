@@ -2,6 +2,8 @@
 
 #include "adt/BoostedSet.h"
 
+#include <algorithm>
+
 using namespace comlat;
 
 TxSet::~TxSet() = default;
@@ -114,25 +116,29 @@ private:
   IntHashSet Set;
 };
 
-/// GateTarget adapter over the concrete set.
+/// GateTarget adapter over the concrete set. The representation is sharded
+/// by the gatekeeper's stripe function, so a striped gatekeeper may run
+/// same-stripe-serialized invocations concurrently across stripes: every
+/// key's cells live in exactly the shard its admission stripe serializes.
 class SetGateTarget : public GateTarget {
 public:
   Value gateExecute(MethodId Method, const std::vector<Value> &Args,
                     std::vector<GateAction> &Actions) override {
     const SetSig &S = setSig();
     const int64_t Key = Args[0].asInt();
+    IntHashSet &Set = shardFor(Args[0]);
     if (Method == S.Add) {
       const bool Changed = Set.insert(Key);
       if (Changed)
-        Actions.push_back(GateAction{[this, Key] { Set.erase(Key); },
-                                     [this, Key] { Set.insert(Key); }});
+        Actions.push_back(GateAction{[&Set, Key] { Set.erase(Key); },
+                                     [&Set, Key] { Set.insert(Key); }});
       return Value::boolean(Changed);
     }
     if (Method == S.Remove) {
       const bool Changed = Set.erase(Key);
       if (Changed)
-        Actions.push_back(GateAction{[this, Key] { Set.insert(Key); },
-                                     [this, Key] { Set.erase(Key); }});
+        Actions.push_back(GateAction{[&Set, Key] { Set.insert(Key); },
+                                     [&Set, Key] { Set.erase(Key); }});
       return Value::boolean(Changed);
     }
     assert(Method == S.Contains && "unknown set method");
@@ -140,16 +146,36 @@ public:
   }
 
   Value gateEvalStateFn(StateFnId F, const std::vector<Value> &Args) override {
+    // part() is pure (arguments only), so it is safe on the striped path.
     assert(F == setSig().Part && "unknown set state function");
     return Value::integer(partitionOf(Args[0].asInt(), 16));
   }
 
-  std::string gateSignature() const override { return Set.signature(); }
+  std::string gateSignature() const override {
+    // Merge shards into the canonical (sorted, comma-joined) fingerprint,
+    // identical to an unsharded IntHashSet's signature.
+    std::vector<int64_t> All;
+    for (const IntHashSet &Set : Shards) {
+      const std::vector<int64_t> Part = Set.sortedElements();
+      All.insert(All.end(), Part.begin(), Part.end());
+    }
+    std::sort(All.begin(), All.end());
+    std::string Out;
+    for (const int64_t Key : All) {
+      Out += std::to_string(Key);
+      Out += ',';
+    }
+    return Out;
+  }
 
-  const IntHashSet &set() const { return Set; }
+  bool gateConcurrentSafe() const override { return true; }
 
 private:
-  IntHashSet Set;
+  IntHashSet &shardFor(const Value &Key) {
+    return Shards[gateStripeOf(Key)];
+  }
+
+  IntHashSet Shards[GateStripeCount];
 };
 
 /// Forward-gatekept set.
@@ -167,7 +193,7 @@ public:
   bool contains(Transaction &Tx, int64_t Key, bool &Res) override {
     return invoke(Tx, setSig().Contains, Key, Res);
   }
-  std::string signature() const override { return Target.set().signature(); }
+  std::string signature() const override { return Target.gateSignature(); }
   const char *schemeName() const override { return Keeper.name(); }
 
 private:

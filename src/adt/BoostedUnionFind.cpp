@@ -150,7 +150,12 @@ private:
 class GatedUnionFind : public TxUnionFind {
 public:
   explicit GatedUnionFind(size_t NumElements)
-      : Target(NumElements), Keeper(&ufSpec(), &Target, "uf-gk") {}
+      : Target(NumElements), Keeper(&ufSpec(), &Target, "uf-gk") {
+    // General gatekeepers never stripe: rollback evaluation needs one
+    // totally-ordered mutation log to rewind (the conditions themselves
+    // are still compiled; s1-applies go through the rollback resolver).
+    assert(!Keeper.striped() && "general gatekeepers are single-stripe");
+  }
 
   bool find(Transaction &Tx, int64_t X, int64_t &Rep) override {
     Value Ret;

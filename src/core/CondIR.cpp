@@ -1,0 +1,351 @@
+//===- core/CondIR.cpp - Compiled commutativity conditions ----------------===//
+
+#include "core/CondIR.h"
+#include "core/Simplify.h"
+
+#include <sstream>
+
+using namespace comlat;
+
+//===----------------------------------------------------------------------===//
+// Evaluation
+//===----------------------------------------------------------------------===//
+
+Value CondProgram::eval(const Inputs &In) const {
+  assert(In.NumExt >= NumExt &&
+         "fewer external slots supplied than the program was compiled with");
+  Value Stack[MaxStackDepth];
+  unsigned SP = 0;
+  Value Memo[MaxApplySlots];
+  uint32_t MemoValid = 0;
+
+  for (size_t PC = 0, N = Code.size(); PC != N; ++PC) {
+    const Insn &I = Code[PC];
+    switch (I.Op) {
+    case OpCode::PushArg: {
+      const Frame &F = I.Sub == uint8_t(InvIndex::Inv1) ? In.Inv1 : In.Inv2;
+      assert(I.A < F.NumArgs && "argument index out of range");
+      Stack[SP++] = F.Args[I.A];
+      break;
+    }
+    case OpCode::PushRet: {
+      const Frame &F = I.Sub == uint8_t(InvIndex::Inv1) ? In.Inv1 : In.Inv2;
+      assert(F.Ret && "program reads a return value the caller did not bind");
+      Stack[SP++] = *F.Ret;
+      break;
+    }
+    case OpCode::PushConst:
+      Stack[SP++] = Pool[I.A];
+      break;
+    case OpCode::PushExt:
+      assert(I.A < In.NumExt && "external slot out of range");
+      Stack[SP++] = In.Ext[I.A];
+      break;
+    case OpCode::PushApply: {
+      SP -= I.B;
+      if (MemoValid & (1u << I.A)) {
+        Stack[SP++] = Memo[I.A];
+        break;
+      }
+      const ApplySlot &S = Applies[I.A];
+      assert(In.Resolver && "apply slot but no resolver supplied");
+      const std::vector<Value> Args(Stack + SP, Stack + SP + I.B);
+      const Value V = In.Resolver->resolveApply(*S.T, Args);
+      Memo[I.A] = V;
+      MemoValid |= 1u << I.A;
+      Stack[SP++] = V;
+      break;
+    }
+    case OpCode::Arith: {
+      const Value R = Stack[--SP];
+      const Value L = Stack[--SP];
+      Stack[SP++] = evalArithOp(static_cast<ArithOp>(I.Sub), L, R);
+      break;
+    }
+    case OpCode::Cmp: {
+      const Value R = Stack[--SP];
+      const Value L = Stack[--SP];
+      Stack[SP++] =
+          Value::boolean(evalCmpOp(static_cast<CmpOp>(I.Sub), L, R));
+      break;
+    }
+    case OpCode::Not:
+      Stack[SP - 1] = Value::boolean(!Stack[SP - 1].asBool());
+      break;
+    case OpCode::BrFalsePeek:
+      if (!Stack[SP - 1].asBool())
+        PC = I.B - 1; // The loop increment lands on the target.
+      break;
+    case OpCode::BrTruePeek:
+      if (Stack[SP - 1].asBool())
+        PC = I.B - 1;
+      break;
+    case OpCode::Pop:
+      --SP;
+      break;
+    case OpCode::Halt:
+      assert(SP == 1 && "unbalanced stack at halt");
+      return Stack[0];
+    }
+  }
+  COMLAT_UNREACHABLE("compiled program fell off the end");
+}
+
+std::string CondProgram::disassemble(const DataTypeSig *Sig) const {
+  std::ostringstream OS;
+  for (size_t PC = 0; PC != Code.size(); ++PC) {
+    const Insn &I = Code[PC];
+    OS << (PC < 10 ? "  " : " ") << PC << ": ";
+    switch (I.Op) {
+    case OpCode::PushArg:
+      OS << "push v" << unsigned(I.Sub) << "[" << I.A << "]";
+      break;
+    case OpCode::PushRet:
+      OS << "push r" << unsigned(I.Sub);
+      break;
+    case OpCode::PushConst:
+      OS << "push " << Pool[I.A].str();
+      break;
+    case OpCode::PushExt:
+      OS << "push ext[" << I.A << "]";
+      break;
+    case OpCode::PushApply: {
+      const ApplySlot &S = Applies[I.A];
+      OS << "apply slot " << I.A << " ";
+      OS << (Sig ? Sig->stateFn(S.Fn).Name
+                 : "f" + std::to_string(S.Fn));
+      OS << "/" << I.B;
+      if (S.State != StateRef::None)
+        OS << (S.State == StateRef::S1 ? " @s1" : " @s2");
+      break;
+    }
+    case OpCode::Arith: {
+      static const char *Names[] = {"add", "sub", "mul", "div"};
+      OS << "arith " << Names[I.Sub];
+      break;
+    }
+    case OpCode::Cmp: {
+      static const char *Names[] = {"eq", "ne", "lt", "le", "gt", "ge"};
+      OS << "cmp " << Names[I.Sub];
+      break;
+    }
+    case OpCode::Not:
+      OS << "not";
+      break;
+    case OpCode::BrFalsePeek:
+      OS << "br.false " << I.B;
+      break;
+    case OpCode::BrTruePeek:
+      OS << "br.true " << I.B;
+      break;
+    case OpCode::Pop:
+      OS << "pop";
+      break;
+    case OpCode::Halt:
+      OS << "halt";
+      break;
+    }
+    OS << "\n";
+  }
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Key footprint
+//===----------------------------------------------------------------------===//
+
+/// True when \p F is exactly `m1.argI != m2.argJ` (either orientation).
+static bool clauseIsKeySeparable(const Formula &F, KeySeparability &Out) {
+  if (F.K != Formula::Kind::Cmp || F.Op != CmpOp::NE)
+    return false;
+  const Term &L = *F.Lhs, &R = *F.Rhs;
+  if (L.K != Term::Kind::Arg || R.K != Term::Kind::Arg || L.Inv == R.Inv)
+    return false;
+  Out.Separable = true;
+  if (L.Inv == InvIndex::Inv1) {
+    Out.Arg1 = L.ArgIndex;
+    Out.Arg2 = R.ArgIndex;
+  } else {
+    Out.Arg1 = R.ArgIndex;
+    Out.Arg2 = L.ArgIndex;
+  }
+  return true;
+}
+
+KeySeparability comlat::analyzeKeySeparability(const FormulaPtr &F) {
+  KeySeparability KS;
+  if (clauseIsKeySeparable(*F, KS))
+    return KS;
+  if (F->K == Formula::Kind::Or)
+    for (const FormulaPtr &Kid : F->Kids)
+      if (clauseIsKeySeparable(*Kid, KS))
+        return KS;
+  return KS;
+}
+
+//===----------------------------------------------------------------------===//
+// Compilation
+//===----------------------------------------------------------------------===//
+
+struct CondCompiler::Build {
+  CondProgram P;
+  /// Structural key -> apply slot (dedup: one slot per distinct term, which
+  /// is also what makes per-evaluation memoization sound).
+  std::map<std::string, uint16_t> ApplySlotOf;
+  unsigned Depth = 0;
+  unsigned MaxDepth = 0;
+
+  size_t emit(CondProgram::Insn I) {
+    P.Code.push_back(I);
+    return P.Code.size() - 1;
+  }
+  void push() {
+    if (++Depth > MaxDepth)
+      MaxDepth = Depth;
+    assert(MaxDepth <= CondProgram::MaxStackDepth &&
+           "condition exceeds the compiled evaluation stack");
+  }
+  void pop(unsigned N = 1) {
+    assert(Depth >= N && "stack underflow during compilation");
+    Depth -= N;
+  }
+  uint16_t pool(const Value &V) {
+    // No dedup: Int and Real constants compare numerically equal but have
+    // different arithmetic semantics, and pools are tiny anyway.
+    P.Pool.push_back(V);
+    return static_cast<uint16_t>(P.Pool.size() - 1);
+  }
+  uint16_t target() const {
+    assert(P.Code.size() < UINT16_MAX && "program too large for branches");
+    return static_cast<uint16_t>(P.Code.size());
+  }
+};
+
+void CondCompiler::bindExternal(const TermPtr &T, uint16_t Slot) {
+  // First binding wins: the gatekeeper binds log terms before s2-cache
+  // terms, matching the interpreter resolvers' lookup precedence.
+  External.emplace(T->key(), Slot);
+  NumExt = std::max(NumExt, uint32_t(Slot) + 1);
+}
+
+void CondCompiler::lowerTerm(Build &B, const TermPtr &T) {
+  // An externally bound term loads its slot whatever its shape.
+  const auto ExtIt = External.find(T->key());
+  if (ExtIt != External.end()) {
+    B.emit({CondProgram::OpCode::PushExt, 0, ExtIt->second, 0});
+    B.push();
+    return;
+  }
+  switch (T->K) {
+  case Term::Kind::Arg:
+    B.emit({CondProgram::OpCode::PushArg, uint8_t(T->Inv),
+            static_cast<uint16_t>(T->ArgIndex), 0});
+    B.push();
+    return;
+  case Term::Kind::Ret:
+    B.emit({CondProgram::OpCode::PushRet, uint8_t(T->Inv), 0, 0});
+    B.push();
+    return;
+  case Term::Kind::Const:
+    B.emit({CondProgram::OpCode::PushConst, 0, B.pool(T->Literal), 0});
+    B.push();
+    return;
+  case Term::Kind::Apply: {
+    for (const TermPtr &A : T->Args)
+      lowerTerm(B, A);
+    uint16_t Slot;
+    const auto It = B.ApplySlotOf.find(T->key());
+    if (It != B.ApplySlotOf.end()) {
+      Slot = It->second;
+    } else {
+      assert(B.P.Applies.size() < CondProgram::MaxApplySlots &&
+             "condition has too many distinct state-function applications");
+      Slot = static_cast<uint16_t>(B.P.Applies.size());
+      B.P.Applies.push_back({T, T->Fn, T->State,
+                             static_cast<uint16_t>(T->Args.size())});
+      B.ApplySlotOf.emplace(T->key(), Slot);
+    }
+    B.emit({CondProgram::OpCode::PushApply, 0, Slot,
+            static_cast<uint16_t>(T->Args.size())});
+    B.pop(static_cast<unsigned>(T->Args.size()));
+    B.push();
+    return;
+  }
+  case Term::Kind::Arith:
+    lowerTerm(B, T->Lhs);
+    lowerTerm(B, T->Rhs);
+    B.emit({CondProgram::OpCode::Arith, uint8_t(T->Op), 0, 0});
+    B.pop(2);
+    B.push();
+    return;
+  }
+  COMLAT_UNREACHABLE("bad term kind");
+}
+
+void CondCompiler::lowerFormula(Build &B, const FormulaPtr &F) {
+  switch (F->K) {
+  case Formula::Kind::True:
+  case Formula::Kind::False:
+    B.emit({CondProgram::OpCode::PushConst, 0,
+            B.pool(Value::boolean(F->isTrue())), 0});
+    B.push();
+    return;
+  case Formula::Kind::Cmp:
+    lowerTerm(B, F->Lhs);
+    lowerTerm(B, F->Rhs);
+    B.emit({CondProgram::OpCode::Cmp, uint8_t(F->Op), 0, 0});
+    B.pop(2);
+    B.push();
+    return;
+  case Formula::Kind::Not:
+    lowerFormula(B, F->Kids[0]);
+    B.emit({CondProgram::OpCode::Not, 0, 0, 0});
+    return;
+  case Formula::Kind::And:
+  case Formula::Kind::Or: {
+    // Short-circuit chain: the first decisive kid's value stays on the
+    // stack and control jumps to the continuation.
+    assert(!F->Kids.empty() && "connective with no children");
+    const CondProgram::OpCode Br = F->K == Formula::Kind::And
+                                       ? CondProgram::OpCode::BrFalsePeek
+                                       : CondProgram::OpCode::BrTruePeek;
+    lowerFormula(B, F->Kids[0]);
+    std::vector<size_t> Patches;
+    for (size_t I = 1; I != F->Kids.size(); ++I) {
+      Patches.push_back(B.emit({Br, 0, 0, 0}));
+      B.emit({CondProgram::OpCode::Pop, 0, 0, 0});
+      B.pop();
+      lowerFormula(B, F->Kids[I]);
+    }
+    const uint16_t Cont = B.target();
+    for (const size_t P : Patches)
+      B.P.Code[P].B = Cont;
+    return;
+  }
+  }
+  COMLAT_UNREACHABLE("bad formula kind");
+}
+
+CondProgram CondCompiler::compileFormula(const FormulaPtr &F) {
+  const FormulaPtr S = simplify(F);
+  Build B;
+  B.P.NumExt = NumExt;
+  lowerFormula(B, S);
+  B.emit({CondProgram::OpCode::Halt, 0, 0, 0});
+  B.P.MaxDepth = B.MaxDepth;
+  if (S->isTrue())
+    B.P.Always = 1;
+  else if (S->isFalse())
+    B.P.Always = 0;
+  B.P.KeySep = analyzeKeySeparability(S);
+  return std::move(B.P);
+}
+
+CondProgram CondCompiler::compileTerm(const TermPtr &T) {
+  Build B;
+  B.P.NumExt = NumExt;
+  lowerTerm(B, T);
+  B.emit({CondProgram::OpCode::Halt, 0, 0, 0});
+  B.P.MaxDepth = B.MaxDepth;
+  return std::move(B.P);
+}

@@ -1,0 +1,215 @@
+//===- core/CondIR.h - Compiled commutativity conditions --------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flat, allocation-free evaluation form for commutativity conditions.
+///
+/// The tree interpreter (core/Eval.h) walks the shared-pointer Formula/Term
+/// AST on every check; a gatekeeper does that inside its critical section,
+/// so the most permissive lattice points pay the highest per-check cost —
+/// exactly the overhead axis of the paper's Table 2. CondCompiler lowers a
+/// FormulaPtr (after core/Simplify.h canonicalization and constant folding)
+/// into a CondProgram: a postfix instruction sequence with short-circuit
+/// branches, a constant pool, pre-resolved argument/return slots, and two
+/// kinds of state-function slots:
+///
+///  * *external* slots — Apply terms whose values the caller supplies per
+///    evaluation (a forward gatekeeper binds its invocation log and its
+///    phase-1 s2-cache here, replacing the string-keyed map lookups of the
+///    interpreter with indexed loads);
+///  * *apply* slots — remaining Apply terms, resolved through the ordinary
+///    ApplyResolver policy and memoized for the duration of one evaluation.
+///
+/// Evaluation uses a fixed-size value stack and performs no heap allocation
+/// unless an apply slot actually fires. The tree interpreter remains the
+/// reference semantics: CondProgram::evalBool must agree with evalFormula on
+/// every input (SpecValidator's differential mode and the CondIR fuzz test
+/// enforce this).
+///
+/// The compiler also derives a *key footprint*: whether the condition is
+/// key-separable — contains a disjunct `m1.argI != m2.argJ` (the shape of
+/// the set lattice's `x != y` clauses), so invocations with different keys
+/// trivially commute. The striped gatekeeper admission path is built on
+/// this metadata (runtime/Gatekeeper.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_CORE_CONDIR_H
+#define COMLAT_CORE_CONDIR_H
+
+#include "core/Eval.h"
+#include "core/Expr.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace comlat {
+
+/// Key footprint of a condition: when Separable, the condition contains a
+/// top-level disjunct `m1.arg[Arg1] != m2.arg[Arg2]`, so two invocations
+/// whose key arguments differ commute regardless of everything else. Only
+/// plain argument slots qualify — a key-function clause `k(x) != k(y)`
+/// separates key *classes*, not keys, and is deliberately not recognized.
+struct KeySeparability {
+  bool Separable = false;
+  unsigned Arg1 = 0; ///< Key argument index of the first invocation.
+  unsigned Arg2 = 0; ///< Key argument index of the second invocation.
+};
+
+/// A compiled condition (or term): flat postfix code over a value stack.
+class CondProgram {
+public:
+  enum class OpCode : uint8_t {
+    PushArg,     ///< Push invocation Sub's argument A.
+    PushRet,     ///< Push invocation Sub's return value.
+    PushConst,   ///< Push constant-pool entry A.
+    PushExt,     ///< Push externally supplied slot A.
+    PushApply,   ///< Pop B argument values, resolve/memoize apply slot A.
+    Arith,       ///< Pop two values, push arithmetic result (op Sub).
+    Cmp,         ///< Pop two values, push boolean comparison (op Sub).
+    Not,         ///< Pop one boolean, push its negation.
+    BrFalsePeek, ///< Jump to B when the stack top is false (value kept).
+    BrTruePeek,  ///< Jump to B when the stack top is true (value kept).
+    Pop,         ///< Discard the stack top.
+    Halt         ///< Stop; the stack top is the result.
+  };
+
+  /// One 8-byte instruction. Sub carries the InvIndex / ArithOp / CmpOp;
+  /// A is a pool/slot index; B is a branch target or apply arity.
+  struct Insn {
+    OpCode Op;
+    uint8_t Sub = 0;
+    uint16_t A = 0;
+    uint16_t B = 0;
+  };
+
+  /// One unresolved state-function application: resolved through the
+  /// caller's ApplyResolver and memoized per evaluation.
+  struct ApplySlot {
+    TermPtr T; ///< The original Apply term (handed to the resolver).
+    StateFnId Fn = 0;
+    StateRef State = StateRef::None;
+    uint16_t NumArgs = 0;
+  };
+
+  /// Hard limits; compilation asserts them. Conditions are tiny static
+  /// data, so fixed scratch beats dynamic allocation on the hot path.
+  static constexpr unsigned MaxStackDepth = 64;
+  static constexpr unsigned MaxApplySlots = 16;
+
+  /// One invocation's values, borrowed from caller storage; no copies.
+  struct Frame {
+    const Value *Args = nullptr;
+    uint32_t NumArgs = 0;
+    const Value *Ret = nullptr;
+
+    Frame() = default;
+    Frame(const Value *Args, uint32_t NumArgs, const Value *Ret)
+        : Args(Args), NumArgs(NumArgs), Ret(Ret) {}
+    /// Borrows an Invocation's argument vector and return slot.
+    explicit Frame(const Invocation &I)
+        : Args(I.Args.data()), NumArgs(static_cast<uint32_t>(I.Args.size())),
+          Ret(&I.Ret) {}
+  };
+
+  /// Everything one evaluation reads. Ext supplies the external slots the
+  /// program was compiled against (indexed 0..NumExt-1); Resolver handles
+  /// apply slots and may be null when the program has none.
+  struct Inputs {
+    Frame Inv1;
+    Frame Inv2;
+    const Value *Ext = nullptr;
+    uint32_t NumExt = 0;
+    ApplyResolver *Resolver = nullptr;
+  };
+
+  /// Evaluates a compiled formula to its truth value.
+  bool evalBool(const Inputs &In) const { return eval(In).asBool(); }
+
+  /// Evaluates a compiled term (or formula) to its value.
+  Value eval(const Inputs &In) const;
+
+  /// Constant-folded outcomes (set when simplification reduced the formula
+  /// to a boolean constant; the program is still executable).
+  bool alwaysTrue() const { return Always == 1; }
+  bool alwaysFalse() const { return Always == 0; }
+
+  const std::vector<Insn> &insns() const { return Code; }
+  const std::vector<Value> &constants() const { return Pool; }
+  const std::vector<ApplySlot> &applySlots() const { return Applies; }
+
+  /// Number of external slots the program may load (PushExt indices are
+  /// dense in [0, numExternalSlots())). Callers bind more than the program
+  /// uses; only the maximum referenced index matters.
+  uint32_t numExternalSlots() const { return NumExt; }
+
+  /// True when any apply slot reads abstract state (StateRef::S1/S2); such
+  /// programs cannot run on the striped admission path, which has no
+  /// single historical state to resolve them against.
+  bool usesStateApplies() const {
+    for (const ApplySlot &S : Applies)
+      if (S.State != StateRef::None)
+        return true;
+    return false;
+  }
+
+  const KeySeparability &keySeparability() const { return KeySep; }
+
+  /// Renders the program for tests and debugging, one instruction per
+  /// line, e.g. "  2: cmp ne".
+  std::string disassemble(const DataTypeSig *Sig = nullptr) const;
+
+private:
+  friend class CondCompiler;
+
+  std::vector<Insn> Code;
+  std::vector<Value> Pool;
+  std::vector<ApplySlot> Applies;
+  uint32_t NumExt = 0;
+  uint32_t MaxDepth = 0;
+  int8_t Always = -1; ///< -1 unknown, 0 constant-false, 1 constant-true.
+  KeySeparability KeySep;
+};
+
+/// Compiles formulas and terms to CondPrograms. Bind external terms first
+/// (in caller slot order), then compile; the compiler replaces every
+/// structurally-equal occurrence of a bound term with an indexed load.
+/// Earlier bindings win when the same term is bound twice, mirroring the
+/// log-before-cache precedence of the gatekeeper's interpreter resolvers.
+class CondCompiler {
+public:
+  /// Binds \p T (typically an Apply term: a log entry or an s2-cache
+  /// entry) to external slot \p Slot.
+  void bindExternal(const TermPtr &T, uint16_t Slot);
+
+  /// Compiles \p F: simplifies (constant folding, canonicalization), then
+  /// lowers. The returned program is self-contained and immutable.
+  CondProgram compileFormula(const FormulaPtr &F);
+
+  /// Compiles a bare term, e.g. an abstract-lock key expression.
+  CondProgram compileTerm(const TermPtr &T);
+
+private:
+  struct Build;
+  void lowerFormula(Build &B, const FormulaPtr &F);
+  void lowerTerm(Build &B, const TermPtr &T);
+
+  /// Structural key -> external slot, first binding wins.
+  std::map<std::string, uint16_t> External;
+  uint32_t NumExt = 0;
+};
+
+/// Derives the key footprint of \p F (see KeySeparability). Analyzes the
+/// formula as given; callers normally pass a simplified formula.
+KeySeparability analyzeKeySeparability(const FormulaPtr &F);
+
+} // namespace comlat
+
+#endif // COMLAT_CORE_CONDIR_H

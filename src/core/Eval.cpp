@@ -13,7 +13,7 @@ static const Invocation &invocationFor(EvalContext &Ctx, InvIndex Inv) {
   return *I;
 }
 
-static Value evalArith(ArithOp Op, const Value &L, const Value &R) {
+Value comlat::evalArithOp(ArithOp Op, const Value &L, const Value &R) {
   assert(L.isNumber() && R.isNumber() && "arithmetic on non-numeric values");
   if (L.isInt() && R.isInt()) {
     const int64_t A = L.asInt(), B = R.asInt();
@@ -65,12 +65,12 @@ Value comlat::evalTerm(const TermPtr &T, EvalContext &Ctx) {
     return Ctx.Resolver->resolveApply(*T, Args);
   }
   case Term::Kind::Arith:
-    return evalArith(T->Op, evalTerm(T->Lhs, Ctx), evalTerm(T->Rhs, Ctx));
+    return evalArithOp(T->Op, evalTerm(T->Lhs, Ctx), evalTerm(T->Rhs, Ctx));
   }
   COMLAT_UNREACHABLE("bad term kind");
 }
 
-static bool evalCmp(CmpOp Op, const Value &L, const Value &R) {
+bool comlat::evalCmpOp(CmpOp Op, const Value &L, const Value &R) {
   switch (Op) {
   case CmpOp::EQ:
     return L == R;
@@ -105,7 +105,7 @@ bool comlat::evalFormula(const FormulaPtr &F, EvalContext &Ctx) {
   case Formula::Kind::False:
     return false;
   case Formula::Kind::Cmp:
-    return evalCmp(F->Op, evalTerm(F->Lhs, Ctx), evalTerm(F->Rhs, Ctx));
+    return evalCmpOp(F->Op, evalTerm(F->Lhs, Ctx), evalTerm(F->Rhs, Ctx));
   case Formula::Kind::Not:
     return !evalFormula(F->Kids[0], Ctx);
   case Formula::Kind::And:

@@ -72,6 +72,12 @@ Value evalTerm(const TermPtr &T, EvalContext &Ctx);
 /// Evaluates a formula to its truth value.
 bool evalFormula(const FormulaPtr &F, EvalContext &Ctx);
 
+/// The primitive arithmetic/comparison semantics of L1, shared by the tree
+/// interpreter and the compiled evaluator (core/CondIR.h) so the two can
+/// never disagree on a leaf operation.
+Value evalArithOp(ArithOp Op, const Value &L, const Value &R);
+bool evalCmpOp(CmpOp Op, const Value &L, const Value &R);
+
 } // namespace comlat
 
 #endif // COMLAT_CORE_EVAL_H

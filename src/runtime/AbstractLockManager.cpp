@@ -36,6 +36,31 @@ AbstractLockManager::AbstractLockManager(const LockScheme *Scheme,
     }
 }
 
+namespace {
+
+/// Resolves the (pure) key-function applies of compiled key expressions
+/// through the manager's KeyEvalFn. SIMPLE clauses only ever key through
+/// unary pure functions, so the adapter forwards the single argument.
+class KeyFnResolver : public ApplyResolver {
+public:
+  explicit KeyFnResolver(const AbstractLockManager::KeyEvalFn &KeyEval)
+      : KeyEval(KeyEval) {}
+
+  Value resolveApply(const Term &Apply,
+                     const std::vector<Value> &EvaledArgs) override {
+    assert(Apply.State == StateRef::None &&
+           "lock key expressions never read abstract state");
+    assert(EvaledArgs.size() == 1 && "key functions are unary");
+    assert(KeyEval && "keyed clause but no key evaluator bound");
+    return KeyEval(Apply.Fn, EvaledArgs[0]);
+  }
+
+private:
+  const AbstractLockManager::KeyEvalFn &KeyEval;
+};
+
+} // namespace
+
 bool AbstractLockManager::acquireList(Transaction &Tx,
                                       const std::vector<LockAcquisition> &List,
                                       const std::vector<Value> &Args,
@@ -45,20 +70,17 @@ bool AbstractLockManager::acquireList(Transaction &Tx,
     if (Acq.OnStructure) {
       Lock = &StructureLock;
     } else {
-      Value Key;
-      if (Acq.IsRet) {
-        assert(Ret && "return-value lock requested before execution");
-        Key = *Ret;
-      } else {
-        assert(Acq.ArgIndex < Args.size() && "argument index out of range");
-        Key = Args[Acq.ArgIndex];
-      }
-      uint32_t Space = LockTable::PlainSpace;
-      if (Acq.KeyFn) {
-        assert(KeyEval && "keyed clause but no key evaluator bound");
-        Key = KeyEval(*Acq.KeyFn, Key);
-        Space = *Acq.KeyFn;
-      }
+      // Evaluate the compiled key expression (`x` or `k(x)` over the
+      // invocation's frame). The evaluator asserts that a ret-slot program
+      // only runs once the return value is bound.
+      assert(Acq.KeyProg && "data-member acquisition without a key program");
+      CondProgram::Inputs In;
+      In.Inv1 = CondProgram::Frame(Args.data(),
+                                   static_cast<uint32_t>(Args.size()), Ret);
+      KeyFnResolver Resolver(KeyEval);
+      In.Resolver = &Resolver;
+      const Value Key = Acq.KeyProg->eval(In);
+      const uint32_t Space = Acq.KeyFn ? *Acq.KeyFn : LockTable::PlainSpace;
       Lock = Table.lockFor(Space, Key);
     }
     Acquires.fetch_add(1, std::memory_order_relaxed);

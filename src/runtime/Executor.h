@@ -56,9 +56,8 @@ struct BackoffPolicy {
 };
 
 /// Everything that shapes one executor: thread count, recording, backoff
-/// and scheduling policy. Replaces the old positional
-/// Executor(unsigned, bool) constructor; construct with designated
-/// initializers, e.g. `Executor Exec({.NumThreads = 8});`.
+/// and scheduling policy. Construct with designated initializers, e.g.
+/// `Executor Exec({.NumThreads = 8});`.
 struct ExecutorConfig {
   /// Number of worker threads (>= 1).
   unsigned NumThreads = 1;
@@ -84,13 +83,6 @@ public:
   /// Builds the engine for \p Config; the worker pool persists across
   /// run() calls.
   explicit Executor(const ExecutorConfig &Config);
-
-  /// Legacy positional constructor, superseded by ExecutorConfig.
-  [[deprecated("use Executor(ExecutorConfig) instead")]] explicit Executor(
-      unsigned NumThreads, bool RecordHistories = false)
-      : Executor(ExecutorConfig{NumThreads, RecordHistories, {},
-                                WorklistPolicy::ChunkedStealing,
-                                ChunkedWorklist::DefaultChunkSize}) {}
 
   /// Drains \p WL, applying \p Op to every item until no work remains.
   /// Callable repeatedly; each run reuses the pool.

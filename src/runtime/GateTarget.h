@@ -34,9 +34,22 @@ struct GateAction {
   std::function<void()> Redo;
 };
 
+/// Number of admission stripes a striped gatekeeper uses; a power of two
+/// no larger than 64 (stripe sets are tracked as one 64-bit mask per
+/// transaction).
+constexpr unsigned GateStripeCount = 64;
+
+/// Maps a key value to its admission stripe. Equal values (per Value
+/// equality, which compares Int and Real numerically) always map to the
+/// same stripe — the soundness requirement of key-separable striping — so
+/// integral reals are normalized to their integer hash.
+unsigned gateStripeOf(const Value &Key);
+
 /// A black-box abstract data type as seen by a gatekeeper. Calls are always
-/// made under the gatekeeper's gate mutex, so implementations need no
-/// internal synchronization for these entry points.
+/// made under a gatekeeper gate mutex. With the default (non-concurrent)
+/// declaration that is one global mutex, so implementations need no
+/// internal synchronization for these entry points; targets that declare
+/// gateConcurrentSafe() instead promise stripe-level isolation (below).
 class GateTarget {
 public:
   virtual ~GateTarget();
@@ -58,6 +71,16 @@ public:
   /// validator to compare final states across execution orders. The
   /// default (empty) disables the state comparison.
   virtual std::string gateSignature() const { return std::string(); }
+
+  /// Opt-in for striped admission: returning true promises that concurrent
+  /// gateExecute/gateEvalStateFn calls are safe whenever the key arguments
+  /// involved map to different stripes under gateStripeOf (the target
+  /// shards its concrete representation by the same function, so
+  /// same-stripe calls — which the gatekeeper serializes per stripe — are
+  /// the only ones that may touch shared state). Targets with any
+  /// cross-key state, or whose state functions read globally, must keep
+  /// the default.
+  virtual bool gateConcurrentSafe() const { return false; }
 };
 
 } // namespace comlat

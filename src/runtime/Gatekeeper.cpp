@@ -6,10 +6,25 @@
 #include "obs/TraceRing.h"
 
 #include <algorithm>
+#include <map>
 
 using namespace comlat;
 
 GateTarget::~GateTarget() = default;
+
+unsigned comlat::gateStripeOf(const Value &Key) {
+  // Equal keys must map to equal stripes, and Value equality compares Int
+  // and Real numerically: hash integral reals as their integer.
+  if (Key.isReal()) {
+    const double D = Key.asReal();
+    if (D >= -9.2e18 && D <= 9.2e18) {
+      const int64_t I = static_cast<int64_t>(D);
+      if (static_cast<double>(I) == D)
+        return Value::integer(I).hash() % GateStripeCount;
+    }
+  }
+  return Key.hash() % GateStripeCount;
+}
 
 /// True if the term transitively contains an application over s1.
 static bool termTouchesS1(const TermPtr &T) {
@@ -33,33 +48,31 @@ static bool termTouchesS1(const TermPtr &T) {
 
 namespace comlat {
 
-/// Resolver for phase 1 (pre-execution): the current state is s2 of the
-/// pending invocation. First-invocation applications come from the active
-/// invocation's log, or — general gatekeeping only — from rollback.
-class GatePreResolver : public ApplyResolver {
+/// Resolves apply slots left unbound in compiled programs while the
+/// current structure state is s2 of the arriving invocation (phases 1 and
+/// 5). Logged s1-applications never get here — they are external slots —
+/// so an s1-application means rollback evaluation (general gatekeeping
+/// only); everything else (pure, or s2 == current state) evaluates live.
+class GateLiveResolver : public ApplyResolver {
 public:
-  GatePreResolver(Gatekeeper &GK, const Gatekeeper::ActiveInv *A)
-      : GK(GK), A(A) {}
+  GateLiveResolver(Gatekeeper &GK, Gatekeeper::Stripe &S,
+                   const Gatekeeper::ActiveInv *A)
+      : GK(GK), S(S), A(A) {}
 
   Value resolveApply(const Term &Apply,
                      const std::vector<Value> &Args) override {
-    if (A) {
-      const auto It = A->Log.find(Apply.key());
-      if (It != A->Log.end())
-        return It->second;
-    }
     if (Apply.State == StateRef::S1) {
       assert(A && "s1-application with no first invocation");
       assert(GK.K == Gatekeeper::Kind::General &&
              "forward gatekeeper met an unlogged s1-application");
-      return GK.rollbackEval(A->StartSeq, Apply.Fn, Args);
+      return GK.rollbackEval(S, A->StartSeq, Apply.Fn, Args);
     }
-    // Pure, or s2 == current state.
     return GK.Target->gateEvalStateFn(Apply.Fn, Args);
   }
 
 private:
   Gatekeeper &GK;
+  Gatekeeper::Stripe &S;
   const Gatekeeper::ActiveInv *A;
 };
 
@@ -81,39 +94,6 @@ private:
   Gatekeeper &GK;
 };
 
-/// Resolver for phase 5 (post-execution checks): s1-applications from the
-/// active invocation's log (or rollback), s2-applications from the cache
-/// captured in phase 1, pure applications live.
-class GateCheckResolver : public ApplyResolver {
-public:
-  GateCheckResolver(Gatekeeper &GK, const Gatekeeper::ActiveInv *A,
-                    const std::map<std::string, Value> *S2Cache)
-      : GK(GK), A(A), S2Cache(S2Cache) {}
-
-  Value resolveApply(const Term &Apply,
-                     const std::vector<Value> &Args) override {
-    const std::string Key = Apply.key();
-    const auto LogIt = A->Log.find(Key);
-    if (LogIt != A->Log.end())
-      return LogIt->second;
-    if (Apply.State == StateRef::S2) {
-      const auto CacheIt = S2Cache->find(Key);
-      assert(CacheIt != S2Cache->end() && "s2-application missing from cache");
-      return CacheIt->second;
-    }
-    if (Apply.State == StateRef::None)
-      return GK.Target->gateEvalStateFn(Apply.Fn, Args);
-    assert(GK.K == Gatekeeper::Kind::General &&
-           "forward gatekeeper met an unlogged s1-application");
-    return GK.rollbackEval(A->StartSeq, Apply.Fn, Args);
-  }
-
-private:
-  Gatekeeper &GK;
-  const Gatekeeper::ActiveInv *A;
-  const std::map<std::string, Value> *S2Cache;
-};
-
 } // namespace comlat
 
 Gatekeeper::Gatekeeper(Kind K, const CommSpec *Spec, GateTarget *Target,
@@ -127,6 +107,8 @@ Gatekeeper::Gatekeeper(Kind K, const CommSpec *Spec, GateTarget *Target,
   ObsLabel = Session.internLabel(this->Label, "gate");
   Plans.resize(NumMethods);
   LogPlans.resize(NumMethods);
+
+  // Pass 1: fetch conditions, harvest log terms, register attribution.
   for (MethodId M1 = 0; M1 != NumMethods; ++M1) {
     Plans[M1].resize(NumMethods);
     for (MethodId M2 = 0; M2 != NumMethods; ++M2) {
@@ -171,24 +153,131 @@ Gatekeeper::Gatekeeper(Kind K, const CommSpec *Spec, GateTarget *Target,
       }
     }
   }
+
+  // Pass 2: compile log terms (no external slots; applies resolve live at
+  // registration time).
+  for (MethodId M = 0; M != NumMethods; ++M)
+    for (LogTermPlan &LT : LogPlans[M]) {
+      CondCompiler C;
+      LT.Prog = C.compileTerm(LT.T);
+    }
+
+  // Pass 3: compile conditions and s2-applications. External slot layout
+  // per pair (M1, M2): [0, L) the log terms of M1 in LogPlans[M1] order,
+  // [L, L+S) the pair's s2-applications in S2Applies order. S2-programs
+  // run in phase 1, before the cache exists, and bind only the log slots.
+  for (MethodId M1 = 0; M1 != NumMethods; ++M1) {
+    const uint16_t NumLogSlots = static_cast<uint16_t>(LogPlans[M1].size());
+    for (MethodId M2 = 0; M2 != NumMethods; ++M2) {
+      PairPlan &Plan = Plans[M1][M2];
+      assert(NumLogSlots + Plan.S2Applies.size() <= MaxExtSlots &&
+             "condition binds more log/s2 slots than the check scratch");
+      CondCompiler S2C;
+      for (uint16_t I = 0; I != NumLogSlots; ++I)
+        S2C.bindExternal(LogPlans[M1][I].T, I);
+      for (const TermPtr &T : Plan.S2Applies)
+        Plan.S2Progs.push_back(S2C.compileTerm(T));
+      CondCompiler C;
+      for (uint16_t I = 0; I != NumLogSlots; ++I)
+        C.bindExternal(LogPlans[M1][I].T, I);
+      for (size_t J = 0; J != Plan.S2Applies.size(); ++J)
+        C.bindExternal(Plan.S2Applies[J],
+                       static_cast<uint16_t>(NumLogSlots + J));
+      Plan.Prog = C.compileFormula(Plan.F);
+    }
+  }
+
+  // Striping eligibility: forward kind, concurrency-safe target, every
+  // non-trivial condition key-separable with a consistent key argument per
+  // method, and no abstract-state reads anywhere outside the serialized
+  // execution itself (no state applies in conditions, no s2-applications,
+  // no state-reading log terms).
+  KeyArgOf.assign(NumMethods, -1);
+  Striped = K == Kind::Forward && Target->gateConcurrentSafe();
+  auto NoteKey = [&](MethodId M, unsigned Arg) {
+    if (KeyArgOf[M] < 0) {
+      KeyArgOf[M] = static_cast<int>(Arg);
+      return true;
+    }
+    return KeyArgOf[M] == static_cast<int>(Arg);
+  };
+  for (MethodId M1 = 0; Striped && M1 != NumMethods; ++M1)
+    for (MethodId M2 = 0; Striped && M2 != NumMethods; ++M2) {
+      const PairPlan &Plan = Plans[M1][M2];
+      if (Plan.TriviallyTrue)
+        continue;
+      const KeySeparability &KS = Plan.Prog.keySeparability();
+      if (!KS.Separable || Plan.Prog.usesStateApplies() ||
+          !Plan.S2Applies.empty() || !NoteKey(M1, KS.Arg1) ||
+          !NoteKey(M2, KS.Arg2))
+        Striped = false;
+    }
+  for (MethodId M = 0; Striped && M != NumMethods; ++M)
+    for (const LogTermPlan &LT : LogPlans[M])
+      if (LT.Prog.usesStateApplies())
+        Striped = false;
+
+  const unsigned NumStripes = Striped ? GateStripeCount : 1;
+  Stripes.reserve(NumStripes);
+  for (unsigned I = 0; I != NumStripes; ++I)
+    Stripes.push_back(std::make_unique<Stripe>());
+
+  obs::MetricsRegistry &Reg = obs::MetricsRegistry::global();
+  StripedAdmits = Reg.counter(obs::metricName(
+      "comlat_gate_striped_admissions_total", {{"detector", this->Label}}));
+  GlobalAdmits = Reg.counter(obs::metricName(
+      "comlat_gate_global_admissions_total", {{"detector", this->Label}}));
+  StripeContention = Reg.counter(obs::metricName(
+      "comlat_gate_stripe_contention_total", {{"detector", this->Label}}));
+  Reg.gauge(obs::metricName("comlat_gate_stripes", {{"detector", this->Label}}))
+      ->set(NumStripes);
 }
 
-Value Gatekeeper::rollbackEval(uint64_t StartSeq, StateFnId Fn,
+Value Gatekeeper::rollbackEval(Stripe &S, uint64_t StartSeq, StateFnId Fn,
                                const std::vector<Value> &Args) {
   RollbackEvals.fetch_add(1, std::memory_order_relaxed);
   // Undo the suffix of the mutation log back to the historical state, ask
   // the structure, then replay forward. The log may contain entries from
   // committed transactions: commitment only means the effects are
   // permanent, not that we cannot temporarily unwind them.
-  size_t I = MutLog.size();
-  while (I > 0 && MutLog[I - 1].Seq >= StartSeq) {
-    MutLog[I - 1].Act.Undo();
+  size_t I = S.MutLog.size();
+  while (I > 0 && S.MutLog[I - 1].Seq >= StartSeq) {
+    S.MutLog[I - 1].Act.Undo();
     --I;
   }
   const Value Result = Target->gateEvalStateFn(Fn, Args);
-  for (; I != MutLog.size(); ++I)
-    MutLog[I].Act.Redo();
+  for (; I != S.MutLog.size(); ++I)
+    S.MutLog[I].Act.Redo();
   return Result;
+}
+
+unsigned Gatekeeper::stripeIndexFor(MethodId M,
+                                    const std::vector<Value> &Args) const {
+  if (!Striped)
+    return 0;
+  const int KeyArg = KeyArgOf[M];
+  if (KeyArg < 0)
+    return 0; // Participates in no non-trivial pair.
+  assert(static_cast<size_t>(KeyArg) < Args.size() && "bad key argument");
+  return gateStripeOf(Args[KeyArg]);
+}
+
+void Gatekeeper::noteTxStripe(TxId Tx, unsigned Idx) {
+  TxMaskShard &Shard = TxMasks[Tx % NumTxMaskShards];
+  std::lock_guard<std::mutex> Guard(Shard.Mu);
+  Shard.Masks[Tx] |= uint64_t(1) << Idx;
+}
+
+uint64_t Gatekeeper::txStripeMask(TxId Tx, bool Take) {
+  TxMaskShard &Shard = TxMasks[Tx % NumTxMaskShards];
+  std::lock_guard<std::mutex> Guard(Shard.Mu);
+  const auto It = Shard.Masks.find(Tx);
+  if (It == Shard.Masks.end())
+    return 0;
+  const uint64_t Mask = It->second;
+  if (Take)
+    Shard.Masks.erase(It);
+  return Mask;
 }
 
 bool Gatekeeper::invoke(Transaction &Tx, MethodId M,
@@ -197,73 +286,110 @@ bool Gatekeeper::invoke(Transaction &Tx, MethodId M,
   assert(Args.size() == Spec->sig().method(M).NumArgs &&
          "wrong argument count");
   Tx.touch(this);
-  std::lock_guard<std::mutex> Guard(Gate);
+  const unsigned StripeIdx = stripeIndexFor(M, Args);
+  Stripe &S = *Stripes[StripeIdx];
+  if (!S.Mu.try_lock()) {
+    StripeContention->add();
+    S.Mu.lock();
+  }
+  std::lock_guard<std::mutex> Guard(S.Mu, std::adopt_lock);
 
   Invocation NewInv(M, Args);
+  const CondProgram::Frame NewFrame(NewInv);
 
   // Phase 1: pre-execution. Capture s2-application values for every
-  // pending check while the current state still is s2.
-  std::vector<std::pair<ActiveInv *, std::map<std::string, Value>>> Pending;
-  for (ActiveInv &ARef : Active) {
+  // pending check while the current state still is s2. Cross-stripe
+  // actives are not consulted: in striped mode their keys provably differ,
+  // which satisfies the separable disjunct of every condition.
+  std::vector<std::pair<ActiveInv *, std::vector<Value>>> Pending;
+  for (ActiveInv &ARef : S.Active) {
     ActiveInv *A = &ARef;
     if (A->Tx == Tx.id())
       continue;
     const PairPlan &Plan = Plans[A->Inv.Method][M];
     if (Plan.TriviallyTrue)
       continue;
-    std::map<std::string, Value> S2Cache;
-    if (!Plan.S2Applies.empty()) {
-      GatePreResolver Resolver(*this, A);
-      EvalContext Ctx{&A->Inv, &NewInv, &Resolver};
-      for (const TermPtr &T : Plan.S2Applies)
-        S2Cache.emplace(T->key(), evalTerm(T, Ctx));
+    std::vector<Value> S2Vals;
+    if (!Plan.S2Progs.empty()) {
+      S2Vals.reserve(Plan.S2Progs.size());
+      GateLiveResolver Resolver(*this, S, A);
+      CondProgram::Inputs In;
+      In.Inv1 = CondProgram::Frame(A->Inv);
+      In.Inv2 = NewFrame;
+      In.Ext = A->Log.data();
+      In.NumExt = static_cast<uint32_t>(A->Log.size());
+      In.Resolver = &Resolver;
+      for (const CondProgram &P : Plan.S2Progs)
+        S2Vals.push_back(P.eval(In));
     }
-    Pending.emplace_back(A, std::move(S2Cache));
+    Pending.emplace_back(A, std::move(S2Vals));
   }
 
   // Phase 2: log entries that do not need the return value; the current
   // state is this invocation's s1.
-  std::map<std::string, Value> NewLog;
-  {
+  std::vector<Value> NewLog(LogPlans[M].size());
+  if (!NewLog.empty()) {
     GateLogResolver Resolver(*this);
-    EvalContext Ctx{&NewInv, nullptr, &Resolver};
-    for (const LogTermPlan &LT : LogPlans[M])
-      if (!LT.NeedsRet)
-        NewLog.emplace(LT.T->key(), evalTerm(LT.T, Ctx));
+    CondProgram::Inputs In;
+    In.Inv1 = NewFrame;
+    In.Resolver = &Resolver;
+    for (size_t I = 0; I != LogPlans[M].size(); ++I)
+      if (!LogPlans[M][I].NeedsRet)
+        NewLog[I] = LogPlans[M][I].Prog.eval(In);
   }
 
   // Phase 3: execute.
-  const uint64_t StartSeq = NextSeq;
+  const uint64_t StartSeq = S.NextSeq;
   std::vector<GateAction> Actions;
   NewInv.Ret = Target->gateExecute(M, Args, Actions);
   for (GateAction &Act : Actions) {
-    MutLog.push_back(MutEntry{NextSeq, Tx.id(), std::move(Act)});
-    ++NextSeq;
+    S.MutLog.push_back(Stripe::MutEntry{S.NextSeq, Tx.id(), std::move(Act)});
+    ++S.NextSeq;
   }
 
   // Phase 4: return-value-dependent log entries (pure, or the method is
   // read-only so the state still equals s1; asserted at plan build).
-  {
+  if (!NewLog.empty()) {
     GateLogResolver Resolver(*this);
-    EvalContext Ctx{&NewInv, nullptr, &Resolver};
-    for (const LogTermPlan &LT : LogPlans[M])
-      if (LT.NeedsRet)
-        NewLog.emplace(LT.T->key(), evalTerm(LT.T, Ctx));
+    CondProgram::Inputs In;
+    In.Inv1 = NewFrame;
+    In.Resolver = &Resolver;
+    for (size_t I = 0; I != LogPlans[M].size(); ++I)
+      if (LogPlans[M][I].NeedsRet)
+        NewLog[I] = LogPlans[M][I].Prog.eval(In);
   }
 
   // Phase 5: check commutativity against every pending active invocation.
   bool Commutes = true;
   const PairPlan *VetoPlan = nullptr;
   uint32_t VetoDetail = 0;
-  for (auto &[A, S2Cache] : Pending) {
+  for (auto &[A, S2Vals] : Pending) {
     Checks.fetch_add(1, std::memory_order_relaxed);
     const PairPlan &Plan = Plans[A->Inv.Method][M];
     COMLAT_TRACE(obs::EventKind::GateCheck, Tx.id(), 0,
                  obs::packPair(A->Inv.Method, M), ObsLabel);
-    GateCheckResolver Resolver(*this, A, &S2Cache);
-    EvalContext Ctx{&A->Inv, &NewInv, &Resolver};
-    if (!evalFormula(Plan.F, Ctx)) {
-      Commutes = false;
+    GateLiveResolver Resolver(*this, S, A);
+    CondProgram::Inputs In;
+    In.Inv1 = CondProgram::Frame(A->Inv);
+    In.Inv2 = NewFrame;
+    In.Resolver = &Resolver;
+    if (S2Vals.empty()) {
+      // The common case: external slots are exactly the log vector.
+      In.Ext = A->Log.data();
+      In.NumExt = static_cast<uint32_t>(A->Log.size());
+      Commutes = Plan.Prog.evalBool(In);
+    } else {
+      Value ExtBuf[MaxExtSlots];
+      uint32_t N = 0;
+      for (const Value &V : A->Log)
+        ExtBuf[N++] = V;
+      for (const Value &V : S2Vals)
+        ExtBuf[N++] = V;
+      In.Ext = ExtBuf;
+      In.NumExt = N;
+      Commutes = Plan.Prog.evalBool(In);
+    }
+    if (!Commutes) {
       VetoPlan = &Plan;
       VetoDetail = obs::packPair(A->Inv.Method, M);
       break;
@@ -272,12 +398,12 @@ bool Gatekeeper::invoke(Transaction &Tx, MethodId M,
 
   if (!Commutes) {
     // Undo this invocation's own effects; they form the newest log suffix.
-    while (NextSeq != StartSeq) {
-      assert(!MutLog.empty() && MutLog.back().Seq == NextSeq - 1 &&
+    while (S.NextSeq != StartSeq) {
+      assert(!S.MutLog.empty() && S.MutLog.back().Seq == S.NextSeq - 1 &&
              "mutation log out of sync");
-      MutLog.back().Act.Undo();
-      MutLog.pop_back();
-      --NextSeq;
+      S.MutLog.back().Act.Undo();
+      S.MutLog.pop_back();
+      --S.NextSeq;
     }
     Conflicts.fetch_add(1, std::memory_order_relaxed);
     if (VetoPlan && VetoPlan->Vetoes)
@@ -288,53 +414,79 @@ bool Gatekeeper::invoke(Transaction &Tx, MethodId M,
   }
 
   Ret = NewInv.Ret;
-  Active.emplace_back();
-  ActiveInv &A = Active.back();
+  S.Active.emplace_back();
+  ActiveInv &A = S.Active.back();
   A.Tx = Tx.id();
   A.StartSeq = StartSeq;
   A.Inv = std::move(NewInv);
   A.Log = std::move(NewLog);
+  if (Striped) {
+    noteTxStripe(Tx.id(), StripeIdx);
+    StripedAdmits->add();
+  } else {
+    GlobalAdmits->add();
+  }
   return true;
 }
 
+void Gatekeeper::cleanStripe(Stripe &S, TxId Tx, bool Undo) {
+  std::lock_guard<std::mutex> Guard(S.Mu);
+  if (Undo) {
+    // Undo this transaction's mutations newest-first. Out-of-order undo
+    // relative to other live transactions is sound because all active
+    // invocations pairwise commute (the gatekeeper's invariant).
+    for (auto It = S.MutLog.rbegin(); It != S.MutLog.rend(); ++It)
+      if (It->Tx == Tx)
+        It->Act.Undo();
+    std::deque<Stripe::MutEntry> Kept;
+    for (Stripe::MutEntry &E : S.MutLog)
+      if (E.Tx != Tx)
+        Kept.push_back(std::move(E));
+    S.MutLog = std::move(Kept);
+  }
+  S.Active.erase(std::remove_if(S.Active.begin(), S.Active.end(),
+                                [&](const ActiveInv &A) { return A.Tx == Tx; }),
+                 S.Active.end());
+  compactMutLog(S);
+}
+
 void Gatekeeper::undoFor(Transaction &Tx) {
-  std::lock_guard<std::mutex> Guard(Gate);
-  // Undo this transaction's mutations newest-first. Out-of-order undo
-  // relative to other live transactions is sound because all active
-  // invocations pairwise commute (the gatekeeper's invariant).
-  for (auto It = MutLog.rbegin(); It != MutLog.rend(); ++It)
-    if (It->Tx == Tx.id())
-      It->Act.Undo();
-  std::deque<MutEntry> Kept;
-  for (MutEntry &E : MutLog)
-    if (E.Tx != Tx.id())
-      Kept.push_back(std::move(E));
-  MutLog = std::move(Kept);
-  Active.erase(std::remove_if(
-                   Active.begin(), Active.end(),
-                   [&](const ActiveInv &A) { return A.Tx == Tx.id(); }),
-               Active.end());
-  compactMutLog();
+  if (!Striped) {
+    cleanStripe(*Stripes[0], Tx.id(), /*Undo=*/true);
+    return;
+  }
+  // Abort order is undoFor then release: peek the mask here, consume it
+  // there.
+  uint64_t Mask = txStripeMask(Tx.id(), /*Take=*/false);
+  for (unsigned I = 0; Mask; ++I, Mask >>= 1)
+    if (Mask & 1)
+      cleanStripe(*Stripes[I], Tx.id(), /*Undo=*/true);
 }
 
 void Gatekeeper::release(Transaction &Tx, bool Committed) {
-  std::lock_guard<std::mutex> Guard(Gate);
-  Active.erase(std::remove_if(
-                   Active.begin(), Active.end(),
-                   [&](const ActiveInv &A) { return A.Tx == Tx.id(); }),
-               Active.end());
-  compactMutLog();
+  if (!Striped) {
+    cleanStripe(*Stripes[0], Tx.id(), /*Undo=*/false);
+    return;
+  }
+  uint64_t Mask = txStripeMask(Tx.id(), /*Take=*/true);
+  for (unsigned I = 0; Mask; ++I, Mask >>= 1)
+    if (Mask & 1)
+      cleanStripe(*Stripes[I], Tx.id(), /*Undo=*/false);
 }
 
-void Gatekeeper::compactMutLog() {
-  uint64_t MinSeq = NextSeq;
-  for (const ActiveInv &A : Active)
+void Gatekeeper::compactMutLog(Stripe &S) {
+  uint64_t MinSeq = S.NextSeq;
+  for (const ActiveInv &A : S.Active)
     MinSeq = std::min(MinSeq, A.StartSeq);
-  while (!MutLog.empty() && MutLog.front().Seq < MinSeq)
-    MutLog.pop_front();
+  while (!S.MutLog.empty() && S.MutLog.front().Seq < MinSeq)
+    S.MutLog.pop_front();
 }
 
 size_t Gatekeeper::numActive() const {
-  std::lock_guard<std::mutex> Guard(Gate);
-  return Active.size();
+  size_t N = 0;
+  for (const std::unique_ptr<Stripe> &S : Stripes) {
+    std::lock_guard<std::mutex> Guard(S->Mu);
+    N += S->Active.size();
+  }
+  return N;
 }

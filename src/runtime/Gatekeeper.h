@@ -30,21 +30,43 @@
 /// re-executing forward — exactly the paper's undo/re-execute scheme for
 /// union-find.
 ///
+/// Conditions are not interpreted on the hot path: every pair condition,
+/// s2-application and log term is lowered to a CondProgram (core/CondIR.h)
+/// at construction, with the first invocation's log entries and the phase-1
+/// s2-cache pre-bound as indexed external slots. Invocation logs are plain
+/// value vectors (one slot per LogPlans entry) instead of string-keyed
+/// maps; the tree interpreter remains as the reference semantics
+/// (SpecValidator's differential mode checks agreement).
+///
+/// Admission is *striped* when the specification allows it. If every
+/// non-trivial condition is key-separable (carries a disjunct
+/// `m1.argI != m2.argJ`, like the set lattice's `x != y` clauses), the key
+/// argument assignment is consistent across pairs, no condition or log term
+/// reads abstract state, the gatekeeper is forward, and the target declares
+/// gateConcurrentSafe(), then invocations are admitted per key stripe
+/// (gateStripeOf): each stripe has its own mutex, active list and mutation
+/// log. Invocations in different stripes have different keys, so the
+/// separable disjunct makes their conditions true — cross-stripe checks can
+/// be skipped entirely. Specifications outside this fragment fall back to a
+/// single stripe, which is exactly the classic global critical section.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef COMLAT_RUNTIME_GATEKEEPER_H
 #define COMLAT_RUNTIME_GATEKEEPER_H
 
 #include "core/Classify.h"
+#include "core/CondIR.h"
 #include "core/Spec.h"
 #include "runtime/GateTarget.h"
 #include "runtime/Transaction.h"
 
+#include <array>
 #include <atomic>
 #include <deque>
-#include <map>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 
 namespace comlat {
 
@@ -77,50 +99,105 @@ public:
   uint64_t numConflicts() const { return Conflicts.load(); }
   uint64_t numRollbackEvals() const { return RollbackEvals.load(); }
 
+  /// True when this gatekeeper admits per key stripe (see file comment);
+  /// false means the single-stripe (global critical section) fallback.
+  bool striped() const { return Striped; }
+
+  /// Number of admission stripes in use (GateStripeCount or 1).
+  unsigned numStripes() const { return unsigned(Stripes.size()); }
+
+  /// The compiled condition for the ordered pair (diagnostics/tests).
+  const CondProgram &pairProgram(MethodId First, MethodId Second) const {
+    return Plans[First][Second].Prog;
+  }
+
   /// Number of invocations currently active (diagnostics/tests).
   size_t numActive() const;
 
 private:
-  friend class GateCheckResolver;
-  friend class GatePreResolver;
+  friend class GateLiveResolver;
   friend class GateLogResolver;
+
+  /// Hard cap on external slots per pair (log entries of the first method
+  /// plus s2-applications); asserted at plan build, so the check path can
+  /// use fixed scratch.
+  static constexpr unsigned MaxExtSlots = 32;
 
   /// One active invocation: a method executed by a live transaction.
   struct ActiveInv {
     TxId Tx;
-    /// Mutation-log sequence number at which this invocation started; the
-    /// state s1 of the invocation is reached by undoing all log entries
-    /// with Seq >= StartSeq.
+    /// Mutation-log sequence number (within the owning stripe) at which
+    /// this invocation started; its state s1 is reached by undoing all
+    /// entries with Seq >= StartSeq.
     uint64_t StartSeq;
     Invocation Inv;
-    /// Pre-evaluated primitive-function results, keyed by term key.
-    std::map<std::string, Value> Log;
+    /// Pre-evaluated primitive-function results, indexed exactly like
+    /// LogPlans[Inv.Method] (and bound to the same external slots in every
+    /// compiled condition with this method first).
+    std::vector<Value> Log;
   };
 
-  /// Per ordered method pair: the condition and its evaluation plan, plus
-  /// the observability handles naming this predicate. A veto of the pair
+  /// Per ordered method pair: the condition, its compiled form, and the
+  /// observability handles naming this predicate. A veto of the pair
   /// (active first, arriving second) bumps Vetoes and attributes the abort
   /// to the packed (first, second) method pair.
   struct PairPlan {
     FormulaPtr F;
     bool TriviallyTrue = false;
+    /// The compiled condition. External slots: [0, L) the first method's
+    /// log entries (L = LogPlans[first].size()), [L, L+S) the pair's
+    /// s2-application values in S2Applies order.
+    CondProgram Prog;
     std::vector<TermPtr> S2Applies;
+    /// Compiled s2-applications (phase 1); external slots [0, L) as above.
+    std::vector<CondProgram> S2Progs;
     obs::Counter *Vetoes = nullptr;
   };
 
   /// Per method: one loggable primitive-function term.
   struct LogTermPlan {
     TermPtr T;
+    CondProgram Prog; ///< Compiled against no external slots.
     bool NeedsRet = false;
   };
 
-  /// Rolls back to the state before \p StartSeq, evaluates \p Fn, rolls
-  /// forward again. Gate mutex must be held.
-  Value rollbackEval(uint64_t StartSeq, StateFnId Fn,
+  /// One admission stripe: mutex, active invocations, mutation log. The
+  /// single-stripe fallback uses exactly one of these.
+  struct Stripe {
+    std::mutex Mu;
+    /// deque: stable references on push_back (pending checks hold pointers
+    /// within one invoke), no per-entry allocation.
+    std::deque<ActiveInv> Active;
+    struct MutEntry {
+      uint64_t Seq;
+      TxId Tx;
+      GateAction Act;
+    };
+    std::deque<MutEntry> MutLog;
+    uint64_t NextSeq = 0;
+  };
+
+  /// Rolls back stripe \p S to the state before \p StartSeq, evaluates
+  /// \p Fn, rolls forward again. The stripe mutex must be held; only ever
+  /// reached on the single-stripe path (striping excludes state applies).
+  Value rollbackEval(Stripe &S, uint64_t StartSeq, StateFnId Fn,
                      const std::vector<Value> &Args);
 
-  /// Drops mutation-log entries no longer needed by any active invocation.
-  void compactMutLog();
+  /// Drops mutation-log entries no longer needed by any active invocation
+  /// of the stripe. Stripe mutex held.
+  void compactMutLog(Stripe &S);
+
+  /// The admission stripe index for an invocation of \p M with \p Args.
+  unsigned stripeIndexFor(MethodId M, const std::vector<Value> &Args) const;
+
+  /// Releases \p Tx's state in stripe \p S (active records; with \p Undo
+  /// also its mutations, newest first). Takes the stripe mutex.
+  void cleanStripe(Stripe &S, TxId Tx, bool Undo);
+
+  /// Records that \p Tx has state in stripe \p Idx / returns-and-keeps or
+  /// returns-and-clears the stripe set. Only used in striped mode.
+  void noteTxStripe(TxId Tx, unsigned Idx);
+  uint64_t txStripeMask(TxId Tx, bool Take);
 
   Kind K;
   const CommSpec *Spec;
@@ -129,24 +206,33 @@ private:
   /// Interned trace label (obs::TraceSession).
   uint16_t ObsLabel = 0;
 
-  std::vector<std::vector<PairPlan>> Plans;    // [first][second]
+  std::vector<std::vector<PairPlan>> Plans;       // [first][second]
   std::vector<std::vector<LogTermPlan>> LogPlans; // [method]
 
-  mutable std::mutex Gate;
-  /// deque: stable references on push_back (pending checks hold pointers
-  /// within one invoke), no per-entry allocation.
-  std::deque<ActiveInv> Active;
-  struct MutEntry {
-    uint64_t Seq;
-    TxId Tx;
-    GateAction Act;
+  /// Striped-admission state. KeyArgOf[M] is the key argument index used
+  /// for stripe routing (-1: method participates in no non-trivial pair
+  /// and routes to stripe 0). Meaningful only when Striped.
+  bool Striped = false;
+  std::vector<int> KeyArgOf;
+  std::vector<std::unique_ptr<Stripe>> Stripes;
+
+  /// Which stripes each live transaction has state in (bit I = stripe I),
+  /// sharded by transaction id. Only maintained in striped mode.
+  struct TxMaskShard {
+    std::mutex Mu;
+    std::unordered_map<TxId, uint64_t> Masks;
   };
-  std::deque<MutEntry> MutLog;
-  uint64_t NextSeq = 0;
+  static constexpr unsigned NumTxMaskShards = 16;
+  std::array<TxMaskShard, NumTxMaskShards> TxMasks;
 
   std::atomic<uint64_t> Checks{0};
   std::atomic<uint64_t> Conflicts{0};
   std::atomic<uint64_t> RollbackEvals{0};
+
+  /// Fast-path / contention observability (MetricsRegistry).
+  obs::Counter *StripedAdmits = nullptr;
+  obs::Counter *GlobalAdmits = nullptr;
+  obs::Counter *StripeContention = nullptr;
 };
 
 /// Forward gatekeeper (§3.3.1): for ONLINE-CHECKABLE specifications.

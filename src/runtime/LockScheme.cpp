@@ -85,7 +85,7 @@ LockScheme::LockScheme(const CommSpec &Spec) : Sig(&Spec.sig()) {
     const MethodInfo &Info = Sig->method(M);
     if (!Reduced[StructureModes[M]])
       Pre[M].push_back(LockAcquisition{StructureModes[M], /*OnStructure=*/true,
-                                       false, 0, std::nullopt});
+                                       false, 0, std::nullopt, nullptr});
     auto AddSlot = [&](Slot S, std::vector<LockAcquisition> &Out) {
       const auto ModeIt = SlotModes.find({M, S});
       assert(ModeIt != SlotModes.end() && "slot without a mode");
@@ -95,14 +95,39 @@ LockScheme::LockScheme(const CommSpec &Spec) : Sig(&Spec.sig()) {
       // A non-reduced slot mode always stems from some clause, which
       // registered at least one key space.
       assert(KeysIt != SlotKeys.end() && "constrained slot without keys");
-      for (const std::optional<StateFnId> &Key : KeysIt->second)
-        Out.push_back(
-            LockAcquisition{ModeIt->second, false, S.IsRet, S.ArgIndex, Key});
+      for (const std::optional<StateFnId> &Key : KeysIt->second) {
+        LockAcquisition Acq{ModeIt->second, false, S.IsRet, S.ArgIndex, Key,
+                            nullptr};
+        // Compile the key expression `x` (or `k(x)`) with the slot read as
+        // a first-invocation frame load; keys in SIMPLE clauses are pure,
+        // so the apply carries no state reference and the lock manager's
+        // resolver never sees S1/S2.
+        TermPtr KeyTerm = S.IsRet ? dsl::ret1() : dsl::arg1(S.ArgIndex);
+        if (Key)
+          KeyTerm = dsl::apply(*Key, StateRef::None, {KeyTerm});
+        CondCompiler C;
+        Acq.KeyProg =
+            std::make_shared<const CondProgram>(C.compileTerm(KeyTerm));
+        Out.push_back(std::move(Acq));
+      }
     };
     for (unsigned I = 0; I != Info.NumArgs; ++I)
       AddSlot(Slot{false, I}, Pre[M]);
     if (Info.HasRet)
       AddSlot(Slot{true, 0}, Post[M]);
+  }
+
+  // Compile the ordered-pair conditions the matrix was derived from. The
+  // scheme itself never evaluates these at run time (that is the point of
+  // abstract locking), but diagnostics and the validator's differential
+  // mode compare them against the interpreter.
+  PairProgs.resize(NumMethods);
+  for (MethodId M1 = 0; M1 != NumMethods; ++M1) {
+    PairProgs[M1].reserve(NumMethods);
+    for (MethodId M2 = 0; M2 != NumMethods; ++M2) {
+      CondCompiler C;
+      PairProgs[M1].push_back(C.compileFormula(Spec.get(M1, M2)));
+    }
   }
 }
 

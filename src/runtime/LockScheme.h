@@ -30,9 +30,11 @@
 #ifndef COMLAT_RUNTIME_LOCKSCHEME_H
 #define COMLAT_RUNTIME_LOCKSCHEME_H
 
+#include "core/CondIR.h"
 #include "core/Spec.h"
 #include "runtime/LockTable.h"
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -50,6 +52,11 @@ struct LockAcquisition {
   unsigned ArgIndex = 0;
   /// Key space / key function: locks on k(x) live in key space k.
   std::optional<StateFnId> KeyFn;
+  /// Compiled key expression (`x` or `k(x)` with the slot pre-bound as a
+  /// first-invocation frame load); the lock manager evaluates this instead
+  /// of re-deriving the slot and key function per acquisition. Null for
+  /// structure locks.
+  std::shared_ptr<const CondProgram> KeyProg;
 };
 
 /// The generated locking scheme for one data type.
@@ -82,6 +89,13 @@ public:
   /// True when the reduction removed mode \p M entirely.
   bool modeReduced(ModeId M) const { return Reduced[M]; }
 
+  /// The compiled condition for the ordered pair (the mode-selection
+  /// clauses the matrix was derived from; diagnostics, tests, and the
+  /// validator's differential mode).
+  const CondProgram &pairProgram(MethodId First, MethodId Second) const {
+    return PairProgs[First][Second];
+  }
+
   /// Renders the compatibility matrix as in Fig. 8 of the paper; with
   /// \p IncludeReduced the full matrix (a), otherwise the reduced one (b).
   std::string matrixStr(bool IncludeReduced) const;
@@ -94,6 +108,7 @@ private:
   std::vector<std::vector<LockAcquisition>> Pre;
   std::vector<std::vector<LockAcquisition>> Post;
   std::vector<uint8_t> Reduced;
+  std::vector<std::vector<CondProgram>> PairProgs; // [first][second]
 };
 
 } // namespace comlat

@@ -1,7 +1,11 @@
 //===- runtime/SpecValidator.cpp - Testing commutativity conditions ---------===//
 
 #include "runtime/SpecValidator.h"
+#include "core/CondIR.h"
 #include "core/Eval.h"
+
+#include <map>
+#include <utility>
 
 using namespace comlat;
 
@@ -49,6 +53,10 @@ comlat::validateSpec(const CommSpec &Spec, const ValidationHarness &Harness,
   const DataTypeSig &Sig = Spec.sig();
   Rng R(Config.Seed);
 
+  // Differential mode: compiled pair conditions, built lazily (one program
+  // per ordered pair across all trials).
+  std::map<std::pair<MethodId, MethodId>, CondProgram> Compiled;
+
   for (unsigned Trial = 0; Trial != Config.Trials; ++Trial) {
     // Random committed prefix.
     std::vector<Invocation> Prefix;
@@ -86,7 +94,35 @@ comlat::validateSpec(const CommSpec &Spec, const ValidationHarness &Harness,
     // Evaluate the condition on order A's observations.
     FrozenStateResolver Resolver(*AtS1, *AtS2);
     EvalContext Ctx{&Inv1, &Inv2, &Resolver};
-    if (!evalFormula(Spec.get(M1, M2), Ctx))
+    const FormulaPtr &Cond = Spec.get(M1, M2);
+    const bool Interpreted = evalFormula(Cond, Ctx);
+
+    if (Config.Differential) {
+      auto It = Compiled.find({M1, M2});
+      if (It == Compiled.end()) {
+        CondCompiler C; // No external bindings: applies go to the resolver.
+        It = Compiled.emplace(std::make_pair(M1, M2), C.compileFormula(Cond))
+                 .first;
+      }
+      CondProgram::Inputs In;
+      In.Inv1 = CondProgram::Frame(Inv1);
+      In.Inv2 = CondProgram::Frame(Inv2);
+      In.Resolver = &Resolver;
+      const bool CompiledResult = It->second.evalBool(In);
+      if (CompiledResult != Interpreted) {
+        ValidationIssue Issue;
+        Issue.Inv1 = Inv1;
+        Issue.Inv2 = Inv2;
+        Issue.Detail = std::string("compiled condition evaluates to ") +
+                       (CompiledResult ? "true" : "false") +
+                       " but the interpreter says " +
+                       (Interpreted ? "true" : "false") +
+                       " (differential mode)";
+        return Issue;
+      }
+    }
+
+    if (!Interpreted)
       continue; // Condition rejects the pair; nothing to check.
 
     // The condition claims commutativity: order B must agree.

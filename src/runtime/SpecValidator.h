@@ -65,10 +65,17 @@ struct ValidationConfig {
   /// Length of the random committed prefix before the tested pair.
   unsigned PrefixOps = 6;
   uint64_t Seed = 0x5eed;
+  /// Differential mode: additionally compile every tested pair condition
+  /// (core/CondIR.h) and demand that the compiled evaluation agrees with
+  /// the tree interpreter on every trial. A divergence is reported as a
+  /// ValidationIssue — it means the hot-path evaluator would admit or veto
+  /// a pair the reference semantics decides the other way.
+  bool Differential = true;
 };
 
-/// Searches for a violation of Definition 1; std::nullopt means no
-/// counterexample was found within the budget.
+/// Searches for a violation of Definition 1 (and, in differential mode, of
+/// compiled-vs-interpreted agreement); std::nullopt means no counterexample
+/// was found within the budget.
 std::optional<ValidationIssue>
 validateSpec(const CommSpec &Spec, const ValidationHarness &Harness,
              const ValidationConfig &Config = ValidationConfig());

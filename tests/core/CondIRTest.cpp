@@ -1,0 +1,287 @@
+//===- tests/core/CondIRTest.cpp - Compiled condition programs ---------------===//
+//
+// The compiled evaluator (core/CondIR.h) replaces the tree interpreter on
+// every hot path, so its one obligation is *exact* agreement with
+// evalFormula — enforced here by construction-direct unit tests and a
+// differential fuzzer over random formulas and invocation pairs, plus the
+// validator's differential mode over the real set-lattice specifications.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CondIR.h"
+
+#include "adt/BoostedSet.h"
+#include "core/Eval.h"
+#include "runtime/SpecValidator.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+using namespace comlat::dsl;
+
+namespace {
+
+Invocation inv(std::vector<Value> Args, int64_t Ret) {
+  Invocation I(0, std::move(Args));
+  I.Ret = Value::integer(Ret);
+  return I;
+}
+
+/// A deterministic pure function for apply terms: f(x) = 2x + 1.
+Value pureFn(const Term &, const std::vector<Value> &Args) {
+  return Value::integer(2 * Args[0].asInt() + 1);
+}
+
+/// Evaluates \p F both ways on the same inputs and demands agreement;
+/// returns the shared verdict.
+bool bothWays(const FormulaPtr &F, const Invocation &Inv1,
+              const Invocation &Inv2) {
+  FnResolver Resolver(pureFn);
+  EvalContext Ctx{&Inv1, &Inv2, &Resolver};
+  const bool Interpreted = evalFormula(F, Ctx);
+
+  CondCompiler C;
+  const CondProgram P = C.compileFormula(F);
+  CondProgram::Inputs In;
+  In.Inv1 = CondProgram::Frame(Inv1);
+  In.Inv2 = CondProgram::Frame(Inv2);
+  In.Resolver = &Resolver;
+  EXPECT_EQ(P.evalBool(In), Interpreted) << P.disassemble();
+  return Interpreted;
+}
+
+} // namespace
+
+TEST(CondProgram, ComparisonAndArithmetic) {
+  const Invocation I1 = inv({Value::integer(3), Value::integer(4)}, 7);
+  const Invocation I2 = inv({Value::integer(3), Value::integer(9)}, 12);
+
+  EXPECT_TRUE(bothWays(eq(arg1(0), arg2(0)), I1, I2));
+  EXPECT_FALSE(bothWays(eq(arg1(1), arg2(1)), I1, I2));
+  EXPECT_TRUE(bothWays(eq(arith(ArithOp::Add, arg1(0), arg1(1)), ret1()),
+                       I1, I2));
+  EXPECT_TRUE(bothWays(lt(ret1(), ret2()), I1, I2));
+  EXPECT_TRUE(
+      bothWays(ge(arith(ArithOp::Mul, arg1(0), arg2(1)), cst(27)), I1, I2));
+}
+
+TEST(CondProgram, ConstantFolding) {
+  CondCompiler C;
+  const CondProgram T = C.compileFormula(top());
+  EXPECT_TRUE(T.alwaysTrue());
+  EXPECT_FALSE(T.alwaysFalse());
+
+  CondCompiler C2;
+  const CondProgram B = C2.compileFormula(bottom());
+  EXPECT_TRUE(B.alwaysFalse());
+
+  // A tautology over constants folds too (Simplify runs first).
+  CondCompiler C3;
+  const CondProgram F = C3.compileFormula(eq(cst(2), cst(2)));
+  EXPECT_TRUE(F.alwaysTrue());
+}
+
+TEST(CondProgram, ShortCircuitSkipsApplies) {
+  // x1 != x2  ∨  f(x1) == r2: when the disjunct is true the apply must
+  // never fire (on the gatekeeper fast path this is the whole win).
+  const FormulaPtr F =
+      disj({ne(arg1(0), arg2(0)),
+            eq(apply(0, StateRef::None, {arg1(0)}), ret2())});
+  unsigned Calls = 0;
+  FnResolver Resolver([&Calls](const Term &T, const std::vector<Value> &A) {
+    ++Calls;
+    return pureFn(T, A);
+  });
+
+  CondCompiler C;
+  const CondProgram P = C.compileFormula(F);
+  CondProgram::Inputs In;
+  const Invocation I1 = inv({Value::integer(1)}, 0);
+  const Invocation I2 = inv({Value::integer(2)}, 0);
+  In.Inv1 = CondProgram::Frame(I1);
+  In.Inv2 = CondProgram::Frame(I2);
+  In.Resolver = &Resolver;
+  EXPECT_TRUE(P.evalBool(In));
+  EXPECT_EQ(Calls, 0u);
+
+  // Equal keys: the second disjunct runs, f(1) = 3 == r2.
+  const Invocation I3 = inv({Value::integer(1)}, 3);
+  In.Inv2 = CondProgram::Frame(I3);
+  EXPECT_TRUE(P.evalBool(In));
+  EXPECT_EQ(Calls, 1u);
+}
+
+TEST(CondProgram, AppliesAreMemoizedPerEvaluation) {
+  // The same application twice: one resolver call, one apply slot.
+  const TermPtr App = apply(0, StateRef::None, {arg1(0)});
+  const FormulaPtr F = conj({ge(App, cst(0)), le(App, cst(100))});
+  unsigned Calls = 0;
+  FnResolver Resolver([&Calls](const Term &T, const std::vector<Value> &A) {
+    ++Calls;
+    return pureFn(T, A);
+  });
+
+  CondCompiler C;
+  const CondProgram P = C.compileFormula(F);
+  EXPECT_EQ(P.applySlots().size(), 1u);
+  CondProgram::Inputs In;
+  const Invocation I1 = inv({Value::integer(5)}, 0);
+  In.Inv1 = CondProgram::Frame(I1);
+  In.Inv2 = CondProgram::Frame(I1);
+  In.Resolver = &Resolver;
+  EXPECT_TRUE(P.evalBool(In));
+  EXPECT_EQ(Calls, 1u);
+
+  // Memoization is per evaluation, not per program.
+  EXPECT_TRUE(P.evalBool(In));
+  EXPECT_EQ(Calls, 2u);
+}
+
+TEST(CondProgram, ExternalSlotsReplaceApplies) {
+  // Binding the apply term as external slot 0 turns it into an indexed
+  // load; no resolver is needed at all.
+  const TermPtr App = apply(0, StateRef::S1, {arg1(0)});
+  const FormulaPtr F = eq(App, ret2());
+
+  CondCompiler C;
+  C.bindExternal(App, 0);
+  const CondProgram P = C.compileFormula(F);
+  EXPECT_TRUE(P.applySlots().empty());
+  EXPECT_EQ(P.numExternalSlots(), 1u);
+
+  const Value Ext[] = {Value::integer(42)};
+  CondProgram::Inputs In;
+  const Invocation I1 = inv({Value::integer(5)}, 0);
+  const Invocation I2 = inv({Value::integer(5)}, 42);
+  In.Inv1 = CondProgram::Frame(I1);
+  In.Inv2 = CondProgram::Frame(I2);
+  In.Ext = Ext;
+  In.NumExt = 1;
+  EXPECT_TRUE(P.evalBool(In));
+
+  const Invocation I3 = inv({Value::integer(5)}, 41);
+  In.Inv2 = CondProgram::Frame(I3);
+  EXPECT_FALSE(P.evalBool(In));
+}
+
+TEST(CondProgram, KeySeparability) {
+  // The set-lattice shape: a top-level disjunct `x != y`.
+  CondCompiler C;
+  const CondProgram P = C.compileFormula(
+      disj({ne(arg1(0), arg2(0)), eq(ret1(), ret2())}));
+  EXPECT_TRUE(P.keySeparability().Separable);
+  EXPECT_EQ(P.keySeparability().Arg1, 0u);
+  EXPECT_EQ(P.keySeparability().Arg2, 0u);
+
+  // Key-function clauses separate classes, not keys: not separable.
+  const KeySeparability K1 = analyzeKeySeparability(
+      ne(apply(0, StateRef::None, {arg1(0)}),
+         apply(0, StateRef::None, {arg2(0)})));
+  EXPECT_FALSE(K1.Separable);
+
+  // Equality does not separate.
+  EXPECT_FALSE(analyzeKeySeparability(eq(arg1(0), arg2(0))).Separable);
+
+  // Both orientations of the disequality are recognized.
+  EXPECT_TRUE(analyzeKeySeparability(ne(arg2(1), arg1(0))).Separable);
+}
+
+TEST(CondProgram, CompiledKeyTerms) {
+  // The abstract-lock key shape: k(arg0), pure.
+  CondCompiler C;
+  const CondProgram P =
+      C.compileTerm(apply(0, StateRef::None, {arg1(1)}));
+  FnResolver Resolver(pureFn);
+  CondProgram::Inputs In;
+  const Invocation I1 = inv({Value::integer(3), Value::integer(10)}, 0);
+  In.Inv1 = CondProgram::Frame(I1);
+  In.Resolver = &Resolver;
+  EXPECT_EQ(P.eval(In).asInt(), 21);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential fuzz: random formulas, random invocation pairs
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TermPtr randomTerm(Rng &R, unsigned Depth) {
+  const unsigned NumKinds = Depth == 0 ? 4 : 6;
+  switch (R.nextBelow(NumKinds)) {
+  case 0:
+    return arg1(static_cast<unsigned>(R.nextBelow(2)));
+  case 1:
+    return arg2(static_cast<unsigned>(R.nextBelow(2)));
+  case 2:
+    return cst(static_cast<int64_t>(R.nextBelow(7)) - 3);
+  case 3:
+    return R.nextBelow(2) ? ret1() : ret2();
+  case 4: {
+    // Div excluded: the fuzz would mostly test divide-by-zero handling.
+    static const ArithOp Ops[] = {ArithOp::Add, ArithOp::Sub, ArithOp::Mul};
+    return arith(Ops[R.nextBelow(3)], randomTerm(R, Depth - 1),
+                 randomTerm(R, Depth - 1));
+  }
+  default:
+    return apply(0, StateRef::None, {randomTerm(R, Depth - 1)});
+  }
+}
+
+FormulaPtr randomFormula(Rng &R, unsigned Depth) {
+  static const CmpOp Cmps[] = {CmpOp::EQ, CmpOp::NE, CmpOp::LT,
+                               CmpOp::LE, CmpOp::GT, CmpOp::GE};
+  if (Depth == 0 || R.nextBelow(3) == 0)
+    return cmp(Cmps[R.nextBelow(6)], randomTerm(R, 2), randomTerm(R, 2));
+  switch (R.nextBelow(4)) {
+  case 0:
+    return R.nextBelow(8) == 0 ? top() : bottom();
+  case 1:
+    return negate(randomFormula(R, Depth - 1));
+  case 2:
+    return conj({randomFormula(R, Depth - 1), randomFormula(R, Depth - 1)});
+  default:
+    return disj({randomFormula(R, Depth - 1), randomFormula(R, Depth - 1)});
+  }
+}
+
+} // namespace
+
+TEST(CondIRDifferential, RandomFormulasAgreeWithInterpreter) {
+  Rng R(0xC0DE);
+  unsigned True = 0, Total = 0;
+  for (unsigned F = 0; F != 400; ++F) {
+    const FormulaPtr Formula = randomFormula(R, 3);
+    for (unsigned Pair = 0; Pair != 8; ++Pair) {
+      const auto RandInv = [&R] {
+        return inv({Value::integer(static_cast<int64_t>(R.nextBelow(5)) - 2),
+                    Value::integer(static_cast<int64_t>(R.nextBelow(5)) - 2)},
+                   static_cast<int64_t>(R.nextBelow(9)) - 4);
+      };
+      ++Total;
+      if (bothWays(Formula, RandInv(), RandInv()))
+        ++True;
+    }
+  }
+  // The fuzz must exercise both verdicts, not collapse to one.
+  EXPECT_GT(True, 0u);
+  EXPECT_LT(True, Total);
+}
+
+TEST(CondIRDifferential, SetLatticeSpecsAgreeUnderValidator) {
+  // The validator's differential mode re-checks compiled-vs-interpreted
+  // agreement on every trial of every real set specification, with state
+  // functions resolved against live frozen structures.
+  const ValidationHarness Harness = setValidationHarness(/*KeySpace=*/6);
+  ValidationConfig Config;
+  Config.Trials = 600;
+  Config.Differential = true;
+  for (const CommSpec *Spec :
+       {&preciseSetSpec(), &strengthenedSetSpec(), &exclusiveSetSpec(),
+        &partitionedSetSpec(), &bottomSetSpec()}) {
+    const std::optional<ValidationIssue> Issue =
+        validateSpec(*Spec, Harness, Config);
+    EXPECT_FALSE(Issue.has_value())
+        << Spec->name() << ": " << Issue->str(Spec->sig());
+  }
+}

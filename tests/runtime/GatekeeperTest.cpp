@@ -3,6 +3,7 @@
 #include "adt/BoostedKdTree.h"
 #include "adt/BoostedSet.h"
 #include "adt/BoostedUnionFind.h"
+#include "runtime/Gatekeeper.h"
 
 #include <gtest/gtest.h>
 
@@ -343,4 +344,69 @@ TEST_F(UfGateTest, CreateConflictsWithEverything) {
   EXPECT_FALSE(Uf->create(T2, Id));
   T2.abort();
   T1.commit();
+}
+
+//===----------------------------------------------------------------------===//
+// Striped admission (compiled-condition refactor)
+//===----------------------------------------------------------------------===//
+
+TEST(StripedGatekeeperTest, PreciseSetSpecStripes) {
+  // Every precise-set condition carries the separable `x != y` disjunct
+  // and the sharded set target opts in, so admission stripes by key.
+  const std::unique_ptr<GateTarget> Target = makeSetGateTarget();
+  ForwardGatekeeper GK(&preciseSetSpec(), Target.get(), "striped-test");
+  EXPECT_TRUE(GK.striped());
+  EXPECT_EQ(GK.numStripes(), GateStripeCount);
+
+  const SetSig &S = setSig();
+  const CondProgram &AddAdd = GK.pairProgram(S.Add, S.Add);
+  EXPECT_TRUE(AddAdd.keySeparability().Separable);
+  EXPECT_EQ(AddAdd.keySeparability().Arg1, 0u);
+}
+
+TEST(StripedGatekeeperTest, KeyFunctionSpecFallsBackToOneStripe) {
+  // `part(x) != part(y)` separates key classes, not keys: equal-partition
+  // keys can land on different stripes, so striping would be unsound and
+  // the gatekeeper must keep the global critical section.
+  const std::unique_ptr<GateTarget> Target = makeSetGateTarget();
+  ForwardGatekeeper GK(&partitionedSetSpec(), Target.get(), "global-test");
+  EXPECT_FALSE(GK.striped());
+  EXPECT_EQ(GK.numStripes(), 1u);
+}
+
+TEST(StripedGatekeeperTest, SameStripeConflictsStillDetected) {
+  // Striping must not lose the same-key veto: a mutating add against an
+  // active mutating add of the same key conflicts (r1 != r2 under Fig. 2).
+  const std::unique_ptr<TxSet> Set = makeGatedSet(preciseSetSpec());
+  Transaction T1(1), T2(2);
+  bool R1 = false, R2 = false;
+  EXPECT_TRUE(Set->add(T1, 5, R1));
+  EXPECT_TRUE(R1);
+  EXPECT_FALSE(Set->add(T2, 5, R2));
+  T2.abort();
+  T1.commit();
+
+  // Distinct keys: different stripes, no check at all, both admitted.
+  Transaction T3(3), T4(4);
+  EXPECT_TRUE(Set->add(T3, 100, R1));
+  EXPECT_TRUE(Set->add(T4, 200, R2));
+  T3.commit();
+  T4.commit();
+}
+
+TEST(StripedGatekeeperTest, AbortUndoesAcrossStripes) {
+  // One transaction mutates several stripes; its abort must undo all of
+  // them (the per-tx stripe mask drives the sweep).
+  const std::unique_ptr<TxSet> Set = makeGatedSet(preciseSetSpec());
+  Transaction T1(1);
+  bool Res = false;
+  for (const int64_t Key : {11, 222, 3333, 44444})
+    EXPECT_TRUE(Set->add(T1, Key, Res));
+  T1.abort();
+  Transaction T2(2);
+  for (const int64_t Key : {11, 222, 3333, 44444}) {
+    EXPECT_TRUE(Set->contains(T2, Key, Res));
+    EXPECT_FALSE(Res) << Key;
+  }
+  T2.commit();
 }

@@ -3,6 +3,7 @@
 #include "adt/Accumulator.h"
 #include "adt/FlowGraph.h"
 #include "adt/SetSpecs.h"
+#include "core/Eval.h"
 #include "runtime/LockScheme.h"
 
 #include <gtest/gtest.h>
@@ -130,4 +131,55 @@ TEST(LockSchemeTest, FlowSpecsProduceNodeLocks) {
   const LockScheme Ex(exFlowSpec());
   const ModeId GNx = modeByName(Ex, "getNeighbors:arg0");
   EXPECT_FALSE(Ex.compat()[GNx][GNx]);
+}
+
+//===----------------------------------------------------------------------===//
+// Compiled key programs and pair conditions
+//===----------------------------------------------------------------------===//
+
+TEST(LockSchemeTest, AcquisitionsCarryCompiledKeyPrograms) {
+  const LockScheme S(partitionedSetSpec());
+  const SetSig &Set = setSig();
+  ASSERT_EQ(S.preAcquires(Set.Add).size(), 1u);
+  const LockAcquisition &Acq = S.preAcquires(Set.Add)[0];
+  ASSERT_NE(Acq.KeyProg, nullptr);
+  // The program computes part(arg0); evaluate with part = x mod 4.
+  FnResolver Resolver([](const Term &T, const std::vector<Value> &A) {
+    EXPECT_EQ(T.Fn, setSig().Part);
+    return Value::integer(A[0].asInt() % 4);
+  });
+  const Invocation I(Set.Add, {Value::integer(10)});
+  CondProgram::Inputs In;
+  In.Inv1 = CondProgram::Frame(I);
+  In.Resolver = &Resolver;
+  EXPECT_EQ(Acq.KeyProg->eval(In).asInt(), 2);
+}
+
+TEST(LockSchemeTest, StructureAcquisitionsHaveNoKeyProgram) {
+  const LockScheme S(bottomSetSpec());
+  const SetSig &Set = setSig();
+  ASSERT_FALSE(S.preAcquires(Set.Add).empty());
+  EXPECT_TRUE(S.preAcquires(Set.Add)[0].OnStructure);
+  EXPECT_EQ(S.preAcquires(Set.Add)[0].KeyProg, nullptr);
+}
+
+TEST(LockSchemeTest, PairProgramsMatchInterpretedConditions) {
+  // The compiled pair conditions must agree with the interpreter on the
+  // specification the scheme was built from.
+  const CommSpec &Spec = strengthenedSetSpec();
+  const LockScheme S(Spec);
+  const unsigned N = Spec.sig().numMethods();
+  const Invocation I1(0, {Value::integer(3)}, Value::boolean(true));
+  const Invocation I2(0, {Value::integer(3)}, Value::boolean(false));
+  for (MethodId M1 = 0; M1 != N; ++M1)
+    for (MethodId M2 = 0; M2 != N; ++M2) {
+      EvalContext Ctx{&I1, &I2, nullptr};
+      CondProgram::Inputs In;
+      In.Inv1 = CondProgram::Frame(I1);
+      In.Inv2 = CondProgram::Frame(I2);
+      EXPECT_EQ(S.pairProgram(M1, M2).evalBool(In),
+                evalFormula(Spec.get(M1, M2), Ctx))
+          << Spec.sig().method(M1).Name << " ~ "
+          << Spec.sig().method(M2).Name;
+    }
 }
