@@ -12,19 +12,41 @@
 #include "adt/BoostedSet.h"
 #include "adt/BoostedUnionFind.h"
 #include "stm/ObjectStm.h"
+#include "support/Random.h"
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
 using namespace comlat;
+
+// Seed for every randomized key stream below; --seed=N overrides it in the
+// custom main, which also records it in the benchmark context so archived
+// JSON output is reproducible.
+static uint64_t BenchSeed = 42;
+
+/// A key stream drawn from the shared xoshiro generator: uniform over
+/// [0, 4096), decorrelated across benchmarks by a per-stream salt.
+class KeyStream {
+public:
+  explicit KeyStream(uint64_t Salt) : R(BenchSeed ^ Salt) {}
+  int64_t next() { return static_cast<int64_t>(R.nextBelow(4096)); }
+
+private:
+  Rng R;
+};
 
 /// Baseline: the unprotected concrete structure.
 static void BM_DirectSetAdd(benchmark::State &State) {
   const std::unique_ptr<TxSet> Set = makeDirectSet();
-  int64_t Key = 0;
+  KeyStream Keys(0x1);
   for (auto _ : State) {
     Transaction Tx(1);
     bool Res = false;
-    Set->add(Tx, Key++ % 4096, Res);
+    Set->add(Tx, Keys.next(), Res);
     benchmark::DoNotOptimize(Res);
     Tx.commit();
   }
@@ -34,11 +56,11 @@ BENCHMARK(BM_DirectSetAdd);
 /// Abstract locking: one exclusive key lock per op.
 static void BM_AbstractLockSetAdd(benchmark::State &State) {
   const std::unique_ptr<TxSet> Set = makeLockedSet(exclusiveSetSpec());
-  int64_t Key = 0;
+  KeyStream Keys(0x2);
   for (auto _ : State) {
     Transaction Tx(1);
     bool Res = false;
-    Set->add(Tx, Key++ % 4096, Res);
+    Set->add(Tx, Keys.next(), Res);
     benchmark::DoNotOptimize(Res);
     Tx.commit();
   }
@@ -48,11 +70,11 @@ BENCHMARK(BM_AbstractLockSetAdd);
 /// Abstract locking with read/write key locks (Fig. 3 scheme).
 static void BM_RwLockSetContains(benchmark::State &State) {
   const std::unique_ptr<TxSet> Set = makeLockedSet(strengthenedSetSpec());
-  int64_t Key = 0;
+  KeyStream Keys(0x3);
   for (auto _ : State) {
     Transaction Tx(1);
     bool Res = false;
-    Set->contains(Tx, Key++ % 4096, Res);
+    Set->contains(Tx, Keys.next(), Res);
     benchmark::DoNotOptimize(Res);
     Tx.commit();
   }
@@ -70,11 +92,11 @@ static void BM_GatekeeperSetAdd(benchmark::State &State) {
     bool Res = false;
     Set->add(Holder, 1000000 + I, Res);
   }
-  int64_t Key = 0;
+  KeyStream Keys(0x4); // stays below 1000000: never conflicts with Holder
   for (auto _ : State) {
     Transaction Tx(1);
     bool Res = false;
-    Set->add(Tx, Key++ % 4096, Res);
+    Set->add(Tx, Keys.next(), Res);
     benchmark::DoNotOptimize(Res);
     Tx.commit();
   }
@@ -151,10 +173,10 @@ BENCHMARK_REGISTER_F(GateThroughputNonSeparable, Admit)
 /// Memory-level STM: one object lock per concrete access.
 static void BM_StmRead(benchmark::State &State) {
   ObjectStm Stm("bench");
-  uint64_t Obj = 0;
+  KeyStream Keys(0x5);
   for (auto _ : State) {
     Transaction Tx(1);
-    Stm.read(Tx, Obj++ % 4096);
+    Stm.read(Tx, static_cast<uint64_t>(Keys.next()));
     Tx.commit();
   }
 }
@@ -172,11 +194,11 @@ static void ufFindBench(benchmark::State &State, MakeFn Make) {
       Uf->unite(Init, 0, I, Changed);
     Init.commit();
   }
-  int64_t X = 0;
+  KeyStream Keys(0x6);
   for (auto _ : State) {
     Transaction Tx(2);
     int64_t Rep = UfNone;
-    Uf->find(Tx, X++ % 4096, Rep);
+    Uf->find(Tx, Keys.next(), Rep);
     benchmark::DoNotOptimize(Rep);
     Tx.commit();
   }
@@ -247,3 +269,27 @@ static void BM_AccumulatorIncrementGatekeeper(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_AccumulatorIncrementGatekeeper);
+
+// Custom main instead of benchmark_main: peels --seed=N off argv before
+// google-benchmark sees it (it rejects unknown flags), then records the
+// seed in the benchmark context so it lands in console and JSON output.
+int main(int Argc, char **Argv) {
+  std::vector<char *> Args;
+  Args.reserve(static_cast<size_t>(Argc));
+  Args.push_back(Argv[0]);
+  for (int I = 1; I < Argc; ++I) {
+    const std::string_view Arg(Argv[I]);
+    if (Arg.rfind("--seed=", 0) == 0)
+      BenchSeed = std::strtoull(Argv[I] + 7, nullptr, 10);
+    else
+      Args.push_back(Argv[I]);
+  }
+  int Filtered = static_cast<int>(Args.size());
+  benchmark::Initialize(&Filtered, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Filtered, Args.data()))
+    return 1;
+  benchmark::AddCustomContext("seed", std::to_string(BenchSeed));
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

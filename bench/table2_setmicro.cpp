@@ -48,7 +48,9 @@ int main(int Argc, char **Argv) {
   const uint64_t ModelOps = Opts.getUInt("model-ops", 4096);
 
   if (Csv) {
-    std::printf("scheme,input,%s\n", ExecStats::csvHeader().c_str());
+    // The seed rides along in every row so an archived CSV is
+    // self-describing enough to reproduce.
+    std::printf("scheme,input,seed,%s\n", ExecStats::csvHeader().c_str());
     const SetScheme Schemes[] = {SetScheme::GlobalLock, SetScheme::Exclusive,
                                  SetScheme::ReadWrite, SetScheme::Gatekeeper};
     for (const SetScheme Scheme : Schemes)
@@ -57,18 +59,20 @@ int main(int Argc, char **Argv) {
         Local.KeyClasses = Input == 0 ? 0 : 10;
         const std::unique_ptr<TxSet> Set = makeMicrobenchSet(Scheme);
         const ExecStats Stats = runSetMicrobench(*Set, Local);
-        std::printf("%s,%s,%s\n", setSchemeName(Scheme),
+        std::printf("%s,%s,%llu,%s\n", setSchemeName(Scheme),
                     Input == 0 ? "distinct" : "10-class",
+                    static_cast<unsigned long long>(P.Seed),
                     Stats.toCsvRow().c_str());
       }
     return 0;
   }
 
   std::printf("Table 2: set microbenchmark, %llu ops, %u ops/tx, %u "
-              "threads;\nmodel columns from the unbounded-processor round "
-              "model over %llu ops.\n\n",
+              "threads, seed %llu;\nmodel columns from the "
+              "unbounded-processor round model over %llu ops.\n\n",
               static_cast<unsigned long long>(P.NumOps), P.OpsPerTx,
-              P.Threads, static_cast<unsigned long long>(ModelOps));
+              P.Threads, static_cast<unsigned long long>(P.Seed),
+              static_cast<unsigned long long>(ModelOps));
   std::printf("%-20s | %-9s %-9s %-12s | %-9s %-9s %-12s\n", "", "distinct",
               "", "", "10-class", "", "");
   std::printf("%-20s | %9s %9s %12s | %9s %9s %12s\n", "scheme", "abort %",

@@ -16,6 +16,11 @@ structure and invariants, not exact numbers:
   * the Chrome trace is valid JSON and >= 99% of its aborts carry a
     concrete detector attribution;
   * the CSV artifacts are non-empty and rectangular.
+
+`--update BASELINE.json ARTIFACT_DIR` rewrites a baseline from a fresh
+run instead of checking: an existing baseline keeps its key set (only the
+values are refreshed, so incremental baselines like BENCH_pr3.json stay
+scoped to their counters); a new file captures the full metrics dump.
 """
 
 import csv
@@ -95,6 +100,34 @@ def check_trace(trace_path: Path) -> None:
           f"{attributed}/{aborts} aborts attributed)")
 
 
+def dump_flat(metrics: dict) -> str:
+    """The C++ --metrics-json format: sorted keys, 2-space indent, any
+    nested histogram object kept on one line."""
+    lines = []
+    for key in sorted(metrics):
+        value = json.dumps(metrics[key], separators=(", ", ": "))
+        lines.append(f"  {json.dumps(key)}: {value}")
+    return "{\n" + ",\n".join(lines) + "\n}\n"
+
+
+def update_baseline(baseline_path: Path, metrics_path: Path) -> None:
+    fresh = json.loads(metrics_path.read_text())
+    if baseline_path.exists():
+        keys = set(json.loads(baseline_path.read_text()))
+        gone = sorted(keys - set(fresh))
+        if gone:
+            fail(f"--update: baseline keys missing from {metrics_path}: "
+                 f"{gone[:10]} (delete the baseline to re-capture from "
+                 f"scratch)")
+        scope = "refreshed"
+    else:
+        keys = set(fresh)
+        scope = "captured"
+    baseline_path.write_text(dump_flat({k: fresh[k] for k in keys}))
+    print(f"{scope}: {baseline_path} ({len(keys)} metrics from "
+          f"{metrics_path})")
+
+
 def check_csv(csv_path: Path) -> None:
     with csv_path.open() as fp:
         rows = list(csv.reader(fp))
@@ -107,9 +140,19 @@ def check_csv(csv_path: Path) -> None:
 
 
 def main() -> None:
+    if len(sys.argv) >= 2 and sys.argv[1] == "--update":
+        if len(sys.argv) != 4:
+            print(f"usage: {sys.argv[0]} --update BASELINE.json "
+                  f"ARTIFACT_DIR", file=sys.stderr)
+            sys.exit(2)
+        update_baseline(Path(sys.argv[2]),
+                        Path(sys.argv[3]) / "table2_metrics.json")
+        return
     if len(sys.argv) < 3:
         print(f"usage: {sys.argv[0]} BASELINE.json [BASELINE2.json ...] "
               f"ARTIFACT_DIR", file=sys.stderr)
+        print(f"       {sys.argv[0]} --update BASELINE.json ARTIFACT_DIR",
+              file=sys.stderr)
         sys.exit(2)
     baselines = [Path(p) for p in sys.argv[1:-1]]
     artifacts = Path(sys.argv[-1])

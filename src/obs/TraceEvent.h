@@ -63,9 +63,20 @@ enum class EventKind : uint8_t {
   /// One ParaMeter round completed (Arg = available iterations at round
   /// start, Detail = iterations committed in the round).
   Round,
+  /// Service layer: a connection was accepted (Arg = connection fd).
+  SvcAccept,
+  /// Service layer: a request frame parsed cleanly off a connection
+  /// (Arg = request id, Detail = message type).
+  SvcFrame,
+  /// Service layer: a batch frame was admitted to the submitter queue
+  /// (Arg = request id).
+  SvcAdmit,
+  /// Service layer: a reply was queued for writing (Arg = request id,
+  /// Detail = reply status: 0 ok, 1 busy, 2 error).
+  SvcReply,
 };
 
-inline constexpr unsigned NumEventKinds = 15;
+inline constexpr unsigned NumEventKinds = 19;
 
 /// Short stable name for exporters ("pop", "steal", ...).
 const char *eventKindName(EventKind Kind);

@@ -39,6 +39,14 @@ const char *obs::eventKindName(EventKind Kind) {
     return "stm-conflict";
   case EventKind::Round:
     return "round";
+  case EventKind::SvcAccept:
+    return "svc-accept";
+  case EventKind::SvcFrame:
+    return "svc-frame";
+  case EventKind::SvcAdmit:
+    return "svc-admit";
+  case EventKind::SvcReply:
+    return "svc-reply";
   }
   COMLAT_UNREACHABLE("bad event kind");
 }

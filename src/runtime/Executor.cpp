@@ -107,8 +107,10 @@ private:
   TerminationBarrier &Barrier;
 };
 
-void backoff(const BackoffPolicy &Policy, unsigned ConsecutiveAborts,
-             Rng &BackoffRng) {
+} // namespace
+
+void comlat::applyBackoff(const BackoffPolicy &Policy,
+                          unsigned ConsecutiveAborts, Rng &BackoffRng) {
   switch (Policy.Kind) {
   case BackoffKind::None:
     return;
@@ -130,8 +132,6 @@ void backoff(const BackoffPolicy &Policy, unsigned ConsecutiveAborts,
   }
   }
 }
-
-} // namespace
 
 Executor::Executor(const ExecutorConfig &Config)
     : Config(Config), Pool(Config.NumThreads) {
@@ -183,7 +183,7 @@ ExecStats Executor::run(Worklist &WL, const OperatorFn &Op) {
         Sink.push(*Item); // Before leave(): no lost work.
         Barrier.leave();
         ++ConsecutiveAborts;
-        backoff(Config.Backoff, ConsecutiveAborts, BackoffRng);
+        applyBackoff(Config.Backoff, ConsecutiveAborts, BackoffRng);
       } else {
         // Commit actions (including worklist pushes) run inside commit(),
         // before the in-flight claim drops — the termination barrier

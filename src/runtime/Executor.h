@@ -71,6 +71,14 @@ struct ExecutorConfig {
   unsigned ChunkSize = ChunkedWorklist::DefaultChunkSize;
 };
 
+class Rng;
+
+/// Waits out the post-abort conflict window per \p Policy:
+/// \p ConsecutiveAborts consecutive aborts so far, randomness from
+/// \p BackoffRng. Shared by the worklist Executor and the batch Submitter.
+void applyBackoff(const BackoffPolicy &Policy, unsigned ConsecutiveAborts,
+                  Rng &BackoffRng);
+
 /// Runs speculative worklist loops.
 class Executor {
 public:

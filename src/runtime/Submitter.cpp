@@ -1,0 +1,140 @@
+//===- runtime/Submitter.cpp - Batch transaction submission ----------------===//
+
+#include "runtime/Submitter.h"
+
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceRing.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+
+using namespace comlat;
+
+Submitter::Submitter(const SubmitterConfig &Config) : Config(Config) {
+  assert(Config.NumThreads > 0 && "need at least one worker");
+  assert(Config.QueueCapacity > 0 && "need a non-empty admission queue");
+  Workers.reserve(Config.NumThreads);
+  for (unsigned W = 0; W != Config.NumThreads; ++W)
+    Workers.emplace_back([this, W] { workerMain(W); });
+}
+
+Submitter::~Submitter() { drain(); }
+
+bool Submitter::trySubmit(TxBody Body, Completion Done, int64_t TraceTag) {
+  {
+    std::lock_guard<std::mutex> Guard(M);
+    if (Draining || Queue.size() >= Config.QueueCapacity)
+      return false;
+    Pending.fetch_add(1, std::memory_order_acq_rel);
+    Queue.push_back({std::move(Body), std::move(Done), TraceTag});
+  }
+  WorkCV.notify_one();
+  return true;
+}
+
+void Submitter::pause() {
+  std::lock_guard<std::mutex> Guard(M);
+  Paused = true;
+}
+
+void Submitter::resume() {
+  {
+    std::lock_guard<std::mutex> Guard(M);
+    Paused = false;
+  }
+  WorkCV.notify_all();
+}
+
+size_t Submitter::queueDepth() const {
+  std::lock_guard<std::mutex> Guard(M);
+  return Queue.size();
+}
+
+void Submitter::drain() {
+  {
+    std::unique_lock<std::mutex> Guard(M);
+    Draining = true;
+    Paused = false; // a paused drain would never finish
+    WorkCV.notify_all();
+    IdleCV.wait(Guard, [this] {
+      return Queue.empty() && Pending.load(std::memory_order_acquire) == 0;
+    });
+    Stopping = true;
+  }
+  WorkCV.notify_all();
+  for (std::thread &W : Workers)
+    if (W.joinable())
+      W.join();
+  Workers.clear();
+}
+
+void Submitter::workerMain(unsigned Worker) {
+  Rng BackoffRng(0x51b7 + Worker);
+  ExecMetrics &Metrics = ExecMetrics::global();
+  for (;;) {
+    Submission Sub;
+    {
+      std::unique_lock<std::mutex> Guard(M);
+      WorkCV.wait(Guard, [this] {
+        return Stopping || (!Paused && !Queue.empty());
+      });
+      if (Stopping && Queue.empty())
+        return;
+      if (Paused || Queue.empty())
+        continue;
+      Sub = std::move(Queue.front());
+      Queue.pop_front();
+    }
+
+    SubmitOutcome Outcome;
+    Timer SubTimer;
+    unsigned Attempt = 0;
+    for (;;) {
+      ++Attempt;
+      // Globally allocated id: submitted transactions coexist with foreign
+      // transactions on the same structures (tests hold their own
+      // transactions open against a Submitter; a collision would make the
+      // detectors treat the two as one re-entrant transaction).
+      Transaction Tx(allocTxId());
+      Tx.setRecording(Config.RecordHistories);
+      Sub.Body(Tx);
+      if (!Tx.failed()) {
+        // Stamp the commit order from inside commit(), before the
+        // detectors release: conflicting submissions are still mutually
+        // excluded here, so the stamp order extends the conflict order.
+        Tx.addCommitAction([this, &Outcome] {
+          Outcome.CommitSeq =
+              NextCommitSeq.fetch_add(1, std::memory_order_relaxed);
+        });
+        Tx.commit();
+        Outcome.Committed = true;
+        Outcome.Tx = Tx.id();
+        Metrics.Committed->add();
+        Metrics.CommitLatencyUs->observe(
+            static_cast<uint64_t>(SubTimer.seconds() * 1e6));
+        COMLAT_TRACE(obs::EventKind::Commit, Tx.id(), Sub.TraceTag, 0, 0);
+        break;
+      }
+      const AbortCause Cause = Tx.abortCause();
+      const uint32_t Detail = Tx.abortDetail();
+      const uint16_t Label = Tx.abortLabel();
+      Tx.abort();
+      ++Outcome.Aborts;
+      Outcome.LastCause = Cause;
+      Outcome.Tx = Tx.id();
+      Metrics.Aborted->add();
+      Metrics.AbortsByCause[static_cast<unsigned>(Cause)]->add();
+      COMLAT_TRACE(obs::EventKind::Abort, Tx.id(), Sub.TraceTag, Detail,
+                   Label);
+      if (Config.MaxAttempts != 0 && Attempt >= Config.MaxAttempts)
+        break; // terminal failure: Committed stays false
+      applyBackoff(Config.Backoff, Attempt, BackoffRng);
+    }
+
+    // The completion is the client-visible boundary: it observes only the
+    // final outcome, never an intermediate attempt.
+    if (Sub.Done)
+      Sub.Done(Outcome);
+    Pending.fetch_sub(1, std::memory_order_acq_rel);
+    IdleCV.notify_all();
+  }
+}

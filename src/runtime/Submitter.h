@@ -1,0 +1,155 @@
+//===- runtime/Submitter.h - Batch transaction submission -------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The request-driven entry point into the speculative runtime. Where the
+/// Executor drains a worklist it owns, the Submitter accepts externally
+/// arriving transaction bodies (one per service request frame), runs each
+/// on a persistent worker pool through the same conflict-detector path —
+/// abort, undo, randomized backoff, retry — and reports the final outcome
+/// through a per-submission completion callback. Three properties matter
+/// to the serving layer built on top (src/svc):
+///
+///  * admission is bounded: trySubmit() refuses (returns false) when the
+///    queue is full, so overload turns into BUSY shedding at the protocol
+///    layer instead of unbounded memory growth;
+///  * retries are invisible: the body re-runs from scratch on every
+///    attempt and the completion fires exactly once, after the final
+///    commit or terminal failure — a client never observes a speculative
+///    attempt;
+///  * the commit order is witnessed: every committed submission is stamped
+///    with a global commit sequence number from inside commit(), before
+///    its conflict detectors release. For any two conflicting submissions
+///    the stamp order therefore agrees with the detector-enforced order,
+///    so replaying committed bodies in stamp order is a serial execution
+///    witness (the loopback oracle in tests/svc relies on this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_RUNTIME_SUBMITTER_H
+#define COMLAT_RUNTIME_SUBMITTER_H
+
+#include "runtime/Executor.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace comlat {
+
+/// Shapes one submitter: worker count, admission bound, retry policy.
+struct SubmitterConfig {
+  /// Worker threads executing submissions (>= 1).
+  unsigned NumThreads = 4;
+  /// Admission bound: trySubmit() refuses once this many submissions are
+  /// queued (in-flight ones do not count; they already hold a worker).
+  size_t QueueCapacity = 1024;
+  /// Post-abort wait strategy (shared with the Executor).
+  BackoffPolicy Backoff{};
+  /// Attempts before a submission fails terminally (completion fires with
+  /// Committed = false). 0 = retry until commit.
+  unsigned MaxAttempts = 0;
+  /// Enables per-transaction invocation recording (serializability tests).
+  bool RecordHistories = false;
+};
+
+/// Final outcome of one submission, delivered to its completion callback.
+struct SubmitOutcome {
+  /// True when the body committed; false only under MaxAttempts.
+  bool Committed = false;
+  /// Aborted attempts before the final outcome.
+  unsigned Aborts = 0;
+  /// Cause of the last abort; meaningful when Aborts > 0.
+  AbortCause LastCause = AbortCause::User;
+  /// 1-based position in the submitter's global commit order (0 when not
+  /// committed). Conflict-consistent: see the file comment.
+  uint64_t CommitSeq = 0;
+  /// Id of the transaction that reached the final outcome.
+  TxId Tx = 0;
+};
+
+/// Accepts transaction bodies and executes each to a final outcome on a
+/// persistent worker pool. Thread-safe: any thread may trySubmit().
+class Submitter {
+public:
+  /// One submission: runs boosted calls against shared structures, checks
+  /// Tx.failed() after each and returns promptly when set (the Executor's
+  /// operator contract). Re-run from scratch on every attempt, so any
+  /// result buffer it writes must be reset at body entry.
+  using TxBody = std::function<void(Transaction &Tx)>;
+
+  /// Invoked exactly once per accepted submission, on the worker thread
+  /// that reached the final outcome. Must not block for long and must not
+  /// call back into trySubmit() (worker threads are a bounded resource).
+  using Completion = std::function<void(const SubmitOutcome &Outcome)>;
+
+  explicit Submitter(const SubmitterConfig &Config);
+
+  /// Drains and joins the workers.
+  ~Submitter();
+
+  Submitter(const Submitter &) = delete;
+  Submitter &operator=(const Submitter &) = delete;
+
+  /// Queues \p Body for execution; \p Done fires after its final outcome.
+  /// \p TraceTag labels the submission's trace events (the service layer
+  /// passes the request id). Returns false — and runs neither callback —
+  /// when the queue is at capacity or the submitter is draining.
+  bool trySubmit(TxBody Body, Completion Done, int64_t TraceTag = 0);
+
+  /// Stops admission, waits until every already-accepted submission has
+  /// completed (resuming paused workers if necessary), then stops the
+  /// workers. Idempotent; called by the destructor.
+  void drain();
+
+  /// Test/drain coordination: stops workers from starting new submissions
+  /// (in-flight ones finish). Queued submissions stay queued, so a paused
+  /// submitter with a full queue deterministically sheds — the BUSY-path
+  /// tests rely on this.
+  void pause();
+
+  /// Releases pause().
+  void resume();
+
+  /// Currently queued (not yet started) submissions.
+  size_t queueDepth() const;
+
+  /// Accepted submissions that have not yet completed (queued + running).
+  size_t inFlight() const { return Pending.load(std::memory_order_acquire); }
+
+  const SubmitterConfig &config() const { return Config; }
+
+private:
+  struct Submission {
+    TxBody Body;
+    Completion Done;
+    int64_t TraceTag = 0;
+  };
+
+  void workerMain(unsigned Worker);
+
+  SubmitterConfig Config;
+  mutable std::mutex M;
+  std::condition_variable WorkCV;  // queued work or state change
+  std::condition_variable IdleCV;  // completion / drain progress
+  std::deque<Submission> Queue;    // guarded by M
+  bool Draining = false;           // guarded by M
+  bool Stopping = false;           // guarded by M
+  bool Paused = false;             // guarded by M
+  std::atomic<size_t> Pending{0};
+  std::atomic<uint64_t> NextCommitSeq{1};
+  std::vector<std::thread> Workers;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_RUNTIME_SUBMITTER_H

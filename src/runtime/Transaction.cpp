@@ -3,10 +3,16 @@
 #include "runtime/Transaction.h"
 
 #include <algorithm>
+#include <atomic>
 
 using namespace comlat;
 
 ConflictDetector::~ConflictDetector() = default;
+
+TxId comlat::allocTxId() {
+  static std::atomic<TxId> Next{UINT64_C(1) << 32};
+  return Next.fetch_add(1, std::memory_order_relaxed);
+}
 
 Transaction::~Transaction() {
   assert((Finished || (Touched.empty() && Undos.empty())) &&

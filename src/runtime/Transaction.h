@@ -158,6 +158,17 @@ private:
   std::vector<std::pair<uintptr_t, Invocation>> History;
 };
 
+/// Draws a process-globally unique transaction id from a reserved high
+/// range (ids >= 2^32). Conflict detectors key every lock, log entry and
+/// stripe mask by TxId, so two live transactions sharing an id are treated
+/// as one re-entrant transaction and sail straight through each other's
+/// conflicts. Engines whose transactions can coexist with foreign ones on
+/// shared structures (the Submitter; anything long-running) must allocate
+/// here; per-run engines that own their structures for the run (Executor,
+/// RoundExecutor) and hand-written test transactions keep the small-id
+/// space below 2^32.
+TxId allocTxId();
+
 } // namespace comlat
 
 #endif // COMLAT_RUNTIME_TRANSACTION_H

@@ -54,6 +54,21 @@ std::string Options::getString(const std::string &Key,
   return It == Values.end() ? Default : It->second;
 }
 
+void Options::checkKnown(std::initializer_list<const char *> Known) const {
+  for (const auto &[Key, Value] : Values) {
+    bool Found = false;
+    for (const char *K : Known)
+      if (Key == K) {
+        Found = true;
+        break;
+      }
+    if (!Found) {
+      std::fprintf(stderr, "error: unknown flag '--%s'\n", Key.c_str());
+      std::exit(2);
+    }
+  }
+}
+
 bool Options::getBool(const std::string &Key, bool Default) const {
   const auto It = Values.find(Key);
   if (It == Values.end())

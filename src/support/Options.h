@@ -16,6 +16,7 @@
 #define COMLAT_SUPPORT_OPTIONS_H
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
 
@@ -53,6 +54,12 @@ public:
 
   /// Returns true when `--key` appears, either bare or as `=true`/`=1`.
   bool getBool(const std::string &Key, bool Default = false) const;
+
+  /// Exits with a diagnostic (status 2) when any parsed flag is not in
+  /// \p Known — so a typo like `--theads=8` fails loudly instead of
+  /// silently running with the default. Call once, after construction,
+  /// listing every flag the binary understands.
+  void checkKnown(std::initializer_list<const char *> Known) const;
 
 private:
   std::map<std::string, std::string> Values;

@@ -1,0 +1,554 @@
+//===- svc/LoadGen.cpp - comlat-serve load generator -----------------------===//
+
+#include "svc/LoadGen.h"
+
+#include "support/Random.h"
+#include "support/Timer.h"
+#include "svc/Objects.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <thread>
+#include <unordered_map>
+
+using namespace comlat;
+using namespace comlat::svc;
+
+//===----------------------------------------------------------------------===//
+// Client
+//===----------------------------------------------------------------------===//
+
+bool Client::connect(const std::string &Host, uint16_t Port,
+                     std::string *Err) {
+  close();
+  struct addrinfo Hints {};
+  Hints.ai_family = AF_INET;
+  Hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo *Res = nullptr;
+  const std::string PortStr = std::to_string(Port);
+  if (const int Rc = ::getaddrinfo(Host.c_str(), PortStr.c_str(), &Hints, &Res);
+      Rc != 0) {
+    if (Err)
+      *Err = "resolve '" + Host + "': " + gai_strerror(Rc);
+    return false;
+  }
+  for (struct addrinfo *A = Res; A; A = A->ai_next) {
+    Fd = ::socket(A->ai_family, A->ai_socktype | SOCK_CLOEXEC, A->ai_protocol);
+    if (Fd < 0)
+      continue;
+    if (::connect(Fd, A->ai_addr, A->ai_addrlen) == 0)
+      break;
+    ::close(Fd);
+    Fd = -1;
+  }
+  ::freeaddrinfo(Res);
+  if (Fd < 0) {
+    if (Err)
+      *Err = "connect " + Host + ":" + PortStr + ": " + std::strerror(errno);
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  RecvBuf.clear();
+  RecvPos = 0;
+  return true;
+}
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool Client::sendRaw(const std::string &Bytes) {
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    const ssize_t N = ::send(Fd, Bytes.data() + Off, Bytes.size() - Off,
+                             MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool Client::send(const Request &R) {
+  std::string Bytes;
+  encodeRequest(R, Bytes);
+  return sendRaw(Bytes);
+}
+
+bool Client::peelOne(Response &R, bool &Got) {
+  Got = false;
+  std::string_view Rest(RecvBuf);
+  Rest.remove_prefix(RecvPos);
+  std::string_view Payload;
+  size_t Consumed = 0;
+  switch (peelFrame(Rest, Payload, Consumed)) {
+  case FrameResult::NeedMore:
+    if (RecvPos > 0 && RecvPos == RecvBuf.size()) {
+      RecvBuf.clear();
+      RecvPos = 0;
+    }
+    return true;
+  case FrameResult::Malformed:
+    return false;
+  case FrameResult::Ok:
+    break;
+  }
+  if (!decodeResponse(Payload, R))
+    return false;
+  RecvPos += Consumed;
+  Got = true;
+  return true;
+}
+
+bool Client::recvResponse(Response &R) {
+  for (;;) {
+    bool Got = false;
+    if (!peelOne(R, Got))
+      return false;
+    if (Got)
+      return true;
+    char Buf[16 * 1024];
+    const ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      RecvBuf.append(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false; // EOF or hard error
+  }
+}
+
+bool Client::pollResponses(std::vector<Response> &Out) {
+  for (;;) {
+    bool Got = true;
+    while (Got) {
+      Response R;
+      if (!peelOne(R, Got))
+        return false;
+      if (Got)
+        Out.push_back(std::move(R));
+    }
+    char Buf[16 * 1024];
+    const ssize_t N = ::recv(Fd, Buf, sizeof(Buf), MSG_DONTWAIT);
+    if (N > 0) {
+      RecvBuf.append(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return true;
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false;
+  }
+}
+
+bool Client::call(const Request &Req, Response &Resp) {
+  if (!send(Req))
+    return false;
+  if (!recvResponse(Resp))
+    return false;
+  return Resp.ReqId == Req.ReqId;
+}
+
+//===----------------------------------------------------------------------===//
+// Load generation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+uint64_t nowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One batch the server committed, as the client observed it.
+struct CommittedBatch {
+  uint64_t CommitSeq = 0;
+  std::vector<Op> Ops;
+  std::vector<int64_t> Results;
+};
+
+/// Per-thread accumulation, merged after the join.
+struct ThreadResult {
+  uint64_t Sent = 0;
+  uint64_t Ok = 0;
+  uint64_t Busy = 0;
+  uint64_t Errors = 0;
+  uint64_t ProtocolErrors = 0;
+  uint64_t OpsCommitted = 0;
+  LatencyHistogram Rtt;
+  std::vector<CommittedBatch> Committed;
+};
+
+Op genOp(Rng &R, const LoadGenConfig &Config) {
+  Op O;
+  const unsigned Total =
+      Config.SetWeight + Config.AccWeight + Config.UfWeight;
+  const uint64_t Pick = R.nextBelow(std::max(1u, Total));
+  if (Pick < Config.SetWeight) {
+    O.Obj = static_cast<uint8_t>(ObjectId::Set);
+    O.Method = static_cast<uint8_t>(R.nextBelow(3));
+    O.A = R.nextInRange(0, std::max<int64_t>(1, Config.KeySpace) - 1);
+  } else if (Pick < Config.SetWeight + Config.AccWeight) {
+    O.Obj = static_cast<uint8_t>(ObjectId::Acc);
+    // Mostly increments: reads serialize against every increment.
+    O.Method = R.nextBelow(8) == 0 ? AccRead : AccIncrement;
+    O.A = R.nextInRange(1, 16);
+  } else {
+    O.Obj = static_cast<uint8_t>(ObjectId::Uf);
+    O.Method = static_cast<uint8_t>(R.nextBelow(2));
+    const int64_t N = static_cast<int64_t>(Config.UfElements);
+    O.A = R.nextInRange(0, N - 1);
+    O.B = R.nextInRange(0, N - 1);
+  }
+  return O;
+}
+
+void classifyReply(const Response &Resp, const Request &Req, ThreadResult &TR,
+                   bool Verify) {
+  switch (Resp.St) {
+  case Status::Ok:
+    ++TR.Ok;
+    TR.OpsCommitted += Resp.Results.size();
+    if (Resp.Results.size() != Req.Ops.size()) {
+      ++TR.ProtocolErrors; // an Ok reply must answer every op
+      return;
+    }
+    if (Verify)
+      TR.Committed.push_back({Resp.CommitSeq, Req.Ops, Resp.Results});
+    break;
+  case Status::Busy:
+    ++TR.Busy;
+    break;
+  case Status::Error:
+    ++TR.Errors;
+    break;
+  }
+}
+
+void runClosedLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
+                   ThreadResult &TR) {
+  Client C;
+  if (!C.connect(Config.Host, Config.Port)) {
+    ++TR.ProtocolErrors;
+    return;
+  }
+  Rng R(Config.Seed ^ (0x9E3779B97F4A7C15ull * (ThreadIdx + 1)));
+  Timer Wall;
+  for (uint64_t I = 0;; ++I) {
+    if (Config.DurationSec > 0) {
+      if (Wall.seconds() >= Config.DurationSec)
+        break;
+    } else if (I >= Config.BatchesPerThread) {
+      break;
+    }
+    Request Req;
+    Req.ReqId = (static_cast<uint64_t>(ThreadIdx + 1) << 40) | I;
+    Req.Type = MsgType::Batch;
+    for (unsigned K = 0; K != Config.OpsPerBatch; ++K)
+      Req.Ops.push_back(genOp(R, Config));
+    const uint64_t T0 = nowUs();
+    Response Resp;
+    if (!C.call(Req, Resp)) {
+      ++TR.ProtocolErrors;
+      return;
+    }
+    ++TR.Sent;
+    TR.Rtt.addMicros(nowUs() - T0);
+    classifyReply(Resp, Req, TR, Config.Verify);
+  }
+}
+
+void runOpenLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
+                 ThreadResult &TR) {
+  Client C;
+  if (!C.connect(Config.Host, Config.Port)) {
+    ++TR.ProtocolErrors;
+    return;
+  }
+  Rng R(Config.Seed ^ (0x9E3779B97F4A7C15ull * (ThreadIdx + 1)));
+  const double PerThreadQps =
+      Config.TargetQps / std::max(1u, Config.Threads);
+  const uint64_t IntervalUs =
+      PerThreadQps > 0 ? static_cast<uint64_t>(1e6 / PerThreadQps) : 1;
+
+  struct Outstanding {
+    Request Req;
+    uint64_t SentUs;
+  };
+  std::unordered_map<uint64_t, Outstanding> InFlight;
+
+  const uint64_t StartUs = nowUs();
+  const uint64_t DeadlineUs =
+      Config.DurationSec > 0
+          ? StartUs + static_cast<uint64_t>(Config.DurationSec * 1e6)
+          : UINT64_MAX;
+  uint64_t NextSendUs = StartUs;
+  uint64_t Sent = 0;
+  bool Broken = false;
+
+  auto Absorb = [&](std::vector<Response> &Replies) {
+    for (Response &Resp : Replies) {
+      auto It = InFlight.find(Resp.ReqId);
+      if (It == InFlight.end()) {
+        ++TR.ProtocolErrors; // a reply we never asked for
+        continue;
+      }
+      TR.Rtt.addMicros(nowUs() - It->second.SentUs);
+      classifyReply(Resp, It->second.Req, TR, Config.Verify);
+      InFlight.erase(It);
+    }
+    Replies.clear();
+  };
+
+  std::vector<Response> Replies;
+  for (;;) {
+    const uint64_t Now = nowUs();
+    const bool DoneSending =
+        Now >= DeadlineUs ||
+        (Config.DurationSec <= 0 && Sent >= Config.BatchesPerThread);
+    if (DoneSending)
+      break;
+    if (Now >= NextSendUs) {
+      Request Req;
+      Req.ReqId = (static_cast<uint64_t>(ThreadIdx + 1) << 40) | Sent;
+      Req.Type = MsgType::Batch;
+      for (unsigned K = 0; K != Config.OpsPerBatch; ++K)
+        Req.Ops.push_back(genOp(R, Config));
+      const uint64_t SentAt = nowUs();
+      if (!C.send(Req)) {
+        ++TR.ProtocolErrors;
+        Broken = true;
+        break;
+      }
+      ++Sent;
+      ++TR.Sent;
+      InFlight.emplace(Req.ReqId, Outstanding{std::move(Req), SentAt});
+      // Schedule from the previous slot, not from "now": open loop means
+      // the send clock does not stretch when the server slows down.
+      NextSendUs += IntervalUs;
+      if (NextSendUs < Now)
+        NextSendUs = Now; // do not build an unbounded send debt
+    }
+    if (!C.pollResponses(Replies)) {
+      ++TR.ProtocolErrors;
+      Broken = true;
+      break;
+    }
+    Absorb(Replies);
+    const uint64_t Now2 = nowUs();
+    if (NextSendUs > Now2) {
+      struct pollfd P = {C.fd(), POLLIN, 0};
+      ::poll(&P, 1, static_cast<int>((NextSendUs - Now2) / 1000));
+    }
+  }
+
+  // Collect the stragglers: every sent frame is owed exactly one reply.
+  const uint64_t DrainDeadline = nowUs() + 10 * 1000 * 1000;
+  while (!Broken && !InFlight.empty() && nowUs() < DrainDeadline) {
+    Response Resp;
+    if (!C.recvResponse(Resp)) {
+      ++TR.ProtocolErrors;
+      Broken = true;
+      break;
+    }
+    Replies.push_back(std::move(Resp));
+    Absorb(Replies);
+  }
+  TR.ProtocolErrors += InFlight.size(); // unanswered = dropped replies
+}
+
+std::string jsonNum(double V) {
+  char Buf[64];
+  if (V == static_cast<double>(static_cast<int64_t>(V)))
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(V));
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+} // namespace
+
+std::string LoadGenStats::toJson() const {
+  std::map<std::string, double> KV = {
+      {"loadgen_sent", static_cast<double>(Sent)},
+      {"loadgen_ok_replies", static_cast<double>(OkReplies)},
+      {"loadgen_busy_replies", static_cast<double>(BusyReplies)},
+      {"loadgen_error_replies", static_cast<double>(ErrorReplies)},
+      {"loadgen_protocol_errors", static_cast<double>(ProtocolErrors)},
+      {"loadgen_ops_committed", static_cast<double>(OpsCommitted)},
+      {"loadgen_wall_sec", WallSec},
+      {"loadgen_qps", achievedQps()},
+      {"loadgen_rtt_mean_us", Rtt.meanMicros()},
+      {"loadgen_rtt_p50_us",
+       static_cast<double>(Rtt.quantileUpperBoundMicros(0.5))},
+      {"loadgen_rtt_p99_us",
+       static_cast<double>(Rtt.quantileUpperBoundMicros(0.99))},
+      {"loadgen_seed", static_cast<double>(Seed)},
+      {"loadgen_verify_ran", VerifyRan ? 1.0 : 0.0},
+      {"loadgen_verify_ok", VerifyOk ? 1.0 : 0.0},
+  };
+  std::string Out = "{\n";
+  bool First = true;
+  for (const auto &[K, V] : KV) {
+    if (!First)
+      Out += ",\n";
+    First = false;
+    Out += "  \"" + K + "\": " + jsonNum(V);
+  }
+  Out += "\n}\n";
+  return Out;
+}
+
+std::string LoadGenStats::toCsv() const {
+  std::string Out = "sent,ok,busy,error,protocol_errors,ops_committed,"
+                    "wall_sec,qps,rtt_mean_us,rtt_p50_us,rtt_p99_us,seed,"
+                    "verify_ok\n";
+  Out += std::to_string(Sent) + "," + std::to_string(OkReplies) + "," +
+         std::to_string(BusyReplies) + "," + std::to_string(ErrorReplies) +
+         "," + std::to_string(ProtocolErrors) + "," +
+         std::to_string(OpsCommitted) + "," + jsonNum(WallSec) + "," +
+         jsonNum(achievedQps()) + "," + jsonNum(Rtt.meanMicros()) + "," +
+         std::to_string(Rtt.quantileUpperBoundMicros(0.5)) + "," +
+         std::to_string(Rtt.quantileUpperBoundMicros(0.99)) + "," +
+         std::to_string(Seed) + "," + (VerifyOk ? "1" : "0") + "\n";
+  return Out;
+}
+
+std::string LoadGenStats::toText() const {
+  std::string Out;
+  Out += "sent:             " + std::to_string(Sent) + "\n";
+  Out += "ok replies:       " + std::to_string(OkReplies) + "\n";
+  Out += "busy replies:     " + std::to_string(BusyReplies) + "\n";
+  Out += "error replies:    " + std::to_string(ErrorReplies) + "\n";
+  Out += "protocol errors:  " + std::to_string(ProtocolErrors) + "\n";
+  Out += "ops committed:    " + std::to_string(OpsCommitted) + "\n";
+  Out += "wall sec:         " + jsonNum(WallSec) + "\n";
+  Out += "qps:              " + jsonNum(achievedQps()) + "\n";
+  Out += "rtt mean us:      " + jsonNum(Rtt.meanMicros()) + "\n";
+  Out += "rtt p50 us:       " +
+         std::to_string(Rtt.quantileUpperBoundMicros(0.5)) + "\n";
+  Out += "rtt p99 us:       " +
+         std::to_string(Rtt.quantileUpperBoundMicros(0.99)) + "\n";
+  Out += "seed:             " + std::to_string(Seed) + "\n";
+  if (VerifyRan)
+    Out += std::string("verify:           ") + (VerifyOk ? "ok" : "FAILED") +
+           (VerifyDetail.empty() ? "" : " (" + VerifyDetail + ")") + "\n";
+  return Out;
+}
+
+LoadGenStats svc::runLoadGen(const LoadGenConfig &Config) {
+  LoadGenStats Stats;
+  Stats.Seed = Config.Seed;
+
+  std::vector<ThreadResult> Results(std::max(1u, Config.Threads));
+  std::vector<std::thread> Threads;
+  Timer Wall;
+  for (unsigned T = 0; T != std::max(1u, Config.Threads); ++T)
+    Threads.emplace_back([&, T] {
+      if (Config.TargetQps > 0)
+        runOpenLoop(Config, T, Results[T]);
+      else
+        runClosedLoop(Config, T, Results[T]);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  Stats.WallSec = Wall.seconds();
+
+  std::vector<CommittedBatch> Committed;
+  for (ThreadResult &TR : Results) {
+    Stats.Sent += TR.Sent;
+    Stats.OkReplies += TR.Ok;
+    Stats.BusyReplies += TR.Busy;
+    Stats.ErrorReplies += TR.Errors;
+    Stats.ProtocolErrors += TR.ProtocolErrors;
+    Stats.OpsCommitted += TR.OpsCommitted;
+    Stats.Rtt.merge(TR.Rtt);
+    for (CommittedBatch &B : TR.Committed)
+      Committed.push_back(std::move(B));
+  }
+
+  if (!Config.Verify)
+    return Stats;
+
+  // Serial replay oracle: committed batches in commit-sequence order must
+  // reproduce every reply and the server's final state (Submitter.h's
+  // commit-order witness). Assumes this loadgen was the only client.
+  Stats.VerifyRan = true;
+  Stats.VerifyOk = true;
+  std::sort(Committed.begin(), Committed.end(),
+            [](const CommittedBatch &A, const CommittedBatch &B) {
+              return A.CommitSeq < B.CommitSeq;
+            });
+  for (size_t I = 1; I < Committed.size(); ++I)
+    if (Committed[I].CommitSeq == Committed[I - 1].CommitSeq) {
+      Stats.VerifyOk = false;
+      Stats.VerifyDetail = "duplicate commit sequence " +
+                           std::to_string(Committed[I].CommitSeq);
+      return Stats;
+    }
+  OracleReplica Replica(Config.UfElements);
+  for (const CommittedBatch &B : Committed)
+    for (size_t I = 0; I != B.Ops.size(); ++I) {
+      const int64_t Expect = Replica.applyOp(B.Ops[I]);
+      if (Expect != B.Results[I] && Stats.VerifyOk) {
+        Stats.VerifyOk = false;
+        Stats.VerifyDetail =
+            "replay mismatch at commit seq " + std::to_string(B.CommitSeq) +
+            " op " + std::to_string(I) + ": server " +
+            std::to_string(B.Results[I]) + ", oracle " +
+            std::to_string(Expect);
+      }
+    }
+  Client C;
+  Request Req;
+  Req.ReqId = 1;
+  Req.Type = MsgType::State;
+  Response Resp;
+  if (!C.connect(Config.Host, Config.Port) || !C.call(Req, Resp) ||
+      Resp.St != Status::Ok) {
+    ++Stats.ProtocolErrors;
+    Stats.VerifyOk = false;
+    Stats.VerifyDetail = "state fetch failed";
+    return Stats;
+  }
+  if (Resp.Text != Replica.stateText() && Stats.VerifyOk) {
+    Stats.VerifyOk = false;
+    Stats.VerifyDetail = "final state mismatch: server {" + Resp.Text +
+                         "} oracle {" + Replica.stateText() + "}";
+  }
+  return Stats;
+}
+
+std::string svc::fetchMetricsText(const std::string &Host, uint16_t Port) {
+  Client C;
+  Request Req;
+  Req.ReqId = 2;
+  Req.Type = MsgType::Metrics;
+  Response Resp;
+  if (!C.connect(Host, Port) || !C.call(Req, Resp) || Resp.St != Status::Ok)
+    return "";
+  return Resp.Text;
+}

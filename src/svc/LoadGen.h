@@ -1,0 +1,149 @@
+//===- svc/LoadGen.h - comlat-serve load generator --------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the serving layer: a blocking protocol client
+/// (Client), and a multi-threaded load generator (runLoadGen) driving
+/// comlat-serve in either closed-loop (send, wait, repeat — TargetQps = 0)
+/// or open-loop mode (send on a fixed schedule regardless of replies, the
+/// load that exposes queueing). Every batch's round trip lands in a log2
+/// latency histogram; the summary renders as the flat JSON the bench-smoke
+/// baseline checker (ci/check_bench_baseline.py) consumes, or as CSV.
+///
+/// With Verify on, each thread records its committed batches (ops, reply
+/// results, commit sequence number); afterwards the committed set is
+/// replayed in commit-sequence order through an OracleReplica and checked
+/// two ways — every reply's results must reproduce, and the replica's
+/// final state must equal the server's State dump. This is the
+/// serializability oracle of tests/svc, backed by the commit-order witness
+/// argument in runtime/Submitter.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_SVC_LOADGEN_H
+#define COMLAT_SVC_LOADGEN_H
+
+#include "runtime/ExecStats.h"
+#include "svc/Protocol.h"
+
+#include <cstdint>
+#include <string>
+
+namespace comlat {
+namespace svc {
+
+/// A blocking protocol client over one TCP connection. Not thread-safe;
+/// one Client per thread. Also used directly by the loopback tests.
+class Client {
+public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to \p Host:\p Port; false (with \p Err set) on failure.
+  bool connect(const std::string &Host, uint16_t Port,
+               std::string *Err = nullptr);
+
+  void close();
+
+  bool connected() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+
+  /// Sends one request frame (blocking until fully written).
+  bool send(const Request &R);
+
+  /// Writes raw bytes to the socket (tests inject malformed frames).
+  bool sendRaw(const std::string &Bytes);
+
+  /// Blocks until one full response frame arrives and decodes it. False on
+  /// EOF, socket error or an undecodable frame.
+  bool recvResponse(Response &R);
+
+  /// Drains any responses that already arrived without blocking. Appends
+  /// to \p Out; false only on EOF/socket/protocol error.
+  bool pollResponses(std::vector<Response> &Out);
+
+  /// send() + recvResponse() matching on ReqId (replies arrive in order on
+  /// one connection, so this just reads the next frame).
+  bool call(const Request &Req, Response &Resp);
+
+private:
+  int Fd = -1;
+  std::string RecvBuf;
+  size_t RecvPos = 0;
+
+  bool peelOne(Response &R, bool &Got);
+};
+
+/// Shapes one load generation run.
+struct LoadGenConfig {
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0;
+  unsigned Threads = 4;
+  /// Batches per thread (count mode; used when DurationSec == 0).
+  uint64_t BatchesPerThread = 1000;
+  /// Run duration in seconds (duration mode; overrides the batch count).
+  double DurationSec = 0;
+  unsigned OpsPerBatch = 8;
+  /// Aggregate target batches/second across all threads; 0 = closed loop.
+  double TargetQps = 0;
+  uint64_t Seed = 42;
+  /// Set/accumulator keys are drawn from [0, KeySpace).
+  int64_t KeySpace = 1024;
+  /// Must match the server's --uf-elements for verification.
+  size_t UfElements = 1024;
+  /// Op mix weights (set : accumulator : union-find).
+  unsigned SetWeight = 6;
+  unsigned AccWeight = 2;
+  unsigned UfWeight = 2;
+  /// Replay committed batches against an OracleReplica afterwards.
+  bool Verify = false;
+};
+
+/// Aggregated outcome of one run.
+struct LoadGenStats {
+  uint64_t Sent = 0;
+  uint64_t OkReplies = 0;
+  uint64_t BusyReplies = 0;
+  uint64_t ErrorReplies = 0;
+  /// Undecodable frames, unexpected EOF, socket errors. Always a bug
+  /// somewhere; the smoke job fails on any.
+  uint64_t ProtocolErrors = 0;
+  /// Operations inside committed batches.
+  uint64_t OpsCommitted = 0;
+  double WallSec = 0;
+  uint64_t Seed = 0;
+  /// Batch round-trip times, microseconds.
+  LatencyHistogram Rtt;
+  bool VerifyRan = false;
+  bool VerifyOk = false;
+  /// First verification mismatch, empty when none.
+  std::string VerifyDetail;
+
+  double achievedQps() const { return WallSec > 0 ? Sent / WallSec : 0; }
+
+  /// Flat JSON object (ci/check_bench_baseline.py's format).
+  std::string toJson() const;
+  /// CSV: a header line plus one data row.
+  std::string toCsv() const;
+  /// Human-readable one-per-line summary.
+  std::string toText() const;
+};
+
+/// Runs the configured load against a live server. On Verify, also issues
+/// a State request after the load quiesces and replays the oracle.
+LoadGenStats runLoadGen(const LoadGenConfig &Config);
+
+/// Fetches the server's Prometheus metrics dump (empty string on error).
+std::string fetchMetricsText(const std::string &Host, uint16_t Port);
+
+} // namespace svc
+} // namespace comlat
+
+#endif // COMLAT_SVC_LOADGEN_H

@@ -1,0 +1,106 @@
+//===- svc/Objects.cpp - Hosted boosted structures -------------------------===//
+
+#include "svc/Objects.h"
+
+#include "adt/SetSpecs.h"
+
+#include <cassert>
+
+using namespace comlat;
+using namespace comlat::svc;
+
+ObjectHost::ObjectHost(size_t UfElements)
+    : UfElems(UfElements), Set(makeGatedSet(preciseSetSpec())),
+      Acc(makeLockedAccumulator()), Uf(makeGatedUnionFind(UfElements)) {}
+
+bool ObjectHost::applyOp(Transaction &Tx, const Op &O, int64_t &Result) {
+  assert(validOp(O, UfElems) && "ops are validated at the protocol layer");
+  bool Flag = false;
+  switch (static_cast<ObjectId>(O.Obj)) {
+  case ObjectId::Set: {
+    bool Ok = false;
+    switch (O.Method) {
+    case SetAdd:
+      Ok = Set->add(Tx, O.A, Flag);
+      break;
+    case SetRemove:
+      Ok = Set->remove(Tx, O.A, Flag);
+      break;
+    default:
+      Ok = Set->contains(Tx, O.A, Flag);
+      break;
+    }
+    Result = Flag ? 1 : 0;
+    return Ok;
+  }
+  case ObjectId::Acc: {
+    if (O.Method == AccIncrement) {
+      Result = O.A;
+      return Acc->increment(Tx, O.A);
+    }
+    int64_t Sum = 0;
+    const bool Ok = Acc->read(Tx, Sum);
+    Result = Sum;
+    return Ok;
+  }
+  case ObjectId::Uf: {
+    if (O.Method == UfFind) {
+      int64_t Rep = UfNone;
+      const bool Ok = Uf->find(Tx, O.A, Rep);
+      Result = Rep;
+      return Ok;
+    }
+    const bool Ok = Uf->unite(Tx, O.A, O.B, Flag);
+    Result = Flag ? 1 : 0;
+    return Ok;
+  }
+  }
+  return false;
+}
+
+std::string ObjectHost::stateText() const {
+  std::string Out;
+  Out += "set=" + Set->signature() + "\n";
+  Out += "acc=" + std::to_string(Acc->value()) + "\n";
+  Out += "uf=" + Uf->signature() + "\n";
+  return Out;
+}
+
+int64_t OracleReplica::applyOp(const Op &O) {
+  switch (static_cast<ObjectId>(O.Obj)) {
+  case ObjectId::Set:
+    switch (O.Method) {
+    case SetAdd:
+      return Set.insert(O.A) ? 1 : 0;
+    case SetRemove:
+      return Set.erase(O.A) ? 1 : 0;
+    default:
+      return Set.contains(O.A) ? 1 : 0;
+    }
+  case ObjectId::Acc:
+    if (O.Method == AccIncrement) {
+      Sum += O.A;
+      return O.A;
+    }
+    return Sum;
+  case ObjectId::Uf: {
+    if (O.Method == UfFind) {
+      int64_t Rep = UfNone;
+      Uf.find(O.A, /*Probe=*/nullptr, /*Actions=*/nullptr, Rep);
+      return Rep;
+    }
+    bool Changed = false;
+    Uf.unite(O.A, O.B, /*Probe=*/nullptr, /*Actions=*/nullptr, Changed);
+    return Changed ? 1 : 0;
+  }
+  }
+  return 0;
+}
+
+std::string OracleReplica::stateText() const {
+  std::string Out;
+  Out += "set=" + Set.signature() + "\n";
+  Out += "acc=" + std::to_string(Sum) + "\n";
+  Out += "uf=" + Uf.signature() + "\n";
+  return Out;
+}

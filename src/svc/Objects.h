@@ -1,0 +1,91 @@
+//===- svc/Objects.h - Hosted boosted structures ----------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structures comlat-serve exposes over the wire and the sequential
+/// replica the verification oracle replays against.
+///
+/// ObjectHost owns one instance of each addressable structure, all under
+/// their commutativity-lattice conflict detectors: the forward-gatekept
+/// set (precise spec, striped admission), the abstract-locked accumulator,
+/// and the general-gatekept union-find. applyOp() maps one protocol Op to
+/// one boosted call inside the caller's transaction.
+///
+/// OracleReplica applies the same Op vocabulary to plain sequential
+/// structures with identical abstract semantics. Replaying a run's
+/// committed batches in commit-sequence order through a replica must
+/// reproduce every reply's results and the server's final stateText() —
+/// the loopback test's serial-witness check (SerialChecker's oracle
+/// specialized to the commit order the Submitter already witnessed).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_SVC_OBJECTS_H
+#define COMLAT_SVC_OBJECTS_H
+
+#include "adt/Accumulator.h"
+#include "adt/BoostedSet.h"
+#include "adt/BoostedUnionFind.h"
+#include "adt/IntHashSet.h"
+#include "adt/UnionFind.h"
+#include "svc/Protocol.h"
+
+#include <memory>
+
+namespace comlat {
+namespace svc {
+
+/// The server-side structures, one instance each, behind their detectors.
+/// Thread-safe through the detectors: apply from any worker inside a
+/// transaction; stateText() only when quiesced.
+class ObjectHost {
+public:
+  explicit ObjectHost(size_t UfElements);
+
+  size_t ufElements() const { return UfElems; }
+
+  /// Executes \p O (which must satisfy validOp) inside \p Tx. Returns
+  /// false when a detector vetoed — Tx is failed and the caller must stop
+  /// the batch. \p Result receives the operation's value: membership /
+  /// changed bits as 0 or 1, the accumulator sum, or the representative.
+  bool applyOp(Transaction &Tx, const Op &O, int64_t &Result);
+
+  /// Canonical dump of all abstract states, one `name=value` line per
+  /// structure. Quiesced callers only (diagnostic / oracle endpoint).
+  std::string stateText() const;
+
+private:
+  size_t UfElems;
+  std::unique_ptr<TxSet> Set;
+  std::unique_ptr<TxAccumulator> Acc;
+  std::unique_ptr<TxUnionFind> Uf;
+};
+
+/// Sequential replica of the hosted structures for oracle replay.
+class OracleReplica {
+public:
+  explicit OracleReplica(size_t UfElements)
+      : Uf(UfElements), UfElems(UfElements) {}
+
+  /// Applies \p O sequentially and returns its result value (same
+  /// encoding as ObjectHost::applyOp).
+  int64_t applyOp(const Op &O);
+
+  /// Same rendering as ObjectHost::stateText().
+  std::string stateText() const;
+
+private:
+  IntHashSet Set;
+  int64_t Sum = 0;
+  UnionFind Uf;
+  size_t UfElems;
+};
+
+} // namespace svc
+} // namespace comlat
+
+#endif // COMLAT_SVC_OBJECTS_H

@@ -1,0 +1,230 @@
+//===- svc/Protocol.cpp - comlat-serve wire protocol -----------------------===//
+
+#include "svc/Protocol.h"
+
+#include <cstring>
+
+using namespace comlat;
+using namespace comlat::svc;
+
+namespace {
+
+void putU32(std::string &Out, uint32_t V) {
+  for (unsigned I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (unsigned I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+void putI64(std::string &Out, int64_t V) { putU64(Out, static_cast<uint64_t>(V)); }
+
+/// Bounds-checked little-endian reader over a payload view.
+class Reader {
+public:
+  explicit Reader(std::string_view Buf) : Buf(Buf) {}
+
+  bool u8(uint8_t &V) {
+    if (Pos + 1 > Buf.size())
+      return false;
+    V = static_cast<uint8_t>(Buf[Pos++]);
+    return true;
+  }
+
+  bool u32(uint32_t &V) {
+    if (Pos + 4 > Buf.size())
+      return false;
+    V = 0;
+    for (unsigned I = 0; I != 4; ++I)
+      V |= static_cast<uint32_t>(static_cast<uint8_t>(Buf[Pos + I])) << (8 * I);
+    Pos += 4;
+    return true;
+  }
+
+  bool u64(uint64_t &V) {
+    if (Pos + 8 > Buf.size())
+      return false;
+    V = 0;
+    for (unsigned I = 0; I != 8; ++I)
+      V |= static_cast<uint64_t>(static_cast<uint8_t>(Buf[Pos + I])) << (8 * I);
+    Pos += 8;
+    return true;
+  }
+
+  bool i64(int64_t &V) {
+    uint64_t U;
+    if (!u64(U))
+      return false;
+    V = static_cast<int64_t>(U);
+    return true;
+  }
+
+  bool bytes(size_t N, std::string_view &V) {
+    if (Pos + N > Buf.size())
+      return false;
+    V = Buf.substr(Pos, N);
+    Pos += N;
+    return true;
+  }
+
+  bool atEnd() const { return Pos == Buf.size(); }
+
+private:
+  std::string_view Buf;
+  size_t Pos = 0;
+};
+
+void frameOut(std::string &Out, const std::string &Payload) {
+  putU32(Out, static_cast<uint32_t>(Payload.size()));
+  Out += Payload;
+}
+
+} // namespace
+
+void svc::encodeRequest(const Request &R, std::string &Out) {
+  std::string P;
+  putU64(P, R.ReqId);
+  P.push_back(static_cast<char>(R.Type));
+  if (R.Type == MsgType::Batch) {
+    putU32(P, static_cast<uint32_t>(R.Ops.size()));
+    for (const Op &O : R.Ops) {
+      P.push_back(static_cast<char>(O.Obj));
+      P.push_back(static_cast<char>(O.Method));
+      putI64(P, O.A);
+      putI64(P, O.B);
+    }
+  }
+  frameOut(Out, P);
+}
+
+void svc::encodeResponse(const Response &R, std::string &Out) {
+  std::string P;
+  putU64(P, R.ReqId);
+  P.push_back(static_cast<char>(R.St));
+  putU64(P, R.CommitSeq);
+  putU32(P, static_cast<uint32_t>(R.Results.size()));
+  for (const int64_t V : R.Results)
+    putI64(P, V);
+  putU32(P, static_cast<uint32_t>(R.Text.size()));
+  P += R.Text;
+  frameOut(Out, P);
+}
+
+FrameResult svc::peelFrame(std::string_view Buf, std::string_view &Payload,
+                           size_t &Consumed) {
+  if (Buf.size() < 4)
+    return FrameResult::NeedMore;
+  uint32_t Len = 0;
+  for (unsigned I = 0; I != 4; ++I)
+    Len |= static_cast<uint32_t>(static_cast<uint8_t>(Buf[I])) << (8 * I);
+  if (Len > MaxFramePayload)
+    return FrameResult::Malformed;
+  if (Buf.size() < 4 + static_cast<size_t>(Len))
+    return FrameResult::NeedMore;
+  Payload = Buf.substr(4, Len);
+  Consumed = 4 + static_cast<size_t>(Len);
+  return FrameResult::Ok;
+}
+
+bool svc::decodeRequest(std::string_view Payload, Request &Out,
+                        std::string &Err) {
+  Reader R(Payload);
+  uint8_t Type = 0;
+  if (!R.u64(Out.ReqId) || !R.u8(Type)) {
+    Err = "truncated request header";
+    return false;
+  }
+  switch (Type) {
+  case static_cast<uint8_t>(MsgType::Batch): {
+    Out.Type = MsgType::Batch;
+    uint32_t NumOps = 0;
+    if (!R.u32(NumOps)) {
+      Err = "truncated batch header";
+      return false;
+    }
+    if (NumOps == 0 || NumOps > MaxBatchOps) {
+      Err = "batch op count out of range";
+      return false;
+    }
+    Out.Ops.clear();
+    Out.Ops.reserve(NumOps);
+    for (uint32_t I = 0; I != NumOps; ++I) {
+      Op O;
+      if (!R.u8(O.Obj) || !R.u8(O.Method) || !R.i64(O.A) || !R.i64(O.B)) {
+        Err = "truncated batch op";
+        return false;
+      }
+      Out.Ops.push_back(O);
+    }
+    break;
+  }
+  case static_cast<uint8_t>(MsgType::Metrics):
+    Out.Type = MsgType::Metrics;
+    break;
+  case static_cast<uint8_t>(MsgType::State):
+    Out.Type = MsgType::State;
+    break;
+  case static_cast<uint8_t>(MsgType::Ping):
+    Out.Type = MsgType::Ping;
+    break;
+  default:
+    Err = "unknown request type";
+    return false;
+  }
+  if (!R.atEnd()) {
+    Err = "trailing bytes after request";
+    return false;
+  }
+  return true;
+}
+
+bool svc::decodeResponse(std::string_view Payload, Response &Out) {
+  Reader R(Payload);
+  uint8_t St = 0;
+  uint32_t NumResults = 0;
+  if (!R.u64(Out.ReqId) || !R.u8(St) || !R.u64(Out.CommitSeq) ||
+      !R.u32(NumResults))
+    return false;
+  if (St > static_cast<uint8_t>(Status::Error))
+    return false;
+  Out.St = static_cast<Status>(St);
+  if (NumResults > MaxBatchOps)
+    return false;
+  Out.Results.clear();
+  Out.Results.reserve(NumResults);
+  for (uint32_t I = 0; I != NumResults; ++I) {
+    int64_t V = 0;
+    if (!R.i64(V))
+      return false;
+    Out.Results.push_back(V);
+  }
+  uint32_t TextLen = 0;
+  if (!R.u32(TextLen))
+    return false;
+  std::string_view Text;
+  if (!R.bytes(TextLen, Text))
+    return false;
+  Out.Text.assign(Text);
+  return R.atEnd();
+}
+
+bool svc::validOp(const Op &O, size_t UfElements) {
+  switch (O.Obj) {
+  case static_cast<uint8_t>(ObjectId::Set):
+    return O.Method <= SetContains;
+  case static_cast<uint8_t>(ObjectId::Acc):
+    return O.Method <= AccRead;
+  case static_cast<uint8_t>(ObjectId::Uf): {
+    if (O.Method > UfUnion)
+      return false;
+    const int64_t N = static_cast<int64_t>(UfElements);
+    if (O.A < 0 || O.A >= N)
+      return false;
+    return O.Method == UfFind || (O.B >= 0 && O.B < N);
+  }
+  default:
+    return false;
+  }
+}

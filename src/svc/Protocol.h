@@ -1,0 +1,125 @@
+//===- svc/Protocol.h - comlat-serve wire protocol --------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The length-prefixed binary protocol spoken between comlat-serve and its
+/// clients (comlat-loadgen, the loopback tests). One frame is one request
+/// or one reply:
+///
+///   frame    := u32 payload_len | payload            (little-endian)
+///   request  := u64 req_id | u8 type | body
+///     Batch(1)   body: u32 num_ops | num_ops * op    (op = u8 obj |
+///                u8 method | i64 a | i64 b — 18 bytes)
+///     Metrics(2) body: empty  -> reply text is the Prometheus export
+///     State(3)   body: empty  -> reply text is the abstract-state dump
+///                (meaningful only when the server is quiesced)
+///     Ping(4)    body: empty
+///   response := u64 req_id | u8 status | u64 commit_seq |
+///               u32 num_results | num_results * i64 | u32 text_len | text
+///
+/// A Batch frame is one transaction: all its operations commit atomically
+/// through the executor/gatekeeper path, its reply carries one i64 result
+/// per operation plus the server's commit sequence number (a
+/// conflict-consistent serial position — see runtime/Submitter.h). Status
+/// Busy means the admission queue shed the frame; Error carries a
+/// diagnostic in the text field. Responses are self-describing (every
+/// field always present) so decoding never depends on request context.
+///
+/// Framing errors are unrecoverable on a byte stream (there is no resync
+/// point), so an oversized length prefix closes the connection after an
+/// error reply; a well-framed but semantically invalid payload only fails
+/// the one frame.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_SVC_PROTOCOL_H
+#define COMLAT_SVC_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace comlat {
+namespace svc {
+
+/// Hard frame bounds; frames beyond these are malformed by definition.
+inline constexpr size_t MaxFramePayload = 1u << 20;
+inline constexpr uint32_t MaxBatchOps = 4096;
+
+/// Request frame types.
+enum class MsgType : uint8_t { Batch = 1, Metrics = 2, State = 3, Ping = 4 };
+
+/// Reply status.
+enum class Status : uint8_t { Ok = 0, Busy = 1, Error = 2 };
+
+/// Hosted structures addressable by batch operations.
+enum class ObjectId : uint8_t { Set = 0, Acc = 1, Uf = 2 };
+
+/// Per-object method selectors.
+enum SetMethod : uint8_t { SetAdd = 0, SetRemove = 1, SetContains = 2 };
+enum AccMethod : uint8_t { AccIncrement = 0, AccRead = 1 };
+enum UfMethod : uint8_t { UfFind = 0, UfUnion = 1 };
+
+/// One operation of a batch. A is the key/amount/element, B the second
+/// element of a union (unused otherwise).
+struct Op {
+  uint8_t Obj = 0;
+  uint8_t Method = 0;
+  int64_t A = 0;
+  int64_t B = 0;
+};
+
+/// A decoded request frame.
+struct Request {
+  uint64_t ReqId = 0;
+  MsgType Type = MsgType::Ping;
+  std::vector<Op> Ops; // Batch only
+};
+
+/// A decoded response frame.
+struct Response {
+  uint64_t ReqId = 0;
+  Status St = Status::Ok;
+  uint64_t CommitSeq = 0;
+  std::vector<int64_t> Results; // one per batch op
+  std::string Text;             // metrics/state payload or error detail
+};
+
+/// Appends the frame encoding of \p R to \p Out.
+void encodeRequest(const Request &R, std::string &Out);
+void encodeResponse(const Response &R, std::string &Out);
+
+/// Result of trying to peel one frame off a stream buffer.
+enum class FrameResult {
+  Ok,        ///< \p Payload holds one complete frame payload.
+  NeedMore,  ///< The buffer holds only a partial frame.
+  Malformed, ///< The length prefix exceeds MaxFramePayload: unrecoverable.
+};
+
+/// Examines the front of \p Buf. On Ok, \p Payload views the frame's
+/// payload bytes inside \p Buf and \p Consumed is the full frame size
+/// (prefix + payload) to drop from the buffer.
+FrameResult peelFrame(std::string_view Buf, std::string_view &Payload,
+                      size_t &Consumed);
+
+/// Decodes a request payload. On failure returns false and sets \p Err;
+/// \p Out.ReqId is still filled when at least the header was readable (so
+/// the error reply can echo it).
+bool decodeRequest(std::string_view Payload, Request &Out, std::string &Err);
+
+/// Decodes a response payload; returns false on any structural mismatch.
+bool decodeResponse(std::string_view Payload, Response &Out);
+
+/// Structural validity of one batch op: known object, known method, and —
+/// for union-find ops — elements within [0, UfElements).
+bool validOp(const Op &O, size_t UfElements);
+
+} // namespace svc
+} // namespace comlat
+
+#endif // COMLAT_SVC_PROTOCOL_H

@@ -1,0 +1,744 @@
+//===- svc/Server.cpp - Transactional TCP service front end ----------------===//
+
+#include "svc/Server.h"
+
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceRing.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+
+using namespace comlat;
+using namespace comlat::svc;
+
+namespace {
+
+/// The comlat_svc_* instrumentation, registered once per process.
+struct SvcMetrics {
+  obs::Counter *ConnectionsTotal;
+  obs::Gauge *ConnectionsActive;
+  obs::Counter *RequestsTotal;
+  obs::Counter *RequestsBatch;
+  obs::Counter *RequestsMetrics;
+  obs::Counter *RequestsState;
+  obs::Counter *RequestsPing;
+  obs::Counter *OpsTotal;
+  obs::Counter *BusyTotal;
+  obs::Counter *MalformedTotal;
+  obs::Counter *RepliesTotal;
+  obs::Counter *TxRetriesTotal;
+  obs::Counter *TxFailedTotal;
+  obs::Counter *BytesRead;
+  obs::Counter *BytesWritten;
+  obs::Counter *BackpressureStalls;
+  obs::Counter *IdleClosed;
+  obs::Histogram *RequestLatencyUs;
+
+  static SvcMetrics &get() {
+    static SvcMetrics M = [] {
+      obs::MetricsRegistry &R = obs::MetricsRegistry::global();
+      SvcMetrics N;
+      N.ConnectionsTotal = R.counter("comlat_svc_connections_total");
+      N.ConnectionsActive = R.gauge("comlat_svc_connections_active");
+      N.RequestsTotal = R.counter("comlat_svc_requests_total");
+      N.RequestsBatch =
+          R.counter(obs::metricName("comlat_svc_requests_by_type_total",
+                                    {{"type", "batch"}}));
+      N.RequestsMetrics =
+          R.counter(obs::metricName("comlat_svc_requests_by_type_total",
+                                    {{"type", "metrics"}}));
+      N.RequestsState =
+          R.counter(obs::metricName("comlat_svc_requests_by_type_total",
+                                    {{"type", "state"}}));
+      N.RequestsPing =
+          R.counter(obs::metricName("comlat_svc_requests_by_type_total",
+                                    {{"type", "ping"}}));
+      N.OpsTotal = R.counter("comlat_svc_ops_total");
+      N.BusyTotal = R.counter("comlat_svc_busy_total");
+      N.MalformedTotal = R.counter("comlat_svc_malformed_total");
+      N.RepliesTotal = R.counter("comlat_svc_replies_total");
+      N.TxRetriesTotal = R.counter("comlat_svc_tx_retries_total");
+      N.TxFailedTotal = R.counter("comlat_svc_tx_failed_total");
+      N.BytesRead = R.counter("comlat_svc_bytes_read_total");
+      N.BytesWritten = R.counter("comlat_svc_bytes_written_total");
+      N.BackpressureStalls = R.counter("comlat_svc_backpressure_stalls_total");
+      N.IdleClosed = R.counter("comlat_svc_idle_closed_total");
+      N.RequestLatencyUs = R.histogram("comlat_svc_request_latency_us");
+      return N;
+    }();
+    return M;
+  }
+};
+
+uint64_t nowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t nowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+namespace comlat {
+namespace svc {
+
+/// One connection; every field is owned by the connection's I/O thread.
+/// Worker threads only ever see the shared_ptr (to hand replies back) and
+/// the Closed flag.
+struct Connection {
+  int Fd = -1;
+  std::string ReadBuf;
+  size_t ReadPos = 0; // parsed prefix of ReadBuf
+  std::string WriteBuf;
+  size_t WritePos = 0; // flushed prefix of WriteBuf
+  bool ReadPaused = false;
+  bool WriteArmed = false;
+  bool WantClose = false;
+  uint64_t LastActiveMs = 0;
+  std::atomic<bool> Closed{false};
+
+  size_t buffered() const { return WriteBuf.size() - WritePos; }
+};
+
+/// One epoll event loop owning a subset of the connections.
+class IoThread {
+public:
+  IoThread(Server &S, unsigned Index) : S(S), Index(Index) {
+    EpollFd = ::epoll_create1(EPOLL_CLOEXEC);
+    WakeFd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    struct epoll_event Ev {};
+    Ev.events = EPOLLIN;
+    Ev.data.u64 = TagWake;
+    ::epoll_ctl(EpollFd, EPOLL_CTL_ADD, WakeFd, &Ev);
+  }
+
+  ~IoThread() {
+    if (EpollFd >= 0)
+      ::close(EpollFd);
+    if (WakeFd >= 0)
+      ::close(WakeFd);
+  }
+
+  /// Async wake; safe from any thread and from signal handlers.
+  void wake() {
+    const uint64_t One = 1;
+    [[maybe_unused]] ssize_t N = ::write(WakeFd, &One, sizeof(One));
+  }
+
+  /// Hands a freshly accepted socket to this thread (from the acceptor).
+  void adoptConnection(int Fd) {
+    {
+      std::lock_guard<std::mutex> Guard(HandoffMu);
+      NewFds.push_back(Fd);
+    }
+    wake();
+  }
+
+  /// Hands an encoded reply from a worker thread to this event loop.
+  /// Always consumes the in-flight claim, even for dead connections.
+  void queueReplyFromWorker(std::shared_ptr<Connection> C, std::string Bytes) {
+    {
+      std::lock_guard<std::mutex> Guard(HandoffMu);
+      PendingReplies.emplace_back(std::move(C), std::move(Bytes));
+    }
+    wake();
+  }
+
+  void registerListener(int ListenFd) {
+    struct epoll_event Ev {};
+    Ev.events = EPOLLIN;
+    Ev.data.u64 = TagListener;
+    ::epoll_ctl(EpollFd, EPOLL_CTL_ADD, ListenFd, &Ev);
+  }
+
+  void run();
+
+private:
+  static constexpr uint64_t TagWake = 0;
+  static constexpr uint64_t TagListener = 1;
+
+  void acceptNew();
+  void addConnection(int Fd);
+  void updateInterest(Connection *C);
+  void closeConnection(Connection *C);
+  void handleRead(Connection *C);
+  void parseFrames(Connection *C);
+  void handleFrame(Connection *C, std::string_view Payload);
+  void queueReply(Connection *C, const Response &R);
+  void appendAndFlush(Connection *C, const std::string &Bytes);
+  void flushWrites(Connection *C);
+  void drainHandoff();
+  void sweepIdle();
+  bool drainComplete();
+
+  Server &S;
+  unsigned Index;
+  int EpollFd = -1;
+  int WakeFd = -1;
+  std::mutex HandoffMu;
+  std::vector<int> NewFds; // guarded by HandoffMu
+  std::vector<std::pair<std::shared_ptr<Connection>, std::string>>
+      PendingReplies; // guarded by HandoffMu
+  std::unordered_map<int, std::shared_ptr<Connection>> Conns;
+  /// Connections closed during the current event batch. Destruction is
+  /// deferred to the end of the loop pass: a later event in the same
+  /// epoll_wait batch may still carry a pointer to a just-closed one.
+  std::vector<std::shared_ptr<Connection>> Dead;
+  bool ListenerClosed = false;
+  uint64_t DrainDeadlineMs = 0;
+  static unsigned NextAccept;
+
+  friend class Server;
+};
+
+} // namespace svc
+} // namespace comlat
+
+void IoThread::addConnection(int Fd) {
+  auto C = std::make_shared<Connection>();
+  C->Fd = Fd;
+  C->LastActiveMs = nowMs();
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  if (S.Config.SocketSndBuf != 0) {
+    const int Buf = static_cast<int>(S.Config.SocketSndBuf);
+    ::setsockopt(Fd, SOL_SOCKET, SO_SNDBUF, &Buf, sizeof(Buf));
+  }
+  struct epoll_event Ev {};
+  Ev.events = EPOLLIN;
+  Ev.data.ptr = C.get();
+  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev) != 0) {
+    ::close(Fd);
+    return;
+  }
+  Conns.emplace(Fd, std::move(C));
+  SvcMetrics::get().ConnectionsTotal->add();
+  SvcMetrics::get().ConnectionsActive->set(
+      static_cast<int64_t>(Conns.size()));
+  COMLAT_TRACE(obs::EventKind::SvcAccept, 0, Fd, 0, 0);
+}
+
+void IoThread::updateInterest(Connection *C) {
+  struct epoll_event Ev {};
+  Ev.events = (C->ReadPaused || S.stopRequested() ? 0u : unsigned(EPOLLIN)) |
+              (C->WriteArmed ? unsigned(EPOLLOUT) : 0u);
+  Ev.data.ptr = C;
+  ::epoll_ctl(EpollFd, EPOLL_CTL_MOD, C->Fd, &Ev);
+}
+
+void IoThread::closeConnection(Connection *C) {
+  if (C->Closed.exchange(true))
+    return;
+  ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, C->Fd, nullptr);
+  ::close(C->Fd);
+  auto It = Conns.find(C->Fd);
+  if (It != Conns.end()) {
+    Dead.push_back(std::move(It->second));
+    Conns.erase(It);
+  }
+  SvcMetrics::get().ConnectionsActive->set(
+      static_cast<int64_t>(Conns.size()));
+}
+
+void IoThread::acceptNew() {
+  for (;;) {
+    const int Fd = ::accept4(S.ListenFd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (Fd < 0)
+      return; // EAGAIN, or the listener went away during drain
+    const unsigned Target = NextAccept++ % S.Io.size();
+    if (Target == Index)
+      addConnection(Fd);
+    else
+      S.Io[Target]->adoptConnection(Fd);
+  }
+}
+
+void IoThread::handleRead(Connection *C) {
+  char Buf[16 * 1024];
+  for (;;) {
+    const ssize_t N = ::recv(C->Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      C->ReadBuf.append(Buf, static_cast<size_t>(N));
+      C->LastActiveMs = nowMs();
+      SvcMetrics::get().BytesRead->add(static_cast<uint64_t>(N));
+      parseFrames(C);
+      if (C->Closed.load(std::memory_order_relaxed) || C->ReadPaused ||
+          C->WantClose)
+        return;
+      continue;
+    }
+    if (N == 0) { // orderly shutdown from the peer
+      if (C->buffered() == 0)
+        closeConnection(C);
+      else
+        C->WantClose = true;
+      return;
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return;
+    closeConnection(C); // hard error
+    return;
+  }
+}
+
+void IoThread::parseFrames(Connection *C) {
+  while (!S.stopRequested() && !C->WantClose && !C->ReadPaused) {
+    std::string_view Rest(C->ReadBuf);
+    Rest.remove_prefix(C->ReadPos);
+    std::string_view Payload;
+    size_t Consumed = 0;
+    const FrameResult FR = peelFrame(Rest, Payload, Consumed);
+    if (FR == FrameResult::NeedMore)
+      break;
+    if (FR == FrameResult::Malformed) {
+      // No resync point on a byte stream: reply, then close after flush.
+      // The flag is set first so an inline full flush honors the close.
+      SvcMetrics::get().MalformedTotal->add();
+      C->WantClose = true;
+      Response R;
+      R.St = Status::Error;
+      R.Text = "oversized frame";
+      queueReply(C, R);
+      break;
+    }
+    C->ReadPos += Consumed;
+    handleFrame(C, Payload);
+  }
+  // Compact the parsed prefix once it dominates the buffer.
+  if (C->ReadPos > 4096 && C->ReadPos * 2 >= C->ReadBuf.size()) {
+    C->ReadBuf.erase(0, C->ReadPos);
+    C->ReadPos = 0;
+  }
+}
+
+void IoThread::handleFrame(Connection *C, std::string_view Payload) {
+  SvcMetrics &M = SvcMetrics::get();
+  Request Req;
+  std::string Err;
+  if (!decodeRequest(Payload, Req, Err)) {
+    // Framing was intact, so the connection survives the bad payload.
+    M.MalformedTotal->add();
+    Response R;
+    R.ReqId = Req.ReqId;
+    R.St = Status::Error;
+    R.Text = Err;
+    queueReply(C, R);
+    return;
+  }
+  M.RequestsTotal->add();
+  COMLAT_TRACE(obs::EventKind::SvcFrame, 0, static_cast<int64_t>(Req.ReqId),
+               static_cast<uint32_t>(Req.Type), 0);
+  switch (Req.Type) {
+  case MsgType::Ping: {
+    M.RequestsPing->add();
+    Response R;
+    R.ReqId = Req.ReqId;
+    queueReply(C, R);
+    return;
+  }
+  case MsgType::Metrics: {
+    M.RequestsMetrics->add();
+    Response R;
+    R.ReqId = Req.ReqId;
+    R.Text = obs::MetricsRegistry::global().toPrometheusText();
+    queueReply(C, R);
+    return;
+  }
+  case MsgType::State: {
+    // Diagnostic/oracle endpoint: the dump is only meaningful when no
+    // batches are in flight (the protocol docs say so); reading it live
+    // races with worker transactions.
+    M.RequestsState->add();
+    Response R;
+    R.ReqId = Req.ReqId;
+    R.Text = S.Host.stateText();
+    queueReply(C, R);
+    return;
+  }
+  case MsgType::Batch:
+    break;
+  }
+
+  M.RequestsBatch->add();
+  for (const Op &O : Req.Ops)
+    if (!validOp(O, S.Host.ufElements())) {
+      M.MalformedTotal->add();
+      Response R;
+      R.ReqId = Req.ReqId;
+      R.St = Status::Error;
+      R.Text = "invalid batch op";
+      queueReply(C, R);
+      return;
+    }
+
+  // One batch = one transaction. The context lives until the completion
+  // fires; the body rebuilds Results from scratch on every attempt so
+  // aborted attempts stay invisible to the client.
+  struct BatchCtx {
+    std::shared_ptr<Connection> Conn;
+    uint64_t ReqId;
+    std::vector<Op> Ops;
+    std::vector<int64_t> Results;
+    uint64_t AdmitUs;
+  };
+  auto Ctx = std::make_shared<BatchCtx>();
+  Ctx->Conn = Conns.at(C->Fd);
+  Ctx->ReqId = Req.ReqId;
+  Ctx->Ops = std::move(Req.Ops);
+  Ctx->AdmitUs = nowUs();
+
+  ObjectHost &Host = S.Host;
+  auto Body = [Ctx, &Host](Transaction &Tx) {
+    Ctx->Results.clear();
+    for (const Op &O : Ctx->Ops) {
+      int64_t Result = 0;
+      if (!Host.applyOp(Tx, O, Result))
+        return; // Tx is failed; the submitter aborts and retries
+      Ctx->Results.push_back(Result);
+    }
+  };
+  Server &Srv = S;
+  IoThread *Owner = this;
+  auto Done = [Ctx, &Srv, Owner](const SubmitOutcome &Outcome) {
+    SvcMetrics &SM = SvcMetrics::get();
+    Response R;
+    R.ReqId = Ctx->ReqId;
+    if (Outcome.Committed) {
+      R.CommitSeq = Outcome.CommitSeq;
+      R.Results = Ctx->Results;
+      SM.OpsTotal->add(Ctx->Results.size());
+    } else {
+      R.St = Status::Error;
+      R.Text = "retry budget exhausted";
+      SM.TxFailedTotal->add();
+    }
+    SM.TxRetriesTotal->add(Outcome.Aborts);
+    SM.RequestLatencyUs->observe(nowUs() - Ctx->AdmitUs);
+    std::string Bytes;
+    encodeResponse(R, Bytes);
+    SM.RepliesTotal->add();
+    COMLAT_TRACE(obs::EventKind::SvcReply, Outcome.Tx,
+                 static_cast<int64_t>(Ctx->ReqId),
+                 static_cast<uint32_t>(R.St), 0);
+    Owner->queueReplyFromWorker(std::move(Ctx->Conn), std::move(Bytes));
+    // The in-flight claim drops only after the reply was handed over, so
+    // the drain cannot finish with a reply still in worker hands.
+    Srv.InFlightReplies.fetch_sub(1, std::memory_order_acq_rel);
+  };
+
+  S.InFlightReplies.fetch_add(1, std::memory_order_acq_rel);
+  if (!S.Submit.trySubmit(std::move(Body), std::move(Done),
+                          static_cast<int64_t>(Ctx->ReqId))) {
+    S.InFlightReplies.fetch_sub(1, std::memory_order_acq_rel);
+    M.BusyTotal->add();
+    Response R;
+    R.ReqId = Ctx->ReqId;
+    R.St = Status::Busy;
+    queueReply(C, R);
+    return;
+  }
+  COMLAT_TRACE(obs::EventKind::SvcAdmit, 0, static_cast<int64_t>(Ctx->ReqId),
+               0, 0);
+}
+
+void IoThread::queueReply(Connection *C, const Response &R) {
+  std::string Bytes;
+  encodeResponse(R, Bytes);
+  SvcMetrics::get().RepliesTotal->add();
+  COMLAT_TRACE(obs::EventKind::SvcReply, 0, static_cast<int64_t>(R.ReqId),
+               static_cast<uint32_t>(R.St), 0);
+  appendAndFlush(C, Bytes);
+}
+
+void IoThread::appendAndFlush(Connection *C, const std::string &Bytes) {
+  C->WriteBuf += Bytes;
+  flushWrites(C);
+  if (C->Closed.load(std::memory_order_relaxed))
+    return;
+  // Slow-reader backpressure: beyond the cap, stop reading this
+  // connection. Replies already owed are never dropped; what is bounded
+  // is the *admission* of further frames from this peer.
+  if (!C->ReadPaused && C->buffered() > S.Config.MaxWriteBuffered) {
+    C->ReadPaused = true;
+    SvcMetrics::get().BackpressureStalls->add();
+    updateInterest(C);
+  }
+}
+
+void IoThread::flushWrites(Connection *C) {
+  while (C->buffered() > 0) {
+    const ssize_t N =
+        ::send(C->Fd, C->WriteBuf.data() + C->WritePos, C->buffered(),
+               MSG_NOSIGNAL);
+    if (N > 0) {
+      C->WritePos += static_cast<size_t>(N);
+      C->LastActiveMs = nowMs();
+      SvcMetrics::get().BytesWritten->add(static_cast<uint64_t>(N));
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!C->WriteArmed) {
+        C->WriteArmed = true;
+        updateInterest(C);
+      }
+      return;
+    }
+    closeConnection(C); // peer is gone
+    return;
+  }
+  // Fully flushed: compact, disarm EPOLLOUT, honor deferred closes, and
+  // resume reading once the backlog halved.
+  C->WriteBuf.clear();
+  C->WritePos = 0;
+  if (C->WriteArmed) {
+    C->WriteArmed = false;
+    updateInterest(C);
+  }
+  if (C->WantClose) {
+    closeConnection(C);
+    return;
+  }
+  if (C->ReadPaused && C->buffered() < S.Config.MaxWriteBuffered / 2) {
+    C->ReadPaused = false;
+    updateInterest(C);
+    // Frames buffered while paused are still waiting in ReadBuf.
+    parseFrames(C);
+  }
+}
+
+void IoThread::drainHandoff() {
+  std::vector<int> Fds;
+  std::vector<std::pair<std::shared_ptr<Connection>, std::string>> Replies;
+  {
+    std::lock_guard<std::mutex> Guard(HandoffMu);
+    Fds.swap(NewFds);
+    Replies.swap(PendingReplies);
+  }
+  for (const int Fd : Fds) {
+    if (S.stopRequested())
+      ::close(Fd);
+    else
+      addConnection(Fd);
+  }
+  for (auto &[C, Bytes] : Replies) {
+    if (C->Closed.load(std::memory_order_relaxed))
+      continue; // client went away; the reply has nowhere to go
+    appendAndFlush(C.get(), Bytes);
+  }
+}
+
+void IoThread::sweepIdle() {
+  if (S.Config.IdleTimeoutMs == 0)
+    return;
+  const uint64_t Now = nowMs();
+  std::vector<Connection *> Victims;
+  for (auto &[Fd, C] : Conns)
+    if (Now - C->LastActiveMs > S.Config.IdleTimeoutMs)
+      Victims.push_back(C.get());
+  for (Connection *C : Victims) {
+    SvcMetrics::get().IdleClosed->add();
+    closeConnection(C);
+  }
+}
+
+bool IoThread::drainComplete() {
+  if (S.InFlightReplies.load(std::memory_order_acquire) != 0)
+    return false;
+  {
+    std::lock_guard<std::mutex> Guard(HandoffMu);
+    if (!PendingReplies.empty() || !NewFds.empty())
+      return false;
+  }
+  for (auto &[Fd, C] : Conns)
+    if (C->buffered() > 0)
+      return false;
+  return true;
+}
+
+void IoThread::run() {
+  obs::shardIndex(); // claim a metric shard for this thread
+  constexpr int MaxEvents = 64;
+  struct epoll_event Events[MaxEvents];
+  for (;;) {
+    int TimeoutMs = -1;
+    if (S.Config.IdleTimeoutMs != 0)
+      TimeoutMs = static_cast<int>(
+          std::min<unsigned>(S.Config.IdleTimeoutMs / 2 + 1, 500));
+    if (S.stopRequested())
+      TimeoutMs = 10; // poll the drain conditions
+    const int N = ::epoll_wait(EpollFd, Events, MaxEvents, TimeoutMs);
+    if (N < 0 && errno != EINTR)
+      break;
+    for (int I = 0; I < std::max(N, 0); ++I) {
+      const struct epoll_event &Ev = Events[I];
+      if (Ev.data.u64 == TagWake) {
+        uint64_t Junk;
+        while (::read(WakeFd, &Junk, sizeof(Junk)) > 0) {
+        }
+        continue;
+      }
+      if (Ev.data.u64 == TagListener) {
+        if (!S.stopRequested())
+          acceptNew();
+        continue;
+      }
+      auto *C = static_cast<Connection *>(Ev.data.ptr);
+      if (Conns.find(C->Fd) == Conns.end() ||
+          C->Closed.load(std::memory_order_relaxed))
+        continue; // closed earlier in this batch of events
+      if (Ev.events & (EPOLLHUP | EPOLLERR)) {
+        // Flush what we can; a dead peer fails the send and closes.
+        if (C->buffered() > 0)
+          flushWrites(C);
+        if (!C->Closed.load(std::memory_order_relaxed) &&
+            (Ev.events & EPOLLERR))
+          closeConnection(C);
+        continue;
+      }
+      if (Ev.events & EPOLLOUT)
+        flushWrites(C);
+      if (C->Closed.load(std::memory_order_relaxed))
+        continue;
+      if ((Ev.events & EPOLLIN) && !S.stopRequested())
+        handleRead(C);
+    }
+    drainHandoff();
+    sweepIdle();
+    Dead.clear();
+    if (S.stopRequested()) {
+      if (Index == 0 && !ListenerClosed) {
+        // Stop accepting: new connections get RST from here on.
+        ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, S.ListenFd, nullptr);
+        ListenerClosed = true;
+      }
+      if (DrainDeadlineMs == 0)
+        DrainDeadlineMs = nowMs() + 5000;
+      // Stop reading every connection; keep flushing replies.
+      for (auto &[Fd, C] : Conns)
+        updateInterest(C.get());
+      if (drainComplete() || nowMs() > DrainDeadlineMs)
+        break;
+    }
+  }
+  // Drained (or deadline): close whatever is left.
+  while (!Conns.empty())
+    closeConnection(Conns.begin()->second.get());
+  SvcMetrics::get().ConnectionsActive->set(0);
+}
+
+// Round-robin accept distribution; process-wide is fine (one server per
+// process in practice, and distribution only needs rough balance).
+unsigned IoThread::NextAccept = 0;
+
+Server::Server(const ServerConfig &Config)
+    : Config(Config), Host(Config.UfElements),
+      Submit({.NumThreads = Config.Workers,
+              .QueueCapacity = Config.QueueCapacity,
+              .Backoff = Config.Backoff,
+              .MaxAttempts = Config.MaxAttempts}) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg + ": " + std::strerror(errno);
+    if (ListenFd >= 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+    }
+    return false;
+  };
+
+  ListenFd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (ListenFd < 0)
+    return Fail("socket");
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  struct sockaddr_in Addr {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Config.Port);
+  if (::inet_pton(AF_INET, Config.BindAddress.c_str(), &Addr.sin_addr) != 1)
+    return Fail("inet_pton('" + Config.BindAddress + "')");
+  if (::bind(ListenFd, reinterpret_cast<struct sockaddr *>(&Addr),
+             sizeof(Addr)) != 0)
+    return Fail("bind");
+  if (::listen(ListenFd, 256) != 0)
+    return Fail("listen");
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(ListenFd, reinterpret_cast<struct sockaddr *>(&Addr),
+                    &Len) != 0)
+    return Fail("getsockname");
+  BoundPort = ntohs(Addr.sin_port);
+
+  SvcMetrics::get(); // register the metric families up front
+  const unsigned NumIo = std::max(1u, Config.IoThreads);
+  Io.reserve(NumIo);
+  for (unsigned I = 0; I != NumIo; ++I)
+    Io.push_back(std::make_unique<IoThread>(*this, I));
+  Io[0]->registerListener(ListenFd);
+  for (unsigned I = 0; I != NumIo; ++I)
+    IoJoins.emplace_back([this, I] { Io[I]->run(); });
+  Started.store(true, std::memory_order_release);
+  return true;
+}
+
+void Server::requestStop() {
+  StopFlag.store(true, std::memory_order_release);
+  for (const std::unique_ptr<IoThread> &T : Io)
+    T->wake();
+}
+
+void Server::stop() {
+  if (!Started.load(std::memory_order_acquire)) {
+    if (ListenFd >= 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+    }
+    return;
+  }
+  requestStop();
+  for (std::thread &T : IoJoins)
+    if (T.joinable())
+      T.join();
+  IoJoins.clear();
+  Submit.drain();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  {
+    std::lock_guard<std::mutex> Guard(StopM);
+    Stopped.store(true, std::memory_order_release);
+  }
+  StopCV.notify_all();
+  Started.store(false, std::memory_order_release);
+}
+
+void Server::waitStopped() {
+  std::unique_lock<std::mutex> Guard(StopM);
+  StopCV.wait(Guard, [this] { return Stopped.load(std::memory_order_acquire); });
+}

@@ -1,0 +1,147 @@
+//===- svc/Server.h - Transactional TCP service front end -------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// comlat-serve: an epoll-based multi-threaded TCP server exposing the
+/// hosted boosted structures (svc/Objects.h) behind the length-prefixed
+/// protocol of svc/Protocol.h. Threading model (DESIGN.md §3.7):
+///
+///  * one acceptor + N I/O threads, each owning an epoll instance and a
+///    disjoint subset of connections (accepted round-robin). All socket
+///    reads, writes and interest changes for a connection happen on its
+///    owning I/O thread; completions hand replies over through a
+///    mutex-guarded per-connection write buffer plus an eventfd wake;
+///  * M executor workers inside a runtime::Submitter execute each batch
+///    frame as one transaction on the gatekeeper/abstract-lock path,
+///    retrying aborts invisibly and replying only with the final outcome.
+///
+/// Unhappy paths are first-class: a full admission queue sheds with BUSY
+/// (every shed frame still gets a reply), a slow reader stops being read
+/// once its reply backlog passes MaxWriteBuffered bytes (and resumes
+/// below half), idle connections are reaped after IdleTimeoutMs, framing
+/// errors close only the offending connection, and requestStop() drains —
+/// stop accepting, stop parsing, finish every admitted transaction, flush
+/// every reply, then exit cleanly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_SVC_SERVER_H
+#define COMLAT_SVC_SERVER_H
+
+#include "runtime/Submitter.h"
+#include "svc/Objects.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace comlat {
+namespace svc {
+
+class IoThread;
+
+/// Everything that shapes one server instance.
+struct ServerConfig {
+  /// IPv4 address to bind ("0.0.0.0" to serve externally).
+  std::string BindAddress = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  uint16_t Port = 0;
+  /// I/O event-loop threads; connections are spread round-robin.
+  unsigned IoThreads = 2;
+  /// Executor workers running batch transactions.
+  unsigned Workers = 4;
+  /// Admission queue bound; overflow frames get BUSY replies.
+  size_t QueueCapacity = 1024;
+  /// Per-connection reply backlog cap; beyond it the connection's reads
+  /// pause until the peer drains below half (slow-reader backpressure).
+  size_t MaxWriteBuffered = 256 * 1024;
+  /// Per-connection kernel send buffer (SO_SNDBUF); 0 keeps the kernel's
+  /// auto-tuned default. Setting it pins how much reply data the kernel
+  /// absorbs before sends return EAGAIN and the user-space backlog (and
+  /// so the MaxWriteBuffered backpressure) engages — the slow-reader
+  /// tests pin it small to make that path deterministic.
+  size_t SocketSndBuf = 0;
+  /// Connections idle longer than this are closed; 0 disables.
+  unsigned IdleTimeoutMs = 0;
+  /// Element count of the hosted union-find.
+  size_t UfElements = 1024;
+  /// Post-abort backoff for batch retries.
+  BackoffPolicy Backoff{};
+  /// Retry bound per batch (0 = until commit); exhausting it produces an
+  /// Error reply, never a silent drop.
+  unsigned MaxAttempts = 0;
+};
+
+/// The server. Lifecycle: construct -> start() -> (serve) -> stop().
+class Server {
+public:
+  explicit Server(const ServerConfig &Config);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds, listens and spawns the I/O threads and workers. Returns false
+  /// (with \p Err set) when the socket setup fails.
+  bool start(std::string *Err = nullptr);
+
+  /// The bound port (after start()); resolves Port = 0 requests.
+  uint16_t port() const { return BoundPort; }
+
+  /// Begins the graceful drain without blocking: stop accepting and
+  /// parsing, finish admitted transactions, flush replies. Safe from any
+  /// thread and from signal handlers (an atomic store plus an eventfd
+  /// write).
+  void requestStop();
+
+  /// requestStop() plus waiting for the drain to finish and joining every
+  /// thread. Idempotent; the destructor calls it.
+  void stop();
+
+  /// Blocks until a requestStop() drain completed (start() must have
+  /// succeeded). The comlat-serve binary parks its main thread here.
+  void waitStopped();
+
+  bool stopRequested() const {
+    return StopFlag.load(std::memory_order_acquire);
+  }
+
+  /// The hosted structures (tests read signatures when quiesced).
+  const ObjectHost &objects() const { return Host; }
+
+  /// The transaction submitter (tests pause/resume it to force BUSY and
+  /// drain scenarios deterministically).
+  Submitter &submitter() { return Submit; }
+
+private:
+  friend class IoThread;
+
+  ServerConfig Config;
+  ObjectHost Host;
+  Submitter Submit;
+  int ListenFd = -1;
+  uint16_t BoundPort = 0;
+  std::atomic<bool> StopFlag{false};
+  std::atomic<bool> Started{false};
+  std::atomic<bool> Stopped{false};
+  /// Batch frames admitted to the submitter whose replies have not yet
+  /// been handed to their connection; the drain waits for zero.
+  std::atomic<uint64_t> InFlightReplies{0};
+  std::vector<std::unique_ptr<IoThread>> Io;
+  std::vector<std::thread> IoJoins;
+  std::mutex StopM;
+  std::condition_variable StopCV;
+};
+
+} // namespace svc
+} // namespace comlat
+
+#endif // COMLAT_SVC_SERVER_H

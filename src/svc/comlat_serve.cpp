@@ -1,0 +1,83 @@
+//===- svc/comlat_serve.cpp - The comlat service daemon --------------------===//
+//
+// Serves the hosted boosted structures (set, accumulator, union-find) over
+// TCP; every batch frame is one speculative transaction on the
+// gatekeeper/abstract-lock path. See svc/Protocol.h for the wire format
+// and DESIGN.md §3.7 for the threading model.
+//
+//   comlat-serve --port=7411 --io-threads=2 --workers=4
+//   comlat-serve --port=0 --port-file=/tmp/port   # ephemeral, CI style
+//
+// SIGTERM/SIGINT drain gracefully: stop accepting, finish every admitted
+// transaction, flush every reply, exit 0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/ObsCli.h"
+#include "support/Options.h"
+#include "svc/Server.h"
+
+#include <csignal>
+#include <cstdio>
+
+using namespace comlat;
+
+int main(int Argc, char **Argv) {
+  const Options Opts(Argc, Argv);
+  Opts.checkKnown({"port", "bind", "port-file", "io-threads", "workers",
+                   "queue", "idle-timeout-ms", "max-write-buffer",
+                   "uf-elements", "max-attempts", "trace", "trace-events",
+                   "metrics", "metrics-json"});
+  obs::ScopedObs Obs(Opts);
+
+  svc::ServerConfig Config;
+  Config.BindAddress = Opts.getString("bind", "127.0.0.1");
+  Config.Port = static_cast<uint16_t>(Opts.getUInt("port", 7411));
+  Config.IoThreads = static_cast<unsigned>(Opts.getUInt("io-threads", 2));
+  Config.Workers = static_cast<unsigned>(Opts.getUInt("workers", 4));
+  Config.QueueCapacity = Opts.getUInt("queue", 1024);
+  Config.IdleTimeoutMs =
+      static_cast<unsigned>(Opts.getUInt("idle-timeout-ms", 0));
+  Config.MaxWriteBuffered = Opts.getUInt("max-write-buffer", 256 * 1024);
+  Config.UfElements = Opts.getUInt("uf-elements", 1024);
+  Config.MaxAttempts = static_cast<unsigned>(Opts.getUInt("max-attempts", 0));
+
+  // Block the shutdown signals before any thread spawns so every thread
+  // inherits the mask and sigwait() below is the only receiver.
+  sigset_t Sigs;
+  sigemptyset(&Sigs);
+  sigaddset(&Sigs, SIGTERM);
+  sigaddset(&Sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &Sigs, nullptr);
+
+  svc::Server Srv(Config);
+  std::string Err;
+  if (!Srv.start(&Err)) {
+    std::fprintf(stderr, "comlat-serve: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("comlat-serve listening on %s:%u\n", Config.BindAddress.c_str(),
+              unsigned(Srv.port()));
+  std::fflush(stdout);
+
+  const std::string PortFile = Opts.getString("port-file", "");
+  if (!PortFile.empty()) {
+    if (std::FILE *F = std::fopen(PortFile.c_str(), "w")) {
+      std::fprintf(F, "%u\n", unsigned(Srv.port()));
+      std::fclose(F);
+    } else {
+      std::fprintf(stderr, "comlat-serve: cannot write %s\n",
+                   PortFile.c_str());
+      Srv.stop();
+      return 1;
+    }
+  }
+
+  int Sig = 0;
+  sigwait(&Sigs, &Sig);
+  std::fprintf(stderr, "comlat-serve: caught %s, draining\n",
+               Sig == SIGTERM ? "SIGTERM" : "SIGINT");
+  Srv.stop();
+  std::fprintf(stderr, "comlat-serve: drained, bye\n");
+  return 0;
+}

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 using namespace comlat;
 
 namespace {
@@ -96,4 +98,16 @@ TEST(TransactionTest, FailIsSticky) {
   Tx.fail();
   EXPECT_TRUE(Tx.failed());
   Tx.abort();
+}
+
+TEST(TransactionTest, AllocTxIdIsUniqueAndAboveTheSmallIdSpace) {
+  // Detectors key conflicts by TxId, so engine-allocated ids must never
+  // collide with each other or with the hand-picked small ids tests and
+  // per-run executors use (reserved range: everything below 2^32).
+  std::set<TxId> Seen;
+  for (int I = 0; I != 1000; ++I) {
+    const TxId Id = allocTxId();
+    EXPECT_GE(Id, uint64_t(1) << 32);
+    EXPECT_TRUE(Seen.insert(Id).second);
+  }
 }

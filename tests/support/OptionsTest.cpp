@@ -1,0 +1,94 @@
+//===- tests/support/OptionsTest.cpp - Command-line parser --------------------===//
+
+#include "support/Options.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+
+namespace {
+
+Options parse(std::initializer_list<const char *> Args) {
+  std::vector<const char *> Argv = {"prog"};
+  Argv.insert(Argv.end(), Args.begin(), Args.end());
+  return Options(static_cast<int>(Argv.size()), Argv.data());
+}
+
+} // namespace
+
+TEST(OptionsTest, ParsesTypedValues) {
+  const Options Opts =
+      parse({"--threads=8", "--qps=1500.5", "--seed=42", "--name=svc"});
+  EXPECT_EQ(Opts.getInt("threads", 0), 8);
+  EXPECT_EQ(Opts.getUInt("seed", 0), 42u);
+  EXPECT_DOUBLE_EQ(Opts.getDouble("qps", 0), 1500.5);
+  EXPECT_EQ(Opts.getString("name", ""), "svc");
+  EXPECT_TRUE(Opts.has("threads"));
+  EXPECT_FALSE(Opts.has("missing"));
+  EXPECT_EQ(Opts.getInt("missing", -3), -3);
+}
+
+TEST(OptionsTest, BareFlagReadsAsTrue) {
+  const Options Opts = parse({"--verify", "--csv=false"});
+  EXPECT_TRUE(Opts.getBool("verify"));
+  EXPECT_FALSE(Opts.getBool("csv"));
+  EXPECT_FALSE(Opts.getBool("absent"));
+  EXPECT_TRUE(Opts.getBool("absent", true));
+}
+
+TEST(OptionsTest, DuplicateFlagLastWins) {
+  const Options Opts = parse({"--threads=2", "--threads=16"});
+  EXPECT_EQ(Opts.getInt("threads", 0), 16);
+}
+
+TEST(OptionsTest, MissingValueIsEmptyString) {
+  const Options Opts = parse({"--port-file="});
+  EXPECT_TRUE(Opts.has("port-file"));
+  EXPECT_EQ(Opts.getString("port-file", "default"), "");
+  EXPECT_EQ(Opts.getInt("port-file", 9), 0); // strtoll("") == 0
+}
+
+TEST(OptionsTest, PositionalArgumentExits) {
+  EXPECT_EXIT(parse({"batches"}), ::testing::ExitedWithCode(2),
+              "unexpected positional argument");
+  EXPECT_EXIT(parse({"-threads=8"}), ::testing::ExitedWithCode(2),
+              "unexpected positional argument");
+}
+
+TEST(OptionsTest, CheckKnownAcceptsListedFlags) {
+  const Options Opts = parse({"--port=1", "--verify"});
+  Opts.checkKnown({"port", "verify", "threads"}); // must not exit
+}
+
+TEST(OptionsTest, CheckKnownRejectsTypos) {
+  const Options Opts = parse({"--theads=8"});
+  EXPECT_EXIT(Opts.checkKnown({"threads", "port"}),
+              ::testing::ExitedWithCode(2), "unknown flag '--theads'");
+}
+
+TEST(OptionsTest, ServeAndLoadgenFlagVocabulariesParse) {
+  // The flag sets the two svc binaries validate with checkKnown: keep
+  // these in sync with src/svc/comlat_serve.cpp / comlat_loadgen.cpp.
+  const Options Serve = parse({"--port=0", "--bind=0.0.0.0",
+                               "--port-file=/tmp/p", "--io-threads=2",
+                               "--workers=4", "--queue=512",
+                               "--idle-timeout-ms=1000",
+                               "--max-write-buffer=65536",
+                               "--uf-elements=2048", "--max-attempts=10"});
+  Serve.checkKnown({"port", "bind", "port-file", "io-threads", "workers",
+                    "queue", "idle-timeout-ms", "max-write-buffer",
+                    "uf-elements", "max-attempts"});
+  EXPECT_EQ(Serve.getUInt("queue", 0), 512u);
+  EXPECT_EQ(Serve.getString("bind", ""), "0.0.0.0");
+
+  const Options Gen = parse({"--host=localhost", "--port=7411", "--threads=8",
+                             "--batches=1000", "--duration=5.5", "--qps=2000",
+                             "--ops-per-batch=8", "--seed=7",
+                             "--keyspace=4096", "--verify", "--json=o.json",
+                             "--metrics-out=m.txt"});
+  Gen.checkKnown({"host", "port", "threads", "batches", "duration", "qps",
+                  "ops-per-batch", "seed", "keyspace", "verify", "json",
+                  "metrics-out"});
+  EXPECT_DOUBLE_EQ(Gen.getDouble("duration", 0), 5.5);
+  EXPECT_EQ(Gen.getUInt("seed", 0), 7u);
+}

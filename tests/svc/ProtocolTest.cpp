@@ -1,0 +1,197 @@
+//===- tests/svc/ProtocolTest.cpp - Wire protocol framing/codec ---------------===//
+
+#include "svc/Protocol.h"
+
+#include <gtest/gtest.h>
+
+using namespace comlat;
+using namespace comlat::svc;
+
+namespace {
+
+Request sampleBatch() {
+  Request R;
+  R.ReqId = 0xABCDEF0123456789ull;
+  R.Type = MsgType::Batch;
+  R.Ops.push_back({static_cast<uint8_t>(ObjectId::Set), SetAdd, 42, 0});
+  R.Ops.push_back({static_cast<uint8_t>(ObjectId::Acc), AccIncrement, -7, 0});
+  R.Ops.push_back({static_cast<uint8_t>(ObjectId::Uf), UfUnion, 3, 9});
+  return R;
+}
+
+/// Frames + peels + decodes, expecting success.
+Request roundtrip(const Request &In) {
+  std::string Wire;
+  encodeRequest(In, Wire);
+  std::string_view Payload;
+  size_t Consumed = 0;
+  EXPECT_EQ(peelFrame(Wire, Payload, Consumed), FrameResult::Ok);
+  EXPECT_EQ(Consumed, Wire.size());
+  Request Out;
+  std::string Err;
+  EXPECT_TRUE(decodeRequest(Payload, Out, Err)) << Err;
+  return Out;
+}
+
+} // namespace
+
+TEST(ProtocolTest, BatchRequestRoundtrip) {
+  const Request In = sampleBatch();
+  const Request Out = roundtrip(In);
+  EXPECT_EQ(Out.ReqId, In.ReqId);
+  EXPECT_EQ(Out.Type, MsgType::Batch);
+  ASSERT_EQ(Out.Ops.size(), In.Ops.size());
+  for (size_t I = 0; I != In.Ops.size(); ++I) {
+    EXPECT_EQ(Out.Ops[I].Obj, In.Ops[I].Obj);
+    EXPECT_EQ(Out.Ops[I].Method, In.Ops[I].Method);
+    EXPECT_EQ(Out.Ops[I].A, In.Ops[I].A);
+    EXPECT_EQ(Out.Ops[I].B, In.Ops[I].B);
+  }
+}
+
+TEST(ProtocolTest, BodylessRequestsRoundtrip) {
+  for (const MsgType T : {MsgType::Metrics, MsgType::State, MsgType::Ping}) {
+    Request In;
+    In.ReqId = 7;
+    In.Type = T;
+    const Request Out = roundtrip(In);
+    EXPECT_EQ(Out.ReqId, 7u);
+    EXPECT_EQ(Out.Type, T);
+  }
+}
+
+TEST(ProtocolTest, ResponseRoundtrip) {
+  Response In;
+  In.ReqId = 99;
+  In.St = Status::Ok;
+  In.CommitSeq = 1234567;
+  In.Results = {1, -5, 0, INT64_MAX};
+  In.Text = "hello";
+  std::string Wire;
+  encodeResponse(In, Wire);
+  std::string_view Payload;
+  size_t Consumed = 0;
+  ASSERT_EQ(peelFrame(Wire, Payload, Consumed), FrameResult::Ok);
+  Response Out;
+  ASSERT_TRUE(decodeResponse(Payload, Out));
+  EXPECT_EQ(Out.ReqId, In.ReqId);
+  EXPECT_EQ(Out.St, In.St);
+  EXPECT_EQ(Out.CommitSeq, In.CommitSeq);
+  EXPECT_EQ(Out.Results, In.Results);
+  EXPECT_EQ(Out.Text, In.Text);
+}
+
+TEST(ProtocolTest, PartialFrameNeedsMore) {
+  std::string Wire;
+  encodeRequest(sampleBatch(), Wire);
+  std::string_view Payload;
+  size_t Consumed = 0;
+  for (size_t Cut = 0; Cut < Wire.size(); ++Cut)
+    EXPECT_EQ(peelFrame(std::string_view(Wire).substr(0, Cut), Payload,
+                        Consumed),
+              FrameResult::NeedMore);
+}
+
+TEST(ProtocolTest, OversizedLengthPrefixIsMalformed) {
+  std::string Wire;
+  const uint32_t Len = MaxFramePayload + 1;
+  for (unsigned I = 0; I != 4; ++I)
+    Wire.push_back(static_cast<char>((Len >> (8 * I)) & 0xFF));
+  std::string_view Payload;
+  size_t Consumed = 0;
+  EXPECT_EQ(peelFrame(Wire, Payload, Consumed), FrameResult::Malformed);
+}
+
+TEST(ProtocolTest, TwoFramesPeelInOrder) {
+  Request A, B;
+  A.ReqId = 1;
+  A.Type = MsgType::Ping;
+  B.ReqId = 2;
+  B.Type = MsgType::Metrics;
+  std::string Wire;
+  encodeRequest(A, Wire);
+  encodeRequest(B, Wire);
+  std::string_view Payload;
+  size_t Consumed = 0;
+  ASSERT_EQ(peelFrame(Wire, Payload, Consumed), FrameResult::Ok);
+  Request Out;
+  std::string Err;
+  ASSERT_TRUE(decodeRequest(Payload, Out, Err));
+  EXPECT_EQ(Out.ReqId, 1u);
+  std::string_view Rest = std::string_view(Wire).substr(Consumed);
+  ASSERT_EQ(peelFrame(Rest, Payload, Consumed), FrameResult::Ok);
+  ASSERT_TRUE(decodeRequest(Payload, Out, Err));
+  EXPECT_EQ(Out.ReqId, 2u);
+}
+
+TEST(ProtocolTest, RejectsUnknownTypeButEchoesReqId) {
+  Request In;
+  In.ReqId = 31337;
+  In.Type = MsgType::Ping;
+  std::string Wire;
+  encodeRequest(In, Wire);
+  Wire[4 + 8] = 77; // corrupt the type byte behind the length prefix
+  std::string_view Payload;
+  size_t Consumed = 0;
+  ASSERT_EQ(peelFrame(Wire, Payload, Consumed), FrameResult::Ok);
+  Request Out;
+  std::string Err;
+  EXPECT_FALSE(decodeRequest(Payload, Out, Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_EQ(Out.ReqId, 31337u); // best-effort fill for the error reply
+}
+
+TEST(ProtocolTest, RejectsEmptyAndOverlongBatches) {
+  Request In = sampleBatch();
+  std::string Wire;
+  encodeRequest(In, Wire);
+  // Zero the op count (little-endian u32 right after req_id + type).
+  const size_t CountOff = 4 + 8 + 1;
+  for (unsigned I = 0; I != 4; ++I)
+    Wire[CountOff + I] = 0;
+  std::string_view Payload;
+  size_t Consumed = 0;
+  ASSERT_EQ(peelFrame(Wire, Payload, Consumed), FrameResult::Ok);
+  Request Out;
+  std::string Err;
+  EXPECT_FALSE(decodeRequest(Payload, Out, Err));
+
+  const uint32_t Overlong = MaxBatchOps + 1;
+  for (unsigned I = 0; I != 4; ++I)
+    Wire[CountOff + I] = static_cast<char>((Overlong >> (8 * I)) & 0xFF);
+  ASSERT_EQ(peelFrame(Wire, Payload, Consumed), FrameResult::Ok);
+  EXPECT_FALSE(decodeRequest(Payload, Out, Err));
+}
+
+TEST(ProtocolTest, RejectsTrailingBytes) {
+  Request In;
+  In.ReqId = 5;
+  In.Type = MsgType::Ping;
+  std::string Payload;
+  // Hand-build payload + junk, then reframe.
+  for (unsigned I = 0; I != 8; ++I)
+    Payload.push_back(static_cast<char>((In.ReqId >> (8 * I)) & 0xFF));
+  Payload.push_back(static_cast<char>(MsgType::Ping));
+  Payload.push_back('x');
+  Request Out;
+  std::string Err;
+  EXPECT_FALSE(decodeRequest(Payload, Out, Err));
+}
+
+TEST(ProtocolTest, ValidOpBounds) {
+  const size_t UfN = 8;
+  EXPECT_TRUE(validOp({static_cast<uint8_t>(ObjectId::Set), SetContains, -5, 0},
+                      UfN));
+  EXPECT_FALSE(validOp({static_cast<uint8_t>(ObjectId::Set), 3, 0, 0}, UfN));
+  EXPECT_TRUE(validOp({static_cast<uint8_t>(ObjectId::Acc), AccRead, 0, 0},
+                      UfN));
+  EXPECT_FALSE(validOp({static_cast<uint8_t>(ObjectId::Acc), 2, 0, 0}, UfN));
+  EXPECT_TRUE(validOp({static_cast<uint8_t>(ObjectId::Uf), UfFind, 7, 0}, UfN));
+  EXPECT_FALSE(validOp({static_cast<uint8_t>(ObjectId::Uf), UfFind, 8, 0},
+                       UfN));
+  EXPECT_FALSE(validOp({static_cast<uint8_t>(ObjectId::Uf), UfUnion, 0, -1},
+                       UfN));
+  EXPECT_FALSE(validOp({static_cast<uint8_t>(ObjectId::Uf), UfUnion, 0, 8},
+                       UfN));
+  EXPECT_FALSE(validOp({3, 0, 0, 0}, UfN)); // unknown object
+}

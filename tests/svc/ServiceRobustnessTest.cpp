@@ -1,0 +1,260 @@
+//===- tests/svc/ServiceRobustnessTest.cpp - Unhappy-path behavior ------------===//
+//
+// The serving layer's failure contract: malformed input fails one frame or
+// one connection (never the event loop), overload sheds with BUSY but
+// every frame still gets a reply, slow readers are paused instead of
+// buffering without bound, idle connections are reaped, and a drain
+// finishes admitted work before exiting.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/MetricsRegistry.h"
+#include "svc/LoadGen.h"
+#include "svc/Server.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <thread>
+
+using namespace comlat;
+using namespace comlat::svc;
+
+namespace {
+
+Request pingReq(uint64_t Id) {
+  Request R;
+  R.ReqId = Id;
+  R.Type = MsgType::Ping;
+  return R;
+}
+
+Request batchReq(uint64_t Id) {
+  Request R;
+  R.ReqId = Id;
+  R.Type = MsgType::Batch;
+  R.Ops.push_back(
+      {static_cast<uint8_t>(ObjectId::Acc), AccIncrement, 1, 0});
+  return R;
+}
+
+/// Encodes a frame whose payload is raw \p Payload bytes.
+std::string rawFrame(const std::string &Payload) {
+  std::string Out;
+  const uint32_t Len = static_cast<uint32_t>(Payload.size());
+  for (unsigned I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((Len >> (8 * I)) & 0xFF));
+  Out += Payload;
+  return Out;
+}
+
+} // namespace
+
+TEST(ServiceRobustnessTest, MalformedPayloadFailsOnlyThatFrame) {
+  ServerConfig SC;
+  SC.Port = 0;
+  Server Srv(SC);
+  ASSERT_TRUE(Srv.start());
+
+  Client C;
+  ASSERT_TRUE(C.connect("127.0.0.1", Srv.port()));
+  // Well-framed garbage: framing survives, the payload is rejected.
+  ASSERT_TRUE(C.sendRaw(rawFrame("this is not a request")));
+  Response Resp;
+  ASSERT_TRUE(C.recvResponse(Resp));
+  EXPECT_EQ(Resp.St, Status::Error);
+  EXPECT_FALSE(Resp.Text.empty());
+
+  // Same connection still serves valid traffic afterwards.
+  ASSERT_TRUE(C.call(pingReq(2), Resp));
+  EXPECT_EQ(Resp.St, Status::Ok);
+
+  // Invalid op in a structurally valid batch: error reply, connection
+  // survives, nothing commits.
+  Request Bad = batchReq(3);
+  Bad.Ops.push_back({static_cast<uint8_t>(ObjectId::Uf), UfFind,
+                     static_cast<int64_t>(SC.UfElements), 0});
+  ASSERT_TRUE(C.call(Bad, Resp));
+  EXPECT_EQ(Resp.St, Status::Error);
+  ASSERT_TRUE(C.call(pingReq(4), Resp));
+  EXPECT_EQ(Resp.St, Status::Ok);
+  Srv.stop();
+}
+
+TEST(ServiceRobustnessTest, OversizedFrameClosesOnlyThatConnection) {
+  ServerConfig SC;
+  SC.Port = 0;
+  Server Srv(SC);
+  ASSERT_TRUE(Srv.start());
+
+  Client Victim;
+  ASSERT_TRUE(Victim.connect("127.0.0.1", Srv.port()));
+  std::string Huge;
+  const uint32_t Len = MaxFramePayload + 1;
+  for (unsigned I = 0; I != 4; ++I)
+    Huge.push_back(static_cast<char>((Len >> (8 * I)) & 0xFF));
+  ASSERT_TRUE(Victim.sendRaw(Huge));
+  // One error reply, then EOF: no resync point on a byte stream.
+  Response Resp;
+  ASSERT_TRUE(Victim.recvResponse(Resp));
+  EXPECT_EQ(Resp.St, Status::Error);
+  EXPECT_FALSE(Victim.recvResponse(Resp));
+
+  // The event loop survived: a fresh connection works.
+  Client Fresh;
+  ASSERT_TRUE(Fresh.connect("127.0.0.1", Srv.port()));
+  ASSERT_TRUE(Fresh.call(pingReq(1), Resp));
+  EXPECT_EQ(Resp.St, Status::Ok);
+  Srv.stop();
+}
+
+TEST(ServiceRobustnessTest, QueueOverflowShedsBusyWithoutDroppingReplies) {
+  ServerConfig SC;
+  SC.Port = 0;
+  SC.QueueCapacity = 4;
+  SC.Workers = 2;
+  Server Srv(SC);
+  ASSERT_TRUE(Srv.start());
+  // Paused workers: the queue fills deterministically, overflow sheds.
+  Srv.submitter().pause();
+
+  Client C;
+  ASSERT_TRUE(C.connect("127.0.0.1", Srv.port()));
+  constexpr unsigned N = 20;
+  for (unsigned I = 0; I != N; ++I)
+    ASSERT_TRUE(C.send(batchReq(I)));
+
+  // 4 frames sit in the queue (reply pending); 16 must get BUSY now.
+  unsigned Busy = 0;
+  std::vector<Response> Got;
+  const auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (Got.size() < N - SC.QueueCapacity &&
+         std::chrono::steady_clock::now() < Deadline) {
+    ASSERT_TRUE(C.pollResponses(Got));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(Got.size(), N - SC.QueueCapacity);
+  for (const Response &R : Got) {
+    EXPECT_EQ(R.St, Status::Busy);
+    ++Busy;
+  }
+  EXPECT_EQ(Busy, 16u);
+
+  // Releasing the workers answers the queued four: every frame got exactly
+  // one reply, nothing was silently dropped.
+  Srv.submitter().resume();
+  for (unsigned I = 0; I != SC.QueueCapacity; ++I) {
+    Response Resp;
+    ASSERT_TRUE(C.recvResponse(Resp));
+    EXPECT_EQ(Resp.St, Status::Ok);
+  }
+  Srv.stop();
+}
+
+TEST(ServiceRobustnessTest, SlowReaderIsPausedNotBufferedUnbounded) {
+  ServerConfig SC;
+  SC.Port = 0;
+  SC.MaxWriteBuffered = 4096; // tiny cap so a few metrics dumps trip it
+  // Pin the kernel send buffer: without this, loopback auto-tuning absorbs
+  // megabytes of replies and sends never hit EAGAIN, so the user-space
+  // backlog (what this test is about) would never fill.
+  SC.SocketSndBuf = 16 * 1024;
+  Server Srv(SC);
+  ASSERT_TRUE(Srv.start());
+
+  obs::Counter *Stalls = obs::MetricsRegistry::global().counter(
+      "comlat_svc_backpressure_stalls_total");
+  const uint64_t StallsBefore = Stalls->value();
+
+  Client C;
+  ASSERT_TRUE(C.connect("127.0.0.1", Srv.port()));
+
+  // Fire many metrics requests without reading a single reply: each reply
+  // is a multi-KB Prometheus dump, so the reply backlog (~1 MB, well past
+  // the pinned kernel buffers plus our receive buffer) passes the cap and
+  // the server must stop reading us instead of buffering without bound.
+  constexpr unsigned N = 256;
+  for (unsigned I = 0; I != N; ++I) {
+    Request Req;
+    Req.ReqId = I;
+    Req.Type = MsgType::Metrics;
+    ASSERT_TRUE(C.send(Req));
+  }
+  const auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (Stalls->value() == StallsBefore &&
+         std::chrono::steady_clock::now() < Deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_GT(Stalls->value(), StallsBefore);
+
+  // Now drain like a healthy reader: every frame still gets its reply —
+  // backpressure pauses the connection, it never drops replies. This also
+  // exercises resumption re-parsing the frames buffered while paused.
+  std::vector<bool> Seen(N, false);
+  for (unsigned I = 0; I != N; ++I) {
+    Response Resp;
+    ASSERT_TRUE(C.recvResponse(Resp));
+    EXPECT_EQ(Resp.St, Status::Ok);
+    ASSERT_LT(Resp.ReqId, N);
+    EXPECT_FALSE(Seen[Resp.ReqId]);
+    Seen[Resp.ReqId] = true;
+  }
+  Srv.stop();
+}
+
+TEST(ServiceRobustnessTest, IdleConnectionsAreReaped) {
+  ServerConfig SC;
+  SC.Port = 0;
+  SC.IdleTimeoutMs = 100;
+  Server Srv(SC);
+  ASSERT_TRUE(Srv.start());
+
+  Client C;
+  ASSERT_TRUE(C.connect("127.0.0.1", Srv.port()));
+  Response Resp;
+  ASSERT_TRUE(C.call(pingReq(1), Resp));
+  // Go idle past the timeout: the server closes us (recv sees EOF).
+  EXPECT_FALSE(C.recvResponse(Resp));
+  EXPECT_GE(obs::MetricsRegistry::global()
+                .counter("comlat_svc_idle_closed_total")
+                ->value(),
+            1u);
+  Srv.stop();
+}
+
+TEST(ServiceRobustnessTest, DrainFinishesAdmittedWorkThenCloses) {
+  ServerConfig SC;
+  SC.Port = 0;
+  SC.QueueCapacity = 8;
+  Server Srv(SC);
+  ASSERT_TRUE(Srv.start());
+  Srv.submitter().pause();
+
+  Client C;
+  ASSERT_TRUE(C.connect("127.0.0.1", Srv.port()));
+  for (unsigned I = 0; I != 3; ++I)
+    ASSERT_TRUE(C.send(batchReq(I)));
+  // Wait until all three are admitted (queued behind the paused workers).
+  const auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (Srv.submitter().queueDepth() < 3 &&
+         std::chrono::steady_clock::now() < Deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(Srv.submitter().queueDepth(), 3u);
+
+  // Drain: admitted work must finish and its replies must flush before
+  // the connection closes.
+  Srv.requestStop();
+  Srv.submitter().resume();
+  for (unsigned I = 0; I != 3; ++I) {
+    Response Resp;
+    ASSERT_TRUE(C.recvResponse(Resp));
+    EXPECT_EQ(Resp.St, Status::Ok);
+  }
+  Response Resp;
+  EXPECT_FALSE(C.recvResponse(Resp)); // then EOF
+  Srv.stop();
+}
