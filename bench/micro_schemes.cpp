@@ -12,6 +12,7 @@
 #include "adt/BoostedSet.h"
 #include "adt/BoostedUnionFind.h"
 #include "stm/ObjectStm.h"
+#include "support/AllocCount.h"
 #include "support/Random.h"
 
 #include <benchmark/benchmark.h>
@@ -39,10 +40,35 @@ private:
   Rng R;
 };
 
+
+/// Scope guard reporting heap allocations per iteration as the
+/// "allocs_per_op" user counter: the process-wide allocation delta over
+/// this benchmark's lifetime divided by its iteration count. Includes the
+/// one-time warm-up growth of the structure under test, which amortizes to
+/// ~0 over the measured iteration counts; -1 when the build does not count
+/// allocations (COMLAT_COUNT_ALLOCS=OFF).
+class AllocsPerOp {
+public:
+  explicit AllocsPerOp(benchmark::State &State)
+      : State(State), Start(totalAllocs()) {}
+  ~AllocsPerOp() {
+    const double Iters = static_cast<double>(State.iterations());
+    State.counters["allocs_per_op"] =
+        allocCountingEnabled() && Iters != 0
+            ? static_cast<double>(totalAllocs() - Start) / Iters
+            : -1.0;
+  }
+
+private:
+  benchmark::State &State;
+  uint64_t Start;
+};
+
 /// Baseline: the unprotected concrete structure.
 static void BM_DirectSetAdd(benchmark::State &State) {
   const std::unique_ptr<TxSet> Set = makeDirectSet();
   KeyStream Keys(0x1);
+  AllocsPerOp Allocs(State);
   for (auto _ : State) {
     Transaction Tx(1);
     bool Res = false;
@@ -57,6 +83,7 @@ BENCHMARK(BM_DirectSetAdd);
 static void BM_AbstractLockSetAdd(benchmark::State &State) {
   const std::unique_ptr<TxSet> Set = makeLockedSet(exclusiveSetSpec());
   KeyStream Keys(0x2);
+  AllocsPerOp Allocs(State);
   for (auto _ : State) {
     Transaction Tx(1);
     bool Res = false;
@@ -71,6 +98,7 @@ BENCHMARK(BM_AbstractLockSetAdd);
 static void BM_RwLockSetContains(benchmark::State &State) {
   const std::unique_ptr<TxSet> Set = makeLockedSet(strengthenedSetSpec());
   KeyStream Keys(0x3);
+  AllocsPerOp Allocs(State);
   for (auto _ : State) {
     Transaction Tx(1);
     bool Res = false;
@@ -93,6 +121,7 @@ static void BM_GatekeeperSetAdd(benchmark::State &State) {
     Set->add(Holder, 1000000 + I, Res);
   }
   KeyStream Keys(0x4); // stays below 1000000: never conflicts with Holder
+  AllocsPerOp Allocs(State);
   for (auto _ : State) {
     Transaction Tx(1);
     bool Res = false;
@@ -174,6 +203,7 @@ BENCHMARK_REGISTER_F(GateThroughputNonSeparable, Admit)
 static void BM_StmRead(benchmark::State &State) {
   ObjectStm Stm("bench");
   KeyStream Keys(0x5);
+  AllocsPerOp Allocs(State);
   for (auto _ : State) {
     Transaction Tx(1);
     Stm.read(Tx, static_cast<uint64_t>(Keys.next()));
@@ -195,6 +225,7 @@ static void ufFindBench(benchmark::State &State, MakeFn Make) {
     Init.commit();
   }
   KeyStream Keys(0x6);
+  AllocsPerOp Allocs(State);
   for (auto _ : State) {
     Transaction Tx(2);
     int64_t Rep = UfNone;

@@ -24,11 +24,51 @@
 
 #include "apps/SetMicrobench.h"
 #include "obs/ObsCli.h"
+#include "support/AllocCount.h"
 #include "support/Options.h"
+#include "support/Random.h"
 
 #include <cstdio>
 
 using namespace comlat;
+
+/// Measures steady-state heap allocations per committed operation on one
+/// scheme: a single worker drives a pooled transaction over a small, fully
+/// warmed key space, so every inline buffer, lock-table slot and stripe
+/// log has reached its high-water capacity before counting starts. The
+/// allocation-free hot-path invariant says the measured delta is zero
+/// (CI enforces it for the gatekeeper CSV rows). Returns -1 when the
+/// build does not count allocations (COMLAT_COUNT_ALLOCS=OFF).
+static double steadyAllocsPerOp(SetScheme Scheme) {
+  if (!allocCountingEnabled())
+    return -1.0;
+  constexpr unsigned KeySpace = 512;
+  constexpr unsigned WarmOps = 4096;
+  constexpr unsigned MeasuredOps = 4096;
+  const std::unique_ptr<TxSet> Set = makeMicrobenchSet(Scheme);
+  Rng R(7);
+  Transaction Tx(1);
+  TxId Next = 1;
+  const auto RunOp = [&] {
+    Tx.reset(Next++);
+    const int64_t Key = static_cast<int64_t>(R.nextBelow(KeySpace));
+    bool Res = false;
+    const bool Ok = R.nextBool(0.5) ? Set->add(Tx, Key, Res)
+                                    : Set->contains(Tx, Key, Res);
+    // Single-threaded: conflicts are impossible, but keep the abort path
+    // well-formed anyway.
+    if (Ok)
+      Tx.commit();
+    else
+      Tx.abort();
+  };
+  for (unsigned I = 0; I != WarmOps; ++I)
+    RunOp();
+  const uint64_t Before = totalAllocs();
+  for (unsigned I = 0; I != MeasuredOps; ++I)
+    RunOp();
+  return static_cast<double>(totalAllocs() - Before) / MeasuredOps;
+}
 
 int main(int Argc, char **Argv) {
   const Options Opts(Argc, Argv);
@@ -49,21 +89,27 @@ int main(int Argc, char **Argv) {
 
   if (Csv) {
     // The seed rides along in every row so an archived CSV is
-    // self-describing enough to reproduce.
-    std::printf("scheme,input,seed,%s\n", ExecStats::csvHeader().c_str());
+    // self-describing enough to reproduce. steady_allocs_per_op is a
+    // bench-level column (ExecStats rows are golden-tested byte-exact):
+    // heap allocations per committed op once the single-threaded probe is
+    // warm, or -1 when the build does not count allocations.
+    std::printf("scheme,input,seed,%s,steady_allocs_per_op\n",
+                ExecStats::csvHeader().c_str());
     const SetScheme Schemes[] = {SetScheme::GlobalLock, SetScheme::Exclusive,
                                  SetScheme::ReadWrite, SetScheme::Gatekeeper};
-    for (const SetScheme Scheme : Schemes)
+    for (const SetScheme Scheme : Schemes) {
+      const double SteadyAllocs = steadyAllocsPerOp(Scheme);
       for (const unsigned Input : {0u, 1u}) {
         MicroParams Local = P;
         Local.KeyClasses = Input == 0 ? 0 : 10;
         const std::unique_ptr<TxSet> Set = makeMicrobenchSet(Scheme);
         const ExecStats Stats = runSetMicrobench(*Set, Local);
-        std::printf("%s,%s,%llu,%s\n", setSchemeName(Scheme),
+        std::printf("%s,%s,%llu,%s,%.4f\n", setSchemeName(Scheme),
                     Input == 0 ? "distinct" : "10-class",
                     static_cast<unsigned long long>(P.Seed),
-                    Stats.toCsvRow().c_str());
+                    Stats.toCsvRow().c_str(), SteadyAllocs);
       }
+    }
     return 0;
   }
 

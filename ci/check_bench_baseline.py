@@ -43,6 +43,10 @@ def check_metrics(baseline_paths: list, metrics_path: Path) -> None:
     baseline = {}
     for path in baseline_paths:
         baseline.update(json.loads(path.read_text()))
+    # Keys starting with "_" are baseline-file annotations (provenance,
+    # measured throughput), not metric names; they are never expected in a
+    # fresh metrics dump.
+    baseline = {k: v for k, v in baseline.items() if not k.startswith("_")}
     fresh = json.loads(metrics_path.read_text())
 
     missing = sorted(set(baseline) - set(fresh))
@@ -113,7 +117,9 @@ def dump_flat(metrics: dict) -> str:
 def update_baseline(baseline_path: Path, metrics_path: Path) -> None:
     fresh = json.loads(metrics_path.read_text())
     if baseline_path.exists():
-        keys = set(json.loads(baseline_path.read_text()))
+        doc = json.loads(baseline_path.read_text())
+        keep = {k: v for k, v in doc.items() if k.startswith("_")}
+        keys = set(doc) - set(keep)
         gone = sorted(keys - set(fresh))
         if gone:
             fail(f"--update: baseline keys missing from {metrics_path}: "
@@ -121,9 +127,12 @@ def update_baseline(baseline_path: Path, metrics_path: Path) -> None:
                  f"scratch)")
         scope = "refreshed"
     else:
+        keep = {}
         keys = set(fresh)
         scope = "captured"
-    baseline_path.write_text(dump_flat({k: fresh[k] for k in keys}))
+    merged = {k: fresh[k] for k in keys}
+    merged.update(keep)
+    baseline_path.write_text(dump_flat(merged))
     print(f"{scope}: {baseline_path} ({len(keys)} metrics from "
           f"{metrics_path})")
 
@@ -137,6 +146,28 @@ def check_csv(csv_path: Path) -> None:
     if len(widths) != 1:
         fail(f"{csv_path}: ragged rows (widths {sorted(widths)})")
     print(f"ok: {csv_path} ({len(rows) - 1} data rows)")
+
+
+def check_alloc_free(csv_path: Path) -> None:
+    """The PR 5 invariant: a steady-state committed operation on the gated
+    set allocates nothing. table2's CSV carries the single-threaded warm
+    probe's measurement in steady_allocs_per_op (-1 when the build does not
+    count allocations, e.g. a local run without COMLAT_COUNT_ALLOCS)."""
+    with csv_path.open() as fp:
+        rows = list(csv.DictReader(fp))
+    if not rows or "steady_allocs_per_op" not in rows[0]:
+        fail(f"{csv_path}: no steady_allocs_per_op column")
+    checked = 0
+    for row in rows:
+        allocs = float(row["steady_allocs_per_op"])
+        if allocs < 0:
+            continue  # Build doesn't count allocations.
+        if row["scheme"] == "gatekeeper" and allocs != 0:
+            fail(f"{csv_path}: gatekeeper steady state allocates "
+                 f"{allocs} per op (want 0)")
+        checked += 1
+    state = f"{checked} rows" if checked else "skipped (counting disabled)"
+    print(f"ok: {csv_path} alloc-free invariant ({state})")
 
 
 def main() -> None:
@@ -159,6 +190,7 @@ def main() -> None:
     check_metrics(baselines, artifacts / "table2_metrics.json")
     check_trace(artifacts / "table2_trace.json")
     check_csv(artifacts / "table2.csv")
+    check_alloc_free(artifacts / "table2.csv")
     check_csv(artifacts / "table1.csv")
     print("bench smoke: all checks passed")
 

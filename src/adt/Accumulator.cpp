@@ -86,8 +86,8 @@ private:
 
 class AccumulatorGateTarget : public GateTarget {
 public:
-  Value gateExecute(MethodId Method, const std::vector<Value> &Args,
-                    std::vector<GateAction> &Actions) override {
+  Value gateExecute(MethodId Method, ValueSpan Args,
+                    GateActionList &Actions) override {
     const AccumulatorSig &S = accumulatorSig();
     if (Method == S.Increment) {
       const int64_t Amount = Args[0].asInt();
@@ -100,7 +100,7 @@ public:
     return Value::integer(Sum);
   }
 
-  Value gateEvalStateFn(StateFnId F, const std::vector<Value> &Args) override {
+  Value gateEvalStateFn(StateFnId F, ValueSpan Args) override {
     COMLAT_UNREACHABLE("accumulator has no state functions");
   }
 

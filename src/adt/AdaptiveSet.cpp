@@ -12,8 +12,8 @@ class SharedSetGateTarget : public GateTarget {
 public:
   explicit SharedSetGateTarget(IntHashSet &Set) : Set(Set) {}
 
-  Value gateExecute(MethodId Method, const std::vector<Value> &Args,
-                    std::vector<GateAction> &Actions) override {
+  Value gateExecute(MethodId Method, ValueSpan Args,
+                    GateActionList &Actions) override {
     const SetSig &S = setSig();
     const int64_t Key = Args[0].asInt();
     if (Method == S.Add) {
@@ -34,7 +34,7 @@ public:
     return Value::boolean(Set.contains(Key));
   }
 
-  Value gateEvalStateFn(StateFnId, const std::vector<Value> &) override {
+  Value gateEvalStateFn(StateFnId, ValueSpan) override {
     COMLAT_UNREACHABLE("precise set spec uses no state functions");
   }
 

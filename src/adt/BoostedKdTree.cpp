@@ -66,8 +66,8 @@ class KdGateTarget : public GateTarget {
 public:
   explicit KdGateTarget(const PointStore *Store) : Store(Store), Tree(Store) {}
 
-  Value gateExecute(MethodId Method, const std::vector<Value> &Args,
-                    std::vector<GateAction> &Actions) override {
+  Value gateExecute(MethodId Method, ValueSpan Args,
+                    GateActionList &Actions) override {
     const KdSig &S = kdSig();
     const int64_t Id = Args[0].asInt();
     if (Method == S.Add) {
@@ -110,7 +110,7 @@ public:
     return Value::integer(Res);
   }
 
-  Value gateEvalStateFn(StateFnId F, const std::vector<Value> &Args) override {
+  Value gateEvalStateFn(StateFnId F, ValueSpan Args) override {
     assert(F == kdSig().Dist && "unknown kd-tree state function");
     return Value::real(Store->dist(Args[0].asInt(), Args[1].asInt()));
   }

@@ -77,7 +77,8 @@ public:
 
 private:
   bool invoke(Transaction &Tx, MethodId Method, int64_t Key, bool &Res) {
-    const std::vector<Value> Args = {Value::integer(Key)};
+    const Value KeyVal = Value::integer(Key);
+    const ValueSpan Args(&KeyVal, 1);
     if (!Manager.acquirePre(Tx, Method, Args))
       return false;
     {
@@ -122,8 +123,8 @@ private:
 /// key's cells live in exactly the shard its admission stripe serializes.
 class SetGateTarget : public GateTarget {
 public:
-  Value gateExecute(MethodId Method, const std::vector<Value> &Args,
-                    std::vector<GateAction> &Actions) override {
+  Value gateExecute(MethodId Method, ValueSpan Args,
+                    GateActionList &Actions) override {
     const SetSig &S = setSig();
     const int64_t Key = Args[0].asInt();
     IntHashSet &Set = shardFor(Args[0]);
@@ -145,7 +146,7 @@ public:
     return Value::boolean(Set.contains(Key));
   }
 
-  Value gateEvalStateFn(StateFnId F, const std::vector<Value> &Args) override {
+  Value gateEvalStateFn(StateFnId F, ValueSpan Args) override {
     // part() is pure (arguments only), so it is safe on the striped path.
     assert(F == setSig().Part && "unknown set state function");
     return Value::integer(partitionOf(Args[0].asInt(), 16));
@@ -198,7 +199,8 @@ public:
 
 private:
   bool invoke(Transaction &Tx, MethodId Method, int64_t Key, bool &Res) {
-    const std::vector<Value> Args = {Value::integer(Key)};
+    const Value KeyVal = Value::integer(Key);
+    const ValueSpan Args(&KeyVal, 1);
     Value Ret;
     if (!Keeper.invoke(Tx, Method, Args, Ret))
       return false;

@@ -63,8 +63,8 @@ class UfGateTarget : public GateTarget {
 public:
   explicit UfGateTarget(size_t NumElements) : UF(NumElements) {}
 
-  Value gateExecute(MethodId Method, const std::vector<Value> &Args,
-                    std::vector<GateAction> &Actions) override {
+  Value gateExecute(MethodId Method, ValueSpan Args,
+                    GateActionList &Actions) override {
     const UfSig &S = ufSig();
     if (Method == S.Find) {
       int64_t Rep = UfNone;
@@ -90,7 +90,7 @@ public:
     return Value::integer(Id);
   }
 
-  Value gateEvalStateFn(StateFnId F, const std::vector<Value> &Args) override {
+  Value gateEvalStateFn(StateFnId F, ValueSpan Args) override {
     const UfSig &S = ufSig();
     if (F == S.Rep)
       return Value::integer(UF.repOf(Args[0].asInt()));
@@ -110,9 +110,9 @@ private:
 
 /// Shared invocation-recording helper.
 static void recordUf(Transaction &Tx, uintptr_t Tag, MethodId M,
-                     std::vector<Value> Args, Value Ret) {
+                     ValueSpan Args, Value Ret) {
   if (Tx.recording())
-    Tx.recordInvocation(Tag, Invocation(M, std::move(Args), Ret));
+    Tx.recordInvocation(Tag, Invocation(M, Args, Ret));
 }
 
 /// Unprotected sequential baseline.
@@ -211,7 +211,7 @@ public:
   bool find(Transaction &Tx, int64_t X, int64_t &Rep) override {
     Tx.touch(this);
     std::lock_guard<std::mutex> Guard(Gate);
-    TxRec &Rec = Recs[Tx.id()];
+    TxRec &Rec = recFor(Tx.id());
     if (anyOtherCreates(Tx.id()))
       return conflict(Tx);
     // The find's answer changes across an active union exactly when its
@@ -234,7 +234,7 @@ public:
   bool unite(Transaction &Tx, int64_t A, int64_t B, bool &Changed) override {
     Tx.touch(this);
     std::lock_guard<std::mutex> Guard(Gate);
-    TxRec &Rec = Recs[Tx.id()];
+    TxRec &Rec = recFor(Tx.id());
     if (anyOtherCreates(Tx.id()))
       return conflict(Tx);
     // Chains may not pass through any representative another live
@@ -276,7 +276,7 @@ public:
   bool create(Transaction &Tx, int64_t &Id) override {
     Tx.touch(this);
     std::lock_guard<std::mutex> Guard(Gate);
-    TxRec &Rec = Recs[Tx.id()];
+    TxRec &Rec = recFor(Tx.id());
     // create commutes with nothing: any other live activity conflicts.
     for (const auto &[OtherId, Other] : Recs)
       if (OtherId != Tx.id() && Other.active())
@@ -291,18 +291,20 @@ public:
 
   void undoFor(Transaction &Tx) override {
     std::lock_guard<std::mutex> Guard(Gate);
-    const auto It = Recs.find(Tx.id());
-    if (It == Recs.end())
-      return;
-    for (auto A = It->second.Actions.rbegin(); A != It->second.Actions.rend();
-         ++A)
-      A->Undo();
-    Recs.erase(It);
+    for (auto &[Id, Rec] : Recs) {
+      if (Id != Tx.id())
+        continue;
+      GateActionList &Acts = Rec.Actions;
+      for (size_t I = Acts.size(); I != 0; --I)
+        Acts[I - 1].Undo();
+      break;
+    }
+    retireRec(Tx.id());
   }
 
   void release(Transaction &Tx, bool Committed) override {
     std::lock_guard<std::mutex> Guard(Gate);
-    Recs.erase(Tx.id());
+    retireRec(Tx.id());
   }
 
   const char *name() const override { return "uf-gk-spec"; }
@@ -314,7 +316,7 @@ public:
 
 private:
   struct TxRec {
-    std::vector<GateAction> Actions;
+    GateActionList Actions;
     std::vector<int64_t> Losers;
     std::vector<int64_t> Touched;
     std::vector<int64_t> FindReps;
@@ -347,9 +349,45 @@ private:
     return false;
   }
 
+  /// Finds or creates the record of \p Id. Records live in a flat vector
+  /// (live transactions are few) and retire into a free pool with their
+  /// vector/action capacities intact, so the steady state of a pooled
+  /// transaction stream allocates nothing here.
+  TxRec &recFor(TxId Id) {
+    for (auto &[RecId, Rec] : Recs)
+      if (RecId == Id)
+        return Rec;
+    if (!Pool.empty()) {
+      Recs.emplace_back(Id, std::move(Pool.back()));
+      Pool.pop_back();
+    } else {
+      Recs.emplace_back(Id, TxRec{});
+    }
+    return Recs.back().second;
+  }
+
+  /// Retires \p Id's record (if any) into the pool, keeping capacity.
+  void retireRec(TxId Id) {
+    for (size_t I = 0; I != Recs.size(); ++I) {
+      if (Recs[I].first != Id)
+        continue;
+      TxRec &Rec = Recs[I].second;
+      Rec.Actions.clear();
+      Rec.Losers.clear();
+      Rec.Touched.clear();
+      Rec.FindReps.clear();
+      Rec.Creates = 0;
+      Pool.push_back(std::move(Rec));
+      Recs[I] = std::move(Recs.back());
+      Recs.pop_back();
+      return;
+    }
+  }
+
   std::mutex Gate;
   UnionFind UF;
-  std::map<TxId, TxRec> Recs;
+  std::vector<std::pair<TxId, TxRec>> Recs;
+  std::vector<TxRec> Pool;
   std::vector<int64_t> Chain;
   uint64_t Conflicts = 0;
 };
@@ -364,7 +402,7 @@ public:
   bool find(Transaction &Tx, int64_t X, int64_t &Rep) override {
     StmProbe Probe(Stm, Tx);
     std::lock_guard<std::mutex> Guard(M);
-    std::vector<GateAction> Acts;
+    GateActionList Acts;
     const UnionFind::Status St = UF.find(X, &Probe, &Acts, Rep);
     registerUndos(Tx, Acts);
     if (St == UnionFind::Status::Conflict)
@@ -376,7 +414,7 @@ public:
   bool unite(Transaction &Tx, int64_t A, int64_t B, bool &Changed) override {
     StmProbe Probe(Stm, Tx);
     std::lock_guard<std::mutex> Guard(M);
-    std::vector<GateAction> Acts;
+    GateActionList Acts;
     const UnionFind::Status St = UF.unite(A, B, &Probe, &Acts, Changed);
     registerUndos(Tx, Acts);
     if (St == UnionFind::Status::Conflict)
@@ -407,10 +445,11 @@ public:
   const char *schemeName() const override { return "uf-ml"; }
 
 private:
-  void registerUndos(Transaction &Tx, const std::vector<GateAction> &Acts) {
-    for (const GateAction &A : Acts) {
-      auto Undo = A.Undo;
-      Tx.addUndo([this, Undo] {
+  void registerUndos(Transaction &Tx, GateActionList &Acts) {
+    // Move the (move-only) undo halves out of the action list; the redo
+    // halves die with it (the STM scheme never replays).
+    for (GateAction &A : Acts) {
+      Tx.addUndo([this, Undo = std::move(A.Undo)] {
         std::lock_guard<std::mutex> G(M);
         Undo();
       });

@@ -31,7 +31,7 @@ void UnionFind::destroyLastElement() {
 }
 
 void UnionFind::setParent(int64_t X, int64_t NewParent,
-                          std::vector<GateAction> *Actions) {
+                          GateActionList *Actions) {
   const int64_t Old = Parent[X];
   Parent[X] = NewParent;
   if (Actions)
@@ -41,11 +41,11 @@ void UnionFind::setParent(int64_t X, int64_t NewParent,
 }
 
 UnionFind::Status UnionFind::find(int64_t X, MemProbe *Probe,
-                                  std::vector<GateAction> *Actions,
-                                  int64_t &Rep) {
+                                  GateActionList *Actions, int64_t &Rep) {
   assert(X >= 0 && static_cast<size_t>(X) < Parent.size() && "bad element");
-  // Walk to the root, reading each traversed element.
-  std::vector<int64_t> Chain;
+  // Walk to the root, reading each traversed element. Compressed forests
+  // have short chains, so the inline slots cover practically every find.
+  InlineVec<int64_t, 16> Chain;
   int64_t Cur = X;
   for (;;) {
     if (Probe && !Probe->onRead(Cur))
@@ -70,8 +70,7 @@ UnionFind::Status UnionFind::find(int64_t X, MemProbe *Probe,
 }
 
 UnionFind::Status UnionFind::unite(int64_t A, int64_t B, MemProbe *Probe,
-                                   std::vector<GateAction> *Actions,
-                                   bool &Changed) {
+                                   GateActionList *Actions, bool &Changed) {
   int64_t Ra = UfNone, Rb = UfNone;
   if (find(A, Probe, Actions, Ra) == Status::Conflict)
     return Status::Conflict;

@@ -52,13 +52,13 @@ public:
   /// find with path compression. Concrete writes go through \p Probe (veto
   /// aborts mid-way; already-performed writes are in \p Actions) and are
   /// recorded in \p Actions when non-null.
-  Status find(int64_t X, MemProbe *Probe, std::vector<GateAction> *Actions,
+  Status find(int64_t X, MemProbe *Probe, GateActionList *Actions,
               int64_t &Rep);
 
   /// union by rank. \p Changed is false when both ends were already in the
   /// same set. Internally performs two finds (compression included).
-  Status unite(int64_t A, int64_t B, MemProbe *Probe,
-               std::vector<GateAction> *Actions, bool &Changed);
+  Status unite(int64_t A, int64_t B, MemProbe *Probe, GateActionList *Actions,
+               bool &Changed);
 
   /// Abstract-state queries (no compression, no probes); these implement
   /// the state functions rep/rank/loser/winner of the Fig. 5 conditions.
@@ -87,8 +87,7 @@ public:
   bool checkInvariants() const;
 
 private:
-  void setParent(int64_t X, int64_t NewParent,
-                 std::vector<GateAction> *Actions);
+  void setParent(int64_t X, int64_t NewParent, GateActionList *Actions);
 
   std::vector<int64_t> Parent;
   std::vector<int32_t> Rank;

@@ -69,7 +69,8 @@ ExecStats comlat::runSetMicrobench(TxSet &Set, const MicroParams &Params) {
   Worklist WL;
   for (uint64_t I = 0; I != numTxsFor(Params); ++I)
     WL.push(static_cast<int64_t>(I));
-  Executor Exec({.NumThreads = Params.Threads, .Worklist = Params.Policy});
+  Executor Exec({.NumThreads = Params.Threads, .Worklist = Params.Policy,
+                 .Seed = Params.Seed});
   return Exec.run(WL, makeMicroOperator(Set, Params));
 }
 

@@ -49,8 +49,10 @@ Value CondProgram::eval(const Inputs &In) const {
       }
       const ApplySlot &S = Applies[I.A];
       assert(In.Resolver && "apply slot but no resolver supplied");
-      const std::vector<Value> Args(Stack + SP, Stack + SP + I.B);
-      const Value V = In.Resolver->resolveApply(*S.T, Args);
+      // The span borrows the evaluation stack in place: the resolver runs
+      // before anything else is pushed, so no copy is ever needed.
+      const Value V =
+          In.Resolver->resolveApply(*S.T, ValueSpan(Stack + SP, I.B));
       Memo[I.A] = V;
       MemoValid |= 1u << I.A;
       Stack[SP++] = V;

@@ -57,8 +57,7 @@ Value comlat::evalTerm(const TermPtr &T, EvalContext &Ctx) {
   case Term::Kind::Const:
     return T->Literal;
   case Term::Kind::Apply: {
-    std::vector<Value> Args;
-    Args.reserve(T->Args.size());
+    InlineVec<Value, 4> Args;
     for (const TermPtr &A : T->Args)
       Args.push_back(evalTerm(A, Ctx));
     assert(Ctx.Resolver && "Apply node but no resolver supplied");

@@ -35,21 +35,19 @@ public:
   virtual ~ApplyResolver();
 
   /// Returns the value of the application node \p Apply (an Apply term)
-  /// given its already-evaluated arguments.
-  virtual Value resolveApply(const Term &Apply,
-                             const std::vector<Value> &EvaledArgs) = 0;
+  /// given its already-evaluated arguments. The span borrows the caller's
+  /// evaluation stack; resolvers must not retain it.
+  virtual Value resolveApply(const Term &Apply, ValueSpan EvaledArgs) = 0;
 };
 
 /// An ApplyResolver backed by a plain function; convenient in tests.
 class FnResolver : public ApplyResolver {
 public:
-  using FnType =
-      std::function<Value(const Term &, const std::vector<Value> &)>;
+  using FnType = std::function<Value(const Term &, ValueSpan)>;
 
   explicit FnResolver(FnType Fn) : Fn(std::move(Fn)) {}
 
-  Value resolveApply(const Term &Apply,
-                     const std::vector<Value> &EvaledArgs) override {
+  Value resolveApply(const Term &Apply, ValueSpan EvaledArgs) override {
     return Fn(Apply, EvaledArgs);
   }
 

@@ -180,8 +180,7 @@ public:
   MockResolver(const KindInference &Kinds, uint64_t Salt)
       : Kinds(Kinds), Salt(Salt) {}
 
-  Value resolveApply(const Term &Apply,
-                     const std::vector<Value> &Args) override {
+  Value resolveApply(const Term &Apply, ValueSpan Args) override {
     uint64_t H = Salt * 0x9E3779B97F4A7C15ull + Apply.Fn * 0x100000001B3ull +
                  static_cast<uint64_t>(Apply.State) * 0x9E3779B97F4A7C15ull;
     for (const Value &A : Args)

@@ -20,6 +20,7 @@
 
 #include "core/Value.h"
 #include "support/Compiler.h"
+#include "support/InlineVec.h"
 
 #include <cstdint>
 #include <string>
@@ -107,14 +108,25 @@ private:
 /// actual arguments and, once executed, its return value. Histories (§2.1)
 /// are sequences of these.
 struct Invocation {
+  /// Inline argument slots: no registered method takes more than three
+  /// arguments, so recording an invocation never allocates.
+  using ArgList = InlineVec<Value, 3>;
+
   MethodId Method = 0;
-  std::vector<Value> Args;
+  ArgList Args;
   Value Ret;
 
   Invocation() = default;
-  Invocation(MethodId M, std::vector<Value> A) : Method(M), Args(std::move(A)) {}
-  Invocation(MethodId M, std::vector<Value> A, Value R)
-      : Method(M), Args(std::move(A)), Ret(R) {}
+  Invocation(MethodId M, ValueSpan A) : Method(M) { assign(A); }
+  Invocation(MethodId M, ValueSpan A, Value R) : Method(M), Ret(R) {
+    assign(A);
+  }
+
+  void assign(ValueSpan A) {
+    Args.clear();
+    for (const Value &V : A)
+      Args.push_back(V);
+  }
 
   /// Renders e.g. "add(3)/true" for diagnostics.
   std::string str(const DataTypeSig &Sig) const;

@@ -20,9 +20,12 @@
 
 #include "support/Compiler.h"
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <initializer_list>
 #include <string>
+#include <type_traits>
 
 namespace comlat {
 
@@ -106,6 +109,52 @@ private:
     int64_t I;
     double D;
   };
+};
+
+/// A borrowed, read-only view of a contiguous Value sequence — the
+/// argument-passing currency of the hot path (invocations, gate targets,
+/// apply resolvers). Like llvm::ArrayRef it never owns storage: it is
+/// valid exactly as long as the sequence it was built from, which makes
+/// it safe as a parameter type (the callee finishes before the caller's
+/// storage dies) and nothing else. Constructible from a braced list
+/// (`{Value::integer(k)}`), from any contiguous container of Values
+/// (std::vector, InlineVec), or from a pointer/length pair, so existing
+/// call sites compile unchanged and never copy.
+class ValueSpan {
+public:
+  ValueSpan() = default;
+  ValueSpan(const Value *Data, size_t Size) : D(Data), N(Size) {}
+
+  /// Views a braced list. The list's backing array lives to the end of
+  /// the full-expression — long enough for a call argument, never for a
+  /// stored span.
+  ValueSpan(std::initializer_list<Value> IL) : D(IL.begin()), N(IL.size()) {}
+
+  /// Views any contiguous container of Values.
+  template <typename C,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<C>, ValueSpan> &&
+                std::is_convertible_v<
+                    decltype(std::declval<const C &>().data()),
+                    const Value *>>>
+  ValueSpan(const C &Container)
+      : D(Container.data()), N(Container.size()) {}
+
+  const Value *data() const { return D; }
+  size_t size() const { return N; }
+  bool empty() const { return N == 0; }
+
+  const Value &operator[](size_t I) const {
+    assert(I < N && "span index out of range");
+    return D[I];
+  }
+
+  const Value *begin() const { return D; }
+  const Value *end() const { return D + N; }
+
+private:
+  const Value *D = nullptr;
+  size_t N = 0;
 };
 
 } // namespace comlat

@@ -4,6 +4,7 @@
 
 #include "obs/MetricsRegistry.h"
 #include "obs/TraceExport.h"
+#include "support/AllocCount.h"
 #include "support/Options.h"
 
 #include <cstdio>
@@ -47,6 +48,13 @@ void ScopedObs::flush() {
                    static_cast<unsigned long long>(Res.Aborts), Attributed);
     }
   }
+  // Snapshot the process-wide heap-allocation count into the registry so
+  // exported metrics carry the allocation-free-hot-path evidence alongside
+  // the throughput numbers. Stays 0 when COMLAT_COUNT_ALLOCS is off.
+  if (allocCountingEnabled())
+    MetricsRegistry::global()
+        .gauge("comlat_allocs_total")
+        ->set(static_cast<int64_t>(totalAllocs()));
   if (!MetricsJsonPath.empty() &&
       !TraceExport::writeTextFile(MetricsJsonPath,
                                   MetricsRegistry::global().toJson()))

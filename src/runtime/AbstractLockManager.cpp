@@ -46,8 +46,7 @@ public:
   explicit KeyFnResolver(const AbstractLockManager::KeyEvalFn &KeyEval)
       : KeyEval(KeyEval) {}
 
-  Value resolveApply(const Term &Apply,
-                     const std::vector<Value> &EvaledArgs) override {
+  Value resolveApply(const Term &Apply, ValueSpan EvaledArgs) override {
     assert(Apply.State == StateRef::None &&
            "lock key expressions never read abstract state");
     assert(EvaledArgs.size() == 1 && "key functions are unary");
@@ -63,8 +62,7 @@ private:
 
 bool AbstractLockManager::acquireList(Transaction &Tx,
                                       const std::vector<LockAcquisition> &List,
-                                      const std::vector<Value> &Args,
-                                      const Value *Ret) {
+                                      ValueSpan Args, const Value *Ret) {
   for (const LockAcquisition &Acq : List) {
     AbstractLock *Lock;
     if (Acq.OnStructure) {
@@ -99,37 +97,29 @@ bool AbstractLockManager::acquireList(Transaction &Tx,
     COMLAT_TRACE(WasHeld ? obs::EventKind::LockUpgrade
                          : obs::EventKind::LockAcquire,
                  Tx.id(), 0, Acq.Mode, ObsLabel);
-    {
-      std::lock_guard<std::mutex> Guard(HeldMutex);
-      Held[Tx.id()].push_back(Lock);
-    }
+    // Record only first acquisitions: releaseAll drops every mode at once,
+    // so one record per (transaction, lock) suffices and the holder list
+    // stays within the transaction's inline buffer.
+    if (!WasHeld)
+      Tx.noteHeldLock(this, Lock);
   }
   return true;
 }
 
 bool AbstractLockManager::acquirePre(Transaction &Tx, MethodId M,
-                                     const std::vector<Value> &Args) {
+                                     ValueSpan Args) {
   Tx.touch(this);
   return acquireList(Tx, Scheme->preAcquires(M), Args, nullptr);
 }
 
 bool AbstractLockManager::acquirePost(Transaction &Tx, MethodId M,
-                                      const std::vector<Value> &Args,
-                                      const Value &Ret) {
+                                      ValueSpan Args, const Value &Ret) {
   Tx.touch(this);
   return acquireList(Tx, Scheme->postAcquires(M), Args, &Ret);
 }
 
 void AbstractLockManager::release(Transaction &Tx, bool Committed) {
-  std::vector<AbstractLock *> Locks;
-  {
-    std::lock_guard<std::mutex> Guard(HeldMutex);
-    const auto It = Held.find(Tx.id());
-    if (It == Held.end())
-      return;
-    Locks = std::move(It->second);
-    Held.erase(It);
-  }
-  for (AbstractLock *Lock : Locks)
+  Tx.consumeHeldLocks(this, [&](AbstractLock *Lock) {
     Lock->releaseAll(Tx.id());
+  });
 }

@@ -21,8 +21,6 @@
 
 #include <atomic>
 #include <functional>
-#include <map>
-#include <mutex>
 
 namespace comlat {
 
@@ -48,10 +46,10 @@ public:
                       KeyEvalFn KeyEval = nullptr);
 
   /// Acquires the structure and argument locks for invoking \p M.
-  bool acquirePre(Transaction &Tx, MethodId M, const std::vector<Value> &Args);
+  bool acquirePre(Transaction &Tx, MethodId M, ValueSpan Args);
 
   /// Acquires the return-value locks after \p M returned \p Ret.
-  bool acquirePost(Transaction &Tx, MethodId M, const std::vector<Value> &Args,
+  bool acquirePost(Transaction &Tx, MethodId M, ValueSpan Args,
                    const Value &Ret);
 
   void release(Transaction &Tx, bool Committed) override;
@@ -62,7 +60,7 @@ public:
 
 private:
   bool acquireList(Transaction &Tx, const std::vector<LockAcquisition> &List,
-                   const std::vector<Value> &Args, const Value *Ret);
+                   ValueSpan Args, const Value *Ret);
 
   const LockScheme *Scheme;
   std::string Label;
@@ -76,8 +74,6 @@ private:
   /// registered at construction (null for compatible pairs). Indexed
   /// [held][requested]; hot path only dereferences.
   std::vector<std::vector<obs::Counter *>> PairConflicts;
-  std::mutex HeldMutex;
-  std::map<TxId, std::vector<AbstractLock *>> Held;
   std::atomic<uint64_t> Acquires{0};
   std::atomic<uint64_t> Conflicts{0};
 };

@@ -148,9 +148,17 @@ ExecStats Executor::run(Worklist &WL, const OperatorFn &Op) {
   const ExecStats Before = Metrics.snapshot();
 
   auto WorkLoop = [&](unsigned Worker) {
-    Rng BackoffRng(0x9e37 + Worker);
+    // Seeded once per worker, decorrelated across workers by a
+    // golden-ratio stride (Rng re-mixes the seed through SplitMix64, so
+    // even adjacent strides yield independent streams). Deterministic for
+    // a fixed Config.Seed and worker index.
+    Rng BackoffRng(Config.Seed ^ (0x9E3779B97F4A7C15ull * (Worker + 1)));
     unsigned ConsecutiveAborts = 0;
     SchedulerSink Sink(*Sched, Worker, Barrier);
+    // One pooled transaction per worker: reset() between items keeps the
+    // inline buffers, grown spill capacity and overflow arena, so a warm
+    // iteration allocates nothing on the transaction side.
+    Transaction Tx(0);
     for (;;) {
       // Claim in-flight status before popping so no other thread can see
       // "queue empty and nobody running" while we hold an item.
@@ -164,7 +172,7 @@ ExecStats Executor::run(Worklist &WL, const OperatorFn &Op) {
         continue;
       }
       Timer TxTimer;
-      Transaction Tx(NextTxId.fetch_add(1, std::memory_order_relaxed));
+      Tx.reset(NextTxId.fetch_add(1, std::memory_order_relaxed));
       COMLAT_TRACE(obs::EventKind::ItemPop, Tx.id(), *Item, 0, 0);
       Tx.setRecording(Config.RecordHistories);
       TxWorklist TxWL(Sink, Tx);

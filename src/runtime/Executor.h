@@ -69,6 +69,9 @@ struct ExecutorConfig {
   WorklistPolicy Worklist = WorklistPolicy::ChunkedStealing;
   /// Items per stealing chunk (ChunkedStealing only).
   unsigned ChunkSize = ChunkedWorklist::DefaultChunkSize;
+  /// Seeds the per-worker backoff RNG streams; the same seed reproduces
+  /// the same backoff decisions (given the same schedule).
+  uint64_t Seed = 0;
 };
 
 class Rng;

@@ -19,20 +19,27 @@
 #define COMLAT_RUNTIME_GATETARGET_H
 
 #include "core/MethodSig.h"
-
-#include <functional>
-#include <vector>
+#include "support/InlineVec.h"
+#include "support/SmallFunc.h"
 
 namespace comlat {
 
 /// Inverse/replay pair for one mutating effect. Undo must restore the
 /// *abstract* state exactly; Redo must re-establish it (the concrete
 /// representation may differ, which is the whole point of semantic
-/// conflict detection).
+/// conflict detection). Move-only: the actions live in exactly one
+/// mutation log, and their lambdas (a this-pointer plus a scalar or two)
+/// stay inside SmallFunc's inline storage, so recording an effect never
+/// allocates.
 struct GateAction {
-  std::function<void()> Undo;
-  std::function<void()> Redo;
+  SmallFunc<void()> Undo;
+  SmallFunc<void()> Redo;
 };
+
+/// Action list handed to gateExecute. A mutating method records one or
+/// two actions, so the inline capacity makes the common case
+/// allocation-free.
+using GateActionList = InlineVec<GateAction, 4>;
 
 /// Number of admission stripes a striped gatekeeper uses; a power of two
 /// no larger than 64 (stripe sets are tracked as one 64-bit mask per
@@ -59,13 +66,12 @@ public:
   /// to undo/redo their abstract-state effects; read-only methods append
   /// nothing (even if they mutate the concrete representation, e.g. path
   /// compression).
-  virtual Value gateExecute(MethodId M, const std::vector<Value> &Args,
-                            std::vector<GateAction> &Actions) = 0;
+  virtual Value gateExecute(MethodId M, ValueSpan Args,
+                            GateActionList &Actions) = 0;
 
   /// Evaluates the state function \p F against the *current* state (pure
   /// functions ignore the state).
-  virtual Value gateEvalStateFn(StateFnId F,
-                                const std::vector<Value> &Args) = 0;
+  virtual Value gateEvalStateFn(StateFnId F, ValueSpan Args) = 0;
 
   /// Canonical abstract-state fingerprint; used by the specification
   /// validator to compare final states across execution orders. The

@@ -59,8 +59,7 @@ public:
                    const Gatekeeper::ActiveInv *A)
       : GK(GK), S(S), A(A) {}
 
-  Value resolveApply(const Term &Apply,
-                     const std::vector<Value> &Args) override {
+  Value resolveApply(const Term &Apply, ValueSpan Args) override {
     if (Apply.State == StateRef::S1) {
       assert(A && "s1-application with no first invocation");
       assert(GK.K == Gatekeeper::Kind::General &&
@@ -83,8 +82,7 @@ class GateLogResolver : public ApplyResolver {
 public:
   explicit GateLogResolver(Gatekeeper &GK) : GK(GK) {}
 
-  Value resolveApply(const Term &Apply,
-                     const std::vector<Value> &Args) override {
+  Value resolveApply(const Term &Apply, ValueSpan Args) override {
     assert(Apply.State != StateRef::S2 &&
            "loggable term may not reference s2");
     return GK.Target->gateEvalStateFn(Apply.Fn, Args);
@@ -234,7 +232,7 @@ Gatekeeper::Gatekeeper(Kind K, const CommSpec *Spec, GateTarget *Target,
 }
 
 Value Gatekeeper::rollbackEval(Stripe &S, uint64_t StartSeq, StateFnId Fn,
-                               const std::vector<Value> &Args) {
+                               ValueSpan Args) {
   RollbackEvals.fetch_add(1, std::memory_order_relaxed);
   // Undo the suffix of the mutation log back to the historical state, ask
   // the structure, then replay forward. The log may contain entries from
@@ -251,8 +249,7 @@ Value Gatekeeper::rollbackEval(Stripe &S, uint64_t StartSeq, StateFnId Fn,
   return Result;
 }
 
-unsigned Gatekeeper::stripeIndexFor(MethodId M,
-                                    const std::vector<Value> &Args) const {
+unsigned Gatekeeper::stripeIndexFor(MethodId M, ValueSpan Args) const {
   if (!Striped)
     return 0;
   const int KeyArg = KeyArgOf[M];
@@ -262,26 +259,8 @@ unsigned Gatekeeper::stripeIndexFor(MethodId M,
   return gateStripeOf(Args[KeyArg]);
 }
 
-void Gatekeeper::noteTxStripe(TxId Tx, unsigned Idx) {
-  TxMaskShard &Shard = TxMasks[Tx % NumTxMaskShards];
-  std::lock_guard<std::mutex> Guard(Shard.Mu);
-  Shard.Masks[Tx] |= uint64_t(1) << Idx;
-}
-
-uint64_t Gatekeeper::txStripeMask(TxId Tx, bool Take) {
-  TxMaskShard &Shard = TxMasks[Tx % NumTxMaskShards];
-  std::lock_guard<std::mutex> Guard(Shard.Mu);
-  const auto It = Shard.Masks.find(Tx);
-  if (It == Shard.Masks.end())
-    return 0;
-  const uint64_t Mask = It->second;
-  if (Take)
-    Shard.Masks.erase(It);
-  return Mask;
-}
-
-bool Gatekeeper::invoke(Transaction &Tx, MethodId M,
-                        const std::vector<Value> &Args, Value &Ret) {
+bool Gatekeeper::invoke(Transaction &Tx, MethodId M, ValueSpan Args,
+                        Value &Ret) {
   assert(M < Spec->sig().numMethods() && "bad method id");
   assert(Args.size() == Spec->sig().method(M).NumArgs &&
          "wrong argument count");
@@ -300,8 +279,14 @@ bool Gatekeeper::invoke(Transaction &Tx, MethodId M,
   // Phase 1: pre-execution. Capture s2-application values for every
   // pending check while the current state still is s2. Cross-stripe
   // actives are not consulted: in striped mode their keys provably differ,
-  // which satisfies the separable disjunct of every condition.
-  std::vector<std::pair<ActiveInv *, std::vector<Value>>> Pending;
+  // which satisfies the separable disjunct of every condition. The
+  // ActiveInv pointers stay valid because nothing is appended to Active
+  // until phase 5 has consumed the pending list.
+  struct PendingCheck {
+    ActiveInv *A;
+    InlineVec<Value, 4> S2Vals;
+  };
+  InlineVec<PendingCheck, 8> Pending;
   for (ActiveInv &ARef : S.Active) {
     ActiveInv *A = &ARef;
     if (A->Tx == Tx.id())
@@ -309,9 +294,8 @@ bool Gatekeeper::invoke(Transaction &Tx, MethodId M,
     const PairPlan &Plan = Plans[A->Inv.Method][M];
     if (Plan.TriviallyTrue)
       continue;
-    std::vector<Value> S2Vals;
+    InlineVec<Value, 4> S2Vals;
     if (!Plan.S2Progs.empty()) {
-      S2Vals.reserve(Plan.S2Progs.size());
       GateLiveResolver Resolver(*this, S, A);
       CondProgram::Inputs In;
       In.Inv1 = CondProgram::Frame(A->Inv);
@@ -322,12 +306,13 @@ bool Gatekeeper::invoke(Transaction &Tx, MethodId M,
       for (const CondProgram &P : Plan.S2Progs)
         S2Vals.push_back(P.eval(In));
     }
-    Pending.emplace_back(A, std::move(S2Vals));
+    Pending.emplace_back(PendingCheck{A, std::move(S2Vals)});
   }
 
   // Phase 2: log entries that do not need the return value; the current
   // state is this invocation's s1.
-  std::vector<Value> NewLog(LogPlans[M].size());
+  InlineVec<Value, 4> NewLog;
+  NewLog.resize(LogPlans[M].size());
   if (!NewLog.empty()) {
     GateLogResolver Resolver(*this);
     CondProgram::Inputs In;
@@ -340,7 +325,7 @@ bool Gatekeeper::invoke(Transaction &Tx, MethodId M,
 
   // Phase 3: execute.
   const uint64_t StartSeq = S.NextSeq;
-  std::vector<GateAction> Actions;
+  GateActionList Actions;
   NewInv.Ret = Target->gateExecute(M, Args, Actions);
   for (GateAction &Act : Actions) {
     S.MutLog.push_back(Stripe::MutEntry{S.NextSeq, Tx.id(), std::move(Act)});
@@ -421,7 +406,7 @@ bool Gatekeeper::invoke(Transaction &Tx, MethodId M,
   A.Inv = std::move(NewInv);
   A.Log = std::move(NewLog);
   if (Striped) {
-    noteTxStripe(Tx.id(), StripeIdx);
+    Tx.noteStripe(this, StripeIdx);
     StripedAdmits->add();
   } else {
     GlobalAdmits->add();
@@ -435,14 +420,14 @@ void Gatekeeper::cleanStripe(Stripe &S, TxId Tx, bool Undo) {
     // Undo this transaction's mutations newest-first. Out-of-order undo
     // relative to other live transactions is sound because all active
     // invocations pairwise commute (the gatekeeper's invariant).
-    for (auto It = S.MutLog.rbegin(); It != S.MutLog.rend(); ++It)
-      if (It->Tx == Tx)
-        It->Act.Undo();
-    std::deque<Stripe::MutEntry> Kept;
-    for (Stripe::MutEntry &E : S.MutLog)
-      if (E.Tx != Tx)
-        Kept.push_back(std::move(E));
-    S.MutLog = std::move(Kept);
+    for (size_t I = S.MutLog.size(); I != 0; --I)
+      if (S.MutLog[I - 1].Tx == Tx)
+        S.MutLog[I - 1].Act.Undo();
+    // Compact in place (stable; keeps the vector's capacity).
+    S.MutLog.erase(
+        std::remove_if(S.MutLog.begin(), S.MutLog.end(),
+                       [&](const Stripe::MutEntry &E) { return E.Tx == Tx; }),
+        S.MutLog.end());
   }
   S.Active.erase(std::remove_if(S.Active.begin(), S.Active.end(),
                                 [&](const ActiveInv &A) { return A.Tx == Tx; }),
@@ -456,8 +441,9 @@ void Gatekeeper::undoFor(Transaction &Tx) {
     return;
   }
   // Abort order is undoFor then release: peek the mask here, consume it
-  // there.
-  uint64_t Mask = txStripeMask(Tx.id(), /*Take=*/false);
+  // there. The mask lives on the transaction itself (owner-thread state;
+  // see Transaction::noteStripe), so neither call synchronizes.
+  uint64_t Mask = Tx.stripeMask(this);
   for (unsigned I = 0; Mask; ++I, Mask >>= 1)
     if (Mask & 1)
       cleanStripe(*Stripes[I], Tx.id(), /*Undo=*/true);
@@ -468,7 +454,7 @@ void Gatekeeper::release(Transaction &Tx, bool Committed) {
     cleanStripe(*Stripes[0], Tx.id(), /*Undo=*/false);
     return;
   }
-  uint64_t Mask = txStripeMask(Tx.id(), /*Take=*/true);
+  uint64_t Mask = Tx.takeStripeMask(this);
   for (unsigned I = 0; Mask; ++I, Mask >>= 1)
     if (Mask & 1)
       cleanStripe(*Stripes[I], Tx.id(), /*Undo=*/false);
@@ -478,8 +464,12 @@ void Gatekeeper::compactMutLog(Stripe &S) {
   uint64_t MinSeq = S.NextSeq;
   for (const ActiveInv &A : S.Active)
     MinSeq = std::min(MinSeq, A.StartSeq);
-  while (!S.MutLog.empty() && S.MutLog.front().Seq < MinSeq)
-    S.MutLog.pop_front();
+  size_t Drop = 0;
+  while (Drop != S.MutLog.size() && S.MutLog[Drop].Seq < MinSeq)
+    ++Drop;
+  if (Drop)
+    S.MutLog.erase(S.MutLog.begin(),
+                   S.MutLog.begin() + static_cast<ptrdiff_t>(Drop));
 }
 
 size_t Gatekeeper::numActive() const {

@@ -61,12 +61,10 @@
 #include "runtime/GateTarget.h"
 #include "runtime/Transaction.h"
 
-#include <array>
 #include <atomic>
-#include <deque>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
+#include <vector>
 
 namespace comlat {
 
@@ -88,8 +86,7 @@ public:
   /// Atomically checks, executes and logs one invocation. On conflict the
   /// invocation's effects are undone, \p Tx is marked failed, and false is
   /// returned; otherwise \p Ret receives the method's return value.
-  bool invoke(Transaction &Tx, MethodId M, const std::vector<Value> &Args,
-              Value &Ret);
+  bool invoke(Transaction &Tx, MethodId M, ValueSpan Args, Value &Ret);
 
   void undoFor(Transaction &Tx) override;
   void release(Transaction &Tx, bool Committed) override;
@@ -133,8 +130,9 @@ private:
     Invocation Inv;
     /// Pre-evaluated primitive-function results, indexed exactly like
     /// LogPlans[Inv.Method] (and bound to the same external slots in every
-    /// compiled condition with this method first).
-    std::vector<Value> Log;
+    /// compiled condition with this method first). Specs log at most a
+    /// couple of terms per method, so the inline slots always suffice.
+    InlineVec<Value, 4> Log;
   };
 
   /// Per ordered method pair: the condition, its compiled form, and the
@@ -162,18 +160,19 @@ private:
   };
 
   /// One admission stripe: mutex, active invocations, mutation log. The
-  /// single-stripe fallback uses exactly one of these.
+  /// single-stripe fallback uses exactly one of these. Both lists are
+  /// vectors that keep their grown capacity: pointers into Active are held
+  /// only within one invoke (no push until the pending checks are
+  /// consumed), and a warmed stripe appends without allocating.
   struct Stripe {
     std::mutex Mu;
-    /// deque: stable references on push_back (pending checks hold pointers
-    /// within one invoke), no per-entry allocation.
-    std::deque<ActiveInv> Active;
+    std::vector<ActiveInv> Active;
     struct MutEntry {
       uint64_t Seq;
       TxId Tx;
       GateAction Act;
     };
-    std::deque<MutEntry> MutLog;
+    std::vector<MutEntry> MutLog;
     uint64_t NextSeq = 0;
   };
 
@@ -181,23 +180,18 @@ private:
   /// \p Fn, rolls forward again. The stripe mutex must be held; only ever
   /// reached on the single-stripe path (striping excludes state applies).
   Value rollbackEval(Stripe &S, uint64_t StartSeq, StateFnId Fn,
-                     const std::vector<Value> &Args);
+                     ValueSpan Args);
 
   /// Drops mutation-log entries no longer needed by any active invocation
   /// of the stripe. Stripe mutex held.
   void compactMutLog(Stripe &S);
 
   /// The admission stripe index for an invocation of \p M with \p Args.
-  unsigned stripeIndexFor(MethodId M, const std::vector<Value> &Args) const;
+  unsigned stripeIndexFor(MethodId M, ValueSpan Args) const;
 
   /// Releases \p Tx's state in stripe \p S (active records; with \p Undo
   /// also its mutations, newest first). Takes the stripe mutex.
   void cleanStripe(Stripe &S, TxId Tx, bool Undo);
-
-  /// Records that \p Tx has state in stripe \p Idx / returns-and-keeps or
-  /// returns-and-clears the stripe set. Only used in striped mode.
-  void noteTxStripe(TxId Tx, unsigned Idx);
-  uint64_t txStripeMask(TxId Tx, bool Take);
 
   Kind K;
   const CommSpec *Spec;
@@ -215,15 +209,6 @@ private:
   bool Striped = false;
   std::vector<int> KeyArgOf;
   std::vector<std::unique_ptr<Stripe>> Stripes;
-
-  /// Which stripes each live transaction has state in (bit I = stripe I),
-  /// sharded by transaction id. Only maintained in striped mode.
-  struct TxMaskShard {
-    std::mutex Mu;
-    std::unordered_map<TxId, uint64_t> Masks;
-  };
-  static constexpr unsigned NumTxMaskShards = 16;
-  std::array<TxMaskShard, NumTxMaskShards> TxMasks;
 
   std::atomic<uint64_t> Checks{0};
   std::atomic<uint64_t> Conflicts{0};

@@ -67,27 +67,93 @@ unsigned AbstractLock::numHolders() const {
   return N;
 }
 
+/// Exact-kind key identity. Value::operator== compares Int and Real
+/// numerically, which would merge locks the previous ordered map (strict
+/// by kind, then payload) kept distinct; equivalence under operator< is
+/// the identity the rest of the system was built against.
+bool LockTable::sameKey(const Entry &E, uint64_t Hash, uint32_t Space,
+                        const Value &Key) {
+  return E.Hash == Hash && E.Space == Space && !(E.Key < Key) &&
+         !(Key < E.Key);
+}
+
 LockTable::LockTable(unsigned ShardCount) {
   assert(ShardCount > 0 && "need at least one shard");
   Shards.reserve(ShardCount);
-  for (unsigned I = 0; I != ShardCount; ++I)
-    Shards.push_back(std::make_unique<Shard>());
+  for (unsigned I = 0; I != ShardCount; ++I) {
+    auto S = std::make_unique<Shard>();
+    S->Tables.push_back(std::make_unique<Table>(/*Capacity=*/64));
+    S->Cur.store(S->Tables.back().get(), std::memory_order_release);
+    Shards.push_back(std::move(S));
+  }
 }
 
+LockTable::~LockTable() = default;
+
 AbstractLock *LockTable::lockFor(uint32_t Space, const Value &Key) {
-  Shard &S = *Shards[(Key.hash() ^ Space) % Shards.size()];
-  std::lock_guard<std::mutex> Guard(S.M);
-  std::unique_ptr<AbstractLock> &Slot = S.Locks[{Space, Key}];
-  if (!Slot)
-    Slot = std::make_unique<AbstractLock>();
-  return Slot.get();
+  const uint64_t Hash = Key.hash() ^ (uint64_t(Space) * 0x9E3779B97F4A7C15ull);
+  Shard &S = shardFor(Key.hash(), Space);
+
+  // Fast path: probe the published table without any lock. Slots are
+  // write-once under the shard mutex, so an acquire load either sees null
+  // (possibly stale — fall through to the slow path) or a fully
+  // constructed, immortal entry.
+  {
+    const Table *T = S.Cur.load(std::memory_order_acquire);
+    for (size_t I = Hash & T->Mask;; I = (I + 1) & T->Mask) {
+      Entry *E = T->Slots[I].load(std::memory_order_acquire);
+      if (!E)
+        break;
+      if (sameKey(*E, Hash, Space, Key))
+        return &E->Lock;
+    }
+  }
+
+  // Slow path: insert (or find an entry that raced in) under the mutex.
+  std::lock_guard<std::mutex> Guard(S.WriteM);
+  Table *T = S.Cur.load(std::memory_order_relaxed);
+
+  // Grow at ~70% load, before probing: the new entry then lands in the
+  // fresh table. Readers keep probing the retired array until they next
+  // reload Cur; its entries stay valid forever.
+  if ((S.Count + 1) * 10 > (T->Mask + 1) * 7) {
+    auto Bigger = std::make_unique<Table>((T->Mask + 1) * 2);
+    for (size_t I = 0; I != T->Mask + 1; ++I) {
+      Entry *E = T->Slots[I].load(std::memory_order_relaxed);
+      if (!E)
+        continue;
+      for (size_t J = E->Hash & Bigger->Mask;; J = (J + 1) & Bigger->Mask) {
+        if (!Bigger->Slots[J].load(std::memory_order_relaxed)) {
+          Bigger->Slots[J].store(E, std::memory_order_relaxed);
+          break;
+        }
+      }
+    }
+    T = Bigger.get();
+    S.Tables.push_back(std::move(Bigger));
+    S.Cur.store(T, std::memory_order_release);
+  }
+
+  for (size_t I = Hash & T->Mask;; I = (I + 1) & T->Mask) {
+    Entry *E = T->Slots[I].load(std::memory_order_relaxed);
+    if (E) {
+      if (sameKey(*E, Hash, Space, Key))
+        return &E->Lock; // Lost a race with another inserter.
+      continue;
+    }
+    Entry &New = S.Pool.emplace_back(Hash, Space, Key);
+    ++S.Count;
+    // Release: a fast-path reader that sees the pointer sees the entry.
+    T->Slots[I].store(&New, std::memory_order_release);
+    return &New.Lock;
+  }
 }
 
 uint64_t LockTable::size() const {
   uint64_t N = 0;
   for (const std::unique_ptr<Shard> &S : Shards) {
-    std::lock_guard<std::mutex> Guard(S->M);
-    N += S->Locks.size();
+    std::lock_guard<std::mutex> Guard(S->WriteM);
+    N += S->Count;
   }
   return N;
 }

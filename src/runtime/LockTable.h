@@ -15,8 +15,17 @@
 ///
 /// A LockTable maps data-member keys (values, optionally pre-mapped through
 /// a key function such as §4.2's `part`) to lock instances, allocating them
-/// on demand; locks are never deallocated while the table lives, so raw
-/// pointers into it remain valid.
+/// on demand. The map is a sharded open-addressing table: lookups of
+/// already-materialized locks — the steady state of every workload with a
+/// bounded key universe — are lock-free (one acquire-load of the published
+/// slot array plus a linear probe); only a miss takes the shard's writer
+/// mutex to insert. Lock nodes come from a shard-local pool (a deque, so
+/// addresses are stable) and are *immortal*: never freed, never moved,
+/// while the table lives. That immortality is what makes the lock-free
+/// read path safe without epoch/hazard reclamation — a reader racing a
+/// concurrent rehash may probe a retired slot array, but every entry
+/// pointer it can observe is permanently valid (retired arrays are kept
+/// until the table is destroyed; see DESIGN.md §3.8).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,8 +34,10 @@
 
 #include "core/Value.h"
 #include "runtime/Transaction.h"
+#include "support/InlineVec.h"
 
-#include <map>
+#include <atomic>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -57,7 +68,7 @@ public:
   bool tryAcquire(TxId Tx, ModeId Mode, const CompatMatrix &Compat,
                   ModeId *BlockingMode = nullptr, bool *WasHeld = nullptr);
 
-  /// Drops every hold of \p Tx.
+  /// Drops every hold of \p Tx. Idempotent per transaction.
   void releaseAll(TxId Tx);
 
   /// True when \p Tx currently holds the lock in any mode.
@@ -74,34 +85,82 @@ private:
   };
   /// Guards Holders: distinct transactions may race on one lock.
   mutable std::mutex M;
-  /// Holds are few per lock in practice; linear scans beat hashing.
-  std::vector<Holder> Holders;
+  /// Holds are few per lock in practice; inline slots make the common
+  /// acquisition allocation-free and linear scans beat hashing.
+  InlineVec<Holder, 4> Holders;
 };
 
-/// A sharded map from key values to abstract locks.
+/// A sharded open-addressing map from key values to abstract locks.
 ///
 /// Key identity includes the key-function id that produced it, so locks on
 /// `x` and on `part(x)` live in disjoint key spaces even when the values
-/// collide numerically.
+/// collide numerically. Identity is *exact-kind*: Value::integer(3) and
+/// Value::real(3.0) key distinct locks, matching the strict weak order the
+/// previous std::map used (schemes never mix kinds within one key space).
 class LockTable {
 public:
   explicit LockTable(unsigned ShardCount = 16);
+  ~LockTable();
+
+  LockTable(const LockTable &) = delete;
+  LockTable &operator=(const LockTable &) = delete;
 
   /// Key space id for keys not produced by any key function.
   static constexpr uint32_t PlainSpace = 0xFFFFFFFFu;
 
   /// Returns the lock for (\p Space, \p Key), creating it on first use.
-  /// The returned pointer is stable for the table's lifetime.
+  /// The returned pointer is stable for the table's lifetime. Lock-free
+  /// when the lock already exists; takes the shard mutex only to insert.
   AbstractLock *lockFor(uint32_t Space, const Value &Key);
 
   /// Total number of distinct locks allocated (diagnostics).
   uint64_t size() const;
 
 private:
-  struct Shard {
-    mutable std::mutex M;
-    std::map<std::pair<uint32_t, Value>, std::unique_ptr<AbstractLock>> Locks;
+  /// One materialized lock: immutable key plus the lock proper. Entries
+  /// are pooled per shard and never freed or moved while the table lives.
+  struct Entry {
+    Entry(uint64_t Hash, uint32_t Space, const Value &Key)
+        : Hash(Hash), Space(Space), Key(Key) {}
+    const uint64_t Hash;
+    const uint32_t Space;
+    const Value Key;
+    AbstractLock Lock;
   };
+
+  /// One published probe array. Slots hold null (empty) or a pointer to a
+  /// pooled Entry; slots are write-once (only ever null -> entry, under
+  /// the shard mutex), so readers need only acquire loads.
+  struct Table {
+    explicit Table(size_t Capacity)
+        : Mask(Capacity - 1),
+          Slots(std::make_unique<std::atomic<Entry *>[]>(Capacity)) {}
+    const size_t Mask; ///< Capacity - 1; capacity is a power of two.
+    std::unique_ptr<std::atomic<Entry *>[]> Slots;
+  };
+
+  struct Shard {
+    /// Serializes inserts and rehashes; never taken on the hit path.
+    std::mutex WriteM;
+    /// The probe array readers use. Swapped (release) on rehash.
+    std::atomic<Table *> Cur{nullptr};
+    /// Entry storage. std::deque: grows without moving elements, so entry
+    /// addresses — and the AbstractLocks inside — are stable forever.
+    std::deque<Entry> Pool;
+    /// Current and retired probe arrays. Retired arrays stay allocated so
+    /// a reader still probing one is always safe (entries are immortal;
+    /// the array memory itself is the only thing a rehash replaces).
+    std::vector<std::unique_ptr<Table>> Tables;
+    size_t Count = 0; ///< Entries; guarded by WriteM.
+  };
+
+  static bool sameKey(const Entry &E, uint64_t Hash, uint32_t Space,
+                      const Value &Key);
+
+  Shard &shardFor(uint64_t Hash, uint32_t Space) {
+    return *Shards[(Hash ^ Space) % Shards.size()];
+  }
+
   std::vector<std::unique_ptr<Shard>> Shards;
 };
 

@@ -12,7 +12,7 @@ Replayer::~Replayer() = default;
 TxTrace comlat::traceOf(const Transaction &Tx, TxId Id) {
   TxTrace Trace;
   Trace.Id = Id;
-  Trace.Invocations = Tx.history();
+  Trace.Invocations.assign(Tx.history().begin(), Tx.history().end());
   return Trace;
 }
 
@@ -39,11 +39,16 @@ bool comlat::findSerialWitness(
     const std::string &ExpectedSignature, std::vector<TxId> *Witness) {
   std::vector<size_t> Order(Traces.size());
   std::iota(Order.begin(), Order.end(), 0);
-  // Try permutations in lexicographic order; the witness is typically the
-  // commit order or close to it, so sort by id first.
-  std::sort(Order.begin(), Order.end(), [&Traces](size_t A, size_t B) {
+  // Enumerate permutations in by-id lexicographic order, starting from the
+  // id-sorted sequence: the witness is typically the commit order or close
+  // to it. The enumeration comparator must match the initial sort — with
+  // the default (raw index) comparator, an id-sorted start that is not
+  // also index-sorted would begin mid-sequence and silently skip every
+  // permutation before it.
+  const auto ById = [&Traces](size_t A, size_t B) {
     return Traces[A].Id < Traces[B].Id;
-  });
+  };
+  std::sort(Order.begin(), Order.end(), ById);
   do {
     if (replayInOrder(Traces, Order, MakeReplayer, ExpectedSignature)) {
       if (Witness) {
@@ -53,6 +58,6 @@ bool comlat::findSerialWitness(
       }
       return true;
     }
-  } while (std::next_permutation(Order.begin(), Order.end()));
+  } while (std::next_permutation(Order.begin(), Order.end(), ById));
   return false;
 }

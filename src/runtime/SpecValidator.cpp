@@ -22,8 +22,7 @@ class FrozenStateResolver : public ApplyResolver {
 public:
   FrozenStateResolver(GateTarget &S1, GateTarget &S2) : S1(S1), S2(S2) {}
 
-  Value resolveApply(const Term &Apply,
-                     const std::vector<Value> &Args) override {
+  Value resolveApply(const Term &Apply, ValueSpan Args) override {
     switch (Apply.State) {
     case StateRef::S1:
       return S1.gateEvalStateFn(Apply.Fn, Args);
@@ -41,7 +40,7 @@ private:
 
 /// Executes one invocation, discarding undo actions.
 Value executePlain(GateTarget &Target, const Invocation &Inv) {
-  std::vector<GateAction> Discard;
+  GateActionList Discard;
   return Target.gateExecute(Inv.Method, Inv.Args, Discard);
 }
 

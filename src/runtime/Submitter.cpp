@@ -68,8 +68,14 @@ void Submitter::drain() {
 }
 
 void Submitter::workerMain(unsigned Worker) {
-  Rng BackoffRng(0x51b7 + Worker);
+  // Per-worker stream, seeded once and decorrelated across workers by a
+  // golden-ratio stride (Rng re-mixes through SplitMix64); deterministic
+  // for a fixed Config.Seed.
+  Rng BackoffRng(Config.Seed ^ (0x9E3779B97F4A7C15ull * (Worker + 1)));
   ExecMetrics &Metrics = ExecMetrics::global();
+  // Pooled transaction: reset per attempt keeps buffers/arena warm, so a
+  // retry allocates nothing on the transaction side.
+  Transaction Tx(0);
   for (;;) {
     Submission Sub;
     {
@@ -94,7 +100,7 @@ void Submitter::workerMain(unsigned Worker) {
       // transactions on the same structures (tests hold their own
       // transactions open against a Submitter; a collision would make the
       // detectors treat the two as one re-entrant transaction).
-      Transaction Tx(allocTxId());
+      Tx.reset(allocTxId());
       Tx.setRecording(Config.RecordHistories);
       Sub.Body(Tx);
       if (!Tx.failed()) {

@@ -60,6 +60,8 @@ struct SubmitterConfig {
   unsigned MaxAttempts = 0;
   /// Enables per-transaction invocation recording (serializability tests).
   bool RecordHistories = false;
+  /// Seeds the per-worker backoff RNG streams (see ExecutorConfig::Seed).
+  uint64_t Seed = 0;
 };
 
 /// Final outcome of one submission, delivered to its completion callback.

@@ -25,14 +25,14 @@ void Transaction::touch(ConflictDetector *Detector) {
     Touched.push_back(Detector);
 }
 
-void Transaction::addUndo(std::function<void()> Undo) {
+void Transaction::addUndo(Action Undo) {
   assert(!Finished && "registering undo on a finished transaction");
   Undos.push_back(std::move(Undo));
 }
 
-void Transaction::addCommitAction(std::function<void()> Action) {
+void Transaction::addCommitAction(Action Act) {
   assert(!Finished && "registering commit action on a finished transaction");
-  CommitActions.push_back(std::move(Action));
+  CommitActions.push_back(std::move(Act));
 }
 
 void Transaction::recordInvocation(uintptr_t StructureTag, Invocation Inv) {
@@ -40,11 +40,45 @@ void Transaction::recordInvocation(uintptr_t StructureTag, Invocation Inv) {
     History.emplace_back(StructureTag, std::move(Inv));
 }
 
+void Transaction::noteHeldLock(const void *Owner, AbstractLock *Lock) {
+  assert(!Finished && "recording a lock on a finished transaction");
+  HeldLocks.push_back(HeldLockRec{Owner, Lock});
+}
+
+void Transaction::noteStripe(const void *Owner, unsigned StripeIdx) {
+  assert(!Finished && "recording a stripe on a finished transaction");
+  const uint64_t Bit = UINT64_C(1) << StripeIdx;
+  for (StripeMaskRec &R : StripeMasks)
+    if (R.Owner == Owner) {
+      R.Mask |= Bit;
+      return;
+    }
+  StripeMasks.push_back(StripeMaskRec{Owner, Bit});
+}
+
+uint64_t Transaction::stripeMask(const void *Owner) const {
+  for (const StripeMaskRec &R : StripeMasks)
+    if (R.Owner == Owner)
+      return R.Mask;
+  return 0;
+}
+
+uint64_t Transaction::takeStripeMask(const void *Owner) {
+  for (size_t I = 0; I != StripeMasks.size(); ++I)
+    if (StripeMasks[I].Owner == Owner) {
+      const uint64_t Mask = StripeMasks[I].Mask;
+      StripeMasks[I] = StripeMasks.back();
+      StripeMasks.pop_back();
+      return Mask;
+    }
+  return 0;
+}
+
 void Transaction::commit(bool Release) {
   assert(!Finished && "double commit");
   assert(!Failed && "committing a failed transaction");
-  for (const std::function<void()> &Action : CommitActions)
-    Action();
+  for (const Action &Act : CommitActions)
+    Act();
   CommitActions.clear();
   Undos.clear();
   Finished = true;
@@ -64,10 +98,10 @@ void Transaction::abort() {
   // invocations of concurrent transactions pairwise commute (that is the
   // detectors' invariant), so cross-structure undo ordering is immaterial;
   // within one structure each detector undoes in reverse order itself.
-  for (auto It = Touched.rbegin(); It != Touched.rend(); ++It)
-    (*It)->undoFor(*this);
-  for (auto It = Undos.rbegin(); It != Undos.rend(); ++It)
-    (*It)();
+  for (size_t I = Touched.size(); I != 0; --I)
+    Touched[I - 1]->undoFor(*this);
+  for (size_t I = Undos.size(); I != 0; --I)
+    Undos[I - 1]();
   Undos.clear();
   CommitActions.clear();
   Finished = true;
@@ -82,4 +116,35 @@ void Transaction::releaseDetectors() {
   for (ConflictDetector *Detector : Touched)
     Detector->release(*this, /*Committed=*/true);
   Touched.clear();
+}
+
+void Transaction::reset(TxId NewId) {
+  assert((Finished || (Touched.empty() && Undos.empty() && !Failed)) &&
+         "resetting a live transaction");
+  assert(HeldLocks.empty() && "held locks survived commit/abort");
+  assert(StripeMasks.empty() && "stripe masks survived commit/abort");
+#ifndef NDEBUG
+  // Poison the retired identity so a detector that cached state keyed by
+  // the old id (or a stale pointer into History) shows up as a mismatch
+  // under the debug-build stress tests rather than silently aliasing the
+  // recycled transaction.
+  Id = ~UINT64_C(0);
+#endif
+  // Shrink every container back to its inline buffer *before* rewinding
+  // the arena: spilled storage points into it.
+  Undos.resetStorage();
+  CommitActions.resetStorage();
+  Touched.resetStorage();
+  History.resetStorage();
+  HeldLocks.resetStorage();
+  StripeMasks.resetStorage();
+  Arena.reset();
+  Id = NewId;
+  Failed = false;
+  Cause = AbortCause::User;
+  Detail = 0;
+  Label = 0;
+  Finished = false;
+  Recording = false;
+  NeedsRelease = false;
 }

@@ -21,6 +21,9 @@
 
 #include "core/MethodSig.h"
 #include "runtime/ExecStats.h"
+#include "support/BumpArena.h"
+#include "support/InlineVec.h"
+#include "support/SmallFunc.h"
 
 #include <cstdint>
 #include <functional>
@@ -32,6 +35,7 @@ namespace comlat {
 using TxId = uint64_t;
 
 class Transaction;
+class AbstractLock;
 
 /// A conflict detector guards one data structure. The three schemes of §3
 /// (abstract locking, forward gatekeeping, general gatekeeping) and the
@@ -59,10 +63,18 @@ public:
 
 /// One speculative iteration. Not thread-safe: a transaction belongs to a
 /// single worker thread. Lifecycle: construct -> (boosted calls, possibly
-/// fail()) -> commit() or abort().
+/// fail()) -> commit() or abort(); pooled engines then reset() and reuse
+/// the object, keeping its inline buffers, spill arena and grown
+/// capacities — a retried or successive transaction allocates nothing.
 class Transaction {
 public:
-  explicit Transaction(TxId Id) : Id(Id) {}
+  /// Undo/commit actions: captures (a this-pointer plus a key or two)
+  /// stay inline, so registering an action never allocates.
+  using Action = SmallFunc<void()>;
+
+  explicit Transaction(TxId Id)
+      : Id(Id), Undos(&Arena), CommitActions(&Arena), Touched(&Arena),
+        History(&Arena), HeldLocks(&Arena), StripeMasks(&Arena) {}
   ~Transaction();
 
   Transaction(const Transaction &) = delete;
@@ -108,11 +120,11 @@ public:
   /// Registers a transaction-local undo action (run in reverse order on
   /// abort). Used by boosted wrappers whose detector has no structure-owned
   /// undo log.
-  void addUndo(std::function<void()> Undo);
+  void addUndo(Action Undo);
 
   /// Registers an action to run at commit (e.g. pushing newly created work
   /// items); never runs on abort.
-  void addCommitAction(std::function<void()> Action);
+  void addCommitAction(Action Act);
 
   /// Records an invocation for post-hoc serializability checking; only
   /// populated when recording is enabled (tests).
@@ -121,9 +133,39 @@ public:
   bool recording() const { return Recording; }
 
   /// The recorded (structure, invocation) history in program order.
-  const std::vector<std::pair<uintptr_t, Invocation>> &history() const {
-    return History;
+  using HistoryList = InlineVec<std::pair<uintptr_t, Invocation>, 4>;
+  const HistoryList &history() const { return History; }
+
+  /// Records an abstract lock newly acquired for this transaction by the
+  /// detector \p Owner (lock managers, the object STM). Replaces the old
+  /// process-global Held map: the holder list lives with its transaction,
+  /// touched only by the owning worker thread — no mutex, no allocation.
+  void noteHeldLock(const void *Owner, AbstractLock *Lock);
+
+  /// Removes and visits every lock recorded by \p Owner. Order is
+  /// unspecified (multi-mode abstract locks release wholesale).
+  template <typename Fn> void consumeHeldLocks(const void *Owner, Fn &&F) {
+    for (size_t I = 0; I != HeldLocks.size();) {
+      if (HeldLocks[I].Owner == Owner) {
+        AbstractLock *Lock = HeldLocks[I].Lock;
+        HeldLocks[I] = HeldLocks.back();
+        HeldLocks.pop_back();
+        F(Lock);
+      } else {
+        ++I;
+      }
+    }
   }
+
+  /// Marks admission stripe \p StripeIdx of gatekeeper \p Owner as touched
+  /// by this transaction (striped gatekeepers only; see Gatekeeper.h).
+  void noteStripe(const void *Owner, unsigned StripeIdx);
+
+  /// This transaction's stripe mask for \p Owner (0 when none touched).
+  uint64_t stripeMask(const void *Owner) const;
+
+  /// Returns and clears the stripe mask for \p Owner.
+  uint64_t takeStripeMask(const void *Owner);
 
   /// Commits: runs commit actions in order, then (when \p Release) lets
   /// every touched detector release this transaction's resources. The
@@ -143,6 +185,14 @@ public:
   /// True once commit() or abort() ran.
   bool finished() const { return Finished; }
 
+  /// Returns the object to the freshly-constructed state under a new id,
+  /// keeping all storage: inline buffers, grown spill capacity and the
+  /// overflow arena (rewound, not freed). Only legal on a finished (or
+  /// never-used) transaction. Pooled engines call this between items and
+  /// between retry attempts; under !NDEBUG the previous attempt's state is
+  /// poisoned first so stale reuse trips assertions instead of aliasing.
+  void reset(TxId NewId);
+
 private:
   TxId Id;
   bool Failed = false;
@@ -152,10 +202,27 @@ private:
   bool Finished = false;
   bool Recording = false;
   bool NeedsRelease = false;
-  std::vector<ConflictDetector *> Touched;
-  std::vector<std::function<void()>> Undos;
-  std::vector<std::function<void()>> CommitActions;
-  std::vector<std::pair<uintptr_t, Invocation>> History;
+
+  struct HeldLockRec {
+    const void *Owner;
+    AbstractLock *Lock;
+  };
+  struct StripeMaskRec {
+    const void *Owner;
+    uint64_t Mask;
+  };
+
+  /// Overflow storage for the inline containers below; reset() rewinds it
+  /// after shrinking every container back to its inline buffer. Declared
+  /// first so it outlives (constructs before) the containers bound to it.
+  BumpArena Arena;
+
+  InlineVec<Action, 8> Undos;
+  InlineVec<Action, 4> CommitActions;
+  InlineVec<ConflictDetector *, 4> Touched;
+  HistoryList History;
+  InlineVec<HeldLockRec, 16> HeldLocks;
+  InlineVec<StripeMaskRec, 2> StripeMasks;
 };
 
 /// Draws a process-globally unique transaction id from a reserved high

@@ -43,7 +43,8 @@ bool ObjectStm::acquire(Transaction &Tx, uint64_t Obj, ModeId Mode) {
   AbstractLock *Lock = Table.lockFor(LockTable::PlainSpace,
                                      Value::integer(static_cast<int64_t>(Obj)));
   ModeId Blocking = 0;
-  if (!Lock->tryAcquire(Tx.id(), Mode, Compat, &Blocking)) {
+  bool WasHeld = false;
+  if (!Lock->tryAcquire(Tx.id(), Mode, Compat, &Blocking, &WasHeld)) {
     Conflicts.fetch_add(1, std::memory_order_relaxed);
     const uint32_t Detail = obs::packPair(Blocking, Mode);
     PairConflicts[Blocking][Mode]->add();
@@ -52,8 +53,11 @@ bool ObjectStm::acquire(Transaction &Tx, uint64_t Obj, ModeId Mode) {
     Tx.fail(AbortCause::LockConflict, Detail, ObsLabel);
     return false;
   }
-  std::lock_guard<std::mutex> Guard(HeldMutex);
-  Held[Tx.id()].push_back(Lock);
+  // First hold only: releaseAll drops every mode at once, and repeated
+  // probes of one hot object (every node access re-reads the root) would
+  // otherwise blow the transaction's inline holder list.
+  if (!WasHeld)
+    Tx.noteHeldLock(this, Lock);
   return true;
 }
 
@@ -66,15 +70,7 @@ bool ObjectStm::write(Transaction &Tx, uint64_t Obj) {
 }
 
 void ObjectStm::release(Transaction &Tx, bool Committed) {
-  std::vector<AbstractLock *> Locks;
-  {
-    std::lock_guard<std::mutex> Guard(HeldMutex);
-    const auto It = Held.find(Tx.id());
-    if (It == Held.end())
-      return;
-    Locks = std::move(It->second);
-    Held.erase(It);
-  }
-  for (AbstractLock *Lock : Locks)
+  Tx.consumeHeldLocks(this, [&](AbstractLock *Lock) {
     Lock->releaseAll(Tx.id());
+  });
 }

@@ -81,8 +81,6 @@ private:
   std::string Label;
   CompatMatrix Compat;
   LockTable Table;
-  std::mutex HeldMutex;
-  std::map<TxId, std::vector<AbstractLock *>> Held;
   std::atomic<uint64_t> Accesses{0};
   std::atomic<uint64_t> Conflicts{0};
   /// Interned trace label and the three conflict counters (r-w, w-r, w-w)

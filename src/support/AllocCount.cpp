@@ -1,0 +1,108 @@
+//===- support/AllocCount.cpp - Global allocation counting -----------------===//
+
+#include "support/AllocCount.h"
+
+#ifdef COMLAT_COUNT_ALLOCS
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace {
+std::atomic<uint64_t> GAllocs{0};
+
+void *countedAlloc(size_t Size) {
+  GAllocs.fetch_add(1, std::memory_order_relaxed);
+  // malloc(0) may return null legally; normalize so new never does.
+  return std::malloc(Size ? Size : 1);
+}
+
+void *countedAlignedAlloc(size_t Size, size_t Align) {
+  GAllocs.fetch_add(1, std::memory_order_relaxed);
+  void *P = nullptr;
+  if (posix_memalign(&P, Align < sizeof(void *) ? sizeof(void *) : Align,
+                     Size ? Size : Align))
+    return nullptr;
+  return P;
+}
+} // namespace
+
+bool comlat::allocCountingEnabled() { return true; }
+
+uint64_t comlat::totalAllocs() {
+  return GAllocs.load(std::memory_order_relaxed);
+}
+
+// Replacement allocation functions ([new.delete.single] / .array): every
+// heap allocation in the process funnels through countedAlloc. sized and
+// unsized deletes both just free.
+
+void *operator new(size_t Size) {
+  if (void *P = countedAlloc(Size))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new[](size_t Size) { return ::operator new(Size); }
+
+void *operator new(size_t Size, const std::nothrow_t &) noexcept {
+  return countedAlloc(Size);
+}
+
+void *operator new[](size_t Size, const std::nothrow_t &) noexcept {
+  return countedAlloc(Size);
+}
+
+void *operator new(size_t Size, std::align_val_t Align) {
+  if (void *P = countedAlignedAlloc(Size, static_cast<size_t>(Align)))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new[](size_t Size, std::align_val_t Align) {
+  return ::operator new(Size, Align);
+}
+
+void *operator new(size_t Size, std::align_val_t Align,
+                   const std::nothrow_t &) noexcept {
+  return countedAlignedAlloc(Size, static_cast<size_t>(Align));
+}
+
+void *operator new[](size_t Size, std::align_val_t Align,
+                     const std::nothrow_t &) noexcept {
+  return countedAlignedAlloc(Size, static_cast<size_t>(Align));
+}
+
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, size_t) noexcept { std::free(P); }
+void operator delete[](void *P, size_t) noexcept { std::free(P); }
+void operator delete(void *P, const std::nothrow_t &) noexcept {
+  std::free(P);
+}
+void operator delete[](void *P, const std::nothrow_t &) noexcept {
+  std::free(P);
+}
+void operator delete(void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::align_val_t) noexcept { std::free(P); }
+void operator delete(void *P, size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+void operator delete[](void *P, size_t, std::align_val_t) noexcept {
+  std::free(P);
+}
+void operator delete(void *P, std::align_val_t,
+                     const std::nothrow_t &) noexcept {
+  std::free(P);
+}
+void operator delete[](void *P, std::align_val_t,
+                       const std::nothrow_t &) noexcept {
+  std::free(P);
+}
+
+#else // !COMLAT_COUNT_ALLOCS
+
+bool comlat::allocCountingEnabled() { return false; }
+uint64_t comlat::totalAllocs() { return 0; }
+
+#endif // COMLAT_COUNT_ALLOCS

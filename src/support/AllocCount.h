@@ -1,0 +1,35 @@
+//===- support/AllocCount.h - Global allocation counting --------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-wide heap-allocation counting behind the COMLAT_COUNT_ALLOCS
+/// build option. When enabled, replacement operator new/delete bump one
+/// relaxed atomic per allocation; the benchmarks report allocs/op deltas
+/// and CI enforces the zero-allocation steady-state invariant on the
+/// gated set microbenchmark. When disabled (the default, and always under
+/// sanitizers, whose runtimes interpose the same symbols) the functions
+/// below are stubs: allocCountingEnabled() is false and totalAllocs()
+/// stays 0, so callers report -1/"n/a" instead of a bogus zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_SUPPORT_ALLOCCOUNT_H
+#define COMLAT_SUPPORT_ALLOCCOUNT_H
+
+#include <cstdint>
+
+namespace comlat {
+
+/// True when this build counts heap allocations (COMLAT_COUNT_ALLOCS=ON).
+bool allocCountingEnabled();
+
+/// Allocations observed so far (monotone; 0 when counting is disabled).
+uint64_t totalAllocs();
+
+} // namespace comlat
+
+#endif // COMLAT_SUPPORT_ALLOCCOUNT_H

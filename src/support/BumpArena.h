@@ -1,0 +1,100 @@
+//===- support/BumpArena.h - Reset-not-free bump allocator ------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A slab-based bump allocator for per-transaction overflow storage. The
+/// lifetime contract is the transaction lifecycle itself: everything
+/// allocated here dies (logically) at commit/abort, so reset() just
+/// rewinds the bump pointer and keeps every slab for the next use. After
+/// the first few transactions have sized the slabs, a pooled transaction
+/// never allocates again — this is what makes InlineVec spill safe on the
+/// zero-allocation hot path.
+///
+/// Not thread-safe; each arena is owned by exactly one transaction, which
+/// is owned by exactly one worker at a time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_SUPPORT_BUMPARENA_H
+#define COMLAT_SUPPORT_BUMPARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace comlat {
+
+/// Bump allocator over a chain of slabs that are recycled, never freed,
+/// between reset() calls.
+class BumpArena {
+public:
+  explicit BumpArena(size_t SlabBytes = 4096) : DefaultSlabBytes(SlabBytes) {
+    assert(SlabBytes >= 64 && "slabs must fit at least a few nodes");
+  }
+
+  ~BumpArena() {
+    for (const Slab &S : Slabs)
+      ::operator delete(S.Mem);
+  }
+
+  BumpArena(const BumpArena &) = delete;
+  BumpArena &operator=(const BumpArena &) = delete;
+
+  /// Returns \p Bytes of storage aligned to \p Align. Storage stays valid
+  /// until the next reset().
+  void *allocate(size_t Bytes, size_t Align) {
+    assert(Align != 0 && (Align & (Align - 1)) == 0 && "bad alignment");
+    for (;;) {
+      if (Cur < Slabs.size()) {
+        Slab &S = Slabs[Cur];
+        const uintptr_t Base = reinterpret_cast<uintptr_t>(S.Mem);
+        const uintptr_t At = (Base + Offset + Align - 1) & ~(Align - 1);
+        if (At + Bytes <= Base + S.Size) {
+          Offset = (At + Bytes) - Base;
+          return reinterpret_cast<void *>(At);
+        }
+        // Current slab exhausted: move on (its tail is wasted until the
+        // next reset, which is fine — slabs are sized for the common
+        // case and oversized requests get a dedicated slab below).
+        ++Cur;
+        Offset = 0;
+        continue;
+      }
+      const size_t Size =
+          Bytes + Align > DefaultSlabBytes ? Bytes + Align : DefaultSlabBytes;
+      Slabs.push_back(Slab{::operator new(Size), Size});
+      // Stay on this new slab; the loop retries the bump.
+    }
+  }
+
+  /// Rewinds to empty without releasing any slab.
+  void reset() {
+    Cur = 0;
+    Offset = 0;
+  }
+
+  /// Slabs currently owned (monotone under reset; grows only on overflow).
+  size_t numSlabs() const { return Slabs.size(); }
+
+private:
+  struct Slab {
+    void *Mem;
+    size_t Size;
+  };
+
+  size_t DefaultSlabBytes;
+  std::vector<Slab> Slabs;
+  size_t Cur = 0;    ///< Index of the slab being bumped.
+  size_t Offset = 0; ///< Bump offset within Slabs[Cur].
+};
+
+} // namespace comlat
+
+#endif // COMLAT_SUPPORT_BUMPARENA_H

@@ -1,0 +1,233 @@
+//===- support/InlineVec.h - Small-buffer vector ----------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A vector with N inline slots, built for the conflict-detection hot
+/// path: invocation argument lists, undo logs and touched-detector sets
+/// are almost always tiny, so the common case never allocates. Spill
+/// beyond N goes to an optional BumpArena (per-transaction, reset not
+/// freed — see BumpArena.h) or, without one, to the heap.
+///
+/// clear() keeps the current storage, so a pooled container reaches a
+/// steady state where even spilled capacity is reused allocation-free.
+/// resetStorage() additionally drops spilled storage (returning heap
+/// spill, abandoning arena spill to its owner's reset) — the transaction
+/// pool calls it before rewinding the arena.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_SUPPORT_INLINEVEC_H
+#define COMLAT_SUPPORT_INLINEVEC_H
+
+#include "support/BumpArena.h"
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace comlat {
+
+/// Vector with \p N inline slots; spills to an optional arena, else heap.
+template <typename T, unsigned N> class InlineVec {
+public:
+  static_assert(N > 0, "need at least one inline slot");
+
+  InlineVec() = default;
+
+  /// Overflow beyond the inline slots comes from \p Arena (may be null =
+  /// heap). The arena must outlive the container's last spilled use.
+  explicit InlineVec(BumpArena *Arena) : Arena(Arena) {}
+
+  InlineVec(InlineVec &&Other) noexcept { moveFrom(Other); }
+
+  InlineVec &operator=(InlineVec &&Other) noexcept {
+    if (this != &Other) {
+      destroyAll();
+      releaseSpill();
+      moveFrom(Other);
+    }
+    return *this;
+  }
+
+  // Copies are only instantiated when used; move-only element types keep
+  // working as long as nobody copies the container.
+  InlineVec(const InlineVec &Other) {
+    reserve(Other.Size);
+    for (size_t I = 0; I != Other.Size; ++I)
+      ::new (Data + I) T(Other.Data[I]);
+    Size = Other.Size;
+  }
+
+  InlineVec &operator=(const InlineVec &Other) {
+    if (this != &Other) {
+      clear();
+      reserve(Other.Size);
+      for (size_t I = 0; I != Other.Size; ++I)
+        ::new (Data + I) T(Other.Data[I]);
+      Size = Other.Size;
+    }
+    return *this;
+  }
+
+  ~InlineVec() {
+    destroyAll();
+    releaseSpill();
+  }
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+  size_t capacity() const { return Cap; }
+  bool isInline() const { return Data == inlineData(); }
+
+  T *data() { return Data; }
+  const T *data() const { return Data; }
+  T *begin() { return Data; }
+  T *end() { return Data + Size; }
+  const T *begin() const { return Data; }
+  const T *end() const { return Data + Size; }
+
+  T &operator[](size_t I) {
+    assert(I < Size && "index out of range");
+    return Data[I];
+  }
+  const T &operator[](size_t I) const {
+    assert(I < Size && "index out of range");
+    return Data[I];
+  }
+  T &front() { return (*this)[0]; }
+  T &back() { return (*this)[Size - 1]; }
+  const T &front() const { return (*this)[0]; }
+  const T &back() const { return (*this)[Size - 1]; }
+
+  void push_back(const T &V) { emplace_back(V); }
+  void push_back(T &&V) { emplace_back(std::move(V)); }
+
+  template <typename... ArgTs> T &emplace_back(ArgTs &&...Args) {
+    if (Size == Cap)
+      grow(Cap * 2);
+    T *Slot = ::new (Data + Size) T(std::forward<ArgTs>(Args)...);
+    ++Size;
+    return *Slot;
+  }
+
+  void pop_back() {
+    assert(Size != 0 && "pop from empty");
+    Data[--Size].~T();
+  }
+
+  /// Destroys elements; keeps whatever storage is attached (inline or
+  /// spilled), so refilling to the same size never allocates.
+  void clear() {
+    destroyAll();
+    Size = 0;
+  }
+
+  /// clear() plus: drop spilled storage and return to the inline buffer.
+  /// Required before the owning arena resets (the spill would dangle).
+  void resetStorage() {
+    destroyAll();
+    releaseSpill();
+    Data = inlineData();
+    Cap = N;
+    Size = 0;
+  }
+
+  void reserve(size_t Want) {
+    if (Want > Cap)
+      grow(Want);
+  }
+
+  /// Default-constructs or destroys to reach exactly \p Want elements.
+  void resize(size_t Want) {
+    while (Size > Want)
+      pop_back();
+    reserve(Want);
+    while (Size < Want)
+      emplace_back();
+  }
+
+  /// Rebinds the overflow source. Only legal while un-spilled (the pool
+  /// wires arenas up front; nothing rebinds mid-flight).
+  void setArena(BumpArena *A) {
+    assert(isInline() && "rebinding arena under live spill");
+    Arena = A;
+  }
+
+private:
+  T *inlineData() { return reinterpret_cast<T *>(InlineBuf); }
+  const T *inlineData() const { return reinterpret_cast<const T *>(InlineBuf); }
+
+  void destroyAll() {
+    for (size_t I = Size; I != 0; --I)
+      Data[I - 1].~T();
+  }
+
+  /// Frees heap spill; arena spill is abandoned (its owner reclaims it
+  /// wholesale on reset).
+  void releaseSpill() {
+    if (!isInline() && !FromArena)
+      ::operator delete(Data);
+  }
+
+  void grow(size_t Want) {
+    size_t NewCap = Cap * 2 > Want ? Cap * 2 : Want;
+    T *NewData;
+    bool NewFromArena = Arena != nullptr;
+    if (Arena)
+      NewData =
+          static_cast<T *>(Arena->allocate(NewCap * sizeof(T), alignof(T)));
+    else
+      NewData = static_cast<T *>(::operator new(NewCap * sizeof(T)));
+    for (size_t I = 0; I != Size; ++I) {
+      ::new (NewData + I) T(std::move(Data[I]));
+      Data[I].~T();
+    }
+    releaseSpill();
+    Data = NewData;
+    Cap = NewCap;
+    FromArena = NewFromArena;
+  }
+
+  void moveFrom(InlineVec &Other) noexcept {
+    Arena = Other.Arena;
+    if (Other.isInline()) {
+      Data = inlineData();
+      Cap = N;
+      FromArena = false;
+      for (size_t I = 0; I != Other.Size; ++I) {
+        ::new (Data + I) T(std::move(Other.Data[I]));
+        Other.Data[I].~T();
+      }
+      Size = Other.Size;
+      Other.Size = 0;
+    } else {
+      // Steal the spill buffer (heap or arena; for arena spill the donor
+      // and recipient share the owning arena's lifetime by construction).
+      Data = Other.Data;
+      Cap = Other.Cap;
+      Size = Other.Size;
+      FromArena = Other.FromArena;
+      Other.Data = Other.inlineData();
+      Other.Cap = N;
+      Other.Size = 0;
+      Other.FromArena = false;
+    }
+  }
+
+  alignas(T) unsigned char InlineBuf[N * sizeof(T)];
+  T *Data = inlineData();
+  size_t Size = 0;
+  size_t Cap = N;
+  BumpArena *Arena = nullptr;
+  bool FromArena = false;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_SUPPORT_INLINEVEC_H

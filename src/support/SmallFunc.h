@@ -1,0 +1,151 @@
+//===- support/SmallFunc.h - Move-only callable, inline captures -*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A move-only std::function replacement for undo logs and commit
+/// actions. Captures up to InlineBytes (default 48) live inside the
+/// object — every undo/redo lambda on the hot path captures a pointer
+/// and one or two scalars, well under the bound — so registering an
+/// action allocates nothing. Larger callables spill to the heap, which
+/// keeps correctness for cold paths (tests, service completions) at the
+/// cost of one allocation there.
+///
+/// Move-only on purpose: an undo action may own resources and must run
+/// at most once per registration; copyability invites double-run bugs
+/// and forces capture copies. Call sites that used to copy a
+/// std::function now move from a mutable source list.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_SUPPORT_SMALLFUNC_H
+#define COMLAT_SUPPORT_SMALLFUNC_H
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace comlat {
+
+template <typename Sig, size_t InlineBytes = 48> class SmallFunc;
+
+/// Type-erased move-only callable with inline capture storage.
+template <typename R, typename... ArgTs, size_t InlineBytes>
+class SmallFunc<R(ArgTs...), InlineBytes> {
+public:
+  SmallFunc() = default;
+
+  /// Wraps any callable. Captures of at most InlineBytes (and at most
+  /// max_align_t alignment) are stored inline; larger ones on the heap.
+  template <typename Fn,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<Fn>, SmallFunc> &&
+                std::is_invocable_r_v<R, std::decay_t<Fn> &, ArgTs...>>>
+  SmallFunc(Fn &&F) {
+    using Callable = std::decay_t<Fn>;
+    if constexpr (sizeof(Callable) <= InlineBytes &&
+                  alignof(Callable) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void *>(Buf)) Callable(std::forward<Fn>(F));
+      Call = &callInline<Callable>;
+      Manage = &manageInline<Callable>;
+    } else {
+      Heap = new Callable(std::forward<Fn>(F));
+      Call = &callHeap<Callable>;
+      Manage = &manageHeap<Callable>;
+    }
+  }
+
+  SmallFunc(SmallFunc &&Other) noexcept { moveFrom(Other); }
+
+  SmallFunc &operator=(SmallFunc &&Other) noexcept {
+    if (this != &Other) {
+      reset();
+      moveFrom(Other);
+    }
+    return *this;
+  }
+
+  SmallFunc(const SmallFunc &) = delete;
+  SmallFunc &operator=(const SmallFunc &) = delete;
+
+  ~SmallFunc() { reset(); }
+
+  explicit operator bool() const { return Call != nullptr; }
+
+  R operator()(ArgTs... Args) const {
+    assert(Call && "calling an empty SmallFunc");
+    return Call(target(), std::forward<ArgTs>(Args)...);
+  }
+
+  /// Drops the callable; the object becomes empty.
+  void reset() {
+    if (Manage)
+      Manage(Op::Destroy, this, nullptr);
+    Call = nullptr;
+    Manage = nullptr;
+    Heap = nullptr;
+  }
+
+private:
+  enum class Op { Destroy, Move };
+
+  using CallFn = R (*)(void *, ArgTs &&...);
+  using ManageFn = void (*)(Op, SmallFunc *, SmallFunc *);
+
+  void *target() const {
+    return Heap ? Heap : const_cast<void *>(static_cast<const void *>(Buf));
+  }
+
+  template <typename Callable>
+  static R callInline(void *P, ArgTs &&...Args) {
+    return (*static_cast<Callable *>(P))(std::forward<ArgTs>(Args)...);
+  }
+
+  template <typename Callable> static R callHeap(void *P, ArgTs &&...Args) {
+    return (*static_cast<Callable *>(P))(std::forward<ArgTs>(Args)...);
+  }
+
+  template <typename Callable>
+  static void manageInline(Op O, SmallFunc *Self, SmallFunc *Dst) {
+    Callable *Src = static_cast<Callable *>(
+        static_cast<void *>(Self->Buf));
+    if (O == Op::Move)
+      ::new (static_cast<void *>(Dst->Buf)) Callable(std::move(*Src));
+    Src->~Callable();
+  }
+
+  template <typename Callable>
+  static void manageHeap(Op O, SmallFunc *Self, SmallFunc *Dst) {
+    if (O == Op::Move) {
+      Dst->Heap = Self->Heap; // Steal; no element move needed.
+      Self->Heap = nullptr;
+    } else {
+      delete static_cast<Callable *>(Self->Heap);
+    }
+  }
+
+  void moveFrom(SmallFunc &Other) noexcept {
+    if (!Other.Call)
+      return;
+    Call = Other.Call;
+    Manage = Other.Manage;
+    Other.Manage(Op::Move, &Other, this);
+    Other.Call = nullptr;
+    Other.Manage = nullptr;
+    Other.Heap = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char Buf[InlineBytes];
+  void *Heap = nullptr;
+  CallFn Call = nullptr;
+  ManageFn Manage = nullptr;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_SUPPORT_SMALLFUNC_H

@@ -86,14 +86,14 @@ TEST(UnionFindTest, CompressionRecordsUndoActions) {
   UF.unite(0, 1, nullptr, nullptr, Changed); // 0 rank 1.
   UF.unite(2, 3, nullptr, nullptr, Changed); // 2 rank 1.
   UF.unite(0, 2, nullptr, nullptr, Changed); // 0 rank 2; 2 under 0.
-  std::vector<GateAction> Actions;
+  GateActionList Actions;
   int64_t R = UfNone;
   UF.find(3, nullptr, &Actions, R);
   EXPECT_EQ(R, 0);
   EXPECT_FALSE(Actions.empty());
   // Undo the compressions: abstract state unchanged, invariants hold.
-  for (auto It = Actions.rbegin(); It != Actions.rend(); ++It)
-    It->Undo();
+  for (size_t I = Actions.size(); I != 0; --I)
+    Actions[I - 1].Undo();
   EXPECT_TRUE(UF.checkInvariants());
   EXPECT_TRUE(UF.sameSet(3, 0));
 }
@@ -101,16 +101,16 @@ TEST(UnionFindTest, CompressionRecordsUndoActions) {
 TEST(UnionFindTest, UniteUndoRestoresExactly) {
   UnionFind UF(8);
   bool Changed = false;
-  std::vector<GateAction> Setup;
+  GateActionList Setup;
   UF.unite(0, 1, nullptr, &Setup, Changed);
   UF.unite(2, 3, nullptr, &Setup, Changed);
   const std::string Before = UF.signature();
-  std::vector<GateAction> Actions;
+  GateActionList Actions;
   UF.unite(1, 3, nullptr, &Actions, Changed);
   EXPECT_TRUE(Changed);
   EXPECT_TRUE(UF.sameSet(0, 2));
-  for (auto It = Actions.rbegin(); It != Actions.rend(); ++It)
-    It->Undo();
+  for (size_t I = Actions.size(); I != 0; --I)
+    Actions[I - 1].Undo();
   EXPECT_EQ(UF.signature(), Before);
   EXPECT_FALSE(UF.sameSet(0, 2));
   // Redo replays it.

@@ -29,7 +29,7 @@ Invocation inv(std::vector<Value> Args, int64_t Ret) {
 }
 
 /// A deterministic pure function for apply terms: f(x) = 2x + 1.
-Value pureFn(const Term &, const std::vector<Value> &Args) {
+Value pureFn(const Term &, ValueSpan Args) {
   return Value::integer(2 * Args[0].asInt() + 1);
 }
 
@@ -89,7 +89,7 @@ TEST(CondProgram, ShortCircuitSkipsApplies) {
       disj({ne(arg1(0), arg2(0)),
             eq(apply(0, StateRef::None, {arg1(0)}), ret2())});
   unsigned Calls = 0;
-  FnResolver Resolver([&Calls](const Term &T, const std::vector<Value> &A) {
+  FnResolver Resolver([&Calls](const Term &T, ValueSpan A) {
     ++Calls;
     return pureFn(T, A);
   });
@@ -117,7 +117,7 @@ TEST(CondProgram, AppliesAreMemoizedPerEvaluation) {
   const TermPtr App = apply(0, StateRef::None, {arg1(0)});
   const FormulaPtr F = conj({ge(App, cst(0)), le(App, cst(100))});
   unsigned Calls = 0;
-  FnResolver Resolver([&Calls](const Term &T, const std::vector<Value> &A) {
+  FnResolver Resolver([&Calls](const Term &T, ValueSpan A) {
     ++Calls;
     return pureFn(T, A);
   });

@@ -49,7 +49,7 @@ TEST_F(EvalTest, Arithmetic) {
 }
 
 TEST_F(EvalTest, ApplyGoesThroughResolver) {
-  FnResolver R([](const Term &Apply, const std::vector<Value> &Args) {
+  FnResolver R([](const Term &Apply, ValueSpan Args) {
     EXPECT_EQ(Apply.Fn, 7u);
     EXPECT_EQ(Args.size(), 2u);
     return Value::integer(Args[0].asInt() * 10 + Args[1].asInt());
@@ -60,7 +60,7 @@ TEST_F(EvalTest, ApplyGoesThroughResolver) {
 }
 
 TEST_F(EvalTest, NestedApplyResolvesInnerFirst) {
-  FnResolver R([](const Term &Apply, const std::vector<Value> &Args) {
+  FnResolver R([](const Term &Apply, ValueSpan Args) {
     if (Apply.Fn == 0)
       return Value::integer(Args[0].asInt() + 1);
     return Value::integer(Args[0].asInt() * 2);
@@ -96,7 +96,7 @@ TEST_F(EvalTest, Connectives) {
 
 TEST_F(EvalTest, ShortCircuitSkipsResolver) {
   unsigned Calls = 0;
-  FnResolver R([&Calls](const Term &, const std::vector<Value> &) {
+  FnResolver R([&Calls](const Term &, ValueSpan) {
     ++Calls;
     return Value::integer(0);
   });

@@ -144,7 +144,7 @@ TEST(LockSchemeTest, AcquisitionsCarryCompiledKeyPrograms) {
   const LockAcquisition &Acq = S.preAcquires(Set.Add)[0];
   ASSERT_NE(Acq.KeyProg, nullptr);
   // The program computes part(arg0); evaluate with part = x mod 4.
-  FnResolver Resolver([](const Term &T, const std::vector<Value> &A) {
+  FnResolver Resolver([](const Term &T, ValueSpan A) {
     EXPECT_EQ(T.Fn, setSig().Part);
     return Value::integer(A[0].asInt() % 4);
   });

@@ -1,0 +1,158 @@
+//===- tests/runtime/PooledTxStressTest.cpp - Transaction pool reuse --------===//
+//
+// The pooled engines (Executor, Submitter) construct one Transaction per
+// worker and reset() it between items and retry attempts, so every inline
+// buffer, grown spill capacity and the overflow arena is reused across
+// thousands of logically distinct transactions. These tests drive that
+// reuse hard enough for the sanitizers to catch lifetime bugs: a
+// single-threaded cycle that forces the undo log through its inline
+// buffer into the arena every round, and a multi-threaded gated-set
+// stress where each thread funnels all its transactions through one
+// pooled object and every round must still admit a serial witness.
+// tsan-labeled (and run under the ASan job) like the striped-gate stress.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/BoostedSet.h"
+#include "runtime/SerialChecker.h"
+#include "runtime/Transaction.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace comlat;
+
+TEST(PooledTxStressTest, UndoSpillReusedAcrossManyResets) {
+  Transaction Tx(1);
+  std::vector<int> Log;
+  TxId Next = 1;
+  for (unsigned Cycle = 0; Cycle != 200; ++Cycle) {
+    Tx.reset(Next++);
+    Log.clear();
+    // 40 undos: well past the 8 inline slots, so every cycle re-spills
+    // into the (rewound) arena.
+    for (int I = 0; I != 40; ++I)
+      Tx.addUndo([&Log, I] { Log.push_back(I); });
+    Tx.addCommitAction([&Log] { Log.push_back(-1); });
+    if (Cycle % 2 == 0) {
+      Tx.commit();
+      // Commit runs commit actions only; undos are dropped unrun.
+      ASSERT_EQ(Log.size(), 1u);
+      EXPECT_EQ(Log[0], -1);
+    } else {
+      Tx.fail();
+      Tx.abort();
+      // Abort runs the undos newest-first and no commit action.
+      ASSERT_EQ(Log.size(), 40u);
+      for (int I = 0; I != 40; ++I)
+        EXPECT_EQ(Log[static_cast<size_t>(I)], 39 - I);
+    }
+  }
+}
+
+TEST(PooledTxStressTest, RecordedHistorySpillResetsCleanly) {
+  // History entries hold Invocations (inline arg storage); spilling the
+  // history list and resetting exercises non-trivial element destruction
+  // against the arena rewind.
+  Transaction Tx(1);
+  TxId Next = 1;
+  for (unsigned Cycle = 0; Cycle != 100; ++Cycle) {
+    Tx.reset(Next++);
+    Tx.setRecording(true);
+    for (int64_t I = 0; I != 20; ++I)
+      Tx.recordInvocation(0x1234, Invocation(0, {Value::integer(I)},
+                                             Value::boolean(true)));
+    ASSERT_EQ(Tx.history().size(), 20u);
+    EXPECT_EQ(Tx.history()[19].second.Args[0].asInt(), 19);
+    Tx.commit();
+  }
+}
+
+namespace {
+
+struct PoolStressCase {
+  const char *Name;
+  uint64_t KeySpace;
+  unsigned Threads;
+  unsigned TxPerThread;
+};
+
+class PooledTxGateStress : public ::testing::TestWithParam<PoolStressCase> {};
+
+std::string poolStressName(
+    const ::testing::TestParamInfo<PoolStressCase> &Info) {
+  return Info.param.Name;
+}
+
+} // namespace
+
+TEST_P(PooledTxGateStress, RecycledTransactionsStaySerializable) {
+  const PoolStressCase &Param = GetParam();
+  for (unsigned Round = 0; Round != 12; ++Round) {
+    const std::unique_ptr<TxSet> Set = makeGatedSet(preciseSetSpec());
+    const unsigned NumThreads = Param.Threads;
+    // Traces of committed transactions, grouped per thread; taken by the
+    // owning thread right before the pooled object is reset and reused.
+    std::vector<std::vector<TxTrace>> Traces(NumThreads);
+
+    std::vector<std::thread> Threads;
+    for (unsigned T = 0; T != NumThreads; ++T)
+      Threads.emplace_back([&, T] {
+        Rng R(uint64_t(Round) * 7919 + T + 1);
+        Transaction Tx(0); // Pooled: one object for all attempts below.
+        for (unsigned A = 0; A != Param.TxPerThread; ++A) {
+          const TxId Id = uint64_t(A) * NumThreads + T + 1;
+          Tx.reset(Id);
+          Tx.setRecording(true);
+          bool Ok = true;
+          for (unsigned Op = 0; Op != 3 && Ok; ++Op) {
+            const int64_t Key =
+                static_cast<int64_t>(R.nextBelow(Param.KeySpace));
+            bool Res = false;
+            switch (R.nextBelow(3)) {
+            case 0:
+              Ok = Set->add(Tx, Key, Res);
+              break;
+            case 1:
+              Ok = Set->remove(Tx, Key, Res);
+              break;
+            default:
+              Ok = Set->contains(Tx, Key, Res);
+              break;
+            }
+          }
+          if (Ok) {
+            Tx.commit();
+            Traces[T].push_back(traceOf(Tx, Id));
+          } else {
+            Tx.abort();
+          }
+        }
+      });
+    for (std::thread &Th : Threads)
+      Th.join();
+
+    std::vector<TxTrace> All;
+    for (const std::vector<TxTrace> &Per : Traces)
+      All.insert(All.end(), Per.begin(), Per.end());
+
+    EXPECT_TRUE(findSerialWitness(
+        All, [] { return std::make_unique<SetReplayer>(); },
+        Set->signature()))
+        << Param.Name << " round " << Round << " with " << All.size()
+        << " committed";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, PooledTxGateStress,
+    ::testing::Values(
+        // Heavy same-key collisions: aborted attempts recycle the pool.
+        PoolStressCase{"colliding_keys", 3, 3, 2},
+        // Mostly distinct keys: long committed streams through one object.
+        PoolStressCase{"distinct_keys", 4096, 3, 2}),
+    poolStressName);

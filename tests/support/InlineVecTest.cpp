@@ -1,0 +1,149 @@
+//===- tests/support/InlineVecTest.cpp - Small-buffer vector ----------------===//
+//
+// The transaction hot path keeps undo logs, argument lists and held-lock
+// records in InlineVec; these tests pin down the storage contract the
+// allocation-free steady state relies on: inline until N, spill to heap or
+// to a bound arena after, capacity kept across clear(), storage dropped by
+// resetStorage(), and move-only element types working through container
+// moves (copies are never instantiated for them).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/InlineVec.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+using namespace comlat;
+
+TEST(InlineVecTest, StaysInlineUpToN) {
+  InlineVec<int, 4> V;
+  for (int I = 0; I != 4; ++I)
+    V.push_back(I);
+  EXPECT_TRUE(V.isInline());
+  EXPECT_EQ(V.size(), 4u);
+  EXPECT_EQ(V.capacity(), 4u);
+  for (int I = 0; I != 4; ++I)
+    EXPECT_EQ(V[static_cast<size_t>(I)], I);
+}
+
+TEST(InlineVecTest, SpillsToHeapBeyondN) {
+  InlineVec<int, 2> V;
+  for (int I = 0; I != 100; ++I)
+    V.push_back(I);
+  EXPECT_FALSE(V.isInline());
+  EXPECT_EQ(V.size(), 100u);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(V[static_cast<size_t>(I)], I);
+}
+
+TEST(InlineVecTest, ClearKeepsSpilledCapacity) {
+  InlineVec<int, 2> V;
+  for (int I = 0; I != 64; ++I)
+    V.push_back(I);
+  const size_t Cap = V.capacity();
+  ASSERT_GE(Cap, 64u);
+  V.clear();
+  EXPECT_TRUE(V.empty());
+  // Refilling to the same size must not grow again.
+  for (int I = 0; I != 64; ++I)
+    V.push_back(I);
+  EXPECT_EQ(V.capacity(), Cap);
+}
+
+TEST(InlineVecTest, ResetStorageReturnsToInline) {
+  InlineVec<int, 2> V;
+  for (int I = 0; I != 16; ++I)
+    V.push_back(I);
+  EXPECT_FALSE(V.isInline());
+  V.resetStorage();
+  EXPECT_TRUE(V.isInline());
+  EXPECT_TRUE(V.empty());
+  EXPECT_EQ(V.capacity(), 2u);
+  V.push_back(7);
+  EXPECT_EQ(V[0], 7);
+}
+
+TEST(InlineVecTest, ArenaBackedSpillSurvivesArenaReuseCycle) {
+  BumpArena Arena;
+  InlineVec<int, 2> V(&Arena);
+  // Several pooled cycles: spill into the arena, read back, then shrink to
+  // inline *before* the arena rewinds — the transaction pool's exact order.
+  for (int Cycle = 0; Cycle != 8; ++Cycle) {
+    for (int I = 0; I != 33; ++I)
+      V.push_back(Cycle * 100 + I);
+    EXPECT_FALSE(V.isInline());
+    for (int I = 0; I != 33; ++I)
+      EXPECT_EQ(V[static_cast<size_t>(I)], Cycle * 100 + I);
+    V.resetStorage();
+    Arena.reset();
+  }
+  EXPECT_TRUE(V.isInline());
+}
+
+TEST(InlineVecTest, MoveOnlyElementsSpillAndMove) {
+  InlineVec<std::unique_ptr<int>, 2> V;
+  for (int I = 0; I != 10; ++I)
+    V.push_back(std::make_unique<int>(I));
+  EXPECT_FALSE(V.isInline());
+
+  // Container move steals the spill buffer; elements stay valid.
+  InlineVec<std::unique_ptr<int>, 2> W(std::move(V));
+  ASSERT_EQ(W.size(), 10u);
+  for (int I = 0; I != 10; ++I)
+    EXPECT_EQ(*W[static_cast<size_t>(I)], I);
+
+  // Move assignment from an inline donor moves element-wise.
+  InlineVec<std::unique_ptr<int>, 2> Inline;
+  Inline.push_back(std::make_unique<int>(42));
+  W = std::move(Inline);
+  ASSERT_EQ(W.size(), 1u);
+  EXPECT_EQ(*W[0], 42);
+}
+
+TEST(InlineVecTest, MoveFromInlineDonorLeavesDonorReusable) {
+  InlineVec<std::string, 4> V;
+  V.push_back("alpha");
+  V.push_back("beta");
+  InlineVec<std::string, 4> W(std::move(V));
+  ASSERT_EQ(W.size(), 2u);
+  EXPECT_EQ(W[0], "alpha");
+  EXPECT_EQ(W[1], "beta");
+  EXPECT_TRUE(V.empty());
+  V.push_back("gamma");
+  EXPECT_EQ(V[0], "gamma");
+}
+
+TEST(InlineVecTest, ResizeGrowsAndShrinks) {
+  InlineVec<int, 2> V;
+  V.resize(5);
+  EXPECT_EQ(V.size(), 5u);
+  for (const int X : V)
+    EXPECT_EQ(X, 0);
+  V.resize(1);
+  EXPECT_EQ(V.size(), 1u);
+}
+
+TEST(InlineVecTest, DestructorsRunExactlyOnce) {
+  struct Probe {
+    explicit Probe(int *C) : C(C) {}
+    Probe(Probe &&O) noexcept : C(O.C) { O.C = nullptr; }
+    Probe(const Probe &) = delete;
+    ~Probe() {
+      if (C)
+        ++*C;
+    }
+    int *C;
+  };
+  int Destroyed = 0;
+  {
+    InlineVec<Probe, 2> V;
+    for (int I = 0; I != 9; ++I)
+      V.emplace_back(&Destroyed);
+    EXPECT_EQ(Destroyed, 0); // Growth moves, never destroys live probes.
+  }
+  EXPECT_EQ(Destroyed, 9);
+}

@@ -1,0 +1,131 @@
+//===- tests/support/SmallFuncTest.cpp - Move-only inline callable ----------===//
+//
+// Undo and commit actions are SmallFuncs; these tests pin down the
+// contract the hot path depends on: small captures live inline (and move
+// without touching the heap pointer), oversized captures spill to the
+// heap but stay correct, move transfers ownership exactly once, and
+// move-only captures (the undo-owns-a-resource case) work end to end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SmallFunc.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+
+using namespace comlat;
+
+TEST(SmallFuncTest, EmptyAndEngaged) {
+  SmallFunc<int()> F;
+  EXPECT_FALSE(static_cast<bool>(F));
+  F = [] { return 5; };
+  ASSERT_TRUE(static_cast<bool>(F));
+  EXPECT_EQ(F(), 5);
+  F.reset();
+  EXPECT_FALSE(static_cast<bool>(F));
+}
+
+TEST(SmallFuncTest, SmallCaptureCallsThrough) {
+  int X = 3;
+  SmallFunc<int(int)> F = [&X](int Y) { return X + Y; };
+  EXPECT_EQ(F(4), 7);
+  X = 10;
+  EXPECT_EQ(F(4), 14);
+}
+
+TEST(SmallFuncTest, MoveTransfersAndEmptiesSource) {
+  int Calls = 0;
+  SmallFunc<void()> F = [&Calls] { ++Calls; };
+  SmallFunc<void()> G(std::move(F));
+  EXPECT_FALSE(static_cast<bool>(F));
+  ASSERT_TRUE(static_cast<bool>(G));
+  G();
+  EXPECT_EQ(Calls, 1);
+
+  SmallFunc<void()> H;
+  H = std::move(G);
+  EXPECT_FALSE(static_cast<bool>(G));
+  H();
+  EXPECT_EQ(Calls, 2);
+}
+
+TEST(SmallFuncTest, MoveOnlyCaptureRunsOnce) {
+  auto P = std::make_unique<int>(99);
+  SmallFunc<int()> F = [P = std::move(P)] { return *P; };
+  SmallFunc<int()> G = std::move(F);
+  EXPECT_EQ(G(), 99);
+}
+
+TEST(SmallFuncTest, LargeCaptureSpillsToHeapAndStaysCorrect) {
+  // 128 bytes of captured state: over the 48-byte inline bound by design.
+  std::array<int, 32> Big;
+  for (int I = 0; I != 32; ++I)
+    Big[static_cast<size_t>(I)] = I;
+  SmallFunc<int()> F = [Big] {
+    int Sum = 0;
+    for (const int X : Big)
+      Sum += X;
+    return Sum;
+  };
+  EXPECT_EQ(F(), 31 * 32 / 2);
+  // Heap-mode move steals the pointer; both directions stay callable.
+  SmallFunc<int()> G = std::move(F);
+  EXPECT_FALSE(static_cast<bool>(F));
+  EXPECT_EQ(G(), 31 * 32 / 2);
+}
+
+TEST(SmallFuncTest, CaptureDestroyedExactlyOnce) {
+  struct Probe {
+    explicit Probe(int *C) : C(C) {}
+    Probe(Probe &&O) noexcept : C(O.C) { O.C = nullptr; }
+    Probe(const Probe &O) = delete;
+    ~Probe() {
+      if (C)
+        ++*C;
+    }
+    void operator()() const {}
+    int *C;
+  };
+  int Destroyed = 0;
+  {
+    SmallFunc<void()> F = Probe(&Destroyed);
+    SmallFunc<void()> G = std::move(F); // Inline move: move + destroy shell.
+    G();
+  }
+  EXPECT_EQ(Destroyed, 1);
+
+  // Heap mode: the spilled callable is deleted exactly once too.
+  struct BigProbe : Probe {
+    using Probe::Probe;
+    unsigned char Pad[128];
+  };
+  Destroyed = 0;
+  {
+    SmallFunc<void()> F = BigProbe(&Destroyed);
+    SmallFunc<void()> G = std::move(F);
+    G();
+    EXPECT_EQ(Destroyed, 0); // Pointer steal: no intermediate destruction.
+  }
+  EXPECT_EQ(Destroyed, 1);
+}
+
+TEST(SmallFuncTest, ReassignmentDropsOldCallable) {
+  int DroppedA = 0, DroppedB = 0;
+  struct Probe {
+    explicit Probe(int *C) : C(C) {}
+    Probe(Probe &&O) noexcept : C(O.C) { O.C = nullptr; }
+    ~Probe() {
+      if (C)
+        ++*C;
+    }
+    void operator()() const {}
+    int *C;
+  };
+  SmallFunc<void()> F = Probe(&DroppedA);
+  F = Probe(&DroppedB);
+  EXPECT_EQ(DroppedA, 1);
+  EXPECT_EQ(DroppedB, 0);
+}
