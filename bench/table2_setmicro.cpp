@@ -88,12 +88,17 @@ int main(int Argc, char **Argv) {
   const uint64_t ModelOps = Opts.getUInt("model-ops", 4096);
 
   if (Csv) {
-    // The seed rides along in every row so an archived CSV is
-    // self-describing enough to reproduce. steady_allocs_per_op is a
-    // bench-level column (ExecStats rows are golden-tested byte-exact):
-    // heap allocations per committed op once the single-threaded probe is
-    // warm, or -1 when the build does not count allocations.
-    std::printf("scheme,input,seed,%s,steady_allocs_per_op\n",
+    // The seed and privatization mode ride along in every row so an
+    // archived CSV is self-describing enough to reproduce.
+    // steady_allocs_per_op is a bench-level column (ExecStats rows are
+    // golden-tested byte-exact): heap allocations per committed op once
+    // the single-threaded probe is warm, or -1 when the build does not
+    // count allocations. None of the Table 2 schemes diverts updates —
+    // the set's add returns the changed bit, which makes it
+    // non-privatizable — so privatized is always 0 here; the privatized
+    // column exists so these rows merge cleanly with privatized runs
+    // (bench/micro_schemes.cpp's blind-insert fixtures).
+    std::printf("scheme,input,seed,privatized,%s,steady_allocs_per_op\n",
                 ExecStats::csvHeader().c_str());
     const SetScheme Schemes[] = {SetScheme::GlobalLock, SetScheme::Exclusive,
                                  SetScheme::ReadWrite, SetScheme::Gatekeeper};
@@ -104,7 +109,7 @@ int main(int Argc, char **Argv) {
         Local.KeyClasses = Input == 0 ? 0 : 10;
         const std::unique_ptr<TxSet> Set = makeMicrobenchSet(Scheme);
         const ExecStats Stats = runSetMicrobench(*Set, Local);
-        std::printf("%s,%s,%llu,%s,%.4f\n", setSchemeName(Scheme),
+        std::printf("%s,%s,%llu,0,%s,%.4f\n", setSchemeName(Scheme),
                     Input == 0 ? "distinct" : "10-class",
                     static_cast<unsigned long long>(P.Seed),
                     Stats.toCsvRow().c_str(), SteadyAllocs);

@@ -170,7 +170,84 @@ def check_alloc_free(csv_path: Path) -> None:
     print(f"ok: {csv_path} alloc-free invariant ({state})")
 
 
+def check_privatized_metrics(baseline_path: Path, metrics_path: Path) -> None:
+    """The PR 6 baseline (BENCH_pr6.json) scopes the privatized-diversion
+    counters. They come from micro_schemes' own registry dump (the table2
+    schemes never divert — set add returns the changed bit — so the
+    table2 metrics file cannot carry them). Beyond key existence:
+
+      * the run diverted work (privatized ops > 0);
+      * at least one merge drained replicas into the master (the fixture's
+        TearDown reads the quiesced value every run, so a zero here means
+        the merge path silently stopped running);
+      * coalescing holds: merged deltas never exceed diverted ops (each
+        transaction's deltas coalesce by slot before publication).
+    """
+    baseline = json.loads(baseline_path.read_text())
+    baseline = {k: v for k, v in baseline.items() if not k.startswith("_")}
+    fresh = json.loads(metrics_path.read_text())
+
+    missing = sorted(set(baseline) - set(fresh))
+    if missing:
+        fail(f"{metrics_path}: privatized baseline metrics missing from "
+             f"fresh run: {missing[:10]}")
+    lost = sorted({base_name(k) for k in baseline} -
+                  {base_name(k) for k in fresh})
+    if lost:
+        fail(f"{metrics_path}: privatized metric families lost: {lost}")
+
+    ops = sum(v for k, v in fresh.items()
+              if base_name(k) == "comlat_privatized_ops_total")
+    merges = sum(v for k, v in fresh.items()
+                 if base_name(k) == "comlat_privatized_merges_total")
+    merged = sum(v for k, v in fresh.items()
+                 if base_name(k) == "comlat_privatized_merged_deltas_total")
+    if ops <= 0:
+        fail(f"{metrics_path}: no operations took the privatized path")
+    if merges < 1:
+        fail(f"{metrics_path}: replicas were never merged back")
+    if merged > ops:
+        fail(f"{metrics_path}: {merged} merged deltas exceed {ops} "
+             f"privatized ops (per-transaction coalescing broken)")
+    print(f"ok: {metrics_path} ({ops} privatized ops, {merges} merges, "
+          f"{merged} merged deltas)")
+
+
+def check_privatized_allocs(bench_json_path: Path) -> None:
+    """The privatized fast path must be allocation-free in steady state:
+    the 1-thread AccumulatorThroughputPrivatized row carries an exact
+    allocs_per_op counter (-1 when the build does not count allocations).
+    """
+    doc = json.loads(bench_json_path.read_text())
+    rows = {b.get("name", ""): b for b in doc.get("benchmarks", [])}
+    name = "AccumulatorThroughputPrivatized/Inc/real_time/threads:1"
+    if name not in rows:
+        fail(f"{bench_json_path}: benchmark row {name} missing")
+    allocs = rows[name].get("allocs_per_op")
+    if allocs is None:
+        fail(f"{bench_json_path}: {name} carries no allocs_per_op counter")
+    if allocs < 0:
+        print(f"ok: {bench_json_path} privatized alloc-free invariant "
+              f"skipped (counting disabled)")
+        return
+    if allocs != 0:
+        fail(f"{bench_json_path}: privatized steady state allocates "
+             f"{allocs} per op (want 0)")
+    print(f"ok: {bench_json_path} privatized path allocation-free")
+
+
 def main() -> None:
+    if len(sys.argv) >= 2 and sys.argv[1] == "--privatized":
+        if len(sys.argv) != 4:
+            print(f"usage: {sys.argv[0]} --privatized BENCH_pr6.json "
+                  f"ARTIFACT_DIR", file=sys.stderr)
+            sys.exit(2)
+        artifacts = Path(sys.argv[3])
+        check_privatized_metrics(Path(sys.argv[2]),
+                                 artifacts / "privatized_metrics.json")
+        check_privatized_allocs(artifacts / "gate_throughput.json")
+        print("bench smoke (privatized): all checks passed")
+        return
     if len(sys.argv) >= 2 and sys.argv[1] == "--update":
         if len(sys.argv) != 4:
             print(f"usage: {sys.argv[0]} --update BASELINE.json "

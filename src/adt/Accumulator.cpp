@@ -106,6 +106,22 @@ public:
 
   std::string gateSignature() const override { return std::to_string(Sum); }
 
+  // Privatization: increment's whole abstract effect is one addition to
+  // the single sum cell (slot 0).
+  bool privSupported(MethodId M) const override {
+    return M == accumulatorSig().Increment;
+  }
+  void privDelta(MethodId M, ValueSpan Args, int64_t &Slot,
+                 int64_t &Amount) override {
+    assert(M == accumulatorSig().Increment && "not privatizable");
+    Slot = 0;
+    Amount = Args[0].asInt();
+  }
+  void privApplyDelta(int64_t Slot, int64_t Amount) override { Sum += Amount; }
+  Invocation privInvocation(int64_t Slot, int64_t Amount) const override {
+    return Invocation(accumulatorSig().Increment, {Value::integer(Amount)});
+  }
+
   int64_t sum() const { return Sum; }
 
 private:
@@ -114,23 +130,28 @@ private:
 
 class GatedAccumulator : public TxAccumulator {
 public:
-  GatedAccumulator()
-      : Keeper(&accumulatorSpec(), &Target, "accumulator-gatekeeper") {
+  explicit GatedAccumulator(bool Privatize)
+      : Keeper(&accumulatorSpec(), &Target,
+               Privatize ? "accumulator-privatized" : "accumulator-gatekeeper",
+               Privatize) {
     // All three conditions fold to constants when compiled (top/bottom),
     // and constant conditions are not key-separable — the read/increment
     // conflict is through the one shared sum — so admission stays on the
     // single-stripe path.
     assert(!Keeper.striped() && "accumulator conditions are not separable");
+    assert(Keeper.privatized() == Privatize &&
+           "increment must classify as privatizable");
   }
 
   bool increment(Transaction &Tx, int64_t Amount) override {
     const AccumulatorSig &S = accumulatorSig();
-    const std::vector<Value> Args = {Value::integer(Amount)};
+    const Value Arg = Value::integer(Amount);
     Value Ret;
-    if (!Keeper.invoke(Tx, S.Increment, Args, Ret))
+    if (!Keeper.invoke(Tx, S.Increment, ValueSpan(&Arg, 1), Ret))
       return false;
     if (Tx.recording())
-      Tx.recordInvocation(tag(), Invocation(S.Increment, Args, Ret));
+      Tx.recordInvocation(tag(),
+                          Invocation(S.Increment, ValueSpan(&Arg, 1), Ret));
     return true;
   }
 
@@ -145,12 +166,17 @@ public:
     return true;
   }
 
-  int64_t value() const override { return Target.sum(); }
-  const char *schemeName() const override { return "accumulator-gatekeeper"; }
+  int64_t value() const override {
+    // Quiesced read: fold outstanding committed privatized deltas into the
+    // master first (no-op when privatization is off).
+    Keeper.mergePrivatizedQuiesced();
+    return Target.sum();
+  }
+  const char *schemeName() const override { return Keeper.name(); }
 
 private:
   AccumulatorGateTarget Target;
-  ForwardGatekeeper Keeper;
+  mutable ForwardGatekeeper Keeper;
 };
 
 } // namespace
@@ -160,7 +186,11 @@ std::unique_ptr<TxAccumulator> comlat::makeLockedAccumulator() {
 }
 
 std::unique_ptr<TxAccumulator> comlat::makeGatedAccumulator() {
-  return std::make_unique<GatedAccumulator>();
+  return std::make_unique<GatedAccumulator>(/*Privatize=*/false);
+}
+
+std::unique_ptr<TxAccumulator> comlat::makePrivatizedAccumulator() {
+  return std::make_unique<GatedAccumulator>(/*Privatize=*/true);
 }
 
 ValidationHarness comlat::accumulatorValidationHarness() {

@@ -64,6 +64,11 @@ std::unique_ptr<TxAccumulator> makeLockedAccumulator();
 /// higher-overhead point of the same lattice element; used in ablations).
 std::unique_ptr<TxAccumulator> makeGatedAccumulator();
 
+/// Gatekept accumulator with privatized coalescing: increments divert to
+/// per-worker replicas (runtime/Privatizer.h) and merge on the first read
+/// or at quiesced boundaries.
+std::unique_ptr<TxAccumulator> makePrivatizedAccumulator();
+
 /// Validation bindings for accumulator specifications.
 ValidationHarness accumulatorValidationHarness();
 

@@ -1,0 +1,175 @@
+//===- adt/ExcessCounter.cpp - Privatizable preflow excess view ------------===//
+
+#include "adt/ExcessCounter.h"
+
+using namespace comlat;
+using namespace comlat::dsl;
+
+ExcessSig::ExcessSig() {
+  AddExcess = Sig.addMethod("addExcess", 2, /*HasRet=*/false,
+                            /*Mutating=*/true);
+  ReadExcess = Sig.addMethod("readExcess", 1, /*HasRet=*/true,
+                             /*Mutating=*/false);
+}
+
+const ExcessSig &comlat::excessSig() {
+  static const ExcessSig S;
+  return S;
+}
+
+const CommSpec &comlat::excessSpec() {
+  static const CommSpec Spec = [] {
+    const ExcessSig &S = excessSig();
+    CommSpec Out(&S.Sig, "excess");
+    Out.set(S.AddExcess, S.AddExcess, top());
+    Out.set(S.AddExcess, S.ReadExcess, ne(arg1(0), arg2(0)));
+    Out.set(S.ReadExcess, S.ReadExcess, top());
+    return Out;
+  }();
+  return Spec;
+}
+
+TxExcessCounter::~TxExcessCounter() = default;
+
+namespace {
+
+/// GateTarget over the dense excess array. Distinct nodes touch distinct
+/// cells, so stripe-level isolation holds trivially and the gatekeeper
+/// stripes admissions by node.
+class ExcessGateTarget : public GateTarget {
+public:
+  explicit ExcessGateTarget(unsigned NumNodes) : Excess(NumNodes, 0) {}
+
+  Value gateExecute(MethodId Method, ValueSpan Args,
+                    GateActionList &Actions) override {
+    const ExcessSig &S = excessSig();
+    const size_t Node = nodeOf(Args[0]);
+    if (Method == S.AddExcess) {
+      const int64_t Amount = Args[1].asInt();
+      Excess[Node] += Amount;
+      Actions.push_back(
+          GateAction{[this, Node, Amount] { Excess[Node] -= Amount; },
+                     [this, Node, Amount] { Excess[Node] += Amount; }});
+      return Value::none();
+    }
+    assert(Method == S.ReadExcess && "unknown excess method");
+    return Value::integer(Excess[Node]);
+  }
+
+  Value gateEvalStateFn(StateFnId F, ValueSpan Args) override {
+    COMLAT_UNREACHABLE("excess counters have no state functions");
+  }
+
+  std::string gateSignature() const override {
+    std::string Out;
+    for (const int64_t E : Excess) {
+      Out += std::to_string(E);
+      Out += ',';
+    }
+    return Out;
+  }
+
+  bool gateConcurrentSafe() const override { return true; }
+
+  bool privSupported(MethodId M) const override {
+    return M == excessSig().AddExcess;
+  }
+  void privDelta(MethodId M, ValueSpan Args, int64_t &Slot,
+                 int64_t &Amount) override {
+    assert(M == excessSig().AddExcess && "not privatizable");
+    Slot = Args[0].asInt();
+    Amount = Args[1].asInt();
+  }
+  void privApplyDelta(int64_t Slot, int64_t Amount) override {
+    Excess[nodeOf(Value::integer(Slot))] += Amount;
+  }
+  Invocation privInvocation(int64_t Slot, int64_t Amount) const override {
+    return Invocation(excessSig().AddExcess,
+                      {Value::integer(Slot), Value::integer(Amount)});
+  }
+
+  int64_t value(int64_t Node) const { return Excess[size_t(Node)]; }
+
+private:
+  size_t nodeOf(const Value &V) const {
+    const size_t Node = size_t(V.asInt());
+    assert(Node < Excess.size() && "node out of range");
+    return Node;
+  }
+
+  std::vector<int64_t> Excess;
+};
+
+class GatedExcessCounter : public TxExcessCounter {
+public:
+  GatedExcessCounter(unsigned NumNodes, bool Privatize)
+      : Target(NumNodes),
+        Keeper(&excessSpec(), &Target,
+               Privatize ? "excess-privatized" : "excess-gatekeeper",
+               Privatize) {
+    assert(Keeper.striped() && "excess conditions are key-separable");
+    assert(Keeper.privatized() == Privatize &&
+           "addExcess must classify as privatizable");
+  }
+
+  bool addExcess(Transaction &Tx, int64_t Node, int64_t Amount) override {
+    const Value Args[2] = {Value::integer(Node), Value::integer(Amount)};
+    Value Ret;
+    if (!Keeper.invoke(Tx, excessSig().AddExcess, ValueSpan(Args, 2), Ret))
+      return false;
+    if (Tx.recording())
+      Tx.recordInvocation(
+          tag(), Invocation(excessSig().AddExcess, ValueSpan(Args, 2), Ret));
+    return true;
+  }
+
+  bool readExcess(Transaction &Tx, int64_t Node, int64_t &Res) override {
+    const Value Arg = Value::integer(Node);
+    Value Ret;
+    if (!Keeper.invoke(Tx, excessSig().ReadExcess, ValueSpan(&Arg, 1), Ret))
+      return false;
+    Res = Ret.asInt();
+    if (Tx.recording())
+      Tx.recordInvocation(
+          tag(), Invocation(excessSig().ReadExcess, ValueSpan(&Arg, 1), Ret));
+    return true;
+  }
+
+  int64_t value(int64_t Node) const override {
+    Keeper.mergePrivatizedQuiesced();
+    return Target.value(Node);
+  }
+  const char *schemeName() const override { return Keeper.name(); }
+
+private:
+  ExcessGateTarget Target;
+  mutable ForwardGatekeeper Keeper;
+};
+
+} // namespace
+
+std::unique_ptr<TxExcessCounter>
+comlat::makeGatedExcessCounter(unsigned NumNodes, bool Privatize) {
+  return std::make_unique<GatedExcessCounter>(NumNodes, Privatize);
+}
+
+Value ExcessReplayer::replay(uintptr_t StructureTag, const Invocation &Inv) {
+  const ExcessSig &S = excessSig();
+  const size_t Node = size_t(Inv.Args[0].asInt());
+  assert(Node < Excess.size() && "node out of range");
+  if (Inv.Method == S.AddExcess) {
+    Excess[Node] += Inv.Args[1].asInt();
+    return Value::none();
+  }
+  assert(Inv.Method == S.ReadExcess && "unknown excess method");
+  return Value::integer(Excess[Node]);
+}
+
+std::string ExcessReplayer::stateSignature() {
+  std::string Out;
+  for (const int64_t E : Excess) {
+    Out += std::to_string(E);
+    Out += ',';
+  }
+  return Out;
+}

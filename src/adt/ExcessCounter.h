@@ -1,0 +1,83 @@
+//===- adt/ExcessCounter.h - Privatizable preflow excess view ---*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The counter-like half of the preflow-push update (§5) as its own ADT: a
+/// dense array of per-node excess counters with a blind addExcess(node,
+/// amount) and a readExcess(node). A full pushFlow is not privatizable —
+/// it reads residuals and returns the pushed amount — but the excess
+/// updates it fans out are: addExcess self-commutes unconditionally and
+/// carries its whole effect as one (node, amount) delta, so the spec
+/// classification diverts it to per-worker replicas while readExcess
+/// blocks and merges. This mirrors how relaxation-style graph algorithms
+/// split a conditional step from commutative counter updates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_ADT_EXCESSCOUNTER_H
+#define COMLAT_ADT_EXCESSCOUNTER_H
+
+#include "core/Spec.h"
+#include "runtime/Gatekeeper.h"
+#include "runtime/SerialChecker.h"
+
+#include <memory>
+#include <vector>
+
+namespace comlat {
+
+/// Method ids of the excess-counter ADT.
+struct ExcessSig {
+  DataTypeSig Sig{"excess"};
+  MethodId AddExcess, ReadExcess;
+
+  ExcessSig();
+};
+
+const ExcessSig &excessSig();
+
+/// addExcess ~ addExcess is top (blind additions commute everywhere, even
+/// on the same node); either pair with readExcess requires distinct nodes;
+/// readExcess ~ readExcess is top. SIMPLE and key-separable.
+const CommSpec &excessSpec();
+
+/// Transactional excess counters; false return = conflict.
+class TxExcessCounter {
+public:
+  virtual ~TxExcessCounter();
+
+  virtual bool addExcess(Transaction &Tx, int64_t Node, int64_t Amount) = 0;
+  virtual bool readExcess(Transaction &Tx, int64_t Node, int64_t &Res) = 0;
+
+  /// Excess of \p Node (quiesced).
+  virtual int64_t value(int64_t Node) const = 0;
+  virtual const char *schemeName() const = 0;
+
+  uintptr_t tag() const { return reinterpret_cast<uintptr_t>(this); }
+};
+
+/// Forward-gatekept excess counters over \p NumNodes nodes; with
+/// \p Privatize additions divert to per-worker replicas and merge on the
+/// first read (or at quiesced boundaries).
+std::unique_ptr<TxExcessCounter> makeGatedExcessCounter(unsigned NumNodes,
+                                                        bool Privatize);
+
+/// Replays excess-counter histories for the serializability oracle.
+class ExcessReplayer : public Replayer {
+public:
+  explicit ExcessReplayer(unsigned NumNodes) : Excess(NumNodes, 0) {}
+
+  Value replay(uintptr_t StructureTag, const Invocation &Inv) override;
+  std::string stateSignature() override;
+
+private:
+  std::vector<int64_t> Excess;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_ADT_EXCESSCOUNTER_H

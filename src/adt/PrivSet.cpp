@@ -1,0 +1,195 @@
+//===- adt/PrivSet.cpp - Blind-insert set for privatization ----------------===//
+
+#include "adt/PrivSet.h"
+
+#include <algorithm>
+
+using namespace comlat;
+using namespace comlat::dsl;
+
+PrivSetSig::PrivSetSig() {
+  Insert = Sig.addMethod("insert", 1, /*HasRet=*/false, /*Mutating=*/true);
+  Remove = Sig.addMethod("remove", 1, /*HasRet=*/false, /*Mutating=*/true);
+  Contains = Sig.addMethod("contains", 1, /*HasRet=*/true,
+                           /*Mutating=*/false);
+}
+
+const PrivSetSig &comlat::privSetSig() {
+  static const PrivSetSig S;
+  return S;
+}
+
+const CommSpec &comlat::privSetSpec() {
+  static const CommSpec Spec = [] {
+    const PrivSetSig &S = privSetSig();
+    CommSpec Out(&S.Sig, "privset");
+    const FormulaPtr KeysDiffer = ne(arg1(0), arg2(0));
+    // Blind mutators self-commute unconditionally: insert;insert leaves
+    // {x, y} regardless of order (likewise remove;remove), and neither
+    // returns anything order could leak through.
+    Out.set(S.Insert, S.Insert, top());
+    Out.set(S.Remove, S.Remove, top());
+    Out.set(S.Insert, S.Remove, KeysDiffer);
+    Out.set(S.Insert, S.Contains, KeysDiffer);
+    Out.set(S.Remove, S.Contains, KeysDiffer);
+    Out.set(S.Contains, S.Contains, top());
+    return Out;
+  }();
+  return Spec;
+}
+
+TxPrivSet::~TxPrivSet() = default;
+
+namespace {
+
+/// GateTarget over sharded IntHashSets (same sharding discipline as the
+/// boosted set: each key's cells live in the shard its admission stripe
+/// serializes). Insert opts into privatized coalescing: its delta is
+/// (Slot = key, Amount = insertion count), applied idempotently.
+class PrivSetGateTarget : public GateTarget {
+public:
+  Value gateExecute(MethodId Method, ValueSpan Args,
+                    GateActionList &Actions) override {
+    const PrivSetSig &S = privSetSig();
+    const int64_t Key = Args[0].asInt();
+    IntHashSet &Set = shardFor(Args[0]);
+    if (Method == S.Insert) {
+      if (Set.insert(Key))
+        Actions.push_back(GateAction{[&Set, Key] { Set.erase(Key); },
+                                     [&Set, Key] { Set.insert(Key); }});
+      return Value::none();
+    }
+    if (Method == S.Remove) {
+      if (Set.erase(Key))
+        Actions.push_back(GateAction{[&Set, Key] { Set.insert(Key); },
+                                     [&Set, Key] { Set.erase(Key); }});
+      return Value::none();
+    }
+    assert(Method == S.Contains && "unknown privset method");
+    return Value::boolean(Set.contains(Key));
+  }
+
+  Value gateEvalStateFn(StateFnId F, ValueSpan Args) override {
+    COMLAT_UNREACHABLE("privset has no state functions");
+  }
+
+  std::string gateSignature() const override {
+    std::vector<int64_t> All;
+    for (const IntHashSet &Set : Shards) {
+      const std::vector<int64_t> Part = Set.sortedElements();
+      All.insert(All.end(), Part.begin(), Part.end());
+    }
+    std::sort(All.begin(), All.end());
+    std::string Out;
+    for (const int64_t Key : All) {
+      Out += std::to_string(Key);
+      Out += ',';
+    }
+    return Out;
+  }
+
+  bool gateConcurrentSafe() const override { return true; }
+
+  bool privSupported(MethodId M) const override {
+    return M == privSetSig().Insert;
+  }
+  void privDelta(MethodId M, ValueSpan Args, int64_t &Slot,
+                 int64_t &Amount) override {
+    assert(M == privSetSig().Insert && "not privatizable");
+    Slot = Args[0].asInt();
+    Amount = 1; // Insert is idempotent; the count only sizes flushes.
+  }
+  void privApplyDelta(int64_t Slot, int64_t Amount) override {
+    shardFor(Value::integer(Slot)).insert(Slot);
+  }
+  Invocation privInvocation(int64_t Slot, int64_t Amount) const override {
+    return Invocation(privSetSig().Insert, {Value::integer(Slot)});
+  }
+
+private:
+  IntHashSet &shardFor(const Value &Key) { return Shards[gateStripeOf(Key)]; }
+
+  IntHashSet Shards[GateStripeCount];
+};
+
+class GatedPrivSet : public TxPrivSet {
+public:
+  explicit GatedPrivSet(bool Privatize)
+      : Keeper(&privSetSpec(), &Target,
+               Privatize ? "privset-privatized" : "privset-gatekeeper",
+               Privatize) {
+    // Every non-trivial condition is a bare keys-differ disjunct, so
+    // admission stripes; insert must survive the greedy classification.
+    assert(Keeper.striped() && "privset conditions are key-separable");
+    assert(Keeper.privatized() == Privatize &&
+           "insert must classify as privatizable");
+  }
+
+  bool insert(Transaction &Tx, int64_t Key) override {
+    return invoke(Tx, privSetSig().Insert, Key, nullptr);
+  }
+  bool remove(Transaction &Tx, int64_t Key) override {
+    return invoke(Tx, privSetSig().Remove, Key, nullptr);
+  }
+  bool contains(Transaction &Tx, int64_t Key, bool &Res) override {
+    return invoke(Tx, privSetSig().Contains, Key, &Res);
+  }
+
+  std::string signature() const override {
+    Keeper.mergePrivatizedQuiesced();
+    return Target.gateSignature();
+  }
+  const char *schemeName() const override { return Keeper.name(); }
+
+private:
+  bool invoke(Transaction &Tx, MethodId Method, int64_t Key, bool *Res) {
+    const Value KeyVal = Value::integer(Key);
+    const ValueSpan Args(&KeyVal, 1);
+    Value Ret;
+    if (!Keeper.invoke(Tx, Method, Args, Ret))
+      return false;
+    if (Res)
+      *Res = Ret.asBool();
+    if (Tx.recording())
+      Tx.recordInvocation(tag(), Invocation(Method, Args, Ret));
+    return true;
+  }
+
+  PrivSetGateTarget Target;
+  mutable ForwardGatekeeper Keeper;
+};
+
+} // namespace
+
+std::unique_ptr<TxPrivSet> comlat::makeGatedPrivSet(bool Privatize) {
+  return std::make_unique<GatedPrivSet>(Privatize);
+}
+
+std::unique_ptr<GateTarget> comlat::makePrivSetGateTarget() {
+  return std::make_unique<PrivSetGateTarget>();
+}
+
+ValidationHarness comlat::privSetValidationHarness(unsigned KeySpace) {
+  ValidationHarness Harness;
+  Harness.MakeTarget = [] { return makePrivSetGateTarget(); };
+  Harness.RandomArgs = [KeySpace](Rng &R, MethodId) {
+    return std::vector<Value>{
+        Value::integer(static_cast<int64_t>(R.nextBelow(KeySpace)))};
+  };
+  return Harness;
+}
+
+Value PrivSetReplayer::replay(uintptr_t StructureTag, const Invocation &Inv) {
+  const PrivSetSig &S = privSetSig();
+  const int64_t Key = Inv.Args[0].asInt();
+  if (Inv.Method == S.Insert) {
+    Set.insert(Key);
+    return Value::none();
+  }
+  if (Inv.Method == S.Remove) {
+    Set.erase(Key);
+    return Value::none();
+  }
+  assert(Inv.Method == S.Contains && "unknown privset method");
+  return Value::boolean(Set.contains(Key));
+}

@@ -1,0 +1,95 @@
+//===- adt/PrivSet.h - Blind-insert set for privatization -------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set variant whose mutators are *blind*: insert(x) and remove(x)
+/// return nothing, so their abstract effect is key-local and
+/// state-independent — exactly the shape privatized coalescing
+/// (runtime/Privatizer.h) requires. Under the strengthened (read/write)
+/// specification insert self-commutes unconditionally and is the only
+/// method the greedy classification privatizes; remove and contains
+/// become blockers that force a merge before running.
+///
+/// This is the set counterpart of the paper's running accumulator example:
+/// the ordinary SetSig::Add returns the changed bit, which makes its
+/// return state-dependent and thus non-privatizable; dropping the return
+/// (many clients never look at it) recovers the unconditional lattice top
+/// for the insert/insert pair and with it the detection-free fast path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_ADT_PRIVSET_H
+#define COMLAT_ADT_PRIVSET_H
+
+#include "core/Spec.h"
+#include "runtime/Gatekeeper.h"
+#include "runtime/SerialChecker.h"
+#include "runtime/SpecValidator.h"
+
+#include "adt/IntHashSet.h"
+
+#include <memory>
+
+namespace comlat {
+
+/// Method ids of the blind-insert set ADT.
+struct PrivSetSig {
+  DataTypeSig Sig{"privset"};
+  MethodId Insert, Remove, Contains;
+
+  PrivSetSig();
+};
+
+const PrivSetSig &privSetSig();
+
+/// The strengthened (read/write) point for the blind signature: mutator
+/// self-pairs are top, every cross pair requires distinct keys. SIMPLE and
+/// key-separable, so the gatekeeper stripes; insert classifies as
+/// privatizable (remove does not — it conflicts with insert on equal keys
+/// and loses the greedy race to the lower method id).
+const CommSpec &privSetSpec();
+
+/// Transactional blind-insert set; false return = conflict.
+class TxPrivSet {
+public:
+  virtual ~TxPrivSet();
+
+  virtual bool insert(Transaction &Tx, int64_t Key) = 0;
+  virtual bool remove(Transaction &Tx, int64_t Key) = 0;
+  virtual bool contains(Transaction &Tx, int64_t Key, bool &Res) = 0;
+
+  /// Abstract-state fingerprint; call only when quiesced.
+  virtual std::string signature() const = 0;
+  virtual const char *schemeName() const = 0;
+
+  uintptr_t tag() const { return reinterpret_cast<uintptr_t>(this); }
+};
+
+/// Forward-gatekept blind set; with \p Privatize inserts divert to
+/// per-worker replicas and merge on the first remove/contains (or at
+/// quiesced boundaries).
+std::unique_ptr<TxPrivSet> makeGatedPrivSet(bool Privatize);
+
+/// A bare blind-set GateTarget (spec validator, custom gatekeepers).
+std::unique_ptr<GateTarget> makePrivSetGateTarget();
+
+/// Validation bindings for the blind-set specification.
+ValidationHarness privSetValidationHarness(unsigned KeySpace = 4);
+
+/// Replays blind-set histories for the serializability oracle.
+class PrivSetReplayer : public Replayer {
+public:
+  Value replay(uintptr_t StructureTag, const Invocation &Inv) override;
+  std::string stateSignature() override { return Set.signature(); }
+
+private:
+  IntHashSet Set;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_ADT_PRIVSET_H

@@ -1,0 +1,119 @@
+//===- core/CommClass.cpp - First-class spec classification ----------------===//
+
+#include "core/CommClass.h"
+#include "core/Spec.h"
+
+using namespace comlat;
+
+const char *comlat::commClassName(CommClass C) {
+  switch (C) {
+  case CommClass::AlwaysCommutes:
+    return "ALWAYS";
+  case CommClass::ConditionallyCommutes:
+    return "CONDITIONAL";
+  case CommClass::NeverCommutes:
+    return "NEVER";
+  }
+  COMLAT_UNREACHABLE("bad CommClass");
+}
+
+/// True when no Apply subterm of \p F reads abstract state (S1/S2).
+static bool formulaStateFree(const FormulaPtr &F) {
+  bool Free = true;
+  forEachApply(F, [&Free](const Term &Apply) {
+    if (Apply.State != StateRef::None)
+      Free = false;
+  });
+  return Free;
+}
+
+SpecClassification::SpecClassification(const CommSpec &Spec) {
+  const DataTypeSig &Sig = Spec.sig();
+  const unsigned NumMethods = Sig.numMethods();
+  assert(Spec.isComplete() && "classification requires a complete spec");
+  assert(NumMethods <= 64 && "method masks are 64-bit");
+
+  Pairs.resize(NumMethods);
+  Methods.resize(NumMethods);
+  for (MethodId M1 = 0; M1 != NumMethods; ++M1) {
+    Pairs[M1].resize(NumMethods);
+    for (MethodId M2 = 0; M2 != NumMethods; ++M2) {
+      PairClass &P = Pairs[M1][M2];
+      P.Cond = Spec.get(M1, M2);
+      P.K = P.Cond->isTrue()    ? CommClass::AlwaysCommutes
+            : P.Cond->isFalse() ? CommClass::NeverCommutes
+                                : CommClass::ConditionallyCommutes;
+      P.Impl = classifyCondition(P.Cond, Sig);
+      if (P.Impl == ConditionClass::Simple)
+        P.Simple = tryGetSimple(P.Cond, Sig);
+      const KeySeparability KS = analyzeKeySeparability(P.Cond);
+      P.Separable = KS.Separable;
+      P.KeyArg1 = KS.Arg1;
+      P.KeyArg2 = KS.Arg2;
+      P.StateFree = formulaStateFree(P.Cond);
+      Worst = worseClass(Worst, P.Impl);
+      if (P.K == CommClass::AlwaysCommutes)
+        Methods[M1].AlwaysMask |= uint64_t(1) << M2;
+    }
+  }
+
+  // The privatization verdict. A method is a privatization *candidate*
+  // when it mutates, returns nothing (a per-worker replica cannot produce
+  // state-dependent return values), and unconditionally self-commutes.
+  // Candidates join the privatized set greedily in method-id order, and
+  // only if they unconditionally commute with every member already in it:
+  // two privatized methods never see each other's conflict detection, so
+  // the whole set must be pairwise AlwaysCommutes.
+  for (MethodId M = 0; M != NumMethods; ++M) {
+    MethodClass &MC = Methods[M];
+    MC.Self = Pairs[M][M].K;
+    const MethodInfo &Info = Sig.method(M);
+    if (!Info.Mutating || Info.HasRet || MC.Self != CommClass::AlwaysCommutes)
+      continue;
+    if ((PrivMask & ~MC.AlwaysMask) == 0) {
+      MC.Privatizable = true;
+      PrivMask |= uint64_t(1) << M;
+    }
+  }
+
+  // Blockers: non-privatizable methods that do not always commute with
+  // some privatized method. Executing one must merge outstanding deltas.
+  for (MethodId M = 0; M != NumMethods; ++M) {
+    MethodClass &MC = Methods[M];
+    if (MC.Privatizable)
+      continue;
+    MC.PrivBlocker = (PrivMask & ~MC.AlwaysMask) != 0;
+    if (MC.PrivBlocker)
+      BlockMask |= uint64_t(1) << M;
+  }
+}
+
+std::string SpecClassification::str(const DataTypeSig &Sig) const {
+  std::string Out;
+  for (MethodId M = 0; M != Methods.size(); ++M) {
+    const MethodClass &MC = Methods[M];
+    Out += Sig.method(M).Name;
+    Out += ": self=";
+    Out += commClassName(MC.Self);
+    if (MC.Privatizable)
+      Out += " privatizable";
+    if (MC.PrivBlocker)
+      Out += " blocker";
+    Out += "\n";
+    for (MethodId N = 0; N != Methods.size(); ++N) {
+      const PairClass &P = Pairs[M][N];
+      Out += "  ~ " + Sig.method(N).Name + ": ";
+      Out += commClassName(P.K);
+      Out += " [";
+      Out += conditionClassName(P.Impl);
+      Out += "]";
+      if (P.Separable)
+        Out += " separable(" + std::to_string(P.KeyArg1) + "," +
+               std::to_string(P.KeyArg2) + ")";
+      if (!P.StateFree)
+        Out += " state-reading";
+      Out += "\n";
+    }
+  }
+  return Out;
+}

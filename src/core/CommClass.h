@@ -1,0 +1,165 @@
+//===- core/CommClass.h - First-class spec classification -------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The first-class classification of a commutativity specification. Every
+/// runtime scheme ultimately asks the same questions of a spec — is this
+/// pair's condition trivially true, trivially false, or conditional; is it
+/// SIMPLE (lockable), key-separable (stripable), free of state reads; does
+/// this method always self-commute — and before this API each scheme
+/// re-derived the answers from the formulas at its own construction site.
+/// SpecClassification computes them once, at spec-construction time, into
+/// plain per-pair / per-method records the hot paths consult as flags:
+///
+///  * PairClass — the ordered pair's CommClass (AlwaysCommutes /
+///    ConditionallyCommutes / NeverCommutes), its oriented simplified
+///    condition, the implementation class it admits (Definition 6/7
+///    hierarchy), its SIMPLE normal form when one exists, and the striping
+///    metadata (key-separable disjunct, state-freeness) the striped
+///    gatekeeper admission is built on.
+///
+///  * MethodClass — the method's self-pair class plus the *privatization*
+///    verdict: a method whose spec says it always commutes with itself
+///    (and whose updates return nothing) can skip conflict detection
+///    entirely and accumulate into a per-worker replica, CommTM-style
+///    (PAPERS.md: Balaji/Tirumala/Lucia). The verdict is mechanical:
+///    computed here once, consulted as a bitmask by the detectors'
+///    divert hooks (runtime/Privatizer.h).
+///
+/// Consumers reach this through CommSpec::classification() /
+/// classifyPair() / classifyMethod(); the Gatekeeper's PairPlans, the
+/// LockScheme mode-compatibility construction (and through it every
+/// AbstractLockManager compatibility check), and the striped-admission
+/// analysis are all derived from these records.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_CORE_COMMCLASS_H
+#define COMLAT_CORE_COMMCLASS_H
+
+#include "core/Classify.h"
+#include "core/CondIR.h"
+#include "core/Expr.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace comlat {
+
+class CommSpec;
+
+/// How an (ordered) method pair commutes under the active lattice point.
+enum class CommClass : uint8_t {
+  AlwaysCommutes,         ///< Condition simplified to true.
+  ConditionallyCommutes,  ///< A genuine condition must be checked.
+  NeverCommutes           ///< Condition simplified to false.
+};
+
+/// Printable name ("ALWAYS", "CONDITIONAL", "NEVER").
+const char *commClassName(CommClass C);
+
+/// Classification of one ordered method pair (first, second).
+struct PairClass {
+  CommClass K = CommClass::ConditionallyCommutes;
+
+  /// The pair's condition, oriented with `first` as the first invocation
+  /// and simplified. Always set (top()/bottom() for the trivial classes).
+  FormulaPtr Cond;
+
+  /// The implementation class the condition admits (§3.4's hierarchy):
+  /// SIMPLE conditions lock, ONLINE-CHECKABLE ones forward-gate, the rest
+  /// need a general gatekeeper.
+  ConditionClass Impl = ConditionClass::Simple;
+
+  /// The SIMPLE normal form; engaged iff Impl == ConditionClass::Simple.
+  /// This is what the LockScheme mode-compatibility construction consumes.
+  std::optional<SimpleForm> Simple;
+
+  /// Key footprint: when Separable, the condition carries a top-level
+  /// disjunct `m1.arg[KeyArg1] != m2.arg[KeyArg2]`, so invocations with
+  /// different keys trivially commute (the striped-admission premise).
+  bool Separable = false;
+  unsigned KeyArg1 = 0;
+  unsigned KeyArg2 = 0;
+
+  /// True when no Apply subterm of Cond reads abstract state (S1 or S2):
+  /// the condition is decidable from invocation values (and pure
+  /// functions) alone. Striped admission requires this — there is no
+  /// single historical state to resolve state reads against.
+  bool StateFree = true;
+
+  bool always() const { return K == CommClass::AlwaysCommutes; }
+  bool never() const { return K == CommClass::NeverCommutes; }
+};
+
+/// Classification of one method against the whole specification.
+struct MethodClass {
+  /// The self-pair class: how invocations of this method commute with
+  /// each other.
+  CommClass Self = CommClass::ConditionallyCommutes;
+
+  /// Bit N set when (this, N) always commutes (both orientations; specs
+  /// are symmetric so one orientation decides).
+  uint64_t AlwaysMask = 0;
+
+  /// The mechanical privatization verdict: true when the method is a
+  /// mutating, value-returning-nothing unconditional self-commuter that
+  /// also unconditionally commutes with every other privatizable method
+  /// of the type. Such updates may bypass conflict detection into a
+  /// per-worker replica; the serial-replay argument needs the whole
+  /// privatized set to be pairwise AlwaysCommutes, hence the closure
+  /// condition (computed greedily in method-id order).
+  bool Privatizable = false;
+
+  /// True for non-privatizable methods that do NOT always commute with
+  /// some privatizable method: executing one forces the runtime to merge
+  /// the outstanding privatized deltas first (the "first non-commuting
+  /// access" of the privatize/merge lifecycle).
+  bool PrivBlocker = false;
+};
+
+/// The complete classification of a specification, computed once from the
+/// spec objects. Obtain through CommSpec::classification(); the spec must
+/// be complete, and the cache is invalidated when the spec changes.
+class SpecClassification {
+public:
+  /// Builds the classification. \p Spec must be complete and outlive any
+  /// use of the Cond pointers held here.
+  explicit SpecClassification(const CommSpec &Spec);
+
+  /// The ordered pair (\p First as the first invocation).
+  const PairClass &pair(MethodId First, MethodId Second) const {
+    return Pairs[First][Second];
+  }
+
+  const MethodClass &method(MethodId M) const { return Methods[M]; }
+
+  /// Bit M set when method M is privatizable (see MethodClass).
+  uint64_t privatizableMask() const { return PrivMask; }
+
+  /// Bit M set when method M is a privatization blocker (see MethodClass).
+  uint64_t blockerMask() const { return BlockMask; }
+
+  /// The worst implementation class over all ordered pairs (what
+  /// CommSpec::classify() reports).
+  ConditionClass worstClass() const { return Worst; }
+
+  /// Multi-line rendering for diagnostics and docs.
+  std::string str(const DataTypeSig &Sig) const;
+
+private:
+  std::vector<std::vector<PairClass>> Pairs; ///< [first][second]
+  std::vector<MethodClass> Methods;
+  uint64_t PrivMask = 0;
+  uint64_t BlockMask = 0;
+  ConditionClass Worst = ConditionClass::Simple;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_CORE_COMMCLASS_H

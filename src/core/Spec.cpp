@@ -13,6 +13,10 @@ CommSpec::CommSpec(const DataTypeSig *Sig, std::string Name)
 void CommSpec::set(MethodId M1, MethodId M2, FormulaPtr F) {
   assert(M1 < Sig->numMethods() && M2 < Sig->numMethods() && "bad method id");
   F = simplify(F);
+  {
+    std::lock_guard<std::mutex> Guard(Cache.Mu);
+    Cache.C.reset();
+  }
   if (M1 <= M2)
     Conditions[{M1, M2}] = std::move(F);
   else
@@ -37,11 +41,14 @@ bool CommSpec::isComplete() const {
 }
 
 ConditionClass CommSpec::classify() const {
-  ConditionClass Class = ConditionClass::Simple;
-  for (MethodId M1 = 0; M1 != Sig->numMethods(); ++M1)
-    for (MethodId M2 = 0; M2 != Sig->numMethods(); ++M2)
-      Class = worseClass(Class, classifyCondition(get(M1, M2), *Sig));
-  return Class;
+  return classification().worstClass();
+}
+
+const SpecClassification &CommSpec::classification() const {
+  std::lock_guard<std::mutex> Guard(Cache.Mu);
+  if (!Cache.C)
+    Cache.C = std::make_unique<SpecClassification>(*this);
+  return *Cache.C;
 }
 
 std::string CommSpec::str() const {

@@ -18,9 +18,12 @@
 #define COMLAT_CORE_SPEC_H
 
 #include "core/Classify.h"
+#include "core/CommClass.h"
 #include "core/Expr.h"
 
 #include <map>
+#include <memory>
+#include <mutex>
 
 namespace comlat {
 
@@ -51,6 +54,24 @@ public:
   /// pairs (a spec is SIMPLE only if every orientation is SIMPLE, etc.).
   ConditionClass classify() const;
 
+  /// The first-class classification of this (complete) specification,
+  /// computed on first use and cached; set() invalidates the cache.
+  /// Detector constructors (Gatekeeper PairPlans, LockScheme mode
+  /// compatibility, the striped-admission analysis, privatization divert
+  /// masks) are all derived from this instead of re-deriving per-pair
+  /// answers from the formulas.
+  const SpecClassification &classification() const;
+
+  /// Classification of the ordered pair (\p M1 first, \p M2 second).
+  const PairClass &classifyPair(MethodId M1, MethodId M2) const {
+    return classification().pair(M1, M2);
+  }
+
+  /// Classification of method \p M against the whole spec.
+  const MethodClass &classifyMethod(MethodId M) const {
+    return classification().method(M);
+  }
+
   /// Pretty multi-line rendering for diagnostics and docs.
   std::string str() const;
 
@@ -66,6 +87,26 @@ private:
   /// Keyed by (min(M1,M2), max(M1,M2)); formula oriented with key.first as
   /// the first invocation.
   std::map<std::pair<MethodId, MethodId>, FormulaPtr> Conditions;
+
+  /// Lazily built classification cache. Like Expr.h's KeyCache it does not
+  /// survive copies (a copied or assigned spec re-derives on first use), so
+  /// CommSpec stays freely copyable for the lattice operations that return
+  /// specs by value. Guarded by a mutex: building is a cold
+  /// construction-time path, but long-lived specs (the static lattice
+  /// points) may be consulted from concurrently constructed detectors.
+  struct ClassCache {
+    ClassCache() = default;
+    ClassCache(const ClassCache &) {}
+    ClassCache &operator=(const ClassCache &) {
+      std::lock_guard<std::mutex> Guard(Mu);
+      C.reset();
+      return *this;
+    }
+
+    mutable std::mutex Mu;
+    mutable std::unique_ptr<SpecClassification> C;
+  };
+  ClassCache Cache;
 };
 
 } // namespace comlat

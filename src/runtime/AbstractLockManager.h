@@ -52,6 +52,12 @@ public:
   bool acquirePost(Transaction &Tx, MethodId M, ValueSpan Args,
                    const Value &Ret);
 
+  /// The scheme's divert hook, re-exported so wrappers holding only the
+  /// manager can consult it: true when the classification marked \p M
+  /// privatizable and the invocation may skip lock acquisition entirely in
+  /// favor of a per-worker replica (runtime/Privatizer.h).
+  bool privatizable(MethodId M) const { return Scheme->privatizable(M); }
+
   void release(Transaction &Tx, bool Committed) override;
   const char *name() const override { return Label.c_str(); }
 

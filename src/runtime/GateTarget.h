@@ -87,6 +87,36 @@ public:
   /// cross-key state, or whose state functions read globally, must keep
   /// the default.
   virtual bool gateConcurrentSafe() const { return false; }
+
+  /// Privatization opt-in (CommTM-style coalescing; runtime/Privatizer.h).
+  /// Returning true for a method the specification classified as
+  /// privatizable promises that the method's entire abstract effect is one
+  /// mergeable delta (Slot, Amount) — an addition to a named counter-like
+  /// cell — reducible via privDelta, re-applicable via privApplyDelta, and
+  /// expressible as one equivalent invocation via privInvocation. For
+  /// striped targets, Slot must be the integer value of the method's key
+  /// argument (the gatekeeper routes merge application by gateStripeOf of
+  /// the slot).
+  virtual bool privSupported(MethodId M) const { return false; }
+
+  /// Reduces one invocation of a privSupported method to its delta.
+  virtual void privDelta(MethodId M, ValueSpan Args, int64_t &Slot,
+                         int64_t &Amount) {
+    COMLAT_UNREACHABLE("target does not support privatization");
+  }
+
+  /// Applies one (coalesced, committed) delta to the current state. Called
+  /// under the same serialization gateExecute runs under; never undone.
+  virtual void privApplyDelta(int64_t Slot, int64_t Amount) {
+    COMLAT_UNREACHABLE("target does not support privatization");
+  }
+
+  /// Renders a pending delta as one invocation with identical abstract
+  /// effect, for flushing through the normal admission path when the
+  /// owning transaction turns out to need conflict detection after all.
+  virtual Invocation privInvocation(int64_t Slot, int64_t Amount) const {
+    COMLAT_UNREACHABLE("target does not support privatization");
+  }
 };
 
 } // namespace comlat

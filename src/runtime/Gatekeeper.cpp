@@ -95,10 +95,13 @@ private:
 } // namespace comlat
 
 Gatekeeper::Gatekeeper(Kind K, const CommSpec *Spec, GateTarget *Target,
-                       std::string Label)
+                       std::string Label, bool Privatize)
     : K(K), Spec(Spec), Target(Target), Label(std::move(Label)) {
   assert(Spec && Target && "gatekeeper requires a spec and a target");
   assert(Spec->isComplete() && "specification must cover all method pairs");
+  assert((!Privatize || K == Kind::Forward) &&
+         "privatized coalescing requires a forward gatekeeper: merges are "
+         "invisible to the general gatekeeper's rollback evaluation");
   const DataTypeSig &Sig = Spec->sig();
   const unsigned NumMethods = Sig.numMethods();
   obs::TraceSession &Session = obs::TraceSession::global();
@@ -106,13 +109,18 @@ Gatekeeper::Gatekeeper(Kind K, const CommSpec *Spec, GateTarget *Target,
   Plans.resize(NumMethods);
   LogPlans.resize(NumMethods);
 
-  // Pass 1: fetch conditions, harvest log terms, register attribution.
+  // Pass 1: pull the per-pair classification, harvest log terms, register
+  // attribution. The classification precomputes per ordered pair the
+  // oriented condition, its CommClass, and the striping metadata the
+  // analysis below consumes.
+  const SpecClassification &Class = Spec->classification();
   for (MethodId M1 = 0; M1 != NumMethods; ++M1) {
     Plans[M1].resize(NumMethods);
     for (MethodId M2 = 0; M2 != NumMethods; ++M2) {
       PairPlan &Plan = Plans[M1][M2];
-      Plan.F = Spec->get(M1, M2);
-      Plan.TriviallyTrue = Plan.F->isTrue();
+      const PairClass &PC = Class.pair(M1, M2);
+      Plan.F = PC.Cond;
+      Plan.TriviallyTrue = PC.always();
       Plan.S2Applies = collectS2Applies(Plan.F);
       if (!Plan.TriviallyTrue) {
         // Abort attribution: a veto of this predicate names the ordered
@@ -185,11 +193,12 @@ Gatekeeper::Gatekeeper(Kind K, const CommSpec *Spec, GateTarget *Target,
     }
   }
 
-  // Striping eligibility: forward kind, concurrency-safe target, every
-  // non-trivial condition key-separable with a consistent key argument per
-  // method, and no abstract-state reads anywhere outside the serialized
-  // execution itself (no state applies in conditions, no s2-applications,
-  // no state-reading log terms).
+  // Striping eligibility, straight off the classification: forward kind,
+  // concurrency-safe target, every non-trivial pair key-separable with a
+  // consistent key argument per method, and state-free (no abstract-state
+  // reads anywhere — which subsumes "no state applies in conditions, no
+  // s2-applications, no state-reading log terms", since log terms and
+  // s2-caches are harvested from the very same formulas).
   KeyArgOf.assign(NumMethods, -1);
   Striped = K == Kind::Forward && Target->gateConcurrentSafe();
   auto NoteKey = [&](MethodId M, unsigned Arg) {
@@ -201,24 +210,56 @@ Gatekeeper::Gatekeeper(Kind K, const CommSpec *Spec, GateTarget *Target,
   };
   for (MethodId M1 = 0; Striped && M1 != NumMethods; ++M1)
     for (MethodId M2 = 0; Striped && M2 != NumMethods; ++M2) {
-      const PairPlan &Plan = Plans[M1][M2];
-      if (Plan.TriviallyTrue)
+      const PairClass &PC = Class.pair(M1, M2);
+      if (PC.always())
         continue;
-      const KeySeparability &KS = Plan.Prog.keySeparability();
-      if (!KS.Separable || Plan.Prog.usesStateApplies() ||
-          !Plan.S2Applies.empty() || !NoteKey(M1, KS.Arg1) ||
-          !NoteKey(M2, KS.Arg2))
+      if (!PC.Separable || !PC.StateFree || !NoteKey(M1, PC.KeyArg1) ||
+          !NoteKey(M2, PC.KeyArg2))
         Striped = false;
     }
-  for (MethodId M = 0; Striped && M != NumMethods; ++M)
-    for (const LogTermPlan &LT : LogPlans[M])
-      if (LT.Prog.usesStateApplies())
-        Striped = false;
 
   const unsigned NumStripes = Striped ? GateStripeCount : 1;
   Stripes.reserve(NumStripes);
   for (unsigned I = 0; I != NumStripes; ++I)
     Stripes.push_back(std::make_unique<Stripe>());
+
+  // Privatized coalescing: divert mask = classification-privatizable AND
+  // target-supported; the blocker mask is recomputed against the effective
+  // divert set (a method conflicting only with an unsupported-privatizable
+  // method needs no census). The whole decision is mechanical — computed
+  // here once from the spec objects, consulted as bitmask tests on the
+  // hot path.
+  if (Privatize) {
+    for (MethodId M = 0; M != NumMethods; ++M)
+      if (Class.method(M).Privatizable && Target->privSupported(M))
+        PrivMask |= uint64_t(1) << M;
+    for (MethodId M = 0; M != NumMethods; ++M) {
+      if ((PrivMask >> M) & 1)
+        continue;
+      if ((PrivMask & ~Class.method(M).AlwaysMask) != 0)
+        PrivBlockMask |= uint64_t(1) << M;
+    }
+#ifndef NDEBUG
+    // Striped routing of merged deltas relies on the GateTarget contract
+    // that a privatizable method's Slot is its key argument's value.
+    if (Striped)
+      for (MethodId M = 0; M != NumMethods; ++M)
+        assert(!((PrivMask >> M) & 1) || KeyArgOf[M] >= 0 ||
+               Spec->sig().method(M).NumArgs == 0);
+#endif
+    if (PrivMask)
+      Priv = std::make_unique<PrivDomain>(
+          [this](int64_t Slot, int64_t Amount) {
+            // Merged deltas apply under the owning stripe's mutex so they
+            // serialize against concurrent admissions. Privatizable
+            // methods key their stripe by the slot (GateTarget contract).
+            Stripe &S =
+                *Stripes[Striped ? gateStripeOf(Value::integer(Slot)) : 0];
+            std::lock_guard<std::mutex> Guard(S.Mu);
+            this->Target->privApplyDelta(Slot, Amount);
+          },
+          this->Label);
+  }
 
   obs::MetricsRegistry &Reg = obs::MetricsRegistry::global();
   StripedAdmits = Reg.counter(obs::metricName(
@@ -265,6 +306,66 @@ bool Gatekeeper::invoke(Transaction &Tx, MethodId M, ValueSpan Args,
   assert(Args.size() == Spec->sig().method(M).NumArgs &&
          "wrong argument count");
   Tx.touch(this);
+  if (Priv) {
+    if ((PrivMask >> M) & 1) {
+      // Privatizable update: divert unless this transaction already became
+      // a blocker (then the master is authoritative for it) or blockers
+      // are live (then fall through to the fully-merged gated path).
+      if (Tx.privState(Priv.get()) != Transaction::PrivState::Blocker) {
+        int64_t Slot, Amount;
+        Target->privDelta(M, Args, Slot, Amount);
+        if (Priv->tryDivert(Tx, Slot, Amount)) {
+          Ret = Value::none();
+          return true;
+        }
+      }
+    } else if ((PrivBlockMask >> M) & 1) {
+      if (!ensurePrivBlocker(Tx, M))
+        return false;
+    }
+  }
+  return invokeGated(Tx, M, Args, Ret);
+}
+
+bool Gatekeeper::ensurePrivBlocker(Transaction &Tx, MethodId M) {
+  switch (Priv->enterBlocker(Tx)) {
+  case PrivDomain::BlockOutcome::Entered:
+  case PrivDomain::BlockOutcome::AlreadyBlocker:
+    return true;
+  case PrivDomain::BlockOutcome::Veto: {
+    // Other live transactions hold unpublished privatized deltas the
+    // merge cannot see; the only sound move is to retry later.
+    Conflicts.fetch_add(1, std::memory_order_relaxed);
+    const uint32_t Detail = obs::packPair(M, M);
+    COMLAT_TRACE(obs::EventKind::GateVeto, Tx.id(), 0, Detail, ObsLabel);
+    Tx.fail(AbortCause::Gatekeeper, Detail, ObsLabel);
+    return false;
+  }
+  case PrivDomain::BlockOutcome::NeedsFlush: {
+    // Self-upgrade: replay this transaction's own pending deltas through
+    // the admission path so they regain undo logging and conflict checks.
+    // A flush veto fails the transaction like any gated conflict — the
+    // abort undoes the flushed prefix, and release drops the rest.
+    bool Ok = true;
+    uint64_t Flushed = 0;
+    Tx.consumePrivDeltas(Priv.get(), [&](int64_t Slot, int64_t Amount) {
+      if (!Ok)
+        return; // Keep consuming: pending deltas must not survive.
+      const Invocation I = Target->privInvocation(Slot, Amount);
+      Value R;
+      Ok = invokeGated(Tx, I.Method, ValueSpan(I.Args.data(), I.Args.size()),
+                       R);
+      ++Flushed;
+    });
+    Priv->noteFlush(Flushed);
+    return Ok;
+  }
+  }
+  COMLAT_UNREACHABLE("bad blocker outcome");
+}
+
+bool Gatekeeper::invokeGated(Transaction &Tx, MethodId M, ValueSpan Args,
+                             Value &Ret) {
   const unsigned StripeIdx = stripeIndexFor(M, Args);
   Stripe &S = *Stripes[StripeIdx];
   if (!S.Mu.try_lock()) {
@@ -450,6 +551,12 @@ void Gatekeeper::undoFor(Transaction &Tx) {
 }
 
 void Gatekeeper::release(Transaction &Tx, bool Committed) {
+  // Privatized release first: publish (commit) or drop (abort) the
+  // transaction's pending deltas and leave its census. Diverted-only
+  // transactions have no stripe state but still pass through here —
+  // invoke touches the detector before diverting.
+  if (Priv)
+    Priv->release(Tx, Committed);
   if (!Striped) {
     cleanStripe(*Stripes[0], Tx.id(), /*Undo=*/false);
     return;

@@ -59,6 +59,7 @@
 #include "core/CondIR.h"
 #include "core/Spec.h"
 #include "runtime/GateTarget.h"
+#include "runtime/Privatizer.h"
 #include "runtime/Transaction.h"
 
 #include <atomic>
@@ -80,8 +81,12 @@ public:
 
   /// \p Spec and \p Target must outlive the gatekeeper. Forward kind
   /// asserts the specification is ONLINE-CHECKABLE in every orientation.
+  /// With \p Privatize (forward kind only), methods the classification
+  /// marked privatizable — intersected with Target->privSupported() — are
+  /// diverted to per-worker replicas (runtime/Privatizer.h) instead of
+  /// admitted; conflicting methods merge first.
   Gatekeeper(Kind K, const CommSpec *Spec, GateTarget *Target,
-             std::string Label);
+             std::string Label, bool Privatize = false);
 
   /// Atomically checks, executes and logs one invocation. On conflict the
   /// invocation's effects are undone, \p Tx is marked failed, and false is
@@ -99,6 +104,23 @@ public:
   /// True when this gatekeeper admits per key stripe (see file comment);
   /// false means the single-stripe (global critical section) fallback.
   bool striped() const { return Striped; }
+
+  /// True when privatized coalescing is enabled (some method diverts).
+  bool privatized() const { return Priv != nullptr; }
+
+  /// Bit M set when invocations of method M divert to the privatized path.
+  uint64_t privMask() const { return PrivMask; }
+
+  /// The privatization domain (null unless privatized(); tests/stats).
+  PrivDomain *privDomain() { return Priv.get(); }
+
+  /// Merges outstanding committed privatized deltas into the target.
+  /// Quiesced callers only (state dumps, value() reads); no-op when
+  /// privatization is off.
+  void mergePrivatizedQuiesced() {
+    if (Priv)
+      Priv->mergeQuiesced();
+  }
 
   /// Number of admission stripes in use (GateStripeCount or 1).
   unsigned numStripes() const { return unsigned(Stripes.size()); }
@@ -193,6 +215,16 @@ private:
   /// also its mutations, newest first). Takes the stripe mutex.
   void cleanStripe(Stripe &S, TxId Tx, bool Undo);
 
+  /// The ordinary admission path (phases 1-5 of the file comment); invoke
+  /// routes here directly when privatization is off or the invocation was
+  /// not diverted.
+  bool invokeGated(Transaction &Tx, MethodId M, ValueSpan Args, Value &Ret);
+
+  /// Joins the blocker census before a non-always-commuting method runs,
+  /// flushing the transaction's own pending deltas through the admission
+  /// path on self-upgrade. False: the transaction was failed (veto).
+  bool ensurePrivBlocker(Transaction &Tx, MethodId M);
+
   Kind K;
   const CommSpec *Spec;
   GateTarget *Target;
@@ -210,6 +242,16 @@ private:
   std::vector<int> KeyArgOf;
   std::vector<std::unique_ptr<Stripe>> Stripes;
 
+  /// Privatized coalescing (null when off). PrivMask: methods that divert
+  /// (classification-privatizable AND target-supported). PrivBlockMask:
+  /// methods that must join the blocker census first (some pair with a
+  /// diverted method is not AlwaysCommutes). Methods in neither mask take
+  /// the gated path directly — they always-commute with every diverted
+  /// method, so outstanding deltas cannot affect them.
+  std::unique_ptr<PrivDomain> Priv;
+  uint64_t PrivMask = 0;
+  uint64_t PrivBlockMask = 0;
+
   std::atomic<uint64_t> Checks{0};
   std::atomic<uint64_t> Conflicts{0};
   std::atomic<uint64_t> RollbackEvals{0};
@@ -224,8 +266,9 @@ private:
 class ForwardGatekeeper : public Gatekeeper {
 public:
   ForwardGatekeeper(const CommSpec *Spec, GateTarget *Target,
-                    std::string Label)
-      : Gatekeeper(Kind::Forward, Spec, Target, std::move(Label)) {}
+                    std::string Label, bool Privatize = false)
+      : Gatekeeper(Kind::Forward, Spec, Target, std::move(Label), Privatize) {
+  }
 };
 
 /// General gatekeeper (§3.3.2): for arbitrary L1 specifications.

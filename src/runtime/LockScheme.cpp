@@ -42,10 +42,11 @@ LockScheme::LockScheme(const CommSpec &Spec) : Sig(&Spec.sig()) {
     Compat[A][B] = 0;
     Compat[B][A] = 0;
   };
+  const SpecClassification &Class = Spec.classification();
+  PrivatizableMask = Class.privatizableMask();
   for (MethodId M1 = 0; M1 != NumMethods; ++M1) {
     for (MethodId M2 = M1; M2 != NumMethods; ++M2) {
-      const std::optional<SimpleForm> Form =
-          tryGetSimple(Spec.get(M1, M2), *Sig);
+      const std::optional<SimpleForm> &Form = Class.pair(M1, M2).Simple;
       if (!Form)
         COMLAT_UNREACHABLE("lock scheme requested for a non-SIMPLE "
                            "specification (Theorem 1 forbids it)");
@@ -126,7 +127,7 @@ LockScheme::LockScheme(const CommSpec &Spec) : Sig(&Spec.sig()) {
     PairProgs[M1].reserve(NumMethods);
     for (MethodId M2 = 0; M2 != NumMethods; ++M2) {
       CondCompiler C;
-      PairProgs[M1].push_back(C.compileFormula(Spec.get(M1, M2)));
+      PairProgs[M1].push_back(C.compileFormula(Class.pair(M1, M2).Cond));
     }
   }
 }

@@ -89,6 +89,19 @@ public:
   /// True when the reduction removed mode \p M entirely.
   bool modeReduced(ModeId M) const { return Reduced[M]; }
 
+  /// The divert hook for privatized commutative-update coalescing: bit M
+  /// set when the classification marked method M privatizable (mutating,
+  /// no return value, unconditionally commutes with itself and with every
+  /// other privatizable method). Boosted wrappers may route such updates
+  /// to a per-worker replica (runtime/Privatizer.h) instead of acquiring
+  /// any abstract lock; for the accumulator this is exactly `increment`.
+  uint64_t privatizableMask() const { return PrivatizableMask; }
+
+  /// Convenience form of the divert hook for one method.
+  bool privatizable(MethodId M) const {
+    return (PrivatizableMask >> M) & 1;
+  }
+
   /// The compiled condition for the ordered pair (the mode-selection
   /// clauses the matrix was derived from; diagnostics, tests, and the
   /// validator's differential mode).
@@ -109,6 +122,7 @@ private:
   std::vector<std::vector<LockAcquisition>> Post;
   std::vector<uint8_t> Reduced;
   std::vector<std::vector<CondProgram>> PairProgs; // [first][second]
+  uint64_t PrivatizableMask = 0;
 };
 
 } // namespace comlat

@@ -1,0 +1,207 @@
+//===- runtime/Privatizer.cpp - Privatized commutative updates -------------===//
+
+#include "runtime/Privatizer.h"
+
+#include "obs/MetricsRegistry.h"
+
+using namespace comlat;
+
+/// One worker's replica: the coalesced deltas of transactions that
+/// committed on this worker since the last merge. Mu covers Committed for
+/// the publish/merge handoff; publishes are uncontended except while a
+/// merge drains.
+struct PrivDomain::Replica {
+  std::mutex Mu;
+  std::vector<std::pair<int64_t, int64_t>> Committed; // (Slot, Amount)
+};
+
+PrivDomain::PrivDomain(ApplyFn Apply, std::string Label)
+    : Apply(std::move(Apply)), Label(std::move(Label)) {
+  static std::atomic<uint64_t> NextSerial{1};
+  Serial = NextSerial.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry &Reg = obs::MetricsRegistry::global();
+  OpsMetric = Reg.counter(obs::metricName("comlat_privatized_ops_total",
+                                          {{"detector", this->Label}}));
+  MergesMetric = Reg.counter(obs::metricName("comlat_privatized_merges_total",
+                                             {{"detector", this->Label}}));
+  MergedDeltasMetric = Reg.counter(obs::metricName(
+      "comlat_privatized_merged_deltas_total", {{"detector", this->Label}}));
+  FallbacksMetric = Reg.counter(obs::metricName(
+      "comlat_privatized_fallbacks_total", {{"detector", this->Label}}));
+  VetoesMetric = Reg.counter(obs::metricName("comlat_privatized_vetoes_total",
+                                             {{"detector", this->Label}}));
+  FlushesMetric = Reg.counter(obs::metricName(
+      "comlat_privatized_flushes_total", {{"detector", this->Label}}));
+}
+
+PrivDomain::~PrivDomain() = default;
+
+PrivDomain::Replica &PrivDomain::localReplica() {
+  // Serial-keyed cache: one entry per (thread, domain) pair, linear scan
+  // (a thread touches very few domains). Keying by serial rather than by
+  // address keeps a recycled domain address from resurrecting a dead
+  // replica pointer.
+  struct CacheEntry {
+    uint64_t Serial;
+    Replica *R;
+  };
+  thread_local std::vector<CacheEntry> Cache;
+  for (const CacheEntry &E : Cache)
+    if (E.Serial == Serial)
+      return *E.R;
+  std::lock_guard<std::mutex> Guard(RepMu);
+  Replicas.push_back(std::make_unique<Replica>());
+  Replica *R = Replicas.back().get();
+  Cache.push_back(CacheEntry{Serial, R});
+  return *R;
+}
+
+bool PrivDomain::tryDivert(Transaction &Tx, int64_t Slot, int64_t Amount) {
+  switch (Tx.privState(this)) {
+  case Transaction::PrivState::Priv:
+    break; // Already counted in the census.
+  case Transaction::PrivState::Blocker:
+    // Once a blocker, always a blocker: the master is merged and stays
+    // authoritative for this transaction, so updates take the normal path.
+    Fallbacks.fetch_add(1, std::memory_order_relaxed);
+    FallbacksMetric->add();
+    return false;
+  case Transaction::PrivState::None: {
+    uint64_t W = Census.load(std::memory_order_relaxed);
+    for (;;) {
+      if (liveBlockers(W) != 0) {
+        // Blockers live: no new private deltas may be created (their
+        // merges must stay complete). Run the update through the normal
+        // admission path instead.
+        Fallbacks.fetch_add(1, std::memory_order_relaxed);
+        FallbacksMetric->add();
+        return false;
+      }
+      if (Census.compare_exchange_weak(W, W + PrivOne,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed))
+        break;
+    }
+    Tx.setPrivState(this, Transaction::PrivState::Priv);
+    break;
+  }
+  }
+  Tx.addPrivDelta(this, Slot, Amount);
+  Diverted.fetch_add(1, std::memory_order_relaxed);
+  OpsMetric->add();
+  return true;
+}
+
+PrivDomain::BlockOutcome PrivDomain::enterBlocker(Transaction &Tx) {
+  switch (Tx.privState(this)) {
+  case Transaction::PrivState::Blocker:
+    // No merge needed: while any blocker lives the priv census stays
+    // empty, so nothing can have been published since this transaction's
+    // own entry merge.
+    return BlockOutcome::AlreadyBlocker;
+  case Transaction::PrivState::None: {
+    uint64_t W = Census.load(std::memory_order_relaxed);
+    for (;;) {
+      if (livePriv(W) != 0) {
+        Vetoes.fetch_add(1, std::memory_order_relaxed);
+        VetoesMetric->add();
+        return BlockOutcome::Veto;
+      }
+      if (Census.compare_exchange_weak(W, W + BlockOne,
+                                       std::memory_order_acquire,
+                                       std::memory_order_relaxed))
+        break;
+    }
+    Tx.setPrivState(this, Transaction::PrivState::Blocker);
+    merge();
+    return BlockOutcome::Entered;
+  }
+  case Transaction::PrivState::Priv: {
+    // Self-upgrade: sound only when this transaction is the whole priv
+    // census — its own unpublished deltas are about to be flushed through
+    // the admission path; anyone else's would be invisible to the merge.
+    uint64_t Expect = PrivOne;
+    if (!Census.compare_exchange_strong(Expect, BlockOne,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+      Vetoes.fetch_add(1, std::memory_order_relaxed);
+      VetoesMetric->add();
+      return BlockOutcome::Veto;
+    }
+    Tx.setPrivState(this, Transaction::PrivState::Blocker);
+    merge();
+    return BlockOutcome::NeedsFlush;
+  }
+  }
+  COMLAT_UNREACHABLE("bad priv state");
+}
+
+void PrivDomain::publish(Transaction &Tx) {
+  Replica &R = localReplica();
+  std::lock_guard<std::mutex> Guard(R.Mu);
+  Tx.consumePrivDeltas(this, [&R](int64_t Slot, int64_t Amount) {
+    for (std::pair<int64_t, int64_t> &E : R.Committed)
+      if (E.first == Slot) {
+        E.second += Amount;
+        return;
+      }
+    R.Committed.emplace_back(Slot, Amount);
+  });
+}
+
+void PrivDomain::release(Transaction &Tx, bool Committed) {
+  switch (Tx.takePrivState(this)) {
+  case Transaction::PrivState::None:
+    return;
+  case Transaction::PrivState::Priv:
+    if (Committed)
+      publish(Tx);
+    else
+      Tx.consumePrivDeltas(this, [](int64_t, int64_t) {}); // Drop.
+    // Leave the census only after the publish: a blocker that observes an
+    // empty priv census must see every committed delta in the replicas.
+    Census.fetch_sub(PrivOne, std::memory_order_release);
+    return;
+  case Transaction::PrivState::Blocker:
+    // Flushed deltas (self-upgrade) went through the admission path; any
+    // residue would mean the flush was interrupted by a veto — the abort
+    // already undid the flushed prefix, so dropping is correct.
+    Tx.consumePrivDeltas(this, [](int64_t, int64_t) {});
+    Census.fetch_sub(BlockOne, std::memory_order_release);
+    return;
+  }
+  COMLAT_UNREACHABLE("bad priv state");
+}
+
+void PrivDomain::merge() {
+  std::lock_guard<std::mutex> MergeGuard(MergeMu);
+  MergeCount.fetch_add(1, std::memory_order_relaxed);
+  MergesMetric->add();
+  MergeScratch.clear();
+  {
+    std::lock_guard<std::mutex> RepGuard(RepMu);
+    for (const std::unique_ptr<Replica> &R : Replicas) {
+      std::lock_guard<std::mutex> Guard(R->Mu);
+      for (const std::pair<int64_t, int64_t> &E : R->Committed)
+        MergeScratch.push_back(E);
+      R->Committed.clear(); // Keeps capacity for the next epoch.
+    }
+  }
+  // Application stays under MergeMu: a concurrent blocker waits above
+  // until the master is complete.
+  for (const std::pair<int64_t, int64_t> &E : MergeScratch)
+    Apply(E.first, E.second);
+  if (!MergeScratch.empty())
+    MergedDeltasMetric->add(MergeScratch.size());
+  MergeScratch.clear();
+}
+
+void PrivDomain::noteFlush(uint64_t N) {
+  if (N)
+    FlushesMetric->add(N);
+}
+
+std::pair<uint32_t, uint32_t> PrivDomain::census() const {
+  const uint64_t W = Census.load(std::memory_order_relaxed);
+  return {livePriv(W), liveBlockers(W)};
+}

@@ -1,0 +1,193 @@
+//===- runtime/Privatizer.h - Privatized commutative updates ----*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Privatized commutative-update coalescing (CommTM-style; PAPERS.md:
+/// Balaji/Tirumala/Lucia, "Flexible Support for Fast Parallel Commutative
+/// Updates"). When the spec classification (core/CommClass.h) proves a
+/// method an unconditional self-commuter that also unconditionally
+/// commutes with every other privatized method, its invocations need no
+/// conflict detection at all: the runtime *diverts* them — no gate stripe,
+/// no abstract lock — into transaction-held deltas that publish to a
+/// per-worker replica at commit and merge into the master structure only
+/// when someone executes a non-commuting method (or at a quiesced
+/// boundary).
+///
+/// A PrivDomain tracks one structure's privatization censuses in a single
+/// packed atomic word: the low half counts live transactions holding
+/// unpublished privatized deltas ("priv"), the high half counts live
+/// transactions that executed a conflicting method ("blockers"). The two
+/// populations exclude each other — entering either side CASes on the
+/// word and requires the other side to be zero — which yields the protocol:
+///
+///  * Divert (privatizable method): join the priv census (or fall back to
+///    the ordinary detector path while blockers live) and append the delta
+///    to the transaction. Nothing is shared: an abort just drops the
+///    records, no undo anywhere.
+///  * Publish (commit release): move the transaction's coalesced deltas
+///    into the committing worker's replica, then leave the census. Commit
+///    sequence numbers are assigned before detectors release (see
+///    runtime/Submitter.h), so every published delta belongs to a
+///    serialized-earlier transaction than anything that later merges.
+///  * Merge (first blocker entry): once the priv census is empty — and it
+///    must be, or the blocker vetoes and retries — drain every worker
+///    replica and apply the deltas to the master structure, under one
+///    merge mutex held across drain *and* apply so concurrent blockers
+///    observe a complete master.
+///  * Self-upgrade: a transaction holding private deltas that then calls a
+///    conflicting method upgrades priv->blocker (sound only when it is the
+///    sole priv member; otherwise veto), merges, and *flushes* its own
+///    pending deltas through the owner's normal admission path so they
+///    regain undo logging and conflict checks for the rest of the
+///    transaction's life.
+///
+/// Serializability: merged deltas belong to committed transactions whose
+/// commit seq precedes every live blocker's; within an epoch privatized
+/// updates pairwise always-commute (the classification's closure
+/// condition), so replaying committed transactions in commit-seq order
+/// reproduces the master state — the SerialChecker / OracleReplica
+/// arguments carry over unchanged. The owner (a forward gatekeeper, or a
+/// boosted wrapper over abstract locks) supplies the apply callback and
+/// must serialize it against its own executions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_RUNTIME_PRIVATIZER_H
+#define COMLAT_RUNTIME_PRIVATIZER_H
+
+#include "runtime/Transaction.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace comlat {
+
+namespace obs {
+class Counter;
+} // namespace obs
+
+/// Privatization census + replica pool for one structure. Owned by the
+/// structure's detector (e.g. Gatekeeper) and driven from its hot path.
+class PrivDomain {
+public:
+  /// Applies one merged (committed) delta to the master structure. Called
+  /// with the merge mutex held; the owner must serialize the application
+  /// against its own method executions (the gatekeeper takes the owning
+  /// stripe's mutex).
+  using ApplyFn = std::function<void(int64_t Slot, int64_t Amount)>;
+
+  /// \p Label names the owning detector in metrics.
+  PrivDomain(ApplyFn Apply, std::string Label);
+  ~PrivDomain();
+
+  PrivDomain(const PrivDomain &) = delete;
+  PrivDomain &operator=(const PrivDomain &) = delete;
+
+  /// Divert attempt for one privatizable update. True: the delta was
+  /// captured privately (the transaction joined or already belonged to the
+  /// priv census) and the invocation is complete. False: blockers are
+  /// live, the caller must run the invocation through its normal
+  /// admission path instead (which is sound — the master is fully merged
+  /// while blockers live).
+  bool tryDivert(Transaction &Tx, int64_t Slot, int64_t Amount);
+
+  /// Outcome of enterBlocker.
+  enum class BlockOutcome : uint8_t {
+    Entered,        ///< Joined the blocker census; outstanding deltas merged.
+    AlreadyBlocker, ///< The transaction was already a blocker.
+    NeedsFlush,     ///< Self-upgraded priv->blocker and merged; the caller
+                    ///< must flush the transaction's pending deltas through
+                    ///< its normal admission path before proceeding.
+    Veto            ///< Other transactions hold unpublished privatized
+                    ///< deltas; the caller must fail the transaction.
+  };
+
+  /// Ensures \p Tx may execute a method that does not always-commute with
+  /// the privatized set: joins the blocker census and merges outstanding
+  /// committed deltas into the master.
+  BlockOutcome enterBlocker(Transaction &Tx);
+
+  /// Release hook, called exactly once per touched transaction from the
+  /// owner's release path: publishes pending deltas (commit) or drops them
+  /// (abort), and leaves whichever census the transaction joined.
+  void release(Transaction &Tx, bool Committed);
+
+  /// Drains and applies all committed replica deltas. Quiesced callers
+  /// only (state dumps, value() reads outside transactions).
+  void mergeQuiesced() { merge(); }
+
+  /// Observability: the owner bumps this when it flushes pending deltas
+  /// through its admission path on self-upgrade.
+  void noteFlush(uint64_t N);
+
+  uint64_t numDiverted() const { return Diverted.load(); }
+  uint64_t numMerges() const { return MergeCount.load(); }
+  uint64_t numFallbacks() const { return Fallbacks.load(); }
+  uint64_t numVetoes() const { return Vetoes.load(); }
+
+  /// Live census snapshot (tests): {priv, blockers}.
+  std::pair<uint32_t, uint32_t> census() const;
+
+private:
+  struct Replica;
+
+  /// Packed census: low 32 bits the priv population, high 32 the blocker
+  /// population. All protocol transitions CAS this word, which is what
+  /// makes the two populations mutually exclusive.
+  static constexpr uint64_t PrivOne = 1;
+  static constexpr uint64_t BlockOne = uint64_t(1) << 32;
+  static uint32_t livePriv(uint64_t W) { return static_cast<uint32_t>(W); }
+  static uint32_t liveBlockers(uint64_t W) {
+    return static_cast<uint32_t>(W >> 32);
+  }
+
+  Replica &localReplica();
+  void publish(Transaction &Tx);
+  void merge();
+
+  std::atomic<uint64_t> Census{0};
+
+  /// Serializes merges and, crucially, covers delta application: a second
+  /// blocker entering mid-merge waits here until the master is complete.
+  std::mutex MergeMu;
+  /// Drained deltas awaiting application; guarded by MergeMu, capacity
+  /// kept across merges.
+  std::vector<std::pair<int64_t, int64_t>> MergeScratch;
+
+  /// Worker replicas, created on a worker's first publish and reused for
+  /// the domain's lifetime. RepMu guards the vector; each replica has its
+  /// own mutex for the publish/merge handoff.
+  std::mutex RepMu;
+  std::vector<std::unique_ptr<Replica>> Replicas;
+
+  ApplyFn Apply;
+  std::string Label;
+  /// Process-unique id for the thread-local replica cache (addresses can
+  /// be reused across domain lifetimes; serials cannot).
+  uint64_t Serial;
+
+  std::atomic<uint64_t> Diverted{0};
+  std::atomic<uint64_t> MergeCount{0};
+  std::atomic<uint64_t> Fallbacks{0};
+  std::atomic<uint64_t> Vetoes{0};
+
+  obs::Counter *OpsMetric = nullptr;
+  obs::Counter *MergesMetric = nullptr;
+  obs::Counter *MergedDeltasMetric = nullptr;
+  obs::Counter *FallbacksMetric = nullptr;
+  obs::Counter *VetoesMetric = nullptr;
+  obs::Counter *FlushesMetric = nullptr;
+};
+
+} // namespace comlat
+
+#endif // COMLAT_RUNTIME_PRIVATIZER_H

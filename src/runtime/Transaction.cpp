@@ -45,6 +45,59 @@ void Transaction::noteHeldLock(const void *Owner, AbstractLock *Lock) {
   HeldLocks.push_back(HeldLockRec{Owner, Lock});
 }
 
+Transaction::PrivState Transaction::privState(const void *Domain) const {
+  for (const PrivStateRec &R : PrivStates)
+    if (R.Domain == Domain)
+      return R.State;
+  return PrivState::None;
+}
+
+void Transaction::setPrivState(const void *Domain, PrivState S) {
+  assert(!Finished && "recording priv state on a finished transaction");
+  for (size_t I = 0; I != PrivStates.size(); ++I)
+    if (PrivStates[I].Domain == Domain) {
+      if (S == PrivState::None) {
+        PrivStates[I] = PrivStates.back();
+        PrivStates.pop_back();
+      } else {
+        PrivStates[I].State = S;
+      }
+      return;
+    }
+  if (S != PrivState::None)
+    PrivStates.push_back(PrivStateRec{Domain, S});
+}
+
+Transaction::PrivState Transaction::takePrivState(const void *Domain) {
+  for (size_t I = 0; I != PrivStates.size(); ++I)
+    if (PrivStates[I].Domain == Domain) {
+      const PrivState S = PrivStates[I].State;
+      PrivStates[I] = PrivStates.back();
+      PrivStates.pop_back();
+      return S;
+    }
+  return PrivState::None;
+}
+
+void Transaction::addPrivDelta(const void *Domain, int64_t Slot,
+                               int64_t Amount) {
+  assert(!Finished && "recording a priv delta on a finished transaction");
+  for (PrivDeltaRec &R : PrivDeltas)
+    if (R.Domain == Domain && R.Slot == Slot) {
+      R.Amount += Amount;
+      return;
+    }
+  PrivDeltas.push_back(PrivDeltaRec{Domain, Slot, Amount});
+}
+
+size_t Transaction::numPrivDeltas(const void *Domain) const {
+  size_t N = 0;
+  for (const PrivDeltaRec &R : PrivDeltas)
+    if (R.Domain == Domain)
+      ++N;
+  return N;
+}
+
 void Transaction::noteStripe(const void *Owner, unsigned StripeIdx) {
   assert(!Finished && "recording a stripe on a finished transaction");
   const uint64_t Bit = UINT64_C(1) << StripeIdx;
@@ -123,6 +176,8 @@ void Transaction::reset(TxId NewId) {
          "resetting a live transaction");
   assert(HeldLocks.empty() && "held locks survived commit/abort");
   assert(StripeMasks.empty() && "stripe masks survived commit/abort");
+  assert(PrivStates.empty() && "privatization state survived commit/abort");
+  assert(PrivDeltas.empty() && "privatized deltas survived commit/abort");
 #ifndef NDEBUG
   // Poison the retired identity so a detector that cached state keyed by
   // the old id (or a stale pointer into History) shows up as a mismatch
@@ -138,6 +193,8 @@ void Transaction::reset(TxId NewId) {
   History.resetStorage();
   HeldLocks.resetStorage();
   StripeMasks.resetStorage();
+  PrivStates.resetStorage();
+  PrivDeltas.resetStorage();
   Arena.reset();
   Id = NewId;
   Failed = false;

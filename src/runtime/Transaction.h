@@ -74,7 +74,8 @@ public:
 
   explicit Transaction(TxId Id)
       : Id(Id), Undos(&Arena), CommitActions(&Arena), Touched(&Arena),
-        History(&Arena), HeldLocks(&Arena), StripeMasks(&Arena) {}
+        History(&Arena), HeldLocks(&Arena), StripeMasks(&Arena),
+        PrivStates(&Arena), PrivDeltas(&Arena) {}
   ~Transaction();
 
   Transaction(const Transaction &) = delete;
@@ -157,6 +158,45 @@ public:
     }
   }
 
+  /// Privatization state of this transaction within one PrivDomain
+  /// (runtime/Privatizer.h). Priv: the transaction holds privatized deltas
+  /// (pending below) and counts in the domain's live-privatized census.
+  /// Blocker: it executed a non-always-commuting method and counts in the
+  /// blocker census. Owner-thread state, like the stripe masks.
+  enum class PrivState : uint8_t { None, Priv, Blocker };
+
+  /// This transaction's privatization state for \p Domain.
+  PrivState privState(const void *Domain) const;
+
+  /// Sets the state for \p Domain (None removes the record).
+  void setPrivState(const void *Domain, PrivState S);
+
+  /// Returns and clears the state for \p Domain (domain release path).
+  PrivState takePrivState(const void *Domain);
+
+  /// Accumulates one privatized delta for \p Domain, coalescing by slot:
+  /// repeated updates of one counter stay one record. The records live in
+  /// the transaction (inline buffer, then the spill arena) — nothing is
+  /// shared until commit, so aborting simply drops them.
+  void addPrivDelta(const void *Domain, int64_t Slot, int64_t Amount);
+
+  /// Removes and visits every pending delta of \p Domain.
+  template <typename Fn> void consumePrivDeltas(const void *Domain, Fn &&F) {
+    for (size_t I = 0; I != PrivDeltas.size();) {
+      if (PrivDeltas[I].Domain == Domain) {
+        const PrivDeltaRec R = PrivDeltas[I];
+        PrivDeltas[I] = PrivDeltas.back();
+        PrivDeltas.pop_back();
+        F(R.Slot, R.Amount);
+      } else {
+        ++I;
+      }
+    }
+  }
+
+  /// Number of pending privatized deltas for \p Domain (tests).
+  size_t numPrivDeltas(const void *Domain) const;
+
   /// Marks admission stripe \p StripeIdx of gatekeeper \p Owner as touched
   /// by this transaction (striped gatekeepers only; see Gatekeeper.h).
   void noteStripe(const void *Owner, unsigned StripeIdx);
@@ -211,6 +251,15 @@ private:
     const void *Owner;
     uint64_t Mask;
   };
+  struct PrivStateRec {
+    const void *Domain;
+    PrivState State;
+  };
+  struct PrivDeltaRec {
+    const void *Domain;
+    int64_t Slot;
+    int64_t Amount;
+  };
 
   /// Overflow storage for the inline containers below; reset() rewinds it
   /// after shrinking every container back to its inline buffer. Declared
@@ -223,6 +272,8 @@ private:
   HistoryList History;
   InlineVec<HeldLockRec, 16> HeldLocks;
   InlineVec<StripeMaskRec, 2> StripeMasks;
+  InlineVec<PrivStateRec, 2> PrivStates;
+  InlineVec<PrivDeltaRec, 8> PrivDeltas;
 };
 
 /// Draws a process-globally unique transaction id from a reserved high

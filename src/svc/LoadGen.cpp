@@ -409,6 +409,7 @@ std::string LoadGenStats::toJson() const {
       {"loadgen_seed", static_cast<double>(Seed)},
       {"loadgen_verify_ran", VerifyRan ? 1.0 : 0.0},
       {"loadgen_verify_ok", VerifyOk ? 1.0 : 0.0},
+      {"loadgen_privatized", Privatized ? 1.0 : 0.0},
   };
   std::string Out = "{\n";
   bool First = true;
@@ -425,7 +426,7 @@ std::string LoadGenStats::toJson() const {
 std::string LoadGenStats::toCsv() const {
   std::string Out = "sent,ok,busy,error,protocol_errors,ops_committed,"
                     "wall_sec,qps,rtt_mean_us,rtt_p50_us,rtt_p99_us,seed,"
-                    "verify_ok\n";
+                    "verify_ok,privatized\n";
   Out += std::to_string(Sent) + "," + std::to_string(OkReplies) + "," +
          std::to_string(BusyReplies) + "," + std::to_string(ErrorReplies) +
          "," + std::to_string(ProtocolErrors) + "," +
@@ -433,7 +434,8 @@ std::string LoadGenStats::toCsv() const {
          jsonNum(achievedQps()) + "," + jsonNum(Rtt.meanMicros()) + "," +
          std::to_string(Rtt.quantileUpperBoundMicros(0.5)) + "," +
          std::to_string(Rtt.quantileUpperBoundMicros(0.99)) + "," +
-         std::to_string(Seed) + "," + (VerifyOk ? "1" : "0") + "\n";
+         std::to_string(Seed) + "," + (VerifyOk ? "1" : "0") + "," +
+         (Privatized ? "1" : "0") + "\n";
   return Out;
 }
 
@@ -453,6 +455,8 @@ std::string LoadGenStats::toText() const {
   Out += "rtt p99 us:       " +
          std::to_string(Rtt.quantileUpperBoundMicros(0.99)) + "\n";
   Out += "seed:             " + std::to_string(Seed) + "\n";
+  Out += std::string("privatized:       ") + (Privatized ? "on" : "off") +
+         "\n";
   if (VerifyRan)
     Out += std::string("verify:           ") + (VerifyOk ? "ok" : "FAILED") +
            (VerifyDetail.empty() ? "" : " (" + VerifyDetail + ")") + "\n";
@@ -462,6 +466,7 @@ std::string LoadGenStats::toText() const {
 LoadGenStats svc::runLoadGen(const LoadGenConfig &Config) {
   LoadGenStats Stats;
   Stats.Seed = Config.Seed;
+  Stats.Privatized = Config.Privatized;
 
   std::vector<ThreadResult> Results(std::max(1u, Config.Threads));
   std::vector<std::thread> Threads;

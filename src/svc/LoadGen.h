@@ -104,6 +104,10 @@ struct LoadGenConfig {
   unsigned UfWeight = 2;
   /// Replay committed batches against an OracleReplica afterwards.
   bool Verify = false;
+  /// Whether the driven server runs its accumulator on the privatized
+  /// path (comlat-serve --privatize); recorded in the run's outputs so
+  /// result files are self-describing.
+  bool Privatized = false;
 };
 
 /// Aggregated outcome of one run.
@@ -125,6 +129,8 @@ struct LoadGenStats {
   bool VerifyOk = false;
   /// First verification mismatch, empty when none.
   std::string VerifyDetail;
+  /// Copied from LoadGenConfig::Privatized.
+  bool Privatized = false;
 
   double achievedQps() const { return WallSec > 0 ? Sent / WallSec : 0; }
 

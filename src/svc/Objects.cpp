@@ -9,9 +9,12 @@
 using namespace comlat;
 using namespace comlat::svc;
 
-ObjectHost::ObjectHost(size_t UfElements)
-    : UfElems(UfElements), Set(makeGatedSet(preciseSetSpec())),
-      Acc(makeLockedAccumulator()), Uf(makeGatedUnionFind(UfElements)) {}
+ObjectHost::ObjectHost(size_t UfElements, bool PrivatizeAcc)
+    : UfElems(UfElements), PrivAcc(PrivatizeAcc),
+      Set(makeGatedSet(preciseSetSpec())),
+      Acc(PrivatizeAcc ? makePrivatizedAccumulator()
+                       : makeLockedAccumulator()),
+      Uf(makeGatedUnionFind(UfElements)) {}
 
 bool ObjectHost::applyOp(Transaction &Tx, const Op &O, int64_t &Result) {
   assert(validOp(O, UfElems) && "ops are validated at the protocol layer");

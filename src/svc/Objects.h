@@ -44,9 +44,15 @@ namespace svc {
 /// transaction; stateText() only when quiesced.
 class ObjectHost {
 public:
-  explicit ObjectHost(size_t UfElements);
+  /// With \p PrivatizeAcc the accumulator runs behind the privatized
+  /// gatekeeper (increments divert to per-worker replicas; reads merge)
+  /// instead of the abstract-lock scheme.
+  explicit ObjectHost(size_t UfElements, bool PrivatizeAcc = false);
 
   size_t ufElements() const { return UfElems; }
+
+  /// Whether the accumulator runs on the privatized path.
+  bool privatizedAcc() const { return PrivAcc; }
 
   /// Executes \p O (which must satisfy validOp) inside \p Tx. Returns
   /// false when a detector vetoed — Tx is failed and the caller must stop
@@ -60,6 +66,7 @@ public:
 
 private:
   size_t UfElems;
+  bool PrivAcc;
   std::unique_ptr<TxSet> Set;
   std::unique_ptr<TxAccumulator> Acc;
   std::unique_ptr<TxUnionFind> Uf;

@@ -654,7 +654,7 @@ void IoThread::run() {
 unsigned IoThread::NextAccept = 0;
 
 Server::Server(const ServerConfig &Config)
-    : Config(Config), Host(Config.UfElements),
+    : Config(Config), Host(Config.UfElements, Config.PrivatizeAcc),
       Submit({.NumThreads = Config.Workers,
               .QueueCapacity = Config.QueueCapacity,
               .Backoff = Config.Backoff,

@@ -73,6 +73,9 @@ struct ServerConfig {
   unsigned IdleTimeoutMs = 0;
   /// Element count of the hosted union-find.
   size_t UfElements = 1024;
+  /// Run the hosted accumulator behind the privatized gatekeeper
+  /// (increments divert to per-worker replicas) instead of abstract locks.
+  bool PrivatizeAcc = false;
   /// Post-abort backoff for batch retries.
   BackoffPolicy Backoff{};
   /// Retry bound per batch (0 = until commit); exhausting it produces an

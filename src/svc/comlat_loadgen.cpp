@@ -23,8 +23,8 @@ int main(int Argc, char **Argv) {
   const Options Opts(Argc, Argv);
   Opts.checkKnown({"host", "port", "threads", "batches", "duration",
                    "ops-per-batch", "qps", "seed", "keyspace", "uf-elements",
-                   "set-weight", "acc-weight", "uf-weight", "verify", "csv",
-                   "json", "metrics-out"});
+                   "set-weight", "acc-weight", "uf-weight", "verify",
+                   "privatized", "csv", "json", "metrics-out"});
 
   svc::LoadGenConfig Config;
   Config.Host = Opts.getString("host", "127.0.0.1");
@@ -41,6 +41,7 @@ int main(int Argc, char **Argv) {
   Config.AccWeight = static_cast<unsigned>(Opts.getUInt("acc-weight", 2));
   Config.UfWeight = static_cast<unsigned>(Opts.getUInt("uf-weight", 2));
   Config.Verify = Opts.getBool("verify");
+  Config.Privatized = Opts.getBool("privatized");
 
   const svc::LoadGenStats Stats = svc::runLoadGen(Config);
 

@@ -26,8 +26,8 @@ int main(int Argc, char **Argv) {
   const Options Opts(Argc, Argv);
   Opts.checkKnown({"port", "bind", "port-file", "io-threads", "workers",
                    "queue", "idle-timeout-ms", "max-write-buffer",
-                   "uf-elements", "max-attempts", "trace", "trace-events",
-                   "metrics", "metrics-json"});
+                   "uf-elements", "max-attempts", "privatize", "trace",
+                   "trace-events", "metrics", "metrics-json"});
   obs::ScopedObs Obs(Opts);
 
   svc::ServerConfig Config;
@@ -41,6 +41,7 @@ int main(int Argc, char **Argv) {
   Config.MaxWriteBuffered = Opts.getUInt("max-write-buffer", 256 * 1024);
   Config.UfElements = Opts.getUInt("uf-elements", 1024);
   Config.MaxAttempts = static_cast<unsigned>(Opts.getUInt("max-attempts", 0));
+  Config.PrivatizeAcc = Opts.getBool("privatize");
 
   // Block the shutdown signals before any thread spawns so every thread
   // inherits the mask and sigwait() below is the only receiver.
@@ -56,8 +57,9 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "comlat-serve: %s\n", Err.c_str());
     return 1;
   }
-  std::printf("comlat-serve listening on %s:%u\n", Config.BindAddress.c_str(),
-              unsigned(Srv.port()));
+  std::printf("comlat-serve listening on %s:%u%s\n",
+              Config.BindAddress.c_str(), unsigned(Srv.port()),
+              Config.PrivatizeAcc ? " (privatized accumulator)" : "");
   std::fflush(stdout);
 
   const std::string PortFile = Opts.getString("port-file", "");

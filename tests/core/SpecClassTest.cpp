@@ -1,0 +1,225 @@
+//===- tests/core/SpecClassTest.cpp - First-class spec classification --------===//
+//
+// The SpecClassification contract: the per-pair CommClass verdicts agree
+// with brute-force interpretation of the original condition formulas, the
+// per-method records are consistent projections of the pair table, and
+// the privatization masks single out exactly the blind, unconditionally
+// self-commuting mutators on every lattice point we ship.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Accumulator.h"
+#include "adt/ExcessCounter.h"
+#include "adt/PrivSet.h"
+#include "adt/SetSpecs.h"
+#include "core/Eval.h"
+#include "core/Spec.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace comlat;
+using namespace comlat::dsl;
+
+namespace {
+
+/// Every shipped lattice point under test.
+std::vector<const CommSpec *> allSpecs() {
+  return {&preciseSetSpec(), &strengthenedSetSpec(), &exclusiveSetSpec(),
+          &partitionedSetSpec(), &bottomSetSpec(), &accumulatorSpec(),
+          &privSetSpec(), &excessSpec()};
+}
+
+/// All argument vectors over {0..3}^arity.
+std::vector<std::vector<Value>> argSamples(unsigned Arity) {
+  std::vector<std::vector<Value>> Out{{}};
+  for (unsigned A = 0; A != Arity; ++A) {
+    std::vector<std::vector<Value>> Next;
+    for (const std::vector<Value> &Prefix : Out)
+      for (int64_t V = 0; V != 4; ++V) {
+        std::vector<Value> Ext = Prefix;
+        Ext.push_back(Value::integer(V));
+        Next.push_back(std::move(Ext));
+      }
+    Out = std::move(Next);
+  }
+  return Out;
+}
+
+std::vector<Value> retSamples(bool HasRet) {
+  if (!HasRet)
+    return {Value::none()};
+  return {Value::boolean(false), Value::boolean(true)};
+}
+
+} // namespace
+
+// Brute-force ground truth: evaluate each pair's original (unsimplified)
+// condition over every argument/return combination from a small domain and
+// check the classified CommClass matches — ALWAYS iff every sample is
+// true, NEVER iff every sample is false, CONDITIONAL iff both occur. The
+// shipped specs' conditions are all state-free (the set lattice's only
+// application, part(), is pure), so formula interpretation needs no
+// historical state; the domain {0..3} with part = key mod 2 exercises
+// both sides of every equality and partition clause.
+TEST(SpecClassTest, ClassificationAgreesWithInterpretedSpec) {
+  FnResolver PartResolver([](const Term &, ValueSpan Args) {
+    return Value::integer(Args[0].asInt() % 2);
+  });
+  for (const CommSpec *Spec : allSpecs()) {
+    const DataTypeSig &Sig = Spec->sig();
+    for (MethodId M1 = 0; M1 != Sig.numMethods(); ++M1)
+      for (MethodId M2 = 0; M2 != Sig.numMethods(); ++M2) {
+        const PairClass &PC = Spec->classifyPair(M1, M2);
+        ASSERT_TRUE(PC.StateFree)
+            << Spec->name() << ": unexpected impure state application";
+        const FormulaPtr Cond = Spec->get(M1, M2);
+        bool SawTrue = false, SawFalse = false;
+        for (const std::vector<Value> &A1 : argSamples(Sig.method(M1).NumArgs))
+          for (const std::vector<Value> &A2 :
+               argSamples(Sig.method(M2).NumArgs))
+            for (const Value &R1 : retSamples(Sig.method(M1).HasRet))
+              for (const Value &R2 : retSamples(Sig.method(M2).HasRet)) {
+                const Invocation I1(
+                    M1, ValueSpan(A1.data(), A1.size()), R1);
+                const Invocation I2(
+                    M2, ValueSpan(A2.data(), A2.size()), R2);
+                EvalContext Ctx{&I1, &I2, &PartResolver};
+                (evalFormula(Cond, Ctx) ? SawTrue : SawFalse) = true;
+              }
+        switch (PC.K) {
+        case CommClass::AlwaysCommutes:
+          EXPECT_TRUE(SawTrue && !SawFalse)
+              << Spec->name() << " (" << Sig.method(M1).Name << ", "
+              << Sig.method(M2).Name << ") classified ALWAYS";
+          break;
+        case CommClass::NeverCommutes:
+          EXPECT_TRUE(SawFalse && !SawTrue)
+              << Spec->name() << " (" << Sig.method(M1).Name << ", "
+              << Sig.method(M2).Name << ") classified NEVER";
+          break;
+        case CommClass::ConditionallyCommutes:
+          EXPECT_TRUE(SawTrue && SawFalse)
+              << Spec->name() << " (" << Sig.method(M1).Name << ", "
+              << Sig.method(M2).Name << ") classified CONDITIONAL";
+          break;
+        }
+      }
+  }
+}
+
+// The per-method record is a projection of the pair table: Self is the
+// self-pair class, and AlwaysMask bit N holds exactly when (M, N) is
+// ALWAYS. Specs are symmetric, so one orientation decides.
+TEST(SpecClassTest, MethodRecordsProjectPairTable) {
+  for (const CommSpec *Spec : allSpecs()) {
+    const DataTypeSig &Sig = Spec->sig();
+    for (MethodId M = 0; M != Sig.numMethods(); ++M) {
+      const MethodClass &MC = Spec->classifyMethod(M);
+      EXPECT_EQ(MC.Self, Spec->classifyPair(M, M).K) << Spec->name();
+      for (MethodId N = 0; N != Sig.numMethods(); ++N)
+        EXPECT_EQ((MC.AlwaysMask >> N) & 1,
+                  Spec->classifyPair(M, N).always() ? 1u : 0u)
+            << Spec->name() << " " << Sig.method(M).Name << " vs "
+            << Sig.method(N).Name;
+    }
+  }
+}
+
+// The privatization verdicts on the shipped lattice points. The set's add
+// returns the changed bit, so no set spec privatizes anything; the three
+// privatizable ADTs each divert exactly their blind mutator and block on
+// everything that conditionally conflicts with it.
+TEST(SpecClassTest, PrivatizationMasks) {
+  for (const CommSpec *Spec : {&preciseSetSpec(), &strengthenedSetSpec(),
+                               &exclusiveSetSpec(), &partitionedSetSpec(),
+                               &bottomSetSpec()}) {
+    EXPECT_EQ(Spec->classification().privatizableMask(), 0u) << Spec->name();
+    EXPECT_EQ(Spec->classification().blockerMask(), 0u) << Spec->name();
+  }
+
+  const AccumulatorSig &AS = accumulatorSig();
+  EXPECT_EQ(accumulatorSpec().classification().privatizableMask(),
+            uint64_t(1) << AS.Increment);
+  EXPECT_EQ(accumulatorSpec().classification().blockerMask(),
+            uint64_t(1) << AS.Read);
+
+  const PrivSetSig &PS = privSetSig();
+  EXPECT_EQ(privSetSpec().classification().privatizableMask(),
+            uint64_t(1) << PS.Insert);
+  EXPECT_EQ(privSetSpec().classification().blockerMask(),
+            (uint64_t(1) << PS.Remove) | (uint64_t(1) << PS.Contains));
+
+  const ExcessSig &ES = excessSig();
+  EXPECT_EQ(excessSpec().classification().privatizableMask(),
+            uint64_t(1) << ES.AddExcess);
+  EXPECT_EQ(excessSpec().classification().blockerMask(),
+            uint64_t(1) << ES.ReadExcess);
+}
+
+// A method with a return value never privatizes, no matter how liberal its
+// commutativity: the replica cannot produce the return without the master
+// state. The blind privset insert is the same lattice condition (top)
+// without the return, and does.
+TEST(SpecClassTest, ReturnValueBlocksPrivatization) {
+  const SetSig &SS = setSig();
+  EXPECT_TRUE(preciseSetSpec().classifyPair(SS.Contains, SS.Contains).always());
+  EXPECT_FALSE(preciseSetSpec().classifyMethod(SS.Contains).Privatizable);
+
+  const PrivSetSig &PS = privSetSig();
+  EXPECT_TRUE(privSetSpec().classifyPair(PS.Insert, PS.Insert).always());
+  EXPECT_TRUE(privSetSpec().classifyMethod(PS.Insert).Privatizable);
+  // remove also self-commutes unconditionally, but it only conditionally
+  // commutes with insert, so the greedy closure (method-id order) keeps it
+  // out of the privatized set and it becomes a blocker instead.
+  EXPECT_TRUE(privSetSpec().classifyPair(PS.Remove, PS.Remove).always());
+  EXPECT_FALSE(privSetSpec().classifyMethod(PS.Remove).Privatizable);
+  EXPECT_TRUE(privSetSpec().classifyMethod(PS.Remove).PrivBlocker);
+}
+
+// set() invalidates the lazily built classification cache: re-pointing a
+// pair re-derives the verdicts.
+TEST(SpecClassTest, SetterInvalidatesCache) {
+  DataTypeSig Sig("cache-probe");
+  const MethodId Bump = Sig.addMethod("bump", 1, /*HasRet=*/false,
+                                      /*Mutating=*/true);
+  CommSpec Spec(&Sig, "cache-probe");
+  Spec.set(Bump, Bump, top());
+  EXPECT_TRUE(Spec.classifyPair(Bump, Bump).always());
+  EXPECT_EQ(Spec.classification().privatizableMask(), uint64_t(1) << Bump);
+
+  Spec.set(Bump, Bump, ne(arg1(0), arg2(0)));
+  EXPECT_EQ(Spec.classifyPair(Bump, Bump).K,
+            CommClass::ConditionallyCommutes);
+  EXPECT_EQ(Spec.classification().privatizableMask(), 0u);
+
+  // Copies re-derive rather than share the cache.
+  const CommSpec Copy = Spec;
+  EXPECT_EQ(Copy.classifyPair(Bump, Bump).K,
+            CommClass::ConditionallyCommutes);
+}
+
+// Striping metadata: the key-separable disjunct and state-freeness feed
+// the striped-admission analysis, so pin them on the specs that stripe.
+TEST(SpecClassTest, SeparabilityMetadata) {
+  const SetSig &SS = setSig();
+  const PairClass &AddRemove =
+      strengthenedSetSpec().classifyPair(SS.Add, SS.Remove);
+  EXPECT_TRUE(AddRemove.Separable);
+  EXPECT_EQ(AddRemove.KeyArg1, 0u);
+  EXPECT_EQ(AddRemove.KeyArg2, 0u);
+
+  const ExcessSig &ES = excessSig();
+  const PairClass &AddRead =
+      excessSpec().classifyPair(ES.AddExcess, ES.ReadExcess);
+  EXPECT_TRUE(AddRead.Separable);
+  EXPECT_EQ(AddRead.KeyArg1, 0u);
+  EXPECT_EQ(AddRead.KeyArg2, 0u);
+
+  // The accumulator's conflict is through the one shared cell — nothing
+  // to stripe on.
+  const AccumulatorSig &AS = accumulatorSig();
+  EXPECT_FALSE(
+      accumulatorSpec().classifyPair(AS.Increment, AS.Read).Separable);
+}

@@ -1,0 +1,167 @@
+//===- tests/runtime/PrivatizerTest.cpp - Privatization census protocol ------===//
+//
+// Drives a PrivDomain directly — an apply callback into a local array
+// stands in for the owning detector — and pins the census protocol:
+// divert/publish/merge, the abort-drops-deltas rule, the mutual exclusion
+// between the priv and blocker populations (veto and fallback), and the
+// sole-member self-upgrade that hands pending deltas back for flushing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Privatizer.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+using namespace comlat;
+
+namespace {
+
+struct DomainFixture : public ::testing::Test {
+  std::array<int64_t, 8> Master{};
+  PrivDomain Domain{[this](int64_t Slot, int64_t Amount) {
+                      Master[size_t(Slot)] += Amount;
+                    },
+                    "privatizer-test"};
+};
+
+} // namespace
+
+TEST_F(DomainFixture, DivertPublishMergeLifecycle) {
+  Transaction Tx(1);
+  EXPECT_TRUE(Domain.tryDivert(Tx, /*Slot=*/5, /*Amount=*/3));
+  EXPECT_TRUE(Domain.tryDivert(Tx, 5, 4));
+  EXPECT_TRUE(Domain.tryDivert(Tx, 2, 1));
+  // Repeated updates of one slot coalesce into one transaction-held record.
+  EXPECT_EQ(Tx.numPrivDeltas(&Domain), 2u);
+  EXPECT_EQ(Domain.census(), (std::pair<uint32_t, uint32_t>{1, 0}));
+
+  // Publish on commit: deltas leave the transaction, but the master is
+  // untouched until someone needs it.
+  Domain.release(Tx, /*Committed=*/true);
+  Tx.commit();
+  EXPECT_EQ(Domain.census(), (std::pair<uint32_t, uint32_t>{0, 0}));
+  EXPECT_EQ(Master[5], 0);
+
+  // First blocker entry merges the replicas into the master.
+  Transaction Blocker(2);
+  EXPECT_EQ(Domain.enterBlocker(Blocker), PrivDomain::BlockOutcome::Entered);
+  EXPECT_EQ(Master[5], 7);
+  EXPECT_EQ(Master[2], 1);
+  EXPECT_EQ(Domain.census(), (std::pair<uint32_t, uint32_t>{0, 1}));
+  EXPECT_EQ(Domain.enterBlocker(Blocker),
+            PrivDomain::BlockOutcome::AlreadyBlocker);
+  Domain.release(Blocker, true);
+  Blocker.commit();
+  EXPECT_EQ(Domain.census(), (std::pair<uint32_t, uint32_t>{0, 0}));
+
+  EXPECT_EQ(Domain.numDiverted(), 3u);
+  EXPECT_GE(Domain.numMerges(), 1u);
+}
+
+TEST_F(DomainFixture, AbortDropsDeltas) {
+  Transaction Tx(1);
+  EXPECT_TRUE(Domain.tryDivert(Tx, 0, 42));
+  Domain.release(Tx, /*Committed=*/false);
+  Tx.abort();
+
+  Domain.mergeQuiesced();
+  EXPECT_EQ(Master[0], 0);
+}
+
+TEST_F(DomainFixture, BlockerVetoesWhileOtherPrivLive) {
+  Transaction Priv(1), Blocker(2);
+  EXPECT_TRUE(Domain.tryDivert(Priv, 1, 10));
+
+  // Another transaction holds unpublished deltas: the blocker must fail.
+  EXPECT_EQ(Domain.enterBlocker(Blocker), PrivDomain::BlockOutcome::Veto);
+  EXPECT_EQ(Domain.numVetoes(), 1u);
+  EXPECT_EQ(Domain.census(), (std::pair<uint32_t, uint32_t>{1, 0}));
+
+  Domain.release(Priv, true);
+  Priv.commit();
+
+  // Once the priv census drains, the same blocker enters and sees the
+  // published delta merged.
+  EXPECT_EQ(Domain.enterBlocker(Blocker), PrivDomain::BlockOutcome::Entered);
+  EXPECT_EQ(Master[1], 10);
+  Domain.release(Blocker, true);
+  Blocker.commit();
+}
+
+TEST_F(DomainFixture, DivertFallsBackWhileBlockersLive) {
+  Transaction Blocker(1), Priv(2);
+  EXPECT_EQ(Domain.enterBlocker(Blocker), PrivDomain::BlockOutcome::Entered);
+
+  // A live blocker forces new updates through the ordinary admission
+  // path: the divert is refused and nothing sticks to the transaction.
+  EXPECT_FALSE(Domain.tryDivert(Priv, 3, 5));
+  EXPECT_EQ(Priv.numPrivDeltas(&Domain), 0u);
+  EXPECT_EQ(Domain.numFallbacks(), 1u);
+
+  Domain.release(Blocker, true);
+  Blocker.commit();
+
+  EXPECT_TRUE(Domain.tryDivert(Priv, 3, 5));
+  Domain.release(Priv, true);
+  Priv.commit();
+  Domain.mergeQuiesced();
+  EXPECT_EQ(Master[3], 5);
+}
+
+TEST_F(DomainFixture, SoleMemberSelfUpgradeFlushes) {
+  Transaction Tx(1);
+  EXPECT_TRUE(Domain.tryDivert(Tx, 4, 9));
+
+  // The only priv member executes a conflicting method: upgrade in place.
+  // Its own pending deltas come back to the caller for re-admission.
+  EXPECT_EQ(Domain.enterBlocker(Tx), PrivDomain::BlockOutcome::NeedsFlush);
+  EXPECT_EQ(Domain.census(), (std::pair<uint32_t, uint32_t>{0, 1}));
+  EXPECT_EQ(Tx.privState(&Domain), Transaction::PrivState::Blocker);
+
+  int64_t FlushedSlot = -1, FlushedAmount = 0;
+  Tx.consumePrivDeltas(&Domain, [&](int64_t Slot, int64_t Amount) {
+    FlushedSlot = Slot;
+    FlushedAmount = Amount;
+    Master[size_t(Slot)] += Amount; // stand-in for the admission path
+  });
+  EXPECT_EQ(FlushedSlot, 4);
+  EXPECT_EQ(FlushedAmount, 9);
+
+  Domain.release(Tx, true);
+  Tx.commit();
+  EXPECT_EQ(Master[4], 9);
+  EXPECT_EQ(Domain.census(), (std::pair<uint32_t, uint32_t>{0, 0}));
+}
+
+TEST_F(DomainFixture, SelfUpgradeVetoedWhenNotSole) {
+  Transaction Tx1(1), Tx2(2);
+  EXPECT_TRUE(Domain.tryDivert(Tx1, 0, 1));
+  EXPECT_TRUE(Domain.tryDivert(Tx2, 0, 2));
+
+  // Tx1 is not the sole priv member, so it cannot upgrade in place.
+  EXPECT_EQ(Domain.enterBlocker(Tx1), PrivDomain::BlockOutcome::Veto);
+
+  Domain.release(Tx1, true);
+  Tx1.commit();
+  Domain.release(Tx2, true);
+  Tx2.commit();
+  Domain.mergeQuiesced();
+  EXPECT_EQ(Master[0], 3);
+}
+
+TEST_F(DomainFixture, MultiplePrivTransactionsAggregate) {
+  Transaction Tx1(1), Tx2(2);
+  EXPECT_TRUE(Domain.tryDivert(Tx1, 6, 100));
+  EXPECT_TRUE(Domain.tryDivert(Tx2, 6, 200));
+  EXPECT_EQ(Domain.census(), (std::pair<uint32_t, uint32_t>{2, 0}));
+
+  Domain.release(Tx1, true);
+  Tx1.commit();
+  Domain.release(Tx2, true);
+  Tx2.commit();
+
+  Domain.mergeQuiesced();
+  EXPECT_EQ(Master[6], 300);
+}
