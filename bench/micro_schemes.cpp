@@ -16,12 +16,17 @@
 #include "stm/ObjectStm.h"
 #include "support/AllocCount.h"
 #include "support/Random.h"
+#include "svc/Wal.h"
 
 #include <benchmark/benchmark.h>
+
+#include <dirent.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -421,6 +426,93 @@ BENCHMARK_DEFINE_F(AccumulatorThroughputPrivatized, Inc)
 (benchmark::State &State) { incLoop(State); }
 BENCHMARK_REGISTER_F(AccumulatorThroughputPrivatized, Inc)
     ->ThreadRange(1, 8)
+    ->UseRealTime();
+
+/// Durable-commit throughput: each iteration logs one 4-op batch record
+/// and blocks until its covering fdatasync — the full ACK-release cost a
+/// durable server pays per commit. Single-threaded this is fsync-bound
+/// (one group per record, the worst case); with concurrent appenders the
+/// group-commit window coalesces records per sync, so items/sec scaling
+/// past the 1-thread row is the whole point of the design. The run's
+/// comlat_wal_appends_total / comlat_wal_fsyncs_total registry counters
+/// (dumped via --metrics-json) carry the achieved group size; the
+/// bench-smoke durable gate reads them from the service-bench leg.
+class WalAppendThroughput : public benchmark::Fixture {
+public:
+  // Same per-thread SetUp/TearDown discipline as AccumulatorThroughputBase:
+  // Ready gates every thread on thread 0 constructing the log, Done lets
+  // thread 0 destroy it only after every appender finished.
+  void SetUp(const benchmark::State &State) override {
+    if (State.thread_index() == 0) {
+      char Template[] = "/tmp/comlat-walbench-XXXXXX";
+      if (::mkdtemp(Template) == nullptr) {
+        std::perror("mkdtemp");
+        std::abort();
+      }
+      Dir = Template;
+      svc::WalConfig Config;
+      Config.Dir = Dir;
+      Config.SyncIntervalUs = 100;
+      Log = std::make_unique<svc::Wal>(Config, /*FirstSeq=*/1);
+      Done.store(0, std::memory_order_relaxed);
+      Ready.store(1, std::memory_order_release);
+    } else {
+      while (Ready.load(std::memory_order_acquire) == 0)
+        std::this_thread::yield();
+    }
+  }
+
+  void TearDown(const benchmark::State &State) override {
+    if (State.thread_index() != 0)
+      return;
+    while (Done.load(std::memory_order_acquire) !=
+           static_cast<int>(State.threads()))
+      std::this_thread::yield();
+    Log.reset();
+    if (DIR *D = ::opendir(Dir.c_str())) {
+      while (struct dirent *E = ::readdir(D)) {
+        const std::string Name = E->d_name;
+        if (Name != "." && Name != "..")
+          ::unlink((Dir + "/" + Name).c_str());
+      }
+      ::closedir(D);
+    }
+    ::rmdir(Dir.c_str());
+    Ready.store(0, std::memory_order_relaxed);
+  }
+
+protected:
+  void appendLoop(benchmark::State &State) {
+    std::vector<svc::Op> Ops(4);
+    for (size_t I = 0; I != Ops.size(); ++I) {
+      Ops[I].Obj = static_cast<uint8_t>(I % 3);
+      Ops[I].Method = 0;
+      Ops[I].A = static_cast<int64_t>(I);
+      Ops[I].B = 0;
+    }
+    std::vector<int64_t> Results(Ops.size(), 1);
+    for (auto _ : State) {
+      const uint64_t Seq =
+          Log->logCommit([&Ops, &Results](uint64_t S, std::string &Out) {
+            svc::encodeWalRecord(Out, S, Ops, Results);
+          });
+      Log->waitDurable(Seq);
+    }
+    Done.fetch_add(1, std::memory_order_release);
+    State.SetItemsProcessed(State.iterations());
+  }
+
+  std::unique_ptr<svc::Wal> Log;
+  std::string Dir;
+  std::atomic<int> Ready{0};
+  std::atomic<int> Done{0};
+};
+
+BENCHMARK_DEFINE_F(WalAppendThroughput, Append)(benchmark::State &State) {
+  appendLoop(State);
+}
+BENCHMARK_REGISTER_F(WalAppendThroughput, Append)
+    ->ThreadRange(1, 4)
     ->UseRealTime();
 
 // Custom main instead of benchmark_main: peels --seed=N and

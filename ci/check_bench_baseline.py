@@ -236,7 +236,118 @@ def check_privatized_allocs(bench_json_path: Path) -> None:
     print(f"ok: {bench_json_path} privatized path allocation-free")
 
 
+def parse_prometheus(text_path: Path) -> tuple:
+    """Parse a Prometheus text exposition into ({sample_name: value},
+    {declared families}). Families come from the `# TYPE` lines, so a
+    histogram (whose samples are name_bucket/name_sum/name_count) is still
+    found under its base name."""
+    values = {}
+    families = set()
+    for line in text_path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                families.add(parts[2])
+            continue
+        name, _, value = line.rpartition(" ")
+        try:
+            values[name] = float(value)
+        except ValueError:
+            continue
+    return values, families
+
+
+def check_durable_metrics(baseline_path: Path, metrics_path: Path) -> float:
+    """The PR 7 baseline (BENCH_pr7.json) scopes the WAL metric families
+    the durable serving leg must export. Beyond family existence:
+
+      * the run appended and fsynced (a durable leg that never touched
+        the log proves nothing);
+      * group commit actually coalesced: appends per fdatasync must
+        average at least the baseline's _min_group_size, or the ACK
+        batching that pays for durability has silently degraded to one
+        fsync per commit;
+      * the durable watermark advanced past zero.
+
+    Returns the baseline's _min_durable_qps_ratio for the caller's
+    throughput gate.
+    """
+    doc = json.loads(baseline_path.read_text())
+    min_group = float(doc.get("_min_group_size", 2.0))
+    min_ratio = float(doc.get("_min_durable_qps_ratio", 0.6))
+    baseline = {k for k in doc if not k.startswith("_")}
+    values, families = parse_prometheus(metrics_path)
+
+    missing = sorted(baseline - families)
+    if missing:
+        fail(f"{metrics_path}: WAL metric families missing from durable "
+             f"run: {missing}")
+
+    appends = values.get("comlat_wal_appends_total", 0)
+    fsyncs = values.get("comlat_wal_fsyncs_total", 0)
+    durable_seq = values.get("comlat_wal_durable_seq", 0)
+    if appends <= 0:
+        fail(f"{metrics_path}: durable run appended nothing to the WAL")
+    if fsyncs <= 0:
+        fail(f"{metrics_path}: WAL was appended to but never fsynced")
+    if durable_seq <= 0:
+        fail(f"{metrics_path}: durable watermark never advanced")
+    group = appends / fsyncs
+    if group < min_group:
+        fail(f"{metrics_path}: group commit coalesced only {group:.2f} "
+             f"appends per fsync (want >= {min_group})")
+    print(f"ok: {metrics_path} ({int(appends)} appends, {int(fsyncs)} "
+          f"fsyncs, {group:.1f} per group, durable seq {int(durable_seq)})")
+    return min_ratio
+
+
+def check_durable_throughput(on_path: Path, off_path: Path,
+                             min_ratio: float) -> None:
+    """Identically paced open-loop runs against a durable and a
+    non-durable server: both must be clean (no protocol errors, real
+    committed work), the loadgen must have observed the server's durable
+    mode through the Stats frame, and WAL-on throughput must stay within
+    min_ratio of WAL-off."""
+    on = json.loads(on_path.read_text())
+    off = json.loads(off_path.read_text())
+    if on.get("loadgen_durable") != 1:
+        fail(f"{on_path}: server did not report durable mode")
+    if off.get("loadgen_durable") != 0:
+        fail(f"{off_path}: supposedly non-durable server reported durable")
+    for path, doc in ((on_path, on), (off_path, off)):
+        if doc.get("loadgen_protocol_errors", 0) != 0:
+            fail(f"{path}: {doc['loadgen_protocol_errors']} protocol errors")
+        if doc.get("loadgen_ok_replies", 0) <= 0:
+            fail(f"{path}: no committed batches")
+    qps_on = on.get("loadgen_qps", 0)
+    qps_off = off.get("loadgen_qps", 0)
+    if qps_off <= 0:
+        fail(f"{off_path}: zero baseline throughput")
+    ratio = qps_on / qps_off
+    if ratio < min_ratio:
+        fail(f"WAL-on throughput {qps_on:.0f} qps is {ratio:.2f}x WAL-off "
+             f"{qps_off:.0f} qps (want >= {min_ratio}x)")
+    print(f"ok: durable throughput {qps_on:.0f} qps = {ratio:.2f}x "
+          f"non-durable {qps_off:.0f} qps")
+
+
 def main() -> None:
+    if len(sys.argv) >= 2 and sys.argv[1] == "--durable":
+        if len(sys.argv) != 4:
+            print(f"usage: {sys.argv[0]} --durable BENCH_pr7.json "
+                  f"ARTIFACT_DIR", file=sys.stderr)
+            sys.exit(2)
+        artifacts = Path(sys.argv[3])
+        min_ratio = check_durable_metrics(Path(sys.argv[2]),
+                                          artifacts / "wal_metrics.txt")
+        check_durable_throughput(artifacts / "loadgen_wal_on.json",
+                                 artifacts / "loadgen_wal_off.json",
+                                 min_ratio)
+        print("bench smoke (durable): all checks passed")
+        return
     if len(sys.argv) >= 2 and sys.argv[1] == "--privatized":
         if len(sys.argv) != 4:
             print(f"usage: {sys.argv[0]} --privatized BENCH_pr6.json "

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+#===- ci/crash_loop.sh - kill -9 a durable server, prove zero acked loss -===#
+#
+# The durability layer's acceptance harness (DESIGN.md §3.10): repeatedly
+#
+#   1. start comlat-serve --durable on the SAME wal directory (recovery is
+#      cumulative across iterations, so every restart is also a recovery
+#      test of the previous iteration's crash);
+#   2. drive it with comlat-loadgen recording every acknowledged batch
+#      (seq, ops, results) to a ground-truth file, tolerating disconnects;
+#   3. kill -9 the server at a random point, sometimes right after a
+#      SIGUSR1-triggered snapshot so the snapshot/rotation/truncation
+#      windows get crashed into too;
+#   4. restart, wait for readiness, and run the recovery audit: the server
+#      must report a recovered watermark covering every acknowledged
+#      sequence, the WAL/snapshot files must contain every acknowledged
+#      batch bit-for-bit, and a serial oracle replay of snapshot + WAL
+#      must reproduce both the logged results and the server's live state.
+#
+# Any acknowledged-but-lost batch, torn-tail mishandling, replay
+# divergence or unclean loadgen failure fails the loop. Usage:
+#
+#   ci/crash_loop.sh BUILD_DIR [ITERATIONS] [ARTIFACT_DIR] [SEED]
+#
+#===----------------------------------------------------------------------===#
+
+set -u
+
+BUILD_DIR=${1:?usage: crash_loop.sh BUILD_DIR [ITERATIONS] [ARTIFACT_DIR] [SEED]}
+ITERATIONS=${2:-5}
+ART=${3:-crash-artifacts}
+SEED=${4:-$(( $(date +%s) % 100000 ))}
+
+SERVE="$BUILD_DIR/src/svc/comlat-serve"
+LOADGEN="$BUILD_DIR/src/svc/comlat-loadgen"
+WAL_DIR="$ART/wal"
+SERVER_PID=""
+
+mkdir -p "$WAL_DIR"
+echo "crash_loop: $ITERATIONS iterations, seed $SEED, artifacts in $ART"
+
+fail() {
+  echo "crash_loop: FAILED: $*" >&2
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+  exit 1
+}
+
+start_server() {
+  rm -f "$ART/port"
+  "$SERVE" --port=0 --port-file="$ART/port" \
+    --durable --wal-dir="$WAL_DIR" --wal-sync-interval=500 \
+    --workers=4 >>"$ART/serve_$1.log" 2>&1 &
+  SERVER_PID=$!
+  for _ in $(seq 200); do
+    [ -s "$ART/port" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server died on startup (iteration $1)"
+    sleep 0.05
+  done
+  [ -s "$ART/port" ] || fail "server never published its port (iteration $1)"
+  PORT=$(cat "$ART/port")
+  "$LOADGEN" --port="$PORT" --wait-ready=30 --batches=0 \
+    || fail "server not ready (iteration $1)"
+}
+
+# RANDOM is seedable, so the whole loop is reproducible from one number.
+RANDOM=$SEED
+
+for I in $(seq 1 "$ITERATIONS"); do
+  echo "--- iteration $I ---"
+  start_server "$I"
+
+  ACKED="$ART/acked_$I.txt"
+  "$LOADGEN" --port="$PORT" --threads=4 --duration=30 \
+    --acked-log="$ACKED" --tolerate-disconnect \
+    --seed=$(( SEED + I )) >"$ART/loadgen_$I.log" 2>&1 &
+  LG=$!
+
+  # Crash 0.1 - 2.5 seconds into the load, far from any clean boundary.
+  T=$(( RANDOM % 25 + 1 ))
+  sleep "$(( T / 10 )).$(( T % 10 ))"
+  if [ $(( I % 2 )) -eq 0 ]; then
+    # Even iterations: snapshot first, then crash into the rotation /
+    # truncation / prune windows the snapshot opened.
+    kill -USR1 "$SERVER_PID" 2>/dev/null
+    sleep "0.$(( RANDOM % 9 + 1 ))"
+  fi
+  kill -9 "$SERVER_PID" || fail "server already dead before kill (iteration $I)"
+  SERVER_PID=""
+
+  # The loadgen must exit 0: disconnects are tolerated, anything else
+  # (undecodable frames, lost replies on a live connection) is a bug.
+  wait "$LG" || fail "loadgen exited $? (iteration $I); see $ART/loadgen_$I.log"
+  ACKED_COUNT=$(wc -l <"$ACKED")
+
+  start_server "${I}r"
+  "$LOADGEN" --port="$PORT" --check-recovery="$ACKED" --wal-dir="$WAL_DIR" \
+    | tee -a "$ART/audit.log"
+  RC=${PIPESTATUS[0]}
+  [ "$RC" -eq 0 ] || fail "recovery audit exited $RC (iteration $I)"
+  echo "iteration $I ok: $ACKED_COUNT acked batches all recovered"
+
+  # Leave the server down for the next iteration's start_server, proving
+  # a kill -9 of an idle (post-recovery) server is just as recoverable.
+  kill -9 "$SERVER_PID"
+  SERVER_PID=""
+done
+
+# Final pass: a graceful lifecycle on the accumulated directory still
+# works — recover everything, serve more load, drain on SIGTERM, exit 0.
+# (No --verify here: that oracle assumes a fresh server, and this one
+# carries the whole loop's history — the recovery audits above already
+# checked the serial witness against that history.)
+start_server final
+"$LOADGEN" --port="$PORT" --threads=2 --duration=2 \
+  >"$ART/loadgen_final.log" 2>&1 || fail "final load run failed"
+kill -TERM "$SERVER_PID"
+( sleep 30; kill -9 "$SERVER_PID" 2>/dev/null ) &
+WATCHDOG=$!
+wait "$SERVER_PID" || fail "graceful drain exited non-zero"
+kill "$WATCHDOG" 2>/dev/null
+SERVER_PID=""
+
+echo "crash_loop: all $ITERATIONS iterations passed (zero acknowledged-batch loss)"

@@ -103,6 +103,8 @@ public:
   std::string gateSignature() const override { return UF.signature(); }
 
   const UnionFind &forest() const { return UF; }
+  /// Quiesced-only mutable access for snapshot restore.
+  UnionFind &mutableForest() { return UF; }
 
 private:
   UnionFind UF;
@@ -190,6 +192,13 @@ public:
     return Target.forest().numElements();
   }
   const char *schemeName() const override { return "uf-gk"; }
+
+  std::string dumpState() const override {
+    return Target.forest().dumpState();
+  }
+  bool restoreState(const std::string &Dump) override {
+    return Target.mutableForest().restoreState(Dump);
+  }
 
   const Gatekeeper &keeper() const { return Keeper; }
 

@@ -72,6 +72,18 @@ public:
   virtual size_t numElements() const = 0;
   virtual const char *schemeName() const = 0;
 
+  /// Exact concrete state (UnionFind::dumpState) for durability snapshots;
+  /// empty when the scheme does not support snapshotting. Call only from a
+  /// quiesced state (no in-flight transactions).
+  virtual std::string dumpState() const { return {}; }
+
+  /// Restores a dumpState() encoding; false when unsupported or malformed.
+  /// Call only from a quiesced state.
+  virtual bool restoreState(const std::string &Dump) {
+    (void)Dump;
+    return false;
+  }
+
   uintptr_t tag() const { return reinterpret_cast<uintptr_t>(this); }
 };
 

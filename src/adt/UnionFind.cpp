@@ -160,6 +160,55 @@ std::string UnionFind::signature() const {
   return Out;
 }
 
+std::string UnionFind::dumpState() const {
+  std::string Out;
+  Out.reserve(Parent.size() * 6);
+  for (size_t I = 0; I != Parent.size(); ++I) {
+    Out += std::to_string(Parent[I]);
+    Out += ':';
+    Out += std::to_string(Rank[I]);
+    Out += ',';
+  }
+  return Out;
+}
+
+bool UnionFind::restoreState(std::string_view Dump) {
+  std::vector<int64_t> NewParent;
+  std::vector<int32_t> NewRank;
+  size_t Pos = 0;
+  while (Pos != Dump.size()) {
+    const size_t Colon = Dump.find(':', Pos);
+    if (Colon == std::string_view::npos)
+      return false;
+    const size_t Comma = Dump.find(',', Colon + 1);
+    if (Comma == std::string_view::npos)
+      return false;
+    int64_t P = 0;
+    int32_t R = 0;
+    try {
+      P = std::stoll(std::string(Dump.substr(Pos, Colon - Pos)));
+      R = std::stoi(std::string(Dump.substr(Colon + 1, Comma - Colon - 1)));
+    } catch (...) {
+      return false;
+    }
+    if (R < 0)
+      return false;
+    NewParent.push_back(P);
+    NewRank.push_back(R);
+    Pos = Comma + 1;
+  }
+  std::vector<int64_t> OldParent = std::move(Parent);
+  std::vector<int32_t> OldRank = std::move(Rank);
+  Parent = std::move(NewParent);
+  Rank = std::move(NewRank);
+  if (!checkInvariants()) {
+    Parent = std::move(OldParent);
+    Rank = std::move(OldRank);
+    return false;
+  }
+  return true;
+}
+
 bool UnionFind::checkInvariants() const {
   for (size_t I = 0; I != Parent.size(); ++I) {
     const int64_t P = Parent[I];

@@ -26,6 +26,8 @@
 #include "runtime/GateTarget.h"
 #include "stm/ObjectStm.h"
 
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace comlat {
@@ -82,6 +84,16 @@ public:
   /// element of its set. Representative identity is also observable via
   /// find, so the signature appends each set's representative.
   std::string signature() const;
+
+  /// Exact concrete state as `parent:rank,` per element. Unlike
+  /// signature(), this preserves ranks — which decide future winnerOf
+  /// outcomes — so a restored forest behaves identically to the original
+  /// under further unions (the durability snapshot needs exactly that).
+  std::string dumpState() const;
+
+  /// Replaces the forest with a dumpState() encoding. Returns false (state
+  /// unchanged) on a malformed dump or one violating checkInvariants().
+  bool restoreState(std::string_view Dump);
 
   /// Structural invariants (ranks increase toward roots, parents valid).
   bool checkInvariants() const;

@@ -19,13 +19,15 @@ Submitter::Submitter(const SubmitterConfig &Config) : Config(Config) {
 
 Submitter::~Submitter() { drain(); }
 
-bool Submitter::trySubmit(TxBody Body, Completion Done, int64_t TraceTag) {
+bool Submitter::trySubmit(TxBody Body, Completion Done, int64_t TraceTag,
+                          StampFn Stamp) {
   {
     std::lock_guard<std::mutex> Guard(M);
     if (Draining || Queue.size() >= Config.QueueCapacity)
       return false;
     Pending.fetch_add(1, std::memory_order_acq_rel);
-    Queue.push_back({std::move(Body), std::move(Done), TraceTag});
+    Queue.push_back(
+        {std::move(Body), std::move(Done), TraceTag, std::move(Stamp)});
   }
   WorkCV.notify_one();
   return true;
@@ -106,10 +108,13 @@ void Submitter::workerMain(unsigned Worker) {
       if (!Tx.failed()) {
         // Stamp the commit order from inside commit(), before the
         // detectors release: conflicting submissions are still mutually
-        // excluded here, so the stamp order extends the conflict order.
-        Tx.addCommitAction([this, &Outcome] {
+        // excluded here, so the stamp order extends the conflict order. A
+        // caller-provided Stamp (the WAL) replaces the counter wholesale.
+        Tx.addCommitAction([this, &Outcome, &Sub] {
           Outcome.CommitSeq =
-              NextCommitSeq.fetch_add(1, std::memory_order_relaxed);
+              Sub.Stamp ? Sub.Stamp()
+                        : NextCommitSeq.fetch_add(1,
+                                                  std::memory_order_relaxed);
         });
         Tx.commit();
         Outcome.Committed = true;

@@ -94,6 +94,13 @@ public:
   /// call back into trySubmit() (worker threads are a bounded resource).
   using Completion = std::function<void(const SubmitOutcome &Outcome)>;
 
+  /// Optional commit-sequence source, run inside the commit action (the
+  /// transaction's conflict detectors are still held) in place of the
+  /// internal counter. The durable service installs the WAL here so that
+  /// assigning the sequence and enqueuing the log record happen atomically
+  /// — log order then extends the detector-enforced order (svc/Wal.h).
+  using StampFn = std::function<uint64_t()>;
+
   explicit Submitter(const SubmitterConfig &Config);
 
   /// Drains and joins the workers.
@@ -104,9 +111,12 @@ public:
 
   /// Queues \p Body for execution; \p Done fires after its final outcome.
   /// \p TraceTag labels the submission's trace events (the service layer
-  /// passes the request id). Returns false — and runs neither callback —
-  /// when the queue is at capacity or the submitter is draining.
-  bool trySubmit(TxBody Body, Completion Done, int64_t TraceTag = 0);
+  /// passes the request id). \p Stamp, when set, replaces the internal
+  /// commit-sequence counter for this submission (see StampFn). Returns
+  /// false — and runs no callback — when the queue is at capacity or the
+  /// submitter is draining.
+  bool trySubmit(TxBody Body, Completion Done, int64_t TraceTag = 0,
+                 StampFn Stamp = {});
 
   /// Stops admission, waits until every already-accepted submission has
   /// completed (resuming paused workers if necessary), then stops the
@@ -135,6 +145,7 @@ private:
     TxBody Body;
     Completion Done;
     int64_t TraceTag = 0;
+    StampFn Stamp;
   };
 
   void workerMain(unsigned Worker);

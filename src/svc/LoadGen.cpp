@@ -5,6 +5,8 @@
 #include "support/Random.h"
 #include "support/Timer.h"
 #include "svc/Objects.h"
+#include "svc/Snapshot.h"
+#include "svc/Wal.h"
 
 #include <arpa/inet.h>
 #include <netdb.h>
@@ -18,8 +20,11 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <thread>
 #include <unordered_map>
 
@@ -63,6 +68,7 @@ bool Client::connect(const std::string &Host, uint16_t Port,
   ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
   RecvBuf.clear();
   RecvPos = 0;
+  Disconnected = false;
   return true;
 }
 
@@ -81,6 +87,7 @@ bool Client::sendRaw(const std::string &Bytes) {
     if (N < 0) {
       if (errno == EINTR)
         continue;
+      Disconnected = true; // EPIPE/ECONNRESET: the peer is gone
       return false;
     }
     Off += static_cast<size_t>(N);
@@ -134,6 +141,7 @@ bool Client::recvResponse(Response &R) {
     }
     if (N < 0 && errno == EINTR)
       continue;
+    Disconnected = true;
     return false; // EOF or hard error
   }
 }
@@ -158,6 +166,7 @@ bool Client::pollResponses(std::vector<Response> &Out) {
       return true;
     if (N < 0 && errno == EINTR)
       continue;
+    Disconnected = true; // EOF or hard error (decode failures return above)
     return false;
   }
 }
@@ -198,6 +207,8 @@ struct ThreadResult {
   uint64_t Errors = 0;
   uint64_t ProtocolErrors = 0;
   uint64_t OpsCommitted = 0;
+  uint64_t Disconnects = 0;
+  uint64_t Unacked = 0;
   LatencyHistogram Rtt;
   std::vector<CommittedBatch> Committed;
 };
@@ -227,7 +238,7 @@ Op genOp(Rng &R, const LoadGenConfig &Config) {
 }
 
 void classifyReply(const Response &Resp, const Request &Req, ThreadResult &TR,
-                   bool Verify) {
+                   bool Record) {
   switch (Resp.St) {
   case Status::Ok:
     ++TR.Ok;
@@ -236,7 +247,7 @@ void classifyReply(const Response &Resp, const Request &Req, ThreadResult &TR,
       ++TR.ProtocolErrors; // an Ok reply must answer every op
       return;
     }
-    if (Verify)
+    if (Record)
       TR.Committed.push_back({Resp.CommitSeq, Req.Ops, Resp.Results});
     break;
   case Status::Busy:
@@ -256,6 +267,7 @@ void runClosedLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
     return;
   }
   Rng R(Config.Seed ^ (0x9E3779B97F4A7C15ull * (ThreadIdx + 1)));
+  const bool Record = Config.Verify || !Config.AckedLogPath.empty();
   Timer Wall;
   for (uint64_t I = 0;; ++I) {
     if (Config.DurationSec > 0) {
@@ -272,12 +284,19 @@ void runClosedLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
     const uint64_t T0 = nowUs();
     Response Resp;
     if (!C.call(Req, Resp)) {
+      if (Config.TolerateDisconnect && C.disconnected()) {
+        // The server vanished mid-call: this batch was sent but never
+        // acknowledged, and the durability contract says nothing about it.
+        ++TR.Disconnects;
+        ++TR.Unacked;
+        return;
+      }
       ++TR.ProtocolErrors;
       return;
     }
     ++TR.Sent;
     TR.Rtt.addMicros(nowUs() - T0);
-    classifyReply(Resp, Req, TR, Config.Verify);
+    classifyReply(Resp, Req, TR, Record);
   }
 }
 
@@ -308,6 +327,20 @@ void runOpenLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
   uint64_t NextSendUs = StartUs;
   uint64_t Sent = 0;
   bool Broken = false;
+  bool Lost = false; // a tolerated disconnect ended the run
+  const bool Record = Config.Verify || !Config.AckedLogPath.empty();
+
+  // Either counts the failure as a protocol error or, when the harness
+  // expects the server to die under it, as a tolerated disconnect.
+  auto OnFailure = [&] {
+    if (Config.TolerateDisconnect && C.disconnected()) {
+      ++TR.Disconnects;
+      Lost = true;
+    } else {
+      ++TR.ProtocolErrors;
+    }
+    Broken = true;
+  };
 
   auto Absorb = [&](std::vector<Response> &Replies) {
     for (Response &Resp : Replies) {
@@ -317,7 +350,7 @@ void runOpenLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
         continue;
       }
       TR.Rtt.addMicros(nowUs() - It->second.SentUs);
-      classifyReply(Resp, It->second.Req, TR, Config.Verify);
+      classifyReply(Resp, It->second.Req, TR, Record);
       InFlight.erase(It);
     }
     Replies.clear();
@@ -339,8 +372,7 @@ void runOpenLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
         Req.Ops.push_back(genOp(R, Config));
       const uint64_t SentAt = nowUs();
       if (!C.send(Req)) {
-        ++TR.ProtocolErrors;
-        Broken = true;
+        OnFailure();
         break;
       }
       ++Sent;
@@ -353,8 +385,7 @@ void runOpenLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
         NextSendUs = Now; // do not build an unbounded send debt
     }
     if (!C.pollResponses(Replies)) {
-      ++TR.ProtocolErrors;
-      Broken = true;
+      OnFailure();
       break;
     }
     Absorb(Replies);
@@ -370,14 +401,16 @@ void runOpenLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
   while (!Broken && !InFlight.empty() && nowUs() < DrainDeadline) {
     Response Resp;
     if (!C.recvResponse(Resp)) {
-      ++TR.ProtocolErrors;
-      Broken = true;
+      OnFailure();
       break;
     }
     Replies.push_back(std::move(Resp));
     Absorb(Replies);
   }
-  TR.ProtocolErrors += InFlight.size(); // unanswered = dropped replies
+  if (Lost)
+    TR.Unacked += InFlight.size(); // sent, never acknowledged: no contract
+  else
+    TR.ProtocolErrors += InFlight.size(); // unanswered = dropped replies
 }
 
 std::string jsonNum(double V) {
@@ -410,6 +443,9 @@ std::string LoadGenStats::toJson() const {
       {"loadgen_verify_ran", VerifyRan ? 1.0 : 0.0},
       {"loadgen_verify_ok", VerifyOk ? 1.0 : 0.0},
       {"loadgen_privatized", Privatized ? 1.0 : 0.0},
+      {"loadgen_durable", Durable ? 1.0 : 0.0},
+      {"loadgen_disconnects", static_cast<double>(Disconnects)},
+      {"loadgen_unacked", static_cast<double>(Unacked)},
   };
   std::string Out = "{\n";
   bool First = true;
@@ -426,7 +462,7 @@ std::string LoadGenStats::toJson() const {
 std::string LoadGenStats::toCsv() const {
   std::string Out = "sent,ok,busy,error,protocol_errors,ops_committed,"
                     "wall_sec,qps,rtt_mean_us,rtt_p50_us,rtt_p99_us,seed,"
-                    "verify_ok,privatized\n";
+                    "verify_ok,privatized,durable,disconnects,unacked\n";
   Out += std::to_string(Sent) + "," + std::to_string(OkReplies) + "," +
          std::to_string(BusyReplies) + "," + std::to_string(ErrorReplies) +
          "," + std::to_string(ProtocolErrors) + "," +
@@ -435,7 +471,8 @@ std::string LoadGenStats::toCsv() const {
          std::to_string(Rtt.quantileUpperBoundMicros(0.5)) + "," +
          std::to_string(Rtt.quantileUpperBoundMicros(0.99)) + "," +
          std::to_string(Seed) + "," + (VerifyOk ? "1" : "0") + "," +
-         (Privatized ? "1" : "0") + "\n";
+         (Privatized ? "1" : "0") + "," + (Durable ? "1" : "0") + "," +
+         std::to_string(Disconnects) + "," + std::to_string(Unacked) + "\n";
   return Out;
 }
 
@@ -457,6 +494,11 @@ std::string LoadGenStats::toText() const {
   Out += "seed:             " + std::to_string(Seed) + "\n";
   Out += std::string("privatized:       ") + (Privatized ? "on" : "off") +
          "\n";
+  Out += std::string("durable:          ") + (Durable ? "on" : "off") + "\n";
+  if (Disconnects || Unacked) {
+    Out += "disconnects:      " + std::to_string(Disconnects) + "\n";
+    Out += "unacked:          " + std::to_string(Unacked) + "\n";
+  }
   if (VerifyRan)
     Out += std::string("verify:           ") + (VerifyOk ? "ok" : "FAILED") +
            (VerifyDetail.empty() ? "" : " (" + VerifyDetail + ")") + "\n";
@@ -467,6 +509,12 @@ LoadGenStats svc::runLoadGen(const LoadGenConfig &Config) {
   LoadGenStats Stats;
   Stats.Seed = Config.Seed;
   Stats.Privatized = Config.Privatized;
+  // Echo the server's durable mode so result files are self-describing
+  // (observed via the Stats frame, not configured). Soft: an old or dead
+  // server just reads as durable=off.
+  Stats.Durable =
+      fetchStatsText(Config.Host, Config.Port).find("durable=1") !=
+      std::string::npos;
 
   std::vector<ThreadResult> Results(std::max(1u, Config.Threads));
   std::vector<std::thread> Threads;
@@ -490,9 +538,41 @@ LoadGenStats svc::runLoadGen(const LoadGenConfig &Config) {
     Stats.ErrorReplies += TR.Errors;
     Stats.ProtocolErrors += TR.ProtocolErrors;
     Stats.OpsCommitted += TR.OpsCommitted;
+    Stats.Disconnects += TR.Disconnects;
+    Stats.Unacked += TR.Unacked;
     Stats.Rtt.merge(TR.Rtt);
     for (CommittedBatch &B : TR.Committed)
       Committed.push_back(std::move(B));
+  }
+
+  if (!Config.Verify && Config.AckedLogPath.empty())
+    return Stats;
+
+  std::sort(Committed.begin(), Committed.end(),
+            [](const CommittedBatch &A, const CommittedBatch &B) {
+              return A.CommitSeq < B.CommitSeq;
+            });
+
+  if (!Config.AckedLogPath.empty()) {
+    // Ground truth for the crash harness: one line per acknowledged batch,
+    // `seq nops (obj method a b)* res*` — exactly what the recovered
+    // server must still know.
+    std::ofstream Out(Config.AckedLogPath, std::ios::trunc);
+    for (const CommittedBatch &B : Committed) {
+      Out << B.CommitSeq << ' ' << B.Ops.size();
+      for (const Op &O : B.Ops)
+        Out << ' ' << static_cast<unsigned>(O.Obj) << ' '
+            << static_cast<unsigned>(O.Method) << ' ' << O.A << ' ' << O.B;
+      for (const int64_t V : B.Results)
+        Out << ' ' << V;
+      Out << '\n';
+    }
+    Out.flush();
+    if (!Out) {
+      std::fprintf(stderr, "loadgen: failed writing acked log '%s'\n",
+                   Config.AckedLogPath.c_str());
+      ++Stats.ProtocolErrors; // the harness must notice missing ground truth
+    }
   }
 
   if (!Config.Verify)
@@ -503,10 +583,6 @@ LoadGenStats svc::runLoadGen(const LoadGenConfig &Config) {
   // commit-order witness). Assumes this loadgen was the only client.
   Stats.VerifyRan = true;
   Stats.VerifyOk = true;
-  std::sort(Committed.begin(), Committed.end(),
-            [](const CommittedBatch &A, const CommittedBatch &B) {
-              return A.CommitSeq < B.CommitSeq;
-            });
   for (size_t I = 1; I < Committed.size(); ++I)
     if (Committed[I].CommitSeq == Committed[I - 1].CommitSeq) {
       Stats.VerifyOk = false;
@@ -556,4 +632,226 @@ std::string svc::fetchMetricsText(const std::string &Host, uint16_t Port) {
   if (!C.connect(Host, Port) || !C.call(Req, Resp) || Resp.St != Status::Ok)
     return "";
   return Resp.Text;
+}
+
+std::string svc::fetchStatsText(const std::string &Host, uint16_t Port) {
+  Client C;
+  Request Req;
+  Req.ReqId = 3;
+  Req.Type = MsgType::Stats;
+  Response Resp;
+  if (!C.connect(Host, Port) || !C.call(Req, Resp) || Resp.St != Status::Ok)
+    return "";
+  return Resp.Text;
+}
+
+bool svc::waitReady(const std::string &Host, uint16_t Port,
+                    double TimeoutSec) {
+  Timer T;
+  for (;;) {
+    {
+      Client C;
+      Request Req;
+      Req.ReqId = 4;
+      Req.Type = MsgType::Ping;
+      Response Resp;
+      if (C.connect(Host, Port) && C.call(Req, Resp) &&
+          Resp.St == Status::Ok)
+        return true;
+    }
+    if (T.seconds() >= TimeoutSec)
+      return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Post-crash recovery audit
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Finds `Key=value` in a Stats payload; false when absent.
+bool statValue(const std::string &Text, const std::string &Key,
+               uint64_t &V) {
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line))
+    if (Line.size() > Key.size() + 1 &&
+        Line.compare(0, Key.size(), Key) == 0 && Line[Key.size()] == '=') {
+      V = std::strtoull(Line.c_str() + Key.size() + 1, nullptr, 10);
+      return true;
+    }
+  return false;
+}
+
+/// One acknowledged batch as read back from a loadgen acked log.
+struct AckedBatch {
+  uint64_t Seq = 0;
+  std::vector<Op> Ops;
+  std::vector<int64_t> Results;
+};
+
+bool readAckedLog(const std::string &Path, std::vector<AckedBatch> &Out,
+                  std::string &Detail) {
+  std::ifstream In(Path);
+  if (!In) {
+    Detail = "cannot open acked log '" + Path + "'";
+    return false;
+  }
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    std::istringstream Ls(Line);
+    AckedBatch B;
+    size_t NumOps = 0;
+    if (!(Ls >> B.Seq >> NumOps) || NumOps == 0 || NumOps > MaxBatchOps) {
+      Detail = "acked log line " + std::to_string(LineNo) + ": bad header";
+      return false;
+    }
+    B.Ops.resize(NumOps);
+    for (Op &O : B.Ops) {
+      unsigned Obj = 0, Method = 0;
+      if (!(Ls >> Obj >> Method >> O.A >> O.B)) {
+        Detail = "acked log line " + std::to_string(LineNo) + ": bad op";
+        return false;
+      }
+      O.Obj = static_cast<uint8_t>(Obj);
+      O.Method = static_cast<uint8_t>(Method);
+    }
+    B.Results.resize(NumOps);
+    for (int64_t &V : B.Results)
+      if (!(Ls >> V)) {
+        Detail = "acked log line " + std::to_string(LineNo) + ": bad result";
+        return false;
+      }
+    Out.push_back(std::move(B));
+  }
+  return true;
+}
+
+bool sameOp(const Op &A, const Op &B) {
+  return A.Obj == B.Obj && A.Method == B.Method && A.A == B.A && A.B == B.B;
+}
+
+} // namespace
+
+RecoveryCheckResult svc::runRecoveryCheck(const RecoveryCheckConfig &Config) {
+  RecoveryCheckResult R;
+  auto Fail = [&R](std::string D) {
+    R.Detail = std::move(D);
+    return R;
+  };
+
+  // 1. The restarted server must be durable and report its recovery
+  //    watermark.
+  const std::string Stats = fetchStatsText(Config.Host, Config.Port);
+  if (Stats.empty())
+    return Fail("stats fetch failed (server not reachable?)");
+  uint64_t DurableMode = 0;
+  if (!statValue(Stats, "durable", DurableMode) || DurableMode != 1)
+    return Fail("server is not running durable");
+  if (!statValue(Stats, "wal_recovered_seq", R.RecoveredSeq))
+    return Fail("stats missing wal_recovered_seq");
+
+  // 2. The acked log: what clients were promised.
+  std::vector<AckedBatch> Acked;
+  std::string Detail;
+  if (!readAckedLog(Config.AckedLogPath, Acked, Detail))
+    return Fail(std::move(Detail));
+  R.AckedBatches = Acked.size();
+  std::sort(Acked.begin(), Acked.end(),
+            [](const AckedBatch &A, const AckedBatch &B) {
+              return A.Seq < B.Seq;
+            });
+  for (size_t I = 1; I < Acked.size(); ++I)
+    if (Acked[I].Seq == Acked[I - 1].Seq)
+      return Fail("duplicate acked sequence " + std::to_string(Acked[I].Seq));
+
+  // 3. The headline property: recovery reached every acknowledged batch.
+  if (!Acked.empty() && Acked.back().Seq > R.RecoveredSeq)
+    return Fail("acked seq " + std::to_string(Acked.back().Seq) +
+                " beyond recovered watermark " +
+                std::to_string(R.RecoveredSeq) + ": acknowledged data lost");
+
+  // 4. Read the durable artifacts directly (the audit does not trust the
+  //    server's own word for what is on disk).
+  SnapshotData Snap; // Seq = 0, empty state when no snapshot exists yet
+  loadNewestSnapshot(Config.WalDir, Snap);
+  R.SnapshotSeq = Snap.Seq;
+  WalScan Scan;
+  std::string Err;
+  // Never Repair here: the live server owns these files.
+  if (!scanWalDir(Config.WalDir, Snap.Seq, Scan, &Err, /*Repair=*/false))
+    return Fail("wal scan: " + Err);
+  if (Scan.Torn)
+    return Fail("torn wal tail survived recovery (repair did not run?)");
+  R.WalRecords = Scan.Records.size();
+
+  // 5. Every acked batch above the snapshot watermark must sit in the WAL
+  //    with identical ops and results; at or below it, the snapshot
+  //    subsumes it.
+  std::unordered_map<uint64_t, const WalRecord *> BySeq;
+  BySeq.reserve(Scan.Records.size());
+  for (const WalRecord &Rec : Scan.Records)
+    BySeq.emplace(Rec.Seq, &Rec);
+  for (const AckedBatch &B : Acked) {
+    if (B.Seq <= Snap.Seq)
+      continue;
+    const auto It = BySeq.find(B.Seq);
+    if (It == BySeq.end())
+      return Fail("acked seq " + std::to_string(B.Seq) +
+                  " above snapshot watermark " + std::to_string(Snap.Seq) +
+                  " missing from wal");
+    const WalRecord &Rec = *It->second;
+    if (Rec.Ops.size() != B.Ops.size() ||
+        Rec.Results.size() != B.Results.size())
+      return Fail("acked seq " + std::to_string(B.Seq) +
+                  ": wal record shape differs");
+    for (size_t I = 0; I != B.Ops.size(); ++I)
+      if (!sameOp(Rec.Ops[I], B.Ops[I]) || Rec.Results[I] != B.Results[I])
+        return Fail("acked seq " + std::to_string(B.Seq) + " op " +
+                    std::to_string(I) + ": wal content differs");
+  }
+
+  // 6. Serial witness: snapshot + WAL replayed through the sequential
+  //    oracle must reproduce every logged result...
+  OracleReplica Replica(Config.UfElements);
+  if (Snap.Seq != 0 && !Replica.loadSnapshot(Snap.State))
+    return Fail("snapshot state failed to load into the oracle");
+  for (const WalRecord &Rec : Scan.Records)
+    for (size_t I = 0; I != Rec.Ops.size(); ++I) {
+      const int64_t Expect = Replica.applyOp(Rec.Ops[I]);
+      if (Expect != Rec.Results[I])
+        return Fail("wal replay mismatch at seq " + std::to_string(Rec.Seq) +
+                    " op " + std::to_string(I) + ": logged " +
+                    std::to_string(Rec.Results[I]) + ", oracle " +
+                    std::to_string(Expect));
+    }
+
+  // 7. ...and the server's live state: recovery really applied the log.
+  Client C;
+  Request Req;
+  Req.ReqId = 5;
+  Req.Type = MsgType::State;
+  Response Resp;
+  if (!C.connect(Config.Host, Config.Port) || !C.call(Req, Resp) ||
+      Resp.St != Status::Ok)
+    return Fail("state fetch failed");
+  if (Resp.Text != Replica.stateText())
+    return Fail("recovered state mismatch: server {" + Resp.Text +
+                "} oracle {" + Replica.stateText() + "}");
+
+  // 8. The artifacts and the server agree on where the log ends.
+  if (std::max(Snap.Seq, Scan.LastSeq) != R.RecoveredSeq)
+    return Fail("watermark mismatch: disk max(snapshot " +
+                std::to_string(Snap.Seq) + ", wal " +
+                std::to_string(Scan.LastSeq) + ") != recovered " +
+                std::to_string(R.RecoveredSeq));
+
+  R.Ok = true;
+  return R;
 }

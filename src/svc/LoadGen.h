@@ -65,6 +65,11 @@ public:
   /// EOF, socket error or an undecodable frame.
   bool recvResponse(Response &R);
 
+  /// True when the last failure was the peer going away (EOF, reset)
+  /// rather than an undecodable frame — the crash harness tolerates the
+  /// former and still fails on the latter.
+  bool disconnected() const { return Disconnected; }
+
   /// Drains any responses that already arrived without blocking. Appends
   /// to \p Out; false only on EOF/socket/protocol error.
   bool pollResponses(std::vector<Response> &Out);
@@ -77,6 +82,7 @@ private:
   int Fd = -1;
   std::string RecvBuf;
   size_t RecvPos = 0;
+  bool Disconnected = false;
 
   bool peelOne(Response &R, bool &Got);
 };
@@ -108,6 +114,14 @@ struct LoadGenConfig {
   /// path (comlat-serve --privatize); recorded in the run's outputs so
   /// result files are self-describing.
   bool Privatized = false;
+  /// Treat the server vanishing mid-run (EOF/reset) as an expected
+  /// outcome instead of a protocol error: threads stop, in-flight batches
+  /// count as Unacked. The crash harness kill -9s the server under load.
+  bool TolerateDisconnect = false;
+  /// When non-empty, every acknowledged batch (seq, ops, results) is
+  /// written here after the run — the crash harness's ground truth for
+  /// what the server must still know after recovery.
+  std::string AckedLogPath;
 };
 
 /// Aggregated outcome of one run.
@@ -131,6 +145,15 @@ struct LoadGenStats {
   std::string VerifyDetail;
   /// Copied from LoadGenConfig::Privatized.
   bool Privatized = false;
+  /// Echoed from the server's Stats frame at run start: whether it serves
+  /// durably (WAL + ACK-after-fsync). Self-describing result files, like
+  /// Privatized — but observed, not configured.
+  bool Durable = false;
+  /// Threads that lost the server mid-run (TolerateDisconnect only).
+  uint64_t Disconnects = 0;
+  /// Batches sent but never acknowledged before a tolerated disconnect;
+  /// the durability contract says nothing about these.
+  uint64_t Unacked = 0;
 
   double achievedQps() const { return WallSec > 0 ? Sent / WallSec : 0; }
 
@@ -148,6 +171,44 @@ LoadGenStats runLoadGen(const LoadGenConfig &Config);
 
 /// Fetches the server's Prometheus metrics dump (empty string on error).
 std::string fetchMetricsText(const std::string &Host, uint16_t Port);
+
+/// Fetches the server's Stats frame (`key=value` lines; empty on error).
+std::string fetchStatsText(const std::string &Host, uint16_t Port);
+
+/// Polls connect + Ping until the server answers or \p TimeoutSec passes.
+/// The CI jobs gate on this instead of sleeping fixed amounts.
+bool waitReady(const std::string &Host, uint16_t Port, double TimeoutSec);
+
+/// Inputs of the post-crash recovery audit.
+struct RecoveryCheckConfig {
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0;
+  /// The restarted server's WAL/snapshot directory (read directly).
+  std::string WalDir;
+  /// Acked-batch log a previous loadgen run wrote (AckedLogPath).
+  std::string AckedLogPath;
+  size_t UfElements = 1024;
+};
+
+/// Outcome of runRecoveryCheck.
+struct RecoveryCheckResult {
+  bool Ok = false;
+  /// First violated property, empty when Ok.
+  std::string Detail;
+  uint64_t AckedBatches = 0;
+  uint64_t WalRecords = 0;
+  uint64_t SnapshotSeq = 0;
+  uint64_t RecoveredSeq = 0;
+};
+
+/// The crash harness's zero-acknowledged-loss audit, run against a
+/// restarted idle server. Checks: the server recovered at least to the
+/// largest acknowledged sequence; every acknowledged batch above the
+/// snapshot watermark sits in the WAL with identical ops and results
+/// (below it, the snapshot subsumes it); serially replaying snapshot +
+/// WAL through an OracleReplica reproduces every logged result and the
+/// server's live State dump.
+RecoveryCheckResult runRecoveryCheck(const RecoveryCheckConfig &Config);
 
 } // namespace svc
 } // namespace comlat

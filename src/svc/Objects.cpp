@@ -4,7 +4,10 @@
 
 #include "adt/SetSpecs.h"
 
+#include <algorithm>
 #include <cassert>
+#include <string>
+#include <vector>
 
 using namespace comlat;
 using namespace comlat::svc;
@@ -69,6 +72,113 @@ std::string ObjectHost::stateText() const {
   return Out;
 }
 
+namespace {
+
+/// Value of the `<Key>=` line in \p Text, or false when absent.
+bool snapshotField(const std::string &Text, const char *Key,
+                   std::string &Out) {
+  const std::string Needle = std::string(Key) + "=";
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Text.size();
+    if (Text.compare(Pos, Needle.size(), Needle) == 0) {
+      Out = Text.substr(Pos + Needle.size(), Eol - Pos - Needle.size());
+      return true;
+    }
+    Pos = Eol + 1;
+  }
+  return false;
+}
+
+/// Parses a trailing-comma int64 list ("3,17," or empty).
+bool parseIntList(const std::string &Csv, std::vector<int64_t> &Out) {
+  size_t Pos = 0;
+  while (Pos < Csv.size()) {
+    const size_t Comma = Csv.find(',', Pos);
+    if (Comma == std::string::npos)
+      return false;
+    try {
+      Out.push_back(std::stoll(Csv.substr(Pos, Comma - Pos)));
+    } catch (...) {
+      return false;
+    }
+    Pos = Comma + 1;
+  }
+  return true;
+}
+
+} // namespace
+
+std::string ObjectHost::snapshotText() const {
+  std::string Out;
+  Out += "ufelems=" + std::to_string(UfElems) + "\n";
+  Out += "set=" + Set->signature() + "\n";
+  Out += "acc=" + std::to_string(Acc->value()) + "\n";
+  Out += "ufstate=" + Uf->dumpState() + "\n";
+  return Out;
+}
+
+bool ObjectHost::loadSnapshot(const std::string &Text, std::string *Err) {
+  const auto Fail = [&](const char *What) {
+    if (Err)
+      *Err = What;
+    return false;
+  };
+  std::string Elems, SetCsv, AccVal, UfDump;
+  if (!snapshotField(Text, "ufelems", Elems) ||
+      !snapshotField(Text, "set", SetCsv) ||
+      !snapshotField(Text, "acc", AccVal) ||
+      !snapshotField(Text, "ufstate", UfDump))
+    return Fail("snapshot missing a field");
+  try {
+    if (std::stoull(Elems) != UfElems)
+      return Fail("snapshot ufelems mismatch");
+  } catch (...) {
+    return Fail("snapshot ufelems malformed");
+  }
+  std::vector<int64_t> Keys;
+  if (!parseIntList(SetCsv, Keys))
+    return Fail("snapshot set list malformed");
+  int64_t Sum = 0;
+  try {
+    Sum = std::stoll(AccVal);
+  } catch (...) {
+    return Fail("snapshot acc malformed");
+  }
+
+  // Membership and the sum replay through the gated path in chunked
+  // transactions (the host is quiesced, so nothing can veto); the forest
+  // installs its exact concrete state directly.
+  constexpr size_t ChunkOps = 1024;
+  for (size_t Base = 0; Base < Keys.size(); Base += ChunkOps) {
+    Transaction Tx(allocTxId());
+    const size_t End = std::min(Keys.size(), Base + ChunkOps);
+    for (size_t I = Base; I != End; ++I) {
+      bool Added = false;
+      if (!Set->add(Tx, Keys[I], Added)) {
+        Tx.abort();
+        return Fail("snapshot set replay vetoed");
+      }
+    }
+    Tx.commit();
+  }
+  if (Sum != 0) {
+    Transaction Tx(allocTxId());
+    if (!Acc->increment(Tx, Sum)) {
+      Tx.abort();
+      return Fail("snapshot acc replay vetoed");
+    }
+    Tx.commit();
+  }
+  if (!Uf->restoreState(UfDump))
+    return Fail("snapshot ufstate malformed");
+  if (Uf->numElements() != UfElems)
+    return Fail("snapshot ufstate element-count mismatch");
+  return true;
+}
+
 int64_t OracleReplica::applyOp(const Op &O) {
   switch (static_cast<ObjectId>(O.Obj)) {
   case ObjectId::Set:
@@ -98,6 +208,29 @@ int64_t OracleReplica::applyOp(const Op &O) {
   }
   }
   return 0;
+}
+
+bool OracleReplica::loadSnapshot(const std::string &Text) {
+  std::string Elems, SetCsv, AccVal, UfDump;
+  if (!snapshotField(Text, "ufelems", Elems) ||
+      !snapshotField(Text, "set", SetCsv) ||
+      !snapshotField(Text, "acc", AccVal) ||
+      !snapshotField(Text, "ufstate", UfDump))
+    return false;
+  try {
+    if (std::stoull(Elems) != UfElems)
+      return false;
+    Sum = std::stoll(AccVal);
+  } catch (...) {
+    return false;
+  }
+  std::vector<int64_t> Keys;
+  if (!parseIntList(SetCsv, Keys))
+    return false;
+  Set.clear();
+  for (const int64_t K : Keys)
+    Set.insert(K);
+  return Uf.restoreState(UfDump) && Uf.numElements() == UfElems;
 }
 
 std::string OracleReplica::stateText() const {

@@ -64,6 +64,19 @@ public:
   /// structure. Quiesced callers only (diagnostic / oracle endpoint).
   std::string stateText() const;
 
+  /// Durability-snapshot dump: stateText() plus the exact union-find
+  /// concrete state (`ufstate=` line, parent:rank pairs). signature()
+  /// alone loses ranks, which decide future union winners — a restored
+  /// forest must keep behaving identically, so snapshots carry the raw
+  /// representation. Quiesced callers only.
+  std::string snapshotText() const;
+
+  /// Restores a snapshotText() dump into this (fresh, quiesced) host by
+  /// replaying set membership and the accumulator sum through the gated
+  /// path and installing the union-find state directly. Returns false and
+  /// sets \p Err on a malformed dump or a ufelems mismatch.
+  bool loadSnapshot(const std::string &Text, std::string *Err = nullptr);
+
 private:
   size_t UfElems;
   bool PrivAcc;
@@ -84,6 +97,10 @@ public:
 
   /// Same rendering as ObjectHost::stateText().
   std::string stateText() const;
+
+  /// Restores an ObjectHost::snapshotText() dump (same format). Returns
+  /// false on malformed input or a ufelems mismatch.
+  bool loadSnapshot(const std::string &Text);
 
 private:
   IntHashSet Set;

@@ -169,6 +169,9 @@ bool svc::decodeRequest(std::string_view Payload, Request &Out,
   case static_cast<uint8_t>(MsgType::Ping):
     Out.Type = MsgType::Ping;
     break;
+  case static_cast<uint8_t>(MsgType::Stats):
+    Out.Type = MsgType::Stats;
+    break;
   default:
     Err = "unknown request type";
     return false;

@@ -18,6 +18,10 @@
 ///     State(3)   body: empty  -> reply text is the abstract-state dump
 ///                (meaningful only when the server is quiesced)
 ///     Ping(4)    body: empty
+///     Stats(5)   body: empty  -> reply text is `key=value` lines of
+///                serving-mode facts (durable, privatized, uf_elements,
+///                wal_* sequences) — cheap enough for every client to
+///                fetch at connect time, unlike the full Metrics export
 ///   response := u64 req_id | u8 status | u64 commit_seq |
 ///               u32 num_results | num_results * i64 | u32 text_len | text
 ///
@@ -52,7 +56,13 @@ inline constexpr size_t MaxFramePayload = 1u << 20;
 inline constexpr uint32_t MaxBatchOps = 4096;
 
 /// Request frame types.
-enum class MsgType : uint8_t { Batch = 1, Metrics = 2, State = 3, Ping = 4 };
+enum class MsgType : uint8_t {
+  Batch = 1,
+  Metrics = 2,
+  State = 3,
+  Ping = 4,
+  Stats = 5,
+};
 
 /// Reply status.
 enum class Status : uint8_t { Ok = 0, Busy = 1, Error = 2 };

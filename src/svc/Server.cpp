@@ -4,6 +4,7 @@
 
 #include "obs/MetricsRegistry.h"
 #include "obs/TraceRing.h"
+#include "svc/Snapshot.h"
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -16,6 +17,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <unordered_map>
 
@@ -33,6 +35,7 @@ struct SvcMetrics {
   obs::Counter *RequestsMetrics;
   obs::Counter *RequestsState;
   obs::Counter *RequestsPing;
+  obs::Counter *RequestsStats;
   obs::Counter *OpsTotal;
   obs::Counter *BusyTotal;
   obs::Counter *MalformedTotal;
@@ -64,6 +67,9 @@ struct SvcMetrics {
       N.RequestsPing =
           R.counter(obs::metricName("comlat_svc_requests_by_type_total",
                                     {{"type", "ping"}}));
+      N.RequestsStats =
+          R.counter(obs::metricName("comlat_svc_requests_by_type_total",
+                                    {{"type", "stats"}}));
       N.OpsTotal = R.counter("comlat_svc_ops_total");
       N.BusyTotal = R.counter("comlat_svc_busy_total");
       N.MalformedTotal = R.counter("comlat_svc_malformed_total");
@@ -376,6 +382,14 @@ void IoThread::handleFrame(Connection *C, std::string_view Payload) {
     queueReply(C, R);
     return;
   }
+  case MsgType::Stats: {
+    M.RequestsStats->add();
+    Response R;
+    R.ReqId = Req.ReqId;
+    R.Text = S.statsText();
+    queueReply(C, R);
+    return;
+  }
   case MsgType::Batch:
     break;
   }
@@ -441,15 +455,38 @@ void IoThread::handleFrame(Connection *C, std::string_view Payload) {
     COMLAT_TRACE(obs::EventKind::SvcReply, Outcome.Tx,
                  static_cast<int64_t>(Ctx->ReqId),
                  static_cast<uint32_t>(R.St), 0);
-    Owner->queueReplyFromWorker(std::move(Ctx->Conn), std::move(Bytes));
     // The in-flight claim drops only after the reply was handed over, so
-    // the drain cannot finish with a reply still in worker hands.
-    Srv.InFlightReplies.fetch_sub(1, std::memory_order_acq_rel);
+    // the drain cannot finish with a reply still in worker hands. In
+    // durable mode a committed reply additionally waits for its WAL
+    // record's fdatasync — the ACK-after-fsync ordering that makes every
+    // acknowledged batch durable by construction.
+    auto Deliver = [Ctx, &Srv, Owner, Bytes = std::move(Bytes)]() mutable {
+      Owner->queueReplyFromWorker(std::move(Ctx->Conn), std::move(Bytes));
+      Srv.InFlightReplies.fetch_sub(1, std::memory_order_acq_rel);
+    };
+    if (Srv.Log && Outcome.Committed)
+      Srv.Log->awaitDurable(Outcome.CommitSeq, std::move(Deliver));
+    else
+      Deliver();
   };
+
+  // In durable mode the WAL is the commit-sequence source: assigning the
+  // sequence and enqueuing the record happen atomically inside the commit
+  // action, so log order extends the conflict order (svc/Wal.h).
+  Submitter::StampFn Stamp;
+  if (S.Log) {
+    Wal *Log = S.Log.get();
+    Stamp = [Ctx, Log]() -> uint64_t {
+      return Log->logCommit([Ctx](uint64_t Seq, std::string &Out) {
+        encodeWalRecord(Out, Seq, Ctx->Ops, Ctx->Results);
+      });
+    };
+  }
 
   S.InFlightReplies.fetch_add(1, std::memory_order_acq_rel);
   if (!S.Submit.trySubmit(std::move(Body), std::move(Done),
-                          static_cast<int64_t>(Ctx->ReqId))) {
+                          static_cast<int64_t>(Ctx->ReqId),
+                          std::move(Stamp))) {
     S.InFlightReplies.fetch_sub(1, std::memory_order_acq_rel);
     M.BusyTotal->add();
     Response R;
@@ -662,6 +699,65 @@ Server::Server(const ServerConfig &Config)
 
 Server::~Server() { stop(); }
 
+bool Server::recover(std::string *Err) {
+  obs::MetricsRegistry &Reg = obs::MetricsRegistry::global();
+  obs::Counter *Replayed = Reg.counter("comlat_wal_recovery_replayed_total");
+  obs::Counter *TornTotal = Reg.counter("comlat_wal_recovery_torn_total");
+  Reg.counter("comlat_wal_snapshots_total"); // register the family
+
+  uint64_t Watermark = 0;
+  SnapshotData Snap;
+  if (loadNewestSnapshot(Config.WalDir, Snap)) {
+    std::string LoadErr;
+    if (!Host.loadSnapshot(Snap.State, &LoadErr)) {
+      if (Err)
+        *Err = "recovery: snapshot " + std::to_string(Snap.Seq) +
+               " rejected: " + LoadErr;
+      return false;
+    }
+    Watermark = Snap.Seq;
+    SnapSeq.store(Watermark, std::memory_order_release);
+  }
+
+  WalScan Scan;
+  std::string ScanErr;
+  if (!scanWalDir(Config.WalDir, Watermark, Scan, &ScanErr,
+                  /*Repair=*/true)) {
+    if (Err)
+      *Err = "recovery: " + ScanErr;
+    return false;
+  }
+  if (Scan.Torn)
+    TornTotal->add();
+
+  // Replay through the gated apply path, one transaction per record, and
+  // demand the recomputed results match the logged (acknowledged) ones —
+  // any disagreement means the state diverged and serving must not start.
+  for (const WalRecord &R : Scan.Records) {
+    Transaction Tx(allocTxId());
+    for (size_t I = 0; I != R.Ops.size(); ++I) {
+      int64_t Result = 0;
+      if (!Host.applyOp(Tx, R.Ops[I], Result) || I >= R.Results.size() ||
+          Result != R.Results[I]) {
+        Tx.abort();
+        if (Err)
+          *Err = "recovery: replay diverged at seq " +
+                 std::to_string(R.Seq) + " op " + std::to_string(I);
+        return false;
+      }
+    }
+    Tx.commit();
+    Replayed->add();
+  }
+
+  const uint64_t Recovered = std::max(Watermark, Scan.LastSeq);
+  RecoveredSeq.store(Recovered, std::memory_order_release);
+  Log = std::make_unique<Wal>(
+      WalConfig{Config.WalDir, Config.WalSyncIntervalUs, Config.WalGroupMax},
+      Recovered + 1);
+  return true;
+}
+
 bool Server::start(std::string *Err) {
   auto Fail = [&](const std::string &Msg) {
     if (Err)
@@ -672,6 +768,18 @@ bool Server::start(std::string *Err) {
     }
     return false;
   };
+
+  // Recovery runs to completion before the socket exists: no client can
+  // observe (or append to) a half-recovered state.
+  if (Config.Durable) {
+    if (Config.WalDir.empty()) {
+      if (Err)
+        *Err = "durable mode requires a wal directory";
+      return false;
+    }
+    if (!recover(Err))
+      return false;
+  }
 
   ListenFd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (ListenFd < 0)
@@ -702,8 +810,83 @@ bool Server::start(std::string *Err) {
   Io[0]->registerListener(ListenFd);
   for (unsigned I = 0; I != NumIo; ++I)
     IoJoins.emplace_back([this, I] { Io[I]->run(); });
+  if (Config.Durable && Config.SnapshotIntervalMs != 0) {
+    SnapThread = std::thread([this] {
+      std::unique_lock<std::mutex> Guard(SnapStopMu);
+      for (;;) {
+        if (SnapStopCv.wait_for(
+                Guard, std::chrono::milliseconds(Config.SnapshotIntervalMs),
+                [this] { return SnapStop; }))
+          return;
+        Guard.unlock();
+        snapshotNow();
+        Guard.lock();
+      }
+    });
+  }
   Started.store(true, std::memory_order_release);
   return true;
+}
+
+bool Server::snapshotNow() {
+  if (!Log)
+    return false;
+  std::lock_guard<std::mutex> Snapping(SnapMu);
+
+  // Quiesce: pause admission, wait until nothing is running. With the
+  // submitter paused the queue only grows, so reading the queue depth
+  // first makes inFlight == queueDepth imply zero running transactions.
+  Submit.pause();
+  const uint64_t Deadline = nowMs() + 30000;
+  for (;;) {
+    const size_t Queued = Submit.queueDepth();
+    const size_t Pending = Submit.inFlight();
+    if (Pending == Queued)
+      break;
+    if (nowMs() > Deadline) {
+      Submit.resume();
+      std::fprintf(stderr, "comlat-serve: snapshot quiesce timed out\n");
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Capture at the last assigned sequence: every record <= W is in the
+  // WAL queue (assignment and enqueue are atomic) and reflected in the
+  // captured state; nothing above W exists yet.
+  SnapshotData Snap;
+  Snap.Seq = Log->lastAssignedSeq();
+  Snap.State = Host.snapshotText();
+  Log->rotateAfter(Snap.Seq);
+  Submit.resume();
+
+  std::string Err;
+  if (!writeSnapshot(Config.WalDir, Snap, &Err)) {
+    std::fprintf(stderr, "comlat-serve: snapshot failed: %s\n", Err.c_str());
+    return false;
+  }
+  SnapSeq.store(Snap.Seq, std::memory_order_release);
+  obs::MetricsRegistry::global().counter("comlat_wal_snapshots_total")->add();
+  pruneSnapshots(Config.WalDir, /*Keep=*/2);
+  Log->truncateThrough(Snap.Seq);
+  return true;
+}
+
+std::string Server::statsText() const {
+  std::string Out;
+  Out += std::string("durable=") + (Config.Durable ? "1" : "0") + "\n";
+  Out += std::string("privatized=") + (Host.privatizedAcc() ? "1" : "0") +
+         "\n";
+  Out += "uf_elements=" + std::to_string(Host.ufElements()) + "\n";
+  Out += "wal_recovered_seq=" +
+         std::to_string(RecoveredSeq.load(std::memory_order_acquire)) + "\n";
+  Out += "snapshot_seq=" +
+         std::to_string(SnapSeq.load(std::memory_order_acquire)) + "\n";
+  if (Log) {
+    Out += "wal_last_seq=" + std::to_string(Log->lastAssignedSeq()) + "\n";
+    Out += "wal_durable_seq=" + std::to_string(Log->durableSeq()) + "\n";
+  }
+  return Out;
 }
 
 void Server::requestStop() {
@@ -726,6 +909,18 @@ void Server::stop() {
       T.join();
   IoJoins.clear();
   Submit.drain();
+  if (SnapThread.joinable()) {
+    {
+      std::lock_guard<std::mutex> Guard(SnapStopMu);
+      SnapStop = true;
+    }
+    SnapStopCv.notify_all();
+    SnapThread.join();
+  }
+  // Everything admitted has committed and logged; wait out the last
+  // fdatasync so a clean shutdown leaves a fully durable log.
+  if (Log)
+    Log->flush();
   if (ListenFd >= 0) {
     ::close(ListenFd);
     ListenFd = -1;

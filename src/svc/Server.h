@@ -34,6 +34,7 @@
 
 #include "runtime/Submitter.h"
 #include "svc/Objects.h"
+#include "svc/Wal.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -81,6 +82,19 @@ struct ServerConfig {
   /// Retry bound per batch (0 = until commit); exhausting it produces an
   /// Error reply, never a silent drop.
   unsigned MaxAttempts = 0;
+  /// Durable mode (DESIGN.md §3.10): every committed batch is WAL-logged
+  /// and its client ACK released only after the covering fdatasync; on
+  /// startup the newest valid snapshot is loaded and the log replayed.
+  bool Durable = false;
+  /// Directory for WAL segments and snapshots (must exist; Durable only).
+  std::string WalDir;
+  /// Group-commit coalescing window in microseconds (Durable only).
+  unsigned WalSyncIntervalUs = 1000;
+  /// Records per fdatasync group cap (Durable only).
+  unsigned WalGroupMax = 64;
+  /// Periodic snapshot interval in milliseconds; 0 disables the periodic
+  /// thread (snapshotNow() still works — SIGUSR1 in comlat-serve).
+  unsigned SnapshotIntervalMs = 0;
 };
 
 /// The server. Lifecycle: construct -> start() -> (serve) -> stop().
@@ -124,8 +138,29 @@ public:
   /// drain scenarios deterministically).
   Submitter &submitter() { return Submit; }
 
+  /// Takes one snapshot now (Durable only): pause admission, quiesce,
+  /// capture the ADT state at the last assigned sequence, resume, persist
+  /// atomically, truncate the WAL behind the watermark. Returns false
+  /// (serving unaffected) when quiescing times out or the write fails.
+  bool snapshotNow();
+
+  /// The Stats-frame payload: `key=value` lines (durable, privatized,
+  /// uf_elements, wal_last_seq, wal_durable_seq, wal_recovered_seq,
+  /// snapshot_seq).
+  std::string statsText() const;
+
+  /// Watermark recovered at start() (0 when fresh or not durable).
+  uint64_t recoveredSeq() const {
+    return RecoveredSeq.load(std::memory_order_acquire);
+  }
+
 private:
   friend class IoThread;
+
+  /// Recovery half of start(): load the newest snapshot, repair and replay
+  /// the WAL, construct the log. False (Err set) fails startup — serving
+  /// on top of a half-recovered state would break the durability contract.
+  bool recover(std::string *Err);
 
   ServerConfig Config;
   ObjectHost Host;
@@ -138,8 +173,18 @@ private:
   /// Batch frames admitted to the submitter whose replies have not yet
   /// been handed to their connection; the drain waits for zero.
   std::atomic<uint64_t> InFlightReplies{0};
+  std::atomic<uint64_t> RecoveredSeq{0};
+  std::atomic<uint64_t> SnapSeq{0};
   std::vector<std::unique_ptr<IoThread>> Io;
   std::vector<std::thread> IoJoins;
+  /// Declared after Io so it is destroyed (flushed + joined) first; the
+  /// Done callbacks it releases reference IoThreads.
+  std::unique_ptr<Wal> Log;
+  std::mutex SnapMu; // serializes snapshotNow() callers
+  std::thread SnapThread;
+  std::mutex SnapStopMu;
+  std::condition_variable SnapStopCv;
+  bool SnapStop = false; // guarded by SnapStopMu
   std::mutex StopM;
   std::condition_variable StopCV;
 };

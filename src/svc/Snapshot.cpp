@@ -1,0 +1,216 @@
+//===- svc/Snapshot.cpp - Atomic ADT state snapshots -----------------------===//
+
+#include "svc/Snapshot.h"
+
+#include "support/Crc32.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+using namespace comlat;
+using namespace comlat::svc;
+
+namespace {
+
+/// File layout: magic | u32 payload_len | payload | u32 crc32c(payload),
+/// payload := u64 seq | state bytes.
+constexpr char SnapMagic[8] = {'c', 'o', 'm', 'l', 's', 'n', 'a', 'p'};
+
+void putU32(std::string &Out, uint32_t V) {
+  for (unsigned I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (unsigned I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+uint32_t getU32(const std::string &Buf, size_t Pos) {
+  uint32_t V = 0;
+  for (unsigned I = 0; I != 4; ++I)
+    V |= static_cast<uint32_t>(static_cast<uint8_t>(Buf[Pos + I])) << (8 * I);
+  return V;
+}
+
+uint64_t getU64(const std::string &Buf, size_t Pos) {
+  uint64_t V = 0;
+  for (unsigned I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(static_cast<uint8_t>(Buf[Pos + I])) << (8 * I);
+  return V;
+}
+
+std::string snapshotName(uint64_t Seq) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "snap-%020llu.snap",
+                static_cast<unsigned long long>(Seq));
+  return Buf;
+}
+
+bool isSnapshotName(const std::string &Name) {
+  return Name.size() > 10 && Name.compare(0, 5, "snap-") == 0 &&
+         Name.compare(Name.size() - 5, 5, ".snap") == 0;
+}
+
+/// Snapshot file names under \p Dir, sorted oldest-first (zero-padded
+/// sequence numbers make lexicographic order sequence order).
+bool listSnapshots(const std::string &Dir, std::vector<std::string> &Names,
+                   std::vector<std::string> *Tmps, std::string *Err) {
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D) {
+    if (Err)
+      *Err = "opendir " + Dir + ": " + std::strerror(errno);
+    return false;
+  }
+  while (struct dirent *E = ::readdir(D)) {
+    const std::string Name = E->d_name;
+    if (isSnapshotName(Name))
+      Names.push_back(Name);
+    else if (Tmps && Name.size() > 4 &&
+             Name.compare(0, 5, "snap-") == 0 &&
+             Name.compare(Name.size() - 4, 4, ".tmp") == 0)
+      Tmps->push_back(Name);
+  }
+  ::closedir(D);
+  std::sort(Names.begin(), Names.end());
+  return true;
+}
+
+bool syncDir(const std::string &Dir, std::string *Err) {
+  const int Fd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (Fd < 0) {
+    if (Err)
+      *Err = "open directory " + Dir + ": " + std::strerror(errno);
+    return false;
+  }
+  const bool Ok = ::fdatasync(Fd) == 0;
+  if (!Ok && Err)
+    *Err = "fsync directory " + Dir + ": " + std::strerror(errno);
+  ::close(Fd);
+  return Ok;
+}
+
+} // namespace
+
+bool svc::writeSnapshot(const std::string &Dir, const SnapshotData &Snap,
+                        std::string *Err) {
+  std::string Bytes;
+  Bytes.reserve(sizeof(SnapMagic) + 16 + Snap.State.size() + 4);
+  Bytes.append(SnapMagic, sizeof(SnapMagic));
+  std::string Payload;
+  Payload.reserve(8 + Snap.State.size());
+  putU64(Payload, Snap.Seq);
+  Payload += Snap.State;
+  putU32(Bytes, static_cast<uint32_t>(Payload.size()));
+  Bytes += Payload;
+  putU32(Bytes, crc32c(Payload));
+
+  const std::string Final = Dir + "/" + snapshotName(Snap.Seq);
+  const std::string Tmp = Final + ".tmp";
+  const int Fd =
+      ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (Fd < 0) {
+    if (Err)
+      *Err = "create " + Tmp + ": " + std::strerror(errno);
+    return false;
+  }
+  size_t Off = 0;
+  while (Off != Bytes.size()) {
+    const ssize_t N = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Err)
+        *Err = "write " + Tmp + ": " + std::strerror(errno);
+      ::close(Fd);
+      ::unlink(Tmp.c_str());
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  if (::fdatasync(Fd) != 0) {
+    if (Err)
+      *Err = "fsync " + Tmp + ": " + std::strerror(errno);
+    ::close(Fd);
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  ::close(Fd);
+  if (::rename(Tmp.c_str(), Final.c_str()) != 0) {
+    if (Err)
+      *Err = "rename " + Tmp + ": " + std::strerror(errno);
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  // The rename itself must be durable before the WAL may be truncated.
+  return syncDir(Dir, Err);
+}
+
+bool svc::loadNewestSnapshot(const std::string &Dir, SnapshotData &Out,
+                             std::string *Err) {
+  std::vector<std::string> Names;
+  if (!listSnapshots(Dir, Names, nullptr, Err))
+    return false;
+  for (auto It = Names.rbegin(); It != Names.rend(); ++It) {
+    const std::string Path = Dir + "/" + *It;
+    const int Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (Fd < 0)
+      continue;
+    std::string Bytes;
+    char Buf[64 * 1024];
+    bool ReadOk = true;
+    for (;;) {
+      const ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+      if (N > 0) {
+        Bytes.append(Buf, static_cast<size_t>(N));
+        continue;
+      }
+      if (N < 0 && errno == EINTR)
+        continue;
+      ReadOk = N == 0;
+      break;
+    }
+    ::close(Fd);
+    if (!ReadOk)
+      continue;
+    const size_t H = sizeof(SnapMagic) + 4;
+    if (Bytes.size() < H + 8 + 4 ||
+        std::memcmp(Bytes.data(), SnapMagic, sizeof(SnapMagic)) != 0)
+      continue;
+    const uint32_t Len = getU32(Bytes, sizeof(SnapMagic));
+    if (Len < 8 || Bytes.size() != H + Len + 4)
+      continue;
+    const std::string Payload = Bytes.substr(H, Len);
+    if (getU32(Bytes, H + Len) != crc32c(Payload))
+      continue;
+    Out.Seq = getU64(Payload, 0);
+    Out.State = Payload.substr(8);
+    return true;
+  }
+  return false;
+}
+
+size_t svc::pruneSnapshots(const std::string &Dir, size_t Keep) {
+  std::vector<std::string> Names, Tmps;
+  if (!listSnapshots(Dir, Names, &Tmps, nullptr))
+    return 0;
+  size_t Removed = 0;
+  const size_t Drop = Names.size() > Keep ? Names.size() - Keep : 0;
+  for (size_t I = 0; I != Drop; ++I)
+    if (::unlink((Dir + "/" + Names[I]).c_str()) == 0)
+      ++Removed;
+  for (const std::string &T : Tmps)
+    if (::unlink((Dir + "/" + T).c_str()) == 0)
+      ++Removed;
+  if (Removed)
+    syncDir(Dir, nullptr);
+  return Removed;
+}

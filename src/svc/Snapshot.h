@@ -1,0 +1,60 @@
+//===- svc/Snapshot.h - Atomic ADT state snapshots --------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Snapshot files for the durable serving layer (DESIGN.md §3.10). A
+/// snapshot captures the host ADT state text plus the last-applied commit
+/// sequence (the watermark): recovery loads the newest valid snapshot and
+/// replays only WAL records above the watermark. Files are written to a
+/// temp name, fdatasync'ed, atomically renamed to `snap-<seq>.snap`, and
+/// the directory is fsync'ed — a crash in any window leaves either the old
+/// snapshot set or the new one, never a half-written file with a valid
+/// name. The loader checks a CRC over the whole payload and falls back to
+/// the next-newest file when the newest is damaged, so even a lost rename
+/// race cannot strand recovery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_SVC_SNAPSHOT_H
+#define COMLAT_SVC_SNAPSHOT_H
+
+#include <cstdint>
+#include <string>
+
+namespace comlat {
+namespace svc {
+
+/// One snapshot: the commit-sequence watermark and the serialized ADT
+/// state (ObjectHost::snapshotText()).
+struct SnapshotData {
+  uint64_t Seq = 0;
+  std::string State;
+};
+
+/// Writes \p Snap under \p Dir as `snap-<seq>.snap` via temp file +
+/// fdatasync + atomic rename + directory fsync. Returns false and sets
+/// \p Err on I/O failure (a failed write never disturbs existing
+/// snapshots).
+bool writeSnapshot(const std::string &Dir, const SnapshotData &Snap,
+                   std::string *Err = nullptr);
+
+/// Loads the newest valid snapshot under \p Dir into \p Out. Damaged or
+/// torn files (bad magic, short header, CRC mismatch) are skipped in
+/// favor of older ones; `*.tmp` leftovers from a crashed writer are
+/// ignored entirely. Returns false when no valid snapshot exists (a fresh
+/// directory — not an error).
+bool loadNewestSnapshot(const std::string &Dir, SnapshotData &Out,
+                        std::string *Err = nullptr);
+
+/// Unlinks all but the newest \p Keep snapshot files under \p Dir (plus
+/// any stale `*.tmp` leftovers). Returns the number of files removed.
+size_t pruneSnapshots(const std::string &Dir, size_t Keep = 2);
+
+} // namespace svc
+} // namespace comlat
+
+#endif // COMLAT_SVC_SNAPSHOT_H

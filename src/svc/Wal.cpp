@@ -1,0 +1,519 @@
+//===- svc/Wal.cpp - Commit-sequence write-ahead log -----------------------===//
+
+#include "svc/Wal.h"
+
+#include "obs/MetricsRegistry.h"
+#include "support/Crc32.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace comlat;
+using namespace comlat::svc;
+
+namespace {
+
+/// The comlat_wal_* instrumentation, registered once per process.
+struct WalMetrics {
+  obs::Counter *Appends;
+  obs::Counter *Fsyncs;
+  obs::Counter *Bytes;
+  obs::Histogram *GroupSize;
+  obs::Counter *SegmentsCreated;
+  obs::Counter *SegmentsDeleted;
+  obs::Gauge *DurableSeq;
+
+  static WalMetrics &get() {
+    static WalMetrics M = [] {
+      obs::MetricsRegistry &R = obs::MetricsRegistry::global();
+      WalMetrics N;
+      N.Appends = R.counter("comlat_wal_appends_total");
+      N.Fsyncs = R.counter("comlat_wal_fsyncs_total");
+      N.Bytes = R.counter("comlat_wal_bytes_total");
+      N.GroupSize = R.histogram("comlat_wal_group_size");
+      N.SegmentsCreated = R.counter("comlat_wal_segments_created_total");
+      N.SegmentsDeleted = R.counter("comlat_wal_segments_deleted_total");
+      N.DurableSeq = R.gauge("comlat_wal_durable_seq");
+      return N;
+    }();
+    return M;
+  }
+};
+
+uint64_t nowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void putU32(std::string &Out, uint32_t V) {
+  for (unsigned I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (unsigned I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+uint32_t getU32(std::string_view Buf, size_t Pos) {
+  uint32_t V = 0;
+  for (unsigned I = 0; I != 4; ++I)
+    V |= static_cast<uint32_t>(static_cast<uint8_t>(Buf[Pos + I])) << (8 * I);
+  return V;
+}
+
+uint64_t getU64(std::string_view Buf, size_t Pos) {
+  uint64_t V = 0;
+  for (unsigned I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(static_cast<uint8_t>(Buf[Pos + I])) << (8 * I);
+  return V;
+}
+
+std::string segmentName(uint64_t FirstSeq) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "wal-%020llu.log",
+                static_cast<unsigned long long>(FirstSeq));
+  return Buf;
+}
+
+/// A durable log that cannot write is lying to its clients; fail stop
+/// before any un-durable ACK can be released.
+[[noreturn]] void walDie(const char *What, const std::string &Path) {
+  std::fprintf(stderr, "comlat wal: %s %s: %s\n", What, Path.c_str(),
+               std::strerror(errno));
+  std::abort();
+}
+
+bool readWholeFile(const std::string &Path, std::string &Out,
+                   std::string *Err) {
+  const int Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (Fd < 0) {
+    if (Err)
+      *Err = "open " + Path + ": " + std::strerror(errno);
+    return false;
+  }
+  Out.clear();
+  char Buf[64 * 1024];
+  for (;;) {
+    const ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      Out.append(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    ::close(Fd);
+    if (N < 0) {
+      if (Err)
+        *Err = "read " + Path + ": " + std::strerror(errno);
+      return false;
+    }
+    return true;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Record framing
+//===----------------------------------------------------------------------===//
+
+void svc::encodeWalRecord(std::string &Out, uint64_t Seq,
+                          const std::vector<Op> &Ops,
+                          const std::vector<int64_t> &Results) {
+  std::string P;
+  P.reserve(16 + Ops.size() * 18 + Results.size() * 8);
+  putU64(P, Seq);
+  putU32(P, static_cast<uint32_t>(Ops.size()));
+  for (const Op &O : Ops) {
+    P.push_back(static_cast<char>(O.Obj));
+    P.push_back(static_cast<char>(O.Method));
+    putU64(P, static_cast<uint64_t>(O.A));
+    putU64(P, static_cast<uint64_t>(O.B));
+  }
+  putU32(P, static_cast<uint32_t>(Results.size()));
+  for (const int64_t V : Results)
+    putU64(P, static_cast<uint64_t>(V));
+  putU32(Out, static_cast<uint32_t>(P.size()));
+  Out += P;
+  putU32(Out, crc32c(P));
+}
+
+WalDecode svc::decodeWalRecord(std::string_view Buf, size_t &Pos,
+                               WalRecord &Out) {
+  if (Pos == Buf.size())
+    return WalDecode::End;
+  if (Pos + 4 > Buf.size())
+    return WalDecode::Torn; // partial length prefix
+  const uint32_t Len = getU32(Buf, Pos);
+  if (Len < 16 || Len > MaxWalRecordPayload)
+    return WalDecode::Torn;
+  if (Pos + 4 + Len + 4 > Buf.size())
+    return WalDecode::Torn; // record cut off mid-write
+  const std::string_view Payload = Buf.substr(Pos + 4, Len);
+  if (getU32(Buf, Pos + 4 + Len) != crc32c(Payload))
+    return WalDecode::Torn;
+
+  size_t P = 0;
+  Out.Seq = getU64(Payload, P);
+  P += 8;
+  const uint32_t NumOps = getU32(Payload, P);
+  P += 4;
+  if (NumOps == 0 || NumOps > MaxBatchOps ||
+      P + NumOps * 18ull + 4 > Payload.size())
+    return WalDecode::Torn;
+  Out.Ops.clear();
+  Out.Ops.reserve(NumOps);
+  for (uint32_t I = 0; I != NumOps; ++I) {
+    Op O;
+    O.Obj = static_cast<uint8_t>(Payload[P]);
+    O.Method = static_cast<uint8_t>(Payload[P + 1]);
+    O.A = static_cast<int64_t>(getU64(Payload, P + 2));
+    O.B = static_cast<int64_t>(getU64(Payload, P + 10));
+    Out.Ops.push_back(O);
+    P += 18;
+  }
+  const uint32_t NumRes = getU32(Payload, P);
+  P += 4;
+  if (NumRes > MaxBatchOps || P + NumRes * 8ull != Payload.size())
+    return WalDecode::Torn;
+  Out.Results.clear();
+  Out.Results.reserve(NumRes);
+  for (uint32_t I = 0; I != NumRes; ++I) {
+    Out.Results.push_back(static_cast<int64_t>(getU64(Payload, P)));
+    P += 8;
+  }
+  Pos += 4 + Len + 4;
+  return WalDecode::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Directory scan (recovery)
+//===----------------------------------------------------------------------===//
+
+bool svc::scanWalDir(const std::string &Dir, uint64_t Watermark, WalScan &Out,
+                     std::string *Err, bool Repair) {
+  Out = WalScan{};
+  std::vector<std::string> Names;
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D) {
+    if (Err)
+      *Err = "opendir " + Dir + ": " + std::strerror(errno);
+    return false;
+  }
+  while (struct dirent *E = ::readdir(D)) {
+    const std::string Name = E->d_name;
+    if (Name.size() > 8 && Name.compare(0, 4, "wal-") == 0 &&
+        Name.compare(Name.size() - 4, 4, ".log") == 0)
+      Names.push_back(Name);
+  }
+  ::closedir(D);
+  // Zero-padded first-sequence names: lexicographic order is seq order.
+  std::sort(Names.begin(), Names.end());
+
+  uint64_t LastValid = 0;
+  for (size_t F = 0; F != Names.size(); ++F) {
+    const std::string Path = Dir + "/" + Names[F];
+    std::string Bytes;
+    if (!readWholeFile(Path, Bytes, Err))
+      return false;
+    Out.Segments.push_back(Names[F]);
+    size_t Pos = 0;
+    for (;;) {
+      WalRecord R;
+      const WalDecode D2 = decodeWalRecord(Bytes, Pos, R);
+      if (D2 == WalDecode::End)
+        break;
+      // A sequence regression means the bytes are not a prefix of any real
+      // history; treat it like a torn record and stop there.
+      if (D2 == WalDecode::Torn || R.Seq <= LastValid) {
+        Out.Torn = true;
+        if (Repair) {
+          // Drop the garbage so it can never shadow future appends: keep
+          // the valid prefix of this file, remove every later segment.
+          if (::truncate(Path.c_str(), static_cast<off_t>(Pos)) != 0 &&
+              Err) {
+            *Err = "truncate " + Path + ": " + std::strerror(errno);
+            return false;
+          }
+          for (size_t G = F + 1; G != Names.size(); ++G)
+            ::unlink((Dir + "/" + Names[G]).c_str());
+        }
+        Out.LastSeq = LastValid;
+        return true;
+      }
+      LastValid = R.Seq;
+      if (R.Seq <= Watermark) {
+        ++Out.Skipped;
+        continue;
+      }
+      Out.Records.push_back(std::move(R));
+    }
+  }
+  Out.LastSeq = LastValid;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// The live log
+//===----------------------------------------------------------------------===//
+
+Wal::Wal(const WalConfig &Config, uint64_t FirstSeq)
+    : Config(Config), NextSeq(FirstSeq) {
+  Durable.store(FirstSeq - 1, std::memory_order_release);
+  WalMetrics::get(); // register the families up front
+  Writer = std::thread([this] { writerMain(); });
+}
+
+Wal::~Wal() {
+  {
+    std::lock_guard<std::mutex> Guard(Mu);
+    Stop = true;
+  }
+  WorkCv.notify_all();
+  if (Writer.joinable())
+    Writer.join();
+}
+
+uint64_t Wal::logCommit(EncodeFn Encode) {
+  uint64_t Seq;
+  {
+    std::lock_guard<std::mutex> Guard(Mu);
+    Seq = NextSeq++;
+    Queue.push_back({Seq, nowUs(), std::move(Encode)});
+  }
+  WorkCv.notify_all();
+  return Seq;
+}
+
+void Wal::awaitDurable(uint64_t Seq, AckFn Ack) {
+  {
+    std::unique_lock<std::mutex> Guard(Mu);
+    if (Seq > Durable.load(std::memory_order_acquire)) {
+      Acks[Seq].push_back(std::move(Ack));
+      return;
+    }
+  }
+  Ack(); // already durable: release on the calling thread
+}
+
+void Wal::waitDurable(uint64_t Seq) {
+  std::unique_lock<std::mutex> Guard(Mu);
+  DurableCv.wait(Guard, [&] {
+    return Durable.load(std::memory_order_acquire) >= Seq;
+  });
+}
+
+void Wal::flush() {
+  uint64_t Last;
+  {
+    std::lock_guard<std::mutex> Guard(Mu);
+    Last = NextSeq - 1;
+  }
+  waitDurable(Last);
+}
+
+uint64_t Wal::lastAssignedSeq() const {
+  std::lock_guard<std::mutex> Guard(Mu);
+  return NextSeq - 1;
+}
+
+void Wal::rotateAfter(uint64_t Boundary) {
+  {
+    std::lock_guard<std::mutex> Guard(Mu);
+    RotatePending = true;
+    RotateBoundary = Boundary;
+  }
+  WorkCv.notify_all();
+}
+
+size_t Wal::truncateThrough(uint64_t Boundary) {
+  waitDurable(Boundary);
+  std::vector<std::pair<std::string, uint64_t>> Victims;
+  {
+    std::lock_guard<std::mutex> Guard(Mu);
+    // Every closed segment was finished at some rotation boundary
+    // <= Boundary (boundaries only grow), so all of them are safe.
+    Victims.swap(Closed);
+  }
+  for (const auto &[Name, First] : Victims)
+    ::unlink((Config.Dir + "/" + Name).c_str());
+  if (!Victims.empty()) {
+    syncDir();
+    WalMetrics::get().SegmentsDeleted->add(Victims.size());
+  }
+  return Victims.size();
+}
+
+void Wal::openSegment(uint64_t FirstSeq) {
+  CurrentName = segmentName(FirstSeq);
+  const std::string Path = Config.Dir + "/" + CurrentName;
+  Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (Fd < 0)
+    walDie("create segment", Path);
+  SegFirst = FirstSeq;
+  syncDir(); // the segment's directory entry must survive a crash too
+  WalMetrics::get().SegmentsCreated->add();
+}
+
+void Wal::closeSegment() {
+  if (Fd < 0)
+    return;
+  ::close(Fd);
+  Fd = -1;
+  std::lock_guard<std::mutex> Guard(Mu);
+  Closed.emplace_back(CurrentName, SegFirst);
+}
+
+void Wal::syncDir() {
+  const int DirFd = ::open(Config.Dir.c_str(),
+                           O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (DirFd < 0)
+    walDie("open directory", Config.Dir);
+  if (::fdatasync(DirFd) != 0)
+    walDie("fsync directory", Config.Dir);
+  ::close(DirFd);
+}
+
+void Wal::writerMain() {
+  obs::shardIndex(); // claim a metric shard for this thread
+  WalMetrics &M = WalMetrics::get();
+  std::vector<Item> Group;
+  std::string Buf;
+  for (;;) {
+    Group.clear();
+    bool Rotate = false;
+    uint64_t Boundary = 0;
+    {
+      std::unique_lock<std::mutex> Guard(Mu);
+      WorkCv.wait(Guard, [&] {
+        return Stop || !Queue.empty() || RotatePending;
+      });
+      if (Queue.empty() && Stop && !RotatePending)
+        break;
+      if (!Queue.empty()) {
+        // Group commit: the oldest record waits at most SyncIntervalUs for
+        // companions (no wait at all during shutdown), and a group never
+        // exceeds GroupMax records per fdatasync.
+        const auto Deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(
+                Queue.front().ArrivalUs + Config.SyncIntervalUs > nowUs()
+                    ? Queue.front().ArrivalUs + Config.SyncIntervalUs -
+                          nowUs()
+                    : 0);
+        while (Queue.size() < Config.GroupMax && !Stop &&
+               WorkCv.wait_until(Guard, Deadline) !=
+                   std::cv_status::timeout) {
+        }
+        const size_t N = std::min<size_t>(Queue.size(), Config.GroupMax);
+        for (size_t I = 0; I != N; ++I) {
+          Group.push_back(std::move(Queue.front()));
+          Queue.pop_front();
+        }
+      }
+      Rotate = RotatePending;
+      Boundary = RotateBoundary;
+      if (Group.empty() && Queue.empty() && Stop && !Rotate)
+        break;
+    }
+
+    Buf.clear();
+    bool Synced = false;
+    for (Item &It : Group) {
+      // Rotation boundary inside this group: finish the old segment (sync
+      // what is buffered for it first) before the boundary-crossing
+      // record opens the next one.
+      if (Rotate && Fd >= 0 && SegFirst <= Boundary && It.Seq > Boundary) {
+        if (!Buf.empty()) {
+          if (::write(Fd, Buf.data(), Buf.size()) !=
+              static_cast<ssize_t>(Buf.size()))
+            walDie("write segment", CurrentName);
+          M.Bytes->add(Buf.size());
+          Buf.clear();
+        }
+        if (::fdatasync(Fd) != 0)
+          walDie("fsync segment", CurrentName);
+        M.Fsyncs->add();
+        closeSegment();
+      }
+      if (Fd < 0)
+        openSegment(It.Seq);
+      It.Encode(It.Seq, Buf);
+      LastWritten = It.Seq;
+    }
+    if (!Buf.empty()) {
+      if (::write(Fd, Buf.data(), Buf.size()) !=
+          static_cast<ssize_t>(Buf.size()))
+        walDie("write segment", CurrentName);
+      M.Bytes->add(Buf.size());
+    }
+    if (!Group.empty()) {
+      if (::fdatasync(Fd) != 0)
+        walDie("fsync segment", CurrentName);
+      Synced = true;
+      M.Appends->add(Group.size());
+      M.Fsyncs->add();
+      M.GroupSize->observe(Group.size());
+    }
+
+    // A rotation whose boundary is fully written can finish now even with
+    // no boundary-crossing record in sight (the snapshot path waits on
+    // truncateThrough, which only removes *closed* segments).
+    if (Rotate && Fd >= 0 && SegFirst <= Boundary &&
+        LastWritten >= Boundary) {
+      if (!Synced) {
+        if (::fdatasync(Fd) != 0)
+          walDie("fsync segment", CurrentName);
+        M.Fsyncs->add();
+      }
+      closeSegment();
+    }
+
+    bool RotateDone = false;
+    std::vector<AckFn> Release;
+    {
+      std::lock_guard<std::mutex> Guard(Mu);
+      if (RotatePending &&
+          (Fd < 0 || SegFirst > RotateBoundary ||
+           LastWritten >= RotateBoundary) &&
+          LastWritten >= RotateBoundary) {
+        RotatePending = false;
+        RotateDone = true;
+      }
+      if (!Group.empty()) {
+        Durable.store(LastWritten, std::memory_order_release);
+        auto End = Acks.upper_bound(LastWritten);
+        for (auto It = Acks.begin(); It != End; ++It)
+          for (AckFn &A : It->second)
+            Release.push_back(std::move(A));
+        Acks.erase(Acks.begin(), End);
+      }
+    }
+    (void)RotateDone;
+    if (!Group.empty()) {
+      M.DurableSeq->set(static_cast<int64_t>(LastWritten));
+      DurableCv.notify_all();
+      for (AckFn &A : Release)
+        A();
+    }
+  }
+  // Shutdown: everything queued has been written and synced; finish the
+  // open segment cleanly.
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}

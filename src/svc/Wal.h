@@ -1,0 +1,218 @@
+//===- svc/Wal.h - Commit-sequence write-ahead log --------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The durability log of the serving layer (DESIGN.md §3.10). Every
+/// committed batch appends one length-prefixed, CRC32C-protected record
+/// carrying its commit sequence number, its operations and its reply
+/// results; a dedicated log thread group-commits records with one
+/// fdatasync per group and only then releases the client ACKs, so an
+/// acknowledged batch is durable by construction.
+///
+/// The one ordering invariant everything else leans on: *file order equals
+/// commit-sequence order*. logCommit() both assigns the sequence number
+/// and enqueues the record under the same mutex, and it is called from
+/// inside the transaction's commit action — while the conflict detectors
+/// are still held — so for any two conflicting batches the log order
+/// extends the detector-enforced order. Replaying the log front to back is
+/// therefore the same serial-execution witness the in-memory oracle
+/// replays (runtime/Submitter.h), which is what makes recovery correct.
+///
+/// The log is segmented (`wal-<firstseq>.log`). A snapshot at watermark W
+/// requests a rotation: the log thread finishes the current segment at W
+/// and starts a new one at W+1, after which every closed segment (all
+/// records <= W by construction) can be deleted. Recovery reads segments
+/// in name order, skips records at or below the snapshot watermark, and
+/// tolerates a torn tail: the first CRC/length mismatch ends the valid
+/// prefix, and repair truncates the file there (plus unlinks any later
+/// segments) so the garbage cannot shadow future appends.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_SVC_WAL_H
+#define COMLAT_SVC_WAL_H
+
+#include "support/SmallFunc.h"
+#include "svc/Protocol.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace comlat {
+namespace svc {
+
+/// Shapes one log instance.
+struct WalConfig {
+  /// Directory holding the segments and snapshots. Must exist.
+  std::string Dir;
+  /// Group-commit coalescing window: a record waits at most this long for
+  /// companions before its group is fdatasync'ed.
+  unsigned SyncIntervalUs = 1000;
+  /// Records per fdatasync group cap.
+  unsigned GroupMax = 64;
+};
+
+/// One decoded log record.
+struct WalRecord {
+  uint64_t Seq = 0;
+  std::vector<Op> Ops;
+  std::vector<int64_t> Results;
+};
+
+/// Hard bound on one record's payload (header + MaxBatchOps ops and
+/// results, with slack); larger length prefixes are torn by definition.
+inline constexpr size_t MaxWalRecordPayload = 1u << 20;
+
+/// Appends the framed encoding of one record to \p Out:
+///   u32 payload_len | payload | u32 crc32c(payload)
+///   payload := u64 seq | u32 nops | nops * (u8 obj | u8 method | i64 a |
+///              i64 b) | u32 nresults | nresults * i64
+void encodeWalRecord(std::string &Out, uint64_t Seq,
+                     const std::vector<Op> &Ops,
+                     const std::vector<int64_t> &Results);
+
+/// Outcome of decoding one record at a buffer position.
+enum class WalDecode {
+  Ok,   ///< \p Out holds a record; \p Pos advanced past it.
+  End,  ///< \p Pos is exactly the end of the buffer: clean end of log.
+  Torn, ///< Partial header, bad length, CRC mismatch or malformed payload:
+        ///< the valid prefix ends at \p Pos.
+};
+
+/// Decodes the record starting at \p Pos in \p Buf. Advances \p Pos only
+/// on Ok.
+WalDecode decodeWalRecord(std::string_view Buf, size_t &Pos, WalRecord &Out);
+
+/// Result of scanning a log directory for recovery.
+struct WalScan {
+  /// Valid records with Seq > the scan watermark, in sequence order.
+  std::vector<WalRecord> Records;
+  /// Largest valid sequence number seen (including skipped records);
+  /// 0 when the log is empty.
+  uint64_t LastSeq = 0;
+  /// Valid records skipped because Seq <= the watermark.
+  uint64_t Skipped = 0;
+  /// True when a torn tail (or a later-than-torn segment) was dropped.
+  bool Torn = false;
+  /// Segment file names examined, in replay order.
+  std::vector<std::string> Segments;
+};
+
+/// Reads every `wal-*.log` segment under \p Dir in name order, collecting
+/// records with Seq > \p Watermark. Stops at the first torn record or
+/// sequence regression; with \p Repair the torn file is truncated to its
+/// valid prefix and any later segments are unlinked, so the next writer's
+/// appends can never be shadowed by stale bytes. Returns false only on an
+/// I/O error (\p Err set); a torn tail is a tolerated outcome, not an
+/// error.
+bool scanWalDir(const std::string &Dir, uint64_t Watermark, WalScan &Out,
+                std::string *Err = nullptr, bool Repair = false);
+
+/// The live log: sequence allocation, group-commit appends, ACK release,
+/// rotation and truncation. One writer thread; every public method is
+/// thread-safe.
+class Wal {
+public:
+  /// Produces one record's framed bytes given the sequence number the log
+  /// assigned it. Runs on the log thread, off the commit hot path.
+  using EncodeFn = SmallFunc<void(uint64_t Seq, std::string &Out)>;
+  /// Fired once the record's group has been fdatasync'ed.
+  using AckFn = std::function<void()>;
+
+  /// \p FirstSeq is the next sequence number to hand out (recovered
+  /// watermark + 1 after recovery, 1 on a fresh directory).
+  Wal(const WalConfig &Config, uint64_t FirstSeq);
+
+  /// Flushes everything queued, releases remaining ACKs and joins the log
+  /// thread.
+  ~Wal();
+
+  Wal(const Wal &) = delete;
+  Wal &operator=(const Wal &) = delete;
+
+  /// Assigns the next commit sequence number and enqueues the record, both
+  /// under one lock so file order is sequence order. Call from inside a
+  /// commit action (detectors still held — see the file comment).
+  uint64_t logCommit(EncodeFn Encode);
+
+  /// Runs \p Ack once record \p Seq is durable — immediately on the
+  /// calling thread when it already is, else on the log thread after the
+  /// covering fdatasync.
+  void awaitDurable(uint64_t Seq, AckFn Ack);
+
+  /// Blocks until record \p Seq is durable.
+  void waitDurable(uint64_t Seq);
+
+  /// Blocks until everything assigned so far is durable.
+  void flush();
+
+  uint64_t durableSeq() const {
+    return Durable.load(std::memory_order_acquire);
+  }
+
+  /// Largest sequence number handed out; 0 when none yet.
+  uint64_t lastAssignedSeq() const;
+
+  /// Requests a segment rotation at \p Boundary (a snapshot watermark):
+  /// the log thread finishes the current segment once every record
+  /// <= Boundary is written and starts the next segment fresh. Callers
+  /// must guarantee every sequence <= Boundary has already been assigned
+  /// (the server snapshots from a quiesced pause, so this holds).
+  void rotateAfter(uint64_t Boundary);
+
+  /// Waits until \p Boundary is durable, then unlinks every closed
+  /// segment (all of whose records are <= Boundary by the rotation
+  /// protocol). Returns the number of segments removed.
+  size_t truncateThrough(uint64_t Boundary);
+
+private:
+  struct Item {
+    uint64_t Seq;
+    uint64_t ArrivalUs;
+    EncodeFn Encode;
+  };
+
+  void writerMain();
+  void openSegment(uint64_t FirstSeq);
+  void closeSegment();
+  void syncDir();
+
+  WalConfig Config;
+  mutable std::mutex Mu;
+  std::condition_variable WorkCv;    // new items / stop, waking the writer
+  std::condition_variable DurableCv; // durability progress, waking waiters
+  std::deque<Item> Queue;            // guarded by Mu
+  std::map<uint64_t, std::vector<AckFn>> Acks; // guarded by Mu
+  uint64_t NextSeq;                  // guarded by Mu
+  bool Stop = false;                 // guarded by Mu
+  bool RotatePending = false;        // guarded by Mu
+  uint64_t RotateBoundary = 0;       // guarded by Mu
+  /// Closed segments eligible for truncation: file name and first seq.
+  std::vector<std::pair<std::string, uint64_t>> Closed; // guarded by Mu
+  std::atomic<uint64_t> Durable{0};
+
+  // Writer-thread-only state.
+  int Fd = -1;
+  uint64_t SegFirst = 0;
+  uint64_t LastWritten = 0;
+  std::string CurrentName;
+
+  std::thread Writer;
+};
+
+} // namespace svc
+} // namespace comlat
+
+#endif // COMLAT_SVC_WAL_H

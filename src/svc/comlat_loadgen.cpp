@@ -6,9 +6,12 @@
 //
 //   comlat-loadgen --port=7411 --threads=4 --batches=10000 --verify
 //   comlat-loadgen --port=7411 --duration=5 --qps=2000 --json=out.json
+//   comlat-loadgen --port=7411 --wait-ready=30 --batches=0   # readiness gate
+//   comlat-loadgen --port=7411 --check-recovery=acked.txt --wal-dir=wal/
 //
-// Exits non-zero on any protocol error, on a verification failure, or
-// when not a single batch committed — the CI smoke job leans on that.
+// Exits non-zero on any protocol error (2), a verification failure (3),
+// when not a single batch committed (4), a recovery-audit failure (5) or
+// a readiness timeout (6) — the CI smoke and crash jobs lean on these.
 //
 //===----------------------------------------------------------------------===//
 
@@ -24,7 +27,9 @@ int main(int Argc, char **Argv) {
   Opts.checkKnown({"host", "port", "threads", "batches", "duration",
                    "ops-per-batch", "qps", "seed", "keyspace", "uf-elements",
                    "set-weight", "acc-weight", "uf-weight", "verify",
-                   "privatized", "csv", "json", "metrics-out"});
+                   "privatized", "csv", "json", "metrics-out", "wait-ready",
+                   "acked-log", "tolerate-disconnect", "check-recovery",
+                   "wal-dir"});
 
   svc::LoadGenConfig Config;
   Config.Host = Opts.getString("host", "127.0.0.1");
@@ -42,6 +47,52 @@ int main(int Argc, char **Argv) {
   Config.UfWeight = static_cast<unsigned>(Opts.getUInt("uf-weight", 2));
   Config.Verify = Opts.getBool("verify");
   Config.Privatized = Opts.getBool("privatized");
+  Config.TolerateDisconnect = Opts.getBool("tolerate-disconnect");
+  Config.AckedLogPath = Opts.getString("acked-log", "");
+
+  // Readiness gate: poll connect + Ping before doing anything else. With
+  // --batches=0 this is the whole job (CI replaces its sleeps with it).
+  const double WaitReadySec = Opts.getDouble("wait-ready", 0);
+  if (WaitReadySec > 0) {
+    if (!svc::waitReady(Config.Host, Config.Port, WaitReadySec)) {
+      std::fprintf(stderr,
+                   "comlat-loadgen: server not ready after %.1fs\n",
+                   WaitReadySec);
+      return 6;
+    }
+    if (Config.BatchesPerThread == 0 && Config.DurationSec <= 0)
+      return 0;
+  }
+
+  // Recovery audit mode: no load, just check the restarted server against
+  // the acked-batch ground truth and the on-disk WAL/snapshot artifacts.
+  const std::string CheckRecovery = Opts.getString("check-recovery", "");
+  if (!CheckRecovery.empty()) {
+    svc::RecoveryCheckConfig RC;
+    RC.Host = Config.Host;
+    RC.Port = Config.Port;
+    RC.WalDir = Opts.getString("wal-dir", "");
+    RC.AckedLogPath = CheckRecovery;
+    RC.UfElements = Config.UfElements;
+    if (RC.WalDir.empty()) {
+      std::fprintf(stderr, "comlat-loadgen: --check-recovery needs --wal-dir\n");
+      return 5;
+    }
+    const svc::RecoveryCheckResult R = svc::runRecoveryCheck(RC);
+    std::printf("recovery check: %s (%llu acked batches, %llu wal records, "
+                "snapshot seq %llu, recovered seq %llu)\n",
+                R.Ok ? "ok" : "FAILED",
+                static_cast<unsigned long long>(R.AckedBatches),
+                static_cast<unsigned long long>(R.WalRecords),
+                static_cast<unsigned long long>(R.SnapshotSeq),
+                static_cast<unsigned long long>(R.RecoveredSeq));
+    if (!R.Ok) {
+      std::fprintf(stderr, "comlat-loadgen: recovery audit FAILED: %s\n",
+                   R.Detail.c_str());
+      return 5;
+    }
+    return 0;
+  }
 
   const svc::LoadGenStats Stats = svc::runLoadGen(Config);
 
@@ -89,7 +140,9 @@ int main(int Argc, char **Argv) {
                  Stats.VerifyDetail.c_str());
     return 3;
   }
-  if (Stats.OkReplies == 0) {
+  if (Stats.OkReplies == 0 && Stats.Disconnects == 0) {
+    // A tolerated crash may legitimately beat the first commit; anything
+    // else with zero commits is a dead run.
     std::fprintf(stderr, "comlat-loadgen: no batch ever committed\n");
     return 4;
   }

@@ -7,9 +7,11 @@
 //
 //   comlat-serve --port=7411 --io-threads=2 --workers=4
 //   comlat-serve --port=0 --port-file=/tmp/port   # ephemeral, CI style
+//   comlat-serve --durable --wal-dir=/var/lib/comlat   # WAL + snapshots
 //
 // SIGTERM/SIGINT drain gracefully: stop accepting, finish every admitted
-// transaction, flush every reply, exit 0.
+// transaction, flush every reply, exit 0. SIGUSR1 takes a snapshot now
+// (durable mode; ignored otherwise).
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,8 +28,10 @@ int main(int Argc, char **Argv) {
   const Options Opts(Argc, Argv);
   Opts.checkKnown({"port", "bind", "port-file", "io-threads", "workers",
                    "queue", "idle-timeout-ms", "max-write-buffer",
-                   "uf-elements", "max-attempts", "privatize", "trace",
-                   "trace-events", "metrics", "metrics-json"});
+                   "uf-elements", "max-attempts", "privatize", "durable",
+                   "wal-dir", "wal-sync-interval", "wal-group-max",
+                   "snapshot-interval-ms", "trace", "trace-events", "metrics",
+                   "metrics-json"});
   obs::ScopedObs Obs(Opts);
 
   svc::ServerConfig Config;
@@ -42,6 +46,14 @@ int main(int Argc, char **Argv) {
   Config.UfElements = Opts.getUInt("uf-elements", 1024);
   Config.MaxAttempts = static_cast<unsigned>(Opts.getUInt("max-attempts", 0));
   Config.PrivatizeAcc = Opts.getBool("privatize");
+  Config.Durable = Opts.getBool("durable");
+  Config.WalDir = Opts.getString("wal-dir", "");
+  Config.WalSyncIntervalUs =
+      static_cast<unsigned>(Opts.getUInt("wal-sync-interval", 1000));
+  Config.WalGroupMax =
+      static_cast<unsigned>(Opts.getUInt("wal-group-max", 64));
+  Config.SnapshotIntervalMs =
+      static_cast<unsigned>(Opts.getUInt("snapshot-interval-ms", 0));
 
   // Block the shutdown signals before any thread spawns so every thread
   // inherits the mask and sigwait() below is the only receiver.
@@ -49,6 +61,7 @@ int main(int Argc, char **Argv) {
   sigemptyset(&Sigs);
   sigaddset(&Sigs, SIGTERM);
   sigaddset(&Sigs, SIGINT);
+  sigaddset(&Sigs, SIGUSR1);
   pthread_sigmask(SIG_BLOCK, &Sigs, nullptr);
 
   svc::Server Srv(Config);
@@ -57,9 +70,13 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "comlat-serve: %s\n", Err.c_str());
     return 1;
   }
-  std::printf("comlat-serve listening on %s:%u%s\n",
+  std::printf("comlat-serve listening on %s:%u%s%s\n",
               Config.BindAddress.c_str(), unsigned(Srv.port()),
-              Config.PrivatizeAcc ? " (privatized accumulator)" : "");
+              Config.PrivatizeAcc ? " (privatized accumulator)" : "",
+              Config.Durable ? " (durable)" : "");
+  if (Config.Durable)
+    std::printf("comlat-serve recovered through seq %llu\n",
+                static_cast<unsigned long long>(Srv.recoveredSeq()));
   std::fflush(stdout);
 
   const std::string PortFile = Opts.getString("port-file", "");
@@ -76,7 +93,14 @@ int main(int Argc, char **Argv) {
   }
 
   int Sig = 0;
-  sigwait(&Sigs, &Sig);
+  for (;;) {
+    sigwait(&Sigs, &Sig);
+    if (Sig != SIGUSR1)
+      break;
+    // Operator-triggered snapshot; failure leaves serving untouched.
+    std::fprintf(stderr, "comlat-serve: SIGUSR1, snapshot %s\n",
+                 Srv.snapshotNow() ? "taken" : "FAILED");
+  }
   std::fprintf(stderr, "comlat-serve: caught %s, draining\n",
                Sig == SIGTERM ? "SIGTERM" : "SIGINT");
   Srv.stop();

@@ -155,3 +155,62 @@ TEST(SubmitterTest, DrainCompletesQueuedWorkAndStopsAdmission) {
   EXPECT_EQ(Completions.load(), 5);
   EXPECT_FALSE(Sub.trySubmit([](Transaction &) {}, [](const SubmitOutcome &) {}));
 }
+
+TEST(SubmitterTest, StampHookAssignsCommitSequences) {
+  // The WAL hook: a StampFn replaces the internal commit-sequence counter
+  // so an external allocator (the durability log) both numbers and records
+  // the commit inside the commit action, while detectors are still held.
+  const std::unique_ptr<TxAccumulator> Acc = makeLockedAccumulator();
+  constexpr int N = 50;
+  std::atomic<uint64_t> External{1000};
+  std::atomic<int> StampCalls{0};
+  std::mutex SeqM;
+  std::set<uint64_t> Seqs;
+  {
+    Submitter Sub(quickConfig(4));
+    for (int I = 0; I != N; ++I)
+      ASSERT_TRUE(Sub.trySubmit(
+          [&Acc](Transaction &Tx) {
+            if (!Acc->increment(Tx, 1))
+              return;
+          },
+          [&](const SubmitOutcome &Outcome) {
+            ASSERT_TRUE(Outcome.Committed);
+            std::lock_guard<std::mutex> Guard(SeqM);
+            Seqs.insert(Outcome.CommitSeq);
+          },
+          /*TraceTag=*/0,
+          /*Stamp=*/[&]() -> uint64_t {
+            StampCalls.fetch_add(1);
+            return External.fetch_add(1);
+          }));
+    Sub.drain();
+  }
+  // Exactly one stamp per commit, and the outcome carries the external
+  // numbering — distinct, dense, starting where the allocator started.
+  EXPECT_EQ(StampCalls.load(), N);
+  EXPECT_EQ(Seqs.size(), static_cast<size_t>(N));
+  EXPECT_EQ(*Seqs.begin(), 1000u);
+  EXPECT_EQ(*Seqs.rbegin(), 1000u + N - 1);
+  EXPECT_EQ(Acc->value(), N);
+}
+
+TEST(SubmitterTest, StampHookNotCalledOnAbort) {
+  SubmitterConfig Config = quickConfig(1);
+  Config.MaxAttempts = 2;
+  Submitter Sub(Config);
+  std::atomic<int> StampCalls{0};
+  std::atomic<bool> Done{false};
+  ASSERT_TRUE(Sub.trySubmit([](Transaction &Tx) { Tx.fail(); },
+                            [&](const SubmitOutcome &Outcome) {
+                              EXPECT_FALSE(Outcome.Committed);
+                              Done.store(true);
+                            },
+                            0, [&]() -> uint64_t {
+                              StampCalls.fetch_add(1);
+                              return 1;
+                            }));
+  Sub.drain();
+  EXPECT_TRUE(Done.load());
+  EXPECT_EQ(StampCalls.load(), 0); // only a commit is ever logged
+}
