@@ -789,6 +789,9 @@ RecoveryCheckResult svc::runRecoveryCheck(const RecoveryCheckConfig &Config) {
     return Fail("wal scan: " + Err);
   if (Scan.Torn)
     return Fail("torn wal tail survived recovery (repair did not run?)");
+  if (Scan.Gap)
+    return Fail("wal sequence gap at " + std::to_string(Scan.GapAt) +
+                ": acknowledged history missing from disk");
   R.WalRecords = Scan.Records.size();
 
   // 5. Every acked batch above the snapshot watermark must sit in the WAL

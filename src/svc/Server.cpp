@@ -729,6 +729,15 @@ bool Server::recover(std::string *Err) {
   }
   if (Scan.Torn)
     TornTotal->add();
+  // A sequence gap means acknowledged records are missing from disk
+  // (e.g. the WAL was truncated past the snapshot we could load). Replay
+  // over the hole could silently lose acknowledged batches, so refuse.
+  if (Scan.Gap) {
+    if (Err)
+      *Err = "recovery: wal sequence gap at " + std::to_string(Scan.GapAt) +
+             " (acknowledged history missing; refusing to start)";
+    return false;
+  }
 
   // Replay through the gated apply path, one transaction per record, and
   // demand the recomputed results match the logged (acknowledged) ones —
@@ -868,7 +877,11 @@ bool Server::snapshotNow() {
   SnapSeq.store(Snap.Seq, std::memory_order_release);
   obs::MetricsRegistry::global().counter("comlat_wal_snapshots_total")->add();
   pruneSnapshots(Config.WalDir, /*Keep=*/2);
-  Log->truncateThrough(Snap.Seq);
+  // Truncate only what the *oldest retained* snapshot covers (read back
+  // from disk, so a re-snapshot at an unchanged watermark cannot advance
+  // the boundary past it): the older snapshot is only an actual fallback
+  // if every WAL record above *its* watermark is still on disk.
+  Log->truncateThrough(oldestSnapshotSeq(Config.WalDir));
   return true;
 }
 

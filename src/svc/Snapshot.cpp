@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -196,6 +197,13 @@ bool svc::loadNewestSnapshot(const std::string &Dir, SnapshotData &Out,
     return true;
   }
   return false;
+}
+
+uint64_t svc::oldestSnapshotSeq(const std::string &Dir) {
+  std::vector<std::string> Names;
+  if (!listSnapshots(Dir, Names, nullptr, nullptr) || Names.empty())
+    return 0;
+  return std::strtoull(Names.front().c_str() + 5, nullptr, 10);
 }
 
 size_t svc::pruneSnapshots(const std::string &Dir, size_t Keep) {

@@ -54,6 +54,12 @@ bool loadNewestSnapshot(const std::string &Dir, SnapshotData &Out,
 /// any stale `*.tmp` leftovers). Returns the number of files removed.
 size_t pruneSnapshots(const std::string &Dir, size_t Keep = 2);
 
+/// Watermark of the oldest snapshot file still under \p Dir (by name —
+/// the file is not validated), or 0 when none exist. WAL truncation must
+/// not pass this: every record above the oldest retained snapshot has to
+/// stay on disk for that snapshot to be a usable recovery fallback.
+uint64_t oldestSnapshotSeq(const std::string &Dir);
+
 } // namespace svc
 } // namespace comlat
 

@@ -242,15 +242,36 @@ bool svc::scanWalDir(const std::string &Dir, uint64_t Watermark, WalScan &Out,
         Out.Torn = true;
         if (Repair) {
           // Drop the garbage so it can never shadow future appends: keep
-          // the valid prefix of this file, remove every later segment.
-          if (::truncate(Path.c_str(), static_cast<off_t>(Pos)) != 0 &&
-              Err) {
+          // the valid prefix of this file (unlink it outright when there
+          // is none — a zero-length leftover would collide with the next
+          // writer's exclusive create), remove every later segment.
+          if (Pos == 0) {
+            if (::unlink(Path.c_str()) != 0 && Err) {
+              *Err = "unlink " + Path + ": " + std::strerror(errno);
+              return false;
+            }
+          } else if (::truncate(Path.c_str(), static_cast<off_t>(Pos)) !=
+                         0 &&
+                     Err) {
             *Err = "truncate " + Path + ": " + std::strerror(errno);
             return false;
           }
           for (size_t G = F + 1; G != Names.size(); ++G)
             ::unlink((Dir + "/" + Names[G]).c_str());
         }
+        Out.LastSeq = LastValid;
+        return true;
+      }
+      // The log is contiguous by construction (logCommit assigns and
+      // enqueues under one mutex; truncation only drops whole segments
+      // below the snapshot watermark), so a skipped-ahead sequence means
+      // acknowledged records are missing from disk. That is not damage a
+      // truncation can repair — the records past the hole were
+      // acknowledged — so report it and leave every file alone.
+      const uint64_t Expect = std::max(LastValid, Watermark) + 1;
+      if (R.Seq > Expect) {
+        Out.Gap = true;
+        Out.GapAt = Expect;
         Out.LastSeq = LastValid;
         return true;
       }
@@ -261,6 +282,11 @@ bool svc::scanWalDir(const std::string &Dir, uint64_t Watermark, WalScan &Out,
       }
       Out.Records.push_back(std::move(R));
     }
+    // A segment with no valid record at all (a crash between segment
+    // creation and the first durable write) must not survive repair: on
+    // the next restart openSegment would re-create the same name.
+    if (Repair && Pos == 0)
+      ::unlink(Path.c_str());
   }
   Out.LastSeq = LastValid;
   return true;
@@ -272,6 +298,10 @@ bool svc::scanWalDir(const std::string &Dir, uint64_t Watermark, WalScan &Out,
 
 Wal::Wal(const WalConfig &Config, uint64_t FirstSeq)
     : Config(Config), NextSeq(FirstSeq) {
+  // Everything below FirstSeq is durable history from before this
+  // instance; seed both watermarks there so a rotation boundary at the
+  // recovered watermark completes without waiting for a new write.
+  LastWritten = FirstSeq - 1;
   Durable.store(FirstSeq - 1, std::memory_order_release);
   WalMetrics::get(); // register the families up front
   Writer = std::thread([this] { writerMain(); });
@@ -344,11 +374,20 @@ size_t Wal::truncateThrough(uint64_t Boundary) {
   std::vector<std::pair<std::string, uint64_t>> Victims;
   {
     std::lock_guard<std::mutex> Guard(Mu);
-    // Every closed segment was finished at some rotation boundary
-    // <= Boundary (boundaries only grow), so all of them are safe.
-    Victims.swap(Closed);
+    // Only segments entirely at or below the boundary go; the rest stay
+    // closed and eligible for a later, higher boundary. The server
+    // truncates through the *oldest retained* snapshot's watermark, so
+    // the records that the fallback snapshot would need remain.
+    auto Keep = std::stable_partition(
+        Closed.begin(), Closed.end(),
+        [&](const std::pair<std::string, uint64_t> &C) {
+          return C.second <= Boundary;
+        });
+    Victims.assign(std::make_move_iterator(Closed.begin()),
+                   std::make_move_iterator(Keep));
+    Closed.erase(Closed.begin(), Keep);
   }
-  for (const auto &[Name, First] : Victims)
+  for (const auto &[Name, Last] : Victims)
     ::unlink((Config.Dir + "/" + Name).c_str());
   if (!Victims.empty()) {
     syncDir();
@@ -361,6 +400,22 @@ void Wal::openSegment(uint64_t FirstSeq) {
   CurrentName = segmentName(FirstSeq);
   const std::string Path = Config.Dir + "/" + CurrentName;
   Fd = ::open(Path.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (Fd < 0 && errno == EEXIST) {
+    // A crash between a previous incarnation's segment creation and its
+    // first durable record leaves an empty file under this exact name
+    // (recovery unlinks those, but this instance may be running without
+    // a repair scan). Adopting an *empty* leftover is safe — there are
+    // no bytes to shadow; anything non-empty means two writers, so die.
+    Fd = ::open(Path.c_str(), O_WRONLY | O_CLOEXEC);
+    if (Fd >= 0) {
+      struct stat St;
+      if (::fstat(Fd, &St) != 0 || St.st_size != 0) {
+        ::close(Fd);
+        Fd = -1;
+        errno = EEXIST;
+      }
+    }
+  }
   if (Fd < 0)
     walDie("create segment", Path);
   SegFirst = FirstSeq;
@@ -374,7 +429,10 @@ void Wal::closeSegment() {
   ::close(Fd);
   Fd = -1;
   std::lock_guard<std::mutex> Guard(Mu);
-  Closed.emplace_back(CurrentName, SegFirst);
+  // LastWritten is exact here: close always follows the segment's final
+  // record (or the rotation that ended it), so it is the segment's last
+  // sequence — the truncation boundary test needs exactly that.
+  Closed.emplace_back(CurrentName, LastWritten);
 }
 
 void Wal::syncDir() {
@@ -482,17 +540,15 @@ void Wal::writerMain() {
       closeSegment();
     }
 
-    bool RotateDone = false;
     std::vector<AckFn> Release;
     {
       std::lock_guard<std::mutex> Guard(Mu);
-      if (RotatePending &&
-          (Fd < 0 || SegFirst > RotateBoundary ||
-           LastWritten >= RotateBoundary) &&
-          LastWritten >= RotateBoundary) {
+      // Rotation is done once the boundary record is written: the close
+      // above already ended the covering segment in that case, and a
+      // boundary at or below the recovered watermark (LastWritten starts
+      // at FirstSeq-1) is satisfied without any new write.
+      if (RotatePending && LastWritten >= RotateBoundary)
         RotatePending = false;
-        RotateDone = true;
-      }
       if (!Group.empty()) {
         Durable.store(LastWritten, std::memory_order_release);
         auto End = Acks.upper_bound(LastWritten);
@@ -502,7 +558,6 @@ void Wal::writerMain() {
         Acks.erase(Acks.begin(), End);
       }
     }
-    (void)RotateDone;
     if (!Group.empty()) {
       M.DurableSeq->set(static_cast<int64_t>(LastWritten));
       DurableCv.notify_all();

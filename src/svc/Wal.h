@@ -24,12 +24,16 @@
 ///
 /// The log is segmented (`wal-<firstseq>.log`). A snapshot at watermark W
 /// requests a rotation: the log thread finishes the current segment at W
-/// and starts a new one at W+1, after which every closed segment (all
-/// records <= W by construction) can be deleted. Recovery reads segments
-/// in name order, skips records at or below the snapshot watermark, and
-/// tolerates a torn tail: the first CRC/length mismatch ends the valid
-/// prefix, and repair truncates the file there (plus unlinks any later
-/// segments) so the garbage cannot shadow future appends.
+/// and starts a new one at W+1, after which truncateThrough(B) deletes
+/// the closed segments whose records all sit at or below a durable
+/// boundary B — the server passes the *oldest retained* snapshot's
+/// watermark, so the records above it stay on disk and the retained
+/// fallback snapshot remains replayable. Recovery reads segments in name order, skips
+/// records at or below the snapshot watermark, and tolerates a torn
+/// tail: the first CRC/length mismatch ends the valid prefix, and repair
+/// truncates the file there (plus unlinks any later segments) so the
+/// garbage cannot shadow future appends. A sequence *gap*, by contrast,
+/// is unrepairable lost history and recovery refuses to start on one.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -106,6 +110,14 @@ struct WalScan {
   uint64_t Skipped = 0;
   /// True when a torn tail (or a later-than-torn segment) was dropped.
   bool Torn = false;
+  /// True when the surviving records do not form a contiguous extension
+  /// of the watermark: some acknowledged sequence in (Watermark, LastSeq]
+  /// is missing from disk. Unlike a torn tail this is never repairable —
+  /// the records past the hole were acknowledged — so recovery must
+  /// refuse to start rather than replay over it.
+  bool Gap = false;
+  /// First missing sequence number when Gap is set.
+  uint64_t GapAt = 0;
   /// Segment file names examined, in replay order.
   std::vector<std::string> Segments;
 };
@@ -113,10 +125,16 @@ struct WalScan {
 /// Reads every `wal-*.log` segment under \p Dir in name order, collecting
 /// records with Seq > \p Watermark. Stops at the first torn record or
 /// sequence regression; with \p Repair the torn file is truncated to its
-/// valid prefix and any later segments are unlinked, so the next writer's
-/// appends can never be shadowed by stale bytes. Returns false only on an
-/// I/O error (\p Err set); a torn tail is a tolerated outcome, not an
-/// error.
+/// valid prefix (unlinked outright when no valid prefix remains, so a
+/// leftover empty segment can never collide with the next writer's
+/// O_EXCL create) and any later segments are unlinked, so the next
+/// writer's appends can never be shadowed by stale bytes. A sequence
+/// *gap* — the first record above \p Watermark is not Watermark+1, or a
+/// later record skips ahead — sets Out.Gap and stops the scan without
+/// touching any file: the missing records were acknowledged, so this is
+/// data loss to report, not damage to repair. Returns false only on an
+/// I/O error (\p Err set); a torn tail or gap is a reported outcome, not
+/// an error.
 bool scanWalDir(const std::string &Dir, uint64_t Watermark, WalScan &Out,
                 std::string *Err = nullptr, bool Repair = false);
 
@@ -173,8 +191,9 @@ public:
   void rotateAfter(uint64_t Boundary);
 
   /// Waits until \p Boundary is durable, then unlinks every closed
-  /// segment (all of whose records are <= Boundary by the rotation
-  /// protocol). Returns the number of segments removed.
+  /// segment all of whose records are <= Boundary; closed segments
+  /// reaching past the boundary are retained for a later call. Returns
+  /// the number of segments removed.
   size_t truncateThrough(uint64_t Boundary);
 
 private:
@@ -199,11 +218,14 @@ private:
   bool Stop = false;                 // guarded by Mu
   bool RotatePending = false;        // guarded by Mu
   uint64_t RotateBoundary = 0;       // guarded by Mu
-  /// Closed segments eligible for truncation: file name and first seq.
+  /// Closed segments eligible for truncation: file name and the last
+  /// sequence number written to the segment.
   std::vector<std::pair<std::string, uint64_t>> Closed; // guarded by Mu
   std::atomic<uint64_t> Durable{0};
 
-  // Writer-thread-only state.
+  // Writer-thread-only state (LastWritten is seeded to FirstSeq-1 by the
+  // constructor before the thread starts, so a rotation boundary at or
+  // below the recovered watermark is satisfied without any new write).
   int Fd = -1;
   uint64_t SegFirst = 0;
   uint64_t LastWritten = 0;

@@ -172,6 +172,76 @@ TEST_F(DurableServerTest, SnapshotTruncatesAndRecoveryUsesIt) {
   }
 }
 
+TEST_F(DurableServerTest, RecoveryFallsBackToOlderSnapshotWithWalIntact) {
+  // Two snapshots are retained, but the older one is only a real
+  // fallback if the WAL still holds every record above *its* watermark —
+  // truncation therefore trails one snapshot behind. Damaging the newest
+  // snapshot must leave a recoverable directory, not a silent hole.
+  std::string StateBefore;
+  {
+    Server Srv(durableConfig());
+    ASSERT_TRUE(Srv.start());
+
+    LoadGenConfig LC;
+    LC.Port = Srv.port();
+    LC.Threads = 2;
+    LC.BatchesPerThread = 100;
+    LC.OpsPerBatch = 4;
+    LC.UfElements = 128;
+    EXPECT_EQ(runLoadGen(LC).ProtocolErrors, 0u);
+    ASSERT_TRUE(Srv.snapshotNow());
+    LC.Seed = 7;
+    EXPECT_EQ(runLoadGen(LC).ProtocolErrors, 0u);
+    ASSERT_TRUE(Srv.snapshotNow()); // prunes to two, truncates through #1
+    LC.Seed = 8;
+    EXPECT_EQ(runLoadGen(LC).ProtocolErrors, 0u);
+    // Idle re-snapshots at an unchanged watermark (the periodic timer on
+    // a quiet server) must not advance truncation past the fallback.
+    Srv.submitter().drain();
+    ASSERT_TRUE(Srv.snapshotNow());
+    ASSERT_TRUE(Srv.snapshotNow());
+
+    StateBefore = Srv.objects().stateText();
+    Srv.stop();
+  }
+
+  // Corrupt the newest snapshot's payload; its CRC check must now fail.
+  std::string Newest;
+  if (DIR *D = ::opendir(Dir.c_str())) {
+    while (struct dirent *E = ::readdir(D)) {
+      const std::string Name = E->d_name;
+      if (Name.size() > 10 && Name.compare(0, 5, "snap-") == 0 &&
+          Name.compare(Name.size() - 5, 5, ".snap") == 0 && Name > Newest)
+        Newest = Name;
+    }
+    ::closedir(D);
+  }
+  ASSERT_FALSE(Newest.empty());
+  const std::string Path = Dir + "/" + Newest;
+  std::string Bytes;
+  {
+    std::ifstream In(Path, std::ios::binary);
+    Bytes.assign(std::istreambuf_iterator<char>(In),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(Bytes.empty());
+  Bytes[Bytes.size() / 2] = static_cast<char>(Bytes[Bytes.size() / 2] ^ 1);
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+    ASSERT_TRUE(Out.good());
+  }
+
+  {
+    Server Srv(durableConfig());
+    std::string Err;
+    ASSERT_TRUE(Srv.start(&Err)) << Err;
+    EXPECT_EQ(Srv.objects().stateText(), StateBefore);
+    EXPECT_GE(Srv.recoveredSeq(), 600u); // 3 runs * 2 threads * 100
+    Srv.stop();
+  }
+}
+
 TEST_F(DurableServerTest, StartFailsWithoutWalDir) {
   ServerConfig SC = durableConfig();
   SC.WalDir.clear();

@@ -227,10 +227,58 @@ TEST_F(WalTest, ScanTreatsSequenceRegressionAsTorn) {
   writeFile("wal-00000000000000000005.log", Seg);
 
   WalScan Scan;
-  ASSERT_TRUE(scanWalDir(Dir, 0, Scan));
+  ASSERT_TRUE(scanWalDir(Dir, /*Watermark=*/4, Scan));
   EXPECT_TRUE(Scan.Torn);
+  EXPECT_FALSE(Scan.Gap);
   ASSERT_EQ(Scan.Records.size(), 1u);
   EXPECT_EQ(Scan.Records[0].Seq, 5u);
+}
+
+TEST_F(WalTest, ScanReportsSequenceGapAndLeavesFilesAlone) {
+  // Records 3..4 are missing: a hole in acknowledged history (e.g. the
+  // WAL was truncated past the snapshot that could actually be loaded).
+  // Unlike a torn tail this must not be repaired away — the records past
+  // the hole were acknowledged — only reported, so recovery can refuse.
+  std::string Seg1, Seg2;
+  appendEncoded(Seg1, makeRecord(1));
+  appendEncoded(Seg1, makeRecord(2));
+  writeFile("wal-00000000000000000001.log", Seg1);
+  appendEncoded(Seg2, makeRecord(5));
+  appendEncoded(Seg2, makeRecord(6));
+  writeFile("wal-00000000000000000005.log", Seg2);
+
+  WalScan Scan;
+  ASSERT_TRUE(scanWalDir(Dir, 0, Scan, nullptr, /*Repair=*/true));
+  EXPECT_TRUE(Scan.Gap);
+  EXPECT_EQ(Scan.GapAt, 3u);
+  EXPECT_FALSE(Scan.Torn);
+  EXPECT_EQ(Scan.LastSeq, 2u);
+  ASSERT_EQ(Scan.Records.size(), 2u);
+  // Even with Repair on, a gap touches nothing: both files survive.
+  EXPECT_TRUE(exists("wal-00000000000000000001.log"));
+  EXPECT_TRUE(exists("wal-00000000000000000005.log"));
+
+  // A watermark covering the hole makes the same files a valid log again
+  // (the missing records are subsumed by the snapshot).
+  WalScan Covered;
+  ASSERT_TRUE(scanWalDir(Dir, /*Watermark=*/4, Covered));
+  EXPECT_FALSE(Covered.Gap);
+  EXPECT_EQ(Covered.Records.size(), 2u);
+}
+
+TEST_F(WalTest, ScanReportsGapBetweenWatermarkAndFirstRecord) {
+  // The fallback-snapshot hole: snapshot watermark 2 loaded, but the WAL
+  // only starts at 5 — sequences 3..4 were acknowledged and are gone.
+  std::string Seg;
+  appendEncoded(Seg, makeRecord(5));
+  appendEncoded(Seg, makeRecord(6));
+  writeFile("wal-00000000000000000005.log", Seg);
+
+  WalScan Scan;
+  ASSERT_TRUE(scanWalDir(Dir, /*Watermark=*/2, Scan));
+  EXPECT_TRUE(Scan.Gap);
+  EXPECT_EQ(Scan.GapAt, 3u);
+  EXPECT_TRUE(Scan.Records.empty());
 }
 
 TEST_F(WalTest, ScanToleratesEmptyAndHeaderOnlyFiles) {
@@ -245,6 +293,71 @@ TEST_F(WalTest, ScanToleratesEmptyAndHeaderOnlyFiles) {
   ASSERT_TRUE(scanWalDir(Dir, 0, Scan2));
   EXPECT_TRUE(Scan2.Torn); // two header bytes: a torn, repairable tail
   EXPECT_EQ(Scan2.Records.size(), 0u);
+}
+
+TEST_F(WalTest, RepairUnlinksRecordlessSegmentsSoRestartCanRecreate) {
+  // The crash-loop trap: a segment created but never written (crash
+  // before the first durable record, or a torn first record that repair
+  // would truncate to nothing) must not survive repair — the next
+  // writer's first commit re-creates the very same name with O_EXCL.
+  std::string Seg;
+  appendEncoded(Seg, makeRecord(1));
+  appendEncoded(Seg, makeRecord(2));
+  writeFile("wal-00000000000000000001.log", Seg);
+  writeFile("wal-00000000000000000003.log", "");                    // empty
+  WalScan Scan;
+  ASSERT_TRUE(scanWalDir(Dir, 0, Scan, nullptr, /*Repair=*/true));
+  EXPECT_FALSE(Scan.Torn);
+  EXPECT_EQ(Scan.LastSeq, 2u);
+  EXPECT_FALSE(exists("wal-00000000000000000003.log"));
+
+  // Torn-to-nothing variant: a partial first record leaves no valid
+  // prefix, so repair unlinks rather than truncating to zero bytes.
+  writeFile("wal-00000000000000000003.log", std::string("\x08\x00", 2));
+  WalScan Scan2;
+  ASSERT_TRUE(scanWalDir(Dir, 0, Scan2, nullptr, /*Repair=*/true));
+  EXPECT_TRUE(Scan2.Torn);
+  EXPECT_FALSE(exists("wal-00000000000000000003.log"));
+
+  // The restart the trap used to kill: a new Wal resuming at sequence 3
+  // opens wal-...03.log fresh and serves commits.
+  WalConfig Config;
+  Config.Dir = Dir;
+  {
+    Wal Log(Config, /*FirstSeq=*/3);
+    Log.logCommit([](uint64_t S, std::string &Out) {
+      const WalRecord R = makeRecord(S, 1);
+      encodeWalRecord(Out, S, R.Ops, R.Results);
+    });
+    Log.flush();
+    EXPECT_EQ(Log.durableSeq(), 3u);
+  }
+  WalScan After;
+  ASSERT_TRUE(scanWalDir(Dir, 0, After));
+  EXPECT_FALSE(After.Torn);
+  EXPECT_EQ(After.LastSeq, 3u);
+}
+
+TEST_F(WalTest, OpenSegmentAdoptsEmptyLeftoverWithoutRepair) {
+  // Same trap when no repair scan ran (standalone Wal use): an empty
+  // leftover under the exact segment name is adopted, not fatal.
+  writeFile("wal-00000000000000000007.log", "");
+  WalConfig Config;
+  Config.Dir = Dir;
+  {
+    Wal Log(Config, /*FirstSeq=*/7);
+    Log.logCommit([](uint64_t S, std::string &Out) {
+      const WalRecord R = makeRecord(S, 1);
+      encodeWalRecord(Out, S, R.Ops, R.Results);
+    });
+    Log.flush();
+  }
+  WalScan Scan;
+  ASSERT_TRUE(scanWalDir(Dir, /*Watermark=*/6, Scan));
+  EXPECT_FALSE(Scan.Torn);
+  EXPECT_FALSE(Scan.Gap);
+  ASSERT_EQ(Scan.Records.size(), 1u);
+  EXPECT_EQ(Scan.Records[0].Seq, 7u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -322,13 +435,86 @@ TEST_F(WalTest, RotationAndTruncationDropOnlyCoveredSegments) {
   Log.flush();
   EXPECT_EQ(Log.truncateThrough(10), 1u);
 
+  // Scanned against the snapshot watermark, the truncated log is whole.
   WalScan Scan;
-  ASSERT_TRUE(scanWalDir(Dir, 0, Scan));
+  ASSERT_TRUE(scanWalDir(Dir, /*Watermark=*/10, Scan));
   EXPECT_FALSE(Scan.Torn);
+  EXPECT_FALSE(Scan.Gap);
   ASSERT_EQ(Scan.Records.size(), 5u);
   EXPECT_EQ(Scan.Records.front().Seq, 11u);
   EXPECT_EQ(Scan.Records.back().Seq, 15u);
   EXPECT_EQ(Scan.LastSeq, 15u);
+
+  // Without the covering snapshot the deleted prefix is a hole, and the
+  // scan says so instead of replaying over it.
+  WalScan NoSnap;
+  ASSERT_TRUE(scanWalDir(Dir, 0, NoSnap));
+  EXPECT_TRUE(NoSnap.Gap);
+  EXPECT_EQ(NoSnap.GapAt, 1u);
+}
+
+TEST_F(WalTest, TruncateKeepsClosedSegmentsAboveTheBoundary) {
+  // The server truncates through the *previous* snapshot's watermark, so
+  // a closed segment with records above that boundary must survive for
+  // the retained fallback snapshot to replay from.
+  WalConfig Config;
+  Config.Dir = Dir;
+  Config.SyncIntervalUs = 100;
+  Wal Log(Config, 1);
+  auto Append = [&Log] {
+    return Log.logCommit([](uint64_t S, std::string &Out) {
+      const WalRecord R = makeRecord(S, 1);
+      encodeWalRecord(Out, S, R.Ops, R.Results);
+    });
+  };
+  for (int I = 0; I != 4; ++I)
+    Append();
+  Log.flush();
+  Log.rotateAfter(4); // closes [1,4]
+  for (int I = 0; I != 4; ++I)
+    Append();
+  Log.flush();
+  Log.rotateAfter(8); // closes [5,8]
+  Append();
+  Log.flush();
+
+  EXPECT_EQ(Log.truncateThrough(4), 1u); // only [1,4] is covered
+  WalScan Scan;
+  ASSERT_TRUE(scanWalDir(Dir, /*Watermark=*/4, Scan));
+  EXPECT_FALSE(Scan.Gap);
+  ASSERT_EQ(Scan.Records.size(), 5u);
+  EXPECT_EQ(Scan.Records.front().Seq, 5u);
+
+  EXPECT_EQ(Log.truncateThrough(8), 1u); // now [5,8] goes too
+  WalScan Scan2;
+  ASSERT_TRUE(scanWalDir(Dir, /*Watermark=*/8, Scan2));
+  EXPECT_FALSE(Scan2.Gap);
+  ASSERT_EQ(Scan2.Records.size(), 1u);
+  EXPECT_EQ(Scan2.Records.front().Seq, 9u);
+}
+
+TEST_F(WalTest, RotateAtRecoveredWatermarkCompletesWithoutNewWrites) {
+  // A snapshot (timer or SIGUSR1) right after recovery rotates at the
+  // recovered watermark before this Wal instance has written anything.
+  // The boundary is already durable history, so the rotation must
+  // complete immediately — not spin the writer or hang shutdown.
+  WalConfig Config;
+  Config.Dir = Dir;
+  {
+    Wal Log(Config, /*FirstSeq=*/11);
+    Log.rotateAfter(10);
+    EXPECT_EQ(Log.truncateThrough(10), 0u); // nothing closed, returns
+    const uint64_t Seq = Log.logCommit([](uint64_t S, std::string &Out) {
+      const WalRecord R = makeRecord(S, 1);
+      encodeWalRecord(Out, S, R.Ops, R.Results);
+    });
+    EXPECT_EQ(Seq, 11u);
+    Log.flush();
+  } // ~Wal must join, not hang on the pending rotation
+  WalScan Scan;
+  ASSERT_TRUE(scanWalDir(Dir, /*Watermark=*/10, Scan));
+  ASSERT_EQ(Scan.Records.size(), 1u);
+  EXPECT_EQ(Scan.Records[0].Seq, 11u);
 }
 
 //===----------------------------------------------------------------------===//
