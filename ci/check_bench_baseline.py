@@ -334,7 +334,88 @@ def check_durable_throughput(on_path: Path, off_path: Path,
           f"non-durable {qps_off:.0f} qps")
 
 
+def check_replicated(baseline_path: Path, artifacts: Path) -> None:
+    """The PR 8 baseline (BENCH_pr8.json) scopes the replication metric
+    families: the `_leader` list names the shipping-side families expected
+    in the leader's dump, the plain keys the applying-side families
+    expected in the follower's. Beyond existence:
+
+      * the leader actually shipped (chunks and bytes non-zero) and the
+        follower actually applied (records, chunks, bytes non-zero);
+      * the follower's apply rate over the load's wall clock reaches at
+        least _min_apply_qps_ratio of the leader's acknowledged ingest
+        qps — a follower that trails the leader's commit rate can never
+        converge under sustained load;
+      * steady-state lag is bounded: after the follower audit forced a
+        full catch-up, the lag gauge must sit at or below _max_lag_seq;
+      * the load itself was clean (no protocol errors, real commits) and
+        the follower never had to reconnect during the uninterrupted run.
+    """
+    doc = json.loads(baseline_path.read_text())
+    min_ratio = float(doc.get("_min_apply_qps_ratio", 0.5))
+    max_lag = float(doc.get("_max_lag_seq", 64))
+    leader_families = set(doc.get("_leader", []))
+    follower_families = {k for k in doc if not k.startswith("_")}
+
+    leader, leader_decl = parse_prometheus(artifacts / "leader_repl_metrics.txt")
+    follower, follower_decl = parse_prometheus(
+        artifacts / "follower_repl_metrics.txt")
+    missing = sorted(leader_families - leader_decl)
+    if missing:
+        fail(f"leader dump: replication families missing: {missing}")
+    missing = sorted(follower_families - follower_decl)
+    if missing:
+        fail(f"follower dump: replication families missing: {missing}")
+
+    shipped_chunks = leader.get("comlat_repl_ship_chunks_total", 0)
+    shipped_bytes = leader.get("comlat_repl_ship_bytes_total", 0)
+    if shipped_chunks <= 0 or shipped_bytes <= 0:
+        fail(f"leader shipped nothing ({int(shipped_chunks)} chunks, "
+             f"{int(shipped_bytes)} bytes)")
+    applied = follower.get("comlat_repl_applied_total", 0)
+    if applied <= 0:
+        fail("follower applied nothing")
+    if follower.get("comlat_repl_chunks_total", 0) <= 0:
+        fail("follower received no chunks")
+    reconnects = follower.get("comlat_repl_reconnects_total", 0)
+    if reconnects != 0:
+        fail(f"follower reconnected {int(reconnects)} times during an "
+             f"uninterrupted run")
+    lag = follower.get("comlat_repl_lag_seq", 0)
+    if lag > max_lag:
+        fail(f"steady-state lag {int(lag)} records exceeds the "
+             f"{int(max_lag)}-record bound after a forced catch-up")
+
+    load = json.loads((artifacts / "loadgen_repl.json").read_text())
+    if load.get("loadgen_protocol_errors", 0) != 0:
+        fail(f"leader load saw {load['loadgen_protocol_errors']} protocol "
+             f"errors")
+    acked = load.get("loadgen_ok_replies", 0)
+    wall = load.get("loadgen_wall_sec", 0)
+    ingest_qps = load.get("loadgen_qps", 0)
+    if acked <= 0 or wall <= 0 or ingest_qps <= 0:
+        fail("leader load committed nothing")
+    apply_qps = applied / wall
+    ratio = apply_qps / ingest_qps
+    if ratio < min_ratio:
+        fail(f"follower applied {apply_qps:.0f} records/s = {ratio:.2f}x "
+             f"the leader's {ingest_qps:.0f} qps ingest "
+             f"(want >= {min_ratio}x)")
+    print(f"ok: follower applied {int(applied)} records at "
+          f"{apply_qps:.0f}/s = {ratio:.2f}x leader ingest "
+          f"{ingest_qps:.0f} qps, lag {int(lag)}, "
+          f"{int(shipped_chunks)} chunks shipped")
+
+
 def main() -> None:
+    if len(sys.argv) >= 2 and sys.argv[1] == "--replicated":
+        if len(sys.argv) != 4:
+            print(f"usage: {sys.argv[0]} --replicated BENCH_pr8.json "
+                  f"ARTIFACT_DIR", file=sys.stderr)
+            sys.exit(2)
+        check_replicated(Path(sys.argv[2]), Path(sys.argv[3]))
+        print("bench smoke (replicated): all checks passed")
+        return
     if len(sys.argv) >= 2 and sys.argv[1] == "--durable":
         if len(sys.argv) != 4:
             print(f"usage: {sys.argv[0]} --durable BENCH_pr7.json "

@@ -39,15 +39,21 @@ SERVER_PID=""
 mkdir -p "$WAL_DIR"
 echo "crash_loop: $ITERATIONS iterations, seed $SEED, artifacts in $ART"
 
+FOLLOWER_PID=""
+
 fail() {
   echo "crash_loop: FAILED: $*" >&2
   [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+  [ -n "$FOLLOWER_PID" ] && kill -9 "$FOLLOWER_PID" 2>/dev/null
   exit 1
 }
 
+# start_server NAME [PORT]: PORT defaults to 0 (ephemeral); the
+# leader-crash iteration pins one so its live follower can reconnect to
+# the restarted leader at the address it subscribed to.
 start_server() {
   rm -f "$ART/port"
-  "$SERVE" --port=0 --port-file="$ART/port" \
+  "$SERVE" --port="${2:-0}" --port-file="$ART/port" \
     --durable --wal-dir="$WAL_DIR" --wal-sync-interval=500 \
     --workers=4 >>"$ART/serve_$1.log" 2>&1 &
   SERVER_PID=$!
@@ -105,6 +111,67 @@ for I in $(seq 1 "$ITERATIONS"); do
   SERVER_PID=""
 done
 
+# Leader-crash iteration with a live follower (DESIGN.md §3.11): a
+# durable follower subscribes to the accumulated leader, the leader takes
+# a kill -9 under load, restarts on the same WAL directory and port, and
+# the follower — which stayed up the whole time — must reconnect, resume
+# from its watermark and pass the full follower audit against the
+# recovered history. The regular recovery audit gates the leader first.
+echo "--- leader-crash iteration with live follower ---"
+FIXED_PORT=$(( 20000 + RANDOM % 20000 ))
+FWAL_DIR="$ART/fwal"
+mkdir -p "$FWAL_DIR"
+start_server lf "$FIXED_PORT"
+
+rm -f "$ART/fport"
+"$SERVE" --port=0 --port-file="$ART/fport" \
+  --durable --wal-dir="$FWAL_DIR" --wal-sync-interval=500 \
+  --workers=4 --follow=127.0.0.1:"$PORT" >>"$ART/follower.log" 2>&1 &
+FOLLOWER_PID=$!
+for _ in $(seq 200); do
+  [ -s "$ART/fport" ] && break
+  kill -0 "$FOLLOWER_PID" 2>/dev/null || fail "follower died on startup"
+  sleep 0.05
+done
+[ -s "$ART/fport" ] || fail "follower never published its port"
+FPORT=$(cat "$ART/fport")
+"$LOADGEN" --port="$FPORT" --wait-ready=30 --batches=0 \
+  || fail "follower not ready"
+
+ACKED="$ART/acked_lf.txt"
+"$LOADGEN" --port="$PORT" --threads=4 --duration=30 \
+  --acked-log="$ACKED" --tolerate-disconnect \
+  --seed=$(( SEED + 99 )) >"$ART/loadgen_lf.log" 2>&1 &
+LG=$!
+sleep "1.$(( RANDOM % 9 ))"
+kill -9 "$SERVER_PID" || fail "leader already dead before kill (leader-crash iteration)"
+SERVER_PID=""
+wait "$LG" || fail "loadgen exited $? (leader-crash iteration); see $ART/loadgen_lf.log"
+
+start_server lfr "$FIXED_PORT"
+"$LOADGEN" --port="$PORT" --check-recovery="$ACKED" --wal-dir="$WAL_DIR" \
+  | tee -a "$ART/audit.log"
+RC=${PIPESTATUS[0]}
+[ "$RC" -eq 0 ] || fail "recovery audit exited $RC (leader-crash iteration)"
+kill -0 "$FOLLOWER_PID" 2>/dev/null \
+  || fail "follower died while the leader was down"
+"$LOADGEN" --port="$PORT" --check-follower=127.0.0.1:"$FPORT" \
+  --leader-wal-dir="$WAL_DIR" | tee -a "$ART/audit.log"
+RC=${PIPESTATUS[0]}
+[ "$RC" -eq 0 ] || fail "follower audit exited $RC after leader recovery"
+echo "leader-crash iteration ok: follower resumed across the leader restart"
+
+# The follower drains gracefully; the leader stays down for the final
+# pass's start_server, same as every other iteration.
+kill -TERM "$FOLLOWER_PID"
+( sleep 30; kill -9 "$FOLLOWER_PID" 2>/dev/null ) &
+FWATCHDOG=$!
+wait "$FOLLOWER_PID" || fail "follower graceful drain exited non-zero"
+kill "$FWATCHDOG" 2>/dev/null
+FOLLOWER_PID=""
+kill -9 "$SERVER_PID"
+SERVER_PID=""
+
 # Final pass: a graceful lifecycle on the accumulated directory still
 # works — recover everything, serve more load, drain on SIGTERM, exit 0.
 # (No --verify here: that oracle assumes a fresh server, and this one
@@ -120,4 +187,4 @@ wait "$SERVER_PID" || fail "graceful drain exited non-zero"
 kill "$WATCHDOG" 2>/dev/null
 SERVER_PID=""
 
-echo "crash_loop: all $ITERATIONS iterations passed (zero acknowledged-batch loss)"
+echo "crash_loop: all $ITERATIONS iterations plus the leader-crash/follower iteration passed (zero acknowledged-batch loss)"

@@ -74,9 +74,15 @@ enum class EventKind : uint8_t {
   /// Service layer: a reply was queued for writing (Arg = request id,
   /// Detail = reply status: 0 ok, 1 busy, 2 error).
   SvcReply,
+  /// Replication: the leader shipped a WAL chunk to a subscriber
+  /// (Arg = chunk's last sequence, Detail = chunk bytes).
+  ReplShip,
+  /// Replication: a follower applied one shipped record
+  /// (Arg = record sequence).
+  ReplApply,
 };
 
-inline constexpr unsigned NumEventKinds = 19;
+inline constexpr unsigned NumEventKinds = 21;
 
 /// Short stable name for exporters ("pop", "steal", ...).
 const char *eventKindName(EventKind Kind);

@@ -47,6 +47,10 @@ const char *obs::eventKindName(EventKind Kind) {
     return "svc-admit";
   case EventKind::SvcReply:
     return "svc-reply";
+  case EventKind::ReplShip:
+    return "repl-ship";
+  case EventKind::ReplApply:
+    return "repl-apply";
   }
   COMLAT_UNREACHABLE("bad event kind");
 }

@@ -5,6 +5,7 @@
 #include "support/Random.h"
 #include "support/Timer.h"
 #include "svc/Objects.h"
+#include "svc/Replication.h"
 #include "svc/Snapshot.h"
 #include "svc/Wal.h"
 
@@ -146,6 +147,42 @@ bool Client::recvResponse(Response &R) {
   }
 }
 
+bool Client::recvRequest(Request &R) {
+  for (;;) {
+    std::string_view Rest(RecvBuf);
+    Rest.remove_prefix(RecvPos);
+    std::string_view Payload;
+    size_t Consumed = 0;
+    switch (peelFrame(Rest, Payload, Consumed)) {
+    case FrameResult::Malformed:
+      return false;
+    case FrameResult::Ok: {
+      std::string DecodeErr;
+      if (!decodeRequest(Payload, R, DecodeErr))
+        return false;
+      RecvPos += Consumed;
+      return true;
+    }
+    case FrameResult::NeedMore:
+      if (RecvPos > 0 && RecvPos == RecvBuf.size()) {
+        RecvBuf.clear();
+        RecvPos = 0;
+      }
+      break;
+    }
+    char Buf[16 * 1024];
+    const ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      RecvBuf.append(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    Disconnected = true;
+    return false; // EOF or hard error
+  }
+}
+
 bool Client::pollResponses(std::vector<Response> &Out) {
   for (;;) {
     bool Got = true;
@@ -209,6 +246,9 @@ struct ThreadResult {
   uint64_t OpsCommitted = 0;
   uint64_t Disconnects = 0;
   uint64_t Unacked = 0;
+  uint64_t Redirects = 0;
+  uint64_t FollowerReads = 0;
+  uint64_t MonotonicViolations = 0;
   LatencyHistogram Rtt;
   std::vector<CommittedBatch> Committed;
 };
@@ -256,7 +296,31 @@ void classifyReply(const Response &Resp, const Request &Req, ThreadResult &TR,
   case Status::Error:
     ++TR.Errors;
     break;
+  case Status::Redirect:
+    ++TR.Redirects;
+    break;
   }
+}
+
+/// A read-only op for follower-directed batches: followers Redirect any
+/// batch containing a mutation, so the mix pins the read vocabulary
+/// (SetContains / AccRead / UfFind).
+Op genReadOp(Rng &R, const LoadGenConfig &Config) {
+  Op O;
+  const uint64_t Pick = R.nextBelow(3);
+  if (Pick == 0) {
+    O.Obj = static_cast<uint8_t>(ObjectId::Set);
+    O.Method = SetContains;
+    O.A = R.nextInRange(0, std::max<int64_t>(1, Config.KeySpace) - 1);
+  } else if (Pick == 1) {
+    O.Obj = static_cast<uint8_t>(ObjectId::Acc);
+    O.Method = AccRead;
+  } else {
+    O.Obj = static_cast<uint8_t>(ObjectId::Uf);
+    O.Method = UfFind;
+    O.A = R.nextInRange(0, static_cast<int64_t>(Config.UfElements) - 1);
+  }
+  return O;
 }
 
 void runClosedLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
@@ -266,6 +330,17 @@ void runClosedLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
     ++TR.ProtocolErrors;
     return;
   }
+  // Follower-read mode: a second connection per thread, carrying the
+  // read-only share of the batch budget. One connection = one session, so
+  // its reply stamps (the follower's applied watermark) must never go
+  // backwards.
+  Client ReadC;
+  const bool ReadMode = !Config.ReadHost.empty();
+  if (ReadMode && !ReadC.connect(Config.ReadHost, Config.ReadPort)) {
+    ++TR.ProtocolErrors;
+    return;
+  }
+  uint64_t ReadWatermark = 0;
   Rng R(Config.Seed ^ (0x9E3779B97F4A7C15ull * (ThreadIdx + 1)));
   const bool Record = Config.Verify || !Config.AckedLogPath.empty();
   Timer Wall;
@@ -279,12 +354,18 @@ void runClosedLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
     Request Req;
     Req.ReqId = (static_cast<uint64_t>(ThreadIdx + 1) << 40) | I;
     Req.Type = MsgType::Batch;
+    const bool ToFollower =
+        ReadMode &&
+        R.nextBelow(1000) <
+            static_cast<uint64_t>(Config.ReadFraction * 1000);
     for (unsigned K = 0; K != Config.OpsPerBatch; ++K)
-      Req.Ops.push_back(genOp(R, Config));
+      Req.Ops.push_back(ToFollower ? genReadOp(R, Config)
+                                   : genOp(R, Config));
     const uint64_t T0 = nowUs();
     Response Resp;
-    if (!C.call(Req, Resp)) {
-      if (Config.TolerateDisconnect && C.disconnected()) {
+    if (!(ToFollower ? ReadC : C).call(Req, Resp)) {
+      if (Config.TolerateDisconnect &&
+          (ToFollower ? ReadC : C).disconnected()) {
         // The server vanished mid-call: this batch was sent but never
         // acknowledged, and the durability contract says nothing about it.
         ++TR.Disconnects;
@@ -296,7 +377,35 @@ void runClosedLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
     }
     ++TR.Sent;
     TR.Rtt.addMicros(nowUs() - T0);
-    classifyReply(Resp, Req, TR, Record);
+    if (ToFollower) {
+      // Follower reads commit nothing and stay out of the verify oracle;
+      // they are tallied apart from leader replies. The reply stamp is
+      // the follower's applied watermark — on one connection it must
+      // never go backwards (monotonic reads).
+      switch (Resp.St) {
+      case Status::Ok:
+        ++TR.FollowerReads;
+        if (Resp.Results.size() != Req.Ops.size())
+          ++TR.ProtocolErrors; // an Ok reply must answer every op
+        if (Resp.CommitSeq < ReadWatermark)
+          ++TR.MonotonicViolations;
+        else
+          ReadWatermark = Resp.CommitSeq;
+        break;
+      case Status::Busy:
+        ++TR.Busy;
+        break;
+      case Status::Error:
+        ++TR.Errors;
+        break;
+      case Status::Redirect:
+        ++TR.Redirects; // a read batch redirected is a server bug;
+        ++TR.ProtocolErrors;
+        break;
+      }
+    } else {
+      classifyReply(Resp, Req, TR, Record);
+    }
   }
 }
 
@@ -446,6 +555,10 @@ std::string LoadGenStats::toJson() const {
       {"loadgen_durable", Durable ? 1.0 : 0.0},
       {"loadgen_disconnects", static_cast<double>(Disconnects)},
       {"loadgen_unacked", static_cast<double>(Unacked)},
+      {"loadgen_redirect_replies", static_cast<double>(RedirectReplies)},
+      {"loadgen_follower_reads", static_cast<double>(FollowerReads)},
+      {"loadgen_monotonic_violations",
+       static_cast<double>(MonotonicViolations)},
   };
   std::string Out = "{\n";
   bool First = true;
@@ -462,7 +575,8 @@ std::string LoadGenStats::toJson() const {
 std::string LoadGenStats::toCsv() const {
   std::string Out = "sent,ok,busy,error,protocol_errors,ops_committed,"
                     "wall_sec,qps,rtt_mean_us,rtt_p50_us,rtt_p99_us,seed,"
-                    "verify_ok,privatized,durable,disconnects,unacked\n";
+                    "verify_ok,privatized,durable,disconnects,unacked,"
+                    "redirects,follower_reads,monotonic_violations\n";
   Out += std::to_string(Sent) + "," + std::to_string(OkReplies) + "," +
          std::to_string(BusyReplies) + "," + std::to_string(ErrorReplies) +
          "," + std::to_string(ProtocolErrors) + "," +
@@ -472,7 +586,10 @@ std::string LoadGenStats::toCsv() const {
          std::to_string(Rtt.quantileUpperBoundMicros(0.99)) + "," +
          std::to_string(Seed) + "," + (VerifyOk ? "1" : "0") + "," +
          (Privatized ? "1" : "0") + "," + (Durable ? "1" : "0") + "," +
-         std::to_string(Disconnects) + "," + std::to_string(Unacked) + "\n";
+         std::to_string(Disconnects) + "," + std::to_string(Unacked) + "," +
+         std::to_string(RedirectReplies) + "," +
+         std::to_string(FollowerReads) + "," +
+         std::to_string(MonotonicViolations) + "\n";
   return Out;
 }
 
@@ -498,6 +615,12 @@ std::string LoadGenStats::toText() const {
   if (Disconnects || Unacked) {
     Out += "disconnects:      " + std::to_string(Disconnects) + "\n";
     Out += "unacked:          " + std::to_string(Unacked) + "\n";
+  }
+  if (RedirectReplies)
+    Out += "redirects:        " + std::to_string(RedirectReplies) + "\n";
+  if (FollowerReads) {
+    Out += "follower reads:   " + std::to_string(FollowerReads) + "\n";
+    Out += "monotonic viols:  " + std::to_string(MonotonicViolations) + "\n";
   }
   if (VerifyRan)
     Out += std::string("verify:           ") + (VerifyOk ? "ok" : "FAILED") +
@@ -540,6 +663,9 @@ LoadGenStats svc::runLoadGen(const LoadGenConfig &Config) {
     Stats.OpsCommitted += TR.OpsCommitted;
     Stats.Disconnects += TR.Disconnects;
     Stats.Unacked += TR.Unacked;
+    Stats.RedirectReplies += TR.Redirects;
+    Stats.FollowerReads += TR.FollowerReads;
+    Stats.MonotonicViolations += TR.MonotonicViolations;
     Stats.Rtt.merge(TR.Rtt);
     for (CommittedBatch &B : TR.Committed)
       Committed.push_back(std::move(B));
@@ -580,29 +706,27 @@ LoadGenStats svc::runLoadGen(const LoadGenConfig &Config) {
 
   // Serial replay oracle: committed batches in commit-sequence order must
   // reproduce every reply and the server's final state (Submitter.h's
-  // commit-order witness). Assumes this loadgen was the only client.
+  // commit-order witness). Assumes this loadgen was the only client. The
+  // Ordered policy rejects duplicated sequences but tolerates holes — a
+  // reply lost to a tolerated disconnect legitimately leaves one, and the
+  // final-state comparison still catches a hole that mattered.
   Stats.VerifyRan = true;
   Stats.VerifyOk = true;
-  for (size_t I = 1; I < Committed.size(); ++I)
-    if (Committed[I].CommitSeq == Committed[I - 1].CommitSeq) {
+  OracleReplayTarget Oracle(Config.UfElements);
+  ReplayEngine Engine(Oracle, SeqPolicy::Ordered);
+  for (const CommittedBatch &B : Committed) {
+    WalRecord Rec;
+    Rec.Seq = B.CommitSeq;
+    Rec.Ops = B.Ops;
+    Rec.Results = B.Results;
+    ReplayEngine::Outcome Outcome;
+    std::string ReplayErr;
+    if (!Engine.apply(Rec, Outcome, &ReplayErr)) {
       Stats.VerifyOk = false;
-      Stats.VerifyDetail = "duplicate commit sequence " +
-                           std::to_string(Committed[I].CommitSeq);
+      Stats.VerifyDetail = ReplayErr;
       return Stats;
     }
-  OracleReplica Replica(Config.UfElements);
-  for (const CommittedBatch &B : Committed)
-    for (size_t I = 0; I != B.Ops.size(); ++I) {
-      const int64_t Expect = Replica.applyOp(B.Ops[I]);
-      if (Expect != B.Results[I] && Stats.VerifyOk) {
-        Stats.VerifyOk = false;
-        Stats.VerifyDetail =
-            "replay mismatch at commit seq " + std::to_string(B.CommitSeq) +
-            " op " + std::to_string(I) + ": server " +
-            std::to_string(B.Results[I]) + ", oracle " +
-            std::to_string(Expect);
-      }
-    }
+  }
   Client C;
   Request Req;
   Req.ReqId = 1;
@@ -615,10 +739,10 @@ LoadGenStats svc::runLoadGen(const LoadGenConfig &Config) {
     Stats.VerifyDetail = "state fetch failed";
     return Stats;
   }
-  if (Resp.Text != Replica.stateText() && Stats.VerifyOk) {
+  if (Resp.Text != Oracle.stateText()) {
     Stats.VerifyOk = false;
     Stats.VerifyDetail = "final state mismatch: server {" + Resp.Text +
-                         "} oracle {" + Replica.stateText() + "}";
+                         "} oracle {" + Oracle.stateText() + "}";
   }
   return Stats;
 }
@@ -778,15 +902,14 @@ RecoveryCheckResult svc::runRecoveryCheck(const RecoveryCheckConfig &Config) {
                 std::to_string(R.RecoveredSeq) + ": acknowledged data lost");
 
   // 4. Read the durable artifacts directly (the audit does not trust the
-  //    server's own word for what is on disk).
-  SnapshotData Snap; // Seq = 0, empty state when no snapshot exists yet
-  loadNewestSnapshot(Config.WalDir, Snap);
-  R.SnapshotSeq = Snap.Seq;
-  WalScan Scan;
+  //    server's own word for what is on disk). Never Repair here: the
+  //    live server owns these files.
+  RecoverySource Source(Config.WalDir);
   std::string Err;
-  // Never Repair here: the live server owns these files.
-  if (!scanWalDir(Config.WalDir, Snap.Seq, Scan, &Err, /*Repair=*/false))
+  if (!Source.load(/*Repair=*/false, &Err))
     return Fail("wal scan: " + Err);
+  const WalScan &Scan = Source.scan();
+  R.SnapshotSeq = Source.hasSnapshot() ? Source.snapshot().Seq : 0;
   if (Scan.Torn)
     return Fail("torn wal tail survived recovery (repair did not run?)");
   if (Scan.Gap)
@@ -802,13 +925,13 @@ RecoveryCheckResult svc::runRecoveryCheck(const RecoveryCheckConfig &Config) {
   for (const WalRecord &Rec : Scan.Records)
     BySeq.emplace(Rec.Seq, &Rec);
   for (const AckedBatch &B : Acked) {
-    if (B.Seq <= Snap.Seq)
+    if (B.Seq <= R.SnapshotSeq)
       continue;
     const auto It = BySeq.find(B.Seq);
     if (It == BySeq.end())
       return Fail("acked seq " + std::to_string(B.Seq) +
-                  " above snapshot watermark " + std::to_string(Snap.Seq) +
-                  " missing from wal");
+                  " above snapshot watermark " +
+                  std::to_string(R.SnapshotSeq) + " missing from wal");
     const WalRecord &Rec = *It->second;
     if (Rec.Ops.size() != B.Ops.size() ||
         Rec.Results.size() != B.Results.size())
@@ -820,20 +943,15 @@ RecoveryCheckResult svc::runRecoveryCheck(const RecoveryCheckConfig &Config) {
                     std::to_string(I) + ": wal content differs");
   }
 
-  // 6. Serial witness: snapshot + WAL replayed through the sequential
-  //    oracle must reproduce every logged result...
-  OracleReplica Replica(Config.UfElements);
-  if (Snap.Seq != 0 && !Replica.loadSnapshot(Snap.State))
-    return Fail("snapshot state failed to load into the oracle");
-  for (const WalRecord &Rec : Scan.Records)
-    for (size_t I = 0; I != Rec.Ops.size(); ++I) {
-      const int64_t Expect = Replica.applyOp(Rec.Ops[I]);
-      if (Expect != Rec.Results[I])
-        return Fail("wal replay mismatch at seq " + std::to_string(Rec.Seq) +
-                    " op " + std::to_string(I) + ": logged " +
-                    std::to_string(Rec.Results[I]) + ", oracle " +
-                    std::to_string(Expect));
-    }
+  // 6. Serial witness: snapshot + WAL replayed through the one
+  //    ReplayEngine into the sequential oracle must reproduce every logged
+  //    result, each acknowledged sequence exactly once, contiguously
+  //    (Strict)...
+  OracleReplayTarget Oracle(Config.UfElements);
+  ReplayEngine Engine(Oracle, SeqPolicy::Strict);
+  std::string ReplayErr;
+  if (!Source.replayInto(Engine, &ReplayErr))
+    return Fail("wal replay: " + ReplayErr);
 
   // 7. ...and the server's live state: recovery really applied the log.
   Client C;
@@ -844,16 +962,167 @@ RecoveryCheckResult svc::runRecoveryCheck(const RecoveryCheckConfig &Config) {
   if (!C.connect(Config.Host, Config.Port) || !C.call(Req, Resp) ||
       Resp.St != Status::Ok)
     return Fail("state fetch failed");
-  if (Resp.Text != Replica.stateText())
+  if (Resp.Text != Oracle.stateText())
     return Fail("recovered state mismatch: server {" + Resp.Text +
-                "} oracle {" + Replica.stateText() + "}");
+                "} oracle {" + Oracle.stateText() + "}");
 
   // 8. The artifacts and the server agree on where the log ends.
-  if (std::max(Snap.Seq, Scan.LastSeq) != R.RecoveredSeq)
+  if (Source.watermark() != R.RecoveredSeq)
     return Fail("watermark mismatch: disk max(snapshot " +
-                std::to_string(Snap.Seq) + ", wal " +
+                std::to_string(R.SnapshotSeq) + ", wal " +
                 std::to_string(Scan.LastSeq) + ") != recovered " +
                 std::to_string(R.RecoveredSeq));
+
+  R.Ok = true;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Follower replication audit
+//===----------------------------------------------------------------------===//
+
+FollowerCheckResult svc::runFollowerCheck(const FollowerCheckConfig &Config) {
+  FollowerCheckResult R;
+  auto Fail = [&R](std::string D) {
+    R.Detail = std::move(D);
+    return R;
+  };
+  auto FetchState = [](const std::string &Host, uint16_t Port,
+                       std::string &Out) {
+    Client C;
+    Request Req;
+    Req.ReqId = 6;
+    Req.Type = MsgType::State;
+    Response Resp;
+    if (!C.connect(Host, Port) || !C.call(Req, Resp) ||
+        Resp.St != Status::Ok)
+      return false;
+    Out = Resp.Text;
+    return true;
+  };
+
+  // 1. The leader must serve durably (no WAL means nothing was shipped)
+  //    and report the durable watermark the follower is held to.
+  const std::string LeaderStats =
+      fetchStatsText(Config.LeaderHost, Config.LeaderPort);
+  if (LeaderStats.empty())
+    return Fail("leader stats fetch failed (server not reachable?)");
+  uint64_t DurableMode = 0;
+  if (!statValue(LeaderStats, "durable", DurableMode) || DurableMode != 1)
+    return Fail("leader is not running durable");
+  if (LeaderStats.find("role=leader") == std::string::npos)
+    return Fail("leader endpoint is not serving as a leader");
+  if (!statValue(LeaderStats, "wal_durable_seq", R.LeaderDurableSeq))
+    return Fail("leader stats missing wal_durable_seq");
+
+  // 2. The follower must catch up to that watermark within the deadline.
+  Timer T;
+  for (;;) {
+    const std::string FollowerStats =
+        fetchStatsText(Config.FollowerHost, Config.FollowerPort);
+    if (!FollowerStats.empty()) {
+      if (FollowerStats.find("role=follower") == std::string::npos)
+        return Fail("follower endpoint is not serving as a follower");
+      uint64_t Failed = 0;
+      if (statValue(FollowerStats, "repl_failed", Failed) && Failed != 0)
+        return Fail("follower reports replication failed");
+      uint64_t Applied = 0;
+      if (statValue(FollowerStats, "repl_applied_seq", Applied) &&
+          Applied >= R.LeaderDurableSeq) {
+        R.FollowerAppliedSeq = Applied;
+        break;
+      }
+      R.FollowerAppliedSeq = Applied;
+    }
+    if (T.seconds() >= Config.CatchUpTimeoutSec)
+      return Fail("follower stuck at applied seq " +
+                  std::to_string(R.FollowerAppliedSeq) +
+                  " behind leader durable seq " +
+                  std::to_string(R.LeaderDurableSeq));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // 3. Monotonic reads: on one connection the reply stamps (the
+  //    follower's applied watermark) must never go backwards, and never
+  //    sit below the watermark it already reported.
+  {
+    Client C;
+    if (!C.connect(Config.FollowerHost, Config.FollowerPort))
+      return Fail("follower connect failed");
+    uint64_t Last = 0;
+    for (int I = 0; I != 20; ++I) {
+      Request Req;
+      Req.ReqId = 100 + static_cast<uint64_t>(I);
+      Req.Type = MsgType::Batch;
+      Op O;
+      O.Obj = static_cast<uint8_t>(ObjectId::Acc);
+      O.Method = AccRead;
+      Req.Ops.push_back(O);
+      Response Resp;
+      if (!C.call(Req, Resp) || Resp.St != Status::Ok)
+        return Fail("follower read " + std::to_string(I) + " failed");
+      if (Resp.CommitSeq < Last)
+        return Fail("monotonic reads violated: stamp " +
+                    std::to_string(Resp.CommitSeq) + " after " +
+                    std::to_string(Last));
+      Last = Resp.CommitSeq;
+    }
+
+    // 4. Mutations must be refused with a Redirect naming the leader.
+    Request Mut;
+    Mut.ReqId = 200;
+    Mut.Type = MsgType::Batch;
+    Op O;
+    O.Obj = static_cast<uint8_t>(ObjectId::Set);
+    O.Method = SetAdd;
+    O.A = 1;
+    Mut.Ops.push_back(O);
+    Response Resp;
+    if (!C.call(Mut, Resp))
+      return Fail("follower mutation probe failed");
+    if (Resp.St != Status::Redirect)
+      return Fail("follower accepted (or errored) a mutation instead of "
+                  "redirecting it");
+    if (Resp.Text.find("leader=") == std::string::npos)
+      return Fail("redirect reply does not name the leader: '" + Resp.Text +
+                  "'");
+  }
+
+  // 5. With both quiesced at the same watermark, the follower's state
+  //    must equal the leader's.
+  std::string LeaderState, FollowerState;
+  if (!FetchState(Config.LeaderHost, Config.LeaderPort, LeaderState))
+    return Fail("leader state fetch failed");
+  if (!FetchState(Config.FollowerHost, Config.FollowerPort, FollowerState))
+    return Fail("follower state fetch failed");
+  if (LeaderState != FollowerState)
+    return Fail("state mismatch: leader {" + LeaderState + "} follower {" +
+                FollowerState + "}");
+
+  // 6. Independent witness: the leader and follower could agree on a
+  //    wrong answer, so optionally replay the leader's durable artifacts
+  //    through the oracle and hold the follower to that too.
+  if (!Config.LeaderWalDir.empty()) {
+    RecoverySource Source(Config.LeaderWalDir);
+    std::string Err;
+    // Never Repair: the live leader owns these files.
+    if (!Source.load(/*Repair=*/false, &Err))
+      return Fail("leader wal scan: " + Err);
+    if (Source.scan().Torn)
+      return Fail("leader wal tail is torn while quiesced");
+    if (Source.scan().Gap)
+      return Fail("leader wal sequence gap at " +
+                  std::to_string(Source.scan().GapAt));
+    OracleReplayTarget Oracle(Config.UfElements);
+    ReplayEngine Engine(Oracle, SeqPolicy::Strict);
+    std::string ReplayErr;
+    if (!Source.replayInto(Engine, &ReplayErr))
+      return Fail("leader wal replay: " + ReplayErr);
+    if (Oracle.stateText() != FollowerState)
+      return Fail("oracle mismatch: leader wal replays to {" +
+                  Oracle.stateText() + "} but the follower holds {" +
+                  FollowerState + "}");
+  }
 
   R.Ok = true;
   return R;

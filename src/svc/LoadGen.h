@@ -65,6 +65,12 @@ public:
   /// EOF, socket error or an undecodable frame.
   bool recvResponse(Response &R);
 
+  /// Blocks until one full *request* frame arrives and decodes it — the
+  /// follower side of a subscription channel reads the leader's pushed
+  /// WalChunk/SnapshotXfer frames with this. False on EOF, socket error or
+  /// an undecodable frame.
+  bool recvRequest(Request &R);
+
   /// True when the last failure was the peer going away (EOF, reset)
   /// rather than an undecodable frame — the crash harness tolerates the
   /// former and still fails on the latter.
@@ -122,6 +128,14 @@ struct LoadGenConfig {
   /// written here after the run — the crash harness's ground truth for
   /// what the server must still know after recovery.
   std::string AckedLogPath;
+  /// When ReadHost is non-empty, each closed-loop thread opens a second
+  /// connection there (a follower replica) and sends ReadFraction of its
+  /// batches as read-only batches to it, checking that the follower's
+  /// reply stamps (its applied watermark) never go backwards on one
+  /// connection — the monotonic-reads session guarantee.
+  std::string ReadHost;
+  uint16_t ReadPort = 0;
+  double ReadFraction = 0.25;
 };
 
 /// Aggregated outcome of one run.
@@ -154,6 +168,15 @@ struct LoadGenStats {
   /// Batches sent but never acknowledged before a tolerated disconnect;
   /// the durability contract says nothing about these.
   uint64_t Unacked = 0;
+  /// Redirect replies (a follower refusing a mutation). Counted apart from
+  /// errors: against a leader they are a bug, against a follower they are
+  /// the contract.
+  uint64_t RedirectReplies = 0;
+  /// Read-only batches answered by the follower (ReadHost mode).
+  uint64_t FollowerReads = 0;
+  /// Follower reply stamps observed going backwards on one connection;
+  /// any is a monotonic-reads violation and fails the run.
+  uint64_t MonotonicViolations = 0;
 
   double achievedQps() const { return WallSec > 0 ? Sent / WallSec : 0; }
 
@@ -209,6 +232,44 @@ struct RecoveryCheckResult {
 /// WAL through an OracleReplica reproduces every logged result and the
 /// server's live State dump.
 RecoveryCheckResult runRecoveryCheck(const RecoveryCheckConfig &Config);
+
+/// Inputs of the follower replication audit (comlat-loadgen
+/// --check-follower).
+struct FollowerCheckConfig {
+  /// The leader being replicated from.
+  std::string LeaderHost = "127.0.0.1";
+  uint16_t LeaderPort = 0;
+  /// The follower under audit.
+  std::string FollowerHost = "127.0.0.1";
+  uint16_t FollowerPort = 0;
+  /// How long to wait for the follower to reach the leader's durable
+  /// watermark before declaring it stuck.
+  double CatchUpTimeoutSec = 30;
+  /// When non-empty, the leader's WAL/snapshot directory is read directly
+  /// and serially replayed through the oracle as an independent witness of
+  /// the follower's state (leader and follower could otherwise agree on a
+  /// wrong answer).
+  std::string LeaderWalDir;
+  size_t UfElements = 1024;
+};
+
+/// Outcome of runFollowerCheck.
+struct FollowerCheckResult {
+  bool Ok = false;
+  /// First violated property, empty when Ok.
+  std::string Detail;
+  /// The leader's durable watermark the follower was held to.
+  uint64_t LeaderDurableSeq = 0;
+  /// The follower's applied watermark once caught up.
+  uint64_t FollowerAppliedSeq = 0;
+};
+
+/// The replication audit, run against a quiesced leader + follower pair:
+/// the follower must catch up to the leader's durable watermark, serve
+/// reads stamped with monotonically non-decreasing watermarks, Redirect
+/// mutations at the leader, and hold a State dump equal to the leader's
+/// (and, with LeaderWalDir, to an independent snapshot+WAL oracle replay).
+FollowerCheckResult runFollowerCheck(const FollowerCheckConfig &Config);
 
 } // namespace svc
 } // namespace comlat

@@ -64,12 +64,28 @@ bool ObjectHost::applyOp(Transaction &Tx, const Op &O, int64_t &Result) {
   return false;
 }
 
-std::string ObjectHost::stateText() const {
+std::string svc::renderStateText(const std::string &SetSig, int64_t AccValue,
+                                 const std::string &UfSig) {
   std::string Out;
-  Out += "set=" + Set->signature() + "\n";
-  Out += "acc=" + std::to_string(Acc->value()) + "\n";
-  Out += "uf=" + Uf->signature() + "\n";
+  Out += "set=" + SetSig + "\n";
+  Out += "acc=" + std::to_string(AccValue) + "\n";
+  Out += "uf=" + UfSig + "\n";
   return Out;
+}
+
+std::string svc::renderSnapshotText(size_t UfElems, const std::string &SetSig,
+                                    int64_t AccValue,
+                                    const std::string &UfState) {
+  std::string Out;
+  Out += "ufelems=" + std::to_string(UfElems) + "\n";
+  Out += "set=" + SetSig + "\n";
+  Out += "acc=" + std::to_string(AccValue) + "\n";
+  Out += "ufstate=" + UfState + "\n";
+  return Out;
+}
+
+std::string ObjectHost::stateText() const {
+  return renderStateText(Set->signature(), Acc->value(), Uf->signature());
 }
 
 namespace {
@@ -111,13 +127,38 @@ bool parseIntList(const std::string &Csv, std::vector<int64_t> &Out) {
 
 } // namespace
 
+bool svc::parseSnapshotText(const std::string &Text, SnapshotFields &Out,
+                            std::string *Err) {
+  const auto Fail = [&](const char *What) {
+    if (Err)
+      *Err = What;
+    return false;
+  };
+  std::string Elems, SetCsv, AccVal;
+  if (!snapshotField(Text, "ufelems", Elems) ||
+      !snapshotField(Text, "set", SetCsv) ||
+      !snapshotField(Text, "acc", AccVal) ||
+      !snapshotField(Text, "ufstate", Out.UfState))
+    return Fail("snapshot missing a field");
+  try {
+    Out.UfElems = std::stoull(Elems);
+  } catch (...) {
+    return Fail("snapshot ufelems malformed");
+  }
+  Out.SetKeys.clear();
+  if (!parseIntList(SetCsv, Out.SetKeys))
+    return Fail("snapshot set list malformed");
+  try {
+    Out.AccValue = std::stoll(AccVal);
+  } catch (...) {
+    return Fail("snapshot acc malformed");
+  }
+  return true;
+}
+
 std::string ObjectHost::snapshotText() const {
-  std::string Out;
-  Out += "ufelems=" + std::to_string(UfElems) + "\n";
-  Out += "set=" + Set->signature() + "\n";
-  Out += "acc=" + std::to_string(Acc->value()) + "\n";
-  Out += "ufstate=" + Uf->dumpState() + "\n";
-  return Out;
+  return renderSnapshotText(UfElems, Set->signature(), Acc->value(),
+                            Uf->dumpState());
 }
 
 bool ObjectHost::loadSnapshot(const std::string &Text, std::string *Err) {
@@ -126,53 +167,37 @@ bool ObjectHost::loadSnapshot(const std::string &Text, std::string *Err) {
       *Err = What;
     return false;
   };
-  std::string Elems, SetCsv, AccVal, UfDump;
-  if (!snapshotField(Text, "ufelems", Elems) ||
-      !snapshotField(Text, "set", SetCsv) ||
-      !snapshotField(Text, "acc", AccVal) ||
-      !snapshotField(Text, "ufstate", UfDump))
-    return Fail("snapshot missing a field");
-  try {
-    if (std::stoull(Elems) != UfElems)
-      return Fail("snapshot ufelems mismatch");
-  } catch (...) {
-    return Fail("snapshot ufelems malformed");
-  }
-  std::vector<int64_t> Keys;
-  if (!parseIntList(SetCsv, Keys))
-    return Fail("snapshot set list malformed");
-  int64_t Sum = 0;
-  try {
-    Sum = std::stoll(AccVal);
-  } catch (...) {
-    return Fail("snapshot acc malformed");
-  }
+  SnapshotFields F;
+  if (!parseSnapshotText(Text, F, Err))
+    return false;
+  if (F.UfElems != UfElems)
+    return Fail("snapshot ufelems mismatch");
 
   // Membership and the sum replay through the gated path in chunked
   // transactions (the host is quiesced, so nothing can veto); the forest
   // installs its exact concrete state directly.
   constexpr size_t ChunkOps = 1024;
-  for (size_t Base = 0; Base < Keys.size(); Base += ChunkOps) {
+  for (size_t Base = 0; Base < F.SetKeys.size(); Base += ChunkOps) {
     Transaction Tx(allocTxId());
-    const size_t End = std::min(Keys.size(), Base + ChunkOps);
+    const size_t End = std::min(F.SetKeys.size(), Base + ChunkOps);
     for (size_t I = Base; I != End; ++I) {
       bool Added = false;
-      if (!Set->add(Tx, Keys[I], Added)) {
+      if (!Set->add(Tx, F.SetKeys[I], Added)) {
         Tx.abort();
         return Fail("snapshot set replay vetoed");
       }
     }
     Tx.commit();
   }
-  if (Sum != 0) {
+  if (F.AccValue != 0) {
     Transaction Tx(allocTxId());
-    if (!Acc->increment(Tx, Sum)) {
+    if (!Acc->increment(Tx, F.AccValue)) {
       Tx.abort();
       return Fail("snapshot acc replay vetoed");
     }
     Tx.commit();
   }
-  if (!Uf->restoreState(UfDump))
+  if (!Uf->restoreState(F.UfState))
     return Fail("snapshot ufstate malformed");
   if (Uf->numElements() != UfElems)
     return Fail("snapshot ufstate element-count mismatch");
@@ -211,32 +236,18 @@ int64_t OracleReplica::applyOp(const Op &O) {
 }
 
 bool OracleReplica::loadSnapshot(const std::string &Text) {
-  std::string Elems, SetCsv, AccVal, UfDump;
-  if (!snapshotField(Text, "ufelems", Elems) ||
-      !snapshotField(Text, "set", SetCsv) ||
-      !snapshotField(Text, "acc", AccVal) ||
-      !snapshotField(Text, "ufstate", UfDump))
+  SnapshotFields F;
+  if (!parseSnapshotText(Text, F))
     return false;
-  try {
-    if (std::stoull(Elems) != UfElems)
-      return false;
-    Sum = std::stoll(AccVal);
-  } catch (...) {
+  if (F.UfElems != UfElems)
     return false;
-  }
-  std::vector<int64_t> Keys;
-  if (!parseIntList(SetCsv, Keys))
-    return false;
+  Sum = F.AccValue;
   Set.clear();
-  for (const int64_t K : Keys)
+  for (const int64_t K : F.SetKeys)
     Set.insert(K);
-  return Uf.restoreState(UfDump) && Uf.numElements() == UfElems;
+  return Uf.restoreState(F.UfState) && Uf.numElements() == UfElems;
 }
 
 std::string OracleReplica::stateText() const {
-  std::string Out;
-  Out += "set=" + Set.signature() + "\n";
-  Out += "acc=" + std::to_string(Sum) + "\n";
-  Out += "uf=" + Uf.signature() + "\n";
-  return Out;
+  return renderStateText(Set.signature(), Sum, Uf.signature());
 }

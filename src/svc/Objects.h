@@ -39,6 +39,28 @@
 namespace comlat {
 namespace svc {
 
+/// Shared renderers for the abstract-state and snapshot dumps. ObjectHost
+/// and OracleReplica both format through these, so the two can never
+/// drift: a replayed oracle's stateText() is byte-comparable with the
+/// server's by construction.
+std::string renderStateText(const std::string &SetSig, int64_t AccValue,
+                            const std::string &UfSig);
+std::string renderSnapshotText(size_t UfElems, const std::string &SetSig,
+                               int64_t AccValue, const std::string &UfState);
+
+/// Parsed fields of a renderSnapshotText() dump.
+struct SnapshotFields {
+  size_t UfElems = 0;
+  std::vector<int64_t> SetKeys;
+  int64_t AccValue = 0;
+  std::string UfState;
+};
+
+/// Parses a snapshot dump. Returns false and sets \p Err on malformed
+/// input; element-count agreement is the caller's check.
+bool parseSnapshotText(const std::string &Text, SnapshotFields &Out,
+                       std::string *Err = nullptr);
+
 /// The server-side structures, one instance each, behind their detectors.
 /// Thread-safe through the detectors: apply from any worker inside a
 /// transaction; stateText() only when quiesced.

@@ -87,7 +87,8 @@ void svc::encodeRequest(const Request &R, std::string &Out) {
   std::string P;
   putU64(P, R.ReqId);
   P.push_back(static_cast<char>(R.Type));
-  if (R.Type == MsgType::Batch) {
+  switch (R.Type) {
+  case MsgType::Batch:
     putU32(P, static_cast<uint32_t>(R.Ops.size()));
     for (const Op &O : R.Ops) {
       P.push_back(static_cast<char>(O.Obj));
@@ -95,6 +96,24 @@ void svc::encodeRequest(const Request &R, std::string &Out) {
       putI64(P, O.A);
       putI64(P, O.B);
     }
+    break;
+  case MsgType::Subscribe:
+    putU64(P, R.Seq);
+    break;
+  case MsgType::WalChunk:
+    putU64(P, R.Seq);
+    putU64(P, R.StampUs);
+    putU32(P, static_cast<uint32_t>(R.Blob.size()));
+    P += R.Blob;
+    break;
+  case MsgType::SnapshotXfer:
+    putU64(P, R.Seq);
+    P.push_back(static_cast<char>(R.Last));
+    putU32(P, static_cast<uint32_t>(R.Blob.size()));
+    P += R.Blob;
+    break;
+  default:
+    break; // header-only request types
   }
   frameOut(Out, P);
 }
@@ -172,6 +191,41 @@ bool svc::decodeRequest(std::string_view Payload, Request &Out,
   case static_cast<uint8_t>(MsgType::Stats):
     Out.Type = MsgType::Stats;
     break;
+  case static_cast<uint8_t>(MsgType::Subscribe):
+    Out.Type = MsgType::Subscribe;
+    if (!R.u64(Out.Seq)) {
+      Err = "truncated subscribe body";
+      return false;
+    }
+    break;
+  case static_cast<uint8_t>(MsgType::WalChunk): {
+    Out.Type = MsgType::WalChunk;
+    uint32_t NumBytes = 0;
+    std::string_view Blob;
+    if (!R.u64(Out.Seq) || !R.u64(Out.StampUs) || !R.u32(NumBytes) ||
+        !R.bytes(NumBytes, Blob)) {
+      Err = "truncated wal chunk";
+      return false;
+    }
+    Out.Blob.assign(Blob);
+    break;
+  }
+  case static_cast<uint8_t>(MsgType::SnapshotXfer): {
+    Out.Type = MsgType::SnapshotXfer;
+    uint32_t NumBytes = 0;
+    std::string_view Blob;
+    if (!R.u64(Out.Seq) || !R.u8(Out.Last) || !R.u32(NumBytes) ||
+        !R.bytes(NumBytes, Blob)) {
+      Err = "truncated snapshot chunk";
+      return false;
+    }
+    if (Out.Last > 1) {
+      Err = "snapshot chunk last flag out of range";
+      return false;
+    }
+    Out.Blob.assign(Blob);
+    break;
+  }
   default:
     Err = "unknown request type";
     return false;
@@ -190,7 +244,7 @@ bool svc::decodeResponse(std::string_view Payload, Response &Out) {
   if (!R.u64(Out.ReqId) || !R.u8(St) || !R.u64(Out.CommitSeq) ||
       !R.u32(NumResults))
     return false;
-  if (St > static_cast<uint8_t>(Status::Error))
+  if (St > static_cast<uint8_t>(Status::Redirect))
     return false;
   Out.St = static_cast<Status>(St);
   if (NumResults > MaxBatchOps)
@@ -229,5 +283,18 @@ bool svc::validOp(const Op &O, size_t UfElements) {
   }
   default:
     return false;
+  }
+}
+
+bool svc::mutatingOp(const Op &O) {
+  switch (O.Obj) {
+  case static_cast<uint8_t>(ObjectId::Set):
+    return O.Method != SetContains;
+  case static_cast<uint8_t>(ObjectId::Acc):
+    return O.Method != AccRead;
+  case static_cast<uint8_t>(ObjectId::Uf):
+    return O.Method != UfFind;
+  default:
+    return true; // unknown ops never reach here; fail safe anyway
   }
 }

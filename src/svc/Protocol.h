@@ -22,6 +22,21 @@
 ///                serving-mode facts (durable, privatized, uf_elements,
 ///                wal_* sequences) — cheap enough for every client to
 ///                fetch at connect time, unlike the full Metrics export
+///     Subscribe(6)    body: u64 from_seq — a follower asking the leader
+///                to ship the WAL tail past from_seq. Replied with a
+///                normal response: Ok carries the leader's durable
+///                watermark in commit_seq (and `snapshot=<seq>` in text
+///                when a SnapshotXfer will precede the tail); Error
+///                carries the refusal reason. After an Ok reply the
+///                connection becomes a one-way push channel.
+///     WalChunk(7)     body: u64 durable_seq | u64 stamp_us | u32 nbytes |
+///                bytes — leader-to-follower push, never replied to. The
+///                bytes are zero or more concatenated WAL records in
+///                encodeWalRecord framing; an empty chunk is a heartbeat
+///                carrying the current durable watermark.
+///     SnapshotXfer(8) body: u64 snap_seq | u8 last | u32 nbytes | bytes —
+///                one chunk of the bootstrap snapshot's state text, pushed
+///                before the tail; last=1 marks the final chunk.
 ///   response := u64 req_id | u8 status | u64 commit_seq |
 ///               u32 num_results | num_results * i64 | u32 text_len | text
 ///
@@ -30,8 +45,10 @@
 /// per operation plus the server's commit sequence number (a
 /// conflict-consistent serial position — see runtime/Submitter.h). Status
 /// Busy means the admission queue shed the frame; Error carries a
-/// diagnostic in the text field. Responses are self-describing (every
-/// field always present) so decoding never depends on request context.
+/// diagnostic in the text field; Redirect means a follower refused a
+/// mutating batch and names the leader (`leader=<host>:<port>`) in the
+/// text field. Responses are self-describing (every field always present)
+/// so decoding never depends on request context.
 ///
 /// Framing errors are unrecoverable on a byte stream (there is no resync
 /// point), so an oversized length prefix closes the connection after an
@@ -62,10 +79,13 @@ enum class MsgType : uint8_t {
   State = 3,
   Ping = 4,
   Stats = 5,
+  Subscribe = 6,
+  WalChunk = 7,
+  SnapshotXfer = 8,
 };
 
 /// Reply status.
-enum class Status : uint8_t { Ok = 0, Busy = 1, Error = 2 };
+enum class Status : uint8_t { Ok = 0, Busy = 1, Error = 2, Redirect = 3 };
 
 /// Hosted structures addressable by batch operations.
 enum class ObjectId : uint8_t { Set = 0, Acc = 1, Uf = 2 };
@@ -89,6 +109,17 @@ struct Request {
   uint64_t ReqId = 0;
   MsgType Type = MsgType::Ping;
   std::vector<Op> Ops; // Batch only
+  /// Subscribe: the subscriber's applied watermark (ship records > Seq).
+  /// WalChunk: the shipper's durable watermark at send time.
+  /// SnapshotXfer: the snapshot's commit-sequence watermark.
+  uint64_t Seq = 0;
+  /// WalChunk only: sender wall clock in microseconds (lag estimation).
+  uint64_t StampUs = 0;
+  /// SnapshotXfer only: 1 on the final chunk of the transfer.
+  uint8_t Last = 0;
+  /// WalChunk: concatenated encodeWalRecord frames. SnapshotXfer: one
+  /// chunk of the snapshot state text.
+  std::string Blob;
 };
 
 /// A decoded response frame.
@@ -128,6 +159,10 @@ bool decodeResponse(std::string_view Payload, Response &Out);
 /// Structural validity of one batch op: known object, known method, and —
 /// for union-find ops — elements within [0, UfElements).
 bool validOp(const Op &O, size_t UfElements);
+
+/// Whether \p O can change hosted state. Followers serve the read-only
+/// vocabulary (SetContains / AccRead / UfFind) and Redirect anything else.
+bool mutatingOp(const Op &O);
 
 } // namespace svc
 } // namespace comlat

@@ -1,0 +1,890 @@
+//===- svc/Replication.cpp - Unified replay + WAL shipping -----------------===//
+
+#include "svc/Replication.h"
+
+#include "obs/MetricsRegistry.h"
+#include "obs/TraceRing.h"
+#include "runtime/Transaction.h"
+
+#include <dirent.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+using namespace comlat;
+using namespace comlat::svc;
+
+namespace {
+
+uint64_t monotonicNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The comlat_repl_* instrumentation, registered once per process. The
+/// ship-side families come alive on leaders, the apply-side ones on
+/// followers; registering both everywhere keeps the export self-describing.
+struct ReplMetrics {
+  // Leader / hub side.
+  obs::Gauge *Subscribers;
+  obs::Counter *ShipChunks;
+  obs::Counter *ShipBytes;
+  obs::Counter *ShipSnapshots;
+  obs::Counter *DroppedSubs;
+  // Follower / client side.
+  obs::Counter *Applied;
+  obs::Counter *Chunks;
+  obs::Counter *Bytes;
+  obs::Counter *Reconnects;
+  obs::Gauge *LagSeq;
+  obs::Gauge *LagMs;
+
+  static ReplMetrics &get() {
+    static ReplMetrics M = [] {
+      obs::MetricsRegistry &R = obs::MetricsRegistry::global();
+      ReplMetrics X;
+      X.Subscribers = R.gauge("comlat_repl_subscribers");
+      X.ShipChunks = R.counter("comlat_repl_ship_chunks_total");
+      X.ShipBytes = R.counter("comlat_repl_ship_bytes_total");
+      X.ShipSnapshots = R.counter("comlat_repl_ship_snapshots_total");
+      X.DroppedSubs = R.counter("comlat_repl_dropped_subscribers_total");
+      X.Applied = R.counter("comlat_repl_applied_total");
+      X.Chunks = R.counter("comlat_repl_chunks_total");
+      X.Bytes = R.counter("comlat_repl_bytes_total");
+      X.Reconnects = R.counter("comlat_repl_reconnects_total");
+      X.LagSeq = R.gauge("comlat_repl_lag_seq");
+      X.LagMs = R.gauge("comlat_repl_lag_ms");
+      return X;
+    }();
+    return M;
+  }
+};
+
+/// Tail-subscription keys for the hubs of this process (each Wal keys its
+/// sinks by caller-chosen id; distinct hubs must never collide).
+std::atomic<uint64_t> NextTailKey{1};
+
+/// First sequence parsed from a `<prefix><seq><suffix>` file name scan of
+/// \p Dir, picking the lexicographically smallest (oldest) or largest
+/// (newest) match; 0 when none exist.
+uint64_t scanNamesFor(const std::string &Dir, const char *Prefix,
+                      const char *Suffix, bool Newest) {
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return 0;
+  const size_t PrefixLen = std::strlen(Prefix);
+  const size_t SuffixLen = std::strlen(Suffix);
+  std::string Pick;
+  while (struct dirent *E = ::readdir(D)) {
+    const std::string Name = E->d_name;
+    if (Name.size() <= PrefixLen + SuffixLen ||
+        Name.compare(0, PrefixLen, Prefix) != 0 ||
+        Name.compare(Name.size() - SuffixLen, SuffixLen, Suffix) != 0)
+      continue;
+    if (Pick.empty() || (Newest ? Name > Pick : Name < Pick))
+      Pick = Name;
+  }
+  ::closedir(D);
+  if (Pick.empty())
+    return 0;
+  return std::strtoull(Pick.c_str() + PrefixLen, nullptr, 10);
+}
+
+} // namespace
+
+uint64_t comlat::svc::oldestWalSeq(const std::string &Dir) {
+  return scanNamesFor(Dir, "wal-", ".log", /*Newest=*/false);
+}
+
+uint64_t comlat::svc::newestSnapshotSeq(const std::string &Dir) {
+  return scanNamesFor(Dir, "snap-", ".snap", /*Newest=*/true);
+}
+
+//===----------------------------------------------------------------------===//
+// Replay targets
+//===----------------------------------------------------------------------===//
+
+bool HostReplayTarget::loadSnapshot(const std::string &State,
+                                    std::string *Err) {
+  return Host.loadSnapshot(State, Err);
+}
+
+bool HostReplayTarget::applyBatch(const std::vector<Op> &Ops,
+                                  std::vector<int64_t> &Results,
+                                  std::string *Err) {
+  // One transaction per record — the same gated path live batches take, so
+  // replay re-exercises the detectors rather than bypassing them.
+  Transaction Tx(allocTxId());
+  for (const Op &O : Ops) {
+    int64_t Result = 0;
+    if (!Host.applyOp(Tx, O, Result)) {
+      Tx.abort();
+      if (Err)
+        *Err = "gated apply vetoed a logged operation";
+      return false;
+    }
+    Results.push_back(Result);
+  }
+  Tx.commit();
+  return true;
+}
+
+bool OracleReplayTarget::loadSnapshot(const std::string &State,
+                                      std::string *Err) {
+  if (!Replica.loadSnapshot(State)) {
+    if (Err)
+      *Err = "malformed snapshot state";
+    return false;
+  }
+  return true;
+}
+
+bool OracleReplayTarget::applyBatch(const std::vector<Op> &Ops,
+                                    std::vector<int64_t> &Results,
+                                    std::string *) {
+  for (const Op &O : Ops)
+    Results.push_back(Replica.applyOp(O));
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// ReplayEngine
+//===----------------------------------------------------------------------===//
+
+bool ReplayEngine::bootstrap(const SnapshotData &Snap, std::string *Err) {
+  std::string LoadErr;
+  if (!Target.loadSnapshot(Snap.State, &LoadErr)) {
+    if (Err)
+      *Err = "snapshot " + std::to_string(Snap.Seq) + " rejected: " + LoadErr;
+    return false;
+  }
+  Applied = Snap.Seq;
+  return true;
+}
+
+bool ReplayEngine::apply(const WalRecord &R, Outcome &Out, std::string *Err) {
+  if (R.Seq <= Applied) {
+    if (Policy == SeqPolicy::Resume) {
+      Out = Outcome::Skipped;
+      return true;
+    }
+    if (Err)
+      *Err = "duplicate commit sequence " + std::to_string(R.Seq);
+    return false;
+  }
+  if (Policy != SeqPolicy::Ordered && R.Seq != Applied + 1) {
+    if (Err)
+      *Err = "wal sequence gap at " + std::to_string(Applied + 1) +
+             " (next record is " + std::to_string(R.Seq) + ")";
+    return false;
+  }
+  Scratch.clear();
+  std::string ApplyErr;
+  if (!Target.applyBatch(R.Ops, Scratch, &ApplyErr)) {
+    if (Err)
+      *Err = "replay failed at seq " + std::to_string(R.Seq) + ": " + ApplyErr;
+    return false;
+  }
+  if (Scratch.size() != R.Results.size()) {
+    if (Err)
+      *Err = "replay diverged at seq " + std::to_string(R.Seq) +
+             ": recomputed " + std::to_string(Scratch.size()) +
+             " results for " + std::to_string(R.Results.size()) + " logged";
+    return false;
+  }
+  for (size_t I = 0; I != Scratch.size(); ++I) {
+    if (Scratch[I] != R.Results[I]) {
+      if (Err)
+        *Err = "replay diverged at seq " + std::to_string(R.Seq) + " op " +
+               std::to_string(I);
+      return false;
+    }
+  }
+  Applied = R.Seq;
+  ++Count;
+  Out = Outcome::Applied;
+  return true;
+}
+
+bool ReplayEngine::applyAll(const std::vector<WalRecord> &Records,
+                            std::string *Err) {
+  for (const WalRecord &R : Records) {
+    Outcome Out;
+    if (!apply(R, Out, Err))
+      return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// RecoverySource
+//===----------------------------------------------------------------------===//
+
+bool RecoverySource::load(bool Repair, std::string *Err) {
+  HaveSnap = loadNewestSnapshot(Dir, Snap);
+  if (!scanWalDir(Dir, HaveSnap ? Snap.Seq : 0, Scan, Err, Repair))
+    return false;
+  Loaded = true;
+  return true;
+}
+
+uint64_t RecoverySource::watermark() const {
+  return std::max(HaveSnap ? Snap.Seq : 0, Scan.LastSeq);
+}
+
+bool RecoverySource::replayInto(ReplayEngine &Engine, std::string *Err) {
+  if (HaveSnap && !Engine.bootstrap(Snap, Err))
+    return false;
+  return Engine.applyAll(Scan.Records, Err);
+}
+
+//===----------------------------------------------------------------------===//
+// ReplicationHub
+//===----------------------------------------------------------------------===//
+
+ReplicationHub::ReplicationHub(Wal &Log, std::string WalDir)
+    : Log(Log), Dir(std::move(WalDir)),
+      TailKey(NextTailKey.fetch_add(1, std::memory_order_relaxed)) {
+  ReplMetrics::get(); // register the families up front
+}
+
+ReplicationHub::~ReplicationHub() { stop(); }
+
+void ReplicationHub::start() {
+  if (Started)
+    return;
+  Started = true;
+  Shipper = std::thread([this] { shipperMain(); });
+  Token = std::make_shared<TailToken>();
+  Token->Hub = this;
+  std::shared_ptr<TailToken> T = Token;
+  Log.subscribeTail(TailKey,
+                    [T](uint64_t First, uint64_t Last, const std::string &B) {
+                      std::lock_guard<std::mutex> G(T->Mu);
+                      if (T->Hub)
+                        T->Hub->onLive(First, Last, B);
+                    });
+}
+
+void ReplicationHub::requestStop() {
+  // Flag-only by contract: a missed notify costs at most one 500ms tick
+  // of the shipper's timed wait.
+  StopFlag.store(true, std::memory_order_release);
+  Cv.notify_all();
+}
+
+void ReplicationHub::stop() {
+  if (!Started || StoppedDone)
+    return;
+  StoppedDone = true;
+  Log.unsubscribeTail(TailKey);
+  {
+    // After this block no trailing delivery can reach the hub (the sink
+    // locks the token around its callback).
+    std::lock_guard<std::mutex> G(Token->Mu);
+    Token->Hub = nullptr;
+  }
+  requestStop();
+  Shipper.join();
+  // Close out whatever subscribers remain so their connections die with
+  // the hub instead of hanging half-subscribed.
+  for (auto &[Id, S] : Subs) {
+    (void)Id;
+    S.Sink->close();
+  }
+  Subs.clear();
+  SubCount.store(0, std::memory_order_release);
+  ReplMetrics::get().Subscribers->set(0);
+}
+
+ReplicationHub::SubscribePlan
+ReplicationHub::planSubscribe(uint64_t From) const {
+  SubscribePlan P;
+  P.DurableSeq = Log.durableSeq();
+  if (From > P.DurableSeq) {
+    // A subscriber past our durable watermark holds history we never
+    // acknowledged: divergent, and no amount of shipping can fix it.
+    P.Reason = "subscriber watermark " + std::to_string(From) +
+               " is ahead of the leader's durable watermark " +
+               std::to_string(P.DurableSeq) + " (divergent history)";
+    return P;
+  }
+  if (From == P.DurableSeq) {
+    P.Accept = true;
+    return P;
+  }
+  const uint64_t Oldest = oldestWalSeq(Dir);
+  if (Oldest != 0 && From + 1 >= Oldest) {
+    P.Accept = true; // every record past From is still on disk
+    return P;
+  }
+  if (From == 0) {
+    const uint64_t SnapSeq = newestSnapshotSeq(Dir);
+    if (SnapSeq != 0) {
+      P.Accept = true;
+      P.SendSnapshot = true;
+      P.SnapshotSeq = SnapSeq;
+      return P;
+    }
+    P.Reason = "leader wal starts at " + std::to_string(Oldest) +
+               " with no snapshot to bridge";
+    return P;
+  }
+  P.Reason = "leader truncated past subscriber watermark " +
+             std::to_string(From) +
+             " (restart the follower with a clean wal dir)";
+  return P;
+}
+
+uint64_t ReplicationHub::addSubscriber(uint64_t From, const SubscribePlan &Plan,
+                                       std::shared_ptr<ChunkSink> Sink) {
+  const uint64_t Id = NextSubId.fetch_add(1, std::memory_order_relaxed);
+  // Count it before the Add event exists: a live delivery racing this
+  // registration must be queued for the shipper, not discarded.
+  SubCount.fetch_add(1, std::memory_order_acq_rel);
+  Event E;
+  E.K = Event::Kind::Add;
+  E.Id = Id;
+  E.From = From;
+  E.SendSnapshot = Plan.SendSnapshot;
+  E.Sink = std::move(Sink);
+  enqueue(std::move(E));
+  return Id;
+}
+
+void ReplicationHub::removeSubscriber(uint64_t Id) {
+  Event E;
+  E.K = Event::Kind::Remove;
+  E.Id = Id;
+  enqueue(std::move(E));
+}
+
+void ReplicationHub::enqueue(Event E) {
+  std::lock_guard<std::mutex> G(Mu);
+  if (StopFlag.load(std::memory_order_acquire))
+    return;
+  Queue.push_back(std::move(E));
+  Cv.notify_all();
+}
+
+void ReplicationHub::onLive(uint64_t FirstSeq, uint64_t LastSeq,
+                            const std::string &Bytes) {
+  if (StopFlag.load(std::memory_order_acquire))
+    return;
+  // With no subscriber registered or pending there is nobody to ship to,
+  // and the records are durable on disk — any future subscriber's catch-up
+  // scan covers them. Dropping here keeps an idle leader from copying
+  // every group into a queue nobody drains.
+  if (SubCount.load(std::memory_order_acquire) == 0)
+    return;
+  Event E;
+  E.K = Event::Kind::Live;
+  E.FirstSeq = FirstSeq;
+  E.LastSeq = LastSeq;
+  E.Bytes = Bytes;
+  enqueue(std::move(E));
+}
+
+void ReplicationHub::shipperMain() {
+  for (;;) {
+    Event E;
+    bool Have = false;
+    {
+      std::unique_lock<std::mutex> G(Mu);
+      Cv.wait_for(G, std::chrono::milliseconds(500), [this] {
+        return StopFlag.load(std::memory_order_acquire) || !Queue.empty();
+      });
+      if (!Queue.empty()) {
+        E = std::move(Queue.front());
+        Queue.pop_front();
+        Have = true;
+      } else if (StopFlag.load(std::memory_order_acquire)) {
+        return;
+      }
+    }
+    if (!Have) {
+      // Idle tick: empty heartbeats carry the durable watermark so the
+      // followers' lag clocks stay honest between commits.
+      std::vector<uint64_t> Dead;
+      for (auto &[Id, S] : Subs)
+        if (!sendChunk(S, 0, std::string()))
+          Dead.push_back(Id);
+      for (uint64_t Id : Dead) {
+        auto It = Subs.find(Id);
+        if (It != Subs.end()) {
+          dropSub(Id, It->second, "heartbeat send failed");
+          Subs.erase(It);
+        }
+      }
+      continue;
+    }
+    switch (E.K) {
+    case Event::Kind::Add:
+      processAdd(E);
+      break;
+    case Event::Kind::Remove: {
+      auto It = Subs.find(E.Id);
+      if (It != Subs.end()) {
+        // The connection is already closing; just forget the sub.
+        Subs.erase(It);
+        SubCount.fetch_sub(1, std::memory_order_acq_rel);
+        ReplMetrics::get().Subscribers->set(
+            static_cast<int64_t>(Subs.size()));
+      }
+      break;
+    }
+    case Event::Kind::Live:
+      processLive(E);
+      break;
+    }
+  }
+}
+
+bool ReplicationHub::sendChunk(Sub &S, uint64_t LastSeq,
+                               const std::string &Bytes) {
+  // A big group-commit's concatenated records can exceed the protocol's
+  // frame bound (64 records of up to MaxBatchOps ops each), so the wire
+  // splits at record boundaries: each record frame self-describes its size
+  // as u32 len | payload | u32 crc.
+  static constexpr size_t WireChunkMax = 256 * 1024;
+  size_t Off = 0;
+  do {
+    size_t End = Off;
+    while (End < Bytes.size()) {
+      if (Bytes.size() - End < 8) { // malformed tail: ship it, let the
+        End = Bytes.size();         // follower's decode refuse it loudly
+        break;
+      }
+      uint32_t Len = 0;
+      std::memcpy(&Len, Bytes.data() + End, sizeof(Len));
+      const size_t RecSize = static_cast<size_t>(Len) + 8;
+      if (End != Off && End + RecSize - Off > WireChunkMax)
+        break;
+      End += RecSize;
+    }
+    Request R;
+    R.ReqId = 0;
+    R.Type = MsgType::WalChunk;
+    R.Seq = Log.durableSeq();
+    R.StampUs = monotonicNowUs();
+    R.Blob = Bytes.substr(Off, End - Off);
+    std::string Frame;
+    encodeRequest(R, Frame);
+    if (!S.Sink->sendFrame(std::move(Frame)))
+      return false;
+    Off = End;
+  } while (Off < Bytes.size());
+  if (LastSeq > S.SentThrough)
+    S.SentThrough = LastSeq;
+  if (!Bytes.empty()) {
+    ReplMetrics::get().ShipChunks->add();
+    ReplMetrics::get().ShipBytes->add(Bytes.size());
+    COMLAT_TRACE(obs::EventKind::ReplShip, 0, static_cast<int64_t>(LastSeq),
+                 static_cast<int64_t>(Bytes.size()), 0);
+  }
+  return true;
+}
+
+void ReplicationHub::processAdd(Event &E) {
+  ReplMetrics &M = ReplMetrics::get();
+  Sub S;
+  S.Sink = std::move(E.Sink);
+  S.SentThrough = E.From;
+  auto Abandon = [&] {
+    S.Sink->close();
+    SubCount.fetch_sub(1, std::memory_order_acq_rel);
+    M.DroppedSubs->add();
+  };
+
+  if (E.SendSnapshot) {
+    SnapshotData Snap;
+    if (!loadNewestSnapshot(Dir, Snap)) {
+      Abandon(); // snapshot vanished between plan and add; reconnect replans
+      return;
+    }
+    static constexpr size_t SnapChunkMax = 256 * 1024;
+    size_t Off = 0;
+    do {
+      const size_t N = std::min(SnapChunkMax, Snap.State.size() - Off);
+      Request R;
+      R.ReqId = 0;
+      R.Type = MsgType::SnapshotXfer;
+      R.Seq = Snap.Seq;
+      R.Last = (Off + N == Snap.State.size()) ? 1 : 0;
+      R.Blob = Snap.State.substr(Off, N);
+      std::string Frame;
+      encodeRequest(R, Frame);
+      if (!S.Sink->sendFrame(std::move(Frame))) {
+        Abandon();
+        return;
+      }
+      Off += N;
+    } while (Off < Snap.State.size());
+    S.SentThrough = Snap.Seq;
+    M.ShipSnapshots->add();
+  }
+
+  // Catch up from disk: every durable record past SentThrough is fully on
+  // disk (the covering fdatasync precedes its live emission), and any live
+  // event queued behind this Add that overlaps the scan is deduped by
+  // SentThrough in processLive. A torn tail here is just the writer
+  // mid-append — the live tail covers those records; a gap means
+  // truncation raced the plan, so drop and let the reconnect replan.
+  WalScan Scan;
+  std::string ScanErr;
+  if (!scanWalDir(Dir, S.SentThrough, Scan, &ScanErr, /*Repair=*/false) ||
+      Scan.Gap) {
+    Abandon();
+    return;
+  }
+
+  // Ship the backlog in bounded chunks, pacing against the sink's backlog
+  // so one slow follower cannot balloon the server's write buffers.
+  static constexpr size_t CatchupChunkMax = 64 * 1024;
+  const auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  auto ShipPaced = [&](uint64_t LastSeq, const std::string &Bytes) {
+    while (S.Sink->backlog() > MaxSinkBacklog) {
+      if (std::chrono::steady_clock::now() >= Deadline)
+        return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return sendChunk(S, LastSeq, Bytes);
+  };
+  std::string Bytes;
+  uint64_t Last = S.SentThrough;
+  for (const WalRecord &R : Scan.Records) {
+    encodeWalRecord(Bytes, R.Seq, R.Ops, R.Results);
+    Last = R.Seq;
+    if (Bytes.size() >= CatchupChunkMax) {
+      if (!ShipPaced(Last, Bytes)) {
+        Abandon();
+        return;
+      }
+      Bytes.clear();
+    }
+  }
+  if (!Bytes.empty() && !ShipPaced(Last, Bytes)) {
+    Abandon();
+    return;
+  }
+
+  Subs.emplace(E.Id, std::move(S));
+  M.Subscribers->set(static_cast<int64_t>(Subs.size()));
+}
+
+void ReplicationHub::processLive(const Event &E) {
+  if (Subs.empty())
+    return;
+  std::vector<uint64_t> Dead;
+  for (auto &[Id, S] : Subs) {
+    // Catch-up overlap: this sub already holds everything in the chunk.
+    // (A partial overlap still ships whole — the follower's Resume engine
+    // skips the records at or below its watermark idempotently.)
+    if (E.LastSeq <= S.SentThrough)
+      continue;
+    if (S.Sink->backlog() > MaxSinkBacklog) {
+      Dead.push_back(Id); // slow follower: drop, it resumes on reconnect
+      continue;
+    }
+    if (!sendChunk(S, E.LastSeq, E.Bytes))
+      Dead.push_back(Id);
+  }
+  for (uint64_t Id : Dead) {
+    auto It = Subs.find(Id);
+    if (It != Subs.end()) {
+      dropSub(Id, It->second, "backlog over bound");
+      Subs.erase(It);
+    }
+  }
+  ReplMetrics::get().Subscribers->set(static_cast<int64_t>(Subs.size()));
+}
+
+void ReplicationHub::dropSub(uint64_t Id, Sub &S, const char *Why) {
+  (void)Id;
+  (void)Why;
+  S.Sink->close();
+  SubCount.fetch_sub(1, std::memory_order_acq_rel);
+  ReplMetrics::get().DroppedSubs->add();
+}
+
+//===----------------------------------------------------------------------===//
+// ReplicationClient
+//===----------------------------------------------------------------------===//
+
+ReplicationClient::ReplicationClient(ObjectHost &Host, FollowConfig Config,
+                                     FatalFn OnFatal)
+    : Host(Host), Config(std::move(Config)), OnFatal(std::move(OnFatal)),
+      Target(this->Host), Engine(Target, SeqPolicy::Resume) {
+  ReplMetrics::get(); // register the families up front
+}
+
+ReplicationClient::~ReplicationClient() { stop(); }
+
+bool ReplicationClient::bootstrap(uint64_t FromSeq, SnapshotData *InstalledSnap,
+                                  bool *GotSnapshot, std::string *Err) {
+  if (GotSnapshot)
+    *GotSnapshot = false;
+  const auto Deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(Config.ConnectTimeoutSec));
+  std::string ConnErr;
+  while (!Link.connect(Config.LeaderHost, Config.LeaderPort, &ConnErr)) {
+    if (StopFlag.load(std::memory_order_acquire)) {
+      if (Err)
+        *Err = "stopped before the leader became reachable";
+      return false;
+    }
+    if (std::chrono::steady_clock::now() >= Deadline) {
+      if (Err)
+        *Err = "leader unreachable: " + ConnErr;
+      return false;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(Config.ReconnectDelayMs));
+  }
+
+  Request Req;
+  Req.ReqId = 1;
+  Req.Type = MsgType::Subscribe;
+  Req.Seq = FromSeq;
+  Response Resp;
+  if (!Link.call(Req, Resp)) {
+    if (Err)
+      *Err = "subscribe: connection lost";
+    return false;
+  }
+  if (Resp.St != Status::Ok) {
+    if (Err)
+      *Err = "leader refused subscription: " + Resp.Text;
+    return false;
+  }
+  LeaderDurable.store(Resp.CommitSeq, std::memory_order_release);
+
+  if (Resp.Text.find("snapshot=") != std::string::npos) {
+    if (FromSeq != 0) {
+      // The leader only offers a snapshot when it truncated past us; a
+      // follower with local state cannot splice one in.
+      if (Err)
+        *Err = "leader offers a snapshot but the follower has local state; "
+               "clear the follower wal dir and restart";
+      return false;
+    }
+    SnapshotData Snap;
+    if (!receiveSnapshot(Snap, Err))
+      return false;
+    if (!installSnapshot(Snap, Err))
+      return false;
+    if (InstalledSnap)
+      *InstalledSnap = Snap;
+    if (GotSnapshot)
+      *GotSnapshot = true;
+  } else {
+    Engine.seedApplied(FromSeq);
+  }
+  Applied.store(Engine.appliedSeq(), std::memory_order_release);
+  return true;
+}
+
+bool ReplicationClient::receiveSnapshot(SnapshotData &Snap, std::string *Err) {
+  Snap.Seq = 0;
+  Snap.State.clear();
+  bool First = true;
+  for (;;) {
+    Request R;
+    if (!Link.recvRequest(R)) {
+      if (Err)
+        *Err = "connection lost during snapshot transfer";
+      return false;
+    }
+    if (R.Type != MsgType::SnapshotXfer) {
+      if (Err)
+        *Err = "unexpected frame during snapshot transfer";
+      return false;
+    }
+    if (First) {
+      Snap.Seq = R.Seq;
+      First = false;
+    } else if (R.Seq != Snap.Seq) {
+      if (Err)
+        *Err = "snapshot sequence changed mid-transfer";
+      return false;
+    }
+    Snap.State += R.Blob;
+    if (R.Last)
+      return true;
+  }
+}
+
+bool ReplicationClient::installSnapshot(const SnapshotData &Snap,
+                                        std::string *Err) {
+  return Engine.bootstrap(Snap, Err);
+}
+
+void ReplicationClient::start(Wal *L) {
+  Log = L;
+  Applier = std::thread([this] { applyMain(); });
+}
+
+void ReplicationClient::requestStop() {
+  StopFlag.store(true, std::memory_order_release);
+  if (Link.fd() >= 0)
+    ::shutdown(Link.fd(), SHUT_RDWR); // break a blocking recv
+}
+
+void ReplicationClient::stop() {
+  requestStop();
+  if (Applier.joinable())
+    Applier.join();
+}
+
+void ReplicationClient::applyMain() {
+  for (;;) {
+    Request R;
+    if (!Link.recvRequest(R)) {
+      if (StopFlag.load(std::memory_order_acquire))
+        return;
+      if (Link.disconnected()) {
+        if (!reconnect())
+          return; // stopped, or fatal already reported
+        continue;
+      }
+      fatal("undecodable frame from the leader");
+      return;
+    }
+    if (!handleChunk(R))
+      return;
+  }
+}
+
+bool ReplicationClient::reconnect() {
+  ReplMetrics::get().Reconnects->add();
+  Reconnects.fetch_add(1, std::memory_order_acq_rel);
+  for (;;) {
+    Link.close();
+    if (StopFlag.load(std::memory_order_acquire))
+      return false;
+    std::string ConnErr;
+    if (!Link.connect(Config.LeaderHost, Config.LeaderPort, &ConnErr)) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(Config.ReconnectDelayMs));
+      continue; // leader mid-restart: keep trying until stopped
+    }
+    Request Req;
+    Req.ReqId = 1;
+    Req.Type = MsgType::Subscribe;
+    Req.Seq = Applied.load(std::memory_order_acquire);
+    Response Resp;
+    if (!Link.call(Req, Resp)) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(Config.ReconnectDelayMs));
+      continue;
+    }
+    if (Resp.St != Status::Ok) {
+      fatal("leader refused resubscription: " + Resp.Text);
+      return false;
+    }
+    LeaderDurable.store(Resp.CommitSeq, std::memory_order_release);
+    if (Resp.Text.find("snapshot=") != std::string::npos) {
+      // Only a still-fresh, non-durable follower can swallow a bootstrap
+      // snapshot after the fact; anyone else must restart clean.
+      if (Req.Seq != 0 || Log) {
+        fatal("leader truncated past our watermark; restart the follower "
+              "with a clean wal dir");
+        return false;
+      }
+      SnapshotData Snap;
+      std::string SnapErr;
+      if (!receiveSnapshot(Snap, &SnapErr)) {
+        if (Link.disconnected())
+          continue;
+        fatal(SnapErr);
+        return false;
+      }
+      std::string InstallErr;
+      std::lock_guard<std::mutex> G(ApplyMu);
+      if (!installSnapshot(Snap, &InstallErr)) {
+        fatal(InstallErr);
+        return false;
+      }
+      Applied.store(Engine.appliedSeq(), std::memory_order_release);
+    }
+    return true;
+  }
+}
+
+bool ReplicationClient::handleChunk(const Request &R) {
+  ReplMetrics &M = ReplMetrics::get();
+  if (R.Type != MsgType::WalChunk) {
+    fatal("unexpected frame type " +
+          std::to_string(static_cast<unsigned>(R.Type)) +
+          " on the subscription channel");
+    return false;
+  }
+  size_t Pos = 0;
+  WalRecord Rec;
+  for (;;) {
+    const size_t Start = Pos;
+    const WalDecode D = decodeWalRecord(R.Blob, Pos, Rec);
+    if (D == WalDecode::End)
+      break;
+    if (D == WalDecode::Torn) {
+      fatal("torn record inside a shipped chunk");
+      return false;
+    }
+    std::lock_guard<std::mutex> G(ApplyMu);
+    ReplayEngine::Outcome Out;
+    std::string ApplyErr;
+    if (!Engine.apply(Rec, Out, &ApplyErr)) {
+      fatal(ApplyErr);
+      return false;
+    }
+    if (Out != ReplayEngine::Outcome::Applied)
+      continue; // resume overlap, skipped idempotently
+    if (Log) {
+      // Mirror the exact framed bytes the leader shipped; the sequences
+      // must line up, or the follower's own log would lie about history.
+      std::string Bytes = R.Blob.substr(Start, Pos - Start);
+      const uint64_t Assigned = Log->logCommit(
+          [B = std::move(Bytes)](uint64_t, std::string &Out) { Out += B; });
+      if (Assigned != Rec.Seq) {
+        fatal("follower wal sequence skew: assigned " +
+              std::to_string(Assigned) + " for shipped record " +
+              std::to_string(Rec.Seq));
+        return false;
+      }
+    }
+    Applied.store(Rec.Seq, std::memory_order_release);
+    M.Applied->add();
+    COMLAT_TRACE(obs::EventKind::ReplApply, 0, static_cast<int64_t>(Rec.Seq),
+                 0, 0);
+  }
+  if (R.Seq > LeaderDurable.load(std::memory_order_acquire))
+    LeaderDurable.store(R.Seq, std::memory_order_release);
+  M.Chunks->add();
+  M.Bytes->add(R.Blob.size());
+  const uint64_t App = Applied.load(std::memory_order_acquire);
+  M.LagSeq->set(R.Seq > App ? static_cast<int64_t>(R.Seq - App) : 0);
+  const uint64_t Now = monotonicNowUs();
+  M.LagMs->set(R.StampUs != 0 && Now > R.StampUs
+                   ? static_cast<int64_t>((Now - R.StampUs) / 1000)
+                   : 0);
+  return true;
+}
+
+void ReplicationClient::fatal(const std::string &Msg) {
+  bool Expected = false;
+  if (!Failed.compare_exchange_strong(Expected, true,
+                                      std::memory_order_acq_rel))
+    return;
+  if (OnFatal)
+    OnFatal(Msg);
+}

@@ -1,0 +1,431 @@
+//===- svc/Replication.h - Unified replay + WAL shipping --------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The replication layer of the serving stack (DESIGN.md §3.11). The WAL is
+/// a conflict-ordered commit stream (svc/Wal.h); everything that *consumes*
+/// that stream — crash recovery, the loadgen recovery audit's oracle, and
+/// live follower replicas — goes through one ReplayEngine: apply records in
+/// sequence order to a ReplayTarget and demand the recomputed results match
+/// the logged (acknowledged) ones. Any disagreement is divergence, and the
+/// policy is refusal: recovery fails startup, a follower kills itself, the
+/// audit reports the property violated. There is no "repair" for divergence
+/// the way there is for a torn tail — a diverged replica has re-executed
+/// acknowledged history differently, which the commutativity argument says
+/// cannot happen unless the state or the log is wrong.
+///
+/// On top of the engine sit the two halves of WAL shipping:
+///
+///  * ReplicationHub (leader): owns one Wal tail subscription and a shipper
+///    thread fanning durable records out to subscribers. A subscriber at
+///    watermark W first gets history it is missing — straight from the
+///    closed segments on disk, or a full SnapshotXfer when truncation has
+///    already dropped W's records — then live WalChunk frames pushed past
+///    the durable watermark. The leader never blocks on a subscriber: one
+///    that backlogs past a bound is dropped and expected to reconnect and
+///    resume from its watermark (snapshot-refresh fallback included).
+///  * ReplicationClient (follower): bootstraps (subscribe + optional
+///    snapshot install), then applies the tail through the ReplayEngine on
+///    one apply thread, mirroring every applied record into the follower's
+///    own WAL when it runs durable. Disconnects reconnect and resubscribe
+///    from the applied watermark; divergence and truncated-past-us
+///    subscriptions are fatal by policy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_SVC_REPLICATION_H
+#define COMLAT_SVC_REPLICATION_H
+
+#include "svc/LoadGen.h"
+#include "svc/Objects.h"
+#include "svc/Snapshot.h"
+#include "svc/Wal.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace comlat {
+namespace svc {
+
+//===----------------------------------------------------------------------===//
+// ReplayEngine: the one replay code path
+//===----------------------------------------------------------------------===//
+
+/// Where replayed records land. Two implementations: the gated ObjectHost
+/// (recovery, followers) and the sequential OracleReplica (audits).
+class ReplayTarget {
+public:
+  virtual ~ReplayTarget() = default;
+
+  /// Installs a snapshot state dump into the (fresh) target.
+  virtual bool loadSnapshot(const std::string &State, std::string *Err) = 0;
+
+  /// Applies one batch atomically, appending one result per op to
+  /// \p Results. False (Err set) when the target vetoed or failed.
+  virtual bool applyBatch(const std::vector<Op> &Ops,
+                          std::vector<int64_t> &Results,
+                          std::string *Err) = 0;
+
+  /// Canonical abstract-state dump (renderStateText format).
+  virtual std::string stateText() const = 0;
+};
+
+/// Replays into an ObjectHost through the gated path, one transaction per
+/// record — the same apply path live batches take.
+class HostReplayTarget : public ReplayTarget {
+public:
+  explicit HostReplayTarget(ObjectHost &Host) : Host(Host) {}
+  bool loadSnapshot(const std::string &State, std::string *Err) override;
+  bool applyBatch(const std::vector<Op> &Ops, std::vector<int64_t> &Results,
+                  std::string *Err) override;
+  std::string stateText() const override { return Host.stateText(); }
+
+private:
+  ObjectHost &Host;
+};
+
+/// Replays into an owned sequential OracleReplica (the audits' oracle).
+class OracleReplayTarget : public ReplayTarget {
+public:
+  explicit OracleReplayTarget(size_t UfElements) : Replica(UfElements) {}
+  bool loadSnapshot(const std::string &State, std::string *Err) override;
+  bool applyBatch(const std::vector<Op> &Ops, std::vector<int64_t> &Results,
+                  std::string *Err) override;
+  std::string stateText() const override { return Replica.stateText(); }
+
+private:
+  OracleReplica Replica;
+};
+
+/// How the engine treats record sequence numbers relative to its applied
+/// watermark.
+enum class SeqPolicy {
+  /// Records at or below the watermark are skipped idempotently (a
+  /// follower resuming mid-stream sees overlap by design); a skipped-ahead
+  /// sequence is still a fatal gap.
+  Resume,
+  /// Duplicates are as fatal as gaps: the disk audits demand each
+  /// acknowledged sequence appear exactly once, contiguously.
+  Strict,
+  /// Duplicates are fatal but gaps are tolerated: the live loadgen verify
+  /// replays only the batches whose ACKs it saw, and a reply lost to a
+  /// tolerated disconnect legitimately leaves a hole (the final-state
+  /// comparison still catches a hole that mattered).
+  Ordered,
+};
+
+/// Applies a verified snapshot + WAL prefix/tail to a ReplayTarget,
+/// demanding recomputed results match logged ones. Not thread-safe; one
+/// replay stream per engine.
+class ReplayEngine {
+public:
+  ReplayEngine(ReplayTarget &Target, SeqPolicy Policy)
+      : Target(Target), Policy(Policy) {}
+
+  /// Seeds the applied watermark without touching the target — a Strict
+  /// verify of a run that started mid-history (e.g. after a restart)
+  /// seeds to its first committed sequence minus one.
+  void seedApplied(uint64_t Seq) { Applied = Seq; }
+
+  /// Installs \p Snap into the target and moves the watermark to its
+  /// sequence. Only legal before any apply.
+  bool bootstrap(const SnapshotData &Snap, std::string *Err);
+
+  enum class Outcome { Applied, Skipped };
+
+  /// Applies one record: sequence-checked per the policy, replayed through
+  /// the target, results compared against the logged ones. False (Err set)
+  /// on a gap, a policy violation, or divergence.
+  bool apply(const WalRecord &R, Outcome &Out, std::string *Err);
+
+  /// apply() over a scan's record vector.
+  bool applyAll(const std::vector<WalRecord> &Records, std::string *Err);
+
+  uint64_t appliedSeq() const { return Applied; }
+  uint64_t appliedRecords() const { return Count; }
+  ReplayTarget &target() { return Target; }
+
+private:
+  ReplayTarget &Target;
+  SeqPolicy Policy;
+  uint64_t Applied = 0;
+  uint64_t Count = 0;
+  std::vector<int64_t> Scratch;
+};
+
+//===----------------------------------------------------------------------===//
+// RecoverySource: one snapshot load + one directory scan, shared
+//===----------------------------------------------------------------------===//
+
+/// The read side of a WAL directory for recovery and audits: loads the
+/// newest valid snapshot and scans the segments once, then hands the cached
+/// results to every consumer (Server::recover and the loadgen audits used
+/// to re-run scanWalDir from scratch on the same directory).
+class RecoverySource {
+public:
+  explicit RecoverySource(std::string Dir) : Dir(std::move(Dir)) {}
+
+  /// Loads the snapshot and scans the WAL (with torn-tail repair when
+  /// \p Repair). False only on I/O error; a torn tail or gap is reported
+  /// through scan() for the caller to judge.
+  bool load(bool Repair, std::string *Err);
+
+  bool hasSnapshot() const { return HaveSnap; }
+  const SnapshotData &snapshot() const { return Snap; }
+  const WalScan &scan() const { return Scan; }
+
+  /// The recovered watermark: max(snapshot seq, last WAL seq).
+  uint64_t watermark() const;
+
+  /// bootstrap (when a snapshot exists) + applyAll through \p Engine.
+  bool replayInto(ReplayEngine &Engine, std::string *Err);
+
+private:
+  std::string Dir;
+  bool Loaded = false;
+  bool HaveSnap = false;
+  SnapshotData Snap;
+  WalScan Scan;
+};
+
+//===----------------------------------------------------------------------===//
+// ReplicationHub: the leader's shipping side
+//===----------------------------------------------------------------------===//
+
+/// Where the hub writes one subscriber's pushed frames. Implemented by the
+/// server over its I/O-thread reply handoff. Thread-safe.
+class ChunkSink {
+public:
+  virtual ~ChunkSink() = default;
+  /// Queues one already-encoded frame; false when the connection is gone.
+  virtual bool sendFrame(std::string Bytes) = 0;
+  /// Approximate bytes queued but not yet on the wire (drop decisions).
+  virtual size_t backlog() const = 0;
+  /// Asks the owning I/O thread to close the connection.
+  virtual void close() = 0;
+};
+
+/// Fans the leader's durable WAL tail out to subscribers: one Wal tail
+/// subscription feeding one shipper thread. start() before the first
+/// subscriber, stop() before the Wal dies.
+class ReplicationHub {
+public:
+  /// A subscriber whose sink backlog passes this is dropped (it reconnects
+  /// and resumes from its watermark; the leader never blocks on it).
+  static constexpr size_t MaxSinkBacklog = 8 * 1024 * 1024;
+
+  ReplicationHub(Wal &Log, std::string WalDir);
+  ~ReplicationHub();
+
+  void start();
+  /// Flag-only (cheap, lock-free); the shipper notices within its tick.
+  void requestStop();
+  /// Unsubscribes from the Wal and joins the shipper. Idempotent; must run
+  /// while the Wal is still alive.
+  void stop();
+
+  /// How to serve a subscription from watermark \p From. Cheap (one
+  /// directory listing, no file reads) — called on I/O threads.
+  struct SubscribePlan {
+    bool Accept = false;
+    std::string Reason; ///< refusal detail when !Accept
+    bool SendSnapshot = false;
+    uint64_t SnapshotSeq = 0; ///< by file name; the shipper re-loads
+    uint64_t DurableSeq = 0;  ///< leader durable watermark at plan time
+  };
+  SubscribePlan planSubscribe(uint64_t From) const;
+
+  /// Registers an accepted subscriber; the hub now pushes history + tail
+  /// into \p Sink. Returns the subscriber id for removeSubscriber.
+  uint64_t addSubscriber(uint64_t From, const SubscribePlan &Plan,
+                         std::shared_ptr<ChunkSink> Sink);
+
+  /// Drops a subscriber (connection closed). Safe for unknown ids.
+  void removeSubscriber(uint64_t Id);
+
+  size_t subscriberCount() const {
+    return SubCount.load(std::memory_order_acquire);
+  }
+
+private:
+  struct Event {
+    enum class Kind { Add, Remove, Live } K = Kind::Live;
+    uint64_t Id = 0;          // Add / Remove
+    uint64_t From = 0;        // Add
+    bool SendSnapshot = false; // Add
+    std::shared_ptr<ChunkSink> Sink; // Add
+    uint64_t FirstSeq = 0, LastSeq = 0; // Live
+    std::string Bytes; // Live
+  };
+  struct Sub {
+    std::shared_ptr<ChunkSink> Sink;
+    uint64_t SentThrough = 0;
+  };
+
+  void shipperMain();
+  void enqueue(Event E);
+  void onLive(uint64_t FirstSeq, uint64_t LastSeq, const std::string &Bytes);
+  void processAdd(Event &E);
+  void processLive(const Event &E);
+  bool sendChunk(Sub &S, uint64_t LastSeq, const std::string &Bytes);
+  void dropSub(uint64_t Id, Sub &S, const char *Why);
+
+  /// Keeps the Wal's possible one-trailing-delivery-after-unsubscribe from
+  /// touching a dead hub: the tail sink holds the token and locks it around
+  /// the callback; stop() clears the back-pointer under the same lock, so
+  /// after stop() returns no delivery can reach this again.
+  struct TailToken {
+    std::mutex Mu;
+    ReplicationHub *Hub = nullptr;
+  };
+
+  Wal &Log;
+  std::string Dir;
+  const uint64_t TailKey;
+  std::shared_ptr<TailToken> Token;
+
+  mutable std::mutex Mu;
+  std::condition_variable Cv;
+  std::deque<Event> Queue; // guarded by Mu
+  std::atomic<bool> StopFlag{false};
+  /// Registered-or-pending subscribers. Incremented in addSubscriber —
+  /// before the Add event is even enqueued — so a live event that races a
+  /// registration is queued rather than discarded (the dedupe in
+  /// processLive makes a spurious queue entry harmless, a discard is not).
+  std::atomic<size_t> SubCount{0};
+  std::atomic<uint64_t> NextSubId{1};
+
+  std::map<uint64_t, Sub> Subs; // shipper thread only
+  bool Started = false;
+  bool StoppedDone = false;
+  std::thread Shipper;
+};
+
+//===----------------------------------------------------------------------===//
+// ReplicationClient: the follower's applying side
+//===----------------------------------------------------------------------===//
+
+/// Shapes one follower's link to its leader.
+struct FollowConfig {
+  std::string LeaderHost;
+  uint16_t LeaderPort = 0;
+  /// Pause between reconnect attempts.
+  unsigned ReconnectDelayMs = 200;
+  /// bootstrap() gives up when the leader stays unreachable this long.
+  double ConnectTimeoutSec = 30;
+};
+
+/// The follower's replication client: one connection to the leader, one
+/// apply thread pushing the shipped tail through a ReplayEngine into the
+/// follower's ObjectHost (and its own WAL when durable).
+class ReplicationClient {
+public:
+  /// Fired once, from the apply thread, on an unrecoverable failure
+  /// (divergence, truncated-past-us, protocol violation). The server's
+  /// handler flags the failure and begins its drain.
+  using FatalFn = std::function<void(const std::string &)>;
+
+  ReplicationClient(ObjectHost &Host, FollowConfig Config, FatalFn OnFatal);
+  ~ReplicationClient();
+
+  ReplicationClient(const ReplicationClient &) = delete;
+  ReplicationClient &operator=(const ReplicationClient &) = delete;
+
+  /// Synchronous bootstrap, before the follower serves: connect (retrying
+  /// until ConnectTimeoutSec), subscribe from \p FromSeq (the locally
+  /// recovered watermark), and when the leader ships a snapshot first,
+  /// install it — only legal from a fresh state (FromSeq == 0); a durable
+  /// follower whose watermark the leader truncated past must be restarted
+  /// with a clean directory instead. On snapshot install, \p InstalledSnap
+  /// and \p GotSnapshot let the caller persist it before opening its own
+  /// WAL. The connection stays open, tail frames queued behind it.
+  bool bootstrap(uint64_t FromSeq, SnapshotData *InstalledSnap,
+                 bool *GotSnapshot, std::string *Err);
+
+  /// Spawns the apply thread. \p Log (may be null) is the follower's own
+  /// WAL: every applied record is mirrored into it at the same sequence.
+  void start(Wal *Log);
+
+  /// Flag + socket shutdown; safe from any thread, does not join.
+  void requestStop();
+
+  /// requestStop() + join. Idempotent.
+  void stop();
+
+  /// Applied watermark: every record <= this is reflected in the host.
+  uint64_t appliedSeq() const {
+    return Applied.load(std::memory_order_acquire);
+  }
+
+  /// Leader durable watermark as of the last chunk (lag = this - applied).
+  uint64_t leaderDurableSeq() const {
+    return LeaderDurable.load(std::memory_order_acquire);
+  }
+
+  bool failed() const { return Failed.load(std::memory_order_acquire); }
+  uint64_t reconnects() const {
+    return Reconnects.load(std::memory_order_acquire);
+  }
+
+  std::string leaderEndpoint() const {
+    return Config.LeaderHost + ":" + std::to_string(Config.LeaderPort);
+  }
+
+  /// Quiesce hooks for the follower's snapshotNow(): block the apply
+  /// thread between records, then release it.
+  void pauseApply() { ApplyMu.lock(); }
+  void resumeApply() { ApplyMu.unlock(); }
+
+private:
+  void applyMain();
+  bool receiveSnapshot(SnapshotData &Snap, std::string *Err);
+  bool installSnapshot(const SnapshotData &Snap, std::string *Err);
+  bool subscribeOnce(bool AllowSnapshot, std::string *Err);
+  bool reconnect();
+  bool handleChunk(const Request &R);
+  void fatal(const std::string &Msg);
+
+  ObjectHost &Host;
+  FollowConfig Config;
+  FatalFn OnFatal;
+  HostReplayTarget Target;
+  ReplayEngine Engine;
+  Client Link;
+  Wal *Log = nullptr; // the follower's own WAL (null when not durable)
+  std::mutex ApplyMu; // held around each record apply; pauseApply() blocks
+  std::atomic<uint64_t> Applied{0};
+  std::atomic<uint64_t> LeaderDurable{0};
+  std::atomic<uint64_t> Reconnects{0};
+  std::atomic<bool> Failed{false};
+  std::atomic<bool> StopFlag{false};
+  std::thread Applier;
+};
+
+//===----------------------------------------------------------------------===//
+// Odds and ends shared by the server and the audits
+//===----------------------------------------------------------------------===//
+
+/// First sequence of the oldest `wal-*.log` segment under \p Dir (by
+/// name), or 0 when none exist.
+uint64_t oldestWalSeq(const std::string &Dir);
+
+/// Watermark of the newest snapshot file under \p Dir (by name — the file
+/// is not validated), or 0 when none exist.
+uint64_t newestSnapshotSeq(const std::string &Dir);
+
+} // namespace svc
+} // namespace comlat
+
+#endif // COMLAT_SVC_REPLICATION_H

@@ -36,6 +36,8 @@ struct SvcMetrics {
   obs::Counter *RequestsState;
   obs::Counter *RequestsPing;
   obs::Counter *RequestsStats;
+  obs::Counter *RequestsSubscribe;
+  obs::Counter *RedirectsTotal;
   obs::Counter *OpsTotal;
   obs::Counter *BusyTotal;
   obs::Counter *MalformedTotal;
@@ -70,6 +72,10 @@ struct SvcMetrics {
       N.RequestsStats =
           R.counter(obs::metricName("comlat_svc_requests_by_type_total",
                                     {{"type", "stats"}}));
+      N.RequestsSubscribe =
+          R.counter(obs::metricName("comlat_svc_requests_by_type_total",
+                                    {{"type", "subscribe"}}));
+      N.RedirectsTotal = R.counter("comlat_svc_redirects_total");
       N.OpsTotal = R.counter("comlat_svc_ops_total");
       N.BusyTotal = R.counter("comlat_svc_busy_total");
       N.MalformedTotal = R.counter("comlat_svc_malformed_total");
@@ -120,6 +126,13 @@ struct Connection {
   bool WantClose = false;
   uint64_t LastActiveMs = 0;
   std::atomic<bool> Closed{false};
+  /// Replication subscriber id when this connection subscribed (0 = none);
+  /// closing the connection unsubscribes it from the hub.
+  uint64_t SubId = 0;
+  /// Approximate bytes handed to this connection by the replication hub
+  /// but not yet on the wire — the hub's cross-thread backlog probe (the
+  /// exact buffered() count is I/O-thread-only).
+  std::atomic<size_t> BufferedApprox{0};
 
   size_t buffered() const { return WriteBuf.size() - WritePos; }
 };
@@ -168,6 +181,16 @@ public:
     wake();
   }
 
+  /// Asks this event loop to close \p C — the replication hub dropping a
+  /// slow or dead subscriber from its shipper thread.
+  void requestCloseFromWorker(std::shared_ptr<Connection> C) {
+    {
+      std::lock_guard<std::mutex> Guard(HandoffMu);
+      PendingCloses.push_back(std::move(C));
+    }
+    wake();
+  }
+
   void registerListener(int ListenFd) {
     struct epoll_event Ev {};
     Ev.events = EPOLLIN;
@@ -203,6 +226,8 @@ private:
   std::vector<int> NewFds; // guarded by HandoffMu
   std::vector<std::pair<std::shared_ptr<Connection>, std::string>>
       PendingReplies; // guarded by HandoffMu
+  std::vector<std::shared_ptr<Connection>>
+      PendingCloses; // guarded by HandoffMu
   std::unordered_map<int, std::shared_ptr<Connection>> Conns;
   /// Connections closed during the current event batch. Destruction is
   /// deferred to the end of the loop pass: a later event in the same
@@ -210,9 +235,40 @@ private:
   std::vector<std::shared_ptr<Connection>> Dead;
   bool ListenerClosed = false;
   uint64_t DrainDeadlineMs = 0;
-  static unsigned NextAccept;
+  /// Round-robin accept distribution. Atomic: every I/O thread of every
+  /// server in the process bumps it (a leader and its follower share it
+  /// in the replication tests), and fairness only needs the increment,
+  /// not an order.
+  static std::atomic<unsigned> NextAccept;
 
   friend class Server;
+};
+
+/// The hub's view of one subscribed connection: frames queue through the
+/// owning I/O thread's reply handoff, backlog reads the connection's
+/// approximate unflushed count, close defers to the I/O thread.
+class ConnSink : public ChunkSink {
+public:
+  ConnSink(IoThread *Owner, std::shared_ptr<Connection> C)
+      : Owner(Owner), C(std::move(C)) {}
+
+  bool sendFrame(std::string Bytes) override {
+    if (C->Closed.load(std::memory_order_acquire))
+      return false;
+    C->BufferedApprox.fetch_add(Bytes.size(), std::memory_order_acq_rel);
+    Owner->queueReplyFromWorker(C, std::move(Bytes));
+    return true;
+  }
+
+  size_t backlog() const override {
+    return C->BufferedApprox.load(std::memory_order_acquire);
+  }
+
+  void close() override { Owner->requestCloseFromWorker(C); }
+
+private:
+  IoThread *Owner;
+  std::shared_ptr<Connection> C;
 };
 
 } // namespace svc
@@ -253,6 +309,8 @@ void IoThread::updateInterest(Connection *C) {
 void IoThread::closeConnection(Connection *C) {
   if (C->Closed.exchange(true))
     return;
+  if (C->SubId != 0 && S.Hub)
+    S.Hub->removeSubscriber(C->SubId);
   ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, C->Fd, nullptr);
   ::close(C->Fd);
   auto It = Conns.find(C->Fd);
@@ -270,7 +328,8 @@ void IoThread::acceptNew() {
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (Fd < 0)
       return; // EAGAIN, or the listener went away during drain
-    const unsigned Target = NextAccept++ % S.Io.size();
+    const unsigned Target =
+        NextAccept.fetch_add(1, std::memory_order_relaxed) % S.Io.size();
     if (Target == Index)
       addConnection(Fd);
     else
@@ -390,6 +449,50 @@ void IoThread::handleFrame(Connection *C, std::string_view Payload) {
     queueReply(C, R);
     return;
   }
+  case MsgType::Subscribe: {
+    M.RequestsSubscribe->add();
+    Response R;
+    R.ReqId = Req.ReqId;
+    if (!S.Hub) {
+      R.St = Status::Error;
+      R.Text = S.isFollower()
+                   ? "not a leader (following " + S.Repl->leaderEndpoint() +
+                         ")"
+                   : "leader is not durable (no wal to ship)";
+      queueReply(C, R);
+      return;
+    }
+    const ReplicationHub::SubscribePlan Plan = S.Hub->planSubscribe(Req.Seq);
+    if (!Plan.Accept) {
+      R.St = Status::Error;
+      R.Text = Plan.Reason;
+      queueReply(C, R);
+      return;
+    }
+    R.CommitSeq = Plan.DurableSeq;
+    if (Plan.SendSnapshot)
+      R.Text = "snapshot=" + std::to_string(Plan.SnapshotSeq);
+    // Reply first: the Ok goes into the write buffer ahead of anything the
+    // hub ships, so the subscriber sees it before the first pushed frame.
+    queueReply(C, R);
+    if (C->Closed.load(std::memory_order_relaxed))
+      return; // the reply flush already found the peer gone
+    C->SubId = S.Hub->addSubscriber(
+        Req.Seq, Plan, std::make_shared<ConnSink>(this, Conns.at(C->Fd)));
+    return;
+  }
+  case MsgType::WalChunk:
+  case MsgType::SnapshotXfer: {
+    // Push frames flow leader-to-follower only; receiving one here means
+    // the peer is confused. The framing was intact, so just fail it.
+    M.MalformedTotal->add();
+    Response R;
+    R.ReqId = Req.ReqId;
+    R.St = Status::Error;
+    R.Text = "push frame on a client connection";
+    queueReply(C, R);
+    return;
+  }
   case MsgType::Batch:
     break;
   }
@@ -405,6 +508,20 @@ void IoThread::handleFrame(Connection *C, std::string_view Payload) {
       queueReply(C, R);
       return;
     }
+
+  // A follower serves only the read vocabulary; mutations go to the
+  // leader. Redirect (not Error) so clients can tell policy from failure.
+  if (S.isFollower())
+    for (const Op &O : Req.Ops)
+      if (mutatingOp(O)) {
+        M.RedirectsTotal->add();
+        Response R;
+        R.ReqId = Req.ReqId;
+        R.St = Status::Redirect;
+        R.Text = "leader=" + S.Repl->leaderEndpoint();
+        queueReply(C, R);
+        return;
+      }
 
   // One batch = one transaction. The context lives until the completion
   // fires; the body rebuilds Results from scratch on every attempt so
@@ -464,7 +581,7 @@ void IoThread::handleFrame(Connection *C, std::string_view Payload) {
       Owner->queueReplyFromWorker(std::move(Ctx->Conn), std::move(Bytes));
       Srv.InFlightReplies.fetch_sub(1, std::memory_order_acq_rel);
     };
-    if (Srv.Log && Outcome.Committed)
+    if (Srv.Log && Outcome.Committed && !Srv.isFollower())
       Srv.Log->awaitDurable(Outcome.CommitSeq, std::move(Deliver));
     else
       Deliver();
@@ -472,9 +589,14 @@ void IoThread::handleFrame(Connection *C, std::string_view Payload) {
 
   // In durable mode the WAL is the commit-sequence source: assigning the
   // sequence and enqueuing the record happen atomically inside the commit
-  // action, so log order extends the conflict order (svc/Wal.h).
+  // action, so log order extends the conflict order (svc/Wal.h). On a
+  // follower the batch is read-only and never logged; its stamp is the
+  // applied replication watermark — the monotonic-reads token.
   Submitter::StampFn Stamp;
-  if (S.Log) {
+  if (S.isFollower()) {
+    ReplicationClient *Repl = S.Repl.get();
+    Stamp = [Repl]() -> uint64_t { return Repl->appliedSeq(); };
+  } else if (S.Log) {
     Wal *Log = S.Log.get();
     Stamp = [Ctx, Log]() -> uint64_t {
       return Log->logCommit([Ctx](uint64_t Seq, std::string &Out) {
@@ -532,6 +654,14 @@ void IoThread::flushWrites(Connection *C) {
       C->WritePos += static_cast<size_t>(N);
       C->LastActiveMs = nowMs();
       SvcMetrics::get().BytesWritten->add(static_cast<uint64_t>(N));
+      // Mirror progress into the hub's backlog probe (saturating: plain
+      // replies in the same buffer were never counted in).
+      size_t Approx = C->BufferedApprox.load(std::memory_order_relaxed);
+      while (Approx != 0 &&
+             !C->BufferedApprox.compare_exchange_weak(
+                 Approx, Approx - std::min(Approx, static_cast<size_t>(N)),
+                 std::memory_order_acq_rel))
+        ;
       continue;
     }
     if (N < 0 && errno == EINTR)
@@ -569,10 +699,12 @@ void IoThread::flushWrites(Connection *C) {
 void IoThread::drainHandoff() {
   std::vector<int> Fds;
   std::vector<std::pair<std::shared_ptr<Connection>, std::string>> Replies;
+  std::vector<std::shared_ptr<Connection>> Closes;
   {
     std::lock_guard<std::mutex> Guard(HandoffMu);
     Fds.swap(NewFds);
     Replies.swap(PendingReplies);
+    Closes.swap(PendingCloses);
   }
   for (const int Fd : Fds) {
     if (S.stopRequested())
@@ -585,6 +717,9 @@ void IoThread::drainHandoff() {
       continue; // client went away; the reply has nowhere to go
     appendAndFlush(C.get(), Bytes);
   }
+  for (const std::shared_ptr<Connection> &C : Closes)
+    if (!C->Closed.load(std::memory_order_relaxed))
+      closeConnection(C.get());
 }
 
 void IoThread::sweepIdle() {
@@ -606,7 +741,7 @@ bool IoThread::drainComplete() {
     return false;
   {
     std::lock_guard<std::mutex> Guard(HandoffMu);
-    if (!PendingReplies.empty() || !NewFds.empty())
+    if (!PendingReplies.empty() || !NewFds.empty() || !PendingCloses.empty())
       return false;
   }
   for (auto &[Fd, C] : Conns)
@@ -688,7 +823,7 @@ void IoThread::run() {
 
 // Round-robin accept distribution; process-wide is fine (one server per
 // process in practice, and distribution only needs rough balance).
-unsigned IoThread::NextAccept = 0;
+std::atomic<unsigned> IoThread::NextAccept{0};
 
 Server::Server(const ServerConfig &Config)
     : Config(Config), Host(Config.UfElements, Config.PrivatizeAcc),
@@ -705,65 +840,42 @@ bool Server::recover(std::string *Err) {
   obs::Counter *TornTotal = Reg.counter("comlat_wal_recovery_torn_total");
   Reg.counter("comlat_wal_snapshots_total"); // register the family
 
-  uint64_t Watermark = 0;
-  SnapshotData Snap;
-  if (loadNewestSnapshot(Config.WalDir, Snap)) {
-    std::string LoadErr;
-    if (!Host.loadSnapshot(Snap.State, &LoadErr)) {
-      if (Err)
-        *Err = "recovery: snapshot " + std::to_string(Snap.Seq) +
-               " rejected: " + LoadErr;
-      return false;
-    }
-    Watermark = Snap.Seq;
-    SnapSeq.store(Watermark, std::memory_order_release);
-  }
-
-  WalScan Scan;
-  std::string ScanErr;
-  if (!scanWalDir(Config.WalDir, Watermark, Scan, &ScanErr,
-                  /*Repair=*/true)) {
+  RecoverySource Source(Config.WalDir);
+  std::string LoadErr;
+  if (!Source.load(/*Repair=*/true, &LoadErr)) {
     if (Err)
-      *Err = "recovery: " + ScanErr;
+      *Err = "recovery: " + LoadErr;
     return false;
   }
-  if (Scan.Torn)
+  if (Source.scan().Torn)
     TornTotal->add();
   // A sequence gap means acknowledged records are missing from disk
   // (e.g. the WAL was truncated past the snapshot we could load). Replay
   // over the hole could silently lose acknowledged batches, so refuse.
-  if (Scan.Gap) {
+  if (Source.scan().Gap) {
     if (Err)
-      *Err = "recovery: wal sequence gap at " + std::to_string(Scan.GapAt) +
+      *Err = "recovery: wal sequence gap at " +
+             std::to_string(Source.scan().GapAt) +
              " (acknowledged history missing; refusing to start)";
     return false;
   }
+  if (Source.hasSnapshot())
+    SnapSeq.store(Source.snapshot().Seq, std::memory_order_release);
 
-  // Replay through the gated apply path, one transaction per record, and
-  // demand the recomputed results match the logged (acknowledged) ones —
-  // any disagreement means the state diverged and serving must not start.
-  for (const WalRecord &R : Scan.Records) {
-    Transaction Tx(allocTxId());
-    for (size_t I = 0; I != R.Ops.size(); ++I) {
-      int64_t Result = 0;
-      if (!Host.applyOp(Tx, R.Ops[I], Result) || I >= R.Results.size() ||
-          Result != R.Results[I]) {
-        Tx.abort();
-        if (Err)
-          *Err = "recovery: replay diverged at seq " +
-                 std::to_string(R.Seq) + " op " + std::to_string(I);
-        return false;
-      }
-    }
-    Tx.commit();
-    Replayed->add();
+  // Replay through the one ReplayEngine (svc/Replication.h): the gated
+  // apply path, one transaction per record, demanding recomputed results
+  // match the logged (acknowledged) ones — any disagreement means the
+  // state diverged and serving must not start.
+  HostReplayTarget Target(Host);
+  ReplayEngine Engine(Target, SeqPolicy::Resume);
+  std::string ReplayErr;
+  if (!Source.replayInto(Engine, &ReplayErr)) {
+    if (Err)
+      *Err = "recovery: " + ReplayErr;
+    return false;
   }
-
-  const uint64_t Recovered = std::max(Watermark, Scan.LastSeq);
-  RecoveredSeq.store(Recovered, std::memory_order_release);
-  Log = std::make_unique<Wal>(
-      WalConfig{Config.WalDir, Config.WalSyncIntervalUs, Config.WalGroupMax},
-      Recovered + 1);
+  Replayed->add(Engine.appliedRecords());
+  RecoveredSeq.store(Source.watermark(), std::memory_order_release);
   return true;
 }
 
@@ -788,6 +900,63 @@ bool Server::start(std::string *Err) {
     }
     if (!recover(Err))
       return false;
+  }
+
+  // Follower bootstrap runs before the socket exists for the same reason
+  // recovery does: no client can read a half-installed state. The client
+  // synchronously connects, subscribes at our recovered watermark and
+  // installs a shipped snapshot when the leader offers one; live tail
+  // application starts only after the server is otherwise up.
+  if (isFollower()) {
+    FollowConfig FC;
+    FC.LeaderHost = Config.FollowHost;
+    FC.LeaderPort = Config.FollowPort;
+    Repl = std::make_unique<ReplicationClient>(
+        Host, FC, [this](const std::string &Msg) {
+          std::fprintf(stderr, "comlat-serve: replication failed: %s\n",
+                       Msg.c_str());
+          ReplFailed.store(true, std::memory_order_release);
+          requestStop();
+        });
+    SnapshotData Snap;
+    bool GotSnapshot = false;
+    std::string BootErr;
+    if (!Repl->bootstrap(RecoveredSeq.load(std::memory_order_acquire), &Snap,
+                         &GotSnapshot, &BootErr)) {
+      if (Err)
+        *Err = "follow: " + BootErr;
+      return false;
+    }
+    if (GotSnapshot && Config.Durable) {
+      // Persist the bridge snapshot so a restart can recover locally up
+      // to its watermark instead of re-shipping it.
+      std::string SnapErr;
+      if (!writeSnapshot(Config.WalDir, Snap, &SnapErr)) {
+        if (Err)
+          *Err = "follow: persisting bootstrap snapshot: " + SnapErr;
+        return false;
+      }
+      SnapSeq.store(Snap.Seq, std::memory_order_release);
+      RecoveredSeq.store(Snap.Seq, std::memory_order_release);
+    }
+  }
+
+  if (Config.Durable) {
+    // A follower's log continues from wherever bootstrap left the applied
+    // watermark (local recovery, possibly superseded by a shipped
+    // snapshot); a leader's from its recovered watermark.
+    const uint64_t Base = isFollower() ? Repl->appliedSeq()
+                                       : RecoveredSeq.load(
+                                             std::memory_order_acquire);
+    Log = std::make_unique<Wal>(
+        WalConfig{Config.WalDir, Config.WalSyncIntervalUs, Config.WalGroupMax},
+        Base + 1);
+  }
+
+  // Only a durable leader ships its tail; followers refuse Subscribe.
+  if (Log && !isFollower()) {
+    Hub = std::make_unique<ReplicationHub>(*Log, Config.WalDir);
+    Hub->start();
   }
 
   ListenFd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
@@ -834,6 +1003,10 @@ bool Server::start(std::string *Err) {
     });
   }
   Started.store(true, std::memory_order_release);
+  // The apply thread starts last: everything it touches (Host, Log, the
+  // serving threads that stamp reads with the applied watermark) is up.
+  if (Repl)
+    Repl->start(Log.get());
   return true;
 }
 
@@ -860,6 +1033,12 @@ bool Server::snapshotNow() {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 
+  // On a follower the mutator is the replication apply thread, not the
+  // submitter — hold it between records so the captured state matches the
+  // last assigned (mirrored) sequence exactly.
+  if (Repl)
+    Repl->pauseApply();
+
   // Capture at the last assigned sequence: every record <= W is in the
   // WAL queue (assignment and enqueue are atomic) and reflected in the
   // captured state; nothing above W exists yet.
@@ -867,6 +1046,8 @@ bool Server::snapshotNow() {
   Snap.Seq = Log->lastAssignedSeq();
   Snap.State = Host.snapshotText();
   Log->rotateAfter(Snap.Seq);
+  if (Repl)
+    Repl->resumeApply();
   Submit.resume();
 
   std::string Err;
@@ -899,17 +1080,39 @@ std::string Server::statsText() const {
     Out += "wal_last_seq=" + std::to_string(Log->lastAssignedSeq()) + "\n";
     Out += "wal_durable_seq=" + std::to_string(Log->durableSeq()) + "\n";
   }
+  Out += std::string("role=") + (isFollower() ? "follower" : "leader") + "\n";
+  if (Repl) {
+    Out += "repl_applied_seq=" + std::to_string(Repl->appliedSeq()) + "\n";
+    Out += "repl_leader_durable_seq=" +
+           std::to_string(Repl->leaderDurableSeq()) + "\n";
+    Out += "repl_reconnects=" + std::to_string(Repl->reconnects()) + "\n";
+    Out += std::string("repl_failed=") + (Repl->failed() ? "1" : "0") + "\n";
+    Out += "repl_leader=" + Repl->leaderEndpoint() + "\n";
+  }
+  if (Hub)
+    Out += "repl_subscribers=" + std::to_string(Hub->subscriberCount()) + "\n";
   return Out;
 }
 
 void Server::requestStop() {
   StopFlag.store(true, std::memory_order_release);
+  // Stop the hub pushing (flag-only, still signal-safe) so follower
+  // connections can drain to empty write buffers; stop the apply thread's
+  // blocking recv the same way.
+  if (Hub)
+    Hub->requestStop();
+  if (Repl)
+    Repl->requestStop();
   for (const std::unique_ptr<IoThread> &T : Io)
     T->wake();
 }
 
 void Server::stop() {
   if (!Started.load(std::memory_order_acquire)) {
+    if (Repl)
+      Repl->stop();
+    if (Hub)
+      Hub->stop();
     if (ListenFd >= 0) {
       ::close(ListenFd);
       ListenFd = -1;
@@ -930,6 +1133,13 @@ void Server::stop() {
     SnapStopCv.notify_all();
     SnapThread.join();
   }
+  // Replication shuts down while Log is still alive: the apply thread
+  // appends mirrored records to it, and the hub's tail-sink unsubscription
+  // needs the Wal.
+  if (Repl)
+    Repl->stop();
+  if (Hub)
+    Hub->stop();
   // Everything admitted has committed and logged; wait out the last
   // fdatasync so a clean shutdown leaves a fully durable log.
   if (Log)

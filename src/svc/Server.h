@@ -34,6 +34,7 @@
 
 #include "runtime/Submitter.h"
 #include "svc/Objects.h"
+#include "svc/Replication.h"
 #include "svc/Wal.h"
 
 #include <atomic>
@@ -95,6 +96,10 @@ struct ServerConfig {
   /// Periodic snapshot interval in milliseconds; 0 disables the periodic
   /// thread (snapshotNow() still works — SIGUSR1 in comlat-serve).
   unsigned SnapshotIntervalMs = 0;
+  /// Follower mode (comlat-serve --follow): replicate from this leader
+  /// instead of accepting mutations. Empty host = leader/standalone.
+  std::string FollowHost;
+  uint16_t FollowPort = 0;
 };
 
 /// The server. Lifecycle: construct -> start() -> (serve) -> stop().
@@ -154,6 +159,24 @@ public:
     return RecoveredSeq.load(std::memory_order_acquire);
   }
 
+  /// Whether this server runs as a read-only follower (--follow): serves
+  /// the read vocabulary stamped with its applied watermark and Redirects
+  /// mutations to the leader.
+  bool isFollower() const { return !Config.FollowHost.empty(); }
+
+  /// Follower only: set once replication failed fatally (divergence,
+  /// leader refusal, protocol violation) — the server is already draining
+  /// and comlat-serve exits non-zero.
+  bool replicationFailed() const {
+    return ReplFailed.load(std::memory_order_acquire);
+  }
+
+  /// Follower only: the replication client (tests read watermarks).
+  ReplicationClient *replication() { return Repl.get(); }
+
+  /// Leader only: the WAL shipping hub (tests read subscriber counts).
+  ReplicationHub *hub() { return Hub.get(); }
+
 private:
   friend class IoThread;
 
@@ -175,8 +198,17 @@ private:
   std::atomic<uint64_t> InFlightReplies{0};
   std::atomic<uint64_t> RecoveredSeq{0};
   std::atomic<uint64_t> SnapSeq{0};
+  std::atomic<bool> ReplFailed{false};
   std::vector<std::unique_ptr<IoThread>> Io;
   std::vector<std::thread> IoJoins;
+  /// Leader side: ships the WAL tail to subscribed followers. stop()
+  /// stops it while Log is still alive (its tail-sink unsubscription
+  /// needs the Wal).
+  std::unique_ptr<ReplicationHub> Hub;
+  /// Follower side: the link to the leader. Declared before Log so its
+  /// destruction (apply thread join) runs *after* Log's — stop() joins the
+  /// apply thread explicitly before the log flushes.
+  std::unique_ptr<ReplicationClient> Repl;
   /// Declared after Io so it is destroyed (flushed + joined) first; the
   /// Done callbacks it releases reference IoThreads.
   std::unique_ptr<Wal> Log;

@@ -369,6 +369,17 @@ void Wal::rotateAfter(uint64_t Boundary) {
   WorkCv.notify_all();
 }
 
+uint64_t Wal::subscribeTail(uint64_t Id, TailFn Sink) {
+  std::lock_guard<std::mutex> Guard(Mu);
+  Tails[Id] = std::move(Sink);
+  return Durable.load(std::memory_order_acquire);
+}
+
+void Wal::unsubscribeTail(uint64_t Id) {
+  std::lock_guard<std::mutex> Guard(Mu);
+  Tails.erase(Id);
+}
+
 size_t Wal::truncateThrough(uint64_t Boundary) {
   waitDurable(Boundary);
   std::vector<std::pair<std::string, uint64_t>> Victims;
@@ -449,7 +460,9 @@ void Wal::writerMain() {
   obs::shardIndex(); // claim a metric shard for this thread
   WalMetrics &M = WalMetrics::get();
   std::vector<Item> Group;
-  std::string Buf;
+  std::string Buf;  // bytes pending for the current segment fd
+  std::string Rec;  // one record's framed bytes (scratch)
+  std::string Ship; // the whole group's framed bytes, for tail sinks
   for (;;) {
     Group.clear();
     bool Rotate = false;
@@ -489,6 +502,7 @@ void Wal::writerMain() {
     }
 
     Buf.clear();
+    Ship.clear();
     bool Synced = false;
     for (Item &It : Group) {
       // Rotation boundary inside this group: finish the old segment (sync
@@ -509,7 +523,13 @@ void Wal::writerMain() {
       }
       if (Fd < 0)
         openSegment(It.Seq);
-      It.Encode(It.Seq, Buf);
+      // Encode into a scratch string so the record's exact on-disk bytes
+      // can also feed the tail sinks: Buf alone would not do, a mid-group
+      // rotation flushes and clears it.
+      Rec.clear();
+      It.Encode(It.Seq, Rec);
+      Buf += Rec;
+      Ship += Rec;
       LastWritten = It.Seq;
     }
     if (!Buf.empty()) {
@@ -541,6 +561,7 @@ void Wal::writerMain() {
     }
 
     std::vector<AckFn> Release;
+    std::vector<TailFn> Sinks;
     {
       std::lock_guard<std::mutex> Guard(Mu);
       // Rotation is done once the boundary record is written: the close
@@ -556,6 +577,13 @@ void Wal::writerMain() {
           for (AckFn &A : It->second)
             Release.push_back(std::move(A));
         Acks.erase(Acks.begin(), End);
+        // Snapshot the sinks inside the critical section that published
+        // durability: a sink registered later saw this group reflected in
+        // its registration watermark, a sink snapshotted here did not —
+        // either way each record reaches each sink exactly once.
+        Sinks.reserve(Tails.size());
+        for (const auto &[Id, Sink] : Tails)
+          Sinks.push_back(Sink);
       }
     }
     if (!Group.empty()) {
@@ -563,6 +591,8 @@ void Wal::writerMain() {
       DurableCv.notify_all();
       for (AckFn &A : Release)
         A();
+      for (const TailFn &S : Sinks)
+        S(Group.front().Seq, LastWritten, Ship);
     }
   }
   // Shutdown: everything queued has been written and synced; finish the

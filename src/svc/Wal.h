@@ -148,6 +148,13 @@ public:
   using EncodeFn = SmallFunc<void(uint64_t Seq, std::string &Out)>;
   /// Fired once the record's group has been fdatasync'ed.
   using AckFn = std::function<void()>;
+  /// A tail sink: receives one durable group's framed records (the exact
+  /// encodeWalRecord bytes written to disk, concatenated) right after the
+  /// covering fdatasync. Runs on the log thread with no Wal lock held, so
+  /// it must not block for long — hand the bytes off and return.
+  using TailFn =
+      std::function<void(uint64_t FirstSeq, uint64_t LastSeq,
+                         const std::string &Bytes)>;
 
   /// \p FirstSeq is the next sequence number to hand out (recovered
   /// watermark + 1 after recovery, 1 on a fresh directory).
@@ -196,6 +203,21 @@ public:
   /// the number of segments removed.
   size_t truncateThrough(uint64_t Boundary);
 
+  /// Registers a live tail sink under caller-chosen key \p Id (replacing
+  /// any previous sink under the same key) and returns the durable
+  /// watermark at registration: the sink will see every record with
+  /// Seq > that watermark exactly once, in sequence order, and nothing at
+  /// or below it. Records between the watermark and registration time do
+  /// not exist — registration happens under the same lock that advances
+  /// the watermark.
+  uint64_t subscribeTail(uint64_t Id, TailFn Sink);
+
+  /// Removes the sink under \p Id. A delivery the log thread has already
+  /// snapshotted may still arrive once after this returns; callers keep
+  /// whatever the sink captures alive until they have synchronized with
+  /// the log thread (e.g. via one flush()).
+  void unsubscribeTail(uint64_t Id);
+
 private:
   struct Item {
     uint64_t Seq;
@@ -221,6 +243,10 @@ private:
   /// Closed segments eligible for truncation: file name and the last
   /// sequence number written to the segment.
   std::vector<std::pair<std::string, uint64_t>> Closed; // guarded by Mu
+  /// Live tail sinks by subscriber key. Snapshotted by the writer inside
+  /// the same critical section that publishes a group's durability, which
+  /// is what makes the exactly-once contract of subscribeTail() hold.
+  std::map<uint64_t, TailFn> Tails; // guarded by Mu
   std::atomic<uint64_t> Durable{0};
 
   // Writer-thread-only state (LastWritten is seeded to FirstSeq-1 by the

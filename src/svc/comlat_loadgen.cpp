@@ -8,10 +8,13 @@
 //   comlat-loadgen --port=7411 --duration=5 --qps=2000 --json=out.json
 //   comlat-loadgen --port=7411 --wait-ready=30 --batches=0   # readiness gate
 //   comlat-loadgen --port=7411 --check-recovery=acked.txt --wal-dir=wal/
+//   comlat-loadgen --port=7411 --read-from=127.0.0.1:7412   # follower reads
+//   comlat-loadgen --port=7411 --check-follower=127.0.0.1:7412
 //
 // Exits non-zero on any protocol error (2), a verification failure (3),
-// when not a single batch committed (4), a recovery-audit failure (5) or
-// a readiness timeout (6) — the CI smoke and crash jobs lean on these.
+// when not a single batch committed (4), a recovery-audit failure (5), a
+// readiness timeout (6) or a follower-audit failure (7) — the CI smoke,
+// crash and replication jobs lean on these.
 //
 //===----------------------------------------------------------------------===//
 
@@ -19,8 +22,50 @@
 #include "svc/LoadGen.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 using namespace comlat;
+
+namespace {
+
+/// Parses "host:port"; false (and a complaint) on anything else.
+bool parseEndpoint(const std::string &Spec, const char *Flag,
+                   std::string &Host, uint16_t &Port) {
+  const size_t Colon = Spec.rfind(':');
+  unsigned long P = 0;
+  if (Colon != std::string::npos)
+    P = std::strtoul(Spec.c_str() + Colon + 1, nullptr, 10);
+  if (Colon == std::string::npos || Colon == 0 || P == 0 || P > 65535) {
+    std::fprintf(stderr, "comlat-loadgen: %s wants host:port, got '%s'\n",
+                 Flag, Spec.c_str());
+    return false;
+  }
+  Host = Spec.substr(0, Colon);
+  Port = static_cast<uint16_t>(P);
+  return true;
+}
+
+/// Fetches the server's metrics dump into \p Path. Also the only way to
+/// scrape a follower: a load run against one would just collect
+/// Redirects, so CI pairs this with --wait-ready --batches=0.
+bool dumpMetrics(const std::string &Host, uint16_t Port,
+                 const std::string &Path) {
+  const std::string Text = svc::fetchMetricsText(Host, Port);
+  if (Text.empty()) {
+    std::fprintf(stderr, "comlat-loadgen: metrics fetch failed\n");
+    return false;
+  }
+  if (std::FILE *F = std::fopen(Path.c_str(), "w")) {
+    std::fputs(Text.c_str(), F);
+    std::fclose(F);
+    return true;
+  }
+  std::fprintf(stderr, "comlat-loadgen: cannot write %s\n", Path.c_str());
+  return false;
+}
+
+} // namespace
 
 int main(int Argc, char **Argv) {
   const Options Opts(Argc, Argv);
@@ -29,7 +74,8 @@ int main(int Argc, char **Argv) {
                    "set-weight", "acc-weight", "uf-weight", "verify",
                    "privatized", "csv", "json", "metrics-out", "wait-ready",
                    "acked-log", "tolerate-disconnect", "check-recovery",
-                   "wal-dir"});
+                   "wal-dir", "read-from", "read-fraction", "check-follower",
+                   "leader-wal-dir", "catchup-timeout"});
 
   svc::LoadGenConfig Config;
   Config.Host = Opts.getString("host", "127.0.0.1");
@@ -49,6 +95,12 @@ int main(int Argc, char **Argv) {
   Config.Privatized = Opts.getBool("privatized");
   Config.TolerateDisconnect = Opts.getBool("tolerate-disconnect");
   Config.AckedLogPath = Opts.getString("acked-log", "");
+  const std::string ReadFrom = Opts.getString("read-from", "");
+  if (!ReadFrom.empty() &&
+      !parseEndpoint(ReadFrom, "--read-from", Config.ReadHost,
+                     Config.ReadPort))
+    return 1;
+  Config.ReadFraction = Opts.getDouble("read-fraction", 0.25);
 
   // Readiness gate: poll connect + Ping before doing anything else. With
   // --batches=0 this is the whole job (CI replaces its sleeps with it).
@@ -60,8 +112,13 @@ int main(int Argc, char **Argv) {
                    WaitReadySec);
       return 6;
     }
-    if (Config.BatchesPerThread == 0 && Config.DurationSec <= 0)
+    if (Config.BatchesPerThread == 0 && Config.DurationSec <= 0) {
+      const std::string MetricsPath = Opts.getString("metrics-out", "");
+      if (!MetricsPath.empty() &&
+          !dumpMetrics(Config.Host, Config.Port, MetricsPath))
+        return 1;
       return 0;
+    }
   }
 
   // Recovery audit mode: no load, just check the restarted server against
@@ -94,6 +151,34 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  // Follower audit mode: no load, just hold a leader + follower pair to
+  // the replication contract (catch-up, monotonic reads, Redirect, state
+  // equality, optional independent WAL-replay witness).
+  const std::string CheckFollower = Opts.getString("check-follower", "");
+  if (!CheckFollower.empty()) {
+    svc::FollowerCheckConfig FC;
+    FC.LeaderHost = Config.Host;
+    FC.LeaderPort = Config.Port;
+    if (!parseEndpoint(CheckFollower, "--check-follower", FC.FollowerHost,
+                       FC.FollowerPort))
+      return 7;
+    FC.LeaderWalDir = Opts.getString("leader-wal-dir", "");
+    FC.UfElements = Config.UfElements;
+    FC.CatchUpTimeoutSec = Opts.getDouble("catchup-timeout", 30);
+    const svc::FollowerCheckResult R = svc::runFollowerCheck(FC);
+    std::printf("follower check: %s (leader durable seq %llu, follower "
+                "applied seq %llu)\n",
+                R.Ok ? "ok" : "FAILED",
+                static_cast<unsigned long long>(R.LeaderDurableSeq),
+                static_cast<unsigned long long>(R.FollowerAppliedSeq));
+    if (!R.Ok) {
+      std::fprintf(stderr, "comlat-loadgen: follower audit FAILED: %s\n",
+                   R.Detail.c_str());
+      return 7;
+    }
+    return 0;
+  }
+
   const svc::LoadGenStats Stats = svc::runLoadGen(Config);
 
   if (Opts.getBool("csv"))
@@ -114,21 +199,8 @@ int main(int Argc, char **Argv) {
   }
 
   const std::string MetricsPath = Opts.getString("metrics-out", "");
-  if (!MetricsPath.empty()) {
-    const std::string Text = svc::fetchMetricsText(Config.Host, Config.Port);
-    if (Text.empty()) {
-      std::fprintf(stderr, "comlat-loadgen: metrics fetch failed\n");
-      return 1;
-    }
-    if (std::FILE *F = std::fopen(MetricsPath.c_str(), "w")) {
-      std::fputs(Text.c_str(), F);
-      std::fclose(F);
-    } else {
-      std::fprintf(stderr, "comlat-loadgen: cannot write %s\n",
-                   MetricsPath.c_str());
-      return 1;
-    }
-  }
+  if (!MetricsPath.empty() && !dumpMetrics(Config.Host, Config.Port, MetricsPath))
+    return 1;
 
   if (Stats.ProtocolErrors > 0) {
     std::fprintf(stderr, "comlat-loadgen: %llu protocol errors\n",
@@ -139,6 +211,12 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "comlat-loadgen: verification FAILED: %s\n",
                  Stats.VerifyDetail.c_str());
     return 3;
+  }
+  if (Stats.MonotonicViolations > 0) {
+    std::fprintf(stderr,
+                 "comlat-loadgen: %llu monotonic-read violations\n",
+                 static_cast<unsigned long long>(Stats.MonotonicViolations));
+    return 7;
   }
   if (Stats.OkReplies == 0 && Stats.Disconnects == 0) {
     // A tolerated crash may legitimately beat the first commit; anything

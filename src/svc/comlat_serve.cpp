@@ -8,10 +8,12 @@
 //   comlat-serve --port=7411 --io-threads=2 --workers=4
 //   comlat-serve --port=0 --port-file=/tmp/port   # ephemeral, CI style
 //   comlat-serve --durable --wal-dir=/var/lib/comlat   # WAL + snapshots
+//   comlat-serve --follow=127.0.0.1:7411 --port=7412   # read-only replica
 //
 // SIGTERM/SIGINT drain gracefully: stop accepting, finish every admitted
 // transaction, flush every reply, exit 0. SIGUSR1 takes a snapshot now
-// (durable mode; ignored otherwise).
+// (durable mode; ignored otherwise). A follower whose replication fails
+// fatally (divergence, leader refusal) drains and exits 7.
 //
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +23,7 @@
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace comlat;
 
@@ -30,8 +33,8 @@ int main(int Argc, char **Argv) {
                    "queue", "idle-timeout-ms", "max-write-buffer",
                    "uf-elements", "max-attempts", "privatize", "durable",
                    "wal-dir", "wal-sync-interval", "wal-group-max",
-                   "snapshot-interval-ms", "trace", "trace-events", "metrics",
-                   "metrics-json"});
+                   "snapshot-interval-ms", "follow", "trace", "trace-events",
+                   "metrics", "metrics-json"});
   obs::ScopedObs Obs(Opts);
 
   svc::ServerConfig Config;
@@ -54,6 +57,22 @@ int main(int Argc, char **Argv) {
       static_cast<unsigned>(Opts.getUInt("wal-group-max", 64));
   Config.SnapshotIntervalMs =
       static_cast<unsigned>(Opts.getUInt("snapshot-interval-ms", 0));
+  const std::string Follow = Opts.getString("follow", "");
+  if (!Follow.empty()) {
+    const size_t Colon = Follow.rfind(':');
+    unsigned long FollowPort = 0;
+    if (Colon != std::string::npos)
+      FollowPort = std::strtoul(Follow.c_str() + Colon + 1, nullptr, 10);
+    if (Colon == std::string::npos || Colon == 0 || FollowPort == 0 ||
+        FollowPort > 65535) {
+      std::fprintf(stderr,
+                   "comlat-serve: --follow wants host:port, got '%s'\n",
+                   Follow.c_str());
+      return 1;
+    }
+    Config.FollowHost = Follow.substr(0, Colon);
+    Config.FollowPort = static_cast<uint16_t>(FollowPort);
+  }
 
   // Block the shutdown signals before any thread spawns so every thread
   // inherits the mask and sigwait() below is the only receiver.
@@ -70,10 +89,11 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "comlat-serve: %s\n", Err.c_str());
     return 1;
   }
-  std::printf("comlat-serve listening on %s:%u%s%s\n",
+  std::printf("comlat-serve listening on %s:%u%s%s%s\n",
               Config.BindAddress.c_str(), unsigned(Srv.port()),
               Config.PrivatizeAcc ? " (privatized accumulator)" : "",
-              Config.Durable ? " (durable)" : "");
+              Config.Durable ? " (durable)" : "",
+              Srv.isFollower() ? " (follower)" : "");
   if (Config.Durable)
     std::printf("comlat-serve recovered through seq %llu\n",
                 static_cast<unsigned long long>(Srv.recoveredSeq()));
@@ -92,18 +112,33 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  // Poll rather than park: a follower can also be stopped from inside
+  // (fatal replication failure calls requestStop()), which sigwait alone
+  // would never observe.
   int Sig = 0;
+  const struct timespec Tick = {0, 200 * 1000 * 1000};
   for (;;) {
-    sigwait(&Sigs, &Sig);
+    Sig = sigtimedwait(&Sigs, nullptr, &Tick);
+    if (Sig < 0) { // timeout (or EINTR): check for an internal stop
+      if (Srv.stopRequested())
+        break;
+      continue;
+    }
     if (Sig != SIGUSR1)
       break;
     // Operator-triggered snapshot; failure leaves serving untouched.
     std::fprintf(stderr, "comlat-serve: SIGUSR1, snapshot %s\n",
                  Srv.snapshotNow() ? "taken" : "FAILED");
   }
-  std::fprintf(stderr, "comlat-serve: caught %s, draining\n",
-               Sig == SIGTERM ? "SIGTERM" : "SIGINT");
+  std::fprintf(stderr, "comlat-serve: %s, draining\n",
+               Sig == SIGTERM   ? "caught SIGTERM"
+               : Sig == SIGINT  ? "caught SIGINT"
+                                : "stop requested");
   Srv.stop();
+  if (Srv.replicationFailed()) {
+    std::fprintf(stderr, "comlat-serve: exiting on replication failure\n");
+    return 7;
+  }
   std::fprintf(stderr, "comlat-serve: drained, bye\n");
   return 0;
 }

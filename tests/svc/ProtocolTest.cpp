@@ -195,3 +195,170 @@ TEST(ProtocolTest, ValidOpBounds) {
                        UfN));
   EXPECT_FALSE(validOp({3, 0, 0, 0}, UfN)); // unknown object
 }
+
+//===----------------------------------------------------------------------===//
+// Replication frames (Subscribe / WalChunk / SnapshotXfer)
+//===----------------------------------------------------------------------===//
+
+TEST(ProtocolTest, SubscribeRoundtrip) {
+  Request In;
+  In.ReqId = 11;
+  In.Type = MsgType::Subscribe;
+  In.Seq = 0xDEADBEEF12345678ull;
+  const Request Out = roundtrip(In);
+  EXPECT_EQ(Out.Type, MsgType::Subscribe);
+  EXPECT_EQ(Out.Seq, In.Seq);
+}
+
+TEST(ProtocolTest, WalChunkRoundtrip) {
+  Request In;
+  In.ReqId = 12;
+  In.Type = MsgType::WalChunk;
+  In.Seq = 4242;
+  In.StampUs = 1234567890123ull;
+  In.Blob = std::string("\x00\x01payload\xFF", 10);
+  const Request Out = roundtrip(In);
+  EXPECT_EQ(Out.Type, MsgType::WalChunk);
+  EXPECT_EQ(Out.Seq, In.Seq);
+  EXPECT_EQ(Out.StampUs, In.StampUs);
+  EXPECT_EQ(Out.Blob, In.Blob);
+}
+
+TEST(ProtocolTest, SnapshotXferRoundtrip) {
+  for (const uint8_t Last : {0, 1}) {
+    Request In;
+    In.ReqId = 13;
+    In.Type = MsgType::SnapshotXfer;
+    In.Seq = 777;
+    In.Last = Last;
+    In.Blob = "set{1 2 3}\nacc{0}\n";
+    const Request Out = roundtrip(In);
+    EXPECT_EQ(Out.Type, MsgType::SnapshotXfer);
+    EXPECT_EQ(Out.Seq, In.Seq);
+    EXPECT_EQ(Out.Last, Last);
+    EXPECT_EQ(Out.Blob, In.Blob);
+  }
+}
+
+TEST(ProtocolTest, EmptyWalChunkAndSnapshotChunkRoundtrip) {
+  // A heartbeat WalChunk carries no records; an empty snapshot state is
+  // one empty final chunk. Both are legal frames.
+  Request In;
+  In.ReqId = 14;
+  In.Type = MsgType::WalChunk;
+  In.Seq = 9;
+  EXPECT_EQ(roundtrip(In).Blob, "");
+  In.Type = MsgType::SnapshotXfer;
+  In.Last = 1;
+  EXPECT_EQ(roundtrip(In).Blob, "");
+}
+
+TEST(ProtocolTest, ReplicationFrameTruncationFuzz) {
+  // Every strict prefix of each replication frame's payload must be
+  // rejected cleanly — the follower treats an undecodable frame as fatal,
+  // so the decoder must never misread a cut as a shorter valid frame.
+  std::vector<Request> Frames(3);
+  Frames[0].Type = MsgType::Subscribe;
+  Frames[0].Seq = 500;
+  Frames[1].Type = MsgType::WalChunk;
+  Frames[1].Seq = 501;
+  Frames[1].StampUs = 99;
+  Frames[1].Blob = "0123456789abcdef";
+  Frames[2].Type = MsgType::SnapshotXfer;
+  Frames[2].Seq = 502;
+  Frames[2].Last = 1;
+  Frames[2].Blob = "state text";
+  for (const Request &In : Frames) {
+    std::string Wire;
+    encodeRequest(In, Wire);
+    std::string_view Payload;
+    size_t Consumed = 0;
+    ASSERT_EQ(peelFrame(Wire, Payload, Consumed), FrameResult::Ok);
+    for (size_t Cut = 0; Cut < Payload.size(); ++Cut) {
+      Request Out;
+      std::string Err;
+      EXPECT_FALSE(decodeRequest(Payload.substr(0, Cut), Out, Err))
+          << "type " << unsigned(static_cast<uint8_t>(In.Type)) << " cut "
+          << Cut;
+    }
+  }
+}
+
+TEST(ProtocolTest, WalChunkTrailingBytesRejected) {
+  Request In;
+  In.ReqId = 15;
+  In.Type = MsgType::WalChunk;
+  In.Blob = "abc";
+  std::string Wire;
+  encodeRequest(In, Wire);
+  // Grow the frame by one byte past what nbytes accounts for.
+  const uint32_t NewLen = static_cast<uint32_t>(Wire.size() - 4 + 1);
+  Wire.push_back('z');
+  for (unsigned I = 0; I != 4; ++I)
+    Wire[I] = static_cast<char>((NewLen >> (8 * I)) & 0xFF);
+  std::string_view Payload;
+  size_t Consumed = 0;
+  ASSERT_EQ(peelFrame(Wire, Payload, Consumed), FrameResult::Ok);
+  Request Out;
+  std::string Err;
+  EXPECT_FALSE(decodeRequest(Payload, Out, Err));
+}
+
+TEST(ProtocolTest, SnapshotXferRejectsBadLastFlag) {
+  Request In;
+  In.ReqId = 16;
+  In.Type = MsgType::SnapshotXfer;
+  In.Last = 2; // encoder writes it verbatim; the decoder must refuse
+  std::string Wire;
+  encodeRequest(In, Wire);
+  std::string_view Payload;
+  size_t Consumed = 0;
+  ASSERT_EQ(peelFrame(Wire, Payload, Consumed), FrameResult::Ok);
+  Request Out;
+  std::string Err;
+  EXPECT_FALSE(decodeRequest(Payload, Out, Err));
+}
+
+TEST(ProtocolTest, RedirectResponseRoundtrip) {
+  Response In;
+  In.ReqId = 17;
+  In.St = Status::Redirect;
+  In.Text = "leader=127.0.0.1:7411";
+  std::string Wire;
+  encodeResponse(In, Wire);
+  std::string_view Payload;
+  size_t Consumed = 0;
+  ASSERT_EQ(peelFrame(Wire, Payload, Consumed), FrameResult::Ok);
+  Response Out;
+  ASSERT_TRUE(decodeResponse(Payload, Out));
+  EXPECT_EQ(Out.St, Status::Redirect);
+  EXPECT_EQ(Out.Text, In.Text);
+}
+
+TEST(ProtocolTest, ResponseRejectsUnknownStatusByte) {
+  Response In;
+  In.ReqId = 18;
+  In.St = Status::Redirect;
+  std::string Wire;
+  encodeResponse(In, Wire);
+  Wire[4 + 8] = 4; // one past Redirect, the highest known status
+  std::string_view Payload;
+  size_t Consumed = 0;
+  ASSERT_EQ(peelFrame(Wire, Payload, Consumed), FrameResult::Ok);
+  Response Out;
+  EXPECT_FALSE(decodeResponse(Payload, Out));
+}
+
+TEST(ProtocolTest, MutatingOpVocabulary) {
+  EXPECT_TRUE(mutatingOp({static_cast<uint8_t>(ObjectId::Set), SetAdd, 1, 0}));
+  EXPECT_TRUE(
+      mutatingOp({static_cast<uint8_t>(ObjectId::Set), SetRemove, 1, 0}));
+  EXPECT_FALSE(
+      mutatingOp({static_cast<uint8_t>(ObjectId::Set), SetContains, 1, 0}));
+  EXPECT_TRUE(
+      mutatingOp({static_cast<uint8_t>(ObjectId::Acc), AccIncrement, 1, 0}));
+  EXPECT_FALSE(
+      mutatingOp({static_cast<uint8_t>(ObjectId::Acc), AccRead, 0, 0}));
+  EXPECT_TRUE(mutatingOp({static_cast<uint8_t>(ObjectId::Uf), UfUnion, 0, 1}));
+  EXPECT_FALSE(mutatingOp({static_cast<uint8_t>(ObjectId::Uf), UfFind, 0, 0}));
+}

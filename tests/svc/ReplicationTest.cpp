@@ -1,0 +1,474 @@
+//===- tests/svc/ReplicationTest.cpp - ReplayEngine + live followers -------===//
+//
+// The replication layer end to end: the one ReplayEngine's sequence
+// policies (Resume / Strict / Ordered), its divergence refusal, the
+// RecoverySource cache, the hub's subscription triage (resume, snapshot
+// bridge, divergent-subscriber refusal), and live leader + follower server
+// pairs — catch-up plus live tail, mutation Redirects, monotonic read
+// stamps, snapshot bootstrap after leader truncation, and a durable
+// follower restarting into a resume from its own recovered watermark.
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/LoadGen.h"
+#include "svc/Replication.h"
+#include "svc/Server.h"
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace comlat;
+using namespace comlat::svc;
+
+namespace {
+
+class ReplicationTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    char L[] = "/tmp/comlat-repl-lead-XXXXXX";
+    char F[] = "/tmp/comlat-repl-fol-XXXXXX";
+    ASSERT_NE(::mkdtemp(L), nullptr);
+    ASSERT_NE(::mkdtemp(F), nullptr);
+    LeaderDir = L;
+    FollowerDir = F;
+  }
+
+  void TearDown() override {
+    for (const std::string &Dir : {LeaderDir, FollowerDir}) {
+      if (DIR *D = ::opendir(Dir.c_str())) {
+        while (struct dirent *E = ::readdir(D)) {
+          const std::string Name = E->d_name;
+          if (Name != "." && Name != "..")
+            ::unlink((Dir + "/" + Name).c_str());
+        }
+        ::closedir(D);
+      }
+      ::rmdir(Dir.c_str());
+    }
+  }
+
+  static constexpr size_t UfN = 64;
+
+  ServerConfig leaderConfig() const {
+    ServerConfig SC;
+    SC.Port = 0;
+    SC.IoThreads = 2;
+    SC.Workers = 2;
+    SC.UfElements = UfN;
+    SC.Backoff.Kind = BackoffKind::Yield;
+    SC.Durable = true;
+    SC.WalDir = LeaderDir;
+    SC.WalSyncIntervalUs = 200;
+    return SC;
+  }
+
+  ServerConfig followerConfig(uint16_t LeaderPort, bool Durable = true) const {
+    ServerConfig SC;
+    SC.Port = 0;
+    SC.IoThreads = 2;
+    SC.Workers = 2;
+    SC.UfElements = UfN;
+    SC.Backoff.Kind = BackoffKind::Yield;
+    SC.Durable = Durable;
+    SC.WalDir = Durable ? FollowerDir : "";
+    SC.WalSyncIntervalUs = 200;
+    SC.FollowHost = "127.0.0.1";
+    SC.FollowPort = LeaderPort;
+    return SC;
+  }
+
+  /// Small verified load against \p Port; returns the stats.
+  static LoadGenStats load(uint16_t Port, uint64_t Batches = 100,
+                           uint64_t Seed = 42) {
+    LoadGenConfig LC;
+    LC.Port = Port;
+    LC.Threads = 2;
+    LC.BatchesPerThread = Batches;
+    LC.OpsPerBatch = 4;
+    LC.KeySpace = 32;
+    LC.UfElements = UfN;
+    LC.Seed = Seed;
+    return runLoadGen(LC);
+  }
+
+  FollowerCheckResult check(uint16_t LeaderPort, uint16_t FollowerPort,
+                            bool WithOracle = true) const {
+    FollowerCheckConfig FC;
+    FC.LeaderPort = LeaderPort;
+    FC.FollowerPort = FollowerPort;
+    FC.UfElements = UfN;
+    FC.CatchUpTimeoutSec = 30;
+    if (WithOracle)
+      FC.LeaderWalDir = LeaderDir;
+    return runFollowerCheck(FC);
+  }
+
+  /// One accumulator increment; the oracle assigns its logged result so
+  /// synthetic histories replay exactly.
+  static WalRecord rec(OracleReplica &Gen, uint64_t Seq, int64_t Amount) {
+    WalRecord R;
+    R.Seq = Seq;
+    Op O;
+    O.Obj = static_cast<uint8_t>(ObjectId::Acc);
+    O.Method = AccIncrement;
+    O.A = Amount;
+    R.Ops.push_back(O);
+    R.Results.push_back(Gen.applyOp(O));
+    return R;
+  }
+
+  std::string LeaderDir;
+  std::string FollowerDir;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ReplayEngine unit behavior
+//===----------------------------------------------------------------------===//
+
+TEST_F(ReplicationTest, ResumePolicySkipsBelowWatermarkAndRefusesGaps) {
+  OracleReplica Gen(UfN);
+  const WalRecord R1 = rec(Gen, 1, 5), R2 = rec(Gen, 2, 7),
+                  R3 = rec(Gen, 3, 9);
+
+  OracleReplayTarget Target(UfN);
+  ReplayEngine Engine(Target, SeqPolicy::Resume);
+  std::string Err;
+  ASSERT_TRUE(Engine.applyAll({R1, R2}, &Err)) << Err;
+  EXPECT_EQ(Engine.appliedSeq(), 2u);
+  EXPECT_EQ(Engine.appliedRecords(), 2u);
+
+  // A follower resuming mid-stream re-receives overlap: skipped, not
+  // re-applied, not an error.
+  ReplayEngine::Outcome Out;
+  ASSERT_TRUE(Engine.apply(R2, Out, &Err)) << Err;
+  EXPECT_EQ(Out, ReplayEngine::Outcome::Skipped);
+  EXPECT_EQ(Engine.appliedRecords(), 2u);
+
+  // But a hole is missing acknowledged history: fatal.
+  OracleReplica Gen2(UfN);
+  WalRecord R5 = rec(Gen2, 5, 1);
+  EXPECT_FALSE(Engine.apply(R5, Out, &Err));
+  EXPECT_NE(Err.find("gap"), std::string::npos);
+
+  ASSERT_TRUE(Engine.apply(R3, Out, &Err)) << Err;
+  EXPECT_EQ(Engine.appliedSeq(), 3u);
+  EXPECT_EQ(Target.stateText(), Gen.stateText());
+}
+
+TEST_F(ReplicationTest, StrictPolicyRefusesDuplicates) {
+  OracleReplica Gen(UfN);
+  const WalRecord R1 = rec(Gen, 1, 5);
+  OracleReplayTarget Target(UfN);
+  ReplayEngine Engine(Target, SeqPolicy::Strict);
+  ReplayEngine::Outcome Out;
+  std::string Err;
+  ASSERT_TRUE(Engine.apply(R1, Out, &Err)) << Err;
+  EXPECT_FALSE(Engine.apply(R1, Out, &Err));
+  EXPECT_NE(Err.find("duplicate"), std::string::npos);
+}
+
+TEST_F(ReplicationTest, OrderedPolicyToleratesGapsButNotDuplicates) {
+  // The live-verify shape: a reply lost to a tolerated disconnect leaves
+  // a legitimate hole, but the same sequence twice is always a bug.
+  OracleReplica Gen(UfN);
+  const WalRecord R1 = rec(Gen, 1, 5), R4 = rec(Gen, 4, 7);
+  OracleReplayTarget Target(UfN);
+  ReplayEngine Engine(Target, SeqPolicy::Ordered);
+  ReplayEngine::Outcome Out;
+  std::string Err;
+  ASSERT_TRUE(Engine.apply(R1, Out, &Err)) << Err;
+  ASSERT_TRUE(Engine.apply(R4, Out, &Err)) << Err; // hole at 2-3: fine
+  EXPECT_EQ(Engine.appliedSeq(), 4u);
+  EXPECT_FALSE(Engine.apply(R4, Out, &Err));
+  EXPECT_NE(Err.find("duplicate"), std::string::npos);
+}
+
+TEST_F(ReplicationTest, DivergenceIsRefusedWithDetail) {
+  OracleReplica Gen(UfN);
+  WalRecord R1 = rec(Gen, 1, 5);
+  R1.Results[0] += 1; // the log claims a result replay cannot reproduce
+  OracleReplayTarget Target(UfN);
+  ReplayEngine Engine(Target, SeqPolicy::Strict);
+  ReplayEngine::Outcome Out;
+  std::string Err;
+  EXPECT_FALSE(Engine.apply(R1, Out, &Err));
+  EXPECT_NE(Err.find("diverged at seq 1"), std::string::npos);
+}
+
+TEST_F(ReplicationTest, RecoverySourceReplaysSnapshotPlusTail) {
+  // Build a real directory: records 1..6 through a Wal, a snapshot at 4,
+  // then verify the cached source replays snapshot + tail to the same
+  // state a straight-through oracle reaches.
+  OracleReplica Gen(UfN);
+  ObjectHost SnapHost(UfN);
+  HostReplayTarget SnapTarget(SnapHost);
+  ReplayEngine SnapEngine(SnapTarget, SeqPolicy::Strict);
+  std::string Err;
+  {
+    Wal Log(WalConfig{LeaderDir, 200, 16}, 1);
+    for (int I = 1; I <= 6; ++I) {
+      const WalRecord R = rec(Gen, static_cast<uint64_t>(I), I * 3);
+      if (I <= 4) {
+        ASSERT_TRUE(SnapEngine.applyAll({R}, &Err)) << Err;
+      }
+      // The encode fn runs later on the log thread, so it must own its
+      // bytes — a reference into this loop iteration would dangle.
+      std::string Bytes;
+      encodeWalRecord(Bytes, R.Seq, R.Ops, R.Results);
+      Log.logCommit(
+          [Bytes](uint64_t, std::string &Out) { Out += Bytes; });
+    }
+    Log.flush();
+  }
+  SnapshotData Snap;
+  Snap.Seq = 4;
+  Snap.State = SnapHost.snapshotText();
+  ASSERT_TRUE(writeSnapshot(LeaderDir, Snap, &Err)) << Err;
+
+  RecoverySource Source(LeaderDir);
+  ASSERT_TRUE(Source.load(/*Repair=*/true, &Err)) << Err;
+  ASSERT_TRUE(Source.hasSnapshot());
+  EXPECT_EQ(Source.snapshot().Seq, 4u);
+  EXPECT_EQ(Source.watermark(), 6u);
+  EXPECT_FALSE(Source.scan().Gap);
+
+  OracleReplayTarget Target(UfN);
+  ReplayEngine Engine(Target, SeqPolicy::Strict);
+  ASSERT_TRUE(Source.replayInto(Engine, &Err)) << Err;
+  EXPECT_EQ(Engine.appliedSeq(), 6u);
+  EXPECT_EQ(Engine.appliedRecords(), 2u); // only the tail past the snapshot
+  EXPECT_EQ(Target.stateText(), Gen.stateText());
+}
+
+//===----------------------------------------------------------------------===//
+// Live leader + follower servers
+//===----------------------------------------------------------------------===//
+
+TEST_F(ReplicationTest, FollowerCatchesUpAndServesConsistentReads) {
+  Server Leader(leaderConfig());
+  std::string Err;
+  ASSERT_TRUE(Leader.start(&Err)) << Err;
+  // History the follower must catch up on...
+  EXPECT_EQ(load(Leader.port()).ProtocolErrors, 0u);
+
+  Server Follower(followerConfig(Leader.port()));
+  ASSERT_TRUE(Follower.start(&Err)) << Err;
+  EXPECT_TRUE(Follower.isFollower());
+  EXPECT_FALSE(Leader.isFollower());
+
+  // ...plus live records shipped while both serve.
+  EXPECT_EQ(load(Leader.port(), 100, 43).ProtocolErrors, 0u);
+  Leader.submitter().drain();
+
+  const FollowerCheckResult R = check(Leader.port(), Follower.port());
+  EXPECT_TRUE(R.Ok) << R.Detail;
+  EXPECT_GT(R.LeaderDurableSeq, 0u);
+  EXPECT_GE(R.FollowerAppliedSeq, R.LeaderDurableSeq);
+  EXPECT_EQ(Follower.objects().stateText(), Leader.objects().stateText());
+
+  const std::string Stats = Follower.statsText();
+  EXPECT_NE(Stats.find("role=follower"), std::string::npos);
+  EXPECT_NE(Stats.find("repl_applied_seq="), std::string::npos);
+  EXPECT_NE(Leader.statsText().find("role=leader"), std::string::npos);
+
+  Follower.stop();
+  Leader.stop();
+}
+
+TEST_F(ReplicationTest, FollowerRedirectsMutationsAtTheLeader) {
+  Server Leader(leaderConfig());
+  std::string Err;
+  ASSERT_TRUE(Leader.start(&Err)) << Err;
+  Server Follower(followerConfig(Leader.port(), /*Durable=*/false));
+  ASSERT_TRUE(Follower.start(&Err)) << Err;
+
+  Client C;
+  ASSERT_TRUE(C.connect("127.0.0.1", Follower.port()));
+  Request Req;
+  Req.ReqId = 1;
+  Req.Type = MsgType::Batch;
+  Op O;
+  O.Obj = static_cast<uint8_t>(ObjectId::Set);
+  O.Method = SetAdd;
+  O.A = 3;
+  Req.Ops.push_back(O);
+  Response Resp;
+  ASSERT_TRUE(C.call(Req, Resp));
+  EXPECT_EQ(Resp.St, Status::Redirect);
+  EXPECT_NE(Resp.Text.find("leader=127.0.0.1:"), std::string::npos);
+
+  // The read vocabulary still answers, stamped with a watermark.
+  Request Read;
+  Read.ReqId = 2;
+  Read.Type = MsgType::Batch;
+  Op RO;
+  RO.Obj = static_cast<uint8_t>(ObjectId::Acc);
+  RO.Method = AccRead;
+  Read.Ops.push_back(RO);
+  ASSERT_TRUE(C.call(Read, Resp));
+  EXPECT_EQ(Resp.St, Status::Ok);
+
+  Follower.stop();
+  Leader.stop();
+}
+
+TEST_F(ReplicationTest, MixedLoadRoutesReadsToFollowerMonotonically) {
+  Server Leader(leaderConfig());
+  std::string Err;
+  ASSERT_TRUE(Leader.start(&Err)) << Err;
+  Server Follower(followerConfig(Leader.port()));
+  ASSERT_TRUE(Follower.start(&Err)) << Err;
+
+  LoadGenConfig LC;
+  LC.Port = Leader.port();
+  LC.Threads = 2;
+  LC.BatchesPerThread = 150;
+  LC.OpsPerBatch = 4;
+  LC.KeySpace = 32;
+  LC.UfElements = UfN;
+  LC.ReadHost = "127.0.0.1";
+  LC.ReadPort = Follower.port();
+  LC.ReadFraction = 0.3;
+  const LoadGenStats Stats = runLoadGen(LC);
+  EXPECT_EQ(Stats.ProtocolErrors, 0u);
+  EXPECT_GT(Stats.FollowerReads, 0u);
+  EXPECT_EQ(Stats.MonotonicViolations, 0u);
+  EXPECT_EQ(Stats.RedirectReplies, 0u); // reads never bounce
+
+  Follower.stop();
+  Leader.stop();
+}
+
+TEST_F(ReplicationTest, SnapshotBridgesASubscriberTheWalNoLongerCovers) {
+  Server Leader(leaderConfig());
+  std::string Err;
+  ASSERT_TRUE(Leader.start(&Err)) << Err;
+  EXPECT_EQ(load(Leader.port()).ProtocolErrors, 0u);
+  Leader.submitter().drain();
+  // Snapshot + truncate: the WAL's early records are gone, so a fresh
+  // subscriber at watermark 0 can only be bridged by a SnapshotXfer.
+  ASSERT_TRUE(Leader.snapshotNow());
+
+  ASSERT_NE(Leader.hub(), nullptr);
+  const ReplicationHub::SubscribePlan FreshPlan =
+      Leader.hub()->planSubscribe(0);
+  EXPECT_TRUE(FreshPlan.Accept);
+  EXPECT_TRUE(FreshPlan.SendSnapshot);
+
+  Server Follower(followerConfig(Leader.port()));
+  ASSERT_TRUE(Follower.start(&Err)) << Err;
+  // The shipped snapshot is persisted locally: a durable follower records
+  // the bridge so its own restart can recover past the leader's hole.
+  EXPECT_GT(Follower.recoveredSeq(), 0u);
+
+  EXPECT_EQ(load(Leader.port(), 50, 44).ProtocolErrors, 0u);
+  Leader.submitter().drain();
+  const FollowerCheckResult R = check(Leader.port(), Follower.port());
+  EXPECT_TRUE(R.Ok) << R.Detail;
+
+  Follower.stop();
+  Leader.stop();
+}
+
+TEST_F(ReplicationTest, DurableFollowerRestartsIntoAResumeFromItsWatermark) {
+  Server Leader(leaderConfig());
+  std::string Err;
+  ASSERT_TRUE(Leader.start(&Err)) << Err;
+  EXPECT_EQ(load(Leader.port()).ProtocolErrors, 0u);
+
+  uint64_t AppliedBefore = 0;
+  {
+    Server Follower(followerConfig(Leader.port()));
+    ASSERT_TRUE(Follower.start(&Err)) << Err;
+    const FollowerCheckResult R = check(Leader.port(), Follower.port());
+    ASSERT_TRUE(R.Ok) << R.Detail;
+    AppliedBefore = Follower.replication()->appliedSeq();
+    Follower.stop();
+  }
+  ASSERT_GT(AppliedBefore, 0u);
+
+  // History moves on while the follower is down.
+  EXPECT_EQ(load(Leader.port(), 80, 45).ProtocolErrors, 0u);
+  Leader.submitter().drain();
+
+  Server Reborn(followerConfig(Leader.port()));
+  ASSERT_TRUE(Reborn.start(&Err)) << Err;
+  // It recovered its own mirrored WAL first, then resumed the stream —
+  // no snapshot re-ship, no re-application of acknowledged history.
+  EXPECT_GE(Reborn.recoveredSeq(), AppliedBefore);
+  const FollowerCheckResult R = check(Leader.port(), Reborn.port());
+  EXPECT_TRUE(R.Ok) << R.Detail;
+  EXPECT_EQ(Reborn.objects().stateText(), Leader.objects().stateText());
+  EXPECT_FALSE(Reborn.replicationFailed());
+
+  Reborn.stop();
+  Leader.stop();
+}
+
+TEST_F(ReplicationTest, HubRefusesDivergentOrUncoverableSubscribers) {
+  Server Leader(leaderConfig());
+  std::string Err;
+  ASSERT_TRUE(Leader.start(&Err)) << Err;
+  EXPECT_EQ(load(Leader.port(), 50).ProtocolErrors, 0u);
+  Leader.submitter().drain();
+  ASSERT_NE(Leader.hub(), nullptr);
+
+  // A subscriber claiming a watermark past the leader's durable history
+  // has a history the leader never produced: divergent, refused.
+  uint64_t Durable = 0;
+  {
+    std::istringstream In(Leader.statsText());
+    std::string Line;
+    while (std::getline(In, Line))
+      if (Line.rfind("wal_durable_seq=", 0) == 0)
+        Durable = std::strtoull(Line.c_str() + 16, nullptr, 10);
+  }
+  ASSERT_GT(Durable, 0u);
+  const ReplicationHub::SubscribePlan Ahead =
+      Leader.hub()->planSubscribe(Durable + 100);
+  EXPECT_FALSE(Ahead.Accept);
+  EXPECT_NE(Ahead.Reason.find("ahead"), std::string::npos);
+
+  // At the watermark: accept, nothing to re-ship.
+  const ReplicationHub::SubscribePlan AtTip =
+      Leader.hub()->planSubscribe(Durable);
+  EXPECT_TRUE(AtTip.Accept);
+  EXPECT_FALSE(AtTip.SendSnapshot);
+
+  // After snapshot + truncation, a stale watermark the WAL no longer
+  // covers (and no snapshot can bridge, since only watermark-0
+  // subscribers take one) is refused with instructions.
+  ASSERT_TRUE(Leader.snapshotNow());
+  const ReplicationHub::SubscribePlan Stale = Leader.hub()->planSubscribe(1);
+  EXPECT_FALSE(Stale.Accept);
+  EXPECT_NE(Stale.Reason.find("truncated"), std::string::npos);
+
+  Leader.stop();
+}
+
+TEST_F(ReplicationTest, FollowerAgainstNonDurableLeaderFailsToStart) {
+  ServerConfig SC = leaderConfig();
+  SC.Durable = false;
+  SC.WalDir.clear();
+  Server Leader(SC);
+  std::string Err;
+  ASSERT_TRUE(Leader.start(&Err)) << Err;
+
+  Server Follower(followerConfig(Leader.port(), /*Durable=*/false));
+  std::string FollowErr;
+  EXPECT_FALSE(Follower.start(&FollowErr));
+  EXPECT_NE(FollowErr.find("follow:"), std::string::npos);
+  EXPECT_NE(FollowErr.find("refused"), std::string::npos);
+
+  Follower.stop();
+  Leader.stop();
+}

@@ -1,0 +1,221 @@
+//===- tests/svc/WalTailTest.cpp - Live tail subscription edges ------------===//
+//
+// The Wal tail-subscription contract ReplicationHub is built on: a
+// subscriber registered at the durable watermark W sees every record > W
+// exactly once, in order, with no delivery of anything it already covers;
+// rotation mid-subscription never tears or duplicates the stream; and
+// unsubscription bounds trailing deliveries to at most the group already
+// in flight.
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/Wal.h"
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+using namespace comlat;
+using namespace comlat::svc;
+
+namespace {
+
+class WalTailTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    char Template[] = "/tmp/comlat-walttest-XXXXXX";
+    ASSERT_NE(::mkdtemp(Template), nullptr);
+    Dir = Template;
+  }
+
+  void TearDown() override {
+    if (DIR *D = ::opendir(Dir.c_str())) {
+      while (struct dirent *E = ::readdir(D)) {
+        const std::string Name = E->d_name;
+        if (Name != "." && Name != "..")
+          ::unlink((Dir + "/" + Name).c_str());
+      }
+      ::closedir(D);
+    }
+    ::rmdir(Dir.c_str());
+  }
+
+  /// Logs one record whose single op/result encode \p Marker, and returns
+  /// the assigned sequence.
+  static uint64_t logOne(Wal &Log, int64_t Marker) {
+    return Log.logCommit([Marker](uint64_t Seq, std::string &Out) {
+      Op O;
+      O.Obj = 1; // acc
+      O.Method = 0;
+      O.A = Marker;
+      encodeWalRecord(Out, Seq, {O}, {Marker});
+    });
+  }
+
+  /// A tail sink collecting every delivered record under a lock (the log
+  /// thread calls it), plus the advertised [First, Last] ranges.
+  struct Collector {
+    std::mutex Mu;
+    std::vector<WalRecord> Records;
+    std::vector<std::pair<uint64_t, uint64_t>> Ranges;
+
+    Wal::TailFn sink() {
+      return [this](uint64_t First, uint64_t Last, const std::string &Bytes) {
+        std::lock_guard<std::mutex> G(Mu);
+        Ranges.emplace_back(First, Last);
+        size_t Pos = 0;
+        WalRecord R;
+        while (decodeWalRecord(Bytes, Pos, R) == WalDecode::Ok)
+          Records.push_back(R);
+        EXPECT_EQ(Pos, Bytes.size()); // no torn record inside a delivery
+      };
+    }
+
+    std::vector<uint64_t> seqs() {
+      std::lock_guard<std::mutex> G(Mu);
+      std::vector<uint64_t> Out;
+      for (const WalRecord &R : Records)
+        Out.push_back(R.Seq);
+      return Out;
+    }
+  };
+
+  /// Deliveries trail flush(): the log thread publishes durability (which
+  /// is what flush waits on) before it invokes the sinks. Bounded wait for
+  /// the collector to hold \p N records.
+  static void awaitRecords(Collector &C, size_t N) {
+    for (int I = 0; I != 2000 && C.seqs().size() < N; ++I)
+      ::usleep(1000);
+  }
+
+  std::string Dir;
+};
+
+} // namespace
+
+TEST_F(WalTailTest, SubscribeAtWatermarkGetsExactlyTheRecordsPastIt) {
+  Wal Log(WalConfig{Dir, 500, 16}, 1);
+  for (int I = 0; I != 5; ++I)
+    logOne(Log, I);
+  Log.flush();
+
+  Collector C;
+  const uint64_t W = Log.subscribeTail(1, C.sink());
+  EXPECT_EQ(W, 5u); // everything logged so far is durable
+
+  for (int I = 5; I != 12; ++I)
+    logOne(Log, I);
+  Log.flush();
+
+  // Exactly seqs W+1..12, once each, in order: nothing at or below the
+  // watermark is re-delivered, nothing past it is skipped.
+  awaitRecords(C, 7);
+  const std::vector<uint64_t> Seqs = C.seqs();
+  ASSERT_EQ(Seqs.size(), 7u);
+  for (size_t I = 0; I != Seqs.size(); ++I)
+    EXPECT_EQ(Seqs[I], W + 1 + I);
+  // The payload round-trips: results carry the markers we logged.
+  {
+    std::lock_guard<std::mutex> G(C.Mu);
+    for (const WalRecord &R : C.Records) {
+      ASSERT_EQ(R.Results.size(), 1u);
+      EXPECT_EQ(R.Results[0], static_cast<int64_t>(R.Seq) - 1);
+    }
+  }
+  Log.unsubscribeTail(1);
+}
+
+TEST_F(WalTailTest, MidStreamSubscribeSplicesAgainstCatchUpScan) {
+  // The hub's splice: records <= the subscription watermark come from a
+  // directory scan, records above it from the live tail. Together they
+  // must cover the history exactly once.
+  Wal Log(WalConfig{Dir, 500, 16}, 1);
+  for (int I = 0; I != 8; ++I)
+    logOne(Log, I);
+  Log.flush();
+
+  Collector C;
+  const uint64_t W = Log.subscribeTail(7, C.sink());
+
+  for (int I = 8; I != 15; ++I)
+    logOne(Log, I);
+  Log.flush();
+
+  awaitRecords(C, 7);
+  WalScan Scan;
+  std::string Err;
+  ASSERT_TRUE(scanWalDir(Dir, /*Watermark=*/0, Scan, &Err, /*Repair=*/false))
+      << Err;
+
+  std::vector<uint64_t> All;
+  for (const WalRecord &R : Scan.Records)
+    if (R.Seq <= W)
+      All.push_back(R.Seq); // the catch-up half
+  for (const uint64_t S : C.seqs())
+    All.push_back(S); // the live half
+  ASSERT_EQ(All.size(), 15u);
+  for (size_t I = 0; I != All.size(); ++I)
+    EXPECT_EQ(All[I], I + 1); // contiguous, no overlap, no hole
+  Log.unsubscribeTail(7);
+}
+
+TEST_F(WalTailTest, RotationDuringSubscriptionKeepsTheStreamContiguous) {
+  Wal Log(WalConfig{Dir, 500, 4}, 1);
+  Collector C;
+  const uint64_t W = Log.subscribeTail(2, C.sink());
+  EXPECT_EQ(W, 0u);
+
+  for (int I = 0; I != 6; ++I)
+    logOne(Log, I);
+  Log.flush();
+  Log.rotateAfter(Log.lastAssignedSeq()); // seal the segment mid-stream
+  for (int I = 6; I != 12; ++I)
+    logOne(Log, I);
+  Log.flush();
+  Log.rotateAfter(Log.lastAssignedSeq());
+  for (int I = 12; I != 15; ++I)
+    logOne(Log, I);
+  Log.flush();
+
+  awaitRecords(C, 15);
+  const std::vector<uint64_t> Seqs = C.seqs();
+  ASSERT_EQ(Seqs.size(), 15u);
+  for (size_t I = 0; I != Seqs.size(); ++I)
+    EXPECT_EQ(Seqs[I], I + 1);
+
+  // The advertised ranges never overlap and never leave a hole either.
+  {
+    std::lock_guard<std::mutex> G(C.Mu);
+    uint64_t Expect = 1;
+    for (const auto &[First, Last] : C.Ranges) {
+      EXPECT_EQ(First, Expect);
+      EXPECT_LE(First, Last);
+      Expect = Last + 1;
+    }
+    EXPECT_EQ(Expect, 16u);
+  }
+  Log.unsubscribeTail(2);
+}
+
+TEST_F(WalTailTest, UnsubscribeStopsDeliveries) {
+  Wal Log(WalConfig{Dir, 500, 16}, 1);
+  Collector C;
+  Log.subscribeTail(3, C.sink());
+  for (int I = 0; I != 4; ++I)
+    logOne(Log, I);
+  Log.flush();
+  Log.unsubscribeTail(3);
+  // A delivery already snapshotted for the pre-unsubscribe group may still
+  // trail in, but nothing logged after unsubscription ever does.
+  for (int I = 4; I != 8; ++I)
+    logOne(Log, I);
+  Log.flush();
+  Log.flush();
+  for (const uint64_t S : C.seqs())
+    EXPECT_LE(S, 4u);
+}
