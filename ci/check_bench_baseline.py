@@ -407,7 +407,100 @@ def check_replicated(baseline_path: Path, artifacts: Path) -> None:
           f"{int(shipped_chunks)} chunks shipped")
 
 
+def check_sharded(baseline_path: Path, artifacts: Path) -> None:
+    """The PR 9 baseline (BENCH_pr9.json) scopes the sharding proxy's
+    comlat_proxy_* metric families and the scale-out gate. The leg runs
+    identically paced open-loop load against a 1-shard and a 3-shard
+    proxy with --shard-affinity (key-partitioned clients, the
+    key-separable workload the lattice proves coordination-free), plus a
+    short unaffine cross-shard burst so split routing is exercised too.
+    Beyond family existence in the 3-shard proxy's dump:
+
+      * both runs were clean (no protocol errors, real commits), the
+        loadgen observed the proxy role and shard count through the Stats
+        frame (1 and 3 respectively), and shard-affine key drawing
+        actually engaged (the Stats ring geometry reached the client);
+      * 3-shard committed-op throughput reaches at least
+        _min_shard_qps_ratio of the 1-shard run — the whole point of
+        spec-driven scale-out. The committed rate (ops_committed /
+        wall_sec) is the gate, not loadgen_qps: an overdriven open loop
+        counts sends at the pacing rate no matter what the server
+        absorbs, so only commits measure capacity;
+      * routing exercised both paths (fast-path and split batches both
+        non-zero; batches accounted) and was sound: zero misroutes (a
+        backend disowning a sub-batch's stamped slot) and zero shard
+        errors (backends lost mid-flight) during an undisturbed run.
+    """
+    doc = json.loads(baseline_path.read_text())
+    min_ratio = float(doc.get("_min_shard_qps_ratio", 1.8))
+    families = {k for k in doc if not k.startswith("_")}
+
+    values, declared = parse_prometheus(artifacts / "proxy_metrics.txt")
+    missing = sorted(families - declared)
+    if missing:
+        fail(f"proxy dump: comlat_proxy_* families missing: {missing}")
+    if values.get("comlat_proxy_shards", 0) != 3:
+        fail(f"proxy dump: expected a 3-shard ring, gauge says "
+             f"{values.get('comlat_proxy_shards', 0)}")
+    if values.get("comlat_proxy_fastpath_total", 0) <= 0:
+        fail("proxy dump: no batch took the single-shard fast path — "
+             "shard-affine load never engaged")
+    if values.get("comlat_proxy_split_total", 0) <= 0:
+        fail("proxy dump: no batch ever split across shards — the load "
+             "never exercised the cross-shard path")
+    if values.get("comlat_proxy_batches_total", 0) <= 0:
+        fail("proxy dump: proxy routed no batches")
+    for clean in ("comlat_proxy_misroutes_total",
+                  "comlat_proxy_shard_errors_total"):
+        if values.get(clean, 0) != 0:
+            fail(f"proxy dump: {clean} = {int(values[clean])} during an "
+                 f"undisturbed run")
+
+    one = json.loads((artifacts / "loadgen_shard1.json").read_text())
+    three = json.loads((artifacts / "loadgen_shard3.json").read_text())
+    for path, doc_, shards in (("loadgen_shard1.json", one, 1),
+                               ("loadgen_shard3.json", three, 3)):
+        if doc_.get("loadgen_protocol_errors", 0) != 0:
+            fail(f"{path}: {doc_['loadgen_protocol_errors']} protocol errors")
+        if doc_.get("loadgen_ok_replies", 0) <= 0:
+            fail(f"{path}: no committed batches")
+        if doc_.get("loadgen_role") != "proxy":
+            fail(f"{path}: load did not run against a proxy "
+                 f"(role={doc_.get('loadgen_role')!r})")
+        if doc_.get("loadgen_shards", 0) != shards:
+            fail(f"{path}: expected {shards} shards, Stats reported "
+                 f"{doc_.get('loadgen_shards', 0)}")
+        if doc_.get("loadgen_shard_affinity", 0) != 1:
+            fail(f"{path}: shard-affine key drawing never engaged "
+                 f"(loadgen_shard_affinity="
+                 f"{doc_.get('loadgen_shard_affinity', 0)})")
+        if doc_.get("loadgen_wall_sec", 0) <= 0:
+            fail(f"{path}: zero wall time")
+    rate1 = one["loadgen_ops_committed"] / one["loadgen_wall_sec"]
+    rate3 = three["loadgen_ops_committed"] / three["loadgen_wall_sec"]
+    if rate1 <= 0:
+        fail("loadgen_shard1.json: zero baseline committed throughput")
+    ratio = rate3 / rate1
+    if ratio < min_ratio:
+        fail(f"3-shard committed throughput {rate3:.0f} ops/s is "
+             f"{ratio:.2f}x the 1-shard {rate1:.0f} ops/s "
+             f"(want >= {min_ratio}x)")
+    print(f"ok: 3-shard committed throughput {rate3:.0f} ops/s = "
+          f"{ratio:.2f}x 1-shard {rate1:.0f} ops/s, "
+          f"{int(values['comlat_proxy_fastpath_total'])} fast-path + "
+          f"{int(values['comlat_proxy_split_total'])} split batches, "
+          f"0 misroutes")
+
+
 def main() -> None:
+    if len(sys.argv) >= 2 and sys.argv[1] == "--sharded":
+        if len(sys.argv) != 4:
+            print(f"usage: {sys.argv[0]} --sharded BENCH_pr9.json "
+                  f"ARTIFACT_DIR", file=sys.stderr)
+            sys.exit(2)
+        check_sharded(Path(sys.argv[2]), Path(sys.argv[3]))
+        print("bench smoke (sharded): all checks passed")
+        return
     if len(sys.argv) >= 2 and sys.argv[1] == "--replicated":
         if len(sys.argv) != 4:
             print(f"usage: {sys.argv[0]} --replicated BENCH_pr8.json "

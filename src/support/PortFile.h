@@ -1,0 +1,58 @@
+//===- support/PortFile.h - Atomic bound-port publication ------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Atomic `--port-file` publication for the serving binaries. CI starts a
+/// server with --port=0, polls the port file, and connects to whatever it
+/// reads — so the file must never be observable empty or half-written.
+/// Write-to-temp + fsync + rename makes its appearance atomic: a reader
+/// either sees no file or the complete port line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_SUPPORT_PORTFILE_H
+#define COMLAT_SUPPORT_PORTFILE_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace comlat {
+
+/// Atomically publishes \p Port (one decimal line) at \p Path via a
+/// same-directory temp file and rename(2). False on any syscall failure;
+/// the temp file is cleaned up.
+inline bool writePortFile(const std::string &Path, uint16_t Port) {
+  const std::string Tmp = Path + ".tmp";
+  const int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return false;
+  char Buf[16];
+  const int N = std::snprintf(Buf, sizeof(Buf), "%u\n", unsigned(Port));
+  bool Ok = N > 0;
+  for (int Off = 0; Ok && Off < N;) {
+    const ssize_t W = ::write(Fd, Buf + Off, static_cast<size_t>(N - Off));
+    if (W <= 0)
+      Ok = false;
+    else
+      Off += static_cast<int>(W);
+  }
+  // The rename's atomicity only helps if the data precedes it to disk.
+  Ok = Ok && ::fsync(Fd) == 0;
+  Ok = (::close(Fd) == 0) && Ok;
+  Ok = Ok && ::rename(Tmp.c_str(), Path.c_str()) == 0;
+  if (!Ok)
+    ::unlink(Tmp.c_str());
+  return Ok;
+}
+
+} // namespace comlat
+
+#endif // COMLAT_SUPPORT_PORTFILE_H

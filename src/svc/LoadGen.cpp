@@ -6,6 +6,7 @@
 #include "support/Timer.h"
 #include "svc/Objects.h"
 #include "svc/Replication.h"
+#include "svc/Shard.h"
 #include "svc/Snapshot.h"
 #include "svc/Wal.h"
 
@@ -234,7 +235,38 @@ struct CommittedBatch {
   uint64_t CommitSeq = 0;
   std::vector<Op> Ops;
   std::vector<int64_t> Results;
+  /// Sharded replies only: the proxy's per-sub-batch annotations, in plan
+  /// order (ascending shard).
+  std::vector<ShardCommit> Shards;
+  /// A partial commit: an Error reply whose annotations name sub-batches
+  /// that did commit. Results is empty; the oracle applies the named ops
+  /// without result comparison.
+  bool Partial = false;
 };
+
+/// Finds `Key=value` in a Stats payload; false when absent.
+bool statValue(const std::string &Text, const std::string &Key, uint64_t &V) {
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line))
+    if (Line.size() > Key.size() + 1 &&
+        Line.compare(0, Key.size(), Key) == 0 && Line[Key.size()] == '=') {
+      V = std::strtoull(Line.c_str() + Key.size() + 1, nullptr, 10);
+      return true;
+    }
+  return false;
+}
+
+/// Finds `Key=value` in a Stats payload as a string; "" when absent.
+std::string statString(const std::string &Text, const std::string &Key) {
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line))
+    if (Line.size() > Key.size() + 1 &&
+        Line.compare(0, Key.size(), Key) == 0 && Line[Key.size()] == '=')
+      return Line.substr(Key.size() + 1);
+  return "";
+}
 
 /// Per-thread accumulation, merged after the join.
 struct ThreadResult {
@@ -253,7 +285,16 @@ struct ThreadResult {
   std::vector<CommittedBatch> Committed;
 };
 
-Op genOp(Rng &R, const LoadGenConfig &Config) {
+/// Shard-affinity key pools: the keys of [0, KeySpace) grouped by the
+/// shard the ring sends their set ops to, empty groups dropped. Built
+/// once per run from the proxy's published ring geometry.
+using ShardKeyPools = std::vector<std::vector<int64_t>>;
+
+/// \p Pool, when set, restricts set-op keys to one shard's pool (the
+/// batch generator picks a pool per batch, so the whole batch's set ops
+/// land on a single shard and fast-path through the proxy).
+Op genOp(Rng &R, const LoadGenConfig &Config,
+         const std::vector<int64_t> *Pool = nullptr) {
   Op O;
   const unsigned Total =
       Config.SetWeight + Config.AccWeight + Config.UfWeight;
@@ -261,7 +302,8 @@ Op genOp(Rng &R, const LoadGenConfig &Config) {
   if (Pick < Config.SetWeight) {
     O.Obj = static_cast<uint8_t>(ObjectId::Set);
     O.Method = static_cast<uint8_t>(R.nextBelow(3));
-    O.A = R.nextInRange(0, std::max<int64_t>(1, Config.KeySpace) - 1);
+    O.A = Pool ? (*Pool)[R.nextBelow(Pool->size())]
+               : R.nextInRange(0, std::max<int64_t>(1, Config.KeySpace) - 1);
   } else if (Pick < Config.SetWeight + Config.AccWeight) {
     O.Obj = static_cast<uint8_t>(ObjectId::Acc);
     // Mostly increments: reads serialize against every increment.
@@ -288,13 +330,19 @@ void classifyReply(const Response &Resp, const Request &Req, ThreadResult &TR,
       return;
     }
     if (Record)
-      TR.Committed.push_back({Resp.CommitSeq, Req.Ops, Resp.Results});
+      TR.Committed.push_back(
+          {Resp.CommitSeq, Req.Ops, Resp.Results, Resp.Shards, false});
     break;
   case Status::Busy:
     ++TR.Busy;
     break;
   case Status::Error:
     ++TR.Errors;
+    // A sharded Error reply with annotations is a partial commit: those
+    // sub-batches did execute and the oracle must account for them.
+    if (Record && !Resp.Shards.empty())
+      TR.Committed.push_back(
+          {Resp.CommitSeq, Req.Ops, {}, Resp.Shards, true});
     break;
   case Status::Redirect:
     ++TR.Redirects;
@@ -324,7 +372,7 @@ Op genReadOp(Rng &R, const LoadGenConfig &Config) {
 }
 
 void runClosedLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
-                   ThreadResult &TR) {
+                   const ShardKeyPools *Pools, ThreadResult &TR) {
   Client C;
   if (!C.connect(Config.Host, Config.Port)) {
     ++TR.ProtocolErrors;
@@ -358,9 +406,11 @@ void runClosedLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
         ReadMode &&
         R.nextBelow(1000) <
             static_cast<uint64_t>(Config.ReadFraction * 1000);
+    const std::vector<int64_t> *Pool =
+        Pools ? &(*Pools)[R.nextBelow(Pools->size())] : nullptr;
     for (unsigned K = 0; K != Config.OpsPerBatch; ++K)
       Req.Ops.push_back(ToFollower ? genReadOp(R, Config)
-                                   : genOp(R, Config));
+                                   : genOp(R, Config, Pool));
     const uint64_t T0 = nowUs();
     Response Resp;
     if (!(ToFollower ? ReadC : C).call(Req, Resp)) {
@@ -410,7 +460,7 @@ void runClosedLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
 }
 
 void runOpenLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
-                 ThreadResult &TR) {
+                 const ShardKeyPools *Pools, ThreadResult &TR) {
   Client C;
   if (!C.connect(Config.Host, Config.Port)) {
     ++TR.ProtocolErrors;
@@ -477,8 +527,10 @@ void runOpenLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
       Request Req;
       Req.ReqId = (static_cast<uint64_t>(ThreadIdx + 1) << 40) | Sent;
       Req.Type = MsgType::Batch;
+      const std::vector<int64_t> *Pool =
+          Pools ? &(*Pools)[R.nextBelow(Pools->size())] : nullptr;
       for (unsigned K = 0; K != Config.OpsPerBatch; ++K)
-        Req.Ops.push_back(genOp(R, Config));
+        Req.Ops.push_back(genOp(R, Config, Pool));
       const uint64_t SentAt = nowUs();
       if (!C.send(Req)) {
         OnFailure();
@@ -559,6 +611,10 @@ std::string LoadGenStats::toJson() const {
       {"loadgen_follower_reads", static_cast<double>(FollowerReads)},
       {"loadgen_monotonic_violations",
        static_cast<double>(MonotonicViolations)},
+      {"loadgen_shards", static_cast<double>(Shards)},
+      {"loadgen_ring_vnodes", static_cast<double>(RingVNodes)},
+      {"loadgen_ring_seed", static_cast<double>(RingSeed)},
+      {"loadgen_shard_affinity", ShardAffinity ? 1.0 : 0.0},
   };
   std::string Out = "{\n";
   bool First = true;
@@ -568,6 +624,7 @@ std::string LoadGenStats::toJson() const {
     First = false;
     Out += "  \"" + K + "\": " + jsonNum(V);
   }
+  Out += ",\n  \"loadgen_role\": \"" + Role + "\"";
   Out += "\n}\n";
   return Out;
 }
@@ -576,7 +633,8 @@ std::string LoadGenStats::toCsv() const {
   std::string Out = "sent,ok,busy,error,protocol_errors,ops_committed,"
                     "wall_sec,qps,rtt_mean_us,rtt_p50_us,rtt_p99_us,seed,"
                     "verify_ok,privatized,durable,disconnects,unacked,"
-                    "redirects,follower_reads,monotonic_violations\n";
+                    "redirects,follower_reads,monotonic_violations,role,"
+                    "shards,ring_vnodes,ring_seed,shard_affinity\n";
   Out += std::to_string(Sent) + "," + std::to_string(OkReplies) + "," +
          std::to_string(BusyReplies) + "," + std::to_string(ErrorReplies) +
          "," + std::to_string(ProtocolErrors) + "," +
@@ -589,7 +647,9 @@ std::string LoadGenStats::toCsv() const {
          std::to_string(Disconnects) + "," + std::to_string(Unacked) + "," +
          std::to_string(RedirectReplies) + "," +
          std::to_string(FollowerReads) + "," +
-         std::to_string(MonotonicViolations) + "\n";
+         std::to_string(MonotonicViolations) + "," + Role + "," +
+         std::to_string(Shards) + "," + std::to_string(RingVNodes) + "," +
+         std::to_string(RingSeed) + "," + (ShardAffinity ? "1" : "0") + "\n";
   return Out;
 }
 
@@ -612,6 +672,13 @@ std::string LoadGenStats::toText() const {
   Out += std::string("privatized:       ") + (Privatized ? "on" : "off") +
          "\n";
   Out += std::string("durable:          ") + (Durable ? "on" : "off") + "\n";
+  if (!Role.empty())
+    Out += "role:             " + Role + "\n";
+  if (Shards)
+    Out += "shards:           " + std::to_string(Shards) +
+           " (vnodes=" + std::to_string(RingVNodes) +
+           " seed=" + std::to_string(RingSeed) +
+           (ShardAffinity ? ", shard-affine keys" : "") + ")\n";
   if (Disconnects || Unacked) {
     Out += "disconnects:      " + std::to_string(Disconnects) + "\n";
     Out += "unacked:          " + std::to_string(Unacked) + "\n";
@@ -628,16 +695,79 @@ std::string LoadGenStats::toText() const {
   return Out;
 }
 
+namespace {
+
+/// Fetches one shard's snapshot-state dump through the proxy's SnapState
+/// relay. \p Ok reports transport/status failure apart from empty text.
+std::string fetchSnapState(const std::string &Host, uint16_t Port,
+                           uint32_t Shard, bool &Ok) {
+  Client C;
+  Request Req;
+  Req.ReqId = 5;
+  Req.Type = MsgType::SnapState;
+  Req.Shard = Shard;
+  Response Resp;
+  Ok = C.connect(Host, Port) && C.call(Req, Resp) && Resp.St == Status::Ok;
+  return Ok ? Resp.Text : "";
+}
+
+} // namespace
+
 LoadGenStats svc::runLoadGen(const LoadGenConfig &Config) {
   LoadGenStats Stats;
   Stats.Seed = Config.Seed;
   Stats.Privatized = Config.Privatized;
-  // Echo the server's durable mode so result files are self-describing
-  // (observed via the Stats frame, not configured). Soft: an old or dead
-  // server just reads as durable=off.
-  Stats.Durable =
-      fetchStatsText(Config.Host, Config.Port).find("durable=1") !=
-      std::string::npos;
+  // Echo the server's durable mode, role and sharded topology so result
+  // files are self-describing (observed via the Stats frame, not
+  // configured). Soft: an old or dead server just reads as durable=off
+  // with no role.
+  const std::string StatsText = fetchStatsText(Config.Host, Config.Port);
+  Stats.Durable = StatsText.find("durable=1") != std::string::npos;
+  Stats.Role = statString(StatsText, "role");
+  statValue(StatsText, "shards", Stats.Shards);
+  statValue(StatsText, "ring_vnodes", Stats.RingVNodes);
+  statValue(StatsText, "ring_seed", Stats.RingSeed);
+
+  // Against a proxy, Verify switches to the per-shard oracle set: each
+  // backend's pre-run snapshot seeds one oracle (the backends may carry
+  // recovered state), every reply's annotations replay into the oracle the
+  // recomputed routing plan names, and the final states must match both
+  // per shard and under the proxy's lattice merge.
+  const bool Sharded = Stats.Role == "proxy" && Stats.Shards > 0;
+  std::vector<std::string> PreSnaps;
+  if (Config.Verify && Sharded) {
+    for (uint32_t S = 0; S != Stats.Shards; ++S) {
+      bool Ok = false;
+      PreSnaps.push_back(fetchSnapState(Config.Host, Config.Port, S, Ok));
+      if (!Ok) {
+        ++Stats.ProtocolErrors;
+        Stats.VerifyRan = true;
+        Stats.VerifyDetail =
+            "pre-run snapstate fetch failed for shard " + std::to_string(S);
+        return Stats;
+      }
+    }
+  }
+
+  // Shard-affinity pools: bucket the set keyspace by the ring (rebuilt
+  // from the proxy's published geometry), drop shards that own no keys.
+  ShardKeyPools Pools;
+  if (Config.ShardAffinity && Sharded && Stats.RingVNodes > 0) {
+    const HashRing AffinityRing(static_cast<unsigned>(Stats.Shards),
+                                static_cast<unsigned>(Stats.RingVNodes),
+                                Stats.RingSeed);
+    const ShardRouter AffinityRouter(AffinityRing);
+    ShardKeyPools ByShard(Stats.Shards);
+    for (int64_t K = 0; K < std::max<int64_t>(1, Config.KeySpace); ++K)
+      ByShard[AffinityRouter.shardForOp(
+                  {static_cast<uint8_t>(ObjectId::Set), SetAdd, K, 0})]
+          .push_back(K);
+    for (std::vector<int64_t> &Pool : ByShard)
+      if (!Pool.empty())
+        Pools.push_back(std::move(Pool));
+    Stats.ShardAffinity = !Pools.empty();
+  }
+  const ShardKeyPools *PoolsPtr = Pools.empty() ? nullptr : &Pools;
 
   std::vector<ThreadResult> Results(std::max(1u, Config.Threads));
   std::vector<std::thread> Threads;
@@ -645,9 +775,9 @@ LoadGenStats svc::runLoadGen(const LoadGenConfig &Config) {
   for (unsigned T = 0; T != std::max(1u, Config.Threads); ++T)
     Threads.emplace_back([&, T] {
       if (Config.TargetQps > 0)
-        runOpenLoop(Config, T, Results[T]);
+        runOpenLoop(Config, T, PoolsPtr, Results[T]);
       else
-        runClosedLoop(Config, T, Results[T]);
+        runClosedLoop(Config, T, PoolsPtr, Results[T]);
     });
   for (std::thread &T : Threads)
     T.join();
@@ -703,6 +833,171 @@ LoadGenStats svc::runLoadGen(const LoadGenConfig &Config) {
 
   if (!Config.Verify)
     return Stats;
+
+  if (Sharded) {
+    Stats.VerifyRan = true;
+    Stats.VerifyOk = true;
+    auto Fail = [&Stats](const std::string &Why) {
+      Stats.VerifyOk = false;
+      if (Stats.VerifyDetail.empty())
+        Stats.VerifyDetail = Why;
+    };
+
+    // Rebuild the proxy's router from its published ring geometry and
+    // re-derive every batch's plan: the reply annotations must agree with
+    // it sub for sub — an end-to-end witness that the proxy routed every
+    // op where the spec classification says it belongs.
+    const HashRing Ring(static_cast<unsigned>(Stats.Shards),
+                        static_cast<unsigned>(Stats.RingVNodes),
+                        Stats.RingSeed);
+    const ShardRouter Router(Ring);
+    struct SubRec {
+      uint64_t Seq = 0;
+      std::vector<Op> Ops;
+      std::vector<int64_t> Results;
+      bool Partial = false;
+    };
+    std::vector<std::vector<SubRec>> PerShard(Stats.Shards);
+    for (const CommittedBatch &B : Committed) {
+      const RoutePlan Plan = Router.plan(B.Ops);
+      auto Slice = [&B](const RoutePlan::Sub &Sub, bool WithResults) {
+        SubRec R;
+        for (const uint32_t I : Sub.OpIdx) {
+          R.Ops.push_back(B.Ops[I]);
+          if (WithResults)
+            R.Results.push_back(B.Results[I]);
+        }
+        return R;
+      };
+      if (!B.Partial) {
+        if (B.Shards.size() != Plan.Subs.size()) {
+          Fail("reply carries " + std::to_string(B.Shards.size()) +
+               " shard annotations, recomputed plan has " +
+               std::to_string(Plan.Subs.size()));
+          return Stats;
+        }
+        for (size_t I = 0; I != Plan.Subs.size(); ++I) {
+          const RoutePlan::Sub &Sub = Plan.Subs[I];
+          const ShardCommit &Ann = B.Shards[I];
+          if (Ann.Shard != Sub.Shard || Ann.NumOps != Sub.OpIdx.size() ||
+              Ann.Shard >= Stats.Shards) {
+            Fail("annotation " + std::to_string(I) + " names shard " +
+                 std::to_string(Ann.Shard) + "/" +
+                 std::to_string(Ann.NumOps) + " ops, plan says " +
+                 std::to_string(Sub.Shard) + "/" +
+                 std::to_string(Sub.OpIdx.size()));
+            return Stats;
+          }
+          SubRec R = Slice(Sub, /*WithResults=*/true);
+          R.Seq = Ann.CommitSeq;
+          PerShard[Ann.Shard].push_back(std::move(R));
+        }
+      } else {
+        // Partial commit: the annotations name a subset of the plan's
+        // sub-batches (matched by shard — a plan holds at most one sub per
+        // shard). Those ops executed; their results were never reported,
+        // so they replay without comparison.
+        for (const ShardCommit &Ann : B.Shards) {
+          const RoutePlan::Sub *Match = nullptr;
+          for (const RoutePlan::Sub &Sub : Plan.Subs)
+            if (Sub.Shard == Ann.Shard) {
+              Match = &Sub;
+              break;
+            }
+          if (!Match || Ann.NumOps != Match->OpIdx.size() ||
+              Ann.Shard >= Stats.Shards) {
+            Fail("partial-commit annotation names shard " +
+                 std::to_string(Ann.Shard) +
+                 " with no matching sub in the recomputed plan");
+            return Stats;
+          }
+          SubRec R = Slice(*Match, /*WithResults=*/false);
+          R.Seq = Ann.CommitSeq;
+          R.Partial = true;
+          PerShard[Ann.Shard].push_back(std::move(R));
+        }
+      }
+    }
+
+    // Per-shard serial replay, then the lattice-merge check: the proxy's
+    // merged State dump must equal the merge of the oracles' finals.
+    std::vector<std::string> OracleTexts;
+    for (uint32_t S = 0; S != Stats.Shards; ++S) {
+      OracleReplayTarget Oracle(Config.UfElements);
+      std::string Err;
+      if (!PreSnaps[S].empty() && !Oracle.loadSnapshot(PreSnaps[S], &Err)) {
+        Fail("shard " + std::to_string(S) + " pre-run snapshot: " + Err);
+        return Stats;
+      }
+      std::sort(PerShard[S].begin(), PerShard[S].end(),
+                [](const SubRec &A, const SubRec &B) { return A.Seq < B.Seq; });
+      ReplayEngine Engine(Oracle, SeqPolicy::Ordered);
+      for (const SubRec &R : PerShard[S]) {
+        if (R.Partial) {
+          if (R.Seq <= Engine.appliedSeq()) {
+            Fail("shard " + std::to_string(S) +
+                 " duplicate commit sequence " + std::to_string(R.Seq));
+            return Stats;
+          }
+          std::vector<int64_t> Scratch;
+          if (!Oracle.applyBatch(R.Ops, Scratch, &Err)) {
+            Fail("shard " + std::to_string(S) + " partial replay at seq " +
+                 std::to_string(R.Seq) + ": " + Err);
+            return Stats;
+          }
+          Engine.seedApplied(R.Seq);
+          continue;
+        }
+        WalRecord Rec;
+        Rec.Seq = R.Seq;
+        Rec.Ops = R.Ops;
+        Rec.Results = R.Results;
+        ReplayEngine::Outcome Outcome;
+        if (!Engine.apply(Rec, Outcome, &Err)) {
+          Fail("shard " + std::to_string(S) + ": " + Err);
+          return Stats;
+        }
+      }
+      // The shard's final abstract state, read back through the snapshot
+      // relay and reduced via a scratch replica, must equal the oracle's.
+      bool Ok = false;
+      const std::string FinalSnap =
+          fetchSnapState(Config.Host, Config.Port, S, Ok);
+      OracleReplica View(Config.UfElements);
+      if (!Ok || !View.loadSnapshot(FinalSnap)) {
+        ++Stats.ProtocolErrors;
+        Fail("final snapstate fetch failed for shard " + std::to_string(S));
+        return Stats;
+      }
+      if (View.stateText() != Oracle.stateText()) {
+        Fail("shard " + std::to_string(S) + " final state mismatch: shard {" +
+             View.stateText() + "} oracle {" + Oracle.stateText() + "}");
+        return Stats;
+      }
+      OracleTexts.push_back(Oracle.stateText());
+    }
+
+    Client C;
+    Request Req;
+    Req.ReqId = 1;
+    Req.Type = MsgType::State;
+    Response Resp;
+    if (!C.connect(Config.Host, Config.Port) || !C.call(Req, Resp) ||
+        Resp.St != Status::Ok) {
+      ++Stats.ProtocolErrors;
+      Fail("merged state fetch failed");
+      return Stats;
+    }
+    std::string Expect, MergeErr;
+    if (!mergeStateTexts(OracleTexts, Expect, &MergeErr)) {
+      Fail("oracle-side merge failed: " + MergeErr);
+      return Stats;
+    }
+    if (Resp.Text != Expect)
+      Fail("merged state mismatch: proxy {" + Resp.Text + "} oracle merge {" +
+           Expect + "}");
+    return Stats;
+  }
 
   // Serial replay oracle: committed batches in commit-sequence order must
   // reproduce every reply and the server's final state (Submitter.h's
@@ -794,20 +1089,6 @@ bool svc::waitReady(const std::string &Host, uint16_t Port,
 //===----------------------------------------------------------------------===//
 
 namespace {
-
-/// Finds `Key=value` in a Stats payload; false when absent.
-bool statValue(const std::string &Text, const std::string &Key,
-               uint64_t &V) {
-  std::istringstream In(Text);
-  std::string Line;
-  while (std::getline(In, Line))
-    if (Line.size() > Key.size() + 1 &&
-        Line.compare(0, Key.size(), Key) == 0 && Line[Key.size()] == '=') {
-      V = std::strtoull(Line.c_str() + Key.size() + 1, nullptr, 10);
-      return true;
-    }
-  return false;
-}
 
 /// One acknowledged batch as read back from a loadgen acked log.
 struct AckedBatch {

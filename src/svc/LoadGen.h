@@ -116,6 +116,14 @@ struct LoadGenConfig {
   unsigned UfWeight = 2;
   /// Replay committed batches against an OracleReplica afterwards.
   bool Verify = false;
+  /// Against a proxy: draw each batch's set keys from one shard's key
+  /// pool (picked per batch), modeling key-partitioned clients — such
+  /// batches stay single-shard and ride the proxy's zero-copy fast path.
+  /// The pools derive from the proxy's published ring geometry, so any
+  /// mix containing only set ops (and Anywhere ops like accumulator
+  /// increment) plans to exactly one shard. Ignored against an unsharded
+  /// server.
+  bool ShardAffinity = false;
   /// Whether the driven server runs its accumulator on the privatized
   /// path (comlat-serve --privatize); recorded in the run's outputs so
   /// result files are self-describing.
@@ -163,6 +171,18 @@ struct LoadGenStats {
   /// durably (WAL + ACK-after-fsync). Self-describing result files, like
   /// Privatized — but observed, not configured.
   bool Durable = false;
+  /// The server's role as its Stats frame declares it (leader, follower
+  /// or proxy; empty when the frame carries no role line).
+  std::string Role;
+  /// Sharded topology, echoed from a proxy's Stats frame (zero against a
+  /// plain server): shard count and the ring geometry — everything needed
+  /// to rebuild the proxy's router client-side.
+  uint64_t Shards = 0;
+  uint64_t RingVNodes = 0;
+  uint64_t RingSeed = 0;
+  /// Whether the run actually drew keys shard-locally (ShardAffinity
+  /// requested and the target was a proxy).
+  bool ShardAffinity = false;
   /// Threads that lost the server mid-run (TolerateDisconnect only).
   uint64_t Disconnects = 0;
   /// Batches sent but never acknowledged before a tolerated disconnect;

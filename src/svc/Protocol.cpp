@@ -88,6 +88,9 @@ void svc::encodeRequest(const Request &R, std::string &Out) {
   putU64(P, R.ReqId);
   P.push_back(static_cast<char>(R.Type));
   switch (R.Type) {
+  case MsgType::SubBatch:
+    putU32(P, R.Shard);
+    [[fallthrough]];
   case MsgType::Batch:
     putU32(P, static_cast<uint32_t>(R.Ops.size()));
     for (const Op &O : R.Ops) {
@@ -96,6 +99,9 @@ void svc::encodeRequest(const Request &R, std::string &Out) {
       putI64(P, O.A);
       putI64(P, O.B);
     }
+    break;
+  case MsgType::SnapState:
+    putU32(P, R.Shard);
     break;
   case MsgType::Subscribe:
     putU64(P, R.Seq);
@@ -128,6 +134,14 @@ void svc::encodeResponse(const Response &R, std::string &Out) {
     putI64(P, V);
   putU32(P, static_cast<uint32_t>(R.Text.size()));
   P += R.Text;
+  if (!R.Shards.empty()) {
+    putU32(P, static_cast<uint32_t>(R.Shards.size()));
+    for (const ShardCommit &S : R.Shards) {
+      putU32(P, S.Shard);
+      putU64(P, S.CommitSeq);
+      putU32(P, S.NumOps);
+    }
+  }
   frameOut(Out, P);
 }
 
@@ -156,8 +170,18 @@ bool svc::decodeRequest(std::string_view Payload, Request &Out,
     return false;
   }
   switch (Type) {
+  case static_cast<uint8_t>(MsgType::SubBatch):
   case static_cast<uint8_t>(MsgType::Batch): {
-    Out.Type = MsgType::Batch;
+    const bool Sub = Type == static_cast<uint8_t>(MsgType::SubBatch);
+    Out.Type = Sub ? MsgType::SubBatch : MsgType::Batch;
+    if (Sub && !R.u32(Out.Shard)) {
+      Err = "truncated sub-batch header";
+      return false;
+    }
+    if (Sub && Out.Shard >= MaxShards) {
+      Err = "sub-batch shard out of range";
+      return false;
+    }
     uint32_t NumOps = 0;
     if (!R.u32(NumOps)) {
       Err = "truncated batch header";
@@ -190,6 +214,17 @@ bool svc::decodeRequest(std::string_view Payload, Request &Out,
     break;
   case static_cast<uint8_t>(MsgType::Stats):
     Out.Type = MsgType::Stats;
+    break;
+  case static_cast<uint8_t>(MsgType::SnapState):
+    Out.Type = MsgType::SnapState;
+    if (!R.u32(Out.Shard)) {
+      Err = "truncated snapstate body";
+      return false;
+    }
+    if (Out.Shard >= MaxShards && Out.Shard != ShardSelf) {
+      Err = "snapstate shard out of range";
+      return false;
+    }
     break;
   case static_cast<uint8_t>(MsgType::Subscribe):
     Out.Type = MsgType::Subscribe;
@@ -264,6 +299,23 @@ bool svc::decodeResponse(std::string_view Payload, Response &Out) {
   if (!R.bytes(TextLen, Text))
     return false;
   Out.Text.assign(Text);
+  Out.Shards.clear();
+  if (R.atEnd())
+    return true;
+  // Shard-annotation trailer: present iff any bytes remain, and then it
+  // must parse completely and exhaust the payload.
+  uint32_t NumShards = 0;
+  if (!R.u32(NumShards) || NumShards == 0 || NumShards > MaxShards)
+    return false;
+  Out.Shards.reserve(NumShards);
+  for (uint32_t I = 0; I != NumShards; ++I) {
+    ShardCommit S;
+    if (!R.u32(S.Shard) || !R.u64(S.CommitSeq) || !R.u32(S.NumOps))
+      return false;
+    if (S.Shard >= MaxShards || S.NumOps > MaxBatchOps)
+      return false;
+    Out.Shards.push_back(S);
+  }
   return R.atEnd();
 }
 

@@ -37,8 +37,27 @@
 ///     SnapshotXfer(8) body: u64 snap_seq | u8 last | u32 nbytes | bytes —
 ///                one chunk of the bootstrap snapshot's state text, pushed
 ///                before the tail; last=1 marks the final chunk.
+///     SubBatch(9)     body: u32 shard | u32 num_ops | num_ops * op — a
+///                proxy-to-backend batch envelope: identical transaction
+///                semantics to Batch, but stamped with the ring slot the
+///                router computed. A backend started with --shard-id
+///                refuses a mismatched envelope (catches mis-wired rings)
+///                and echoes its shard in the reply's shard annotations.
+///     SnapState(10)   body: u32 shard — full snapshot-format state dump
+///                (renderSnapshotText framing, UF ranks included) in the
+///                reply text. shard = ShardSelf asks a backend for its own
+///                state; a concrete shard asks the proxy to relay to that
+///                backend. Meaningful only when writes are quiesced.
 ///   response := u64 req_id | u8 status | u64 commit_seq |
 ///               u32 num_results | num_results * i64 | u32 text_len | text
+///               [ u32 num_shards | num_shards * (u32 shard |
+///                 u64 commit_seq | u32 num_ops) ]
+///
+/// The bracketed shard-annotation trailer is optional: absent on replies
+/// from unsharded paths (decoding stays backward compatible), present on
+/// SubBatch replies (one entry) and on proxy Batch replies (one entry per
+/// sub-batch, ascending shard order, each carrying that backend's own
+/// commit_seq and the number of ops routed there).
 ///
 /// A Batch frame is one transaction: all its operations commit atomically
 /// through the executor/gatekeeper path, its reply carries one i64 result
@@ -71,6 +90,10 @@ namespace svc {
 /// Hard frame bounds; frames beyond these are malformed by definition.
 inline constexpr size_t MaxFramePayload = 1u << 20;
 inline constexpr uint32_t MaxBatchOps = 4096;
+inline constexpr uint32_t MaxShards = 256;
+
+/// SnapState shard selector meaning "the server you are talking to".
+inline constexpr uint32_t ShardSelf = 0xFFFFFFFFu;
 
 /// Request frame types.
 enum class MsgType : uint8_t {
@@ -82,6 +105,8 @@ enum class MsgType : uint8_t {
   Subscribe = 6,
   WalChunk = 7,
   SnapshotXfer = 8,
+  SubBatch = 9,
+  SnapState = 10,
 };
 
 /// Reply status.
@@ -108,7 +133,10 @@ struct Op {
 struct Request {
   uint64_t ReqId = 0;
   MsgType Type = MsgType::Ping;
-  std::vector<Op> Ops; // Batch only
+  std::vector<Op> Ops; // Batch / SubBatch
+  /// SubBatch: the ring slot the router computed for these ops.
+  /// SnapState: which shard's state to dump (ShardSelf = this server's).
+  uint32_t Shard = 0;
   /// Subscribe: the subscriber's applied watermark (ship records > Seq).
   /// WalChunk: the shipper's durable watermark at send time.
   /// SnapshotXfer: the snapshot's commit-sequence watermark.
@@ -122,6 +150,14 @@ struct Request {
   std::string Blob;
 };
 
+/// One entry of a reply's shard-annotation trailer: \p NumOps ops of the
+/// request committed on \p Shard as that backend's transaction \p CommitSeq.
+struct ShardCommit {
+  uint32_t Shard = 0;
+  uint64_t CommitSeq = 0;
+  uint32_t NumOps = 0;
+};
+
 /// A decoded response frame.
 struct Response {
   uint64_t ReqId = 0;
@@ -129,6 +165,10 @@ struct Response {
   uint64_t CommitSeq = 0;
   std::vector<int64_t> Results; // one per batch op
   std::string Text;             // metrics/state payload or error detail
+  /// Optional shard-annotation trailer (empty on unsharded replies). On a
+  /// partially-committed split batch (Status Error) the entries name the
+  /// sub-batches that did commit even though Results is empty.
+  std::vector<ShardCommit> Shards;
 };
 
 /// Appends the frame encoding of \p R to \p Out.

@@ -1,0 +1,1250 @@
+//===- svc/Proxy.cpp - The comlat-shard routing front end ------------------===//
+
+#include "svc/Proxy.h"
+
+#include "svc/LoadGen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <unordered_map>
+
+using namespace comlat;
+using namespace comlat::svc;
+
+namespace {
+
+uint64_t nowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void putU32(std::string &Out, uint32_t V) {
+  for (unsigned I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (unsigned I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+/// Parses a Redirect reply's `leader=host:port` text.
+bool parseLeader(const std::string &Text, std::string &Host, uint16_t &Port) {
+  if (Text.rfind("leader=", 0) != 0)
+    return false;
+  const std::string Spec = Text.substr(7);
+  const size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos || Colon == 0)
+    return false;
+  const unsigned long P = std::strtoul(Spec.c_str() + Colon + 1, nullptr, 10);
+  if (P == 0 || P > 65535)
+    return false;
+  Host = Spec.substr(0, Colon);
+  Port = static_cast<uint16_t>(P);
+  return true;
+}
+
+} // namespace
+
+namespace comlat {
+namespace svc {
+
+/// One client connection; owned by its I/O thread.
+struct ProxyConn {
+  int Fd = -1;
+  std::string ReadBuf;
+  size_t ReadPos = 0;
+  std::string WriteBuf;
+  size_t WritePos = 0;
+  bool WriteArmed = false;
+  bool WantClose = false;
+  std::atomic<bool> Closed{false};
+
+  size_t buffered() const { return WriteBuf.size() - WritePos; }
+};
+
+/// One proxy event loop: a subset of the client connections plus this
+/// thread's own connection to every backend shard (threads never share
+/// backend sockets, so no cross-thread reply demultiplexing exists).
+class ProxyIo {
+public:
+  ProxyIo(Proxy &P, unsigned Index) : P(P), Index(Index) {
+    EpollFd = ::epoll_create1(EPOLL_CLOEXEC);
+    WakeFd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    struct epoll_event Ev {};
+    Ev.events = EPOLLIN;
+    Ev.data.u64 = TagWake;
+    ::epoll_ctl(EpollFd, EPOLL_CTL_ADD, WakeFd, &Ev);
+    Backends.resize(P.Config.Backends.size());
+    for (size_t S = 0; S != Backends.size(); ++S) {
+      Backends[S].Host = P.Config.Backends[S].Host;
+      Backends[S].Port = P.Config.Backends[S].Port;
+    }
+  }
+
+  ~ProxyIo() {
+    if (EpollFd >= 0)
+      ::close(EpollFd);
+    if (WakeFd >= 0)
+      ::close(WakeFd);
+  }
+
+  void wake() {
+    const uint64_t One = 1;
+    [[maybe_unused]] ssize_t N = ::write(WakeFd, &One, sizeof(One));
+  }
+
+  void adoptConnection(int Fd) {
+    {
+      std::lock_guard<std::mutex> Guard(HandoffMu);
+      NewFds.push_back(Fd);
+    }
+    wake();
+  }
+
+  void registerListener(int ListenFd) {
+    struct epoll_event Ev {};
+    Ev.events = EPOLLIN;
+    Ev.data.u64 = TagListener;
+    ::epoll_ctl(EpollFd, EPOLL_CTL_ADD, ListenFd, &Ev);
+  }
+
+  void run();
+
+private:
+  static constexpr uint64_t TagWake = 0;
+  static constexpr uint64_t TagListener = 1;
+  static constexpr uint64_t TagBackendBase = 2;
+
+  /// Which sub-batch a backend req id resolves to.
+  struct SubRef {
+    uint64_t BatchId = 0;
+    unsigned SubIdx = 0;
+  };
+
+  struct SubState {
+    enum class St : uint8_t { Pending, Ok, Failed } State = St::Pending;
+    uint64_t CommitSeq = 0;
+    std::vector<int64_t> Results;
+    unsigned BusyTries = 0;
+    unsigned RedirectTries = 0;
+    /// Failed only: the failure was Busy exhaustion (still retryable by
+    /// the client when nothing committed).
+    bool BusyFail = false;
+    std::string ErrText;
+  };
+
+  /// One in-flight client batch and its fan-out bookkeeping.
+  struct Batch {
+    std::shared_ptr<ProxyConn> Conn;
+    uint64_t ClientReqId = 0;
+    std::vector<Op> Ops;
+    RoutePlan Plan;
+    std::vector<SubState> Subs; // parallel to Plan.Subs
+    unsigned Outstanding = 0;
+  };
+
+  /// This thread's link to one backend shard.
+  struct BConn {
+    std::string Host;
+    uint16_t Port = 0;
+    int Fd = -1;
+    enum class St : uint8_t { Down, Connecting, Ready } State = St::Down;
+    std::string ReadBuf;
+    size_t ReadPos = 0;
+    std::string WriteBuf;
+    size_t WritePos = 0;
+    bool WriteArmed = false;
+    bool EverConnected = false;
+    std::unordered_map<uint64_t, SubRef> Pending;
+    uint64_t RetryAtMs = 0; // earliest next dial
+
+    size_t buffered() const { return WriteBuf.size() - WritePos; }
+  };
+
+  struct Retry {
+    uint64_t DueMs = 0;
+    uint64_t BatchId = 0;
+    unsigned SubIdx = 0;
+  };
+
+  void acceptNew();
+  void addConnection(int Fd);
+  void updateInterest(ProxyConn *C);
+  void closeConnection(ProxyConn *C);
+  void handleRead(ProxyConn *C);
+  void parseFrames(ProxyConn *C);
+  void handleFrame(ProxyConn *C, std::string_view Payload);
+  void handleBatch(ProxyConn *C, Request &Req, std::string_view Payload);
+  void scatterState(ProxyConn *C, uint64_t ReqId);
+  void scatterMetrics(ProxyConn *C, uint64_t ReqId);
+  void relaySnapState(ProxyConn *C, uint64_t ReqId, uint32_t Shard);
+  void queueReply(ProxyConn *C, const Response &R);
+  void appendAndFlush(ProxyConn *C, const std::string &Bytes);
+  void flushWrites(ProxyConn *C);
+
+  bool dialBackend(unsigned Shard);
+  void backendReady(unsigned Shard);
+  void backendDown(unsigned Shard, const std::string &Why);
+  void flushBackend(unsigned Shard);
+  void armBackend(unsigned Shard);
+  void handleBackendEvent(unsigned Shard, uint32_t Events);
+  void handleBackendRead(unsigned Shard);
+  void onBackendReply(unsigned Shard, const Response &R);
+  void sendSub(uint64_t BatchId, unsigned SubIdx,
+               std::string_view SplicedOps = {});
+  void failSub(uint64_t BatchId, unsigned SubIdx, const std::string &Why,
+               bool BusyFail);
+  void finishBatch(uint64_t BatchId);
+  void processRetries();
+  void drainHandoff();
+  bool drainComplete();
+
+  Proxy &P;
+  unsigned Index;
+  int EpollFd = -1;
+  int WakeFd = -1;
+  std::mutex HandoffMu;
+  std::vector<int> NewFds; // guarded by HandoffMu
+  std::unordered_map<int, std::shared_ptr<ProxyConn>> Conns;
+  std::vector<std::shared_ptr<ProxyConn>> Dead;
+  std::vector<BConn> Backends; // indexed by shard
+  std::unordered_map<uint64_t, Batch> Inflight;
+  std::deque<Retry> Retries; // FIFO: the delay is constant, so it is sorted
+  uint64_t NextBatchId = 1;
+  uint64_t NextSubReqId = 1;
+  bool ListenerClosed = false;
+  uint64_t DrainDeadlineMs = 0;
+  static std::atomic<unsigned> NextAccept;
+
+  friend class Proxy;
+};
+
+std::atomic<unsigned> ProxyIo::NextAccept{0};
+
+} // namespace svc
+} // namespace comlat
+
+//===----------------------------------------------------------------------===//
+// Client-side plumbing (mirrors Server.cpp's IoThread)
+//===----------------------------------------------------------------------===//
+
+void ProxyIo::addConnection(int Fd) {
+  auto C = std::make_shared<ProxyConn>();
+  C->Fd = Fd;
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  struct epoll_event Ev {};
+  Ev.events = EPOLLIN;
+  Ev.data.ptr = C.get();
+  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev) != 0) {
+    ::close(Fd);
+    return;
+  }
+  Conns.emplace(Fd, std::move(C));
+}
+
+void ProxyIo::updateInterest(ProxyConn *C) {
+  struct epoll_event Ev {};
+  Ev.events = (P.stopRequested() ? 0u : unsigned(EPOLLIN)) |
+              (C->WriteArmed ? unsigned(EPOLLOUT) : 0u);
+  Ev.data.ptr = C;
+  ::epoll_ctl(EpollFd, EPOLL_CTL_MOD, C->Fd, &Ev);
+}
+
+void ProxyIo::closeConnection(ProxyConn *C) {
+  if (C->Closed.exchange(true))
+    return;
+  ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, C->Fd, nullptr);
+  ::close(C->Fd);
+  auto It = Conns.find(C->Fd);
+  if (It != Conns.end()) {
+    Dead.push_back(std::move(It->second));
+    Conns.erase(It);
+  }
+}
+
+void ProxyIo::acceptNew() {
+  for (;;) {
+    const int Fd = ::accept4(P.ListenFd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (Fd < 0)
+      return;
+    const unsigned Target =
+        NextAccept.fetch_add(1, std::memory_order_relaxed) % P.Io.size();
+    if (Target == Index)
+      addConnection(Fd);
+    else
+      P.Io[Target]->adoptConnection(Fd);
+  }
+}
+
+void ProxyIo::handleRead(ProxyConn *C) {
+  char Buf[16 * 1024];
+  for (;;) {
+    const ssize_t N = ::recv(C->Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      C->ReadBuf.append(Buf, static_cast<size_t>(N));
+      parseFrames(C);
+      if (C->Closed.load(std::memory_order_relaxed) || C->WantClose)
+        return;
+      continue;
+    }
+    if (N == 0) {
+      if (C->buffered() == 0)
+        closeConnection(C);
+      else
+        C->WantClose = true;
+      return;
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return;
+    closeConnection(C);
+    return;
+  }
+}
+
+void ProxyIo::parseFrames(ProxyConn *C) {
+  while (!P.stopRequested() && !C->WantClose) {
+    std::string_view Rest(C->ReadBuf);
+    Rest.remove_prefix(C->ReadPos);
+    std::string_view Payload;
+    size_t Consumed = 0;
+    const FrameResult FR = peelFrame(Rest, Payload, Consumed);
+    if (FR == FrameResult::NeedMore)
+      break;
+    if (FR == FrameResult::Malformed) {
+      C->WantClose = true;
+      Response R;
+      R.St = Status::Error;
+      R.Text = "oversized frame";
+      queueReply(C, R);
+      break;
+    }
+    C->ReadPos += Consumed;
+    handleFrame(C, Payload);
+    if (C->Closed.load(std::memory_order_relaxed))
+      return;
+  }
+  if (C->ReadPos > 4096 && C->ReadPos * 2 >= C->ReadBuf.size()) {
+    C->ReadBuf.erase(0, C->ReadPos);
+    C->ReadPos = 0;
+  }
+}
+
+void ProxyIo::queueReply(ProxyConn *C, const Response &R) {
+  std::string Bytes;
+  encodeResponse(R, Bytes);
+  appendAndFlush(C, Bytes);
+}
+
+void ProxyIo::appendAndFlush(ProxyConn *C, const std::string &Bytes) {
+  C->WriteBuf += Bytes;
+  flushWrites(C);
+  if (C->Closed.load(std::memory_order_relaxed))
+    return;
+  // A client that stops reading while replies pile up past the cap is
+  // dropped: the proxy holds per-batch state per reply owed, so unbounded
+  // buffering would be unbounded memory.
+  if (C->buffered() > P.Config.MaxWriteBuffered)
+    closeConnection(C);
+}
+
+void ProxyIo::flushWrites(ProxyConn *C) {
+  while (C->WritePos < C->WriteBuf.size()) {
+    const ssize_t N = ::send(C->Fd, C->WriteBuf.data() + C->WritePos,
+                             C->WriteBuf.size() - C->WritePos, MSG_NOSIGNAL);
+    if (N > 0) {
+      C->WritePos += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!C->WriteArmed) {
+        C->WriteArmed = true;
+        updateInterest(C);
+      }
+      return;
+    }
+    closeConnection(C);
+    return;
+  }
+  C->WriteBuf.clear();
+  C->WritePos = 0;
+  if (C->WriteArmed) {
+    C->WriteArmed = false;
+    updateInterest(C);
+  }
+  if (C->WantClose)
+    closeConnection(C);
+}
+
+//===----------------------------------------------------------------------===//
+// Backend links
+//===----------------------------------------------------------------------===//
+
+bool ProxyIo::dialBackend(unsigned Shard) {
+  BConn &B = Backends[Shard];
+  if (B.State != BConn::St::Down)
+    return true;
+  const uint64_t Now = nowMs();
+  if (Now < B.RetryAtMs)
+    return false;
+  const int Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+  if (Fd < 0) {
+    B.RetryAtMs = Now + P.Config.ReconnectDelayMs;
+    return false;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  struct sockaddr_in Addr {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(B.Port);
+  if (::inet_pton(AF_INET, B.Host.c_str(), &Addr.sin_addr) != 1) {
+    ::close(Fd);
+    B.RetryAtMs = Now + P.Config.ReconnectDelayMs;
+    return false;
+  }
+  const int Rc =
+      ::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr), sizeof(Addr));
+  if (Rc != 0 && errno != EINPROGRESS) {
+    ::close(Fd);
+    B.RetryAtMs = Now + P.Config.ReconnectDelayMs;
+    return false;
+  }
+  B.Fd = Fd;
+  B.State = Rc == 0 ? BConn::St::Ready : BConn::St::Connecting;
+  struct epoll_event Ev {};
+  Ev.events = EPOLLIN | (B.State == BConn::St::Ready && B.buffered() == 0
+                             ? 0u
+                             : unsigned(EPOLLOUT));
+  Ev.data.u64 = TagBackendBase + Shard;
+  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev) != 0) {
+    ::close(Fd);
+    B.Fd = -1;
+    B.State = BConn::St::Down;
+    B.RetryAtMs = Now + P.Config.ReconnectDelayMs;
+    return false;
+  }
+  if (B.EverConnected)
+    P.Reconnects.fetch_add(1, std::memory_order_relaxed);
+  B.EverConnected = true;
+  return true;
+}
+
+void ProxyIo::backendReady(unsigned Shard) {
+  BConn &B = Backends[Shard];
+  B.State = BConn::St::Ready;
+  flushBackend(Shard);
+}
+
+void ProxyIo::backendDown(unsigned Shard, const std::string &Why) {
+  BConn &B = Backends[Shard];
+  if (B.Fd >= 0) {
+    ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, B.Fd, nullptr);
+    ::close(B.Fd);
+    B.Fd = -1;
+  }
+  B.State = BConn::St::Down;
+  B.RetryAtMs = nowMs() + P.Config.ReconnectDelayMs;
+  B.ReadBuf.clear();
+  B.ReadPos = 0;
+  B.WriteBuf.clear();
+  B.WritePos = 0;
+  B.WriteArmed = false;
+  if (!B.Pending.empty())
+    P.ShardErrors.fetch_add(1, std::memory_order_relaxed);
+  // Fail everything this link owed. Committed siblings of these subs are
+  // preserved by finishBatch as partial-commit annotations.
+  std::unordered_map<uint64_t, SubRef> Owed;
+  Owed.swap(B.Pending);
+  for (const auto &[ReqId, Ref] : Owed)
+    failSub(Ref.BatchId, Ref.SubIdx,
+            "shard " + std::to_string(Shard) + " unavailable (" + Why + ")",
+            /*BusyFail=*/false);
+}
+
+void ProxyIo::armBackend(unsigned Shard) {
+  BConn &B = Backends[Shard];
+  struct epoll_event Ev {};
+  Ev.events = EPOLLIN | (B.WriteArmed || B.State == BConn::St::Connecting
+                             ? unsigned(EPOLLOUT)
+                             : 0u);
+  Ev.data.u64 = TagBackendBase + Shard;
+  ::epoll_ctl(EpollFd, EPOLL_CTL_MOD, B.Fd, &Ev);
+}
+
+void ProxyIo::flushBackend(unsigned Shard) {
+  BConn &B = Backends[Shard];
+  if (B.State != BConn::St::Ready)
+    return;
+  while (B.WritePos < B.WriteBuf.size()) {
+    const ssize_t N = ::send(B.Fd, B.WriteBuf.data() + B.WritePos,
+                             B.WriteBuf.size() - B.WritePos, MSG_NOSIGNAL);
+    if (N > 0) {
+      B.WritePos += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!B.WriteArmed) {
+        B.WriteArmed = true;
+        armBackend(Shard);
+      }
+      return;
+    }
+    backendDown(Shard, "send failed");
+    return;
+  }
+  B.WriteBuf.clear();
+  B.WritePos = 0;
+  if (B.WriteArmed) {
+    B.WriteArmed = false;
+    armBackend(Shard);
+  }
+}
+
+void ProxyIo::handleBackendEvent(unsigned Shard, uint32_t Events) {
+  BConn &B = Backends[Shard];
+  if (B.State == BConn::St::Down)
+    return; // stale event from a link closed earlier in this batch
+  if (B.State == BConn::St::Connecting && (Events & (EPOLLOUT | EPOLLERR))) {
+    int SoErr = 0;
+    socklen_t Len = sizeof(SoErr);
+    ::getsockopt(B.Fd, SOL_SOCKET, SO_ERROR, &SoErr, &Len);
+    if (SoErr != 0) {
+      backendDown(Shard, std::strerror(SoErr));
+      return;
+    }
+    backendReady(Shard);
+    if (B.State == BConn::St::Down)
+      return;
+  }
+  if (Events & (EPOLLHUP | EPOLLERR)) {
+    backendDown(Shard, "connection lost");
+    return;
+  }
+  if (Events & EPOLLOUT)
+    flushBackend(Shard);
+  if (B.State != BConn::St::Down && (Events & EPOLLIN))
+    handleBackendRead(Shard);
+}
+
+void ProxyIo::handleBackendRead(unsigned Shard) {
+  BConn &B = Backends[Shard];
+  char Buf[16 * 1024];
+  for (;;) {
+    const ssize_t N = ::recv(B.Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      B.ReadBuf.append(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N == 0) {
+      backendDown(Shard, "closed by backend");
+      return;
+    }
+    if (errno == EINTR)
+      continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    backendDown(Shard, "recv failed");
+    return;
+  }
+  for (;;) {
+    std::string_view Rest(B.ReadBuf);
+    Rest.remove_prefix(B.ReadPos);
+    std::string_view Payload;
+    size_t Consumed = 0;
+    const FrameResult FR = peelFrame(Rest, Payload, Consumed);
+    if (FR == FrameResult::NeedMore)
+      break;
+    if (FR == FrameResult::Malformed) {
+      backendDown(Shard, "malformed reply frame");
+      return;
+    }
+    B.ReadPos += Consumed;
+    Response R;
+    if (!decodeResponse(Payload, R)) {
+      backendDown(Shard, "undecodable reply");
+      return;
+    }
+    onBackendReply(Shard, R);
+    if (B.State == BConn::St::Down)
+      return; // the reply handler tore the link down
+  }
+  if (B.ReadPos > 4096 && B.ReadPos * 2 >= B.ReadBuf.size()) {
+    B.ReadBuf.erase(0, B.ReadPos);
+    B.ReadPos = 0;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Sub-batch lifecycle
+//===----------------------------------------------------------------------===//
+
+void ProxyIo::sendSub(uint64_t BatchId, unsigned SubIdx,
+                      std::string_view SplicedOps) {
+  auto It = Inflight.find(BatchId);
+  if (It == Inflight.end())
+    return;
+  Batch &Ba = It->second;
+  const RoutePlan::Sub &Sub = Ba.Plan.Subs[SubIdx];
+  const unsigned Shard = Sub.Shard;
+
+  if (!dialBackend(Shard)) {
+    failSub(BatchId, SubIdx,
+            "shard " + std::to_string(Shard) + " unavailable (backoff)",
+            /*BusyFail=*/false);
+    return;
+  }
+  BConn &B = Backends[Shard];
+  const uint64_t ReqId = NextSubReqId++;
+  B.Pending.emplace(ReqId, SubRef{BatchId, SubIdx});
+
+  // Frame the envelope straight into the link's write buffer. The fast
+  // path splices the client's ops bytes verbatim (no per-op re-encode);
+  // splits and retries re-encode their subset.
+  std::string &Out = B.WriteBuf;
+  if (!SplicedOps.empty()) {
+    putU32(Out, static_cast<uint32_t>(8 + 1 + 4 + SplicedOps.size()));
+    putU64(Out, ReqId);
+    Out.push_back(static_cast<char>(MsgType::SubBatch));
+    putU32(Out, Shard);
+    Out.append(SplicedOps.data(), SplicedOps.size());
+  } else {
+    Request Req;
+    Req.ReqId = ReqId;
+    Req.Type = MsgType::SubBatch;
+    Req.Shard = Shard;
+    Req.Ops.reserve(Sub.OpIdx.size());
+    for (const uint32_t I : Sub.OpIdx)
+      Req.Ops.push_back(Ba.Ops[I]);
+    encodeRequest(Req, Out);
+  }
+  P.SubBatches.fetch_add(1, std::memory_order_relaxed);
+  flushBackend(Shard);
+}
+
+void ProxyIo::failSub(uint64_t BatchId, unsigned SubIdx, const std::string &Why,
+                      bool BusyFail) {
+  auto It = Inflight.find(BatchId);
+  if (It == Inflight.end())
+    return;
+  Batch &Ba = It->second;
+  SubState &S = Ba.Subs[SubIdx];
+  if (S.State != SubState::St::Pending)
+    return;
+  S.State = SubState::St::Failed;
+  S.BusyFail = BusyFail;
+  S.ErrText = Why;
+  if (--Ba.Outstanding == 0)
+    finishBatch(BatchId);
+}
+
+void ProxyIo::onBackendReply(unsigned Shard, const Response &R) {
+  BConn &B = Backends[Shard];
+  auto PIt = B.Pending.find(R.ReqId);
+  if (PIt == B.Pending.end())
+    return; // a reply for a batch that already failed out; drop
+  const SubRef Ref = PIt->second;
+  B.Pending.erase(PIt);
+
+  auto It = Inflight.find(Ref.BatchId);
+  if (It == Inflight.end())
+    return;
+  Batch &Ba = It->second;
+  SubState &S = Ba.Subs[Ref.SubIdx];
+  if (S.State != SubState::St::Pending)
+    return;
+
+  switch (R.St) {
+  case Status::Ok: {
+    // The backend attests which ring slot executed the transaction; a
+    // disagreement means the ring is mis-wired and the result cannot be
+    // trusted to the plan.
+    if (R.Shards.size() != 1 || R.Shards[0].Shard != Shard ||
+        R.Results.size() != Ba.Plan.Subs[Ref.SubIdx].OpIdx.size()) {
+      P.Misroutes.fetch_add(1, std::memory_order_relaxed);
+      S.State = SubState::St::Failed;
+      S.ErrText = "shard " + std::to_string(Shard) +
+                  " returned a mismatched sub-batch reply";
+      break;
+    }
+    S.State = SubState::St::Ok;
+    S.CommitSeq = R.CommitSeq;
+    S.Results = R.Results;
+    break;
+  }
+  case Status::Busy: {
+    if (S.BusyTries < P.Config.BusyRetryLimit) {
+      ++S.BusyTries;
+      P.BusyRetries.fetch_add(1, std::memory_order_relaxed);
+      Retries.push_back(
+          {nowMs() + P.Config.BusyRetryDelayMs, Ref.BatchId, Ref.SubIdx});
+      return; // still outstanding
+    }
+    S.State = SubState::St::Failed;
+    S.BusyFail = true;
+    S.ErrText = "shard " + std::to_string(Shard) + " busy after " +
+                std::to_string(S.BusyTries) + " retries";
+    break;
+  }
+  case Status::Redirect: {
+    // The slot's backend turned follower: re-point at the leader it names
+    // and resend there. The ring slot is the unit of re-pointing — every
+    // pending sub on the old link fails over with the endpoint.
+    std::string Host;
+    uint16_t Port = 0;
+    if (S.RedirectTries >= P.Config.RedirectLimit ||
+        !parseLeader(R.Text, Host, Port)) {
+      S.State = SubState::St::Failed;
+      S.ErrText = "shard " + std::to_string(Shard) + " redirect: " + R.Text;
+      break;
+    }
+    ++S.RedirectTries;
+    P.Redirects.fetch_add(1, std::memory_order_relaxed);
+    B.Host = Host;
+    B.Port = Port;
+    backendDown(Shard, "re-pointed by redirect"); // fails other pendings
+    Backends[Shard].RetryAtMs = 0;                // re-dial immediately
+    if (S.State == SubState::St::Pending) {
+      sendSub(Ref.BatchId, Ref.SubIdx);
+      return;
+    }
+    break; // backendDown already failed this sub
+  }
+  case Status::Error: {
+    S.State = SubState::St::Failed;
+    S.ErrText = R.Text.empty()
+                    ? "shard " + std::to_string(Shard) + " error"
+                    : R.Text;
+    break;
+  }
+  }
+  if (S.State != SubState::St::Pending && --Ba.Outstanding == 0)
+    finishBatch(Ref.BatchId);
+}
+
+void ProxyIo::finishBatch(uint64_t BatchId) {
+  auto It = Inflight.find(BatchId);
+  if (It == Inflight.end())
+    return;
+  Batch &Ba = It->second;
+
+  unsigned OkSubs = 0;
+  bool AllBusy = true;
+  const std::string *FirstErr = nullptr;
+  for (const SubState &S : Ba.Subs) {
+    if (S.State == SubState::St::Ok) {
+      ++OkSubs;
+      continue;
+    }
+    if (!S.BusyFail) {
+      AllBusy = false;
+      if (!FirstErr)
+        FirstErr = &S.ErrText;
+    }
+  }
+
+  Response R;
+  R.ReqId = Ba.ClientReqId;
+  if (OkSubs == Ba.Subs.size()) {
+    // Fully committed: results return in original op order; the
+    // annotations (plan order = ascending shard) carry each backend's own
+    // commit_seq. The legacy CommitSeq field is the largest of them —
+    // informative only across shards.
+    R.Results.resize(Ba.Ops.size(), 0);
+    for (size_t SI = 0; SI != Ba.Subs.size(); ++SI) {
+      const RoutePlan::Sub &Sub = Ba.Plan.Subs[SI];
+      const SubState &S = Ba.Subs[SI];
+      for (size_t K = 0; K != Sub.OpIdx.size(); ++K)
+        R.Results[Sub.OpIdx[K]] = S.Results[K];
+      R.CommitSeq = std::max(R.CommitSeq, S.CommitSeq);
+      R.Shards.push_back({Sub.Shard, S.CommitSeq,
+                          static_cast<uint32_t>(Sub.OpIdx.size())});
+    }
+  } else if (OkSubs == 0 && AllBusy) {
+    // Nothing committed anywhere: plain Busy, safely retryable.
+    R.St = Status::Busy;
+  } else {
+    // The partial-commit truth: Error, with annotations naming exactly the
+    // sub-batches that did commit (a verifying client replays those ops
+    // without result comparison) and no results.
+    R.St = Status::Error;
+    R.Text = FirstErr ? *FirstErr : "sub-batch failed";
+    for (size_t SI = 0; SI != Ba.Subs.size(); ++SI)
+      if (Ba.Subs[SI].State == SubState::St::Ok)
+        R.Shards.push_back({Ba.Plan.Subs[SI].Shard, Ba.Subs[SI].CommitSeq,
+                            static_cast<uint32_t>(
+                                Ba.Plan.Subs[SI].OpIdx.size())});
+    if (OkSubs > 0)
+      P.PartialCommits.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::shared_ptr<ProxyConn> Conn = std::move(Ba.Conn);
+  Inflight.erase(It);
+  if (Conn && !Conn->Closed.load(std::memory_order_relaxed))
+    queueReply(Conn.get(), R);
+}
+
+void ProxyIo::processRetries() {
+  const uint64_t Now = nowMs();
+  while (!Retries.empty() && Retries.front().DueMs <= Now) {
+    const Retry R = Retries.front();
+    Retries.pop_front();
+    auto It = Inflight.find(R.BatchId);
+    if (It == Inflight.end())
+      continue;
+    if (It->second.Subs[R.SubIdx].State != SubState::St::Pending)
+      continue;
+    sendSub(R.BatchId, R.SubIdx);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Request dispatch
+//===----------------------------------------------------------------------===//
+
+void ProxyIo::handleFrame(ProxyConn *C, std::string_view Payload) {
+  Request Req;
+  std::string Err;
+  if (!decodeRequest(Payload, Req, Err)) {
+    Response R;
+    R.ReqId = Req.ReqId;
+    R.St = Status::Error;
+    R.Text = Err;
+    queueReply(C, R);
+    return;
+  }
+  P.Requests.fetch_add(1, std::memory_order_relaxed);
+  switch (Req.Type) {
+  case MsgType::Ping: {
+    Response R;
+    R.ReqId = Req.ReqId;
+    queueReply(C, R);
+    return;
+  }
+  case MsgType::Stats: {
+    Response R;
+    R.ReqId = Req.ReqId;
+    R.Text = P.statsText();
+    queueReply(C, R);
+    return;
+  }
+  case MsgType::State:
+    scatterState(C, Req.ReqId);
+    return;
+  case MsgType::Metrics:
+    scatterMetrics(C, Req.ReqId);
+    return;
+  case MsgType::SnapState:
+    relaySnapState(C, Req.ReqId, Req.Shard);
+    return;
+  case MsgType::Batch:
+    handleBatch(C, Req, Payload);
+    return;
+  case MsgType::SubBatch:
+  case MsgType::Subscribe:
+  case MsgType::WalChunk:
+  case MsgType::SnapshotXfer: {
+    Response R;
+    R.ReqId = Req.ReqId;
+    R.St = Status::Error;
+    R.Text = "not supported by the proxy";
+    queueReply(C, R);
+    return;
+  }
+  }
+}
+
+void ProxyIo::handleBatch(ProxyConn *C, Request &Req,
+                          std::string_view Payload) {
+  for (const Op &O : Req.Ops)
+    if (!validOp(O, P.Config.UfElements)) {
+      Response R;
+      R.ReqId = Req.ReqId;
+      R.St = Status::Error;
+      R.Text = "invalid batch op";
+      queueReply(C, R);
+      return;
+    }
+  P.Batches.fetch_add(1, std::memory_order_relaxed);
+
+  const uint64_t BatchId = NextBatchId++;
+  Batch &Ba = Inflight[BatchId];
+  Ba.Conn = Conns.at(C->Fd);
+  Ba.ClientReqId = Req.ReqId;
+  Ba.Ops = std::move(Req.Ops);
+  Ba.Plan = P.Router.plan(Ba.Ops);
+  Ba.Subs.resize(Ba.Plan.Subs.size());
+  Ba.Outstanding = static_cast<unsigned>(Ba.Plan.Subs.size());
+
+  if (Ba.Plan.singleShard()) {
+    P.FastPath.fetch_add(1, std::memory_order_relaxed);
+    // Zero-copy fast path: the Batch body past the request header is
+    // `u32 num_ops | ops`, exactly the SubBatch body past the shard —
+    // splice it through unparsed.
+    sendSub(BatchId, 0, Payload.substr(8 + 1));
+    return;
+  }
+  P.Split.fetch_add(1, std::memory_order_relaxed);
+  const size_t NumSubs = Ba.Plan.Subs.size();
+  for (size_t SI = 0; SI != NumSubs; ++SI)
+    sendSub(BatchId, static_cast<unsigned>(SI));
+}
+
+void ProxyIo::scatterState(ProxyConn *C, uint64_t ReqId) {
+  P.MergeReads.fetch_add(1, std::memory_order_relaxed);
+  Response R;
+  R.ReqId = ReqId;
+  std::vector<std::string> Texts;
+  for (size_t S = 0; S != Backends.size(); ++S) {
+    Client Cl;
+    Response Sub;
+    Request Rq;
+    Rq.ReqId = 1;
+    Rq.Type = MsgType::State;
+    if (!Cl.connect(Backends[S].Host, Backends[S].Port) ||
+        !Cl.call(Rq, Sub) || Sub.St != Status::Ok) {
+      R.St = Status::Error;
+      R.Text = "shard " + std::to_string(S) + " unavailable for state merge";
+      queueReply(C, R);
+      return;
+    }
+    Texts.push_back(std::move(Sub.Text));
+  }
+  std::string Err;
+  if (!mergeStateTexts(Texts, R.Text, &Err)) {
+    R.St = Status::Error;
+    R.Text = "state merge failed: " + Err;
+  }
+  queueReply(C, R);
+}
+
+void ProxyIo::scatterMetrics(ProxyConn *C, uint64_t ReqId) {
+  P.MergeReads.fetch_add(1, std::memory_order_relaxed);
+  Response R;
+  R.ReqId = ReqId;
+  std::vector<std::string> Texts;
+  for (size_t S = 0; S != Backends.size(); ++S) {
+    const std::string T = fetchMetricsText(Backends[S].Host, Backends[S].Port);
+    if (T.empty()) {
+      R.St = Status::Error;
+      R.Text = "shard " + std::to_string(S) + " unavailable for metrics merge";
+      queueReply(C, R);
+      return;
+    }
+    Texts.push_back(T);
+  }
+  Texts.push_back(P.proxyMetricsText());
+  R.Text = mergeMetricsTexts(Texts);
+  queueReply(C, R);
+}
+
+void ProxyIo::relaySnapState(ProxyConn *C, uint64_t ReqId, uint32_t Shard) {
+  Response R;
+  R.ReqId = ReqId;
+  if (Shard == ShardSelf || Shard >= Backends.size()) {
+    R.St = Status::Error;
+    R.Text = "snapstate wants a shard in [0," +
+             std::to_string(Backends.size()) + ")";
+    queueReply(C, R);
+    return;
+  }
+  Client Cl;
+  Request Rq;
+  Rq.ReqId = 1;
+  Rq.Type = MsgType::SnapState;
+  Rq.Shard = Shard;
+  Response Sub;
+  if (!Cl.connect(Backends[Shard].Host, Backends[Shard].Port) ||
+      !Cl.call(Rq, Sub)) {
+    R.St = Status::Error;
+    R.Text = "shard " + std::to_string(Shard) + " unavailable for snapstate";
+    queueReply(C, R);
+    return;
+  }
+  R.St = Sub.St;
+  R.Text = std::move(Sub.Text);
+  queueReply(C, R);
+}
+
+//===----------------------------------------------------------------------===//
+// Event loop
+//===----------------------------------------------------------------------===//
+
+void ProxyIo::drainHandoff() {
+  std::vector<int> Fds;
+  {
+    std::lock_guard<std::mutex> Guard(HandoffMu);
+    Fds.swap(NewFds);
+  }
+  for (const int Fd : Fds) {
+    if (P.stopRequested())
+      ::close(Fd);
+    else
+      addConnection(Fd);
+  }
+}
+
+bool ProxyIo::drainComplete() {
+  if (!Inflight.empty())
+    return false;
+  {
+    std::lock_guard<std::mutex> Guard(HandoffMu);
+    if (!NewFds.empty())
+      return false;
+  }
+  for (auto &[Fd, C] : Conns)
+    if (C->buffered() > 0)
+      return false;
+  return true;
+}
+
+void ProxyIo::run() {
+  constexpr int MaxEvents = 64;
+  struct epoll_event Events[MaxEvents];
+  for (;;) {
+    int TimeoutMs = 500;
+    if (!Retries.empty()) {
+      const uint64_t Now = nowMs();
+      TimeoutMs = Retries.front().DueMs > Now
+                      ? static_cast<int>(Retries.front().DueMs - Now)
+                      : 0;
+    }
+    if (P.stopRequested())
+      TimeoutMs = std::min(TimeoutMs, 10);
+    const int N = ::epoll_wait(EpollFd, Events, MaxEvents, TimeoutMs);
+    if (N < 0 && errno != EINTR)
+      break;
+    for (int I = 0; I < std::max(N, 0); ++I) {
+      const struct epoll_event &Ev = Events[I];
+      if (Ev.data.u64 == TagWake) {
+        uint64_t Junk;
+        while (::read(WakeFd, &Junk, sizeof(Junk)) > 0) {
+        }
+        continue;
+      }
+      if (Ev.data.u64 == TagListener) {
+        if (!P.stopRequested())
+          acceptNew();
+        continue;
+      }
+      if (Ev.data.u64 >= TagBackendBase &&
+          Ev.data.u64 < TagBackendBase + Backends.size()) {
+        handleBackendEvent(static_cast<unsigned>(Ev.data.u64 - TagBackendBase),
+                           Ev.events);
+        continue;
+      }
+      auto *C = static_cast<ProxyConn *>(Ev.data.ptr);
+      if (Conns.find(C->Fd) == Conns.end() ||
+          C->Closed.load(std::memory_order_relaxed))
+        continue;
+      if (Ev.events & (EPOLLHUP | EPOLLERR)) {
+        if (C->buffered() > 0)
+          flushWrites(C);
+        if (!C->Closed.load(std::memory_order_relaxed) &&
+            (Ev.events & EPOLLERR))
+          closeConnection(C);
+        continue;
+      }
+      if (Ev.events & EPOLLOUT)
+        flushWrites(C);
+      if (C->Closed.load(std::memory_order_relaxed))
+        continue;
+      if ((Ev.events & EPOLLIN) && !P.stopRequested())
+        handleRead(C);
+    }
+    processRetries();
+    drainHandoff();
+    Dead.clear();
+    if (P.stopRequested()) {
+      if (Index == 0 && !ListenerClosed) {
+        ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, P.ListenFd, nullptr);
+        ListenerClosed = true;
+      }
+      if (DrainDeadlineMs == 0)
+        DrainDeadlineMs = nowMs() + 5000;
+      for (auto &[Fd, C] : Conns)
+        updateInterest(C.get());
+      if (drainComplete() || nowMs() > DrainDeadlineMs)
+        break;
+    }
+  }
+  while (!Conns.empty())
+    closeConnection(Conns.begin()->second.get());
+  for (size_t S = 0; S != Backends.size(); ++S)
+    if (Backends[S].Fd >= 0) {
+      ::close(Backends[S].Fd);
+      Backends[S].Fd = -1;
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Proxy
+//===----------------------------------------------------------------------===//
+
+Proxy::Proxy(const ProxyConfig &Config)
+    : Config(Config),
+      Ring(static_cast<unsigned>(this->Config.Backends.size()),
+           this->Config.VNodes, this->Config.RingSeed),
+      Router(Ring) {}
+
+Proxy::~Proxy() { stop(); }
+
+bool Proxy::start(std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg + ": " + std::strerror(errno);
+    if (ListenFd >= 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+    }
+    return false;
+  };
+  if (Config.Backends.empty()) {
+    if (Err)
+      *Err = "no backends configured";
+    return false;
+  }
+  if (Config.Backends.size() > MaxShards) {
+    if (Err)
+      *Err = "more than " + std::to_string(MaxShards) + " backends";
+    return false;
+  }
+
+  ListenFd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (ListenFd < 0)
+    return Fail("socket");
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  struct sockaddr_in Addr {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Config.Port);
+  if (::inet_pton(AF_INET, Config.BindAddress.c_str(), &Addr.sin_addr) != 1)
+    return Fail("inet_pton('" + Config.BindAddress + "')");
+  if (::bind(ListenFd, reinterpret_cast<struct sockaddr *>(&Addr),
+             sizeof(Addr)) != 0)
+    return Fail("bind");
+  if (::listen(ListenFd, 256) != 0)
+    return Fail("listen");
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(ListenFd, reinterpret_cast<struct sockaddr *>(&Addr),
+                    &Len) != 0)
+    return Fail("getsockname");
+  BoundPort = ntohs(Addr.sin_port);
+
+  const unsigned NumIo = std::max(1u, Config.IoThreads);
+  for (unsigned I = 0; I != NumIo; ++I)
+    Io.push_back(std::make_unique<ProxyIo>(*this, I));
+  Io[0]->registerListener(ListenFd);
+  for (const std::unique_ptr<ProxyIo> &T : Io)
+    IoJoins.emplace_back([&T] { T->run(); });
+  Started.store(true, std::memory_order_release);
+  return true;
+}
+
+void Proxy::requestStop() {
+  StopFlag.store(true, std::memory_order_release);
+  for (const std::unique_ptr<ProxyIo> &T : Io)
+    T->wake();
+}
+
+void Proxy::stop() {
+  if (!Started.load(std::memory_order_acquire)) {
+    if (ListenFd >= 0) {
+      ::close(ListenFd);
+      ListenFd = -1;
+    }
+    return;
+  }
+  requestStop();
+  for (std::thread &T : IoJoins)
+    if (T.joinable())
+      T.join();
+  IoJoins.clear();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  {
+    std::lock_guard<std::mutex> Guard(StopM);
+    Stopped.store(true, std::memory_order_release);
+  }
+  StopCV.notify_all();
+  Started.store(false, std::memory_order_release);
+}
+
+void Proxy::waitStopped() {
+  std::unique_lock<std::mutex> Guard(StopM);
+  StopCV.wait(Guard,
+              [this] { return Stopped.load(std::memory_order_acquire); });
+}
+
+std::string Proxy::statsText() const {
+  std::string Out;
+  Out += "role=proxy\n";
+  Out += "shards=" + std::to_string(Config.Backends.size()) + "\n";
+  Out += "ring_vnodes=" + std::to_string(Ring.vnodes()) + "\n";
+  Out += "ring_seed=" + std::to_string(Ring.seed()) + "\n";
+  Out += "uf_elements=" + std::to_string(Config.UfElements) + "\n";
+  for (size_t S = 0; S != Config.Backends.size(); ++S)
+    Out += "shard" + std::to_string(S) + "=" + Config.Backends[S].Host + ":" +
+           std::to_string(Config.Backends[S].Port) + "\n";
+  Out += "proxy_requests=" + std::to_string(Requests.load()) + "\n";
+  Out += "proxy_batches=" + std::to_string(Batches.load()) + "\n";
+  Out += "proxy_fastpath=" + std::to_string(FastPath.load()) + "\n";
+  Out += "proxy_split=" + std::to_string(Split.load()) + "\n";
+  Out += "proxy_subbatches=" + std::to_string(SubBatches.load()) + "\n";
+  Out += "proxy_busy_retries=" + std::to_string(BusyRetries.load()) + "\n";
+  Out += "proxy_redirects=" + std::to_string(Redirects.load()) + "\n";
+  Out += "proxy_reconnects=" + std::to_string(Reconnects.load()) + "\n";
+  Out += "proxy_shard_errors=" + std::to_string(ShardErrors.load()) + "\n";
+  Out += "proxy_misroutes=" + std::to_string(Misroutes.load()) + "\n";
+  Out += "proxy_merge_reads=" + std::to_string(MergeReads.load()) + "\n";
+  Out += "proxy_partial_commits=" + std::to_string(PartialCommits.load()) +
+         "\n";
+  return Out;
+}
+
+std::string Proxy::proxyMetricsText() const {
+  std::string Out;
+  auto Counter = [&Out](const char *Name, uint64_t V) {
+    Out += std::string("# TYPE ") + Name + " counter\n";
+    Out += std::string(Name) + " " + std::to_string(V) + "\n";
+  };
+  Out += "# TYPE comlat_proxy_shards gauge\n";
+  Out += "comlat_proxy_shards " + std::to_string(Config.Backends.size()) +
+         "\n";
+  Counter("comlat_proxy_requests_total", Requests.load());
+  Counter("comlat_proxy_batches_total", Batches.load());
+  Counter("comlat_proxy_fastpath_total", FastPath.load());
+  Counter("comlat_proxy_split_total", Split.load());
+  Counter("comlat_proxy_subbatches_total", SubBatches.load());
+  Counter("comlat_proxy_busy_retries_total", BusyRetries.load());
+  Counter("comlat_proxy_redirects_total", Redirects.load());
+  Counter("comlat_proxy_reconnects_total", Reconnects.load());
+  Counter("comlat_proxy_shard_errors_total", ShardErrors.load());
+  Counter("comlat_proxy_misroutes_total", Misroutes.load());
+  Counter("comlat_proxy_merge_reads_total", MergeReads.load());
+  Counter("comlat_proxy_partial_commits_total", PartialCommits.load());
+  return Out;
+}

@@ -1,0 +1,169 @@
+//===- svc/Proxy.h - The comlat-shard routing front end ---------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sharding proxy (DESIGN.md §3.12): an epoll front end that speaks
+/// the ordinary batch protocol to clients and fans batches out over N
+/// backend comlat-serve processes according to the spec-driven routing
+/// plan (svc/Shard.h). Data path per client Batch:
+///
+///  * plan the batch. One target shard -> the fast path: the ops bytes are
+///    spliced unparsed out of the client frame into one SubBatch envelope
+///    (no per-op re-encode) and the backend's reply maps straight back.
+///  * several target shards -> the batch splits into per-shard SubBatch
+///    transactions executing independently (they commute across shards by
+///    construction of the plan); the reply reassembles results into
+///    original op order and carries one shard annotation per sub-batch
+///    with that backend's own commit_seq.
+///
+/// Sub-batches that come back Busy retry with a deadline queue (bounded);
+/// Redirect replies from a backend that turned follower re-point that ring
+/// slot at the named leader and resend. A backend that drops mid-flight
+/// fails its sub-batches — committed siblings are still annotated in the
+/// Error reply so a verifying client can account for them — and the slot
+/// reconnects lazily with backoff, so routing resumes as soon as the
+/// backend returns.
+///
+/// Whole-structure State/Metrics requests scatter-gather every backend and
+/// reconcile by lattice merge (set union, accumulator sum, union-find
+/// partition join — mergeStateTexts/mergeMetricsTexts); SnapState relays
+/// to the named shard. The proxy's Stats text publishes the full ring
+/// parameters (shards, vnodes, seed, endpoints), which is all a client
+/// needs to rebuild the identical router and predict every plan.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_SVC_PROXY_H
+#define COMLAT_SVC_PROXY_H
+
+#include "svc/Shard.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace comlat {
+namespace svc {
+
+class ProxyIo;
+
+/// One backend endpoint of the ring, by ascending shard id.
+struct ShardEndpoint {
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0;
+};
+
+/// Everything that shapes one proxy instance.
+struct ProxyConfig {
+  std::string BindAddress = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (read back via port()).
+  uint16_t Port = 0;
+  /// I/O event-loop threads; each owns its own backend connections.
+  unsigned IoThreads = 2;
+  /// Backend shards; Backends[i] serves ring slot i.
+  std::vector<ShardEndpoint> Backends;
+  /// Ring geometry. Published in Stats; clients rebuild the same ring.
+  unsigned VNodes = 64;
+  uint64_t RingSeed = 0x5EEDull;
+  /// Must match the backends' --uf-elements (op validation).
+  size_t UfElements = 1024;
+  /// Busy sub-batches retry this many times before the batch fails.
+  unsigned BusyRetryLimit = 64;
+  unsigned BusyRetryDelayMs = 2;
+  /// Redirect chases per sub-batch (a slot whose backend turned follower).
+  unsigned RedirectLimit = 4;
+  /// Backoff before re-dialing a dead backend.
+  unsigned ReconnectDelayMs = 50;
+  /// Per-connection reply backlog cap; a client further behind is closed.
+  size_t MaxWriteBuffered = 1u << 22;
+};
+
+/// The proxy. Lifecycle: construct -> start() -> (serve) -> stop().
+class Proxy {
+public:
+  explicit Proxy(const ProxyConfig &Config);
+  ~Proxy();
+
+  Proxy(const Proxy &) = delete;
+  Proxy &operator=(const Proxy &) = delete;
+
+  /// Binds, listens, spawns the I/O threads. Backend connections are
+  /// dialed lazily on first use, so backends may start later. False (Err
+  /// set) on socket setup failure or an empty backend list.
+  bool start(std::string *Err = nullptr);
+
+  /// The bound port (after start()).
+  uint16_t port() const { return BoundPort; }
+
+  /// Begins the drain without blocking: stop accepting, fail nothing —
+  /// in-flight batches finish against their backends first.
+  void requestStop();
+
+  /// requestStop() plus joining every thread. Idempotent.
+  void stop();
+
+  /// Blocks until a requestStop() drain completed.
+  void waitStopped();
+
+  bool stopRequested() const {
+    return StopFlag.load(std::memory_order_acquire);
+  }
+
+  const HashRing &ring() const { return Ring; }
+  const ShardRouter &router() const { return Router; }
+
+  /// The Stats-frame payload: role=proxy, ring geometry, endpoints and
+  /// routing counters as `key=value` lines.
+  std::string statsText() const;
+
+  /// The proxy's own Prometheus families (comlat_proxy_*), merged into the
+  /// scatter-gathered Metrics reply alongside the backends' exports.
+  std::string proxyMetricsText() const;
+
+  /// Routing counters (also in statsText and the Metrics export).
+  uint64_t fastPathBatches() const { return FastPath.load(); }
+  uint64_t splitBatches() const { return Split.load(); }
+
+private:
+  friend class ProxyIo;
+
+  ProxyConfig Config;
+  HashRing Ring;
+  ShardRouter Router;
+  int ListenFd = -1;
+  uint16_t BoundPort = 0;
+  std::atomic<bool> StopFlag{false};
+  std::atomic<bool> Started{false};
+  std::atomic<bool> Stopped{false};
+  std::vector<std::unique_ptr<ProxyIo>> Io;
+  std::vector<std::thread> IoJoins;
+  std::mutex StopM;
+  std::condition_variable StopCV;
+
+  /// Routing counters, aggregated across I/O threads.
+  std::atomic<uint64_t> Requests{0};
+  std::atomic<uint64_t> Batches{0};
+  std::atomic<uint64_t> FastPath{0};
+  std::atomic<uint64_t> Split{0};
+  std::atomic<uint64_t> SubBatches{0};
+  std::atomic<uint64_t> BusyRetries{0};
+  std::atomic<uint64_t> Redirects{0};
+  std::atomic<uint64_t> Reconnects{0};
+  std::atomic<uint64_t> ShardErrors{0};
+  std::atomic<uint64_t> Misroutes{0};
+  std::atomic<uint64_t> MergeReads{0};
+  std::atomic<uint64_t> PartialCommits{0};
+};
+
+} // namespace svc
+} // namespace comlat
+
+#endif // COMLAT_SVC_PROXY_H

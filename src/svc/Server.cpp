@@ -493,6 +493,40 @@ void IoThread::handleFrame(Connection *C, std::string_view Payload) {
     queueReply(C, R);
     return;
   }
+  case MsgType::SnapState: {
+    // Full snapshot-format state dump (UF ranks included): what a sharded
+    // verify run seeds its per-shard oracles from. Same quiescence caveat
+    // as State. A concrete shard selector must name this backend.
+    M.RequestsState->add();
+    Response R;
+    R.ReqId = Req.ReqId;
+    if (Req.Shard != ShardSelf && S.Config.ShardId >= 0 &&
+        Req.Shard != static_cast<uint32_t>(S.Config.ShardId)) {
+      R.St = Status::Error;
+      R.Text = "snapstate for shard " + std::to_string(Req.Shard) +
+               ", this is shard " + std::to_string(S.Config.ShardId);
+    } else {
+      R.Text = S.Host.snapshotText();
+    }
+    queueReply(C, R);
+    return;
+  }
+  case MsgType::SubBatch: {
+    // The proxy's batch envelope: identical transaction semantics, plus
+    // the ring-slot check and a shard annotation on the committed reply.
+    if (S.Config.ShardId >= 0 &&
+        Req.Shard != static_cast<uint32_t>(S.Config.ShardId)) {
+      M.MalformedTotal->add();
+      Response R;
+      R.ReqId = Req.ReqId;
+      R.St = Status::Error;
+      R.Text = "sub-batch for shard " + std::to_string(Req.Shard) +
+               ", this is shard " + std::to_string(S.Config.ShardId);
+      queueReply(C, R);
+      return;
+    }
+    break;
+  }
   case MsgType::Batch:
     break;
   }
@@ -532,12 +566,21 @@ void IoThread::handleFrame(Connection *C, std::string_view Payload) {
     std::vector<Op> Ops;
     std::vector<int64_t> Results;
     uint64_t AdmitUs;
+    /// SubBatch only: annotate the committed reply with this ring slot.
+    bool Sub = false;
+    uint32_t Shard = 0;
   };
   auto Ctx = std::make_shared<BatchCtx>();
   Ctx->Conn = Conns.at(C->Fd);
   Ctx->ReqId = Req.ReqId;
   Ctx->Ops = std::move(Req.Ops);
   Ctx->AdmitUs = nowUs();
+  if (Req.Type == MsgType::SubBatch) {
+    Ctx->Sub = true;
+    Ctx->Shard = S.Config.ShardId >= 0
+                     ? static_cast<uint32_t>(S.Config.ShardId)
+                     : Req.Shard;
+  }
 
   ObjectHost &Host = S.Host;
   auto Body = [Ctx, &Host](Transaction &Tx) {
@@ -558,6 +601,9 @@ void IoThread::handleFrame(Connection *C, std::string_view Payload) {
     if (Outcome.Committed) {
       R.CommitSeq = Outcome.CommitSeq;
       R.Results = Ctx->Results;
+      if (Ctx->Sub)
+        R.Shards.push_back({Ctx->Shard, Outcome.CommitSeq,
+                            static_cast<uint32_t>(Ctx->Results.size())});
       SM.OpsTotal->add(Ctx->Results.size());
     } else {
       R.St = Status::Error;
@@ -1081,6 +1127,8 @@ std::string Server::statsText() const {
     Out += "wal_durable_seq=" + std::to_string(Log->durableSeq()) + "\n";
   }
   Out += std::string("role=") + (isFollower() ? "follower" : "leader") + "\n";
+  if (Config.ShardId >= 0)
+    Out += "shard_id=" + std::to_string(Config.ShardId) + "\n";
   if (Repl) {
     Out += "repl_applied_seq=" + std::to_string(Repl->appliedSeq()) + "\n";
     Out += "repl_leader_durable_seq=" +

@@ -100,6 +100,11 @@ struct ServerConfig {
   /// instead of accepting mutations. Empty host = leader/standalone.
   std::string FollowHost;
   uint16_t FollowPort = 0;
+  /// Ring slot this backend serves (comlat-serve --shard-id). Negative =
+  /// unsharded. A configured backend refuses SubBatch envelopes stamped
+  /// with a different shard — the guard that catches a mis-wired ring —
+  /// and advertises the id in its Stats text.
+  int ShardId = -1;
 };
 
 /// The server. Lifecycle: construct -> start() -> (serve) -> stop().

@@ -1,0 +1,364 @@
+//===- svc/Shard.cpp - Consistent-hash ring + spec-driven routing ----------===//
+
+#include "svc/Shard.h"
+
+#include "adt/Accumulator.h"
+#include "adt/BoostedUnionFind.h"
+#include "adt/SetSpecs.h"
+#include "adt/UnionFind.h"
+#include "core/Spec.h"
+#include "svc/Objects.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+
+using namespace comlat;
+using namespace comlat::svc;
+
+//===----------------------------------------------------------------------===//
+// HashRing
+//===----------------------------------------------------------------------===//
+
+HashRing::HashRing(unsigned NumShards, unsigned VNodes, uint64_t Seed)
+    : NumShards(NumShards ? NumShards : 1), VNodes(VNodes ? VNodes : 1),
+      Seed(Seed) {
+  Points.reserve(static_cast<size_t>(this->NumShards) * this->VNodes);
+  for (unsigned S = 0; S != this->NumShards; ++S)
+    for (unsigned V = 0; V != this->VNodes; ++V) {
+      const uint64_t Slot = (static_cast<uint64_t>(S) << 32) | V;
+      Points.emplace_back(shardMix(Seed ^ shardMix(Slot)), S);
+    }
+  std::sort(Points.begin(), Points.end());
+}
+
+unsigned HashRing::shardForKey(uint64_t Key) const {
+  const uint64_t H = shardMix(Key ^ Seed);
+  auto It = std::upper_bound(
+      Points.begin(), Points.end(), std::make_pair(H, ~0u),
+      [](const auto &A, const auto &B) { return A.first < B.first; });
+  if (It == Points.end())
+    It = Points.begin(); // wrap: first point clockwise of the top
+  return It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// ShardRouter
+//===----------------------------------------------------------------------===//
+
+const char *svc::routeKindName(RouteKind K) {
+  switch (K) {
+  case RouteKind::Keyed:
+    return "keyed";
+  case RouteKind::Pinned:
+    return "pinned";
+  case RouteKind::Anywhere:
+    return "anywhere";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Derives one method's route from its spec classification (the decision
+/// procedure the file comment describes). \p M is a method of \p Spec.
+MethodRoute deriveRoute(const CommSpec &Spec, MethodId M) {
+  const MethodClass &MC = Spec.classifyMethod(M);
+  if (MC.Privatizable)
+    return {RouteKind::Anywhere, 0};
+  // Keyed iff every pair that is not trivially ALWAYS is key-separable,
+  // state-free, and names the same argument of M as the key. A method
+  // whose every pair is ALWAYS but which returns a value (so it is not
+  // privatizable) stays Pinned: its result observes one replica.
+  bool SawKey = false;
+  unsigned Key = 0;
+  for (MethodId M2 = 0, E = Spec.sig().numMethods(); M2 != E; ++M2) {
+    const PairClass &PC = Spec.classifyPair(M, M2);
+    if (PC.always())
+      continue;
+    if (PC.never() || !PC.Separable || !PC.StateFree)
+      return {RouteKind::Pinned, 0};
+    if (SawKey && PC.KeyArg1 != Key)
+      return {RouteKind::Pinned, 0};
+    Key = PC.KeyArg1;
+    SawKey = true;
+  }
+  if (!SawKey)
+    return {RouteKind::Pinned, 0};
+  return {RouteKind::Keyed, Key};
+}
+
+/// Spreads a (structure, key) pair over the ring's key space.
+uint64_t keyPoint(uint8_t Obj, int64_t Key) {
+  return shardMix((static_cast<uint64_t>(Obj) + 1) * 0x100000001B3ull ^
+                  static_cast<uint64_t>(Key));
+}
+
+/// Content hash of one op, for picking a primary shard when a batch is
+/// all Anywhere ops and no key or pin decides.
+uint64_t opPoint(const Op &O) {
+  const uint64_t Head = (static_cast<uint64_t>(O.Obj) << 8) | O.Method;
+  return shardMix(Head ^ shardMix(static_cast<uint64_t>(O.A)) ^
+                  (shardMix(static_cast<uint64_t>(O.B)) << 1));
+}
+
+} // namespace
+
+ShardRouter::ShardRouter(const HashRing &Ring) : Ring(Ring) {
+  const SetSig &SS = setSig();
+  const CommSpec &SetSpec = preciseSetSpec();
+  Routes[static_cast<unsigned>(ObjectId::Set)][SetAdd] =
+      deriveRoute(SetSpec, SS.Add);
+  Routes[static_cast<unsigned>(ObjectId::Set)][SetRemove] =
+      deriveRoute(SetSpec, SS.Remove);
+  Routes[static_cast<unsigned>(ObjectId::Set)][SetContains] =
+      deriveRoute(SetSpec, SS.Contains);
+
+  const AccumulatorSig &AS = accumulatorSig();
+  const CommSpec &AccSpec = accumulatorSpec();
+  Routes[static_cast<unsigned>(ObjectId::Acc)][AccIncrement] =
+      deriveRoute(AccSpec, AS.Increment);
+  Routes[static_cast<unsigned>(ObjectId::Acc)][AccRead] =
+      deriveRoute(AccSpec, AS.Read);
+
+  const UfSig &US = ufSig();
+  const CommSpec &UfSp = ufSpec();
+  Routes[static_cast<unsigned>(ObjectId::Uf)][UfFind] =
+      deriveRoute(UfSp, US.Find);
+  Routes[static_cast<unsigned>(ObjectId::Uf)][UfUnion] =
+      deriveRoute(UfSp, US.Union);
+
+  for (unsigned Obj = 0; Obj != 3; ++Obj)
+    Owners[Obj] = Ring.shardForKey(shardMix(0x51ED0000ull + Obj));
+}
+
+unsigned ShardRouter::shardForOp(const Op &O) const {
+  const MethodRoute &R = route(static_cast<ObjectId>(O.Obj), O.Method);
+  switch (R.Kind) {
+  case RouteKind::Keyed:
+    return Ring.shardForKey(keyPoint(O.Obj, R.KeyArg == 0 ? O.A : O.B));
+  case RouteKind::Pinned:
+    return Owners[O.Obj];
+  case RouteKind::Anywhere:
+    return AnyShard;
+  }
+  return Owners[O.Obj];
+}
+
+RoutePlan ShardRouter::plan(const std::vector<Op> &Ops) const {
+  std::vector<unsigned> Shard(Ops.size(), AnyShard);
+  unsigned Primary = AnyShard;
+  for (size_t I = 0; I != Ops.size(); ++I) {
+    Shard[I] = shardForOp(Ops[I]);
+    if (Primary == AnyShard && Shard[I] != AnyShard)
+      Primary = Shard[I];
+  }
+  if (Primary == AnyShard && !Ops.empty())
+    Primary = Ring.shardForKey(opPoint(Ops[0]));
+
+  RoutePlan Plan;
+  std::map<unsigned, size_t> SubOf; // shard -> index into Plan.Subs
+  for (size_t I = 0; I != Ops.size(); ++I) {
+    const unsigned S = Shard[I] == AnyShard ? Primary : Shard[I];
+    auto It = SubOf.find(S);
+    if (It == SubOf.end()) {
+      It = SubOf.emplace(S, Plan.Subs.size()).first;
+      Plan.Subs.push_back({S, {}});
+    }
+    Plan.Subs[It->second].OpIdx.push_back(static_cast<uint32_t>(I));
+  }
+  std::sort(Plan.Subs.begin(), Plan.Subs.end(),
+            [](const RoutePlan::Sub &A, const RoutePlan::Sub &B) {
+              return A.Shard < B.Shard;
+            });
+  return Plan;
+}
+
+//===----------------------------------------------------------------------===//
+// Lattice merges
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Value of the `<Key>=` line in a stateText dump, or false when absent.
+bool stateField(const std::string &Text, const char *Key, std::string &Out) {
+  const std::string Needle = std::string(Key) + "=";
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Text.size();
+    if (Text.compare(Pos, Needle.size(), Needle) == 0) {
+      Out = Text.substr(Pos + Needle.size(), Eol - Pos - Needle.size());
+      return true;
+    }
+    Pos = Eol + 1;
+  }
+  return false;
+}
+
+bool fail(std::string *Err, const std::string &Why) {
+  if (Err)
+    *Err = Why;
+  return false;
+}
+
+/// Parses a trailing-comma i64 list ("3,17," or "").
+bool parseKeyList(const std::string &Csv, std::vector<int64_t> &Out) {
+  size_t Pos = 0;
+  while (Pos < Csv.size()) {
+    const size_t Comma = Csv.find(',', Pos);
+    if (Comma == std::string::npos)
+      return false;
+    try {
+      Out.push_back(std::stoll(Csv.substr(Pos, Comma - Pos)));
+    } catch (...) {
+      return false;
+    }
+    Pos = Comma + 1;
+  }
+  return true;
+}
+
+/// Parses a UnionFind::signature() dump ("smallest:rep," per element) into
+/// the per-element smallest member of its class.
+bool parseUfSignature(const std::string &Sig, std::vector<int64_t> &Smallest) {
+  size_t Pos = 0;
+  while (Pos < Sig.size()) {
+    const size_t Colon = Sig.find(':', Pos);
+    const size_t Comma = Sig.find(',', Pos);
+    if (Colon == std::string::npos || Comma == std::string::npos ||
+        Colon > Comma)
+      return false;
+    try {
+      Smallest.push_back(std::stoll(Sig.substr(Pos, Colon - Pos)));
+    } catch (...) {
+      return false;
+    }
+    Pos = Comma + 1;
+  }
+  return true;
+}
+
+} // namespace
+
+bool svc::mergeStateTexts(const std::vector<std::string> &Texts,
+                          std::string &Out, std::string *Err) {
+  if (Texts.empty())
+    return fail(Err, "no shard states to merge");
+
+  std::set<int64_t> Keys;
+  int64_t Sum = 0;
+  std::vector<std::vector<int64_t>> UfViews;
+  size_t UfElems = 0;
+  for (size_t I = 0; I != Texts.size(); ++I) {
+    std::string SetCsv, AccStr, UfSig;
+    if (!stateField(Texts[I], "set", SetCsv) ||
+        !stateField(Texts[I], "acc", AccStr) ||
+        !stateField(Texts[I], "uf", UfSig))
+      return fail(Err, "shard " + std::to_string(I) +
+                           ": not a stateText dump");
+    std::vector<int64_t> ShardKeys;
+    if (!parseKeyList(SetCsv, ShardKeys))
+      return fail(Err, "shard " + std::to_string(I) + ": bad set signature");
+    Keys.insert(ShardKeys.begin(), ShardKeys.end());
+    try {
+      Sum += std::stoll(AccStr);
+    } catch (...) {
+      return fail(Err, "shard " + std::to_string(I) + ": bad acc value");
+    }
+    UfViews.emplace_back();
+    if (!parseUfSignature(UfSig, UfViews.back()))
+      return fail(Err, "shard " + std::to_string(I) + ": bad uf signature");
+    if (I == 0)
+      UfElems = UfViews.back().size();
+    else if (UfViews.back().size() != UfElems)
+      return fail(Err, "shard " + std::to_string(I) +
+                           ": uf element count disagrees");
+  }
+
+  // Partition join: union each shard's observed classes into one fresh
+  // forest. An element's signature entry names the smallest member of its
+  // class, so uniting each element with that member reconstructs the class.
+  UnionFind Merged(UfElems);
+  for (const std::vector<int64_t> &View : UfViews)
+    for (size_t E = 0; E != View.size(); ++E)
+      if (View[E] != static_cast<int64_t>(E)) {
+        if (View[E] < 0 || View[E] >= static_cast<int64_t>(UfElems))
+          return fail(Err, "uf signature names element out of range");
+        bool Changed = false;
+        Merged.unite(static_cast<int64_t>(E), View[E], /*Probe=*/nullptr,
+                     /*Actions=*/nullptr, Changed);
+      }
+
+  std::string SetSig;
+  for (const int64_t K : Keys) {
+    SetSig += std::to_string(K);
+    SetSig += ',';
+  }
+  Out = renderStateText(SetSig, Sum, Merged.signature());
+  return true;
+}
+
+std::string svc::mergeMetricsTexts(const std::vector<std::string> &Texts) {
+  // Sum samples by name+labels; comments and unparsable lines pass through
+  // once, in first-seen order.
+  std::vector<std::string> Order;
+  std::map<std::string, double> Samples;
+  std::set<std::string> SeenPass;
+  for (const std::string &Text : Texts) {
+    size_t Pos = 0;
+    while (Pos < Text.size()) {
+      size_t Eol = Text.find('\n', Pos);
+      if (Eol == std::string::npos)
+        Eol = Text.size();
+      const std::string Line = Text.substr(Pos, Eol - Pos);
+      Pos = Eol + 1;
+      if (Line.empty())
+        continue;
+      const size_t Space = Line.rfind(' ');
+      char *End = nullptr;
+      const double V = Space == std::string::npos || Space == 0 ||
+                               Line[0] == '#'
+                           ? 0
+                           : std::strtod(Line.c_str() + Space + 1, &End);
+      const bool IsSample =
+          End && End != Line.c_str() + Space + 1 && *End == '\0';
+      if (!IsSample) {
+        if (SeenPass.insert(Line).second)
+          Order.push_back(Line);
+        continue;
+      }
+      const std::string Key = Line.substr(0, Space);
+      const auto It = Samples.find(Key);
+      if (It == Samples.end()) {
+        Samples[Key] = V;
+        Order.push_back(Key);
+      } else {
+        It->second += V;
+      }
+    }
+  }
+  std::string Out;
+  for (const std::string &Line : Order) {
+    const auto It = Samples.find(Line);
+    if (It == Samples.end()) {
+      Out += Line;
+    } else {
+      Out += It->first;
+      Out += ' ';
+      const double V = It->second;
+      if (V == std::floor(V) && std::fabs(V) < 9.2e18) {
+        Out += std::to_string(static_cast<long long>(V));
+      } else {
+        char Buf[64];
+        std::snprintf(Buf, sizeof(Buf), "%g", V);
+        Out += Buf;
+      }
+    }
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,164 @@
+//===- svc/Shard.h - Consistent-hash ring + spec-driven routing -*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sharding layer's pure logic (DESIGN.md §3.12): a consistent-hash
+/// ring over N backend shards, and a routing planner that derives where
+/// every protocol Op may execute *from the hosted specs' classification*
+/// rather than from any hand-maintained table. The lattice makes the
+/// scale-out decision mechanical, per method:
+///
+///  * Keyed — every non-trivial pair involving the method is key-separable
+///    and state-free on a consistent argument (the striped-admission
+///    premise, PairClass::Separable/KeyArg1): invocations with different
+///    keys commute unconditionally, so the key's hash picks the shard and
+///    shards never coordinate. Set add/remove/contains land here.
+///  * Anywhere — the method is privatizable (MethodClass::Privatizable:
+///    an unconditional self-commuter returning nothing): any shard may
+///    absorb it into its local replica and the whole-structure view is the
+///    join of the replicas. Accumulator increment lands here; the planner
+///    attaches such ops to the batch's primary shard to keep a batch on as
+///    few shards as possible.
+///  * Pinned — everything else (conditional pairs reading abstract state:
+///    union-find's rep()-dependent conditions, the accumulator read that
+///    never commutes with increment): all invocations serialize through
+///    the structure's owning shard, chosen by ring-hashing the structure
+///    id. A pinned read observes the owner's replica only — for the
+///    accumulator that is a lattice lower bound of the global sum; the
+///    precise join is a State merge.
+///
+/// Everything here is deterministic from (shard count, vnodes, seed): the
+/// proxy publishes those three in its Stats text and the loadgen rebuilds
+/// an identical ring + planner client-side to recompute every batch's plan
+/// for the per-shard replay oracle. The lattice merges (set union,
+/// accumulator sum, union-find partition join) live here too, shared by
+/// the proxy's State endpoint and the oracle's merge-equality check so the
+/// two can never drift.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_SVC_SHARD_H
+#define COMLAT_SVC_SHARD_H
+
+#include "svc/Protocol.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace comlat {
+namespace svc {
+
+/// splitmix64 finalizer: the ring's point hash. Pure arithmetic, so the
+/// proxy and a loadgen in another process agree bit-for-bit.
+inline uint64_t shardMix(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ull;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  return X ^ (X >> 31);
+}
+
+/// A consistent-hash ring: VNodes points per shard on the u64 circle, a
+/// key hashes to the first point clockwise. Construction is deterministic
+/// from (NumShards, VNodes, Seed).
+class HashRing {
+public:
+  HashRing(unsigned NumShards, unsigned VNodes, uint64_t Seed);
+
+  unsigned numShards() const { return NumShards; }
+  unsigned vnodes() const { return VNodes; }
+  uint64_t seed() const { return Seed; }
+
+  /// The shard owning \p Key (already-mixed keys welcome; the ring mixes
+  /// again against its seed so correlated keys still spread).
+  unsigned shardForKey(uint64_t Key) const;
+
+private:
+  unsigned NumShards;
+  unsigned VNodes;
+  uint64_t Seed;
+  /// (ring point, shard), sorted by point.
+  std::vector<std::pair<uint64_t, uint32_t>> Points;
+};
+
+/// Where a method's invocations may execute (see file comment).
+enum class RouteKind : uint8_t { Keyed, Pinned, Anywhere };
+
+const char *routeKindName(RouteKind K);
+
+/// The derived routing rule for one protocol method.
+struct MethodRoute {
+  RouteKind Kind = RouteKind::Pinned;
+  /// Keyed only: which Op argument is the key (0 = A, 1 = B).
+  unsigned KeyArg = 0;
+};
+
+/// One batch's routing plan: the ops grouped by target shard, ascending
+/// shard id, each group keeping its ops in original batch order. The
+/// groups execute as independent transactions (they commute across shards
+/// by construction), so a plan with one group is forwardable whole.
+struct RoutePlan {
+  struct Sub {
+    uint32_t Shard = 0;
+    std::vector<uint32_t> OpIdx; ///< indices into the batch's op array
+  };
+  std::vector<Sub> Subs;
+
+  bool singleShard() const { return Subs.size() == 1; }
+};
+
+/// Derives per-method routes from the hosted specs' SpecClassification and
+/// plans batches over a ring. Stateless after construction; shareable.
+class ShardRouter {
+public:
+  explicit ShardRouter(const HashRing &Ring);
+
+  /// The derived rule for (\p Obj, \p Method). Ops must satisfy validOp.
+  const MethodRoute &route(ObjectId Obj, uint8_t Method) const {
+    return Routes[static_cast<unsigned>(Obj)][Method];
+  }
+
+  /// The shard owning structure \p Obj (where its pinned ops serialize).
+  unsigned ownerShard(ObjectId Obj) const {
+    return Owners[static_cast<unsigned>(Obj)];
+  }
+
+  /// The shard for one op, ignoring batch context. Anywhere ops get the
+  /// sentinel; the planner resolves them to the batch's primary shard.
+  static constexpr unsigned AnyShard = ~0u;
+  unsigned shardForOp(const Op &O) const;
+
+  /// Groups \p Ops into per-shard sub-batches (see RoutePlan). Never
+  /// returns an empty plan for a non-empty batch.
+  RoutePlan plan(const std::vector<Op> &Ops) const;
+
+  const HashRing &ring() const { return Ring; }
+
+private:
+  const HashRing &Ring;
+  MethodRoute Routes[3][3];
+  unsigned Owners[3];
+};
+
+/// Joins N backends' stateText() dumps into the whole-structure view:
+/// set = union of the shard sets, acc = sum of the shard replicas, uf =
+/// partition join (union, over a fresh forest, of every shard's observed
+/// same-set classes). Output is renderStateText-formatted, so it is
+/// byte-comparable with a merged oracle view produced by this same
+/// function. False (Err set) on malformed or inconsistent inputs.
+bool mergeStateTexts(const std::vector<std::string> &Texts, std::string &Out,
+                     std::string *Err);
+
+/// Merges N Prometheus text exports by summing samples with identical
+/// name+labels keys; comments pass through once. Scatter-gathered Metrics
+/// replies reconcile through this.
+std::string mergeMetricsTexts(const std::vector<std::string> &Texts);
+
+} // namespace svc
+} // namespace comlat
+
+#endif // COMLAT_SVC_SHARD_H

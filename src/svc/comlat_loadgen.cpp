@@ -10,6 +10,7 @@
 //   comlat-loadgen --port=7411 --check-recovery=acked.txt --wal-dir=wal/
 //   comlat-loadgen --port=7411 --read-from=127.0.0.1:7412   # follower reads
 //   comlat-loadgen --port=7411 --check-follower=127.0.0.1:7412
+//   comlat-loadgen --port=7480 --qps=60000 --shard-affinity # vs a proxy
 //
 // Exits non-zero on any protocol error (2), a verification failure (3),
 // when not a single batch committed (4), a recovery-audit failure (5), a
@@ -72,7 +73,8 @@ int main(int Argc, char **Argv) {
   Opts.checkKnown({"host", "port", "threads", "batches", "duration",
                    "ops-per-batch", "qps", "seed", "keyspace", "uf-elements",
                    "set-weight", "acc-weight", "uf-weight", "verify",
-                   "privatized", "csv", "json", "metrics-out", "wait-ready",
+                   "shard-affinity", "privatized", "csv", "json",
+                   "metrics-out", "wait-ready",
                    "acked-log", "tolerate-disconnect", "check-recovery",
                    "wal-dir", "read-from", "read-fraction", "check-follower",
                    "leader-wal-dir", "catchup-timeout"});
@@ -92,6 +94,7 @@ int main(int Argc, char **Argv) {
   Config.AccWeight = static_cast<unsigned>(Opts.getUInt("acc-weight", 2));
   Config.UfWeight = static_cast<unsigned>(Opts.getUInt("uf-weight", 2));
   Config.Verify = Opts.getBool("verify");
+  Config.ShardAffinity = Opts.getBool("shard-affinity");
   Config.Privatized = Opts.getBool("privatized");
   Config.TolerateDisconnect = Opts.getBool("tolerate-disconnect");
   Config.AckedLogPath = Opts.getString("acked-log", "");

@@ -9,6 +9,7 @@
 //   comlat-serve --port=0 --port-file=/tmp/port   # ephemeral, CI style
 //   comlat-serve --durable --wal-dir=/var/lib/comlat   # WAL + snapshots
 //   comlat-serve --follow=127.0.0.1:7411 --port=7412   # read-only replica
+//   comlat-serve --port=7481 --shard-id=0   # ring slot behind comlat-shard
 //
 // SIGTERM/SIGINT drain gracefully: stop accepting, finish every admitted
 // transaction, flush every reply, exit 0. SIGUSR1 takes a snapshot now
@@ -19,6 +20,7 @@
 
 #include "obs/ObsCli.h"
 #include "support/Options.h"
+#include "support/PortFile.h"
 #include "svc/Server.h"
 
 #include <csignal>
@@ -33,8 +35,8 @@ int main(int Argc, char **Argv) {
                    "queue", "idle-timeout-ms", "max-write-buffer",
                    "uf-elements", "max-attempts", "privatize", "durable",
                    "wal-dir", "wal-sync-interval", "wal-group-max",
-                   "snapshot-interval-ms", "follow", "trace", "trace-events",
-                   "metrics", "metrics-json"});
+                   "snapshot-interval-ms", "follow", "shard-id", "trace",
+                   "trace-events", "metrics", "metrics-json"});
   obs::ScopedObs Obs(Opts);
 
   svc::ServerConfig Config;
@@ -57,6 +59,12 @@ int main(int Argc, char **Argv) {
       static_cast<unsigned>(Opts.getUInt("wal-group-max", 64));
   Config.SnapshotIntervalMs =
       static_cast<unsigned>(Opts.getUInt("snapshot-interval-ms", 0));
+  Config.ShardId = static_cast<int>(Opts.getInt("shard-id", -1));
+  if (Config.ShardId >= static_cast<int>(svc::MaxShards)) {
+    std::fprintf(stderr, "comlat-serve: --shard-id must be < %u\n",
+                 svc::MaxShards);
+    return 1;
+  }
   const std::string Follow = Opts.getString("follow", "");
   if (!Follow.empty()) {
     const size_t Colon = Follow.rfind(':');
@@ -99,17 +107,13 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(Srv.recoveredSeq()));
   std::fflush(stdout);
 
+  // Published atomically (temp + rename): CI polls this file and must
+  // never read a half-written port.
   const std::string PortFile = Opts.getString("port-file", "");
-  if (!PortFile.empty()) {
-    if (std::FILE *F = std::fopen(PortFile.c_str(), "w")) {
-      std::fprintf(F, "%u\n", unsigned(Srv.port()));
-      std::fclose(F);
-    } else {
-      std::fprintf(stderr, "comlat-serve: cannot write %s\n",
-                   PortFile.c_str());
-      Srv.stop();
-      return 1;
-    }
+  if (!PortFile.empty() && !writePortFile(PortFile, Srv.port())) {
+    std::fprintf(stderr, "comlat-serve: cannot write %s\n", PortFile.c_str());
+    Srv.stop();
+    return 1;
   }
 
   // Poll rather than park: a follower can also be stopped from inside

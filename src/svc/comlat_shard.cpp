@@ -1,0 +1,143 @@
+//===- svc/comlat_shard.cpp - The comlat sharding proxy --------------------===//
+//
+// Fronts N comlat-serve backends with the spec-driven routing plan of
+// svc/Shard.h: key-separable batches forward whole (fast path), cross-shard
+// batches split into independent per-shard transactions, whole-structure
+// reads scatter-gather and reconcile by lattice merge. See DESIGN.md §3.12.
+//
+//   comlat-shard --port=7400 --backends=127.0.0.1:7411,127.0.0.1:7412
+//   comlat-shard --port=0 --port-file=/tmp/port --backends=...   # CI style
+//
+// Backends should run with --shard-id=K matching their position in
+// --backends (the proxy cross-checks every sub-batch reply). SIGTERM and
+// SIGINT drain gracefully: stop accepting, let in-flight batches finish
+// against their backends, flush every reply, exit 0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Options.h"
+#include "support/PortFile.h"
+#include "svc/Proxy.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace comlat;
+
+namespace {
+
+/// Parses `host:port,host:port,...` into endpoints; false on any bad entry.
+bool parseBackends(const std::string &Spec,
+                   std::vector<svc::ShardEndpoint> &Out) {
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    if (Comma == std::string::npos)
+      Comma = Spec.size();
+    const std::string Entry = Spec.substr(Pos, Comma - Pos);
+    Pos = Comma + 1;
+    if (Entry.empty())
+      continue;
+    const size_t Colon = Entry.rfind(':');
+    if (Colon == std::string::npos || Colon == 0)
+      return false;
+    const unsigned long Port =
+        std::strtoul(Entry.c_str() + Colon + 1, nullptr, 10);
+    if (Port == 0 || Port > 65535)
+      return false;
+    Out.push_back({Entry.substr(0, Colon), static_cast<uint16_t>(Port)});
+  }
+  return !Out.empty();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const Options Opts(Argc, Argv);
+  Opts.checkKnown({"port", "bind", "port-file", "io-threads", "backends",
+                   "vnodes", "ring-seed", "uf-elements", "busy-retries",
+                   "busy-retry-delay-ms", "redirect-limit",
+                   "reconnect-delay-ms", "max-write-buffer"});
+
+  svc::ProxyConfig Config;
+  Config.BindAddress = Opts.getString("bind", "127.0.0.1");
+  Config.Port = static_cast<uint16_t>(Opts.getUInt("port", 7400));
+  Config.IoThreads = static_cast<unsigned>(Opts.getUInt("io-threads", 2));
+  Config.VNodes = static_cast<unsigned>(Opts.getUInt("vnodes", 64));
+  Config.RingSeed = Opts.getUInt("ring-seed", 0x5EEDull);
+  Config.UfElements = Opts.getUInt("uf-elements", 1024);
+  Config.BusyRetryLimit =
+      static_cast<unsigned>(Opts.getUInt("busy-retries", 64));
+  Config.BusyRetryDelayMs =
+      static_cast<unsigned>(Opts.getUInt("busy-retry-delay-ms", 2));
+  Config.RedirectLimit =
+      static_cast<unsigned>(Opts.getUInt("redirect-limit", 4));
+  Config.ReconnectDelayMs =
+      static_cast<unsigned>(Opts.getUInt("reconnect-delay-ms", 50));
+  Config.MaxWriteBuffered = Opts.getUInt("max-write-buffer", 1u << 22);
+
+  const std::string Backends = Opts.getString("backends", "");
+  if (Backends.empty() || !parseBackends(Backends, Config.Backends)) {
+    std::fprintf(stderr,
+                 "comlat-shard: --backends wants host:port[,host:port...], "
+                 "got '%s'\n",
+                 Backends.c_str());
+    return 1;
+  }
+  if (Config.Backends.size() > svc::MaxShards) {
+    std::fprintf(stderr, "comlat-shard: at most %u backends\n",
+                 svc::MaxShards);
+    return 1;
+  }
+  if (Config.VNodes == 0) {
+    std::fprintf(stderr, "comlat-shard: --vnodes must be > 0\n");
+    return 1;
+  }
+
+  // Block the shutdown signals before any thread spawns so every thread
+  // inherits the mask and sigtimedwait() below is the only receiver.
+  sigset_t Sigs;
+  sigemptyset(&Sigs);
+  sigaddset(&Sigs, SIGTERM);
+  sigaddset(&Sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &Sigs, nullptr);
+
+  svc::Proxy P(Config);
+  std::string Err;
+  if (!P.start(&Err)) {
+    std::fprintf(stderr, "comlat-shard: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("comlat-shard listening on %s:%u over %zu shards "
+              "(vnodes=%u seed=%llu)\n",
+              Config.BindAddress.c_str(), unsigned(P.port()),
+              Config.Backends.size(), Config.VNodes,
+              static_cast<unsigned long long>(Config.RingSeed));
+  std::fflush(stdout);
+
+  // Published atomically (temp + rename): CI polls this file and must
+  // never read a half-written port.
+  const std::string PortFile = Opts.getString("port-file", "");
+  if (!PortFile.empty() && !writePortFile(PortFile, P.port())) {
+    std::fprintf(stderr, "comlat-shard: cannot write %s\n", PortFile.c_str());
+    P.stop();
+    return 1;
+  }
+
+  const struct timespec Tick = {0, 200 * 1000 * 1000};
+  for (;;) {
+    const int Sig = sigtimedwait(&Sigs, nullptr, &Tick);
+    if (Sig < 0) { // timeout (or EINTR)
+      if (P.stopRequested())
+        break;
+      continue;
+    }
+    std::fprintf(stderr, "comlat-shard: caught %s, draining\n",
+                 Sig == SIGTERM ? "SIGTERM" : "SIGINT");
+    break;
+  }
+  P.stop();
+  std::fprintf(stderr, "comlat-shard: drained, bye\n");
+  return 0;
+}

@@ -1,0 +1,330 @@
+//===- tests/svc/HashRingTest.cpp - Ring, router and lattice merges -----------===//
+//
+// The sharding subsystem's deterministic core: consistent-hash ring
+// distribution and stability, the spec-derived routing table (the kinds are
+// computed from SpecClassification, never hardcoded — these tests pin what
+// the derivation must conclude), batch planning, and the lattice merges
+// that reconcile scatter-gathered whole-structure reads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/Shard.h"
+
+#include "adt/UnionFind.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace comlat;
+using namespace comlat::svc;
+
+namespace {
+
+Op setOp(uint8_t Method, int64_t Key) {
+  return {static_cast<uint8_t>(ObjectId::Set), Method, Key, 0};
+}
+Op accOp(uint8_t Method, int64_t A = 1) {
+  return {static_cast<uint8_t>(ObjectId::Acc), Method, A, 0};
+}
+Op ufOp(uint8_t Method, int64_t A, int64_t B = 0) {
+  return {static_cast<uint8_t>(ObjectId::Uf), Method, A, B};
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// HashRing
+//===----------------------------------------------------------------------===//
+
+TEST(HashRingTest, CoversAllShards) {
+  const HashRing Ring(5, 64, 42);
+  std::set<unsigned> Seen;
+  for (uint64_t K = 0; K != 10000; ++K)
+    Seen.insert(Ring.shardForKey(K));
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(HashRingTest, DistributionWithinTwofoldAt64VNodes) {
+  // The issue's bound: at 64 vnodes per shard, the busiest shard's key
+  // share stays within 2x the least busy one's.
+  for (const unsigned Shards : {2u, 3u, 5u, 8u}) {
+    const HashRing Ring(Shards, 64, 0x5EED);
+    std::map<unsigned, uint64_t> Counts;
+    const uint64_t Keys = 200000;
+    for (uint64_t K = 0; K != Keys; ++K)
+      ++Counts[Ring.shardForKey(K * 0x9E3779B97F4A7C15ull + K)];
+    ASSERT_EQ(Counts.size(), Shards);
+    uint64_t Min = UINT64_MAX, Max = 0;
+    for (const auto &[S, N] : Counts) {
+      Min = std::min(Min, N);
+      Max = std::max(Max, N);
+    }
+    EXPECT_LE(Max, 2 * Min) << "shards=" << Shards << " min=" << Min
+                            << " max=" << Max;
+  }
+}
+
+TEST(HashRingTest, DeterministicAcrossInstances) {
+  // Same (shards, vnodes, seed) must map identically in any process — the
+  // loadgen rebuilds the proxy's ring from its published Stats and
+  // recomputes every plan, which only works if the mapping is a pure
+  // function of the three parameters.
+  const HashRing A(7, 64, 1234), B(7, 64, 1234);
+  for (uint64_t K = 0; K != 5000; ++K)
+    ASSERT_EQ(A.shardForKey(K), B.shardForKey(K));
+}
+
+TEST(HashRingTest, SeedChangesTheMapping) {
+  const HashRing A(4, 64, 1), B(4, 64, 2);
+  unsigned Differ = 0;
+  for (uint64_t K = 0; K != 1000; ++K)
+    Differ += A.shardForKey(K) != B.shardForKey(K);
+  EXPECT_GT(Differ, 100u); // ~3/4 expected; anything near zero is a bug
+}
+
+TEST(HashRingTest, SingleShardDegenerates) {
+  const HashRing Ring(1, 64, 99);
+  for (uint64_t K = 0; K != 1000; ++K)
+    ASSERT_EQ(Ring.shardForKey(K), 0u);
+}
+
+TEST(HashRingTest, GeometryIsPublished) {
+  const HashRing Ring(3, 16, 777);
+  EXPECT_EQ(Ring.numShards(), 3u);
+  EXPECT_EQ(Ring.vnodes(), 16u);
+  EXPECT_EQ(Ring.seed(), 777u);
+}
+
+//===----------------------------------------------------------------------===//
+// ShardRouter: spec-derived method routes
+//===----------------------------------------------------------------------===//
+
+TEST(ShardRouterTest, SetMethodsDeriveKeyed) {
+  // Every precise-set pair is always-commuting or separable-and-state-free
+  // on the key argument, so the whole family shards by key.
+  const HashRing Ring(3, 64, 7);
+  const ShardRouter Router(Ring);
+  for (const uint8_t M : {SetAdd, SetRemove, SetContains}) {
+    const MethodRoute &R = Router.route(ObjectId::Set, M);
+    EXPECT_EQ(R.Kind, RouteKind::Keyed) << unsigned(M);
+    EXPECT_EQ(R.KeyArg, 0u);
+  }
+}
+
+TEST(ShardRouterTest, AccumulatorIncrementDerivesAnywhere) {
+  // Increment is privatizable (unconditional self-commuter returning
+  // nothing): any replica absorbs it and the merge is the sum.
+  const HashRing Ring(3, 64, 7);
+  const ShardRouter Router(Ring);
+  EXPECT_EQ(Router.route(ObjectId::Acc, AccIncrement).Kind,
+            RouteKind::Anywhere);
+}
+
+TEST(ShardRouterTest, NonSeparableMethodsDerivePinned) {
+  // Read serializes against every increment; union/find conflict through
+  // the partition itself — no key argument separates them, so the
+  // structure pins to one owning shard.
+  const HashRing Ring(3, 64, 7);
+  const ShardRouter Router(Ring);
+  EXPECT_EQ(Router.route(ObjectId::Acc, AccRead).Kind, RouteKind::Pinned);
+  EXPECT_EQ(Router.route(ObjectId::Uf, UfFind).Kind, RouteKind::Pinned);
+  EXPECT_EQ(Router.route(ObjectId::Uf, UfUnion).Kind, RouteKind::Pinned);
+}
+
+TEST(ShardRouterTest, PinnedMethodsShareTheOwner) {
+  const HashRing Ring(5, 64, 11);
+  const ShardRouter Router(Ring);
+  const unsigned Owner = Router.ownerShard(ObjectId::Uf);
+  EXPECT_LT(Owner, 5u);
+  EXPECT_EQ(Router.shardForOp(ufOp(UfFind, 3)), Owner);
+  EXPECT_EQ(Router.shardForOp(ufOp(UfUnion, 1, 2)), Owner);
+}
+
+//===----------------------------------------------------------------------===//
+// ShardRouter: batch plans
+//===----------------------------------------------------------------------===//
+
+TEST(ShardRouterTest, PlanCoversEveryOpExactlyOnce) {
+  const HashRing Ring(4, 64, 3);
+  const ShardRouter Router(Ring);
+  std::vector<Op> Ops;
+  for (int64_t K = 0; K != 40; ++K)
+    Ops.push_back(setOp(SetAdd, K));
+  Ops.push_back(accOp(AccIncrement));
+  Ops.push_back(ufOp(UfUnion, 1, 2));
+  Ops.push_back(accOp(AccRead, 0));
+  const RoutePlan Plan = Router.plan(Ops);
+  std::set<uint32_t> Seen;
+  unsigned PrevShard = 0;
+  bool First = true;
+  for (const RoutePlan::Sub &Sub : Plan.Subs) {
+    if (!First)
+      EXPECT_GT(Sub.Shard, PrevShard) << "subs must ascend by shard";
+    First = false;
+    PrevShard = Sub.Shard;
+    for (const uint32_t I : Sub.OpIdx) {
+      EXPECT_TRUE(Seen.insert(I).second) << "op routed twice";
+      ASSERT_LT(I, Ops.size());
+    }
+  }
+  EXPECT_EQ(Seen.size(), Ops.size());
+}
+
+TEST(ShardRouterTest, KeyedOpsFollowTheRing) {
+  const HashRing Ring(3, 64, 21);
+  const ShardRouter Router(Ring);
+  // A batch of same-key set ops is single-shard by construction.
+  const RoutePlan Plan = Router.plan(
+      {setOp(SetAdd, 17), setOp(SetContains, 17), setOp(SetRemove, 17)});
+  ASSERT_TRUE(Plan.singleShard());
+  EXPECT_EQ(Plan.Subs[0].OpIdx.size(), 3u);
+}
+
+TEST(ShardRouterTest, AnywhereOpsJoinThePrimarySub) {
+  // A batch of only privatizable increments must not split: they attach
+  // to one shard (any is correct — the merge is the sum).
+  const HashRing Ring(3, 64, 21);
+  const ShardRouter Router(Ring);
+  const RoutePlan Plan =
+      Router.plan({accOp(AccIncrement), accOp(AccIncrement)});
+  ASSERT_TRUE(Plan.singleShard());
+  EXPECT_EQ(Plan.Subs[0].OpIdx.size(), 2u);
+
+  // Mixed with a keyed op, the increments ride that op's shard instead of
+  // opening a second sub-batch.
+  const RoutePlan Mixed =
+      Router.plan({setOp(SetAdd, 5), accOp(AccIncrement)});
+  ASSERT_TRUE(Mixed.singleShard());
+  EXPECT_EQ(Mixed.Subs[0].Shard, Router.shardForOp(setOp(SetAdd, 5)));
+}
+
+TEST(ShardRouterTest, PlanIsDeterministicAcrossRouters) {
+  const HashRing RingA(3, 64, 5), RingB(3, 64, 5);
+  const ShardRouter A(RingA), B(RingB);
+  std::vector<Op> Ops;
+  for (int64_t K = 0; K != 30; ++K) {
+    Ops.push_back(setOp(SetAdd, K * 37));
+    if (K % 5 == 0)
+      Ops.push_back(ufOp(UfUnion, K % 8, (K + 3) % 8));
+  }
+  const RoutePlan PA = A.plan(Ops), PB = B.plan(Ops);
+  ASSERT_EQ(PA.Subs.size(), PB.Subs.size());
+  for (size_t I = 0; I != PA.Subs.size(); ++I) {
+    EXPECT_EQ(PA.Subs[I].Shard, PB.Subs[I].Shard);
+    EXPECT_EQ(PA.Subs[I].OpIdx, PB.Subs[I].OpIdx);
+  }
+}
+
+TEST(ShardRouterTest, EmptyBatchPlansEmpty) {
+  const HashRing Ring(3, 64, 5);
+  const ShardRouter Router(Ring);
+  EXPECT_TRUE(Router.plan({}).Subs.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Lattice merges
+//===----------------------------------------------------------------------===//
+
+TEST(StateMergeTest, UnionsSetsAndSumsAccumulators) {
+  // Per-shard dumps in ObjectHost::stateText() format (uf= of a fresh
+  // 4-element forest is each element its own class).
+  const std::string A = "set=1,3,\nacc=10\nuf=0:0,1:1,2:2,3:3,\n";
+  const std::string B = "set=2,3,\nacc=-4\nuf=0:0,1:1,2:2,3:3,\n";
+  std::string Merged, Err;
+  ASSERT_TRUE(mergeStateTexts({A, B}, Merged, &Err)) << Err;
+  EXPECT_NE(Merged.find("set=1,2,3,"), std::string::npos) << Merged;
+  EXPECT_NE(Merged.find("acc=6"), std::string::npos) << Merged;
+}
+
+TEST(StateMergeTest, JoinsUnionFindPartitions) {
+  // Shard A united {0,1}; shard B united {1,2}. The partition join is the
+  // finest partition coarser than both: {0,1,2} one class, {3} alone. The
+  // expected signature comes from performing those same unions on a
+  // reference forest (representatives depend on rank tie-breaks, so the
+  // comparison goes through the same public API, not a literal).
+  const std::string A = "set=\nacc=0\nuf=0:0,0:0,2:2,3:3,\n";
+  const std::string B = "set=\nacc=0\nuf=0:0,1:1,1:1,3:3,\n";
+  std::string Merged, Err;
+  ASSERT_TRUE(mergeStateTexts({A, B}, Merged, &Err)) << Err;
+  UnionFind Ref(4);
+  bool Changed = false;
+  Ref.unite(1, 0, nullptr, nullptr, Changed);
+  Ref.unite(2, 1, nullptr, nullptr, Changed);
+  EXPECT_NE(Merged.find("uf=" + Ref.signature()), std::string::npos)
+      << Merged;
+  EXPECT_TRUE(Ref.sameSet(0, 2));
+  EXPECT_FALSE(Ref.sameSet(0, 3));
+}
+
+TEST(StateMergeTest, MergeOrderOnlyRelabelsRepresentatives) {
+  // Set union and accumulator sum are order-independent byte for byte.
+  // The union-find PARTITION is too, but its representative labels follow
+  // rank tie-breaks and thus union order — which is why every consumer
+  // (proxy and verifying client) merges in the same ascending shard order.
+  const std::string A = "set=5,9,\nacc=3\nuf=0:0,0:0,2:2,\n";
+  const std::string B = "set=2,\nacc=4\nuf=0:0,1:1,1:1,\n";
+  std::string AB, BA, AA, Err;
+  ASSERT_TRUE(mergeStateTexts({A, B}, AB, &Err)) << Err;
+  ASSERT_TRUE(mergeStateTexts({B, A}, BA, &Err)) << Err;
+  EXPECT_NE(AB.find("set=2,5,9,"), std::string::npos) << AB;
+  EXPECT_NE(BA.find("set=2,5,9,"), std::string::npos) << BA;
+  EXPECT_NE(AB.find("acc=7"), std::string::npos) << AB;
+  EXPECT_NE(BA.find("acc=7"), std::string::npos) << BA;
+  // Both orders produce the same partition: each element's smallest class
+  // member (the first half of each `smallest:rep` pair) agrees.
+  auto Smallest = [](const std::string &Text) {
+    const size_t Pos = Text.find("uf=");
+    std::vector<std::string> Out;
+    size_t P = Pos + 3;
+    while (P < Text.size() && Text[P] != '\n') {
+      const size_t Colon = Text.find(':', P);
+      Out.push_back(Text.substr(P, Colon - P));
+      P = Text.find(',', Colon) + 1;
+    }
+    return Out;
+  };
+  EXPECT_EQ(Smallest(AB), Smallest(BA));
+  // Merging a single dump re-derives its set, sum and partition (reps may
+  // relabel; the consumers only ever compare merge output against merge
+  // output, never against a raw dump).
+  ASSERT_TRUE(mergeStateTexts({A}, AA, &Err)) << Err;
+  EXPECT_NE(AA.find("set=5,9,"), std::string::npos) << AA;
+  EXPECT_NE(AA.find("acc=3"), std::string::npos) << AA;
+  EXPECT_EQ(Smallest(AA), Smallest(A));
+}
+
+TEST(StateMergeTest, RejectsDisagreeingForestSizes) {
+  const std::string A = "set=\nacc=0\nuf=0:0,1:1,\n";
+  const std::string B = "set=\nacc=0\nuf=0:0,1:1,2:2,\n";
+  std::string Merged, Err;
+  EXPECT_FALSE(mergeStateTexts({A, B}, Merged, &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(MetricsMergeTest, SumsSamplesAndKeepsCommentsOnce) {
+  const std::string A = "# TYPE comlat_committed_total counter\n"
+                        "comlat_committed_total 10\n"
+                        "comlat_aborts_total{cause=\"lock\"} 2\n";
+  const std::string B = "# TYPE comlat_committed_total counter\n"
+                        "comlat_committed_total 32\n"
+                        "comlat_aborts_total{cause=\"lock\"} 1\n";
+  const std::string Merged = mergeMetricsTexts({A, B});
+  EXPECT_NE(Merged.find("comlat_committed_total 42"), std::string::npos)
+      << Merged;
+  EXPECT_NE(Merged.find("{cause=\"lock\"} 3"), std::string::npos) << Merged;
+  // The TYPE comment appears exactly once.
+  const size_t First = Merged.find("# TYPE comlat_committed_total");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_EQ(Merged.find("# TYPE comlat_committed_total", First + 1),
+            std::string::npos);
+}
+
+TEST(MetricsMergeTest, DisjointFamiliesPassThrough) {
+  const std::string A = "only_on_a 5\n";
+  const std::string B = "only_on_b 7\n";
+  const std::string Merged = mergeMetricsTexts({A, B});
+  EXPECT_NE(Merged.find("only_on_a 5"), std::string::npos);
+  EXPECT_NE(Merged.find("only_on_b 7"), std::string::npos);
+}

@@ -349,6 +349,210 @@ TEST(ProtocolTest, ResponseRejectsUnknownStatusByte) {
   EXPECT_FALSE(decodeResponse(Payload, Out));
 }
 
+//===----------------------------------------------------------------------===//
+// Sharding frames (SubBatch / SnapState / shard-annotation trailer)
+//===----------------------------------------------------------------------===//
+
+TEST(ProtocolTest, SubBatchRoundtrip) {
+  Request In = sampleBatch();
+  In.Type = MsgType::SubBatch;
+  In.Shard = 7;
+  const Request Out = roundtrip(In);
+  EXPECT_EQ(Out.Type, MsgType::SubBatch);
+  EXPECT_EQ(Out.Shard, 7u);
+  ASSERT_EQ(Out.Ops.size(), In.Ops.size());
+  for (size_t I = 0; I != In.Ops.size(); ++I) {
+    EXPECT_EQ(Out.Ops[I].Obj, In.Ops[I].Obj);
+    EXPECT_EQ(Out.Ops[I].Method, In.Ops[I].Method);
+    EXPECT_EQ(Out.Ops[I].A, In.Ops[I].A);
+    EXPECT_EQ(Out.Ops[I].B, In.Ops[I].B);
+  }
+}
+
+TEST(ProtocolTest, SubBatchBodyMatchesBatchPastTheShardField) {
+  // The proxy's zero-copy fast path splices a client Batch body verbatim
+  // behind `u32 shard`; this pins the layout equality it relies on.
+  Request AsBatch = sampleBatch();
+  Request AsSub = AsBatch;
+  AsSub.Type = MsgType::SubBatch;
+  AsSub.Shard = 3;
+  std::string BatchWire, SubWire;
+  encodeRequest(AsBatch, BatchWire);
+  encodeRequest(AsSub, SubWire);
+  // Past the frame prefix, req_id, type (and the sub's shard field), the
+  // bodies must be byte-identical.
+  const std::string BatchBody = BatchWire.substr(4 + 8 + 1);
+  const std::string SubBody = SubWire.substr(4 + 8 + 1 + 4);
+  EXPECT_EQ(SubBody, BatchBody);
+}
+
+TEST(ProtocolTest, SubBatchRejectsOutOfRangeShard) {
+  Request In = sampleBatch();
+  In.Type = MsgType::SubBatch;
+  In.Shard = MaxShards; // one past the last valid slot
+  std::string Wire;
+  encodeRequest(In, Wire);
+  std::string_view Payload;
+  size_t Consumed = 0;
+  ASSERT_EQ(peelFrame(Wire, Payload, Consumed), FrameResult::Ok);
+  Request Out;
+  std::string Err;
+  EXPECT_FALSE(decodeRequest(Payload, Out, Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(ProtocolTest, SnapStateRoundtrip) {
+  for (const uint32_t Shard : {0u, 5u, MaxShards - 1, ShardSelf}) {
+    Request In;
+    In.ReqId = 20;
+    In.Type = MsgType::SnapState;
+    In.Shard = Shard;
+    const Request Out = roundtrip(In);
+    EXPECT_EQ(Out.Type, MsgType::SnapState);
+    EXPECT_EQ(Out.Shard, Shard);
+  }
+}
+
+TEST(ProtocolTest, SnapStateRejectsOutOfRangeShard) {
+  // Anything in (MaxShards, ShardSelf) is neither a slot nor the self
+  // selector.
+  Request In;
+  In.ReqId = 21;
+  In.Type = MsgType::SnapState;
+  In.Shard = MaxShards + 9;
+  std::string Wire;
+  encodeRequest(In, Wire);
+  std::string_view Payload;
+  size_t Consumed = 0;
+  ASSERT_EQ(peelFrame(Wire, Payload, Consumed), FrameResult::Ok);
+  Request Out;
+  std::string Err;
+  EXPECT_FALSE(decodeRequest(Payload, Out, Err));
+}
+
+TEST(ProtocolTest, ShardAnnotatedResponseRoundtrip) {
+  Response In;
+  In.ReqId = 22;
+  In.St = Status::Ok;
+  In.CommitSeq = 500; // legacy field: max over sub-batches
+  In.Results = {1, 0, -3};
+  In.Shards = {{0, 120, 1}, {2, 500, 2}};
+  std::string Wire;
+  encodeResponse(In, Wire);
+  std::string_view Payload;
+  size_t Consumed = 0;
+  ASSERT_EQ(peelFrame(Wire, Payload, Consumed), FrameResult::Ok);
+  Response Out;
+  ASSERT_TRUE(decodeResponse(Payload, Out));
+  EXPECT_EQ(Out.CommitSeq, In.CommitSeq);
+  EXPECT_EQ(Out.Results, In.Results);
+  ASSERT_EQ(Out.Shards.size(), 2u);
+  EXPECT_EQ(Out.Shards[0].Shard, 0u);
+  EXPECT_EQ(Out.Shards[0].CommitSeq, 120u);
+  EXPECT_EQ(Out.Shards[0].NumOps, 1u);
+  EXPECT_EQ(Out.Shards[1].Shard, 2u);
+  EXPECT_EQ(Out.Shards[1].CommitSeq, 500u);
+  EXPECT_EQ(Out.Shards[1].NumOps, 2u);
+}
+
+TEST(ProtocolTest, UnannotatedResponseDecodesWithEmptyTrailer) {
+  // Backward compatibility: a pre-sharding reply (no trailer bytes) must
+  // decode with Shards empty, not fail.
+  Response In;
+  In.ReqId = 23;
+  In.St = Status::Ok;
+  In.Results = {7};
+  std::string Wire;
+  encodeResponse(In, Wire);
+  std::string_view Payload;
+  size_t Consumed = 0;
+  ASSERT_EQ(peelFrame(Wire, Payload, Consumed), FrameResult::Ok);
+  Response Out;
+  ASSERT_TRUE(decodeResponse(Payload, Out));
+  EXPECT_TRUE(Out.Shards.empty());
+}
+
+TEST(ProtocolTest, ResponseTrailerMalformedVariantsRejected) {
+  Response In;
+  In.ReqId = 24;
+  In.St = Status::Ok;
+  In.Results = {1};
+  In.Shards = {{1, 10, 1}};
+  std::string Good;
+  encodeResponse(In, Good);
+  std::string_view Payload;
+  size_t Consumed = 0;
+  ASSERT_EQ(peelFrame(Good, Payload, Consumed), FrameResult::Ok);
+  const size_t TrailerOff = Payload.size() - (4 + (4 + 8 + 4));
+
+  auto PatchU32 = [&](size_t Off, uint32_t V) {
+    std::string Wire = Good;
+    for (unsigned I = 0; I != 4; ++I)
+      Wire[4 + Off + I] = static_cast<char>((V >> (8 * I)) & 0xFF);
+    return Wire;
+  };
+  auto Rejects = [&](const std::string &Wire, const char *What) {
+    std::string_view P;
+    size_t C = 0;
+    ASSERT_EQ(peelFrame(Wire, P, C), FrameResult::Ok);
+    Response Out;
+    EXPECT_FALSE(decodeResponse(P, Out)) << What;
+  };
+
+  // num_shards = 0 with trailer bytes present.
+  Rejects(PatchU32(TrailerOff, 0), "zero num_shards");
+  // num_shards past the shard-count bound.
+  Rejects(PatchU32(TrailerOff, MaxShards + 1), "num_shards > MaxShards");
+  // num_shards promising more entries than the payload carries.
+  Rejects(PatchU32(TrailerOff, 2), "num_shards overruns payload");
+  // Entry shard id out of range.
+  Rejects(PatchU32(TrailerOff + 4, MaxShards), "entry shard out of range");
+  // Entry op count past the batch bound.
+  Rejects(PatchU32(TrailerOff + 4 + 4 + 8, MaxBatchOps + 1),
+          "entry num_ops > MaxBatchOps");
+  // Junk past a complete trailer.
+  {
+    std::string Wire = Good;
+    const uint32_t NewLen = static_cast<uint32_t>(Wire.size() - 4 + 1);
+    Wire.push_back('z');
+    for (unsigned I = 0; I != 4; ++I)
+      Wire[I] = static_cast<char>((NewLen >> (8 * I)) & 0xFF);
+    Rejects(Wire, "trailing bytes after trailer");
+  }
+  // Every strict cut through the trailer must read as a failure, never as
+  // a shorter valid reply (the u32 text_len already consumed the text, so
+  // leftover bytes must be a full trailer or nothing).
+  for (size_t Cut = TrailerOff + 1; Cut < Payload.size(); ++Cut) {
+    std::string Wire = Good;
+    Wire.resize(4 + Cut);
+    const uint32_t NewLen = static_cast<uint32_t>(Cut);
+    for (unsigned I = 0; I != 4; ++I)
+      Wire[I] = static_cast<char>((NewLen >> (8 * I)) & 0xFF);
+    std::string_view P;
+    size_t C = 0;
+    ASSERT_EQ(peelFrame(Wire, P, C), FrameResult::Ok);
+    Response Out;
+    EXPECT_FALSE(decodeResponse(P, Out)) << "trailer cut at " << Cut;
+  }
+}
+
+TEST(ProtocolTest, SubBatchTruncationFuzz) {
+  Request In = sampleBatch();
+  In.Type = MsgType::SubBatch;
+  In.Shard = 2;
+  std::string Wire;
+  encodeRequest(In, Wire);
+  std::string_view Payload;
+  size_t Consumed = 0;
+  ASSERT_EQ(peelFrame(Wire, Payload, Consumed), FrameResult::Ok);
+  for (size_t Cut = 0; Cut < Payload.size(); ++Cut) {
+    Request Out;
+    std::string Err;
+    EXPECT_FALSE(decodeRequest(Payload.substr(0, Cut), Out, Err))
+        << "cut " << Cut;
+  }
+}
+
 TEST(ProtocolTest, MutatingOpVocabulary) {
   EXPECT_TRUE(mutatingOp({static_cast<uint8_t>(ObjectId::Set), SetAdd, 1, 0}));
   EXPECT_TRUE(

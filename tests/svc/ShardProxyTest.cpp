@@ -1,0 +1,360 @@
+//===- tests/svc/ShardProxyTest.cpp - Sharded serving loopback ----------------===//
+//
+// The sharding subsystem's acceptance test, in-process: three comlat-serve
+// backends (each stamped with its ring slot) behind one comlat-shard proxy.
+// Covers the verified-load path (per-shard replay oracles + lattice-merge
+// equality, all inside runLoadGen), the fast-path/split routing split, the
+// shard-mismatch guard, scatter-gather State merging, and the
+// partial-commit reply contract when a backend dies mid-ring.
+//
+// Note: the backends share this process's global MetricsRegistry, so tests
+// here never assert on merged Metrics sums (the proxy's scatter-gather
+// would double-count the shared families); the process-level metrics
+// behavior is covered by the CI svc-shard job instead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/LoadGen.h"
+#include "svc/Proxy.h"
+#include "svc/Server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace comlat;
+using namespace comlat::svc;
+
+namespace {
+
+/// Three shard backends + a proxy, started on ephemeral ports.
+struct Cluster {
+  std::vector<std::unique_ptr<Server>> Backends;
+  std::unique_ptr<Proxy> P;
+
+  explicit Cluster(unsigned NumShards, size_t UfElements = 128) {
+    ProxyConfig PC;
+    PC.UfElements = UfElements;
+    for (unsigned I = 0; I != NumShards; ++I) {
+      ServerConfig SC;
+      SC.Port = 0;
+      SC.IoThreads = 1;
+      SC.Workers = 2;
+      SC.UfElements = UfElements;
+      SC.ShardId = static_cast<int>(I);
+      SC.Backoff.Kind = BackoffKind::Yield;
+      Backends.push_back(std::make_unique<Server>(SC));
+      std::string Err;
+      EXPECT_TRUE(Backends.back()->start(&Err)) << Err;
+      PC.Backends.push_back({"127.0.0.1", Backends.back()->port()});
+    }
+    P = std::make_unique<Proxy>(PC);
+    std::string Err;
+    EXPECT_TRUE(P->start(&Err)) << Err;
+  }
+
+  ~Cluster() {
+    if (P)
+      P->stop();
+    for (auto &B : Backends)
+      B->stop();
+  }
+};
+
+/// The first \p Count set keys the router sends to \p Shard.
+std::vector<int64_t> setKeysFor(const ShardRouter &R, unsigned Shard,
+                                size_t Count) {
+  std::vector<int64_t> Keys;
+  for (int64_t K = 0; Keys.size() < Count && K < 100000; ++K)
+    if (R.shardForOp({static_cast<uint8_t>(ObjectId::Set), SetAdd, K, 0}) ==
+        Shard)
+      Keys.push_back(K);
+  EXPECT_EQ(Keys.size(), Count);
+  return Keys;
+}
+
+Op setAdd(int64_t K) {
+  return {static_cast<uint8_t>(ObjectId::Set), SetAdd, K, 0};
+}
+
+} // namespace
+
+TEST(ShardProxyTest, ThreeShardVerifiedLoadMatchesPerShardOracles) {
+  Cluster C(3);
+
+  LoadGenConfig LC;
+  LC.Port = C.P->port();
+  LC.Threads = 4;
+  LC.BatchesPerThread = 250;
+  LC.OpsPerBatch = 8;
+  LC.KeySpace = 64; // small keyspace -> real cross-shard conflicts
+  LC.UfElements = 128;
+  LC.Verify = true;
+  const LoadGenStats Stats = runLoadGen(LC);
+
+  EXPECT_EQ(Stats.Sent, 1000u);
+  EXPECT_EQ(Stats.OkReplies, 1000u);
+  EXPECT_EQ(Stats.ErrorReplies, 0u);
+  EXPECT_EQ(Stats.ProtocolErrors, 0u);
+  EXPECT_EQ(Stats.Role, "proxy");
+  EXPECT_EQ(Stats.Shards, 3u);
+  EXPECT_GT(Stats.RingVNodes, 0u);
+  ASSERT_TRUE(Stats.VerifyRan);
+  EXPECT_TRUE(Stats.VerifyOk) << Stats.VerifyDetail;
+  // Random 8-op batches over 3 shards essentially always split.
+  EXPECT_GT(C.P->splitBatches(), 0u);
+}
+
+TEST(ShardProxyTest, SecondVerifiedRunSeedsFromNonEmptyShards) {
+  // The verifying client must seed its per-shard oracles from pre-run
+  // SnapState dumps; a second run against already-populated shards is the
+  // regression test for that seeding.
+  Cluster C(3);
+
+  LoadGenConfig LC;
+  LC.Port = C.P->port();
+  LC.Threads = 2;
+  LC.BatchesPerThread = 150;
+  LC.OpsPerBatch = 6;
+  LC.KeySpace = 48;
+  LC.UfElements = 128;
+  LC.Verify = true;
+  LC.Seed = 1;
+  const LoadGenStats First = runLoadGen(LC);
+  ASSERT_TRUE(First.VerifyRan);
+  ASSERT_TRUE(First.VerifyOk) << First.VerifyDetail;
+
+  LC.Seed = 2;
+  const LoadGenStats Second = runLoadGen(LC);
+  EXPECT_EQ(Second.ProtocolErrors, 0u);
+  ASSERT_TRUE(Second.VerifyRan);
+  EXPECT_TRUE(Second.VerifyOk) << Second.VerifyDetail;
+}
+
+TEST(ShardProxyTest, SingleShardBatchesTakeTheFastPath) {
+  Cluster C(3);
+  const ShardRouter &R = C.P->router();
+  const std::vector<int64_t> Keys = setKeysFor(R, 1, 4);
+
+  Client Cl;
+  ASSERT_TRUE(Cl.connect("127.0.0.1", C.P->port()));
+  Request Req;
+  Req.ReqId = 1;
+  Req.Type = MsgType::Batch;
+  for (const int64_t K : Keys)
+    Req.Ops.push_back(setAdd(K));
+  Response Resp;
+  ASSERT_TRUE(Cl.call(Req, Resp));
+  EXPECT_EQ(Resp.St, Status::Ok);
+  ASSERT_EQ(Resp.Results.size(), Keys.size());
+  for (const int64_t V : Resp.Results)
+    EXPECT_EQ(V, 1); // first add of each key reports "changed"
+  // The whole batch went to one backend as one spliced SubBatch, and its
+  // single annotation names the ring slot the router predicted.
+  ASSERT_EQ(Resp.Shards.size(), 1u);
+  EXPECT_EQ(Resp.Shards[0].Shard, 1u);
+  EXPECT_EQ(Resp.Shards[0].NumOps, Keys.size());
+  EXPECT_EQ(Resp.Shards[0].CommitSeq, Resp.CommitSeq);
+  EXPECT_EQ(C.P->fastPathBatches(), 1u);
+  EXPECT_EQ(C.P->splitBatches(), 0u);
+}
+
+TEST(ShardProxyTest, CrossShardBatchSplitsWithAscendingAnnotations) {
+  Cluster C(3);
+  const ShardRouter &R = C.P->router();
+
+  Client Cl;
+  ASSERT_TRUE(Cl.connect("127.0.0.1", C.P->port()));
+  Request Req;
+  Req.ReqId = 2;
+  Req.Type = MsgType::Batch;
+  // One set key per shard plus a pinned union-find op: three or more subs.
+  for (unsigned S = 0; S != 3; ++S)
+    Req.Ops.push_back(setAdd(setKeysFor(R, S, 1)[0]));
+  Req.Ops.push_back({static_cast<uint8_t>(ObjectId::Uf), UfUnion, 3, 9});
+  Response Resp;
+  ASSERT_TRUE(Cl.call(Req, Resp));
+  EXPECT_EQ(Resp.St, Status::Ok);
+  ASSERT_EQ(Resp.Results.size(), Req.Ops.size());
+  ASSERT_GE(Resp.Shards.size(), 3u);
+  uint64_t MaxSeq = 0, OpSum = 0;
+  for (size_t I = 0; I != Resp.Shards.size(); ++I) {
+    if (I > 0) {
+      EXPECT_GT(Resp.Shards[I].Shard, Resp.Shards[I - 1].Shard);
+    }
+    MaxSeq = std::max(MaxSeq, Resp.Shards[I].CommitSeq);
+    OpSum += Resp.Shards[I].NumOps;
+  }
+  EXPECT_EQ(OpSum, Req.Ops.size()); // every op routed exactly once
+  EXPECT_EQ(Resp.CommitSeq, MaxSeq);
+  EXPECT_EQ(C.P->splitBatches(), 1u);
+}
+
+TEST(ShardProxyTest, BackendRefusesMismatchedSubBatch) {
+  ServerConfig SC;
+  SC.Port = 0;
+  SC.UfElements = 64;
+  SC.ShardId = 0;
+  Server Srv(SC);
+  ASSERT_TRUE(Srv.start());
+
+  Client Cl;
+  ASSERT_TRUE(Cl.connect("127.0.0.1", Srv.port()));
+  Request Req;
+  Req.ReqId = 3;
+  Req.Type = MsgType::SubBatch;
+  Req.Shard = 1; // wrong: this backend serves slot 0
+  Req.Ops.push_back(setAdd(5));
+  Response Resp;
+  ASSERT_TRUE(Cl.call(Req, Resp));
+  EXPECT_EQ(Resp.St, Status::Error);
+  EXPECT_NE(Resp.Text.find("shard"), std::string::npos) << Resp.Text;
+
+  // The matching envelope commits and self-attests in the annotation.
+  Req.ReqId = 4;
+  Req.Shard = 0;
+  ASSERT_TRUE(Cl.call(Req, Resp));
+  EXPECT_EQ(Resp.St, Status::Ok);
+  ASSERT_EQ(Resp.Shards.size(), 1u);
+  EXPECT_EQ(Resp.Shards[0].Shard, 0u);
+  EXPECT_EQ(Resp.Shards[0].NumOps, 1u);
+  Srv.stop();
+}
+
+TEST(ShardProxyTest, ScatterStateEqualsLatticeMergeOfBackends) {
+  Cluster C(3);
+  const ShardRouter &R = C.P->router();
+
+  Client Cl;
+  ASSERT_TRUE(Cl.connect("127.0.0.1", C.P->port()));
+  Request Req;
+  Req.ReqId = 5;
+  Req.Type = MsgType::Batch;
+  for (unsigned S = 0; S != 3; ++S)
+    for (const int64_t K : setKeysFor(R, S, 3))
+      Req.Ops.push_back(setAdd(K));
+  Req.Ops.push_back({static_cast<uint8_t>(ObjectId::Acc), AccIncrement, 11, 0});
+  Req.Ops.push_back({static_cast<uint8_t>(ObjectId::Uf), UfUnion, 1, 2});
+  Response Resp;
+  ASSERT_TRUE(Cl.call(Req, Resp));
+  ASSERT_EQ(Resp.St, Status::Ok);
+
+  // Quiesced now (closed loop): gather every backend's own State dump and
+  // join them exactly the way the proxy must.
+  std::vector<std::string> Views;
+  for (auto &B : C.Backends) {
+    Client Direct;
+    ASSERT_TRUE(Direct.connect("127.0.0.1", B->port()));
+    Request SReq;
+    SReq.ReqId = 6;
+    SReq.Type = MsgType::State;
+    Response SResp;
+    ASSERT_TRUE(Direct.call(SReq, SResp));
+    ASSERT_EQ(SResp.St, Status::Ok);
+    Views.push_back(SResp.Text);
+  }
+  std::string Expect, Err;
+  ASSERT_TRUE(mergeStateTexts(Views, Expect, &Err)) << Err;
+
+  Req.ReqId = 7;
+  Req.Type = MsgType::State;
+  Req.Ops.clear();
+  ASSERT_TRUE(Cl.call(Req, Resp));
+  ASSERT_EQ(Resp.St, Status::Ok);
+  EXPECT_EQ(Resp.Text, Expect);
+  // The merged view must actually span shards: all nine keys present.
+  EXPECT_NE(Resp.Text.find("acc=11"), std::string::npos) << Resp.Text;
+}
+
+TEST(ShardProxyTest, SnapStateRelaysToTheNamedShard) {
+  Cluster C(3);
+  const ShardRouter &R = C.P->router();
+  const int64_t Key = setKeysFor(R, 2, 1)[0];
+
+  Client Cl;
+  ASSERT_TRUE(Cl.connect("127.0.0.1", C.P->port()));
+  Request Req;
+  Req.ReqId = 8;
+  Req.Type = MsgType::Batch;
+  Req.Ops.push_back(setAdd(Key));
+  Response Resp;
+  ASSERT_TRUE(Cl.call(Req, Resp));
+  ASSERT_EQ(Resp.St, Status::Ok);
+
+  // Shard 2 holds the key; the others must not.
+  for (uint32_t S = 0; S != 3; ++S) {
+    Req.ReqId = 9 + S;
+    Req.Type = MsgType::SnapState;
+    Req.Ops.clear();
+    Req.Shard = S;
+    ASSERT_TRUE(Cl.call(Req, Resp));
+    ASSERT_EQ(Resp.St, Status::Ok) << Resp.Text;
+    const std::string KeyStr = std::to_string(Key);
+    const bool Holds =
+        Resp.Text.find("set=" + KeyStr + ",") != std::string::npos ||
+        Resp.Text.find("," + KeyStr + ",") != std::string::npos;
+    EXPECT_EQ(Holds, S == 2) << "shard " << S << ": " << Resp.Text;
+  }
+
+  // An out-of-ring shard id is refused without touching any backend.
+  Req.ReqId = 20;
+  Req.Shard = 3;
+  ASSERT_TRUE(Cl.call(Req, Resp));
+  EXPECT_EQ(Resp.St, Status::Error);
+}
+
+TEST(ShardProxyTest, PartialCommitNamesTheSurvivingSubBatches) {
+  Cluster C(3);
+  const ShardRouter &R = C.P->router();
+  const unsigned UfOwner = R.ownerShard(ObjectId::Uf);
+
+  // Kill the union-find owner's backend; set ops on the two other shards
+  // still commit, the pinned op cannot.
+  C.Backends[UfOwner]->stop();
+
+  Client Cl;
+  ASSERT_TRUE(Cl.connect("127.0.0.1", C.P->port()));
+  Request Req;
+  Req.ReqId = 21;
+  Req.Type = MsgType::Batch;
+  std::vector<unsigned> LiveShards;
+  for (unsigned S = 0; S != 3; ++S)
+    if (S != UfOwner) {
+      Req.Ops.push_back(setAdd(setKeysFor(R, S, 1)[0]));
+      LiveShards.push_back(S);
+    }
+  Req.Ops.push_back({static_cast<uint8_t>(ObjectId::Uf), UfUnion, 0, 1});
+  Response Resp;
+  ASSERT_TRUE(Cl.call(Req, Resp));
+  EXPECT_EQ(Resp.St, Status::Error);
+  // Partial-commit contract: no results (the transaction as a whole did
+  // not commit), but annotations name exactly the sub-batches that did, so
+  // a verifying client can fold them into its oracles.
+  EXPECT_TRUE(Resp.Results.empty());
+  ASSERT_EQ(Resp.Shards.size(), LiveShards.size());
+  for (size_t I = 0; I != Resp.Shards.size(); ++I) {
+    EXPECT_EQ(Resp.Shards[I].Shard, LiveShards[I]);
+    EXPECT_EQ(Resp.Shards[I].NumOps, 1u);
+    EXPECT_GT(Resp.Shards[I].CommitSeq, 0u);
+  }
+
+  // Routing resumes for batches that avoid the dead slot.
+  Req.ReqId = 22;
+  Req.Ops.clear();
+  Req.Ops.push_back(setAdd(setKeysFor(R, LiveShards[0], 2)[1]));
+  ASSERT_TRUE(Cl.call(Req, Resp));
+  EXPECT_EQ(Resp.St, Status::Ok);
+}
+
+TEST(ShardProxyTest, StatsPublishRingGeometryAndEndpoints) {
+  Cluster C(3);
+  const std::string Stats = fetchStatsText("127.0.0.1", C.P->port());
+  EXPECT_NE(Stats.find("role=proxy"), std::string::npos) << Stats;
+  EXPECT_NE(Stats.find("shards=3"), std::string::npos) << Stats;
+  EXPECT_NE(Stats.find("ring_vnodes=64"), std::string::npos) << Stats;
+  EXPECT_NE(Stats.find("ring_seed="), std::string::npos) << Stats;
+  for (unsigned S = 0; S != 3; ++S)
+    EXPECT_NE(Stats.find("shard" + std::to_string(S) + "=127.0.0.1:"),
+              std::string::npos)
+        << Stats;
+}
