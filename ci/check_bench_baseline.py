@@ -492,7 +492,110 @@ def check_sharded(baseline_path: Path, artifacts: Path) -> None:
           f"0 misroutes")
 
 
+def check_direct(baseline_path: Path, artifacts: Path) -> None:
+    """The PR 10 baseline (BENCH_pr10.json) scopes the direct-routing gate
+    and the RTT-split metric families. The leg runs identically paced
+    open-loop shard-affine load against one freshly started 3-shard
+    cluster twice — through the proxy, then with --direct (client-side
+    routing + pipelined submission). Beyond family existence in the
+    proxy's dump:
+
+      * both runs were clean (no protocol errors, real commits, proxy
+        role and 3-shard ring observed through Stats, shard-affinity
+        engaged) and the proxy run did not silently engage direct mode;
+      * the direct run actually routed directly (loadgen_direct = 1,
+        direct batches non-zero) and the pipelining window engaged:
+        loadgen_direct_max_inflight >= _min_inflight, or the client
+        degenerated to one-at-a-time round trips and the comparison
+        means nothing;
+      * routing was sound from both vantage points: zero client-observed
+        misroutes (wrong-shard reply annotations) and zero proxy-observed
+        misroutes;
+      * the direct run's client-side RTT split recorded fast-path
+        samples — the per-route-kind latency accounting this PR added;
+      * direct committed-op throughput reaches at least
+        _min_direct_qps_ratio of the proxied run — the proxy hop the
+        lattice's key-separability proof lets the client skip. As with
+        the sharded gate, committed rate (ops_committed / wall_sec) is
+        compared, not send qps.
+    """
+    doc = json.loads(baseline_path.read_text())
+    min_ratio = float(doc.get("_min_direct_qps_ratio", 1.4))
+    min_inflight = float(doc.get("_min_inflight", 4))
+    families = {k for k in doc if not k.startswith("_")}
+
+    values, declared = parse_prometheus(artifacts / "proxy_direct_metrics.txt")
+    missing = sorted(families - declared)
+    if missing:
+        fail(f"proxy dump: direct-routing families missing: {missing}")
+    if values.get("comlat_proxy_misroutes_total", 0) != 0:
+        fail(f"proxy dump: comlat_proxy_misroutes_total = "
+             f"{int(values['comlat_proxy_misroutes_total'])} during an "
+             f"undisturbed run")
+    if values.get("comlat_proxy_rtt_fastpath_count", 0) <= 0:
+        fail("proxy dump: the proxied leg recorded no fast-path RTT "
+             "samples — the per-route-kind histograms never engaged")
+
+    proxied = json.loads((artifacts / "loadgen_proxied.json").read_text())
+    direct = json.loads((artifacts / "loadgen_direct.json").read_text())
+    for path, doc_ in (("loadgen_proxied.json", proxied),
+                       ("loadgen_direct.json", direct)):
+        if doc_.get("loadgen_protocol_errors", 0) != 0:
+            fail(f"{path}: {doc_['loadgen_protocol_errors']} protocol errors")
+        if doc_.get("loadgen_ok_replies", 0) <= 0:
+            fail(f"{path}: no committed batches")
+        if doc_.get("loadgen_role") != "proxy":
+            fail(f"{path}: load did not run against a proxy "
+                 f"(role={doc_.get('loadgen_role')!r})")
+        if doc_.get("loadgen_shards", 0) != 3:
+            fail(f"{path}: expected 3 shards, Stats reported "
+                 f"{doc_.get('loadgen_shards', 0)}")
+        if doc_.get("loadgen_shard_affinity", 0) != 1:
+            fail(f"{path}: shard-affine key drawing never engaged")
+        if doc_.get("loadgen_wall_sec", 0) <= 0:
+            fail(f"{path}: zero wall time")
+        if doc_.get("loadgen_client_misroutes", 0) != 0:
+            fail(f"{path}: client observed "
+                 f"{doc_['loadgen_client_misroutes']} misrouted replies")
+    if proxied.get("loadgen_direct", 0) != 0:
+        fail("loadgen_proxied.json: the proxied leg ran in direct mode")
+    if direct.get("loadgen_direct", 0) != 1:
+        fail("loadgen_direct.json: direct routing never engaged")
+    if direct.get("loadgen_direct_batches", 0) <= 0:
+        fail("loadgen_direct.json: no batch was routed directly")
+    inflight = direct.get("loadgen_direct_max_inflight", 0)
+    if inflight < min_inflight:
+        fail(f"loadgen_direct.json: max in-flight depth {inflight} never "
+             f"reached {int(min_inflight)} — pipelining did not engage")
+    if direct.get("loadgen_rtt_fastpath_count", 0) <= 0:
+        fail("loadgen_direct.json: client-side fast-path RTT split "
+             "recorded no samples")
+
+    rate_proxied = (proxied["loadgen_ops_committed"] /
+                    proxied["loadgen_wall_sec"])
+    rate_direct = direct["loadgen_ops_committed"] / direct["loadgen_wall_sec"]
+    if rate_proxied <= 0:
+        fail("loadgen_proxied.json: zero baseline committed throughput")
+    ratio = rate_direct / rate_proxied
+    if ratio < min_ratio:
+        fail(f"direct committed throughput {rate_direct:.0f} ops/s is "
+             f"{ratio:.2f}x the proxied {rate_proxied:.0f} ops/s "
+             f"(want >= {min_ratio}x)")
+    print(f"ok: direct committed throughput {rate_direct:.0f} ops/s = "
+          f"{ratio:.2f}x proxied {rate_proxied:.0f} ops/s, "
+          f"{int(direct['loadgen_direct_batches'])} direct batches, "
+          f"in-flight depth {int(inflight)}, 0 misroutes")
+
+
 def main() -> None:
+    if len(sys.argv) >= 2 and sys.argv[1] == "--direct":
+        if len(sys.argv) != 4:
+            print(f"usage: {sys.argv[0]} --direct BENCH_pr10.json "
+                  f"ARTIFACT_DIR", file=sys.stderr)
+            sys.exit(2)
+        check_direct(Path(sys.argv[2]), Path(sys.argv[3]))
+        print("bench smoke (direct): all checks passed")
+        return
     if len(sys.argv) >= 2 and sys.argv[1] == "--sharded":
         if len(sys.argv) != 4:
             print(f"usage: {sys.argv[0]} --sharded BENCH_pr9.json "

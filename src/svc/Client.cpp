@@ -1,0 +1,725 @@
+//===- svc/Client.cpp - Direct-routing sharded client ----------------------===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/Client.h"
+
+#include "svc/LoadGen.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace comlat {
+namespace svc {
+
+namespace {
+
+uint64_t nowMs() {
+  timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return static_cast<uint64_t>(Ts.tv_sec) * 1000u +
+         static_cast<uint64_t>(Ts.tv_nsec) / 1000000u;
+}
+
+/// Blocking TCP dial with TCP_NODELAY; -1 on failure.
+int dialTcp(const std::string &Host, uint16_t Port) {
+  addrinfo Hints{};
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  addrinfo *Res = nullptr;
+  const std::string PortStr = std::to_string(Port);
+  if (getaddrinfo(Host.c_str(), PortStr.c_str(), &Hints, &Res) != 0)
+    return -1;
+  int Fd = -1;
+  for (addrinfo *Ai = Res; Ai; Ai = Ai->ai_next) {
+    Fd = ::socket(Ai->ai_family, Ai->ai_socktype, Ai->ai_protocol);
+    if (Fd < 0)
+      continue;
+    if (::connect(Fd, Ai->ai_addr, Ai->ai_addrlen) == 0)
+      break;
+    ::close(Fd);
+    Fd = -1;
+  }
+  freeaddrinfo(Res);
+  if (Fd >= 0) {
+    int One = 1;
+    setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  }
+  return Fd;
+}
+
+/// Writes all of \p Bytes (blocking); false on any socket error.
+bool sendAll(int Fd, const std::string &Bytes) {
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    const ssize_t N = ::send(Fd, Bytes.data() + Off, Bytes.size() - Off,
+                             MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// One `key=` line's value out of a Stats text; false when absent.
+bool statLine(const std::string &Text, const std::string &Key,
+              std::string &Out) {
+  const std::string Needle = Key + "=";
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    if (Text.compare(Pos, Needle.size(), Needle) == 0) {
+      Out = Text.substr(Pos + Needle.size(), End - Pos - Needle.size());
+      return true;
+    }
+    Pos = End + 1;
+  }
+  return false;
+}
+
+} // namespace
+
+bool parseRingGeometry(const std::string &StatsText, RingGeometry &Out,
+                       std::string *Err) {
+  Out = RingGeometry();
+  std::string V;
+  if (statLine(StatsText, "role", V))
+    Out.Role = V;
+  if (statLine(StatsText, "shards", V))
+    Out.Shards = static_cast<unsigned>(std::strtoul(V.c_str(), nullptr, 10));
+  if (statLine(StatsText, "ring_vnodes", V))
+    Out.VNodes = static_cast<unsigned>(std::strtoul(V.c_str(), nullptr, 10));
+  if (statLine(StatsText, "ring_seed", V))
+    Out.Seed = std::strtoull(V.c_str(), nullptr, 10);
+  for (unsigned I = 0; I < Out.Shards; ++I) {
+    if (!statLine(StatsText, "shard" + std::to_string(I), V)) {
+      if (Err)
+        *Err = "stats text announces " + std::to_string(Out.Shards) +
+               " shards but has no shard" + std::to_string(I) + "= line";
+      return false;
+    }
+    const size_t Colon = V.rfind(':');
+    const unsigned long Port =
+        Colon == std::string::npos
+            ? 0
+            : std::strtoul(V.c_str() + Colon + 1, nullptr, 10);
+    if (Colon == std::string::npos || Colon == 0 || Port == 0 ||
+        Port > 65535) {
+      if (Err)
+        *Err = "unparseable shard endpoint '" + V + "'";
+      return false;
+    }
+    Out.Endpoints.push_back(
+        {V.substr(0, Colon), static_cast<uint16_t>(Port)});
+  }
+  return true;
+}
+
+ShardClient::ShardClient(const ShardClientConfig &Config) : Config(Config) {
+  // Until a bootstrap there is only the proxy slot.
+  rebuildSlots();
+}
+
+ShardClient::~ShardClient() { close(); }
+
+void ShardClient::rebuildSlots() {
+  for (Slot &S : Slots)
+    if (S.Fd >= 0)
+      ::close(S.Fd);
+  Slots.clear();
+  Slots.resize(static_cast<size_t>(Geo.Shards) + 1);
+  for (unsigned I = 0; I < Geo.Shards; ++I) {
+    Slots[I].Host = Geo.Endpoints[I].Host;
+    Slots[I].Port = Geo.Endpoints[I].Port;
+  }
+  Slots[proxySlot()].Host = Config.ProxyHost;
+  Slots[proxySlot()].Port = Config.ProxyPort;
+}
+
+bool ShardClient::connect(std::string *Err) {
+  const std::string Text = fetchStatsText(Config.ProxyHost, Config.ProxyPort);
+  if (Text.empty()) {
+    if (Err)
+      *Err = "stats fetch from " + Config.ProxyHost + ":" +
+             std::to_string(Config.ProxyPort) + " failed";
+    return false;
+  }
+  return bootstrapFromText(Text, Err);
+}
+
+bool ShardClient::bootstrapFromText(const std::string &StatsText,
+                                    std::string *Err) {
+  RingGeometry G;
+  if (!parseRingGeometry(StatsText, G, Err))
+    return false;
+  Geo = std::move(G);
+  DirectOn = Config.Direct && Geo.routable();
+  Router.reset(); // before Ring: it holds a reference into it
+  if (DirectOn) {
+    Ring = std::make_unique<HashRing>(Geo.Shards, Geo.VNodes, Geo.Seed);
+    Router = std::make_unique<ShardRouter>(*Ring);
+  } else {
+    Ring.reset();
+    Geo.Shards = 0;
+    Geo.Endpoints.clear();
+  }
+  rebuildSlots();
+  return true;
+}
+
+bool ShardClient::wouldRouteDirect(const std::vector<Op> &Ops,
+                                   unsigned *Shard) const {
+  if (!DirectOn || Ops.empty())
+    return false;
+  // Allocation-free single pass over the batch (this runs per submit):
+  // every op must be valid and un-Pinned, and all keyed ops must land on
+  // one shard. Anywhere ops tag along with whatever the keyed ops picked.
+  unsigned Target = ShardRouter::AnyShard;
+  for (const Op &O : Ops) {
+    if (!validOp(O, Config.UfElements))
+      return false;
+    if (Router->route(static_cast<ObjectId>(O.Obj), O.Method).Kind ==
+        RouteKind::Pinned)
+      return false;
+    const unsigned S = Router->shardForOp(O);
+    if (S == ShardRouter::AnyShard)
+      continue;
+    if (Target == ShardRouter::AnyShard)
+      Target = S;
+    else if (S != Target)
+      return false;
+  }
+  if (Target == ShardRouter::AnyShard) {
+    // All-Anywhere batch: defer to the full plan so the landing shard
+    // matches what the proxy (and the verify oracle) would derive.
+    const RoutePlan Plan = Router->plan(Ops);
+    if (!Plan.singleShard())
+      return false;
+    Target = Plan.Subs[0].Shard;
+  }
+  if (Shard)
+    *Shard = Target;
+  return true;
+}
+
+uint64_t ShardClient::backoffDelayMs(Slot &S) {
+  const unsigned Shift = std::min(S.FailStreak, 6u);
+  uint64_t D = static_cast<uint64_t>(Config.ReconnectDelayMs) << Shift;
+  D = std::min<uint64_t>(std::max<uint64_t>(D, 1),
+                         std::max(1u, Config.ReconnectMaxDelayMs));
+  // xorshift jitter in [0.75D, 1.25D): desynchronizes re-dial stampedes
+  // without pulling in a real RNG.
+  JitterState ^= JitterState << 13;
+  JitterState ^= JitterState >> 7;
+  JitterState ^= JitterState << 17;
+  const uint64_t Half = std::max<uint64_t>(1, D / 2);
+  return D - D / 4 + JitterState % Half;
+}
+
+bool ShardClient::dialSlot(unsigned Idx) {
+  Slot &S = Slots[Idx];
+  if (S.Fd >= 0)
+    return true;
+  const uint64_t Now = nowMs();
+  if (Now < S.RetryAtMs)
+    return false;
+  const int Fd = dialTcp(S.Host, S.Port);
+  if (Fd < 0) {
+    ++S.FailStreak;
+    S.RetryAtMs = Now + backoffDelayMs(S);
+    return false;
+  }
+  S.Fd = Fd;
+  S.RecvBuf.clear();
+  S.RecvPos = 0;
+  S.FailStreak = 0;
+  S.RetryAtMs = 0;
+  if (S.EverConnected)
+    ++Counters.Reconnects;
+  S.EverConnected = true;
+  return true;
+}
+
+void ShardClient::completeError(PendingTx &&Tx, unsigned Idx,
+                                const std::string &Text, bool ConnLost) {
+  ClientCompletion C;
+  C.Token = Tx.Token;
+  C.R.St = Status::Error;
+  C.R.Text = Text;
+  C.Direct = Idx != proxySlot();
+  C.Shard = C.Direct ? Tx.Shard : 0;
+  C.ConnLost = ConnLost;
+  Ready.push_back(std::move(C));
+}
+
+void ShardClient::slotDown(unsigned Idx) {
+  Slot &S = Slots[Idx];
+  if (S.Fd >= 0) {
+    ::close(S.Fd);
+    S.Fd = -1;
+  }
+  S.RecvBuf.clear();
+  S.RecvPos = 0;
+  S.SendBuf.clear();
+  ++S.FailStreak;
+  S.RetryAtMs = nowMs() + backoffDelayMs(S);
+  Counters.ConnLostBatches += S.Pending.size();
+  const std::string Who = Idx == proxySlot()
+                              ? std::string("proxy")
+                              : "shard " + std::to_string(Idx);
+  std::map<uint64_t, PendingTx> Owed;
+  Owed.swap(S.Pending);
+  for (auto &[ReqId, Tx] : Owed) {
+    (void)ReqId;
+    completeError(std::move(Tx), Idx, Who + " connection lost", true);
+  }
+  // Busy retries owed to this slot fail too: their batches were already
+  // accepted once, waiting out a reconnect could reorder them far behind
+  // fresh submissions.
+  for (auto It = Retries.begin(); It != Retries.end();) {
+    if (It->SlotIdx == Idx) {
+      completeError(std::move(It->Tx), Idx, Who + " connection lost", true);
+      It = Retries.erase(It);
+    } else {
+      ++It;
+    }
+  }
+}
+
+void ShardClient::sendTx(unsigned Idx, PendingTx Tx) {
+  Slot &S = Slots[Idx];
+  if (!dialSlot(Idx)) {
+    const std::string Who = Idx == proxySlot()
+                                ? std::string("proxy")
+                                : "shard " + std::to_string(Idx);
+    completeError(std::move(Tx), Idx, Who + " unreachable", true);
+    return;
+  }
+  // Hand-rolled Batch/SubBatch encoding straight into the slot's send
+  // buffer: this is the per-submit hot path, and going through a Request
+  // would copy the ops vector and malloc two strings per batch. The frame
+  // is not sent here — flushSlot pushes the whole accumulated run in one
+  // send() at the next poll/wait, coalescing syscalls across the window.
+  const uint64_t ReqId = NextReqId++;
+  const bool Sub = Idx != proxySlot();
+  std::string &Out = S.SendBuf;
+  const uint32_t PayloadLen = static_cast<uint32_t>(
+      8 + 1 + (Sub ? 4 : 0) + 4 + Tx.Ops.size() * 18);
+  auto PutU32 = [&Out](uint32_t V) {
+    for (unsigned I = 0; I != 4; ++I)
+      Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+  };
+  auto PutU64 = [&Out](uint64_t V) {
+    for (unsigned I = 0; I != 8; ++I)
+      Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+  };
+  PutU32(PayloadLen);
+  PutU64(ReqId);
+  Out.push_back(static_cast<char>(Sub ? MsgType::SubBatch : MsgType::Batch));
+  if (Sub)
+    PutU32(Tx.Shard);
+  PutU32(static_cast<uint32_t>(Tx.Ops.size()));
+  for (const Op &O : Tx.Ops) {
+    Out.push_back(static_cast<char>(O.Obj));
+    Out.push_back(static_cast<char>(O.Method));
+    PutU64(static_cast<uint64_t>(O.A));
+    PutU64(static_cast<uint64_t>(O.B));
+  }
+  S.Pending.emplace(ReqId, std::move(Tx));
+  flushSlot(Idx); // send immediately: a buffered batch is a pipeline bubble
+  if (S.Fd < 0)
+    return; // the flush lost the connection; pendings already failed
+  Counters.MaxConnInflight =
+      std::max<uint64_t>(Counters.MaxConnInflight, S.Pending.size());
+  size_t Total = Retries.size();
+  for (const Slot &Sl : Slots)
+    Total += Sl.Pending.size();
+  Counters.MaxInflight = std::max<uint64_t>(Counters.MaxInflight, Total);
+}
+
+void ShardClient::flushSlot(unsigned Idx) {
+  Slot &S = Slots[Idx];
+  if (S.Fd < 0 || S.SendBuf.empty())
+    return;
+  if (!sendAll(S.Fd, S.SendBuf)) {
+    slotDown(Idx); // fails the pendings and clears the buffer
+    return;
+  }
+  S.SendBuf.clear(); // keeps capacity for the next burst
+}
+
+void ShardClient::handleReply(unsigned Idx, Response &&R) {
+  Slot &S = Slots[Idx];
+  const auto It = S.Pending.find(R.ReqId);
+  if (It == S.Pending.end())
+    return; // stale reply for a batch already failed on teardown
+  PendingTx Tx = std::move(It->second);
+  S.Pending.erase(It);
+
+  if (Idx == proxySlot()) {
+    ClientCompletion C;
+    C.Token = Tx.Token;
+    C.R = std::move(R);
+    Ready.push_back(std::move(C));
+    return;
+  }
+
+  switch (R.St) {
+  case Status::Ok: {
+    // Audit the reply trailer against the predicted route: exactly one
+    // annotation, naming our shard, covering every op.
+    if (R.Shards.size() != 1 || R.Shards[0].Shard != Tx.Shard ||
+        R.Results.size() != Tx.Ops.size()) {
+      ++Counters.Misroutes;
+      WantRebootstrap = true;
+      const std::string Got = R.Shards.size() == 1
+                                  ? std::to_string(R.Shards[0].Shard)
+                                  : std::to_string(R.Shards.size()) +
+                                        " annotations";
+      completeError(std::move(Tx), Idx,
+                    "misroute: shard " + std::to_string(Tx.Shard) +
+                        " expected, got " + Got,
+                    false);
+      return;
+    }
+    ClientCompletion C;
+    C.Token = Tx.Token;
+    C.R = std::move(R);
+    C.Direct = true;
+    C.Shard = Tx.Shard;
+    Ready.push_back(std::move(C));
+    return;
+  }
+  case Status::Busy: {
+    if (Tx.BusyTries++ < Config.BusyRetryLimit) {
+      ++Counters.BusyRetries;
+      Retries.push_back(
+          {nowMs() + Config.BusyRetryDelayMs, Idx, std::move(Tx)});
+      return;
+    }
+    ClientCompletion C;
+    C.Token = Tx.Token;
+    C.R = std::move(R);
+    C.Direct = true;
+    C.Shard = Tx.Shard;
+    Ready.push_back(std::move(C));
+    return;
+  }
+  case Status::Redirect: {
+    // The slot's backend turned follower: re-point at the named leader
+    // and resend. The teardown fails this slot's *other* in-flight
+    // batches — their fate on the old backend is unknowable.
+    std::string Host;
+    uint16_t Port = 0;
+    if (Tx.RedirectTries++ >= Config.RedirectLimit ||
+        !parseLeaderText(R.Text, Host, Port)) {
+      completeError(std::move(Tx), Idx, "redirect chase failed: " + R.Text,
+                    false);
+      return;
+    }
+    ++Counters.Redirects;
+    slotDown(Idx);
+    S.Host = Host;
+    S.Port = Port;
+    S.FailStreak = 0;
+    S.RetryAtMs = 0;
+    sendTx(Idx, std::move(Tx));
+    return;
+  }
+  case Status::Error: {
+    // A backend refusing the envelope ("sub-batch for shard N, this is
+    // shard M") means our ring disagrees with the wiring: re-bootstrap.
+    if (R.Text.find("this is shard") != std::string::npos) {
+      ++Counters.Misroutes;
+      WantRebootstrap = true;
+    }
+    ClientCompletion C;
+    C.Token = Tx.Token;
+    C.R = std::move(R);
+    C.Direct = true;
+    C.Shard = Tx.Shard;
+    Ready.push_back(std::move(C));
+    return;
+  }
+  }
+}
+
+void ShardClient::pumpRetries(uint64_t NowMs) {
+  // The deque is FIFO by due time (constant delay), so stop at the first
+  // not-yet-due entry.
+  while (!Retries.empty() && Retries.front().DueMs <= NowMs) {
+    BusyRetry R = std::move(Retries.front());
+    Retries.pop_front();
+    sendTx(R.SlotIdx, std::move(R.Tx));
+  }
+}
+
+void ShardClient::rebootstrap() {
+  WantRebootstrap = false;
+  const std::string Text = fetchStatsText(Config.ProxyHost, Config.ProxyPort);
+  if (Text.empty())
+    return; // keep the current ring; the proxy may be restarting
+  RingGeometry G;
+  if (!parseRingGeometry(Text, G, nullptr))
+    return;
+  ++Counters.Rebootstraps;
+  const bool RingChanged = !G.sameRing(Geo) ||
+                           G.Endpoints.size() != Geo.Endpoints.size();
+  if (!RingChanged) {
+    // Same ring: just adopt possibly-updated endpoints for down slots.
+    for (unsigned I = 0; I < Geo.Shards && I < G.Endpoints.size(); ++I) {
+      Slot &S = Slots[I];
+      if (S.Fd < 0 && (S.Host != G.Endpoints[I].Host ||
+                       S.Port != G.Endpoints[I].Port)) {
+        S.Host = G.Endpoints[I].Host;
+        S.Port = G.Endpoints[I].Port;
+        S.FailStreak = 0;
+        S.RetryAtMs = 0;
+      }
+    }
+    Geo = std::move(G);
+    return;
+  }
+  // Topology changed: fail everything in flight and rebuild the router.
+  for (unsigned I = 0; I < Slots.size(); ++I)
+    if (!Slots[I].Pending.empty() || Slots[I].Fd >= 0)
+      slotDown(I);
+  std::string Err;
+  Geo = std::move(G);
+  DirectOn = Config.Direct && Geo.routable();
+  if (DirectOn) {
+    Router.reset();
+    Ring = std::make_unique<HashRing>(Geo.Shards, Geo.VNodes, Geo.Seed);
+    Router = std::make_unique<ShardRouter>(*Ring);
+  } else {
+    Router.reset();
+    Ring.reset();
+    Geo.Shards = 0;
+    Geo.Endpoints.clear();
+  }
+  rebuildSlots();
+}
+
+void ShardClient::drainSlot(unsigned Idx) {
+  Slot &S = Slots[Idx];
+  bool Dead = false;
+  char Buf[65536];
+  for (;;) {
+    const ssize_t R = ::recv(S.Fd, Buf, sizeof(Buf), MSG_DONTWAIT);
+    if (R > 0) {
+      S.RecvBuf.append(Buf, static_cast<size_t>(R));
+      if (R < static_cast<ssize_t>(sizeof(Buf)))
+        break;
+      continue;
+    }
+    if (R < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      break;
+    if (R < 0 && errno == EINTR)
+      continue;
+    Dead = true; // EOF or hard socket error
+    break;
+  }
+  // Peel every complete frame that arrived.
+  for (;;) {
+    std::string_view Payload;
+    size_t Consumed = 0;
+    const FrameResult FR = peelFrame(
+        std::string_view(S.RecvBuf).substr(S.RecvPos), Payload, Consumed);
+    if (FR == FrameResult::NeedMore)
+      break;
+    if (FR == FrameResult::Malformed) {
+      Dead = true;
+      break;
+    }
+    Response Resp;
+    if (!decodeResponse(Payload, Resp)) {
+      Dead = true;
+      break;
+    }
+    S.RecvPos += Consumed;
+    handleReply(Idx, std::move(Resp));
+  }
+  if (S.RecvPos > 0 && S.Fd >= 0) {
+    S.RecvBuf.erase(0, S.RecvPos);
+    S.RecvPos = 0;
+  }
+  if (Dead && S.Fd >= 0)
+    slotDown(Idx);
+}
+
+void ShardClient::pollOnce(int TimeoutMs, bool EvenIfReady) {
+  const uint64_t Now = nowMs();
+  pumpRetries(Now);
+  if (WantRebootstrap)
+    rebootstrap();
+  // Push every buffered submission onto the wire before looking for
+  // replies — this is where the coalesced send() happens.
+  for (unsigned I = 0; I < Slots.size(); ++I)
+    flushSlot(I);
+  if (!EvenIfReady && !Ready.empty())
+    return;
+
+  std::vector<unsigned> &PfdSlot = PfdSlotScratch;
+  PfdSlot.clear();
+  for (unsigned I = 0; I < Slots.size(); ++I)
+    if (Slots[I].Fd >= 0 && !Slots[I].Pending.empty())
+      PfdSlot.push_back(I);
+  int Wait = TimeoutMs;
+  if (!Retries.empty()) {
+    const uint64_t Due = Retries.front().DueMs;
+    const int UntilDue = Due > Now ? static_cast<int>(Due - Now) : 0;
+    Wait = Wait < 0 ? UntilDue : std::min(Wait, UntilDue);
+  }
+  if (PfdSlot.empty()) {
+    if (Wait > 0 && !Retries.empty()) {
+      timespec Ts{Wait / 1000, (Wait % 1000) * 1000000L};
+      nanosleep(&Ts, nullptr);
+    }
+    pumpRetries(nowMs());
+    return;
+  }
+  if (Wait <= 0) {
+    // Zero-timeout round (a saturated open loop does this once per burst):
+    // skip the poll() syscall entirely, MSG_DONTWAIT on each live socket
+    // reports would-block just as well.
+    for (const unsigned Idx : PfdSlot)
+      drainSlot(Idx);
+  } else {
+    std::vector<pollfd> &Pfds = PfdScratch;
+    Pfds.clear();
+    for (const unsigned Idx : PfdSlot)
+      Pfds.push_back({Slots[Idx].Fd, POLLIN, 0});
+    const int N = ::poll(Pfds.data(), Pfds.size(), Wait);
+    if (N <= 0) {
+      pumpRetries(nowMs());
+      return;
+    }
+    for (size_t P = 0; P < Pfds.size(); ++P)
+      if (Pfds[P].revents & (POLLIN | POLLERR | POLLHUP))
+        drainSlot(PfdSlot[P]);
+  }
+  if (WantRebootstrap)
+    rebootstrap();
+  // Busy retries and Redirect chases re-queue sends from inside
+  // handleReply; get them moving now rather than at the next poll.
+  for (unsigned I = 0; I < Slots.size(); ++I)
+    flushSlot(I);
+}
+
+void ShardClient::waitWindow(unsigned Idx) {
+  // A down slot holds no pendings, so this cannot spin on a dead shard.
+  while (Slots[Idx].Pending.size() >= Config.Window)
+    pollOnce(50, /*EvenIfReady=*/true);
+}
+
+bool ShardClient::submit(uint64_t Token, std::vector<Op> Ops) {
+  if (Ops.empty() || Ops.size() > MaxBatchOps)
+    return false;
+  unsigned Shard = 0;
+  const bool Direct = wouldRouteDirect(Ops, &Shard);
+  const unsigned Idx = Direct ? Shard : proxySlot();
+  if (Direct)
+    ++Counters.DirectBatches;
+  else
+    ++Counters.ProxiedBatches;
+  waitWindow(Idx);
+  PendingTx Tx;
+  Tx.Token = Token;
+  Tx.Ops = std::move(Ops);
+  Tx.Shard = Direct ? Shard : ShardRouter::AnyShard;
+  sendTx(Idx, std::move(Tx));
+  return true;
+}
+
+size_t ShardClient::poll(std::vector<ClientCompletion> &Out, int TimeoutMs) {
+  if (Ready.empty() && inflight() > 0)
+    pollOnce(TimeoutMs);
+  const size_t N = Ready.size();
+  for (ClientCompletion &C : Ready)
+    Out.push_back(std::move(C));
+  Ready.clear();
+  return N;
+}
+
+bool ShardClient::drain(std::vector<ClientCompletion> &Out,
+                        double TimeoutSec) {
+  const uint64_t Deadline = nowMs() + static_cast<uint64_t>(TimeoutSec * 1e3);
+  while (inflight() > 0 || !Ready.empty()) {
+    poll(Out, 100);
+    if (nowMs() > Deadline && (inflight() > 0 || !Ready.empty()))
+      return inflight() == 0 && Ready.empty();
+  }
+  return true;
+}
+
+bool ShardClient::call(const std::vector<Op> &Ops, ClientCompletion &C,
+                       double TimeoutSec) {
+  // Tokens in the top half of the space; callers use their own below.
+  const uint64_t Token = (1ull << 63) | NextCallToken++;
+  if (!submit(Token, Ops)) {
+    C = ClientCompletion();
+    C.Token = Token;
+    C.R.St = Status::Error;
+    C.R.Text = "invalid batch";
+    return false;
+  }
+  const uint64_t Deadline = nowMs() + static_cast<uint64_t>(TimeoutSec * 1e3);
+  for (;;) {
+    for (auto It = Ready.begin(); It != Ready.end(); ++It) {
+      if (It->Token == Token) {
+        C = std::move(*It);
+        Ready.erase(It);
+        return true;
+      }
+    }
+    if (nowMs() > Deadline) {
+      C = ClientCompletion();
+      C.Token = Token;
+      C.R.St = Status::Error;
+      C.R.Text = "call timeout";
+      return false;
+    }
+    pollOnce(100);
+  }
+}
+
+size_t ShardClient::inflight() const {
+  size_t N = Retries.size();
+  for (const Slot &S : Slots)
+    N += S.Pending.size();
+  return N;
+}
+
+void ShardClient::close() {
+  for (Slot &S : Slots) {
+    if (S.Fd >= 0) {
+      ::close(S.Fd);
+      S.Fd = -1;
+    }
+    S.Pending.clear();
+    S.RecvBuf.clear();
+    S.RecvPos = 0;
+  }
+  Retries.clear();
+}
+
+} // namespace svc
+} // namespace comlat

@@ -1,0 +1,303 @@
+//===- svc/Client.h - Direct-routing sharded client -------------*- C++ -*-===//
+//
+// Part of the comlat project: a reproduction of "Exploiting the
+// Commutativity Lattice" (Kulkarni et al., PLDI 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the sharding story (DESIGN.md §3.13): a routing
+/// client that skips the proxy hop entirely for the traffic the lattice
+/// says needs no coordination. The proxy's Stats frame publishes its full
+/// ring geometry — (shards, vnodes, seed) plus the backend endpoints — and
+/// because both HashRing and ShardRouter are deterministic pure functions
+/// of that triple, a ShardClient rebuilds the *byte-identical* router and
+/// predicts every batch's RoutePlan without asking anyone:
+///
+///  * Keyed / Anywhere batches that plan to a single shard go **direct**:
+///    the client wraps them in the same SubBatch envelope the proxy would
+///    have built and sends them straight to the owner backend over a
+///    per-shard connection.
+///  * Pinned ops, cross-shard plans and whole-structure State / Metrics /
+///    SnapState reads **fall back to the proxy**, which still owns retry
+///    orchestration, scatter-gather and the lattice merge.
+///
+/// On top of the routing sits pipelining: every connection (shard or
+/// proxy) carries up to Window in-flight batches in a pending-reply map —
+/// the proxy's Pending machinery generalized into the client. submit() is
+/// asynchronous and blocks only when the target connection's window is
+/// full; poll() collects completions in whatever order the backends answer.
+///
+/// The failure handling mirrors the proxy's slot logic: Busy replies retry
+/// client-side on a bounded deadline queue; a Redirect re-points the slot
+/// at the named leader and resends; a dead connection fails its in-flight
+/// batches as synthesized Error completions (flagged ConnLost so a crash
+/// harness can tell them from server-reported errors) and re-dials lazily
+/// under exponential backoff. Every direct Ok reply is audited against the
+/// predicted route via the shard-annotation trailer — a shard answering
+/// for a key it does not own counts a misroute, and a backend refusing the
+/// envelope ("this is shard M") triggers a ring re-bootstrap from the
+/// proxy's current Stats.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef COMLAT_SVC_CLIENT_H
+#define COMLAT_SVC_CLIENT_H
+
+#include "svc/Proxy.h"
+#include "svc/Shard.h"
+
+#include <poll.h>
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace comlat {
+namespace svc {
+
+/// Ring geometry as published by a proxy's Stats frame — everything a
+/// client needs to rebuild the proxy's router bit-for-bit.
+struct RingGeometry {
+  /// The publisher's role line (`proxy`, `leader`, `follower`, or empty).
+  std::string Role;
+  unsigned Shards = 0;
+  unsigned VNodes = 0;
+  uint64_t Seed = 0;
+  /// Backend endpoints by ascending shard id (Endpoints[i] = ring slot i).
+  std::vector<ShardEndpoint> Endpoints;
+
+  /// A geometry a router can be built from: a proxy publisher with a
+  /// non-degenerate ring and one endpoint per shard.
+  bool routable() const {
+    return Role == "proxy" && Shards > 0 && VNodes > 0 &&
+           Endpoints.size() == Shards;
+  }
+
+  bool sameRing(const RingGeometry &O) const {
+    return Shards == O.Shards && VNodes == O.VNodes && Seed == O.Seed;
+  }
+};
+
+/// Parses a Stats text (`key=value` lines) into \p Out: role=, shards=,
+/// ring_vnodes=, ring_seed= and the per-slot shardK=host:port lines. False
+/// (with \p Err set) on structurally broken geometry — a shardK line that
+/// does not parse, or fewer endpoint lines than shards=N announced. A
+/// Stats text with no ring lines at all (a plain backend's) parses fine
+/// into a non-routable geometry.
+bool parseRingGeometry(const std::string &StatsText, RingGeometry &Out,
+                       std::string *Err = nullptr);
+
+/// Shapes one ShardClient.
+struct ShardClientConfig {
+  /// The proxy (bootstrap source and fallback path).
+  std::string ProxyHost = "127.0.0.1";
+  uint16_t ProxyPort = 0;
+  /// Route single-shard Keyed/Anywhere plans directly to their backend.
+  /// With false (or a non-routable bootstrap) everything goes to the proxy
+  /// — still pipelined.
+  bool Direct = true;
+  /// Max in-flight batches per connection; submit() blocks at the cap.
+  unsigned Window = 32;
+  /// Busy replies on direct connections retry this many times client-side.
+  unsigned BusyRetryLimit = 64;
+  unsigned BusyRetryDelayMs = 2;
+  /// Redirect chases per batch (a slot whose backend turned follower).
+  unsigned RedirectLimit = 4;
+  /// Reconnect backoff for dead connections: base delay, doubling per
+  /// consecutive failure up to the max, with deterministic jitter.
+  unsigned ReconnectDelayMs = 20;
+  unsigned ReconnectMaxDelayMs = 1000;
+  /// Must match the backends' --uf-elements (op validation / routing).
+  size_t UfElements = 1024;
+};
+
+/// Routing and failure counters, mirrored into loadgen outputs as
+/// loadgen_client_* / loadgen_direct_* keys.
+struct ShardClientCounters {
+  /// Batches sent straight to their owner shard as SubBatch envelopes.
+  uint64_t DirectBatches = 0;
+  /// Batches that fell back to the proxy (Pinned ops, cross-shard plans,
+  /// Direct off, or no routable ring).
+  uint64_t ProxiedBatches = 0;
+  /// Direct Ok replies whose shard annotation named the wrong shard (or
+  /// mis-shaped results) — `client_misroutes_total`. Always a wiring bug.
+  uint64_t Misroutes = 0;
+  /// Redirect replies chased by re-pointing the slot at the named leader.
+  uint64_t Redirects = 0;
+  /// Successful re-dials of a connection that had been lost.
+  uint64_t Reconnects = 0;
+  /// Ring re-bootstraps from the proxy Stats frame (topology mismatch).
+  uint64_t Rebootstraps = 0;
+  /// Busy replies retried client-side on direct connections.
+  uint64_t BusyRetries = 0;
+  /// Connections that died with batches still in flight.
+  uint64_t ConnLostBatches = 0;
+  /// High watermark of in-flight batches on any single connection — the
+  /// observed pipelining depth.
+  uint64_t MaxConnInflight = 0;
+  /// High watermark of in-flight batches across all connections.
+  uint64_t MaxInflight = 0;
+};
+
+/// One finished batch, out of poll().
+struct ClientCompletion {
+  /// The caller's submit() token.
+  uint64_t Token = 0;
+  Response R;
+  /// Answered by a backend directly (false: via the proxy).
+  bool Direct = false;
+  /// Direct only: the shard the batch was routed to.
+  unsigned Shard = 0;
+  /// The Error response was synthesized because the connection died before
+  /// a reply arrived; the batch's fate on the server is unknown.
+  bool ConnLost = false;
+};
+
+/// The direct-routing pipelined client. Not thread-safe; one per thread
+/// (like Client). Lifecycle: construct -> connect() or
+/// bootstrapFromText() -> submit()/poll() or call() -> close().
+class ShardClient {
+public:
+  explicit ShardClient(const ShardClientConfig &Config);
+  ~ShardClient();
+
+  ShardClient(const ShardClient &) = delete;
+  ShardClient &operator=(const ShardClient &) = delete;
+
+  /// Fetches the proxy's Stats frame and bootstraps the ring from it.
+  /// False (Err set) only when the Stats fetch fails outright; a
+  /// non-routable publisher (a plain backend, say) succeeds with direct
+  /// routing disengaged — every batch then goes to ProxyHost:ProxyPort.
+  bool connect(std::string *Err = nullptr);
+
+  /// Bootstraps from an in-hand Stats text instead of fetching one — for
+  /// tests and embedded clients that already hold the geometry. False
+  /// (Err set) on unparseable geometry.
+  bool bootstrapFromText(const std::string &StatsText,
+                         std::string *Err = nullptr);
+
+  /// Whether direct routing is engaged (Direct configured and the
+  /// bootstrap published a routable ring).
+  bool directEngaged() const { return DirectOn; }
+
+  const RingGeometry &geometry() const { return Geo; }
+
+  /// The rebuilt router (null until a routable bootstrap).
+  const ShardRouter *router() const { return Router.get(); }
+
+  /// True when \p Ops would be routed directly: a single-shard plan with
+  /// no Pinned op. (Pinned reads observe owner-replica state the proxy
+  /// must be able to State-merge around, so they keep the proxy hop.)
+  bool wouldRouteDirect(const std::vector<Op> &Ops, unsigned *Shard) const;
+
+  /// Queues one batch for its routed destination and sends it. Blocks
+  /// (polling internally) only while the destination's in-flight window is
+  /// full. The completion — success or failure — always arrives via
+  /// poll(); submit itself only fails (false) on an empty/oversized batch.
+  bool submit(uint64_t Token, std::vector<Op> Ops);
+
+  /// Collects finished batches into \p Out (appending), waiting up to
+  /// \p TimeoutMs for the first one when none are ready. Returns the
+  /// number appended.
+  size_t poll(std::vector<ClientCompletion> &Out, int TimeoutMs);
+
+  /// poll() until nothing is in flight or \p TimeoutSec passes. Returns
+  /// true when fully drained.
+  bool drain(std::vector<ClientCompletion> &Out, double TimeoutSec);
+
+  /// Synchronous one-batch convenience: submit + poll until that batch
+  /// completes (other completions queue for the next poll()). False on
+  /// timeout (\p TimeoutSec) — \p C then reports a synthesized error.
+  bool call(const std::vector<Op> &Ops, ClientCompletion &C,
+            double TimeoutSec = 30.0);
+
+  /// Batches currently in flight (pending replies + queued Busy retries).
+  size_t inflight() const;
+
+  const ShardClientCounters &counters() const { return Counters; }
+
+  void close();
+
+private:
+  struct PendingTx {
+    uint64_t Token = 0;
+    std::vector<Op> Ops;
+    /// Expected shard (direct) or SlotProxy's sentinel.
+    unsigned Shard = 0;
+    unsigned BusyTries = 0;
+    unsigned RedirectTries = 0;
+  };
+
+  /// One connection: ring slot i for i < Shards, the proxy at index
+  /// Shards. Dialed lazily, re-dialed under backoff after failures.
+  struct Slot {
+    std::string Host;
+    uint16_t Port = 0;
+    int Fd = -1;
+    bool EverConnected = false;
+    unsigned FailStreak = 0;
+    uint64_t RetryAtMs = 0;
+    std::string RecvBuf;
+    size_t RecvPos = 0;
+    /// Encoded-but-unsent frames: submit() appends here and the next
+    /// poll/wait flushes the whole run in one send() — pipelined
+    /// submission coalesces syscalls instead of paying one per batch.
+    std::string SendBuf;
+    std::map<uint64_t, PendingTx> Pending; ///< ReqId -> in-flight batch
+  };
+
+  struct BusyRetry {
+    uint64_t DueMs = 0;
+    unsigned SlotIdx = 0;
+    PendingTx Tx;
+  };
+
+  ShardClientConfig Config;
+  RingGeometry Geo;
+  bool DirectOn = false;
+  /// Router holds a reference into Ring; they rebuild together.
+  std::unique_ptr<HashRing> Ring;
+  std::unique_ptr<ShardRouter> Router;
+  std::vector<Slot> Slots; ///< shard slots + trailing proxy slot
+  std::deque<BusyRetry> Retries;
+  std::deque<ClientCompletion> Ready;
+  ShardClientCounters Counters;
+  uint64_t NextReqId = 1;
+  uint64_t NextCallToken = 1;
+  bool WantRebootstrap = false;
+  uint64_t JitterState = 0x2545F4914F6CDD1Dull;
+  /// Per-poll scratch (hot path): reused pollfd arrays.
+  std::vector<struct pollfd> PfdScratch;
+  std::vector<unsigned> PfdSlotScratch;
+
+  unsigned proxySlot() const { return Geo.Shards; }
+  void rebuildSlots();
+  uint64_t backoffDelayMs(Slot &S);
+  bool dialSlot(unsigned Idx);
+  void slotDown(unsigned Idx);
+  void sendTx(unsigned Idx, PendingTx Tx);
+  /// Pushes a slot's buffered frames onto the wire (slotDown on failure).
+  void flushSlot(unsigned Idx);
+  void completeError(PendingTx &&Tx, unsigned Idx, const std::string &Text,
+                     bool ConnLost);
+  void handleReply(unsigned Idx, Response &&R);
+  /// Non-blocking read-drain of one slot: recv everything available, peel
+  /// and dispatch complete frames, slotDown on EOF/corruption.
+  void drainSlot(unsigned Idx);
+  void pumpRetries(uint64_t NowMs);
+  /// One socket-poll round. With \p EvenIfReady it makes progress on the
+  /// wire even when completions are already queued (window waits need
+  /// that); otherwise queued completions return immediately.
+  void pollOnce(int TimeoutMs, bool EvenIfReady = false);
+  void rebootstrap();
+  void waitWindow(unsigned Idx);
+};
+
+} // namespace svc
+} // namespace comlat
+
+#endif // COMLAT_SVC_CLIENT_H

@@ -4,6 +4,7 @@
 
 #include "support/Random.h"
 #include "support/Timer.h"
+#include "svc/Client.h"
 #include "svc/Objects.h"
 #include "svc/Replication.h"
 #include "svc/Shard.h"
@@ -282,6 +283,13 @@ struct ThreadResult {
   uint64_t FollowerReads = 0;
   uint64_t MonotonicViolations = 0;
   LatencyHistogram Rtt;
+  /// Round trips split by route kind (at most one shard annotation =
+  /// fastpath, several = split) — the client-side mirror of the proxy's
+  /// comlat_proxy_rtt_* families.
+  LatencyHistogram RttFast;
+  LatencyHistogram RttSplit;
+  /// Direct mode only: the thread's ShardClient counters.
+  ShardClientCounters ClientStats;
   std::vector<CommittedBatch> Committed;
 };
 
@@ -426,7 +434,9 @@ void runClosedLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
       return;
     }
     ++TR.Sent;
-    TR.Rtt.addMicros(nowUs() - T0);
+    const uint64_t ElapsedUs = nowUs() - T0;
+    TR.Rtt.addMicros(ElapsedUs);
+    (Resp.Shards.size() > 1 ? TR.RttSplit : TR.RttFast).addMicros(ElapsedUs);
     if (ToFollower) {
       // Follower reads commit nothing and stay out of the verify oracle;
       // they are tallied apart from leader replies. The reply stamp is
@@ -508,7 +518,10 @@ void runOpenLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
         ++TR.ProtocolErrors; // a reply we never asked for
         continue;
       }
-      TR.Rtt.addMicros(nowUs() - It->second.SentUs);
+      const uint64_t ElapsedUs = nowUs() - It->second.SentUs;
+      TR.Rtt.addMicros(ElapsedUs);
+      (Resp.Shards.size() > 1 ? TR.RttSplit : TR.RttFast)
+          .addMicros(ElapsedUs);
       classifyReply(Resp, It->second.Req, TR, Record);
       InFlight.erase(It);
     }
@@ -574,6 +587,191 @@ void runOpenLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
     TR.ProtocolErrors += InFlight.size(); // unanswered = dropped replies
 }
 
+ShardClientConfig directClientConfig(const LoadGenConfig &Config) {
+  ShardClientConfig CC;
+  CC.ProxyHost = Config.Host;
+  CC.ProxyPort = Config.Port;
+  CC.Direct = true;
+  CC.Window = std::max(1u, Config.DirectWindow);
+  CC.UfElements = Config.UfElements;
+  return CC;
+}
+
+/// One direct-mode completion's bookkeeping, shared by both direct loops.
+/// A ConnLost completion (the routed connection died before a reply — the
+/// batch's fate is unknown) counts Unacked under the crash harness and a
+/// protocol error anywhere else; everything with a real reply classifies
+/// like any other response. Returns false when the thread should stop
+/// (an intolerable loss).
+bool absorbDirect(const LoadGenConfig &Config, ClientCompletion &Done,
+                  const Request &Req, uint64_t ElapsedUs, ThreadResult &TR,
+                  bool Record, bool &LostAny) {
+  TR.Rtt.addMicros(ElapsedUs);
+  (Done.R.Shards.size() > 1 ? TR.RttSplit : TR.RttFast)
+      .addMicros(ElapsedUs);
+  if (Done.ConnLost) {
+    if (Config.TolerateDisconnect) {
+      // The ShardClient re-dials under backoff, so keep driving: the
+      // restarted backend picks the load back up mid-run.
+      LostAny = true;
+      ++TR.Unacked;
+      return true;
+    }
+    ++TR.ProtocolErrors;
+    return false;
+  }
+  classifyReply(Done.R, Req, TR, Record);
+  return true;
+}
+
+/// Direct-mode counterpart of runClosedLoop: identical pacing, op
+/// generation and ReqId layout (the verify oracle cannot tell the modes
+/// apart), but every batch routes client-side through a ShardClient.
+void runDirectClosedLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
+                         const ShardKeyPools *Pools,
+                         const std::string &StatsText, ThreadResult &TR) {
+  ShardClient SC(directClientConfig(Config));
+  if (!SC.bootstrapFromText(StatsText)) {
+    ++TR.ProtocolErrors;
+    return;
+  }
+  Rng R(Config.Seed ^ (0x9E3779B97F4A7C15ull * (ThreadIdx + 1)));
+  const bool Record = Config.Verify || !Config.AckedLogPath.empty();
+  bool LostAny = false;
+  Timer Wall;
+  for (uint64_t I = 0;; ++I) {
+    if (Config.DurationSec > 0) {
+      if (Wall.seconds() >= Config.DurationSec)
+        break;
+    } else if (I >= Config.BatchesPerThread) {
+      break;
+    }
+    Request Req;
+    Req.ReqId = (static_cast<uint64_t>(ThreadIdx + 1) << 40) | I;
+    Req.Type = MsgType::Batch;
+    const std::vector<int64_t> *Pool =
+        Pools ? &(*Pools)[R.nextBelow(Pools->size())] : nullptr;
+    for (unsigned K = 0; K != Config.OpsPerBatch; ++K)
+      Req.Ops.push_back(genOp(R, Config, Pool));
+    const uint64_t T0 = nowUs();
+    ClientCompletion Done;
+    if (!SC.call(Req.Ops, Done)) {
+      ++TR.ProtocolErrors; // reply timeout: somebody is wedged
+      break;
+    }
+    ++TR.Sent;
+    if (!absorbDirect(Config, Done, Req, nowUs() - T0, TR, Record, LostAny))
+      break;
+  }
+  if (LostAny)
+    ++TR.Disconnects;
+  TR.ClientStats = SC.counters();
+}
+
+/// Direct-mode counterpart of runOpenLoop: the same fixed send schedule,
+/// but submissions pipeline through the ShardClient's per-connection
+/// windows — this is the loop that demonstrably engages depth > 1.
+void runDirectOpenLoop(const LoadGenConfig &Config, unsigned ThreadIdx,
+                       const ShardKeyPools *Pools,
+                       const std::string &StatsText, ThreadResult &TR) {
+  ShardClient SC(directClientConfig(Config));
+  if (!SC.bootstrapFromText(StatsText)) {
+    ++TR.ProtocolErrors;
+    return;
+  }
+  Rng R(Config.Seed ^ (0x9E3779B97F4A7C15ull * (ThreadIdx + 1)));
+  const double PerThreadQps =
+      Config.TargetQps / std::max(1u, Config.Threads);
+  const uint64_t IntervalUs =
+      PerThreadQps > 0 ? static_cast<uint64_t>(1e6 / PerThreadQps) : 1;
+
+  struct Outstanding {
+    Request Req;
+    uint64_t SentUs;
+  };
+  std::unordered_map<uint64_t, Outstanding> InFlight;
+
+  const uint64_t StartUs = nowUs();
+  const uint64_t DeadlineUs =
+      Config.DurationSec > 0
+          ? StartUs + static_cast<uint64_t>(Config.DurationSec * 1e6)
+          : UINT64_MAX;
+  uint64_t NextSendUs = StartUs;
+  uint64_t Sent = 0;
+  bool LostAny = false;
+  bool Broken = false;
+  const bool Record = Config.Verify || !Config.AckedLogPath.empty();
+
+  std::vector<ClientCompletion> Done;
+  auto Absorb = [&] {
+    for (ClientCompletion &C : Done) {
+      auto It = InFlight.find(C.Token);
+      if (It == InFlight.end()) {
+        ++TR.ProtocolErrors; // a completion we never asked for
+        continue;
+      }
+      if (!absorbDirect(Config, C, It->second.Req, nowUs() - It->second.SentUs,
+                        TR, Record, LostAny))
+        Broken = true;
+      InFlight.erase(It);
+    }
+    Done.clear();
+  };
+
+  while (!Broken) {
+    const uint64_t Now = nowUs();
+    const bool DoneSending =
+        Now >= DeadlineUs ||
+        (Config.DurationSec <= 0 && Sent >= Config.BatchesPerThread);
+    if (DoneSending)
+      break;
+    // One send per iteration, tightly interleaved with a zero-timeout
+    // reply drain: on a saturated link this keeps the pipeline full
+    // without letting replies back up (bursting submissions measurably
+    // hurts — the reply path stalls while the burst encodes).
+    if (Now >= NextSendUs) {
+      Request Req;
+      Req.ReqId = (static_cast<uint64_t>(ThreadIdx + 1) << 40) | Sent;
+      Req.Type = MsgType::Batch;
+      const std::vector<int64_t> *Pool =
+          Pools ? &(*Pools)[R.nextBelow(Pools->size())] : nullptr;
+      for (unsigned K = 0; K != Config.OpsPerBatch; ++K)
+        Req.Ops.push_back(genOp(R, Config, Pool));
+      const uint64_t Token = Req.ReqId;
+      const uint64_t SentAt = nowUs();
+      std::vector<Op> Ops = Req.Ops;
+      InFlight.emplace(Token, Outstanding{std::move(Req), SentAt});
+      // submit() blocks only at a full window — that stall is the
+      // pipelining backpressure, absorbed by the send-debt clamp below.
+      SC.submit(Token, std::move(Ops));
+      ++Sent;
+      ++TR.Sent;
+      NextSendUs += IntervalUs;
+      if (NextSendUs < Now)
+        NextSendUs = Now; // do not build an unbounded send debt
+    }
+    const uint64_t Now2 = nowUs();
+    const int WaitMs =
+        NextSendUs > Now2 ? static_cast<int>((NextSendUs - Now2) / 1000) : 0;
+    if (SC.poll(Done, WaitMs) == 0 && WaitMs > 0 && SC.inflight() == 0)
+      ::poll(nullptr, 0, WaitMs); // nothing in flight: just pace
+    Absorb();
+  }
+
+  // Collect the stragglers: every submission is owed one completion.
+  if (!Broken) {
+    SC.drain(Done, 10.0);
+    Absorb();
+  }
+  if (LostAny) {
+    TR.Unacked += InFlight.size();
+    ++TR.Disconnects;
+  } else {
+    TR.ProtocolErrors += InFlight.size(); // unanswered = dropped replies
+  }
+  TR.ClientStats = SC.counters();
+}
+
 std::string jsonNum(double V) {
   char Buf[64];
   if (V == static_cast<double>(static_cast<int64_t>(V)))
@@ -615,6 +813,26 @@ std::string LoadGenStats::toJson() const {
       {"loadgen_ring_vnodes", static_cast<double>(RingVNodes)},
       {"loadgen_ring_seed", static_cast<double>(RingSeed)},
       {"loadgen_shard_affinity", ShardAffinity ? 1.0 : 0.0},
+      {"loadgen_direct", Direct ? 1.0 : 0.0},
+      {"loadgen_direct_batches", static_cast<double>(DirectBatches)},
+      {"loadgen_proxied_batches", static_cast<double>(ProxiedBatches)},
+      {"loadgen_client_misroutes", static_cast<double>(ClientMisroutes)},
+      {"loadgen_client_redirects", static_cast<double>(ClientRedirects)},
+      {"loadgen_client_reconnects", static_cast<double>(ClientReconnects)},
+      {"loadgen_client_rebootstraps",
+       static_cast<double>(ClientRebootstraps)},
+      {"loadgen_client_busy_retries",
+       static_cast<double>(ClientBusyRetries)},
+      {"loadgen_direct_max_inflight",
+       static_cast<double>(DirectMaxInflight)},
+      {"loadgen_rtt_fastpath_mean_us", RttFast.meanMicros()},
+      {"loadgen_rtt_fastpath_p99_us",
+       static_cast<double>(RttFast.quantileUpperBoundMicros(0.99))},
+      {"loadgen_rtt_fastpath_count", static_cast<double>(RttFast.Count)},
+      {"loadgen_rtt_split_mean_us", RttSplit.meanMicros()},
+      {"loadgen_rtt_split_p99_us",
+       static_cast<double>(RttSplit.quantileUpperBoundMicros(0.99))},
+      {"loadgen_rtt_split_count", static_cast<double>(RttSplit.Count)},
   };
   std::string Out = "{\n";
   bool First = true;
@@ -634,7 +852,10 @@ std::string LoadGenStats::toCsv() const {
                     "wall_sec,qps,rtt_mean_us,rtt_p50_us,rtt_p99_us,seed,"
                     "verify_ok,privatized,durable,disconnects,unacked,"
                     "redirects,follower_reads,monotonic_violations,role,"
-                    "shards,ring_vnodes,ring_seed,shard_affinity\n";
+                    "shards,ring_vnodes,ring_seed,shard_affinity,direct,"
+                    "direct_batches,proxied_batches,client_misroutes,"
+                    "direct_max_inflight,rtt_fastpath_mean_us,"
+                    "rtt_split_mean_us\n";
   Out += std::to_string(Sent) + "," + std::to_string(OkReplies) + "," +
          std::to_string(BusyReplies) + "," + std::to_string(ErrorReplies) +
          "," + std::to_string(ProtocolErrors) + "," +
@@ -649,7 +870,13 @@ std::string LoadGenStats::toCsv() const {
          std::to_string(FollowerReads) + "," +
          std::to_string(MonotonicViolations) + "," + Role + "," +
          std::to_string(Shards) + "," + std::to_string(RingVNodes) + "," +
-         std::to_string(RingSeed) + "," + (ShardAffinity ? "1" : "0") + "\n";
+         std::to_string(RingSeed) + "," + (ShardAffinity ? "1" : "0") + "," +
+         (Direct ? "1" : "0") + "," + std::to_string(DirectBatches) + "," +
+         std::to_string(ProxiedBatches) + "," +
+         std::to_string(ClientMisroutes) + "," +
+         std::to_string(DirectMaxInflight) + "," +
+         jsonNum(RttFast.meanMicros()) + "," +
+         jsonNum(RttSplit.meanMicros()) + "\n";
   return Out;
 }
 
@@ -685,6 +912,27 @@ std::string LoadGenStats::toText() const {
   }
   if (RedirectReplies)
     Out += "redirects:        " + std::to_string(RedirectReplies) + "\n";
+  if (DirectRequested) {
+    Out += std::string("direct routing:   ") +
+           (Direct ? "engaged" : "requested, fell back to proxy") + "\n";
+    Out += "direct batches:   " + std::to_string(DirectBatches) +
+           " (proxied " + std::to_string(ProxiedBatches) + ")\n";
+    Out += "max inflight:     " + std::to_string(DirectMaxInflight) + "\n";
+    Out += "client misroutes: " + std::to_string(ClientMisroutes) + "\n";
+    if (ClientRedirects || ClientReconnects || ClientRebootstraps)
+      Out += "client recovery:  " + std::to_string(ClientRedirects) +
+             " redirects, " + std::to_string(ClientReconnects) +
+             " reconnects, " + std::to_string(ClientRebootstraps) +
+             " rebootstraps\n";
+  }
+  if (RttFast.Count || RttSplit.Count) {
+    Out += "rtt fastpath us:  " + jsonNum(RttFast.meanMicros()) + " mean, " +
+           std::to_string(RttFast.quantileUpperBoundMicros(0.99)) +
+           " p99 (" + std::to_string(RttFast.Count) + " samples)\n";
+    Out += "rtt split us:     " + jsonNum(RttSplit.meanMicros()) + " mean, " +
+           std::to_string(RttSplit.quantileUpperBoundMicros(0.99)) +
+           " p99 (" + std::to_string(RttSplit.Count) + " samples)\n";
+  }
   if (FollowerReads) {
     Out += "follower reads:   " + std::to_string(FollowerReads) + "\n";
     Out += "monotonic viols:  " + std::to_string(MonotonicViolations) + "\n";
@@ -734,6 +982,13 @@ LoadGenStats svc::runLoadGen(const LoadGenConfig &Config) {
   // recomputed routing plan names, and the final states must match both
   // per shard and under the proxy's lattice merge.
   const bool Sharded = Stats.Role == "proxy" && Stats.Shards > 0;
+  // Direct routing engages only against a proxy whose Stats frame published
+  // a routable ring, and not when follower reads split the send path (those
+  // keep the legacy single-connection loop). A plain server quietly stays
+  // proxied: DirectRequested vs Direct tells the two apart in result files.
+  const bool Direct = Config.Direct && Sharded && Config.ReadHost.empty();
+  Stats.DirectRequested = Config.Direct;
+  Stats.Direct = Direct;
   std::vector<std::string> PreSnaps;
   if (Config.Verify && Sharded) {
     for (uint32_t S = 0; S != Stats.Shards; ++S) {
@@ -774,10 +1029,16 @@ LoadGenStats svc::runLoadGen(const LoadGenConfig &Config) {
   Timer Wall;
   for (unsigned T = 0; T != std::max(1u, Config.Threads); ++T)
     Threads.emplace_back([&, T] {
-      if (Config.TargetQps > 0)
+      if (Direct) {
+        if (Config.TargetQps > 0)
+          runDirectOpenLoop(Config, T, PoolsPtr, StatsText, Results[T]);
+        else
+          runDirectClosedLoop(Config, T, PoolsPtr, StatsText, Results[T]);
+      } else if (Config.TargetQps > 0) {
         runOpenLoop(Config, T, PoolsPtr, Results[T]);
-      else
+      } else {
         runClosedLoop(Config, T, PoolsPtr, Results[T]);
+      }
     });
   for (std::thread &T : Threads)
     T.join();
@@ -797,6 +1058,17 @@ LoadGenStats svc::runLoadGen(const LoadGenConfig &Config) {
     Stats.FollowerReads += TR.FollowerReads;
     Stats.MonotonicViolations += TR.MonotonicViolations;
     Stats.Rtt.merge(TR.Rtt);
+    Stats.RttFast.merge(TR.RttFast);
+    Stats.RttSplit.merge(TR.RttSplit);
+    Stats.DirectBatches += TR.ClientStats.DirectBatches;
+    Stats.ProxiedBatches += TR.ClientStats.ProxiedBatches;
+    Stats.ClientMisroutes += TR.ClientStats.Misroutes;
+    Stats.ClientRedirects += TR.ClientStats.Redirects;
+    Stats.ClientReconnects += TR.ClientStats.Reconnects;
+    Stats.ClientRebootstraps += TR.ClientStats.Rebootstraps;
+    Stats.ClientBusyRetries += TR.ClientStats.BusyRetries;
+    Stats.DirectMaxInflight =
+        std::max(Stats.DirectMaxInflight, TR.ClientStats.MaxConnInflight);
     for (CommittedBatch &B : TR.Committed)
       Committed.push_back(std::move(B));
   }

@@ -124,6 +124,15 @@ struct LoadGenConfig {
   /// increment) plans to exactly one shard. Ignored against an unsharded
   /// server.
   bool ShardAffinity = false;
+  /// Direct client-side routing (svc/Client.h): rebuild the proxy's
+  /// router from its published ring geometry and send single-shard
+  /// Keyed/Anywhere batches straight to their owner backend, pipelined;
+  /// Pinned ops and cross-shard plans still go through the proxy.
+  /// Engages only against a proxy; ignored (with a note in the outputs)
+  /// against a plain server or combined with ReadHost.
+  bool Direct = false;
+  /// Direct mode: max in-flight batches per connection.
+  unsigned DirectWindow = 16;
   /// Whether the driven server runs its accumulator on the privatized
   /// path (comlat-serve --privatize); recorded in the run's outputs so
   /// result files are self-describing.
@@ -197,6 +206,27 @@ struct LoadGenStats {
   /// Follower reply stamps observed going backwards on one connection;
   /// any is a monotonic-reads violation and fails the run.
   uint64_t MonotonicViolations = 0;
+  /// Direct routing requested (LoadGenConfig::Direct) and actually
+  /// engaged (the target was a proxy with a routable ring).
+  bool DirectRequested = false;
+  bool Direct = false;
+  /// ShardClient counters, summed across threads (direct mode only).
+  uint64_t DirectBatches = 0;
+  uint64_t ProxiedBatches = 0;
+  uint64_t ClientMisroutes = 0;
+  uint64_t ClientRedirects = 0;
+  uint64_t ClientReconnects = 0;
+  uint64_t ClientRebootstraps = 0;
+  uint64_t ClientBusyRetries = 0;
+  /// Largest observed per-connection in-flight depth across all threads —
+  /// the proof the pipelining window actually engaged.
+  uint64_t DirectMaxInflight = 0;
+  /// Round trips split by route kind, mirroring the proxy's
+  /// comlat_proxy_rtt_fastpath / _split families client-side: fastpath =
+  /// replies carrying at most one shard annotation (direct or proxied
+  /// single-shard), split = multi-shard replies.
+  LatencyHistogram RttFast;
+  LatencyHistogram RttSplit;
 
   double achievedQps() const { return WallSec > 0 ? Sent / WallSec : 0; }
 

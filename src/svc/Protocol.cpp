@@ -2,6 +2,7 @@
 
 #include "svc/Protocol.h"
 
+#include <cstdlib>
 #include <cstring>
 
 using namespace comlat;
@@ -349,4 +350,20 @@ bool svc::mutatingOp(const Op &O) {
   default:
     return true; // unknown ops never reach here; fail safe anyway
   }
+}
+
+bool svc::parseLeaderText(const std::string &Text, std::string &Host,
+                          uint16_t &Port) {
+  if (Text.rfind("leader=", 0) != 0)
+    return false;
+  const std::string Spec = Text.substr(7);
+  const size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos || Colon == 0)
+    return false;
+  const unsigned long P = std::strtoul(Spec.c_str() + Colon + 1, nullptr, 10);
+  if (P == 0 || P > 65535)
+    return false;
+  Host = Spec.substr(0, Colon);
+  Port = static_cast<uint16_t>(P);
+  return true;
 }

@@ -204,6 +204,12 @@ bool validOp(const Op &O, size_t UfElements);
 /// vocabulary (SetContains / AccRead / UfFind) and Redirect anything else.
 bool mutatingOp(const Op &O);
 
+/// Parses a Redirect reply's `leader=<host>:<port>` text into \p Host and
+/// \p Port; false on anything else. Shared by everyone that chases
+/// Redirects (the proxy's slot re-pointing, ShardClient's, the loadgen).
+bool parseLeaderText(const std::string &Text, std::string &Host,
+                     uint16_t &Port);
+
 } // namespace svc
 } // namespace comlat
 

@@ -41,20 +41,11 @@ void putU64(std::string &Out, uint64_t V) {
     Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
 }
 
-/// Parses a Redirect reply's `leader=host:port` text.
-bool parseLeader(const std::string &Text, std::string &Host, uint16_t &Port) {
-  if (Text.rfind("leader=", 0) != 0)
-    return false;
-  const std::string Spec = Text.substr(7);
-  const size_t Colon = Spec.rfind(':');
-  if (Colon == std::string::npos || Colon == 0)
-    return false;
-  const unsigned long P = std::strtoul(Spec.c_str() + Colon + 1, nullptr, 10);
-  if (P == 0 || P > 65535)
-    return false;
-  Host = Spec.substr(0, Colon);
-  Port = static_cast<uint16_t>(P);
-  return true;
+uint64_t nowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 } // namespace
@@ -93,6 +84,7 @@ public:
       Backends[S].Host = P.Config.Backends[S].Host;
       Backends[S].Port = P.Config.Backends[S].Port;
     }
+    JitterState ^= (Index + 1) * 0xBF58476D1CE4E5B9ull;
   }
 
   ~ProxyIo() {
@@ -155,6 +147,8 @@ private:
     RoutePlan Plan;
     std::vector<SubState> Subs; // parallel to Plan.Subs
     unsigned Outstanding = 0;
+    /// Arrival stamp; finishBatch records the route-kind RTT from it.
+    uint64_t StartUs = 0;
   };
 
   /// This thread's link to one backend shard.
@@ -171,6 +165,9 @@ private:
     bool EverConnected = false;
     std::unordered_map<uint64_t, SubRef> Pending;
     uint64_t RetryAtMs = 0; // earliest next dial
+    /// Consecutive dial/drop failures since the last successful connect;
+    /// drives the exponential reconnect backoff.
+    unsigned FailStreak = 0;
 
     size_t buffered() const { return WriteBuf.size() - WritePos; }
   };
@@ -197,6 +194,10 @@ private:
   void flushWrites(ProxyConn *C);
 
   bool dialBackend(unsigned Shard);
+  /// The next reconnect delay for \p B: base << FailStreak (capped at the
+  /// configured max) with xorshift jitter in [0.75D, 1.25D), counting
+  /// escalations beyond the base in ReconnectBackoffs. Bumps FailStreak.
+  uint64_t reconnectBackoffMs(BConn &B);
   void backendReady(unsigned Shard);
   void backendDown(unsigned Shard, const std::string &Why);
   void flushBackend(unsigned Shard);
@@ -228,6 +229,9 @@ private:
   uint64_t NextSubReqId = 1;
   bool ListenerClosed = false;
   uint64_t DrainDeadlineMs = 0;
+  /// xorshift state for reconnect-backoff jitter (per thread, seeded off
+  /// the thread index so the threads' re-dials desynchronize).
+  uint64_t JitterState = 0x9E3779B97F4A7C15ull;
   static std::atomic<unsigned> NextAccept;
 
   friend class Proxy;
@@ -409,7 +413,7 @@ bool ProxyIo::dialBackend(unsigned Shard) {
   const int Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
                           0);
   if (Fd < 0) {
-    B.RetryAtMs = Now + P.Config.ReconnectDelayMs;
+    B.RetryAtMs = Now + reconnectBackoffMs(B);
     return false;
   }
   int One = 1;
@@ -419,14 +423,14 @@ bool ProxyIo::dialBackend(unsigned Shard) {
   Addr.sin_port = htons(B.Port);
   if (::inet_pton(AF_INET, B.Host.c_str(), &Addr.sin_addr) != 1) {
     ::close(Fd);
-    B.RetryAtMs = Now + P.Config.ReconnectDelayMs;
+    B.RetryAtMs = Now + reconnectBackoffMs(B);
     return false;
   }
   const int Rc =
       ::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr), sizeof(Addr));
   if (Rc != 0 && errno != EINPROGRESS) {
     ::close(Fd);
-    B.RetryAtMs = Now + P.Config.ReconnectDelayMs;
+    B.RetryAtMs = Now + reconnectBackoffMs(B);
     return false;
   }
   B.Fd = Fd;
@@ -440,18 +444,40 @@ bool ProxyIo::dialBackend(unsigned Shard) {
     ::close(Fd);
     B.Fd = -1;
     B.State = BConn::St::Down;
-    B.RetryAtMs = Now + P.Config.ReconnectDelayMs;
+    B.RetryAtMs = Now + reconnectBackoffMs(B);
     return false;
   }
   if (B.EverConnected)
     P.Reconnects.fetch_add(1, std::memory_order_relaxed);
   B.EverConnected = true;
+  if (B.State == BConn::St::Ready)
+    B.FailStreak = 0; // connected outright; Connecting resets on ready
   return true;
+}
+
+uint64_t ProxyIo::reconnectBackoffMs(BConn &B) {
+  const unsigned Shift = std::min(B.FailStreak, 6u);
+  uint64_t D = static_cast<uint64_t>(P.Config.ReconnectDelayMs) << Shift;
+  D = std::min<uint64_t>(std::max<uint64_t>(D, 1),
+                         std::max(1u, P.Config.ReconnectMaxDelayMs));
+  if (B.FailStreak > 0)
+    P.ReconnectBackoffs.fetch_add(1, std::memory_order_relaxed);
+  ++B.FailStreak;
+  JitterState ^= JitterState << 13;
+  JitterState ^= JitterState >> 7;
+  JitterState ^= JitterState << 17;
+  const uint64_t Half = std::max<uint64_t>(1, D / 2);
+  return D - D / 4 + JitterState % Half;
 }
 
 void ProxyIo::backendReady(unsigned Shard) {
   BConn &B = Backends[Shard];
   B.State = BConn::St::Ready;
+  B.FailStreak = 0;
+  // Drop the Connecting-phase EPOLLOUT: a connected socket is writable
+  // almost always, so leaving it armed spins epoll_wait at 100% CPU.
+  // flushBackend re-arms it the moment a write actually short-counts.
+  armBackend(Shard);
   flushBackend(Shard);
 }
 
@@ -463,7 +489,7 @@ void ProxyIo::backendDown(unsigned Shard, const std::string &Why) {
     B.Fd = -1;
   }
   B.State = BConn::St::Down;
-  B.RetryAtMs = nowMs() + P.Config.ReconnectDelayMs;
+  B.RetryAtMs = nowMs() + reconnectBackoffMs(B);
   B.ReadBuf.clear();
   B.ReadPos = 0;
   B.WriteBuf.clear();
@@ -714,7 +740,7 @@ void ProxyIo::onBackendReply(unsigned Shard, const Response &R) {
     std::string Host;
     uint16_t Port = 0;
     if (S.RedirectTries >= P.Config.RedirectLimit ||
-        !parseLeader(R.Text, Host, Port)) {
+        !parseLeaderText(R.Text, Host, Port)) {
       S.State = SubState::St::Failed;
       S.ErrText = "shard " + std::to_string(Shard) + " redirect: " + R.Text;
       break;
@@ -725,6 +751,7 @@ void ProxyIo::onBackendReply(unsigned Shard, const Response &R) {
     B.Port = Port;
     backendDown(Shard, "re-pointed by redirect"); // fails other pendings
     Backends[Shard].RetryAtMs = 0;                // re-dial immediately
+    Backends[Shard].FailStreak = 0;               // fresh endpoint: no debt
     if (S.State == SubState::St::Pending) {
       sendSub(Ref.BatchId, Ref.SubIdx);
       return;
@@ -797,6 +824,13 @@ void ProxyIo::finishBatch(uint64_t BatchId) {
                                 Ba.Plan.Subs[SI].OpIdx.size())});
     if (OkSubs > 0)
       P.PartialCommits.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Route-kind RTT (client frame in -> reply queued), success or not: the
+  // fastpath family is the cost the direct path saves per batch.
+  if (Ba.StartUs != 0) {
+    const uint64_t Elapsed = nowUs() - Ba.StartUs;
+    (Ba.Plan.singleShard() ? P.RttFastpath : P.RttSplit).addMicros(Elapsed);
   }
 
   std::shared_ptr<ProxyConn> Conn = std::move(Ba.Conn);
@@ -891,6 +925,7 @@ void ProxyIo::handleBatch(ProxyConn *C, Request &Req,
   const uint64_t BatchId = NextBatchId++;
   Batch &Ba = Inflight[BatchId];
   Ba.Conn = Conns.at(C->Fd);
+  Ba.StartUs = nowUs();
   Ba.ClientReqId = Req.ReqId;
   Ba.Ops = std::move(Req.Ops);
   Ba.Plan = P.Router.plan(Ba.Ops);
@@ -1059,10 +1094,12 @@ void ProxyIo::run() {
           C->Closed.load(std::memory_order_relaxed))
         continue;
       if (Ev.events & (EPOLLHUP | EPOLLERR)) {
+        // HUP means the peer is fully gone: flush what we can, then drop
+        // the connection. Leaving it registered spins the level-triggered
+        // loop at 100% CPU for every client that ever disconnected.
         if (C->buffered() > 0)
           flushWrites(C);
-        if (!C->Closed.load(std::memory_order_relaxed) &&
-            (Ev.events & EPOLLERR))
+        if (!C->Closed.load(std::memory_order_relaxed))
           closeConnection(C);
         continue;
       }
@@ -1222,7 +1259,30 @@ std::string Proxy::statsText() const {
   Out += "proxy_merge_reads=" + std::to_string(MergeReads.load()) + "\n";
   Out += "proxy_partial_commits=" + std::to_string(PartialCommits.load()) +
          "\n";
+  Out += "proxy_reconnect_backoffs=" + std::to_string(
+                                           ReconnectBackoffs.load()) +
+         "\n";
   return Out;
+}
+
+void AtomicLatencyHistogram::renderProm(const char *Name,
+                                        std::string &Out) const {
+  Out += std::string("# TYPE ") + Name + " histogram\n";
+  uint64_t Cum = 0;
+  for (unsigned I = 0; I != NumBuckets; ++I) {
+    Cum += Buckets[I].load(std::memory_order_relaxed);
+    // Bucket I holds samples in [2^I, 2^(I+1)) microseconds (bucket 0
+    // from zero), so the upper bound is exclusive-rounded to 2^(I+1)-1.
+    Out += std::string(Name) + "_bucket{le=\"" +
+           std::to_string((1ull << (I + 1)) - 1) + "\"} " +
+           std::to_string(Cum) + "\n";
+  }
+  Out += std::string(Name) + "_bucket{le=\"+Inf\"} " +
+         std::to_string(Count.load(std::memory_order_relaxed)) + "\n";
+  Out += std::string(Name) + "_sum " +
+         std::to_string(TotalMicros.load(std::memory_order_relaxed)) + "\n";
+  Out += std::string(Name) + "_count " +
+         std::to_string(Count.load(std::memory_order_relaxed)) + "\n";
 }
 
 std::string Proxy::proxyMetricsText() const {
@@ -1246,5 +1306,8 @@ std::string Proxy::proxyMetricsText() const {
   Counter("comlat_proxy_misroutes_total", Misroutes.load());
   Counter("comlat_proxy_merge_reads_total", MergeReads.load());
   Counter("comlat_proxy_partial_commits_total", PartialCommits.load());
+  Counter("comlat_proxy_reconnect_backoffs_total", ReconnectBackoffs.load());
+  RttFastpath.renderProm("comlat_proxy_rtt_fastpath", Out);
+  RttSplit.renderProm("comlat_proxy_rtt_split", Out);
   return Out;
 }

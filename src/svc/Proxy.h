@@ -80,10 +80,42 @@ struct ProxyConfig {
   unsigned BusyRetryDelayMs = 2;
   /// Redirect chases per sub-batch (a slot whose backend turned follower).
   unsigned RedirectLimit = 4;
-  /// Backoff before re-dialing a dead backend.
+  /// Backoff before re-dialing a dead backend: base delay, doubled per
+  /// consecutive failure (with jitter) up to the max — a persistently dead
+  /// backend must not be hammered by every touching request.
   unsigned ReconnectDelayMs = 50;
+  unsigned ReconnectMaxDelayMs = 2000;
   /// Per-connection reply backlog cap; a client further behind is closed.
   size_t MaxWriteBuffered = 1u << 22;
+};
+
+/// A log2-bucketed latency histogram safe for concurrent recording from
+/// the I/O threads — the atomic sibling of runtime/ExecStats.h's
+/// LatencyHistogram, rendered as a Prometheus histogram family.
+struct AtomicLatencyHistogram {
+  static constexpr unsigned NumBuckets = 24; // ~8s at microsecond grain
+  std::atomic<uint64_t> Buckets[NumBuckets];
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> TotalMicros{0};
+
+  AtomicLatencyHistogram() {
+    for (auto &B : Buckets)
+      B.store(0, std::memory_order_relaxed);
+  }
+
+  void addMicros(uint64_t Us) {
+    unsigned Idx = 0;
+    while (Idx + 1 < NumBuckets && Us >= (1ull << (Idx + 1)))
+      ++Idx;
+    Buckets[Idx].fetch_add(1, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    TotalMicros.fetch_add(Us, std::memory_order_relaxed);
+  }
+
+  /// Appends the family as Prometheus histogram text: cumulative
+  /// `<Name>_bucket{le="..."}` samples (upper bounds in microseconds),
+  /// `<Name>_sum` and `<Name>_count`.
+  void renderProm(const char *Name, std::string &Out) const;
 };
 
 /// The proxy. Lifecycle: construct -> start() -> (serve) -> stop().
@@ -131,6 +163,12 @@ public:
   /// Routing counters (also in statsText and the Metrics export).
   uint64_t fastPathBatches() const { return FastPath.load(); }
   uint64_t splitBatches() const { return Split.load(); }
+  uint64_t reconnectBackoffs() const { return ReconnectBackoffs.load(); }
+
+  /// Per-route-kind batch round-trip times, client frame in to reply
+  /// queued: the proxy hop the direct path saves, directly measurable.
+  const AtomicLatencyHistogram &rttFastpath() const { return RttFastpath; }
+  const AtomicLatencyHistogram &rttSplit() const { return RttSplit; }
 
 private:
   friend class ProxyIo;
@@ -161,6 +199,12 @@ private:
   std::atomic<uint64_t> Misroutes{0};
   std::atomic<uint64_t> MergeReads{0};
   std::atomic<uint64_t> PartialCommits{0};
+  /// Dead-backend dials deferred past the base delay by the exponential
+  /// backoff — each one a reconnect attempt the old constant-delay policy
+  /// would have burned on a still-dead backend.
+  std::atomic<uint64_t> ReconnectBackoffs{0};
+  AtomicLatencyHistogram RttFastpath;
+  AtomicLatencyHistogram RttSplit;
 };
 
 } // namespace svc

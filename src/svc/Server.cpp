@@ -828,11 +828,12 @@ void IoThread::run() {
           C->Closed.load(std::memory_order_relaxed))
         continue; // closed earlier in this batch of events
       if (Ev.events & (EPOLLHUP | EPOLLERR)) {
-        // Flush what we can; a dead peer fails the send and closes.
+        // HUP means the peer is fully gone: flush what we can, then drop
+        // the connection. Leaving it registered spins the level-triggered
+        // loop at 100% CPU for every client that ever disconnected.
         if (C->buffered() > 0)
           flushWrites(C);
-        if (!C->Closed.load(std::memory_order_relaxed) &&
-            (Ev.events & EPOLLERR))
+        if (!C->Closed.load(std::memory_order_relaxed))
           closeConnection(C);
         continue;
       }

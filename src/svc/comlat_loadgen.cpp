@@ -77,7 +77,7 @@ int main(int Argc, char **Argv) {
                    "metrics-out", "wait-ready",
                    "acked-log", "tolerate-disconnect", "check-recovery",
                    "wal-dir", "read-from", "read-fraction", "check-follower",
-                   "leader-wal-dir", "catchup-timeout"});
+                   "leader-wal-dir", "catchup-timeout", "direct", "window"});
 
   svc::LoadGenConfig Config;
   Config.Host = Opts.getString("host", "127.0.0.1");
@@ -97,6 +97,8 @@ int main(int Argc, char **Argv) {
   Config.ShardAffinity = Opts.getBool("shard-affinity");
   Config.Privatized = Opts.getBool("privatized");
   Config.TolerateDisconnect = Opts.getBool("tolerate-disconnect");
+  Config.Direct = Opts.getBool("direct");
+  Config.DirectWindow = static_cast<unsigned>(Opts.getUInt("window", 16));
   Config.AckedLogPath = Opts.getString("acked-log", "");
   const std::string ReadFrom = Opts.getString("read-from", "");
   if (!ReadFrom.empty() &&

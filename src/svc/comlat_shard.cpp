@@ -58,7 +58,8 @@ int main(int Argc, char **Argv) {
   Opts.checkKnown({"port", "bind", "port-file", "io-threads", "backends",
                    "vnodes", "ring-seed", "uf-elements", "busy-retries",
                    "busy-retry-delay-ms", "redirect-limit",
-                   "reconnect-delay-ms", "max-write-buffer"});
+                   "reconnect-delay-ms", "reconnect-max-delay-ms",
+                   "max-write-buffer"});
 
   svc::ProxyConfig Config;
   Config.BindAddress = Opts.getString("bind", "127.0.0.1");
@@ -75,6 +76,8 @@ int main(int Argc, char **Argv) {
       static_cast<unsigned>(Opts.getUInt("redirect-limit", 4));
   Config.ReconnectDelayMs =
       static_cast<unsigned>(Opts.getUInt("reconnect-delay-ms", 50));
+  Config.ReconnectMaxDelayMs =
+      static_cast<unsigned>(Opts.getUInt("reconnect-max-delay-ms", 2000));
   Config.MaxWriteBuffered = Opts.getUInt("max-write-buffer", 1u << 22);
 
   const std::string Backends = Opts.getString("backends", "");

@@ -1,0 +1,527 @@
+//===- tests/svc/ShardClientTest.cpp - Direct-routing client ------------------===//
+//
+// The ShardClient's acceptance tests: the router-equality fuzz (the client
+// rebuilt from a proxy's published Stats geometry must plan every batch
+// bit-identically to the proxy's own router), the bootstrap parser, the
+// direct/fallback routing split against an in-process cluster, pipelined
+// submission depth, and the failure audits — a shard answering for a key
+// it does not own (misroute), a backend refusing the envelope, and a
+// Redirect chase onto the named leader.
+//
+// The lying-shard scenarios use a scripted TCP server (FakeShard): a real
+// backend always annotates itself truthfully, so only a fake can produce
+// the wrong-annotation replies the misroute audit exists to catch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "svc/Client.h"
+#include "svc/LoadGen.h"
+#include "svc/Proxy.h"
+#include "svc/Server.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <random>
+#include <thread>
+
+using namespace comlat;
+using namespace comlat::svc;
+
+namespace {
+
+/// Three shard backends + a proxy, started on ephemeral ports (the same
+/// harness as ShardProxyTest).
+struct Cluster {
+  std::vector<std::unique_ptr<Server>> Backends;
+  std::unique_ptr<Proxy> P;
+
+  explicit Cluster(unsigned NumShards, size_t UfElements = 128) {
+    ProxyConfig PC;
+    PC.UfElements = UfElements;
+    for (unsigned I = 0; I != NumShards; ++I) {
+      ServerConfig SC;
+      SC.Port = 0;
+      SC.IoThreads = 1;
+      SC.Workers = 2;
+      SC.UfElements = UfElements;
+      SC.ShardId = static_cast<int>(I);
+      SC.Backoff.Kind = BackoffKind::Yield;
+      Backends.push_back(std::make_unique<Server>(SC));
+      std::string Err;
+      EXPECT_TRUE(Backends.back()->start(&Err)) << Err;
+      PC.Backends.push_back({"127.0.0.1", Backends.back()->port()});
+    }
+    P = std::make_unique<Proxy>(PC);
+    std::string Err;
+    EXPECT_TRUE(P->start(&Err)) << Err;
+  }
+
+  ~Cluster() {
+    if (P)
+      P->stop();
+    for (auto &B : Backends)
+      B->stop();
+  }
+};
+
+/// A scripted shard endpoint: accepts connections, decodes request frames
+/// and answers each with whatever the handler fabricates — wrong shard
+/// annotations, Redirects, anything a test needs a backend to lie about.
+struct FakeShard {
+  int ListenFd = -1;
+  uint16_t Port = 0;
+  std::function<Response(const Request &)> Handler;
+  std::atomic<bool> StopFlag{false};
+  std::thread Th;
+
+  explicit FakeShard(std::function<Response(const Request &)> H)
+      : Handler(std::move(H)) {
+    listen();
+    Th = std::thread([this] { run(); });
+  }
+
+  void listen() {
+    ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(ListenFd, 0);
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    Addr.sin_port = 0;
+    ASSERT_EQ(::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+                     sizeof(Addr)),
+              0);
+    ASSERT_EQ(::listen(ListenFd, 8), 0);
+    socklen_t Len = sizeof(Addr);
+    ASSERT_EQ(::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+                            &Len),
+              0);
+    Port = ntohs(Addr.sin_port);
+  }
+
+  ~FakeShard() {
+    StopFlag.store(true);
+    if (Th.joinable())
+      Th.join();
+    if (ListenFd >= 0)
+      ::close(ListenFd);
+  }
+
+  void run() {
+    while (!StopFlag.load()) {
+      pollfd Pfd{ListenFd, POLLIN, 0};
+      if (::poll(&Pfd, 1, 50) <= 0)
+        continue;
+      const int Fd = ::accept(ListenFd, nullptr, nullptr);
+      if (Fd < 0)
+        continue;
+      serve(Fd);
+      ::close(Fd);
+    }
+  }
+
+  void serve(int Fd) {
+    std::string Buf;
+    char Chunk[4096];
+    while (!StopFlag.load()) {
+      pollfd Pfd{Fd, POLLIN, 0};
+      if (::poll(&Pfd, 1, 50) <= 0)
+        continue;
+      const ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+      if (N <= 0)
+        return; // client gone
+      Buf.append(Chunk, static_cast<size_t>(N));
+      for (;;) {
+        std::string_view Payload;
+        size_t Consumed = 0;
+        if (peelFrame(Buf, Payload, Consumed) != FrameResult::Ok)
+          break;
+        Request Req;
+        std::string Err;
+        const bool Decoded = decodeRequest(Payload, Req, Err);
+        Buf.erase(0, Consumed);
+        if (!Decoded)
+          return;
+        Response R = Handler(Req);
+        R.ReqId = Req.ReqId;
+        std::string Out;
+        encodeResponse(R, Out);
+        size_t Off = 0;
+        while (Off < Out.size()) {
+          const ssize_t W = ::send(Fd, Out.data() + Off, Out.size() - Off,
+                                   MSG_NOSIGNAL);
+          if (W <= 0)
+            return;
+          Off += static_cast<size_t>(W);
+        }
+      }
+    }
+  }
+};
+
+/// A Stats text announcing a one-shard ring whose only backend is \p Port —
+/// every keyed batch the client plans routes there.
+std::string oneShardStats(uint16_t Port) {
+  return "role=proxy\nshards=1\nring_vnodes=8\nring_seed=7\nshard0=127.0.0.1:" +
+         std::to_string(Port) + "\n";
+}
+
+Op setAdd(int64_t K) {
+  return {static_cast<uint8_t>(ObjectId::Set), SetAdd, K, 0};
+}
+
+/// The first \p Count set keys the router sends to \p Shard.
+std::vector<int64_t> setKeysFor(const ShardRouter &R, unsigned Shard,
+                                size_t Count) {
+  std::vector<int64_t> Keys;
+  for (int64_t K = 0; Keys.size() < Count && K < 100000; ++K)
+    if (R.shardForOp(setAdd(K)) == Shard)
+      Keys.push_back(K);
+  EXPECT_EQ(Keys.size(), Count);
+  return Keys;
+}
+
+/// A client config whose proxy endpoint refuses connections — for tests
+/// that bootstrap from a literal Stats text and must never reach a proxy
+/// (a rebootstrap against it fails fast and keeps the current ring).
+ShardClientConfig noProxyConfig() {
+  ShardClientConfig C;
+  C.ProxyPort = 1; // reserved port: connect refused immediately
+  C.UfElements = 128;
+  return C;
+}
+
+/// One random valid op drawn across all three structures and methods.
+Op randomOp(std::mt19937_64 &Rng) {
+  Op O;
+  switch (Rng() % 3) {
+  case 0:
+    O.Obj = static_cast<uint8_t>(ObjectId::Set);
+    O.Method = static_cast<uint8_t>(Rng() % 3); // add/remove/contains
+    O.A = static_cast<int64_t>(Rng() % 1024);
+    break;
+  case 1:
+    O.Obj = static_cast<uint8_t>(ObjectId::Acc);
+    O.Method = static_cast<uint8_t>(Rng() % 2); // increment/read
+    O.A = static_cast<int64_t>(Rng() % 100);
+    break;
+  default:
+    O.Obj = static_cast<uint8_t>(ObjectId::Uf);
+    O.Method = static_cast<uint8_t>(Rng() % 2); // find/union
+    O.A = static_cast<int64_t>(Rng() % 128);
+    O.B = static_cast<int64_t>(Rng() % 128);
+    break;
+  }
+  return O;
+}
+
+} // namespace
+
+TEST(ShardClientTest, ParseRingGeometryRoundTripsProxyStats) {
+  ProxyConfig PC;
+  PC.Backends = {{"127.0.0.1", 7001}, {"10.0.0.2", 7002}, {"127.0.0.1", 7003}};
+  PC.VNodes = 32;
+  PC.RingSeed = 0xABCDEFull;
+  Proxy P(PC); // never started: statsText is pure config + counters
+
+  RingGeometry G;
+  std::string Err;
+  ASSERT_TRUE(parseRingGeometry(P.statsText(), G, &Err)) << Err;
+  EXPECT_EQ(G.Role, "proxy");
+  EXPECT_EQ(G.Shards, 3u);
+  EXPECT_EQ(G.VNodes, 32u);
+  EXPECT_EQ(G.Seed, 0xABCDEFull);
+  ASSERT_EQ(G.Endpoints.size(), 3u);
+  EXPECT_EQ(G.Endpoints[1].Host, "10.0.0.2");
+  EXPECT_EQ(G.Endpoints[1].Port, 7002);
+  EXPECT_TRUE(G.routable());
+}
+
+TEST(ShardClientTest, ParseRingGeometryRejectsBrokenStats) {
+  RingGeometry G;
+  std::string Err;
+  // Announces two shards but lists one endpoint.
+  EXPECT_FALSE(parseRingGeometry(
+      "role=proxy\nshards=2\nring_vnodes=8\nring_seed=1\n"
+      "shard0=127.0.0.1:7001\n",
+      G, &Err));
+  EXPECT_NE(Err.find("shard1"), std::string::npos) << Err;
+  // Unparseable endpoint.
+  EXPECT_FALSE(parseRingGeometry(
+      "role=proxy\nshards=1\nring_vnodes=8\nring_seed=1\nshard0=nonsense\n",
+      G, &Err));
+  // A plain backend's Stats (no ring lines) parses into a non-routable
+  // geometry: the client then proxies everything instead of failing.
+  ASSERT_TRUE(parseRingGeometry("role=leader\ndurable=1\n", G, &Err)) << Err;
+  EXPECT_FALSE(G.routable());
+}
+
+TEST(ShardClientTest, RouterEqualsProxyRouterAcrossRandomGeometries) {
+  // The direct path is sound only if the client's rebuilt router agrees
+  // with the proxy's on *every* batch — fuzz randomized geometries and
+  // randomized batches and require identical RoutePlans.
+  std::mt19937_64 Rng(0xC0FFEEull);
+  for (unsigned Geo = 0; Geo != 40; ++Geo) {
+    ProxyConfig PC;
+    const unsigned Shards = 1 + Rng() % 8;
+    for (unsigned S = 0; S != Shards; ++S)
+      PC.Backends.push_back(
+          {"127.0.0.1", static_cast<uint16_t>(7001 + S)});
+    PC.VNodes = 1 + Rng() % 128;
+    PC.RingSeed = Rng();
+    PC.UfElements = 128;
+    Proxy P(PC); // never started; only its statsText/router are exercised
+
+    ShardClient SC(noProxyConfig());
+    std::string Err;
+    ASSERT_TRUE(SC.bootstrapFromText(P.statsText(), &Err)) << Err;
+    ASSERT_TRUE(SC.directEngaged());
+    ASSERT_NE(SC.router(), nullptr);
+    EXPECT_EQ(SC.geometry().Shards, Shards);
+
+    for (unsigned Batch = 0; Batch != 50; ++Batch) {
+      std::vector<Op> Ops;
+      const unsigned N = 1 + Rng() % 12;
+      for (unsigned I = 0; I != N; ++I)
+        Ops.push_back(randomOp(Rng));
+
+      const RoutePlan Want = P.router().plan(Ops);
+      const RoutePlan Got = SC.router()->plan(Ops);
+      ASSERT_EQ(Got.Subs.size(), Want.Subs.size());
+      for (size_t I = 0; I != Want.Subs.size(); ++I) {
+        EXPECT_EQ(Got.Subs[I].Shard, Want.Subs[I].Shard);
+        EXPECT_EQ(Got.Subs[I].OpIdx, Want.Subs[I].OpIdx);
+      }
+
+      // wouldRouteDirect must be exactly "single-shard plan, no Pinned
+      // op", and must name the plan's shard.
+      bool AnyPinned = false;
+      for (const Op &O : Ops)
+        AnyPinned |= P.router()
+                         .route(static_cast<ObjectId>(O.Obj), O.Method)
+                         .Kind == RouteKind::Pinned;
+      unsigned Shard = ~0u;
+      const bool Direct = SC.wouldRouteDirect(Ops, &Shard);
+      EXPECT_EQ(Direct, !AnyPinned && Want.singleShard());
+      if (Direct) {
+        EXPECT_EQ(Shard, Want.Subs[0].Shard);
+      }
+    }
+  }
+}
+
+TEST(ShardClientTest, LyingShardAnnotationCountsMisrouteAndFailsBatch) {
+  // The fake owns the whole one-shard ring but annotates its Ok replies
+  // with shard 9 — a shard answering for a key it does not own. The audit
+  // must flag it rather than hand the caller a wrong-shard commit.
+  FakeShard Fake([](const Request &Req) {
+    Response R;
+    R.St = Status::Ok;
+    R.CommitSeq = 1;
+    R.Results.assign(Req.Ops.size(), 1);
+    R.Shards.push_back({9, 1, static_cast<uint32_t>(Req.Ops.size())});
+    return R;
+  });
+
+  ShardClient SC(noProxyConfig());
+  ASSERT_TRUE(SC.bootstrapFromText(oneShardStats(Fake.Port)));
+  ASSERT_TRUE(SC.directEngaged());
+
+  ClientCompletion C;
+  ASSERT_TRUE(SC.call({setAdd(5)}, C, 10.0));
+  EXPECT_EQ(C.R.St, Status::Error);
+  EXPECT_NE(C.R.Text.find("misroute"), std::string::npos) << C.R.Text;
+  EXPECT_TRUE(C.Direct);
+  EXPECT_FALSE(C.ConnLost); // the server answered; the answer was wrong
+  EXPECT_EQ(SC.counters().Misroutes, 1u);
+  EXPECT_EQ(SC.counters().DirectBatches, 1u);
+}
+
+TEST(ShardClientTest, TruthfulAnnotationPassesTheAudit) {
+  // Control for the misroute test: the same fake annotating correctly.
+  FakeShard Fake([](const Request &Req) {
+    Response R;
+    R.St = Status::Ok;
+    R.CommitSeq = 42;
+    R.Results.assign(Req.Ops.size(), 1);
+    R.Shards.push_back({Req.Shard, 42, static_cast<uint32_t>(Req.Ops.size())});
+    return R;
+  });
+
+  ShardClient SC(noProxyConfig());
+  ASSERT_TRUE(SC.bootstrapFromText(oneShardStats(Fake.Port)));
+
+  ClientCompletion C;
+  ASSERT_TRUE(SC.call({setAdd(5)}, C, 10.0));
+  EXPECT_EQ(C.R.St, Status::Ok);
+  EXPECT_TRUE(C.Direct);
+  EXPECT_EQ(C.Shard, 0u);
+  EXPECT_EQ(C.R.CommitSeq, 42u);
+  EXPECT_EQ(SC.counters().Misroutes, 0u);
+}
+
+TEST(ShardClientTest, BackendEnvelopeRefusalCountsMisroute) {
+  // A real backend stamped shard 1, wired into the ring as slot 0: it
+  // refuses the SubBatch envelope ("this is shard 1"), which the client
+  // must treat as a ring/wiring disagreement, not a clean error.
+  ServerConfig SrvC;
+  SrvC.Port = 0;
+  SrvC.UfElements = 128;
+  SrvC.ShardId = 1;
+  Server Srv(SrvC);
+  ASSERT_TRUE(Srv.start());
+
+  ShardClient SC(noProxyConfig());
+  ASSERT_TRUE(SC.bootstrapFromText(oneShardStats(Srv.port())));
+
+  ClientCompletion C;
+  ASSERT_TRUE(SC.call({setAdd(5)}, C, 10.0));
+  EXPECT_EQ(C.R.St, Status::Error);
+  EXPECT_NE(C.R.Text.find("this is shard"), std::string::npos) << C.R.Text;
+  EXPECT_EQ(SC.counters().Misroutes, 1u);
+  Srv.stop();
+}
+
+TEST(ShardClientTest, RedirectRepointsTheSlotAtTheNamedLeader) {
+  // The slot's backend turned follower: it Redirects at a real leader.
+  // The chase must re-point the slot, resend, and come back Ok.
+  ServerConfig SrvC;
+  SrvC.Port = 0;
+  SrvC.UfElements = 128;
+  SrvC.ShardId = 0;
+  Server Leader(SrvC);
+  ASSERT_TRUE(Leader.start());
+
+  const uint16_t LeaderPort = Leader.port();
+  FakeShard Fake([LeaderPort](const Request &) {
+    Response R;
+    R.St = Status::Redirect;
+    R.Text = "leader=127.0.0.1:" + std::to_string(LeaderPort);
+    return R;
+  });
+
+  ShardClient SC(noProxyConfig());
+  ASSERT_TRUE(SC.bootstrapFromText(oneShardStats(Fake.Port)));
+
+  ClientCompletion C;
+  ASSERT_TRUE(SC.call({setAdd(5)}, C, 10.0));
+  EXPECT_EQ(C.R.St, Status::Ok);
+  EXPECT_TRUE(C.Direct);
+  EXPECT_EQ(C.Shard, 0u);
+  EXPECT_EQ(SC.counters().Redirects, 1u);
+  EXPECT_EQ(SC.counters().Misroutes, 0u);
+  Leader.stop();
+}
+
+TEST(ShardClientTest, PipelinedDirectBatchesNeverTouchTheProxy) {
+  Cluster C(3);
+
+  ShardClientConfig CC;
+  CC.ProxyPort = C.P->port();
+  CC.Window = 32;
+  CC.UfElements = 128;
+  ShardClient SC(CC);
+  std::string Err;
+  ASSERT_TRUE(SC.connect(&Err)) << Err;
+  ASSERT_TRUE(SC.directEngaged());
+  EXPECT_EQ(SC.geometry().Shards, 3u);
+
+  // 16 single-key batches for one shard, submitted back-to-back without
+  // polling: they stack up in the connection's pending map, which is the
+  // pipelining depth the counters must witness.
+  const std::vector<int64_t> Keys = setKeysFor(*SC.router(), 0, 16);
+  for (size_t I = 0; I != Keys.size(); ++I)
+    ASSERT_TRUE(SC.submit(/*Token=*/I + 1, {setAdd(Keys[I])}));
+
+  std::vector<ClientCompletion> Done;
+  ASSERT_TRUE(SC.drain(Done, 15.0));
+  ASSERT_EQ(Done.size(), Keys.size());
+  for (const ClientCompletion &D : Done) {
+    EXPECT_EQ(D.R.St, Status::Ok);
+    EXPECT_TRUE(D.Direct);
+    EXPECT_EQ(D.Shard, 0u);
+    ASSERT_EQ(D.R.Results.size(), 1u);
+    EXPECT_EQ(D.R.Results[0], 1); // first add reports "changed"
+  }
+  EXPECT_EQ(SC.counters().DirectBatches, Keys.size());
+  EXPECT_EQ(SC.counters().ProxiedBatches, 0u);
+  EXPECT_EQ(SC.counters().Misroutes, 0u);
+  EXPECT_GE(SC.counters().MaxConnInflight, 4u);
+  // The proxy routed nothing: its only traffic was the bootstrap Stats.
+  EXPECT_EQ(C.P->fastPathBatches(), 0u);
+  EXPECT_EQ(C.P->splitBatches(), 0u);
+}
+
+TEST(ShardClientTest, PinnedAndCrossShardBatchesFallBackToTheProxy) {
+  Cluster C(3);
+
+  ShardClientConfig CC;
+  CC.ProxyPort = C.P->port();
+  CC.UfElements = 128;
+  ShardClient SC(CC);
+  ASSERT_TRUE(SC.connect());
+  ASSERT_TRUE(SC.directEngaged());
+
+  // Pinned: union-find serializes through its owner shard, and pinned
+  // reads need the proxy's merge semantics — never direct.
+  std::vector<Op> Pinned = {
+      {static_cast<uint8_t>(ObjectId::Uf), UfUnion, 3, 9}};
+  EXPECT_FALSE(SC.wouldRouteDirect(Pinned, nullptr));
+  ClientCompletion Done;
+  ASSERT_TRUE(SC.call(Pinned, Done, 15.0));
+  EXPECT_EQ(Done.R.St, Status::Ok);
+  EXPECT_FALSE(Done.Direct);
+
+  // Cross-shard: one key per shard cannot be a single SubBatch.
+  std::vector<Op> Cross = {setAdd(setKeysFor(*SC.router(), 0, 1)[0]),
+                           setAdd(setKeysFor(*SC.router(), 1, 1)[0]),
+                           setAdd(setKeysFor(*SC.router(), 2, 1)[0])};
+  EXPECT_FALSE(SC.wouldRouteDirect(Cross, nullptr));
+  ASSERT_TRUE(SC.call(Cross, Done, 15.0));
+  EXPECT_EQ(Done.R.St, Status::Ok);
+  EXPECT_FALSE(Done.Direct);
+  EXPECT_GE(Done.R.Shards.size(), 3u); // the proxy split it
+
+  EXPECT_EQ(SC.counters().DirectBatches, 0u);
+  EXPECT_EQ(SC.counters().ProxiedBatches, 2u);
+  EXPECT_EQ(C.P->splitBatches(), 1u);
+}
+
+TEST(ShardClientTest, DirectVerifiedLoadMatchesPerShardOracles) {
+  // The end-to-end gate: the verify oracle (per-shard commit_seq replay +
+  // lattice-merge equality) must hold when batches bypass the proxy.
+  Cluster C(3);
+
+  LoadGenConfig LC;
+  LC.Port = C.P->port();
+  LC.Threads = 2;
+  LC.BatchesPerThread = 150;
+  LC.OpsPerBatch = 4;
+  LC.KeySpace = 64;
+  LC.UfElements = 128;
+  LC.Verify = true;
+  LC.Direct = true;
+  LC.DirectWindow = 8;
+  const LoadGenStats Stats = runLoadGen(LC);
+
+  EXPECT_EQ(Stats.Sent, 300u);
+  EXPECT_EQ(Stats.OkReplies, 300u);
+  EXPECT_EQ(Stats.ProtocolErrors, 0u);
+  EXPECT_TRUE(Stats.DirectRequested);
+  EXPECT_TRUE(Stats.Direct);
+  // Random mixed batches land on both paths; both must be exercised.
+  EXPECT_GT(Stats.DirectBatches, 0u);
+  EXPECT_GT(Stats.ProxiedBatches, 0u);
+  EXPECT_EQ(Stats.DirectBatches + Stats.ProxiedBatches, Stats.Sent);
+  EXPECT_EQ(Stats.ClientMisroutes, 0u);
+  ASSERT_TRUE(Stats.VerifyRan);
+  EXPECT_TRUE(Stats.VerifyOk) << Stats.VerifyDetail;
+}
